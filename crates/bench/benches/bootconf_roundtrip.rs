@@ -1,0 +1,68 @@
+//! Criterion: config-dialect parse/emit throughput (Figures 2, 3, 9, 10,
+//! 14 artefact handling).
+//!
+//! The middleware rewrites these files on every switch; the benchmark
+//! pins the cost of a full round trip per dialect.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use dualboot_bootconf::diskpart::DiskpartScript;
+use dualboot_bootconf::grub::{eridani, GrubConfig};
+use dualboot_bootconf::idedisk::IdeDisk;
+use dualboot_bootconf::os::OsKind;
+use std::hint::black_box;
+
+fn bench_grub(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bootconf/grub");
+    let fig2 = eridani::menu_lst().emit();
+    let fig3 = eridani::controlmenu(OsKind::Linux).emit();
+    g.bench_function("fig2_parse", |b| {
+        b.iter(|| GrubConfig::parse(black_box(&fig2)).unwrap())
+    });
+    g.bench_function("fig3_parse", |b| {
+        b.iter(|| GrubConfig::parse(black_box(&fig3)).unwrap())
+    });
+    g.bench_function("fig3_emit", |b| {
+        let cfg = eridani::controlmenu(OsKind::Linux);
+        b.iter(|| black_box(&cfg).emit())
+    });
+    g.bench_function("fig3_retarget", |b| {
+        b.iter_batched(
+            || eridani::controlmenu(OsKind::Linux),
+            |mut cfg| {
+                cfg.retarget(black_box(OsKind::Windows));
+                cfg
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_diskpart(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bootconf/diskpart");
+    let fig10 = DiskpartScript::modified_v1(150_000).emit();
+    g.bench_function("fig10_parse", |b| {
+        b.iter(|| DiskpartScript::parse(black_box(&fig10)).unwrap())
+    });
+    g.bench_function("fig10_emit", |b| {
+        let s = DiskpartScript::modified_v1(150_000);
+        b.iter(|| black_box(&s).emit())
+    });
+    g.finish();
+}
+
+fn bench_idedisk(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bootconf/idedisk");
+    let fig14 = IdeDisk::eridani_v2().emit();
+    g.bench_function("fig14_parse", |b| {
+        b.iter(|| IdeDisk::parse(black_box(&fig14)).unwrap())
+    });
+    g.bench_function("fig14_emit", |b| {
+        let d = IdeDisk::eridani_v2();
+        b.iter(|| black_box(&d).emit())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_grub, bench_diskpart, bench_idedisk);
+criterion_main!(benches);

@@ -1,0 +1,129 @@
+//! Criterion: one full Figure-11 control cycle and its pieces.
+//!
+//! Measures the middleware's own overhead — the wire encode/decode, a
+//! full daemon poll (pump → scrape → decide → act), and the v1 switch
+//! application on the disk model — i.e. the cost the middleware adds on
+//! top of the schedulers.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use dualboot_bootconf::os::OsKind;
+use dualboot_core::daemon::{LinuxDaemon, WindowsDaemon};
+use dualboot_core::detector::{DetectorOutput, PbsDetector, WinDetector};
+use dualboot_core::policy::FcfsPolicy;
+use dualboot_core::{switchjob, Version};
+use dualboot_deploy::oscar::OscarDeployer;
+use dualboot_deploy::windows::WindowsDeployer;
+use dualboot_des::time::{SimDuration, SimTime};
+use dualboot_hw::node::{ComputeNode, FirmwareBootOrder};
+use dualboot_net::transport::in_proc_pair;
+use dualboot_net::wire::DetectorReport;
+use dualboot_sched::job::JobRequest;
+use dualboot_sched::pbs::PbsScheduler;
+use dualboot_sched::pbs_text::qstat_f;
+use dualboot_sched::scheduler::Scheduler;
+use dualboot_sched::winhpc::WinHpcScheduler;
+use std::hint::black_box;
+
+fn bench_wire(c: &mut Criterion) {
+    let mut g = c.benchmark_group("control/wire");
+    let report = DetectorReport::stuck(4, "1191.eridani.qgg.hud.ac.uk");
+    let encoded = report.encode().unwrap();
+    g.bench_function("encode", |b| b.iter(|| black_box(&report).encode().unwrap()));
+    g.bench_function("decode", |b| {
+        b.iter(|| DetectorReport::decode(black_box(&encoded)).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_full_poll_cycle(c: &mut Criterion) {
+    // A realistic stuck scenario: Windows queue backed up, Linux idle.
+    let mut win = WinHpcScheduler::eridani();
+    win.submit(
+        JobRequest::user("opera", OsKind::Windows, 2, 4, SimDuration::from_mins(10)),
+        SimTime::ZERO,
+    );
+    let win_out = WinDetector.run(&win.api());
+    let mut pbs = PbsScheduler::eridani();
+    for i in 1..=16 {
+        pbs.register_node(&format!("enode{i:02}.eridani.qgg.hud.ac.uk"), 4);
+    }
+    let qstat = qstat_f(&pbs);
+
+    c.bench_function("control/full_poll_cycle", |b| {
+        b.iter_batched(
+            || {
+                let (lt, wt) = in_proc_pair();
+                (
+                    LinuxDaemon::new(Version::V2, lt, FcfsPolicy),
+                    WindowsDaemon::new(wt),
+                )
+            },
+            |(mut lin, mut wind)| {
+                // Steps 1-2
+                wind.tick(&win_out, SimTime::ZERO).unwrap();
+                // Steps 3-5
+                lin.pump(SimTime::from_secs(1)).unwrap();
+                let out: DetectorOutput = PbsDetector.run(&qstat).unwrap();
+                let actions = lin.poll(&out, 16, 16, SimTime::from_secs(1)).unwrap();
+                let wactions = wind.pump(SimTime::from_secs(1)).unwrap();
+                (actions, wactions)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_v1_switch_apply(c: &mut Criterion) {
+    let mk = || {
+        let mut n = ComputeNode::eridani(1, FirmwareBootOrder::LocalDisk);
+        WindowsDeployer::v1_patched().deploy(&mut n).unwrap();
+        OscarDeployer::eridani(dualboot_deploy::Version::V1)
+            .deploy(&mut n)
+            .unwrap();
+        n
+    };
+    c.bench_function("control/v1_switch_apply", |b| {
+        b.iter_batched(
+            mk,
+            |mut n| {
+                switchjob::apply_v1_switch(&mut n.disk, black_box(OsKind::Windows)).unwrap();
+                n
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_boot_resolution(c: &mut Criterion) {
+    let mut g = c.benchmark_group("control/boot_resolve");
+    let mut v1 = ComputeNode::eridani(1, FirmwareBootOrder::LocalDisk);
+    WindowsDeployer::v1_patched().deploy(&mut v1).unwrap();
+    OscarDeployer::eridani(dualboot_deploy::Version::V1)
+        .deploy(&mut v1)
+        .unwrap();
+    g.bench_function("v1_local_grub_chain", |b| {
+        b.iter(|| dualboot_hw::boot::resolve_local(black_box(&v1.disk)).unwrap())
+    });
+
+    let mut v2 = ComputeNode::eridani(1, FirmwareBootOrder::PxeFirst);
+    WindowsDeployer::v1_patched().deploy(&mut v2).unwrap();
+    OscarDeployer::eridani(dualboot_deploy::Version::V2)
+        .deploy(&mut v2)
+        .unwrap();
+    let pxe = dualboot_hw::pxe::PxeService::eridani_v2();
+    g.bench_function("v2_pxe_chain", |b| {
+        b.iter(|| {
+            dualboot_hw::boot::resolve_pxe(black_box(&v2.disk), &v2.mac, v2.nic, Some(&pxe)).unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_wire,
+    bench_full_poll_cycle,
+    bench_v1_switch_apply,
+    bench_boot_resolution
+);
+criterion_main!(benches);

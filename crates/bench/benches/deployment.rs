@@ -1,0 +1,82 @@
+//! Criterion: deployment and reimaging flows (experiment E4's machinery).
+//!
+//! Measures single-node deploys under both generations, the master-script
+//! generate+patch pass, and a whole 16-node maintenance campaign.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use dualboot_bootconf::idedisk::IdeDisk;
+use dualboot_bootconf::oscarimage::MasterScript;
+use dualboot_deploy::campaign::{CampaignEvent, ReimageCampaign};
+use dualboot_deploy::oscar::OscarDeployer;
+use dualboot_deploy::windows::WindowsDeployer;
+use dualboot_deploy::Version;
+use dualboot_hw::disk::Disk;
+use std::hint::black_box;
+
+fn bench_single_node_deploys(c: &mut Criterion) {
+    let mut g = c.benchmark_group("deploy/single_node");
+    for (label, version) in [("v1", Version::V1), ("v2", Version::V2)] {
+        g.bench_function(format!("windows_then_linux_{label}"), |b| {
+            b.iter_batched(
+                Disk::eridani,
+                |mut disk| {
+                    WindowsDeployer::v1_patched().deploy_disk(&mut disk).unwrap();
+                    OscarDeployer::eridani(version).deploy_disk(&mut disk).unwrap();
+                    disk
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.bench_function("v2_reimage_in_place", |b| {
+        b.iter_batched(
+            || {
+                let mut disk = Disk::eridani();
+                WindowsDeployer::v1_patched().deploy_disk(&mut disk).unwrap();
+                OscarDeployer::eridani(Version::V2).deploy_disk(&mut disk).unwrap();
+                disk
+            },
+            |mut disk| {
+                WindowsDeployer::v2_reimage().deploy_disk(&mut disk).unwrap();
+                disk
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_master_script(c: &mut Criterion) {
+    let layout = IdeDisk::eridani_v1();
+    c.bench_function("deploy/master_generate_and_patch", |b| {
+        b.iter(|| {
+            let mut script = MasterScript::generate(black_box(&layout));
+            script.apply_v1_patches(&layout);
+            script
+        })
+    });
+}
+
+fn bench_campaign(c: &mut Criterion) {
+    let mut g = c.benchmark_group("deploy/campaign_16_nodes");
+    g.sample_size(10);
+    let events = [
+        CampaignEvent::WindowsReimage,
+        CampaignEvent::LinuxReimage,
+        CampaignEvent::WindowsReimage,
+    ];
+    for (label, version) in [("v1", Version::V1), ("v2", Version::V2)] {
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                ReimageCampaign::new(version, 16)
+                    .unwrap()
+                    .run(black_box(&events))
+                    .unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_single_node_deploys, bench_master_script, bench_campaign);
+criterion_main!(benches);

@@ -1,0 +1,101 @@
+//! Criterion: the detector pipeline (Figures 5–8).
+//!
+//! The Linux detector runs every poll cycle and scrapes the full
+//! `qstat -f` / `pbsnodes` text. Cost scales with queue depth and node
+//! count, so the groups sweep both — the paper's detectors ran every
+//! 5 minutes on a 16-node system, but a reusable middleware must not melt
+//! on a larger one.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dualboot_bootconf::os::OsKind;
+use dualboot_core::detector::{PbsDetector, WinDetector};
+use dualboot_des::time::{SimDuration, SimTime};
+use dualboot_sched::job::JobRequest;
+use dualboot_sched::pbs::PbsScheduler;
+use dualboot_sched::pbs_text::{parse_pbsnodes, pbsnodes, qstat_f};
+use dualboot_sched::scheduler::Scheduler;
+use dualboot_sched::winhpc::WinHpcScheduler;
+use std::hint::black_box;
+
+fn pbs_with(nodes: u32, queued_jobs: u32) -> PbsScheduler {
+    let mut s = PbsScheduler::eridani();
+    for i in 1..=nodes {
+        s.register_node(&format!("enode{i:02}.eridani.qgg.hud.ac.uk"), 4);
+    }
+    for k in 0..queued_jobs {
+        s.submit(
+            JobRequest::user(
+                format!("job-{k}"),
+                OsKind::Linux,
+                1,
+                4,
+                SimDuration::from_mins(10),
+            ),
+            SimTime::from_secs(u64::from(k)),
+        );
+    }
+    s.try_dispatch(SimTime::from_secs(u64::from(queued_jobs)));
+    s
+}
+
+fn bench_qstat_pipeline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("detector/qstat_scrape");
+    for depth in [1u32, 16, 64, 256] {
+        let s = pbs_with(16, depth);
+        let text = qstat_f(&s);
+        g.bench_with_input(BenchmarkId::new("emit", depth), &s, |b, s| {
+            b.iter(|| qstat_f(black_box(s)))
+        });
+        g.bench_with_input(BenchmarkId::new("scrape_detect", depth), &text, |b, text| {
+            b.iter(|| PbsDetector.run(black_box(text)).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_pbsnodes_pipeline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("detector/pbsnodes_scrape");
+    for nodes in [16u32, 64, 256] {
+        let s = pbs_with(nodes, nodes / 2);
+        let text = pbsnodes(&s, SimTime::from_secs(60));
+        g.bench_with_input(BenchmarkId::new("emit", nodes), &s, |b, s| {
+            b.iter(|| pbsnodes(black_box(s), SimTime::from_secs(60)))
+        });
+        g.bench_with_input(BenchmarkId::new("scrape", nodes), &text, |b, text| {
+            b.iter(|| parse_pbsnodes(black_box(text)).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_win_sdk(c: &mut Criterion) {
+    // The asymmetry the paper describes: the SDK path has no text at all.
+    let mut s = WinHpcScheduler::eridani();
+    for i in 1..=16 {
+        s.register_node(&format!("enode{i:02}.eridani.qgg.hud.ac.uk"), 4);
+    }
+    for k in 0..64 {
+        s.submit(
+            JobRequest::user(
+                format!("render-{k}"),
+                OsKind::Windows,
+                1,
+                4,
+                SimDuration::from_mins(10),
+            ),
+            SimTime::from_secs(k),
+        );
+    }
+    s.try_dispatch(SimTime::from_secs(64));
+    c.bench_function("detector/win_sdk_detect", |b| {
+        b.iter(|| WinDetector.run(black_box(&s.api())))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_qstat_pipeline,
+    bench_pbsnodes_pipeline,
+    bench_win_sdk
+);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Criterion: one group per paper experiment (E1–E8).
+//!
+//! Each bench prints its experiment's table once (the rows EXPERIMENTS.md
+//! records) and then measures the cost of regenerating a reduced variant,
+//! so `cargo bench` both reproduces the results and times the harness.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dualboot_bench as bench;
+use std::hint::black_box;
+use std::sync::Once;
+
+static PRINT_TABLES: Once = Once::new();
+
+fn print_all_tables() {
+    PRINT_TABLES.call_once(|| {
+        println!("\n================ reproduced tables (full parameters) ================");
+        println!("== T1 ==\n{}", bench::t1_catalogue());
+        println!("{}", bench::e1_switch_latency(&[1, 2, 3, 4, 5]).render());
+        println!(
+            "{}",
+            bench::e2_bistable_vs_monostable(&[0.3, 0.5, 0.7, 0.9], 2012).render()
+        );
+        println!(
+            "{}",
+            bench::e3_utilisation_vs_mix(&[10, 30, 50, 70, 90], 2012).render()
+        );
+        println!("{}", bench::e4_deployment_effort().render());
+        println!(
+            "{}",
+            bench::e5_poll_interval(&[1, 2, 5, 10, 20, 30], 2012).render()
+        );
+        let (p, s) = bench::e6_mdcs_case_study(2012);
+        println!("{}", p.render());
+        println!("{}", s.render());
+        println!("{}", bench::e7_policy_ablation(2012).render());
+        println!("{}", bench::e8_switch_mechanism().render());
+        println!("{}", bench::e9_rom_compatibility().render());
+        println!("{}", bench::e10_cycle_asymmetry(2012).render());
+        println!("{}", bench::e11_flag_races(2012).render());
+        println!("======================================================================\n");
+    });
+}
+
+fn bench_experiments(c: &mut Criterion) {
+    print_all_tables();
+    let mut g = c.benchmark_group("experiments");
+    g.sample_size(10);
+    g.bench_function("e1_switch_latency", |b| {
+        b.iter(|| bench::e1_switch_latency(black_box(&[1])))
+    });
+    g.bench_function("e2_bistable_vs_monostable", |b| {
+        b.iter(|| bench::e2_bistable_vs_monostable(black_box(&[0.5]), 1))
+    });
+    g.bench_function("e3_utilisation_vs_mix", |b| {
+        b.iter(|| bench::e3_utilisation_vs_mix(black_box(&[30]), 1))
+    });
+    g.bench_function("e4_deployment_effort", |b| {
+        b.iter(bench::e4_deployment_effort)
+    });
+    g.bench_function("e5_poll_interval", |b| {
+        b.iter(|| bench::e5_poll_interval(black_box(&[5]), 1))
+    });
+    g.bench_function("e6_mdcs_case_study", |b| {
+        b.iter(|| bench::e6_mdcs_case_study(black_box(1)))
+    });
+    g.bench_function("e7_policy_ablation", |b| {
+        b.iter(|| bench::e7_policy_ablation(black_box(1)))
+    });
+    g.bench_function("e8_switch_mechanism", |b| {
+        b.iter(bench::e8_switch_mechanism)
+    });
+    g.bench_function("e9_rom_compatibility", |b| {
+        b.iter(bench::e9_rom_compatibility)
+    });
+    g.bench_function("e10_cycle_asymmetry", |b| {
+        b.iter(|| bench::e10_cycle_asymmetry(black_box(1)))
+    });
+    g.bench_function("e11_flag_races", |b| {
+        b.iter(|| bench::e11_flag_races(black_box(1)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_experiments);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Criterion: end-to-end simulation throughput, per evaluation mode.
+//!
+//! The experiment sweeps replay hundreds of simulated days; this bench
+//! pins how long one day costs per mode, and how the event engine scales
+//! with cluster size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dualboot_bench::alternating_bursts;
+use dualboot_cluster::{Mode, SimConfig, Simulation};
+use dualboot_des::queue::EventQueue;
+use dualboot_des::time::SimDuration;
+use dualboot_workload::generator::WorkloadSpec;
+use std::hint::black_box;
+
+fn bench_modes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulation/one_day");
+    g.sample_size(20);
+    let trace = alternating_bursts(9, 4, 1, 0.6);
+    for (label, mode) in [
+        ("dualboot", Mode::DualBoot),
+        ("static_split", Mode::StaticSplit),
+        ("mono_stable", Mode::MonoStable),
+        ("oracle", Mode::Oracle),
+    ] {
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let mut cfg = SimConfig::eridani_v2(9);
+                cfg.mode = mode;
+                cfg.initial_linux_nodes = 8;
+                Simulation::new(cfg, black_box(trace.clone())).run()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_cluster_scale(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulation/cluster_scale");
+    g.sample_size(10);
+    for nodes in [16u16, 64, 128] {
+        let trace = WorkloadSpec {
+            duration: SimDuration::from_hours(4),
+            windows_fraction: 0.3,
+            ..WorkloadSpec::campus_default(11)
+        }
+        .with_offered_load(0.6, u32::from(nodes) * 4)
+        .generate();
+        g.bench_with_input(BenchmarkId::from_parameter(nodes), &trace, |b, trace| {
+            b.iter(|| {
+                let mut cfg = SimConfig::eridani_v2(11);
+                cfg.nodes = nodes;
+                cfg.initial_linux_nodes = nodes;
+                Simulation::new(cfg, trace.clone()).run()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulation/event_queue");
+    for n in [1_000u64, 100_000] {
+        g.bench_with_input(BenchmarkId::new("schedule_pop", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut q = EventQueue::new();
+                for i in 0..n {
+                    q.schedule(SimDuration::from_millis((i * 7919) % 100_000), i);
+                }
+                let mut acc = 0u64;
+                while let Some((_, e)) = q.pop() {
+                    acc = acc.wrapping_add(e);
+                }
+                acc
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_modes, bench_cluster_scale, bench_event_queue);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Regenerate every table and figure of the reproduction in one run.
+//!
+//! ```sh
+//! cargo run --release -p dualboot-bench --bin experiments            # all
+//! cargo run --release -p dualboot-bench --bin experiments -- e3 e7  # some
+//! ```
+//!
+//! The output rows are the ones EXPERIMENTS.md records; rerunning this
+//! binary reproduces them bit-for-bit (all randomness is seeded).
+
+use dualboot_bench as bench;
+
+fn want(args: &[String], id: &str) -> bool {
+    args.is_empty() || args.iter().any(|a| a.eq_ignore_ascii_case(id))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+
+    if want(&args, "t1") {
+        println!("== T1: Table I — application catalogue ==");
+        println!("{}", bench::t1_catalogue());
+    }
+    if want(&args, "e1") {
+        println!("{}", bench::e1_switch_latency(&[1, 2, 3, 4, 5]).render());
+        println!("{}", bench::e1_latency_histogram(&[1, 2, 3, 4, 5]));
+    }
+    if want(&args, "e2") {
+        println!(
+            "{}",
+            bench::e2_bistable_vs_monostable(&[0.3, 0.5, 0.7, 0.9], 2012).render()
+        );
+    }
+    if want(&args, "e3") {
+        println!(
+            "{}",
+            bench::e3_utilisation_vs_mix(&[10, 30, 50, 70, 90], 2012).render()
+        );
+    }
+    if want(&args, "e4") {
+        println!("{}", bench::e4_deployment_effort().render());
+    }
+    if want(&args, "e5") {
+        println!("{}", bench::e5_poll_interval(&[1, 2, 5, 10, 20, 30], 2012).render());
+    }
+    if want(&args, "e6") {
+        let (policies, series) = bench::e6_mdcs_case_study(2012);
+        println!("{}", policies.render());
+        println!("{}", series.render());
+    }
+    if want(&args, "e7") {
+        println!("{}", bench::e7_policy_ablation(2012).render());
+    }
+    if want(&args, "e8") {
+        println!("{}", bench::e8_switch_mechanism().render());
+    }
+    if want(&args, "e9") {
+        println!("{}", bench::e9_rom_compatibility().render());
+    }
+    if want(&args, "e10") {
+        println!("{}", bench::e10_cycle_asymmetry(2012).render());
+    }
+    if want(&args, "e11") {
+        println!("{}", bench::e11_flag_races(2012).render());
+    }
+}

@@ -1,0 +1,371 @@
+//! Windows `diskpart.txt` deployment scripts.
+//!
+//! Windows HPC 2008 R2 stores the disk-preparation script its deployment
+//! tool runs on every compute node as clear text under
+//! `C:\Program Files\Microsoft HPC Pack 2008 R2\Data\InstallShare\Config\diskpart.txt`
+//! (paper §III.C.2). dualboot-oscar patches this file three ways:
+//!
+//! * **Figure 9** — the stock script: `clean`s the whole disk and creates
+//!   one full-size NTFS partition (destroying Linux).
+//! * **Figure 10** — v1's patch: `create partition primary size=150000`
+//!   reserves only 150 GB of the 250 GB disk for Windows, leaving room for
+//!   Linux — but still `clean`s, so Windows must be installed *first* and
+//!   every Windows reinstall forces a Linux reinstall.
+//! * **Figure 15** — v2's reimage script: selects the existing partition 1
+//!   and reformats it in place, never touching the Linux partitions or MBR.
+//!
+//! The semantic difference between these scripts (what survives a run) is
+//! executed against the disk model in `dualboot-hw`; this module is the
+//! faithful text representation.
+
+use crate::error::ParseError;
+use serde::{Deserialize, Serialize};
+
+const DIALECT: &str = "diskpart.txt";
+
+/// One diskpart command.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DiskpartCmd {
+    /// `select disk N`
+    SelectDisk(u32),
+    /// `select partition N` (1-based, as diskpart counts)
+    SelectPartition(u32),
+    /// `clean` — wipe the partition table **and the MBR boot code**.
+    Clean,
+    /// `create partition primary [size=MB]`
+    CreatePartitionPrimary {
+        /// Size in megabytes; `None` means "use the whole disk".
+        size_mb: Option<u64>,
+    },
+    /// `assign letter=C`
+    AssignLetter(char),
+    /// `format FS=<fs> LABEL="<label>" [QUICK] [OVERRIDE]`
+    Format {
+        /// Filesystem (`NTFS`, `FAT32`).
+        fs: String,
+        /// Volume label.
+        label: String,
+        /// `QUICK` flag present.
+        quick: bool,
+        /// `OVERRIDE` flag present.
+        override_: bool,
+    },
+    /// `active` — mark the selected partition active.
+    Active,
+    /// `exit`
+    Exit,
+}
+
+/// A parsed `diskpart.txt` script.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DiskpartScript {
+    /// Commands in execution order.
+    pub commands: Vec<DiskpartCmd>,
+}
+
+impl DiskpartScript {
+    /// Parse script text. Keywords are case-insensitive (diskpart is), but
+    /// emission uses the exact casing of the paper's figures.
+    pub fn parse(text: &str) -> Result<DiskpartScript, ParseError> {
+        let mut commands = Vec::new();
+        for (i, raw) in text.lines().enumerate() {
+            let lineno = i + 1;
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with("rem") || line.starts_with("REM") {
+                continue;
+            }
+            commands.push(Self::parse_line(line, lineno)?);
+        }
+        Ok(DiskpartScript { commands })
+    }
+
+    fn parse_line(line: &str, lineno: usize) -> Result<DiskpartCmd, ParseError> {
+        let words: Vec<&str> = line.split_whitespace().collect();
+        let lower: Vec<String> = words.iter().map(|w| w.to_ascii_lowercase()).collect();
+        let num = |s: &str| -> Result<u32, ParseError> {
+            s.parse()
+                .map_err(|_| ParseError::at(DIALECT, lineno, format!("bad number {s:?}")))
+        };
+        match lower.first().map(String::as_str) {
+            Some("select") => match lower.get(1).map(String::as_str) {
+                Some("disk") => Ok(DiskpartCmd::SelectDisk(num(
+                    words.get(2).copied().unwrap_or(""),
+                )?)),
+                Some("partition") => Ok(DiskpartCmd::SelectPartition(num(
+                    words.get(2).copied().unwrap_or(""),
+                )?)),
+                _ => Err(ParseError::at(DIALECT, lineno, "select disk|partition N")),
+            },
+            Some("clean") => Ok(DiskpartCmd::Clean),
+            Some("create") => {
+                if lower.get(1).map(String::as_str) == Some("partition")
+                    && lower.get(2).map(String::as_str) == Some("primary")
+                {
+                    let mut size_mb = None;
+                    for w in &lower[3..] {
+                        if let Some(v) = w.strip_prefix("size=") {
+                            size_mb = Some(v.parse().map_err(|_| {
+                                ParseError::at(DIALECT, lineno, format!("bad size {v:?}"))
+                            })?);
+                        } else {
+                            return Err(ParseError::at(
+                                DIALECT,
+                                lineno,
+                                format!("unknown create option {w:?}"),
+                            ));
+                        }
+                    }
+                    Ok(DiskpartCmd::CreatePartitionPrimary { size_mb })
+                } else {
+                    Err(ParseError::at(DIALECT, lineno, "create partition primary"))
+                }
+            }
+            Some("assign") => {
+                let arg = lower.get(1).map(String::as_str).unwrap_or("");
+                let letter = arg.strip_prefix("letter=").and_then(|s| s.chars().next());
+                match letter {
+                    Some(c) if c.is_ascii_alphabetic() => Ok(DiskpartCmd::AssignLetter(c)),
+                    _ => Err(ParseError::at(DIALECT, lineno, "assign letter=X")),
+                }
+            }
+            Some("format") => {
+                let mut fs = None;
+                let mut label = None;
+                let mut quick = false;
+                let mut override_ = false;
+                for w in &words[1..] {
+                    let wl = w.to_ascii_lowercase();
+                    if let Some(v) = wl.strip_prefix("fs=") {
+                        fs = Some(v.to_ascii_uppercase());
+                    } else if wl.starts_with("label=") {
+                        // keep original case, strip quotes
+                        let v = &w["label=".len()..];
+                        label = Some(v.trim_matches('"').to_string());
+                    } else if wl == "quick" {
+                        quick = true;
+                    } else if wl == "override" {
+                        override_ = true;
+                    } else {
+                        return Err(ParseError::at(
+                            DIALECT,
+                            lineno,
+                            format!("unknown format option {w:?}"),
+                        ));
+                    }
+                }
+                Ok(DiskpartCmd::Format {
+                    fs: fs
+                        .ok_or_else(|| ParseError::at(DIALECT, lineno, "format needs FS="))?,
+                    label: label.unwrap_or_default(),
+                    quick,
+                    override_,
+                })
+            }
+            Some("active") => Ok(DiskpartCmd::Active),
+            Some("exit") => Ok(DiskpartCmd::Exit),
+            _ => Err(ParseError::at(
+                DIALECT,
+                lineno,
+                format!("unknown command {line:?}"),
+            )),
+        }
+    }
+
+    /// Emit canonical text (the exact casing of Figures 9/10/15).
+    pub fn emit(&self) -> String {
+        let mut out = String::new();
+        for c in &self.commands {
+            match c {
+                DiskpartCmd::SelectDisk(n) => out.push_str(&format!("select disk {n}\n")),
+                DiskpartCmd::SelectPartition(n) => {
+                    out.push_str(&format!("select partition {n}\n"))
+                }
+                DiskpartCmd::Clean => out.push_str("clean\n"),
+                DiskpartCmd::CreatePartitionPrimary { size_mb } => match size_mb {
+                    Some(s) => out.push_str(&format!("create partition primary size={s}\n")),
+                    None => out.push_str("create partition primary\n"),
+                },
+                DiskpartCmd::AssignLetter(l) => out.push_str(&format!("assign letter={l}\n")),
+                DiskpartCmd::Format {
+                    fs,
+                    label,
+                    quick,
+                    override_,
+                } => {
+                    out.push_str(&format!("format FS={fs} LABEL=\"{label}\""));
+                    if *quick {
+                        out.push_str(" QUICK");
+                    }
+                    if *override_ {
+                        out.push_str(" OVERRIDE");
+                    }
+                    out.push('\n');
+                }
+                DiskpartCmd::Active => out.push_str("active\n"),
+                DiskpartCmd::Exit => out.push_str("exit\n"),
+            }
+        }
+        out
+    }
+
+    /// Does this script run `clean` (i.e. destroy the partition table and
+    /// MBR)? This is the property that forces v1's "Windows first, Linux
+    /// reinstalled after every Windows reimage" ordering.
+    pub fn wipes_disk(&self) -> bool {
+        self.commands.iter().any(|c| matches!(c, DiskpartCmd::Clean))
+    }
+
+    /// The stock Windows HPC script of Figure 9.
+    pub fn original() -> DiskpartScript {
+        DiskpartScript {
+            commands: vec![
+                DiskpartCmd::SelectDisk(0),
+                DiskpartCmd::Clean,
+                DiskpartCmd::CreatePartitionPrimary { size_mb: None },
+                DiskpartCmd::AssignLetter('c'),
+                DiskpartCmd::Format {
+                    fs: "NTFS".to_string(),
+                    label: "Node".to_string(),
+                    quick: true,
+                    override_: true,
+                },
+                DiskpartCmd::Active,
+                DiskpartCmd::Exit,
+            ],
+        }
+    }
+
+    /// dualboot-oscar v1.0's patched script of Figure 10: identical to the
+    /// stock script but reserves only `size_mb` (150 000 MB on Eridani's
+    /// 250 GB disks) for Windows.
+    pub fn modified_v1(size_mb: u64) -> DiskpartScript {
+        let mut s = Self::original();
+        s.commands[2] = DiskpartCmd::CreatePartitionPrimary {
+            size_mb: Some(size_mb),
+        };
+        s
+    }
+
+    /// dualboot-oscar v2.0's reimage script of Figure 15: reformats the
+    /// existing Windows partition in place without `clean`, preserving the
+    /// Linux partitions.
+    pub fn reimage_v2() -> DiskpartScript {
+        DiskpartScript {
+            commands: vec![
+                DiskpartCmd::SelectDisk(0),
+                DiskpartCmd::SelectPartition(1),
+                DiskpartCmd::Format {
+                    fs: "NTFS".to_string(),
+                    label: "Node".to_string(),
+                    quick: true,
+                    override_: true,
+                },
+                DiskpartCmd::Active,
+                DiskpartCmd::Exit,
+            ],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Figure 9, verbatim.
+    const FIG9: &str = "select disk 0\n\
+clean\n\
+create partition primary\n\
+assign letter=c\n\
+format FS=NTFS LABEL=\"Node\" QUICK OVERRIDE\n\
+active\n\
+exit\n";
+
+    /// Figure 10, verbatim.
+    const FIG10: &str = "select disk 0\n\
+clean\n\
+create partition primary size=150000\n\
+assign letter=c\n\
+format FS=NTFS LABEL=\"Node\" QUICK OVERRIDE\n\
+active\n\
+exit\n";
+
+    /// Figure 15, verbatim.
+    const FIG15: &str = "select disk 0\n\
+select partition 1\n\
+format FS=NTFS LABEL=\"Node\" QUICK OVERRIDE\n\
+active\n\
+exit\n";
+
+    #[test]
+    fn fig9_emits_verbatim() {
+        assert_eq!(DiskpartScript::original().emit(), FIG9);
+    }
+
+    #[test]
+    fn fig10_emits_verbatim() {
+        assert_eq!(DiskpartScript::modified_v1(150_000).emit(), FIG10);
+    }
+
+    #[test]
+    fn fig15_emits_verbatim() {
+        assert_eq!(DiskpartScript::reimage_v2().emit(), FIG15);
+    }
+
+    #[test]
+    fn figures_roundtrip() {
+        for text in [FIG9, FIG10, FIG15] {
+            let s = DiskpartScript::parse(text).unwrap();
+            assert_eq!(s.emit(), text);
+        }
+    }
+
+    #[test]
+    fn wipe_classification() {
+        assert!(DiskpartScript::original().wipes_disk());
+        assert!(DiskpartScript::modified_v1(150_000).wipes_disk());
+        assert!(!DiskpartScript::reimage_v2().wipes_disk());
+    }
+
+    #[test]
+    fn parse_is_case_insensitive() {
+        let s = DiskpartScript::parse("SELECT DISK 0\nCLEAN\nEXIT\n").unwrap();
+        assert_eq!(s.commands[0], DiskpartCmd::SelectDisk(0));
+        assert!(s.wipes_disk());
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(DiskpartScript::parse("explode disk 0\n").is_err());
+        assert!(DiskpartScript::parse("select disk x\n").is_err());
+        assert!(DiskpartScript::parse("create partition primary size=abc\n").is_err());
+        assert!(DiskpartScript::parse("format LABEL=\"x\"\n").is_err()); // no FS=
+        assert!(DiskpartScript::parse("assign letter=\n").is_err());
+    }
+
+    #[test]
+    fn error_carries_line_number() {
+        let err = DiskpartScript::parse("select disk 0\nnonsense\n").unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn format_without_flags() {
+        let s = DiskpartScript::parse("format FS=FAT32 LABEL=\"BOOT\"\n").unwrap();
+        assert_eq!(
+            s.commands[0],
+            DiskpartCmd::Format {
+                fs: "FAT32".to_string(),
+                label: "BOOT".to_string(),
+                quick: false,
+                override_: false,
+            }
+        );
+        assert_eq!(s.emit(), "format FS=FAT32 LABEL=\"BOOT\"\n");
+    }
+
+    #[test]
+    fn rem_comments_and_blanks_skipped() {
+        let s = DiskpartScript::parse("rem prepare disk\n\nselect disk 0\n").unwrap();
+        assert_eq!(s.commands.len(), 1);
+    }
+}

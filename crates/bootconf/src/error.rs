@@ -1,0 +1,64 @@
+//! Shared parse-error type for all config dialects.
+
+use std::fmt;
+
+/// A parse failure in one of the config dialects, with the 1-based line
+/// number where it occurred.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number of the offending line (0 when not line-specific).
+    pub line: usize,
+    /// Which dialect was being parsed (`"menu.lst"`, `"diskpart.txt"`, ...).
+    pub dialect: &'static str,
+    /// Human-readable description of the problem.
+    pub message: String,
+}
+
+impl ParseError {
+    /// Construct an error at a specific line.
+    pub fn at(dialect: &'static str, line: usize, message: impl Into<String>) -> Self {
+        ParseError {
+            line,
+            dialect,
+            message: message.into(),
+        }
+    }
+
+    /// Construct an error not tied to a line.
+    pub fn general(dialect: &'static str, message: impl Into<String>) -> Self {
+        ParseError {
+            line: 0,
+            dialect,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line > 0 {
+            write!(f, "{}:{}: {}", self.dialect, self.line, self.message)
+        } else {
+            write!(f, "{}: {}", self.dialect, self.message)
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_with_line() {
+        let e = ParseError::at("menu.lst", 3, "unknown directive");
+        assert_eq!(e.to_string(), "menu.lst:3: unknown directive");
+    }
+
+    #[test]
+    fn display_general() {
+        let e = ParseError::general("ide.disk", "empty file");
+        assert_eq!(e.to_string(), "ide.disk: empty file");
+    }
+}

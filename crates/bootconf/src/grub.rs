@@ -1,0 +1,684 @@
+//! GRUB legacy (`menu.lst`) configuration model.
+//!
+//! dualboot-oscar v1.0 controls which OS a node boots by pointing the
+//! node-local GRUB at a `controlmenu.lst` stored on a shared FAT partition
+//! (paper §III.B.1, Figures 2 and 3). Both operating systems can rewrite
+//! that file, so whichever system is running can set the *next* boot target.
+//!
+//! This module models the subset of GRUB legacy the paper exercises —
+//! header directives (`default`, `timeout`, `splashimage`, `hiddenmenu`),
+//! title entries, and the boot commands `root`, `rootnoverify`, `kernel`,
+//! `initrd`, `chainloader` and `configfile` — with enough fidelity that the
+//! emitter reproduces Figures 2 and 3 byte-for-byte and the boot semantics
+//! (which entry fires, what it chains to) can be executed by `dualboot-hw`.
+
+use crate::error::ParseError;
+use crate::os::OsKind;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+const DIALECT: &str = "menu.lst";
+
+/// A GRUB device tuple `(hdD,P)`: BIOS disk `D`, 0-based partition `P`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct GrubDevice {
+    /// BIOS disk number (`hd0` is the first disk).
+    pub disk: u8,
+    /// 0-based partition index. GRUB legacy counts primary partitions 0–3
+    /// and logical partitions from 4, so the paper's `(hd0,5)` is the
+    /// second logical partition.
+    pub partition: u8,
+}
+
+impl GrubDevice {
+    /// Shorthand constructor.
+    pub const fn new(disk: u8, partition: u8) -> Self {
+        GrubDevice { disk, partition }
+    }
+}
+
+impl fmt::Display for GrubDevice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(hd{},{})", self.disk, self.partition)
+    }
+}
+
+impl FromStr for GrubDevice {
+    type Err = ParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let inner = s
+            .strip_prefix("(hd")
+            .and_then(|r| r.strip_suffix(')'))
+            .ok_or_else(|| ParseError::general(DIALECT, format!("bad device {s:?}")))?;
+        let (d, p) = inner
+            .split_once(',')
+            .ok_or_else(|| ParseError::general(DIALECT, format!("bad device {s:?}")))?;
+        let disk = d
+            .parse()
+            .map_err(|_| ParseError::general(DIALECT, format!("bad disk in {s:?}")))?;
+        let partition = p
+            .parse()
+            .map_err(|_| ParseError::general(DIALECT, format!("bad partition in {s:?}")))?;
+        Ok(GrubDevice { disk, partition })
+    }
+}
+
+/// Whether `default` was written `default=0` (Figure 2) or `default 0`
+/// (Figure 3). GRUB legacy accepts both; we preserve the style so golden
+/// tests can pin each figure exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AssignStyle {
+    /// `default=0`
+    Equals,
+    /// `default 0`
+    Space,
+}
+
+/// A directive appearing before the first `title`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HeaderDirective {
+    /// `default=N` / `default N` — index of the entry booted on timeout.
+    Default {
+        /// 0-based entry index.
+        index: u32,
+        /// `=` or space assignment (preserved for byte fidelity).
+        style: AssignStyle,
+    },
+    /// `timeout=N` — seconds before the default entry boots.
+    Timeout(u32),
+    /// `splashimage=(hdD,P)/path` — menu background (cosmetic; carried for
+    /// byte fidelity).
+    Splashimage {
+        /// Device holding the image.
+        device: GrubDevice,
+        /// Path on that device.
+        path: String,
+    },
+    /// `hiddenmenu` — suppress the menu unless a key is pressed.
+    HiddenMenu,
+    /// `fallback=N` — entry to try if the default fails.
+    Fallback(u32),
+}
+
+/// A command inside a `title` entry.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EntryCommand {
+    /// `root (hdD,P)` — set and mount the root device.
+    Root(GrubDevice),
+    /// `rootnoverify (hdD,P)` — set root without mounting (used for the
+    /// Windows NTFS partition GRUB cannot read).
+    RootNoVerify(GrubDevice),
+    /// `kernel /path args...` — load a Linux kernel.
+    Kernel {
+        /// Kernel image path (relative to the entry's root device).
+        path: String,
+        /// Kernel command line, word by word.
+        args: Vec<String>,
+    },
+    /// `initrd /path` — load an initial ramdisk.
+    Initrd(String),
+    /// `chainloader +1` (or a path) — hand off to another boot sector,
+    /// which is how GRUB boots Windows.
+    Chainloader(String),
+    /// `configfile /path` — replace the current menu with another config
+    /// file; the heart of the v1 FAT-partition redirection (Figure 2).
+    ConfigFile(String),
+    /// `makeactive` — mark the root partition active.
+    MakeActive,
+}
+
+/// What booting an entry ultimately does.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BootTarget {
+    /// Loads a Linux kernel (has a `kernel` command).
+    Os(OsKind),
+    /// Jumps to another config file at this path (has `configfile`).
+    Redirect(String),
+    /// No recognisable boot command — GRUB would drop to a prompt.
+    Undefined,
+}
+
+/// A `title` entry with its command list.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GrubEntry {
+    /// The title line text (may contain spaces).
+    pub title: String,
+    /// Commands in file order.
+    pub commands: Vec<EntryCommand>,
+}
+
+impl GrubEntry {
+    /// Classify what this entry boots. `chainloader`/`rootnoverify` entries
+    /// count as Windows (that is the only chainloaded OS in this system),
+    /// `kernel` entries as Linux, `configfile` as a redirect.
+    pub fn boot_target(&self) -> BootTarget {
+        for c in &self.commands {
+            match c {
+                EntryCommand::Kernel { .. } => return BootTarget::Os(OsKind::Linux),
+                EntryCommand::Chainloader(_) => return BootTarget::Os(OsKind::Windows),
+                EntryCommand::ConfigFile(p) => return BootTarget::Redirect(p.clone()),
+                _ => {}
+            }
+        }
+        BootTarget::Undefined
+    }
+}
+
+/// A complete GRUB legacy configuration file.
+///
+/// ```
+/// use dualboot_bootconf::grub::{eridani, BootTarget, GrubConfig};
+/// use dualboot_bootconf::os::OsKind;
+///
+/// // Figure 3's controlmenu.lst, retargeted the way a switch job does:
+/// let mut menu = eridani::controlmenu(OsKind::Linux);
+/// assert!(menu.retarget(OsKind::Windows));
+/// assert_eq!(
+///     menu.default_entry().unwrap().boot_target(),
+///     BootTarget::Os(OsKind::Windows)
+/// );
+/// // and the text round-trips
+/// let reparsed = GrubConfig::parse(&menu.emit()).unwrap();
+/// assert_eq!(reparsed, menu);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GrubConfig {
+    /// Directives before the first `title`.
+    pub header: Vec<HeaderDirective>,
+    /// Title entries in file order.
+    pub entries: Vec<GrubEntry>,
+}
+
+impl GrubConfig {
+    /// Parse a `menu.lst`-style file. Comments (`#`) and blank lines are
+    /// skipped; unknown directives are errors (the middleware must never
+    /// write a config GRUB would choke on).
+    pub fn parse(text: &str) -> Result<GrubConfig, ParseError> {
+        let mut header = Vec::new();
+        let mut entries: Vec<GrubEntry> = Vec::new();
+
+        for (i, raw) in text.lines().enumerate() {
+            let lineno = i + 1;
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if let Some(title) = line.strip_prefix("title") {
+                let title = title.trim();
+                if title.is_empty() {
+                    return Err(ParseError::at(DIALECT, lineno, "empty title"));
+                }
+                entries.push(GrubEntry {
+                    title: title.to_string(),
+                    commands: Vec::new(),
+                });
+                continue;
+            }
+            if entries.is_empty() {
+                header.push(Self::parse_header(line, lineno)?);
+            } else {
+                let cmd = Self::parse_command(line, lineno)?;
+                entries.last_mut().expect("non-empty").commands.push(cmd);
+            }
+        }
+        Ok(GrubConfig { header, entries })
+    }
+
+    fn parse_header(line: &str, lineno: usize) -> Result<HeaderDirective, ParseError> {
+        // `key=value`, `key value`, or bare `key`.
+        let (key, val, style) = match line.split_once('=') {
+            Some((k, v)) => (k.trim(), Some(v.trim()), AssignStyle::Equals),
+            None => match line.split_once(char::is_whitespace) {
+                Some((k, v)) => (k.trim(), Some(v.trim()), AssignStyle::Space),
+                None => (line, None, AssignStyle::Space),
+            },
+        };
+        let num = |v: Option<&str>| -> Result<u32, ParseError> {
+            v.and_then(|v| v.parse().ok())
+                .ok_or_else(|| ParseError::at(DIALECT, lineno, format!("bad number in {line:?}")))
+        };
+        match key {
+            "default" => Ok(HeaderDirective::Default {
+                index: num(val)?,
+                style,
+            }),
+            "timeout" => Ok(HeaderDirective::Timeout(num(val)?)),
+            "fallback" => Ok(HeaderDirective::Fallback(num(val)?)),
+            "hiddenmenu" => Ok(HeaderDirective::HiddenMenu),
+            "splashimage" => {
+                let v = val.ok_or_else(|| {
+                    ParseError::at(DIALECT, lineno, "splashimage needs a value")
+                })?;
+                // (hd0,1)/grub/splash.xpm.gz
+                let close = v.find(')').ok_or_else(|| {
+                    ParseError::at(DIALECT, lineno, format!("bad splashimage {v:?}"))
+                })?;
+                let device: GrubDevice = v[..=close]
+                    .parse()
+                    .map_err(|e: ParseError| ParseError::at(DIALECT, lineno, e.message))?;
+                Ok(HeaderDirective::Splashimage {
+                    device,
+                    path: v[close + 1..].to_string(),
+                })
+            }
+            _ => Err(ParseError::at(
+                DIALECT,
+                lineno,
+                format!("unknown header directive {key:?}"),
+            )),
+        }
+    }
+
+    fn parse_command(line: &str, lineno: usize) -> Result<EntryCommand, ParseError> {
+        let mut words = line.split_whitespace();
+        let key = words.next().expect("non-empty line");
+        let rest: Vec<&str> = words.collect();
+        let one_arg = |name: &str| -> Result<String, ParseError> {
+            if rest.len() == 1 {
+                Ok(rest[0].to_string())
+            } else {
+                Err(ParseError::at(
+                    DIALECT,
+                    lineno,
+                    format!("{name} takes exactly one argument"),
+                ))
+            }
+        };
+        match key {
+            "root" => Ok(EntryCommand::Root(one_arg("root")?.parse().map_err(
+                |e: ParseError| ParseError::at(DIALECT, lineno, e.message),
+            )?)),
+            "rootnoverify" => Ok(EntryCommand::RootNoVerify(
+                one_arg("rootnoverify")?
+                    .parse()
+                    .map_err(|e: ParseError| ParseError::at(DIALECT, lineno, e.message))?,
+            )),
+            "kernel" => {
+                if rest.is_empty() {
+                    return Err(ParseError::at(DIALECT, lineno, "kernel needs a path"));
+                }
+                Ok(EntryCommand::Kernel {
+                    path: rest[0].to_string(),
+                    args: rest[1..].iter().map(|s| s.to_string()).collect(),
+                })
+            }
+            "initrd" => Ok(EntryCommand::Initrd(one_arg("initrd")?)),
+            "chainloader" => Ok(EntryCommand::Chainloader(one_arg("chainloader")?)),
+            "configfile" => Ok(EntryCommand::ConfigFile(one_arg("configfile")?)),
+            "makeactive" => Ok(EntryCommand::MakeActive),
+            _ => Err(ParseError::at(
+                DIALECT,
+                lineno,
+                format!("unknown entry command {key:?}"),
+            )),
+        }
+    }
+
+    /// Emit the canonical text form: header directives, then each entry
+    /// preceded by a blank line, trailing newline at the end. Reproduces
+    /// Figures 2 and 3 byte-for-byte.
+    pub fn emit(&self) -> String {
+        let mut out = String::new();
+        for h in &self.header {
+            match h {
+                HeaderDirective::Default { index, style } => match style {
+                    AssignStyle::Equals => out.push_str(&format!("default={index}\n")),
+                    AssignStyle::Space => out.push_str(&format!("default {index}\n")),
+                },
+                HeaderDirective::Timeout(t) => out.push_str(&format!("timeout={t}\n")),
+                HeaderDirective::Fallback(n) => out.push_str(&format!("fallback={n}\n")),
+                HeaderDirective::HiddenMenu => out.push_str("hiddenmenu\n"),
+                HeaderDirective::Splashimage { device, path } => {
+                    out.push_str(&format!("splashimage={device}{path}\n"))
+                }
+            }
+        }
+        for e in &self.entries {
+            out.push('\n');
+            out.push_str(&format!("title {}\n", e.title));
+            for c in &e.commands {
+                match c {
+                    EntryCommand::Root(d) => out.push_str(&format!("root {d}\n")),
+                    EntryCommand::RootNoVerify(d) => {
+                        out.push_str(&format!("rootnoverify {d}\n"))
+                    }
+                    EntryCommand::Kernel { path, args } => {
+                        out.push_str("kernel ");
+                        out.push_str(path);
+                        for a in args {
+                            out.push(' ');
+                            out.push_str(a);
+                        }
+                        out.push('\n');
+                    }
+                    EntryCommand::Initrd(p) => out.push_str(&format!("initrd {p}\n")),
+                    EntryCommand::Chainloader(p) => {
+                        out.push_str(&format!("chainloader {p}\n"))
+                    }
+                    EntryCommand::ConfigFile(p) => out.push_str(&format!("configfile {p}\n")),
+                    EntryCommand::MakeActive => out.push_str("makeactive\n"),
+                }
+            }
+        }
+        out
+    }
+
+    /// Index of the default entry (0 when no `default` directive is given,
+    /// matching GRUB's behaviour).
+    pub fn default_index(&self) -> u32 {
+        self.header
+            .iter()
+            .find_map(|h| match h {
+                HeaderDirective::Default { index, .. } => Some(*index),
+                _ => None,
+            })
+            .unwrap_or(0)
+    }
+
+    /// The entry GRUB boots on timeout, if any.
+    pub fn default_entry(&self) -> Option<&GrubEntry> {
+        self.entries.get(self.default_index() as usize)
+    }
+
+    /// Set (or insert) the `default` directive. Style is preserved if the
+    /// directive already exists, else `Space` is used (Figure 3's style).
+    pub fn set_default(&mut self, index: u32) {
+        for h in &mut self.header {
+            if let HeaderDirective::Default { index: i, .. } = h {
+                *i = index;
+                return;
+            }
+        }
+        self.header.insert(
+            0,
+            HeaderDirective::Default {
+                index,
+                style: AssignStyle::Space,
+            },
+        );
+    }
+
+    /// Index of the first entry that boots `os`, if any.
+    pub fn entry_index_for(&self, os: OsKind) -> Option<u32> {
+        self.entries
+            .iter()
+            .position(|e| e.boot_target() == BootTarget::Os(os))
+            .map(|i| i as u32)
+    }
+
+    /// Retarget the config at `os` by pointing `default` at the first entry
+    /// booting that OS. Returns `false` (config unchanged) when no entry
+    /// boots `os`.
+    pub fn retarget(&mut self, os: OsKind) -> bool {
+        match self.entry_index_for(os) {
+            Some(i) => {
+                self.set_default(i);
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+/// Builders reproducing the exact configurations of the paper's Eridani
+/// deployment.
+pub mod eridani {
+    use super::*;
+
+    /// The node-local `/boot/grub/menu.lst` of Figure 2: a single entry that
+    /// redirects to `controlmenu.lst` on the shared FAT partition `(hd0,5)`.
+    pub fn menu_lst() -> GrubConfig {
+        GrubConfig {
+            header: vec![
+                HeaderDirective::Default {
+                    index: 0,
+                    style: AssignStyle::Equals,
+                },
+                HeaderDirective::Timeout(5),
+                HeaderDirective::Splashimage {
+                    device: GrubDevice::new(0, 1),
+                    path: "/grub/splash.xpm.gz".to_string(),
+                },
+                HeaderDirective::HiddenMenu,
+            ],
+            entries: vec![GrubEntry {
+                title: "changing to control file".to_string(),
+                commands: vec![
+                    EntryCommand::Root(GrubDevice::new(0, 5)),
+                    EntryCommand::ConfigFile("/controlmenu.lst".to_string()),
+                ],
+            }],
+        }
+    }
+
+    /// The FAT-partition `controlmenu.lst` of Figure 3, with `default`
+    /// pointing at the entry for `target`: entry 0 boots CentOS 5.4 + OSCAR,
+    /// entry 1 chainloads Windows Server 2008 R2.
+    pub fn controlmenu(target: OsKind) -> GrubConfig {
+        let mut cfg = GrubConfig {
+            header: vec![
+                HeaderDirective::Default {
+                    index: 0,
+                    style: AssignStyle::Space,
+                },
+                HeaderDirective::Timeout(10),
+                HeaderDirective::Splashimage {
+                    device: GrubDevice::new(0, 1),
+                    path: "/grub/splash.xpm.gz".to_string(),
+                },
+            ],
+            entries: vec![
+                GrubEntry {
+                    title: "CentOS-5.4_Oscar-5b2-linux".to_string(),
+                    commands: vec![
+                        EntryCommand::Root(GrubDevice::new(0, 1)),
+                        EntryCommand::Kernel {
+                            path: "/vmlinuz-2.6.18-164.el5".to_string(),
+                            args: vec![
+                                "ro".to_string(),
+                                "root=/dev/sda7".to_string(),
+                                "enforcing=0".to_string(),
+                            ],
+                        },
+                        EntryCommand::Initrd("/sc-initrd-2.6.18-164.el5.gz".to_string()),
+                    ],
+                },
+                GrubEntry {
+                    title: "Win_Server_2K8_R2-windows".to_string(),
+                    commands: vec![
+                        EntryCommand::RootNoVerify(GrubDevice::new(0, 0)),
+                        EntryCommand::Chainloader("+1".to_string()),
+                    ],
+                },
+            ],
+        };
+        cfg.retarget(target);
+        cfg
+    }
+
+    /// The pre-staged `controlmenu_to_linux.lst` / `controlmenu_to_windows.lst`
+    /// pair (§III.B.1): the batch scripts switch OS by renaming one of these
+    /// over `controlmenu.lst` instead of editing in place.
+    pub fn prestaged_pair() -> (GrubConfig, GrubConfig) {
+        (controlmenu(OsKind::Linux), controlmenu(OsKind::Windows))
+    }
+
+    /// The v2-layout boot menu: identical to Figure 3 except the kernel's
+    /// root device, which is `/dev/sda6` under the Figure-14 `ide.disk`
+    /// (the v1 layout behind Figure 3 kept `/` on sda7). Served by the
+    /// GRUB4DOS PXE directory and installed as the v2 nodes' local
+    /// fallback menu.
+    pub fn controlmenu_v2(target: OsKind) -> GrubConfig {
+        let mut cfg = controlmenu(target);
+        for e in &mut cfg.entries {
+            for c in &mut e.commands {
+                if let EntryCommand::Kernel { args, .. } = c {
+                    for a in args {
+                        if a.starts_with("root=/dev/sda") {
+                            *a = "root=/dev/sda6".to_string();
+                        }
+                    }
+                }
+            }
+        }
+        cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Figure 2 of the paper, verbatim.
+    pub const FIG2_MENU_LST: &str = "default=0\n\
+timeout=5\n\
+splashimage=(hd0,1)/grub/splash.xpm.gz\n\
+hiddenmenu\n\
+\n\
+title changing to control file\n\
+root (hd0,5)\n\
+configfile /controlmenu.lst\n";
+
+    /// Figure 3 of the paper, verbatim.
+    pub const FIG3_CONTROLMENU: &str = "default 0\n\
+timeout=10\n\
+splashimage=(hd0,1)/grub/splash.xpm.gz\n\
+\n\
+title CentOS-5.4_Oscar-5b2-linux\n\
+root (hd0,1)\n\
+kernel /vmlinuz-2.6.18-164.el5 ro root=/dev/sda7 enforcing=0\n\
+initrd /sc-initrd-2.6.18-164.el5.gz\n\
+\n\
+title Win_Server_2K8_R2-windows\n\
+rootnoverify (hd0,0)\n\
+chainloader +1\n";
+
+    #[test]
+    fn fig2_menu_lst_emits_verbatim() {
+        assert_eq!(eridani::menu_lst().emit(), FIG2_MENU_LST);
+    }
+
+    #[test]
+    fn fig3_controlmenu_emits_verbatim() {
+        assert_eq!(eridani::controlmenu(OsKind::Linux).emit(), FIG3_CONTROLMENU);
+    }
+
+    #[test]
+    fn fig2_roundtrips() {
+        let cfg = GrubConfig::parse(FIG2_MENU_LST).unwrap();
+        assert_eq!(cfg.emit(), FIG2_MENU_LST);
+        assert_eq!(cfg.entries.len(), 1);
+        assert_eq!(
+            cfg.default_entry().unwrap().boot_target(),
+            BootTarget::Redirect("/controlmenu.lst".to_string())
+        );
+    }
+
+    #[test]
+    fn fig3_roundtrips() {
+        let cfg = GrubConfig::parse(FIG3_CONTROLMENU).unwrap();
+        assert_eq!(cfg.emit(), FIG3_CONTROLMENU);
+        assert_eq!(cfg.entries.len(), 2);
+        assert_eq!(
+            cfg.entries[0].boot_target(),
+            BootTarget::Os(OsKind::Linux)
+        );
+        assert_eq!(
+            cfg.entries[1].boot_target(),
+            BootTarget::Os(OsKind::Windows)
+        );
+    }
+
+    #[test]
+    fn retarget_flips_default() {
+        let mut cfg = eridani::controlmenu(OsKind::Linux);
+        assert_eq!(cfg.default_index(), 0);
+        assert!(cfg.retarget(OsKind::Windows));
+        assert_eq!(cfg.default_index(), 1);
+        assert_eq!(
+            cfg.default_entry().unwrap().boot_target(),
+            BootTarget::Os(OsKind::Windows)
+        );
+        // style preserved: still "default N" per Figure 3
+        assert!(cfg.emit().starts_with("default 1\n"));
+    }
+
+    #[test]
+    fn retarget_missing_os_is_noop() {
+        let mut cfg = eridani::menu_lst(); // only a redirect entry
+        let before = cfg.clone();
+        assert!(!cfg.retarget(OsKind::Windows));
+        assert_eq!(cfg, before);
+    }
+
+    #[test]
+    fn prestaged_pair_targets_differ() {
+        let (lin, win) = eridani::prestaged_pair();
+        assert_eq!(lin.default_index(), 0);
+        assert_eq!(win.default_index(), 1);
+    }
+
+    #[test]
+    fn set_default_inserts_when_missing() {
+        let mut cfg = GrubConfig {
+            header: vec![],
+            entries: vec![],
+        };
+        cfg.set_default(1);
+        assert_eq!(cfg.default_index(), 1);
+    }
+
+    #[test]
+    fn default_missing_means_zero() {
+        let cfg = GrubConfig::parse("timeout=5\n\ntitle a\nroot (hd0,0)\n").unwrap();
+        assert_eq!(cfg.default_index(), 0);
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let text = "# boot config\ndefault=0\n\n# entry\ntitle x\nkernel /vmlinuz ro\n";
+        let cfg = GrubConfig::parse(text).unwrap();
+        assert_eq!(cfg.entries.len(), 1);
+        assert_eq!(cfg.entries[0].boot_target(), BootTarget::Os(OsKind::Linux));
+    }
+
+    #[test]
+    fn unknown_directive_is_error_with_line() {
+        let err = GrubConfig::parse("default=0\nbogus=1\n").unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn unknown_command_is_error() {
+        let err = GrubConfig::parse("title x\nfrobnicate /dev/sda\n").unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn device_parse_and_display() {
+        let d: GrubDevice = "(hd0,5)".parse().unwrap();
+        assert_eq!(d, GrubDevice::new(0, 5));
+        assert_eq!(d.to_string(), "(hd0,5)");
+        assert!("(sd0,1)".parse::<GrubDevice>().is_err());
+        assert!("(hd0)".parse::<GrubDevice>().is_err());
+        assert!("(hd0,x)".parse::<GrubDevice>().is_err());
+    }
+
+    #[test]
+    fn undefined_target_when_no_boot_command() {
+        let e = GrubEntry {
+            title: "broken".to_string(),
+            commands: vec![EntryCommand::Root(GrubDevice::new(0, 0))],
+        };
+        assert_eq!(e.boot_target(), BootTarget::Undefined);
+    }
+
+    #[test]
+    fn out_of_range_default_has_no_entry() {
+        let mut cfg = eridani::controlmenu(OsKind::Linux);
+        cfg.set_default(9);
+        assert!(cfg.default_entry().is_none());
+    }
+}

@@ -1,0 +1,271 @@
+//! GRUB4DOS PXE menu tree (`/tftpboot/menu.lst/`).
+//!
+//! dualboot-oscar v2.0 (paper §IV.A.1) abandons node-local boot control:
+//! compute nodes PXE-boot a GRUB4DOS ROM served by the head node, and the
+//! ROM fetches its menu file from the TFTP directory `menu.lst/`, named
+//! after the node's MAC address. Because every menu file lives on the head
+//! node, re-imaging a node's disk can no longer lose boot control (the MBR
+//! no longer matters), and *any* reboot — soft reboot or physical power
+//! reset — lands the node on whatever the head node currently dictates.
+//!
+//! The paper describes two designs:
+//!
+//! 1. **Per-node menus** (Figure 12, the initial approach): one menu file
+//!    per MAC, so individual machines can be steered — but the OSCAR-side
+//!    daemon "would not easily get information about which machine is
+//!    scheduled to be rebooted".
+//! 2. **Single flag** (Figure 13, the shipped approach): one cluster-wide
+//!    target-OS flag; all rebooting nodes boot the same OS "because the
+//!    whole dual-boot cluster will only need one system at one time".
+//!
+//! [`PxeMenuDir`] models the directory under both modes and resolves the
+//! menu a given MAC would receive.
+
+use crate::grub::{eridani, GrubConfig};
+use crate::mac::MacAddr;
+use crate::os::OsKind;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Which control design the PXE directory is operating under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ControlMode {
+    /// One menu file per node MAC (Figure 12's initial approach).
+    PerNode,
+    /// A single cluster-wide target-OS flag (Figure 13, dualboot-oscar
+    /// v2.0's shipped design).
+    SingleFlag,
+}
+
+/// The head node's `/tftpboot/menu.lst/` directory.
+///
+/// In `SingleFlag` mode only the `default` menu file exists and carries the
+/// flag; in `PerNode` mode per-MAC files override the `default` fallback.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PxeMenuDir {
+    mode: ControlMode,
+    /// Target OS written into the `default` menu file.
+    flag: OsKind,
+    /// Per-MAC overrides (only consulted in `PerNode` mode).
+    per_node: BTreeMap<MacAddr, OsKind>,
+    /// The menu every file is generated from (retargeted per node). Must
+    /// match the node disks' partition layout — Figure 3's menu for the
+    /// v1 layout, [`eridani::controlmenu_v2`] for the Figure-14 layout.
+    template: GrubConfig,
+    /// How many menu-file writes have been performed (deployment-effort
+    /// metric for experiment E4/E8).
+    writes: u64,
+}
+
+impl PxeMenuDir {
+    /// A fresh directory in the given mode, with the flag initially at
+    /// `flag` (Eridani came up Linux-first). Uses the Figure-3 menu as
+    /// template (v1 disk layout, `/` on sda7).
+    pub fn new(mode: ControlMode, flag: OsKind) -> Self {
+        PxeMenuDir::with_template(mode, flag, eridani::controlmenu(flag))
+    }
+
+    /// The shipped v2 directory: single-flag control over nodes deployed
+    /// with the Figure-14 layout (`/` on sda6).
+    pub fn eridani_v2(flag: OsKind) -> Self {
+        PxeMenuDir::with_template(
+            ControlMode::SingleFlag,
+            flag,
+            eridani::controlmenu_v2(flag),
+        )
+    }
+
+    /// A directory generating menus from an explicit template.
+    pub fn with_template(mode: ControlMode, flag: OsKind, template: GrubConfig) -> Self {
+        PxeMenuDir {
+            mode,
+            flag,
+            per_node: BTreeMap::new(),
+            template,
+            writes: 1, // the initial `default` file
+        }
+    }
+
+    /// Current control mode.
+    pub fn mode(&self) -> ControlMode {
+        self.mode
+    }
+
+    /// The cluster-wide target-OS flag.
+    pub fn flag(&self) -> OsKind {
+        self.flag
+    }
+
+    /// Number of menu-file writes performed so far.
+    pub fn writes(&self) -> u64 {
+        self.writes
+    }
+
+    /// Set the cluster-wide flag ("flick flag of system architecture",
+    /// Figure 13 step 2). One file write.
+    pub fn set_flag(&mut self, os: OsKind) {
+        if self.flag != os {
+            self.flag = os;
+            self.writes += 1;
+        }
+    }
+
+    /// Steer one node (only meaningful in `PerNode` mode; Figure 12's
+    /// "Send ID to head node / flick toggle" path). One file write.
+    pub fn set_node(&mut self, mac: MacAddr, os: OsKind) {
+        let prev = self.per_node.insert(mac, os);
+        if prev != Some(os) {
+            self.writes += 1;
+        }
+    }
+
+    /// Remove a per-node override, reverting the node to the flag.
+    pub fn clear_node(&mut self, mac: &MacAddr) {
+        if self.per_node.remove(mac).is_some() {
+            self.writes += 1;
+        }
+    }
+
+    /// The OS a node with this MAC will boot on its next PXE cycle.
+    pub fn target_for(&self, mac: &MacAddr) -> OsKind {
+        match self.mode {
+            ControlMode::SingleFlag => self.flag,
+            ControlMode::PerNode => self.per_node.get(mac).copied().unwrap_or(self.flag),
+        }
+    }
+
+    /// The TFTP file name GRUB4DOS requests for this MAC
+    /// (`menu.lst/<mac-with-dashes>`), falling back to `menu.lst/default`.
+    pub fn filename_for(&self, mac: &MacAddr) -> String {
+        match self.mode {
+            ControlMode::SingleFlag => "menu.lst/default".to_string(),
+            ControlMode::PerNode => {
+                if self.per_node.contains_key(mac) {
+                    format!("menu.lst/{}", mac.grub4dos_filename())
+                } else {
+                    "menu.lst/default".to_string()
+                }
+            }
+        }
+    }
+
+    /// Render the menu file a node with this MAC receives. GRUB4DOS menu
+    /// syntax is compatible with GRUB legacy for the chainload/kernel
+    /// entries this system uses, so the content is the template menu with
+    /// `default` pointed at the node's target.
+    pub fn menu_for(&self, mac: &MacAddr) -> GrubConfig {
+        let mut menu = self.template.clone();
+        menu.retarget(self.target_for(mac));
+        menu
+    }
+
+    /// Number of distinct menu files currently present in the directory.
+    pub fn file_count(&self) -> usize {
+        match self.mode {
+            ControlMode::SingleFlag => 1,
+            ControlMode::PerNode => 1 + self.per_node.len(),
+        }
+    }
+
+    /// Switch control designs (the paper's v2 evolution from Figure 12 to
+    /// Figure 13). Entering `SingleFlag` drops all per-node files.
+    pub fn set_mode(&mut self, mode: ControlMode) {
+        if self.mode != mode {
+            self.mode = mode;
+            if mode == ControlMode::SingleFlag && !self.per_node.is_empty() {
+                self.writes += self.per_node.len() as u64; // deletions count as writes
+                self.per_node.clear();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grub::BootTarget;
+
+    fn mac(i: u16) -> MacAddr {
+        MacAddr::for_node(i)
+    }
+
+    #[test]
+    fn single_flag_steers_everyone() {
+        let mut dir = PxeMenuDir::new(ControlMode::SingleFlag, OsKind::Linux);
+        assert_eq!(dir.target_for(&mac(1)), OsKind::Linux);
+        assert_eq!(dir.target_for(&mac(16)), OsKind::Linux);
+        dir.set_flag(OsKind::Windows);
+        assert_eq!(dir.target_for(&mac(1)), OsKind::Windows);
+        assert_eq!(dir.target_for(&mac(16)), OsKind::Windows);
+    }
+
+    #[test]
+    fn per_node_overrides_fall_back_to_flag() {
+        let mut dir = PxeMenuDir::new(ControlMode::PerNode, OsKind::Linux);
+        dir.set_node(mac(3), OsKind::Windows);
+        assert_eq!(dir.target_for(&mac(3)), OsKind::Windows);
+        assert_eq!(dir.target_for(&mac(4)), OsKind::Linux);
+        dir.clear_node(&mac(3));
+        assert_eq!(dir.target_for(&mac(3)), OsKind::Linux);
+    }
+
+    #[test]
+    fn menu_content_boots_the_target() {
+        let mut dir = PxeMenuDir::new(ControlMode::SingleFlag, OsKind::Linux);
+        dir.set_flag(OsKind::Windows);
+        let menu = dir.menu_for(&mac(5));
+        assert_eq!(
+            menu.default_entry().unwrap().boot_target(),
+            BootTarget::Os(OsKind::Windows)
+        );
+    }
+
+    #[test]
+    fn filenames_follow_grub4dos_convention() {
+        let mut dir = PxeMenuDir::new(ControlMode::PerNode, OsKind::Linux);
+        assert_eq!(dir.filename_for(&mac(1)), "menu.lst/default");
+        dir.set_node(mac(1), OsKind::Windows);
+        assert_eq!(dir.filename_for(&mac(1)), "menu.lst/02-00-51-47-00-01");
+        let flag_dir = PxeMenuDir::new(ControlMode::SingleFlag, OsKind::Linux);
+        assert_eq!(flag_dir.filename_for(&mac(1)), "menu.lst/default");
+    }
+
+    #[test]
+    fn write_counting() {
+        let mut dir = PxeMenuDir::new(ControlMode::SingleFlag, OsKind::Linux);
+        let w0 = dir.writes();
+        dir.set_flag(OsKind::Linux); // no-op
+        assert_eq!(dir.writes(), w0);
+        dir.set_flag(OsKind::Windows);
+        assert_eq!(dir.writes(), w0 + 1);
+    }
+
+    #[test]
+    fn file_count_per_mode() {
+        let mut dir = PxeMenuDir::new(ControlMode::PerNode, OsKind::Linux);
+        assert_eq!(dir.file_count(), 1);
+        dir.set_node(mac(1), OsKind::Windows);
+        dir.set_node(mac(2), OsKind::Windows);
+        assert_eq!(dir.file_count(), 3);
+        dir.set_mode(ControlMode::SingleFlag);
+        assert_eq!(dir.file_count(), 1);
+        assert_eq!(dir.target_for(&mac(1)), OsKind::Linux); // overrides gone
+    }
+
+    #[test]
+    fn single_flag_needs_one_write_for_any_fleet_size() {
+        // The crux of the Figure-13 simplification: steering N nodes costs
+        // one write in SingleFlag mode but N writes in PerNode mode.
+        let mut flag_dir = PxeMenuDir::new(ControlMode::SingleFlag, OsKind::Linux);
+        let w0 = flag_dir.writes();
+        flag_dir.set_flag(OsKind::Windows);
+        assert_eq!(flag_dir.writes() - w0, 1);
+
+        let mut node_dir = PxeMenuDir::new(ControlMode::PerNode, OsKind::Linux);
+        let w0 = node_dir.writes();
+        for i in 0..16 {
+            node_dir.set_node(mac(i), OsKind::Windows);
+        }
+        assert_eq!(node_dir.writes() - w0, 16);
+    }
+}

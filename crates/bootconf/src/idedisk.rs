@@ -1,0 +1,450 @@
+//! OSCAR/systemimager `ide.disk` partition tables.
+//!
+//! OSCAR builds compute-node images from a disk layout file (`ide.disk`)
+//! consumed by systemimager/systeminstaller. dualboot-oscar v1.0 required
+//! manually editing this file (and the generated `oscarimage.master`) after
+//! *every* image rebuild — inserting the FAT control partition, reserving
+//! Windows space, switching `mkpart` to `mkpartfs`, adding rsync FAT flags
+//! and removing Windows lines from `fstab` (paper §III.C.1). v2.0 instead
+//! patches systemimager/systeminstaller once to honour a new partition
+//! *type label* `skip`: a `skip` line reserves the space without imaging it,
+//! which is how the Windows partition survives Linux re-imaging (Figure 14).
+//!
+//! A line has the whitespace-separated columns
+//! `device  size  type  [mountpoint  [options]]  [bootable]`, where size is
+//! megabytes, `*` (fill the rest of the disk) or `-` (not applicable).
+
+use crate::error::ParseError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+const DIALECT: &str = "ide.disk";
+
+/// The size column of an `ide.disk` line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SizeSpec {
+    /// Fixed size in megabytes.
+    Mb(u64),
+    /// `*` — fill the remaining disk space.
+    Fill,
+    /// `-` — size not applicable (tmpfs, nfs).
+    None,
+}
+
+impl fmt::Display for SizeSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SizeSpec::Mb(n) => write!(f, "{n}"),
+            SizeSpec::Fill => write!(f, "*"),
+            SizeSpec::None => write!(f, "-"),
+        }
+    }
+}
+
+/// Filesystem / partition type column.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FsType {
+    /// Linux ext3 (the node image's native format).
+    Ext3,
+    /// Swap space.
+    Swap,
+    /// FAT/vfat (the v1 shared control partition).
+    Vfat,
+    /// NTFS (only used when describing the Windows partition explicitly).
+    Ntfs,
+    /// tmpfs pseudo-filesystem.
+    Tmpfs,
+    /// NFS mount from the head node.
+    Nfs,
+    /// The v2 patch's label: reserve the space, do not image it.
+    Skip,
+}
+
+impl FsType {
+    fn parse(s: &str, lineno: usize) -> Result<FsType, ParseError> {
+        match s {
+            "ext3" => Ok(FsType::Ext3),
+            "swap" => Ok(FsType::Swap),
+            "vfat" | "fat" | "fat32" => Ok(FsType::Vfat),
+            "ntfs" => Ok(FsType::Ntfs),
+            "tmpfs" => Ok(FsType::Tmpfs),
+            "nfs" => Ok(FsType::Nfs),
+            "skip" => Ok(FsType::Skip),
+            _ => Err(ParseError::at(
+                DIALECT,
+                lineno,
+                format!("unknown fs type {s:?}"),
+            )),
+        }
+    }
+
+    fn emit(&self) -> &'static str {
+        match self {
+            FsType::Ext3 => "ext3",
+            FsType::Swap => "swap",
+            FsType::Vfat => "vfat",
+            FsType::Ntfs => "ntfs",
+            FsType::Tmpfs => "tmpfs",
+            FsType::Nfs => "nfs",
+            FsType::Skip => "skip",
+        }
+    }
+}
+
+/// One line of an `ide.disk` file.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IdeDiskLine {
+    /// Device path (`/dev/sda1`) or NFS source (`nfs_oscar:/home`).
+    pub device: String,
+    /// Size column.
+    pub size: SizeSpec,
+    /// Type column.
+    pub fstype: FsType,
+    /// Mount point, when given (swap and skip lines have none).
+    pub mountpoint: Option<String>,
+    /// Mount options, when given (`defaults`, `rw`, ...).
+    pub options: Option<String>,
+    /// Trailing `bootable` flag.
+    pub bootable: bool,
+}
+
+/// A parsed `ide.disk` file.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IdeDisk {
+    /// Lines in file order.
+    pub lines: Vec<IdeDiskLine>,
+}
+
+impl IdeDisk {
+    /// Parse `ide.disk` text. `#` comments and blank lines are skipped.
+    pub fn parse(text: &str) -> Result<IdeDisk, ParseError> {
+        let mut lines = Vec::new();
+        for (i, raw) in text.lines().enumerate() {
+            let lineno = i + 1;
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut cols = line.split_whitespace().peekable();
+            let device = cols
+                .next()
+                .ok_or_else(|| ParseError::at(DIALECT, lineno, "missing device"))?
+                .to_string();
+            let size_s = cols
+                .next()
+                .ok_or_else(|| ParseError::at(DIALECT, lineno, "missing size"))?;
+            let size = match size_s {
+                "*" => SizeSpec::Fill,
+                "-" => SizeSpec::None,
+                n => SizeSpec::Mb(n.parse().map_err(|_| {
+                    ParseError::at(DIALECT, lineno, format!("bad size {n:?}"))
+                })?),
+            };
+            let fstype = FsType::parse(
+                cols.next()
+                    .ok_or_else(|| ParseError::at(DIALECT, lineno, "missing fs type"))?,
+                lineno,
+            )?;
+            let mut rest: Vec<String> = cols.map(str::to_string).collect();
+            let bootable = rest.last().map(String::as_str) == Some("bootable");
+            if bootable {
+                rest.pop();
+            }
+            if rest.len() > 2 {
+                return Err(ParseError::at(
+                    DIALECT,
+                    lineno,
+                    format!("too many columns in {line:?}"),
+                ));
+            }
+            let mut rest = rest.into_iter();
+            let mountpoint = rest.next();
+            let options = rest.next();
+            lines.push(IdeDiskLine {
+                device,
+                size,
+                fstype,
+                mountpoint,
+                options,
+                bootable,
+            });
+        }
+        Ok(IdeDisk { lines })
+    }
+
+    /// Emit canonical single-space-separated text (the paper's Figure 14
+    /// shows PDF-justified columns; the canonical machine form is single
+    /// spaces, which round-trips).
+    pub fn emit(&self) -> String {
+        let mut out = String::new();
+        for l in &self.lines {
+            out.push_str(&l.device);
+            out.push(' ');
+            out.push_str(&l.size.to_string());
+            out.push(' ');
+            out.push_str(l.fstype.emit());
+            if let Some(m) = &l.mountpoint {
+                out.push(' ');
+                out.push_str(m);
+            }
+            if let Some(o) = &l.options {
+                out.push(' ');
+                out.push_str(o);
+            }
+            if l.bootable {
+                out.push_str(" bootable");
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// True if any line carries the v2 `skip` label (requires the patched
+    /// systemimager/systeminstaller to deploy).
+    pub fn uses_skip(&self) -> bool {
+        self.lines.iter().any(|l| l.fstype == FsType::Skip)
+    }
+
+    /// Total megabytes of fixed-size physical partitions (`Mb` sizes on
+    /// `/dev/` devices), used to validate against the disk capacity.
+    pub fn fixed_mb(&self) -> u64 {
+        self.lines
+            .iter()
+            .filter(|l| l.device.starts_with("/dev/") && l.fstype != FsType::Tmpfs)
+            .filter_map(|l| match l.size {
+                SizeSpec::Mb(n) => Some(n),
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// The Figure-14 `ide.disk` of dualboot-oscar v2.0: Windows space held
+    /// by a `skip` line, Linux `/boot`, swap, `/` filling the rest, tmpfs
+    /// and the NFS-mounted home directory from the OSCAR head node.
+    pub fn eridani_v2() -> IdeDisk {
+        IdeDisk {
+            lines: vec![
+                IdeDiskLine {
+                    device: "/dev/sda1".to_string(),
+                    size: SizeSpec::Mb(16_000),
+                    fstype: FsType::Skip,
+                    mountpoint: None,
+                    options: None,
+                    bootable: false,
+                },
+                IdeDiskLine {
+                    device: "/dev/sda2".to_string(),
+                    size: SizeSpec::Mb(100),
+                    fstype: FsType::Ext3,
+                    mountpoint: Some("/boot".to_string()),
+                    options: Some("defaults".to_string()),
+                    bootable: true,
+                },
+                IdeDiskLine {
+                    device: "/dev/sda5".to_string(),
+                    size: SizeSpec::Mb(512),
+                    fstype: FsType::Swap,
+                    mountpoint: None,
+                    options: None,
+                    bootable: false,
+                },
+                IdeDiskLine {
+                    device: "/dev/sda6".to_string(),
+                    size: SizeSpec::Fill,
+                    fstype: FsType::Ext3,
+                    mountpoint: Some("/".to_string()),
+                    options: Some("defaults".to_string()),
+                    bootable: false,
+                },
+                IdeDiskLine {
+                    device: "/dev/shm".to_string(),
+                    size: SizeSpec::None,
+                    fstype: FsType::Tmpfs,
+                    mountpoint: Some("/dev/shm".to_string()),
+                    options: Some("defaults".to_string()),
+                    bootable: false,
+                },
+                IdeDiskLine {
+                    device: "nfs_oscar:/home".to_string(),
+                    size: SizeSpec::None,
+                    fstype: FsType::Nfs,
+                    mountpoint: Some("/home".to_string()),
+                    options: Some("rw".to_string()),
+                    bootable: false,
+                },
+            ],
+        }
+    }
+
+    /// A reconstruction of the v1 hand-edited `ide.disk` (§III.C.1; no
+    /// figure in the paper shows it whole). Differences from v2: the
+    /// Windows space and the shared FAT control partition must be spelled
+    /// out as real partitions (`ntfs` reserved + `vfat` mounted at
+    /// `/boot/swap`, the path Figure 4's scripts use), because the stock
+    /// systemimager has no `skip` label.
+    pub fn eridani_v1() -> IdeDisk {
+        IdeDisk {
+            lines: vec![
+                IdeDiskLine {
+                    device: "/dev/sda1".to_string(),
+                    size: SizeSpec::Mb(16_000),
+                    fstype: FsType::Ntfs,
+                    mountpoint: None,
+                    options: None,
+                    bootable: false,
+                },
+                IdeDiskLine {
+                    device: "/dev/sda2".to_string(),
+                    size: SizeSpec::Mb(100),
+                    fstype: FsType::Ext3,
+                    mountpoint: Some("/boot".to_string()),
+                    options: Some("defaults".to_string()),
+                    bootable: true,
+                },
+                IdeDiskLine {
+                    device: "/dev/sda5".to_string(),
+                    size: SizeSpec::Mb(512),
+                    fstype: FsType::Swap,
+                    mountpoint: None,
+                    options: None,
+                    bootable: false,
+                },
+                // FAT control partition at sda6 = GRUB (hd0,5), the device
+                // Figure 2's `root (hd0,5)` points at.
+                IdeDiskLine {
+                    device: "/dev/sda6".to_string(),
+                    size: SizeSpec::Mb(64),
+                    fstype: FsType::Vfat,
+                    mountpoint: Some("/boot/swap".to_string()),
+                    options: Some("defaults".to_string()),
+                    bootable: false,
+                },
+                // Root at sda7, matching Figure 3's `root=/dev/sda7`.
+                IdeDiskLine {
+                    device: "/dev/sda7".to_string(),
+                    size: SizeSpec::Fill,
+                    fstype: FsType::Ext3,
+                    mountpoint: Some("/".to_string()),
+                    options: Some("defaults".to_string()),
+                    bootable: false,
+                },
+                IdeDiskLine {
+                    device: "/dev/shm".to_string(),
+                    size: SizeSpec::None,
+                    fstype: FsType::Tmpfs,
+                    mountpoint: Some("/dev/shm".to_string()),
+                    options: Some("defaults".to_string()),
+                    bootable: false,
+                },
+                IdeDiskLine {
+                    device: "nfs_oscar:/home".to_string(),
+                    size: SizeSpec::None,
+                    fstype: FsType::Nfs,
+                    mountpoint: Some("/home".to_string()),
+                    options: Some("rw".to_string()),
+                    bootable: false,
+                },
+            ],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Figure 14, in canonical single-space form.
+    const FIG14: &str = "/dev/sda1 16000 skip\n\
+/dev/sda2 100 ext3 /boot defaults bootable\n\
+/dev/sda5 512 swap\n\
+/dev/sda6 * ext3 / defaults\n\
+/dev/shm - tmpfs /dev/shm defaults\n\
+nfs_oscar:/home - nfs /home rw\n";
+
+    #[test]
+    fn fig14_emits_verbatim() {
+        assert_eq!(IdeDisk::eridani_v2().emit(), FIG14);
+    }
+
+    #[test]
+    fn fig14_roundtrips() {
+        let d = IdeDisk::parse(FIG14).unwrap();
+        assert_eq!(d.emit(), FIG14);
+        assert_eq!(d.lines.len(), 6);
+    }
+
+    #[test]
+    fn v2_uses_skip_v1_does_not() {
+        assert!(IdeDisk::eridani_v2().uses_skip());
+        assert!(!IdeDisk::eridani_v1().uses_skip());
+    }
+
+    #[test]
+    fn v1_has_explicit_fat_control_partition() {
+        let v1 = IdeDisk::eridani_v1();
+        let fat = v1
+            .lines
+            .iter()
+            .find(|l| l.fstype == FsType::Vfat)
+            .expect("v1 must carry the FAT control partition");
+        assert_eq!(fat.mountpoint.as_deref(), Some("/boot/swap"));
+        // sda6 = GRUB (hd0,5), the device Figure 2 redirects to
+        assert_eq!(fat.device, "/dev/sda6");
+        // and the root filesystem is sda7, matching Figure 3's kernel args
+        let root = v1
+            .lines
+            .iter()
+            .find(|l| l.mountpoint.as_deref() == Some("/"))
+            .unwrap();
+        assert_eq!(root.device, "/dev/sda7");
+    }
+
+    #[test]
+    fn bootable_flag_parsed() {
+        let d = IdeDisk::parse(FIG14).unwrap();
+        assert!(d.lines[1].bootable);
+        assert!(!d.lines[0].bootable);
+    }
+
+    #[test]
+    fn swap_line_has_no_mountpoint() {
+        let d = IdeDisk::parse(FIG14).unwrap();
+        let swap = &d.lines[2];
+        assert_eq!(swap.fstype, FsType::Swap);
+        assert_eq!(swap.mountpoint, None);
+    }
+
+    #[test]
+    fn size_specs_parse() {
+        let d = IdeDisk::parse(FIG14).unwrap();
+        assert_eq!(d.lines[0].size, SizeSpec::Mb(16_000));
+        assert_eq!(d.lines[3].size, SizeSpec::Fill);
+        assert_eq!(d.lines[4].size, SizeSpec::None);
+    }
+
+    #[test]
+    fn fixed_mb_sums_physical_partitions() {
+        // 16000 + 100 + 512 (fill, tmpfs and nfs excluded)
+        assert_eq!(IdeDisk::eridani_v2().fixed_mb(), 16_612);
+    }
+
+    #[test]
+    fn rejects_bad_lines() {
+        assert!(IdeDisk::parse("/dev/sda1\n").is_err()); // missing size
+        assert!(IdeDisk::parse("/dev/sda1 big ext3 /\n").is_err()); // bad size
+        assert!(IdeDisk::parse("/dev/sda1 100 reiser4 /\n").is_err()); // unknown fs
+        assert!(IdeDisk::parse("/dev/sda1 100 ext3 / defaults extra bootable\n").is_err());
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let d = IdeDisk::parse("# layout\n/dev/sda1 100 ext3 / defaults\n").unwrap();
+        assert_eq!(d.lines.len(), 1);
+    }
+
+    #[test]
+    fn error_line_numbers() {
+        let err = IdeDisk::parse("/dev/sda1 100 ext3 /\n/dev/sda2 oops ext3 /x\n").unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+}

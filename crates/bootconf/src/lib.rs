@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+
+//! # dualboot-bootconf — the configuration dialects of dualboot-oscar
+//!
+//! The middleware in the paper never calls an API to change what a node
+//! boots: it **edits text files**. Five dialects appear in the paper's
+//! figures, and this crate gives each a typed model with a parser and an
+//! emitter whose output reproduces the corresponding figure byte-for-byte:
+//!
+//! | Module | Dialect | Paper figures |
+//! |---|---|---|
+//! | [`grub`] | GRUB legacy `menu.lst` / `controlmenu.lst` | 2, 3 |
+//! | [`grub4dos`] | GRUB4DOS PXE menu tree (`/tftpboot/menu.lst/<MAC>`) | §IV.A.1 |
+//! | [`diskpart`] | Windows HPC `diskpart.txt` deployment scripts | 9, 10, 15 |
+//! | [`idedisk`] | OSCAR/systemimager `ide.disk` partition tables | 14 |
+//! | [`mac`] | MAC addresses used to key PXE menu files | §IV.A.1 |
+//! | [`oscarimage`] | systemimager `oscarimage.master` scripts and the four v1 manual edits | §III.C.1 |
+//!
+//! Everything round-trips: `emit(parse(text)) == text` for the canonical
+//! style, which property tests in each module enforce.
+
+pub mod diskpart;
+pub mod error;
+pub mod grub;
+pub mod grub4dos;
+pub mod idedisk;
+pub mod mac;
+pub mod os;
+pub mod oscarimage;
+
+pub use error::ParseError;
+pub use mac::MacAddr;
+pub use os::OsKind;

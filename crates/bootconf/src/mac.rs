@@ -1,0 +1,122 @@
+//! MAC addresses.
+//!
+//! GRUB4DOS's PXE ROM looks up its menu file by the compute node's LAN-card
+//! MAC address (paper §IV.A.1); this type provides both the canonical
+//! colon-separated form and the dash-separated lower-case form GRUB4DOS
+//! uses for file names under `/tftpboot/menu.lst/`.
+
+use crate::error::ParseError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// A 48-bit IEEE 802 MAC address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct MacAddr(pub [u8; 6]);
+
+impl MacAddr {
+    /// A deterministic MAC for node `index` in the simulated cluster,
+    /// under the locally-administered prefix `02:00:51:47`
+    /// ("QG" for Queensgate Grid).
+    pub fn for_node(index: u16) -> MacAddr {
+        let [hi, lo] = index.to_be_bytes();
+        MacAddr([0x02, 0x00, 0x51, 0x47, hi, lo])
+    }
+
+    /// Colon-separated lower-case form: `02:00:51:47:00:01`.
+    pub fn canonical(&self) -> String {
+        self.to_string()
+    }
+
+    /// GRUB4DOS menu-file name form: dash-separated lower-case, e.g.
+    /// `02-00-51-47-00-01` (the name of the per-node file under
+    /// `/tftpboot/menu.lst/`).
+    pub fn grub4dos_filename(&self) -> String {
+        let b = self.0;
+        format!(
+            "{:02x}-{:02x}-{:02x}-{:02x}-{:02x}-{:02x}",
+            b[0], b[1], b[2], b[3], b[4], b[5]
+        )
+    }
+}
+
+impl fmt::Display for MacAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let b = self.0;
+        write!(
+            f,
+            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
+            b[0], b[1], b[2], b[3], b[4], b[5]
+        )
+    }
+}
+
+impl FromStr for MacAddr {
+    type Err = ParseError;
+
+    /// Accepts colon- or dash-separated hex pairs, case-insensitive.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let sep = if s.contains(':') { ':' } else { '-' };
+        let parts: Vec<&str> = s.split(sep).collect();
+        if parts.len() != 6 {
+            return Err(ParseError::general(
+                "mac",
+                format!("expected 6 octets, got {} in {s:?}", parts.len()),
+            ));
+        }
+        let mut bytes = [0u8; 6];
+        for (i, p) in parts.iter().enumerate() {
+            bytes[i] = u8::from_str_radix(p, 16)
+                .map_err(|_| ParseError::general("mac", format!("bad octet {p:?} in {s:?}")))?;
+        }
+        Ok(MacAddr(bytes))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_macs_are_distinct_and_stable() {
+        assert_eq!(MacAddr::for_node(1).to_string(), "02:00:51:47:00:01");
+        assert_eq!(MacAddr::for_node(256).to_string(), "02:00:51:47:01:00");
+        assert_ne!(MacAddr::for_node(1), MacAddr::for_node(2));
+    }
+
+    #[test]
+    fn grub4dos_filename_form() {
+        assert_eq!(
+            MacAddr::for_node(16).grub4dos_filename(),
+            "02-00-51-47-00-10"
+        );
+    }
+
+    #[test]
+    fn parses_colon_and_dash() {
+        let m: MacAddr = "02:00:51:47:00:01".parse().unwrap();
+        assert_eq!(m, MacAddr::for_node(1));
+        let m: MacAddr = "02-00-51-47-00-01".parse().unwrap();
+        assert_eq!(m, MacAddr::for_node(1));
+    }
+
+    #[test]
+    fn parses_uppercase() {
+        let m: MacAddr = "AA:BB:CC:DD:EE:FF".parse().unwrap();
+        assert_eq!(m.0, [0xaa, 0xbb, 0xcc, 0xdd, 0xee, 0xff]);
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!("02:00:51".parse::<MacAddr>().is_err());
+        assert!("02:00:51:47:00:zz".parse::<MacAddr>().is_err());
+        assert!("".parse::<MacAddr>().is_err());
+    }
+
+    #[test]
+    fn roundtrip() {
+        let m = MacAddr::for_node(42);
+        assert_eq!(m.to_string().parse::<MacAddr>().unwrap(), m);
+        assert_eq!(m.grub4dos_filename().parse::<MacAddr>().unwrap(), m);
+    }
+}

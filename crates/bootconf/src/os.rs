@@ -1,0 +1,108 @@
+//! The two operating systems of the bi-stable hybrid cluster.
+//!
+//! Lives in `bootconf` because every other layer (hardware boot paths,
+//! schedulers, middleware, workloads) speaks in terms of which OS a node
+//! boots, and boot configuration is the lowest layer that needs the notion.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::Not;
+
+/// One of the two platforms of the hybrid cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum OsKind {
+    /// CentOS 5.x with OSCAR middleware and a PBS/Torque scheduler.
+    Linux,
+    /// Windows Server 2008 with Windows HPC Pack 2008 R2.
+    Windows,
+}
+
+impl OsKind {
+    /// Both platforms, in the canonical order used by reports.
+    pub const ALL: [OsKind; 2] = [OsKind::Linux, OsKind::Windows];
+
+    /// The other platform.
+    pub fn other(self) -> OsKind {
+        match self {
+            OsKind::Linux => OsKind::Windows,
+            OsKind::Windows => OsKind::Linux,
+        }
+    }
+
+    /// Short lower-case tag used in file names and flags
+    /// (`linux` / `windows`), matching the suffixes of the paper's
+    /// `controlmenu_to_linux.lst` / `controlmenu_to_windows.lst`.
+    pub fn tag(self) -> &'static str {
+        match self {
+            OsKind::Linux => "linux",
+            OsKind::Windows => "windows",
+        }
+    }
+}
+
+impl Not for OsKind {
+    type Output = OsKind;
+    fn not(self) -> OsKind {
+        self.other()
+    }
+}
+
+impl fmt::Display for OsKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OsKind::Linux => write!(f, "Linux"),
+            OsKind::Windows => write!(f, "Windows"),
+        }
+    }
+}
+
+impl std::str::FromStr for OsKind {
+    type Err = crate::error::ParseError;
+
+    /// Case-insensitive; accepts `linux`/`windows` and single letters
+    /// `L`/`W` (the notation of the paper's Table I).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "linux" | "l" => Ok(OsKind::Linux),
+            "windows" | "w" => Ok(OsKind::Windows),
+            _ => Err(crate::error::ParseError::general(
+                "os",
+                format!("unknown OS {s:?}"),
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn other_is_involutive() {
+        for os in OsKind::ALL {
+            assert_eq!(os.other().other(), os);
+            assert_eq!(!!os, os);
+            assert_ne!(os.other(), os);
+        }
+    }
+
+    #[test]
+    fn tags() {
+        assert_eq!(OsKind::Linux.tag(), "linux");
+        assert_eq!(OsKind::Windows.tag(), "windows");
+    }
+
+    #[test]
+    fn parse_forms() {
+        assert_eq!("L".parse::<OsKind>().unwrap(), OsKind::Linux);
+        assert_eq!("w".parse::<OsKind>().unwrap(), OsKind::Windows);
+        assert_eq!("Windows".parse::<OsKind>().unwrap(), OsKind::Windows);
+        assert!("beos".parse::<OsKind>().is_err());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(OsKind::Linux.to_string(), "Linux");
+        assert_eq!(OsKind::Windows.to_string(), "Windows");
+    }
+}

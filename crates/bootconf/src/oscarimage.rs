@@ -1,0 +1,530 @@
+//! The systemimager `oscarimage.master` deployment script.
+//!
+//! OSCAR's image builder generates a master shell script that partitions
+//! and populates each compute node. dualboot-oscar v1.0 required four
+//! manual edits to this generated script *after every image rebuild*
+//! (§III.C.1):
+//!
+//! 1. reserve the Windows and FAT partitions in `ide.disk` (upstream of
+//!    this script, see [`crate::idedisk`]);
+//! 2. replace `mkpart` with `mkpartfs` so the FAT partition is actually
+//!    formatted;
+//! 3. add `--modify-window=1 --size-only` to the rsync commands so FAT's
+//!    coarse timestamps don't force endless re-syncs;
+//! 4. remove the Windows partition's `fstab` line and `umount` commands
+//!    so the installer doesn't error on the foreign partition.
+//!
+//! This module models the script at the statement level, implements each
+//! edit as a function, and can *verify* whether a script has been
+//! correctly patched — which is how the deployment engine decides whether
+//! a v1 image build will produce a working dual-boot node or a broken
+//! one. v2.0 makes all of this obsolete (the `skip` label patch), which
+//! is exactly the point of experiment E4.
+
+use crate::error::ParseError;
+use crate::idedisk::{FsType, IdeDisk, SizeSpec};
+use serde::{Deserialize, Serialize};
+
+const DIALECT: &str = "oscarimage.master";
+
+/// One statement of the master script (the subset the edits touch).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MasterStmt {
+    /// `parted ... mkpart primary|logical <fs> <start> <end>` — allocate
+    /// without formatting.
+    MkPart {
+        /// Partition number being created.
+        number: u32,
+        /// Filesystem label parted records.
+        fs: String,
+    },
+    /// `parted ... mkpartfs ...` — allocate *and* format (edit 2 turns
+    /// the FAT `MkPart` into this).
+    MkPartFs {
+        /// Partition number being created.
+        number: u32,
+        /// Filesystem created.
+        fs: String,
+    },
+    /// `rsync [flags] image/ /a/<mount>` — populate a filesystem.
+    Rsync {
+        /// Target mount point.
+        target: String,
+        /// Extra flags (edit 3 adds `--modify-window=1 --size-only`).
+        flags: Vec<String>,
+    },
+    /// An `/etc/fstab` line written into the node image.
+    FstabLine {
+        /// Device column.
+        device: String,
+        /// Mount point column.
+        mountpoint: String,
+    },
+    /// `umount /a/<mount>` during cleanup.
+    Umount {
+        /// Mount point being unmounted.
+        mountpoint: String,
+    },
+}
+
+/// A parsed/generated master script.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MasterScript {
+    /// Statements in execution order.
+    pub stmts: Vec<MasterStmt>,
+}
+
+/// The patch state of a v1 master script.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PatchStatus {
+    /// Edit 2: the FAT partition uses `mkpartfs`.
+    pub fat_mkpartfs: bool,
+    /// Edit 3: every FAT-touching rsync carries the FAT flags.
+    pub rsync_fat_flags: bool,
+    /// Edit 4a: no fstab line references the Windows partition.
+    pub windows_fstab_removed: bool,
+    /// Edit 4b: no umount references the Windows partition.
+    pub windows_umount_removed: bool,
+}
+
+impl PatchStatus {
+    /// All edits applied?
+    pub fn fully_patched(&self) -> bool {
+        self.fat_mkpartfs
+            && self.rsync_fat_flags
+            && self.windows_fstab_removed
+            && self.windows_umount_removed
+    }
+
+    /// Number of edits still missing (manual steps remaining).
+    pub fn missing_edits(&self) -> u32 {
+        u32::from(!self.fat_mkpartfs)
+            + u32::from(!self.rsync_fat_flags)
+            + u32::from(!self.windows_fstab_removed)
+            + u32::from(!self.windows_umount_removed)
+    }
+}
+
+impl MasterScript {
+    /// Generate the script systemimager would emit for a layout —
+    /// *unpatched*: every physical partition gets `mkpart`, every mounted
+    /// filesystem gets a plain rsync, an fstab line and a cleanup umount
+    /// (including, naively, the foreign Windows partition).
+    pub fn generate(layout: &IdeDisk) -> MasterScript {
+        let mut stmts = Vec::new();
+        for line in &layout.lines {
+            let Some(number) = line
+                .device
+                .strip_prefix("/dev/sda")
+                .and_then(|n| n.parse::<u32>().ok())
+            else {
+                continue;
+            };
+            let fs = match line.fstype {
+                FsType::Ext3 => "ext3",
+                FsType::Swap => "linux-swap",
+                FsType::Vfat => "fat32",
+                FsType::Ntfs => "ntfs",
+                FsType::Skip => "skip",
+                FsType::Tmpfs | FsType::Nfs => continue,
+            };
+            if line.fstype != FsType::Skip {
+                stmts.push(MasterStmt::MkPart {
+                    number,
+                    fs: fs.to_string(),
+                });
+            }
+            if let Some(mp) = &line.mountpoint {
+                stmts.push(MasterStmt::Rsync {
+                    target: mp.clone(),
+                    flags: vec!["-a".to_string()],
+                });
+                stmts.push(MasterStmt::FstabLine {
+                    device: line.device.clone(),
+                    mountpoint: mp.clone(),
+                });
+                stmts.push(MasterStmt::Umount {
+                    mountpoint: mp.clone(),
+                });
+            } else if line.fstype == FsType::Ntfs {
+                // The generator naively emits fstab/umount for the foreign
+                // Windows partition too (what edit 4 removes).
+                stmts.push(MasterStmt::FstabLine {
+                    device: line.device.clone(),
+                    mountpoint: "/windows".to_string(),
+                });
+                stmts.push(MasterStmt::Umount {
+                    mountpoint: "/windows".to_string(),
+                });
+            }
+        }
+        MasterScript { stmts }
+    }
+
+    /// Edit 2: switch the FAT partition's `mkpart` to `mkpartfs`.
+    /// Returns whether anything changed.
+    pub fn patch_fat_mkpartfs(&mut self) -> bool {
+        let mut changed = false;
+        for s in &mut self.stmts {
+            if let MasterStmt::MkPart { number, fs } = s {
+                if fs == "fat32" {
+                    *s = MasterStmt::MkPartFs {
+                        number: *number,
+                        fs: fs.clone(),
+                    };
+                    changed = true;
+                }
+            }
+        }
+        changed
+    }
+
+    /// Edit 3: add `--modify-window=1 --size-only` to rsyncs that touch
+    /// FAT mount points (identified by `layout`).
+    pub fn patch_rsync_fat_flags(&mut self, layout: &IdeDisk) -> bool {
+        let fat_mounts: Vec<&str> = layout
+            .lines
+            .iter()
+            .filter(|l| l.fstype == FsType::Vfat)
+            .filter_map(|l| l.mountpoint.as_deref())
+            .collect();
+        let mut changed = false;
+        for s in &mut self.stmts {
+            if let MasterStmt::Rsync { target, flags } = s {
+                if fat_mounts.contains(&target.as_str())
+                    && !flags.iter().any(|f| f == "--modify-window=1")
+                {
+                    flags.push("--modify-window=1".to_string());
+                    flags.push("--size-only".to_string());
+                    changed = true;
+                }
+            }
+        }
+        changed
+    }
+
+    /// Edit 4: drop the Windows partition's fstab line and umount.
+    pub fn patch_remove_windows_mounts(&mut self) -> bool {
+        let before = self.stmts.len();
+        self.stmts.retain(|s| {
+            !matches!(
+                s,
+                MasterStmt::FstabLine { mountpoint, .. } | MasterStmt::Umount { mountpoint }
+                    if mountpoint == "/windows"
+            )
+        });
+        self.stmts.len() != before
+    }
+
+    /// Apply every v1 edit, returning how many changed something (the
+    /// manual steps the administrator performed).
+    pub fn apply_v1_patches(&mut self, layout: &IdeDisk) -> u32 {
+        let mut steps = 0;
+        if self.patch_fat_mkpartfs() {
+            steps += 1;
+        }
+        if self.patch_rsync_fat_flags(layout) {
+            steps += 1;
+        }
+        // fstab and umount removal are listed as one §III.C.1 point but
+        // are two file locations; count them as the paper's single edit.
+        if self.patch_remove_windows_mounts() {
+            steps += 1;
+        }
+        steps
+    }
+
+    /// Check the patch state against a layout.
+    pub fn patch_status(&self, layout: &IdeDisk) -> PatchStatus {
+        let fat_mounts: Vec<&str> = layout
+            .lines
+            .iter()
+            .filter(|l| l.fstype == FsType::Vfat)
+            .filter_map(|l| l.mountpoint.as_deref())
+            .collect();
+        let has_fat = layout.lines.iter().any(|l| l.fstype == FsType::Vfat);
+        let fat_mkpartfs = !has_fat
+            || self.stmts.iter().any(
+                |s| matches!(s, MasterStmt::MkPartFs { fs, .. } if fs == "fat32"),
+            );
+        let rsync_fat_flags = self.stmts.iter().all(|s| match s {
+            MasterStmt::Rsync { target, flags } if fat_mounts.contains(&target.as_str()) => {
+                flags.iter().any(|f| f == "--modify-window=1")
+                    && flags.iter().any(|f| f == "--size-only")
+            }
+            _ => true,
+        });
+        let windows_fstab_removed = !self.stmts.iter().any(
+            |s| matches!(s, MasterStmt::FstabLine { mountpoint, .. } if mountpoint == "/windows"),
+        );
+        let windows_umount_removed = !self.stmts.iter().any(
+            |s| matches!(s, MasterStmt::Umount { mountpoint } if mountpoint == "/windows"),
+        );
+        PatchStatus {
+            fat_mkpartfs,
+            rsync_fat_flags,
+            windows_fstab_removed,
+            windows_umount_removed,
+        }
+    }
+
+    /// Emit shell-like text (one statement per line).
+    pub fn emit(&self) -> String {
+        let mut out = String::new();
+        for s in &self.stmts {
+            match s {
+                MasterStmt::MkPart { number, fs } => {
+                    out.push_str(&format!("parted -s /dev/sda mkpart {number} {fs}\n"))
+                }
+                MasterStmt::MkPartFs { number, fs } => {
+                    out.push_str(&format!("parted -s /dev/sda mkpartfs {number} {fs}\n"))
+                }
+                MasterStmt::Rsync { target, flags } => {
+                    out.push_str("rsync ");
+                    out.push_str(&flags.join(" "));
+                    out.push_str(&format!(" image/ /a{target}\n"));
+                }
+                MasterStmt::FstabLine { device, mountpoint } => {
+                    out.push_str(&format!("echo '{device} {mountpoint}' >> /a/etc/fstab\n"))
+                }
+                MasterStmt::Umount { mountpoint } => {
+                    out.push_str(&format!("umount /a{mountpoint}\n"))
+                }
+            }
+        }
+        out
+    }
+
+    /// Parse emitted text back (round-trip support for stored scripts).
+    pub fn parse(text: &str) -> Result<MasterScript, ParseError> {
+        let mut stmts = Vec::new();
+        for (i, raw) in text.lines().enumerate() {
+            let lineno = i + 1;
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let words: Vec<&str> = line.split_whitespace().collect();
+            match words.first().copied() {
+                Some("parted") => {
+                    // parted -s /dev/sda mkpart(fs) <number> <fs>
+                    let cmd = words.get(3).copied().unwrap_or("");
+                    let number: u32 = words
+                        .get(4)
+                        .and_then(|w| w.parse().ok())
+                        .ok_or_else(|| ParseError::at(DIALECT, lineno, "bad parted number"))?;
+                    let fs = words
+                        .get(5)
+                        .copied()
+                        .ok_or_else(|| ParseError::at(DIALECT, lineno, "missing parted fs"))?
+                        .to_string();
+                    match cmd {
+                        "mkpart" => stmts.push(MasterStmt::MkPart { number, fs }),
+                        "mkpartfs" => stmts.push(MasterStmt::MkPartFs { number, fs }),
+                        other => {
+                            return Err(ParseError::at(
+                                DIALECT,
+                                lineno,
+                                format!("unknown parted command {other:?}"),
+                            ))
+                        }
+                    }
+                }
+                Some("rsync") => {
+                    // rsync <flags...> image/ /a<target>
+                    let target = words
+                        .last()
+                        .and_then(|w| w.strip_prefix("/a"))
+                        .ok_or_else(|| ParseError::at(DIALECT, lineno, "bad rsync target"))?
+                        .to_string();
+                    let flags = words[1..words.len() - 2]
+                        .iter()
+                        .map(|s| s.to_string())
+                        .collect();
+                    stmts.push(MasterStmt::Rsync { target, flags });
+                }
+                Some("echo") => {
+                    // echo '<device> <mountpoint>' >> /a/etc/fstab
+                    let device = words
+                        .get(1)
+                        .map(|w| w.trim_start_matches('\'').to_string())
+                        .ok_or_else(|| ParseError::at(DIALECT, lineno, "bad fstab echo"))?;
+                    let mountpoint = words
+                        .get(2)
+                        .map(|w| w.trim_end_matches('\'').to_string())
+                        .ok_or_else(|| ParseError::at(DIALECT, lineno, "bad fstab echo"))?;
+                    stmts.push(MasterStmt::FstabLine { device, mountpoint });
+                }
+                Some("umount") => {
+                    let mountpoint = words
+                        .get(1)
+                        .and_then(|w| w.strip_prefix("/a"))
+                        .ok_or_else(|| ParseError::at(DIALECT, lineno, "bad umount"))?
+                        .to_string();
+                    stmts.push(MasterStmt::Umount { mountpoint });
+                }
+                other => {
+                    return Err(ParseError::at(
+                        DIALECT,
+                        lineno,
+                        format!("unknown statement {other:?}"),
+                    ))
+                }
+            }
+        }
+        Ok(MasterScript { stmts })
+    }
+
+    /// Does the script still reference a partition layout slot for the
+    /// given number (any mkpart/mkpartfs)?
+    pub fn creates_partition(&self, number: u32) -> bool {
+        self.stmts.iter().any(|s| {
+            matches!(s, MasterStmt::MkPart { number: n, .. } | MasterStmt::MkPartFs { number: n, .. } if *n == number)
+        })
+    }
+
+    /// Layout sanity check: every fixed-size physical partition in the
+    /// layout (other than `skip`) must be created by the script.
+    pub fn covers_layout(&self, layout: &IdeDisk) -> bool {
+        layout.lines.iter().all(|l| {
+            let Some(number) = l
+                .device
+                .strip_prefix("/dev/sda")
+                .and_then(|n| n.parse::<u32>().ok())
+            else {
+                return true;
+            };
+            match l.fstype {
+                FsType::Skip | FsType::Tmpfs | FsType::Nfs => true,
+                _ => {
+                    matches!(l.size, SizeSpec::Mb(_) | SizeSpec::Fill)
+                        && self.creates_partition(number)
+                }
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v1_layout() -> IdeDisk {
+        IdeDisk::eridani_v1()
+    }
+
+    #[test]
+    fn generated_script_is_unpatched() {
+        let script = MasterScript::generate(&v1_layout());
+        let status = script.patch_status(&v1_layout());
+        assert!(!status.fully_patched());
+        assert_eq!(status.missing_edits(), 4);
+        assert!(!status.fat_mkpartfs);
+        assert!(!status.rsync_fat_flags);
+        assert!(!status.windows_fstab_removed);
+        assert!(!status.windows_umount_removed);
+    }
+
+    #[test]
+    fn v1_patches_fix_everything() {
+        let mut script = MasterScript::generate(&v1_layout());
+        let steps = script.apply_v1_patches(&v1_layout());
+        assert_eq!(steps, 3); // mkpartfs, rsync flags, windows mounts
+        let status = script.patch_status(&v1_layout());
+        assert!(status.fully_patched(), "{status:?}");
+        assert_eq!(status.missing_edits(), 0);
+    }
+
+    #[test]
+    fn patches_are_idempotent() {
+        let mut script = MasterScript::generate(&v1_layout());
+        script.apply_v1_patches(&v1_layout());
+        let again = script.apply_v1_patches(&v1_layout());
+        assert_eq!(again, 0, "second pass changes nothing");
+    }
+
+    #[test]
+    fn mkpartfs_patch_targets_only_fat() {
+        let mut script = MasterScript::generate(&v1_layout());
+        script.patch_fat_mkpartfs();
+        let fat_fs: Vec<&MasterStmt> = script
+            .stmts
+            .iter()
+            .filter(|s| matches!(s, MasterStmt::MkPartFs { .. }))
+            .collect();
+        assert_eq!(fat_fs.len(), 1);
+        // ext3 partitions keep plain mkpart
+        assert!(script
+            .stmts
+            .iter()
+            .any(|s| matches!(s, MasterStmt::MkPart { fs, .. } if fs == "ext3")));
+    }
+
+    #[test]
+    fn rsync_flags_added_only_to_fat_mounts() {
+        let mut script = MasterScript::generate(&v1_layout());
+        script.patch_rsync_fat_flags(&v1_layout());
+        for s in &script.stmts {
+            if let MasterStmt::Rsync { target, flags } = s {
+                let has = flags.iter().any(|f| f == "--modify-window=1");
+                assert_eq!(has, target == "/boot/swap", "target {target}");
+            }
+        }
+    }
+
+    #[test]
+    fn windows_mounts_removed() {
+        let mut script = MasterScript::generate(&v1_layout());
+        assert!(script.patch_remove_windows_mounts());
+        assert!(!script
+            .stmts
+            .iter()
+            .any(|s| matches!(s, MasterStmt::Umount { mountpoint } if mountpoint == "/windows")));
+    }
+
+    #[test]
+    fn v2_layout_needs_no_patches() {
+        // The v2 layout has no FAT partition and reserves Windows with
+        // `skip` (no mkpart emitted, no fstab line): nothing to patch.
+        let layout = IdeDisk::eridani_v2();
+        let script = MasterScript::generate(&layout);
+        let status = script.patch_status(&layout);
+        assert!(status.fully_patched(), "{status:?}");
+        assert!(!script.creates_partition(1), "skip slot untouched");
+    }
+
+    #[test]
+    fn emit_parse_roundtrip() {
+        let mut script = MasterScript::generate(&v1_layout());
+        script.apply_v1_patches(&v1_layout());
+        let text = script.emit();
+        let back = MasterScript::parse(&text).unwrap();
+        assert_eq!(back, script);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(MasterScript::parse("frobnicate /dev/sda\n").is_err());
+        assert!(MasterScript::parse("parted -s /dev/sda shrink 1 ext3\n").is_err());
+        assert!(MasterScript::parse("parted -s /dev/sda mkpart x ext3\n").is_err());
+    }
+
+    #[test]
+    fn covers_layout_checks() {
+        let layout = v1_layout();
+        let script = MasterScript::generate(&layout);
+        assert!(script.covers_layout(&layout));
+        let mut broken = script.clone();
+        broken.stmts.retain(|s| !matches!(s, MasterStmt::MkPart { number: 2, .. }));
+        assert!(!broken.covers_layout(&layout));
+    }
+
+    #[test]
+    fn unpatched_fat_rsync_is_the_bug_the_paper_fixed() {
+        // Without --modify-window, FAT's 2-second timestamp granularity
+        // makes rsync re-copy everything. We encode the *detection*: the
+        // patch_status flags the hazard.
+        let script = MasterScript::generate(&v1_layout());
+        assert!(!script.patch_status(&v1_layout()).rsync_fat_flags);
+    }
+}

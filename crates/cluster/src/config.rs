@@ -1,0 +1,222 @@
+//! Scenario configuration.
+
+use dualboot_bootconf::grub4dos::ControlMode;
+use dualboot_core::policy::{
+    FcfsPolicy, HysteresisPolicy, ProportionalPolicy, SwitchPolicy, ThresholdPolicy,
+};
+use dualboot_core::Version;
+use dualboot_des::time::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Which system is being evaluated (see the crate docs for the table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Mode {
+    /// The dualboot-oscar middleware, switching live.
+    DualBoot,
+    /// Fixed partition: `initial_linux_nodes` stay Linux forever, the rest
+    /// stay Windows forever. No daemons.
+    StaticSplit,
+    /// One Linux-resident cluster: each Windows job pays a boot round
+    /// trip (to Windows before running, back to Linux after), modelled as
+    /// service-time inflation. No daemons.
+    MonoStable,
+    /// OS-blind upper bound: every job runs anywhere, no reboots.
+    Oracle,
+}
+
+/// Switch policy selection (maps to `dualboot_core::policy`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum PolicyKind {
+    /// The paper's FCFS rule.
+    Fcfs,
+    /// Threshold on local queue depth.
+    Threshold {
+        /// Depth at which a side counts as starved.
+        queue_threshold: u32,
+    },
+    /// FCFS debounced by persistence/cooldown.
+    Hysteresis {
+        /// Consecutive agreeing polls before acting.
+        persistence: u32,
+        /// Quiet polls after acting.
+        cooldown: u32,
+    },
+    /// Demand-proportional rebalancing (needs the omniscient decider).
+    Proportional {
+        /// Minimum nodes kept on each side.
+        min_per_side: u32,
+    },
+}
+
+impl PolicyKind {
+    /// Instantiate the policy.
+    pub fn build(self) -> Box<dyn SwitchPolicy> {
+        match self {
+            PolicyKind::Fcfs => Box::new(FcfsPolicy),
+            PolicyKind::Threshold { queue_threshold } => {
+                Box::new(ThresholdPolicy { queue_threshold })
+            }
+            PolicyKind::Hysteresis {
+                persistence,
+                cooldown,
+            } => Box::new(HysteresisPolicy::new(FcfsPolicy, persistence, cooldown)),
+            PolicyKind::Proportional { min_per_side } => {
+                Box::new(ProportionalPolicy { min_per_side })
+            }
+        }
+    }
+
+    /// Stable name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            PolicyKind::Fcfs => "fcfs",
+            PolicyKind::Threshold { .. } => "threshold",
+            PolicyKind::Hysteresis { .. } => "hysteresis",
+            PolicyKind::Proportional { .. } => "proportional",
+        }
+    }
+}
+
+/// Boot/reboot latency model: truncated normal, calibrated to the paper's
+/// "booting from one OS to another takes no more than five minutes".
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BootModel {
+    /// Mean reboot time in seconds.
+    pub mean_s: f64,
+    /// Standard deviation in seconds.
+    pub std_s: f64,
+    /// Lower clamp in seconds.
+    pub min_s: f64,
+    /// Upper clamp in seconds (the paper's five-minute bound).
+    pub max_s: f64,
+}
+
+impl Default for BootModel {
+    fn default() -> Self {
+        BootModel {
+            mean_s: 240.0,
+            std_s: 30.0,
+            min_s: 180.0,
+            max_s: 300.0,
+        }
+    }
+}
+
+/// A full scenario description.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Middleware generation (only meaningful in `DualBoot` mode).
+    pub version: Version,
+    /// Evaluation mode.
+    pub mode: Mode,
+    /// Compute nodes (Eridani: 16).
+    pub nodes: u16,
+    /// Cores per node (Eridani: 4).
+    pub cores_per_node: u32,
+    /// Nodes that start on Linux (the rest start on Windows).
+    pub initial_linux_nodes: u16,
+    /// RNG seed for boot jitter (the workload carries its own seed).
+    pub seed: u64,
+    /// Windows communicator cycle (paper: "fixed cycles (intervals),
+    /// e.g. 10mins").
+    pub win_cycle: SimDuration,
+    /// Linux daemon poll cycle (paper v1: "Per 5 mins").
+    pub lin_cycle: SimDuration,
+    /// Reboot latency model.
+    pub boot: BootModel,
+    /// Switch policy.
+    pub policy: PolicyKind,
+    /// v2 PXE control design: the shipped cluster-wide single flag
+    /// (Figure 13) or the initial per-node menu files (Figure 12). The
+    /// single flag is simpler but racy under churn — experiment E11.
+    pub pxe_control: ControlMode,
+    /// Give the decider full visibility of both queues (the E7 ablation
+    /// for policies the Figure-5 wire cannot feed). The paper's system is
+    /// *not* omniscient.
+    pub omniscient: bool,
+    /// Record time series (per-OS node counts, queue depths) every
+    /// `sample_every`.
+    pub record_series: bool,
+    /// Series sampling interval.
+    pub sample_every: SimDuration,
+    /// Hard stop: no simulation runs past this instant even with jobs
+    /// outstanding (guards against pathological scenarios).
+    pub horizon: SimDuration,
+}
+
+impl SimConfig {
+    /// The paper's Eridani under dualboot-oscar v2.0 with FCFS: 16×4
+    /// cores, all-Linux start, 10-minute Windows cycle, 5-minute Linux
+    /// poll.
+    pub fn eridani_v2(seed: u64) -> SimConfig {
+        SimConfig {
+            version: Version::V2,
+            mode: Mode::DualBoot,
+            nodes: 16,
+            cores_per_node: 4,
+            initial_linux_nodes: 16,
+            seed,
+            win_cycle: SimDuration::from_mins(10),
+            lin_cycle: SimDuration::from_mins(5),
+            boot: BootModel::default(),
+            policy: PolicyKind::Fcfs,
+            pxe_control: ControlMode::SingleFlag,
+            omniscient: false,
+            record_series: false,
+            sample_every: SimDuration::from_mins(5),
+            horizon: SimDuration::from_hours(72),
+        }
+    }
+
+    /// Eridani under the initial v1.0 system (5-minute cycles both sides).
+    pub fn eridani_v1(seed: u64) -> SimConfig {
+        SimConfig {
+            version: Version::V1,
+            win_cycle: SimDuration::from_mins(5),
+            ..SimConfig::eridani_v2(seed)
+        }
+    }
+
+    /// Total cores in the cluster.
+    pub fn total_cores(&self) -> u32 {
+        u32::from(self.nodes) * self.cores_per_node
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eridani_defaults_match_paper() {
+        let c = SimConfig::eridani_v2(1);
+        assert_eq!(c.nodes, 16);
+        assert_eq!(c.cores_per_node, 4);
+        assert_eq!(c.total_cores(), 64);
+        assert_eq!(c.win_cycle, SimDuration::from_mins(10));
+        assert_eq!(c.lin_cycle, SimDuration::from_mins(5));
+        assert_eq!(c.boot.max_s, 300.0, "five-minute bound");
+        let v1 = SimConfig::eridani_v1(1);
+        assert_eq!(v1.win_cycle, SimDuration::from_mins(5));
+        assert_eq!(v1.version, Version::V1);
+    }
+
+    #[test]
+    fn policies_build_with_names() {
+        for (kind, name) in [
+            (PolicyKind::Fcfs, "fcfs"),
+            (PolicyKind::Threshold { queue_threshold: 2 }, "threshold"),
+            (
+                PolicyKind::Hysteresis {
+                    persistence: 2,
+                    cooldown: 1,
+                },
+                "hysteresis",
+            ),
+            (PolicyKind::Proportional { min_per_side: 1 }, "proportional"),
+        ] {
+            assert_eq!(kind.name(), name);
+            assert_eq!(kind.build().name(), name);
+        }
+    }
+}

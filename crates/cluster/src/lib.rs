@@ -1,0 +1,39 @@
+#![warn(missing_docs)]
+
+//! # dualboot-cluster — the simulated Eridani cluster, end to end
+//!
+//! Binds every substrate into a deterministic discrete-event simulation of
+//! the paper's deployment: 16 compute nodes × 4 cores, a PBS/OSCAR head, a
+//! Windows HPC head, the PXE boot service, and the dualboot-oscar daemons
+//! polling on their fixed cycles. The same middleware code that passes the
+//! protocol unit tests drives the simulation — nothing is reimplemented
+//! for benching.
+//!
+//! * [`config`] — scenario configuration ([`config::SimConfig`]) and the
+//!   evaluation modes (dual-boot, static split, mono-stable, oracle).
+//! * [`sim`] — the event loop ([`sim::Simulation`]).
+//! * [`metrics`] — per-run results ([`metrics::SimResult`]): waits,
+//!   utilisation, switch counts and latencies, time series.
+//! * [`replicate`] — parallel multi-seed replication with deterministic
+//!   reduction.
+//! * [`report`] — plain-text tables/series for the experiment harness.
+//!
+//! ## The four evaluation modes
+//!
+//! | Mode | What it models | Paper hook |
+//! |---|---|---|
+//! | `DualBoot` | the real middleware (v1 or v2) | §III/§IV |
+//! | `StaticSplit` | two fixed sub-clusters, no switching | §I's "divide a computer cluster into smaller sub-clusters" |
+//! | `MonoStable` | one Linux-resident cluster that boots Windows per job and boots straight back | the AHM2010 comparison the paper calls "mono-stable" \[5\] |
+//! | `Oracle` | no OS constraint at all (upper bound) | — |
+
+pub mod config;
+pub mod metrics;
+pub mod replicate;
+pub mod report;
+pub mod sim;
+
+pub use config::{Mode, PolicyKind, SimConfig};
+pub use metrics::{SamplePoint, SimResult};
+pub use replicate::{replicate, Replication};
+pub use sim::Simulation;

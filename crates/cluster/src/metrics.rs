@@ -1,0 +1,196 @@
+//! Per-run results.
+
+use dualboot_bootconf::os::OsKind;
+use dualboot_des::stats::{Percentiles, TimeWeighted, Welford};
+use dualboot_des::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// One sample of the time series (E6's plot rows).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SamplePoint {
+    /// Sample instant.
+    pub at: SimTime,
+    /// Nodes online under Linux.
+    pub linux_nodes: u32,
+    /// Nodes online under Windows.
+    pub windows_nodes: u32,
+    /// Nodes mid-reboot.
+    pub booting_nodes: u32,
+    /// PBS queue depth.
+    pub linux_queued: u32,
+    /// WinHPC queue depth.
+    pub windows_queued: u32,
+}
+
+/// Everything a simulation run reports.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimResult {
+    /// Jobs completed per OS `(linux, windows)`.
+    pub completed: (u32, u32),
+    /// Jobs killed by faults.
+    pub killed: u32,
+    /// Jobs still queued/running when the horizon cut the run.
+    pub unfinished: u32,
+    /// Queue-wait statistics per OS (seconds).
+    pub wait_linux: Welford,
+    /// Queue-wait statistics for Windows jobs (seconds).
+    pub wait_windows: Welford,
+    /// Wait percentiles across all jobs (seconds).
+    pub wait_all: Percentiles,
+    /// Turnaround statistics across all jobs (seconds).
+    pub turnaround: Welford,
+    /// Time-weighted busy *user* cores (switch-job dwell excluded).
+    pub busy_cores: TimeWeighted,
+    /// Time-weighted count of nodes mid-reboot.
+    pub booting_nodes: TimeWeighted,
+    /// OS switches completed.
+    pub switches: u32,
+    /// Reboot (down-time) samples per switch, seconds.
+    pub switch_latency: Welford,
+    /// Reboot latency percentiles, seconds.
+    pub switch_latency_pct: Percentiles,
+    /// Boot attempts that failed (node stranded).
+    pub boot_failures: u32,
+    /// Jobs terminated by walltime enforcement (counted in `completed`
+    /// too: they occupied their nodes until the limit and then freed them).
+    pub walltime_kills: u32,
+    /// Switches whose node booted a *different* OS than the order intended
+    /// (the single-flag race of §IV.A.1: the cluster-wide flag moved again
+    /// before the reboot landed).
+    pub misdirected_switches: u32,
+    /// When the last job completed.
+    pub makespan: SimTime,
+    /// When the simulation stopped.
+    pub end_time: SimTime,
+    /// Total cores in the cluster (for utilisation).
+    pub total_cores: u32,
+    /// Optional time series.
+    pub series: Vec<SamplePoint>,
+}
+
+impl SimResult {
+    /// Fresh result sheet for a cluster of `total_cores`.
+    pub fn new(total_cores: u32) -> SimResult {
+        SimResult {
+            completed: (0, 0),
+            killed: 0,
+            unfinished: 0,
+            wait_linux: Welford::new(),
+            wait_windows: Welford::new(),
+            wait_all: Percentiles::new(),
+            turnaround: Welford::new(),
+            busy_cores: TimeWeighted::new(SimTime::ZERO, 0.0),
+            booting_nodes: TimeWeighted::new(SimTime::ZERO, 0.0),
+            switches: 0,
+            switch_latency: Welford::new(),
+            switch_latency_pct: Percentiles::new(),
+            boot_failures: 0,
+            walltime_kills: 0,
+            misdirected_switches: 0,
+            makespan: SimTime::ZERO,
+            end_time: SimTime::ZERO,
+            total_cores,
+            series: Vec::new(),
+        }
+    }
+
+    /// Record a job completion.
+    pub fn record_completion(&mut self, os: OsKind, wait: SimDuration, turnaround: SimDuration) {
+        match os {
+            OsKind::Linux => {
+                self.completed.0 += 1;
+                self.wait_linux.push(wait.as_secs_f64());
+            }
+            OsKind::Windows => {
+                self.completed.1 += 1;
+                self.wait_windows.push(wait.as_secs_f64());
+            }
+        }
+        self.wait_all.push(wait.as_secs_f64());
+        self.turnaround.push(turnaround.as_secs_f64());
+    }
+
+    /// Record a completed OS switch (reboot down-time sample).
+    pub fn record_switch(&mut self, downtime: SimDuration) {
+        self.switches += 1;
+        self.switch_latency.push(downtime.as_secs_f64());
+        self.switch_latency_pct.push(downtime.as_secs_f64());
+    }
+
+    /// Total jobs completed.
+    pub fn total_completed(&self) -> u32 {
+        self.completed.0 + self.completed.1
+    }
+
+    /// Mean utilisation over the run: busy user cores / total cores.
+    pub fn utilisation(&self) -> f64 {
+        if self.total_cores == 0 {
+            return 0.0;
+        }
+        self.busy_cores.average(self.end_time) / f64::from(self.total_cores)
+    }
+
+    /// Mean wait across all jobs, seconds.
+    pub fn mean_wait_s(&self) -> f64 {
+        self.wait_all.mean()
+    }
+
+    /// Mean wait for one side, seconds.
+    pub fn mean_wait_os_s(&self, os: OsKind) -> f64 {
+        match os {
+            OsKind::Linux => self.wait_linux.mean(),
+            OsKind::Windows => self.wait_windows.mean(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn completions_split_by_os() {
+        let mut r = SimResult::new(64);
+        r.record_completion(
+            OsKind::Linux,
+            SimDuration::from_secs(10),
+            SimDuration::from_secs(100),
+        );
+        r.record_completion(
+            OsKind::Windows,
+            SimDuration::from_secs(30),
+            SimDuration::from_secs(300),
+        );
+        assert_eq!(r.completed, (1, 1));
+        assert_eq!(r.total_completed(), 2);
+        assert_eq!(r.mean_wait_os_s(OsKind::Linux), 10.0);
+        assert_eq!(r.mean_wait_os_s(OsKind::Windows), 30.0);
+        assert_eq!(r.mean_wait_s(), 20.0);
+    }
+
+    #[test]
+    fn switches_and_latency() {
+        let mut r = SimResult::new(64);
+        r.record_switch(SimDuration::from_secs(240));
+        r.record_switch(SimDuration::from_secs(280));
+        assert_eq!(r.switches, 2);
+        assert!((r.switch_latency.mean() - 260.0).abs() < 1e-9);
+        assert_eq!(r.switch_latency_pct.percentile(100.0), Some(280.0));
+    }
+
+    #[test]
+    fn utilisation_integrates_busy_cores() {
+        let mut r = SimResult::new(64);
+        // 32 cores busy for the whole run
+        r.busy_cores.observe(SimTime::ZERO, 32.0);
+        r.end_time = SimTime::from_secs(1000);
+        assert!((r.utilisation() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_core_cluster_is_zero_util() {
+        let mut r = SimResult::new(0);
+        r.end_time = SimTime::from_secs(10);
+        assert_eq!(r.utilisation(), 0.0);
+    }
+}

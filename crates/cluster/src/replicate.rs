@@ -1,0 +1,152 @@
+//! Parallel multi-seed replication.
+//!
+//! Single runs mislead — one seed's burst phasing can flatter either
+//! system — so experiments report across seeds. This module fans
+//! independent simulations over a scoped thread pool and reduces with the
+//! merge-able accumulators from `dualboot-des`.
+//!
+//! Determinism: each seed's simulation is already deterministic; the
+//! reduction folds results **in seed order** regardless of which worker
+//! finished first, so a replication's summary is bit-identical across
+//! worker counts and machines.
+
+use crate::config::SimConfig;
+use crate::sim::Simulation;
+use dualboot_bootconf::os::OsKind;
+use dualboot_des::stats::Welford;
+use dualboot_workload::generator::SubmitEvent;
+use serde::{Deserialize, Serialize};
+
+/// Cross-seed summary statistics.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Replication {
+    /// Runs folded in.
+    pub runs: u32,
+    /// Mean wait per run (seconds).
+    pub wait_s: Welford,
+    /// Windows-side mean wait per run (seconds).
+    pub wait_windows_s: Welford,
+    /// Utilisation per run (0–1).
+    pub utilisation: Welford,
+    /// Turnaround mean per run (seconds).
+    pub turnaround_s: Welford,
+    /// OS switches per run.
+    pub switches: Welford,
+    /// Misdirected switches per run.
+    pub misdirected: Welford,
+    /// Unfinished jobs per run (should be 0 in healthy scenarios).
+    pub unfinished: Welford,
+}
+
+impl Replication {
+    fn fold(&mut self, r: &crate::metrics::SimResult) {
+        self.runs += 1;
+        self.wait_s.push(r.mean_wait_s());
+        self.wait_windows_s.push(r.mean_wait_os_s(OsKind::Windows));
+        self.utilisation.push(r.utilisation());
+        self.turnaround_s.push(r.turnaround.mean());
+        self.switches.push(f64::from(r.switches));
+        self.misdirected.push(f64::from(r.misdirected_switches));
+        self.unfinished.push(f64::from(r.unfinished));
+    }
+}
+
+/// Run one simulation per seed across `workers` threads and summarise.
+///
+/// `build` maps a seed to its scenario (config + trace); it runs on
+/// worker threads and must be `Sync`. Workers are clamped to the seed
+/// count; `workers == 1` degenerates to a sequential loop (no threads
+/// spawned), which is occasionally useful under a debugger.
+pub fn replicate<F>(seeds: &[u64], workers: usize, build: F) -> Replication
+where
+    F: Fn(u64) -> (SimConfig, Vec<SubmitEvent>) + Sync,
+{
+    let mut results: Vec<Option<crate::metrics::SimResult>> = Vec::new();
+    results.resize_with(seeds.len(), || None);
+    let workers = workers.clamp(1, seeds.len().max(1));
+
+    if workers == 1 {
+        for (i, &seed) in seeds.iter().enumerate() {
+            let (cfg, trace) = build(seed);
+            results[i] = Some(Simulation::new(cfg, trace).run());
+        }
+    } else {
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let slots: Vec<parking_lot::Mutex<Option<crate::metrics::SimResult>>> =
+            seeds.iter().map(|_| parking_lot::Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    let Some(&seed) = seeds.get(i) else { break };
+                    let (cfg, trace) = build(seed);
+                    let result = Simulation::new(cfg, trace).run();
+                    *slots[i].lock() = Some(result);
+                });
+            }
+        });
+        for (i, slot) in slots.into_iter().enumerate() {
+            results[i] = slot.into_inner();
+        }
+    }
+
+    // Fold strictly in seed order for cross-run determinism.
+    let mut summary = Replication::default();
+    for r in results.into_iter().flatten() {
+        summary.fold(&r);
+    }
+    summary
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dualboot_des::time::SimDuration;
+    use dualboot_workload::generator::WorkloadSpec;
+
+    fn build(seed: u64) -> (SimConfig, Vec<SubmitEvent>) {
+        let trace = WorkloadSpec {
+            duration: SimDuration::from_hours(1),
+            jobs_per_hour: 8.0,
+            windows_fraction: 0.3,
+            ..WorkloadSpec::campus_default(seed)
+        }
+        .generate();
+        (SimConfig::eridani_v2(seed), trace)
+    }
+
+    #[test]
+    fn folds_every_seed() {
+        let r = replicate(&[1, 2, 3, 4], 2, build);
+        assert_eq!(r.runs, 4);
+        assert_eq!(r.wait_s.count(), 4);
+        assert!(r.utilisation.mean() > 0.0);
+    }
+
+    #[test]
+    fn deterministic_across_worker_counts() {
+        let seeds: Vec<u64> = (1..=6).collect();
+        let a = replicate(&seeds, 1, build);
+        let b = replicate(&seeds, 3, build);
+        let c = replicate(&seeds, 6, build);
+        assert_eq!(a.runs, b.runs);
+        assert_eq!(a.wait_s.mean().to_bits(), b.wait_s.mean().to_bits());
+        assert_eq!(a.wait_s.variance().to_bits(), b.wait_s.variance().to_bits());
+        assert_eq!(a.switches.mean().to_bits(), c.switches.mean().to_bits());
+        assert_eq!(a.utilisation.mean().to_bits(), c.utilisation.mean().to_bits());
+    }
+
+    #[test]
+    fn single_seed_works() {
+        let r = replicate(&[7], 8, build);
+        assert_eq!(r.runs, 1);
+        assert_eq!(r.wait_s.std_dev(), 0.0);
+    }
+
+    #[test]
+    fn empty_seed_list() {
+        let r = replicate(&[], 4, build);
+        assert_eq!(r.runs, 0);
+        assert_eq!(r.wait_s.mean(), 0.0);
+    }
+}

@@ -1,0 +1,195 @@
+//! Plain-text reporting helpers for the experiment harness.
+//!
+//! Every bench prints its table/series through these, so EXPERIMENTS.md's
+//! rows and the bench output stay in one format.
+
+use crate::metrics::SimResult;
+use dualboot_bootconf::os::OsKind;
+
+/// A named column of `f64` cells.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// A new table with a title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Table {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (stringified cells).
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no rows were added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let hdr: Vec<String> = self
+            .headers
+            .iter()
+            .enumerate()
+            .map(|(i, h)| format!("{:<w$}", h, w = widths[i]))
+            .collect();
+        out.push_str(&hdr.join("  "));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            let cells: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:<w$}", c, w = widths[i]))
+                .collect();
+            out.push_str(&cells.join("  "));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Render a unicode sparkline of a series (`▁▂▃▄▅▆▇█`), scaled to the
+/// series' own min..max. Empty input renders empty; a flat series renders
+/// at the lowest level.
+pub fn sparkline(values: &[f64]) -> String {
+    const LEVELS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    if values.is_empty() {
+        return String::new();
+    }
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for v in values {
+        lo = lo.min(*v);
+        hi = hi.max(*v);
+    }
+    let span = (hi - lo).max(f64::MIN_POSITIVE);
+    values
+        .iter()
+        .map(|v| {
+            let idx = (((v - lo) / span) * 7.0).round() as usize;
+            LEVELS[idx.min(7)]
+        })
+        .collect()
+}
+
+/// Format seconds as a compact human duration.
+pub fn fmt_secs(s: f64) -> String {
+    if s < 60.0 {
+        format!("{s:.1}s")
+    } else if s < 3600.0 {
+        format!("{:.1}min", s / 60.0)
+    } else {
+        format!("{:.2}h", s / 3600.0)
+    }
+}
+
+/// One summary row for a [`SimResult`]: the standard columns every
+/// experiment reports.
+pub fn result_row(label: &str, r: &SimResult) -> Vec<String> {
+    vec![
+        label.to_string(),
+        format!("{}", r.total_completed()),
+        format!("{}", r.unfinished),
+        format!("{:.1}%", 100.0 * r.utilisation()),
+        fmt_secs(r.mean_wait_s()),
+        fmt_secs(r.mean_wait_os_s(OsKind::Linux)),
+        fmt_secs(r.mean_wait_os_s(OsKind::Windows)),
+        format!("{}", r.switches),
+        fmt_secs(r.turnaround.mean()),
+    ]
+}
+
+/// Headers matching [`result_row`].
+pub const RESULT_HEADERS: [&str; 9] = [
+    "scenario",
+    "done",
+    "unfin",
+    "util",
+    "wait(all)",
+    "wait(L)",
+    "wait(W)",
+    "switches",
+    "turnaround",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new("demo", &["name", "value"]);
+        t.row(&["short".to_string(), "1".to_string()]);
+        t.row(&["a-much-longer-name".to_string(), "2".to_string()]);
+        let text = t.render();
+        assert!(text.starts_with("== demo ==\n"));
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 5);
+        // all data lines equal width up to the value column
+        let c1 = lines[3].find('1').unwrap();
+        let c2 = lines[4].find('2').unwrap();
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.row(&["only-one".to_string()]);
+    }
+
+    #[test]
+    fn fmt_secs_ranges() {
+        assert_eq!(fmt_secs(12.34), "12.3s");
+        assert_eq!(fmt_secs(120.0), "2.0min");
+        assert_eq!(fmt_secs(7200.0), "2.00h");
+    }
+
+    #[test]
+    fn result_row_matches_headers() {
+        let r = SimResult::new(64);
+        assert_eq!(result_row("x", &r).len(), RESULT_HEADERS.len());
+    }
+
+    #[test]
+    fn sparkline_scales() {
+        assert_eq!(sparkline(&[]), "");
+        assert_eq!(sparkline(&[5.0]), "▁");
+        assert_eq!(sparkline(&[1.0, 1.0, 1.0]), "▁▁▁");
+        let s = sparkline(&[0.0, 0.5, 1.0]);
+        assert_eq!(s.chars().count(), 3);
+        assert!(s.starts_with('▁') && s.ends_with('█'));
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = Table::new("empty", &["a"]);
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+        assert!(t.render().contains("empty"));
+    }
+}

@@ -1,0 +1,1149 @@
+//! The end-to-end event loop.
+//!
+//! One [`Simulation`] is one run of one scenario: a workload trace played
+//! against the simulated Eridani under a [`Mode`].
+//! The middleware under test is the *real* `dualboot-core` daemon pair
+//! talking over an in-process transport; the simulation merely executes
+//! their [`Action`]s against the schedulers, the PXE service and the node
+//! hardware, exactly as the head nodes would.
+
+use crate::config::{Mode, SimConfig};
+use crate::metrics::{SamplePoint, SimResult};
+use dualboot_bootconf::os::OsKind;
+use dualboot_core::daemon::{Action, LinuxDaemon, WindowsDaemon};
+use dualboot_core::detector::{PbsDetector, WinDetector};
+use dualboot_core::policy::{PolicyInput, SideState, SwitchPolicy};
+use dualboot_core::{switchjob, Version};
+use dualboot_des::queue::{EventId, EventQueue};
+use dualboot_des::rng::DetRng;
+use dualboot_des::time::{SimDuration, SimTime};
+use dualboot_deploy::oscar::OscarDeployer;
+use dualboot_deploy::windows::WindowsDeployer;
+use dualboot_hw::node::{ComputeNode, FirmwareBootOrder, PowerState};
+use dualboot_hw::pxe::PxeService;
+use dualboot_net::transport::{in_proc_pair, InProcTransport};
+use dualboot_net::wire::DetectorReport;
+use dualboot_sched::job::{JobId, JobKind, JobRequest};
+use dualboot_sched::pbs::PbsScheduler;
+use dualboot_sched::pbs_text::qstat_f;
+use dualboot_sched::scheduler::Scheduler;
+use dualboot_sched::winhpc::WinHpcScheduler;
+use dualboot_workload::generator::SubmitEvent;
+use std::collections::HashMap;
+
+/// Simulation events.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Event {
+    /// Deliver trace entry `i` to its head node.
+    Submit(usize),
+    /// A running user job finishes.
+    JobFinished { os: OsKind, job: JobId },
+    /// The switch script's `bootcontrol.pl` step lands on the node.
+    SwitchConfigChange { node: u16, target: OsKind },
+    /// The switch job's dwell ends; the node goes down to reboot.
+    SwitchJobDone {
+        node: u16,
+        job: JobId,
+        via: OsKind,
+        target: OsKind,
+    },
+    /// A rebooting node comes back up.
+    BootComplete { node: u16 },
+    /// Windows communicator cycle (Figure 11 steps 1–2).
+    WinTick,
+    /// Linux daemon poll (Figure 11 steps 3–5).
+    LinuxPoll,
+    /// Fault injection: abrupt power reset of a node.
+    PowerReset { node: u16 },
+    /// Fault injection: the head node's PXE service stops answering.
+    PxeDown,
+    /// The PXE service comes back.
+    PxeUp,
+    /// Time-series sampling.
+    Sample,
+}
+
+struct PendingSwitch {
+    target: OsKind,
+    went_down: SimTime,
+}
+
+/// One scenario run.
+///
+/// ```
+/// use dualboot_cluster::{SimConfig, Simulation};
+/// use dualboot_workload::generator::WorkloadSpec;
+///
+/// let trace = WorkloadSpec::campus_default(1).generate();
+/// let result = Simulation::new(SimConfig::eridani_v2(1), trace).run();
+/// assert_eq!(result.unfinished, 0);
+/// assert!(result.utilisation() > 0.0);
+/// ```
+pub struct Simulation {
+    cfg: SimConfig,
+    queue: EventQueue<Event>,
+    boot_rng: DetRng,
+    trace: Vec<SubmitEvent>,
+    nodes: Vec<ComputeNode>,
+    host_index: HashMap<String, u16>,
+    pbs: PbsScheduler,
+    win: WinHpcScheduler,
+    pxe: PxeService,
+    lin_daemon: Option<LinuxDaemon<InProcTransport, Box<dyn SwitchPolicy>>>,
+    win_daemon: Option<WindowsDaemon<InProcTransport>>,
+    /// Omniscient-decider state (E7 ablation): policy + outstanding counts.
+    omni: Option<(Box<dyn SwitchPolicy>, u32, u32)>,
+    pending_switch: HashMap<u16, PendingSwitch>,
+    /// Events that die with a node on power reset.
+    node_events: HashMap<u16, Vec<EventId>>,
+    busy_user_cores: f64,
+    booting_count: f64,
+    jobs_outstanding: u32,
+    submitted: usize,
+    result: SimResult,
+}
+
+impl Simulation {
+    /// Build a simulation of `cfg` playing `trace`.
+    ///
+    /// In `MonoStable` and `Oracle` modes the trace is transformed first
+    /// (see the crate docs); pass the untransformed trace — the
+    /// constructor applies the mode's semantics.
+    pub fn new(cfg: SimConfig, trace: Vec<SubmitEvent>) -> Simulation {
+        let mut boot_master = DetRng::seed_from(cfg.seed ^ 0x0b00_7000);
+        let boot_rng = boot_master.split("boot-jitter");
+        let trace = transform_trace(&cfg, trace);
+
+        // --- nodes: deploy per version, set initial OS -----------------
+        let firmware = match (cfg.mode, cfg.version) {
+            (Mode::DualBoot, Version::V2) => FirmwareBootOrder::PxeFirst,
+            _ => FirmwareBootOrder::LocalDisk,
+        };
+        let deploy_version = match cfg.version {
+            Version::V1 => dualboot_deploy::Version::V1,
+            Version::V2 => dualboot_deploy::Version::V2,
+        };
+        let windows_deployer = WindowsDeployer::v1_patched();
+        let linux_deployer = OscarDeployer::eridani(deploy_version);
+        let initial_linux = match cfg.mode {
+            Mode::DualBoot | Mode::StaticSplit => cfg.initial_linux_nodes.min(cfg.nodes),
+            Mode::MonoStable | Mode::Oracle => cfg.nodes,
+        };
+        let mut nodes = Vec::with_capacity(usize::from(cfg.nodes));
+        let mut host_index = HashMap::new();
+        let mut pbs = PbsScheduler::eridani();
+        let mut win = WinHpcScheduler::eridani();
+        for i in 1..=cfg.nodes {
+            let mut n = ComputeNode::eridani(i, firmware);
+            n.cores = cfg.cores_per_node;
+            windows_deployer
+                .deploy(&mut n)
+                .expect("windows deploy on blank disk");
+            linux_deployer
+                .deploy(&mut n)
+                .expect("linux deploy after windows");
+            let os = if i <= initial_linux {
+                OsKind::Linux
+            } else {
+                OsKind::Windows
+            };
+            if os == OsKind::Windows && cfg.version == Version::V1 {
+                // Keep the node-local control file consistent with the OS
+                // the node is actually running.
+                switchjob::apply_v1_switch(&mut n.disk, OsKind::Windows)
+                    .expect("v1 disk has control partition");
+            }
+            n.state = PowerState::Running(os);
+            match os {
+                OsKind::Linux => pbs.register_node(&n.hostname, cfg.cores_per_node),
+                OsKind::Windows => win.register_node(&n.hostname, cfg.cores_per_node),
+            }
+            host_index.insert(n.hostname.clone(), i - 1);
+            nodes.push(n);
+        }
+
+        // --- middleware ------------------------------------------------
+        let pxe = match cfg.pxe_control {
+            dualboot_bootconf::grub4dos::ControlMode::SingleFlag => PxeService::eridani_v2(),
+            dualboot_bootconf::grub4dos::ControlMode::PerNode => PxeService::new(
+                dualboot_bootconf::grub4dos::PxeMenuDir::with_template(
+                    dualboot_bootconf::grub4dos::ControlMode::PerNode,
+                    OsKind::Linux,
+                    dualboot_bootconf::grub::eridani::controlmenu_v2(OsKind::Linux),
+                ),
+            ),
+        };
+        let (lin_daemon, win_daemon, omni) = if cfg.mode == Mode::DualBoot {
+            if cfg.omniscient {
+                (None, None, Some((cfg.policy.build(), 0, 0)))
+            } else {
+                let (lt, wt) = in_proc_pair();
+                (
+                    Some(LinuxDaemon::new(cfg.version, lt, cfg.policy.build())),
+                    Some(WindowsDaemon::new(wt)),
+                    None,
+                )
+            }
+        } else {
+            (None, None, None)
+        };
+
+        // --- events ------------------------------------------------------
+        let mut queue = EventQueue::new();
+        for (i, ev) in trace.iter().enumerate() {
+            queue.schedule_at(ev.at, Event::Submit(i));
+        }
+        if cfg.mode == Mode::DualBoot {
+            queue.schedule(cfg.win_cycle, Event::WinTick);
+            queue.schedule(cfg.lin_cycle, Event::LinuxPoll);
+        }
+        if cfg.record_series {
+            queue.schedule(cfg.sample_every, Event::Sample);
+        }
+
+        let total_cores = cfg.total_cores();
+        Simulation {
+            cfg,
+            queue,
+            boot_rng,
+            trace,
+            nodes,
+            host_index,
+            pbs,
+            win,
+            pxe,
+            lin_daemon,
+            win_daemon,
+            omni,
+            pending_switch: HashMap::new(),
+            node_events: HashMap::new(),
+            busy_user_cores: 0.0,
+            booting_count: 0.0,
+            jobs_outstanding: 0,
+            submitted: 0,
+            result: SimResult::new(total_cores),
+        }
+    }
+
+    /// Inject a power reset at `at` (experiment E8).
+    pub fn schedule_power_reset(&mut self, node_index_1based: u16, at: SimTime) {
+        self.queue
+            .schedule_at(at, Event::PowerReset {
+                node: node_index_1based - 1,
+            });
+    }
+
+    /// Inject a PXE/head-node outage window: from `at`, the DHCP/TFTP
+    /// service answers nothing for `duration`. v2 nodes that reboot in the
+    /// window fall back to their local boot chain (§IV.A.1's "quit PXE and
+    /// lead to normal boot order"), escaping head-node control until the
+    /// next switch after recovery.
+    pub fn schedule_pxe_outage(&mut self, at: SimTime, duration: SimDuration) {
+        self.queue.schedule_at(at, Event::PxeDown);
+        self.queue.schedule_at(at + duration, Event::PxeUp);
+    }
+
+    /// Direct node access (fault-injection assertions).
+    pub fn node(&self, node_index_1based: u16) -> &ComputeNode {
+        &self.nodes[usize::from(node_index_1based - 1)]
+    }
+
+    /// The PXE service (flag assertions).
+    pub fn pxe(&self) -> &PxeService {
+        &self.pxe
+    }
+
+    fn all_submitted(&self) -> bool {
+        self.submitted == self.trace.len()
+    }
+
+    fn done(&self) -> bool {
+        self.all_submitted() && self.jobs_outstanding == 0 && self.pending_switch.is_empty()
+    }
+
+    /// Run to completion (or the horizon) and return the results.
+    pub fn run(mut self) -> SimResult {
+        let horizon = SimTime::ZERO + self.cfg.horizon;
+        while let Some((t, ev)) = self.queue.pop() {
+            if t > horizon {
+                break;
+            }
+            self.handle(ev);
+        }
+        self.result.end_time = self.queue.now().min(horizon);
+        self.result.unfinished = self.jobs_outstanding;
+        self.result
+    }
+
+    // ------------------------------------------------------------------
+    // event handling
+    // ------------------------------------------------------------------
+
+    fn handle(&mut self, ev: Event) {
+        match ev {
+            Event::Submit(i) => self.on_submit(i),
+            Event::JobFinished { os, job } => self.on_job_finished(os, job),
+            Event::SwitchConfigChange { node, target } => {
+                self.on_switch_config_change(node, target)
+            }
+            Event::SwitchJobDone {
+                node,
+                job,
+                via,
+                target,
+            } => self.on_switch_job_done(node, job, via, target),
+            Event::BootComplete { node } => self.on_boot_complete(node),
+            Event::WinTick => self.on_win_tick(),
+            Event::LinuxPoll => self.on_linux_poll(),
+            Event::PowerReset { node } => self.on_power_reset(node),
+            Event::PxeDown => self.pxe.set_enabled(false),
+            Event::PxeUp => self.pxe.set_enabled(true),
+            Event::Sample => self.on_sample(),
+        }
+    }
+
+    fn on_submit(&mut self, i: usize) {
+        let now = self.queue.now();
+        let req = self.trace[i].req.clone();
+        let os = req.os;
+        match os {
+            OsKind::Linux => {
+                self.pbs.submit(req, now);
+            }
+            OsKind::Windows => {
+                self.win.submit(req, now);
+            }
+        }
+        self.submitted += 1;
+        self.jobs_outstanding += 1;
+        self.dispatch(os);
+    }
+
+    fn on_job_finished(&mut self, os: OsKind, job: JobId) {
+        let now = self.queue.now();
+        let sched: &mut dyn Scheduler = match os {
+            OsKind::Linux => &mut self.pbs,
+            OsKind::Windows => &mut self.win,
+        };
+        let Some(rec) = sched.complete(job, now) else {
+            return; // killed earlier by a fault
+        };
+        self.busy_user_cores -= f64::from(rec.req.cpus());
+        self.result.busy_cores.observe(now, self.busy_user_cores);
+        let wait = rec.wait_time(now);
+        let turnaround = rec.turnaround().unwrap_or(SimDuration::ZERO);
+        self.result.record_completion(os, wait, turnaround);
+        self.jobs_outstanding -= 1;
+        self.result.makespan = now;
+        self.dispatch(os);
+    }
+
+    fn on_switch_config_change(&mut self, node: u16, target: OsKind) {
+        match self.cfg.version {
+            Version::V1 => {
+                let disk = &mut self.nodes[usize::from(node)].disk;
+                // A missing FAT partition would be a deployment bug; surface it.
+                switchjob::apply_v1_switch(disk, target).expect("v1 switch applies");
+            }
+            Version::V2 => {
+                // Figure 12's per-node flow: the switch job, running on the
+                // node, reports its identity to the head, which flicks that
+                // node's own menu file. Under the shipped single flag
+                // (Figure 13) nothing happens here — the flag was set at
+                // decision time, for everyone.
+                if self.cfg.pxe_control
+                    == dualboot_bootconf::grub4dos::ControlMode::PerNode
+                {
+                    let mac = self.nodes[usize::from(node)].mac;
+                    self.pxe.menu_dir_mut().set_node(mac, target);
+                }
+            }
+        }
+    }
+
+    fn on_switch_job_done(&mut self, node: u16, job: JobId, via: OsKind, target: OsKind) {
+        let now = self.queue.now();
+        let hostname = self.nodes[usize::from(node)].hostname.clone();
+        match via {
+            OsKind::Linux => {
+                self.pbs.complete(job, now);
+                self.pbs.set_node_offline(&hostname);
+            }
+            OsKind::Windows => {
+                self.win.complete(job, now);
+                self.win.set_node_offline(&hostname);
+            }
+        }
+        self.nodes[usize::from(node)].begin_boot();
+        self.booting_count += 1.0;
+        self.result.booting_nodes.observe(now, self.booting_count);
+        self.pending_switch.insert(
+            node,
+            PendingSwitch {
+                target,
+                went_down: now,
+            },
+        );
+        let latency = self.sample_boot_latency();
+        let id = self.queue.schedule(latency, Event::BootComplete { node });
+        self.node_events.entry(node).or_default().push(id);
+    }
+
+    fn on_boot_complete(&mut self, node: u16) {
+        let now = self.queue.now();
+        self.booting_count -= 1.0;
+        self.result.booting_nodes.observe(now, self.booting_count);
+        let pxe = Some(&self.pxe);
+        let outcome = self.nodes[usize::from(node)].complete_boot(pxe);
+        let hostname = self.nodes[usize::from(node)].hostname.clone();
+        let pending = self.pending_switch.remove(&node);
+        match outcome {
+            Ok((os, _path)) => {
+                match os {
+                    OsKind::Linux => {
+                        self.win.set_node_offline(&hostname);
+                        self.pbs.register_node(&hostname, self.cfg.cores_per_node);
+                    }
+                    OsKind::Windows => {
+                        self.pbs.set_node_offline(&hostname);
+                        self.win.register_node(&hostname, self.cfg.cores_per_node);
+                    }
+                }
+                if let Some(ps) = pending {
+                    self.result.record_switch(now.saturating_since(ps.went_down));
+                    if os != ps.target {
+                        self.result.misdirected_switches += 1;
+                    }
+                    self.note_switch_landed(ps.target);
+                }
+                self.dispatch(os);
+            }
+            Err(_) => {
+                self.result.boot_failures += 1;
+                if let Some(ps) = pending {
+                    self.note_switch_landed(ps.target);
+                }
+            }
+        }
+    }
+
+    fn note_switch_landed(&mut self, target: OsKind) {
+        if let Some(d) = self.lin_daemon.as_mut() {
+            d.on_switch_landed(target);
+        }
+        if let Some((_, to_l, to_w)) = self.omni.as_mut() {
+            match target {
+                OsKind::Linux => *to_l = to_l.saturating_sub(1),
+                OsKind::Windows => *to_w = to_w.saturating_sub(1),
+            }
+        }
+    }
+
+    fn on_win_tick(&mut self) {
+        let now = self.queue.now();
+        if let Some(wd) = self.win_daemon.as_mut() {
+            let out = WinDetector.from_snapshot(&self.win.snapshot());
+            wd.tick(&out, now).expect("in-proc transport");
+        }
+        if !self.done() {
+            self.queue.schedule(self.cfg.win_cycle, Event::WinTick);
+        }
+    }
+
+    fn on_linux_poll(&mut self) {
+        let now = self.queue.now();
+        let mut actions: Vec<Action> = Vec::new();
+        if self.omni.is_some() {
+            actions = self.omniscient_decide(now);
+        } else if self.lin_daemon.is_some() {
+            // The faithful path: scrape `qstat -f` and `pbsnodes` text,
+            // run the detector, let the daemon decide on the Figure-5
+            // reports — the daemon never touches scheduler internals.
+            let out = PbsDetector
+                .run(&qstat_f(&self.pbs))
+                .expect("emitter output parses");
+            let node_blocks = dualboot_sched::pbs_text::parse_pbsnodes(
+                &dualboot_sched::pbs_text::pbsnodes(&self.pbs, now),
+            )
+            .expect("emitter output parses");
+            let (nodes_online, nodes_free) =
+                dualboot_sched::pbs_text::summarize_nodes(&node_blocks);
+            let d = self.lin_daemon.as_mut().expect("daemon in this branch");
+            d.pump(now).expect("in-proc transport");
+            actions = d
+                .poll(&out, nodes_online, nodes_free, now)
+                .expect("in-proc transport");
+        }
+        for a in actions {
+            self.execute_action(a);
+        }
+        // The Windows daemon reacts to any reboot order immediately.
+        if let Some(wd) = self.win_daemon.as_mut() {
+            let wactions = wd.pump(now).expect("in-proc transport");
+            for a in wactions {
+                self.execute_action(a);
+            }
+        }
+        if !self.done() {
+            self.queue.schedule(self.cfg.lin_cycle, Event::LinuxPoll);
+        }
+    }
+
+    /// The E7 ablation decider: full visibility of both queues.
+    fn omniscient_decide(&mut self, now: SimTime) -> Vec<Action> {
+        let lsnap = self.pbs.snapshot();
+        let wsnap = self.win.snapshot();
+        let mk_report = |snap: &dualboot_sched::scheduler::QueueSnapshot| {
+            if snap.is_stuck() {
+                DetectorReport::stuck(
+                    snap.first_queued_cpus.unwrap_or(0),
+                    snap.first_queued_id.clone().unwrap_or_default(),
+                )
+            } else {
+                DetectorReport::not_stuck()
+            }
+        };
+        let (policy, to_l, to_w) = self.omni.as_mut().expect("omniscient mode");
+        let input = PolicyInput {
+            linux: SideState::local(
+                mk_report(&lsnap),
+                lsnap.running,
+                lsnap.queued,
+                lsnap.nodes_online,
+                lsnap.nodes_free,
+            ),
+            windows: SideState::local(
+                mk_report(&wsnap),
+                wsnap.running,
+                wsnap.queued,
+                wsnap.nodes_online,
+                wsnap.nodes_free,
+            ),
+            cores_per_node: self.cfg.cores_per_node,
+            outstanding_to_linux: *to_l,
+            outstanding_to_windows: *to_w,
+        };
+        let Some(order) = policy.decide(&input, now) else {
+            return Vec::new();
+        };
+        match order.target {
+            OsKind::Linux => *to_l += order.count,
+            OsKind::Windows => *to_w += order.count,
+        }
+        let mut actions = Vec::new();
+        if self.cfg.version == Version::V2 {
+            actions.push(Action::SetPxeFlag(order.target));
+        }
+        actions.push(Action::SubmitSwitchJobs {
+            via: order.target.other(),
+            target: order.target,
+            count: order.count,
+        });
+        actions
+    }
+
+    fn execute_action(&mut self, action: Action) {
+        let now = self.queue.now();
+        match action {
+            Action::SetPxeFlag(os) => {
+                // In the per-node design (Figure 12) there is no cluster
+                // flag to flick; steering happens when each switch job
+                // reports its node (see `on_switch_config_change`).
+                if self.cfg.pxe_control
+                    == dualboot_bootconf::grub4dos::ControlMode::SingleFlag
+                {
+                    self.pxe.menu_dir_mut().set_flag(os);
+                }
+            }
+            Action::SubmitSwitchJobs { via, target, count } => {
+                for _ in 0..count {
+                    let req = JobRequest::os_switch(via, target, self.cfg.cores_per_node);
+                    match via {
+                        OsKind::Linux => {
+                            self.pbs.submit(req, now);
+                        }
+                        OsKind::Windows => {
+                            self.win.submit(req, now);
+                        }
+                    }
+                }
+                self.dispatch(via);
+            }
+        }
+    }
+
+    fn on_power_reset(&mut self, node: u16) {
+        let now = self.queue.now();
+        let hostname = self.nodes[usize::from(node)].hostname.clone();
+        // Kill anything scheduled against this node (boot completions,
+        // pending switch steps).
+        if let Some(ids) = self.node_events.remove(&node) {
+            for id in ids {
+                self.queue.cancel(id);
+            }
+        }
+        // Kill jobs running on the node. A killed user job counts toward
+        // `killed`; a killed *switch* job releases the daemon's
+        // outstanding-order bookkeeping instead (no user job died).
+        let on_node: Vec<(OsKind, JobId)> = self
+            .pbs
+            .jobs_on(&hostname)
+            .into_iter()
+            .map(|j| (OsKind::Linux, j))
+            .chain(
+                self.win
+                    .jobs_on(&hostname)
+                    .into_iter()
+                    .map(|j| (OsKind::Windows, j)),
+            )
+            .collect();
+        for (side, job) in on_node {
+            let (kind, cpus) = {
+                let rec = match side {
+                    OsKind::Linux => self.pbs.job(job),
+                    OsKind::Windows => self.win.job(job),
+                };
+                match rec {
+                    Some(r) => (r.req.kind, r.req.cpus()),
+                    None => continue,
+                }
+            };
+            let completed = match side {
+                OsKind::Linux => self.pbs.complete(job, now).is_some(),
+                OsKind::Windows => self.win.complete(job, now).is_some(),
+            };
+            if completed {
+                match kind {
+                    JobKind::User => {
+                        self.result.killed += 1;
+                        self.jobs_outstanding = self.jobs_outstanding.saturating_sub(1);
+                        self.busy_user_cores -= f64::from(cpus);
+                        self.result.busy_cores.observe(now, self.busy_user_cores);
+                    }
+                    JobKind::OsSwitch { target } => {
+                        self.note_switch_landed(target); // abandoned
+                    }
+                }
+            }
+        }
+        let was_booting = self.nodes[usize::from(node)].is_booting();
+        self.pbs.set_node_offline(&hostname);
+        self.win.set_node_offline(&hostname);
+        self.nodes[usize::from(node)].begin_boot();
+        if !was_booting {
+            self.booting_count += 1.0;
+            self.result.booting_nodes.observe(now, self.booting_count);
+        }
+        let latency = self.sample_boot_latency();
+        let id = self.queue.schedule(latency, Event::BootComplete { node });
+        self.node_events.entry(node).or_default().push(id);
+    }
+
+    fn on_sample(&mut self) {
+        let now = self.queue.now();
+        let lsnap = self.pbs.snapshot();
+        let wsnap = self.win.snapshot();
+        self.result.series.push(SamplePoint {
+            at: now,
+            linux_nodes: lsnap.nodes_online,
+            windows_nodes: wsnap.nodes_online,
+            booting_nodes: self.booting_count as u32,
+            linux_queued: lsnap.queued,
+            windows_queued: wsnap.queued,
+        });
+        if !self.done() {
+            self.queue.schedule(self.cfg.sample_every, Event::Sample);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // helpers
+    // ------------------------------------------------------------------
+
+    fn sample_boot_latency(&mut self) -> SimDuration {
+        let b = self.cfg.boot;
+        SimDuration::from_secs_f64(self.boot_rng.normal_clamped(
+            b.mean_s, b.std_s, b.min_s, b.max_s,
+        ))
+    }
+
+    fn dispatch(&mut self, os: OsKind) {
+        let now = self.queue.now();
+        let dispatches = match os {
+            OsKind::Linux => self.pbs.try_dispatch(now),
+            OsKind::Windows => self.win.try_dispatch(now),
+        };
+        for d in dispatches {
+            let (kind, runtime, cpus) = {
+                let rec = match os {
+                    OsKind::Linux => self.pbs.job(d.job),
+                    OsKind::Windows => self.win.job(d.job),
+                }
+                .expect("dispatched job exists");
+                (rec.req.kind, rec.req.runtime, rec.req.cpus())
+            };
+            match kind {
+                JobKind::User => {
+                    self.busy_user_cores += f64::from(cpus);
+                    self.result.busy_cores.observe(now, self.busy_user_cores);
+                    // Walltime enforcement: the job leaves its nodes at
+                    // min(runtime, walltime) either way.
+                    let (occupancy, overran) = {
+                        let rec = match os {
+                            OsKind::Linux => self.pbs.job(d.job),
+                            OsKind::Windows => self.win.job(d.job),
+                        }
+                        .expect("dispatched job exists");
+                        (rec.req.occupancy(), rec.req.overruns_walltime())
+                    };
+                    if overran {
+                        self.result.walltime_kills += 1;
+                    }
+                    self.queue
+                        .schedule(occupancy, Event::JobFinished { os, job: d.job });
+                }
+                JobKind::OsSwitch { target } => {
+                    let node = *self
+                        .host_index
+                        .get(&d.hosts[0])
+                        .expect("dispatch host is a known node");
+                    // Figure 4's script: the bootcontrol.pl edit lands
+                    // ~2 s in, the reboot after the 10 s dwell.
+                    let cfg_id = self.queue.schedule(
+                        SimDuration::from_secs(2),
+                        Event::SwitchConfigChange { node, target },
+                    );
+                    let done_id = self.queue.schedule(
+                        runtime,
+                        Event::SwitchJobDone {
+                            node,
+                            job: d.job,
+                            via: os,
+                            target,
+                        },
+                    );
+                    self.node_events
+                        .entry(node)
+                        .or_default()
+                        .extend([cfg_id, done_id]);
+                }
+            }
+        }
+    }
+}
+
+/// Apply a mode's trace semantics (see crate docs).
+fn transform_trace(cfg: &SimConfig, mut trace: Vec<SubmitEvent>) -> Vec<SubmitEvent> {
+    match cfg.mode {
+        Mode::DualBoot | Mode::StaticSplit => trace,
+        Mode::Oracle => {
+            for ev in &mut trace {
+                ev.req.os = OsKind::Linux;
+            }
+            trace
+        }
+        Mode::MonoStable => {
+            // A Windows job pays a boot round trip: into Windows before it
+            // runs, back to Linux after (the node is unavailable both ways).
+            let round_trip = SimDuration::from_secs_f64(2.0 * cfg.boot.mean_s);
+            for ev in &mut trace {
+                if ev.req.os == OsKind::Windows {
+                    ev.req.os = OsKind::Linux;
+                    ev.req.runtime += round_trip;
+                }
+            }
+            trace
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dualboot_workload::generator::WorkloadSpec;
+
+    fn small_trace(seed: u64, windows_fraction: f64) -> Vec<SubmitEvent> {
+        WorkloadSpec {
+            duration: SimDuration::from_hours(2),
+            jobs_per_hour: 8.0,
+            windows_fraction,
+            mean_runtime: SimDuration::from_mins(10),
+            runtime_sigma: 0.3,
+            ..WorkloadSpec::campus_default(seed)
+        }
+        .generate()
+    }
+
+    #[test]
+    fn all_linux_workload_completes_without_switches() {
+        let cfg = SimConfig::eridani_v2(1);
+        let trace = small_trace(1, 0.0);
+        let n = trace.len() as u32;
+        let r = Simulation::new(cfg, trace).run();
+        assert_eq!(r.total_completed(), n);
+        assert_eq!(r.unfinished, 0);
+        assert_eq!(r.switches, 0);
+        assert_eq!(r.completed.1, 0);
+    }
+
+    #[test]
+    fn windows_jobs_trigger_switches_from_all_linux_start() {
+        let cfg = SimConfig::eridani_v2(2);
+        let trace = small_trace(2, 0.4);
+        let n = trace.len() as u32;
+        let windows_jobs = trace
+            .iter()
+            .filter(|e| e.req.os == OsKind::Windows)
+            .count();
+        assert!(windows_jobs > 0, "need windows jobs for this test");
+        let r = Simulation::new(cfg, trace).run();
+        assert_eq!(r.total_completed(), n, "unfinished: {}", r.unfinished);
+        assert!(r.switches > 0, "middleware had to move nodes");
+        assert!(r.completed.1 as usize == windows_jobs);
+        assert_eq!(r.boot_failures, 0, "every switch must boot cleanly");
+    }
+
+    #[test]
+    fn static_split_strands_windows_jobs_without_windows_nodes() {
+        let mut cfg = SimConfig::eridani_v2(3);
+        cfg.mode = Mode::StaticSplit;
+        cfg.initial_linux_nodes = 16; // no Windows nodes at all
+        let trace = small_trace(3, 0.4);
+        let windows_jobs = trace
+            .iter()
+            .filter(|e| e.req.os == OsKind::Windows)
+            .count() as u32;
+        let r = Simulation::new(cfg, trace).run();
+        assert_eq!(r.unfinished, windows_jobs, "windows jobs can never run");
+        assert_eq!(r.switches, 0);
+    }
+
+    #[test]
+    fn static_even_split_serves_both_sides() {
+        let mut cfg = SimConfig::eridani_v2(4);
+        cfg.mode = Mode::StaticSplit;
+        cfg.initial_linux_nodes = 8;
+        let trace = small_trace(4, 0.3);
+        let n = trace.len() as u32;
+        let r = Simulation::new(cfg, trace).run();
+        assert_eq!(r.total_completed(), n);
+        assert_eq!(r.switches, 0);
+    }
+
+    #[test]
+    fn oracle_outperforms_static_split_on_skewed_mix() {
+        let trace = small_trace(5, 0.5);
+        let mut static_cfg = SimConfig::eridani_v2(5);
+        static_cfg.mode = Mode::StaticSplit;
+        static_cfg.initial_linux_nodes = 14; // bad split for a 50% mix
+        let static_r = Simulation::new(static_cfg, trace.clone()).run();
+        let mut oracle_cfg = SimConfig::eridani_v2(5);
+        oracle_cfg.mode = Mode::Oracle;
+        let oracle_r = Simulation::new(oracle_cfg, trace).run();
+        assert!(oracle_r.mean_wait_s() <= static_r.mean_wait_s());
+        assert_eq!(oracle_r.unfinished, 0);
+    }
+
+    #[test]
+    fn mono_stable_inflates_windows_service() {
+        let trace = small_trace(6, 0.5);
+        let mut cfg = SimConfig::eridani_v2(6);
+        cfg.mode = Mode::MonoStable;
+        let transformed = transform_trace(&cfg, trace.clone());
+        for (orig, t) in trace.iter().zip(&transformed) {
+            assert_eq!(t.req.os, OsKind::Linux);
+            if orig.req.os == OsKind::Windows {
+                assert_eq!(
+                    t.req.runtime,
+                    orig.req.runtime + SimDuration::from_secs(480)
+                );
+            } else {
+                assert_eq!(t.req.runtime, orig.req.runtime);
+            }
+        }
+        let r = Simulation::new(cfg, trace).run();
+        assert_eq!(r.unfinished, 0);
+    }
+
+    #[test]
+    fn v1_switches_complete_too() {
+        let cfg = SimConfig::eridani_v1(7);
+        let trace = small_trace(7, 0.3);
+        let n = trace.len() as u32;
+        let r = Simulation::new(cfg, trace).run();
+        assert_eq!(r.total_completed(), n, "unfinished {}", r.unfinished);
+        assert!(r.switches > 0);
+        assert_eq!(r.boot_failures, 0);
+    }
+
+    #[test]
+    fn switch_latency_within_paper_bound() {
+        let cfg = SimConfig::eridani_v2(8);
+        let trace = small_trace(8, 0.4);
+        let r = Simulation::new(cfg, trace).run();
+        assert!(r.switches > 0);
+        // "booting from one OS to another takes no more than five minutes"
+        assert!(r.switch_latency.max().unwrap() <= 300.0);
+        assert!(r.switch_latency.min().unwrap() >= 180.0);
+    }
+
+    #[test]
+    fn utilisation_is_sane() {
+        let cfg = SimConfig::eridani_v2(9);
+        let trace = small_trace(9, 0.2);
+        let r = Simulation::new(cfg, trace).run();
+        let u = r.utilisation();
+        assert!(u > 0.0 && u <= 1.0, "utilisation {u}");
+    }
+
+    #[test]
+    fn series_recording() {
+        let mut cfg = SimConfig::eridani_v2(10);
+        cfg.record_series = true;
+        let trace = small_trace(10, 0.3);
+        let r = Simulation::new(cfg, trace).run();
+        assert!(!r.series.is_empty());
+        for p in &r.series {
+            assert!(p.linux_nodes + p.windows_nodes + p.booting_nodes <= 16);
+        }
+        // node counts must actually move during switching
+        let min_linux = r.series.iter().map(|p| p.linux_nodes).min().unwrap();
+        assert!(min_linux < 16, "linux side shrank at some point");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = || {
+            let cfg = SimConfig::eridani_v2(11);
+            Simulation::new(cfg, small_trace(11, 0.3)).run()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.total_completed(), b.total_completed());
+        assert_eq!(a.switches, b.switches);
+        assert_eq!(a.makespan, b.makespan);
+        assert!((a.mean_wait_s() - b.mean_wait_s()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn power_reset_mid_switch_v1_boots_stale_os() {
+        // E8: under v1, a power reset that lands *before* the switch
+        // job's bootcontrol step leaves controlmenu.lst pointing at the
+        // old OS — the node comes back up on the stale side.
+        let cfg = SimConfig::eridani_v1(12);
+        // One Windows job to provoke a switch; long horizon.
+        let trace = vec![SubmitEvent {
+            at: SimTime::from_mins(1),
+            req: JobRequest::user(
+                "opera-1",
+                OsKind::Windows,
+                1,
+                4,
+                SimDuration::from_mins(5),
+            ),
+        }];
+        let mut sim = Simulation::new(cfg, trace);
+        // The first LinuxPoll (after the first WinTick at 5 min... v1 both
+        // cycles are 5 min; order: WinTick then LinuxPoll at the same
+        // instant is fine) orders a switch; the switch job dispatches at
+        // the poll (~5 min) and its config change lands 2 s later. Reset
+        // node 1 one second after dispatch, i.e. *before* the change.
+        // The switch job dispatches within the poll event; find its time:
+        // poll at 300 s + 300 s cycle... first poll with the stuck report
+        // happens at t=300 s (WinTick at 300 sends state, LinuxPoll at
+        // 300 pumps+decides — WinTick was scheduled first, so same-tick
+        // ordering delivers the report in time).
+        sim.schedule_power_reset(1, SimTime::from_millis(301_000));
+        let r = sim.run();
+        // The reset killed the switch before the config change, so the
+        // node rebooted into the *stale* OS (Linux) and the Windows job
+        // stayed unserved — until a later poll re-ordered the switch.
+        assert_eq!(r.killed, 0, "a switch job died, not a user job");
+        assert_eq!(r.completed, (0, 1), "the Windows job eventually ran");
+        assert_eq!(r.switches, 1, "only the re-ordered switch landed");
+        assert!(
+            r.makespan > SimTime::from_mins(10),
+            "recovery needed at least one more poll cycle"
+        );
+    }
+
+    #[test]
+    fn pxe_outage_sends_switches_to_the_local_default() {
+        // A Windows burst arrives while the head node's PXE service is
+        // down: ordered switches reboot into the local fallback (Linux),
+        // count as misdirected, and a later poll re-orders them once the
+        // service recovers. The workload still completes.
+        let cfg = SimConfig::eridani_v2(51);
+        let trace: Vec<SubmitEvent> = (0..4)
+            .map(|k| SubmitEvent {
+                at: SimTime::from_mins(1),
+                req: JobRequest::user(
+                    format!("render-{k}"),
+                    OsKind::Windows,
+                    1,
+                    4,
+                    SimDuration::from_mins(5),
+                ),
+            })
+            .collect();
+        let mut sim = Simulation::new(cfg, trace);
+        // Outage covers the first switch round's reboots (~5-10 min).
+        sim.schedule_pxe_outage(SimTime::from_mins(4), SimDuration::from_mins(10));
+        let r = sim.run();
+        assert!(r.misdirected_switches > 0, "outage-window boots went stale");
+        assert_eq!(r.unfinished, 0, "recovered after the outage");
+        assert_eq!(r.completed.1, 4);
+        assert_eq!(r.boot_failures, 0, "fallback boots, never bricks");
+    }
+
+    #[test]
+    fn per_node_pxe_control_eliminates_flag_races() {
+        // Proportional churn rebalances in both directions; the single
+        // flag misdirects reboots that land after the flag moved on, the
+        // Figure-12 per-node design cannot.
+        use dualboot_bootconf::grub4dos::ControlMode;
+        let run = |mode: ControlMode| {
+            let trace = dualboot_workload::mdcs::MdcsCaseStudy::default_config(31).generate();
+            let mut cfg = SimConfig::eridani_v2(31);
+            cfg.policy = crate::config::PolicyKind::Proportional { min_per_side: 1 };
+            cfg.omniscient = true;
+            cfg.pxe_control = mode;
+            Simulation::new(cfg, trace).run()
+        };
+        let per_node = run(ControlMode::PerNode);
+        assert_eq!(per_node.misdirected_switches, 0, "per-node cannot race");
+        assert_eq!(per_node.unfinished, 0);
+        let single = run(ControlMode::SingleFlag);
+        assert_eq!(single.unfinished, 0);
+        // The race is load-dependent; assert only the ordering invariant.
+        assert!(single.misdirected_switches >= per_node.misdirected_switches);
+    }
+
+    #[test]
+    fn walltime_enforcement_kills_overrunning_jobs() {
+        let cfg = SimConfig::eridani_v2(21);
+        let trace = vec![
+            // honest job: 10 min inside a 30-min limit
+            SubmitEvent {
+                at: SimTime::from_mins(1),
+                req: JobRequest::user(
+                    "honest",
+                    OsKind::Linux,
+                    1,
+                    4,
+                    SimDuration::from_mins(10),
+                )
+                .with_walltime(SimDuration::from_mins(30)),
+            },
+            // optimist: 60 min of work, 20-min limit -> killed at 20 min
+            SubmitEvent {
+                at: SimTime::from_mins(1),
+                req: JobRequest::user(
+                    "optimist",
+                    OsKind::Linux,
+                    1,
+                    4,
+                    SimDuration::from_mins(60),
+                )
+                .with_walltime(SimDuration::from_mins(20)),
+            },
+        ];
+        let r = Simulation::new(cfg, trace).run();
+        assert_eq!(r.total_completed(), 2);
+        assert_eq!(r.walltime_kills, 1);
+        // makespan = the optimist's termination at 1 + 20 min, not 61 min
+        assert_eq!(r.makespan, SimTime::from_mins(21));
+    }
+
+    #[test]
+    fn horizon_cuts_runaway_scenarios() {
+        let mut cfg = SimConfig::eridani_v2(13);
+        cfg.mode = Mode::StaticSplit;
+        cfg.initial_linux_nodes = 16;
+        cfg.horizon = SimDuration::from_hours(4);
+        let trace = small_trace(13, 0.5);
+        let r = Simulation::new(cfg, trace).run();
+        assert!(r.end_time <= SimTime::ZERO + SimDuration::from_hours(4));
+        assert!(r.unfinished > 0);
+    }
+
+    #[test]
+    fn omniscient_proportional_runs() {
+        let mut cfg = SimConfig::eridani_v2(14);
+        cfg.omniscient = true;
+        cfg.policy = crate::config::PolicyKind::Proportional { min_per_side: 1 };
+        let trace = small_trace(14, 0.4);
+        let n = trace.len() as u32;
+        let r = Simulation::new(cfg, trace).run();
+        assert_eq!(r.total_completed() + r.unfinished, n);
+        assert!(r.switches > 0);
+        assert_eq!(r.boot_failures, 0);
+    }
+
+    #[test]
+    fn v2_nodes_switch_back_to_linux_cleanly() {
+        // Regression: the v2 PXE menu must match the Figure-14 layout
+        // (root on sda6) or every switch *back* to Linux bricks the node.
+        let mut cfg = SimConfig::eridani_v2(16);
+        cfg.initial_linux_nodes = 16;
+        // A Windows burst followed by a Linux burst forces a round trip.
+        let mut trace = Vec::new();
+        for k in 0..8 {
+            trace.push(SubmitEvent {
+                at: SimTime::from_mins(1),
+                req: JobRequest::user(
+                    format!("render-{k}"),
+                    OsKind::Windows,
+                    1,
+                    4,
+                    SimDuration::from_mins(5),
+                ),
+            });
+        }
+        for k in 0..20 {
+            trace.push(SubmitEvent {
+                at: SimTime::from_mins(30),
+                req: JobRequest::user(
+                    format!("md-{k}"),
+                    OsKind::Linux,
+                    4,
+                    4,
+                    SimDuration::from_mins(5),
+                ),
+            });
+        }
+        let r = Simulation::new(cfg, trace).run();
+        assert_eq!(r.boot_failures, 0, "round-trip switches must boot");
+        assert_eq!(r.unfinished, 0);
+        assert_eq!(r.completed, (20, 8));
+    }
+
+    #[test]
+    fn pxe_flag_follows_last_decision() {
+        let cfg = SimConfig::eridani_v2(15);
+        let trace = vec![SubmitEvent {
+            at: SimTime::from_mins(1),
+            req: JobRequest::user(
+                "backburner-1",
+                OsKind::Windows,
+                1,
+                4,
+                SimDuration::from_mins(3),
+            ),
+        }];
+        let mut sim = Simulation::new(cfg, trace);
+        assert_eq!(sim.pxe().menu_dir().flag(), OsKind::Linux);
+        // run manually: after the first decision the flag must be Windows.
+        let horizon = SimTime::ZERO + SimDuration::from_mins(30);
+        while let Some((t, ev)) = sim.queue.pop() {
+            if t > horizon {
+                break;
+            }
+            sim.handle(ev);
+            if sim.pxe.menu_dir().flag() == OsKind::Windows {
+                return; // observed the flag flip
+            }
+        }
+        panic!("flag never flipped to Windows");
+    }
+}

@@ -1,0 +1,522 @@
+//! The head-node daemons.
+//!
+//! Figure 11's cast, as driveable state machines:
+//!
+//! * [`WindowsDaemon`] — runs on the Windows head: each cycle it runs the
+//!   Windows detector and ships the report to the Linux side (steps 1–2);
+//!   when a reboot order arrives back (step 5) it emits the action of
+//!   submitting that many switch jobs to its own scheduler.
+//! * [`LinuxDaemon`] — runs on the OSCAR head: it caches the most recent
+//!   Windows report, and each poll combines it with the local detector's
+//!   report (step 3), asks the policy, sets the PXE flag (step 4, v2
+//!   only), and either submits switch jobs locally or sends a reboot
+//!   order to the Windows side (step 5).
+//!
+//! Neither daemon touches a scheduler or a PXE service directly: they
+//! emit [`Action`]s for their host (the deterministic simulation, or the
+//! threaded TCP harness) to execute, and record [`ControlEvent`]s so the
+//! Figure-11 message order is assertable in tests.
+
+use crate::detector::DetectorOutput;
+use crate::policy::{PolicyInput, SideState, SwitchOrder, SwitchPolicy};
+use crate::Version;
+use dualboot_bootconf::os::OsKind;
+use dualboot_des::time::SimTime;
+use dualboot_des::trace::Trace;
+use dualboot_net::proto::Message;
+use dualboot_net::transport::{Transport, TransportError};
+use dualboot_net::wire::DetectorReport;
+use serde::{Deserialize, Serialize};
+
+/// Something the host must do on a daemon's behalf.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Action {
+    /// (v2 only) Set the cluster-wide PXE target-OS flag.
+    SetPxeFlag(OsKind),
+    /// Submit `count` switch jobs to the `via` side's scheduler; each
+    /// drains one node and reboots it into `target`.
+    SubmitSwitchJobs {
+        /// The scheduler that must release nodes.
+        via: OsKind,
+        /// The OS the released nodes boot into.
+        target: OsKind,
+        /// How many nodes to release.
+        count: u32,
+    },
+}
+
+/// Trace events (the numbered steps of Figure 11).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ControlEvent {
+    /// Step 1: the Windows detector produced a report.
+    WinStateFetched(DetectorReport),
+    /// Step 2: the Windows report left for the Linux side.
+    WinStateSent,
+    /// Step 2 (receiving end): the report arrived.
+    WinStateReceived(DetectorReport),
+    /// Step 3: the Linux detector produced a report.
+    LinuxStateFetched(DetectorReport),
+    /// Step 3: the policy decided.
+    Decision(Option<SwitchOrder>),
+    /// Step 4: the PXE flag was set (v2).
+    FlagSet(OsKind),
+    /// Step 5: a reboot order left for the Windows side.
+    RebootOrderSent {
+        /// OS the released nodes will boot.
+        target: OsKind,
+        /// Nodes to release.
+        count: u32,
+    },
+    /// Step 5 (receiving end): a reboot order arrived.
+    RebootOrderReceived {
+        /// OS the released nodes will boot.
+        target: OsKind,
+        /// Nodes to release.
+        count: u32,
+    },
+    /// Step 5: switch jobs were handed to a scheduler.
+    SwitchJobsSubmitted {
+        /// Scheduler that got the jobs.
+        via: OsKind,
+        /// Number of jobs.
+        count: u32,
+    },
+}
+
+// ---------------------------------------------------------------------
+// Windows daemon
+// ---------------------------------------------------------------------
+
+/// The Windows head-node daemon (detector + communicator).
+#[derive(Debug)]
+pub struct WindowsDaemon<T> {
+    transport: T,
+    trace: Trace<ControlEvent>,
+}
+
+impl<T: Transport> WindowsDaemon<T> {
+    /// A daemon speaking over `transport`.
+    pub fn new(transport: T) -> Self {
+        WindowsDaemon {
+            transport,
+            trace: Trace::new(),
+        }
+    }
+
+    /// Steps 1–2: ship the current detector output to the Linux side.
+    pub fn tick(
+        &mut self,
+        detector: &DetectorOutput,
+        now: SimTime,
+    ) -> Result<(), TransportError> {
+        self.trace
+            .record(now, ControlEvent::WinStateFetched(detector.report.clone()));
+        self.transport.send(&Message::QueueState {
+            os: OsKind::Windows,
+            report: detector.report.clone(),
+        })?;
+        self.trace.record(now, ControlEvent::WinStateSent);
+        Ok(())
+    }
+
+    /// Drain incoming messages; reboot orders become submit actions.
+    pub fn pump(&mut self, now: SimTime) -> Result<Vec<Action>, TransportError> {
+        let mut actions = Vec::new();
+        while let Some(msg) = self.transport.try_recv()? {
+            if let Message::RebootOrder { target, count } = msg {
+                self.trace
+                    .record(now, ControlEvent::RebootOrderReceived { target, count });
+                self.trace.record(
+                    now,
+                    ControlEvent::SwitchJobsSubmitted {
+                        via: OsKind::Windows,
+                        count,
+                    },
+                );
+                actions.push(Action::SubmitSwitchJobs {
+                    via: OsKind::Windows,
+                    target,
+                    count,
+                });
+                self.transport.send(&Message::OrderAck { queued: count })?;
+            }
+        }
+        Ok(actions)
+    }
+
+    /// The daemon's event trace.
+    pub fn trace(&self) -> &Trace<ControlEvent> {
+        &self.trace
+    }
+}
+
+// ---------------------------------------------------------------------
+// Linux daemon
+// ---------------------------------------------------------------------
+
+/// The OSCAR head-node daemon: communicator + decider.
+#[derive(Debug)]
+pub struct LinuxDaemon<T, P> {
+    version: Version,
+    transport: T,
+    policy: P,
+    latest_windows: Option<DetectorReport>,
+    outstanding_to_linux: u32,
+    outstanding_to_windows: u32,
+    trace: Trace<ControlEvent>,
+}
+
+impl<T: Transport, P: SwitchPolicy> LinuxDaemon<T, P> {
+    /// A daemon for `version`, deciding with `policy`, speaking over
+    /// `transport`.
+    pub fn new(version: Version, transport: T, policy: P) -> Self {
+        LinuxDaemon {
+            version,
+            transport,
+            policy,
+            latest_windows: None,
+            outstanding_to_linux: 0,
+            outstanding_to_windows: 0,
+            trace: Trace::new(),
+        }
+    }
+
+    /// Drain incoming messages (Windows state reports, order acks).
+    pub fn pump(&mut self, now: SimTime) -> Result<(), TransportError> {
+        while let Some(msg) = self.transport.try_recv()? {
+            match msg {
+                Message::QueueState { os, report } => {
+                    debug_assert_eq!(os, OsKind::Windows);
+                    self.trace
+                        .record(now, ControlEvent::WinStateReceived(report.clone()));
+                    self.latest_windows = Some(report);
+                }
+                Message::OrderAck { .. } => {}
+                Message::RebootOrder { .. } => {
+                    debug_assert!(false, "Linux daemon does not receive reboot orders");
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Steps 3–5: combine the cached Windows report with the local
+    /// detector output and node counts, decide, and emit actions.
+    ///
+    /// `nodes_online`/`nodes_free` describe the *Linux* side (the daemon
+    /// can see its own `pbsnodes`).
+    pub fn poll(
+        &mut self,
+        local: &DetectorOutput,
+        nodes_online: u32,
+        nodes_free: u32,
+        now: SimTime,
+    ) -> Result<Vec<Action>, TransportError> {
+        self.trace
+            .record(now, ControlEvent::LinuxStateFetched(local.report.clone()));
+        let windows_report = self
+            .latest_windows
+            .clone()
+            .unwrap_or_else(DetectorReport::not_stuck);
+        let input = PolicyInput {
+            linux: SideState::local(
+                local.report.clone(),
+                local.running,
+                local.queued,
+                nodes_online,
+                nodes_free,
+            ),
+            windows: SideState::remote(windows_report),
+            cores_per_node: 4,
+            outstanding_to_linux: self.outstanding_to_linux,
+            outstanding_to_windows: self.outstanding_to_windows,
+        };
+        let decision = self.policy.decide(&input, now);
+        self.trace.record(now, ControlEvent::Decision(decision));
+        let Some(order) = decision else {
+            return Ok(Vec::new());
+        };
+
+        let mut actions = Vec::new();
+        if self.version == Version::V2 {
+            // Step 4: flick the cluster-wide flag.
+            self.trace.record(now, ControlEvent::FlagSet(order.target));
+            actions.push(Action::SetPxeFlag(order.target));
+        }
+        match order.target {
+            OsKind::Linux => {
+                // Windows must release nodes: send the order over the wire.
+                self.outstanding_to_linux += order.count;
+                self.transport.send(&Message::RebootOrder {
+                    target: OsKind::Linux,
+                    count: order.count,
+                })?;
+                self.trace.record(
+                    now,
+                    ControlEvent::RebootOrderSent {
+                        target: OsKind::Linux,
+                        count: order.count,
+                    },
+                );
+            }
+            OsKind::Windows => {
+                // Our own PBS must release nodes: submit locally.
+                self.outstanding_to_windows += order.count;
+                self.trace.record(
+                    now,
+                    ControlEvent::SwitchJobsSubmitted {
+                        via: OsKind::Linux,
+                        count: order.count,
+                    },
+                );
+                actions.push(Action::SubmitSwitchJobs {
+                    via: OsKind::Linux,
+                    target: OsKind::Windows,
+                    count: order.count,
+                });
+            }
+        }
+        Ok(actions)
+    }
+
+    /// The host reports that a switched node finished booting `target`.
+    pub fn on_switch_landed(&mut self, target: OsKind) {
+        match target {
+            OsKind::Linux => {
+                self.outstanding_to_linux = self.outstanding_to_linux.saturating_sub(1)
+            }
+            OsKind::Windows => {
+                self.outstanding_to_windows = self.outstanding_to_windows.saturating_sub(1)
+            }
+        }
+    }
+
+    /// The host reports that a previously ordered switch was abandoned
+    /// (e.g. its switch job was cancelled) — same bookkeeping direction.
+    pub fn on_switch_abandoned(&mut self, target: OsKind) {
+        self.on_switch_landed(target);
+    }
+
+    /// Switches ordered toward `os` that have not landed yet.
+    pub fn outstanding_to(&self, os: OsKind) -> u32 {
+        match os {
+            OsKind::Linux => self.outstanding_to_linux,
+            OsKind::Windows => self.outstanding_to_windows,
+        }
+    }
+
+    /// The most recently received Windows report, if any.
+    pub fn latest_windows(&self) -> Option<&DetectorReport> {
+        self.latest_windows.as_ref()
+    }
+
+    /// The daemon's event trace.
+    pub fn trace(&self) -> &Trace<ControlEvent> {
+        &self.trace
+    }
+
+    /// Name of the active policy.
+    pub fn policy_name(&self) -> &'static str {
+        self.policy.name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detector::DetectorOutput;
+    use crate::policy::FcfsPolicy;
+    use dualboot_net::transport::in_proc_pair;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    fn out(report: DetectorReport, running: u32, queued: u32) -> DetectorOutput {
+        DetectorOutput {
+            text: format!("{report}\n"),
+            report,
+            running,
+            queued,
+        }
+    }
+
+    fn idle() -> DetectorOutput {
+        out(DetectorReport::not_stuck(), 0, 0)
+    }
+
+    fn stuck(cpus: u32) -> DetectorOutput {
+        out(DetectorReport::stuck(cpus, "j.srv"), 0, 1)
+    }
+
+    #[test]
+    fn figure11_protocol_order_windows_stuck() {
+        // Windows is stuck; Linux has free nodes. The full five-step cycle.
+        let (lt, wt) = in_proc_pair();
+        let mut win = WindowsDaemon::new(wt);
+        let mut lin = LinuxDaemon::new(Version::V2, lt, FcfsPolicy);
+
+        win.tick(&stuck(8), t(0)).unwrap(); // steps 1-2
+        lin.pump(t(1)).unwrap(); // receive
+        let actions = lin.poll(&idle(), 16, 16, t(1)).unwrap(); // steps 3-5
+
+        assert_eq!(
+            actions,
+            vec![
+                Action::SetPxeFlag(OsKind::Windows),
+                Action::SubmitSwitchJobs {
+                    via: OsKind::Linux,
+                    target: OsKind::Windows,
+                    count: 2
+                }
+            ]
+        );
+        // Linux-side trace shows receive -> fetch -> decide -> flag -> submit
+        let evs: Vec<&ControlEvent> =
+            lin.trace().entries().iter().map(|(_, e)| e).collect();
+        assert!(matches!(evs[0], ControlEvent::WinStateReceived(_)));
+        assert!(matches!(evs[1], ControlEvent::LinuxStateFetched(_)));
+        assert!(matches!(evs[2], ControlEvent::Decision(Some(_))));
+        assert!(matches!(evs[3], ControlEvent::FlagSet(OsKind::Windows)));
+        assert!(matches!(
+            evs[4],
+            ControlEvent::SwitchJobsSubmitted {
+                via: OsKind::Linux,
+                count: 2
+            }
+        ));
+    }
+
+    #[test]
+    fn linux_stuck_sends_reboot_order_to_windows() {
+        let (lt, wt) = in_proc_pair();
+        let mut win = WindowsDaemon::new(wt);
+        let mut lin = LinuxDaemon::new(Version::V2, lt, FcfsPolicy);
+
+        win.tick(&idle(), t(0)).unwrap();
+        lin.pump(t(1)).unwrap();
+        let actions = lin.poll(&stuck(4), 16, 0, t(1)).unwrap();
+        // Local actions: only the flag (the submit happens Windows-side).
+        assert_eq!(actions, vec![Action::SetPxeFlag(OsKind::Linux)]);
+
+        let wactions = win.pump(t(2)).unwrap();
+        assert_eq!(
+            wactions,
+            vec![Action::SubmitSwitchJobs {
+                via: OsKind::Windows,
+                target: OsKind::Linux,
+                count: 1
+            }]
+        );
+        assert_eq!(lin.outstanding_to(OsKind::Linux), 1);
+    }
+
+    #[test]
+    fn v1_emits_no_flag_action() {
+        let (lt, wt) = in_proc_pair();
+        let mut win = WindowsDaemon::new(wt);
+        let mut lin = LinuxDaemon::new(Version::V1, lt, FcfsPolicy);
+        win.tick(&stuck(4), t(0)).unwrap();
+        lin.pump(t(0)).unwrap();
+        let actions = lin.poll(&idle(), 16, 16, t(0)).unwrap();
+        assert_eq!(
+            actions,
+            vec![Action::SubmitSwitchJobs {
+                via: OsKind::Linux,
+                target: OsKind::Windows,
+                count: 1
+            }]
+        );
+        assert!(!lin
+            .trace()
+            .entries()
+            .iter()
+            .any(|(_, e)| matches!(e, ControlEvent::FlagSet(_))));
+    }
+
+    #[test]
+    fn outstanding_prevents_reordering_until_landed() {
+        let (lt, wt) = in_proc_pair();
+        let mut win = WindowsDaemon::new(wt);
+        let mut lin = LinuxDaemon::new(Version::V2, lt, FcfsPolicy);
+        win.tick(&stuck(4), t(0)).unwrap();
+        lin.pump(t(0)).unwrap();
+        let first = lin.poll(&idle(), 16, 16, t(0)).unwrap();
+        assert!(!first.is_empty());
+        // Same stuck state next poll: no duplicate order.
+        win.tick(&stuck(4), t(300)).unwrap();
+        lin.pump(t(300)).unwrap();
+        let second = lin.poll(&idle(), 16, 16, t(300)).unwrap();
+        assert!(second.is_empty());
+        // After the switch lands, a *new* stuck state can order again.
+        lin.on_switch_landed(OsKind::Windows);
+        win.tick(&stuck(4), t(600)).unwrap();
+        lin.pump(t(600)).unwrap();
+        let third = lin.poll(&idle(), 16, 16, t(600)).unwrap();
+        assert!(!third.is_empty());
+    }
+
+    #[test]
+    fn no_windows_report_defaults_to_not_stuck() {
+        let (lt, _wt) = in_proc_pair();
+        let mut lin = LinuxDaemon::new(Version::V2, lt, FcfsPolicy);
+        assert!(lin.latest_windows().is_none());
+        let actions = lin.poll(&idle(), 16, 16, t(0)).unwrap();
+        assert!(actions.is_empty());
+    }
+
+    #[test]
+    fn stale_windows_report_is_reused_between_ticks() {
+        // The Windows cycle (10 min) is slower than a hypothetical Linux
+        // poll; the cached report keeps serving.
+        let (lt, wt) = in_proc_pair();
+        let mut win = WindowsDaemon::new(wt);
+        let mut lin = LinuxDaemon::new(Version::V2, lt, FcfsPolicy);
+        win.tick(&stuck(4), t(0)).unwrap();
+        lin.pump(t(0)).unwrap();
+        lin.poll(&idle(), 16, 16, t(0)).unwrap();
+        lin.on_switch_landed(OsKind::Windows);
+        // no new tick from Windows; report is stale but still used
+        let actions = lin.poll(&idle(), 16, 16, t(60)).unwrap();
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, Action::SubmitSwitchJobs { .. })));
+    }
+
+    #[test]
+    fn windows_daemon_acks_orders() {
+        let (mut lt, wt) = in_proc_pair();
+        let mut win = WindowsDaemon::new(wt);
+        lt.send(&Message::RebootOrder {
+            target: OsKind::Linux,
+            count: 3,
+        })
+        .unwrap();
+        let actions = win.pump(t(0)).unwrap();
+        assert_eq!(actions.len(), 1);
+        assert_eq!(
+            lt.try_recv().unwrap(),
+            Some(Message::OrderAck { queued: 3 })
+        );
+    }
+
+    #[test]
+    fn abandoned_switch_releases_bookkeeping() {
+        let (lt, wt) = in_proc_pair();
+        let mut win = WindowsDaemon::new(wt);
+        let mut lin = LinuxDaemon::new(Version::V2, lt, FcfsPolicy);
+        win.tick(&stuck(4), t(0)).unwrap();
+        lin.pump(t(0)).unwrap();
+        lin.poll(&idle(), 16, 16, t(0)).unwrap();
+        assert_eq!(lin.outstanding_to(OsKind::Windows), 1);
+        lin.on_switch_abandoned(OsKind::Windows);
+        assert_eq!(lin.outstanding_to(OsKind::Windows), 0);
+    }
+
+    #[test]
+    fn policy_name_passthrough() {
+        let (lt, _wt) = in_proc_pair();
+        let lin = LinuxDaemon::new(Version::V2, lt, FcfsPolicy);
+        assert_eq!(lin.policy_name(), "fcfs");
+    }
+}

@@ -1,0 +1,288 @@
+//! Queue-state detectors.
+//!
+//! "To define the queue state, we define a scheduler is 'stuck', when the
+//! scheduler has no job running and several jobs are queuing. The detector
+//! reads how many compute nodes the first queuing job needs." (§III.B.4)
+//!
+//! Two detectors with deliberately different integration styles, matching
+//! the paper:
+//!
+//! * [`PbsDetector`] scrapes the *text* of `qstat -f` (and `pbsnodes`),
+//!   like the Perl `checkqueue.pl`; its output reproduces Figure 6 —
+//!   first line the Figure-5 wire string, then debug lines (including the
+//!   paper's `Job_Ownner` typo, preserved faithfully).
+//! * [`WinDetector`] calls the typed SDK facade of the WinHPC scheduler.
+
+use dualboot_bootconf::error::ParseError;
+use dualboot_net::wire::DetectorReport;
+use dualboot_sched::pbs_text::{self, QstatJob};
+use dualboot_sched::scheduler::QueueSnapshot;
+use dualboot_sched::winhpc::HpcApi;
+use serde::{Deserialize, Serialize};
+
+/// A detector run: the wire report plus the human-readable debug text.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DetectorOutput {
+    /// The machine-readable report (Figure 5).
+    pub report: DetectorReport,
+    /// Jobs running (`R=` in the debug output).
+    pub running: u32,
+    /// Jobs queued (`nR=` in the debug output).
+    pub queued: u32,
+    /// The full multi-line output as printed (Figure 6).
+    pub text: String,
+}
+
+/// The Linux-side detector (`checkqueue.pl`): parses PBS command output.
+#[derive(Debug, Clone, Default)]
+pub struct PbsDetector;
+
+impl PbsDetector {
+    /// Run the detector over raw `qstat -f` text.
+    ///
+    /// The classification mirrors Figure 6's three outputs:
+    /// * stuck → `Queue stuck`
+    /// * running, nothing queued → `Job running, no queuing.`
+    /// * anything else → `Other state`
+    pub fn run(&self, qstat_text: &str) -> Result<DetectorOutput, ParseError> {
+        let jobs = pbs_text::parse_qstat_f(qstat_text)?;
+        Ok(self.from_jobs(&jobs))
+    }
+
+    /// Detector logic over already-scraped jobs.
+    pub fn from_jobs(&self, jobs: &[QstatJob]) -> DetectorOutput {
+        let state = pbs_text::summarize(jobs);
+        let report = if state.is_stuck() {
+            DetectorReport::stuck(
+                state.first_queued_cpus.unwrap_or(0),
+                state.first_queued_id.clone().unwrap_or_default(),
+            )
+        } else {
+            DetectorReport::not_stuck()
+        };
+        let mut text = String::new();
+        text.push_str(&report.encode().expect("detector report encodable"));
+        text.push('\n');
+        if state.is_stuck() {
+            text.push_str("Queue stuck\n");
+        } else if state.running > 0 && state.queued == 0 {
+            text.push_str("Job running, no queuing.\n");
+        } else {
+            text.push_str("Other state\n");
+        }
+        text.push_str(&format!("R={} nR={}\n", state.running, state.queued));
+        if state.running > 0 && state.queued == 0 {
+            // Figure 6's second output lists each running job's details.
+            for j in jobs.iter().filter(|j| j.state == 'R') {
+                text.push_str(&format!("{}\n", j.id));
+                text.push_str(&format!("\tJob_Name={}\n", j.name));
+                // Faithful reproduction of the paper's "Job_Ownner" typo.
+                text.push_str(&format!("\tJob_Ownner={}\n", j.owner));
+                text.push_str(&format!("\tstate={}\n", j.state));
+                text.push_str(&format!("\ttime={}\n", j.qtime));
+            }
+        }
+        DetectorOutput {
+            report,
+            running: state.running,
+            queued: state.queued,
+            text,
+        }
+    }
+}
+
+/// The Windows-side detector: one SDK call, no scraping.
+#[derive(Debug, Clone, Default)]
+pub struct WinDetector;
+
+impl WinDetector {
+    /// Run the detector through the SDK facade.
+    pub fn run(&self, api: &HpcApi<'_>) -> DetectorOutput {
+        self.from_snapshot(&api.queue_state())
+    }
+
+    /// Detector logic over a queue snapshot (same output format as the
+    /// PBS detector, per §III.B.4: "the detector ... follows the same
+    /// output format as in figure 5").
+    pub fn from_snapshot(&self, snap: &QueueSnapshot) -> DetectorOutput {
+        let report = if snap.is_stuck() {
+            DetectorReport::stuck(
+                snap.first_queued_cpus.unwrap_or(0),
+                snap.first_queued_id.clone().unwrap_or_default(),
+            )
+        } else {
+            DetectorReport::not_stuck()
+        };
+        let mut text = String::new();
+        text.push_str(&report.encode().expect("detector report encodable"));
+        text.push('\n');
+        if snap.is_stuck() {
+            text.push_str("Queue stuck\n");
+        } else if snap.running > 0 && snap.queued == 0 {
+            text.push_str("Job running, no queuing.\n");
+        } else {
+            text.push_str("Other state\n");
+        }
+        text.push_str(&format!("R={} nR={}\n", snap.running, snap.queued));
+        DetectorOutput {
+            report,
+            running: snap.running,
+            queued: snap.queued,
+            text,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dualboot_bootconf::os::OsKind;
+    use dualboot_des::time::{SimDuration, SimTime};
+    use dualboot_sched::job::JobRequest;
+    use dualboot_sched::pbs::PbsScheduler;
+    use dualboot_sched::caltime::format_detector;
+    use dualboot_sched::pbs_text::qstat_f;
+    use dualboot_sched::scheduler::Scheduler;
+    use dualboot_sched::winhpc::WinHpcScheduler;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    fn pbs16() -> PbsScheduler {
+        let mut s = PbsScheduler::eridani();
+        for i in 1..=16 {
+            s.register_node(&format!("enode{i:02}.eridani.qgg.hud.ac.uk"), 4);
+        }
+        s
+    }
+
+    #[test]
+    fn fig6_output1_other_state() {
+        // Empty queue: `00000none` / `Other state` / `R=0 nR=0`.
+        let s = pbs16();
+        let out = PbsDetector.run(&qstat_f(&s)).unwrap();
+        assert_eq!(out.text, "00000none\nOther state\nR=0 nR=0\n");
+        assert!(!out.report.stuck);
+    }
+
+    #[test]
+    fn fig6_output2_running_with_details() {
+        // One running job named `sleep`, nothing queued: the detector
+        // prints the job detail block (with the faithful Job_Ownner typo).
+        let mut s = pbs16();
+        // Figure 6 shows job 1186; burn 1185 first.
+        let burn = s.submit(
+            JobRequest::user("warmup", OsKind::Linux, 1, 4, SimDuration::from_mins(1)),
+            t(0),
+        );
+        s.try_dispatch(t(0));
+        s.complete(burn, t(10));
+        // Figure 6's detector ran at 2010-04-17 20:11:12 with qtime equal
+        // to the detector's `time=` line: submit at the matching instant.
+        let submit_at = SimTime::ZERO
+            + SimDuration::from_hours(24)
+            + SimDuration::from_secs(2 * 3600 + 15 * 60 + 32);
+        s.submit(
+            JobRequest::user("sleep", OsKind::Linux, 1, 4, SimDuration::from_mins(60)),
+            submit_at,
+        );
+        s.try_dispatch(submit_at);
+        // qtime text comes back in ctime format; the detector re-renders
+        // it through format_detector only when it can parse... (we keep the
+        // scraped text verbatim, so expect the ctime form).
+        let out = PbsDetector.run(&qstat_f(&s)).unwrap();
+        assert!(out.text.starts_with(
+            "00000none\nJob running, no queuing.\nR=1 nR=0\n1186.eridani.qgg.hud.ac.uk\n"
+        ));
+        assert!(out.text.contains("\tJob_Name=sleep\n"));
+        assert!(out.text.contains("\tJob_Ownner=sliang@eridani.qgg.hud.ac.uk\n"));
+        assert!(out.text.contains("\tstate=R\n"));
+        assert!(out.text.contains("\ttime=Sat Apr 17 20:11:12 2010\n"));
+    }
+
+    #[test]
+    fn fig6_output3_stuck() {
+        let mut s = pbs16();
+        for i in 1..=16 {
+            s.set_node_offline(&format!("enode{i:02}.eridani.qgg.hud.ac.uk"));
+        }
+        for _ in 0..7 {
+            s.submit(
+                JobRequest::user("sleep", OsKind::Linux, 1, 4, SimDuration::from_mins(5)),
+                t(0),
+            );
+        }
+        for id in s.queued_ids().collect::<Vec<_>>() {
+            if id.0 != 1191 {
+                s.cancel(id);
+            }
+        }
+        let out = PbsDetector.run(&qstat_f(&s)).unwrap();
+        assert_eq!(
+            out.text,
+            "100041191.eridani.qgg.hud.ac.uk\nQueue stuck\nR=0 nR=1\n"
+        );
+        assert!(out.report.stuck);
+        assert_eq!(out.report.needed_cpus, 4);
+    }
+
+    #[test]
+    fn running_and_queued_is_other_state() {
+        let mut s = pbs16();
+        s.submit(
+            JobRequest::user("fit", OsKind::Linux, 1, 4, SimDuration::from_mins(5)),
+            t(0),
+        );
+        s.submit(
+            JobRequest::user("huge", OsKind::Linux, 99, 4, SimDuration::from_mins(5)),
+            t(0),
+        );
+        s.try_dispatch(t(0));
+        let out = PbsDetector.run(&qstat_f(&s)).unwrap();
+        assert!(out.text.contains("Other state"));
+        assert!(!out.report.stuck, "running job means not stuck");
+        assert_eq!((out.running, out.queued), (1, 1));
+    }
+
+    #[test]
+    fn win_detector_same_format() {
+        let mut s = WinHpcScheduler::eridani();
+        s.register_node("enode01.eridani.qgg.hud.ac.uk", 4);
+        let out = WinDetector.run(&s.api());
+        assert_eq!(out.text, "00000none\nOther state\nR=0 nR=0\n");
+        s.submit(
+            JobRequest::user("render", OsKind::Windows, 4, 4, SimDuration::from_mins(5)),
+            t(0),
+        );
+        s.try_dispatch(t(0)); // can't fit: 16 cores on a 4-core cluster
+        let out = WinDetector.run(&s.api());
+        assert!(out.report.stuck);
+        assert_eq!(out.report.needed_cpus, 16);
+        assert!(out.text.starts_with("10016JOB-1@winhead.eridani.qgg.hud.ac.uk\n"));
+        assert!(out.text.contains("Queue stuck"));
+    }
+
+    #[test]
+    fn detector_time_format_helper_exists() {
+        // format_detector is the Figure-6 numeric form, used by the v1
+        // detector's own logging.
+        assert_eq!(format_detector(SimTime::ZERO), "2010 04 16 17 55 40");
+    }
+
+    #[test]
+    fn scraped_and_api_detectors_agree_on_stuckness() {
+        let mut s = pbs16();
+        for i in 2..=16 {
+            s.set_node_offline(&format!("enode{i:02}.eridani.qgg.hud.ac.uk"));
+        }
+        s.submit(
+            JobRequest::user("big", OsKind::Linux, 2, 4, SimDuration::from_mins(5)),
+            t(0),
+        );
+        s.try_dispatch(t(0));
+        let scraped = PbsDetector.run(&qstat_f(&s)).unwrap();
+        let direct = WinDetector.from_snapshot(&s.snapshot());
+        assert_eq!(scraped.report, direct.report);
+    }
+}

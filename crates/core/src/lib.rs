@@ -1,0 +1,60 @@
+#![warn(missing_docs)]
+
+//! # dualboot-core — the dualboot-oscar middleware
+//!
+//! The paper's contribution: the daemons that make a dual-boot Beowulf
+//! cluster *bi-stable* — both operating systems' schedulers stay live, and
+//! idle capacity flows to whichever side has demand by rebooting drained
+//! nodes into the other OS.
+//!
+//! The control loop (v1 §III.B, v2 §IV.A / Figure 11):
+//!
+//! 1. each head node's **detector** reduces its scheduler's state to the
+//!    Figure-5 report (`stuck?`, `CPUs needed`, `stuck job id`) — by text
+//!    scraping on the PBS side, through the SDK on the Windows side;
+//! 2. the Windows **communicator** ships its report to the Linux side
+//!    over TCP on a fixed cycle;
+//! 3. the Linux daemon combines both reports and asks the **switch
+//!    policy** whether nodes must move (the paper ships FCFS; §V flags
+//!    richer policies as future work, which [`policy`] also provides);
+//! 4. (v2) the target-OS **flag** is set in the PXE menu directory;
+//! 5. **switch jobs** (Figure 4) are submitted through the ordinary
+//!    schedulers, so reboots only ever take *drained* nodes.
+//!
+//! * [`detector`] — both detectors, including the Figure-6 debug output.
+//! * [`policy`] — the [`policy::SwitchPolicy`] trait, the paper's FCFS
+//!   policy and three future-work policies (threshold, hysteresis,
+//!   proportional share).
+//! * [`daemon`] — the head-node daemons for v1 and v2, speaking
+//!   `dualboot-net` messages over any transport, emitting [`daemon::Action`]s
+//!   for the host (simulation or integration harness) to execute.
+//! * [`switchjob`] — what a running switch job does to its node (the v1
+//!   FAT rename / v2 plain reboot).
+//! * [`threaded`] — wall-clock daemon loops for real deployments (the
+//!   simulation drives the same daemons on a virtual clock instead).
+
+pub mod daemon;
+pub mod detector;
+pub mod policy;
+pub mod switchjob;
+pub mod threaded;
+
+pub use daemon::{Action, ControlEvent, LinuxDaemon, WindowsDaemon};
+pub use detector::{DetectorOutput, PbsDetector, WinDetector};
+pub use policy::{
+    FcfsPolicy, HysteresisPolicy, PolicyInput, ProportionalPolicy, SideState, SwitchOrder,
+    SwitchPolicy, ThresholdPolicy,
+};
+
+use serde::{Deserialize, Serialize};
+
+/// Which middleware generation is running (re-exported semantics of
+/// `dualboot_deploy::Version`, duplicated here so `core` does not depend
+/// on the deployment crate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Version {
+    /// §III: FAT-partition control file, per-node switch scripts.
+    V1,
+    /// §IV: PXE/GRUB4DOS single-flag control.
+    V2,
+}

@@ -1,0 +1,530 @@
+//! Switch-decision policies.
+//!
+//! The shipped dualboot-oscar daemons "are still following the rule
+//! 'first-come first-serve'. This could be improved to adapt the rules
+//! from diverse administration requirements" (§V). [`FcfsPolicy`] is the
+//! paper's rule; [`ThresholdPolicy`], [`HysteresisPolicy`] and
+//! [`ProportionalPolicy`] are the future-work directions, implemented so
+//! experiment E7 can ablate them.
+//!
+//! A policy sees what the Linux head daemon sees at decision time
+//! (Figure 11 step 3): its own full queue snapshot, the *remote* side's
+//! Figure-5 wire report (that is all that crosses the socket), and how
+//! many switches it has already ordered that have not yet landed.
+
+use dualboot_bootconf::os::OsKind;
+use dualboot_des::time::SimTime;
+use dualboot_net::wire::DetectorReport;
+use serde::{Deserialize, Serialize};
+
+/// What the decider knows about one side.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SideState {
+    /// The Figure-5 report (always available — locally computed or
+    /// received over the wire).
+    pub report: DetectorReport,
+    /// Jobs running — `None` for the remote side (not in the wire format).
+    pub running: Option<u32>,
+    /// Jobs queued — `None` for the remote side.
+    pub queued: Option<u32>,
+    /// Nodes currently registered/online on this side — `None` remotely.
+    pub nodes_online: Option<u32>,
+    /// Fully idle nodes — `None` remotely.
+    pub nodes_free: Option<u32>,
+}
+
+impl SideState {
+    /// A side about which only the wire report is known.
+    pub fn remote(report: DetectorReport) -> SideState {
+        SideState {
+            report,
+            running: None,
+            queued: None,
+            nodes_online: None,
+            nodes_free: None,
+        }
+    }
+
+    /// A fully observed (local) side.
+    pub fn local(
+        report: DetectorReport,
+        running: u32,
+        queued: u32,
+        nodes_online: u32,
+        nodes_free: u32,
+    ) -> SideState {
+        SideState {
+            report,
+            running: Some(running),
+            queued: Some(queued),
+            nodes_online: Some(nodes_online),
+            nodes_free: Some(nodes_free),
+        }
+    }
+}
+
+/// Everything a policy may consult.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PolicyInput {
+    /// The Linux side.
+    pub linux: SideState,
+    /// The Windows side.
+    pub windows: SideState,
+    /// Cores per node (4 on Eridani) — converts CPU needs to node counts.
+    pub cores_per_node: u32,
+    /// Switches already ordered toward Linux that have not completed.
+    pub outstanding_to_linux: u32,
+    /// Switches already ordered toward Windows that have not completed.
+    pub outstanding_to_windows: u32,
+}
+
+impl PolicyInput {
+    /// The side state for `os`.
+    pub fn side(&self, os: OsKind) -> &SideState {
+        match os {
+            OsKind::Linux => &self.linux,
+            OsKind::Windows => &self.windows,
+        }
+    }
+
+    /// Outstanding switches toward `os`.
+    pub fn outstanding_to(&self, os: OsKind) -> u32 {
+        match os {
+            OsKind::Linux => self.outstanding_to_linux,
+            OsKind::Windows => self.outstanding_to_windows,
+        }
+    }
+
+    /// Nodes needed to serve `os`'s stuck head-of-queue job, net of
+    /// switches already in flight.
+    pub fn nodes_needed(&self, os: OsKind) -> u32 {
+        let report = &self.side(os).report;
+        if !report.stuck {
+            return 0;
+        }
+        let nodes = report.needed_cpus.div_ceil(self.cores_per_node.max(1));
+        nodes.saturating_sub(self.outstanding_to(os))
+    }
+}
+
+/// A decision: move `count` nodes to `target`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SwitchOrder {
+    /// OS the switched nodes boot into.
+    pub target: OsKind,
+    /// How many nodes to move.
+    pub count: u32,
+}
+
+/// A switch-decision rule.
+pub trait SwitchPolicy: Send {
+    /// Decide on this poll tick. `None` = leave the cluster alone.
+    fn decide(&mut self, input: &PolicyInput, now: SimTime) -> Option<SwitchOrder>;
+
+    /// Stable name for reports and benches.
+    fn name(&self) -> &'static str;
+}
+
+impl SwitchPolicy for Box<dyn SwitchPolicy> {
+    fn decide(&mut self, input: &PolicyInput, now: SimTime) -> Option<SwitchOrder> {
+        (**self).decide(input, now)
+    }
+
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
+// ---------------------------------------------------------------------
+// FCFS — the paper's shipped policy
+// ---------------------------------------------------------------------
+
+/// The paper's rule: when exactly one side is stuck, order enough nodes to
+/// serve its head-of-queue job. If both sides are stuck no switch can help
+/// (each would steal from the other); if neither is, do nothing.
+///
+/// ```
+/// use dualboot_bootconf::os::OsKind;
+/// use dualboot_core::policy::{FcfsPolicy, PolicyInput, SideState, SwitchPolicy};
+/// use dualboot_des::time::SimTime;
+/// use dualboot_net::wire::DetectorReport;
+///
+/// let mut policy = FcfsPolicy;
+/// let input = PolicyInput {
+///     linux: SideState::local(DetectorReport::not_stuck(), 0, 0, 16, 16),
+///     windows: SideState::remote(DetectorReport::stuck(8, "JOB-1@winhead")),
+///     cores_per_node: 4,
+///     outstanding_to_linux: 0,
+///     outstanding_to_windows: 0,
+/// };
+/// let order = policy.decide(&input, SimTime::ZERO).unwrap();
+/// assert_eq!(order.target, OsKind::Windows);
+/// assert_eq!(order.count, 2); // ceil(8 CPUs / 4 per node)
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FcfsPolicy;
+
+impl SwitchPolicy for FcfsPolicy {
+    fn decide(&mut self, input: &PolicyInput, _now: SimTime) -> Option<SwitchOrder> {
+        let l_stuck = input.linux.report.stuck;
+        let w_stuck = input.windows.report.stuck;
+        let target = match (l_stuck, w_stuck) {
+            (true, false) => OsKind::Linux,
+            (false, true) => OsKind::Windows,
+            _ => return None,
+        };
+        let count = input.nodes_needed(target);
+        (count > 0).then_some(SwitchOrder { target, count })
+    }
+
+    fn name(&self) -> &'static str {
+        "fcfs"
+    }
+}
+
+// ---------------------------------------------------------------------
+// Threshold — switch before full starvation
+// ---------------------------------------------------------------------
+
+/// Triggers not only on "stuck" but whenever the local side's queue depth
+/// reaches `queue_threshold` (remote depth is unknowable over the wire, so
+/// the threshold part only fires for the locally observed side).
+#[derive(Debug, Clone)]
+pub struct ThresholdPolicy {
+    /// Queue depth at which a side counts as starved even while running.
+    pub queue_threshold: u32,
+}
+
+impl SwitchPolicy for ThresholdPolicy {
+    fn decide(&mut self, input: &PolicyInput, now: SimTime) -> Option<SwitchOrder> {
+        // Stuck beats threshold; reuse FCFS first.
+        if let Some(order) = FcfsPolicy.decide(input, now) {
+            return Some(order);
+        }
+        for os in OsKind::ALL {
+            let side = input.side(os);
+            if let Some(queued) = side.queued {
+                if queued >= self.queue_threshold && !side.report.stuck {
+                    // Pressure without full starvation: order one node at a
+                    // time to avoid overshooting while jobs still run.
+                    let count = 1u32.saturating_sub(0).min(
+                        queued.saturating_sub(input.outstanding_to(os)),
+                    );
+                    if count > 0 {
+                        return Some(SwitchOrder { target: os, count });
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    fn name(&self) -> &'static str {
+        "threshold"
+    }
+}
+
+// ---------------------------------------------------------------------
+// Hysteresis — debounce and cool down
+// ---------------------------------------------------------------------
+
+/// Wraps another policy: the inner decision must persist for
+/// `persistence` consecutive polls before it is emitted, and after
+/// emitting, no order is issued for `cooldown` polls. Dampens reboot
+/// thrash when load oscillates near the switch point.
+#[derive(Debug)]
+pub struct HysteresisPolicy<P> {
+    inner: P,
+    /// Consecutive agreeing polls required before acting.
+    pub persistence: u32,
+    /// Polls to stay quiet after acting.
+    pub cooldown: u32,
+    streak_target: Option<OsKind>,
+    streak: u32,
+    cooldown_left: u32,
+}
+
+impl<P: SwitchPolicy> HysteresisPolicy<P> {
+    /// Wrap `inner` with the given persistence/cooldown (in polls).
+    pub fn new(inner: P, persistence: u32, cooldown: u32) -> Self {
+        HysteresisPolicy {
+            inner,
+            persistence,
+            cooldown,
+            streak_target: None,
+            streak: 0,
+            cooldown_left: 0,
+        }
+    }
+}
+
+impl<P: SwitchPolicy> SwitchPolicy for HysteresisPolicy<P> {
+    fn decide(&mut self, input: &PolicyInput, now: SimTime) -> Option<SwitchOrder> {
+        if self.cooldown_left > 0 {
+            self.cooldown_left -= 1;
+            return None;
+        }
+        match self.inner.decide(input, now) {
+            Some(order) => {
+                if self.streak_target == Some(order.target) {
+                    self.streak += 1;
+                } else {
+                    self.streak_target = Some(order.target);
+                    self.streak = 1;
+                }
+                if self.streak >= self.persistence {
+                    self.streak = 0;
+                    self.streak_target = None;
+                    self.cooldown_left = self.cooldown;
+                    Some(order)
+                } else {
+                    None
+                }
+            }
+            None => {
+                self.streak = 0;
+                self.streak_target = None;
+                None
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "hysteresis"
+    }
+}
+
+// ---------------------------------------------------------------------
+// Proportional share — aim the node split at the demand split
+// ---------------------------------------------------------------------
+
+/// Where both sides' queue depths are observable (the centralised
+/// simulation can grant that), steer the node allocation toward the
+/// demand ratio instead of reacting to starvation events. Falls back to
+/// FCFS when remote depth is unknown.
+#[derive(Debug, Clone, Default)]
+pub struct ProportionalPolicy {
+    /// Minimum nodes to keep on each side (avoids complete monoculture).
+    pub min_per_side: u32,
+}
+
+impl SwitchPolicy for ProportionalPolicy {
+    fn decide(&mut self, input: &PolicyInput, now: SimTime) -> Option<SwitchOrder> {
+        let (Some(lq), Some(wq), Some(l_nodes), Some(w_nodes)) = (
+            input.linux.queued,
+            input.windows.queued,
+            input.linux.nodes_online,
+            input.windows.nodes_online,
+        ) else {
+            return FcfsPolicy.decide(input, now);
+        };
+        let l_run = input.linux.running.unwrap_or(0);
+        let w_run = input.windows.running.unwrap_or(0);
+        let l_demand = lq + l_run;
+        let w_demand = wq + w_run;
+        let total_nodes = l_nodes + w_nodes;
+        if l_demand + w_demand == 0 || total_nodes == 0 {
+            return None;
+        }
+        let want_linux = ((u64::from(l_demand) * u64::from(total_nodes))
+            / u64::from(l_demand + w_demand)) as u32;
+        let want_linux = want_linux
+            .max(self.min_per_side)
+            .min(total_nodes.saturating_sub(self.min_per_side));
+        let pending = i64::from(input.outstanding_to_linux) - i64::from(input.outstanding_to_windows);
+        let effective_linux = i64::from(l_nodes) + pending;
+        let delta = i64::from(want_linux) - effective_linux;
+        if delta > 0 {
+            Some(SwitchOrder {
+                target: OsKind::Linux,
+                count: delta as u32,
+            })
+        } else if delta < 0 {
+            Some(SwitchOrder {
+                target: OsKind::Windows,
+                count: (-delta) as u32,
+            })
+        } else {
+            None
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "proportional"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t0() -> SimTime {
+        SimTime::ZERO
+    }
+
+    fn input(
+        l_stuck: Option<u32>, // needed cpus if stuck
+        w_stuck: Option<u32>,
+    ) -> PolicyInput {
+        let mk = |stuck: Option<u32>| match stuck {
+            Some(cpus) => DetectorReport::stuck(cpus, "j.srv"),
+            None => DetectorReport::not_stuck(),
+        };
+        PolicyInput {
+            linux: SideState::local(mk(l_stuck), 0, u32::from(l_stuck.is_some()), 8, 0),
+            windows: SideState::remote(mk(w_stuck)),
+            cores_per_node: 4,
+            outstanding_to_linux: 0,
+            outstanding_to_windows: 0,
+        }
+    }
+
+    #[test]
+    fn fcfs_switches_toward_stuck_side() {
+        let order = FcfsPolicy.decide(&input(Some(8), None), t0()).unwrap();
+        assert_eq!(order.target, OsKind::Linux);
+        assert_eq!(order.count, 2); // 8 CPUs / 4 per node
+
+        let order = FcfsPolicy.decide(&input(None, Some(4)), t0()).unwrap();
+        assert_eq!(order.target, OsKind::Windows);
+        assert_eq!(order.count, 1);
+    }
+
+    #[test]
+    fn fcfs_rounds_cpu_needs_up() {
+        let order = FcfsPolicy.decide(&input(Some(5), None), t0()).unwrap();
+        assert_eq!(order.count, 2); // ceil(5/4)
+        let order = FcfsPolicy.decide(&input(Some(1), None), t0()).unwrap();
+        assert_eq!(order.count, 1);
+    }
+
+    #[test]
+    fn fcfs_no_action_when_idle_or_deadlocked() {
+        assert!(FcfsPolicy.decide(&input(None, None), t0()).is_none());
+        // both stuck: switching cannot help
+        assert!(FcfsPolicy.decide(&input(Some(4), Some(4)), t0()).is_none());
+    }
+
+    #[test]
+    fn fcfs_respects_outstanding_orders() {
+        let mut i = input(Some(8), None);
+        i.outstanding_to_linux = 2;
+        assert!(FcfsPolicy.decide(&i, t0()).is_none(), "already in flight");
+        i.outstanding_to_linux = 1;
+        assert_eq!(FcfsPolicy.decide(&i, t0()).unwrap().count, 1);
+    }
+
+    #[test]
+    fn threshold_fires_on_depth_without_starvation() {
+        let mut p = ThresholdPolicy { queue_threshold: 3 };
+        let mut i = input(None, None);
+        i.linux.queued = Some(3);
+        i.linux.running = Some(2); // running, so not stuck
+        let order = p.decide(&i, t0()).unwrap();
+        assert_eq!(order.target, OsKind::Linux);
+        assert_eq!(order.count, 1);
+        // below threshold: quiet
+        i.linux.queued = Some(2);
+        assert!(p.decide(&i, t0()).is_none());
+    }
+
+    #[test]
+    fn threshold_still_handles_stuck() {
+        let mut p = ThresholdPolicy { queue_threshold: 99 };
+        let order = p.decide(&input(Some(4), None), t0()).unwrap();
+        assert_eq!(order.target, OsKind::Linux);
+    }
+
+    #[test]
+    fn hysteresis_debounces() {
+        let mut p = HysteresisPolicy::new(FcfsPolicy, 3, 2);
+        let i = input(Some(4), None);
+        assert!(p.decide(&i, t0()).is_none()); // poll 1
+        assert!(p.decide(&i, t0()).is_none()); // poll 2
+        let order = p.decide(&i, t0()).unwrap(); // poll 3: act
+        assert_eq!(order.target, OsKind::Linux);
+        // cooldown: two quiet polls even though still stuck
+        assert!(p.decide(&i, t0()).is_none());
+        assert!(p.decide(&i, t0()).is_none());
+        // streak must rebuild
+        assert!(p.decide(&i, t0()).is_none());
+    }
+
+    #[test]
+    fn hysteresis_resets_on_calm() {
+        let mut p = HysteresisPolicy::new(FcfsPolicy, 2, 0);
+        let stuck = input(Some(4), None);
+        let calm = input(None, None);
+        assert!(p.decide(&stuck, t0()).is_none());
+        assert!(p.decide(&calm, t0()).is_none()); // streak broken
+        assert!(p.decide(&stuck, t0()).is_none()); // streak = 1 again
+        assert!(p.decide(&stuck, t0()).is_some());
+    }
+
+    #[test]
+    fn hysteresis_streak_tracks_target_changes() {
+        let mut p = HysteresisPolicy::new(FcfsPolicy, 2, 0);
+        assert!(p.decide(&input(Some(4), None), t0()).is_none());
+        // target flips to Windows: streak restarts
+        assert!(p.decide(&input(None, Some(4)), t0()).is_none());
+        let order = p.decide(&input(None, Some(4)), t0()).unwrap();
+        assert_eq!(order.target, OsKind::Windows);
+    }
+
+    #[test]
+    fn proportional_moves_toward_demand_ratio() {
+        let mut p = ProportionalPolicy { min_per_side: 0 };
+        let mut i = input(None, None);
+        // 8 Linux nodes, 8 Windows nodes; all demand on Windows.
+        i.linux = SideState::local(DetectorReport::not_stuck(), 0, 0, 8, 8);
+        i.windows = SideState::local(DetectorReport::not_stuck(), 4, 12, 8, 0);
+        let order = p.decide(&i, t0()).unwrap();
+        assert_eq!(order.target, OsKind::Windows);
+        assert_eq!(order.count, 8); // want_linux = 0
+    }
+
+    #[test]
+    fn proportional_respects_min_per_side() {
+        let mut p = ProportionalPolicy { min_per_side: 2 };
+        let mut i = input(None, None);
+        i.linux = SideState::local(DetectorReport::not_stuck(), 0, 0, 8, 8);
+        i.windows = SideState::local(DetectorReport::not_stuck(), 4, 12, 8, 0);
+        let order = p.decide(&i, t0()).unwrap();
+        assert_eq!(order.count, 6); // leaves 2 on Linux
+    }
+
+    #[test]
+    fn proportional_counts_in_flight_switches() {
+        let mut p = ProportionalPolicy { min_per_side: 0 };
+        let mut i = input(None, None);
+        i.linux = SideState::local(DetectorReport::not_stuck(), 0, 0, 8, 8);
+        i.windows = SideState::local(DetectorReport::not_stuck(), 4, 12, 8, 0);
+        i.outstanding_to_windows = 8;
+        assert!(p.decide(&i, t0()).is_none(), "already rebalancing");
+    }
+
+    #[test]
+    fn proportional_falls_back_to_fcfs_without_visibility() {
+        let mut p = ProportionalPolicy { min_per_side: 0 };
+        let order = p.decide(&input(None, Some(4)), t0()).unwrap();
+        assert_eq!(order.target, OsKind::Windows);
+        assert_eq!(order.count, 1);
+    }
+
+    #[test]
+    fn proportional_idle_cluster_stays_put() {
+        let mut p = ProportionalPolicy { min_per_side: 0 };
+        let mut i = input(None, None);
+        i.linux = SideState::local(DetectorReport::not_stuck(), 0, 0, 8, 8);
+        i.windows = SideState::local(DetectorReport::not_stuck(), 0, 0, 8, 8);
+        assert!(p.decide(&i, t0()).is_none());
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(FcfsPolicy.name(), "fcfs");
+        assert_eq!(ThresholdPolicy { queue_threshold: 1 }.name(), "threshold");
+        assert_eq!(HysteresisPolicy::new(FcfsPolicy, 1, 1).name(), "hysteresis");
+        assert_eq!(ProportionalPolicy::default().name(), "proportional");
+    }
+}

@@ -1,0 +1,259 @@
+//! What a running switch job does to its node.
+//!
+//! When the Figure-4 job finally starts on a drained node it performs, in
+//! order: *change the default boot OS*, *reboot*, *sleep 10*. The "change"
+//! step differs by generation:
+//!
+//! * **v1** — the batch script renames the pre-staged
+//!   `controlmenu_to_<os>.lst` over `controlmenu.lst` on the node's own
+//!   FAT partition (§III.B.1). The rename consumes the variant, so the
+//!   script re-stages it afterwards (the variants are "pre-configured and
+//!   copied into FAT partition").
+//! * **v2** — nothing happens on the node at all: the head node's PXE
+//!   flag was already flicked (Figure 13), so the job is a bare reboot.
+//!
+//! The ordering of *config change* then *reboot* is what experiment E8's
+//! fault injection probes: a power reset that lands between the two (or
+//! before the rename completes) boots the stale OS under v1, while v2
+//! nodes always follow the head-node flag.
+
+use dualboot_bootconf::grub::eridani as grub_eridani;
+use dualboot_bootconf::os::OsKind;
+use dualboot_hw::disk::Disk;
+use serde::{Deserialize, Serialize};
+
+/// Failures applying the v1 switch to a node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SwitchError {
+    /// The node has no FAT control partition (not a v1-deployed node).
+    NoFatPartition,
+    /// The pre-staged `controlmenu_to_<os>.lst` variant is missing.
+    VariantMissing(String),
+}
+
+impl std::fmt::Display for SwitchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SwitchError::NoFatPartition => write!(f, "node has no FAT control partition"),
+            SwitchError::VariantMissing(v) => write!(f, "pre-staged variant {v:?} missing"),
+        }
+    }
+}
+
+impl std::error::Error for SwitchError {}
+
+/// How far the switch script got before the node went down — the fault
+/// injection surface for E8.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SwitchStage {
+    /// Power reset before the rename completed: config unchanged.
+    BeforeConfigChange,
+    /// Reset after the rename, before/at the reboot: config changed, and
+    /// the reboot happens anyway (just not gracefully).
+    AfterConfigChange,
+}
+
+/// Perform the v1 switch script's config step on a node disk: rename the
+/// pre-staged variant over `controlmenu.lst` and re-stage the variant.
+pub fn apply_v1_switch(disk: &mut Disk, target: OsKind) -> Result<(), SwitchError> {
+    let variant = format!("controlmenu_to_{}.lst", target.tag());
+    let fat = disk.fat_control_mut().ok_or(SwitchError::NoFatPartition)?;
+    if !fat.exists(&variant) {
+        return Err(SwitchError::VariantMissing(variant));
+    }
+    fat.rename(&variant, "controlmenu.lst");
+    // Re-stage the consumed variant so the next switch finds it.
+    fat.write(&variant, grub_eridani::controlmenu(target).emit());
+    Ok(())
+}
+
+/// The v2 switch has no node-side config step; this exists so the two
+/// code paths read symmetrically at call sites (and to document the
+/// asymmetry). Always succeeds.
+pub fn apply_v2_switch(_disk: &mut Disk, _target: OsKind) -> Result<(), SwitchError> {
+    Ok(())
+}
+
+/// Carter's original method \[3\]: edit `controlmenu.lst` *in place*
+/// (his universal Perl script rewrites the `default` line). The paper
+/// replaced it with the rename-based batch scripts "to reduce the
+/// installations in Windows compute node" — and, as this model makes
+/// explicit, the in-place edit is **not atomic**: `interrupted = true`
+/// simulates a power reset mid-write, which leaves a truncated file that
+/// the GRUB redirect chain can no longer parse ([`apply_v1_switch`]'s
+/// rename either happens or doesn't — no torn state).
+pub fn apply_carter_switch(
+    disk: &mut Disk,
+    target: OsKind,
+    interrupted: bool,
+) -> Result<(), SwitchError> {
+    use dualboot_bootconf::grub::GrubConfig;
+    let fat = disk.fat_control_mut().ok_or(SwitchError::NoFatPartition)?;
+    let Some(text) = fat.read("controlmenu.lst").map(str::to_string) else {
+        return Err(SwitchError::VariantMissing("controlmenu.lst".to_string()));
+    };
+    let mut menu = GrubConfig::parse(&text)
+        .unwrap_or_else(|_| grub_eridani::controlmenu(target));
+    menu.retarget(target);
+    let new_text = menu.emit();
+    if interrupted {
+        // Torn write: only the first half landed.
+        let half = new_text.len() / 2;
+        fat.write("controlmenu.lst", &new_text[..half]);
+    } else {
+        fat.write("controlmenu.lst", new_text);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dualboot_deploy_free::v1_disk;
+
+    /// Local fixture builder (deploy crate is a higher layer; rebuild the
+    /// relevant disk state directly from hw + bootconf).
+    mod dualboot_deploy_free {
+        use dualboot_bootconf::grub::eridani as grub_eridani;
+        use dualboot_bootconf::os::OsKind;
+        use dualboot_hw::disk::{Disk, FsKind, MbrCode, PartitionContent};
+        use dualboot_hw::fatfs::FatFs;
+
+        pub fn v1_disk() -> Disk {
+            let mut d = Disk::eridani();
+            d.set_mbr(MbrCode::GrubStage1);
+            d.add_partition(1, 150_000, FsKind::Ntfs, PartitionContent::WindowsSystem)
+                .unwrap();
+            d.add_partition(
+                2,
+                100,
+                FsKind::Ext3,
+                PartitionContent::LinuxBoot {
+                    menu_lst: grub_eridani::menu_lst(),
+                },
+            )
+            .unwrap();
+            let mut fat = FatFs::new();
+            fat.write(
+                "controlmenu.lst",
+                grub_eridani::controlmenu(OsKind::Linux).emit(),
+            );
+            fat.write(
+                "controlmenu_to_linux.lst",
+                grub_eridani::controlmenu(OsKind::Linux).emit(),
+            );
+            fat.write(
+                "controlmenu_to_windows.lst",
+                grub_eridani::controlmenu(OsKind::Windows).emit(),
+            );
+            d.add_partition(6, 64, FsKind::Vfat, PartitionContent::FatControl(fat))
+                .unwrap();
+            d.add_partition(7, 50_000, FsKind::Ext3, PartitionContent::LinuxRoot)
+                .unwrap();
+            d
+        }
+    }
+
+    #[test]
+    fn v1_switch_changes_boot_target() {
+        let mut d = v1_disk();
+        assert_eq!(
+            dualboot_hw::boot::resolve_local(&d).unwrap().0,
+            OsKind::Linux
+        );
+        apply_v1_switch(&mut d, OsKind::Windows).unwrap();
+        assert_eq!(
+            dualboot_hw::boot::resolve_local(&d).unwrap().0,
+            OsKind::Windows
+        );
+    }
+
+    #[test]
+    fn v1_switch_is_repeatable() {
+        // The re-staging keeps the variants available forever.
+        let mut d = v1_disk();
+        for _ in 0..5 {
+            apply_v1_switch(&mut d, OsKind::Windows).unwrap();
+            assert_eq!(
+                dualboot_hw::boot::resolve_local(&d).unwrap().0,
+                OsKind::Windows
+            );
+            apply_v1_switch(&mut d, OsKind::Linux).unwrap();
+            assert_eq!(
+                dualboot_hw::boot::resolve_local(&d).unwrap().0,
+                OsKind::Linux
+            );
+        }
+    }
+
+    #[test]
+    fn v1_switch_to_current_os_is_harmless() {
+        let mut d = v1_disk();
+        apply_v1_switch(&mut d, OsKind::Linux).unwrap();
+        assert_eq!(
+            dualboot_hw::boot::resolve_local(&d).unwrap().0,
+            OsKind::Linux
+        );
+    }
+
+    #[test]
+    fn v1_switch_needs_fat_partition() {
+        let mut d = Disk::eridani();
+        assert_eq!(
+            apply_v1_switch(&mut d, OsKind::Windows),
+            Err(SwitchError::NoFatPartition)
+        );
+    }
+
+    #[test]
+    fn v1_switch_needs_prestaged_variant() {
+        let mut d = v1_disk();
+        d.fat_control_mut()
+            .unwrap()
+            .remove("controlmenu_to_windows.lst");
+        assert_eq!(
+            apply_v1_switch(&mut d, OsKind::Windows),
+            Err(SwitchError::VariantMissing(
+                "controlmenu_to_windows.lst".to_string()
+            ))
+        );
+    }
+
+    #[test]
+    fn carter_switch_works_when_uninterrupted() {
+        let mut d = v1_disk();
+        apply_carter_switch(&mut d, OsKind::Windows, false).unwrap();
+        assert_eq!(
+            dualboot_hw::boot::resolve_local(&d).unwrap().0,
+            OsKind::Windows
+        );
+    }
+
+    #[test]
+    fn carter_switch_torn_write_bricks_the_boot_chain() {
+        // The hazard the paper's rename-based scripts remove: a reset
+        // mid-edit leaves an unparsable control file and the node cannot
+        // boot at all — worse than the rename method's stale boot.
+        let mut d = v1_disk();
+        apply_carter_switch(&mut d, OsKind::Windows, true).unwrap();
+        // The exact failure depends on where the tear lands (unparsable
+        // text, dangling default index, entry without a boot command) —
+        // but the node does not come up.
+        assert!(dualboot_hw::boot::resolve_local(&d).is_err());
+        // Whereas the rename method interrupted "before" simply hasn't
+        // happened yet: the node still boots the stale OS.
+        let d2 = v1_disk();
+        assert_eq!(
+            dualboot_hw::boot::resolve_local(&d2).unwrap().0,
+            OsKind::Linux
+        );
+    }
+
+    #[test]
+    fn v2_switch_touches_nothing() {
+        let mut d = v1_disk();
+        let before = d.clone();
+        apply_v2_switch(&mut d, OsKind::Windows).unwrap();
+        assert_eq!(d, before);
+    }
+}

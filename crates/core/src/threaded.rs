@@ -1,0 +1,341 @@
+//! Real-time daemon loops.
+//!
+//! The simulation drives the daemons tick-by-tick on a virtual clock; a
+//! *deployment* runs them the way the paper did — as background programs
+//! looping on wall-clock cycles ("Windows communicator fetches queue
+//! state in fixed cycles (intervals), e.g. 10mins", §IV.A.3). This module
+//! wraps [`WindowsDaemon`]/[`LinuxDaemon`] in OS threads with clean
+//! shutdown, suitable for the TCP transport and real schedulers.
+//!
+//! The decision logic is *identical* to the simulated path: these loops
+//! only add the clock, the locking around the shared scheduler, and the
+//! action plumbing.
+
+use crate::daemon::{Action, LinuxDaemon, WindowsDaemon};
+use crate::detector::{PbsDetector, WinDetector};
+use crate::policy::SwitchPolicy;
+use crate::Version;
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
+use dualboot_des::time::SimTime;
+use dualboot_net::transport::Transport;
+use dualboot_sched::pbs::PbsScheduler;
+use dualboot_sched::scheduler::Scheduler as _;
+use dualboot_sched::pbs_text::{parse_pbsnodes, pbsnodes, qstat_f, summarize_nodes};
+use dualboot_sched::winhpc::WinHpcScheduler;
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Handle to a running daemon thread; dropping it *without* calling
+/// [`DaemonHandle::shutdown`] detaches the thread (it keeps cycling).
+pub struct DaemonHandle {
+    stop: Sender<()>,
+    join: std::thread::JoinHandle<()>,
+}
+
+impl DaemonHandle {
+    /// Signal the loop to stop and wait for the thread to exit.
+    pub fn shutdown(self) {
+        let _ = self.stop.send(());
+        let _ = self.join.join();
+    }
+}
+
+/// Interruptible sleep: waits `cycle` or returns `true` when shutdown was
+/// requested.
+fn wait_or_stop(stop: &Receiver<()>, cycle: Duration) -> bool {
+    match stop.recv_timeout(cycle) {
+        Ok(()) | Err(RecvTimeoutError::Disconnected) => true,
+        Err(RecvTimeoutError::Timeout) => false,
+    }
+}
+
+fn wall_clock(start: Instant) -> SimTime {
+    SimTime::from_millis(start.elapsed().as_millis() as u64)
+}
+
+/// Spawn the Windows head daemon: every `cycle` it runs the SDK detector
+/// against the shared scheduler and ships the report (Figure 11 steps
+/// 1–2); incoming reboot orders become switch-job submissions on the
+/// scheduler, reported through `on_action`.
+pub fn spawn_windows_daemon<T>(
+    sched: Arc<Mutex<WinHpcScheduler>>,
+    transport: T,
+    cycle: Duration,
+    on_action: impl FnMut(&Action) + Send + 'static,
+) -> DaemonHandle
+where
+    T: Transport + Send + 'static,
+{
+    let (stop_tx, stop_rx) = bounded(1);
+    let join = std::thread::spawn(move || {
+        let mut on_action = on_action;
+        let mut daemon = WindowsDaemon::new(transport);
+        let start = Instant::now();
+        loop {
+            let now = wall_clock(start);
+            {
+                let guard = sched.lock();
+                let out = WinDetector.run(&guard.api());
+                drop(guard);
+                if daemon.tick(&out, now).is_err() {
+                    break; // peer gone
+                }
+            }
+            // Orders can arrive at any point in the cycle; drain them now
+            // and again after the sleep so latency stays ≤ one cycle.
+            for _ in 0..2 {
+                match daemon.pump(wall_clock(start)) {
+                    Ok(actions) => {
+                        for a in &actions {
+                            execute_windows_action(&sched, a, wall_clock(start));
+                            on_action(a);
+                        }
+                    }
+                    Err(_) => return,
+                }
+                if wait_or_stop(&stop_rx, cycle / 2) {
+                    return;
+                }
+            }
+        }
+    });
+    DaemonHandle {
+        stop: stop_tx,
+        join,
+    }
+}
+
+fn execute_windows_action(
+    sched: &Arc<Mutex<WinHpcScheduler>>,
+    action: &Action,
+    now: SimTime,
+) {
+    if let Action::SubmitSwitchJobs { via, target, count } = action {
+        debug_assert_eq!(*via, dualboot_bootconf::os::OsKind::Windows);
+        let mut guard = sched.lock();
+        for _ in 0..*count {
+            guard.submit(
+                dualboot_sched::job::JobRequest::os_switch(*via, *target, 4),
+                now,
+            );
+        }
+        guard.try_dispatch(now);
+    }
+}
+
+/// Spawn the Linux head daemon: every `cycle` it scrapes `qstat -f` and
+/// `pbsnodes` from the shared PBS, decides, and acts (Figure 11 steps
+/// 3–5). Locally submittable actions (switch jobs via PBS) are executed
+/// against the scheduler; *all* actions (including `SetPxeFlag`) are
+/// reported through `on_action` so the host can drive its PXE service.
+pub fn spawn_linux_daemon<T, P>(
+    version: Version,
+    policy: P,
+    sched: Arc<Mutex<PbsScheduler>>,
+    transport: T,
+    cycle: Duration,
+    on_action: impl FnMut(&Action) + Send + 'static,
+) -> DaemonHandle
+where
+    T: Transport + Send + 'static,
+    P: SwitchPolicy + Send + 'static,
+{
+    let (stop_tx, stop_rx) = bounded(1);
+    let join = std::thread::spawn(move || {
+        let mut on_action = on_action;
+        let mut daemon = LinuxDaemon::new(version, transport, policy);
+        let start = Instant::now();
+        loop {
+            let now = wall_clock(start);
+            if daemon.pump(now).is_err() {
+                break;
+            }
+            let (out, nodes_online, nodes_free) = {
+                let guard = sched.lock();
+                let out = PbsDetector
+                    .run(&qstat_f(&guard))
+                    .expect("emitter output parses");
+                let blocks =
+                    parse_pbsnodes(&pbsnodes(&guard, now)).expect("emitter output parses");
+                let (online, free) = summarize_nodes(&blocks);
+                (out, online, free)
+            };
+            match daemon.poll(&out, nodes_online, nodes_free, now) {
+                Ok(actions) => {
+                    for a in &actions {
+                        if let Action::SubmitSwitchJobs { via, target, count } = a {
+                            if *via == dualboot_bootconf::os::OsKind::Linux {
+                                let mut guard = sched.lock();
+                                for _ in 0..*count {
+                                    guard.submit(
+                                        dualboot_sched::job::JobRequest::os_switch(
+                                            *via, *target, 4,
+                                        ),
+                                        now,
+                                    );
+                                }
+                                guard.try_dispatch(now);
+                            }
+                        }
+                        on_action(a);
+                    }
+                }
+                Err(_) => break,
+            }
+            if wait_or_stop(&stop_rx, cycle) {
+                break;
+            }
+        }
+    });
+    DaemonHandle {
+        stop: stop_tx,
+        join,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::FcfsPolicy;
+    use dualboot_bootconf::os::OsKind;
+    use dualboot_des::time::SimDuration;
+    use dualboot_net::transport::in_proc_pair;
+    use dualboot_sched::job::JobRequest;
+
+    fn wait_until(deadline_ms: u64, mut cond: impl FnMut() -> bool) -> bool {
+        let deadline = Instant::now() + Duration::from_millis(deadline_ms);
+        while Instant::now() < deadline {
+            if cond() {
+                return true;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        false
+    }
+
+    #[test]
+    fn threaded_daemons_complete_a_switch_cycle() {
+        // Windows stuck, Linux idle with 16 free nodes: within a few
+        // 20 ms cycles the Linux daemon must submit switch jobs to PBS
+        // and emit the flag action.
+        let (lt, wt) = in_proc_pair();
+        let win = Arc::new(Mutex::new(WinHpcScheduler::eridani()));
+        win.lock().submit(
+            JobRequest::user("opera", OsKind::Windows, 2, 4, SimDuration::from_mins(5)),
+            SimTime::ZERO,
+        );
+        let pbs = Arc::new(Mutex::new(PbsScheduler::eridani()));
+        for i in 1..=16 {
+            pbs.lock()
+                .register_node(&format!("enode{i:02}.eridani.qgg.hud.ac.uk"), 4);
+        }
+        let actions = Arc::new(Mutex::new(Vec::new()));
+
+        let win_handle = spawn_windows_daemon(
+            Arc::clone(&win),
+            wt,
+            Duration::from_millis(20),
+            |_a| {},
+        );
+        let sink = Arc::clone(&actions);
+        let lin_handle = spawn_linux_daemon(
+            Version::V2,
+            FcfsPolicy,
+            Arc::clone(&pbs),
+            lt,
+            Duration::from_millis(20),
+            move |a| sink.lock().push(a.clone()),
+        );
+
+        let pbs_probe = Arc::clone(&pbs);
+        let switched = wait_until(5_000, || {
+            pbs_probe
+                .lock()
+                .jobs()
+                .iter()
+                .any(|j| j.is_switch())
+        });
+        lin_handle.shutdown();
+        win_handle.shutdown();
+        assert!(switched, "switch jobs never reached PBS");
+        let seen = actions.lock();
+        assert!(seen
+            .iter()
+            .any(|a| matches!(a, Action::SetPxeFlag(OsKind::Windows))));
+        assert!(seen.iter().any(|a| matches!(
+            a,
+            Action::SubmitSwitchJobs {
+                via: OsKind::Linux,
+                target: OsKind::Windows,
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn reboot_order_executes_on_the_windows_side() {
+        // Linux stuck with zero nodes; Windows has free nodes. The order
+        // crosses the transport and the *Windows daemon thread* submits
+        // and dispatches the switch jobs.
+        let (lt, wt) = in_proc_pair();
+        let win = Arc::new(Mutex::new(WinHpcScheduler::eridani()));
+        for i in 1..=4 {
+            win.lock()
+                .register_node(&format!("enode{i:02}.eridani.qgg.hud.ac.uk"), 4);
+        }
+        let pbs = Arc::new(Mutex::new(PbsScheduler::eridani()));
+        pbs.lock().submit(
+            JobRequest::user("dl_poly", OsKind::Linux, 1, 4, SimDuration::from_mins(5)),
+            SimTime::ZERO,
+        );
+
+        let win_handle = spawn_windows_daemon(
+            Arc::clone(&win),
+            wt,
+            Duration::from_millis(20),
+            |_a| {},
+        );
+        let lin_handle = spawn_linux_daemon(
+            Version::V2,
+            FcfsPolicy,
+            Arc::clone(&pbs),
+            lt,
+            Duration::from_millis(20),
+            |_a| {},
+        );
+
+        let win_probe = Arc::clone(&win);
+        let dispatched = wait_until(5_000, || {
+            win_probe.lock().jobs().iter().any(|j| {
+                j.is_switch() && j.state == dualboot_sched::job::JobState::Running
+            })
+        });
+        lin_handle.shutdown();
+        win_handle.shutdown();
+        assert!(dispatched, "switch job never dispatched on Windows side");
+    }
+
+    #[test]
+    fn shutdown_is_prompt() {
+        let (lt, wt) = in_proc_pair();
+        let win = Arc::new(Mutex::new(WinHpcScheduler::eridani()));
+        let pbs = Arc::new(Mutex::new(PbsScheduler::eridani()));
+        let w = spawn_windows_daemon(win, wt, Duration::from_secs(3600), |_| {});
+        let l = spawn_linux_daemon(
+            Version::V2,
+            FcfsPolicy,
+            pbs,
+            lt,
+            Duration::from_secs(3600),
+            |_| {},
+        );
+        let start = Instant::now();
+        l.shutdown();
+        w.shutdown();
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "shutdown hung on the long cycle"
+        );
+    }
+}

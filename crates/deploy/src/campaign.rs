@@ -1,0 +1,245 @@
+//! Reimage campaigns — the E4 experiment engine.
+//!
+//! A campaign replays a sequence of maintenance events (Windows reimage,
+//! Linux reimage, initial installs) against a fleet of nodes under either
+//! middleware generation and accumulates what the paper reports
+//! qualitatively: administrator effort, collateral reinstalls, and wall
+//! time. One-time toolchain patches (v2's systemimager/systeminstaller
+//! patch, both versions' diskpart patch) are charged once at campaign
+//! start, per §IV.B.
+
+use crate::oscar::OscarDeployer;
+use crate::windows::WindowsDeployer;
+use crate::{times, DeployError, Version};
+use dualboot_des::time::SimDuration;
+use dualboot_hw::node::{ComputeNode, FirmwareBootOrder};
+use serde::{Deserialize, Serialize};
+
+/// One maintenance event applied to the whole fleet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CampaignEvent {
+    /// Reimage every node's Windows side.
+    WindowsReimage,
+    /// Rebuild and push a fresh Linux image to every node.
+    LinuxReimage,
+}
+
+/// Accumulated campaign metrics (one row of the E4 table).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CampaignReport {
+    /// Maintenance events processed.
+    pub events: u32,
+    /// Manual administrator interventions (file edits, script patches).
+    pub manual_steps: u32,
+    /// Linux reinstalls forced by Windows maintenance (v1's collateral
+    /// damage), in node-events.
+    pub collateral_linux_reinstalls: u32,
+    /// Total wall time spent on maintenance. Imaging is fleet-parallel
+    /// (systemimager/WinHPC push all nodes at once), so each event costs
+    /// one image duration plus its manual edits.
+    pub wall_time: SimDuration,
+    /// Node-events where Windows maintenance left the node without a
+    /// bootable Linux until the collateral reinstall (v1's outage window;
+    /// the node itself still boots — into Windows).
+    pub linux_outage_node_events: u32,
+}
+
+/// A fleet maintenance campaign under one middleware generation.
+#[derive(Debug)]
+pub struct ReimageCampaign {
+    version: Version,
+    nodes: Vec<ComputeNode>,
+    report: CampaignReport,
+}
+
+impl ReimageCampaign {
+    /// Set up `node_count` freshly installed nodes under `version`:
+    /// Windows first, then Linux (the only order v1 permits), with the
+    /// one-time patches charged here.
+    pub fn new(version: Version, node_count: u16) -> Result<Self, DeployError> {
+        let firmware = match version {
+            Version::V1 => FirmwareBootOrder::LocalDisk,
+            Version::V2 => FirmwareBootOrder::PxeFirst,
+        };
+        let mut report = CampaignReport::default();
+        // One-time setup effort:
+        // both versions patch diskpart.txt (1 step); v2 additionally
+        // patches systemimager + systeminstaller (2 steps, §IV.B.1).
+        report.manual_steps += match version {
+            Version::V1 => 1,
+            Version::V2 => 3,
+        };
+        report.wall_time +=
+            times::MANUAL_EDIT.saturating_mul(u64::from(report.manual_steps));
+
+        let win = WindowsDeployer::v1_patched();
+        let lin = OscarDeployer::eridani(version);
+        let mut nodes = Vec::with_capacity(usize::from(node_count));
+        for i in 1..=node_count {
+            let mut n = ComputeNode::eridani(i, firmware);
+            win.deploy(&mut n)?;
+            lin.deploy(&mut n)?;
+            nodes.push(n);
+        }
+        // Initial install: one Windows push + one Linux push (parallel
+        // across the fleet) + v1's per-rebuild manual edits.
+        let lin_manual = match version {
+            Version::V1 => crate::oscar::V1_MANUAL_EDITS_PER_REBUILD,
+            Version::V2 => 0,
+        };
+        report.manual_steps += lin_manual;
+        report.wall_time += times::WINDOWS_INSTALL
+            + times::LINUX_IMAGE
+            + times::MANUAL_EDIT.saturating_mul(u64::from(lin_manual));
+        Ok(ReimageCampaign {
+            version,
+            nodes,
+            report,
+        })
+    }
+
+    /// Apply one maintenance event to the whole fleet.
+    pub fn run_event(&mut self, event: CampaignEvent) -> Result<(), DeployError> {
+        self.report.events += 1;
+        match event {
+            CampaignEvent::WindowsReimage => {
+                let deployer = match self.version {
+                    // v1 has no partition-preserving script: reimaging
+                    // Windows replays the Figure-10 clean+create flow.
+                    Version::V1 => WindowsDeployer::v1_patched(),
+                    Version::V2 => WindowsDeployer::v2_reimage(),
+                };
+                let mut wiped = false;
+                let mut dur = SimDuration::ZERO;
+                for n in &mut self.nodes {
+                    let r = deployer.deploy(n)?;
+                    wiped |= r.wiped_linux;
+                    dur = r.duration; // fleet-parallel push
+                    if r.wiped_linux {
+                        self.report.linux_outage_node_events += 1;
+                    }
+                }
+                self.report.wall_time += dur;
+                if wiped {
+                    // Collateral: Linux must be rebuilt on every node.
+                    self.report.collateral_linux_reinstalls += self.nodes.len() as u32;
+                    self.reimage_linux()?;
+                }
+            }
+            CampaignEvent::LinuxReimage => {
+                self.reimage_linux()?;
+            }
+        }
+        Ok(())
+    }
+
+    fn reimage_linux(&mut self) -> Result<(), DeployError> {
+        let deployer = OscarDeployer::eridani(self.version);
+        let mut manual = 0;
+        let mut dur = SimDuration::ZERO;
+        for n in &mut self.nodes {
+            let r = deployer.deploy(n)?;
+            manual = r.manual_steps; // per-rebuild, not per-node
+            dur = r.duration;
+        }
+        self.report.manual_steps += manual;
+        self.report.wall_time += dur;
+        Ok(())
+    }
+
+    /// Run a whole event sequence and return the final report.
+    pub fn run(mut self, events: &[CampaignEvent]) -> Result<CampaignReport, DeployError> {
+        for e in events {
+            self.run_event(*e)?;
+        }
+        Ok(self.report)
+    }
+
+    /// Current accumulated report.
+    pub fn report(&self) -> &CampaignReport {
+        &self.report
+    }
+
+    /// The fleet (for post-campaign assertions).
+    pub fn nodes(&self) -> &[ComputeNode] {
+        &self.nodes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MIXED: [CampaignEvent; 4] = [
+        CampaignEvent::WindowsReimage,
+        CampaignEvent::LinuxReimage,
+        CampaignEvent::WindowsReimage,
+        CampaignEvent::WindowsReimage,
+    ];
+
+    #[test]
+    fn v1_windows_reimage_forces_fleetwide_linux_reinstalls() {
+        let report = ReimageCampaign::new(Version::V1, 16)
+            .unwrap()
+            .run(&MIXED)
+            .unwrap();
+        // 3 Windows reimages × 16 nodes of collateral
+        assert_eq!(report.collateral_linux_reinstalls, 48);
+        assert_eq!(report.linux_outage_node_events, 48);
+    }
+
+    #[test]
+    fn v2_windows_reimage_has_no_collateral() {
+        let report = ReimageCampaign::new(Version::V2, 16)
+            .unwrap()
+            .run(&MIXED)
+            .unwrap();
+        assert_eq!(report.collateral_linux_reinstalls, 0);
+        assert_eq!(report.linux_outage_node_events, 0);
+    }
+
+    #[test]
+    fn v2_total_effort_is_lower_despite_setup_patches() {
+        let v1 = ReimageCampaign::new(Version::V1, 16)
+            .unwrap()
+            .run(&MIXED)
+            .unwrap();
+        let v2 = ReimageCampaign::new(Version::V2, 16)
+            .unwrap()
+            .run(&MIXED)
+            .unwrap();
+        assert!(
+            v2.manual_steps < v1.manual_steps,
+            "v2 {} vs v1 {}",
+            v2.manual_steps,
+            v1.manual_steps
+        );
+        assert!(v2.wall_time < v1.wall_time);
+    }
+
+    #[test]
+    fn empty_campaign_charges_only_setup() {
+        let v2 = ReimageCampaign::new(Version::V2, 4).unwrap().run(&[]).unwrap();
+        assert_eq!(v2.events, 0);
+        assert_eq!(v2.collateral_linux_reinstalls, 0);
+        // 3 setup patches, 0 per-rebuild edits
+        assert_eq!(v2.manual_steps, 3);
+        let v1 = ReimageCampaign::new(Version::V1, 4).unwrap().run(&[]).unwrap();
+        // 1 diskpart patch + 4 initial-image edits
+        assert_eq!(v1.manual_steps, 5);
+    }
+
+    #[test]
+    fn fleet_ends_dual_bootable_after_campaign() {
+        for version in [Version::V1, Version::V2] {
+            let mut c = ReimageCampaign::new(version, 4).unwrap();
+            for e in MIXED {
+                c.run_event(e).unwrap();
+            }
+            for n in c.nodes() {
+                assert!(n.disk.has_linux(), "{version:?}: node lost Linux");
+                assert!(n.disk.has_windows(), "{version:?}: node lost Windows");
+            }
+        }
+    }
+}

@@ -1,0 +1,102 @@
+#![warn(missing_docs)]
+
+//! # dualboot-deploy — node deployment and reimaging
+//!
+//! The biggest operational difference between dualboot-oscar v1.0 and v2.0
+//! is not the control loop — it is **deployment**. The paper (§III.C,
+//! §IV.B) describes:
+//!
+//! * **v1**: every OSCAR image rebuild requires four manual edits
+//!   (reserving Windows + FAT partitions in `ide.disk`, `mkpart` →
+//!   `mkpartfs`, rsync FAT flags, fstab/unmount cleanup), Windows must be
+//!   installed *first* because its deployment `clean`s the disk, and every
+//!   Windows reinstall therefore forces a Linux reinstall.
+//! * **v2**: a one-time patch to systemimager/systeminstaller adds the
+//!   `skip` partition label; thereafter "Windows partition and OSCAR
+//!   partition can be individually reimaged without corrupting each
+//!   other".
+//!
+//! This crate executes both flows against the `dualboot-hw` disk model and
+//! *measures* them (experiment E4): manual steps, collateral reinstalls,
+//! and wall-clock deployment time.
+//!
+//! * [`oscar`] — the systemimager/systeminstaller-like Linux deployer.
+//! * [`windows`] — the Windows-HPC-deployment-like installer.
+//! * [`campaign`] — reimage campaigns that accumulate the E4 metrics.
+
+pub mod campaign;
+pub mod oscar;
+pub mod windows;
+
+pub use campaign::{CampaignEvent, CampaignReport, ReimageCampaign};
+pub use oscar::OscarDeployer;
+pub use windows::WindowsDeployer;
+
+use serde::{Deserialize, Serialize};
+
+/// Which generation of dualboot-oscar is deploying.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Version {
+    /// The initial system of §III.
+    V1,
+    /// The improved easy-to-deploy system of §IV.
+    V2,
+}
+
+/// Calibrated operation durations (documented constants, not measurements;
+/// see DESIGN.md §6). The paper gives only "reboot ≈ 5 min"; installation
+/// times are typical for the 2010-era hardware described.
+pub mod times {
+    use dualboot_des::time::SimDuration;
+
+    /// One manual admin edit (ide.disk line, script patch, fstab fix...).
+    pub const MANUAL_EDIT: SimDuration = SimDuration::from_mins(5);
+    /// Full Windows HPC node deployment (PXE + WIM apply + joins).
+    pub const WINDOWS_INSTALL: SimDuration = SimDuration::from_mins(45);
+    /// Full OSCAR/systemimager node imaging.
+    pub const LINUX_IMAGE: SimDuration = SimDuration::from_mins(25);
+    /// v2 Windows partition-only reformat + reinstall.
+    pub const WINDOWS_REIMAGE_V2: SimDuration = SimDuration::from_mins(30);
+}
+
+/// What one deployment operation did to a node.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeployReport {
+    /// Manual administrator interventions this operation required.
+    pub manual_steps: u32,
+    /// Did the operation destroy an existing Linux installation?
+    pub wiped_linux: bool,
+    /// Did the operation destroy an existing Windows installation?
+    pub wiped_windows: bool,
+    /// Did the operation overwrite/erase the MBR boot code?
+    pub rewrote_mbr: bool,
+    /// Wall-clock duration of the operation.
+    pub duration: dualboot_des::time::SimDuration,
+}
+
+/// Deployment failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeployError {
+    /// The layout doesn't fit the disk.
+    Disk(String),
+    /// v2 `skip` layout used with an unpatched (v1) toolchain.
+    SkipUnsupported,
+    /// Windows reimage script needs an existing partition 1.
+    NoWindowsPartition,
+}
+
+impl std::fmt::Display for DeployError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeployError::Disk(e) => write!(f, "disk error: {e}"),
+            DeployError::SkipUnsupported => {
+                write!(f, "`skip` label requires the v2-patched systemimager")
+            }
+            DeployError::NoWindowsPartition => {
+                write!(f, "reimage script requires an existing Windows partition")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DeployError {}

@@ -1,0 +1,430 @@
+//! The OSCAR/systemimager-like Linux deployer.
+//!
+//! Consumes an `ide.disk` layout and images a node: creates/replaces the
+//! Linux partitions, stages the GRUB menu and (v1) the FAT control
+//! partition's pre-staged `controlmenu*` files, and installs GRUB stage 1
+//! into the MBR — exactly the artefacts the boot resolver in `dualboot-hw`
+//! later consumes.
+//!
+//! The v1/v2 difference is the `skip` label: the stock (v1) toolchain does
+//! not know it ([`DeployError::SkipUnsupported`]), and v1 therefore
+//! spells the Windows reservation as a real `ntfs` line plus four manual
+//! edits per image rebuild (§III.C.1). The patched (v2) toolchain honours
+//! `skip` by leaving the partition completely untouched.
+
+use crate::{times, DeployError, DeployReport, Version};
+use dualboot_bootconf::grub::{eridani as grub_eridani, GrubConfig};
+use dualboot_bootconf::idedisk::{FsType, IdeDisk, IdeDiskLine, SizeSpec};
+use dualboot_bootconf::oscarimage::MasterScript;
+use dualboot_bootconf::os::OsKind;
+use dualboot_hw::disk::{Disk, FsKind, MbrCode, PartitionContent};
+use dualboot_hw::fatfs::FatFs;
+use dualboot_hw::node::ComputeNode;
+
+/// Manual edits each v1 image rebuild needs (§III.C.1's four points).
+pub const V1_MANUAL_EDITS_PER_REBUILD: u32 = 4;
+
+/// The systemimager/systeminstaller-like deployer.
+///
+/// ```
+/// use dualboot_deploy::oscar::OscarDeployer;
+/// use dualboot_deploy::windows::WindowsDeployer;
+/// use dualboot_deploy::Version;
+/// use dualboot_hw::node::{ComputeNode, FirmwareBootOrder};
+///
+/// // The only order v1 permits: Windows first, Linux after.
+/// let mut node = ComputeNode::eridani(1, FirmwareBootOrder::LocalDisk);
+/// WindowsDeployer::v1_patched().deploy(&mut node).unwrap();
+/// let report = OscarDeployer::eridani(Version::V1).deploy(&mut node).unwrap();
+/// assert_eq!(report.manual_steps, 4); // the §III.C.1 edits
+/// assert!(node.disk.has_linux() && node.disk.has_windows());
+/// ```
+#[derive(Debug, Clone)]
+pub struct OscarDeployer {
+    version: Version,
+    layout: IdeDisk,
+    /// The `menu.lst` installed into `/boot` (v1: the Figure-2 redirect;
+    /// v2: a direct menu, since PXE owns boot selection anyway).
+    menu_lst: GrubConfig,
+}
+
+impl OscarDeployer {
+    /// Deployer with an explicit layout and boot menu.
+    pub fn new(version: Version, layout: IdeDisk, menu_lst: GrubConfig) -> Self {
+        OscarDeployer {
+            version,
+            layout,
+            menu_lst,
+        }
+    }
+
+    /// The Eridani deployer for a given middleware generation.
+    pub fn eridani(version: Version) -> Self {
+        match version {
+            Version::V1 => OscarDeployer::new(
+                Version::V1,
+                IdeDisk::eridani_v1(),
+                grub_eridani::menu_lst(), // Figure 2: redirect to the FAT file
+            ),
+            Version::V2 => OscarDeployer::new(
+                Version::V2,
+                IdeDisk::eridani_v2(),
+                // Direct menu for the PXE-less fallback path, matched to
+                // the Figure-14 layout (root on sda6).
+                grub_eridani::controlmenu_v2(OsKind::Linux),
+            ),
+        }
+    }
+
+    /// The layout this deployer images.
+    pub fn layout(&self) -> &IdeDisk {
+        &self.layout
+    }
+
+    /// Which generation this deployer is.
+    pub fn version(&self) -> Version {
+        self.version
+    }
+
+    /// The `oscarimage.master` script systemimager generates for this
+    /// layout, **before** any manual edits.
+    pub fn generated_master(&self) -> MasterScript {
+        MasterScript::generate(&self.layout)
+    }
+
+    /// The master script after the §III.C.1 manual edits, plus how many
+    /// edits were needed (0 for v2 layouts — nothing to patch).
+    pub fn patched_master(&self) -> (MasterScript, u32) {
+        let mut script = self.generated_master();
+        let steps = script.apply_v1_patches(&self.layout);
+        (script, steps)
+    }
+
+    /// Image a node's disk according to the layout.
+    ///
+    /// Existing partitions named by `skip` (v2) or `ntfs` (v1's manual
+    /// reservation) survive with their contents; everything else named by
+    /// the layout is recreated from scratch.
+    pub fn deploy(&self, node: &mut ComputeNode) -> Result<DeployReport, DeployError> {
+        self.deploy_disk(&mut node.disk)
+    }
+
+    /// Image a bare disk (the node-less core of [`OscarDeployer::deploy`]).
+    pub fn deploy_disk(&self, disk: &mut Disk) -> Result<DeployReport, DeployError> {
+        self.deploy_disk_inner(disk, true)
+    }
+
+    /// Image a disk with the *unpatched* generated master script — what a
+    /// v1 administrator who skipped the §III.C.1 edits would get. The FAT
+    /// control partition is allocated but never formatted (`mkpart`
+    /// without `mkpartfs`), so the deployed node's GRUB redirect dangles.
+    pub fn deploy_disk_unpatched(&self, disk: &mut Disk) -> Result<DeployReport, DeployError> {
+        self.deploy_disk_inner(disk, false)
+    }
+
+    fn deploy_disk_inner(&self, disk: &mut Disk, patched: bool) -> Result<DeployReport, DeployError> {
+        if self.layout.uses_skip() && self.version == Version::V1 {
+            return Err(DeployError::SkipUnsupported);
+        }
+        // Build (and, normally, patch) the systemimager master script; v1
+        // derives its per-rebuild manual-step count from the real edits.
+        let (master, patch_steps) = if patched {
+            self.patched_master()
+        } else {
+            (self.generated_master(), 0)
+        };
+        let fat_formatted = master
+            .patch_status(&self.layout)
+            .fat_mkpartfs;
+        let had_windows = disk.has_windows();
+        let mbr_before = disk.mbr();
+
+        for line in &self.layout.lines {
+            let Some(number) = device_partition_number(&line.device) else {
+                continue; // tmpfs / nfs lines are not physical
+            };
+            match line.fstype {
+                FsType::Skip => {
+                    // v2: reserve without touching. If nothing is there yet
+                    // (first-ever install), allocate placeholder space so
+                    // later Windows deployment has its partition 1 slot.
+                    if disk.partition(number).is_none() {
+                        let size = fixed_size(line, disk)?;
+                        disk.add_partition(number, size, FsKind::Unformatted, PartitionContent::Empty)
+                            .map_err(|e| DeployError::Disk(e.to_string()))?;
+                    }
+                }
+                FsType::Ntfs => {
+                    // v1's manual reservation: keep an installed Windows,
+                    // create the placeholder otherwise.
+                    if disk.partition(number).is_none() {
+                        let size = fixed_size(line, disk)?;
+                        disk.add_partition(number, size, FsKind::Ntfs, PartitionContent::Empty)
+                            .map_err(|e| DeployError::Disk(e.to_string()))?;
+                    }
+                }
+                FsType::Ext3 | FsType::Swap | FsType::Vfat => {
+                    // (Re)created from the image.
+                    if disk.partition(number).is_some() {
+                        disk.remove_partition(number)
+                            .map_err(|e| DeployError::Disk(e.to_string()))?;
+                    }
+                    let size = match line.size {
+                        SizeSpec::Fill => disk.free_mb(),
+                        _ => fixed_size(line, disk)?,
+                    };
+                    let (fs, content) = if line.fstype == FsType::Vfat && !fat_formatted {
+                        // Unpatched v1: `mkpart` allocates but never
+                        // formats; the control files are never staged.
+                        (FsKind::Unformatted, PartitionContent::Empty)
+                    } else {
+                        self.materialise(line)
+                    };
+                    disk.add_partition(number, size, fs, content)
+                        .map_err(|e| DeployError::Disk(e.to_string()))?;
+                    if line.bootable {
+                        // systemconfigurator marks the boot partition active
+                        for p in 0..=8 {
+                            if let Some(part) = disk.partition_mut(p) {
+                                part.active = part.number == number;
+                            }
+                        }
+                    }
+                }
+                FsType::Tmpfs | FsType::Nfs => {}
+            }
+        }
+        // systemconfigurator installs GRUB stage 1 into the MBR.
+        disk.set_mbr(MbrCode::GrubStage1);
+
+        // ide.disk reservation (§III.C.1 point 1) + the script edits the
+        // patch pass actually performed (points 2-4).
+        let manual_steps = match self.version {
+            Version::V1 => {
+                if patched {
+                    let steps = 1 + patch_steps;
+                    debug_assert_eq!(steps, V1_MANUAL_EDITS_PER_REBUILD);
+                    steps
+                } else {
+                    0
+                }
+            }
+            Version::V2 => 0,
+        };
+        Ok(DeployReport {
+            manual_steps,
+            wiped_linux: false, // installing Linux never wipes Linux
+            wiped_windows: had_windows && !disk.has_windows(),
+            rewrote_mbr: mbr_before != MbrCode::GrubStage1,
+            duration: times::LINUX_IMAGE
+                + times::MANUAL_EDIT.saturating_mul(u64::from(manual_steps)),
+        })
+    }
+
+    /// What goes into a freshly imaged partition.
+    fn materialise(&self, line: &IdeDiskLine) -> (FsKind, PartitionContent) {
+        match line.fstype {
+            FsType::Ext3 => match line.mountpoint.as_deref() {
+                Some("/boot") => (
+                    FsKind::Ext3,
+                    PartitionContent::LinuxBoot {
+                        menu_lst: self.menu_lst.clone(),
+                    },
+                ),
+                _ => (FsKind::Ext3, PartitionContent::LinuxRoot),
+            },
+            FsType::Swap => (FsKind::Swap, PartitionContent::Empty),
+            FsType::Vfat => {
+                // Stage the v1 control files (§III.B.1): the live menu and
+                // both pre-staged switch variants.
+                let mut fat = FatFs::new();
+                fat.write(
+                    "controlmenu.lst",
+                    grub_eridani::controlmenu(OsKind::Linux).emit(),
+                );
+                fat.write(
+                    "controlmenu_to_linux.lst",
+                    grub_eridani::controlmenu(OsKind::Linux).emit(),
+                );
+                fat.write(
+                    "controlmenu_to_windows.lst",
+                    grub_eridani::controlmenu(OsKind::Windows).emit(),
+                );
+                (FsKind::Vfat, PartitionContent::FatControl(fat))
+            }
+            _ => (FsKind::Unformatted, PartitionContent::Empty),
+        }
+    }
+}
+
+/// `/dev/sdaN` → `N`.
+fn device_partition_number(device: &str) -> Option<u32> {
+    device.strip_prefix("/dev/sda").and_then(|n| n.parse().ok())
+}
+
+fn fixed_size(line: &IdeDiskLine, disk: &Disk) -> Result<u64, DeployError> {
+    match line.size {
+        SizeSpec::Mb(n) => Ok(n),
+        SizeSpec::Fill => Ok(disk.free_mb()),
+        SizeSpec::None => Err(DeployError::Disk(format!(
+            "physical partition {} has no size",
+            line.device
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dualboot_hw::boot;
+    use dualboot_hw::node::FirmwareBootOrder;
+
+    fn fresh_node() -> ComputeNode {
+        ComputeNode::eridani(1, FirmwareBootOrder::LocalDisk)
+    }
+
+    #[test]
+    fn v1_deploy_creates_full_layout() {
+        let mut n = fresh_node();
+        let report = OscarDeployer::eridani(Version::V1).deploy(&mut n).unwrap();
+        assert_eq!(report.manual_steps, V1_MANUAL_EDITS_PER_REBUILD);
+        assert!(n.disk.has_linux());
+        assert!(n.disk.fat_control().is_some());
+        assert_eq!(n.disk.mbr(), MbrCode::GrubStage1);
+        // Windows placeholder reserved at partition 1
+        assert_eq!(n.disk.partition(1).unwrap().fs, FsKind::Ntfs);
+        assert_eq!(n.disk.partition(1).unwrap().content, PartitionContent::Empty);
+    }
+
+    #[test]
+    fn v1_deployed_node_boots_linux() {
+        let mut n = fresh_node();
+        OscarDeployer::eridani(Version::V1).deploy(&mut n).unwrap();
+        n.begin_boot();
+        assert_eq!(n.complete_boot(None).unwrap().0, OsKind::Linux);
+    }
+
+    #[test]
+    fn v1_fat_partition_has_prestaged_switch_files() {
+        let mut n = fresh_node();
+        OscarDeployer::eridani(Version::V1).deploy(&mut n).unwrap();
+        let fat = n.disk.fat_control().unwrap();
+        assert!(fat.exists("controlmenu.lst"));
+        assert!(fat.exists("controlmenu_to_linux.lst"));
+        assert!(fat.exists("controlmenu_to_windows.lst"));
+    }
+
+    #[test]
+    fn v2_deploy_requires_patched_toolchain() {
+        // The v2 layout (with `skip`) through a v1 deployer must fail the
+        // way stock systemimager fails on an unknown label.
+        let deployer = OscarDeployer::new(
+            Version::V1,
+            IdeDisk::eridani_v2(),
+            grub_eridani::menu_lst(),
+        );
+        let mut n = fresh_node();
+        assert_eq!(deployer.deploy(&mut n), Err(DeployError::SkipUnsupported));
+    }
+
+    #[test]
+    fn v2_deploy_zero_manual_steps() {
+        let mut n = fresh_node();
+        let report = OscarDeployer::eridani(Version::V2).deploy(&mut n).unwrap();
+        assert_eq!(report.manual_steps, 0);
+        assert!(n.disk.has_linux());
+        assert!(report.duration < times::LINUX_IMAGE + times::MANUAL_EDIT);
+    }
+
+    #[test]
+    fn v2_skip_preserves_installed_windows() {
+        let mut n = fresh_node();
+        // Install Windows first (partition 1 with content)
+        n.disk
+            .add_partition(1, 16_000, FsKind::Ntfs, PartitionContent::WindowsSystem)
+            .unwrap();
+        let report = OscarDeployer::eridani(Version::V2).deploy(&mut n).unwrap();
+        assert!(!report.wiped_windows);
+        assert_eq!(
+            n.disk.partition(1).unwrap().content,
+            PartitionContent::WindowsSystem
+        );
+        assert!(n.disk.has_linux());
+    }
+
+    #[test]
+    fn redeploy_replaces_linux_but_not_windows() {
+        let mut n = fresh_node();
+        let d = OscarDeployer::eridani(Version::V2);
+        d.deploy(&mut n).unwrap();
+        n.disk.partition_mut(1).unwrap().content = PartitionContent::WindowsSystem;
+        // simulate user data loss check: corrupt the root, redeploy
+        n.disk.partition_mut(6).unwrap().content = PartitionContent::Empty;
+        d.deploy(&mut n).unwrap();
+        assert!(n.disk.has_linux());
+        assert_eq!(
+            n.disk.partition(1).unwrap().content,
+            PartitionContent::WindowsSystem
+        );
+    }
+
+    #[test]
+    fn v1_layout_marks_boot_partition_active() {
+        let mut n = fresh_node();
+        OscarDeployer::eridani(Version::V1).deploy(&mut n).unwrap();
+        assert!(n.disk.partition(2).unwrap().active);
+    }
+
+    #[test]
+    fn fill_size_consumes_remaining_space() {
+        let mut n = fresh_node();
+        OscarDeployer::eridani(Version::V1).deploy(&mut n).unwrap();
+        assert_eq!(n.disk.free_mb(), 0);
+        let root = n.disk.partition(7).unwrap();
+        assert!(root.size_mb > 200_000, "root fills the disk remainder");
+    }
+
+    #[test]
+    fn unpatched_v1_deploy_produces_a_broken_redirect() {
+        // Skip the §III.C.1 edits: the FAT partition exists but was never
+        // formatted, so the Figure-2 redirect dangles and the node cannot
+        // boot Linux — the failure mode the manual edits prevent.
+        let deployer = OscarDeployer::eridani(Version::V1);
+        let mut d = Disk::eridani();
+        let report = deployer.deploy_disk_unpatched(&mut d).unwrap();
+        assert_eq!(report.manual_steps, 0);
+        assert_eq!(d.partition(6).unwrap().fs, FsKind::Unformatted);
+        assert!(d.fat_control().is_none());
+        assert!(matches!(
+            dualboot_hw::boot::resolve_local(&d),
+            Err(dualboot_hw::boot::BootError::RedirectTargetMissing(_))
+        ));
+    }
+
+    #[test]
+    fn manual_steps_derive_from_master_script() {
+        let deployer = OscarDeployer::eridani(Version::V1);
+        let (script, steps) = deployer.patched_master();
+        assert_eq!(steps, 3);
+        assert!(script.patch_status(deployer.layout()).fully_patched());
+        assert!(script.covers_layout(deployer.layout()));
+        // deploy charges 1 (ide.disk) + 3 (script edits) = the paper's 4
+        let mut d = Disk::eridani();
+        let report = deployer.deploy_disk(&mut d).unwrap();
+        assert_eq!(report.manual_steps, V1_MANUAL_EDITS_PER_REBUILD);
+    }
+
+    #[test]
+    fn deploy_disk_without_node_works() {
+        let mut d = Disk::eridani();
+        OscarDeployer::eridani(Version::V2).deploy_disk(&mut d).unwrap();
+        assert!(boot::resolve_local(&d).is_ok());
+    }
+
+    #[test]
+    fn device_number_parsing() {
+        assert_eq!(device_partition_number("/dev/sda7"), Some(7));
+        assert_eq!(device_partition_number("/dev/shm"), None);
+        assert_eq!(device_partition_number("nfs_oscar:/home"), None);
+    }
+}

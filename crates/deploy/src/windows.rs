@@ -1,0 +1,192 @@
+//! The Windows-HPC-deployment-like installer.
+//!
+//! Windows HPC's node deployment runs `diskpart` with the clear-text
+//! script this middleware patches (§III.C.2, Figures 9/10/15), applies the
+//! system image to the new partition, and writes the Windows MBR. The
+//! MBR write is unconditional — which is exactly why "the reimaging of
+//! Windows partitions always rewrites MBR and damages GRUB which boots
+//! Linux" (§IV.A) in the v1 local-boot world.
+
+use crate::{times, DeployError, DeployReport};
+use dualboot_bootconf::diskpart::DiskpartScript;
+use dualboot_des::time::SimDuration;
+use dualboot_hw::disk::{Disk, DiskError, FsKind, MbrCode, PartitionContent};
+use dualboot_hw::node::ComputeNode;
+
+/// The Windows HPC deployment tool with its (possibly patched)
+/// `diskpart.txt`.
+#[derive(Debug, Clone)]
+pub struct WindowsDeployer {
+    script: DiskpartScript,
+    duration: SimDuration,
+}
+
+impl WindowsDeployer {
+    /// Deployment with an explicit diskpart script.
+    pub fn new(script: DiskpartScript, duration: SimDuration) -> Self {
+        WindowsDeployer { script, duration }
+    }
+
+    /// The stock tool (Figure 9): whole-disk `clean` + full-size NTFS.
+    pub fn stock() -> Self {
+        WindowsDeployer::new(DiskpartScript::original(), times::WINDOWS_INSTALL)
+    }
+
+    /// dualboot-oscar v1's patched tool (Figure 10): still `clean`s, but
+    /// reserves only 150 GB for Windows.
+    pub fn v1_patched() -> Self {
+        WindowsDeployer::new(DiskpartScript::modified_v1(150_000), times::WINDOWS_INSTALL)
+    }
+
+    /// dualboot-oscar v2's reimage tool (Figure 15): reformat partition 1
+    /// in place; Linux partitions untouched.
+    pub fn v2_reimage() -> Self {
+        WindowsDeployer::new(DiskpartScript::reimage_v2(), times::WINDOWS_REIMAGE_V2)
+    }
+
+    /// The script this deployer runs.
+    pub fn script(&self) -> &DiskpartScript {
+        &self.script
+    }
+
+    /// Deploy Windows onto a node.
+    pub fn deploy(&self, node: &mut ComputeNode) -> Result<DeployReport, DeployError> {
+        self.deploy_disk(&mut node.disk)
+    }
+
+    /// Deploy Windows onto a bare disk.
+    pub fn deploy_disk(&self, disk: &mut Disk) -> Result<DeployReport, DeployError> {
+        let had_linux = disk.has_linux();
+        let had_windows = disk.has_windows();
+        let mbr_before = disk.mbr();
+
+        disk.apply_diskpart(&self.script).map_err(|e| match e {
+            DiskError::NoSuchPartition(1) => DeployError::NoWindowsPartition,
+            other => DeployError::Disk(other.to_string()),
+        })?;
+
+        // Image apply: the freshly formatted partition 1 becomes the
+        // Windows system volume.
+        let p1 = disk
+            .partition_mut(1)
+            .ok_or(DeployError::NoWindowsPartition)?;
+        if p1.fs != FsKind::Ntfs {
+            return Err(DeployError::Disk(format!(
+                "partition 1 is {:?}, expected NTFS",
+                p1.fs
+            )));
+        }
+        p1.content = PartitionContent::WindowsSystem;
+        p1.active = true;
+
+        // The Windows installer always writes its own MBR.
+        disk.set_mbr(MbrCode::WindowsMbr);
+
+        Ok(DeployReport {
+            manual_steps: 0, // the diskpart patch is a campaign-level step
+            wiped_linux: had_linux && !disk.has_linux(),
+            wiped_windows: had_windows, // reformat always clears the old install
+            rewrote_mbr: mbr_before != MbrCode::WindowsMbr,
+            duration: self.duration,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oscar::OscarDeployer;
+    use crate::Version;
+    use dualboot_bootconf::os::OsKind;
+    use dualboot_hw::boot;
+    use dualboot_hw::node::FirmwareBootOrder;
+
+    fn fresh_node() -> ComputeNode {
+        ComputeNode::eridani(1, FirmwareBootOrder::LocalDisk)
+    }
+
+    #[test]
+    fn stock_deploy_takes_whole_disk() {
+        let mut n = fresh_node();
+        let report = WindowsDeployer::stock().deploy(&mut n).unwrap();
+        assert!(!report.wiped_linux); // nothing to wipe
+        assert!(n.disk.has_windows());
+        assert_eq!(n.disk.partition(1).unwrap().size_mb, 250_000);
+        assert_eq!(n.disk.free_mb(), 0);
+        assert_eq!(n.disk.mbr(), MbrCode::WindowsMbr);
+    }
+
+    #[test]
+    fn windows_first_then_linux_is_the_v1_order() {
+        // The §III.C.2 constraint: Windows first (clean), Linux after.
+        let mut n = fresh_node();
+        WindowsDeployer::v1_patched().deploy(&mut n).unwrap();
+        assert_eq!(n.disk.free_mb(), 100_000);
+        OscarDeployer::eridani(Version::V1).deploy(&mut n).unwrap();
+        assert!(n.disk.has_windows());
+        assert!(n.disk.has_linux());
+        // Linux install re-wrote GRUB over the Windows MBR
+        assert_eq!(n.disk.mbr(), MbrCode::GrubStage1);
+        n.begin_boot();
+        assert_eq!(n.complete_boot(None).unwrap().0, OsKind::Linux);
+    }
+
+    #[test]
+    fn v1_windows_reinstall_destroys_linux() {
+        // The headline v1 failure (E4): reinstalling Windows after Linux
+        // wipes the Linux partitions *and* the MBR.
+        let mut n = fresh_node();
+        WindowsDeployer::v1_patched().deploy(&mut n).unwrap();
+        OscarDeployer::eridani(Version::V1).deploy(&mut n).unwrap();
+        let report = WindowsDeployer::v1_patched().deploy(&mut n).unwrap();
+        assert!(report.wiped_linux);
+        assert!(report.rewrote_mbr);
+        assert!(!n.disk.has_linux());
+    }
+
+    #[test]
+    fn v2_reimage_preserves_linux() {
+        // The v2 fix (Figure 15): reformat partition 1 only.
+        let mut n = fresh_node();
+        WindowsDeployer::v1_patched().deploy(&mut n).unwrap();
+        OscarDeployer::eridani(Version::V2).deploy(&mut n).unwrap();
+        let report = WindowsDeployer::v2_reimage().deploy(&mut n).unwrap();
+        assert!(!report.wiped_linux);
+        assert!(n.disk.has_linux());
+        assert!(n.disk.has_windows());
+        // ... but the MBR is still rewritten — harmless under PXE (v2),
+        // fatal under local boot (v1). The boot resolver shows it:
+        assert_eq!(n.disk.mbr(), MbrCode::WindowsMbr);
+        assert_eq!(
+            boot::resolve_local(&n.disk).unwrap().0,
+            OsKind::Windows // local boot now lands on Windows regardless
+        );
+    }
+
+    #[test]
+    fn v2_reimage_needs_existing_partition() {
+        let mut n = fresh_node();
+        assert_eq!(
+            WindowsDeployer::v2_reimage().deploy(&mut n),
+            Err(DeployError::NoWindowsPartition)
+        );
+    }
+
+    #[test]
+    fn reimage_clears_previous_windows_content() {
+        let mut n = fresh_node();
+        WindowsDeployer::v1_patched().deploy(&mut n).unwrap();
+        let report = WindowsDeployer::v2_reimage().deploy(&mut n).unwrap();
+        assert!(report.wiped_windows);
+        assert!(n.disk.has_windows()); // fresh install in place
+    }
+
+    #[test]
+    fn durations_differ_between_full_and_reimage() {
+        assert!(times::WINDOWS_REIMAGE_V2 < times::WINDOWS_INSTALL);
+        let mut n = fresh_node();
+        let full = WindowsDeployer::v1_patched().deploy(&mut n).unwrap();
+        let re = WindowsDeployer::v2_reimage().deploy(&mut n).unwrap();
+        assert!(re.duration < full.duration);
+    }
+}

@@ -1,0 +1,37 @@
+#![warn(missing_docs)]
+
+//! # dualboot-des — deterministic discrete-event simulation engine
+//!
+//! The substrate every simulated component of the reproduction runs on.
+//! The paper's system ("dualboot-oscar", IEEE CLUSTER 2012) is a feedback
+//! loop between job queues, head-node daemons and rebooting compute nodes;
+//! reproducing it without the physical Eridani cluster requires a simulated
+//! clock and event queue with strict determinism so that every experiment in
+//! EXPERIMENTS.md can be regenerated bit-for-bit from a seed.
+//!
+//! The engine is deliberately minimal and dependency-light:
+//!
+//! * [`time`] — millisecond-resolution simulated time ([`SimTime`],
+//!   [`SimDuration`]).
+//! * [`queue`] — a cancellable, FIFO-stable event queue ([`queue::EventQueue`]).
+//! * [`rng`] — seeded random streams with common distributions
+//!   ([`rng::DetRng`]).
+//! * [`stats`] — online statistics: mean/variance, percentiles and
+//!   time-weighted averages (used for utilisation curves).
+//! * [`trace`] — a typed trace recorder for post-hoc assertions on event
+//!   order (e.g. the Figure-11 five-step control protocol).
+//!
+//! Higher layers define their own event enums and drive the loop themselves;
+//! the engine only guarantees ordering: events fire in `(time, insertion
+//! sequence)` order, so two events scheduled for the same instant fire in the
+//! order they were scheduled.
+
+pub mod queue;
+pub mod rng;
+pub mod stats;
+pub mod time;
+pub mod trace;
+
+pub use queue::{EventId, EventQueue};
+pub use rng::DetRng;
+pub use time::{SimDuration, SimTime};

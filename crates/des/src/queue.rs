@@ -1,0 +1,297 @@
+//! Cancellable, FIFO-stable event queue.
+//!
+//! Ordering guarantee: events fire in ascending `(time, sequence)` order,
+//! where `sequence` is the global insertion counter. Two events scheduled
+//! for the same instant therefore fire in the order they were scheduled —
+//! this matters for the reproduction because the paper's control protocol
+//! (Figure 11) relies on "send queue state, then decide, then reboot"
+//! happening in program order within one poll tick.
+//!
+//! Cancellation is tombstone-based: [`EventQueue::cancel`] marks the id dead
+//! and [`EventQueue::pop`] skips dead entries lazily. This keeps `cancel` at
+//! O(log n) amortised without a secondary index into the heap.
+
+use crate::time::{SimDuration, SimTime};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+
+/// Opaque handle to a scheduled event, usable for cancellation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventId(u64);
+
+#[derive(Debug)]
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    payload: E,
+}
+
+// Manual ord impls keyed on (at, seq) only, so `E` needs no Ord bound.
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// The simulation's event queue and clock.
+///
+/// `now()` advances monotonically as events are popped; scheduling in the
+/// past is a logic error and panics in debug builds (clamped to `now` in
+/// release builds, which keeps long benches running if a model computes a
+/// zero-length delay from float jitter).
+///
+/// ```
+/// use dualboot_des::queue::EventQueue;
+/// use dualboot_des::time::SimDuration;
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(SimDuration::from_secs(5), "reboot done");
+/// let stale = q.schedule(SimDuration::from_secs(2), "poll");
+/// q.cancel(stale);
+/// let (t, event) = q.pop().unwrap();
+/// assert_eq!(t.as_secs(), 5);
+/// assert_eq!(event, "reboot done");
+/// assert_eq!(q.now(), t);
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    cancelled: HashSet<EventId>,
+    next_seq: u64,
+    now: SimTime,
+    fired: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue with the clock at [`SimTime::ZERO`].
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            next_seq: 0,
+            now: SimTime::ZERO,
+            fired: 0,
+        }
+    }
+
+    /// Current simulated time: the timestamp of the most recently popped
+    /// event (or zero before the first pop).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events fired so far.
+    pub fn fired(&self) -> u64 {
+        self.fired
+    }
+
+    /// Number of live (non-cancelled) events still pending.
+    pub fn pending(&self) -> usize {
+        self.heap.len() - self.cancelled.len()
+    }
+
+    /// True if no live events remain.
+    pub fn is_empty(&self) -> bool {
+        self.pending() == 0
+    }
+
+    /// Schedule `payload` to fire `delay` after the current time.
+    pub fn schedule(&mut self, delay: SimDuration, payload: E) -> EventId {
+        self.schedule_at(self.now + delay, payload)
+    }
+
+    /// Schedule `payload` at the absolute instant `at`.
+    ///
+    /// Scheduling in the past panics in debug builds and clamps to `now`
+    /// in release builds.
+    pub fn schedule_at(&mut self, at: SimTime, payload: E) -> EventId {
+        debug_assert!(at >= self.now, "scheduled event in the past: {at} < {}", self.now);
+        let at = at.max(self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(Entry { at, seq, payload }));
+        EventId(seq)
+    }
+
+    /// Cancel a previously scheduled event. Returns `true` if the event was
+    /// still pending (i.e. this call actually prevented it from firing).
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        if id.0 >= self.next_seq {
+            return false; // never issued
+        }
+        // An id counts as pending if some heap entry still carries it.
+        let live = self.heap.iter().any(|Reverse(e)| e.seq == id.0);
+        if live {
+            self.cancelled.insert(id)
+        } else {
+            false
+        }
+    }
+
+    /// Pop the next live event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        while let Some(Reverse(entry)) = self.heap.pop() {
+            if self.cancelled.remove(&EventId(entry.seq)) {
+                continue;
+            }
+            self.now = entry.at;
+            self.fired += 1;
+            return Some((entry.at, entry.payload));
+        }
+        None
+    }
+
+    /// Timestamp of the next live event without popping it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap
+            .iter()
+            .filter(|Reverse(e)| !self.cancelled.contains(&EventId(e.seq)))
+            .map(|Reverse(e)| e.at)
+            .min()
+    }
+
+    /// Drop every pending event (the clock is left where it is).
+    pub fn clear(&mut self) {
+        self.heap.clear();
+        self.cancelled.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q() -> EventQueue<&'static str> {
+        EventQueue::new()
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = q();
+        q.schedule(SimDuration::from_secs(5), "b");
+        q.schedule(SimDuration::from_secs(1), "a");
+        q.schedule(SimDuration::from_secs(9), "c");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, ["a", "b", "c"]);
+    }
+
+    #[test]
+    fn ties_fire_in_insertion_order() {
+        let mut q = q();
+        for name in ["first", "second", "third"] {
+            q.schedule(SimDuration::from_secs(1), name);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, ["first", "second", "third"]);
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = q();
+        q.schedule(SimDuration::from_secs(3), "x");
+        q.schedule(SimDuration::from_secs(7), "y");
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_secs(3));
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_secs(7));
+    }
+
+    #[test]
+    fn relative_schedule_is_from_now() {
+        let mut q = q();
+        q.schedule(SimDuration::from_secs(10), "a");
+        q.pop();
+        q.schedule(SimDuration::from_secs(5), "b");
+        let (t, _) = q.pop().unwrap();
+        assert_eq!(t, SimTime::from_secs(15));
+    }
+
+    #[test]
+    fn cancel_prevents_firing() {
+        let mut q = q();
+        let keep = q.schedule(SimDuration::from_secs(1), "keep");
+        let drop = q.schedule(SimDuration::from_secs(2), "drop");
+        assert!(q.cancel(drop));
+        let _ = keep;
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, ["keep"]);
+    }
+
+    #[test]
+    fn cancel_is_idempotent_and_rejects_unknown() {
+        let mut q = q();
+        let id = q.schedule(SimDuration::from_secs(1), "x");
+        assert!(q.cancel(id));
+        assert!(!q.cancel(id));
+        assert!(!q.cancel(EventId(999)));
+    }
+
+    #[test]
+    fn cancelled_after_fire_returns_false() {
+        let mut q = q();
+        let id = q.schedule(SimDuration::from_secs(1), "x");
+        q.pop();
+        assert!(!q.cancel(id));
+    }
+
+    #[test]
+    fn pending_excludes_cancelled() {
+        let mut q = q();
+        q.schedule(SimDuration::from_secs(1), "a");
+        let id = q.schedule(SimDuration::from_secs(2), "b");
+        q.cancel(id);
+        assert_eq!(q.pending(), 1);
+        assert!(!q.is_empty());
+        q.pop();
+        assert!(q.is_empty());
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled() {
+        let mut q = q();
+        let id = q.schedule(SimDuration::from_secs(1), "a");
+        q.schedule(SimDuration::from_secs(5), "b");
+        q.cancel(id);
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(5)));
+    }
+
+    #[test]
+    fn fired_counts_only_live_events() {
+        let mut q = q();
+        let id = q.schedule(SimDuration::from_secs(1), "a");
+        q.schedule(SimDuration::from_secs(2), "b");
+        q.cancel(id);
+        while q.pop().is_some() {}
+        assert_eq!(q.fired(), 1);
+    }
+
+    #[test]
+    fn clear_empties_queue_but_keeps_clock() {
+        let mut q = q();
+        q.schedule(SimDuration::from_secs(1), "a");
+        q.pop();
+        q.schedule(SimDuration::from_secs(1), "b");
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.now(), SimTime::from_secs(1));
+    }
+}

@@ -1,0 +1,251 @@
+//! Deterministic random streams.
+//!
+//! Every stochastic model in the reproduction (job arrivals, service times,
+//! reboot jitter) draws from a [`DetRng`] derived from a single experiment
+//! seed. Sub-streams are split by label so that adding a new consumer does
+//! not perturb the draws seen by existing ones — the standard trick for
+//! keeping DES experiments comparable across code changes.
+
+use rand::distributions::uniform::{SampleRange, SampleUniform};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A seeded random stream with the distributions the models need.
+///
+/// ```
+/// use dualboot_des::rng::DetRng;
+///
+/// let mut a = DetRng::seed_from(42);
+/// let mut b = DetRng::seed_from(42);
+/// assert_eq!(a.next_u64(), b.next_u64()); // same seed, same stream
+/// let mut arrivals = a.split("arrivals"); // decorrelated sub-stream
+/// assert!(arrivals.exp_mean(300.0) > 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DetRng {
+    inner: StdRng,
+}
+
+impl DetRng {
+    /// Create the root stream for an experiment seed.
+    pub fn seed_from(seed: u64) -> Self {
+        DetRng {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Derive an independent sub-stream for `label`.
+    ///
+    /// The derivation is `FNV-1a(label) XOR fresh-draw`, so distinct labels
+    /// get decorrelated streams and the same `(seed, label)` pair always
+    /// yields the same stream.
+    pub fn split(&mut self, label: &str) -> DetRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in label.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        DetRng::seed_from(h ^ self.inner.gen::<u64>())
+    }
+
+    /// Uniform sample from a range (inclusive or exclusive, like `gen_range`).
+    pub fn uniform<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+    {
+        self.inner.gen_range(range)
+    }
+
+    /// Bernoulli trial with probability `p` (clamped to [0, 1]).
+    pub fn chance(&mut self, p: f64) -> bool {
+        let p = p.clamp(0.0, 1.0);
+        self.inner.gen::<f64>() < p
+    }
+
+    /// Exponential variate with the given mean (seconds, or any unit).
+    ///
+    /// Used for Poisson inter-arrival times in the workload generator.
+    pub fn exp_mean(&mut self, mean: f64) -> f64 {
+        assert!(mean > 0.0, "exponential mean must be positive");
+        let u: f64 = self.inner.gen_range(f64::MIN_POSITIVE..1.0);
+        -mean * u.ln()
+    }
+
+    /// Truncated normal variate via the Box–Muller transform, clamped to
+    /// `[min, max]`. Used for reboot-latency jitter around the paper's
+    /// "about 5 minutes".
+    pub fn normal_clamped(&mut self, mean: f64, std_dev: f64, min: f64, max: f64) -> f64 {
+        assert!(min <= max, "normal_clamped: min > max");
+        let u1: f64 = self.inner.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = self.inner.gen::<f64>();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        (mean + std_dev * z).clamp(min, max)
+    }
+
+    /// Log-normal variate parameterised by the *target* mean and sigma of
+    /// the underlying normal. Job service times in parallel workloads are
+    /// classically heavy-tailed; log-normal is the usual synthetic stand-in.
+    pub fn lognormal_mean(&mut self, mean: f64, sigma: f64) -> f64 {
+        assert!(mean > 0.0, "lognormal mean must be positive");
+        // Choose mu so that E[X] = exp(mu + sigma^2/2) = mean.
+        let mu = mean.ln() - sigma * sigma / 2.0;
+        let u1: f64 = self.inner.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = self.inner.gen::<f64>();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        (mu + sigma * z).exp()
+    }
+
+    /// Pick one element of a non-empty slice.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        assert!(!items.is_empty(), "choose from empty slice");
+        &items[self.inner.gen_range(0..items.len())]
+    }
+
+    /// Weighted pick: `weights[i]` is the relative weight of index `i`.
+    /// Returns the chosen index. Zero-total weights fall back to uniform.
+    pub fn choose_weighted(&mut self, weights: &[f64]) -> usize {
+        assert!(!weights.is_empty(), "choose_weighted from empty slice");
+        let total: f64 = weights.iter().filter(|w| w.is_finite() && **w > 0.0).sum();
+        if total <= 0.0 {
+            return self.inner.gen_range(0..weights.len());
+        }
+        let mut x = self.inner.gen::<f64>() * total;
+        for (i, w) in weights.iter().enumerate() {
+            if *w > 0.0 && w.is_finite() {
+                if x < *w {
+                    return i;
+                }
+                x -= *w;
+            }
+        }
+        weights.len() - 1
+    }
+
+    /// Fisher–Yates shuffle in place.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.inner.gen_range(0..=i);
+            items.swap(i, j);
+        }
+    }
+
+    /// Raw `u64` draw (for deriving ids, etc.).
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.gen()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = DetRng::seed_from(42);
+        let mut b = DetRng::seed_from(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = DetRng::seed_from(1);
+        let mut b = DetRng::seed_from(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn split_streams_are_reproducible() {
+        let mut root1 = DetRng::seed_from(7);
+        let mut root2 = DetRng::seed_from(7);
+        let mut s1 = root1.split("arrivals");
+        let mut s2 = root2.split("arrivals");
+        for _ in 0..32 {
+            assert_eq!(s1.next_u64(), s2.next_u64());
+        }
+    }
+
+    #[test]
+    fn split_streams_with_distinct_labels_differ() {
+        let mut root = DetRng::seed_from(7);
+        let mut a = root.split("arrivals");
+        let mut b = root.split("service");
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn exp_mean_is_roughly_mean() {
+        let mut r = DetRng::seed_from(3);
+        let n = 20_000;
+        let sum: f64 = (0..n).map(|_| r.exp_mean(300.0)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 300.0).abs() < 10.0, "mean was {mean}");
+    }
+
+    #[test]
+    fn exp_mean_is_positive() {
+        let mut r = DetRng::seed_from(11);
+        for _ in 0..1000 {
+            assert!(r.exp_mean(1.0) > 0.0);
+        }
+    }
+
+    #[test]
+    fn normal_clamped_respects_bounds() {
+        let mut r = DetRng::seed_from(5);
+        for _ in 0..1000 {
+            let x = r.normal_clamped(300.0, 30.0, 240.0, 360.0);
+            assert!((240.0..=360.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn lognormal_mean_converges() {
+        let mut r = DetRng::seed_from(9);
+        let n = 50_000;
+        let sum: f64 = (0..n).map(|_| r.lognormal_mean(100.0, 0.5)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 100.0).abs() < 5.0, "mean was {mean}");
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = DetRng::seed_from(1);
+        assert!(!(0..100).any(|_| r.chance(0.0)));
+        assert!((0..100).all(|_| r.chance(1.0)));
+    }
+
+    #[test]
+    fn choose_weighted_prefers_heavy_index() {
+        let mut r = DetRng::seed_from(13);
+        let w = [0.0, 0.0, 10.0, 0.1];
+        let hits = (0..1000).filter(|_| r.choose_weighted(&w) == 2).count();
+        assert!(hits > 900, "index 2 chosen {hits} times");
+    }
+
+    #[test]
+    fn choose_weighted_zero_total_is_uniform() {
+        let mut r = DetRng::seed_from(17);
+        let w = [0.0, 0.0, 0.0];
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            seen[r.choose_weighted(&w)] = true;
+        }
+        assert_eq!(seen, [true, true, true]);
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut r = DetRng::seed_from(23);
+        let mut v: Vec<u32> = (0..50).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, (0..50).collect::<Vec<_>>());
+    }
+}

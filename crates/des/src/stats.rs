@@ -1,0 +1,424 @@
+//! Online statistics for experiment metrics.
+//!
+//! Three accumulators cover everything EXPERIMENTS.md reports:
+//!
+//! * [`Welford`] — streaming mean/variance for wait times and latencies.
+//! * [`Percentiles`] — exact percentiles from retained samples (sample
+//!   counts in these experiments are small enough that retention is cheap).
+//! * [`TimeWeighted`] — time-weighted average of a step function, which is
+//!   how utilisation ("fraction of cores busy") must be integrated over a
+//!   simulation run.
+
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Streaming mean and variance (Welford's algorithm).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Welford {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Welford {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        Welford {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Add one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let d = x - self.mean;
+        self.mean += d / self.n as f64;
+        self.m2 += d * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 for an empty accumulator).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Unbiased sample variance (0 for fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation (`None` when empty).
+    pub fn min(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.min)
+    }
+
+    /// Largest observation (`None` when empty).
+    pub fn max(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.max)
+    }
+
+    /// Merge another accumulator into this one (parallel reduction).
+    pub fn merge(&mut self, other: &Welford) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n = self.n + other.n;
+        let d = other.mean - self.mean;
+        let mean = self.mean + d * other.n as f64 / n as f64;
+        self.m2 += other.m2 + d * d * self.n as f64 * other.n as f64 / n as f64;
+        self.mean = mean;
+        self.n = n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Exact percentiles over retained samples.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Percentiles {
+    samples: Vec<f64>,
+}
+
+impl Percentiles {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        Percentiles { samples: Vec::new() }
+    }
+
+    /// Add one observation.
+    pub fn push(&mut self, x: f64) {
+        self.samples.push(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// The `p`-th percentile (0–100) by nearest-rank, `None` when empty.
+    pub fn percentile(&self, p: f64) -> Option<f64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+        let p = p.clamp(0.0, 100.0);
+        let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+        Some(sorted[rank.saturating_sub(1).min(sorted.len() - 1)])
+    }
+
+    /// Convenience: the median.
+    pub fn median(&self) -> Option<f64> {
+        self.percentile(50.0)
+    }
+
+    /// The raw retained samples, in insertion order.
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// Mean of the retained samples.
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples.iter().sum::<f64>() / self.samples.len() as f64
+        }
+    }
+}
+
+/// Time-weighted average of a piecewise-constant signal.
+///
+/// Call [`TimeWeighted::observe`] whenever the signal changes; the value is
+/// held until the next observation. [`TimeWeighted::average`] integrates up
+/// to the supplied end time.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TimeWeighted {
+    start: SimTime,
+    last_t: SimTime,
+    last_v: f64,
+    integral: f64,
+    peak: f64,
+}
+
+impl TimeWeighted {
+    /// Begin observing at `start` with initial value `v0`.
+    pub fn new(start: SimTime, v0: f64) -> Self {
+        TimeWeighted {
+            start,
+            last_t: start,
+            last_v: v0,
+            integral: 0.0,
+            peak: v0,
+        }
+    }
+
+    /// Record that the signal changed to `v` at time `t`.
+    ///
+    /// Observations must be non-decreasing in time; an out-of-order
+    /// observation is ignored (debug-asserted).
+    pub fn observe(&mut self, t: SimTime, v: f64) {
+        debug_assert!(t >= self.last_t, "TimeWeighted observation out of order");
+        if t < self.last_t {
+            return;
+        }
+        let dt = (t - self.last_t).as_secs_f64();
+        self.integral += self.last_v * dt;
+        self.last_t = t;
+        self.last_v = v;
+        self.peak = self.peak.max(v);
+    }
+
+    /// Current value of the signal.
+    pub fn current(&self) -> f64 {
+        self.last_v
+    }
+
+    /// Largest value ever observed.
+    pub fn peak(&self) -> f64 {
+        self.peak
+    }
+
+    /// Time-weighted average over `[start, end]`.
+    /// Returns 0 for a zero-length window.
+    pub fn average(&self, end: SimTime) -> f64 {
+        let total = end.saturating_since(self.start).as_secs_f64();
+        if total <= 0.0 {
+            return 0.0;
+        }
+        let tail = end.saturating_since(self.last_t).as_secs_f64();
+        (self.integral + self.last_v * tail) / total
+    }
+}
+
+/// Fixed-range, fixed-bin histogram with under/overflow counters.
+///
+/// Used for distribution claims (E1's switch-latency distribution): the
+/// range is known a priori (the boot model's clamp), so fixed bins are
+/// exact and allocation-free after construction.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    below: u64,
+    above: u64,
+}
+
+impl Histogram {
+    /// A histogram over the **closed** range `[lo, hi]` with `bins`
+    /// equal-width bins (`x == hi` lands in the top bin — the natural
+    /// convention when `hi` is a clamp bound that values can sit on).
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Histogram {
+        assert!(hi > lo, "empty histogram range");
+        assert!(bins > 0, "need at least one bin");
+        Histogram {
+            lo,
+            hi,
+            bins: vec![0; bins],
+            below: 0,
+            above: 0,
+        }
+    }
+
+    /// Add one observation.
+    pub fn push(&mut self, x: f64) {
+        if x < self.lo {
+            self.below += 1;
+        } else if x > self.hi {
+            self.above += 1;
+        } else {
+            let width = (self.hi - self.lo) / self.bins.len() as f64;
+            let idx = (((x - self.lo) / width) as usize).min(self.bins.len() - 1);
+            self.bins[idx] += 1;
+        }
+    }
+
+    /// Per-bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// Observations below/above the range.
+    pub fn outliers(&self) -> (u64, u64) {
+        (self.below, self.above)
+    }
+
+    /// Total observations, including outliers.
+    pub fn total(&self) -> u64 {
+        self.bins.iter().sum::<u64>() + self.below + self.above
+    }
+
+    /// `(lo, hi)` edges of bin `i`.
+    pub fn bin_edges(&self, i: usize) -> (f64, f64) {
+        let width = (self.hi - self.lo) / self.bins.len() as f64;
+        (self.lo + width * i as f64, self.lo + width * (i + 1) as f64)
+    }
+
+    /// Render one `edge..edge: ###` line per bin, bars scaled to `width`.
+    pub fn render(&self, width: usize) -> String {
+        let max = self.bins.iter().copied().max().unwrap_or(0).max(1);
+        let mut out = String::new();
+        for (i, n) in self.bins.iter().enumerate() {
+            let (lo, hi) = self.bin_edges(i);
+            let bar_len = (*n as usize * width).div_ceil(max as usize).min(width);
+            let bar: String = std::iter::repeat_n('#', if *n == 0 { 0 } else { bar_len }).collect();
+            out.push_str(&format!("{lo:7.1}..{hi:7.1} | {n:5} {bar}
+"));
+        }
+        if self.below + self.above > 0 {
+            out.push_str(&format!(
+                "outliers: {} below, {} above
+",
+                self.below, self.above
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_mean_and_variance() {
+        let mut w = Welford::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            w.push(x);
+        }
+        assert_eq!(w.count(), 8);
+        assert!((w.mean() - 5.0).abs() < 1e-12);
+        // population variance 4.0 -> sample variance 32/7
+        assert!((w.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(w.min(), Some(2.0));
+        assert_eq!(w.max(), Some(9.0));
+    }
+
+    #[test]
+    fn welford_empty_is_zero() {
+        let w = Welford::new();
+        assert_eq!(w.mean(), 0.0);
+        assert_eq!(w.variance(), 0.0);
+        assert_eq!(w.min(), None);
+    }
+
+    #[test]
+    fn welford_merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut whole = Welford::new();
+        xs.iter().for_each(|x| whole.push(*x));
+        let mut a = Welford::new();
+        let mut b = Welford::new();
+        xs[..37].iter().for_each(|x| a.push(*x));
+        xs[37..].iter().for_each(|x| b.push(*x));
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-9);
+        assert!((a.variance() - whole.variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let mut p = Percentiles::new();
+        for x in 1..=100 {
+            p.push(x as f64);
+        }
+        assert_eq!(p.percentile(50.0), Some(50.0));
+        assert_eq!(p.percentile(95.0), Some(95.0));
+        assert_eq!(p.percentile(100.0), Some(100.0));
+        assert_eq!(p.percentile(0.0), Some(1.0));
+    }
+
+    #[test]
+    fn percentile_empty_is_none() {
+        assert_eq!(Percentiles::new().median(), None);
+    }
+
+    #[test]
+    fn time_weighted_average_of_step() {
+        // 0 for 10 s, then 1 for 30 s => average over 40 s is 0.75.
+        let mut tw = TimeWeighted::new(SimTime::ZERO, 0.0);
+        tw.observe(SimTime::from_secs(10), 1.0);
+        let avg = tw.average(SimTime::from_secs(40));
+        assert!((avg - 0.75).abs() < 1e-12);
+        assert_eq!(tw.peak(), 1.0);
+        assert_eq!(tw.current(), 1.0);
+    }
+
+    #[test]
+    fn time_weighted_zero_window() {
+        let tw = TimeWeighted::new(SimTime::from_secs(5), 3.0);
+        assert_eq!(tw.average(SimTime::from_secs(5)), 0.0);
+    }
+
+    #[test]
+    fn histogram_bins_and_outliers() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        for x in [0.0, 1.9, 2.0, 5.5, 9.99, -1.0, 10.0, 42.0] {
+            h.push(x);
+        }
+        // 10.0 sits on the closed upper edge: top bin, not an outlier.
+        assert_eq!(h.counts(), &[2, 1, 1, 0, 2]);
+        assert_eq!(h.outliers(), (1, 1));
+        assert_eq!(h.total(), 8);
+        assert_eq!(h.bin_edges(0), (0.0, 2.0));
+        assert_eq!(h.bin_edges(4), (8.0, 10.0));
+    }
+
+    #[test]
+    fn histogram_renders() {
+        let mut h = Histogram::new(0.0, 4.0, 2);
+        h.push(1.0);
+        h.push(1.5);
+        h.push(3.0);
+        let text = h.render(10);
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.contains("|     2"), "{text}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty histogram range")]
+    fn histogram_rejects_bad_range() {
+        let _ = Histogram::new(5.0, 5.0, 3);
+    }
+
+    #[test]
+    fn time_weighted_multiple_steps() {
+        let mut tw = TimeWeighted::new(SimTime::ZERO, 4.0);
+        tw.observe(SimTime::from_secs(10), 0.0);
+        tw.observe(SimTime::from_secs(20), 2.0);
+        // [0,10)=4, [10,20)=0, [20,30)=2 => (40+0+20)/30 = 2.0
+        assert!((tw.average(SimTime::from_secs(30)) - 2.0).abs() < 1e-12);
+        assert_eq!(tw.peak(), 4.0);
+    }
+}

@@ -1,0 +1,294 @@
+//! Simulated time.
+//!
+//! Millisecond resolution is enough for the reproduced system: the paper's
+//! finest-grained timing artefact is the `sleep 10` in the Figure-4 switch
+//! job; everything else (poll cycles, reboots) is minutes. `u64` milliseconds
+//! overflow after ~584 million years of simulated time, so arithmetic is
+//! plain saturating/checked integer math.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// An absolute instant on the simulated clock, in milliseconds since the
+/// start of the simulation.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimTime(u64);
+
+/// A span of simulated time, in milliseconds.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The start of the simulation.
+    pub const ZERO: SimTime = SimTime(0);
+    /// The largest representable instant (used as an "infinitely far" horizon).
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Construct from raw milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimTime(ms)
+    }
+
+    /// Construct from whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimTime(s * 1000)
+    }
+
+    /// Construct from whole minutes.
+    pub const fn from_mins(m: u64) -> Self {
+        SimTime(m * 60_000)
+    }
+
+    /// Raw milliseconds since simulation start.
+    pub const fn as_millis(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since simulation start, truncating.
+    pub const fn as_secs(self) -> u64 {
+        self.0 / 1000
+    }
+
+    /// Fractional seconds since simulation start.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1000.0
+    }
+
+    /// Fractional hours since simulation start (used for plots).
+    pub fn as_hours_f64(self) -> f64 {
+        self.0 as f64 / 3_600_000.0
+    }
+
+    /// The duration elapsed since `earlier`, or zero if `earlier` is later.
+    pub fn saturating_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Checked duration since `earlier`; `None` if `earlier > self`.
+    pub fn checked_since(self, earlier: SimTime) -> Option<SimDuration> {
+        self.0.checked_sub(earlier.0).map(SimDuration)
+    }
+}
+
+impl SimDuration {
+    /// Zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+    /// The largest representable duration.
+    pub const MAX: SimDuration = SimDuration(u64::MAX);
+
+    /// Construct from raw milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDuration(ms)
+    }
+
+    /// Construct from whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimDuration(s * 1000)
+    }
+
+    /// Construct from whole minutes.
+    pub const fn from_mins(m: u64) -> Self {
+        SimDuration(m * 60_000)
+    }
+
+    /// Construct from whole hours.
+    pub const fn from_hours(h: u64) -> Self {
+        SimDuration(h * 3_600_000)
+    }
+
+    /// Construct from fractional seconds, rounding to the nearest
+    /// millisecond. Negative inputs clamp to zero.
+    pub fn from_secs_f64(s: f64) -> Self {
+        if s <= 0.0 || !s.is_finite() {
+            return SimDuration(0);
+        }
+        SimDuration((s * 1000.0).round() as u64)
+    }
+
+    /// Raw milliseconds.
+    pub const fn as_millis(self) -> u64 {
+        self.0
+    }
+
+    /// Whole seconds, truncating.
+    pub const fn as_secs(self) -> u64 {
+        self.0 / 1000
+    }
+
+    /// Fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1000.0
+    }
+
+    /// Fractional minutes.
+    pub fn as_mins_f64(self) -> f64 {
+        self.0 as f64 / 60_000.0
+    }
+
+    /// True if the duration is zero.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Saturating addition.
+    pub fn saturating_add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(rhs.0))
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Multiply by an integer factor, saturating.
+    pub fn saturating_mul(self, k: u64) -> SimDuration {
+        SimDuration(self.0.saturating_mul(k))
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    /// Panics in debug builds if `rhs > self`; saturates in release.
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        debug_assert!(rhs.0 <= self.0, "SimTime subtraction went negative");
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl fmt::Display for SimTime {
+    /// Renders as `[ddd+]hh:mm:ss.mmm`, the format used in trace dumps.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ms = self.0 % 1000;
+        let s = (self.0 / 1000) % 60;
+        let m = (self.0 / 60_000) % 60;
+        let h = (self.0 / 3_600_000) % 24;
+        let d = self.0 / 86_400_000;
+        if d > 0 {
+            write!(f, "{d}+{h:02}:{m:02}:{s:02}.{ms:03}")
+        } else {
+            write!(f, "{h:02}:{m:02}:{s:02}.{ms:03}")
+        }
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 < 1000 {
+            write!(f, "{}ms", self.0)
+        } else if self.0 < 60_000 {
+            write!(f, "{:.1}s", self.as_secs_f64())
+        } else if self.0 < 3_600_000 {
+            write!(f, "{:.1}min", self.as_mins_f64())
+        } else {
+            write!(f, "{:.2}h", self.0 as f64 / 3_600_000.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_units_agree() {
+        assert_eq!(SimTime::from_secs(1), SimTime::from_millis(1000));
+        assert_eq!(SimTime::from_mins(2), SimTime::from_secs(120));
+        assert_eq!(SimDuration::from_hours(1), SimDuration::from_mins(60));
+    }
+
+    #[test]
+    fn add_duration_to_time() {
+        let t = SimTime::from_secs(10) + SimDuration::from_secs(5);
+        assert_eq!(t, SimTime::from_secs(15));
+    }
+
+    #[test]
+    fn subtraction_yields_duration() {
+        let d = SimTime::from_secs(15) - SimTime::from_secs(10);
+        assert_eq!(d, SimDuration::from_secs(5));
+    }
+
+    #[test]
+    fn saturating_since_clamps() {
+        let d = SimTime::from_secs(1).saturating_since(SimTime::from_secs(5));
+        assert_eq!(d, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn checked_since_detects_inversion() {
+        assert!(SimTime::from_secs(1)
+            .checked_since(SimTime::from_secs(5))
+            .is_none());
+        assert_eq!(
+            SimTime::from_secs(5).checked_since(SimTime::from_secs(1)),
+            Some(SimDuration::from_secs(4))
+        );
+    }
+
+    #[test]
+    fn from_secs_f64_rounds_and_clamps() {
+        assert_eq!(SimDuration::from_secs_f64(1.2345), SimDuration::from_millis(1235));
+        assert_eq!(SimDuration::from_secs_f64(-3.0), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_secs_f64(f64::NAN), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(SimTime::from_millis(3_723_004).to_string(), "01:02:03.004");
+        assert_eq!(
+            (SimTime::from_mins(60 * 25) + SimDuration::from_millis(1)).to_string(),
+            "1+01:00:00.001"
+        );
+        assert_eq!(SimDuration::from_millis(500).to_string(), "500ms");
+        assert_eq!(SimDuration::from_secs(90).to_string(), "1.5min");
+        assert_eq!(SimDuration::from_hours(3).to_string(), "3.00h");
+    }
+
+    #[test]
+    fn saturating_arithmetic_on_durations() {
+        let a = SimDuration::from_secs(3);
+        let b = SimDuration::from_secs(5);
+        assert_eq!(a.saturating_sub(b), SimDuration::ZERO);
+        assert_eq!(b.saturating_sub(a), SimDuration::from_secs(2));
+        assert_eq!(SimDuration::MAX.saturating_add(a), SimDuration::MAX);
+        assert_eq!(a.saturating_mul(4), SimDuration::from_secs(12));
+    }
+}

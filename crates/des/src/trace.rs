@@ -1,0 +1,185 @@
+//! Typed trace recorder.
+//!
+//! Integration tests assert on the *order* of control-plane actions (the
+//! paper's Figure 11 numbers its protocol steps 1–5); the recorder keeps a
+//! chronological list of `(time, event)` pairs plus helpers for those
+//! ordering assertions. Recording can be disabled for long benches.
+
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// A boxed event predicate for [`Trace::contains_subsequence`].
+pub type EventPred<'a, E> = Box<dyn FnMut(&E) -> bool + 'a>;
+
+/// A chronological trace of typed events.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Trace<E> {
+    enabled: bool,
+    entries: Vec<(SimTime, E)>,
+}
+
+impl<E> Default for Trace<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Trace<E> {
+    /// An enabled, empty trace.
+    pub fn new() -> Self {
+        Trace {
+            enabled: true,
+            entries: Vec::new(),
+        }
+    }
+
+    /// A disabled trace: `record` becomes a no-op (for long benches).
+    pub fn disabled() -> Self {
+        Trace {
+            enabled: false,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Whether recording is active.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Append an event at time `t` (no-op when disabled).
+    pub fn record(&mut self, t: SimTime, e: E) {
+        if self.enabled {
+            self.entries.push((t, e));
+        }
+    }
+
+    /// All recorded entries in order.
+    pub fn entries(&self) -> &[(SimTime, E)] {
+        &self.entries
+    }
+
+    /// Number of recorded entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterator over events matching a predicate.
+    pub fn matching<'a>(
+        &'a self,
+        mut pred: impl FnMut(&E) -> bool + 'a,
+    ) -> impl Iterator<Item = &'a (SimTime, E)> + 'a {
+        self.entries.iter().filter(move |(_, e)| pred(e))
+    }
+
+    /// First entry matching the predicate.
+    pub fn first_matching(&self, mut pred: impl FnMut(&E) -> bool) -> Option<&(SimTime, E)> {
+        self.entries.iter().find(|(_, e)| pred(e))
+    }
+
+    /// Checks that for every consecutive pair of predicates, some matching
+    /// events occur in that order (a subsequence match). This is how tests
+    /// assert the Figure-11 step order without pinning unrelated events.
+    pub fn contains_subsequence(&self, preds: &mut [EventPred<'_, E>]) -> bool {
+        let mut idx = 0;
+        for (_, e) in &self.entries {
+            if idx == preds.len() {
+                break;
+            }
+            if preds[idx](e) {
+                idx += 1;
+            }
+        }
+        idx == preds.len()
+    }
+
+    /// Drop all recorded entries.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    enum Ev {
+        Poll,
+        Decide(u32),
+        Reboot(u32),
+    }
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn records_in_order() {
+        let mut tr = Trace::new();
+        tr.record(t(1), Ev::Poll);
+        tr.record(t(2), Ev::Decide(3));
+        assert_eq!(tr.len(), 2);
+        assert_eq!(tr.entries()[1].1, Ev::Decide(3));
+    }
+
+    #[test]
+    fn disabled_trace_is_noop() {
+        let mut tr = Trace::disabled();
+        tr.record(t(1), Ev::Poll);
+        assert!(tr.is_empty());
+        assert!(!tr.is_enabled());
+    }
+
+    #[test]
+    fn matching_filters() {
+        let mut tr = Trace::new();
+        tr.record(t(1), Ev::Poll);
+        tr.record(t(2), Ev::Reboot(1));
+        tr.record(t(3), Ev::Reboot(2));
+        assert_eq!(tr.matching(|e| matches!(e, Ev::Reboot(_))).count(), 2);
+        assert_eq!(
+            tr.first_matching(|e| matches!(e, Ev::Reboot(_))).unwrap().0,
+            t(2)
+        );
+    }
+
+    #[test]
+    fn subsequence_match_succeeds_in_order() {
+        let mut tr = Trace::new();
+        tr.record(t(1), Ev::Poll);
+        tr.record(t(2), Ev::Decide(2));
+        tr.record(t(3), Ev::Poll);
+        tr.record(t(4), Ev::Reboot(7));
+        let ok = tr.contains_subsequence(&mut [
+            Box::new(|e: &Ev| matches!(e, Ev::Poll)),
+            Box::new(|e: &Ev| matches!(e, Ev::Decide(_))),
+            Box::new(|e: &Ev| matches!(e, Ev::Reboot(_))),
+        ]);
+        assert!(ok);
+    }
+
+    #[test]
+    fn subsequence_match_fails_out_of_order() {
+        let mut tr = Trace::new();
+        tr.record(t(1), Ev::Reboot(7));
+        tr.record(t(2), Ev::Poll);
+        let ok = tr.contains_subsequence(&mut [
+            Box::new(|e: &Ev| matches!(e, Ev::Poll)),
+            Box::new(|e: &Ev| matches!(e, Ev::Reboot(_))),
+        ]);
+        assert!(!ok);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut tr = Trace::new();
+        tr.record(t(1), Ev::Poll);
+        tr.clear();
+        assert!(tr.is_empty());
+    }
+}

@@ -1,0 +1,525 @@
+//! The boot-path resolver: firmware → (PXE | MBR) → bootloader → OS.
+//!
+//! This is where the v1/v2 difference of the paper becomes executable.
+//! Resolution walks the same chain a real node walks:
+//!
+//! * **Local path (v1)**: the MBR's code runs. GRUB stage 1 loads the
+//!   `menu.lst` from the Linux `/boot` partition; its only entry redirects
+//!   (`configfile`) to `controlmenu.lst` on the FAT partition (Figure 2);
+//!   *that* file's default entry boots Linux (kernel at `root=/dev/sdaN`)
+//!   or chainloads the Windows partition (Figure 3). A Windows MBR instead
+//!   boots the active NTFS partition directly and never consults GRUB —
+//!   which is why a Windows reimage strands Linux in v1.
+//! * **Network path (v2)**: the firmware PXE-boots, the GRUB4DOS ROM
+//!   fetches the menu for the node's MAC from the head node, and the menu
+//!   boots a *local* partition. The local MBR is never read.
+//!
+//! Every dead end is a typed [`BootError`], so tests and fault-injection
+//! experiments can assert exactly *how* a node fails to boot.
+
+use crate::disk::{Disk, FsKind, MbrCode, PartitionContent};
+use crate::nic::NicModel;
+use crate::pxe::PxeService;
+use dualboot_bootconf::grub::{BootTarget, EntryCommand, GrubConfig, GrubEntry};
+use dualboot_bootconf::mac::MacAddr;
+use dualboot_bootconf::os::OsKind;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// How far the boot attempt got before failing.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BootError {
+    /// MBR has no boot code (fresh disk, or after diskpart `clean`).
+    NoBootCode,
+    /// GRUB stage 1 ran but no partition carries a `/boot` with a menu.
+    GrubMenuMissing,
+    /// A `configfile` redirect pointed at a file that does not exist on the
+    /// FAT partition (or there is no FAT partition).
+    RedirectTargetMissing(String),
+    /// Config redirects formed a loop (or exceeded the chain limit).
+    RedirectLoop,
+    /// The selected menu entry has no recognisable boot command.
+    UndefinedEntry(String),
+    /// The default index points past the end of the menu.
+    DefaultOutOfRange(u32),
+    /// A kernel's `root=/dev/sdaN` device is missing or has no Linux root.
+    LinuxRootMissing(u32),
+    /// A chainload target partition is missing or not a Windows system.
+    WindowsPartitionMissing(u8),
+    /// The Windows MBR found no active NTFS partition with a system on it.
+    NoActiveWindows,
+    /// Firmware was set to PXE but no PXE service answered (head node down
+    /// or service disabled).
+    PxeNoAnswer,
+    /// The served boot ROM has no driver for the node's LAN card (the
+    /// PXEGRUB/GRUB-0.97 dead end of §IV.A.1).
+    RomNicUnsupported(NicModel),
+    /// A config file on the FAT partition failed to parse.
+    ConfigUnparsable(String),
+}
+
+impl fmt::Display for BootError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BootError::NoBootCode => write!(f, "MBR contains no boot code"),
+            BootError::GrubMenuMissing => write!(f, "GRUB found no menu.lst on any partition"),
+            BootError::RedirectTargetMissing(p) => {
+                write!(f, "configfile target {p:?} not found on control partition")
+            }
+            BootError::RedirectLoop => write!(f, "configfile redirect loop"),
+            BootError::UndefinedEntry(t) => write!(f, "menu entry {t:?} has no boot command"),
+            BootError::DefaultOutOfRange(i) => write!(f, "default entry {i} out of range"),
+            BootError::LinuxRootMissing(n) => {
+                write!(f, "kernel root device /dev/sda{n} missing or not a Linux root")
+            }
+            BootError::WindowsPartitionMissing(i) => {
+                write!(f, "chainload target (hd0,{i}) missing or not Windows")
+            }
+            BootError::NoActiveWindows => {
+                write!(f, "Windows MBR found no active NTFS system partition")
+            }
+            BootError::PxeNoAnswer => write!(f, "PXE boot: no DHCP/TFTP answer"),
+            BootError::RomNicUnsupported(nic) => {
+                write!(f, "boot ROM has no driver for {nic}")
+            }
+            BootError::ConfigUnparsable(p) => write!(f, "config file {p:?} unparsable"),
+        }
+    }
+}
+
+impl std::error::Error for BootError {}
+
+/// Which path resolved the boot (reported alongside the OS for traces).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BootPath {
+    /// Local MBR → GRUB → (redirect) → entry.
+    LocalGrub,
+    /// Local Windows MBR → active partition.
+    LocalWindowsMbr,
+    /// PXE → GRUB4DOS menu from the head node.
+    Pxe,
+}
+
+/// Maximum `configfile` redirects followed before declaring a loop.
+const MAX_REDIRECTS: usize = 4;
+
+/// Resolve what a node boots through its **local disk** (the v1 path).
+pub fn resolve_local(disk: &Disk) -> Result<(OsKind, BootPath), BootError> {
+    match disk.mbr() {
+        MbrCode::None => Err(BootError::NoBootCode),
+        MbrCode::WindowsMbr => {
+            let ok = disk.partitions().iter().any(|p| {
+                p.active
+                    && p.fs == FsKind::Ntfs
+                    && matches!(p.content, PartitionContent::WindowsSystem)
+            });
+            if ok {
+                Ok((OsKind::Windows, BootPath::LocalWindowsMbr))
+            } else {
+                Err(BootError::NoActiveWindows)
+            }
+        }
+        MbrCode::GrubStage1 => {
+            let menu = disk
+                .partitions()
+                .iter()
+                .find_map(|p| match &p.content {
+                    PartitionContent::LinuxBoot { menu_lst } => Some(menu_lst),
+                    _ => None,
+                })
+                .ok_or(BootError::GrubMenuMissing)?;
+            let os = resolve_menu(disk, menu, 0)?;
+            Ok((os, BootPath::LocalGrub))
+        }
+    }
+}
+
+/// Resolve what a node boots through **PXE** (the v2 path). `pxe` is the
+/// head node's boot service; `None` models an unreachable head node.
+pub fn resolve_pxe(
+    disk: &Disk,
+    mac: &MacAddr,
+    nic: NicModel,
+    pxe: Option<&PxeService>,
+) -> Result<(OsKind, BootPath), BootError> {
+    let service = pxe.filter(|s| s.is_enabled()).ok_or(BootError::PxeNoAnswer)?;
+    if !service.rom().supports(nic) {
+        return Err(BootError::RomNicUnsupported(nic));
+    }
+    let menu = service.menu_for(mac);
+    let os = resolve_menu(disk, &menu, 0)?;
+    Ok((os, BootPath::Pxe))
+}
+
+/// Follow a GRUB menu's default entry to an OS, chasing `configfile`
+/// redirects through the FAT control partition. If the default entry
+/// fails and the menu carries a `fallback=N` directive, GRUB retries
+/// entry N — modelled faithfully (one fallback level, as GRUB legacy).
+fn resolve_menu(disk: &Disk, menu: &GrubConfig, depth: usize) -> Result<OsKind, BootError> {
+    let primary = resolve_menu_entry(disk, menu, menu.default_index(), depth);
+    match primary {
+        Ok(os) => Ok(os),
+        Err(e) => {
+            let fallback = menu.header.iter().find_map(|h| match h {
+                dualboot_bootconf::grub::HeaderDirective::Fallback(n) => Some(*n),
+                _ => None,
+            });
+            match fallback {
+                Some(n) if n != menu.default_index() => {
+                    resolve_menu_entry(disk, menu, n, depth).map_err(|_| e)
+                }
+                _ => Err(e),
+            }
+        }
+    }
+}
+
+/// Resolve one specific entry of a menu.
+fn resolve_menu_entry(
+    disk: &Disk,
+    menu: &GrubConfig,
+    idx: u32,
+    depth: usize,
+) -> Result<OsKind, BootError> {
+    if depth > MAX_REDIRECTS {
+        return Err(BootError::RedirectLoop);
+    }
+    let entry = menu
+        .entries
+        .get(idx as usize)
+        .ok_or(BootError::DefaultOutOfRange(idx))?;
+    match entry.boot_target() {
+        BootTarget::Redirect(path) => {
+            let fat = disk
+                .fat_control()
+                .ok_or_else(|| BootError::RedirectTargetMissing(path.clone()))?;
+            let name = path.trim_start_matches('/');
+            let text = fat
+                .read(name)
+                .ok_or_else(|| BootError::RedirectTargetMissing(path.clone()))?;
+            let next = GrubConfig::parse(text)
+                .map_err(|_| BootError::ConfigUnparsable(path.clone()))?;
+            resolve_menu(disk, &next, depth + 1)
+        }
+        BootTarget::Os(OsKind::Linux) => {
+            verify_linux_bootable(disk, entry)?;
+            Ok(OsKind::Linux)
+        }
+        BootTarget::Os(OsKind::Windows) => {
+            verify_windows_bootable(disk, entry)?;
+            Ok(OsKind::Windows)
+        }
+        BootTarget::Undefined => Err(BootError::UndefinedEntry(entry.title.clone())),
+    }
+}
+
+/// Check that the kernel's `root=/dev/sdaN` partition exists and carries a
+/// Linux root filesystem.
+fn verify_linux_bootable(disk: &Disk, entry: &GrubEntry) -> Result<(), BootError> {
+    for c in &entry.commands {
+        if let EntryCommand::Kernel { args, .. } = c {
+            for a in args {
+                if let Some(dev) = a.strip_prefix("root=/dev/sda") {
+                    if let Ok(n) = dev.parse::<u32>() {
+                        let ok = disk
+                            .partition(n)
+                            .map(|p| matches!(p.content, PartitionContent::LinuxRoot))
+                            .unwrap_or(false);
+                        return if ok {
+                            Ok(())
+                        } else {
+                            Err(BootError::LinuxRootMissing(n))
+                        };
+                    }
+                }
+            }
+        }
+    }
+    // No root= argument: accept if the disk has a Linux install at all.
+    if disk.has_linux() {
+        Ok(())
+    } else {
+        Err(BootError::LinuxRootMissing(0))
+    }
+}
+
+/// Check that the chainload target is an installed Windows partition.
+fn verify_windows_bootable(disk: &Disk, entry: &GrubEntry) -> Result<(), BootError> {
+    let target = entry.commands.iter().find_map(|c| match c {
+        EntryCommand::RootNoVerify(d) | EntryCommand::Root(d) => Some(d.partition),
+        _ => None,
+    });
+    let grub_index = target.unwrap_or(0);
+    let ok = disk
+        .partition_by_grub_index(grub_index)
+        .map(|p| {
+            p.fs == FsKind::Ntfs && matches!(p.content, PartitionContent::WindowsSystem)
+        })
+        .unwrap_or(false);
+    if ok {
+        Ok(())
+    } else {
+        Err(BootError::WindowsPartitionMissing(grub_index))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fatfs::FatFs;
+    use dualboot_bootconf::grub::eridani;
+    use dualboot_bootconf::grub4dos::{ControlMode, PxeMenuDir};
+
+    /// A fully installed v1 Eridani node disk: Windows on sda1, Linux
+    /// /boot on sda2 (with the Figure-2 redirect menu), swap sda5, FAT
+    /// control on sda6 holding controlmenu.lst targeting `os`, root sda7.
+    fn v1_disk(control_target: OsKind) -> Disk {
+        let mut d = Disk::eridani();
+        d.set_mbr(MbrCode::GrubStage1);
+        d.add_partition(1, 150_000, FsKind::Ntfs, PartitionContent::WindowsSystem)
+            .unwrap();
+        d.add_partition(
+            2,
+            100,
+            FsKind::Ext3,
+            PartitionContent::LinuxBoot {
+                menu_lst: eridani::menu_lst(),
+            },
+        )
+        .unwrap();
+        let mut fat = FatFs::new();
+        fat.write(
+            "controlmenu.lst",
+            eridani::controlmenu(control_target).emit(),
+        );
+        fat.write(
+            "controlmenu_to_linux.lst",
+            eridani::controlmenu(OsKind::Linux).emit(),
+        );
+        fat.write(
+            "controlmenu_to_windows.lst",
+            eridani::controlmenu(OsKind::Windows).emit(),
+        );
+        d.add_partition(5, 512, FsKind::Swap, PartitionContent::Empty)
+            .unwrap();
+        d.add_partition(6, 64, FsKind::Vfat, PartitionContent::FatControl(fat))
+            .unwrap();
+        d.add_partition(7, 50_000, FsKind::Ext3, PartitionContent::LinuxRoot)
+            .unwrap();
+        d
+    }
+
+    #[test]
+    fn v1_boots_linux_via_redirect() {
+        let d = v1_disk(OsKind::Linux);
+        assert_eq!(
+            resolve_local(&d).unwrap(),
+            (OsKind::Linux, BootPath::LocalGrub)
+        );
+    }
+
+    #[test]
+    fn v1_boots_windows_via_redirect() {
+        let d = v1_disk(OsKind::Windows);
+        assert_eq!(
+            resolve_local(&d).unwrap(),
+            (OsKind::Windows, BootPath::LocalGrub)
+        );
+    }
+
+    #[test]
+    fn v1_switch_by_rename_changes_boot() {
+        // The exact file operation the paper's batch scripts perform.
+        let mut d = v1_disk(OsKind::Linux);
+        let fat = d.fat_control_mut().unwrap();
+        assert!(fat.rename("controlmenu_to_windows.lst", "controlmenu.lst"));
+        assert_eq!(resolve_local(&d).unwrap().0, OsKind::Windows);
+    }
+
+    #[test]
+    fn windows_reimage_strands_linux_in_v1() {
+        // Figure 9/10 scripts `clean` → MBR boot code gone → node unbootable
+        // without a full Linux reinstall: the §IV.A failure.
+        let mut d = v1_disk(OsKind::Linux);
+        d.apply_diskpart(&dualboot_bootconf::diskpart::DiskpartScript::modified_v1(
+            150_000,
+        ))
+        .unwrap();
+        assert_eq!(resolve_local(&d), Err(BootError::NoBootCode));
+    }
+
+    #[test]
+    fn windows_mbr_boots_active_partition_ignoring_grub() {
+        let mut d = v1_disk(OsKind::Linux);
+        d.set_mbr(MbrCode::WindowsMbr);
+        d.partition_mut(1).unwrap().active = true;
+        // controlmenu still says Linux, but the Windows MBR never reads it
+        assert_eq!(
+            resolve_local(&d).unwrap(),
+            (OsKind::Windows, BootPath::LocalWindowsMbr)
+        );
+    }
+
+    #[test]
+    fn windows_mbr_without_system_fails() {
+        let mut d = Disk::eridani();
+        d.set_mbr(MbrCode::WindowsMbr);
+        assert_eq!(resolve_local(&d), Err(BootError::NoActiveWindows));
+    }
+
+    #[test]
+    fn missing_controlmenu_is_reported() {
+        let mut d = v1_disk(OsKind::Linux);
+        d.fat_control_mut().unwrap().remove("controlmenu.lst");
+        assert_eq!(
+            resolve_local(&d),
+            Err(BootError::RedirectTargetMissing("/controlmenu.lst".into()))
+        );
+    }
+
+    #[test]
+    fn garbage_controlmenu_is_reported() {
+        let mut d = v1_disk(OsKind::Linux);
+        d.fat_control_mut()
+            .unwrap()
+            .write("controlmenu.lst", "!! not a grub file !!");
+        assert_eq!(
+            resolve_local(&d),
+            Err(BootError::ConfigUnparsable("/controlmenu.lst".into()))
+        );
+    }
+
+    #[test]
+    fn redirect_loop_detected() {
+        let mut d = v1_disk(OsKind::Linux);
+        // controlmenu.lst that redirects to itself
+        let mut looping = eridani::menu_lst();
+        looping.entries[0].commands[1] =
+            EntryCommand::ConfigFile("/controlmenu.lst".to_string());
+        d.fat_control_mut()
+            .unwrap()
+            .write("controlmenu.lst", looping.emit());
+        assert_eq!(resolve_local(&d), Err(BootError::RedirectLoop));
+    }
+
+    #[test]
+    fn linux_entry_with_missing_root_partition_fails() {
+        let mut d = v1_disk(OsKind::Linux);
+        d.remove_partition(7).unwrap();
+        assert_eq!(resolve_local(&d), Err(BootError::LinuxRootMissing(7)));
+    }
+
+    #[test]
+    fn windows_entry_with_erased_partition_fails() {
+        let mut d = v1_disk(OsKind::Windows);
+        d.partition_mut(1).unwrap().content = PartitionContent::Empty;
+        assert_eq!(
+            resolve_local(&d),
+            Err(BootError::WindowsPartitionMissing(0))
+        );
+    }
+
+    #[test]
+    fn pxe_boots_flag_os_regardless_of_local_mbr() {
+        // v2: even a node whose MBR was destroyed by a Windows reimage
+        // boots correctly, because the path never touches the MBR.
+        let mut d = v1_disk(OsKind::Linux);
+        d.set_mbr(MbrCode::None);
+        let service = PxeService::new(PxeMenuDir::new(ControlMode::SingleFlag, OsKind::Linux));
+        let mac = MacAddr::for_node(1);
+        assert_eq!(
+            resolve_pxe(&d, &mac, NicModel::RealtekR8168, Some(&service)).unwrap(),
+            (OsKind::Linux, BootPath::Pxe)
+        );
+    }
+
+    #[test]
+    fn pxe_follows_flag_flips() {
+        let d = v1_disk(OsKind::Linux);
+        let mut service =
+            PxeService::new(PxeMenuDir::new(ControlMode::SingleFlag, OsKind::Linux));
+        let mac = MacAddr::for_node(3);
+        assert_eq!(resolve_pxe(&d, &mac, NicModel::RealtekR8168, Some(&service)).unwrap().0, OsKind::Linux);
+        service.menu_dir_mut().set_flag(OsKind::Windows);
+        assert_eq!(
+            resolve_pxe(&d, &mac, NicModel::RealtekR8168, Some(&service)).unwrap().0,
+            OsKind::Windows
+        );
+    }
+
+    #[test]
+    fn pxe_without_service_fails() {
+        let d = v1_disk(OsKind::Linux);
+        let mac = MacAddr::for_node(1);
+        assert_eq!(resolve_pxe(&d, &mac, NicModel::RealtekR8168, None), Err(BootError::PxeNoAnswer));
+        let mut off = PxeService::new(PxeMenuDir::new(ControlMode::SingleFlag, OsKind::Linux));
+        off.set_enabled(false);
+        assert_eq!(
+            resolve_pxe(&d, &mac, NicModel::RealtekR8168, Some(&off)),
+            Err(BootError::PxeNoAnswer)
+        );
+    }
+
+    #[test]
+    fn fallback_entry_rescues_a_broken_default() {
+        // default points at the Windows entry but the Windows partition is
+        // wiped; fallback=0 (the Linux entry) saves the boot.
+        let mut d = v1_disk(OsKind::Windows);
+        d.partition_mut(1).unwrap().content = PartitionContent::Empty;
+        // inject a fallback directive into controlmenu.lst
+        let mut menu = eridani::controlmenu(OsKind::Windows);
+        menu.header
+            .push(dualboot_bootconf::grub::HeaderDirective::Fallback(0));
+        d.fat_control_mut()
+            .unwrap()
+            .write("controlmenu.lst", menu.emit());
+        assert_eq!(resolve_local(&d).unwrap().0, OsKind::Linux);
+    }
+
+    #[test]
+    fn fallback_reports_the_primary_error_when_it_also_fails() {
+        let mut d = v1_disk(OsKind::Windows);
+        d.partition_mut(1).unwrap().content = PartitionContent::Empty;
+        d.remove_partition(7).unwrap(); // Linux root gone too
+        let mut menu = eridani::controlmenu(OsKind::Windows);
+        menu.header
+            .push(dualboot_bootconf::grub::HeaderDirective::Fallback(0));
+        d.fat_control_mut()
+            .unwrap()
+            .write("controlmenu.lst", menu.emit());
+        // both entries dead: the *primary* failure is what surfaces
+        assert_eq!(
+            resolve_local(&d),
+            Err(BootError::WindowsPartitionMissing(0))
+        );
+    }
+
+    #[test]
+    fn fallback_to_self_is_ignored() {
+        let mut d = v1_disk(OsKind::Windows);
+        d.partition_mut(1).unwrap().content = PartitionContent::Empty;
+        let mut menu = eridani::controlmenu(OsKind::Windows);
+        menu.header
+            .push(dualboot_bootconf::grub::HeaderDirective::Fallback(1)); // = default
+        d.fat_control_mut()
+            .unwrap()
+            .write("controlmenu.lst", menu.emit());
+        assert_eq!(
+            resolve_local(&d),
+            Err(BootError::WindowsPartitionMissing(0))
+        );
+    }
+
+    #[test]
+    fn blank_disk_cannot_boot() {
+        let d = Disk::eridani();
+        assert_eq!(resolve_local(&d), Err(BootError::NoBootCode));
+    }
+
+    #[test]
+    fn grub_without_menu_fails() {
+        let mut d = Disk::eridani();
+        d.set_mbr(MbrCode::GrubStage1);
+        assert_eq!(resolve_local(&d), Err(BootError::GrubMenuMissing));
+    }
+}

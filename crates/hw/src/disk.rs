@@ -1,0 +1,578 @@
+//! Disks, partition tables and MBR boot code.
+//!
+//! The model keeps exactly the state the paper's failure modes hinge on:
+//!
+//! * the **MBR boot code** — GRUB stage 1, the Windows MBR, or nothing.
+//!   Windows deployment `clean`s the disk or rewrites the MBR, destroying
+//!   GRUB; this is the §IV.A motivation for moving to PXE in v2.
+//! * the **partition table** — numbered partitions with a filesystem kind
+//!   and typed content (Linux /boot with its GRUB menu, Linux root,
+//!   Windows system, the shared FAT control partition).
+//!
+//! [`Disk::apply_diskpart`] executes a parsed `diskpart.txt` script with
+//! real diskpart semantics: `clean` erases the table *and* boot code,
+//! `create partition primary` allocates the next partition number,
+//! `format` wipes content, `active` flips the boot flag.
+//!
+//! GRUB device numbering: `(hd0,P)` refers to partition number `P + 1`
+//! (`sda2` is `(hd0,1)`), matching the paper's Figures 2 and 3.
+
+use dualboot_bootconf::grub::GrubConfig;
+use dualboot_bootconf::diskpart::{DiskpartCmd, DiskpartScript};
+use crate::fatfs::FatFs;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// What lives in the first 446 bytes of the disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MbrCode {
+    /// Zeroed / no boot code (fresh disk or after `clean`).
+    None,
+    /// GRUB stage 1 (installed by the Linux/OSCAR deployment).
+    GrubStage1,
+    /// The Windows MBR, which boots the active NTFS partition and knows
+    /// nothing about GRUB.
+    WindowsMbr,
+}
+
+/// Filesystem kind of a partition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FsKind {
+    /// Allocated but never formatted.
+    Unformatted,
+    /// Linux ext3.
+    Ext3,
+    /// Windows NTFS.
+    Ntfs,
+    /// FAT (the shared control partition).
+    Vfat,
+    /// Linux swap.
+    Swap,
+}
+
+/// Typed partition contents — what an OS or the middleware put there.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PartitionContent {
+    /// Nothing installed (fresh or just formatted).
+    Empty,
+    /// A Linux `/boot` partition carrying the kernel, initrd and the GRUB
+    /// menu that MBR-GRUB reads.
+    LinuxBoot {
+        /// The `menu.lst` GRUB stage 2 loads.
+        menu_lst: GrubConfig,
+    },
+    /// The Linux root filesystem.
+    LinuxRoot,
+    /// An installed Windows system partition.
+    WindowsSystem,
+    /// The shared FAT control partition with its files.
+    FatControl(FatFs),
+}
+
+/// One partition table entry.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Partition {
+    /// 1-based partition number (`/dev/sdaN`). Numbers 1–4 are primary,
+    /// 5+ logical, mirroring the paper's layouts.
+    pub number: u32,
+    /// Size in megabytes.
+    pub size_mb: u64,
+    /// Filesystem kind.
+    pub fs: FsKind,
+    /// Volume label (diskpart's `LABEL=`).
+    pub label: String,
+    /// Active (boot) flag.
+    pub active: bool,
+    /// What is installed here.
+    pub content: PartitionContent,
+}
+
+/// Errors from disk operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DiskError {
+    /// Referenced partition number does not exist.
+    NoSuchPartition(u32),
+    /// A partition with this number already exists.
+    DuplicatePartition(u32),
+    /// Requested size exceeds remaining capacity.
+    CapacityExceeded {
+        /// Megabytes asked for.
+        requested_mb: u64,
+        /// Megabytes actually available.
+        free_mb: u64,
+    },
+    /// A diskpart command needed a selected partition but none was.
+    NoPartitionSelected,
+    /// A diskpart `select disk` referenced a different disk.
+    WrongDisk(u32),
+    /// `format` with an unsupported filesystem string.
+    UnknownFs(String),
+}
+
+impl fmt::Display for DiskError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DiskError::NoSuchPartition(n) => write!(f, "no partition {n}"),
+            DiskError::DuplicatePartition(n) => write!(f, "partition {n} already exists"),
+            DiskError::CapacityExceeded {
+                requested_mb,
+                free_mb,
+            } => write!(f, "requested {requested_mb} MB but only {free_mb} MB free"),
+            DiskError::NoPartitionSelected => write!(f, "no partition selected"),
+            DiskError::WrongDisk(n) => write!(f, "script selected disk {n}, this is disk 0"),
+            DiskError::UnknownFs(s) => write!(f, "unknown filesystem {s:?}"),
+        }
+    }
+}
+
+impl std::error::Error for DiskError {}
+
+/// A single-disk model (Eridani nodes have one 250 GB disk).
+///
+/// ```
+/// use dualboot_bootconf::diskpart::DiskpartScript;
+/// use dualboot_hw::disk::{Disk, FsKind, MbrCode};
+///
+/// // Run the paper's Figure-10 deployment script against a blank disk:
+/// let mut disk = Disk::eridani();
+/// disk.apply_diskpart(&DiskpartScript::modified_v1(150_000)).unwrap();
+/// assert_eq!(disk.partition(1).unwrap().size_mb, 150_000);
+/// assert_eq!(disk.free_mb(), 100_000);          // room left for Linux
+/// assert_eq!(disk.mbr(), MbrCode::None);        // `clean` wiped the MBR
+/// assert_eq!(disk.partition(1).unwrap().fs, FsKind::Ntfs);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Disk {
+    capacity_mb: u64,
+    mbr: MbrCode,
+    partitions: Vec<Partition>,
+}
+
+impl Disk {
+    /// A blank disk of the given capacity with no boot code.
+    pub fn new(capacity_mb: u64) -> Self {
+        Disk {
+            capacity_mb,
+            mbr: MbrCode::None,
+            partitions: Vec::new(),
+        }
+    }
+
+    /// The Eridani node disk: 250 GB.
+    pub fn eridani() -> Self {
+        Disk::new(250_000)
+    }
+
+    /// Total capacity in megabytes.
+    pub fn capacity_mb(&self) -> u64 {
+        self.capacity_mb
+    }
+
+    /// Megabytes consumed by existing partitions.
+    pub fn used_mb(&self) -> u64 {
+        self.partitions.iter().map(|p| p.size_mb).sum()
+    }
+
+    /// Remaining unallocated megabytes.
+    pub fn free_mb(&self) -> u64 {
+        self.capacity_mb.saturating_sub(self.used_mb())
+    }
+
+    /// Current MBR boot code.
+    pub fn mbr(&self) -> MbrCode {
+        self.mbr
+    }
+
+    /// Install boot code into the MBR (GRUB's `setup` or the Windows
+    /// installer's MBR write).
+    pub fn set_mbr(&mut self, code: MbrCode) {
+        self.mbr = code;
+    }
+
+    /// All partitions in number order.
+    pub fn partitions(&self) -> &[Partition] {
+        &self.partitions
+    }
+
+    /// Partition by 1-based number.
+    pub fn partition(&self, number: u32) -> Option<&Partition> {
+        self.partitions.iter().find(|p| p.number == number)
+    }
+
+    /// Mutable partition by 1-based number.
+    pub fn partition_mut(&mut self, number: u32) -> Option<&mut Partition> {
+        self.partitions.iter_mut().find(|p| p.number == number)
+    }
+
+    /// Partition addressed by a GRUB device index (`(hd0,P)` → number P+1).
+    pub fn partition_by_grub_index(&self, grub_index: u8) -> Option<&Partition> {
+        self.partition(u32::from(grub_index) + 1)
+    }
+
+    /// Add a partition with an explicit number. Fails on duplicates or
+    /// capacity overflow.
+    pub fn add_partition(
+        &mut self,
+        number: u32,
+        size_mb: u64,
+        fs: FsKind,
+        content: PartitionContent,
+    ) -> Result<(), DiskError> {
+        if self.partition(number).is_some() {
+            return Err(DiskError::DuplicatePartition(number));
+        }
+        if size_mb > self.free_mb() {
+            return Err(DiskError::CapacityExceeded {
+                requested_mb: size_mb,
+                free_mb: self.free_mb(),
+            });
+        }
+        self.partitions.push(Partition {
+            number,
+            size_mb,
+            fs,
+            label: String::new(),
+            active: false,
+            content,
+        });
+        self.partitions.sort_by_key(|p| p.number);
+        Ok(())
+    }
+
+    /// Remove a partition (its content is lost).
+    pub fn remove_partition(&mut self, number: u32) -> Result<(), DiskError> {
+        let before = self.partitions.len();
+        self.partitions.retain(|p| p.number != number);
+        if self.partitions.len() == before {
+            Err(DiskError::NoSuchPartition(number))
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Wipe the partition table and the MBR boot code (diskpart `clean`).
+    pub fn clean(&mut self) {
+        self.partitions.clear();
+        self.mbr = MbrCode::None;
+    }
+
+    /// First partition holding the FAT control filesystem, if any.
+    pub fn fat_control(&self) -> Option<&FatFs> {
+        self.partitions.iter().find_map(|p| match &p.content {
+            PartitionContent::FatControl(fs) => Some(fs),
+            _ => None,
+        })
+    }
+
+    /// Mutable access to the FAT control filesystem, if present.
+    pub fn fat_control_mut(&mut self) -> Option<&mut FatFs> {
+        self.partitions.iter_mut().find_map(|p| match &mut p.content {
+            PartitionContent::FatControl(fs) => Some(fs),
+            _ => None,
+        })
+    }
+
+    /// Does any partition carry an installed Linux system (boot + root)?
+    pub fn has_linux(&self) -> bool {
+        let boot = self
+            .partitions
+            .iter()
+            .any(|p| matches!(p.content, PartitionContent::LinuxBoot { .. }));
+        let root = self
+            .partitions
+            .iter()
+            .any(|p| matches!(p.content, PartitionContent::LinuxRoot));
+        boot && root
+    }
+
+    /// Does any partition carry an installed Windows system?
+    pub fn has_windows(&self) -> bool {
+        self.partitions
+            .iter()
+            .any(|p| matches!(p.content, PartitionContent::WindowsSystem))
+    }
+
+    /// Execute a `diskpart.txt` script with diskpart semantics. Commands
+    /// run in order; the first error aborts (as diskpart does).
+    pub fn apply_diskpart(&mut self, script: &DiskpartScript) -> Result<(), DiskError> {
+        let mut selected: Option<u32> = None;
+        let mut disk_selected = false;
+        for cmd in &script.commands {
+            match cmd {
+                DiskpartCmd::SelectDisk(n) => {
+                    if *n != 0 {
+                        return Err(DiskError::WrongDisk(*n));
+                    }
+                    disk_selected = true;
+                }
+                DiskpartCmd::SelectPartition(n) => {
+                    if self.partition(*n).is_none() {
+                        return Err(DiskError::NoSuchPartition(*n));
+                    }
+                    selected = Some(*n);
+                }
+                DiskpartCmd::Clean => {
+                    let _ = disk_selected; // diskpart requires it; we tolerate
+                    self.clean();
+                    selected = None;
+                }
+                DiskpartCmd::CreatePartitionPrimary { size_mb } => {
+                    let size = size_mb.unwrap_or_else(|| self.free_mb());
+                    // diskpart allocates the next free primary number (1-4)
+                    let number = (1..=4)
+                        .find(|n| self.partition(*n).is_none())
+                        .ok_or(DiskError::DuplicatePartition(4))?;
+                    self.add_partition(number, size, FsKind::Unformatted, PartitionContent::Empty)?;
+                    selected = Some(number);
+                }
+                DiskpartCmd::AssignLetter(_) => {
+                    // Drive letters have no effect on the model; require a
+                    // selection like diskpart does.
+                    if selected.is_none() {
+                        return Err(DiskError::NoPartitionSelected);
+                    }
+                }
+                DiskpartCmd::Format {
+                    fs,
+                    label,
+                    quick: _,
+                    override_: _,
+                } => {
+                    let n = selected.ok_or(DiskError::NoPartitionSelected)?;
+                    let kind = match fs.as_str() {
+                        "NTFS" => FsKind::Ntfs,
+                        "FAT32" | "FAT" => FsKind::Vfat,
+                        other => return Err(DiskError::UnknownFs(other.to_string())),
+                    };
+                    let p = self
+                        .partition_mut(n)
+                        .ok_or(DiskError::NoSuchPartition(n))?;
+                    p.fs = kind;
+                    p.label = label.clone();
+                    p.content = PartitionContent::Empty; // format erases
+                }
+                DiskpartCmd::Active => {
+                    let n = selected.ok_or(DiskError::NoPartitionSelected)?;
+                    for p in &mut self.partitions {
+                        p.active = p.number == n;
+                    }
+                }
+                DiskpartCmd::Exit => break,
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dualboot_bootconf::grub::eridani;
+
+    #[test]
+    fn blank_disk() {
+        let d = Disk::eridani();
+        assert_eq!(d.capacity_mb(), 250_000);
+        assert_eq!(d.mbr(), MbrCode::None);
+        assert!(d.partitions().is_empty());
+        assert_eq!(d.free_mb(), 250_000);
+    }
+
+    #[test]
+    fn add_and_lookup_partitions() {
+        let mut d = Disk::new(1000);
+        d.add_partition(2, 100, FsKind::Ext3, PartitionContent::LinuxRoot)
+            .unwrap();
+        d.add_partition(1, 500, FsKind::Ntfs, PartitionContent::WindowsSystem)
+            .unwrap();
+        // sorted by number regardless of insertion order
+        assert_eq!(d.partitions()[0].number, 1);
+        assert_eq!(d.partition(2).unwrap().size_mb, 100);
+        assert_eq!(d.used_mb(), 600);
+        assert!(d.partition(3).is_none());
+    }
+
+    #[test]
+    fn duplicate_and_overflow_rejected() {
+        let mut d = Disk::new(1000);
+        d.add_partition(1, 600, FsKind::Ntfs, PartitionContent::Empty)
+            .unwrap();
+        assert_eq!(
+            d.add_partition(1, 10, FsKind::Ext3, PartitionContent::Empty),
+            Err(DiskError::DuplicatePartition(1))
+        );
+        assert_eq!(
+            d.add_partition(2, 500, FsKind::Ext3, PartitionContent::Empty),
+            Err(DiskError::CapacityExceeded {
+                requested_mb: 500,
+                free_mb: 400
+            })
+        );
+    }
+
+    #[test]
+    fn grub_index_maps_to_number_plus_one() {
+        let mut d = Disk::new(1000);
+        d.add_partition(2, 100, FsKind::Ext3, PartitionContent::LinuxRoot)
+            .unwrap();
+        assert_eq!(d.partition_by_grub_index(1).unwrap().number, 2);
+        assert!(d.partition_by_grub_index(0).is_none());
+    }
+
+    #[test]
+    fn clean_wipes_table_and_mbr() {
+        let mut d = Disk::new(1000);
+        d.set_mbr(MbrCode::GrubStage1);
+        d.add_partition(1, 100, FsKind::Ext3, PartitionContent::LinuxRoot)
+            .unwrap();
+        d.clean();
+        assert_eq!(d.mbr(), MbrCode::None);
+        assert!(d.partitions().is_empty());
+    }
+
+    #[test]
+    fn fig9_original_script_takes_whole_disk_and_kills_grub() {
+        // The stock Windows HPC deployment against a disk that already has
+        // Linux + GRUB: everything Linux is destroyed. This is the paper's
+        // §III.C.2 motivation for patching diskpart.txt.
+        let mut d = Disk::eridani();
+        d.set_mbr(MbrCode::GrubStage1);
+        d.add_partition(
+            2,
+            100,
+            FsKind::Ext3,
+            PartitionContent::LinuxBoot {
+                menu_lst: eridani::menu_lst(),
+            },
+        )
+        .unwrap();
+        d.add_partition(7, 50_000, FsKind::Ext3, PartitionContent::LinuxRoot)
+            .unwrap();
+        d.apply_diskpart(&DiskpartScript::original()).unwrap();
+        assert_eq!(d.mbr(), MbrCode::None);
+        assert!(!d.has_linux());
+        let p1 = d.partition(1).unwrap();
+        assert_eq!(p1.size_mb, 250_000);
+        assert_eq!(p1.fs, FsKind::Ntfs);
+        assert_eq!(p1.label, "Node");
+        assert!(p1.active);
+    }
+
+    #[test]
+    fn fig10_v1_script_reserves_150gb() {
+        let mut d = Disk::eridani();
+        d.apply_diskpart(&DiskpartScript::modified_v1(150_000)).unwrap();
+        let p1 = d.partition(1).unwrap();
+        assert_eq!(p1.size_mb, 150_000);
+        assert_eq!(d.free_mb(), 100_000);
+    }
+
+    #[test]
+    fn fig15_v2_reimage_preserves_linux_and_mbr() {
+        // v2's reimage script formats partition 1 in place: the Linux
+        // partitions and whatever MBR code exists survive.
+        let mut d = Disk::eridani();
+        d.set_mbr(MbrCode::GrubStage1);
+        d.add_partition(1, 150_000, FsKind::Ntfs, PartitionContent::WindowsSystem)
+            .unwrap();
+        d.add_partition(
+            2,
+            100,
+            FsKind::Ext3,
+            PartitionContent::LinuxBoot {
+                menu_lst: eridani::menu_lst(),
+            },
+        )
+        .unwrap();
+        d.add_partition(7, 50_000, FsKind::Ext3, PartitionContent::LinuxRoot)
+            .unwrap();
+        d.apply_diskpart(&DiskpartScript::reimage_v2()).unwrap();
+        assert_eq!(d.mbr(), MbrCode::GrubStage1);
+        assert!(d.has_linux());
+        // Windows content was erased by the format, ready for reinstall
+        assert_eq!(d.partition(1).unwrap().content, PartitionContent::Empty);
+        assert!(d.partition(1).unwrap().active);
+    }
+
+    #[test]
+    fn reimage_script_fails_without_partition_1() {
+        let mut d = Disk::eridani();
+        assert_eq!(
+            d.apply_diskpart(&DiskpartScript::reimage_v2()),
+            Err(DiskError::NoSuchPartition(1))
+        );
+    }
+
+    #[test]
+    fn format_requires_selection() {
+        let mut d = Disk::eridani();
+        let script = DiskpartScript::parse("format FS=NTFS LABEL=\"X\"\n").unwrap();
+        assert_eq!(d.apply_diskpart(&script), Err(DiskError::NoPartitionSelected));
+    }
+
+    #[test]
+    fn wrong_disk_rejected() {
+        let mut d = Disk::eridani();
+        let script = DiskpartScript::parse("select disk 1\nclean\n").unwrap();
+        assert_eq!(d.apply_diskpart(&script), Err(DiskError::WrongDisk(1)));
+    }
+
+    #[test]
+    fn active_is_exclusive() {
+        let mut d = Disk::new(1000);
+        d.add_partition(1, 100, FsKind::Ntfs, PartitionContent::Empty)
+            .unwrap();
+        d.add_partition(2, 100, FsKind::Ext3, PartitionContent::Empty)
+            .unwrap();
+        let s1 = DiskpartScript::parse("select partition 1\nactive\n").unwrap();
+        d.apply_diskpart(&s1).unwrap();
+        assert!(d.partition(1).unwrap().active);
+        let s2 = DiskpartScript::parse("select partition 2\nactive\n").unwrap();
+        d.apply_diskpart(&s2).unwrap();
+        assert!(!d.partition(1).unwrap().active);
+        assert!(d.partition(2).unwrap().active);
+    }
+
+    #[test]
+    fn fat_control_accessors() {
+        let mut d = Disk::new(1000);
+        let mut fs = FatFs::new();
+        fs.write("controlmenu.lst", "default 0");
+        d.add_partition(6, 64, FsKind::Vfat, PartitionContent::FatControl(fs))
+            .unwrap();
+        assert!(d.fat_control().unwrap().exists("controlmenu.lst"));
+        d.fat_control_mut().unwrap().write("x", "y");
+        assert_eq!(d.fat_control().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn has_linux_requires_boot_and_root() {
+        let mut d = Disk::new(10_000);
+        d.add_partition(
+            2,
+            100,
+            FsKind::Ext3,
+            PartitionContent::LinuxBoot {
+                menu_lst: eridani::menu_lst(),
+            },
+        )
+        .unwrap();
+        assert!(!d.has_linux());
+        d.add_partition(7, 1000, FsKind::Ext3, PartitionContent::LinuxRoot)
+            .unwrap();
+        assert!(d.has_linux());
+    }
+
+    #[test]
+    fn unknown_format_fs_rejected() {
+        let mut d = Disk::new(1000);
+        d.add_partition(1, 100, FsKind::Unformatted, PartitionContent::Empty)
+            .unwrap();
+        let script = DiskpartScript::parse("select partition 1\nformat FS=EXT4 LABEL=\"x\"\n")
+            .unwrap();
+        assert!(matches!(
+            d.apply_diskpart(&script),
+            Err(DiskError::UnknownFs(_))
+        ));
+    }
+}

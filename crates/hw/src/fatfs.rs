@@ -1,0 +1,157 @@
+//! The shared FAT control filesystem.
+//!
+//! dualboot-oscar v1.0 stores GRUB's real menu (`controlmenu.lst`) on a
+//! small FAT partition both operating systems can write (paper §III.B.1).
+//! The OS-switch batch scripts do not edit the file: they *rename* one of
+//! two pre-staged variants (`controlmenu_to_linux.lst`,
+//! `controlmenu_to_windows.lst`) over it — FAT renames are effectively
+//! atomic, which is why the paper replaced Carter's in-place Perl editor
+//! with rename-based batch scripts. This module models exactly the file
+//! operations those scripts perform.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A minimal FAT filesystem: flat namespace, text contents.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FatFs {
+    files: BTreeMap<String, String>,
+}
+
+impl FatFs {
+    /// An empty filesystem.
+    pub fn new() -> Self {
+        FatFs::default()
+    }
+
+    /// Write (create or replace) a file.
+    pub fn write(&mut self, name: &str, contents: impl Into<String>) {
+        self.files.insert(name.to_string(), contents.into());
+    }
+
+    /// Read a file's contents.
+    pub fn read(&self, name: &str) -> Option<&str> {
+        self.files.get(name).map(String::as_str)
+    }
+
+    /// True if the file exists.
+    pub fn exists(&self, name: &str) -> bool {
+        self.files.contains_key(name)
+    }
+
+    /// Remove a file; returns its contents if it existed.
+    pub fn remove(&mut self, name: &str) -> Option<String> {
+        self.files.remove(name)
+    }
+
+    /// Rename `from` over `to`, replacing any existing `to` (the v1 switch
+    /// primitive). Returns `false` (no change) when `from` does not exist.
+    ///
+    /// Note the rename *consumes* the source: after a switch the pre-staged
+    /// variant is gone and must be re-staged — the batch scripts in the
+    /// paper copy the variants back onto the partition, modelled by
+    /// [`FatFs::copy`].
+    pub fn rename(&mut self, from: &str, to: &str) -> bool {
+        match self.files.remove(from) {
+            Some(contents) => {
+                self.files.insert(to.to_string(), contents);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Copy `from` to `to` (used to re-stage switch variants).
+    pub fn copy(&mut self, from: &str, to: &str) -> bool {
+        match self.files.get(from).cloned() {
+            Some(contents) => {
+                self.files.insert(to.to_string(), contents);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// File names in sorted order.
+    pub fn list(&self) -> impl Iterator<Item = &str> {
+        self.files.keys().map(String::as_str)
+    }
+
+    /// Number of files.
+    pub fn len(&self) -> usize {
+        self.files.len()
+    }
+
+    /// True when no files exist.
+    pub fn is_empty(&self) -> bool {
+        self.files.is_empty()
+    }
+
+    /// Erase everything (a reformat).
+    pub fn format(&mut self) {
+        self.files.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_read_roundtrip() {
+        let mut fs = FatFs::new();
+        fs.write("controlmenu.lst", "default 0");
+        assert_eq!(fs.read("controlmenu.lst"), Some("default 0"));
+        assert!(fs.exists("controlmenu.lst"));
+        assert_eq!(fs.len(), 1);
+    }
+
+    #[test]
+    fn rename_replaces_destination() {
+        let mut fs = FatFs::new();
+        fs.write("controlmenu.lst", "old");
+        fs.write("controlmenu_to_windows.lst", "win");
+        assert!(fs.rename("controlmenu_to_windows.lst", "controlmenu.lst"));
+        assert_eq!(fs.read("controlmenu.lst"), Some("win"));
+        // the source is consumed
+        assert!(!fs.exists("controlmenu_to_windows.lst"));
+    }
+
+    #[test]
+    fn rename_missing_source_is_noop() {
+        let mut fs = FatFs::new();
+        fs.write("controlmenu.lst", "old");
+        assert!(!fs.rename("nope.lst", "controlmenu.lst"));
+        assert_eq!(fs.read("controlmenu.lst"), Some("old"));
+    }
+
+    #[test]
+    fn copy_keeps_source() {
+        let mut fs = FatFs::new();
+        fs.write("a", "x");
+        assert!(fs.copy("a", "b"));
+        assert_eq!(fs.read("a"), Some("x"));
+        assert_eq!(fs.read("b"), Some("x"));
+        assert!(!fs.copy("missing", "c"));
+    }
+
+    #[test]
+    fn remove_and_format() {
+        let mut fs = FatFs::new();
+        fs.write("a", "1");
+        fs.write("b", "2");
+        assert_eq!(fs.remove("a"), Some("1".to_string()));
+        assert_eq!(fs.remove("a"), None);
+        fs.format();
+        assert!(fs.is_empty());
+    }
+
+    #[test]
+    fn list_is_sorted() {
+        let mut fs = FatFs::new();
+        fs.write("b", "");
+        fs.write("a", "");
+        let names: Vec<_> = fs.list().collect();
+        assert_eq!(names, ["a", "b"]);
+    }
+}

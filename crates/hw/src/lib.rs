@@ -1,0 +1,36 @@
+#![warn(missing_docs)]
+
+//! # dualboot-hw — the hardware substrate of the Eridani cluster
+//!
+//! The paper's middleware manipulates *hardware-level* state: MBR boot
+//! code, partition tables, a shared FAT partition, PXE firmware. None of
+//! that exists in this reproduction's environment, so this crate models it
+//! as explicit state machines — close enough to the metal that the failure
+//! the paper reports ("reimaging of Windows partitions always rewrites MBR
+//! and damages GRUB which boots Linux", §IV.A) *emerges from the model*
+//! instead of being hard-coded.
+//!
+//! * [`disk`] — disks, partition tables, MBR boot code, and execution of
+//!   `diskpart.txt` scripts against them.
+//! * [`fatfs`] — the tiny shared FAT filesystem holding `controlmenu.lst`
+//!   (the v1 control channel).
+//! * [`boot`] — the boot-path resolver: firmware → (PXE ROM | MBR) →
+//!   bootloader → OS, with every failure mode surfaced as a typed error.
+//! * [`node`] — a compute node: MAC, disk, firmware setting, power state.
+//! * [`nic`] — LAN-card models and the PXEGRUB-vs-GRUB4DOS driver-era
+//!   compatibility that forced the paper's §IV.A.1 redesign.
+//! * [`pxe`] — the head node's DHCP/TFTP boot service wrapping the
+//!   GRUB4DOS menu directory.
+
+pub mod boot;
+pub mod disk;
+pub mod fatfs;
+pub mod nic;
+pub mod node;
+pub mod pxe;
+
+pub use boot::{BootError, BootPath};
+pub use nic::{BootRom, NicEra, NicModel};
+pub use disk::{Disk, FsKind, MbrCode, Partition, PartitionContent};
+pub use node::{ComputeNode, FirmwareBootOrder, PowerState};
+pub use pxe::PxeService;

@@ -1,0 +1,150 @@
+//! Network interface card models and driver eras.
+//!
+//! §IV.A.1 of the paper contains a whole sub-story about NIC drivers:
+//! the first v2 prototype used **PXEGRUB** (GRUB 0.97 compiled with
+//! `--enable-diskless --enable-<suited NIC drivers>`), which "proved the
+//! practicality ... in the virtualised environment" — but "due to the
+//! discontinued development of GRUB 0.97, new models of LAN cards are not
+//! supported. Therefore, we needed to change our approach" to GRUB4DOS,
+//! whose PXE ROM drives the card through the firmware's own PXE/UNDI
+//! stack and is therefore NIC-agnostic.
+//!
+//! This module models just enough of that reality for the compatibility
+//! experiment (E9): cards are either *legacy* (drivers existed before
+//! GRUB 0.97 development stopped in 2005) or *modern* (they did not).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Driver-era classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NicEra {
+    /// A driver shipped in GRUB 0.97's netboot tree.
+    Legacy,
+    /// Released after GRUB 0.97 development stopped; no PXEGRUB driver
+    /// will ever exist.
+    Modern,
+}
+
+/// Concrete card models seen in 2000s-era laboratory PCs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NicModel {
+    /// Realtek RTL8139 (ubiquitous 100 Mb card; legacy driver exists).
+    Rtl8139,
+    /// Intel e100 (100 Mb; legacy driver exists).
+    IntelE100,
+    /// Intel e1000 (early gigabit; legacy driver exists).
+    IntelE1000,
+    /// Broadcom tg3-family gigabit (late; no GRUB 0.97 driver).
+    BroadcomTg3,
+    /// Realtek RTL8168 gigabit (the "new models of LAN cards" of the
+    /// paper's re-used lab machines; no GRUB 0.97 driver).
+    RealtekR8168,
+    /// A virtual machine's emulated NIC (VMs emulate old cards, which is
+    /// why the paper's VM tests of PXEGRUB passed).
+    VirtualEmulated,
+}
+
+impl NicModel {
+    /// All models, for sweeps.
+    pub const ALL: [NicModel; 6] = [
+        NicModel::Rtl8139,
+        NicModel::IntelE100,
+        NicModel::IntelE1000,
+        NicModel::BroadcomTg3,
+        NicModel::RealtekR8168,
+        NicModel::VirtualEmulated,
+    ];
+
+    /// Which driver era the card belongs to.
+    pub fn era(self) -> NicEra {
+        match self {
+            NicModel::Rtl8139
+            | NicModel::IntelE100
+            | NicModel::IntelE1000
+            | NicModel::VirtualEmulated => NicEra::Legacy,
+            NicModel::BroadcomTg3 | NicModel::RealtekR8168 => NicEra::Modern,
+        }
+    }
+}
+
+impl fmt::Display for NicModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            NicModel::Rtl8139 => "RTL8139",
+            NicModel::IntelE100 => "Intel e100",
+            NicModel::IntelE1000 => "Intel e1000",
+            NicModel::BroadcomTg3 => "Broadcom tg3",
+            NicModel::RealtekR8168 => "RTL8168",
+            NicModel::VirtualEmulated => "VM emulated",
+        };
+        write!(f, "{name}")
+    }
+}
+
+/// The network boot ROM served to nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BootRom {
+    /// PXEGRUB: GRUB 0.97 `--enable-diskless` with compiled-in NIC
+    /// drivers. Only drives [`NicEra::Legacy`] cards.
+    PxeGrub097,
+    /// GRUB4DOS's PXE ROM: rides the firmware's PXE/UNDI stack, so it
+    /// works with any card whose firmware can PXE at all.
+    Grub4Dos,
+}
+
+impl BootRom {
+    /// Can this ROM drive the given card?
+    pub fn supports(self, nic: NicModel) -> bool {
+        match self {
+            BootRom::PxeGrub097 => nic.era() == NicEra::Legacy,
+            BootRom::Grub4Dos => true,
+        }
+    }
+}
+
+impl fmt::Display for BootRom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BootRom::PxeGrub097 => write!(f, "PXEGRUB (GRUB 0.97)"),
+            BootRom::Grub4Dos => write!(f, "GRUB4DOS"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eras_match_history() {
+        assert_eq!(NicModel::Rtl8139.era(), NicEra::Legacy);
+        assert_eq!(NicModel::IntelE1000.era(), NicEra::Legacy);
+        assert_eq!(NicModel::RealtekR8168.era(), NicEra::Modern);
+        assert_eq!(NicModel::BroadcomTg3.era(), NicEra::Modern);
+    }
+
+    #[test]
+    fn pxegrub_only_drives_legacy_cards() {
+        for nic in NicModel::ALL {
+            assert_eq!(
+                BootRom::PxeGrub097.supports(nic),
+                nic.era() == NicEra::Legacy,
+                "{nic}"
+            );
+        }
+    }
+
+    #[test]
+    fn grub4dos_drives_everything() {
+        assert!(NicModel::ALL.iter().all(|n| BootRom::Grub4Dos.supports(*n)));
+    }
+
+    #[test]
+    fn vm_tests_pass_but_real_hardware_fails() {
+        // The paper's trap, as a test: PXEGRUB works in the VM...
+        assert!(BootRom::PxeGrub097.supports(NicModel::VirtualEmulated));
+        // ...and fails on the lab machines' newer cards.
+        assert!(!BootRom::PxeGrub097.supports(NicModel::RealtekR8168));
+    }
+}

@@ -1,0 +1,289 @@
+//! A compute node: identity, disk, firmware setting and power state.
+//!
+//! Eridani's nodes are re-used laboratory machines with Intel Core™ 2 Quad
+//! Q8200 processors (4 cores), one 250 GB disk and no hardware
+//! virtualisation support (paper §II) — the whole reason the dual-boot
+//! design exists. The node's state machine is deliberately small: the
+//! *timing* of boots belongs to the cluster simulator; this type owns the
+//! *correctness* of what an (instantaneous) boot would land on.
+
+use crate::boot::{self, BootError, BootPath};
+use crate::disk::Disk;
+use crate::nic::NicModel;
+use crate::pxe::PxeService;
+use dualboot_bootconf::mac::MacAddr;
+use dualboot_bootconf::os::OsKind;
+use serde::{Deserialize, Serialize};
+
+/// What the firmware tries first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FirmwareBootOrder {
+    /// Boot straight from the local MBR (the v1 configuration).
+    LocalDisk,
+    /// Try PXE first, fall back to the local disk if nothing answers
+    /// (the v2 configuration; PXELINUX/GRUB4DOS "quit PXE and lead to
+    /// normal boot order" when the network path is unavailable, §IV.A.1).
+    PxeFirst,
+}
+
+/// Node power/activity state.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PowerState {
+    /// Powered off.
+    Off,
+    /// Mid-boot (between reboot issue and OS up).
+    Booting,
+    /// Up and running the given OS.
+    Running(OsKind),
+    /// Boot attempt failed; node is stuck at firmware/bootloader.
+    Failed(BootError),
+}
+
+/// One Eridani compute node.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ComputeNode {
+    /// 1-based node index (node01 … node16).
+    pub index: u16,
+    /// Fully qualified hostname, e.g. `enode01.eridani.qgg.hud.ac.uk`.
+    pub hostname: String,
+    /// LAN-card MAC (keys the GRUB4DOS menu file).
+    pub mac: MacAddr,
+    /// LAN-card model. Eridani's re-used lab machines carry post-2005
+    /// gigabit cards — the very reason PXEGRUB had to be abandoned.
+    pub nic: NicModel,
+    /// Processor cores (4 on Eridani's Q8200s).
+    pub cores: u32,
+    /// The node's single disk.
+    pub disk: Disk,
+    /// Firmware boot order.
+    pub firmware: FirmwareBootOrder,
+    /// Current power state.
+    pub state: PowerState,
+}
+
+impl ComputeNode {
+    /// A powered-off Eridani node with a blank 250 GB disk.
+    pub fn eridani(index: u16, firmware: FirmwareBootOrder) -> Self {
+        ComputeNode {
+            index,
+            hostname: format!("enode{index:02}.eridani.qgg.hud.ac.uk"),
+            mac: MacAddr::for_node(index),
+            nic: NicModel::RealtekR8168,
+            cores: 4,
+            disk: Disk::eridani(),
+            firmware,
+            state: PowerState::Off,
+        }
+    }
+
+    /// The OS currently running, if any.
+    pub fn running_os(&self) -> Option<OsKind> {
+        match &self.state {
+            PowerState::Running(os) => Some(*os),
+            _ => None,
+        }
+    }
+
+    /// True while a boot is in flight.
+    pub fn is_booting(&self) -> bool {
+        matches!(self.state, PowerState::Booting)
+    }
+
+    /// Begin a (re)boot: from any state, the node drops to `Booting`.
+    /// Models both an orderly `sudo reboot` and a physical power reset —
+    /// at the hardware level they look the same; the difference the paper
+    /// cares about (v1 loses switches that were still being written) shows
+    /// up in *when* the control files were mutated, not here.
+    pub fn begin_boot(&mut self) {
+        self.state = PowerState::Booting;
+    }
+
+    /// Complete a boot attempt: resolve the boot path against the current
+    /// disk/PXE state and transition to `Running` or `Failed`.
+    ///
+    /// Returns what happened for the caller's bookkeeping.
+    pub fn complete_boot(
+        &mut self,
+        pxe: Option<&PxeService>,
+    ) -> Result<(OsKind, BootPath), BootError> {
+        debug_assert!(
+            matches!(self.state, PowerState::Booting),
+            "complete_boot without begin_boot"
+        );
+        let result = match self.firmware {
+            FirmwareBootOrder::LocalDisk => boot::resolve_local(&self.disk),
+            FirmwareBootOrder::PxeFirst => {
+                match boot::resolve_pxe(&self.disk, &self.mac, self.nic, pxe) {
+                    // "Nothing answered" and "the ROM cannot drive this
+                    // card" both quit PXE into the normal boot order
+                    // (§IV.A.1); a *served* menu that fails to boot is a
+                    // real failure.
+                    Err(BootError::PxeNoAnswer | BootError::RomNicUnsupported(_)) => {
+                        boot::resolve_local(&self.disk)
+                    }
+                    other => other,
+                }
+            }
+        };
+        match &result {
+            Ok((os, _)) => self.state = PowerState::Running(*os),
+            Err(e) => self.state = PowerState::Failed(e.clone()),
+        }
+        result
+    }
+
+    /// Power the node off.
+    pub fn power_off(&mut self) {
+        self.state = PowerState::Off;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disk::{FsKind, MbrCode, PartitionContent};
+    use crate::fatfs::FatFs;
+    use dualboot_bootconf::grub::eridani as grub_eridani;
+    use dualboot_bootconf::grub4dos::{ControlMode, PxeMenuDir};
+
+    fn installed_node(firmware: FirmwareBootOrder) -> ComputeNode {
+        let mut n = ComputeNode::eridani(1, firmware);
+        n.disk.set_mbr(MbrCode::GrubStage1);
+        n.disk
+            .add_partition(1, 150_000, FsKind::Ntfs, PartitionContent::WindowsSystem)
+            .unwrap();
+        n.disk
+            .add_partition(
+                2,
+                100,
+                FsKind::Ext3,
+                PartitionContent::LinuxBoot {
+                    menu_lst: grub_eridani::menu_lst(),
+                },
+            )
+            .unwrap();
+        let mut fat = FatFs::new();
+        fat.write(
+            "controlmenu.lst",
+            grub_eridani::controlmenu(OsKind::Linux).emit(),
+        );
+        n.disk
+            .add_partition(6, 64, FsKind::Vfat, PartitionContent::FatControl(fat))
+            .unwrap();
+        n.disk
+            .add_partition(7, 50_000, FsKind::Ext3, PartitionContent::LinuxRoot)
+            .unwrap();
+        n
+    }
+
+    #[test]
+    fn hostname_and_mac_follow_index() {
+        let n = ComputeNode::eridani(7, FirmwareBootOrder::LocalDisk);
+        assert_eq!(n.hostname, "enode07.eridani.qgg.hud.ac.uk");
+        assert_eq!(n.mac, MacAddr::for_node(7));
+        assert_eq!(n.cores, 4);
+        assert_eq!(n.state, PowerState::Off);
+    }
+
+    #[test]
+    fn local_boot_cycle() {
+        let mut n = installed_node(FirmwareBootOrder::LocalDisk);
+        n.begin_boot();
+        assert!(n.is_booting());
+        let (os, path) = n.complete_boot(None).unwrap();
+        assert_eq!(os, OsKind::Linux);
+        assert_eq!(path, BootPath::LocalGrub);
+        assert_eq!(n.running_os(), Some(OsKind::Linux));
+    }
+
+    #[test]
+    fn failed_boot_records_error() {
+        let mut n = ComputeNode::eridani(1, FirmwareBootOrder::LocalDisk);
+        n.begin_boot();
+        assert!(n.complete_boot(None).is_err());
+        assert!(matches!(n.state, PowerState::Failed(BootError::NoBootCode)));
+        assert_eq!(n.running_os(), None);
+    }
+
+    #[test]
+    fn pxe_first_uses_head_node_flag() {
+        let mut n = installed_node(FirmwareBootOrder::PxeFirst);
+        let mut svc = PxeService::new(PxeMenuDir::new(ControlMode::SingleFlag, OsKind::Windows));
+        n.begin_boot();
+        let (os, path) = n.complete_boot(Some(&svc)).unwrap();
+        assert_eq!((os, path), (OsKind::Windows, BootPath::Pxe));
+        // flip the flag; next boot follows it
+        svc.menu_dir_mut().set_flag(OsKind::Linux);
+        n.begin_boot();
+        assert_eq!(n.complete_boot(Some(&svc)).unwrap().0, OsKind::Linux);
+    }
+
+    #[test]
+    fn pxe_first_falls_back_to_local_when_unanswered() {
+        let mut n = installed_node(FirmwareBootOrder::PxeFirst);
+        n.begin_boot();
+        let (os, path) = n.complete_boot(None).unwrap();
+        assert_eq!(os, OsKind::Linux); // controlmenu targets Linux
+        assert_eq!(path, BootPath::LocalGrub);
+    }
+
+    #[test]
+    fn pxe_menu_failure_does_not_fall_back() {
+        // The head node answers but the menu's OS is not installed: that is
+        // a real boot failure, not a fallback case.
+        let mut n = installed_node(FirmwareBootOrder::PxeFirst);
+        n.disk.partition_mut(1).unwrap().content = PartitionContent::Empty;
+        let svc = PxeService::new(PxeMenuDir::new(ControlMode::SingleFlag, OsKind::Windows));
+        n.begin_boot();
+        assert_eq!(
+            n.complete_boot(Some(&svc)),
+            Err(BootError::WindowsPartitionMissing(0))
+        );
+        assert!(matches!(n.state, PowerState::Failed(_)));
+    }
+
+    #[test]
+    fn pxegrub_rom_cannot_drive_modern_nic() {
+        // The §IV.A.1 dead end: the PXEGRUB prototype works in VMs (old
+        // emulated NICs) but modern cards fall back to local boot and
+        // escape head-node control.
+        use crate::nic::{BootRom, NicModel};
+        let dir = PxeMenuDir::new(ControlMode::SingleFlag, OsKind::Windows);
+        let svc = crate::pxe::PxeService::with_rom(dir, BootRom::PxeGrub097);
+
+        let mut modern = installed_node(FirmwareBootOrder::PxeFirst);
+        modern.nic = NicModel::RealtekR8168;
+        modern.begin_boot();
+        let (os, path) = modern.complete_boot(Some(&svc)).unwrap();
+        // fell back to the local chain, ignoring the Windows flag
+        assert_eq!((os, path), (OsKind::Linux, BootPath::LocalGrub));
+
+        let mut vm = installed_node(FirmwareBootOrder::PxeFirst);
+        vm.nic = NicModel::VirtualEmulated;
+        vm.begin_boot();
+        let (os, path) = vm.complete_boot(Some(&svc)).unwrap();
+        assert_eq!((os, path), (OsKind::Windows, BootPath::Pxe));
+    }
+
+    #[test]
+    fn grub4dos_rom_drives_modern_nic() {
+        use crate::nic::NicModel;
+        let svc = crate::pxe::PxeService::new(PxeMenuDir::new(
+            ControlMode::SingleFlag,
+            OsKind::Windows,
+        ));
+        let mut n = installed_node(FirmwareBootOrder::PxeFirst);
+        n.nic = NicModel::RealtekR8168;
+        n.begin_boot();
+        assert_eq!(n.complete_boot(Some(&svc)).unwrap().1, BootPath::Pxe);
+    }
+
+    #[test]
+    fn power_off_from_running() {
+        let mut n = installed_node(FirmwareBootOrder::LocalDisk);
+        n.begin_boot();
+        n.complete_boot(None).unwrap();
+        n.power_off();
+        assert_eq!(n.state, PowerState::Off);
+    }
+}

@@ -1,0 +1,141 @@
+//! The head node's PXE boot service (DHCP + TFTP + GRUB4DOS ROM).
+//!
+//! dualboot-oscar v2.0 serves a GRUB4DOS network boot ROM from the Linux
+//! head node; DHCP and TFTP "specify individual boot ROM and configure
+//! file for each node" (paper §IV.A.1). The service wraps the
+//! [`PxeMenuDir`] from `dualboot-bootconf` and adds the operational state
+//! the simulation needs: whether the service is answering at all (a downed
+//! head node must make PXE boots fail, not hang).
+
+use dualboot_bootconf::grub::GrubConfig;
+use crate::nic::BootRom;
+use dualboot_bootconf::grub4dos::PxeMenuDir;
+use dualboot_bootconf::mac::MacAddr;
+use dualboot_bootconf::os::OsKind;
+use serde::{Deserialize, Serialize};
+
+/// The DHCP/TFTP/GRUB4DOS boot service running on the Linux head node.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PxeService {
+    menu_dir: PxeMenuDir,
+    /// Which network boot ROM DHCP points nodes at (§IV.A.1: PXEGRUB
+    /// first, GRUB4DOS after the NIC-driver dead end).
+    rom: BootRom,
+    enabled: bool,
+    /// TFTP menu fetches served (observability for tests/benches).
+    fetches: u64,
+}
+
+impl PxeService {
+    /// A service answering requests, backed by the given menu directory.
+    pub fn new(menu_dir: PxeMenuDir) -> Self {
+        PxeService::with_rom(menu_dir, BootRom::Grub4Dos)
+    }
+
+    /// A service distributing a specific boot ROM (the E9 compatibility
+    /// experiment serves PXEGRUB here).
+    pub fn with_rom(menu_dir: PxeMenuDir, rom: BootRom) -> Self {
+        PxeService {
+            menu_dir,
+            rom,
+            enabled: true,
+            fetches: 0,
+        }
+    }
+
+    /// The ROM this service serves.
+    pub fn rom(&self) -> BootRom {
+        self.rom
+    }
+
+    /// The standard v2 Eridani service: single-flag control, Linux first,
+    /// menus matched to the Figure-14 disk layout.
+    pub fn eridani_v2() -> Self {
+        PxeService::new(PxeMenuDir::eridani_v2(OsKind::Linux))
+    }
+
+    /// Whether the service answers DHCP/TFTP requests.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Enable or disable the service (head-node outage injection).
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+    }
+
+    /// The menu directory (read access).
+    pub fn menu_dir(&self) -> &PxeMenuDir {
+        &self.menu_dir
+    }
+
+    /// The menu directory (write access — how the v2 controller flicks the
+    /// target-OS flag).
+    pub fn menu_dir_mut(&mut self) -> &mut PxeMenuDir {
+        &mut self.menu_dir
+    }
+
+    /// Serve the menu for a node (counts as a TFTP fetch).
+    ///
+    /// Note: takes `&self` for the resolver's convenience; fetch counting
+    /// therefore only happens through [`PxeService::serve_menu`].
+    pub fn menu_for(&self, mac: &MacAddr) -> GrubConfig {
+        self.menu_dir.menu_for(mac)
+    }
+
+    /// Serve the menu for a node, recording the fetch.
+    pub fn serve_menu(&mut self, mac: &MacAddr) -> GrubConfig {
+        self.fetches += 1;
+        self.menu_dir.menu_for(mac)
+    }
+
+    /// TFTP fetches served so far.
+    pub fn fetches(&self) -> u64 {
+        self.fetches
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dualboot_bootconf::grub4dos::ControlMode;
+    use dualboot_bootconf::grub::BootTarget;
+
+    #[test]
+    fn eridani_default_is_linux_flag() {
+        let s = PxeService::eridani_v2();
+        assert!(s.is_enabled());
+        assert_eq!(s.menu_dir().flag(), OsKind::Linux);
+        assert_eq!(s.menu_dir().mode(), ControlMode::SingleFlag);
+    }
+
+    #[test]
+    fn serve_counts_fetches() {
+        let mut s = PxeService::eridani_v2();
+        let mac = MacAddr::for_node(1);
+        s.serve_menu(&mac);
+        s.serve_menu(&mac);
+        assert_eq!(s.fetches(), 2);
+    }
+
+    #[test]
+    fn menu_follows_flag() {
+        let mut s = PxeService::eridani_v2();
+        let mac = MacAddr::for_node(2);
+        s.menu_dir_mut().set_flag(OsKind::Windows);
+        let menu = s.menu_for(&mac);
+        assert_eq!(
+            menu.default_entry().unwrap().boot_target(),
+            BootTarget::Os(OsKind::Windows)
+        );
+    }
+
+    #[test]
+    fn disable_enable() {
+        let mut s = PxeService::eridani_v2();
+        s.set_enabled(false);
+        assert!(!s.is_enabled());
+        s.set_enabled(true);
+        assert!(s.is_enabled());
+    }
+}

@@ -1,0 +1,27 @@
+#![warn(missing_docs)]
+
+//! # dualboot-net — the head-node wire protocol
+//!
+//! The two head nodes talk over a TCP/IP socket: "A C++ program was
+//! written for TCP/IP communication with Windows HPC 2008 R2 head node"
+//! (§III.B.3), and in v2.0 "Windows queue status is submitted to Linux
+//! side by TCP/IP socket communication" (§IV.A.3).
+//!
+//! * [`wire`] — the detector's fixed-position report string of Figure 5
+//!   (`[state][needed CPUs][stuck job id]`), byte-compatible with the
+//!   Figure 6 examples.
+//! * [`proto`] — the line-oriented message protocol the communicators
+//!   speak (queue-state reports and reboot orders — steps 2 and 5 of
+//!   Figure 11).
+//! * [`transport`] — a [`transport::Transport`] abstraction with two
+//!   implementations: an in-process channel pair for the deterministic
+//!   simulation, and a real `std::net` TCP transport used by the
+//!   threaded integration test, carrying the same bytes.
+
+pub mod proto;
+pub mod transport;
+pub mod wire;
+
+pub use proto::Message;
+pub use transport::{in_proc_pair, InProcTransport, TcpTransport, Transport, TransportError};
+pub use wire::DetectorReport;

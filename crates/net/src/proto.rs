@@ -1,0 +1,198 @@
+//! The communicator message protocol.
+//!
+//! Figure 11 numbers the v2 control cycle:
+//!
+//! 1. the Windows communicator fetches its queue state on a fixed cycle;
+//! 2. it **sends the queue state** to the Linux communicator;
+//! 3. the Linux communicator fetches PBS state and decides;
+//! 4. it sets the target-OS flag;
+//! 5. it **sends reboot orders** to whichever scheduler must release nodes.
+//!
+//! Steps 2 and 5 travel over the socket; this module defines those
+//! messages and their line-oriented text encoding (one message per line,
+//! `\n`-terminated), which both the in-process and the TCP transports
+//! carry verbatim.
+
+use crate::wire::{DetectorReport, WireError};
+use dualboot_bootconf::os::OsKind;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A protocol message between head-node communicators.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Message {
+    /// Step 2: a queue-state report from the named side's detector,
+    /// carrying the Figure-5 string.
+    QueueState {
+        /// Which platform's queue this report describes.
+        os: OsKind,
+        /// The detector's report.
+        report: DetectorReport,
+    },
+    /// Step 5: an order to release `count` nodes (submit that many switch
+    /// jobs to the receiving side's scheduler, rebooting into `target`).
+    RebootOrder {
+        /// OS the released nodes must boot into.
+        target: OsKind,
+        /// How many nodes to release.
+        count: u32,
+    },
+    /// Acknowledgement of an order (how many switch jobs were queued).
+    OrderAck {
+        /// Switch jobs actually submitted.
+        queued: u32,
+    },
+}
+
+/// Errors decoding a protocol line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtoError {
+    /// Unknown message keyword.
+    UnknownVerb(String),
+    /// Wrong number or shape of fields.
+    BadFields(String),
+    /// The embedded detector report was malformed.
+    BadReport(WireError),
+}
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtoError::UnknownVerb(v) => write!(f, "unknown message verb {v:?}"),
+            ProtoError::BadFields(l) => write!(f, "malformed message line {l:?}"),
+            ProtoError::BadReport(e) => write!(f, "bad embedded report: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+impl Message {
+    /// Encode as a single protocol line (no trailing newline).
+    pub fn encode(&self) -> String {
+        match self {
+            Message::QueueState { os, report } => {
+                format!(
+                    "STATE {} {}",
+                    os.tag(),
+                    report.encode().expect("report within wire limits")
+                )
+            }
+            Message::RebootOrder { target, count } => {
+                format!("REBOOT {} {}", target.tag(), count)
+            }
+            Message::OrderAck { queued } => format!("ACK {queued}"),
+        }
+    }
+
+    /// Decode one protocol line.
+    pub fn decode(line: &str) -> Result<Message, ProtoError> {
+        let line = line.trim_end_matches(['\r', '\n']);
+        let mut parts = line.splitn(3, ' ');
+        let verb = parts.next().unwrap_or("");
+        match verb {
+            "STATE" => {
+                let os: OsKind = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| ProtoError::BadFields(line.to_string()))?;
+                let payload = parts
+                    .next()
+                    .ok_or_else(|| ProtoError::BadFields(line.to_string()))?;
+                let report = DetectorReport::decode(payload).map_err(ProtoError::BadReport)?;
+                Ok(Message::QueueState { os, report })
+            }
+            "REBOOT" => {
+                let target: OsKind = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| ProtoError::BadFields(line.to_string()))?;
+                let count: u32 = parts
+                    .next()
+                    .and_then(|s| s.trim().parse().ok())
+                    .ok_or_else(|| ProtoError::BadFields(line.to_string()))?;
+                Ok(Message::RebootOrder { target, count })
+            }
+            "ACK" => {
+                let queued: u32 = parts
+                    .next()
+                    .and_then(|s| s.trim().parse().ok())
+                    .ok_or_else(|| ProtoError::BadFields(line.to_string()))?;
+                Ok(Message::OrderAck { queued })
+            }
+            other => Err(ProtoError::UnknownVerb(other.to_string())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queue_state_roundtrip() {
+        let m = Message::QueueState {
+            os: OsKind::Windows,
+            report: DetectorReport::stuck(4, "JOB-9@winhead.eridani.qgg.hud.ac.uk"),
+        };
+        let line = m.encode();
+        assert_eq!(line, "STATE windows 10004JOB-9@winhead.eridani.qgg.hud.ac.uk");
+        assert_eq!(Message::decode(&line).unwrap(), m);
+    }
+
+    #[test]
+    fn idle_state_line() {
+        let m = Message::QueueState {
+            os: OsKind::Linux,
+            report: DetectorReport::not_stuck(),
+        };
+        assert_eq!(m.encode(), "STATE linux 00000none");
+    }
+
+    #[test]
+    fn reboot_order_roundtrip() {
+        let m = Message::RebootOrder {
+            target: OsKind::Windows,
+            count: 3,
+        };
+        assert_eq!(m.encode(), "REBOOT windows 3");
+        assert_eq!(Message::decode("REBOOT windows 3").unwrap(), m);
+    }
+
+    #[test]
+    fn ack_roundtrip() {
+        let m = Message::OrderAck { queued: 2 };
+        assert_eq!(m.encode(), "ACK 2");
+        assert_eq!(Message::decode("ACK 2\r\n").unwrap(), m);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(matches!(
+            Message::decode("HELLO world"),
+            Err(ProtoError::UnknownVerb(_))
+        ));
+        assert!(matches!(
+            Message::decode("REBOOT windows"),
+            Err(ProtoError::BadFields(_))
+        ));
+        assert!(matches!(
+            Message::decode("REBOOT beos 3"),
+            Err(ProtoError::BadFields(_))
+        ));
+        assert!(matches!(
+            Message::decode("STATE linux 2zzzznone"),
+            Err(ProtoError::BadReport(_))
+        ));
+        assert!(matches!(
+            Message::decode("ACK lots"),
+            Err(ProtoError::BadFields(_))
+        ));
+    }
+
+    #[test]
+    fn trailing_newline_tolerated() {
+        let m = Message::decode("STATE linux 00000none\n").unwrap();
+        assert!(matches!(m, Message::QueueState { os: OsKind::Linux, .. }));
+    }
+}

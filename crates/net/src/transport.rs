@@ -1,0 +1,342 @@
+//! Message transports.
+//!
+//! Two implementations of the same [`Transport`] interface:
+//!
+//! * [`InProcTransport`] — a crossbeam channel pair. The deterministic
+//!   simulation uses this; delivery order is FIFO and instantaneous.
+//! * [`TcpTransport`] — a real `std::net` socket speaking the same
+//!   newline-delimited [`Message`] lines, used by the threaded
+//!   integration test (`tcp_daemons`) to demonstrate the protocol over an
+//!   actual TCP connection like the paper's C++/Cygwin communicator.
+//!
+//! Both ends are symmetric: the protocol has no client/server roles, only
+//! two communicators exchanging lines.
+
+use crate::proto::{Message, ProtoError};
+use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::time::Duration;
+
+/// Transport failures.
+#[derive(Debug)]
+pub enum TransportError {
+    /// The peer hung up or the channel closed.
+    Disconnected,
+    /// An I/O error on the socket.
+    Io(std::io::Error),
+    /// The peer sent a line the protocol cannot parse.
+    Protocol(ProtoError),
+}
+
+impl std::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransportError::Disconnected => write!(f, "peer disconnected"),
+            TransportError::Io(e) => write!(f, "io error: {e}"),
+            TransportError::Protocol(e) => write!(f, "protocol error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+/// A bidirectional message link between two communicators.
+pub trait Transport {
+    /// Send a message to the peer.
+    fn send(&mut self, msg: &Message) -> Result<(), TransportError>;
+
+    /// Receive the next pending message without blocking; `Ok(None)` when
+    /// nothing is waiting.
+    fn try_recv(&mut self) -> Result<Option<Message>, TransportError>;
+
+    /// Receive, blocking up to `timeout`; `Ok(None)` on timeout.
+    fn recv_timeout(&mut self, timeout: Duration) -> Result<Option<Message>, TransportError>;
+}
+
+// ---------------------------------------------------------------------
+// In-process transport
+// ---------------------------------------------------------------------
+
+/// One end of an in-process channel pair.
+#[derive(Debug)]
+pub struct InProcTransport {
+    tx: Sender<Message>,
+    rx: Receiver<Message>,
+}
+
+/// Create a connected pair of in-process transports.
+///
+/// ```
+/// use dualboot_bootconf::os::OsKind;
+/// use dualboot_net::proto::Message;
+/// use dualboot_net::transport::{in_proc_pair, Transport};
+///
+/// let (mut linux_head, mut windows_head) = in_proc_pair();
+/// windows_head
+///     .send(&Message::RebootOrder { target: OsKind::Linux, count: 2 })
+///     .unwrap();
+/// assert!(matches!(
+///     linux_head.try_recv().unwrap(),
+///     Some(Message::RebootOrder { count: 2, .. })
+/// ));
+/// ```
+pub fn in_proc_pair() -> (InProcTransport, InProcTransport) {
+    let (tx_a, rx_b) = unbounded();
+    let (tx_b, rx_a) = unbounded();
+    (
+        InProcTransport { tx: tx_a, rx: rx_a },
+        InProcTransport { tx: tx_b, rx: rx_b },
+    )
+}
+
+impl Transport for InProcTransport {
+    fn send(&mut self, msg: &Message) -> Result<(), TransportError> {
+        self.tx
+            .send(msg.clone())
+            .map_err(|_| TransportError::Disconnected)
+    }
+
+    fn try_recv(&mut self) -> Result<Option<Message>, TransportError> {
+        match self.rx.try_recv() {
+            Ok(m) => Ok(Some(m)),
+            Err(TryRecvError::Empty) => Ok(None),
+            Err(TryRecvError::Disconnected) => Err(TransportError::Disconnected),
+        }
+    }
+
+    fn recv_timeout(&mut self, timeout: Duration) -> Result<Option<Message>, TransportError> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(m) => Ok(Some(m)),
+            Err(crossbeam::channel::RecvTimeoutError::Timeout) => Ok(None),
+            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
+                Err(TransportError::Disconnected)
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// TCP transport
+// ---------------------------------------------------------------------
+
+/// A newline-delimited TCP message link.
+#[derive(Debug)]
+pub struct TcpTransport {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl TcpTransport {
+    /// Connect to a listening communicator.
+    pub fn connect(addr: SocketAddr) -> Result<Self, TransportError> {
+        let stream = TcpStream::connect(addr).map_err(TransportError::Io)?;
+        Self::from_stream(stream)
+    }
+
+    /// Listen on `addr` and accept exactly one peer (the paper's topology:
+    /// one Linux head, one Windows head). Returns the bound address (useful
+    /// with port 0) via the provided listener.
+    pub fn listen(addr: SocketAddr) -> Result<(TcpListener, SocketAddr), TransportError> {
+        let listener = TcpListener::bind(addr).map_err(TransportError::Io)?;
+        let local = listener.local_addr().map_err(TransportError::Io)?;
+        Ok((listener, local))
+    }
+
+    /// Accept one peer on a listener created by [`TcpTransport::listen`].
+    pub fn accept(listener: &TcpListener) -> Result<Self, TransportError> {
+        let (stream, _) = listener.accept().map_err(TransportError::Io)?;
+        Self::from_stream(stream)
+    }
+
+    /// Wrap an already-connected stream.
+    pub fn from_stream(stream: TcpStream) -> Result<Self, TransportError> {
+        stream.set_nodelay(true).map_err(TransportError::Io)?;
+        let reader_stream = stream.try_clone().map_err(TransportError::Io)?;
+        Ok(TcpTransport {
+            writer: stream,
+            reader: BufReader::new(reader_stream),
+        })
+    }
+
+    fn read_line_with_timeout(
+        &mut self,
+        timeout: Option<Duration>,
+    ) -> Result<Option<Message>, TransportError> {
+        self.reader
+            .get_ref()
+            .set_read_timeout(timeout)
+            .map_err(TransportError::Io)?;
+        let mut line = String::new();
+        match self.reader.read_line(&mut line) {
+            Ok(0) => Err(TransportError::Disconnected),
+            Ok(_) => Message::decode(&line)
+                .map(Some)
+                .map_err(TransportError::Protocol),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                Ok(None)
+            }
+            Err(e) => Err(TransportError::Io(e)),
+        }
+    }
+}
+
+impl Transport for TcpTransport {
+    fn send(&mut self, msg: &Message) -> Result<(), TransportError> {
+        let mut line = msg.encode();
+        line.push('\n');
+        self.writer
+            .write_all(line.as_bytes())
+            .map_err(TransportError::Io)
+    }
+
+    fn try_recv(&mut self) -> Result<Option<Message>, TransportError> {
+        // A very short timeout approximates non-blocking reads portably.
+        self.read_line_with_timeout(Some(Duration::from_millis(1)))
+    }
+
+    fn recv_timeout(&mut self, timeout: Duration) -> Result<Option<Message>, TransportError> {
+        self.read_line_with_timeout(Some(timeout))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::DetectorReport;
+    use dualboot_bootconf::os::OsKind;
+
+    fn state_msg() -> Message {
+        Message::QueueState {
+            os: OsKind::Windows,
+            report: DetectorReport::stuck(8, "JOB-3@winhead"),
+        }
+    }
+
+    #[test]
+    fn in_proc_roundtrip() {
+        let (mut a, mut b) = in_proc_pair();
+        a.send(&state_msg()).unwrap();
+        assert_eq!(b.try_recv().unwrap(), Some(state_msg()));
+        assert_eq!(b.try_recv().unwrap(), None);
+    }
+
+    #[test]
+    fn in_proc_is_bidirectional_and_fifo() {
+        let (mut a, mut b) = in_proc_pair();
+        a.send(&Message::RebootOrder {
+            target: OsKind::Linux,
+            count: 1,
+        })
+        .unwrap();
+        a.send(&Message::RebootOrder {
+            target: OsKind::Linux,
+            count: 2,
+        })
+        .unwrap();
+        b.send(&Message::OrderAck { queued: 1 }).unwrap();
+        assert!(matches!(
+            b.try_recv().unwrap(),
+            Some(Message::RebootOrder { count: 1, .. })
+        ));
+        assert!(matches!(
+            b.try_recv().unwrap(),
+            Some(Message::RebootOrder { count: 2, .. })
+        ));
+        assert!(matches!(a.try_recv().unwrap(), Some(Message::OrderAck { queued: 1 })));
+    }
+
+    #[test]
+    fn in_proc_disconnect_detected() {
+        let (mut a, b) = in_proc_pair();
+        drop(b);
+        assert!(matches!(
+            a.send(&state_msg()),
+            Err(TransportError::Disconnected)
+        ));
+    }
+
+    #[test]
+    fn in_proc_recv_timeout_expires() {
+        let (_a, mut b) = in_proc_pair();
+        let got = b.recv_timeout(Duration::from_millis(10)).unwrap();
+        assert_eq!(got, None);
+    }
+
+    #[test]
+    fn tcp_roundtrip_same_bytes() {
+        let (listener, addr) = TcpTransport::listen("127.0.0.1:0".parse().unwrap()).unwrap();
+        let handle = std::thread::spawn(move || {
+            let mut server = TcpTransport::accept(&listener).unwrap();
+            let msg = server
+                .recv_timeout(Duration::from_secs(5))
+                .unwrap()
+                .expect("message arrives");
+            server.send(&Message::OrderAck { queued: 7 }).unwrap();
+            msg
+        });
+        let mut client = TcpTransport::connect(addr).unwrap();
+        client.send(&state_msg()).unwrap();
+        let ack = client.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(ack, Some(Message::OrderAck { queued: 7 }));
+        assert_eq!(handle.join().unwrap(), state_msg());
+    }
+
+    #[test]
+    fn tcp_try_recv_empty_is_none() {
+        let (listener, addr) = TcpTransport::listen("127.0.0.1:0".parse().unwrap()).unwrap();
+        let t = std::thread::spawn(move || TcpTransport::accept(&listener).unwrap());
+        let mut client = TcpTransport::connect(addr).unwrap();
+        let _server = t.join().unwrap();
+        assert!(client.try_recv().unwrap().is_none());
+    }
+
+    #[test]
+    fn tcp_garbage_line_is_a_protocol_error() {
+        use std::io::Write as _;
+        let (listener, addr) = TcpTransport::listen("127.0.0.1:0".parse().unwrap()).unwrap();
+        let t = std::thread::spawn(move || {
+            let (mut raw, _) = listener.accept().unwrap();
+            raw.write_all(b"NOT A MESSAGE\n").unwrap();
+            raw
+        });
+        let mut client = TcpTransport::connect(addr).unwrap();
+        let _raw = t.join().unwrap();
+        let r = client.recv_timeout(Duration::from_secs(2));
+        assert!(matches!(r, Err(TransportError::Protocol(_))));
+    }
+
+    #[test]
+    fn tcp_handles_many_messages_in_order() {
+        let (listener, addr) = TcpTransport::listen("127.0.0.1:0".parse().unwrap()).unwrap();
+        let t = std::thread::spawn(move || {
+            let mut server = TcpTransport::accept(&listener).unwrap();
+            for k in 0..200 {
+                server
+                    .send(&Message::OrderAck { queued: k })
+                    .unwrap();
+            }
+        });
+        let mut client = TcpTransport::connect(addr).unwrap();
+        for k in 0..200 {
+            let got = client.recv_timeout(Duration::from_secs(2)).unwrap();
+            assert_eq!(got, Some(Message::OrderAck { queued: k }));
+        }
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn tcp_disconnect_detected() {
+        let (listener, addr) = TcpTransport::listen("127.0.0.1:0".parse().unwrap()).unwrap();
+        let t = std::thread::spawn(move || TcpTransport::accept(&listener).unwrap());
+        let mut client = TcpTransport::connect(addr).unwrap();
+        let server = t.join().unwrap();
+        drop(server);
+        // Reads eventually observe EOF.
+        let r = client.recv_timeout(Duration::from_secs(1));
+        assert!(matches!(r, Err(TransportError::Disconnected)));
+    }
+}

@@ -1,0 +1,257 @@
+//! The Figure-5 detector report format.
+//!
+//! The detectors print a fixed-position character string; the first line
+//! of output is "the information for the communicator":
+//!
+//! | Position | Definition        | Output                 |
+//! |----------|-------------------|------------------------|
+//! | 0        | queue state       | `1` = stuck, `0` other |
+//! | 1–4      | needed CPUs       | default `0000`         |
+//! | 5–67     | stuck job ID      | default `none`         |
+//! | 68–      | undefined         |                        |
+//!
+//! Figure 6 shows both shapes in the wild:
+//! `00000none` (idle/running) and `100041191.eridani.qgg.hud.ac.uk`
+//! (stuck, 4 CPUs needed, job `1191.eridani.qgg.hud.ac.uk`).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// Maximum length of the job-id field (positions 5–67 inclusive).
+pub const MAX_JOB_ID_LEN: usize = 63;
+
+/// Largest CPU count the 4-digit field can carry.
+pub const MAX_CPUS: u32 = 9999;
+
+/// A decoded detector report.
+///
+/// ```
+/// use dualboot_net::wire::DetectorReport;
+///
+/// // Figure 6's outputs, byte for byte:
+/// assert_eq!(DetectorReport::not_stuck().encode().unwrap(), "00000none");
+/// let stuck = DetectorReport::stuck(4, "1191.eridani.qgg.hud.ac.uk");
+/// assert_eq!(stuck.encode().unwrap(), "100041191.eridani.qgg.hud.ac.uk");
+/// assert_eq!(DetectorReport::decode("00000none").unwrap(), DetectorReport::not_stuck());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DetectorReport {
+    /// `true` when the scheduler is stuck (no job running, jobs queued).
+    pub stuck: bool,
+    /// CPUs needed by the first queued job (0 when not stuck).
+    pub needed_cpus: u32,
+    /// Id of the stuck job (`None` encodes as the literal `none`).
+    pub stuck_job_id: Option<String>,
+}
+
+/// Errors decoding a report string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Shorter than the 9-byte minimum (`0` + `0000` + `none`).
+    TooShort(usize),
+    /// Position 0 was not `0` or `1`.
+    BadState(char),
+    /// Positions 1–4 were not digits.
+    BadCpus(String),
+    /// Job id exceeded 63 bytes on encode.
+    JobIdTooLong(usize),
+    /// CPU count exceeded 9999 on encode.
+    CpusOutOfRange(u32),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::TooShort(n) => write!(f, "report too short: {n} bytes"),
+            WireError::BadState(c) => write!(f, "bad state byte {c:?}"),
+            WireError::BadCpus(s) => write!(f, "bad CPU field {s:?}"),
+            WireError::JobIdTooLong(n) => write!(f, "job id too long: {n} bytes"),
+            WireError::CpusOutOfRange(n) => write!(f, "CPU count {n} exceeds 9999"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl DetectorReport {
+    /// The idle/running report (`00000none`, Figure 6 outputs 1 and 2).
+    pub fn not_stuck() -> DetectorReport {
+        DetectorReport {
+            stuck: false,
+            needed_cpus: 0,
+            stuck_job_id: None,
+        }
+    }
+
+    /// A stuck report for the given head-of-queue job.
+    pub fn stuck(needed_cpus: u32, job_id: impl Into<String>) -> DetectorReport {
+        DetectorReport {
+            stuck: true,
+            needed_cpus,
+            stuck_job_id: Some(job_id.into()),
+        }
+    }
+
+    /// Encode into the Figure-5 fixed-position string.
+    pub fn encode(&self) -> Result<String, WireError> {
+        if self.needed_cpus > MAX_CPUS {
+            return Err(WireError::CpusOutOfRange(self.needed_cpus));
+        }
+        let id = self.stuck_job_id.as_deref().unwrap_or("none");
+        if id.len() > MAX_JOB_ID_LEN {
+            return Err(WireError::JobIdTooLong(id.len()));
+        }
+        Ok(format!(
+            "{}{:04}{}",
+            if self.stuck { '1' } else { '0' },
+            self.needed_cpus,
+            id
+        ))
+    }
+
+    /// Decode a Figure-5 string. Bytes past position 67 are "undefined"
+    /// and ignored, per the table. The minimum is 6 bytes: the state
+    /// byte, the 4-digit CPU field, and at least one id byte.
+    pub fn decode(s: &str) -> Result<DetectorReport, WireError> {
+        if s.len() < 6 {
+            return Err(WireError::TooShort(s.len()));
+        }
+        let state = s.as_bytes()[0] as char;
+        let stuck = match state {
+            '0' => false,
+            '1' => true,
+            c => return Err(WireError::BadState(c)),
+        };
+        let cpus_field = &s[1..5];
+        let needed_cpus: u32 = cpus_field
+            .parse()
+            .map_err(|_| WireError::BadCpus(cpus_field.to_string()))?;
+        let id_end = s.len().min(5 + MAX_JOB_ID_LEN);
+        let id = &s[5..id_end];
+        let stuck_job_id = if id == "none" {
+            None
+        } else {
+            Some(id.to_string())
+        };
+        Ok(DetectorReport {
+            stuck,
+            needed_cpus,
+            stuck_job_id,
+        })
+    }
+}
+
+impl fmt::Display for DetectorReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.encode() {
+            Ok(s) => write!(f, "{s}"),
+            Err(_) => write!(f, "<unencodable report>"),
+        }
+    }
+}
+
+impl FromStr for DetectorReport {
+    type Err = WireError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        DetectorReport::decode(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig6_idle_output() {
+        // Outputs 1 and 2 of Figure 6: `00000none`.
+        assert_eq!(DetectorReport::not_stuck().encode().unwrap(), "00000none");
+    }
+
+    #[test]
+    fn fig6_stuck_output() {
+        // Output 3 of Figure 6: stuck, 4 CPUs, job 1191.
+        let r = DetectorReport::stuck(4, "1191.eridani.qgg.hud.ac.uk");
+        assert_eq!(r.encode().unwrap(), "100041191.eridani.qgg.hud.ac.uk");
+    }
+
+    #[test]
+    fn decode_fig6_outputs() {
+        let idle = DetectorReport::decode("00000none").unwrap();
+        assert_eq!(idle, DetectorReport::not_stuck());
+        let stuck = DetectorReport::decode("100041191.eridani.qgg.hud.ac.uk").unwrap();
+        assert!(stuck.stuck);
+        assert_eq!(stuck.needed_cpus, 4);
+        assert_eq!(
+            stuck.stuck_job_id.as_deref(),
+            Some("1191.eridani.qgg.hud.ac.uk")
+        );
+    }
+
+    #[test]
+    fn roundtrip_various() {
+        for r in [
+            DetectorReport::not_stuck(),
+            DetectorReport::stuck(64, "1.srv"),
+            DetectorReport::stuck(9999, "x".repeat(63)),
+            DetectorReport::stuck(1, "j"),
+            DetectorReport {
+                stuck: false,
+                needed_cpus: 12,
+                stuck_job_id: Some("queued-but-running.too".to_string()),
+            },
+        ] {
+            let enc = r.encode().unwrap();
+            assert_eq!(DetectorReport::decode(&enc).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn decode_ignores_undefined_tail() {
+        // Positions 68+ are "undefined": a 63-byte id plus trailing junk.
+        let id = "j".repeat(63);
+        let s = format!("1{:04}{}GARBAGE", 8, id);
+        let r = DetectorReport::decode(&s).unwrap();
+        assert_eq!(r.stuck_job_id.as_deref(), Some(id.as_str()));
+    }
+
+    #[test]
+    fn encode_rejects_oversize() {
+        let too_long = DetectorReport::stuck(1, "x".repeat(64));
+        assert_eq!(too_long.encode(), Err(WireError::JobIdTooLong(64)));
+        let too_many = DetectorReport::stuck(10_000, "j");
+        assert_eq!(too_many.encode(), Err(WireError::CpusOutOfRange(10_000)));
+    }
+
+    #[test]
+    fn decode_rejects_malformed() {
+        assert_eq!(
+            DetectorReport::decode("10004"),
+            Err(WireError::TooShort(5))
+        );
+        // 8 bytes parse, but the digit field is shifted: caught as BadCpus.
+        assert_eq!(
+            DetectorReport::decode("0000none"),
+            Err(WireError::BadCpus("000n".to_string()))
+        );
+        assert_eq!(DetectorReport::decode("200001none"), Err(WireError::BadState('2')));
+        assert_eq!(
+            DetectorReport::decode("0abcdnone"),
+            Err(WireError::BadCpus("abcd".to_string()))
+        );
+    }
+
+    #[test]
+    fn cpus_field_is_zero_padded() {
+        let r = DetectorReport::stuck(7, "j.s.t");
+        assert!(r.encode().unwrap().starts_with("10007"));
+    }
+
+    #[test]
+    fn display_matches_encode() {
+        let r = DetectorReport::stuck(4, "1191.eridani.qgg.hud.ac.uk");
+        assert_eq!(r.to_string(), r.encode().unwrap());
+        let parsed: DetectorReport = "00000none".parse().unwrap();
+        assert_eq!(parsed, DetectorReport::not_stuck());
+    }
+}

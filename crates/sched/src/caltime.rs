@@ -1,0 +1,203 @@
+//! Civil-time formatting for PBS text output.
+//!
+//! `qstat -f` prints submission times in `ctime` format
+//! (`Fri Apr 16 17:55:40 2010`, Figure 8). The simulation's zero instant
+//! is pinned to exactly that moment, so a job submitted at sim time 0
+//! renders the figure's timestamp verbatim. The converter is a small
+//! proleptic-Gregorian walk — no external time crates needed (and no wall
+//! clock: determinism is a hard requirement).
+
+use dualboot_des::time::SimTime;
+
+/// Seconds from 2010-01-01 00:00:00 to the simulation epoch
+/// (2010-04-16 17:55:40, Figure 8's `qtime`).
+const EPOCH_IN_YEAR_SECS: u64 = {
+    // Jan 31 + Feb 28 + Mar 31 + 15 full days = day index 105 (0-based)
+    let days = 31 + 28 + 31 + 15;
+    days * 86_400 + 17 * 3600 + 55 * 60 + 40
+};
+
+/// Base year of the simulation epoch.
+const EPOCH_YEAR: u64 = 2010;
+
+/// 2010-01-01 was a Friday (index 5 with Sunday = 0).
+const JAN1_2010_WEEKDAY: u64 = 5;
+
+const WEEKDAYS: [&str; 7] = ["Sun", "Mon", "Tue", "Wed", "Thu", "Fri", "Sat"];
+const MONTHS: [&str; 12] = [
+    "Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov", "Dec",
+];
+
+fn is_leap(year: u64) -> bool {
+    (year.is_multiple_of(4) && !year.is_multiple_of(100)) || year.is_multiple_of(400)
+}
+
+fn days_in_year(year: u64) -> u64 {
+    if is_leap(year) {
+        366
+    } else {
+        365
+    }
+}
+
+fn days_in_month(year: u64, month0: usize) -> u64 {
+    match month0 {
+        0 => 31,
+        1 => {
+            if is_leap(year) {
+                29
+            } else {
+                28
+            }
+        }
+        2 => 31,
+        3 => 30,
+        4 => 31,
+        5 => 30,
+        6 => 31,
+        7 => 31,
+        8 => 30,
+        9 => 31,
+        10 => 30,
+        11 => 31,
+        _ => unreachable!("month0 out of range"),
+    }
+}
+
+/// Broken-down civil time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CivilTime {
+    /// Full year (2010+).
+    pub year: u64,
+    /// 0-based month.
+    pub month0: usize,
+    /// 1-based day of month.
+    pub day: u64,
+    /// Hour 0–23.
+    pub hour: u64,
+    /// Minute 0–59.
+    pub min: u64,
+    /// Second 0–59.
+    pub sec: u64,
+    /// Weekday index, Sunday = 0.
+    pub weekday: usize,
+}
+
+/// Convert a simulated instant to civil time.
+pub fn civil(t: SimTime) -> CivilTime {
+    let mut secs = EPOCH_IN_YEAR_SECS + t.as_secs();
+    let mut year = EPOCH_YEAR;
+    let mut days_before_year = 0u64; // days since 2010-01-01
+    while secs >= days_in_year(year) * 86_400 {
+        secs -= days_in_year(year) * 86_400;
+        days_before_year += days_in_year(year);
+        year += 1;
+    }
+    let mut day_of_year = secs / 86_400;
+    let in_day = secs % 86_400;
+    let weekday = ((JAN1_2010_WEEKDAY + days_before_year + day_of_year) % 7) as usize;
+    let mut month0 = 0usize;
+    while day_of_year >= days_in_month(year, month0) {
+        day_of_year -= days_in_month(year, month0);
+        month0 += 1;
+    }
+    CivilTime {
+        year,
+        month0,
+        day: day_of_year + 1,
+        hour: in_day / 3600,
+        min: (in_day / 60) % 60,
+        sec: in_day % 60,
+        weekday,
+    }
+}
+
+/// `ctime`-style formatting: `Fri Apr 16 17:55:40 2010`. Single-digit days
+/// are space-padded (`Sat May  1 ...`), matching `ctime(3)`.
+pub fn format_ctime(t: SimTime) -> String {
+    let c = civil(t);
+    format!(
+        "{} {} {:>2} {:02}:{:02}:{:02} {}",
+        WEEKDAYS[c.weekday], MONTHS[c.month0], c.day, c.hour, c.min, c.sec, c.year
+    )
+}
+
+/// The numeric timestamp style of the v1 detector's debug output
+/// (Figure 6: `time=2010 04 17 20 11 12`).
+pub fn format_detector(t: SimTime) -> String {
+    let c = civil(t);
+    format!(
+        "{} {:02} {:02} {:02} {:02} {:02}",
+        c.year,
+        c.month0 + 1,
+        c.day,
+        c.hour,
+        c.min,
+        c.sec
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dualboot_des::time::SimDuration;
+
+    #[test]
+    fn epoch_matches_figure8_qtime() {
+        assert_eq!(format_ctime(SimTime::ZERO), "Fri Apr 16 17:55:40 2010");
+    }
+
+    #[test]
+    fn one_day_later_is_saturday() {
+        let t = SimTime::ZERO + SimDuration::from_hours(24);
+        assert_eq!(format_ctime(t), "Sat Apr 17 17:55:40 2010");
+    }
+
+    #[test]
+    fn detector_format_matches_figure6() {
+        // Figure 6 shows `time=2010 04 17 20 11 12`: Apr 17 2010, 20:11:12.
+        // That is 1 day, 2 h 15 min 32 s after the epoch.
+        let t = SimTime::ZERO
+            + SimDuration::from_hours(24)
+            + SimDuration::from_secs(2 * 3600 + 15 * 60 + 32);
+        assert_eq!(format_detector(t), "2010 04 17 20 11 12");
+    }
+
+    #[test]
+    fn single_digit_day_is_space_padded() {
+        // 2010-05-01 is 14 days + a bit after Apr 16; pick midnight May 1.
+        // Apr has 30 days: Apr 16 17:55:40 + 14 days = Apr 30 17:55:40;
+        // + 7 h => May 1 00:55:40.
+        let t = SimTime::ZERO
+            + SimDuration::from_hours(14 * 24)
+            + SimDuration::from_hours(7);
+        assert_eq!(format_ctime(t), "Sat May  1 00:55:40 2010");
+    }
+
+    #[test]
+    fn year_rollover_and_leap() {
+        // 2012 is a leap year; check Feb 29 2012 exists.
+        // Apr 16 2010 is 0-based day 105 of 2010; Feb 29 2012 is 0-based
+        // day 59 of 2012, so the distance is (365-105) + 365 + 59 days.
+        let days = (365 - 105) + 365 + 59;
+        let t = SimTime::ZERO + SimDuration::from_hours(days * 24);
+        let c = civil(t);
+        assert_eq!((c.year, c.month0, c.day), (2012, 1, 29));
+    }
+
+    #[test]
+    fn civil_fields_consistent() {
+        let t = SimTime::from_secs(3_600 * 5 + 60 * 4 + 3);
+        let c = civil(t);
+        assert_eq!((c.hour, c.min, c.sec), (22, 59, 43));
+        assert_eq!(c.year, 2010);
+    }
+
+    #[test]
+    fn leap_rules() {
+        assert!(is_leap(2012));
+        assert!(!is_leap(2010));
+        assert!(!is_leap(2100));
+        assert!(is_leap(2000));
+    }
+}

@@ -1,0 +1,271 @@
+//! Jobs and their lifecycle.
+
+use dualboot_bootconf::os::OsKind;
+use dualboot_des::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Scheduler-local numeric job id. Rendered as `<seq>.<server>` in PBS
+/// text output (e.g. `1186.eridani.qgg.hud.ac.uk`).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct JobId(pub u64);
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Why the job exists.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JobKind {
+    /// A user's computation.
+    User,
+    /// An OS-switch job injected by dualboot-oscar (Figure 4): books one
+    /// full node, flips the boot target, reboots. `target` is the OS the
+    /// booked node will boot into.
+    OsSwitch {
+        /// OS the node reboots into.
+        target: OsKind,
+    },
+}
+
+/// Everything the submitter specifies (plus the generator's ground-truth
+/// runtime, which the scheduler never looks at before completion).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JobRequest {
+    /// Job name (`#PBS -N`).
+    pub name: String,
+    /// Owner account (`sliang`, ...).
+    pub owner: String,
+    /// Which platform's scheduler this job belongs to.
+    pub os: OsKind,
+    /// Number of nodes requested (`nodes=` in PBS).
+    pub nodes: u32,
+    /// Processors per node (`ppn=` in PBS).
+    pub ppn: u32,
+    /// Ground-truth service time (simulation-only knowledge; real
+    /// schedulers only learn it when the job exits).
+    pub runtime: SimDuration,
+    /// Requested walltime limit (`-l walltime=` in PBS). The scheduler
+    /// kills the job when it runs past this; `None` = unlimited.
+    pub walltime: Option<SimDuration>,
+    /// User computation or middleware switch job.
+    pub kind: JobKind,
+}
+
+impl JobRequest {
+    /// Total CPUs the job occupies (`nodes × ppn`) — the "CPU_NEEDED"
+    /// figure the detectors report (Figure 5).
+    pub fn cpus(&self) -> u32 {
+        self.nodes * self.ppn
+    }
+
+    /// A user job sized `nodes × ppn` for `os`.
+    pub fn user(
+        name: impl Into<String>,
+        os: OsKind,
+        nodes: u32,
+        ppn: u32,
+        runtime: SimDuration,
+    ) -> JobRequest {
+        JobRequest {
+            name: name.into(),
+            owner: "sliang".to_string(),
+            os,
+            nodes,
+            ppn,
+            runtime,
+            walltime: None,
+            kind: JobKind::User,
+        }
+    }
+
+    /// Attach a requested walltime limit.
+    pub fn with_walltime(mut self, walltime: SimDuration) -> JobRequest {
+        self.walltime = Some(walltime);
+        self
+    }
+
+    /// Will this job overrun its requested walltime (and be killed by the
+    /// scheduler's enforcement)?
+    pub fn overruns_walltime(&self) -> bool {
+        matches!(self.walltime, Some(w) if self.runtime > w)
+    }
+
+    /// The time the job actually occupies its nodes: its service time,
+    /// truncated by walltime enforcement.
+    pub fn occupancy(&self) -> SimDuration {
+        match self.walltime {
+            Some(w) if self.runtime > w => w,
+            _ => self.runtime,
+        }
+    }
+
+    /// The Figure-4 OS-switch job: `nodes=1:ppn=4`, named
+    /// `release_1_node`, submitted to the scheduler that currently owns
+    /// the node. The `runtime` models the change-flag + `sudo reboot` +
+    /// `sleep 10` dwell before the node drops out.
+    pub fn os_switch(from: OsKind, target: OsKind, ppn: u32) -> JobRequest {
+        JobRequest {
+            name: "release_1_node".to_string(),
+            owner: "dualboot".to_string(),
+            os: from,
+            nodes: 1,
+            ppn,
+            runtime: SimDuration::from_secs(10),
+            walltime: None,
+            kind: JobKind::OsSwitch { target },
+        }
+    }
+}
+
+/// Lifecycle state. PBS letter codes in parentheses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JobState {
+    /// Waiting in the queue (Q).
+    Queued,
+    /// Dispatched and executing (R).
+    Running,
+    /// Finished (C).
+    Completed,
+    /// Cancelled before completion.
+    Cancelled,
+}
+
+impl JobState {
+    /// The single-letter state code PBS prints (`qstat`'s `job_state`).
+    pub fn pbs_code(self) -> char {
+        match self {
+            JobState::Queued => 'Q',
+            JobState::Running => 'R',
+            JobState::Completed => 'C',
+            JobState::Cancelled => 'C',
+        }
+    }
+}
+
+/// A job record as the scheduler tracks it.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Job {
+    /// Scheduler-local id.
+    pub id: JobId,
+    /// The request as submitted.
+    pub req: JobRequest,
+    /// Current state.
+    pub state: JobState,
+    /// Submission time (`qtime`).
+    pub submitted_at: SimTime,
+    /// Dispatch time, once running.
+    pub started_at: Option<SimTime>,
+    /// Completion time, once finished.
+    pub finished_at: Option<SimTime>,
+    /// Hostnames of the nodes executing the job (PBS `exec_host`).
+    pub exec_hosts: Vec<String>,
+}
+
+impl Job {
+    /// Queue wait so far (or final wait once started).
+    pub fn wait_time(&self, now: SimTime) -> SimDuration {
+        match self.started_at {
+            Some(s) => s.saturating_since(self.submitted_at),
+            None => now.saturating_since(self.submitted_at),
+        }
+    }
+
+    /// Turnaround (submit → finish), if finished.
+    pub fn turnaround(&self) -> Option<SimDuration> {
+        self.finished_at
+            .map(|f| f.saturating_since(self.submitted_at))
+    }
+
+    /// Is this one of the middleware's switch jobs?
+    pub fn is_switch(&self) -> bool {
+        matches!(self.req.kind, JobKind::OsSwitch { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req() -> JobRequest {
+        JobRequest::user("sleep", OsKind::Linux, 2, 4, SimDuration::from_mins(10))
+    }
+
+    #[test]
+    fn cpus_is_nodes_times_ppn() {
+        assert_eq!(req().cpus(), 8);
+        assert_eq!(JobRequest::os_switch(OsKind::Linux, OsKind::Windows, 4).cpus(), 4);
+    }
+
+    #[test]
+    fn switch_job_matches_figure4() {
+        let s = JobRequest::os_switch(OsKind::Linux, OsKind::Windows, 4);
+        assert_eq!(s.name, "release_1_node");
+        assert_eq!((s.nodes, s.ppn), (1, 4));
+        assert_eq!(s.os, OsKind::Linux);
+        assert_eq!(s.kind, JobKind::OsSwitch { target: OsKind::Windows });
+        assert_eq!(s.runtime, SimDuration::from_secs(10)); // the `sleep 10`
+    }
+
+    #[test]
+    fn state_codes() {
+        assert_eq!(JobState::Queued.pbs_code(), 'Q');
+        assert_eq!(JobState::Running.pbs_code(), 'R');
+        assert_eq!(JobState::Completed.pbs_code(), 'C');
+    }
+
+    #[test]
+    fn wait_and_turnaround() {
+        let mut j = Job {
+            id: JobId(1),
+            req: req(),
+            state: JobState::Queued,
+            submitted_at: SimTime::from_secs(100),
+            started_at: None,
+            finished_at: None,
+            exec_hosts: vec![],
+        };
+        assert_eq!(
+            j.wait_time(SimTime::from_secs(160)),
+            SimDuration::from_secs(60)
+        );
+        j.started_at = Some(SimTime::from_secs(200));
+        j.finished_at = Some(SimTime::from_secs(500));
+        assert_eq!(
+            j.wait_time(SimTime::from_secs(999)),
+            SimDuration::from_secs(100)
+        );
+        assert_eq!(j.turnaround(), Some(SimDuration::from_secs(400)));
+    }
+
+    #[test]
+    fn walltime_enforcement_helpers() {
+        let ok = req().with_walltime(SimDuration::from_mins(20));
+        assert!(!ok.overruns_walltime());
+        assert_eq!(ok.occupancy(), SimDuration::from_mins(10));
+        let over = req().with_walltime(SimDuration::from_mins(5));
+        assert!(over.overruns_walltime());
+        assert_eq!(over.occupancy(), SimDuration::from_mins(5));
+        assert!(!req().overruns_walltime()); // unlimited
+    }
+
+    #[test]
+    fn switch_detection() {
+        let mut j = Job {
+            id: JobId(1),
+            req: JobRequest::os_switch(OsKind::Linux, OsKind::Windows, 4),
+            state: JobState::Queued,
+            submitted_at: SimTime::ZERO,
+            started_at: None,
+            finished_at: None,
+            exec_hosts: vec![],
+        };
+        assert!(j.is_switch());
+        j.req = req();
+        assert!(!j.is_switch());
+    }
+}

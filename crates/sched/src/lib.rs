@@ -1,0 +1,49 @@
+#![warn(missing_docs)]
+
+//! # dualboot-sched — the two job schedulers of the hybrid cluster
+//!
+//! The paper's middleware sits between two independent batch systems:
+//!
+//! * **PBS/Torque** on the OSCAR/Linux head node — which "does not provide
+//!   APIs for other programs" (§III.B.3), so the middleware's detector
+//!   scrapes the text output of `pbsnodes` and `qstat -f` (Figures 7, 8).
+//! * **Windows HPC Server 2008 R2** on the Windows head node — where
+//!   "Microsoft provides a SDK for programs to fetch the data and send
+//!   the tasks".
+//!
+//! This crate reproduces both schedulers *and that asymmetry*:
+//! [`pbs::PbsScheduler`] exposes its state the way Torque does — as text
+//! that [`pbs_text`] emits and a scraper must parse — while
+//! [`winhpc::WinHpcScheduler`] exposes a typed SDK-style API. Both
+//! implement the common [`scheduler::Scheduler`] trait the cluster
+//! simulation drives.
+//!
+//! Scheduling policy is strict FCFS with no backfill: the paper states the
+//! queue-monitoring daemons "are still following the rule 'first-come
+//! first-serve'" (§V), and head-of-line blocking is precisely the
+//! condition ("stuck") the middleware detects and resolves by switching
+//! nodes.
+//!
+//! * [`job`] — jobs, requests, lifecycle states.
+//! * [`scheduler`] — the common trait and queue snapshots.
+//! * [`pbs`] — the Torque-like scheduler (whole-node `nodes=N:ppn=M`
+//!   allocation).
+//! * [`pbs_text`] — `pbsnodes` / `qstat -f` emitters and scrapers.
+//! * [`script`] — PBS job scripts, including Figure 4's OS-switch job.
+//! * [`winhpc`] — the Windows-HPC-like scheduler (core-granular
+//!   allocation, typed API).
+//! * [`winhpc_text`] — `job list` / `node list` console-text emitters and
+//!   parsers (the admin-facing view of the Windows side).
+//! * [`caltime`] — the small civil-time formatter for `qtime` lines.
+
+pub mod caltime;
+pub mod job;
+pub mod pbs;
+pub mod pbs_text;
+pub mod scheduler;
+pub mod script;
+pub mod winhpc;
+pub mod winhpc_text;
+
+pub use job::{Job, JobId, JobKind, JobRequest, JobState};
+pub use scheduler::{Dispatch, QueueSnapshot, Scheduler};

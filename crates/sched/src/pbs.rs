@@ -1,0 +1,481 @@
+//! The PBS/Torque-like scheduler of the OSCAR head node.
+//!
+//! Allocation model: `nodes=N:ppn=M` — a job takes `M` of the `np` virtual
+//! processors on each of `N` distinct nodes (Figure 8's
+//! `Resource_List.nodes = 1:ppn=4`, Figure 7's `np = 4`). Dispatch is
+//! strict FCFS with no backfill: the head of the queue either fits or
+//! blocks everything behind it — the head-of-line blocking that produces
+//! the "stuck" states the middleware watches for.
+
+use crate::job::{Job, JobId, JobRequest, JobState};
+use crate::scheduler::{Dispatch, QueueSnapshot, Scheduler};
+use dualboot_bootconf::os::OsKind;
+use dualboot_des::time::SimTime;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, VecDeque};
+
+/// Per-node slot accounting.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+struct NodeSlot {
+    /// Virtual processors (`np`).
+    np: u32,
+    /// Slots currently allocated.
+    used: u32,
+    /// Registered and reachable.
+    online: bool,
+    /// Jobs with slots on this node.
+    jobs: Vec<JobId>,
+}
+
+/// The Torque-like batch server (`pbs_server` + `pbs_sched` + `maui`-less
+/// FCFS, as a small OSCAR deployment runs).
+///
+/// ```
+/// use dualboot_bootconf::os::OsKind;
+/// use dualboot_des::time::{SimDuration, SimTime};
+/// use dualboot_sched::job::JobRequest;
+/// use dualboot_sched::pbs::PbsScheduler;
+/// use dualboot_sched::scheduler::Scheduler;
+///
+/// let mut pbs = PbsScheduler::eridani();
+/// pbs.register_node("enode01.eridani.qgg.hud.ac.uk", 4);
+/// let id = pbs.submit(
+///     JobRequest::user("dl_poly", OsKind::Linux, 1, 4, SimDuration::from_mins(30)),
+///     SimTime::ZERO,
+/// );
+/// let started = pbs.try_dispatch(SimTime::ZERO);
+/// assert_eq!(started[0].job, id);
+/// assert_eq!(pbs.snapshot().nodes_free, 0);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PbsScheduler {
+    server: String,
+    queue_name: String,
+    nodes: BTreeMap<String, NodeSlot>,
+    jobs: BTreeMap<u64, Job>,
+    queue: VecDeque<JobId>,
+    next_id: u64,
+}
+
+impl PbsScheduler {
+    /// A fresh server with the given FQDN (job ids render as
+    /// `<seq>.<server>`).
+    pub fn new(server: impl Into<String>) -> Self {
+        PbsScheduler {
+            server: server.into(),
+            queue_name: "default".to_string(),
+            nodes: BTreeMap::new(),
+            jobs: BTreeMap::new(),
+            queue: VecDeque::new(),
+            next_id: 1,
+        }
+    }
+
+    /// The paper's server, with job numbering near the figures' range.
+    pub fn eridani() -> Self {
+        let mut s = PbsScheduler::new("eridani.qgg.hud.ac.uk");
+        s.next_id = 1185; // Figure 8 shows job 1185
+        s
+    }
+
+    /// Server FQDN.
+    pub fn server(&self) -> &str {
+        &self.server
+    }
+
+    /// The submission queue's name (`default` on Eridani).
+    pub fn queue_name(&self) -> &str {
+        &self.queue_name
+    }
+
+    /// Full text id for a job (`1186.eridani.qgg.hud.ac.uk`).
+    pub fn full_id(&self, id: JobId) -> String {
+        format!("{}.{}", id.0, self.server)
+    }
+
+    /// Queued job ids in queue order (head first).
+    pub fn queued_ids(&self) -> impl Iterator<Item = JobId> + '_ {
+        self.queue.iter().copied()
+    }
+
+    /// Internal: can the head job be placed right now? Returns the chosen
+    /// hosts if so (deterministic: lexicographic hostname order).
+    fn place(&self, req: &JobRequest) -> Option<Vec<String>> {
+        let mut hosts = Vec::with_capacity(req.nodes as usize);
+        for (name, slot) in &self.nodes {
+            if slot.online && slot.np.saturating_sub(slot.used) >= req.ppn {
+                hosts.push(name.clone());
+                if hosts.len() == req.nodes as usize {
+                    return Some(hosts);
+                }
+            }
+        }
+        None
+    }
+
+    /// Node names with their free slot counts (diagnostics/text output).
+    pub fn node_states(&self) -> impl Iterator<Item = (&str, u32, u32, bool)> {
+        self.nodes
+            .iter()
+            .map(|(n, s)| (n.as_str(), s.np, s.used, s.online))
+    }
+
+    /// Jobs running on a given node.
+    pub fn jobs_on(&self, hostname: &str) -> Vec<JobId> {
+        self.nodes
+            .get(hostname)
+            .map(|s| s.jobs.clone())
+            .unwrap_or_default()
+    }
+}
+
+impl Scheduler for PbsScheduler {
+    fn os(&self) -> OsKind {
+        OsKind::Linux
+    }
+
+    fn register_node(&mut self, hostname: &str, cores: u32) {
+        let slot = self.nodes.entry(hostname.to_string()).or_insert(NodeSlot {
+            np: cores,
+            used: 0,
+            online: false,
+            jobs: Vec::new(),
+        });
+        slot.np = cores;
+        slot.online = true;
+    }
+
+    fn set_node_offline(&mut self, hostname: &str) {
+        if let Some(slot) = self.nodes.get_mut(hostname) {
+            slot.online = false;
+        }
+    }
+
+    fn is_node_online(&self, hostname: &str) -> bool {
+        self.nodes.get(hostname).map(|s| s.online).unwrap_or(false)
+    }
+
+    fn submit(&mut self, req: JobRequest, now: SimTime) -> JobId {
+        debug_assert_eq!(req.os, OsKind::Linux, "Windows job submitted to PBS");
+        let id = JobId(self.next_id);
+        self.next_id += 1;
+        self.jobs.insert(
+            id.0,
+            Job {
+                id,
+                req,
+                state: JobState::Queued,
+                submitted_at: now,
+                started_at: None,
+                finished_at: None,
+                exec_hosts: Vec::new(),
+            },
+        );
+        self.queue.push_back(id);
+        id
+    }
+
+    fn cancel(&mut self, id: JobId) -> bool {
+        let Some(job) = self.jobs.get_mut(&id.0) else {
+            return false;
+        };
+        if job.state != JobState::Queued {
+            return false;
+        }
+        job.state = JobState::Cancelled;
+        self.queue.retain(|q| *q != id);
+        true
+    }
+
+    fn try_dispatch(&mut self, now: SimTime) -> Vec<Dispatch> {
+        let mut started = Vec::new();
+        // FCFS, no backfill: stop at the first job that cannot be placed.
+        while let Some(&head) = self.queue.front() {
+            let req = self.jobs[&head.0].req.clone();
+            let Some(hosts) = self.place(&req) else {
+                break;
+            };
+            self.queue.pop_front();
+            for h in &hosts {
+                let slot = self.nodes.get_mut(h).expect("placed host exists");
+                slot.used += req.ppn;
+                slot.jobs.push(head);
+            }
+            let job = self.jobs.get_mut(&head.0).expect("queued job exists");
+            job.state = JobState::Running;
+            job.started_at = Some(now);
+            job.exec_hosts = hosts.clone();
+            started.push(Dispatch { job: head, hosts });
+        }
+        started
+    }
+
+    fn complete(&mut self, id: JobId, now: SimTime) -> Option<Job> {
+        let job = self.jobs.get_mut(&id.0)?;
+        if job.state != JobState::Running {
+            return None;
+        }
+        job.state = JobState::Completed;
+        job.finished_at = Some(now);
+        let ppn = job.req.ppn;
+        let hosts = job.exec_hosts.clone();
+        let done = job.clone();
+        for h in &hosts {
+            if let Some(slot) = self.nodes.get_mut(h) {
+                slot.used = slot.used.saturating_sub(ppn);
+                slot.jobs.retain(|j| *j != id);
+            }
+        }
+        Some(done)
+    }
+
+    fn job(&self, id: JobId) -> Option<&Job> {
+        self.jobs.get(&id.0)
+    }
+
+    fn snapshot(&self) -> QueueSnapshot {
+        let running = self
+            .jobs
+            .values()
+            .filter(|j| j.state == JobState::Running)
+            .count() as u32;
+        let queued = self.queue.len() as u32;
+        let first = self.queue.front().map(|id| &self.jobs[&id.0]);
+        let online: Vec<&NodeSlot> = self.nodes.values().filter(|s| s.online).collect();
+        QueueSnapshot {
+            os: OsKind::Linux,
+            running,
+            queued,
+            first_queued_cpus: first.map(|j| j.req.cpus()),
+            first_queued_id: first.map(|j| self.full_id(j.id)),
+            nodes_online: online.len() as u32,
+            nodes_free: online.iter().filter(|s| s.used == 0).count() as u32,
+            cores_online: online.iter().map(|s| s.np).sum(),
+            cores_free: online.iter().map(|s| s.np - s.used).sum(),
+        }
+    }
+
+    fn jobs(&self) -> Vec<&Job> {
+        self.jobs.values().collect()
+    }
+
+    fn free_nodes(&self) -> Vec<String> {
+        self.nodes
+            .iter()
+            .filter(|(_, s)| s.online && s.used == 0)
+            .map(|(n, _)| n.clone())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dualboot_des::time::SimDuration;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    fn sched_with_nodes(n: u32) -> PbsScheduler {
+        let mut s = PbsScheduler::eridani();
+        for i in 1..=n {
+            s.register_node(&format!("enode{i:02}.eridani.qgg.hud.ac.uk"), 4);
+        }
+        s
+    }
+
+    fn ujob(nodes: u32, ppn: u32) -> JobRequest {
+        JobRequest::user("sleep", OsKind::Linux, nodes, ppn, SimDuration::from_mins(5))
+    }
+
+    #[test]
+    fn submit_assigns_sequential_ids_from_1185() {
+        let mut s = sched_with_nodes(1);
+        let a = s.submit(ujob(1, 4), t(0));
+        let b = s.submit(ujob(1, 4), t(0));
+        assert_eq!(a, JobId(1185));
+        assert_eq!(b, JobId(1186));
+        assert_eq!(s.full_id(a), "1185.eridani.qgg.hud.ac.uk");
+    }
+
+    #[test]
+    fn fcfs_dispatch_fills_nodes_in_order() {
+        let mut s = sched_with_nodes(2);
+        let a = s.submit(ujob(1, 4), t(0));
+        let b = s.submit(ujob(1, 4), t(0));
+        let started = s.try_dispatch(t(1));
+        assert_eq!(started.len(), 2);
+        assert_eq!(started[0].job, a);
+        assert_eq!(started[0].hosts, ["enode01.eridani.qgg.hud.ac.uk"]);
+        assert_eq!(started[1].job, b);
+        assert_eq!(started[1].hosts, ["enode02.eridani.qgg.hud.ac.uk"]);
+    }
+
+    #[test]
+    fn head_of_line_blocks_backfill() {
+        let mut s = sched_with_nodes(2);
+        // Head wants 3 nodes (impossible); a 1-node job sits behind it.
+        s.submit(ujob(3, 4), t(0));
+        let small = s.submit(ujob(1, 4), t(0));
+        let started = s.try_dispatch(t(1));
+        assert!(started.is_empty(), "no backfill allowed");
+        assert_eq!(s.job(small).unwrap().state, JobState::Queued);
+        let snap = s.snapshot();
+        assert_eq!(snap.queued, 2);
+        assert_eq!(snap.first_queued_cpus, Some(12));
+    }
+
+    #[test]
+    fn multi_node_job_takes_distinct_nodes() {
+        let mut s = sched_with_nodes(3);
+        let a = s.submit(ujob(2, 4), t(0));
+        let started = s.try_dispatch(t(1));
+        assert_eq!(started[0].job, a);
+        assert_eq!(started[0].hosts.len(), 2);
+        assert_ne!(started[0].hosts[0], started[0].hosts[1]);
+        assert_eq!(s.snapshot().nodes_free, 1);
+    }
+
+    #[test]
+    fn ppn_sharing_within_a_node() {
+        let mut s = sched_with_nodes(1);
+        let a = s.submit(ujob(1, 2), t(0));
+        let b = s.submit(ujob(1, 2), t(0));
+        let started = s.try_dispatch(t(1));
+        assert_eq!(started.len(), 2);
+        // both landed on the single node
+        assert_eq!(started[0].hosts, started[1].hosts);
+        let snap = s.snapshot();
+        assert_eq!(snap.cores_free, 0);
+        assert_eq!(snap.nodes_free, 0);
+        let _ = (a, b);
+    }
+
+    #[test]
+    fn complete_frees_resources_and_unblocks() {
+        let mut s = sched_with_nodes(1);
+        let a = s.submit(ujob(1, 4), t(0));
+        let b = s.submit(ujob(1, 4), t(0));
+        s.try_dispatch(t(1));
+        assert_eq!(s.job(b).unwrap().state, JobState::Queued);
+        let done = s.complete(a, t(100)).unwrap();
+        assert_eq!(done.state, JobState::Completed);
+        assert_eq!(done.finished_at, Some(t(100)));
+        let started = s.try_dispatch(t(100));
+        assert_eq!(started.len(), 1);
+        assert_eq!(started[0].job, b);
+        assert_eq!(s.job(b).unwrap().wait_time(t(999)), SimDuration::from_secs(100));
+    }
+
+    #[test]
+    fn complete_is_idempotent_and_rejects_queued() {
+        let mut s = sched_with_nodes(1);
+        let a = s.submit(ujob(1, 4), t(0));
+        assert!(s.complete(a, t(1)).is_none()); // still queued
+        s.try_dispatch(t(1));
+        assert!(s.complete(a, t(2)).is_some());
+        assert!(s.complete(a, t(3)).is_none()); // already done
+    }
+
+    #[test]
+    fn cancel_only_queued_jobs() {
+        let mut s = sched_with_nodes(1);
+        let a = s.submit(ujob(1, 4), t(0));
+        let b = s.submit(ujob(1, 4), t(0));
+        s.try_dispatch(t(1)); // a runs, b queued
+        assert!(!s.cancel(a));
+        assert!(s.cancel(b));
+        assert!(!s.cancel(b));
+        assert_eq!(s.snapshot().queued, 0);
+        assert!(!s.cancel(JobId(99_999)));
+    }
+
+    #[test]
+    fn offline_nodes_are_not_allocated() {
+        let mut s = sched_with_nodes(2);
+        s.set_node_offline("enode01.eridani.qgg.hud.ac.uk");
+        let a = s.submit(ujob(1, 4), t(0));
+        let started = s.try_dispatch(t(1));
+        assert_eq!(started[0].job, a);
+        assert_eq!(started[0].hosts, ["enode02.eridani.qgg.hud.ac.uk"]);
+        assert!(!s.is_node_online("enode01.eridani.qgg.hud.ac.uk"));
+        assert!(s.is_node_online("enode02.eridani.qgg.hud.ac.uk"));
+    }
+
+    #[test]
+    fn reregistering_brings_node_back() {
+        let mut s = sched_with_nodes(1);
+        s.set_node_offline("enode01.eridani.qgg.hud.ac.uk");
+        assert_eq!(s.snapshot().nodes_online, 0);
+        s.register_node("enode01.eridani.qgg.hud.ac.uk", 4);
+        assert_eq!(s.snapshot().nodes_online, 1);
+    }
+
+    #[test]
+    fn stuck_state_matches_paper() {
+        // Figure 6's third output: nothing running, one job queued that
+        // needs 4 CPUs -> "100041191.eridani.qgg.hud.ac.uk".
+        let mut s = sched_with_nodes(1);
+        s.set_node_offline("enode01.eridani.qgg.hud.ac.uk");
+        // make the ids match the figure: 1185..=1191, keeping only 1191
+        for _ in 0..7 {
+            s.submit(ujob(1, 4), t(0));
+        }
+        for id in s.queued_ids().collect::<Vec<_>>() {
+            if id != JobId(1191) {
+                s.cancel(id);
+            }
+        }
+        let snap = s.snapshot();
+        assert!(snap.is_stuck());
+        assert_eq!(snap.first_queued_cpus, Some(4));
+        assert_eq!(
+            snap.first_queued_id.as_deref(),
+            Some("1191.eridani.qgg.hud.ac.uk")
+        );
+    }
+
+    #[test]
+    fn free_nodes_deterministic_order() {
+        let s = sched_with_nodes(3);
+        assert_eq!(
+            s.free_nodes(),
+            [
+                "enode01.eridani.qgg.hud.ac.uk",
+                "enode02.eridani.qgg.hud.ac.uk",
+                "enode03.eridani.qgg.hud.ac.uk"
+            ]
+        );
+    }
+
+    #[test]
+    fn snapshot_counts() {
+        let mut s = sched_with_nodes(4);
+        s.submit(ujob(2, 4), t(0));
+        s.submit(ujob(1, 2), t(0));
+        s.submit(ujob(4, 4), t(0)); // will block
+        s.try_dispatch(t(1));
+        let snap = s.snapshot();
+        assert_eq!(snap.running, 2);
+        assert_eq!(snap.queued, 1);
+        assert_eq!(snap.nodes_online, 4);
+        assert_eq!(snap.nodes_free, 1); // nodes 1,2 full; 3 has 2 cores used
+        assert_eq!(snap.cores_online, 16);
+        assert_eq!(snap.cores_free, 6);
+        assert_eq!(snap.first_queued_cpus, Some(16));
+        assert!(!snap.is_stuck());
+        assert!(snap.is_blocked());
+    }
+
+    #[test]
+    fn jobs_on_node_tracking() {
+        let mut s = sched_with_nodes(1);
+        let a = s.submit(ujob(1, 2), t(0));
+        let b = s.submit(ujob(1, 2), t(0));
+        s.try_dispatch(t(1));
+        assert_eq!(s.jobs_on("enode01.eridani.qgg.hud.ac.uk"), vec![a, b]);
+        s.complete(a, t(2));
+        assert_eq!(s.jobs_on("enode01.eridani.qgg.hud.ac.uk"), vec![b]);
+    }
+}

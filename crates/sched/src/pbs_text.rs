@@ -1,0 +1,547 @@
+//! `pbsnodes` / `qstat -f` text emitters and scrapers.
+//!
+//! "In the OSCAR head node, PBS does not provide APIs for other programs.
+//! Several Perl programs had been written for parsing the output of PBS
+//! commands" (§III.B.3). The reproduction keeps that integration style:
+//! the Linux-side detector sees *only* the text these emitters produce and
+//! recovers queue state by scraping it — bugs and all, this is the actual
+//! interface the paper's middleware lives on.
+//!
+//! Emission follows Torque's canonical layout (Figures 7 and 8 show the
+//! same fields with PDF-mangled whitespace): node attributes indented five
+//! spaces, job attributes indented four, blocks separated by blank lines.
+
+use crate::caltime::format_ctime;
+use crate::job::JobState;
+use crate::pbs::PbsScheduler;
+use crate::scheduler::Scheduler as _;
+use dualboot_bootconf::error::ParseError;
+use dualboot_des::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Unix time of the simulation epoch (2010-04-16 17:55:40 UTC), used for
+/// the `rectime` field pbsnodes reports.
+const EPOCH_UNIX: u64 = 1_271_440_540;
+
+// ---------------------------------------------------------------------
+// Emitters
+// ---------------------------------------------------------------------
+
+/// Render `pbsnodes -a` output for every registered node (Figure 7).
+pub fn pbsnodes(s: &PbsScheduler, now: SimTime) -> String {
+    let mut out = String::new();
+    for (name, np, used, online) in s.node_states() {
+        let state = if !online {
+            "down"
+        } else if used >= np {
+            "job-exclusive"
+        } else {
+            "free"
+        };
+        out.push_str(name);
+        out.push('\n');
+        out.push_str(&format!("     state = {state}\n"));
+        out.push_str(&format!("     np = {np}\n"));
+        out.push_str("     properties = all\n");
+        out.push_str("     ntype = cluster\n");
+        let jobs = s.jobs_on(name);
+        if !jobs.is_empty() {
+            // Torque lists slot/jobid pairs: `0/1186.server+1/1186.server`
+            let parts: Vec<String> = jobs
+                .iter()
+                .enumerate()
+                .map(|(slot, id)| format!("{slot}/{}", s.full_id(*id)))
+                .collect();
+            out.push_str(&format!("     jobs = {}\n", parts.join("+")));
+        }
+        out.push_str(&format!(
+            "     status = opsys=linux,uname=Linux {name} 2.6.18-164.el5 #1 SMP \
+Fri Sep 9 03:28:30 EDT 2011 x86_64,sessions=? 0,nsessions=? 0,nusers=0,\
+idletime={idle},totmem=15881584kb,availmem=15825740kb,physmem=8069096kb,\
+ncpus={np},loadave={load:.2},netload=154924801596,state={state},jobs=? 0,\
+rectime={rectime}\n",
+            idle = now.as_secs(),
+            load = used as f64,
+            rectime = EPOCH_UNIX + now.as_secs(),
+        ));
+        out.push('\n');
+    }
+    out
+}
+
+/// Render `qstat -f` output for every live (queued or running) job, in id
+/// order (Figure 8).
+pub fn qstat_f(s: &PbsScheduler) -> String {
+    let mut jobs: Vec<_> = s
+        .jobs()
+        .into_iter()
+        .filter(|j| matches!(j.state, JobState::Queued | JobState::Running))
+        .collect();
+    jobs.sort_by_key(|j| j.id);
+    let mut out = String::new();
+    for j in jobs {
+        out.push_str(&format!("Job Id: {}\n", s.full_id(j.id)));
+        out.push_str(&format!("    Job_Name = {}\n", j.req.name));
+        out.push_str(&format!(
+            "    Job_Owner = {}@{}\n",
+            j.req.owner,
+            s.server()
+        ));
+        out.push_str(&format!("    job_state = {}\n", j.state.pbs_code()));
+        out.push_str(&format!("    queue = {}\n", s.queue_name()));
+        out.push_str(&format!("    server = {}\n", s.server()));
+        if !j.exec_hosts.is_empty() {
+            // `host/3+host/2+host/1+host/0` per host, ppn slots each,
+            // descending — exactly Figure 8's shape.
+            let mut parts = Vec::new();
+            for h in &j.exec_hosts {
+                for slot in (0..j.req.ppn).rev() {
+                    parts.push(format!("{h}/{slot}"));
+                }
+            }
+            out.push_str(&format!("    exec_host = {}\n", parts.join("+")));
+        }
+        out.push_str("    Priority = 0\n");
+        out.push_str(&format!("    qtime = {}\n", format_ctime(j.submitted_at)));
+        out.push_str(&format!(
+            "    Resource_List.nodes = {}:ppn={}\n",
+            j.req.nodes, j.req.ppn
+        ));
+        if let Some(w) = j.req.walltime {
+            out.push_str(&format!(
+                "    Resource_List.walltime = {}\n",
+                crate::script::format_walltime(w)
+            ));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Scrapers (what the detector's Perl would do)
+// ---------------------------------------------------------------------
+
+/// A node block scraped from `pbsnodes` output.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PbsNodeInfo {
+    /// Hostname (the block's first line).
+    pub hostname: String,
+    /// `state` attribute (`free`, `job-exclusive`, `down`, ...).
+    pub state: String,
+    /// `np` attribute.
+    pub np: u32,
+    /// Full job ids referenced by the `jobs` attribute.
+    pub jobs: Vec<String>,
+}
+
+impl PbsNodeInfo {
+    /// Is the node available for new work (online and below capacity)?
+    pub fn is_free(&self) -> bool {
+        self.state == "free"
+    }
+}
+
+/// Parse `pbsnodes` output into node blocks.
+pub fn parse_pbsnodes(text: &str) -> Result<Vec<PbsNodeInfo>, ParseError> {
+    let mut nodes = Vec::new();
+    let mut current: Option<PbsNodeInfo> = None;
+    for (i, raw) in text.lines().enumerate() {
+        let lineno = i + 1;
+        if raw.trim().is_empty() {
+            if let Some(n) = current.take() {
+                nodes.push(n);
+            }
+            continue;
+        }
+        if !raw.starts_with(' ') {
+            if let Some(n) = current.take() {
+                nodes.push(n);
+            }
+            current = Some(PbsNodeInfo {
+                hostname: raw.trim().to_string(),
+                state: String::new(),
+                np: 0,
+                jobs: Vec::new(),
+            });
+            continue;
+        }
+        let node = current
+            .as_mut()
+            .ok_or_else(|| ParseError::at("pbsnodes", lineno, "attribute before hostname"))?;
+        let line = raw.trim();
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(ParseError::at(
+                "pbsnodes",
+                lineno,
+                format!("expected key = value, got {line:?}"),
+            ));
+        };
+        match key.trim() {
+            "state" => node.state = value.trim().to_string(),
+            "np" => {
+                node.np = value.trim().parse().map_err(|_| {
+                    ParseError::at("pbsnodes", lineno, format!("bad np {value:?}"))
+                })?
+            }
+            "jobs" => {
+                node.jobs = value
+                    .trim()
+                    .split('+')
+                    .filter_map(|part| part.split_once('/').map(|(_, id)| id.to_string()))
+                    .collect();
+            }
+            _ => {} // properties, ntype, status: ignored by the detector
+        }
+    }
+    if let Some(n) = current.take() {
+        nodes.push(n);
+    }
+    Ok(nodes)
+}
+
+/// Distil node counts from a `pbsnodes` scrape the way the Perl daemon
+/// does: `(online, fully_free)` — `free` in Torque means "has free slots",
+/// so a node only counts as *fully* free when its `jobs` list is empty.
+pub fn summarize_nodes(nodes: &[PbsNodeInfo]) -> (u32, u32) {
+    let online = nodes
+        .iter()
+        .filter(|n| n.state != "down" && n.state != "offline")
+        .count() as u32;
+    let free = nodes
+        .iter()
+        .filter(|n| n.is_free() && n.jobs.is_empty())
+        .count() as u32;
+    (online, free)
+}
+
+/// A job block scraped from `qstat -f` output.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QstatJob {
+    /// Full job id (`1186.eridani.qgg.hud.ac.uk`).
+    pub id: String,
+    /// `Job_Name`.
+    pub name: String,
+    /// `Job_Owner` (with `@server`).
+    pub owner: String,
+    /// `job_state` letter (`R`, `Q`, ...).
+    pub state: char,
+    /// Requested nodes.
+    pub nodes: u32,
+    /// Requested ppn.
+    pub ppn: u32,
+    /// `qtime` text, verbatim.
+    pub qtime: String,
+    /// Requested walltime, when the job declared one.
+    pub walltime: Option<dualboot_des::time::SimDuration>,
+}
+
+impl QstatJob {
+    /// Total CPUs the job needs (Figure 5's `CPU_NEEDED`).
+    pub fn cpus(&self) -> u32 {
+        self.nodes * self.ppn
+    }
+}
+
+/// Parse `qstat -f` output into job blocks.
+pub fn parse_qstat_f(text: &str) -> Result<Vec<QstatJob>, ParseError> {
+    let mut jobs = Vec::new();
+    let mut current: Option<QstatJob> = None;
+    for (i, raw) in text.lines().enumerate() {
+        let lineno = i + 1;
+        if raw.trim().is_empty() {
+            if let Some(j) = current.take() {
+                jobs.push(j);
+            }
+            continue;
+        }
+        if let Some(id) = raw.strip_prefix("Job Id:") {
+            if let Some(j) = current.take() {
+                jobs.push(j);
+            }
+            current = Some(QstatJob {
+                id: id.trim().to_string(),
+                name: String::new(),
+                owner: String::new(),
+                state: '?',
+                nodes: 0,
+                ppn: 0,
+                qtime: String::new(),
+                walltime: None,
+            });
+            continue;
+        }
+        let job = current
+            .as_mut()
+            .ok_or_else(|| ParseError::at("qstat", lineno, "attribute before Job Id"))?;
+        let line = raw.trim();
+        let Some((key, value)) = line.split_once('=') else {
+            continue; // continuation lines (Variable_List wraps); detector skips them
+        };
+        let value = value.trim();
+        match key.trim() {
+            "Job_Name" => job.name = value.to_string(),
+            "Job_Owner" => job.owner = value.to_string(),
+            "job_state" => job.state = value.chars().next().unwrap_or('?'),
+            "qtime" => job.qtime = value.to_string(),
+            "Resource_List.walltime" => {
+                job.walltime = crate::script::parse_walltime(value);
+            }
+            "Resource_List.nodes" => {
+                // `1:ppn=4` or bare `2`
+                let (n, p) = match value.split_once(":ppn=") {
+                    Some((n, p)) => (n, p),
+                    None => (value, "1"),
+                };
+                job.nodes = n.parse().map_err(|_| {
+                    ParseError::at("qstat", lineno, format!("bad nodes {value:?}"))
+                })?;
+                job.ppn = p.parse().map_err(|_| {
+                    ParseError::at("qstat", lineno, format!("bad ppn {value:?}"))
+                })?;
+            }
+            _ => {}
+        }
+    }
+    if let Some(j) = current.take() {
+        jobs.push(j);
+    }
+    Ok(jobs)
+}
+
+/// What the detector distils from a scrape: the counts and head-of-queue
+/// facts of Figure 5/6.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScrapedQueueState {
+    /// Jobs in state `R`.
+    pub running: u32,
+    /// Jobs in state `Q`.
+    pub queued: u32,
+    /// CPUs needed by the first queued job (file order = queue order).
+    pub first_queued_cpus: Option<u32>,
+    /// Id of the first queued job.
+    pub first_queued_id: Option<String>,
+}
+
+/// Summarise scraped jobs the way `checkqueue.pl` does.
+pub fn summarize(jobs: &[QstatJob]) -> ScrapedQueueState {
+    let running = jobs.iter().filter(|j| j.state == 'R').count() as u32;
+    let queued = jobs.iter().filter(|j| j.state == 'Q').count() as u32;
+    let first = jobs.iter().find(|j| j.state == 'Q');
+    ScrapedQueueState {
+        running,
+        queued,
+        first_queued_cpus: first.map(QstatJob::cpus),
+        first_queued_id: first.map(|j| j.id.clone()),
+    }
+}
+
+impl ScrapedQueueState {
+    /// The paper's stuck condition, from scraped data.
+    pub fn is_stuck(&self) -> bool {
+        self.running == 0 && self.queued > 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobRequest;
+    use crate::scheduler::Scheduler;
+    use dualboot_bootconf::os::OsKind;
+    use dualboot_des::time::{SimDuration, SimTime};
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    fn eridani_16() -> PbsScheduler {
+        let mut s = PbsScheduler::eridani();
+        for i in 1..=16 {
+            s.register_node(&format!("enode{i:02}.eridani.qgg.hud.ac.uk"), 4);
+        }
+        s
+    }
+
+    fn ujob(name: &str, nodes: u32, ppn: u32) -> JobRequest {
+        JobRequest::user(name, OsKind::Linux, nodes, ppn, SimDuration::from_mins(5))
+    }
+
+    #[test]
+    fn fig7_pbsnodes_fields_present() {
+        let s = eridani_16();
+        let text = pbsnodes(&s, t(0));
+        let first_block: Vec<&str> = text.split("\n\n").next().unwrap().lines().collect();
+        assert_eq!(first_block[0], "enode01.eridani.qgg.hud.ac.uk");
+        assert_eq!(first_block[1], "     state = free");
+        assert_eq!(first_block[2], "     np = 4");
+        assert_eq!(first_block[3], "     properties = all");
+        assert_eq!(first_block[4], "     ntype = cluster");
+        assert!(first_block[5].starts_with("     status = opsys=linux,uname=Linux enode01"));
+        assert!(first_block[5].contains("totmem=15881584kb"));
+        assert!(first_block[5].contains("physmem=8069096kb"));
+        assert!(first_block[5].contains("ncpus=4"));
+    }
+
+    #[test]
+    fn fig8_qstat_matches_shape() {
+        let mut s = eridani_16();
+        let id = s.submit(ujob("release_1_node", 1, 4), t(0));
+        s.try_dispatch(t(0));
+        let text = qstat_f(&s);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "Job Id: 1185.eridani.qgg.hud.ac.uk");
+        assert_eq!(lines[1], "    Job_Name = release_1_node");
+        assert_eq!(lines[2], "    Job_Owner = sliang@eridani.qgg.hud.ac.uk");
+        assert_eq!(lines[3], "    job_state = R");
+        assert_eq!(lines[4], "    queue = default");
+        assert_eq!(lines[5], "    server = eridani.qgg.hud.ac.uk");
+        // the Figure-8 exec_host expansion: 4 slots descending on one node
+        assert_eq!(
+            lines[6],
+            "    exec_host = enode01.eridani.qgg.hud.ac.uk/3\
++enode01.eridani.qgg.hud.ac.uk/2\
++enode01.eridani.qgg.hud.ac.uk/1\
++enode01.eridani.qgg.hud.ac.uk/0"
+        );
+        assert_eq!(lines[7], "    Priority = 0");
+        assert_eq!(lines[8], "    qtime = Fri Apr 16 17:55:40 2010");
+        assert_eq!(lines[9], "    Resource_List.nodes = 1:ppn=4");
+        let _ = id;
+    }
+
+    #[test]
+    fn pbsnodes_roundtrip_scrape() {
+        let mut s = eridani_16();
+        s.submit(ujob("sleep", 1, 4), t(0));
+        s.try_dispatch(t(0));
+        s.set_node_offline("enode16.eridani.qgg.hud.ac.uk");
+        let parsed = parse_pbsnodes(&pbsnodes(&s, t(60))).unwrap();
+        assert_eq!(parsed.len(), 16);
+        assert_eq!(parsed[0].state, "job-exclusive");
+        assert_eq!(parsed[0].jobs, ["1185.eridani.qgg.hud.ac.uk"; 1]);
+        assert!(!parsed[0].is_free());
+        assert!(parsed[1].is_free());
+        assert_eq!(parsed[15].state, "down");
+        assert!(parsed.iter().all(|n| n.np == 4));
+    }
+
+    #[test]
+    fn qstat_roundtrip_scrape() {
+        let mut s = eridani_16();
+        s.submit(ujob("running_one", 4, 4), t(0));
+        s.submit(ujob("queued_one", 20, 4), t(10)); // cannot fit: 20 nodes
+        s.try_dispatch(t(10));
+        let jobs = parse_qstat_f(&qstat_f(&s)).unwrap();
+        assert_eq!(jobs.len(), 2);
+        assert_eq!(jobs[0].state, 'R');
+        assert_eq!(jobs[0].name, "running_one");
+        assert_eq!(jobs[1].state, 'Q');
+        assert_eq!(jobs[1].cpus(), 80);
+        assert_eq!(jobs[1].qtime, "Fri Apr 16 17:55:50 2010");
+    }
+
+    #[test]
+    fn summarize_detects_stuck_queue() {
+        // Figure 6 third output: nothing running, job 1191 queued needing 4.
+        let mut s = eridani_16();
+        for i in 1..=16 {
+            s.set_node_offline(&format!("enode{i:02}.eridani.qgg.hud.ac.uk"));
+        }
+        for _ in 0..7 {
+            s.submit(ujob("sleep", 1, 4), t(0));
+        }
+        for id in s.queued_ids().collect::<Vec<_>>() {
+            if id.0 != 1191 {
+                s.cancel(id);
+            }
+        }
+        let state = summarize(&parse_qstat_f(&qstat_f(&s)).unwrap());
+        assert!(state.is_stuck());
+        assert_eq!(state.first_queued_cpus, Some(4));
+        assert_eq!(
+            state.first_queued_id.as_deref(),
+            Some("1191.eridani.qgg.hud.ac.uk")
+        );
+    }
+
+    #[test]
+    fn summarize_running_not_stuck() {
+        let mut s = eridani_16();
+        s.submit(ujob("sleep", 1, 4), t(0));
+        s.try_dispatch(t(0));
+        let state = summarize(&parse_qstat_f(&qstat_f(&s)).unwrap());
+        assert_eq!(state.running, 1);
+        assert_eq!(state.queued, 0);
+        assert!(!state.is_stuck());
+        assert_eq!(state.first_queued_cpus, None);
+    }
+
+    #[test]
+    fn completed_jobs_leave_qstat() {
+        let mut s = eridani_16();
+        let id = s.submit(ujob("sleep", 1, 4), t(0));
+        s.try_dispatch(t(0));
+        s.complete(id, t(60));
+        assert!(qstat_f(&s).is_empty());
+    }
+
+    #[test]
+    fn scraper_rejects_orphan_attributes() {
+        assert!(parse_pbsnodes("     state = free\n").is_err());
+        assert!(parse_qstat_f("    job_state = R\n").is_err());
+    }
+
+    #[test]
+    fn scraper_tolerates_unknown_fields() {
+        let text = "node01\n     state = free\n     np = 4\n     color = blue\n\n";
+        let parsed = parse_pbsnodes(text).unwrap();
+        assert_eq!(parsed[0].np, 4);
+    }
+
+    #[test]
+    fn bare_nodes_spec_defaults_ppn_1() {
+        let text = "Job Id: 1.srv\n    job_state = Q\n    Resource_List.nodes = 2\n\n";
+        let jobs = parse_qstat_f(text).unwrap();
+        assert_eq!((jobs[0].nodes, jobs[0].ppn), (2, 1));
+        assert_eq!(jobs[0].cpus(), 2);
+    }
+
+    #[test]
+    fn pbsnodes_without_trailing_blank_still_parses() {
+        let text = "node01\n     state = free\n     np = 4";
+        let parsed = parse_pbsnodes(text).unwrap();
+        assert_eq!(parsed.len(), 1);
+    }
+
+    #[test]
+    fn walltime_roundtrips_through_qstat() {
+        let mut s = eridani_16();
+        s.submit(
+            ujob("capped", 1, 4).with_walltime(SimDuration::from_secs(5400)),
+            t(0),
+        );
+        s.submit(ujob("uncapped", 1, 4), t(0));
+        s.try_dispatch(t(0));
+        let text = qstat_f(&s);
+        assert!(text.contains("    Resource_List.walltime = 01:30:00\n"));
+        let jobs = parse_qstat_f(&text).unwrap();
+        assert_eq!(jobs[0].walltime, Some(SimDuration::from_secs(5400)));
+        assert_eq!(jobs[1].walltime, None);
+    }
+
+    #[test]
+    fn summarize_nodes_counts_online_and_fully_free() {
+        let mut s = eridani_16();
+        // one busy (4/4), one partially busy (2/4), one down, 13 free
+        s.submit(ujob("full", 1, 4), t(0));
+        s.submit(ujob("half", 1, 2), t(0));
+        s.try_dispatch(t(0));
+        s.set_node_offline("enode16.eridani.qgg.hud.ac.uk");
+        let nodes = parse_pbsnodes(&pbsnodes(&s, t(1))).unwrap();
+        let (online, free) = summarize_nodes(&nodes);
+        assert_eq!(online, 15);
+        // enode01 job-exclusive, enode02 has a job (not *fully* free)
+        assert_eq!(free, 13);
+    }
+}

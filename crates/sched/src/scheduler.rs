@@ -1,0 +1,141 @@
+//! The common scheduler interface and queue snapshots.
+//!
+//! The cluster simulation drives both batch systems through this trait;
+//! the middleware's detectors consume [`QueueSnapshot`]s (directly on the
+//! Windows side, via text scraping on the PBS side).
+
+use crate::job::{Job, JobId, JobRequest};
+use dualboot_bootconf::os::OsKind;
+use dualboot_des::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// A dispatch decision: which job starts on which nodes.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Dispatch {
+    /// The job that starts now.
+    pub job: JobId,
+    /// Hostnames allocated to it (length = requested node count for PBS;
+    /// for WinHPC the hosts providing the cores).
+    pub hosts: Vec<String>,
+}
+
+/// Point-in-time queue/node state — exactly the facts the paper's
+/// detectors extract (Figure 5's fields plus the node-side counts the
+/// decision logic needs).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QueueSnapshot {
+    /// Which platform this scheduler serves.
+    pub os: OsKind,
+    /// Jobs currently running.
+    pub running: u32,
+    /// Jobs currently queued.
+    pub queued: u32,
+    /// CPUs needed by the job at the head of the queue (Figure 5's
+    /// `[Needed CPUs]`), if any job is queued.
+    pub first_queued_cpus: Option<u32>,
+    /// Full text id of the head-of-queue job (Figure 5's `[Stuck job ID]`).
+    pub first_queued_id: Option<String>,
+    /// Nodes registered and online.
+    pub nodes_online: u32,
+    /// Nodes online with no job slots in use (candidates for switching).
+    pub nodes_free: u32,
+    /// Total cores online.
+    pub cores_online: u32,
+    /// Cores not allocated to any job.
+    pub cores_free: u32,
+}
+
+impl QueueSnapshot {
+    /// The paper's "stuck" condition (§III.B.4): "the scheduler has no job
+    /// running and several jobs are queuing".
+    pub fn is_stuck(&self) -> bool {
+        self.running == 0 && self.queued > 0
+    }
+
+    /// A starvation-aware variant used by the extended policies (E7):
+    /// jobs are queued and the free cores cannot serve the head job.
+    pub fn is_blocked(&self) -> bool {
+        match self.first_queued_cpus {
+            Some(cpus) => self.queued > 0 && self.cores_free < cpus,
+            None => false,
+        }
+    }
+}
+
+/// Common behaviour of both batch systems.
+pub trait Scheduler {
+    /// Which platform this scheduler serves.
+    fn os(&self) -> OsKind;
+
+    /// Register a (newly booted) node with `cores` processors.
+    /// Re-registering an existing hostname marks it online again.
+    fn register_node(&mut self, hostname: &str, cores: u32);
+
+    /// Mark a node offline (it rebooted away). Running jobs on the node
+    /// are *not* killed — the middleware only reboots drained nodes, and
+    /// the simulation asserts that invariant.
+    fn set_node_offline(&mut self, hostname: &str);
+
+    /// True if this hostname is registered and online.
+    fn is_node_online(&self, hostname: &str) -> bool;
+
+    /// Submit a job; returns its id.
+    fn submit(&mut self, req: JobRequest, now: SimTime) -> JobId;
+
+    /// Cancel a queued job. Returns `false` if it is running/done/unknown.
+    fn cancel(&mut self, id: JobId) -> bool;
+
+    /// FCFS dispatch pass: start every job that fits, in queue order,
+    /// stopping at the first job that does not fit (no backfill).
+    fn try_dispatch(&mut self, now: SimTime) -> Vec<Dispatch>;
+
+    /// Mark a running job finished; frees its resources. Returns the job
+    /// record if it was running.
+    fn complete(&mut self, id: JobId, now: SimTime) -> Option<Job>;
+
+    /// Look up a job.
+    fn job(&self, id: JobId) -> Option<&Job>;
+
+    /// Current queue/node state.
+    fn snapshot(&self) -> QueueSnapshot;
+
+    /// All job records (for metrics; order unspecified).
+    fn jobs(&self) -> Vec<&Job>;
+
+    /// Hostnames of online nodes with zero allocation, in deterministic
+    /// order — where the middleware's switch jobs will land.
+    fn free_nodes(&self) -> Vec<String>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(running: u32, queued: u32, first: Option<u32>, cores_free: u32) -> QueueSnapshot {
+        QueueSnapshot {
+            os: OsKind::Linux,
+            running,
+            queued,
+            first_queued_cpus: first,
+            first_queued_id: first.map(|_| "1191.eridani.qgg.hud.ac.uk".to_string()),
+            nodes_online: 16,
+            nodes_free: cores_free / 4,
+            cores_online: 64,
+            cores_free,
+        }
+    }
+
+    #[test]
+    fn stuck_matches_paper_definition() {
+        assert!(snap(0, 3, Some(4), 64).is_stuck());
+        assert!(!snap(1, 3, Some(4), 0).is_stuck()); // running => not stuck
+        assert!(!snap(0, 0, None, 64).is_stuck()); // idle => not stuck
+    }
+
+    #[test]
+    fn blocked_is_capacity_aware() {
+        assert!(snap(2, 1, Some(8), 4).is_blocked()); // head needs 8, only 4 free
+        assert!(!snap(2, 1, Some(4), 4).is_blocked()); // head fits
+        assert!(!snap(2, 0, None, 4).is_blocked()); // nothing queued
+    }
+}

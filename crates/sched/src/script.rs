@@ -1,0 +1,439 @@
+//! PBS job scripts, including the Figure-4 OS-switch job.
+//!
+//! The middleware's whole trick is that OS switching travels *through the
+//! batch system*: "The system switching action is packed as a PBS or
+//! Windows HPC job script, which locates a single node, modifies GRUB's
+//! configure file, and reboots the machine. The advantage of sending
+//! switch orders through job scheduler is that job scheduler can
+//! automatically locate free nodes, and all the running jobs can be
+//! protected from other accidental operations" (§III.B.2).
+//!
+//! This module models the script text: `#PBS` directives, command lines,
+//! and the specific switch-job body of Figure 4 (with its deliberate
+//! `sleep 10` so the reboot doesn't outrun the job).
+
+use crate::job::JobRequest;
+use dualboot_bootconf::error::ParseError;
+use dualboot_bootconf::os::OsKind;
+use dualboot_des::time::SimDuration;
+use serde::{Deserialize, Serialize};
+
+const DIALECT: &str = "pbs-script";
+
+/// The `#PBS` directives a script carries.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PbsDirectives {
+    /// `-l nodes=N:ppn=M`
+    pub nodes: u32,
+    /// `ppn` part of the resource list.
+    pub ppn: u32,
+    /// `-N` job name.
+    pub name: String,
+    /// `-q` destination queue.
+    pub queue: String,
+    /// `-j oe` — join stdout/stderr (carried for fidelity).
+    pub join_oe: bool,
+    /// `-o` output path.
+    pub output: Option<String>,
+    /// `-r n` — job is *not* rerunnable (essential for a reboot job:
+    /// rerunning a switch after the reboot would bounce the node again).
+    pub rerunnable: bool,
+    /// `-l walltime=HH:MM:SS` limit, when requested.
+    pub walltime: Option<SimDuration>,
+}
+
+/// A PBS shell script: directives plus executable command lines.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PbsScript {
+    /// Parsed `#PBS` directives.
+    pub directives: PbsDirectives,
+    /// Command lines in order (comments preserved inline).
+    pub commands: Vec<String>,
+}
+
+impl PbsScript {
+    /// Parse a job script: collect `#PBS` lines wherever they appear and
+    /// every non-comment, non-shebang line as a command.
+    pub fn parse(text: &str) -> Result<PbsScript, ParseError> {
+        let mut nodes = 1u32;
+        let mut ppn = 1u32;
+        let mut name = String::new();
+        let mut queue = "default".to_string();
+        let mut join_oe = false;
+        let mut output = None;
+        let mut rerunnable = true;
+        let mut walltime = None;
+        let mut commands = Vec::new();
+
+        for (i, raw) in text.lines().enumerate() {
+            let lineno = i + 1;
+            let line = raw.trim();
+            if let Some(rest) = line.strip_prefix("#PBS") {
+                let words: Vec<&str> = rest.split_whitespace().collect();
+                let mut k = 0;
+                while k < words.len() {
+                    match words[k] {
+                        "-l" => {
+                            let spec = words.get(k + 1).ok_or_else(|| {
+                                ParseError::at(DIALECT, lineno, "-l needs a value")
+                            })?;
+                            for item in spec.split(',') {
+                                if let Some(v) = item.strip_prefix("walltime=") {
+                                    walltime = Some(parse_walltime(v).ok_or_else(|| {
+                                        ParseError::at(DIALECT, lineno, "bad walltime=")
+                                    })?);
+                                    continue;
+                                }
+                                if let Some(v) = item.strip_prefix("nodes=") {
+                                    let (n, p) = match v.split_once(":ppn=") {
+                                        Some((n, p)) => (n, p),
+                                        None => (v, "1"),
+                                    };
+                                    nodes = n.parse().map_err(|_| {
+                                        ParseError::at(DIALECT, lineno, "bad nodes=")
+                                    })?;
+                                    ppn = p.parse().map_err(|_| {
+                                        ParseError::at(DIALECT, lineno, "bad ppn=")
+                                    })?;
+                                }
+                            }
+                            k += 2;
+                        }
+                        "-N" => {
+                            name = words
+                                .get(k + 1)
+                                .ok_or_else(|| {
+                                    ParseError::at(DIALECT, lineno, "-N needs a value")
+                                })?
+                                .to_string();
+                            k += 2;
+                        }
+                        "-q" => {
+                            queue = words
+                                .get(k + 1)
+                                .ok_or_else(|| {
+                                    ParseError::at(DIALECT, lineno, "-q needs a value")
+                                })?
+                                .to_string();
+                            k += 2;
+                        }
+                        "-j" => {
+                            join_oe = words.get(k + 1) == Some(&"oe");
+                            k += 2;
+                        }
+                        "-o" => {
+                            output = words.get(k + 1).map(|s| s.to_string());
+                            k += 2;
+                        }
+                        "-r" => {
+                            rerunnable = words.get(k + 1) != Some(&"n");
+                            k += 2;
+                        }
+                        other => {
+                            return Err(ParseError::at(
+                                DIALECT,
+                                lineno,
+                                format!("unknown #PBS option {other:?}"),
+                            ))
+                        }
+                    }
+                }
+                continue;
+            }
+            if line.is_empty() || line.starts_with('#') {
+                continue; // comments, banners, shebang (starts with #!)
+            }
+            commands.push(line.to_string());
+        }
+        Ok(PbsScript {
+            directives: PbsDirectives {
+                nodes,
+                ppn,
+                name,
+                queue,
+                join_oe,
+                output,
+                rerunnable,
+                walltime,
+            },
+            commands,
+        })
+    }
+
+    /// Emit the script in the Figure-4 layout: banner, user-parameter
+    /// section with the directives, executing-commands section.
+    pub fn emit(&self) -> String {
+        let d = &self.directives;
+        let mut out = String::new();
+        out.push_str("#####################################\n");
+        out.push_str("###      Job Submission Script    ###\n");
+        out.push_str("#   Change items in section 1       #\n");
+        out.push_str("#   to suit your job needs          #\n");
+        out.push_str("#####################################\n");
+        out.push_str("#   Section 1: User Parameters      #\n");
+        out.push_str("#####################################\n");
+        out.push_str("#\n");
+        out.push_str("#!/bin/bash\n");
+        out.push_str(&format!("#PBS -l nodes={}:ppn={}\n", d.nodes, d.ppn));
+        if let Some(w) = d.walltime {
+            out.push_str(&format!("#PBS -l walltime={}\n", format_walltime(w)));
+        }
+        out.push_str(&format!("#PBS -N {}\n", d.name));
+        out.push_str(&format!("#PBS -q {}\n", d.queue));
+        if d.join_oe {
+            out.push_str("#PBS -j oe\n");
+        }
+        if let Some(o) = &d.output {
+            out.push_str(&format!("#PBS -o {o}\n"));
+        }
+        if !d.rerunnable {
+            out.push_str("#PBS -r n\n");
+        }
+        out.push_str("#\n");
+        out.push_str("#####################################\n");
+        out.push_str("#   Section 3: Executing Commands   #\n");
+        out.push_str("#####################################\n");
+        for c in &self.commands {
+            out.push_str(c);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// The Figure-4 OS-switch job script, parameterised by target OS: one
+    /// full node (`nodes=1:ppn=4`), logs its job id, rewrites
+    /// `controlmenu.lst` via `bootcontrol.pl`, reboots, sleeps 10 s.
+    pub fn switch_job(target: OsKind) -> PbsScript {
+        PbsScript {
+            directives: PbsDirectives {
+                nodes: 1,
+                ppn: 4,
+                name: "release_1_node".to_string(),
+                queue: "default".to_string(),
+                join_oe: true,
+                output: Some("reboot_log.out".to_string()),
+                rerunnable: false,
+                walltime: None,
+            },
+            commands: vec![
+                "echo $PBS_JOBID >>/home/sliang/reboot_log/rebootjob.log #write logs"
+                    .to_string(),
+                format!(
+                    "sudo /boot/swap/bootcontrol.pl /boot/swap/controlmenu.lst {} \
+#changes default boot OS",
+                    target.tag()
+                ),
+                "sudo reboot #reboot node".to_string(),
+                "sleep 10 #leave 10 seconds to avoid job be finished before reboot"
+                    .to_string(),
+            ],
+        }
+    }
+
+    /// If this is an OS-switch script, the OS it switches to (found as the
+    /// last argument of the `bootcontrol.pl` invocation).
+    pub fn switch_target(&self) -> Option<OsKind> {
+        for c in &self.commands {
+            if c.contains("bootcontrol.pl") {
+                let before_comment = c.split('#').next().unwrap_or("");
+                return before_comment
+                    .split_whitespace()
+                    .last()
+                    .and_then(|w| w.parse().ok());
+            }
+        }
+        None
+    }
+
+    /// Does the script reboot its node?
+    pub fn reboots(&self) -> bool {
+        self.commands
+            .iter()
+            .any(|c| c.split('#').next().unwrap_or("").contains("reboot"))
+    }
+
+    /// Convert to a scheduler [`JobRequest`] for submission. `runtime` is
+    /// the dwell before the node drops (the `sleep 10` plus overheads).
+    pub fn to_request(&self, os: OsKind, runtime: SimDuration) -> JobRequest {
+        let kind = match self.switch_target() {
+            Some(target) => crate::job::JobKind::OsSwitch { target },
+            None => crate::job::JobKind::User,
+        };
+        JobRequest {
+            name: self.directives.name.clone(),
+            owner: "sliang".to_string(),
+            os,
+            nodes: self.directives.nodes,
+            ppn: self.directives.ppn,
+            runtime,
+            walltime: self.directives.walltime,
+            kind,
+        }
+    }
+}
+
+/// Parse `HH:MM:SS` (or `MM:SS`, or bare seconds) into a duration.
+pub fn parse_walltime(s: &str) -> Option<SimDuration> {
+    let parts: Vec<&str> = s.split(':').collect();
+    let nums: Option<Vec<u64>> = parts.iter().map(|p| p.parse().ok()).collect();
+    let nums = nums?;
+    let secs = match nums.as_slice() {
+        [h, m, sec] => h * 3600 + m * 60 + sec,
+        [m, sec] => m * 60 + sec,
+        [sec] => *sec,
+        _ => return None,
+    };
+    Some(SimDuration::from_secs(secs))
+}
+
+/// Format a duration as PBS `HH:MM:SS`.
+pub fn format_walltime(d: SimDuration) -> String {
+    let s = d.as_secs();
+    format!("{:02}:{:02}:{:02}", s / 3600, (s / 60) % 60, s % 60)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobKind;
+
+    /// Figure 4's switch job, in this crate's canonical layout (the paper's
+    /// PDF listing wraps long lines; content is identical).
+    const FIG4: &str = "#####################################\n\
+###      Job Submission Script    ###\n\
+#   Change items in section 1       #\n\
+#   to suit your job needs          #\n\
+#####################################\n\
+#   Section 1: User Parameters      #\n\
+#####################################\n\
+#\n\
+#!/bin/bash\n\
+#PBS -l nodes=1:ppn=4\n\
+#PBS -N release_1_node\n\
+#PBS -q default\n\
+#PBS -j oe\n\
+#PBS -o reboot_log.out\n\
+#PBS -r n\n\
+#\n\
+#####################################\n\
+#   Section 3: Executing Commands   #\n\
+#####################################\n\
+echo $PBS_JOBID >>/home/sliang/reboot_log/rebootjob.log #write logs\n\
+sudo /boot/swap/bootcontrol.pl /boot/swap/controlmenu.lst windows #changes default boot OS\n\
+sudo reboot #reboot node\n\
+sleep 10 #leave 10 seconds to avoid job be finished before reboot\n";
+
+    #[test]
+    fn fig4_emits_verbatim() {
+        assert_eq!(PbsScript::switch_job(OsKind::Windows).emit(), FIG4);
+    }
+
+    #[test]
+    fn fig4_roundtrips() {
+        let s = PbsScript::parse(FIG4).unwrap();
+        assert_eq!(s, PbsScript::switch_job(OsKind::Windows));
+        assert_eq!(s.emit(), FIG4);
+    }
+
+    #[test]
+    fn directives_parsed() {
+        let s = PbsScript::parse(FIG4).unwrap();
+        let d = &s.directives;
+        assert_eq!((d.nodes, d.ppn), (1, 4));
+        assert_eq!(d.name, "release_1_node");
+        assert_eq!(d.queue, "default");
+        assert!(d.join_oe);
+        assert_eq!(d.output.as_deref(), Some("reboot_log.out"));
+        assert!(!d.rerunnable);
+    }
+
+    #[test]
+    fn switch_target_detected() {
+        assert_eq!(
+            PbsScript::switch_job(OsKind::Windows).switch_target(),
+            Some(OsKind::Windows)
+        );
+        assert_eq!(
+            PbsScript::switch_job(OsKind::Linux).switch_target(),
+            Some(OsKind::Linux)
+        );
+    }
+
+    #[test]
+    fn reboot_detected_ignoring_comments() {
+        let s = PbsScript::switch_job(OsKind::Linux);
+        assert!(s.reboots());
+        let mut user = s.clone();
+        user.commands = vec!["echo hello #do not reboot".to_string()];
+        assert!(!user.reboots());
+    }
+
+    #[test]
+    fn user_script_is_not_a_switch() {
+        let text = "#!/bin/bash\n#PBS -l nodes=2:ppn=4\n#PBS -N dlpoly\n./DLPOLY.X\n";
+        let s = PbsScript::parse(text).unwrap();
+        assert_eq!(s.switch_target(), None);
+        assert!(!s.reboots());
+        assert_eq!((s.directives.nodes, s.directives.ppn), (2, 4));
+        let req = s.to_request(OsKind::Linux, SimDuration::from_mins(30));
+        assert_eq!(req.kind, JobKind::User);
+        assert_eq!(req.cpus(), 8);
+    }
+
+    #[test]
+    fn to_request_marks_switch_jobs() {
+        let req = PbsScript::switch_job(OsKind::Windows)
+            .to_request(OsKind::Linux, SimDuration::from_secs(10));
+        assert_eq!(
+            req.kind,
+            JobKind::OsSwitch {
+                target: OsKind::Windows
+            }
+        );
+        assert_eq!(req.name, "release_1_node");
+    }
+
+    #[test]
+    fn walltime_parses_and_emits() {
+        let text = "#PBS -l nodes=2:ppn=4,walltime=01:30:00\n#PBS -N dlpoly\n./run\n";
+        let s = PbsScript::parse(text).unwrap();
+        assert_eq!(
+            s.directives.walltime,
+            Some(SimDuration::from_secs(5400))
+        );
+        let emitted = s.emit();
+        assert!(emitted.contains("#PBS -l walltime=01:30:00\n"));
+        let back = PbsScript::parse(&emitted).unwrap();
+        assert_eq!(back.directives.walltime, s.directives.walltime);
+        let req = s.to_request(OsKind::Linux, SimDuration::from_hours(2));
+        assert!(req.overruns_walltime());
+    }
+
+    #[test]
+    fn walltime_formats() {
+        assert_eq!(parse_walltime("01:30:00"), Some(SimDuration::from_secs(5400)));
+        assert_eq!(parse_walltime("45:30"), Some(SimDuration::from_secs(2730)));
+        assert_eq!(parse_walltime("90"), Some(SimDuration::from_secs(90)));
+        assert_eq!(parse_walltime("1:2:3:4"), None);
+        assert_eq!(parse_walltime("abc"), None);
+        assert_eq!(format_walltime(SimDuration::from_secs(5400)), "01:30:00");
+    }
+
+    #[test]
+    fn bare_nodes_without_ppn() {
+        let s = PbsScript::parse("#PBS -l nodes=3\n").unwrap();
+        assert_eq!((s.directives.nodes, s.directives.ppn), (3, 1));
+    }
+
+    #[test]
+    fn unknown_option_rejected_with_line() {
+        let err = PbsScript::parse("#!/bin/bash\n#PBS -Z whatever\n").unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn rerunnable_default_true() {
+        let s = PbsScript::parse("#PBS -N x\n").unwrap();
+        assert!(s.directives.rerunnable);
+    }
+}

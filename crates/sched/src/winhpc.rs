@@ -1,0 +1,487 @@
+//! The Windows-HPC-like scheduler of the Windows head node.
+//!
+//! Windows HPC Server 2008 R2 schedules by *cores* rather than whole
+//! nodes, and — unlike PBS — "Microsoft provides a SDK for programs to
+//! fetch the data and send the tasks, e.g. get the queue state and nodes
+//! state" (§III.B.3). The reproduction mirrors both: allocation is
+//! core-granular (a job asking `nodes × ppn` cores may be packed across
+//! any online nodes), and the typed [`HpcApi`] facade stands in for the
+//! SDK the paper's Windows detector links against (no text scraping on
+//! this side).
+//!
+//! Dispatch remains strict FCFS with no backfill, like the Linux side: the
+//! paper's daemons treat both queues uniformly.
+
+use crate::job::{Job, JobId, JobRequest, JobState};
+use crate::scheduler::{Dispatch, QueueSnapshot, Scheduler};
+use dualboot_bootconf::os::OsKind;
+use dualboot_des::time::SimTime;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, VecDeque};
+
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+struct NodeSlot {
+    cores: u32,
+    used: u32,
+    online: bool,
+    jobs: Vec<JobId>,
+}
+
+/// The Windows HPC head-node scheduler.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WinHpcScheduler {
+    head: String,
+    nodes: BTreeMap<String, NodeSlot>,
+    jobs: BTreeMap<u64, Job>,
+    /// Exact `(host, cores)` allocation of each running job, kept so that
+    /// completion releases precisely what dispatch took.
+    allocs: BTreeMap<u64, Vec<(String, u32)>>,
+    queue: VecDeque<JobId>,
+    next_id: u64,
+}
+
+impl WinHpcScheduler {
+    /// A fresh scheduler with the given head-node name.
+    pub fn new(head: impl Into<String>) -> Self {
+        WinHpcScheduler {
+            head: head.into(),
+            nodes: BTreeMap::new(),
+            jobs: BTreeMap::new(),
+            allocs: BTreeMap::new(),
+            queue: VecDeque::new(),
+            next_id: 1,
+        }
+    }
+
+    /// The paper's Windows head node on Eridani.
+    pub fn eridani() -> Self {
+        WinHpcScheduler::new("winhead.eridani.qgg.hud.ac.uk")
+    }
+
+    /// Head-node name.
+    pub fn head(&self) -> &str {
+        &self.head
+    }
+
+    /// Text id (`JOB-17@winhead...`) used in detector output.
+    pub fn full_id(&self, id: JobId) -> String {
+        format!("JOB-{}@{}", id.0, self.head)
+    }
+
+    /// Greedy core packing for a request. Returns `(host, cores)` pairs if
+    /// the request fits, hosts in lexicographic order.
+    fn place(&self, cpus_needed: u32) -> Option<Vec<(String, u32)>> {
+        let mut remaining = cpus_needed;
+        let mut picks = Vec::new();
+        for (name, slot) in &self.nodes {
+            if !slot.online {
+                continue;
+            }
+            let free = slot.cores.saturating_sub(slot.used);
+            if free == 0 {
+                continue;
+            }
+            let take = free.min(remaining);
+            picks.push((name.clone(), take));
+            remaining -= take;
+            if remaining == 0 {
+                return Some(picks);
+            }
+        }
+        None
+    }
+
+    /// Node states for diagnostics: `(name, cores, used, online)`.
+    pub fn node_states(&self) -> impl Iterator<Item = (&str, u32, u32, bool)> {
+        self.nodes
+            .iter()
+            .map(|(n, s)| (n.as_str(), s.cores, s.used, s.online))
+    }
+
+    /// Jobs holding cores on a given node.
+    pub fn jobs_on(&self, hostname: &str) -> Vec<JobId> {
+        self.nodes
+            .get(hostname)
+            .map(|s| s.jobs.clone())
+            .unwrap_or_default()
+    }
+
+    /// The SDK facade (paper: "Microsoft provides a SDK ... to fetch the
+    /// data and send the tasks").
+    pub fn api(&self) -> HpcApi<'_> {
+        HpcApi { sched: self }
+    }
+}
+
+impl Scheduler for WinHpcScheduler {
+    fn os(&self) -> OsKind {
+        OsKind::Windows
+    }
+
+    fn register_node(&mut self, hostname: &str, cores: u32) {
+        let slot = self.nodes.entry(hostname.to_string()).or_insert(NodeSlot {
+            cores,
+            used: 0,
+            online: false,
+            jobs: Vec::new(),
+        });
+        slot.cores = cores;
+        slot.online = true;
+    }
+
+    fn set_node_offline(&mut self, hostname: &str) {
+        if let Some(slot) = self.nodes.get_mut(hostname) {
+            slot.online = false;
+        }
+    }
+
+    fn is_node_online(&self, hostname: &str) -> bool {
+        self.nodes.get(hostname).map(|s| s.online).unwrap_or(false)
+    }
+
+    fn submit(&mut self, req: JobRequest, now: SimTime) -> JobId {
+        debug_assert_eq!(req.os, OsKind::Windows, "Linux job submitted to WinHPC");
+        let id = JobId(self.next_id);
+        self.next_id += 1;
+        self.jobs.insert(
+            id.0,
+            Job {
+                id,
+                req,
+                state: JobState::Queued,
+                submitted_at: now,
+                started_at: None,
+                finished_at: None,
+                exec_hosts: Vec::new(),
+            },
+        );
+        self.queue.push_back(id);
+        id
+    }
+
+    fn cancel(&mut self, id: JobId) -> bool {
+        let Some(job) = self.jobs.get_mut(&id.0) else {
+            return false;
+        };
+        if job.state != JobState::Queued {
+            return false;
+        }
+        job.state = JobState::Cancelled;
+        self.queue.retain(|q| *q != id);
+        true
+    }
+
+    fn try_dispatch(&mut self, now: SimTime) -> Vec<Dispatch> {
+        let mut started = Vec::new();
+        while let Some(&head) = self.queue.front() {
+            let req = self.jobs[&head.0].req.clone();
+            // Switch jobs must own a whole free node (they reboot it);
+            // ordinary jobs pack by cores.
+            let placement = if req.kind == crate::job::JobKind::User {
+                self.place(req.cpus())
+            } else {
+                self.nodes
+                    .iter()
+                    .find(|(_, s)| s.online && s.used == 0 && s.cores >= req.cpus())
+                    .map(|(n, s)| vec![(n.clone(), s.cores)])
+            };
+            let Some(picks) = placement else {
+                break;
+            };
+            self.queue.pop_front();
+            let mut hosts = Vec::new();
+            for (h, cores) in &picks {
+                let slot = self.nodes.get_mut(h).expect("placed host exists");
+                slot.used += cores;
+                slot.jobs.push(head);
+                hosts.push(h.clone());
+            }
+            let job = self.jobs.get_mut(&head.0).expect("queued job exists");
+            job.state = JobState::Running;
+            job.started_at = Some(now);
+            job.exec_hosts = hosts.clone();
+            self.allocs.insert(head.0, picks);
+            started.push(Dispatch { job: head, hosts });
+        }
+        started
+    }
+
+    fn complete(&mut self, id: JobId, now: SimTime) -> Option<Job> {
+        let job = self.jobs.get_mut(&id.0)?;
+        if job.state != JobState::Running {
+            return None;
+        }
+        job.state = JobState::Completed;
+        job.finished_at = Some(now);
+        let done = job.clone();
+        // Release exactly what dispatch allocated.
+        if let Some(picks) = self.allocs.remove(&id.0) {
+            for (h, cores) in picks {
+                if let Some(slot) = self.nodes.get_mut(&h) {
+                    slot.used = slot.used.saturating_sub(cores);
+                    slot.jobs.retain(|j| *j != id);
+                }
+            }
+        }
+        Some(done)
+    }
+
+    fn job(&self, id: JobId) -> Option<&Job> {
+        self.jobs.get(&id.0)
+    }
+
+    fn snapshot(&self) -> QueueSnapshot {
+        let running = self
+            .jobs
+            .values()
+            .filter(|j| j.state == JobState::Running)
+            .count() as u32;
+        let queued = self.queue.len() as u32;
+        let first = self.queue.front().map(|id| &self.jobs[&id.0]);
+        let online: Vec<&NodeSlot> = self.nodes.values().filter(|s| s.online).collect();
+        QueueSnapshot {
+            os: OsKind::Windows,
+            running,
+            queued,
+            first_queued_cpus: first.map(|j| j.req.cpus()),
+            first_queued_id: first.map(|j| self.full_id(j.id)),
+            nodes_online: online.len() as u32,
+            nodes_free: online.iter().filter(|s| s.used == 0).count() as u32,
+            cores_online: online.iter().map(|s| s.cores).sum(),
+            cores_free: online.iter().map(|s| s.cores - s.used).sum(),
+        }
+    }
+
+    fn jobs(&self) -> Vec<&Job> {
+        self.jobs.values().collect()
+    }
+
+    fn free_nodes(&self) -> Vec<String> {
+        self.nodes
+            .iter()
+            .filter(|(_, s)| s.online && s.used == 0)
+            .map(|(n, _)| n.clone())
+            .collect()
+    }
+}
+
+/// The typed SDK facade — the interface the paper's Windows-side detector
+/// programs use instead of scraping text.
+#[derive(Debug, Clone, Copy)]
+pub struct HpcApi<'a> {
+    sched: &'a WinHpcScheduler,
+}
+
+/// SDK node record.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HpcNodeInfo {
+    /// Node name.
+    pub name: String,
+    /// Total cores.
+    pub cores: u32,
+    /// Cores allocated.
+    pub cores_in_use: u32,
+    /// Reachable and schedulable.
+    pub online: bool,
+}
+
+impl<'a> HpcApi<'a> {
+    /// `GetQueueState()` — the call the Windows detector makes each cycle.
+    pub fn queue_state(&self) -> QueueSnapshot {
+        self.sched.snapshot()
+    }
+
+    /// `GetNodeList()`.
+    pub fn node_list(&self) -> Vec<HpcNodeInfo> {
+        self.sched
+            .node_states()
+            .map(|(name, cores, used, online)| HpcNodeInfo {
+                name: name.to_string(),
+                cores,
+                cores_in_use: used,
+                online,
+            })
+            .collect()
+    }
+
+    /// `GetJobState(id)` — lifecycle state, if known.
+    pub fn job_state(&self, id: JobId) -> Option<JobState> {
+        self.sched.job(id).map(|j| j.state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dualboot_des::time::SimDuration;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    fn sched(n: u32) -> WinHpcScheduler {
+        let mut s = WinHpcScheduler::eridani();
+        for i in 1..=n {
+            s.register_node(&format!("enode{i:02}.eridani.qgg.hud.ac.uk"), 4);
+        }
+        s
+    }
+
+    fn wjob(nodes: u32, ppn: u32) -> JobRequest {
+        JobRequest::user("render", OsKind::Windows, nodes, ppn, SimDuration::from_mins(10))
+    }
+
+    #[test]
+    fn core_packing_spans_nodes() {
+        let mut s = sched(2);
+        // 6 cores across two 4-core nodes
+        let a = s.submit(wjob(1, 6), t(0));
+        let started = s.try_dispatch(t(0));
+        assert_eq!(started[0].job, a);
+        assert_eq!(started[0].hosts.len(), 2);
+        let snap = s.snapshot();
+        assert_eq!(snap.cores_free, 2);
+        assert_eq!(snap.nodes_free, 0);
+    }
+
+    #[test]
+    fn fcfs_no_backfill_on_windows_side_too() {
+        let mut s = sched(2);
+        s.submit(wjob(1, 16), t(0)); // needs 16 cores, only 8 exist
+        let small = s.submit(wjob(1, 1), t(0));
+        assert!(s.try_dispatch(t(0)).is_empty());
+        assert_eq!(s.job(small).unwrap().state, JobState::Queued);
+    }
+
+    #[test]
+    fn completion_releases_cores() {
+        let mut s = sched(2);
+        let a = s.submit(wjob(1, 6), t(0));
+        let b = s.submit(wjob(1, 4), t(0));
+        s.try_dispatch(t(0));
+        assert_eq!(s.job(b).unwrap().state, JobState::Queued);
+        s.complete(a, t(60)).unwrap();
+        assert_eq!(s.snapshot().cores_free, 8);
+        let started = s.try_dispatch(t(60));
+        assert_eq!(started[0].job, b);
+    }
+
+    #[test]
+    fn multiple_jobs_share_and_release_correctly() {
+        let mut s = sched(2);
+        let a = s.submit(wjob(1, 3), t(0));
+        let b = s.submit(wjob(1, 3), t(0));
+        let c = s.submit(wjob(1, 2), t(0));
+        s.try_dispatch(t(0));
+        assert_eq!(s.snapshot().cores_free, 0);
+        s.complete(b, t(10)).unwrap();
+        assert_eq!(s.snapshot().cores_free, 3);
+        s.complete(a, t(20)).unwrap();
+        s.complete(c, t(30)).unwrap();
+        assert_eq!(s.snapshot().cores_free, 8);
+        assert_eq!(s.snapshot().nodes_free, 2);
+    }
+
+    #[test]
+    fn switch_job_requires_whole_free_node() {
+        let mut s = sched(2);
+        // Two 1-core jobs first-fit onto node01; a 3-core job then takes
+        // node01's remaining 2 cores plus 1 on node02 — no node fully free.
+        let a = s.submit(wjob(1, 1), t(0));
+        let b = s.submit(wjob(1, 1), t(0));
+        let c = s.submit(wjob(1, 3), t(0));
+        s.try_dispatch(t(0));
+        assert_eq!(s.job(a).unwrap().exec_hosts, s.job(b).unwrap().exec_hosts);
+        assert_eq!(s.job(c).unwrap().exec_hosts.len(), 2);
+        assert_eq!(s.snapshot().nodes_free, 0);
+        assert_eq!(s.snapshot().cores_free, 3);
+        // 3 cores are free, so a 3-core *user* job would fit — but a switch
+        // job needs a whole free node and must block.
+        let sw = s.submit(JobRequest::os_switch(OsKind::Windows, OsKind::Linux, 4), t(1));
+        assert!(s.try_dispatch(t(1)).is_empty());
+        assert_eq!(s.job(sw).unwrap().state, JobState::Queued);
+        // Drain everything; the switch dispatches onto the first free node.
+        s.complete(a, t(2));
+        s.complete(b, t(2));
+        s.complete(c, t(2));
+        let started = s.try_dispatch(t(2));
+        assert_eq!(started.len(), 1);
+        assert_eq!(started[0].job, sw);
+        assert_eq!(started[0].hosts, ["enode01.eridani.qgg.hud.ac.uk"]);
+    }
+
+    #[test]
+    fn greedy_packing_is_first_fit() {
+        let mut s = sched(3);
+        let a = s.submit(wjob(1, 4), t(0));
+        s.try_dispatch(t(0));
+        assert_eq!(
+            s.job(a).unwrap().exec_hosts,
+            ["enode01.eridani.qgg.hud.ac.uk"]
+        );
+        let b = s.submit(wjob(1, 2), t(1));
+        s.try_dispatch(t(1));
+        assert_eq!(
+            s.job(b).unwrap().exec_hosts,
+            ["enode02.eridani.qgg.hud.ac.uk"]
+        );
+    }
+
+    #[test]
+    fn api_queue_state_equals_snapshot() {
+        let mut s = sched(4);
+        s.submit(wjob(2, 4), t(0));
+        s.submit(wjob(4, 4), t(0));
+        s.try_dispatch(t(0));
+        assert_eq!(s.api().queue_state(), s.snapshot());
+    }
+
+    #[test]
+    fn api_node_list() {
+        let mut s = sched(2);
+        let a = s.submit(wjob(1, 4), t(0));
+        s.try_dispatch(t(0));
+        let nodes = s.api().node_list();
+        assert_eq!(nodes.len(), 2);
+        assert_eq!(nodes[0].cores_in_use, 4);
+        assert_eq!(nodes[1].cores_in_use, 0);
+        assert!(nodes.iter().all(|n| n.online && n.cores == 4));
+        assert_eq!(s.api().job_state(a), Some(JobState::Running));
+        assert_eq!(s.api().job_state(JobId(999)), None);
+    }
+
+    #[test]
+    fn offline_node_excluded_from_packing() {
+        let mut s = sched(2);
+        s.set_node_offline("enode01.eridani.qgg.hud.ac.uk");
+        let a = s.submit(wjob(1, 4), t(0));
+        s.try_dispatch(t(0));
+        assert_eq!(
+            s.job(a).unwrap().exec_hosts,
+            ["enode02.eridani.qgg.hud.ac.uk"]
+        );
+        // 6-core job can no longer fit
+        s.submit(wjob(1, 6), t(1));
+        assert!(s.try_dispatch(t(1)).is_empty());
+    }
+
+    #[test]
+    fn full_id_format() {
+        let mut s = sched(1);
+        let a = s.submit(wjob(1, 1), t(0));
+        assert_eq!(s.full_id(a), "JOB-1@winhead.eridani.qgg.hud.ac.uk");
+    }
+
+    #[test]
+    fn snapshot_first_queued() {
+        let mut s = sched(1);
+        s.submit(wjob(1, 4), t(0));
+        s.submit(wjob(2, 4), t(0));
+        s.try_dispatch(t(0));
+        let snap = s.snapshot();
+        assert_eq!(snap.running, 1);
+        assert_eq!(snap.queued, 1);
+        assert_eq!(snap.first_queued_cpus, Some(8));
+        assert!(snap.first_queued_id.unwrap().starts_with("JOB-2@"));
+    }
+}

@@ -1,0 +1,252 @@
+//! Windows HPC console-command text (`job list` / `node list`).
+//!
+//! The paper's Windows-side programs use the SDK, but administrators (and
+//! the thesis behind the paper, \[4\]) also drive Windows HPC through its
+//! console commands. These emitters model the `job list` / `node list`
+//! output shape so logs and runbooks can be generated and diffed, and the
+//! parsers close the loop for tools that only get console text (e.g. a
+//! future detector on a machine without the SDK — the exact situation the
+//! Cygwin-compiled communicator of §III.B.3 was built for).
+
+use crate::job::JobState;
+use crate::scheduler::Scheduler;
+use crate::winhpc::WinHpcScheduler;
+use dualboot_bootconf::error::ParseError;
+use serde::{Deserialize, Serialize};
+
+/// Render `job list` output: queued and running jobs, id order.
+pub fn job_list(s: &WinHpcScheduler) -> String {
+    let mut jobs: Vec<_> = s
+        .jobs()
+        .into_iter()
+        .filter(|j| matches!(j.state, JobState::Queued | JobState::Running))
+        .collect();
+    jobs.sort_by_key(|j| j.id);
+    let mut out = String::new();
+    out.push_str("Id       Owner            Name                     State      Cores\n");
+    out.push_str("-------- ---------------- ------------------------ ---------- -----\n");
+    for j in jobs {
+        let state = match j.state {
+            JobState::Queued => "Queued",
+            JobState::Running => "Running",
+            JobState::Completed => "Finished",
+            JobState::Cancelled => "Canceled",
+        };
+        out.push_str(&format!(
+            "{:<8} {:<16} {:<24} {:<10} {:>5}\n",
+            j.id.0,
+            format!("HUD\\{}", j.req.owner),
+            j.req.name,
+            state,
+            j.req.cpus(),
+        ));
+    }
+    out
+}
+
+/// Render `node list` output.
+pub fn node_list(s: &WinHpcScheduler) -> String {
+    let mut out = String::new();
+    out.push_str("NodeName                          State      Cores CoresInUse\n");
+    out.push_str("--------------------------------- ---------- ----- ----------\n");
+    for (name, cores, used, online) in s.node_states() {
+        let state = if online { "Online" } else { "Offline" };
+        out.push_str(&format!(
+            "{:<33} {:<10} {:>5} {:>10}\n",
+            name.to_uppercase().split('.').next().unwrap_or(name),
+            state,
+            cores,
+            used,
+        ));
+    }
+    out
+}
+
+/// A row scraped from `job list`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JobListRow {
+    /// Numeric job id.
+    pub id: u64,
+    /// Owner (with domain prefix).
+    pub owner: String,
+    /// Job name.
+    pub name: String,
+    /// State text (`Queued`, `Running`, ...).
+    pub state: String,
+    /// Total cores.
+    pub cores: u32,
+}
+
+/// Parse `job list` output.
+pub fn parse_job_list(text: &str) -> Result<Vec<JobListRow>, ParseError> {
+    let mut rows = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let lineno = i + 1;
+        let line = raw.trim_end();
+        if line.is_empty() || line.starts_with("Id ") || line.starts_with('-') {
+            continue;
+        }
+        let cols: Vec<&str> = line.split_whitespace().collect();
+        if cols.len() < 5 {
+            return Err(ParseError::at(
+                "job-list",
+                lineno,
+                format!("expected 5 columns, got {}", cols.len()),
+            ));
+        }
+        rows.push(JobListRow {
+            id: cols[0].parse().map_err(|_| {
+                ParseError::at("job-list", lineno, format!("bad id {:?}", cols[0]))
+            })?,
+            owner: cols[1].to_string(),
+            name: cols[2..cols.len() - 2].join(" "),
+            state: cols[cols.len() - 2].to_string(),
+            cores: cols[cols.len() - 1].parse().map_err(|_| {
+                ParseError::at("job-list", lineno, "bad cores column")
+            })?,
+        });
+    }
+    Ok(rows)
+}
+
+/// A row scraped from `node list`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NodeListRow {
+    /// Short node name (upper-case, no domain).
+    pub name: String,
+    /// `Online` / `Offline`.
+    pub state: String,
+    /// Total cores.
+    pub cores: u32,
+    /// Cores allocated.
+    pub cores_in_use: u32,
+}
+
+/// Parse `node list` output.
+pub fn parse_node_list(text: &str) -> Result<Vec<NodeListRow>, ParseError> {
+    let mut rows = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let lineno = i + 1;
+        let line = raw.trim_end();
+        if line.is_empty() || line.starts_with("NodeName") || line.starts_with('-') {
+            continue;
+        }
+        let cols: Vec<&str> = line.split_whitespace().collect();
+        if cols.len() != 4 {
+            return Err(ParseError::at(
+                "node-list",
+                lineno,
+                format!("expected 4 columns, got {}", cols.len()),
+            ));
+        }
+        rows.push(NodeListRow {
+            name: cols[0].to_string(),
+            state: cols[1].to_string(),
+            cores: cols[2]
+                .parse()
+                .map_err(|_| ParseError::at("node-list", lineno, "bad cores"))?,
+            cores_in_use: cols[3]
+                .parse()
+                .map_err(|_| ParseError::at("node-list", lineno, "bad cores-in-use"))?,
+        });
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobRequest;
+    use dualboot_bootconf::os::OsKind;
+    use dualboot_des::time::{SimDuration, SimTime};
+
+    fn sched() -> WinHpcScheduler {
+        let mut s = WinHpcScheduler::eridani();
+        for i in 1..=4 {
+            s.register_node(&format!("enode{i:02}.eridani.qgg.hud.ac.uk"), 4);
+        }
+        s
+    }
+
+    #[test]
+    fn job_list_shape() {
+        let mut s = sched();
+        s.submit(
+            JobRequest::user("render", OsKind::Windows, 2, 4, SimDuration::from_mins(10)),
+            SimTime::ZERO,
+        );
+        s.submit(
+            JobRequest::user("opera_fea", OsKind::Windows, 8, 4, SimDuration::from_mins(10)),
+            SimTime::ZERO,
+        );
+        s.try_dispatch(SimTime::ZERO);
+        let text = job_list(&s);
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[0].starts_with("Id "));
+        assert!(lines[1].starts_with("---"));
+        assert!(lines[2].contains("HUD\\sliang"));
+        assert!(lines[2].contains("Running"));
+        assert!(lines[3].contains("Queued"));
+    }
+
+    #[test]
+    fn job_list_roundtrip() {
+        let mut s = sched();
+        let a = s.submit(
+            JobRequest::user("render", OsKind::Windows, 1, 4, SimDuration::from_mins(5)),
+            SimTime::ZERO,
+        );
+        s.try_dispatch(SimTime::ZERO);
+        let rows = parse_job_list(&job_list(&s)).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].id, a.0);
+        assert_eq!(rows[0].state, "Running");
+        assert_eq!(rows[0].cores, 4);
+        assert_eq!(rows[0].name, "render");
+    }
+
+    #[test]
+    fn node_list_roundtrip() {
+        let mut s = sched();
+        s.submit(
+            JobRequest::user("render", OsKind::Windows, 1, 4, SimDuration::from_mins(5)),
+            SimTime::ZERO,
+        );
+        s.try_dispatch(SimTime::ZERO);
+        s.set_node_offline("enode04.eridani.qgg.hud.ac.uk");
+        let rows = parse_node_list(&node_list(&s)).unwrap();
+        assert_eq!(rows.len(), 4);
+        assert_eq!(rows[0].name, "ENODE01");
+        assert_eq!(rows[0].cores_in_use, 4);
+        assert_eq!(rows[1].cores_in_use, 0);
+        assert_eq!(rows[3].state, "Offline");
+    }
+
+    #[test]
+    fn finished_jobs_leave_the_list() {
+        let mut s = sched();
+        let a = s.submit(
+            JobRequest::user("render", OsKind::Windows, 1, 4, SimDuration::from_mins(5)),
+            SimTime::ZERO,
+        );
+        s.try_dispatch(SimTime::ZERO);
+        s.complete(a, SimTime::from_secs(60));
+        assert_eq!(parse_job_list(&job_list(&s)).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn parsers_reject_malformed_rows() {
+        assert!(parse_job_list("1 HUD\\x\n").is_err());
+        assert!(parse_node_list("ENODE01 Online 4\n").is_err());
+        assert!(parse_node_list("ENODE01 Online four 0\n").is_err());
+    }
+
+    #[test]
+    fn multi_word_job_names_survive() {
+        let text = "Id Owner Name State Cores\n--- --- --- --- ---\n\
+7        HUD\\x            my long job name         Queued         8\n";
+        let rows = parse_job_list(text).unwrap();
+        assert_eq!(rows[0].name, "my long job name");
+        assert_eq!(rows[0].cores, 8);
+    }
+}

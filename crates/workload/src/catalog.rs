@@ -1,0 +1,224 @@
+//! Table I — applications on the Huddersfield campus cluster.
+//!
+//! Reproduced verbatim from the paper (W: Windows, L: Linux). The table is
+//! the ground truth for the OS mix every synthetic workload draws from.
+
+use dualboot_bootconf::os::OsKind;
+use serde::{Deserialize, Serialize};
+
+/// Which platforms an application supports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OsSupport {
+    /// Linux only (`L`).
+    LinuxOnly,
+    /// Windows only (`W`).
+    WindowsOnly,
+    /// Both (`W&L`).
+    Both,
+}
+
+impl OsSupport {
+    /// Table-I column text.
+    pub fn code(self) -> &'static str {
+        match self {
+            OsSupport::LinuxOnly => "L",
+            OsSupport::WindowsOnly => "W",
+            OsSupport::Both => "W&L",
+        }
+    }
+
+    /// Can the application run on `os`?
+    pub fn runs_on(self, os: OsKind) -> bool {
+        match self {
+            OsSupport::LinuxOnly => os == OsKind::Linux,
+            OsSupport::WindowsOnly => os == OsKind::Windows,
+            OsSupport::Both => true,
+        }
+    }
+}
+
+/// One Table-I row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Application {
+    /// Software name.
+    pub name: &'static str,
+    /// The paper's description column.
+    pub description: &'static str,
+    /// OS column.
+    pub os: OsSupport,
+}
+
+/// Table I of the paper, row for row.
+pub const TABLE1: [Application; 15] = [
+    Application {
+        name: "Abaqus",
+        description: "Finite Element Analysis",
+        os: OsSupport::LinuxOnly,
+    },
+    Application {
+        name: "Amber",
+        description: "Assisted Model Building with Energy Refinement aimed at biological systems",
+        os: OsSupport::LinuxOnly,
+    },
+    Application {
+        name: "Backburner",
+        description: "Rendering software for 3ds Max",
+        os: OsSupport::WindowsOnly,
+    },
+    Application {
+        name: "Blender",
+        description: "Open Source 3D Modeller and Renderer",
+        os: OsSupport::LinuxOnly,
+    },
+    Application {
+        name: "CASTEP",
+        description: "CAmbridge Sequential Total Energy Package",
+        os: OsSupport::LinuxOnly,
+    },
+    Application {
+        name: "COMSOL",
+        description: "Multiphysics Modelling, Finite Element Analysis, Engineering Simulation Software",
+        os: OsSupport::Both,
+    },
+    Application {
+        name: "DL_POLY",
+        description: "General purpose classical molecular dynamics (MD) simulation software",
+        os: OsSupport::LinuxOnly,
+    },
+    Application {
+        name: "ANSYS FLUENT",
+        description: "Computational Fluid Dynamics (CFD)",
+        os: OsSupport::Both,
+    },
+    Application {
+        name: "GAMESS-UK",
+        description: "Molecular QM code",
+        os: OsSupport::LinuxOnly,
+    },
+    Application {
+        name: "GULP",
+        description: "General Utility Lattice Program",
+        os: OsSupport::LinuxOnly,
+    },
+    Application {
+        name: "LAMMPS",
+        description: "Large-scale Atomic/Molecular Massively Parallel Simulator",
+        os: OsSupport::LinuxOnly,
+    },
+    Application {
+        name: "MATLAB",
+        description: "Numerical Computing Environment",
+        os: OsSupport::Both,
+    },
+    Application {
+        name: "METADISE",
+        description: "Minimum Energy Techniques Applied to Defects, Interfaces and Surface Energies",
+        os: OsSupport::LinuxOnly,
+    },
+    Application {
+        name: "NWChem",
+        description: "Multi-purpose QM and MM code",
+        os: OsSupport::LinuxOnly,
+    },
+    Application {
+        name: "Opera",
+        description: "Finite Element Analysis for Electromagnetics",
+        os: OsSupport::WindowsOnly,
+    },
+];
+
+/// Applications runnable on `os`.
+pub fn runnable_on(os: OsKind) -> Vec<&'static Application> {
+    TABLE1.iter().filter(|a| a.os.runs_on(os)).collect()
+}
+
+/// Counts per support class: `(linux_only, windows_only, both)`.
+pub fn support_counts() -> (usize, usize, usize) {
+    let l = TABLE1.iter().filter(|a| a.os == OsSupport::LinuxOnly).count();
+    let w = TABLE1
+        .iter()
+        .filter(|a| a.os == OsSupport::WindowsOnly)
+        .count();
+    let b = TABLE1.iter().filter(|a| a.os == OsSupport::Both).count();
+    (l, w, b)
+}
+
+/// Render the table in the paper's three-column layout.
+pub fn render_table1() -> String {
+    let name_w = TABLE1.iter().map(|a| a.name.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<name_w$}  {:<3}  Description\n",
+        "Software", "OS"
+    ));
+    for a in &TABLE1 {
+        out.push_str(&format!(
+            "{:<name_w$}  {:<3}  {}\n",
+            a.name,
+            a.os.code(),
+            a.description
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifteen_applications() {
+        assert_eq!(TABLE1.len(), 15);
+    }
+
+    #[test]
+    fn support_counts_match_paper() {
+        // Table I: 10 Linux-only, 2 Windows-only (Backburner, Opera),
+        // 3 both (COMSOL, FLUENT, MATLAB).
+        assert_eq!(support_counts(), (10, 2, 3));
+    }
+
+    #[test]
+    fn windows_only_rows() {
+        let names: Vec<&str> = TABLE1
+            .iter()
+            .filter(|a| a.os == OsSupport::WindowsOnly)
+            .map(|a| a.name)
+            .collect();
+        assert_eq!(names, ["Backburner", "Opera"]);
+    }
+
+    #[test]
+    fn multi_platform_rows() {
+        let names: Vec<&str> = TABLE1
+            .iter()
+            .filter(|a| a.os == OsSupport::Both)
+            .map(|a| a.name)
+            .collect();
+        assert_eq!(names, ["COMSOL", "ANSYS FLUENT", "MATLAB"]);
+    }
+
+    #[test]
+    fn runnable_on_both_sides() {
+        assert_eq!(runnable_on(OsKind::Linux).len(), 13); // 10 + 3 both
+        assert_eq!(runnable_on(OsKind::Windows).len(), 5); // 2 + 3 both
+    }
+
+    #[test]
+    fn runs_on_semantics() {
+        assert!(OsSupport::Both.runs_on(OsKind::Linux));
+        assert!(OsSupport::Both.runs_on(OsKind::Windows));
+        assert!(!OsSupport::LinuxOnly.runs_on(OsKind::Windows));
+        assert!(!OsSupport::WindowsOnly.runs_on(OsKind::Linux));
+    }
+
+    #[test]
+    fn render_contains_every_row() {
+        let text = render_table1();
+        for a in &TABLE1 {
+            assert!(text.contains(a.name), "{} missing", a.name);
+        }
+        assert_eq!(text.lines().count(), 16); // header + 15 rows
+        assert!(text.contains("W&L"));
+    }
+}

@@ -1,0 +1,430 @@
+//! Seeded synthetic job streams.
+//!
+//! The paper reports no numeric workload, so the experiments replay
+//! synthetic streams calibrated to its narrative: a mix of Linux
+//! scientific jobs and Windows rendering/FEA jobs arriving at a campus
+//! cluster (Table I), with heavy-tailed service times. Everything is
+//! derived from a single seed for reproducibility.
+
+use crate::catalog;
+use dualboot_bootconf::os::OsKind;
+use dualboot_des::rng::DetRng;
+use dualboot_des::time::{SimDuration, SimTime};
+use dualboot_sched::job::JobRequest;
+use serde::{Deserialize, Serialize};
+
+/// One job submission in a trace.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SubmitEvent {
+    /// When the job arrives at its head node.
+    pub at: SimTime,
+    /// The job itself.
+    pub req: JobRequest,
+}
+
+/// Parameters of a synthetic stream.
+///
+/// ```
+/// use dualboot_workload::generator::WorkloadSpec;
+///
+/// let spec = WorkloadSpec::campus_default(42).with_offered_load(0.7, 64);
+/// let trace = spec.generate();
+/// assert!(!trace.is_empty());
+/// assert_eq!(trace, spec.generate()); // same seed, identical trace
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    /// RNG seed — same spec + seed = identical trace.
+    pub seed: u64,
+    /// Trace horizon: jobs arrive in `[0, duration)`.
+    pub duration: SimDuration,
+    /// Mean arrival rate, jobs per hour (Poisson process).
+    pub jobs_per_hour: f64,
+    /// Fraction of jobs targeting Windows (multi-platform applications
+    /// follow this coin; single-platform ones force their side).
+    pub windows_fraction: f64,
+    /// Mean service time.
+    pub mean_runtime: SimDuration,
+    /// Log-normal sigma of service times (0 = deterministic).
+    pub runtime_sigma: f64,
+    /// Weights over node counts 1..=len (Eridani jobs are 1–4 nodes).
+    pub node_weights: Vec<f64>,
+    /// Processors per node requested (4 = whole Eridani nodes).
+    pub ppn: u32,
+    /// Diurnal modulation depth in [0, 1): the arrival rate follows
+    /// `rate × (1 + depth × sin(2π·(t - 6h)/24h))`, peaking mid-afternoon
+    /// and bottoming out at night, like a real campus. 0 = flat Poisson.
+    pub diurnal_depth: f64,
+    /// When set, jobs request `walltime = runtime × factor` (users
+    /// overestimate; 2–3× is typical in archived traces). `None` = no
+    /// walltime requests.
+    pub walltime_factor: Option<f64>,
+    /// Fraction of jobs that *underestimate* and get killed at the limit
+    /// (their walltime is drawn below the true runtime). Only meaningful
+    /// with `walltime_factor` set.
+    pub overrun_fraction: f64,
+}
+
+impl WorkloadSpec {
+    /// A campus-day default: 8 hours, ~12 jobs/hour, 30 % Windows,
+    /// 25-minute heavy-tailed jobs of 1–4 nodes.
+    pub fn campus_default(seed: u64) -> WorkloadSpec {
+        WorkloadSpec {
+            seed,
+            duration: SimDuration::from_hours(8),
+            jobs_per_hour: 12.0,
+            windows_fraction: 0.3,
+            mean_runtime: SimDuration::from_mins(25),
+            runtime_sigma: 0.8,
+            node_weights: vec![0.5, 0.25, 0.15, 0.1],
+            ppn: 4,
+            diurnal_depth: 0.0,
+            walltime_factor: None,
+            overrun_fraction: 0.0,
+        }
+    }
+
+    /// Scale the arrival rate so that offered load ≈ `utilisation` of a
+    /// cluster with `total_cores` cores:
+    /// `rate = utilisation × total_cores / (E[cores/job] × E[runtime])`.
+    pub fn with_offered_load(mut self, utilisation: f64, total_cores: u32) -> WorkloadSpec {
+        let wsum: f64 = self.node_weights.iter().sum();
+        let mean_nodes: f64 = self
+            .node_weights
+            .iter()
+            .enumerate()
+            .map(|(i, w)| (i as f64 + 1.0) * w)
+            .sum::<f64>()
+            / wsum.max(f64::MIN_POSITIVE);
+        let mean_cores = mean_nodes * f64::from(self.ppn);
+        let mean_runtime_h = self.mean_runtime.as_secs_f64() / 3600.0;
+        self.jobs_per_hour =
+            utilisation * f64::from(total_cores) / (mean_cores * mean_runtime_h);
+        self
+    }
+
+    /// Generate the trace: submissions sorted by time.
+    pub fn generate(&self) -> Vec<SubmitEvent> {
+        assert!(self.jobs_per_hour > 0.0, "arrival rate must be positive");
+        assert!(!self.node_weights.is_empty(), "need node weights");
+        let mut root = DetRng::seed_from(self.seed);
+        let mut arrivals = root.split("arrivals");
+        let mut apps = root.split("apps");
+        let mut sizes = root.split("sizes");
+        let mut runtimes = root.split("runtimes");
+        let mut oses = root.split("oses");
+        let mut walltimes = root.split("walltimes");
+
+        // Non-homogeneous Poisson via thinning: draw at the peak rate and
+        // accept with probability rate(t)/peak. Depth 0 skips the thinning
+        // path entirely so flat workloads reproduce bit-for-bit.
+        let depth = self.diurnal_depth.clamp(0.0, 0.99);
+        let peak_rate = self.jobs_per_hour * (1.0 + depth);
+        let mean_gap_s = 3600.0 / peak_rate;
+        let mut events = Vec::new();
+        let mut t = SimTime::ZERO;
+        let mut seq = 0u64;
+        loop {
+            let gap = SimDuration::from_secs_f64(arrivals.exp_mean(mean_gap_s));
+            t += gap;
+            if t.as_millis() >= self.duration.as_millis() {
+                break;
+            }
+            if depth > 0.0 {
+                let hours = t.as_secs_f64() / 3600.0;
+                let phase = 2.0 * std::f64::consts::PI * (hours - 6.0) / 24.0;
+                let rate = self.jobs_per_hour * (1.0 + depth * phase.sin());
+                if !arrivals.chance(rate / peak_rate) {
+                    continue;
+                }
+            }
+            // Decide the platform, then pick an application that runs there.
+            let want_windows = oses.chance(self.windows_fraction);
+            let os = if want_windows {
+                OsKind::Windows
+            } else {
+                OsKind::Linux
+            };
+            let candidates = catalog::runnable_on(os);
+            let app = *apps.choose(&candidates);
+            // A multi-platform app keeps the chosen side; a single-platform
+            // app *is* its side (both branches agree by construction).
+            debug_assert!(app.os.runs_on(os));
+
+            let nodes = sizes.choose_weighted(&self.node_weights) as u32 + 1;
+            let runtime = if self.runtime_sigma <= 0.0 {
+                self.mean_runtime
+            } else {
+                SimDuration::from_secs_f64(
+                    runtimes
+                        .lognormal_mean(self.mean_runtime.as_secs_f64(), self.runtime_sigma)
+                        .max(1.0),
+                )
+            };
+            seq += 1;
+            let mut req = JobRequest::user(
+                format!("{}-{}", app.name.to_lowercase().replace(' ', "_"), seq),
+                os,
+                nodes,
+                self.ppn,
+                runtime,
+            );
+            if let Some(factor) = self.walltime_factor {
+                let overruns = walltimes.chance(self.overrun_fraction);
+                let limit_s = if overruns {
+                    // the user underestimated: limit lands below the truth
+                    runtime.as_secs_f64() * walltimes.uniform(0.3..0.9)
+                } else {
+                    runtime.as_secs_f64() * factor.max(1.0)
+                };
+                req = req.with_walltime(SimDuration::from_secs_f64(limit_s.max(1.0)));
+            }
+            events.push(SubmitEvent { at: t, req });
+        }
+        events
+    }
+}
+
+/// Summary statistics of a trace (for spec validation and reports).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceStats {
+    /// Total jobs.
+    pub jobs: usize,
+    /// Jobs per OS: `(linux, windows)`.
+    pub per_os: (usize, usize),
+    /// Total core-seconds of demand.
+    pub core_seconds: u64,
+    /// Mean runtime in seconds.
+    pub mean_runtime_s: f64,
+}
+
+/// Compute summary statistics of a trace.
+pub fn stats(trace: &[SubmitEvent]) -> TraceStats {
+    let jobs = trace.len();
+    let linux = trace
+        .iter()
+        .filter(|e| e.req.os == OsKind::Linux)
+        .count();
+    let core_seconds: u64 = trace
+        .iter()
+        .map(|e| u64::from(e.req.cpus()) * e.req.runtime.as_secs())
+        .sum();
+    let mean_runtime_s = if jobs == 0 {
+        0.0
+    } else {
+        trace.iter().map(|e| e.req.runtime.as_secs_f64()).sum::<f64>() / jobs as f64
+    };
+    TraceStats {
+        jobs,
+        per_os: (linux, jobs - linux),
+        core_seconds,
+        mean_runtime_s,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_trace() {
+        let spec = WorkloadSpec::campus_default(7);
+        assert_eq!(spec.generate(), spec.generate());
+    }
+
+    #[test]
+    fn different_seed_different_trace() {
+        let a = WorkloadSpec::campus_default(1).generate();
+        let b = WorkloadSpec::campus_default(2).generate();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn arrivals_sorted_and_within_horizon() {
+        let spec = WorkloadSpec::campus_default(3);
+        let trace = spec.generate();
+        assert!(!trace.is_empty());
+        for w in trace.windows(2) {
+            assert!(w[0].at <= w[1].at);
+        }
+        assert!(trace.last().unwrap().at.as_millis() < spec.duration.as_millis());
+    }
+
+    #[test]
+    fn arrival_rate_roughly_matches() {
+        let spec = WorkloadSpec {
+            duration: SimDuration::from_hours(100),
+            jobs_per_hour: 10.0,
+            ..WorkloadSpec::campus_default(11)
+        };
+        let n = spec.generate().len() as f64;
+        assert!((n - 1000.0).abs() < 120.0, "got {n} arrivals");
+    }
+
+    #[test]
+    fn os_mix_tracks_windows_fraction() {
+        let spec = WorkloadSpec {
+            duration: SimDuration::from_hours(200),
+            windows_fraction: 0.3,
+            ..WorkloadSpec::campus_default(13)
+        };
+        let trace = spec.generate();
+        let s = stats(&trace);
+        let wfrac = s.per_os.1 as f64 / s.jobs as f64;
+        assert!((wfrac - 0.3).abs() < 0.05, "windows fraction {wfrac}");
+    }
+
+    #[test]
+    fn zero_windows_fraction_yields_linux_only() {
+        let spec = WorkloadSpec {
+            windows_fraction: 0.0,
+            ..WorkloadSpec::campus_default(5)
+        };
+        assert!(spec
+            .generate()
+            .iter()
+            .all(|e| e.req.os == OsKind::Linux));
+    }
+
+    #[test]
+    fn applications_match_their_platform() {
+        let spec = WorkloadSpec {
+            windows_fraction: 0.5,
+            ..WorkloadSpec::campus_default(17)
+        };
+        for e in spec.generate() {
+            let app_name = e.req.name.split('-').next().unwrap();
+            // windows jobs must come from windows-capable apps
+            if e.req.os == OsKind::Windows {
+                assert!(
+                    ["backburner", "opera", "comsol", "ansys fluent", "matlab"]
+                        .iter()
+                        .any(|n| app_name.starts_with(&n.replace(' ', "_"))
+                            || n.starts_with(app_name)),
+                    "unexpected windows app {app_name}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn node_counts_respect_weights() {
+        let spec = WorkloadSpec {
+            node_weights: vec![0.0, 0.0, 1.0],
+            duration: SimDuration::from_hours(50),
+            ..WorkloadSpec::campus_default(19)
+        };
+        assert!(spec.generate().iter().all(|e| e.req.nodes == 3));
+    }
+
+    #[test]
+    fn offered_load_calibration() {
+        // utilisation 0.8 of 64 cores with 1-node (4-core) 30-min jobs:
+        // rate = 0.8*64/(4*0.5) = 25.6 jobs/h.
+        let spec = WorkloadSpec {
+            node_weights: vec![1.0],
+            mean_runtime: SimDuration::from_mins(30),
+            ..WorkloadSpec::campus_default(23)
+        }
+        .with_offered_load(0.8, 64);
+        assert!((spec.jobs_per_hour - 25.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_runtime_when_sigma_zero() {
+        let spec = WorkloadSpec {
+            runtime_sigma: 0.0,
+            ..WorkloadSpec::campus_default(29)
+        };
+        assert!(spec
+            .generate()
+            .iter()
+            .all(|e| e.req.runtime == spec.mean_runtime));
+    }
+
+    #[test]
+    fn diurnal_depth_shapes_arrivals() {
+        let spec = WorkloadSpec {
+            duration: SimDuration::from_hours(240), // 10 days
+            jobs_per_hour: 20.0,
+            diurnal_depth: 0.9,
+            ..WorkloadSpec::campus_default(43)
+        };
+        let trace = spec.generate();
+        // afternoon window (12:00-18:00 daily) vs night (00:00-06:00)
+        let bucket = |h_lo: u64, h_hi: u64| {
+            trace
+                .iter()
+                .filter(|e| {
+                    let h = (e.at.as_secs() / 3600) % 24;
+                    (h_lo..h_hi).contains(&h)
+                })
+                .count() as f64
+        };
+        let afternoon = bucket(12, 18);
+        let night = bucket(0, 6);
+        assert!(
+            afternoon > 2.0 * night,
+            "afternoon {afternoon} vs night {night}"
+        );
+    }
+
+    #[test]
+    fn zero_depth_stays_homogeneous() {
+        // depth 0 must reproduce the old generator exactly (regression on
+        // determinism: the thinning path is skipped entirely).
+        let spec = WorkloadSpec::campus_default(44);
+        assert_eq!(spec.diurnal_depth, 0.0);
+        let n = spec.generate().len() as f64;
+        let expected = spec.jobs_per_hour * 8.0;
+        assert!((n - expected).abs() < expected * 0.35, "{n} vs {expected}");
+    }
+
+    #[test]
+    fn walltime_factor_requests_limits() {
+        let spec = WorkloadSpec {
+            walltime_factor: Some(2.5),
+            overrun_fraction: 0.0,
+            ..WorkloadSpec::campus_default(37)
+        };
+        for e in spec.generate() {
+            let w = e.req.walltime.expect("walltime requested");
+            assert!(!e.req.overruns_walltime());
+            let ratio = w.as_secs_f64() / e.req.runtime.as_secs_f64();
+            assert!((ratio - 2.5).abs() < 0.01, "ratio {ratio}");
+        }
+    }
+
+    #[test]
+    fn overrun_fraction_underestimates() {
+        let spec = WorkloadSpec {
+            duration: SimDuration::from_hours(100),
+            walltime_factor: Some(2.0),
+            overrun_fraction: 0.25,
+            ..WorkloadSpec::campus_default(41)
+        };
+        let trace = spec.generate();
+        let overruns = trace.iter().filter(|e| e.req.overruns_walltime()).count();
+        let frac = overruns as f64 / trace.len() as f64;
+        assert!((frac - 0.25).abs() < 0.06, "overrun fraction {frac}");
+    }
+
+    #[test]
+    fn no_walltime_by_default() {
+        assert!(WorkloadSpec::campus_default(1)
+            .generate()
+            .iter()
+            .all(|e| e.req.walltime.is_none()));
+    }
+
+    #[test]
+    fn stats_totals() {
+        let spec = WorkloadSpec::campus_default(31);
+        let trace = spec.generate();
+        let s = stats(&trace);
+        assert_eq!(s.jobs, trace.len());
+        assert_eq!(s.per_os.0 + s.per_os.1, s.jobs);
+        assert!(s.core_seconds > 0);
+        assert!(s.mean_runtime_s > 0.0);
+    }
+}

@@ -1,0 +1,29 @@
+#![warn(missing_docs)]
+
+//! # dualboot-workload — the Huddersfield campus workloads
+//!
+//! The paper motivates the hybrid cluster with the mix of applications the
+//! University of Huddersfield runs (Table I): molecular dynamics and QM
+//! codes on Linux, 3ds Max rendering and Opera FEA on Windows, and
+//! multi-platform packages in between. This crate turns that motivation
+//! into generators the experiments can replay:
+//!
+//! * [`catalog`] — Table I verbatim, as typed data plus the table renderer.
+//! * [`generator`] — seeded synthetic job streams: Poisson arrivals,
+//!   catalogue-weighted application choice, log-normal service times,
+//!   configurable OS mix and load.
+//! * [`mdcs`] — the §IV.B case study: a Distributed/Parallel MATLAB
+//!   genetic-algorithm burst on the Windows side over a Linux background.
+//! * [`swf`] — Standard Workload Format import, so real archived cluster
+//!   logs can replace the synthetic streams.
+//! * [`tracefile`] — JSON (de)serialisation of generated traces so runs
+//!   are replayable and diffable.
+
+pub mod catalog;
+pub mod generator;
+pub mod mdcs;
+pub mod swf;
+pub mod tracefile;
+
+pub use catalog::{Application, OsSupport, TABLE1};
+pub use generator::{SubmitEvent, WorkloadSpec};

@@ -1,0 +1,181 @@
+//! The §IV.B case study: Distributed/Parallel MATLAB on Eridani.
+//!
+//! "Our system was tested on an application requiring optimisation of
+//! Genetic Algorithms using the Distributed and Parallel MATLAB. ...
+//! The compute nodes, which this application used were switched to
+//! Windows system by our dualboot-oscar. As load shifted between the two
+//! OS environment, the system seamlessly adjusted."
+//!
+//! The trace: a steady Linux scientific background, then a burst of MDCS
+//! worker jobs on the Windows queue (a GA evaluates generations of
+//! candidates; each generation fans out single-node evaluations). The
+//! middleware must drain Linux nodes toward Windows during the burst and
+//! drift back afterwards — experiment E6 plots exactly that.
+
+use crate::generator::{SubmitEvent, WorkloadSpec};
+use dualboot_bootconf::os::OsKind;
+use dualboot_des::time::{SimDuration, SimTime};
+use dualboot_sched::job::JobRequest;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the GA/MDCS burst.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MdcsCaseStudy {
+    /// Seed for the background stream.
+    pub seed: u64,
+    /// Total horizon.
+    pub horizon: SimDuration,
+    /// When the GA submission lands on the Windows queue.
+    pub burst_start: SimTime,
+    /// GA generations evaluated.
+    pub generations: u32,
+    /// Candidate evaluations per generation (each one MDCS worker job).
+    pub population_per_generation: u32,
+    /// Runtime of one evaluation job.
+    pub eval_runtime: SimDuration,
+    /// Gap between generations (the GA's serial selection step).
+    pub generation_gap: SimDuration,
+    /// Background Linux load (jobs/hour; Windows fraction forced to 0).
+    pub background_jobs_per_hour: f64,
+}
+
+impl MdcsCaseStudy {
+    /// The default E6 configuration: an 8-hour day with the GA landing
+    /// two hours in — 10 generations × 8 evaluations of 15 minutes.
+    pub fn default_config(seed: u64) -> MdcsCaseStudy {
+        MdcsCaseStudy {
+            seed,
+            horizon: SimDuration::from_hours(8),
+            burst_start: SimTime::from_mins(120),
+            generations: 10,
+            population_per_generation: 8,
+            eval_runtime: SimDuration::from_mins(15),
+            generation_gap: SimDuration::from_mins(2),
+            background_jobs_per_hour: 6.0,
+        }
+    }
+
+    /// Generate the combined trace (sorted by submission time).
+    pub fn generate(&self) -> Vec<SubmitEvent> {
+        // Linux-only background.
+        let background = WorkloadSpec {
+            seed: self.seed,
+            duration: self.horizon,
+            jobs_per_hour: self.background_jobs_per_hour,
+            windows_fraction: 0.0,
+            mean_runtime: SimDuration::from_mins(30),
+            runtime_sigma: 0.6,
+            node_weights: vec![0.6, 0.4],
+            ppn: 4,
+            diurnal_depth: 0.0,
+            walltime_factor: None,
+            overrun_fraction: 0.0,
+        };
+        let mut events = background.generate();
+
+        // The GA burst: generations of MDCS evaluation jobs.
+        let mut t = self.burst_start;
+        for gen in 0..self.generations {
+            for k in 0..self.population_per_generation {
+                events.push(SubmitEvent {
+                    at: t,
+                    req: JobRequest::user(
+                        format!("mdcs_ga-g{gen}-c{k}"),
+                        OsKind::Windows,
+                        1,
+                        4,
+                        self.eval_runtime,
+                    ),
+                });
+            }
+            t = t + self.eval_runtime + self.generation_gap;
+        }
+        events.sort_by_key(|e| e.at);
+        events
+    }
+
+    /// When the last GA job is submitted (the burst's nominal end).
+    pub fn burst_end(&self) -> SimTime {
+        let per_gen = self.eval_runtime + self.generation_gap;
+        self.burst_start + per_gen.saturating_mul(u64::from(self.generations))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_is_sorted() {
+        let trace = MdcsCaseStudy::default_config(1).generate();
+        for w in trace.windows(2) {
+            assert!(w[0].at <= w[1].at);
+        }
+    }
+
+    #[test]
+    fn burst_job_count() {
+        let cs = MdcsCaseStudy::default_config(1);
+        let trace = cs.generate();
+        let ga_jobs = trace
+            .iter()
+            .filter(|e| e.req.name.starts_with("mdcs_ga-"))
+            .count();
+        assert_eq!(ga_jobs, 80); // 10 generations × 8
+        assert!(trace
+            .iter()
+            .filter(|e| e.req.name.starts_with("mdcs_ga-"))
+            .all(|e| e.req.os == OsKind::Windows));
+    }
+
+    #[test]
+    fn background_is_linux_only() {
+        let trace = MdcsCaseStudy::default_config(2).generate();
+        assert!(trace
+            .iter()
+            .filter(|e| !e.req.name.starts_with("mdcs_ga-"))
+            .all(|e| e.req.os == OsKind::Linux));
+    }
+
+    #[test]
+    fn burst_timing() {
+        let cs = MdcsCaseStudy::default_config(3);
+        let trace = cs.generate();
+        let first_ga = trace
+            .iter()
+            .find(|e| e.req.name.starts_with("mdcs_ga-"))
+            .unwrap();
+        assert_eq!(first_ga.at, cs.burst_start);
+        let last_ga = trace
+            .iter().rfind(|e| e.req.name.starts_with("mdcs_ga-"))
+            .unwrap();
+        assert!(last_ga.at < cs.burst_end());
+    }
+
+    #[test]
+    fn generations_are_spaced() {
+        let cs = MdcsCaseStudy::default_config(4);
+        let trace = cs.generate();
+        let g0: Vec<_> = trace
+            .iter()
+            .filter(|e| e.req.name.starts_with("mdcs_ga-g0-"))
+            .collect();
+        let g1: Vec<_> = trace
+            .iter()
+            .filter(|e| e.req.name.starts_with("mdcs_ga-g1-"))
+            .collect();
+        assert_eq!(g0.len(), 8);
+        assert!(g1[0].at > g0[0].at);
+        assert_eq!(
+            g1[0].at.saturating_since(g0[0].at),
+            cs.eval_runtime + cs.generation_gap
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = MdcsCaseStudy::default_config(9).generate();
+        let b = MdcsCaseStudy::default_config(9).generate();
+        assert_eq!(a, b);
+    }
+}

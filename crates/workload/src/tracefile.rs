@@ -1,0 +1,87 @@
+//! Trace (de)serialisation.
+//!
+//! Traces are stored as JSON so experiment inputs are diffable and
+//! replayable byte-for-byte; the bench harness writes the trace next to
+//! every result series (the reproduction's answer to "which workload
+//! produced this figure?").
+
+use crate::generator::SubmitEvent;
+use std::io::{Read, Write};
+
+/// Errors loading or saving traces.
+#[derive(Debug)]
+pub enum TraceFileError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// JSON (de)serialisation failure.
+    Json(serde_json::Error),
+}
+
+impl std::fmt::Display for TraceFileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceFileError::Io(e) => write!(f, "io: {e}"),
+            TraceFileError::Json(e) => write!(f, "json: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceFileError {}
+
+/// Serialise a trace to pretty JSON text.
+pub fn to_json(trace: &[SubmitEvent]) -> Result<String, TraceFileError> {
+    serde_json::to_string_pretty(trace).map_err(TraceFileError::Json)
+}
+
+/// Deserialise a trace from JSON text.
+pub fn from_json(text: &str) -> Result<Vec<SubmitEvent>, TraceFileError> {
+    serde_json::from_str(text).map_err(TraceFileError::Json)
+}
+
+/// Write a trace to any writer.
+pub fn save<W: Write>(trace: &[SubmitEvent], mut w: W) -> Result<(), TraceFileError> {
+    let text = to_json(trace)?;
+    w.write_all(text.as_bytes()).map_err(TraceFileError::Io)
+}
+
+/// Read a trace from any reader.
+pub fn load<R: Read>(mut r: R) -> Result<Vec<SubmitEvent>, TraceFileError> {
+    let mut text = String::new();
+    r.read_to_string(&mut text).map_err(TraceFileError::Io)?;
+    from_json(&text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::WorkloadSpec;
+
+    #[test]
+    fn json_roundtrip() {
+        let trace = WorkloadSpec::campus_default(5).generate();
+        let text = to_json(&trace).unwrap();
+        let back = from_json(&text).unwrap();
+        assert_eq!(trace, back);
+    }
+
+    #[test]
+    fn reader_writer_roundtrip() {
+        let trace = WorkloadSpec::campus_default(6).generate();
+        let mut buf = Vec::new();
+        save(&trace, &mut buf).unwrap();
+        let back = load(buf.as_slice()).unwrap();
+        assert_eq!(trace, back);
+    }
+
+    #[test]
+    fn malformed_json_is_an_error() {
+        assert!(from_json("not json").is_err());
+        assert!(from_json("{\"at\":1}").is_err());
+    }
+
+    #[test]
+    fn empty_trace_roundtrips() {
+        let text = to_json(&[]).unwrap();
+        assert_eq!(from_json(&text).unwrap(), Vec::<SubmitEvent>::new());
+    }
+}

@@ -1,0 +1,79 @@
+//! Regenerate every configuration artefact the paper's figures show.
+//!
+//! The middleware is, at bottom, a machine for editing these files; this
+//! example prints each one from the typed models so they can be diffed
+//! against the paper (Figures 2, 3, 4, 9, 10, 14, 15) by eye.
+//!
+//! ```sh
+//! cargo run --example boot_artifacts
+//! ```
+
+use hybrid_cluster::bootconf::diskpart::DiskpartScript;
+use hybrid_cluster::bootconf::grub::eridani as grub;
+use hybrid_cluster::bootconf::grub4dos::{ControlMode, PxeMenuDir};
+use hybrid_cluster::bootconf::idedisk::IdeDisk;
+use hybrid_cluster::bootconf::mac::MacAddr;
+use hybrid_cluster::prelude::*;
+use hybrid_cluster::sched::script::PbsScript;
+
+fn section(title: &str, body: &str) {
+    println!("--- {title} ---");
+    println!("{body}");
+}
+
+fn main() {
+    section(
+        "Figure 2: node-local /boot/grub/menu.lst (redirects into the FAT partition)",
+        &grub::menu_lst().emit(),
+    );
+    section(
+        "Figure 3: controlmenu.lst on the shared FAT partition (default = Linux)",
+        &grub::controlmenu(OsKind::Linux).emit(),
+    );
+    section(
+        "controlmenu_to_windows.lst (the pre-staged switch variant)",
+        &grub::controlmenu(OsKind::Windows).emit(),
+    );
+    section(
+        "Figure 4: the PBS OS-switch job script",
+        &PbsScript::switch_job(OsKind::Windows).emit(),
+    );
+    section(
+        "Figure 9: stock Windows HPC diskpart.txt (wipes the whole disk)",
+        &DiskpartScript::original().emit(),
+    );
+    section(
+        "Figure 10: dualboot-oscar v1 diskpart.txt (150 GB for Windows)",
+        &DiskpartScript::modified_v1(150_000).emit(),
+    );
+    section(
+        "Figure 15: dualboot-oscar v2 reimage diskpart.txt (partition 1 only)",
+        &DiskpartScript::reimage_v2().emit(),
+    );
+    section(
+        "Figure 14: v2 ide.disk with the `skip` label",
+        &IdeDisk::eridani_v2().emit(),
+    );
+    section(
+        "reconstructed v1 ide.disk (manual reservation, FAT at (hd0,5))",
+        &IdeDisk::eridani_v1().emit(),
+    );
+
+    // The v2 PXE menu directory in action.
+    let mut dir = PxeMenuDir::new(ControlMode::SingleFlag, OsKind::Linux);
+    let mac = MacAddr::for_node(7);
+    println!("--- v2 PXE flag demo ---");
+    println!(
+        "node {} fetches {} -> boots {}",
+        mac,
+        dir.filename_for(&mac),
+        dir.target_for(&mac)
+    );
+    dir.set_flag(OsKind::Windows);
+    println!(
+        "flag flicked: node {} now boots {} (menu file below)\n",
+        mac,
+        dir.target_for(&mac)
+    );
+    println!("{}", dir.menu_for(&mac).emit());
+}

@@ -1,0 +1,70 @@
+//! A five-day campus week with diurnal load: the cluster breathing.
+//!
+//! Arrivals follow a day/night cycle (peak mid-afternoon, trough at
+//! night) with 35 % Windows demand; the middleware runs the threshold
+//! policy. The sparklines show the Windows node share and the queue
+//! backlog tracking the daily rhythm — the long-horizon version of the
+//! paper's "as load shifted ... the system seamlessly adjusted".
+//!
+//! ```sh
+//! cargo run --release --example campus_week
+//! ```
+
+use hybrid_cluster::cluster::report::sparkline;
+use hybrid_cluster::prelude::*;
+use hybrid_cluster::workload::generator::{self, WorkloadSpec};
+
+fn main() {
+    let spec = WorkloadSpec {
+        duration: SimDuration::from_hours(5 * 24),
+        windows_fraction: 0.35,
+        diurnal_depth: 0.8,
+        mean_runtime: SimDuration::from_mins(20),
+        ..WorkloadSpec::campus_default(7)
+    }
+    .with_offered_load(0.55, 64);
+    let trace = spec.generate();
+    let stats = generator::stats(&trace);
+    println!(
+        "campus week: {} jobs over 5 days ({} Linux / {} Windows), diurnal depth 0.8\n",
+        stats.jobs, stats.per_os.0, stats.per_os.1
+    );
+
+    let mut cfg = SimConfig::eridani_v2(7);
+    cfg.policy = PolicyKind::Threshold { queue_threshold: 2 };
+    cfg.omniscient = true;
+    cfg.record_series = true;
+    cfg.sample_every = SimDuration::from_mins(60);
+    cfg.horizon = SimDuration::from_hours(7 * 24);
+    let r = Simulation::new(cfg, trace).run();
+
+    // One sparkline row per signal, hour by hour.
+    let win_nodes: Vec<f64> = r.series.iter().map(|p| f64::from(p.windows_nodes)).collect();
+    let backlog: Vec<f64> = r
+        .series
+        .iter()
+        .map(|p| f64::from(p.linux_queued + p.windows_queued))
+        .collect();
+    println!("hour marks        : {}", day_ruler(r.series.len()));
+    println!("windows node share: {}", sparkline(&win_nodes));
+    println!("total queue depth : {}", sparkline(&backlog));
+    println!(
+        "\ncompleted {} jobs ({} walltime-killed), {} switches, utilisation {:.1}%, mean wait {:.1} min",
+        r.total_completed(),
+        r.walltime_kills,
+        r.switches,
+        100.0 * r.utilisation(),
+        r.mean_wait_s() / 60.0,
+    );
+}
+
+/// A ruler string marking midnights (`|`) and noons (`.`), hour per char.
+fn day_ruler(hours: usize) -> String {
+    (1..=hours)
+        .map(|h| match h % 24 {
+            0 => '|',
+            12 => '.',
+            _ => ' ',
+        })
+        .collect()
+}

@@ -1,0 +1,53 @@
+//! Quickstart: one campus day on Eridani under dualboot-oscar v2.0.
+//!
+//! Builds the paper's cluster (16 nodes × 4 cores, all-Linux start),
+//! generates a mixed Linux/Windows workload from the Table-I catalogue,
+//! runs the full middleware loop, and prints what happened.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use hybrid_cluster::cluster::report::{result_row, Table, RESULT_HEADERS};
+use hybrid_cluster::prelude::*;
+use hybrid_cluster::workload::generator::{self, WorkloadSpec};
+
+fn main() {
+    let seed = 2012;
+    println!("dualboot-oscar reproduction — quickstart\n");
+
+    // An 8-hour campus day: ~12 jobs/hour, 30 % of them Windows.
+    let spec = WorkloadSpec::campus_default(seed);
+    let trace = spec.generate();
+    let stats = generator::stats(&trace);
+    println!(
+        "workload: {} jobs ({} Linux, {} Windows), {:.1} core-hours of demand",
+        stats.jobs,
+        stats.per_os.0,
+        stats.per_os.1,
+        stats.core_seconds as f64 / 3600.0
+    );
+
+    // The paper's system, and the baselines it argues against.
+    let mut table = Table::new("one campus day on Eridani (16 nodes x 4 cores)", &RESULT_HEADERS);
+    for (label, mode, split) in [
+        ("dualboot-oscar v2 (FCFS)", Mode::DualBoot, 16),
+        ("static split 8/8", Mode::StaticSplit, 8),
+        ("mono-stable (boot per W job)", Mode::MonoStable, 16),
+        ("oracle (no OS constraint)", Mode::Oracle, 16),
+    ] {
+        let mut cfg = SimConfig::eridani_v2(seed);
+        cfg.mode = mode;
+        cfg.initial_linux_nodes = split;
+        let result = Simulation::new(cfg, trace.clone()).run();
+        table.row(&result_row(label, &result));
+    }
+    println!("\n{}", table.render());
+
+    println!(
+        "reading: dualboot-oscar keeps utilisation near the oracle by rebooting idle\n\
+         nodes into the OS with queued demand (each switch costs one <=5-minute reboot),\n\
+         while the static split strands capacity and mono-stable pays a boot round\n\
+         trip on every Windows job."
+    );
+}

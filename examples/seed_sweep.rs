@@ -1,0 +1,100 @@
+//! Parallel seed sweep: confidence intervals for the headline numbers.
+//!
+//! Single runs can mislead (one seed's burst phasing can flatter either
+//! system), so this example replicates each system across 32 seeds with
+//! [`hybrid_cluster::cluster::replicate`], which fans simulations over a
+//! scoped thread pool and reduces deterministically (same summary for any
+//! worker count). Results are also written as JSON for diffing.
+//!
+//! ```sh
+//! cargo run --release --example seed_sweep
+//! ```
+
+use hybrid_cluster::cluster::replicate::replicate;
+use hybrid_cluster::cluster::report::{fmt_secs, Table};
+use hybrid_cluster::prelude::*;
+use hybrid_cluster::workload::generator::WorkloadSpec;
+use std::collections::BTreeMap;
+
+type Configure = Box<dyn Fn(&mut SimConfig) + Sync>;
+
+fn scenario(seed: u64, configure: impl Fn(&mut SimConfig)) -> (SimConfig, Vec<SubmitEvent>) {
+    let trace = WorkloadSpec {
+        windows_fraction: 0.35,
+        duration: SimDuration::from_hours(8),
+        ..WorkloadSpec::campus_default(seed)
+    }
+    .with_offered_load(0.7, 64)
+    .generate();
+    let mut cfg = SimConfig::eridani_v2(seed);
+    cfg.horizon = SimDuration::from_hours(48);
+    configure(&mut cfg);
+    (cfg, trace)
+}
+
+fn main() {
+    let seeds: Vec<u64> = (1..=32).collect();
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(16);
+    println!("replicating 4 systems x {} seeds on {workers} workers...", seeds.len());
+
+    let systems: Vec<(&str, Configure)> = vec![
+        ("dualboot/fcfs", Box::new(|_: &mut SimConfig| {})),
+        (
+            "dualboot/threshold",
+            Box::new(|cfg: &mut SimConfig| {
+                cfg.policy = PolicyKind::Threshold { queue_threshold: 2 };
+                cfg.omniscient = true;
+            }),
+        ),
+        (
+            "static 8/8",
+            Box::new(|cfg: &mut SimConfig| {
+                cfg.mode = Mode::StaticSplit;
+                cfg.initial_linux_nodes = 8;
+            }),
+        ),
+        (
+            "mono-stable",
+            Box::new(|cfg: &mut SimConfig| cfg.mode = Mode::MonoStable),
+        ),
+    ];
+
+    let mut table = Table::new(
+        "32-seed sweep: campus day, 35% Windows, load 0.7 (mean ± std dev)",
+        &["system", "wait", "±", "util", "±", "switches", "turnaround"],
+    );
+    let mut json = BTreeMap::new();
+    for (label, configure) in &systems {
+        let summary = replicate(&seeds, workers, |seed| scenario(seed, configure));
+        table.row(&[
+            label.to_string(),
+            fmt_secs(summary.wait_s.mean()),
+            fmt_secs(summary.wait_s.std_dev()),
+            format!("{:.1}%", 100.0 * summary.utilisation.mean()),
+            format!("{:.1}%", 100.0 * summary.utilisation.std_dev()),
+            format!("{:.1}", summary.switches.mean()),
+            fmt_secs(summary.turnaround_s.mean()),
+        ]);
+        json.insert(
+            label.to_string(),
+            serde_json::json!({
+                "runs": summary.runs,
+                "wait_mean_s": summary.wait_s.mean(),
+                "wait_std_s": summary.wait_s.std_dev(),
+                "util_mean": summary.utilisation.mean(),
+                "switches_mean": summary.switches.mean(),
+                "turnaround_mean_s": summary.turnaround_s.mean(),
+            }),
+        );
+    }
+    println!("\n{}", table.render());
+    let path = std::env::temp_dir().join("dualboot_seed_sweep.json");
+    if let Ok(text) = serde_json::to_string_pretty(&json) {
+        if std::fs::write(&path, text).is_ok() {
+            println!("raw results written to {}", path.display());
+        }
+    }
+}

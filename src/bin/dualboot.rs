@@ -1,0 +1,74 @@
+//! The `dualboot` CLI: run reproductions from the command line.
+//!
+//! ```sh
+//! cargo run --release --bin dualboot -- simulate --mode dualboot --policy threshold
+//! cargo run --release --bin dualboot -- swf my-trace.swf --windows-queue 1
+//! cargo run --release --bin dualboot -- artifacts
+//! ```
+
+use hybrid_cluster::bootconf::diskpart::DiskpartScript;
+use hybrid_cluster::bootconf::grub::eridani as grub;
+use hybrid_cluster::bootconf::idedisk::IdeDisk;
+use hybrid_cluster::cli::{self, Command};
+use hybrid_cluster::prelude::*;
+use hybrid_cluster::sched::script::PbsScript;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match Command::parse(&args) {
+        Ok(Command::Help) => {
+            print!("{}", cli::USAGE);
+            ExitCode::SUCCESS
+        }
+        Ok(Command::Artifacts) => {
+            println!("--- Figure 2: menu.lst ---\n{}", grub::menu_lst().emit());
+            println!(
+                "--- Figure 3: controlmenu.lst ---\n{}",
+                grub::controlmenu(OsKind::Linux).emit()
+            );
+            println!(
+                "--- Figure 4: OS-switch job ---\n{}",
+                PbsScript::switch_job(OsKind::Windows).emit()
+            );
+            println!(
+                "--- Figure 9: stock diskpart.txt ---\n{}",
+                DiskpartScript::original().emit()
+            );
+            println!(
+                "--- Figure 10: v1 diskpart.txt ---\n{}",
+                DiskpartScript::modified_v1(150_000).emit()
+            );
+            println!(
+                "--- Figure 15: v2 reimage diskpart.txt ---\n{}",
+                DiskpartScript::reimage_v2().emit()
+            );
+            println!("--- Figure 14: v2 ide.disk ---\n{}", IdeDisk::eridani_v2().emit());
+            ExitCode::SUCCESS
+        }
+        Ok(Command::Simulate(sim_args)) => {
+            print!("{}", cli::run_simulate(&sim_args));
+            ExitCode::SUCCESS
+        }
+        Ok(Command::Swf(swf_args)) => match std::fs::read_to_string(&swf_args.path) {
+            Ok(text) => match cli::run_swf(&swf_args, &text) {
+                Ok(out) => {
+                    print!("{out}");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            },
+            Err(e) => {
+                eprintln!("error: cannot read {}: {e}", swf_args.path);
+                ExitCode::FAILURE
+            }
+        },
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", cli::USAGE);
+            ExitCode::FAILURE
+        }
+    }
+}

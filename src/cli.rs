@@ -1,0 +1,409 @@
+//! Argument parsing and command execution for the `dualboot` CLI.
+//!
+//! Hand-rolled (the workspace's dependency policy has no CLI crates) but
+//! fully testable: [`Command::parse`](crate::cli::Command::parse) is pure, and each command returns
+//! its output as a `String` so the binary only prints.
+
+use crate::cluster::report::{result_row, Table, RESULT_HEADERS};
+use crate::cluster::{Mode, PolicyKind, SimConfig, Simulation};
+use crate::workload::generator::WorkloadSpec;
+use crate::workload::swf::{self, OsMapping, SwfImportOptions};
+use dualboot_des::time::SimDuration;
+
+/// A parsed CLI invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Print the figure artefacts.
+    Artifacts,
+    /// Run one simulation and print the result row.
+    Simulate(SimulateArgs),
+    /// Import an SWF trace and run it.
+    Swf(SwfArgs),
+    /// Print usage.
+    Help,
+}
+
+/// Options for `simulate`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimulateArgs {
+    /// RNG seed.
+    pub seed: u64,
+    /// Evaluation mode.
+    pub mode: Mode,
+    /// Switch policy.
+    pub policy: PolicyKind,
+    /// Omniscient decider (for policies the wire can't feed).
+    pub omniscient: bool,
+    /// Windows share of the synthetic workload.
+    pub windows_fraction: f64,
+    /// Offered load relative to the 64-core cluster.
+    pub load: f64,
+    /// Trace duration in hours.
+    pub hours: u64,
+    /// Nodes starting on Linux (static split uses this as the partition).
+    pub split: u16,
+    /// Print the time series.
+    pub series: bool,
+}
+
+impl Default for SimulateArgs {
+    fn default() -> Self {
+        SimulateArgs {
+            seed: 2012,
+            mode: Mode::DualBoot,
+            policy: PolicyKind::Fcfs,
+            omniscient: false,
+            windows_fraction: 0.3,
+            load: 0.7,
+            hours: 8,
+            split: 16,
+            series: false,
+        }
+    }
+}
+
+/// Options for `swf`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SwfArgs {
+    /// Path to the SWF file.
+    pub path: String,
+    /// OS mapping.
+    pub os: OsMapping,
+    /// Simulation settings reused from `simulate`.
+    pub sim: SimulateArgs,
+}
+
+/// Parse errors with a user-facing message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// Usage text.
+pub const USAGE: &str = "\
+dualboot — the dualboot-oscar reproduction CLI
+
+USAGE:
+  dualboot artifacts
+  dualboot simulate [--seed N] [--mode dualboot|static|mono|oracle]
+                    [--policy fcfs|threshold|hysteresis|proportional]
+                    [--win-frac F] [--load F] [--hours N] [--split N]
+                    [--series]
+  dualboot swf <file.swf> [--windows-queue N | --win-frac F] [simulate opts]
+  dualboot help
+";
+
+fn parse_mode(s: &str) -> Result<Mode, CliError> {
+    match s {
+        "dualboot" => Ok(Mode::DualBoot),
+        "static" => Ok(Mode::StaticSplit),
+        "mono" => Ok(Mode::MonoStable),
+        "oracle" => Ok(Mode::Oracle),
+        other => Err(CliError(format!("unknown mode {other:?}"))),
+    }
+}
+
+fn parse_policy(s: &str) -> Result<(PolicyKind, bool), CliError> {
+    match s {
+        "fcfs" => Ok((PolicyKind::Fcfs, false)),
+        "threshold" => Ok((PolicyKind::Threshold { queue_threshold: 2 }, true)),
+        "hysteresis" => Ok((
+            PolicyKind::Hysteresis {
+                persistence: 2,
+                cooldown: 2,
+            },
+            false,
+        )),
+        "proportional" => Ok((PolicyKind::Proportional { min_per_side: 1 }, true)),
+        other => Err(CliError(format!("unknown policy {other:?}"))),
+    }
+}
+
+impl Command {
+    /// Parse an argv (without the program name).
+    pub fn parse(args: &[String]) -> Result<Command, CliError> {
+        let mut it = args.iter();
+        match it.next().map(String::as_str) {
+            None | Some("help") | Some("--help") | Some("-h") => Ok(Command::Help),
+            Some("artifacts") => Ok(Command::Artifacts),
+            Some("simulate") => {
+                let rest: Vec<String> = it.cloned().collect();
+                Ok(Command::Simulate(parse_simulate(&rest)?))
+            }
+            Some("swf") => {
+                let path = it
+                    .next()
+                    .ok_or_else(|| CliError("swf needs a file path".to_string()))?
+                    .clone();
+                let rest: Vec<String> = it.cloned().collect();
+                let mut windows_queue: Option<i64> = None;
+                let mut filtered = Vec::new();
+                let mut k = 0;
+                while k < rest.len() {
+                    if rest[k] == "--windows-queue" {
+                        let v = rest.get(k + 1).ok_or_else(|| {
+                            CliError("--windows-queue needs a value".to_string())
+                        })?;
+                        windows_queue = Some(
+                            v.parse()
+                                .map_err(|_| CliError(format!("bad queue number {v:?}")))?,
+                        );
+                        k += 2;
+                    } else {
+                        filtered.push(rest[k].clone());
+                        k += 1;
+                    }
+                }
+                let sim = parse_simulate(&filtered)?;
+                let os = match windows_queue {
+                    Some(q) => OsMapping::ByQueue { windows_queue: q },
+                    None => OsMapping::Fraction {
+                        windows_fraction: sim.windows_fraction,
+                        seed: sim.seed,
+                    },
+                };
+                Ok(Command::Swf(SwfArgs { path, os, sim }))
+            }
+            Some(other) => Err(CliError(format!(
+                "unknown command {other:?} (try `dualboot help`)"
+            ))),
+        }
+    }
+}
+
+fn parse_simulate(args: &[String]) -> Result<SimulateArgs, CliError> {
+    let mut out = SimulateArgs::default();
+    let mut k = 0;
+    let value = |args: &[String], k: usize, flag: &str| -> Result<String, CliError> {
+        args.get(k + 1)
+            .cloned()
+            .ok_or_else(|| CliError(format!("{flag} needs a value")))
+    };
+    while k < args.len() {
+        match args[k].as_str() {
+            "--seed" => {
+                let v = value(args, k, "--seed")?;
+                out.seed = v.parse().map_err(|_| CliError(format!("bad seed {v:?}")))?;
+                k += 2;
+            }
+            "--mode" => {
+                out.mode = parse_mode(&value(args, k, "--mode")?)?;
+                k += 2;
+            }
+            "--policy" => {
+                let (p, omni) = parse_policy(&value(args, k, "--policy")?)?;
+                out.policy = p;
+                out.omniscient = omni;
+                k += 2;
+            }
+            "--win-frac" => {
+                let v = value(args, k, "--win-frac")?;
+                out.windows_fraction = v
+                    .parse()
+                    .map_err(|_| CliError(format!("bad fraction {v:?}")))?;
+                if !(0.0..=1.0).contains(&out.windows_fraction) {
+                    return Err(CliError("--win-frac must be in [0,1]".to_string()));
+                }
+                k += 2;
+            }
+            "--load" => {
+                let v = value(args, k, "--load")?;
+                out.load = v.parse().map_err(|_| CliError(format!("bad load {v:?}")))?;
+                k += 2;
+            }
+            "--hours" => {
+                let v = value(args, k, "--hours")?;
+                out.hours = v.parse().map_err(|_| CliError(format!("bad hours {v:?}")))?;
+                k += 2;
+            }
+            "--split" => {
+                let v = value(args, k, "--split")?;
+                out.split = v.parse().map_err(|_| CliError(format!("bad split {v:?}")))?;
+                k += 2;
+            }
+            "--series" => {
+                out.series = true;
+                k += 1;
+            }
+            other => return Err(CliError(format!("unknown flag {other:?}"))),
+        }
+    }
+    Ok(out)
+}
+
+/// Execute a simulate command, returning the printable report.
+pub fn run_simulate(args: &SimulateArgs) -> String {
+    let trace = WorkloadSpec {
+        windows_fraction: args.windows_fraction,
+        duration: SimDuration::from_hours(args.hours),
+        ..WorkloadSpec::campus_default(args.seed)
+    }
+    .with_offered_load(args.load, 64)
+    .generate();
+    run_trace(args, trace)
+}
+
+/// Execute an SWF command, returning the printable report.
+pub fn run_swf(args: &SwfArgs, swf_text: &str) -> Result<String, CliError> {
+    let trace = swf::import(
+        swf_text,
+        &SwfImportOptions {
+            os: args.os,
+            ..SwfImportOptions::default()
+        },
+    )
+    .map_err(|e| CliError(format!("SWF import failed: {e}")))?;
+    Ok(format!(
+        "imported {} jobs from SWF\n{}",
+        trace.len(),
+        run_trace(&args.sim, trace)
+    ))
+}
+
+fn run_trace(
+    args: &SimulateArgs,
+    trace: Vec<crate::workload::generator::SubmitEvent>,
+) -> String {
+    let mut cfg = SimConfig::eridani_v2(args.seed);
+    cfg.mode = args.mode;
+    cfg.policy = args.policy;
+    cfg.omniscient = args.omniscient;
+    cfg.initial_linux_nodes = args.split;
+    cfg.record_series = args.series;
+    cfg.horizon = SimDuration::from_hours(24 * 30);
+    let r = Simulation::new(cfg, trace).run();
+    let mut table = Table::new("simulation result", &RESULT_HEADERS);
+    table.row(&result_row("run", &r));
+    let mut out = table.render();
+    if args.series {
+        let mut st = Table::new("series", &["t", "linux", "windows", "booting", "q(L)", "q(W)"]);
+        for p in &r.series {
+            st.row(&[
+                format!("{}", p.at),
+                format!("{}", p.linux_nodes),
+                format!("{}", p.windows_nodes),
+                format!("{}", p.booting_nodes),
+                format!("{}", p.linux_queued),
+                format!("{}", p.windows_queued),
+            ]);
+        }
+        out.push('\n');
+        out.push_str(&st.render());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn empty_and_help() {
+        assert_eq!(Command::parse(&[]).unwrap(), Command::Help);
+        assert_eq!(Command::parse(&argv("help")).unwrap(), Command::Help);
+        assert_eq!(Command::parse(&argv("--help")).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn artifacts_command() {
+        assert_eq!(Command::parse(&argv("artifacts")).unwrap(), Command::Artifacts);
+    }
+
+    #[test]
+    fn simulate_defaults() {
+        let cmd = Command::parse(&argv("simulate")).unwrap();
+        assert_eq!(cmd, Command::Simulate(SimulateArgs::default()));
+    }
+
+    #[test]
+    fn simulate_full_flags() {
+        let cmd = Command::parse(&argv(
+            "simulate --seed 7 --mode static --policy threshold --win-frac 0.5 \
+             --load 0.9 --hours 4 --split 8 --series",
+        ))
+        .unwrap();
+        let Command::Simulate(a) = cmd else {
+            panic!("wrong command")
+        };
+        assert_eq!(a.seed, 7);
+        assert_eq!(a.mode, Mode::StaticSplit);
+        assert!(matches!(a.policy, PolicyKind::Threshold { queue_threshold: 2 }));
+        assert!(a.omniscient);
+        assert_eq!(a.windows_fraction, 0.5);
+        assert_eq!(a.load, 0.9);
+        assert_eq!(a.hours, 4);
+        assert_eq!(a.split, 8);
+        assert!(a.series);
+    }
+
+    #[test]
+    fn simulate_rejects_bad_input() {
+        assert!(Command::parse(&argv("simulate --mode bsd")).is_err());
+        assert!(Command::parse(&argv("simulate --policy magic")).is_err());
+        assert!(Command::parse(&argv("simulate --win-frac 1.5")).is_err());
+        assert!(Command::parse(&argv("simulate --seed")).is_err());
+        assert!(Command::parse(&argv("simulate --frobnicate")).is_err());
+        assert!(Command::parse(&argv("teleport")).is_err());
+    }
+
+    #[test]
+    fn swf_with_queue_mapping() {
+        let cmd = Command::parse(&argv("swf trace.swf --windows-queue 2 --seed 5")).unwrap();
+        let Command::Swf(a) = cmd else { panic!("wrong command") };
+        assert_eq!(a.path, "trace.swf");
+        assert_eq!(a.os, OsMapping::ByQueue { windows_queue: 2 });
+        assert_eq!(a.sim.seed, 5);
+    }
+
+    #[test]
+    fn swf_defaults_to_fraction_mapping() {
+        let cmd = Command::parse(&argv("swf trace.swf --win-frac 0.4")).unwrap();
+        let Command::Swf(a) = cmd else { panic!("wrong command") };
+        assert_eq!(
+            a.os,
+            OsMapping::Fraction {
+                windows_fraction: 0.4,
+                seed: 2012
+            }
+        );
+    }
+
+    #[test]
+    fn swf_needs_path() {
+        assert!(Command::parse(&argv("swf")).is_err());
+    }
+
+    #[test]
+    fn run_simulate_produces_a_row() {
+        let args = SimulateArgs {
+            hours: 2,
+            ..SimulateArgs::default()
+        };
+        let out = run_simulate(&args);
+        assert!(out.contains("simulation result"));
+        assert!(out.contains("run"));
+    }
+
+    #[test]
+    fn run_swf_end_to_end() {
+        let swf = "; test\n1 10 1 300 4 -1 -1 4 -1 -1 1 1 1 1 0 -1 -1 -1\n";
+        let args = SwfArgs {
+            path: "x.swf".to_string(),
+            os: OsMapping::ByQueue { windows_queue: 1 },
+            sim: SimulateArgs::default(),
+        };
+        let out = run_swf(&args, swf).unwrap();
+        assert!(out.contains("imported 1 jobs"));
+        assert!(run_swf(&args, "garbage line\n").is_err());
+    }
+}

@@ -1,0 +1,72 @@
+#![warn(missing_docs)]
+
+//! # hybrid-cluster — a Rust reproduction of *Hybrid Computer Cluster with
+//! High Flexibility* (Liang, Holmes & Kureshi, IEEE CLUSTER 2012)
+//!
+//! The paper deploys **dualboot-oscar**, a middleware that turns a legacy
+//! 16-node Beowulf cluster into a *bi-stable* Linux/Windows hybrid: both
+//! schedulers stay live, and daemons reboot drained nodes into whichever
+//! OS has queued demand. This workspace rebuilds the entire system as a
+//! deterministic simulation — the middleware itself, both schedulers, the
+//! boot-path hardware model, the deployment flows, and every config
+//! dialect the paper's figures show.
+//!
+//! This crate is the facade: it re-exports each layer and hosts the
+//! runnable examples and the cross-crate integration tests.
+//!
+//! ## Layers (bottom-up)
+//!
+//! | Re-export | Crate | What it is |
+//! |---|---|---|
+//! | [`des`] | `dualboot-des` | discrete-event engine: clock, queue, RNG, stats |
+//! | [`bootconf`] | `dualboot-bootconf` | GRUB/GRUB4DOS/diskpart/ide.disk dialects |
+//! | [`hw`] | `dualboot-hw` | disks, MBR, PXE, node boot state machine |
+//! | [`sched`] | `dualboot-sched` | PBS-like and WinHPC-like schedulers |
+//! | [`net`] | `dualboot-net` | Figure-5 wire format, TCP/in-proc transports |
+//! | [`deploy`] | `dualboot-deploy` | OSCAR/Windows imaging, v1/v2 flows |
+//! | [`middleware`] | `dualboot-core` | **the paper's contribution**: detectors, policies, daemons |
+//! | [`workload`] | `dualboot-workload` | Table I catalogue, synthetic + MDCS traces |
+//! | [`cluster`] | `dualboot-cluster` | the end-to-end simulated Eridani |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use hybrid_cluster::cluster::{SimConfig, Simulation};
+//! use hybrid_cluster::workload::generator::WorkloadSpec;
+//!
+//! // The paper's cluster under dualboot-oscar v2.0, FCFS policy.
+//! let config = SimConfig::eridani_v2(42);
+//! let trace = WorkloadSpec::campus_default(42).generate();
+//! let result = Simulation::new(config, trace).run();
+//! assert_eq!(result.unfinished, 0);
+//! println!(
+//!     "utilisation {:.1}%, {} OS switches, mean wait {:.0}s",
+//!     100.0 * result.utilisation(),
+//!     result.switches,
+//!     result.mean_wait_s(),
+//! );
+//! ```
+
+pub use dualboot_bootconf as bootconf;
+pub use dualboot_cluster as cluster;
+pub use dualboot_core as middleware;
+pub use dualboot_deploy as deploy;
+pub use dualboot_des as des;
+pub use dualboot_hw as hw;
+pub use dualboot_net as net;
+pub use dualboot_sched as sched;
+pub use dualboot_workload as workload;
+
+/// The `dualboot` command-line interface (see `src/bin/dualboot.rs`).
+pub mod cli;
+
+/// Everything a downstream user typically needs, in one import.
+pub mod prelude {
+    pub use dualboot_bootconf::os::OsKind;
+    pub use dualboot_cluster::{Mode, PolicyKind, SimConfig, SimResult, Simulation};
+    pub use dualboot_core::{Action, FcfsPolicy, LinuxDaemon, SwitchPolicy, WindowsDaemon};
+    pub use dualboot_des::time::{SimDuration, SimTime};
+    pub use dualboot_sched::job::{JobId, JobKind, JobRequest};
+    pub use dualboot_sched::scheduler::Scheduler;
+    pub use dualboot_workload::generator::{SubmitEvent, WorkloadSpec};
+}

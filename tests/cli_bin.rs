@@ -1,0 +1,96 @@
+//! Black-box tests of the `dualboot` binary (the shipped CLI).
+
+use std::process::Command;
+
+fn dualboot() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_dualboot"))
+}
+
+#[test]
+fn artifacts_prints_the_figures() {
+    let out = dualboot().arg("artifacts").output().expect("binary runs");
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("configfile /controlmenu.lst")); // Fig 2
+    assert!(text.contains("title Win_Server_2K8_R2-windows")); // Fig 3
+    assert!(text.contains("#PBS -N release_1_node")); // Fig 4
+    assert!(text.contains("create partition primary size=150000")); // Fig 10
+    assert!(text.contains("/dev/sda1 16000 skip")); // Fig 14
+}
+
+#[test]
+fn simulate_prints_a_result_row() {
+    let out = dualboot()
+        .args(["simulate", "--hours", "1", "--seed", "9"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("simulation result"));
+    assert!(text.contains("switches"));
+}
+
+#[test]
+fn simulate_is_deterministic_across_invocations() {
+    let run = || {
+        let out = dualboot()
+            .args(["simulate", "--hours", "2", "--seed", "5", "--policy", "threshold"])
+            .output()
+            .expect("binary runs");
+        assert!(out.status.success());
+        String::from_utf8(out.stdout).unwrap()
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn swf_import_end_to_end() {
+    let dir = std::env::temp_dir();
+    let path = dir.join("dualboot_cli_test.swf");
+    std::fs::write(
+        &path,
+        "; tiny trace\n\
+         1 60 1 600 4 -1 -1 4 1800 -1 1 1 1 1 0 -1 -1 -1\n\
+         2 120 1 600 8 -1 -1 8 1800 -1 1 1 1 1 1 -1 -1 -1\n",
+    )
+    .unwrap();
+    let out = dualboot()
+        .args(["swf", path.to_str().unwrap(), "--windows-queue", "1"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("imported 2 jobs"));
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn bad_flags_fail_with_usage() {
+    let out = dualboot()
+        .args(["simulate", "--mode", "beos"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("unknown mode"));
+    assert!(err.contains("USAGE"));
+}
+
+#[test]
+fn missing_swf_file_reports_cleanly() {
+    let out = dualboot()
+        .args(["swf", "/nonexistent/nowhere.swf"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8(out.stderr)
+        .unwrap()
+        .contains("cannot read"));
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = dualboot().arg("help").output().expect("binary runs");
+    assert!(out.status.success());
+    assert!(String::from_utf8(out.stdout).unwrap().contains("USAGE"));
+}

@@ -1,0 +1,187 @@
+//! Fault injection — experiment E8 and the §IV.A robustness claims.
+//!
+//! The paper's argument for moving boot control off the nodes (v2) is
+//! robustness: with the PXE flag on the head node, "a compute node could
+//! be switched by any reboot action, including soft reboot and physically
+//! power reset". These tests inject exactly those faults against both
+//! generations at the hardware-model level and in the full simulation.
+
+use hybrid_cluster::bootconf::grub4dos::{ControlMode, PxeMenuDir};
+use hybrid_cluster::deploy::oscar::OscarDeployer;
+use hybrid_cluster::deploy::windows::WindowsDeployer;
+use hybrid_cluster::deploy::Version as DeployVersion;
+use hybrid_cluster::hw::boot::BootError;
+use hybrid_cluster::hw::node::{ComputeNode, FirmwareBootOrder};
+use hybrid_cluster::hw::pxe::PxeService;
+use hybrid_cluster::middleware::switchjob;
+use hybrid_cluster::prelude::*;
+
+/// A fully dual-boot-installed node under the given generation.
+fn installed_node(version: DeployVersion) -> ComputeNode {
+    let firmware = match version {
+        DeployVersion::V1 => FirmwareBootOrder::LocalDisk,
+        DeployVersion::V2 => FirmwareBootOrder::PxeFirst,
+    };
+    let mut n = ComputeNode::eridani(1, firmware);
+    WindowsDeployer::v1_patched().deploy(&mut n).unwrap();
+    OscarDeployer::eridani(version).deploy(&mut n).unwrap();
+    n
+}
+
+#[test]
+fn v1_power_reset_before_config_change_boots_stale_os() {
+    // The switch script's order is: change controlmenu.lst, THEN reboot.
+    // A power reset that lands before the change replays the old target.
+    let mut n = installed_node(DeployVersion::V1);
+    // Node is meant to switch to Windows, but the reset hits first:
+    // nothing has touched the FAT file yet.
+    n.begin_boot(); // the physical reset
+    let (os, _) = n.complete_boot(None).unwrap();
+    assert_eq!(os, OsKind::Linux, "stale target: still Linux");
+}
+
+#[test]
+fn v1_power_reset_after_config_change_boots_new_os() {
+    let mut n = installed_node(DeployVersion::V1);
+    switchjob::apply_v1_switch(&mut n.disk, OsKind::Windows).unwrap();
+    // Reset lands after the rename but before the orderly reboot — the
+    // outcome is the same as the orderly path.
+    n.begin_boot();
+    let (os, _) = n.complete_boot(None).unwrap();
+    assert_eq!(os, OsKind::Windows);
+}
+
+#[test]
+fn v2_any_reboot_lands_on_the_flag() {
+    // §IV.A.1: under PXE control "a compute node could be switched by any
+    // reboot action, including soft reboot and physically power reset".
+    let mut n = installed_node(DeployVersion::V2);
+    let mut pxe = PxeService::eridani_v2();
+    pxe.menu_dir_mut().set_flag(OsKind::Windows);
+    for _ in 0..3 {
+        n.begin_boot(); // reset at any moment
+        let (os, _) = n.complete_boot(Some(&pxe)).unwrap();
+        assert_eq!(os, OsKind::Windows, "every reboot follows the flag");
+    }
+    pxe.menu_dir_mut().set_flag(OsKind::Linux);
+    n.begin_boot();
+    assert_eq!(n.complete_boot(Some(&pxe)).unwrap().0, OsKind::Linux);
+}
+
+#[test]
+fn v2_survives_mbr_destruction_v1_does_not() {
+    // A Windows reimage rewrites/destroys the MBR. v1 nodes are bricked
+    // for Linux; v2 nodes don't care.
+    let mut v1 = installed_node(DeployVersion::V1);
+    let mut v2 = installed_node(DeployVersion::V2);
+    v1.disk.set_mbr(hybrid_cluster::hw::disk::MbrCode::None);
+    v2.disk.set_mbr(hybrid_cluster::hw::disk::MbrCode::None);
+
+    v1.begin_boot();
+    assert_eq!(v1.complete_boot(None), Err(BootError::NoBootCode));
+
+    let pxe = PxeService::eridani_v2();
+    v2.begin_boot();
+    assert!(v2.complete_boot(Some(&pxe)).is_ok());
+}
+
+#[test]
+fn v2_head_node_outage_falls_back_to_local_boot() {
+    // PXE answers nothing (head node down): PXELINUX "quit[s] PXE and
+    // lead[s] to normal boot order" — the node still comes up, on its
+    // local default.
+    let mut n = installed_node(DeployVersion::V2);
+    let mut pxe = PxeService::eridani_v2();
+    pxe.set_enabled(false);
+    n.begin_boot();
+    let (os, path) = n.complete_boot(Some(&pxe)).unwrap();
+    assert_eq!(os, OsKind::Linux);
+    assert_eq!(path, hybrid_cluster::hw::boot::BootPath::LocalGrub);
+}
+
+#[test]
+fn v1_corrupt_control_file_bricks_the_switch_v2_immune() {
+    // FAT corruption on the shared partition (a real hazard: both OSes
+    // write it). v1's boot chain dies; v2 never reads it.
+    let mut v1 = installed_node(DeployVersion::V1);
+    v1.disk
+        .fat_control_mut()
+        .unwrap()
+        .write("controlmenu.lst", "garbage !!");
+    v1.begin_boot();
+    assert_eq!(
+        v1.complete_boot(None),
+        Err(BootError::ConfigUnparsable("/controlmenu.lst".into()))
+    );
+
+    let mut v2 = installed_node(DeployVersion::V2);
+    // v2 nodes have no FAT partition at all; nothing to corrupt.
+    assert!(v2.disk.fat_control().is_none());
+    let pxe = PxeService::eridani_v2();
+    v2.begin_boot();
+    assert!(v2.complete_boot(Some(&pxe)).is_ok());
+}
+
+#[test]
+fn sim_power_reset_on_idle_node_recovers() {
+    // In the full simulation, a reset on an idle node is a non-event: the
+    // node reboots and re-registers, and the workload completes.
+    let cfg = SimConfig::eridani_v2(77);
+    let trace: Vec<SubmitEvent> = (0..10)
+        .map(|k| SubmitEvent {
+            at: SimTime::from_mins(5 + k),
+            req: JobRequest::user(
+                format!("lammps-{k}"),
+                OsKind::Linux,
+                1,
+                4,
+                SimDuration::from_mins(10),
+            ),
+        })
+        .collect();
+    let n = trace.len() as u32;
+    let mut sim = Simulation::new(cfg, trace);
+    sim.schedule_power_reset(16, SimTime::from_mins(2)); // idle node
+    let r = sim.run();
+    assert_eq!(r.total_completed() + r.killed, n);
+    assert_eq!(r.boot_failures, 0);
+}
+
+#[test]
+fn sim_power_reset_kills_running_job_but_cluster_recovers() {
+    let cfg = SimConfig::eridani_v2(78);
+    let trace: Vec<SubmitEvent> = (0..12)
+        .map(|k| SubmitEvent {
+            at: SimTime::from_secs(60 + k),
+            req: JobRequest::user(
+                format!("castep-{k}"),
+                OsKind::Linux,
+                1,
+                4,
+                SimDuration::from_mins(30),
+            ),
+        })
+        .collect();
+    let n = trace.len() as u32;
+    let mut sim = Simulation::new(cfg, trace);
+    // All 16 nodes get one job each at ~t=61s; reset node 1 mid-run.
+    sim.schedule_power_reset(1, SimTime::from_mins(10));
+    let r = sim.run();
+    assert_eq!(r.killed, 1, "exactly the job on the reset node dies");
+    assert_eq!(r.total_completed(), n - 1);
+    assert_eq!(r.unfinished, 0);
+}
+
+#[test]
+fn per_node_pxe_mode_survives_resets_too() {
+    // The Figure-12 (per-node) variant has the same any-reboot property,
+    // as long as the node's menu file exists.
+    let mut dir = PxeMenuDir::new(ControlMode::PerNode, OsKind::Linux);
+    let mut n = installed_node(DeployVersion::V2);
+    dir.set_node(n.mac, OsKind::Windows);
+    // Per-node menus use the Figure-3 template (v1 layout); the Windows
+    // entry chainloads partition 1 which exists on the v2 disk too.
+    let pxe = PxeService::new(dir);
+    n.begin_boot();
+    assert_eq!(n.complete_boot(Some(&pxe)).unwrap().0, OsKind::Windows);
+}

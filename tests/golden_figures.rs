@@ -1,0 +1,198 @@
+//! Golden reproduction of every configuration artefact in the paper's
+//! figures, exercised through the public facade (not crate internals).
+//!
+//! | Test | Paper figure |
+//! |---|---|
+//! | `fig2_*` / `fig3_*` | GRUB menu.lst / controlmenu.lst |
+//! | `fig4_*` | the PBS OS-switch job script |
+//! | `fig5_fig6_*` | the detector wire format and outputs |
+//! | `fig7_*` / `fig8_*` | pbsnodes / qstat -f |
+//! | `fig9_10_15_*` | the three diskpart.txt variants |
+//! | `fig14_*` | the v2 ide.disk |
+
+use hybrid_cluster::bootconf::diskpart::DiskpartScript;
+use hybrid_cluster::bootconf::grub::{eridani as grub, GrubConfig};
+use hybrid_cluster::bootconf::idedisk::IdeDisk;
+use hybrid_cluster::net::wire::DetectorReport;
+use hybrid_cluster::prelude::*;
+use hybrid_cluster::sched::pbs::PbsScheduler;
+use hybrid_cluster::sched::pbs_text;
+use hybrid_cluster::sched::script::PbsScript;
+
+#[test]
+fn fig2_menu_lst_verbatim() {
+    let expected = "default=0\n\
+timeout=5\n\
+splashimage=(hd0,1)/grub/splash.xpm.gz\n\
+hiddenmenu\n\
+\n\
+title changing to control file\n\
+root (hd0,5)\n\
+configfile /controlmenu.lst\n";
+    assert_eq!(grub::menu_lst().emit(), expected);
+    // and it parses back to the same model
+    assert_eq!(GrubConfig::parse(expected).unwrap(), grub::menu_lst());
+}
+
+#[test]
+fn fig3_controlmenu_verbatim() {
+    let expected = "default 0\n\
+timeout=10\n\
+splashimage=(hd0,1)/grub/splash.xpm.gz\n\
+\n\
+title CentOS-5.4_Oscar-5b2-linux\n\
+root (hd0,1)\n\
+kernel /vmlinuz-2.6.18-164.el5 ro root=/dev/sda7 enforcing=0\n\
+initrd /sc-initrd-2.6.18-164.el5.gz\n\
+\n\
+title Win_Server_2K8_R2-windows\n\
+rootnoverify (hd0,0)\n\
+chainloader +1\n";
+    assert_eq!(grub::controlmenu(OsKind::Linux).emit(), expected);
+    // the Windows variant differs only in the default line
+    let windows = grub::controlmenu(OsKind::Windows).emit();
+    assert_eq!(windows.replace("default 1", "default 0"), expected);
+}
+
+#[test]
+fn fig4_switch_job_script_verbatim() {
+    let script = PbsScript::switch_job(OsKind::Windows);
+    let text = script.emit();
+    for line in [
+        "#PBS -l nodes=1:ppn=4",
+        "#PBS -N release_1_node",
+        "#PBS -q default",
+        "#PBS -j oe",
+        "#PBS -o reboot_log.out",
+        "#PBS -r n",
+        "echo $PBS_JOBID >>/home/sliang/reboot_log/rebootjob.log #write logs",
+        "sudo /boot/swap/bootcontrol.pl /boot/swap/controlmenu.lst windows #changes default boot OS",
+        "sudo reboot #reboot node",
+        "sleep 10 #leave 10 seconds to avoid job be finished before reboot",
+    ] {
+        assert!(text.contains(line), "missing line {line:?}");
+    }
+    assert_eq!(PbsScript::parse(&text).unwrap(), script);
+    assert_eq!(script.switch_target(), Some(OsKind::Windows));
+}
+
+#[test]
+fn fig5_fig6_detector_wire_verbatim() {
+    assert_eq!(DetectorReport::not_stuck().encode().unwrap(), "00000none");
+    assert_eq!(
+        DetectorReport::stuck(4, "1191.eridani.qgg.hud.ac.uk")
+            .encode()
+            .unwrap(),
+        "100041191.eridani.qgg.hud.ac.uk"
+    );
+}
+
+#[test]
+fn fig7_pbsnodes_block_shape() {
+    let mut s = PbsScheduler::eridani();
+    s.register_node("enode01.eridani.qgg.hud.ac.uk", 4);
+    let text = pbs_text::pbsnodes(&s, SimTime::ZERO);
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines[0], "enode01.eridani.qgg.hud.ac.uk");
+    assert_eq!(lines[1], "     state = free");
+    assert_eq!(lines[2], "     np = 4");
+    assert_eq!(lines[3], "     properties = all");
+    assert_eq!(lines[4], "     ntype = cluster");
+    // Figure 7's status attributes, field for field
+    for field in [
+        "opsys=linux",
+        "uname=Linux enode01.eridani.qgg.hud.ac.uk 2.6.18-164.el5",
+        "sessions=? 0",
+        "nsessions=? 0",
+        "nusers=0",
+        "idletime=",
+        "totmem=15881584kb",
+        "availmem=15825740kb",
+        "physmem=8069096kb",
+        "ncpus=4",
+        "loadave=0.00",
+        "netload=154924801596",
+        "state=free",
+        "jobs=? 0",
+        "rectime=",
+    ] {
+        assert!(lines[5].contains(field), "status missing {field:?}");
+    }
+}
+
+#[test]
+fn fig8_qstat_f_block_shape() {
+    let mut s = PbsScheduler::eridani();
+    for i in 1..=16 {
+        s.register_node(&format!("enode{i:02}.eridani.qgg.hud.ac.uk"), 4);
+    }
+    s.submit(
+        JobRequest::user("release_1_node", OsKind::Linux, 1, 4, SimDuration::from_secs(10)),
+        SimTime::ZERO,
+    );
+    s.try_dispatch(SimTime::ZERO);
+    let text = pbs_text::qstat_f(&s);
+    assert!(text.starts_with("Job Id: 1185.eridani.qgg.hud.ac.uk\n"));
+    assert!(text.contains("    Job_Name = release_1_node\n"));
+    assert!(text.contains("    Job_Owner = sliang@eridani.qgg.hud.ac.uk\n"));
+    assert!(text.contains("    job_state = R\n"));
+    assert!(text.contains("    queue = default\n"));
+    assert!(text.contains("    server = eridani.qgg.hud.ac.uk\n"));
+    assert!(text.contains("    qtime = Fri Apr 16 17:55:40 2010\n"));
+    assert!(text.contains("    Resource_List.nodes = 1:ppn=4\n"));
+    // Figure 8's exec_host slot expansion /3+/2+/1+/0
+    assert!(text.contains("/3+"));
+    assert!(text.contains("+enode01.eridani.qgg.hud.ac.uk/0\n"));
+}
+
+#[test]
+fn fig9_10_15_diskpart_verbatim() {
+    assert_eq!(
+        DiskpartScript::original().emit(),
+        "select disk 0\nclean\ncreate partition primary\nassign letter=c\n\
+format FS=NTFS LABEL=\"Node\" QUICK OVERRIDE\nactive\nexit\n"
+    );
+    assert_eq!(
+        DiskpartScript::modified_v1(150_000).emit(),
+        "select disk 0\nclean\ncreate partition primary size=150000\nassign letter=c\n\
+format FS=NTFS LABEL=\"Node\" QUICK OVERRIDE\nactive\nexit\n"
+    );
+    assert_eq!(
+        DiskpartScript::reimage_v2().emit(),
+        "select disk 0\nselect partition 1\n\
+format FS=NTFS LABEL=\"Node\" QUICK OVERRIDE\nactive\nexit\n"
+    );
+}
+
+#[test]
+fn fig14_ide_disk_verbatim() {
+    assert_eq!(
+        IdeDisk::eridani_v2().emit(),
+        "/dev/sda1 16000 skip\n\
+/dev/sda2 100 ext3 /boot defaults bootable\n\
+/dev/sda5 512 swap\n\
+/dev/sda6 * ext3 / defaults\n\
+/dev/shm - tmpfs /dev/shm defaults\n\
+nfs_oscar:/home - nfs /home rw\n"
+    );
+}
+
+#[test]
+fn figure_artifacts_cross_check() {
+    // The artefacts must be mutually consistent: the Figure-2 redirect
+    // points at the file the Figure-3 variants are renamed onto, and the
+    // Figure-4 script renames exactly those variants.
+    let menu = grub::menu_lst();
+    let target = match menu.default_entry().unwrap().boot_target() {
+        hybrid_cluster::bootconf::grub::BootTarget::Redirect(p) => p,
+        other => panic!("expected redirect, got {other:?}"),
+    };
+    assert_eq!(target, "/controlmenu.lst");
+    let script = PbsScript::switch_job(OsKind::Linux);
+    let boot_cmd = script
+        .commands
+        .iter()
+        .find(|c| c.contains("bootcontrol.pl"))
+        .unwrap();
+    assert!(boot_cmd.contains("/boot/swap/controlmenu.lst"));
+}

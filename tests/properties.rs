@@ -1,0 +1,461 @@
+//! Property-based tests over cross-crate invariants.
+//!
+//! Each property pins an invariant the reproduction's correctness hangs
+//! on: text dialects must round-trip for arbitrary models, the wire
+//! format for arbitrary reports, schedulers must never overcommit, and
+//! the simulation must conserve jobs for arbitrary workloads.
+
+use hybrid_cluster::bootconf::diskpart::DiskpartScript;
+use hybrid_cluster::bootconf::grub::{
+    AssignStyle, EntryCommand, GrubConfig, GrubDevice, GrubEntry, HeaderDirective,
+};
+use hybrid_cluster::bootconf::idedisk::IdeDisk;
+use hybrid_cluster::bootconf::mac::MacAddr;
+use hybrid_cluster::net::proto::Message;
+use hybrid_cluster::net::wire::DetectorReport;
+use hybrid_cluster::prelude::*;
+use hybrid_cluster::sched::pbs::PbsScheduler;
+use hybrid_cluster::sched::winhpc::WinHpcScheduler;
+use hybrid_cluster::workload::generator::WorkloadSpec;
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------
+// strategies
+// ---------------------------------------------------------------------
+
+fn arb_device() -> impl Strategy<Value = GrubDevice> {
+    (0u8..4, 0u8..8).prop_map(|(d, p)| GrubDevice::new(d, p))
+}
+
+fn arb_path() -> impl Strategy<Value = String> {
+    "[a-z0-9._-]{1,20}".prop_map(|s| format!("/{s}"))
+}
+
+fn arb_entry() -> impl Strategy<Value = GrubEntry> {
+    (
+        "[A-Za-z0-9 ._-]{1,30}",
+        prop_oneof![
+            (arb_device(), arb_path(), prop::collection::vec("[a-z0-9=/._-]{1,12}", 0..4))
+                .prop_map(|(d, p, args)| vec![
+                    EntryCommand::Root(d),
+                    EntryCommand::Kernel { path: p, args },
+                ]),
+            (arb_device()).prop_map(|d| vec![
+                EntryCommand::RootNoVerify(d),
+                EntryCommand::Chainloader("+1".to_string()),
+            ]),
+            arb_path().prop_map(|p| vec![EntryCommand::ConfigFile(p)]),
+        ],
+    )
+        .prop_map(|(title, commands)| GrubEntry {
+            title: title.trim().to_string(),
+            commands,
+        })
+        .prop_filter("non-empty title", |e| !e.title.is_empty())
+}
+
+fn arb_grub_config() -> impl Strategy<Value = GrubConfig> {
+    (
+        0u32..4,
+        prop_oneof![Just(AssignStyle::Equals), Just(AssignStyle::Space)],
+        0u32..30,
+        prop::collection::vec(arb_entry(), 1..4),
+    )
+        .prop_map(|(default, style, timeout, entries)| GrubConfig {
+            header: vec![
+                HeaderDirective::Default {
+                    index: default,
+                    style,
+                },
+                HeaderDirective::Timeout(timeout),
+            ],
+            entries,
+        })
+}
+
+fn arb_report() -> impl Strategy<Value = DetectorReport> {
+    prop_oneof![
+        Just(DetectorReport::not_stuck()),
+        (1u32..=9999, "[a-zA-Z0-9@._-]{1,63}")
+            .prop_map(|(cpus, id)| DetectorReport::stuck(cpus, id)),
+    ]
+}
+
+// ---------------------------------------------------------------------
+// text dialect round-trips
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn grub_config_roundtrips(cfg in arb_grub_config()) {
+        let text = cfg.emit();
+        let parsed = GrubConfig::parse(&text).unwrap();
+        prop_assert_eq!(parsed, cfg);
+    }
+
+    #[test]
+    fn diskpart_roundtrips(size in proptest::option::of(1u64..400_000)) {
+        let script = match size {
+            Some(mb) => DiskpartScript::modified_v1(mb),
+            None => DiskpartScript::original(),
+        };
+        let text = script.emit();
+        prop_assert_eq!(DiskpartScript::parse(&text).unwrap(), script);
+    }
+
+    #[test]
+    fn ide_disk_roundtrips_after_emit(which in 0..2) {
+        let d = if which == 0 { IdeDisk::eridani_v1() } else { IdeDisk::eridani_v2() };
+        let text = d.emit();
+        prop_assert_eq!(IdeDisk::parse(&text).unwrap().emit(), text);
+    }
+
+    #[test]
+    fn mac_roundtrips(bytes in prop::array::uniform6(any::<u8>())) {
+        let mac = MacAddr(bytes);
+        prop_assert_eq!(mac.to_string().parse::<MacAddr>().unwrap(), mac);
+        prop_assert_eq!(mac.grub4dos_filename().parse::<MacAddr>().unwrap(), mac);
+    }
+
+    #[test]
+    fn wire_reports_roundtrip(report in arb_report()) {
+        let encoded = report.encode().unwrap();
+        prop_assert_eq!(DetectorReport::decode(&encoded).unwrap(), report);
+    }
+
+    #[test]
+    fn protocol_messages_roundtrip(report in arb_report(), count in 0u32..100) {
+        for msg in [
+            Message::QueueState { os: OsKind::Windows, report: report.clone() },
+            Message::RebootOrder { target: OsKind::Linux, count },
+            Message::OrderAck { queued: count },
+        ] {
+            prop_assert_eq!(Message::decode(&msg.encode()).unwrap(), msg);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// scheduler invariants
+// ---------------------------------------------------------------------
+
+// Random job stream against PBS: slots are never overcommitted, FCFS
+// order is respected, and completing everything frees everything.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn pbs_never_overcommits(
+        jobs in prop::collection::vec((1u32..4, 1u32..5), 1..40),
+        completions in prop::collection::vec(any::<prop::sample::Index>(), 0..40),
+    ) {
+        let mut s = PbsScheduler::eridani();
+        for i in 1..=8 {
+            s.register_node(&format!("enode{i:02}"), 4);
+        }
+        let mut t = 0u64;
+        let mut ids = Vec::new();
+        for (nodes, ppn) in jobs {
+            t += 1;
+            ids.push(s.submit(
+                JobRequest::user("p", OsKind::Linux, nodes, ppn.min(4), SimDuration::from_mins(1)),
+                SimTime::from_secs(t),
+            ));
+            s.try_dispatch(SimTime::from_secs(t));
+            check_pbs_invariants(&s)?;
+        }
+        for idx in completions {
+            t += 1;
+            let id = *idx.get(&ids);
+            s.complete(id, SimTime::from_secs(t));
+            s.try_dispatch(SimTime::from_secs(t));
+            check_pbs_invariants(&s)?;
+        }
+        // Finish everything; all slots must come back.
+        let running: Vec<JobId> = s
+            .jobs()
+            .iter()
+            .filter(|j| j.state == hybrid_cluster::sched::job::JobState::Running)
+            .map(|j| j.id)
+            .collect();
+        for id in running {
+            t += 1;
+            s.complete(id, SimTime::from_secs(t));
+            s.try_dispatch(SimTime::from_secs(t));
+        }
+        // Drain the queue too (dispatch may have started more).
+        loop {
+            let running: Vec<JobId> = s
+                .jobs()
+                .iter()
+                .filter(|j| j.state == hybrid_cluster::sched::job::JobState::Running)
+                .map(|j| j.id)
+                .collect();
+            if running.is_empty() {
+                break;
+            }
+            for id in running {
+                t += 1;
+                s.complete(id, SimTime::from_secs(t));
+                s.try_dispatch(SimTime::from_secs(t));
+            }
+        }
+        let snap = s.snapshot();
+        prop_assert_eq!(snap.cores_free, snap.cores_online);
+    }
+
+    #[test]
+    fn winhpc_never_overcommits(
+        jobs in prop::collection::vec(1u32..10, 1..40),
+        completions in prop::collection::vec(any::<prop::sample::Index>(), 0..40),
+    ) {
+        let mut s = WinHpcScheduler::eridani();
+        for i in 1..=8 {
+            s.register_node(&format!("enode{i:02}"), 4);
+        }
+        let mut t = 0u64;
+        let mut ids = Vec::new();
+        for cores in jobs {
+            t += 1;
+            ids.push(s.submit(
+                JobRequest::user("w", OsKind::Windows, 1, cores.min(32), SimDuration::from_mins(1)),
+                SimTime::from_secs(t),
+            ));
+            s.try_dispatch(SimTime::from_secs(t));
+            check_win_invariants(&s)?;
+        }
+        for idx in completions {
+            t += 1;
+            let id = *idx.get(&ids);
+            s.complete(id, SimTime::from_secs(t));
+            s.try_dispatch(SimTime::from_secs(t));
+            check_win_invariants(&s)?;
+        }
+    }
+}
+
+fn check_pbs_invariants(s: &PbsScheduler) -> Result<(), TestCaseError> {
+    for (_, np, used, _) in s.node_states() {
+        prop_assert!(used <= np, "node overcommitted: {used}/{np}");
+    }
+    let snap = s.snapshot();
+    prop_assert!(snap.cores_free <= snap.cores_online);
+    Ok(())
+}
+
+fn check_win_invariants(s: &WinHpcScheduler) -> Result<(), TestCaseError> {
+    for (_, cores, used, _) in s.node_states() {
+        prop_assert!(used <= cores, "node overcommitted: {used}/{cores}");
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// simulation conservation
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// For arbitrary seeds/mixes: every submitted job is accounted for
+    /// (completed, killed, or unfinished), utilisation stays in [0, 1],
+    /// and reboots respect the five-minute bound.
+    #[test]
+    fn simulation_conserves_jobs(
+        seed in 0u64..1000,
+        win_frac in 0.0f64..0.6,
+        mode_pick in 0usize..4,
+    ) {
+        let mode = [Mode::DualBoot, Mode::StaticSplit, Mode::MonoStable, Mode::Oracle][mode_pick];
+        let trace = WorkloadSpec {
+            duration: SimDuration::from_hours(2),
+            jobs_per_hour: 6.0,
+            windows_fraction: win_frac,
+            mean_runtime: SimDuration::from_mins(8),
+            ..WorkloadSpec::campus_default(seed)
+        }
+        .generate();
+        let total = trace.len() as u32;
+        let mut cfg = SimConfig::eridani_v2(seed);
+        cfg.mode = mode;
+        cfg.initial_linux_nodes = 8;
+        cfg.horizon = SimDuration::from_hours(24);
+        let r = Simulation::new(cfg, trace).run();
+        prop_assert_eq!(r.total_completed() + r.killed + r.unfinished, total);
+        let u = r.utilisation();
+        prop_assert!((0.0..=1.0).contains(&u), "utilisation {u}");
+        if r.switches > 0 {
+            prop_assert!(r.switch_latency.max().unwrap() <= 300.0);
+            prop_assert!(r.switch_latency.min().unwrap() >= 180.0);
+        }
+        prop_assert_eq!(r.boot_failures, 0);
+    }
+
+    /// Determinism: identical seeds and specs give identical headline
+    /// numbers regardless of when/where the run happens.
+    #[test]
+    fn simulation_is_deterministic(seed in 0u64..200) {
+        let mk = || {
+            let trace = WorkloadSpec {
+                duration: SimDuration::from_hours(1),
+                jobs_per_hour: 8.0,
+                windows_fraction: 0.3,
+                ..WorkloadSpec::campus_default(seed)
+            }
+            .generate();
+            Simulation::new(SimConfig::eridani_v2(seed), trace).run()
+        };
+        let a = mk();
+        let b = mk();
+        prop_assert_eq!(a.total_completed(), b.total_completed());
+        prop_assert_eq!(a.switches, b.switches);
+        prop_assert_eq!(a.makespan, b.makespan);
+    }
+}
+
+// ---------------------------------------------------------------------
+// hardware-model invariants
+// ---------------------------------------------------------------------
+
+use hybrid_cluster::bootconf::oscarimage::MasterScript;
+use hybrid_cluster::des::queue::EventQueue;
+use hybrid_cluster::hw::disk::{Disk, FsKind, PartitionContent};
+use hybrid_cluster::hw::fatfs::FatFs;
+use hybrid_cluster::sched::caltime;
+
+proptest! {
+    /// Any sequence of partition adds/removes keeps the disk consistent:
+    /// unique partition numbers and used <= capacity.
+    #[test]
+    fn disk_never_overcommits(
+        ops in prop::collection::vec((1u32..9, 1u64..100_000, any::<bool>()), 1..40),
+    ) {
+        let mut disk = Disk::new(250_000);
+        for (number, size, remove) in ops {
+            if remove {
+                let _ = disk.remove_partition(number);
+            } else {
+                let _ = disk.add_partition(number, size, FsKind::Ext3, PartitionContent::Empty);
+            }
+            prop_assert!(disk.used_mb() <= disk.capacity_mb());
+            let mut numbers: Vec<u32> = disk.partitions().iter().map(|p| p.number).collect();
+            let len = numbers.len();
+            numbers.dedup();
+            prop_assert_eq!(numbers.len(), len, "duplicate partition numbers");
+            // sorted by number
+            prop_assert!(disk.partitions().windows(2).all(|w| w[0].number < w[1].number));
+        }
+    }
+
+    /// Arbitrary diskpart scripts built from the paper's vocabulary either
+    /// apply cleanly or fail with a typed error — never panic, never
+    /// leave the disk overcommitted.
+    #[test]
+    fn diskpart_application_is_total(
+        sizes in prop::collection::vec(proptest::option::of(1u64..300_000), 1..5),
+    ) {
+        let mut disk = Disk::eridani();
+        for size in sizes {
+            let script = match size {
+                Some(mb) => DiskpartScript::modified_v1(mb),
+                None => DiskpartScript::original(),
+            };
+            let _ = disk.apply_diskpart(&script);
+            prop_assert!(disk.used_mb() <= disk.capacity_mb());
+        }
+    }
+
+    /// The event queue pops in non-decreasing time order and ties preserve
+    /// insertion order, for arbitrary schedules interleaved with cancels.
+    #[test]
+    fn event_queue_ordering_invariant(
+        delays in prop::collection::vec(0u64..10_000, 1..100),
+        cancel_every in 2usize..7,
+    ) {
+        let mut q = EventQueue::new();
+        let mut ids = Vec::new();
+        for (i, d) in delays.iter().enumerate() {
+            ids.push((q.schedule(SimDuration::from_millis(*d), i), *d));
+        }
+        let mut cancelled = std::collections::HashSet::new();
+        for (k, (id, _)) in ids.iter().enumerate() {
+            if k % cancel_every == 0 {
+                q.cancel(*id);
+                cancelled.insert(k);
+            }
+        }
+        let mut last = SimTime::ZERO;
+        let mut seen_at: Vec<(SimTime, usize)> = Vec::new();
+        while let Some((t, payload)) = q.pop() {
+            prop_assert!(t >= last, "time went backwards");
+            prop_assert!(!cancelled.contains(&payload), "cancelled event fired");
+            last = t;
+            seen_at.push((t, payload));
+        }
+        // ties fire in insertion order
+        for w in seen_at.windows(2) {
+            if w[0].0 == w[1].0 {
+                prop_assert!(w[0].1 < w[1].1, "tie broke insertion order");
+            }
+        }
+        let expected = delays.len() - cancelled.len();
+        prop_assert_eq!(seen_at.len(), expected);
+    }
+
+    /// caltime is self-consistent: fields in range, days monotone, and the
+    /// formatted string always has ctime's fixed width.
+    #[test]
+    fn caltime_fields_in_range(secs in 0u64..(10 * 365 * 86_400)) {
+        let t = SimTime::from_secs(secs);
+        let c = caltime::civil(t);
+        prop_assert!(c.year >= 2010 && c.year <= 2021);
+        prop_assert!(c.month0 < 12);
+        prop_assert!((1..=31).contains(&c.day));
+        prop_assert!(c.hour < 24 && c.min < 60 && c.sec < 60);
+        prop_assert!(c.weekday < 7);
+        let text = caltime::format_ctime(t);
+        prop_assert_eq!(text.len(), "Fri Apr 16 17:55:40 2010".len());
+        // one day later is exactly one weekday later
+        let c2 = caltime::civil(t + SimDuration::from_hours(24));
+        prop_assert_eq!(c2.weekday, (c.weekday + 1) % 7);
+    }
+
+    /// FAT rename/copy/write sequences never lose the destination
+    /// invariant: after rename(from, to), `to` holds `from`'s old content
+    /// and `from` is gone.
+    #[test]
+    fn fatfs_rename_semantics(
+        names in prop::collection::vec("[a-z]{1,8}", 2..6),
+        contents in prop::collection::vec("[a-z0-9]{0,16}", 2..6),
+    ) {
+        let mut fs = FatFs::new();
+        for (n, c) in names.iter().zip(&contents) {
+            fs.write(n, c.clone());
+        }
+        let from = &names[0];
+        let to = &names[1];
+        let expected = fs.read(from).map(str::to_string);
+        let did = fs.rename(from, to);
+        if from == to {
+            // self-rename keeps the file
+            prop_assert!(fs.exists(to));
+        } else if did {
+            prop_assert_eq!(fs.read(to).map(str::to_string), expected);
+            prop_assert!(!fs.exists(from));
+        }
+    }
+
+    /// The v1 master-script patches are idempotent and always reach the
+    /// fully-patched state for the v1 layout.
+    #[test]
+    fn master_script_patches_converge(rounds in 1usize..4) {
+        let layout = IdeDisk::eridani_v1();
+        let mut script = MasterScript::generate(&layout);
+        let mut total = 0;
+        for _ in 0..rounds {
+            total += script.apply_v1_patches(&layout);
+        }
+        prop_assert_eq!(total, 3, "first round does all the work");
+        prop_assert!(script.patch_status(&layout).fully_patched());
+    }
+}
