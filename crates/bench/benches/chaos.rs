@@ -1,0 +1,61 @@
+//! Criterion: chaos-campaign overhead.
+//!
+//! Fault injection must be cheap enough to leave on by default: a quiet
+//! plan is an exact passthrough (the dice is never consulted), and even
+//! the full default campaign only adds counter bumps and a handful of
+//! extra events. This bench pins the cost of one simulated day clean,
+//! under the default chaos plan, and under a hot lossy link.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dualboot_bench::alternating_bursts;
+use dualboot_cluster::{FaultPlan, SimConfig, Simulation};
+use dualboot_net::faulty::LinkFaults;
+use std::hint::black_box;
+
+fn bench_chaos_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("chaos/one_day");
+    g.sample_size(20);
+    let trace = alternating_bursts(17, 4, 1, 0.6);
+    let plans = [
+        ("quiet", FaultPlan::default()),
+        ("default_chaos", FaultPlan::default_chaos(17)),
+        (
+            "hot_link",
+            FaultPlan {
+                seed: 17,
+                link: LinkFaults {
+                    drop_p: 0.3,
+                    dup_p: 0.2,
+                    delay_p: 0.3,
+                    delay_polls: 2,
+                },
+                events: Vec::new(),
+            },
+        ),
+    ];
+    for (label, plan) in plans {
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let mut cfg = SimConfig::eridani_v2(17);
+                cfg.initial_linux_nodes = 8;
+                cfg.faults = plan.clone();
+                Simulation::new(cfg, black_box(trace.clone())).run()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_plan_roundtrip(c: &mut Criterion) {
+    let mut g = c.benchmark_group("chaos/plan_json");
+    let plan = FaultPlan::default_chaos(42);
+    let json = plan.to_json();
+    g.bench_function("serialize", |b| b.iter(|| black_box(&plan).to_json()));
+    g.bench_function("parse", |b| {
+        b.iter(|| FaultPlan::from_json(black_box(&json)).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_chaos_overhead, bench_plan_roundtrip);
+criterion_main!(benches);

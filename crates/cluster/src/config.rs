@@ -1,5 +1,6 @@
 //! Scenario configuration.
 
+use crate::faults::FaultPlan;
 use dualboot_bootconf::grub4dos::ControlMode;
 use dualboot_core::policy::{
     FcfsPolicy, HysteresisPolicy, ProportionalPolicy, SwitchPolicy, ThresholdPolicy,
@@ -142,6 +143,10 @@ pub struct SimConfig {
     /// Hard stop: no simulation runs past this instant even with jobs
     /// outstanding (guards against pathological scenarios).
     pub horizon: SimDuration,
+    /// Fault schedule (experiment E8). The default plan injects nothing
+    /// and is bit-identical to a run with no fault machinery at all.
+    #[serde(default)]
+    pub faults: FaultPlan,
 }
 
 impl SimConfig {
@@ -165,6 +170,7 @@ impl SimConfig {
             record_series: false,
             sample_every: SimDuration::from_mins(5),
             horizon: SimDuration::from_hours(72),
+            faults: FaultPlan::default(),
         }
     }
 

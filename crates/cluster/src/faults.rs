@@ -1,0 +1,242 @@
+//! Deterministic fault schedules — the chaos side of experiment E8.
+//!
+//! A [`FaultPlan`] is a serialisable description of everything that goes
+//! wrong during a run: continuous link faults on the communicator wire
+//! (drop/duplicate/delay probabilities, drawn from a [`DetRng`] seeded by
+//! the plan) and discrete scheduled events (power resets, reset storms,
+//! PXE outages, scheduler outages, mid-switch reimages). The same
+//! `(seed, plan, workload)` triple reproduces the same faults bit for
+//! bit, so chaos campaigns are as replayable as clean runs.
+//!
+//! A default plan ([`FaultPlan::default`]) injects nothing and is
+//! guaranteed to leave the simulation bit-identical to one that predates
+//! fault injection: quiet links never consult their dice.
+//!
+//! [`DetRng`]: dualboot_des::rng::DetRng
+
+use dualboot_bootconf::os::OsKind;
+use dualboot_des::time::{SimDuration, SimTime};
+use dualboot_net::faulty::LinkFaults;
+use serde::{Deserialize, Serialize};
+
+/// One scheduled fault.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultEvent {
+    /// When the fault fires.
+    pub at: SimTime,
+    /// What goes wrong.
+    pub kind: FaultKind,
+}
+
+/// The kinds of faults a plan can schedule.
+///
+/// Node indices are 1-based (matching the Eridani hostnames); events
+/// naming nodes outside the cluster are ignored.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// Abrupt physical power reset of one node: running jobs die, the
+    /// node reboots through its normal boot chain.
+    PowerReset {
+        /// Node to reset (1-based).
+        node: u16,
+    },
+    /// A storm of resets sweeping `count` consecutive nodes starting at
+    /// `first`, one every `spacing` (a rack PDU brown-out).
+    PowerResetStorm {
+        /// First node hit (1-based).
+        first: u16,
+        /// How many consecutive nodes are hit.
+        count: u16,
+        /// Gap between consecutive resets.
+        spacing: SimDuration,
+    },
+    /// The head node's PXE/DHCP/TFTP service answers nothing for
+    /// `duration`; v2 nodes rebooting inside the window fall back to
+    /// their local boot chain (§IV.A.1).
+    PxeOutage {
+        /// How long the service stays down.
+        duration: SimDuration,
+    },
+    /// One side's scheduler head stops dispatching for `duration`;
+    /// submissions still queue and drain when it recovers.
+    SchedulerOutage {
+        /// Which side's scheduler stalls.
+        os: OsKind,
+        /// How long dispatching is stalled.
+        duration: SimDuration,
+    },
+    /// A Windows reimage destroys the node's MBR and the node reboots:
+    /// v1 nodes brick (no local boot code), v2 nodes come back via PXE.
+    MidSwitchReimage {
+        /// Node reimaged (1-based).
+        node: u16,
+    },
+}
+
+/// A complete, serialisable fault schedule for one run.
+///
+/// Round-trips through JSON (`serde_json`), so plans can be passed to the
+/// CLI with `--faults` and checked into experiment configs.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Seed for the link-fault dice (independent of the scenario seed;
+    /// the simulation mixes both so distinct scenarios draw distinct
+    /// fault sequences even under one plan).
+    #[serde(default)]
+    pub seed: u64,
+    /// Continuous per-message faults on the communicator link (applied
+    /// to both directions).
+    #[serde(default)]
+    pub link: LinkFaults,
+    /// Discrete scheduled faults.
+    #[serde(default)]
+    pub events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// True when the plan injects nothing at all: link probabilities are
+    /// all zero and no events are scheduled. A quiet plan is a guaranteed
+    /// exact passthrough.
+    pub fn is_quiet(&self) -> bool {
+        self.link.is_quiet() && self.events.is_empty()
+    }
+
+    /// The default chaos campaign: a lossy, duplicating, delaying wire
+    /// plus a reset, a reset storm, a reimage, a PXE outage, and a
+    /// Windows scheduler stall — everything §IV.A claims v2 shrugs off.
+    pub fn default_chaos(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            link: LinkFaults {
+                drop_p: 0.10,
+                dup_p: 0.05,
+                delay_p: 0.10,
+                delay_polls: 2,
+            },
+            events: vec![
+                FaultEvent {
+                    at: SimTime::from_mins(10),
+                    kind: FaultKind::PowerReset { node: 3 },
+                },
+                FaultEvent {
+                    at: SimTime::from_mins(20),
+                    kind: FaultKind::PowerResetStorm {
+                        first: 5,
+                        count: 3,
+                        spacing: SimDuration::from_secs(30),
+                    },
+                },
+                FaultEvent {
+                    at: SimTime::from_mins(30),
+                    kind: FaultKind::MidSwitchReimage { node: 2 },
+                },
+                FaultEvent {
+                    at: SimTime::from_mins(40),
+                    kind: FaultKind::PxeOutage {
+                        duration: SimDuration::from_mins(10),
+                    },
+                },
+                FaultEvent {
+                    at: SimTime::from_mins(60),
+                    kind: FaultKind::SchedulerOutage {
+                        os: OsKind::Windows,
+                        duration: SimDuration::from_mins(15),
+                    },
+                },
+            ],
+        }
+    }
+
+    /// Parse a plan from JSON.
+    pub fn from_json(json: &str) -> Result<FaultPlan, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+
+    /// Serialise the plan to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("plan serialises")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plan_is_quiet() {
+        let p = FaultPlan::default();
+        assert!(p.is_quiet());
+        assert_eq!(p.seed, 0);
+        assert!(p.events.is_empty());
+    }
+
+    #[test]
+    fn default_chaos_is_not_quiet() {
+        let p = FaultPlan::default_chaos(7);
+        assert!(!p.is_quiet());
+        assert_eq!(p.seed, 7);
+        assert_eq!(p.events.len(), 5);
+    }
+
+    #[test]
+    fn plan_round_trips_through_json() {
+        let p = FaultPlan::default_chaos(42);
+        let json = p.to_json();
+        let back = FaultPlan::from_json(&json).unwrap();
+        assert_eq!(back, p);
+        // And the round trip is textually stable (bit-reproducible).
+        assert_eq!(back.to_json(), json);
+    }
+
+    #[test]
+    fn sparse_json_fills_defaults() {
+        // Users can write partial plans: missing sections default.
+        let p = FaultPlan::from_json("{}").unwrap();
+        assert_eq!(p, FaultPlan::default());
+        let p = FaultPlan::from_json(r#"{"seed": 5}"#).unwrap();
+        assert_eq!(p.seed, 5);
+        assert!(p.link.is_quiet());
+    }
+
+    #[test]
+    fn event_kinds_round_trip() {
+        let events = vec![
+            FaultEvent {
+                at: SimTime::from_secs(1),
+                kind: FaultKind::PowerReset { node: 1 },
+            },
+            FaultEvent {
+                at: SimTime::from_secs(2),
+                kind: FaultKind::PowerResetStorm {
+                    first: 1,
+                    count: 16,
+                    spacing: SimDuration::from_secs(5),
+                },
+            },
+            FaultEvent {
+                at: SimTime::from_secs(3),
+                kind: FaultKind::PxeOutage {
+                    duration: SimDuration::from_mins(1),
+                },
+            },
+            FaultEvent {
+                at: SimTime::from_secs(4),
+                kind: FaultKind::SchedulerOutage {
+                    os: OsKind::Linux,
+                    duration: SimDuration::from_mins(2),
+                },
+            },
+            FaultEvent {
+                at: SimTime::from_secs(5),
+                kind: FaultKind::MidSwitchReimage { node: 9 },
+            },
+        ];
+        let plan = FaultPlan {
+            seed: 1,
+            link: LinkFaults::default(),
+            events,
+        };
+        let back = FaultPlan::from_json(&plan.to_json()).unwrap();
+        assert_eq!(back, plan);
+    }
+}

@@ -11,6 +11,9 @@
 //!
 //! * [`config`] — scenario configuration ([`config::SimConfig`]) and the
 //!   evaluation modes (dual-boot, static split, mono-stable, oracle).
+//! * [`faults`] — deterministic fault schedules ([`faults::FaultPlan`]):
+//!   link faults on the communicator wire plus scheduled resets, outages
+//!   and reimages, all reproducible from the plan seed.
 //! * [`sim`] — the event loop ([`sim::Simulation`]).
 //! * [`metrics`] — per-run results ([`metrics::SimResult`]): waits,
 //!   utilisation, switch counts and latencies, time series.
@@ -28,12 +31,14 @@
 //! | `Oracle` | no OS constraint at all (upper bound) | — |
 
 pub mod config;
+pub mod faults;
 pub mod metrics;
 pub mod replicate;
 pub mod report;
 pub mod sim;
 
 pub use config::{Mode, PolicyKind, SimConfig};
-pub use metrics::{SamplePoint, SimResult};
+pub use faults::{FaultEvent, FaultKind, FaultPlan};
+pub use metrics::{FaultStats, SamplePoint, SimResult};
 pub use replicate::{replicate, Replication};
 pub use sim::Simulation;

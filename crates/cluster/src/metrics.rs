@@ -22,6 +22,46 @@ pub struct SamplePoint {
     pub windows_queued: u32,
 }
 
+/// Fault-injection and recovery counters (experiment E8's chaos runs).
+///
+/// Folded together from the plan executor, the link-fault wrappers on
+/// both directions of the communicator wire, and both daemons' resilience
+/// machinery. All-zero on a run with a quiet [`FaultPlan`].
+///
+/// [`FaultPlan`]: crate::faults::FaultPlan
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultStats {
+    /// Node power resets executed (including storm members and reimages).
+    pub power_resets: u32,
+    /// PXE outage windows opened.
+    pub pxe_outages: u32,
+    /// Scheduler stall windows opened.
+    pub scheduler_outages: u32,
+    /// Mid-switch reimages executed.
+    pub reimages: u32,
+    /// Communicator messages dropped by link faults.
+    pub msgs_dropped: u64,
+    /// Communicator messages delayed by link faults.
+    pub msgs_delayed: u64,
+    /// Communicator messages duplicated by link faults.
+    pub msgs_duplicated: u64,
+    /// Reboot-order retransmissions by the Linux daemon.
+    pub order_retries: u64,
+    /// Reboot orders the Linux daemon abandoned after max attempts.
+    pub orders_abandoned: u64,
+    /// Duplicate reboot orders the Windows daemon re-acked idempotently.
+    pub dup_orders_ignored: u64,
+    /// Polls where the cached Windows report had outlived its TTL.
+    pub stale_reports_ignored: u64,
+}
+
+impl FaultStats {
+    /// True when nothing was injected and no recovery machinery fired.
+    pub fn is_zero(&self) -> bool {
+        *self == FaultStats::default()
+    }
+}
+
 /// Everything a simulation run reports.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SimResult {
@@ -64,6 +104,9 @@ pub struct SimResult {
     pub end_time: SimTime,
     /// Total cores in the cluster (for utilisation).
     pub total_cores: u32,
+    /// Fault-injection and recovery counters (all-zero on clean runs).
+    #[serde(default)]
+    pub faults: FaultStats,
     /// Optional time series.
     pub series: Vec<SamplePoint>,
 }
@@ -90,6 +133,7 @@ impl SimResult {
             makespan: SimTime::ZERO,
             end_time: SimTime::ZERO,
             total_cores,
+            faults: FaultStats::default(),
             series: Vec::new(),
         }
     }

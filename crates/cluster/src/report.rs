@@ -136,6 +136,39 @@ pub const RESULT_HEADERS: [&str; 9] = [
     "turnaround",
 ];
 
+/// Render the chaos section of a result: what the fault plan injected and
+/// what the resilience machinery did about it. Empty on clean runs (no
+/// faults injected, nothing retried), so clean reports stay unchanged.
+pub fn chaos_section(r: &SimResult) -> String {
+    let f = &r.faults;
+    if f.is_zero() {
+        return String::new();
+    }
+    let mut t = Table::new("chaos", &["fault", "injected", "recovery", "count"]);
+    let mut row = |fault: &str, injected: u64, recovery: &str, count: u64| {
+        t.row(&[
+            fault.to_string(),
+            injected.to_string(),
+            recovery.to_string(),
+            count.to_string(),
+        ]);
+    };
+    row(
+        "power resets",
+        u64::from(f.power_resets),
+        "boot failures",
+        u64::from(r.boot_failures),
+    );
+    row("reimages", u64::from(f.reimages), "-", 0);
+    row("pxe outages", u64::from(f.pxe_outages), "misdirected switches", u64::from(r.misdirected_switches));
+    row("scheduler outages", u64::from(f.scheduler_outages), "-", 0);
+    row("msgs dropped", f.msgs_dropped, "order retries", f.order_retries);
+    row("msgs delayed", f.msgs_delayed, "stale reports ignored", f.stale_reports_ignored);
+    row("msgs duplicated", f.msgs_duplicated, "dup orders ignored", f.dup_orders_ignored);
+    row("orders abandoned", f.orders_abandoned, "jobs killed", u64::from(r.killed));
+    t.render()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -191,5 +224,24 @@ mod tests {
         assert!(t.is_empty());
         assert_eq!(t.len(), 0);
         assert!(t.render().contains("empty"));
+    }
+
+    #[test]
+    fn chaos_section_empty_on_clean_runs() {
+        let r = SimResult::new(64);
+        assert_eq!(chaos_section(&r), "");
+    }
+
+    #[test]
+    fn chaos_section_reports_injected_faults() {
+        let mut r = SimResult::new(64);
+        r.faults.power_resets = 3;
+        r.faults.msgs_dropped = 12;
+        r.faults.order_retries = 2;
+        let s = chaos_section(&r);
+        assert!(s.starts_with("== chaos =="));
+        assert!(s.contains("power resets"));
+        assert!(s.contains("order retries"));
+        assert!(s.contains("12"));
     }
 }

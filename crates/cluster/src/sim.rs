@@ -8,6 +8,7 @@
 //! hardware, exactly as the head nodes would.
 
 use crate::config::{Mode, SimConfig};
+use crate::faults::FaultKind;
 use crate::metrics::{SamplePoint, SimResult};
 use dualboot_bootconf::os::OsKind;
 use dualboot_core::daemon::{Action, LinuxDaemon, WindowsDaemon};
@@ -19,8 +20,10 @@ use dualboot_des::rng::DetRng;
 use dualboot_des::time::{SimDuration, SimTime};
 use dualboot_deploy::oscar::OscarDeployer;
 use dualboot_deploy::windows::WindowsDeployer;
+use dualboot_hw::disk::MbrCode;
 use dualboot_hw::node::{ComputeNode, FirmwareBootOrder, PowerState};
 use dualboot_hw::pxe::PxeService;
+use dualboot_net::faulty::FaultyTransport;
 use dualboot_net::transport::{in_proc_pair, InProcTransport};
 use dualboot_net::wire::DetectorReport;
 use dualboot_sched::job::{JobId, JobKind, JobRequest};
@@ -59,9 +62,22 @@ enum Event {
     PxeDown,
     /// The PXE service comes back.
     PxeUp,
+    /// Fault injection: one side's scheduler stops dispatching.
+    SchedulerDown { os: OsKind },
+    /// The stalled scheduler recovers and drains its backlog.
+    SchedulerUp { os: OsKind },
+    /// Fault injection: a reimage destroys the node's MBR, then resets it.
+    MidSwitchReimage { node: u16 },
     /// Time-series sampling.
     Sample,
 }
+
+/// The simulator's daemon transport: the in-process pipe wrapped in the
+/// deterministic link-fault decorator. With a quiet [`FaultPlan`] the
+/// wrapper never consults its dice and is an exact passthrough.
+///
+/// [`FaultPlan`]: crate::faults::FaultPlan
+type SimTransport = FaultyTransport<InProcTransport, DetRng>;
 
 struct PendingSwitch {
     target: OsKind,
@@ -89,13 +105,15 @@ pub struct Simulation {
     pbs: PbsScheduler,
     win: WinHpcScheduler,
     pxe: PxeService,
-    lin_daemon: Option<LinuxDaemon<InProcTransport, Box<dyn SwitchPolicy>>>,
-    win_daemon: Option<WindowsDaemon<InProcTransport>>,
+    lin_daemon: Option<LinuxDaemon<SimTransport, Box<dyn SwitchPolicy>>>,
+    win_daemon: Option<WindowsDaemon<SimTransport>>,
     /// Omniscient-decider state (E7 ablation): policy + outstanding counts.
     omni: Option<(Box<dyn SwitchPolicy>, u32, u32)>,
     pending_switch: HashMap<u16, PendingSwitch>,
     /// Events that die with a node on power reset.
     node_events: HashMap<u16, Vec<EventId>>,
+    /// Scheduler-outage stalls (fault injection): `(linux, windows)`.
+    sched_stalled: (bool, bool),
     busy_user_cores: f64,
     booting_count: f64,
     jobs_outstanding: u32,
@@ -177,7 +195,16 @@ impl Simulation {
             if cfg.omniscient {
                 (None, None, Some((cfg.policy.build(), 0, 0)))
             } else {
+                // Both directions of the communicator wire go through the
+                // link-fault decorator; a quiet plan never consults the
+                // dice, so clean runs stay bit-identical.
+                let fault_master =
+                    DetRng::seed_from(cfg.faults.seed ^ cfg.seed ^ 0x00fa_0175);
                 let (lt, wt) = in_proc_pair();
+                let lt =
+                    FaultyTransport::new(lt, cfg.faults.link, fault_master.derive("lin-to-win"));
+                let wt =
+                    FaultyTransport::new(wt, cfg.faults.link, fault_master.derive("win-to-lin"));
                 (
                     Some(LinuxDaemon::new(cfg.version, lt, cfg.policy.build())),
                     Some(WindowsDaemon::new(wt)),
@@ -200,6 +227,46 @@ impl Simulation {
         if cfg.record_series {
             queue.schedule(cfg.sample_every, Event::Sample);
         }
+        // Expand the fault plan's discrete events. Events naming nodes
+        // outside the cluster are ignored.
+        let node_ok = |n: u16| (1..=cfg.nodes).contains(&n);
+        for fe in &cfg.faults.events {
+            match fe.kind {
+                FaultKind::PowerReset { node } => {
+                    if node_ok(node) {
+                        queue.schedule_at(fe.at, Event::PowerReset { node: node - 1 });
+                    }
+                }
+                FaultKind::PowerResetStorm {
+                    first,
+                    count,
+                    spacing,
+                } => {
+                    for i in 0..count {
+                        let node = first.saturating_add(i);
+                        if node_ok(node) {
+                            queue.schedule_at(
+                                fe.at + spacing.saturating_mul(u64::from(i)),
+                                Event::PowerReset { node: node - 1 },
+                            );
+                        }
+                    }
+                }
+                FaultKind::PxeOutage { duration } => {
+                    queue.schedule_at(fe.at, Event::PxeDown);
+                    queue.schedule_at(fe.at + duration, Event::PxeUp);
+                }
+                FaultKind::SchedulerOutage { os, duration } => {
+                    queue.schedule_at(fe.at, Event::SchedulerDown { os });
+                    queue.schedule_at(fe.at + duration, Event::SchedulerUp { os });
+                }
+                FaultKind::MidSwitchReimage { node } => {
+                    if node_ok(node) {
+                        queue.schedule_at(fe.at, Event::MidSwitchReimage { node: node - 1 });
+                    }
+                }
+            }
+        }
 
         let total_cores = cfg.total_cores();
         Simulation {
@@ -217,30 +284,13 @@ impl Simulation {
             omni,
             pending_switch: HashMap::new(),
             node_events: HashMap::new(),
+            sched_stalled: (false, false),
             busy_user_cores: 0.0,
             booting_count: 0.0,
             jobs_outstanding: 0,
             submitted: 0,
             result: SimResult::new(total_cores),
         }
-    }
-
-    /// Inject a power reset at `at` (experiment E8).
-    pub fn schedule_power_reset(&mut self, node_index_1based: u16, at: SimTime) {
-        self.queue
-            .schedule_at(at, Event::PowerReset {
-                node: node_index_1based - 1,
-            });
-    }
-
-    /// Inject a PXE/head-node outage window: from `at`, the DHCP/TFTP
-    /// service answers nothing for `duration`. v2 nodes that reboot in the
-    /// window fall back to their local boot chain (§IV.A.1's "quit PXE and
-    /// lead to normal boot order"), escaping head-node control until the
-    /// next switch after recovery.
-    pub fn schedule_pxe_outage(&mut self, at: SimTime, duration: SimDuration) {
-        self.queue.schedule_at(at, Event::PxeDown);
-        self.queue.schedule_at(at + duration, Event::PxeUp);
     }
 
     /// Direct node access (fault-injection assertions).
@@ -272,7 +322,32 @@ impl Simulation {
         }
         self.result.end_time = self.queue.now().min(horizon);
         self.result.unfinished = self.jobs_outstanding;
+        self.fold_fault_stats();
         self.result
+    }
+
+    /// Fold the link wrappers' and daemons' resilience counters into the
+    /// result sheet. All-zero on clean runs.
+    fn fold_fault_stats(&mut self) {
+        let f = &mut self.result.faults;
+        if let Some(d) = &self.lin_daemon {
+            let s = d.stats();
+            f.order_retries += s.order_retries;
+            f.orders_abandoned += s.orders_abandoned;
+            f.stale_reports_ignored += s.stale_reports_ignored;
+            let l = d.transport().stats();
+            f.msgs_dropped += l.dropped;
+            f.msgs_delayed += l.delayed;
+            f.msgs_duplicated += l.duplicated;
+        }
+        if let Some(d) = &self.win_daemon {
+            let s = d.stats();
+            f.dup_orders_ignored += s.dup_orders_ignored;
+            let l = d.transport().stats();
+            f.msgs_dropped += l.dropped;
+            f.msgs_delayed += l.delayed;
+            f.msgs_duplicated += l.duplicated;
+        }
     }
 
     // ------------------------------------------------------------------
@@ -296,8 +371,14 @@ impl Simulation {
             Event::WinTick => self.on_win_tick(),
             Event::LinuxPoll => self.on_linux_poll(),
             Event::PowerReset { node } => self.on_power_reset(node),
-            Event::PxeDown => self.pxe.set_enabled(false),
+            Event::PxeDown => {
+                self.result.faults.pxe_outages += 1;
+                self.pxe.set_enabled(false);
+            }
             Event::PxeUp => self.pxe.set_enabled(true),
+            Event::SchedulerDown { os } => self.on_scheduler_down(os),
+            Event::SchedulerUp { os } => self.on_scheduler_up(os),
+            Event::MidSwitchReimage { node } => self.on_reimage(node),
             Event::Sample => self.on_sample(),
         }
     }
@@ -572,8 +653,35 @@ impl Simulation {
         }
     }
 
+    fn on_scheduler_down(&mut self, os: OsKind) {
+        self.result.faults.scheduler_outages += 1;
+        match os {
+            OsKind::Linux => self.sched_stalled.0 = true,
+            OsKind::Windows => self.sched_stalled.1 = true,
+        }
+    }
+
+    fn on_scheduler_up(&mut self, os: OsKind) {
+        match os {
+            OsKind::Linux => self.sched_stalled.0 = false,
+            OsKind::Windows => self.sched_stalled.1 = false,
+        }
+        // Drain whatever queued up during the stall.
+        self.dispatch(os);
+    }
+
+    /// A reimage rewrites the node's MBR to nothing and the node reboots.
+    /// v1 nodes brick (their boot chain needs the local MBR); v2 nodes
+    /// boot via PXE and never notice.
+    fn on_reimage(&mut self, node: u16) {
+        self.result.faults.reimages += 1;
+        self.nodes[usize::from(node)].disk.set_mbr(MbrCode::None);
+        self.on_power_reset(node);
+    }
+
     fn on_power_reset(&mut self, node: u16) {
         let now = self.queue.now();
+        self.result.faults.power_resets += 1;
         let hostname = self.nodes[usize::from(node)].hostname.clone();
         // Kill anything scheduled against this node (boot completions,
         // pending switch steps).
@@ -668,6 +776,15 @@ impl Simulation {
     }
 
     fn dispatch(&mut self, os: OsKind) {
+        // A stalled scheduler head dispatches nothing; its backlog drains
+        // when the outage ends (`SchedulerUp`).
+        let stalled = match os {
+            OsKind::Linux => self.sched_stalled.0,
+            OsKind::Windows => self.sched_stalled.1,
+        };
+        if stalled {
+            return;
+        }
         let now = self.queue.now();
         let dispatches = match os {
             OsKind::Linux => self.pbs.try_dispatch(now),
@@ -760,6 +877,7 @@ fn transform_trace(cfg: &SimConfig, mut trace: Vec<SubmitEvent>) -> Vec<SubmitEv
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::faults::FaultEvent;
     use dualboot_workload::generator::WorkloadSpec;
 
     fn small_trace(seed: u64, windows_fraction: f64) -> Vec<SubmitEvent> {
@@ -930,7 +1048,7 @@ mod tests {
         // E8: under v1, a power reset that lands *before* the switch
         // job's bootcontrol step leaves controlmenu.lst pointing at the
         // old OS — the node comes back up on the stale side.
-        let cfg = SimConfig::eridani_v1(12);
+        let mut cfg = SimConfig::eridani_v1(12);
         // One Windows job to provoke a switch; long horizon.
         let trace = vec![SubmitEvent {
             at: SimTime::from_mins(1),
@@ -942,7 +1060,6 @@ mod tests {
                 SimDuration::from_mins(5),
             ),
         }];
-        let mut sim = Simulation::new(cfg, trace);
         // The first LinuxPoll (after the first WinTick at 5 min... v1 both
         // cycles are 5 min; order: WinTick then LinuxPoll at the same
         // instant is fine) orders a switch; the switch job dispatches at
@@ -953,8 +1070,11 @@ mod tests {
         // happens at t=300 s (WinTick at 300 sends state, LinuxPoll at
         // 300 pumps+decides — WinTick was scheduled first, so same-tick
         // ordering delivers the report in time).
-        sim.schedule_power_reset(1, SimTime::from_millis(301_000));
-        let r = sim.run();
+        cfg.faults.events.push(FaultEvent {
+            at: SimTime::from_millis(301_000),
+            kind: FaultKind::PowerReset { node: 1 },
+        });
+        let r = Simulation::new(cfg, trace).run();
         // The reset killed the switch before the config change, so the
         // node rebooted into the *stale* OS (Linux) and the Windows job
         // stayed unserved — until a later poll re-ordered the switch.
@@ -973,7 +1093,7 @@ mod tests {
         // down: ordered switches reboot into the local fallback (Linux),
         // count as misdirected, and a later poll re-orders them once the
         // service recovers. The workload still completes.
-        let cfg = SimConfig::eridani_v2(51);
+        let mut cfg = SimConfig::eridani_v2(51);
         let trace: Vec<SubmitEvent> = (0..4)
             .map(|k| SubmitEvent {
                 at: SimTime::from_mins(1),
@@ -986,14 +1106,75 @@ mod tests {
                 ),
             })
             .collect();
-        let mut sim = Simulation::new(cfg, trace);
         // Outage covers the first switch round's reboots (~5-10 min).
-        sim.schedule_pxe_outage(SimTime::from_mins(4), SimDuration::from_mins(10));
-        let r = sim.run();
+        cfg.faults.events.push(FaultEvent {
+            at: SimTime::from_mins(4),
+            kind: FaultKind::PxeOutage {
+                duration: SimDuration::from_mins(10),
+            },
+        });
+        let r = Simulation::new(cfg, trace).run();
         assert!(r.misdirected_switches > 0, "outage-window boots went stale");
         assert_eq!(r.unfinished, 0, "recovered after the outage");
         assert_eq!(r.completed.1, 4);
         assert_eq!(r.boot_failures, 0, "fallback boots, never bricks");
+        assert_eq!(r.faults.pxe_outages, 1);
+    }
+
+    #[test]
+    fn scheduler_outage_stalls_dispatch_then_drains() {
+        let mut cfg = SimConfig::eridani_v2(60);
+        cfg.faults.events.push(FaultEvent {
+            at: SimTime::from_mins(2),
+            kind: FaultKind::SchedulerOutage {
+                os: OsKind::Linux,
+                duration: SimDuration::from_mins(20),
+            },
+        });
+        // Submitted during the stall: nothing dispatches until min 22.
+        let trace: Vec<SubmitEvent> = (0..4)
+            .map(|k| SubmitEvent {
+                at: SimTime::from_mins(3),
+                req: JobRequest::user(
+                    format!("md-{k}"),
+                    OsKind::Linux,
+                    1,
+                    4,
+                    SimDuration::from_mins(5),
+                ),
+            })
+            .collect();
+        let r = Simulation::new(cfg, trace).run();
+        assert_eq!(r.unfinished, 0, "backlog drains after recovery");
+        assert_eq!(r.total_completed(), 4);
+        assert_eq!(r.faults.scheduler_outages, 1);
+        assert!(
+            r.makespan >= SimTime::from_mins(22),
+            "jobs could not have finished during the stall (makespan {:?})",
+            r.makespan
+        );
+    }
+
+    #[test]
+    fn reimage_bricks_v1_but_not_v2() {
+        // The same plan against both generations: destroying node 4's MBR
+        // and resetting it bricks a v1 node (its boot chain needs the
+        // local MBR) while the v2 node boots via PXE and rejoins.
+        let run = |cfg: SimConfig| {
+            let mut cfg = cfg;
+            cfg.faults.events.push(FaultEvent {
+                at: SimTime::from_mins(2),
+                kind: FaultKind::MidSwitchReimage { node: 4 },
+            });
+            Simulation::new(cfg, small_trace(61, 0.0)).run()
+        };
+        let v1 = run(SimConfig::eridani_v1(61));
+        assert_eq!(v1.faults.reimages, 1);
+        assert!(v1.boot_failures > 0, "v1 node bricked");
+        let v2 = run(SimConfig::eridani_v2(61));
+        assert_eq!(v2.faults.reimages, 1);
+        assert_eq!(v2.boot_failures, 0, "v2 boots via PXE regardless");
+        assert_eq!(v2.unfinished, 0);
     }
 
     #[test]

@@ -21,12 +21,77 @@ use crate::detector::DetectorOutput;
 use crate::policy::{PolicyInput, SideState, SwitchOrder, SwitchPolicy};
 use crate::Version;
 use dualboot_bootconf::os::OsKind;
-use dualboot_des::time::SimTime;
+use dualboot_des::time::{SimDuration, SimTime};
 use dualboot_des::trace::Trace;
 use dualboot_net::proto::Message;
 use dualboot_net::transport::{Transport, TransportError};
 use dualboot_net::wire::DetectorReport;
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Resilience knobs for the communicators (retransmission and staleness).
+///
+/// The real daemons poll on minute-scale cycles, so the defaults are
+/// generous: an unacknowledged reboot order is retransmitted with
+/// doubling backoff (bounded at 8× the base interval) and abandoned —
+/// releasing its bookkeeping — after `max_attempts` sends; a cached
+/// Windows report older than `report_ttl` is treated as "no report"
+/// rather than steering decisions with dead data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RetryConfig {
+    /// Base wait before the first retransmission of an unacked order.
+    pub resend_after: SimDuration,
+    /// Total send attempts (first send included) before giving up.
+    pub max_attempts: u32,
+    /// How long a cached remote report stays trustworthy.
+    pub report_ttl: SimDuration,
+}
+
+impl Default for RetryConfig {
+    fn default() -> Self {
+        RetryConfig {
+            resend_after: SimDuration::from_secs(120),
+            max_attempts: 5,
+            report_ttl: SimDuration::from_mins(30),
+        }
+    }
+}
+
+impl RetryConfig {
+    /// The wait before retransmission number `attempts` (doubling,
+    /// bounded at 8× the base interval).
+    fn backoff(&self, attempts: u32) -> SimDuration {
+        let factor = 1u64 << attempts.saturating_sub(1).min(3);
+        self.resend_after.saturating_mul(factor)
+    }
+}
+
+/// Counters for the resilience machinery, reported by both daemons.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DaemonStats {
+    /// Fresh reboot orders sent over the wire.
+    pub orders_sent: u64,
+    /// Retransmissions of unacknowledged orders.
+    pub order_retries: u64,
+    /// Orders abandoned after exhausting their attempts.
+    pub orders_abandoned: u64,
+    /// Acknowledgements received and matched to a pending order.
+    pub acks_matched: u64,
+    /// Duplicate orders recognised and re-acked without resubmitting.
+    pub dup_orders_ignored: u64,
+    /// Polls where the cached remote report had expired.
+    pub stale_reports_ignored: u64,
+}
+
+/// A reboot order sent but not yet acknowledged.
+#[derive(Debug, Clone)]
+struct PendingOrder {
+    seq: u64,
+    target: OsKind,
+    count: u32,
+    attempts: u32,
+    last_sent: SimTime,
+}
 
 /// Something the host must do on a daemon's behalf.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -91,6 +156,10 @@ pub enum ControlEvent {
 #[derive(Debug)]
 pub struct WindowsDaemon<T> {
     transport: T,
+    /// Orders already executed, by sequence number, with the count we
+    /// acked — a retransmission is re-acked idempotently, never resubmitted.
+    seen_orders: HashMap<u64, u32>,
+    stats: DaemonStats,
     trace: Trace<ControlEvent>,
 }
 
@@ -99,6 +168,8 @@ impl<T: Transport> WindowsDaemon<T> {
     pub fn new(transport: T) -> Self {
         WindowsDaemon {
             transport,
+            seen_orders: HashMap::new(),
+            stats: DaemonStats::default(),
             trace: Trace::new(),
         }
     }
@@ -120,10 +191,21 @@ impl<T: Transport> WindowsDaemon<T> {
     }
 
     /// Drain incoming messages; reboot orders become submit actions.
+    ///
+    /// A retransmitted order (same non-zero `seq` as one already executed)
+    /// is acknowledged again but never resubmitted, so a lossy link can
+    /// not double-drain the Windows side.
     pub fn pump(&mut self, now: SimTime) -> Result<Vec<Action>, TransportError> {
         let mut actions = Vec::new();
         while let Some(msg) = self.transport.try_recv()? {
-            if let Message::RebootOrder { target, count } = msg {
+            if let Message::RebootOrder { target, count, seq } = msg {
+                if seq != 0 {
+                    if let Some(&queued) = self.seen_orders.get(&seq) {
+                        self.stats.dup_orders_ignored += 1;
+                        self.transport.send(&Message::OrderAck { queued, seq })?;
+                        continue;
+                    }
+                }
                 self.trace
                     .record(now, ControlEvent::RebootOrderReceived { target, count });
                 self.trace.record(
@@ -138,10 +220,24 @@ impl<T: Transport> WindowsDaemon<T> {
                     target,
                     count,
                 });
-                self.transport.send(&Message::OrderAck { queued: count })?;
+                if seq != 0 {
+                    self.seen_orders.insert(seq, count);
+                }
+                self.transport.send(&Message::OrderAck { queued: count, seq })?;
             }
         }
         Ok(actions)
+    }
+
+    /// Resilience counters.
+    pub fn stats(&self) -> DaemonStats {
+        self.stats
+    }
+
+    /// The underlying transport (host-side introspection, e.g. the
+    /// simulator reading link-fault counters off a fault wrapper).
+    pub fn transport(&self) -> &T {
+        &self.transport
     }
 
     /// The daemon's event trace.
@@ -160,23 +256,36 @@ pub struct LinuxDaemon<T, P> {
     version: Version,
     transport: T,
     policy: P,
-    latest_windows: Option<DetectorReport>,
+    retry: RetryConfig,
+    latest_windows: Option<(DetectorReport, SimTime)>,
     outstanding_to_linux: u32,
     outstanding_to_windows: u32,
+    next_seq: u64,
+    pending: Vec<PendingOrder>,
+    stats: DaemonStats,
     trace: Trace<ControlEvent>,
 }
 
 impl<T: Transport, P: SwitchPolicy> LinuxDaemon<T, P> {
     /// A daemon for `version`, deciding with `policy`, speaking over
-    /// `transport`.
+    /// `transport`, with default [`RetryConfig`].
     pub fn new(version: Version, transport: T, policy: P) -> Self {
+        Self::with_retry(version, transport, policy, RetryConfig::default())
+    }
+
+    /// Like [`new`](LinuxDaemon::new) with explicit resilience knobs.
+    pub fn with_retry(version: Version, transport: T, policy: P, retry: RetryConfig) -> Self {
         LinuxDaemon {
             version,
             transport,
             policy,
+            retry,
             latest_windows: None,
             outstanding_to_linux: 0,
             outstanding_to_windows: 0,
+            next_seq: 0,
+            pending: Vec::new(),
+            stats: DaemonStats::default(),
             trace: Trace::new(),
         }
     }
@@ -189,15 +298,68 @@ impl<T: Transport, P: SwitchPolicy> LinuxDaemon<T, P> {
                     debug_assert_eq!(os, OsKind::Windows);
                     self.trace
                         .record(now, ControlEvent::WinStateReceived(report.clone()));
-                    self.latest_windows = Some(report);
+                    self.latest_windows = Some((report, now));
                 }
-                Message::OrderAck { .. } => {}
+                Message::OrderAck { seq, .. } => {
+                    let before = self.pending.len();
+                    self.pending.retain(|p| p.seq != seq);
+                    if self.pending.len() < before {
+                        self.stats.acks_matched += 1;
+                    }
+                }
                 Message::RebootOrder { .. } => {
                     debug_assert!(false, "Linux daemon does not receive reboot orders");
                 }
             }
         }
         Ok(())
+    }
+
+    /// Retransmit overdue unacknowledged orders; abandon the exhausted
+    /// ones and release their bookkeeping so the policy can re-decide.
+    fn service_pending(&mut self, now: SimTime) -> Result<(), TransportError> {
+        let mut abandoned: Vec<(OsKind, u32)> = Vec::new();
+        let mut resend: Vec<(OsKind, u32, u64)> = Vec::new();
+        self.pending.retain_mut(|p| {
+            if now.saturating_since(p.last_sent) < self.retry.backoff(p.attempts) {
+                return true;
+            }
+            if p.attempts >= self.retry.max_attempts {
+                abandoned.push((p.target, p.count));
+                return false;
+            }
+            p.attempts += 1;
+            p.last_sent = now;
+            resend.push((p.target, p.count, p.seq));
+            true
+        });
+        for (target, count) in abandoned {
+            self.stats.orders_abandoned += 1;
+            for _ in 0..count {
+                self.on_switch_abandoned(target);
+            }
+        }
+        for (target, count, seq) in resend {
+            self.stats.order_retries += 1;
+            self.transport
+                .send(&Message::RebootOrder { target, count, seq })?;
+        }
+        Ok(())
+    }
+
+    /// The cached Windows report if it is still within its TTL.
+    fn fresh_windows_report(&mut self, now: SimTime) -> Option<DetectorReport> {
+        match &self.latest_windows {
+            Some((report, received)) => {
+                if now.saturating_since(*received) <= self.retry.report_ttl {
+                    Some(report.clone())
+                } else {
+                    self.stats.stale_reports_ignored += 1;
+                    None
+                }
+            }
+            None => None,
+        }
     }
 
     /// Steps 3–5: combine the cached Windows report with the local
@@ -212,11 +374,11 @@ impl<T: Transport, P: SwitchPolicy> LinuxDaemon<T, P> {
         nodes_free: u32,
         now: SimTime,
     ) -> Result<Vec<Action>, TransportError> {
+        self.service_pending(now)?;
         self.trace
             .record(now, ControlEvent::LinuxStateFetched(local.report.clone()));
         let windows_report = self
-            .latest_windows
-            .clone()
+            .fresh_windows_report(now)
             .unwrap_or_else(DetectorReport::not_stuck);
         let input = PolicyInput {
             linux: SideState::local(
@@ -245,11 +407,23 @@ impl<T: Transport, P: SwitchPolicy> LinuxDaemon<T, P> {
         }
         match order.target {
             OsKind::Linux => {
-                // Windows must release nodes: send the order over the wire.
+                // Windows must release nodes: send the order over the wire
+                // and remember it until the ack comes back.
                 self.outstanding_to_linux += order.count;
+                self.next_seq += 1;
+                let seq = self.next_seq;
+                self.pending.push(PendingOrder {
+                    seq,
+                    target: OsKind::Linux,
+                    count: order.count,
+                    attempts: 1,
+                    last_sent: now,
+                });
+                self.stats.orders_sent += 1;
                 self.transport.send(&Message::RebootOrder {
                     target: OsKind::Linux,
                     count: order.count,
+                    seq,
                 })?;
                 self.trace.record(
                     now,
@@ -305,9 +479,25 @@ impl<T: Transport, P: SwitchPolicy> LinuxDaemon<T, P> {
         }
     }
 
-    /// The most recently received Windows report, if any.
+    /// The most recently received Windows report, if any (TTL not applied).
     pub fn latest_windows(&self) -> Option<&DetectorReport> {
-        self.latest_windows.as_ref()
+        self.latest_windows.as_ref().map(|(r, _)| r)
+    }
+
+    /// Reboot orders sent but not yet acknowledged.
+    pub fn unacked_orders(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Resilience counters.
+    pub fn stats(&self) -> DaemonStats {
+        self.stats
+    }
+
+    /// The underlying transport (host-side introspection, e.g. the
+    /// simulator reading link-fault counters off a fault wrapper).
+    pub fn transport(&self) -> &T {
+        &self.transport
     }
 
     /// The daemon's event trace.
@@ -490,14 +680,137 @@ mod tests {
         lt.send(&Message::RebootOrder {
             target: OsKind::Linux,
             count: 3,
+            seq: 9,
         })
         .unwrap();
         let actions = win.pump(t(0)).unwrap();
         assert_eq!(actions.len(), 1);
         assert_eq!(
             lt.try_recv().unwrap(),
-            Some(Message::OrderAck { queued: 3 })
+            Some(Message::OrderAck { queued: 3, seq: 9 })
         );
+    }
+
+    #[test]
+    fn windows_daemon_deduplicates_retransmitted_orders() {
+        let (mut lt, wt) = in_proc_pair();
+        let mut win = WindowsDaemon::new(wt);
+        let order = Message::RebootOrder {
+            target: OsKind::Linux,
+            count: 2,
+            seq: 4,
+        };
+        lt.send(&order).unwrap();
+        lt.send(&order).unwrap(); // duplicated in flight
+        let actions = win.pump(t(0)).unwrap();
+        assert_eq!(actions.len(), 1, "one submit for one decision");
+        // Both copies were acked (idempotent re-ack).
+        assert_eq!(
+            lt.try_recv().unwrap(),
+            Some(Message::OrderAck { queued: 2, seq: 4 })
+        );
+        assert_eq!(
+            lt.try_recv().unwrap(),
+            Some(Message::OrderAck { queued: 2, seq: 4 })
+        );
+        assert_eq!(win.stats().dup_orders_ignored, 1);
+        // A late third copy, pumped separately, still submits nothing.
+        lt.send(&order).unwrap();
+        assert!(win.pump(t(60)).unwrap().is_empty());
+    }
+
+    #[test]
+    fn linux_daemon_resends_unacked_order_with_same_seq() {
+        let (lt, mut wt) = in_proc_pair();
+        let retry = RetryConfig {
+            resend_after: SimDuration::from_secs(100),
+            max_attempts: 3,
+            ..RetryConfig::default()
+        };
+        let mut lin = LinuxDaemon::with_retry(Version::V2, lt, FcfsPolicy, retry);
+        // Windows tells us it's idle; Linux is stuck -> order toward Linux.
+        lin.pump(t(0)).unwrap();
+        lin.poll(&stuck(4), 16, 0, t(0)).unwrap();
+        assert_eq!(lin.unacked_orders(), 1);
+        let first = wt.try_recv().unwrap().expect("order sent");
+        let Message::RebootOrder { seq, count, .. } = first else {
+            panic!("expected an order, got {first:?}");
+        };
+
+        // The ack never arrives. Before the backoff elapses: no resend.
+        lin.poll(&stuck(4), 16, 0, t(50)).unwrap();
+        assert_eq!(wt.try_recv().unwrap(), None);
+        // After it elapses: the same (seq, count) goes out again.
+        lin.poll(&stuck(4), 16, 0, t(150)).unwrap();
+        assert_eq!(
+            wt.try_recv().unwrap(),
+            Some(Message::RebootOrder {
+                target: OsKind::Linux,
+                count,
+                seq,
+            })
+        );
+        assert_eq!(lin.stats().order_retries, 1);
+
+        // Acking clears the pending slot.
+        wt.send(&Message::OrderAck { queued: count, seq }).unwrap();
+        lin.pump(t(200)).unwrap();
+        assert_eq!(lin.unacked_orders(), 0);
+        assert_eq!(lin.stats().acks_matched, 1);
+    }
+
+    #[test]
+    fn linux_daemon_abandons_order_after_max_attempts() {
+        let (lt, mut wt) = in_proc_pair();
+        let retry = RetryConfig {
+            resend_after: SimDuration::from_secs(10),
+            max_attempts: 2,
+            ..RetryConfig::default()
+        };
+        let mut lin = LinuxDaemon::with_retry(Version::V2, lt, FcfsPolicy, retry);
+        lin.poll(&stuck(4), 16, 0, t(0)).unwrap();
+        assert_eq!(lin.outstanding_to(OsKind::Linux), 1);
+        // The stuck job clears locally, but the order is never acked; keep
+        // polling far enough apart that every backoff elapses.
+        for k in 1..=10u64 {
+            lin.poll(&idle(), 16, 0, t(k * 1000)).unwrap();
+        }
+        assert_eq!(lin.unacked_orders(), 0, "order abandoned");
+        assert_eq!(lin.stats().orders_abandoned, 1);
+        assert_eq!(
+            lin.outstanding_to(OsKind::Linux),
+            0,
+            "abandoning releases the bookkeeping"
+        );
+        // Total wire traffic: bounded by max_attempts per decision.
+        let mut orders = 0;
+        while let Some(m) = wt.try_recv().unwrap() {
+            if matches!(m, Message::RebootOrder { .. }) {
+                orders += 1;
+            }
+        }
+        assert_eq!(orders, 2, "initial send plus one retry");
+    }
+
+    #[test]
+    fn expired_windows_report_is_ignored() {
+        let (lt, wt) = in_proc_pair();
+        let retry = RetryConfig {
+            report_ttl: SimDuration::from_mins(30),
+            ..RetryConfig::default()
+        };
+        let mut win = WindowsDaemon::new(wt);
+        let mut lin = LinuxDaemon::with_retry(Version::V2, lt, FcfsPolicy, retry);
+        win.tick(&stuck(4), t(0)).unwrap();
+        lin.pump(t(0)).unwrap();
+        // Within the TTL the cached stuck report still drives a decision.
+        let fresh = lin.poll(&idle(), 16, 16, t(60)).unwrap();
+        assert!(!fresh.is_empty());
+        lin.on_switch_landed(OsKind::Windows);
+        // Far past the TTL the dead report no longer steers anything.
+        let stale = lin.poll(&idle(), 16, 16, t(3600)).unwrap();
+        assert!(stale.is_empty(), "expired report should read as not-stuck");
+        assert!(lin.stats().stale_reports_ignored > 0);
     }
 
     #[test]

@@ -39,7 +39,7 @@ pub mod policy;
 pub mod switchjob;
 pub mod threaded;
 
-pub use daemon::{Action, ControlEvent, LinuxDaemon, WindowsDaemon};
+pub use daemon::{Action, ControlEvent, DaemonStats, LinuxDaemon, RetryConfig, WindowsDaemon};
 pub use detector::{DetectorOutput, PbsDetector, WinDetector};
 pub use policy::{
     FcfsPolicy, HysteresisPolicy, PolicyInput, ProportionalPolicy, SideState, SwitchOrder,

@@ -26,18 +26,34 @@ use parking_lot::Mutex;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-/// Handle to a running daemon thread; dropping it *without* calling
-/// [`DaemonHandle::shutdown`] detaches the thread (it keeps cycling).
+/// Handle to a running daemon thread.
+///
+/// Dropping the handle stops the daemon: the loop is signalled and the
+/// thread joined, exactly as [`DaemonHandle::shutdown`] does. (Earlier
+/// revisions silently *detached* the thread on drop, leaving it cycling
+/// against a scheduler nobody could reach.)
 pub struct DaemonHandle {
     stop: Sender<()>,
-    join: std::thread::JoinHandle<()>,
+    join: Option<std::thread::JoinHandle<()>>,
 }
 
 impl DaemonHandle {
     /// Signal the loop to stop and wait for the thread to exit.
-    pub fn shutdown(self) {
-        let _ = self.stop.send(());
-        let _ = self.join.join();
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        if let Some(join) = self.join.take() {
+            let _ = self.stop.send(());
+            let _ = join.join();
+        }
+    }
+}
+
+impl Drop for DaemonHandle {
+    fn drop(&mut self) {
+        self.stop_and_join();
     }
 }
 
@@ -48,6 +64,16 @@ fn wait_or_stop(stop: &Receiver<()>, cycle: Duration) -> bool {
         Ok(()) | Err(RecvTimeoutError::Disconnected) => true,
         Err(RecvTimeoutError::Timeout) => false,
     }
+}
+
+/// Consecutive transport failures tolerated before a loop gives up.
+const MAX_TRANSPORT_RETRIES: u32 = 5;
+
+/// Bounded backoff between transport retries: 10 ms doubling to 160 ms,
+/// short enough that shutdown stays prompt (the waits go through
+/// [`wait_or_stop`], so a stop signal interrupts them).
+fn retry_delay(failures: u32) -> Duration {
+    Duration::from_millis(10u64 << failures.saturating_sub(1).min(4))
 }
 
 fn wall_clock(start: Instant) -> SimTime {
@@ -72,6 +98,7 @@ where
         let mut on_action = on_action;
         let mut daemon = WindowsDaemon::new(transport);
         let start = Instant::now();
+        let mut failures = 0u32;
         loop {
             let now = wall_clock(start);
             {
@@ -79,20 +106,38 @@ where
                 let out = WinDetector.run(&guard.api());
                 drop(guard);
                 if daemon.tick(&out, now).is_err() {
-                    break; // peer gone
+                    failures += 1;
+                    if failures > MAX_TRANSPORT_RETRIES {
+                        break; // peer stayed gone through every retry
+                    }
+                    if wait_or_stop(&stop_rx, retry_delay(failures)) {
+                        return;
+                    }
+                    continue;
                 }
+                failures = 0;
             }
             // Orders can arrive at any point in the cycle; drain them now
             // and again after the sleep so latency stays ≤ one cycle.
             for _ in 0..2 {
                 match daemon.pump(wall_clock(start)) {
                     Ok(actions) => {
+                        failures = 0;
                         for a in &actions {
                             execute_windows_action(&sched, a, wall_clock(start));
                             on_action(a);
                         }
                     }
-                    Err(_) => return,
+                    Err(_) => {
+                        failures += 1;
+                        if failures > MAX_TRANSPORT_RETRIES {
+                            return;
+                        }
+                        if wait_or_stop(&stop_rx, retry_delay(failures)) {
+                            return;
+                        }
+                        continue;
+                    }
                 }
                 if wait_or_stop(&stop_rx, cycle / 2) {
                     return;
@@ -102,7 +147,7 @@ where
     });
     DaemonHandle {
         stop: stop_tx,
-        join,
+        join: Some(join),
     }
 }
 
@@ -146,11 +191,20 @@ where
         let mut on_action = on_action;
         let mut daemon = LinuxDaemon::new(version, transport, policy);
         let start = Instant::now();
+        let mut failures = 0u32;
         loop {
             let now = wall_clock(start);
             if daemon.pump(now).is_err() {
-                break;
+                failures += 1;
+                if failures > MAX_TRANSPORT_RETRIES {
+                    break;
+                }
+                if wait_or_stop(&stop_rx, retry_delay(failures)) {
+                    break;
+                }
+                continue;
             }
+            failures = 0;
             let (out, nodes_online, nodes_free) = {
                 let guard = sched.lock();
                 let out = PbsDetector
@@ -163,6 +217,7 @@ where
             };
             match daemon.poll(&out, nodes_online, nodes_free, now) {
                 Ok(actions) => {
+                    failures = 0;
                     for a in &actions {
                         if let Action::SubmitSwitchJobs { via, target, count } = a {
                             if *via == dualboot_bootconf::os::OsKind::Linux {
@@ -181,7 +236,16 @@ where
                         on_action(a);
                     }
                 }
-                Err(_) => break,
+                Err(_) => {
+                    failures += 1;
+                    if failures > MAX_TRANSPORT_RETRIES {
+                        break;
+                    }
+                    if wait_or_stop(&stop_rx, retry_delay(failures)) {
+                        break;
+                    }
+                    continue;
+                }
             }
             if wait_or_stop(&stop_rx, cycle) {
                 break;
@@ -190,7 +254,7 @@ where
     });
     DaemonHandle {
         stop: stop_tx,
-        join,
+        join: Some(join),
     }
 }
 

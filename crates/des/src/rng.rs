@@ -23,6 +23,7 @@ use rand::{Rng, SeedableRng};
 /// ```
 #[derive(Debug, Clone)]
 pub struct DetRng {
+    seed: u64,
     inner: StdRng,
 }
 
@@ -30,8 +31,25 @@ impl DetRng {
     /// Create the root stream for an experiment seed.
     pub fn seed_from(seed: u64) -> Self {
         DetRng {
+            seed,
             inner: StdRng::seed_from_u64(seed),
         }
+    }
+
+    /// The seed this stream was created from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Derive an independent sub-stream for `label` *without consuming*
+    /// from this stream.
+    ///
+    /// Unlike [`split`](DetRng::split), the derivation is a pure function of
+    /// `(seed, label)` — `FNV-1a(label) XOR seed` — so callers holding only
+    /// `&self` (or wanting late-bound streams that don't shift earlier
+    /// consumers) get the same stream no matter when they derive it.
+    pub fn derive(&self, label: &str) -> DetRng {
+        DetRng::seed_from(fnv1a(label) ^ self.seed)
     }
 
     /// Derive an independent sub-stream for `label`.
@@ -40,12 +58,7 @@ impl DetRng {
     /// get decorrelated streams and the same `(seed, label)` pair always
     /// yields the same stream.
     pub fn split(&mut self, label: &str) -> DetRng {
-        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-        for b in label.as_bytes() {
-            h ^= u64::from(*b);
-            h = h.wrapping_mul(0x100_0000_01b3);
-        }
-        DetRng::seed_from(h ^ self.inner.gen::<u64>())
+        DetRng::seed_from(fnv1a(label) ^ self.inner.gen::<u64>())
     }
 
     /// Uniform sample from a range (inclusive or exclusive, like `gen_range`).
@@ -136,6 +149,16 @@ impl DetRng {
     }
 }
 
+/// FNV-1a over a label, shared by [`DetRng::split`] and [`DetRng::derive`].
+fn fnv1a(label: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in label.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -166,6 +189,32 @@ mod tests {
         for _ in 0..32 {
             assert_eq!(s1.next_u64(), s2.next_u64());
         }
+    }
+
+    #[test]
+    fn derive_is_pure_and_non_consuming() {
+        let mut root = DetRng::seed_from(7);
+        let a1: Vec<u64> = {
+            let mut s = root.derive("faults");
+            (0..8).map(|_| s.next_u64()).collect()
+        };
+        // Consuming from the root must not shift derived streams.
+        let _ = root.next_u64();
+        let a2: Vec<u64> = {
+            let mut s = root.derive("faults");
+            (0..8).map(|_| s.next_u64()).collect()
+        };
+        assert_eq!(a1, a2);
+        // Distinct labels still decorrelate.
+        let mut b = root.derive("boot");
+        let mut a = root.derive("faults");
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn seed_is_retained() {
+        assert_eq!(DetRng::seed_from(99).seed(), 99);
     }
 
     #[test]

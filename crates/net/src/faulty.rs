@@ -1,0 +1,303 @@
+//! Link-fault injection as a [`Transport`] decorator.
+//!
+//! The reproduction's chaos campaigns need to disturb the communicator
+//! link *deterministically*: the same `(seed, plan)` pair must produce the
+//! same drops, duplications, and delays on every run. [`FaultyTransport`]
+//! wraps any [`Transport`] and consults a [`FaultDice`] before forwarding
+//! each message; with a [`DetRng`]-backed dice the whole fault sequence is
+//! a pure function of the plan seed, and with a [`ScriptedDice`] a test
+//! can force an exact drop/duplicate schedule.
+//!
+//! With all probabilities at zero the wrapper is an exact passthrough —
+//! the dice is never consulted — so a zero-fault plan is bit-identical to
+//! running with no plan at all.
+
+use crate::proto::Message;
+use crate::transport::{Transport, TransportError};
+use dualboot_des::rng::DetRng;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::time::Duration;
+
+/// Per-message fault probabilities on one direction of a link.
+///
+/// `delay_polls` is how many subsequent operations on the wrapper a
+/// delayed message sits out before being released (a "poll" here is any
+/// send or receive call, which in the simulator corresponds to daemon
+/// pump activity).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[serde(default)]
+pub struct LinkFaults {
+    /// Probability a sent message is silently dropped.
+    pub drop_p: f64,
+    /// Probability a sent message is delivered twice.
+    pub dup_p: f64,
+    /// Probability a sent message is held back before delivery.
+    pub delay_p: f64,
+    /// How many wrapper operations a delayed message is held for.
+    pub delay_polls: u32,
+}
+
+impl Default for LinkFaults {
+    fn default() -> Self {
+        LinkFaults {
+            drop_p: 0.0,
+            dup_p: 0.0,
+            delay_p: 0.0,
+            delay_polls: 2,
+        }
+    }
+}
+
+impl LinkFaults {
+    /// True when every probability is zero (the wrapper is a passthrough).
+    pub fn is_quiet(&self) -> bool {
+        self.drop_p <= 0.0 && self.dup_p <= 0.0 && self.delay_p <= 0.0
+    }
+}
+
+/// Counters for faults the wrapper actually injected.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LinkStats {
+    /// Messages silently dropped on send.
+    pub dropped: u64,
+    /// Messages delivered twice.
+    pub duplicated: u64,
+    /// Messages held back before delivery.
+    pub delayed: u64,
+}
+
+/// The randomness source consulted per potential fault.
+///
+/// Each send consults the dice at most three times, in a fixed order:
+/// drop, then delay, then duplicate. Probabilities of zero are short-
+/// circuited *before* the dice, so quiet links never consume rolls.
+pub trait FaultDice {
+    /// Return true if a fault with probability `p` fires.
+    fn roll(&mut self, p: f64) -> bool;
+}
+
+impl FaultDice for DetRng {
+    fn roll(&mut self, p: f64) -> bool {
+        self.chance(p)
+    }
+}
+
+/// A dice that replays a fixed outcome script (for tests).
+///
+/// Each [`roll`](FaultDice::roll) pops the next scripted outcome; once the
+/// script is exhausted every roll is `false`. Pair it with probabilities
+/// of `1.0` for the fault kinds the script should control — zero
+/// probabilities are short-circuited and never reach the script.
+#[derive(Debug, Clone, Default)]
+pub struct ScriptedDice {
+    script: VecDeque<bool>,
+}
+
+impl ScriptedDice {
+    /// Build from an outcome sequence.
+    pub fn new(outcomes: impl IntoIterator<Item = bool>) -> Self {
+        ScriptedDice {
+            script: outcomes.into_iter().collect(),
+        }
+    }
+}
+
+impl FaultDice for ScriptedDice {
+    fn roll(&mut self, _p: f64) -> bool {
+        self.script.pop_front().unwrap_or(false)
+    }
+}
+
+/// A [`Transport`] decorator that injects link faults.
+#[derive(Debug)]
+pub struct FaultyTransport<T, D> {
+    inner: T,
+    dice: D,
+    faults: LinkFaults,
+    /// Held-back messages with a countdown of wrapper operations.
+    held: VecDeque<(u32, Message)>,
+    stats: LinkStats,
+}
+
+impl<T: Transport, D: FaultDice> FaultyTransport<T, D> {
+    /// Wrap `inner`, injecting faults per `faults` using `dice`.
+    pub fn new(inner: T, faults: LinkFaults, dice: D) -> Self {
+        FaultyTransport {
+            inner,
+            dice,
+            faults,
+            held: VecDeque::new(),
+            stats: LinkStats::default(),
+        }
+    }
+
+    /// Counters for the faults injected so far.
+    pub fn stats(&self) -> LinkStats {
+        self.stats
+    }
+
+    /// The wrapped transport (to reach endpoint-specific methods).
+    pub fn inner(&self) -> &T {
+        &self.inner
+    }
+
+    /// Unwrap, discarding any still-held messages.
+    pub fn into_inner(self) -> T {
+        self.inner
+    }
+
+    fn roll(&mut self, p: f64) -> bool {
+        p > 0.0 && self.dice.roll(p)
+    }
+
+    /// Age held messages by one operation and release the ripe ones.
+    fn tick_held(&mut self) -> Result<(), TransportError> {
+        if self.held.is_empty() {
+            return Ok(());
+        }
+        for slot in &mut self.held {
+            slot.0 = slot.0.saturating_sub(1);
+        }
+        while matches!(self.held.front(), Some((0, _))) {
+            let (_, msg) = self.held.pop_front().expect("front checked");
+            self.inner.send(&msg)?;
+        }
+        Ok(())
+    }
+}
+
+impl<T: Transport, D: FaultDice> Transport for FaultyTransport<T, D> {
+    fn send(&mut self, msg: &Message) -> Result<(), TransportError> {
+        self.tick_held()?;
+        if self.roll(self.faults.drop_p) {
+            self.stats.dropped += 1;
+            return Ok(());
+        }
+        if self.roll(self.faults.delay_p) {
+            self.stats.delayed += 1;
+            self.held
+                .push_back((self.faults.delay_polls.max(1), msg.clone()));
+            return Ok(());
+        }
+        self.inner.send(msg)?;
+        if self.roll(self.faults.dup_p) {
+            self.stats.duplicated += 1;
+            self.inner.send(msg)?;
+        }
+        Ok(())
+    }
+
+    fn try_recv(&mut self) -> Result<Option<Message>, TransportError> {
+        self.tick_held()?;
+        self.inner.try_recv()
+    }
+
+    fn recv_timeout(&mut self, timeout: Duration) -> Result<Option<Message>, TransportError> {
+        self.tick_held()?;
+        self.inner.recv_timeout(timeout)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::in_proc_pair;
+
+    fn order(seq: u64) -> Message {
+        Message::RebootOrder {
+            target: dualboot_bootconf::os::OsKind::Windows,
+            count: 1,
+            seq,
+        }
+    }
+
+    #[test]
+    fn quiet_faults_are_exact_passthrough() {
+        let (a, mut b) = in_proc_pair();
+        // A dice that panics if consulted proves zero probabilities
+        // short-circuit.
+        struct Panicky;
+        impl FaultDice for Panicky {
+            fn roll(&mut self, _p: f64) -> bool {
+                panic!("quiet link consulted the dice")
+            }
+        }
+        let mut fa = FaultyTransport::new(a, LinkFaults::default(), Panicky);
+        fa.send(&order(1)).unwrap();
+        assert_eq!(b.try_recv().unwrap(), Some(order(1)));
+        assert_eq!(fa.stats(), LinkStats::default());
+    }
+
+    #[test]
+    fn scripted_drop_loses_the_message() {
+        let (a, mut b) = in_proc_pair();
+        let faults = LinkFaults {
+            drop_p: 1.0,
+            ..LinkFaults::default()
+        };
+        let mut fa = FaultyTransport::new(a, faults, ScriptedDice::new([true, false]));
+        fa.send(&order(1)).unwrap(); // dropped
+        fa.send(&order(2)).unwrap(); // delivered
+        assert_eq!(b.try_recv().unwrap(), Some(order(2)));
+        assert_eq!(b.try_recv().unwrap(), None);
+        assert_eq!(fa.stats().dropped, 1);
+    }
+
+    #[test]
+    fn scripted_duplicate_delivers_twice() {
+        let (a, mut b) = in_proc_pair();
+        let faults = LinkFaults {
+            dup_p: 1.0,
+            ..LinkFaults::default()
+        };
+        let mut fa = FaultyTransport::new(a, faults, ScriptedDice::new([true]));
+        fa.send(&order(3)).unwrap();
+        assert_eq!(b.try_recv().unwrap(), Some(order(3)));
+        assert_eq!(b.try_recv().unwrap(), Some(order(3)));
+        assert_eq!(b.try_recv().unwrap(), None);
+        assert_eq!(fa.stats().duplicated, 1);
+    }
+
+    #[test]
+    fn delayed_message_arrives_after_polls() {
+        let (a, mut b) = in_proc_pair();
+        let faults = LinkFaults {
+            delay_p: 1.0,
+            delay_polls: 2,
+            ..LinkFaults::default()
+        };
+        let mut fa = FaultyTransport::new(a, faults, ScriptedDice::new([true]));
+        fa.send(&order(4)).unwrap(); // held
+        assert_eq!(b.try_recv().unwrap(), None);
+        let _ = fa.try_recv(); // poll 1
+        assert_eq!(b.try_recv().unwrap(), None);
+        let _ = fa.try_recv(); // poll 2 — releases
+        assert_eq!(b.try_recv().unwrap(), Some(order(4)));
+        assert_eq!(fa.stats().delayed, 1);
+    }
+
+    #[test]
+    fn det_rng_dice_is_reproducible() {
+        let run = || {
+            let (a, mut b) = in_proc_pair();
+            let faults = LinkFaults {
+                drop_p: 0.5,
+                dup_p: 0.25,
+                ..LinkFaults::default()
+            };
+            let mut fa = FaultyTransport::new(a, faults, DetRng::seed_from(99));
+            let mut seen = Vec::new();
+            for i in 0..64 {
+                fa.send(&order(i)).unwrap();
+                while let Some(m) = b.try_recv().unwrap() {
+                    seen.push(m.encode());
+                }
+            }
+            (seen, fa.stats())
+        };
+        assert_eq!(run(), run());
+        let (_, stats) = run();
+        assert!(stats.dropped > 0 && stats.duplicated > 0);
+    }
+}

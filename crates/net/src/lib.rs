@@ -17,11 +17,15 @@
 //!   implementations: an in-process channel pair for the deterministic
 //!   simulation, and a real `std::net` TCP transport used by the
 //!   threaded integration test, carrying the same bytes.
+//! * [`faulty`] — a deterministic fault-injecting [`transport::Transport`]
+//!   decorator (drops, duplications, delays) for chaos campaigns.
 
+pub mod faulty;
 pub mod proto;
 pub mod transport;
 pub mod wire;
 
+pub use faulty::{FaultDice, FaultyTransport, LinkFaults, LinkStats, ScriptedDice};
 pub use proto::Message;
 pub use transport::{in_proc_pair, InProcTransport, TcpTransport, Transport, TransportError};
 pub use wire::DetectorReport;

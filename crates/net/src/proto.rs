@@ -36,11 +36,16 @@ pub enum Message {
         target: OsKind,
         /// How many nodes to release.
         count: u32,
+        /// Sender-assigned order number, so retransmissions of the same
+        /// decision are recognisable. `0` on legacy lines without one.
+        seq: u64,
     },
     /// Acknowledgement of an order (how many switch jobs were queued).
     OrderAck {
         /// Switch jobs actually submitted.
         queued: u32,
+        /// The order number being acknowledged (`0` for legacy lines).
+        seq: u64,
     },
 }
 
@@ -78,10 +83,10 @@ impl Message {
                     report.encode().expect("report within wire limits")
                 )
             }
-            Message::RebootOrder { target, count } => {
-                format!("REBOOT {} {}", target.tag(), count)
+            Message::RebootOrder { target, count, seq } => {
+                format!("REBOOT {} {} {}", target.tag(), count, seq)
             }
-            Message::OrderAck { queued } => format!("ACK {queued}"),
+            Message::OrderAck { queued, seq } => format!("ACK {queued} {seq}"),
         }
     }
 
@@ -107,18 +112,39 @@ impl Message {
                     .next()
                     .and_then(|s| s.parse().ok())
                     .ok_or_else(|| ProtoError::BadFields(line.to_string()))?;
-                let count: u32 = parts
+                let rest = parts
                     .next()
-                    .and_then(|s| s.trim().parse().ok())
                     .ok_or_else(|| ProtoError::BadFields(line.to_string()))?;
-                Ok(Message::RebootOrder { target, count })
+                let mut fields = rest.split_whitespace();
+                let count: u32 = fields
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| ProtoError::BadFields(line.to_string()))?;
+                // Pre-seq peers omit the order number; read it as 0.
+                let seq: u64 = match fields.next() {
+                    Some(s) => s
+                        .parse()
+                        .map_err(|_| ProtoError::BadFields(line.to_string()))?,
+                    None => 0,
+                };
+                if fields.next().is_some() {
+                    return Err(ProtoError::BadFields(line.to_string()));
+                }
+                Ok(Message::RebootOrder { target, count, seq })
             }
             "ACK" => {
                 let queued: u32 = parts
                     .next()
                     .and_then(|s| s.trim().parse().ok())
                     .ok_or_else(|| ProtoError::BadFields(line.to_string()))?;
-                Ok(Message::OrderAck { queued })
+                let seq: u64 = match parts.next() {
+                    Some(s) => s
+                        .trim()
+                        .parse()
+                        .map_err(|_| ProtoError::BadFields(line.to_string()))?,
+                    None => 0,
+                };
+                Ok(Message::OrderAck { queued, seq })
             }
             other => Err(ProtoError::UnknownVerb(other.to_string())),
         }
@@ -154,16 +180,33 @@ mod tests {
         let m = Message::RebootOrder {
             target: OsKind::Windows,
             count: 3,
+            seq: 7,
         };
-        assert_eq!(m.encode(), "REBOOT windows 3");
-        assert_eq!(Message::decode("REBOOT windows 3").unwrap(), m);
+        assert_eq!(m.encode(), "REBOOT windows 3 7");
+        assert_eq!(Message::decode("REBOOT windows 3 7").unwrap(), m);
     }
 
     #[test]
     fn ack_roundtrip() {
-        let m = Message::OrderAck { queued: 2 };
-        assert_eq!(m.encode(), "ACK 2");
-        assert_eq!(Message::decode("ACK 2\r\n").unwrap(), m);
+        let m = Message::OrderAck { queued: 2, seq: 7 };
+        assert_eq!(m.encode(), "ACK 2 7");
+        assert_eq!(Message::decode("ACK 2 7\r\n").unwrap(), m);
+    }
+
+    #[test]
+    fn legacy_lines_without_seq_decode_as_zero() {
+        assert_eq!(
+            Message::decode("REBOOT windows 3").unwrap(),
+            Message::RebootOrder {
+                target: OsKind::Windows,
+                count: 3,
+                seq: 0
+            }
+        );
+        assert_eq!(
+            Message::decode("ACK 2").unwrap(),
+            Message::OrderAck { queued: 2, seq: 0 }
+        );
     }
 
     #[test]
@@ -186,6 +229,14 @@ mod tests {
         ));
         assert!(matches!(
             Message::decode("ACK lots"),
+            Err(ProtoError::BadFields(_))
+        ));
+        assert!(matches!(
+            Message::decode("REBOOT windows 3 x"),
+            Err(ProtoError::BadFields(_))
+        ));
+        assert!(matches!(
+            Message::decode("REBOOT windows 3 7 9"),
             Err(ProtoError::BadFields(_))
         ));
     }

@@ -74,7 +74,7 @@ pub struct InProcTransport {
 ///
 /// let (mut linux_head, mut windows_head) = in_proc_pair();
 /// windows_head
-///     .send(&Message::RebootOrder { target: OsKind::Linux, count: 2 })
+///     .send(&Message::RebootOrder { target: OsKind::Linux, count: 2, seq: 1 })
 ///     .unwrap();
 /// assert!(matches!(
 ///     linux_head.try_recv().unwrap(),
@@ -230,14 +230,16 @@ mod tests {
         a.send(&Message::RebootOrder {
             target: OsKind::Linux,
             count: 1,
+            seq: 1,
         })
         .unwrap();
         a.send(&Message::RebootOrder {
             target: OsKind::Linux,
             count: 2,
+            seq: 2,
         })
         .unwrap();
-        b.send(&Message::OrderAck { queued: 1 }).unwrap();
+        b.send(&Message::OrderAck { queued: 1, seq: 1 }).unwrap();
         assert!(matches!(
             b.try_recv().unwrap(),
             Some(Message::RebootOrder { count: 1, .. })
@@ -246,7 +248,7 @@ mod tests {
             b.try_recv().unwrap(),
             Some(Message::RebootOrder { count: 2, .. })
         ));
-        assert!(matches!(a.try_recv().unwrap(), Some(Message::OrderAck { queued: 1 })));
+        assert!(matches!(a.try_recv().unwrap(), Some(Message::OrderAck { queued: 1, .. })));
     }
 
     #[test]
@@ -275,13 +277,13 @@ mod tests {
                 .recv_timeout(Duration::from_secs(5))
                 .unwrap()
                 .expect("message arrives");
-            server.send(&Message::OrderAck { queued: 7 }).unwrap();
+            server.send(&Message::OrderAck { queued: 7, seq: 7 }).unwrap();
             msg
         });
         let mut client = TcpTransport::connect(addr).unwrap();
         client.send(&state_msg()).unwrap();
         let ack = client.recv_timeout(Duration::from_secs(5)).unwrap();
-        assert_eq!(ack, Some(Message::OrderAck { queued: 7 }));
+        assert_eq!(ack, Some(Message::OrderAck { queued: 7, seq: 7 }));
         assert_eq!(handle.join().unwrap(), state_msg());
     }
 
@@ -316,14 +318,23 @@ mod tests {
             let mut server = TcpTransport::accept(&listener).unwrap();
             for k in 0..200 {
                 server
-                    .send(&Message::OrderAck { queued: k })
+                    .send(&Message::OrderAck {
+                        queued: k,
+                        seq: u64::from(k),
+                    })
                     .unwrap();
             }
         });
         let mut client = TcpTransport::connect(addr).unwrap();
         for k in 0..200 {
             let got = client.recv_timeout(Duration::from_secs(2)).unwrap();
-            assert_eq!(got, Some(Message::OrderAck { queued: k }));
+            assert_eq!(
+                got,
+                Some(Message::OrderAck {
+                    queued: k,
+                    seq: u64::from(k),
+                })
+            );
         }
         t.join().unwrap();
     }

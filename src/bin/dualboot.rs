@@ -46,10 +46,16 @@ fn main() -> ExitCode {
             println!("--- Figure 14: v2 ide.disk ---\n{}", IdeDisk::eridani_v2().emit());
             ExitCode::SUCCESS
         }
-        Ok(Command::Simulate(sim_args)) => {
-            print!("{}", cli::run_simulate(&sim_args));
-            ExitCode::SUCCESS
-        }
+        Ok(Command::Simulate(sim_args)) => match cli::run_simulate(&sim_args) {
+            Ok(out) => {
+                print!("{out}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
         Ok(Command::Swf(swf_args)) => match std::fs::read_to_string(&swf_args.path) {
             Ok(text) => match cli::run_swf(&swf_args, &text) {
                 Ok(out) => {

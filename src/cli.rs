@@ -4,8 +4,8 @@
 //! fully testable: [`Command::parse`](crate::cli::Command::parse) is pure, and each command returns
 //! its output as a `String` so the binary only prints.
 
-use crate::cluster::report::{result_row, Table, RESULT_HEADERS};
-use crate::cluster::{Mode, PolicyKind, SimConfig, Simulation};
+use crate::cluster::report::{chaos_section, result_row, Table, RESULT_HEADERS};
+use crate::cluster::{FaultPlan, Mode, PolicyKind, SimConfig, Simulation};
 use crate::workload::generator::WorkloadSpec;
 use crate::workload::swf::{self, OsMapping, SwfImportOptions};
 use dualboot_des::time::SimDuration;
@@ -44,6 +44,9 @@ pub struct SimulateArgs {
     pub split: u16,
     /// Print the time series.
     pub series: bool,
+    /// Fault plan: inline JSON (`{...}`), the word `chaos` for the
+    /// default campaign, or a path to a JSON plan file.
+    pub faults: Option<String>,
 }
 
 impl Default for SimulateArgs {
@@ -58,6 +61,7 @@ impl Default for SimulateArgs {
             hours: 8,
             split: 16,
             series: false,
+            faults: None,
         }
     }
 }
@@ -94,7 +98,9 @@ USAGE:
   dualboot simulate [--seed N] [--mode dualboot|static|mono|oracle]
                     [--policy fcfs|threshold|hysteresis|proportional]
                     [--win-frac F] [--load F] [--hours N] [--split N]
-                    [--series]
+                    [--series] [--faults PLAN]
+                    PLAN is inline JSON ('{...}'), the word 'chaos' for
+                    the default campaign, or a path to a JSON plan file
   dualboot swf <file.swf> [--windows-queue N | --win-frac F] [simulate opts]
   dualboot help
 ";
@@ -231,14 +237,35 @@ fn parse_simulate(args: &[String]) -> Result<SimulateArgs, CliError> {
                 out.series = true;
                 k += 1;
             }
+            "--faults" => {
+                out.faults = Some(value(args, k, "--faults")?);
+                k += 2;
+            }
             other => return Err(CliError(format!("unknown flag {other:?}"))),
         }
     }
     Ok(out)
 }
 
+/// Resolve a `--faults` value into a plan: inline JSON if it starts with
+/// `{`, the default chaos campaign for the literal `chaos`, otherwise a
+/// path to a JSON plan file.
+pub fn resolve_fault_plan(spec: &str, seed: u64) -> Result<FaultPlan, CliError> {
+    if spec.trim_start().starts_with('{') {
+        return FaultPlan::from_json(spec)
+            .map_err(|e| CliError(format!("bad fault plan JSON: {e}")));
+    }
+    if spec == "chaos" {
+        return Ok(FaultPlan::default_chaos(seed));
+    }
+    let text = std::fs::read_to_string(spec)
+        .map_err(|e| CliError(format!("cannot read fault plan {spec:?}: {e}")))?;
+    FaultPlan::from_json(&text)
+        .map_err(|e| CliError(format!("bad fault plan in {spec:?}: {e}")))
+}
+
 /// Execute a simulate command, returning the printable report.
-pub fn run_simulate(args: &SimulateArgs) -> String {
+pub fn run_simulate(args: &SimulateArgs) -> Result<String, CliError> {
     let trace = WorkloadSpec {
         windows_fraction: args.windows_fraction,
         duration: SimDuration::from_hours(args.hours),
@@ -262,14 +289,14 @@ pub fn run_swf(args: &SwfArgs, swf_text: &str) -> Result<String, CliError> {
     Ok(format!(
         "imported {} jobs from SWF\n{}",
         trace.len(),
-        run_trace(&args.sim, trace)
+        run_trace(&args.sim, trace)?
     ))
 }
 
 fn run_trace(
     args: &SimulateArgs,
     trace: Vec<crate::workload::generator::SubmitEvent>,
-) -> String {
+) -> Result<String, CliError> {
     let mut cfg = SimConfig::eridani_v2(args.seed);
     cfg.mode = args.mode;
     cfg.policy = args.policy;
@@ -277,10 +304,18 @@ fn run_trace(
     cfg.initial_linux_nodes = args.split;
     cfg.record_series = args.series;
     cfg.horizon = SimDuration::from_hours(24 * 30);
+    if let Some(spec) = &args.faults {
+        cfg.faults = resolve_fault_plan(spec, args.seed)?;
+    }
     let r = Simulation::new(cfg, trace).run();
     let mut table = Table::new("simulation result", &RESULT_HEADERS);
     table.row(&result_row("run", &r));
     let mut out = table.render();
+    let chaos = chaos_section(&r);
+    if !chaos.is_empty() {
+        out.push('\n');
+        out.push_str(&chaos);
+    }
     if args.series {
         let mut st = Table::new("series", &["t", "linux", "windows", "booting", "q(L)", "q(W)"]);
         for p in &r.series {
@@ -296,7 +331,7 @@ fn run_trace(
         out.push('\n');
         out.push_str(&st.render());
     }
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -329,7 +364,7 @@ mod tests {
     fn simulate_full_flags() {
         let cmd = Command::parse(&argv(
             "simulate --seed 7 --mode static --policy threshold --win-frac 0.5 \
-             --load 0.9 --hours 4 --split 8 --series",
+             --load 0.9 --hours 4 --split 8 --series --faults chaos",
         ))
         .unwrap();
         let Command::Simulate(a) = cmd else {
@@ -344,6 +379,7 @@ mod tests {
         assert_eq!(a.hours, 4);
         assert_eq!(a.split, 8);
         assert!(a.series);
+        assert_eq!(a.faults.as_deref(), Some("chaos"));
     }
 
     #[test]
@@ -352,6 +388,7 @@ mod tests {
         assert!(Command::parse(&argv("simulate --policy magic")).is_err());
         assert!(Command::parse(&argv("simulate --win-frac 1.5")).is_err());
         assert!(Command::parse(&argv("simulate --seed")).is_err());
+        assert!(Command::parse(&argv("simulate --faults")).is_err());
         assert!(Command::parse(&argv("simulate --frobnicate")).is_err());
         assert!(Command::parse(&argv("teleport")).is_err());
     }
@@ -389,9 +426,51 @@ mod tests {
             hours: 2,
             ..SimulateArgs::default()
         };
-        let out = run_simulate(&args);
+        let out = run_simulate(&args).unwrap();
         assert!(out.contains("simulation result"));
         assert!(out.contains("run"));
+        assert!(!out.contains("== chaos =="), "clean run has no chaos section");
+    }
+
+    #[test]
+    fn resolve_fault_plan_variants() {
+        // Inline JSON.
+        let p = resolve_fault_plan(r#"{"seed": 9}"#, 1).unwrap();
+        assert_eq!(p.seed, 9);
+        // The chaos shorthand seeds from the scenario.
+        let p = resolve_fault_plan("chaos", 33).unwrap();
+        assert_eq!(p, FaultPlan::default_chaos(33));
+        // Bad JSON and missing files are user errors, not panics.
+        assert!(resolve_fault_plan("{not json", 1).is_err());
+        assert!(resolve_fault_plan("/no/such/plan.json", 1).is_err());
+    }
+
+    #[test]
+    fn run_simulate_with_faults_renders_chaos_section() {
+        // A scheduled reset always executes, so the section is guaranteed
+        // non-empty regardless of what the link dice rolls.
+        let plan = r#"{
+            "seed": 3,
+            "link": {"drop_p": 0.2, "dup_p": 0.1, "delay_p": 0.1},
+            "events": [{"at": 600000, "kind": {"PowerReset": {"node": 5}}}]
+        }"#;
+        let args = SimulateArgs {
+            hours: 2,
+            faults: Some(plan.to_string()),
+            ..SimulateArgs::default()
+        };
+        let out = run_simulate(&args).unwrap();
+        assert!(out.contains("simulation result"));
+        assert!(out.contains("== chaos =="), "faulty run reports chaos:\n{out}");
+    }
+
+    #[test]
+    fn run_simulate_rejects_bad_plan() {
+        let args = SimulateArgs {
+            faults: Some("{broken".to_string()),
+            ..SimulateArgs::default()
+        };
+        assert!(run_simulate(&args).is_err());
     }
 
     #[test]

@@ -63,7 +63,10 @@ pub mod cli;
 /// Everything a downstream user typically needs, in one import.
 pub mod prelude {
     pub use dualboot_bootconf::os::OsKind;
-    pub use dualboot_cluster::{Mode, PolicyKind, SimConfig, SimResult, Simulation};
+    pub use dualboot_cluster::{
+        FaultEvent, FaultKind, FaultPlan, FaultStats, Mode, PolicyKind, SimConfig, SimResult,
+        Simulation,
+    };
     pub use dualboot_core::{Action, FcfsPolicy, LinuxDaemon, SwitchPolicy, WindowsDaemon};
     pub use dualboot_des::time::{SimDuration, SimTime};
     pub use dualboot_sched::job::{JobId, JobKind, JobRequest};

@@ -1,0 +1,164 @@
+//! Chaos campaigns: deterministic fault plans against whole simulations.
+//!
+//! Escalating [`FaultPlan`]s — a quiet link, a lossy link, the full
+//! default campaign — must never cost the v2 system a job, while the same
+//! campaign strands v1 nodes (its boot chain dies with the local MBR).
+//! And because every fault is drawn from the plan seed, a campaign is as
+//! reproducible as a clean run: bit-identical across repeats and across
+//! replication worker counts.
+
+use hybrid_cluster::cluster::replicate::replicate;
+use hybrid_cluster::net::faulty::LinkFaults;
+use hybrid_cluster::prelude::*;
+use hybrid_cluster::workload::generator::WorkloadSpec;
+
+fn mixed_trace(seed: u64) -> Vec<SubmitEvent> {
+    WorkloadSpec {
+        duration: SimDuration::from_hours(2),
+        jobs_per_hour: 8.0,
+        windows_fraction: 0.3,
+        mean_runtime: SimDuration::from_mins(10),
+        runtime_sigma: 0.3,
+        ..WorkloadSpec::campus_default(seed)
+    }
+    .generate()
+}
+
+fn run_v2(seed: u64, plan: FaultPlan) -> SimResult {
+    let mut cfg = SimConfig::eridani_v2(seed);
+    cfg.faults = plan;
+    Simulation::new(cfg, mixed_trace(seed)).run()
+}
+
+#[test]
+fn escalating_chaos_v2_completes_everything() {
+    let seed = 41;
+    let lossy_link = FaultPlan {
+        seed,
+        link: LinkFaults {
+            drop_p: 0.05,
+            dup_p: 0.05,
+            delay_p: 0.05,
+            delay_polls: 2,
+        },
+        events: Vec::new(),
+    };
+    let plans = [
+        ("quiet", FaultPlan::default()),
+        ("lossy-link", lossy_link),
+        ("default-chaos", FaultPlan::default_chaos(seed)),
+    ];
+    let n = mixed_trace(seed).len() as u32;
+    for (label, plan) in plans {
+        let r = run_v2(seed, plan);
+        assert_eq!(
+            r.total_completed() + r.killed + r.unfinished,
+            n,
+            "{label}: jobs not conserved"
+        );
+        assert_eq!(r.unfinished, 0, "{label}: v2 must finish every job");
+        assert_eq!(r.boot_failures, 0, "{label}: v2 never bricks a node");
+    }
+
+    // The full campaign's scheduled faults all landed, and the link was
+    // genuinely disturbed — this is survival, not absence of injection.
+    let r = run_v2(seed, FaultPlan::default_chaos(seed));
+    assert!(r.faults.power_resets >= 4, "reset + storm of 3");
+    assert_eq!(r.faults.reimages, 1);
+    assert_eq!(r.faults.pxe_outages, 1);
+    assert_eq!(r.faults.scheduler_outages, 1);
+    assert!(
+        r.faults.msgs_dropped + r.faults.msgs_delayed + r.faults.msgs_duplicated > 0,
+        "a 10%-lossy link must disturb some of the campaign's messages"
+    );
+}
+
+#[test]
+fn default_campaign_strands_v1_nodes_but_not_v2() {
+    let seed = 43;
+    let run = |cfg: SimConfig| {
+        let mut cfg = cfg;
+        cfg.faults = FaultPlan::default_chaos(seed);
+        Simulation::new(cfg, mixed_trace(seed)).run()
+    };
+    let v1 = run(SimConfig::eridani_v1(seed));
+    let v2 = run(SimConfig::eridani_v2(seed));
+    assert_eq!(v1.faults.reimages, 1);
+    assert!(
+        v1.boot_failures > 0,
+        "the mid-switch reimage bricks a v1 node"
+    );
+    assert_eq!(v2.boot_failures, 0, "v2 PXE-boots through the same plan");
+    assert_eq!(v2.unfinished, 0, "v2 still finishes every job");
+}
+
+#[test]
+fn total_blackout_exercises_retry_then_abandon() {
+    // A link that drops *everything* is the worst case for the order
+    // machinery, and — unlike a merely lossy link — fully deterministic:
+    // every reboot order must be retried on the backoff schedule and
+    // finally abandoned, releasing its bookkeeping.
+    let mut cfg = SimConfig::eridani_v2(47);
+    cfg.initial_linux_nodes = 8;
+    cfg.faults = FaultPlan {
+        seed: 47,
+        link: LinkFaults {
+            drop_p: 1.0,
+            dup_p: 0.0,
+            delay_p: 0.0,
+            delay_polls: 2,
+        },
+        events: Vec::new(),
+    };
+    // 12 one-node Linux jobs on 8 Linux nodes: four queue, the detector
+    // reports stuck, and the daemon orders Windows nodes released — into
+    // a void.
+    let trace: Vec<SubmitEvent> = (0..12)
+        .map(|k| SubmitEvent {
+            at: SimTime::from_mins(1),
+            req: JobRequest::user(
+                format!("md-{k}"),
+                OsKind::Linux,
+                1,
+                4,
+                SimDuration::from_mins(30),
+            ),
+        })
+        .collect();
+    let r = Simulation::new(cfg, trace).run();
+    assert!(r.faults.msgs_dropped > 0, "the blackout dropped messages");
+    assert!(r.faults.order_retries > 0, "unacked orders were retried");
+    assert!(
+        r.faults.orders_abandoned > 0,
+        "exhausted orders were abandoned"
+    );
+    // The stranded jobs still run once the eight Linux nodes cycle: the
+    // cluster degrades to its Linux half instead of wedging.
+    assert_eq!(r.unfinished, 0);
+    assert_eq!(r.total_completed(), 12);
+    assert_eq!(r.switches, 0, "no order ever crossed the wire");
+}
+
+#[test]
+fn identical_seed_and_plan_are_bit_identical() {
+    let run = || run_v2(53, FaultPlan::default_chaos(53));
+    let a = serde_json::to_string(&run()).unwrap();
+    let b = serde_json::to_string(&run()).unwrap();
+    assert_eq!(a, b, "same (seed, plan, workload) must be bit-identical");
+}
+
+#[test]
+fn chaotic_replication_is_bit_identical_across_worker_counts() {
+    let seeds: Vec<u64> = (1..=8).collect();
+    let build = |seed: u64| {
+        let mut cfg = SimConfig::eridani_v2(seed);
+        cfg.faults = FaultPlan::default_chaos(seed);
+        (cfg, mixed_trace(seed))
+    };
+    let summaries: Vec<String> = [1, 2, 8]
+        .into_iter()
+        .map(|workers| serde_json::to_string(&replicate(&seeds, workers, build)).unwrap())
+        .collect();
+    assert_eq!(summaries[0], summaries[1]);
+    assert_eq!(summaries[0], summaries[2]);
+}

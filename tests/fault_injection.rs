@@ -126,7 +126,11 @@ fn v1_corrupt_control_file_bricks_the_switch_v2_immune() {
 fn sim_power_reset_on_idle_node_recovers() {
     // In the full simulation, a reset on an idle node is a non-event: the
     // node reboots and re-registers, and the workload completes.
-    let cfg = SimConfig::eridani_v2(77);
+    let mut cfg = SimConfig::eridani_v2(77);
+    cfg.faults.events.push(FaultEvent {
+        at: SimTime::from_mins(2),
+        kind: FaultKind::PowerReset { node: 16 }, // idle node
+    });
     let trace: Vec<SubmitEvent> = (0..10)
         .map(|k| SubmitEvent {
             at: SimTime::from_mins(5 + k),
@@ -140,16 +144,20 @@ fn sim_power_reset_on_idle_node_recovers() {
         })
         .collect();
     let n = trace.len() as u32;
-    let mut sim = Simulation::new(cfg, trace);
-    sim.schedule_power_reset(16, SimTime::from_mins(2)); // idle node
-    let r = sim.run();
+    let r = Simulation::new(cfg, trace).run();
     assert_eq!(r.total_completed() + r.killed, n);
     assert_eq!(r.boot_failures, 0);
+    assert_eq!(r.faults.power_resets, 1);
 }
 
 #[test]
 fn sim_power_reset_kills_running_job_but_cluster_recovers() {
-    let cfg = SimConfig::eridani_v2(78);
+    let mut cfg = SimConfig::eridani_v2(78);
+    // All 16 nodes get one job each at ~t=61s; reset node 1 mid-run.
+    cfg.faults.events.push(FaultEvent {
+        at: SimTime::from_mins(10),
+        kind: FaultKind::PowerReset { node: 1 },
+    });
     let trace: Vec<SubmitEvent> = (0..12)
         .map(|k| SubmitEvent {
             at: SimTime::from_secs(60 + k),
@@ -163,13 +171,44 @@ fn sim_power_reset_kills_running_job_but_cluster_recovers() {
         })
         .collect();
     let n = trace.len() as u32;
-    let mut sim = Simulation::new(cfg, trace);
-    // All 16 nodes get one job each at ~t=61s; reset node 1 mid-run.
-    sim.schedule_power_reset(1, SimTime::from_mins(10));
-    let r = sim.run();
+    let r = Simulation::new(cfg, trace).run();
     assert_eq!(r.killed, 1, "exactly the job on the reset node dies");
     assert_eq!(r.total_completed(), n - 1);
     assert_eq!(r.unfinished, 0);
+}
+
+#[test]
+fn sim_reset_storm_sweeps_nodes_and_recovers() {
+    // A PDU brown-out resets four consecutive nodes 30 s apart. Every
+    // reset is executed, the killed jobs are counted, and the cluster
+    // still serves the rest of the workload.
+    let mut cfg = SimConfig::eridani_v2(79);
+    cfg.faults.events.push(FaultEvent {
+        at: SimTime::from_mins(10),
+        kind: FaultKind::PowerResetStorm {
+            first: 1,
+            count: 4,
+            spacing: SimDuration::from_secs(30),
+        },
+    });
+    let trace: Vec<SubmitEvent> = (0..12)
+        .map(|k| SubmitEvent {
+            at: SimTime::from_secs(60 + k),
+            req: JobRequest::user(
+                format!("dlpoly-{k}"),
+                OsKind::Linux,
+                1,
+                4,
+                SimDuration::from_mins(30),
+            ),
+        })
+        .collect();
+    let n = trace.len() as u32;
+    let r = Simulation::new(cfg, trace).run();
+    assert_eq!(r.faults.power_resets, 4, "every storm member fired");
+    assert_eq!(r.total_completed() + r.killed, n);
+    assert_eq!(r.unfinished, 0);
+    assert_eq!(r.boot_failures, 0, "v2 nodes reboot cleanly");
 }
 
 #[test]

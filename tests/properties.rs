@@ -124,11 +124,11 @@ proptest! {
     }
 
     #[test]
-    fn protocol_messages_roundtrip(report in arb_report(), count in 0u32..100) {
+    fn protocol_messages_roundtrip(report in arb_report(), count in 0u32..100, seq in 0u64..1000) {
         for msg in [
             Message::QueueState { os: OsKind::Windows, report: report.clone() },
-            Message::RebootOrder { target: OsKind::Linux, count },
-            Message::OrderAck { queued: count },
+            Message::RebootOrder { target: OsKind::Linux, count, seq },
+            Message::OrderAck { queued: count, seq },
         ] {
             prop_assert_eq!(Message::decode(&msg.encode()).unwrap(), msg);
         }
@@ -457,5 +457,132 @@ proptest! {
         }
         prop_assert_eq!(total, 3, "first round does all the work");
         prop_assert!(script.patch_status(&layout).fully_patched());
+    }
+}
+
+// ---------------------------------------------------------------------
+// chaos invariants
+// ---------------------------------------------------------------------
+
+use hybrid_cluster::middleware::daemon::RetryConfig;
+use hybrid_cluster::middleware::detector::DetectorOutput;
+use hybrid_cluster::middleware::policy::{PolicyInput, SwitchOrder};
+use hybrid_cluster::middleware::Version;
+use hybrid_cluster::net::faulty::{FaultyTransport, LinkFaults, ScriptedDice};
+use hybrid_cluster::net::transport::in_proc_pair;
+
+/// A policy that orders nodes to Linux exactly once, ever — so every
+/// `SubmitSwitchJobs` the Windows daemon emits beyond the first is, by
+/// construction, a duplicate of the same decision.
+struct OneOrder {
+    fired: bool,
+}
+
+impl SwitchPolicy for OneOrder {
+    fn decide(&mut self, _input: &PolicyInput, _now: SimTime) -> Option<SwitchOrder> {
+        if self.fired {
+            return None;
+        }
+        self.fired = true;
+        Some(SwitchOrder {
+            target: OsKind::Linux,
+            count: 2,
+        })
+    }
+
+    fn name(&self) -> &'static str {
+        "one-order"
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// A plan whose link probabilities are all zero and whose event list
+    /// is empty must be *bit-identical* to running with no plan at all —
+    /// the fault layer may not so much as consume an RNG draw. The plan
+    /// seed is deliberately perturbed: a quiet plan's seed must not leak
+    /// into the simulation.
+    #[test]
+    fn zero_probability_plan_is_bit_identical_to_no_plan(seed in 0u64..500) {
+        let mk = |faults: FaultPlan| {
+            let trace = WorkloadSpec {
+                duration: SimDuration::from_hours(1),
+                jobs_per_hour: 8.0,
+                windows_fraction: 0.3,
+                ..WorkloadSpec::campus_default(seed)
+            }
+            .generate();
+            let mut cfg = SimConfig::eridani_v2(seed);
+            cfg.faults = faults;
+            Simulation::new(cfg, trace).run()
+        };
+        let clean = mk(FaultPlan::default());
+        let zeroed = mk(FaultPlan {
+            seed: seed ^ 0xdead_beef,
+            link: LinkFaults::default(),
+            events: Vec::new(),
+        });
+        prop_assert_eq!(
+            serde_json::to_string(&clean).unwrap(),
+            serde_json::to_string(&zeroed).unwrap()
+        );
+    }
+
+    /// Under *arbitrary* drop/duplicate schedules on both directions of
+    /// the link, a single `SwitchOrder` never drains the Windows side
+    /// twice: retransmissions carry the same sequence number and the
+    /// Windows daemon re-acks duplicates without resubmitting.
+    #[test]
+    fn lossy_link_never_duplicates_switch_submissions(
+        lin_rolls in prop::collection::vec(any::<bool>(), 0..60),
+        win_rolls in prop::collection::vec(any::<bool>(), 0..60),
+    ) {
+        // Probability 1.0 on drop and duplicate hands full control to the
+        // scripted dice; an exhausted script rolls false (no fault).
+        let chaos = LinkFaults {
+            drop_p: 1.0,
+            dup_p: 1.0,
+            delay_p: 0.0,
+            delay_polls: 2,
+        };
+        let (lt, wt) = in_proc_pair();
+        let lt = FaultyTransport::new(lt, chaos, ScriptedDice::new(lin_rolls));
+        let wt = FaultyTransport::new(wt, chaos, ScriptedDice::new(win_rolls));
+        let retry = RetryConfig {
+            resend_after: SimDuration::from_secs(10),
+            max_attempts: 4,
+            report_ttl: SimDuration::from_mins(30),
+        };
+        let mut lin = LinuxDaemon::with_retry(Version::V2, lt, OneOrder { fired: false }, retry);
+        let mut win = WindowsDaemon::new(wt);
+        let local = DetectorOutput {
+            report: DetectorReport::not_stuck(),
+            running: 0,
+            queued: 0,
+            text: String::new(),
+        };
+
+        let mut submissions = 0u32;
+        for step in 0..200u64 {
+            let now = SimTime::from_secs(step * 5);
+            lin.pump(now).unwrap();
+            let _ = lin.poll(&local, 8, 8, now).unwrap();
+            for a in win.pump(now).unwrap() {
+                if matches!(a, Action::SubmitSwitchJobs { .. }) {
+                    submissions += 1;
+                }
+            }
+        }
+        prop_assert!(
+            submissions <= 1,
+            "one decision produced {submissions} switch submissions"
+        );
+        // An ack can only exist because the order executed (or was re-acked
+        // as a duplicate of an executed one) — so a matched ack proves the
+        // submission happened exactly once.
+        if lin.stats().acks_matched > 0 {
+            prop_assert_eq!(submissions, 1);
+        }
     }
 }

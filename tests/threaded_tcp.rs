@@ -121,3 +121,38 @@ fn daemons_survive_quiet_periods_and_shut_down() {
     w.shutdown();
     assert_eq!(*actions.lock(), 0, "idle cluster must stay untouched");
 }
+
+#[test]
+fn dropping_a_handle_stops_its_daemon() {
+    // Regression: `DaemonHandle` used to detach its thread on drop,
+    // leaving the daemon looping against a dead harness forever. Drop now
+    // signals stop and joins, so the loop must be gone the moment the
+    // handle is.
+    let (listener, addr) = TcpTransport::listen("127.0.0.1:0".parse().unwrap()).unwrap();
+    let accept = std::thread::spawn(move || TcpTransport::accept(&listener).unwrap());
+    let client = TcpTransport::connect(addr).unwrap();
+    let server = accept.join().unwrap();
+
+    let win = Arc::new(Mutex::new(WinHpcScheduler::eridani()));
+    let pbs = Arc::new(Mutex::new(PbsScheduler::eridani()));
+
+    let w = spawn_windows_daemon(Arc::clone(&win), server, Duration::from_millis(10), |_| {});
+    let l = spawn_linux_daemon(
+        Version::V2,
+        FcfsPolicy,
+        Arc::clone(&pbs),
+        client,
+        Duration::from_millis(10),
+        |_| {},
+    );
+    // Both loops hold a clone of their scheduler Arc while running.
+    assert!(Arc::strong_count(&pbs) > 1);
+    assert!(Arc::strong_count(&win) > 1);
+
+    drop(l);
+    drop(w);
+    // Drop joins synchronously, so the threads' clones are gone *now* —
+    // no sleeps, no races.
+    assert_eq!(Arc::strong_count(&pbs), 1, "linux daemon exited on drop");
+    assert_eq!(Arc::strong_count(&win), 1, "windows daemon exited on drop");
+}
