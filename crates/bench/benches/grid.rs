@@ -1,0 +1,102 @@
+//! Criterion: campus-grid federation overhead.
+//!
+//! The broker sits on the submit path of every job in the campus, so its
+//! per-job cost must stay negligible next to the simulation work itself.
+//! This bench pins (a) the pure per-decision routing cost for each policy
+//! over a realistic gossiped view, and (b) the end-to-end cost of a
+//! federated day relative to the sum of its member clusters run alone.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dualboot_bootconf::os::OsKind;
+use dualboot_des::time::{SimDuration, SimTime};
+use dualboot_grid::{Broker, GridSim, GridSpec, MemberCaps, RoutePolicy};
+use dualboot_net::proto::ClusterReport;
+use dualboot_sched::job::JobRequest;
+use std::hint::black_box;
+
+/// A broker over `n` members with a plausible mid-day view installed.
+fn primed_broker(policy: RoutePolicy, n: usize) -> Broker {
+    let spec = GridSpec::campus(11, n);
+    let caps: Vec<MemberCaps> = spec
+        .members
+        .iter()
+        .map(|m| MemberCaps::from_config(&m.cfg))
+        .collect();
+    let mut broker = Broker::new(policy, caps);
+    let at = SimTime::from_mins(90);
+    for i in 0..n {
+        let i32u = i as u32;
+        broker.observe(
+            i,
+            at,
+            ClusterReport {
+                at,
+                linux_queued: i32u % 3,
+                windows_queued: (i32u + 1) % 4,
+                linux_free_cores: 8 * (i32u % 5),
+                windows_free_cores: 4 * (i32u % 3),
+                linux_nodes: 8,
+                windows_nodes: 8,
+                booting: i32u % 2,
+            },
+        );
+    }
+    broker
+}
+
+fn bench_route_decision(c: &mut Criterion) {
+    let mut g = c.benchmark_group("grid/route_one_job");
+    let fresh: Vec<ClusterReport> = (0..8)
+        .map(|i| ClusterReport {
+            at: SimTime::from_mins(91),
+            linux_queued: i % 2,
+            linux_free_cores: 16,
+            windows_free_cores: 8,
+            linux_nodes: 8,
+            windows_nodes: 8,
+            ..ClusterReport::default()
+        })
+        .collect();
+    let req = JobRequest::user(
+        "bench-job".to_string(),
+        OsKind::Windows,
+        2,
+        4,
+        SimDuration::from_mins(20),
+    );
+    for policy in RoutePolicy::ALL {
+        g.bench_function(policy.name(), |b| {
+            let mut broker = primed_broker(policy, 8);
+            let now = SimTime::from_mins(92);
+            b.iter(|| broker.route(black_box(&req), now, black_box(&fresh)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_federated_day(c: &mut Criterion) {
+    let mut g = c.benchmark_group("grid/one_day");
+    g.sample_size(10);
+    let day = |routing| {
+        let mut spec = GridSpec::campus(7, 3);
+        spec.routing = routing;
+        spec.workload.duration = SimDuration::from_hours(24);
+        spec
+    };
+    for policy in RoutePolicy::ALL {
+        g.bench_function(policy.name(), |b| {
+            b.iter(|| GridSim::new(black_box(day(policy))).run())
+        });
+    }
+    g.bench_function("chaos_coop", |b| {
+        b.iter(|| {
+            let mut spec = day(RoutePolicy::SwitchCoop);
+            spec.apply_chaos();
+            GridSim::new(black_box(spec)).run()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_route_decision, bench_federated_day);
+criterion_main!(benches);

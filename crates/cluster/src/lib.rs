@@ -17,7 +17,7 @@
 //! * [`sim`] — the event loop ([`sim::Simulation`]).
 //! * [`metrics`] — per-run results ([`metrics::SimResult`]): waits,
 //!   utilisation, switch counts and latencies, time series.
-//! * [`replicate`] — parallel multi-seed replication with deterministic
+//! * [`replicate`](mod@replicate) — parallel multi-seed replication with deterministic
 //!   reduction.
 //! * [`report`] — plain-text tables/series for the experiment harness.
 //!

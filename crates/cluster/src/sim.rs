@@ -118,6 +118,13 @@ pub struct Simulation {
     booting_count: f64,
     jobs_outstanding: u32,
     submitted: usize,
+    /// Recurring ticks (daemon cycles, sampling) keep rescheduling until at
+    /// least this instant, even when no work is pending. Zero (the default)
+    /// preserves the batch behaviour: ticks die once the trace drains.
+    /// External drivers that inject jobs after construction (the grid
+    /// federation) raise it to the last expected submit time so the
+    /// middleware stays alive in between.
+    keep_alive: SimTime,
     result: SimResult,
 }
 
@@ -289,6 +296,7 @@ impl Simulation {
             booting_count: 0.0,
             jobs_outstanding: 0,
             submitted: 0,
+            keep_alive: SimTime::ZERO,
             result: SimResult::new(total_cores),
         }
     }
@@ -308,7 +316,10 @@ impl Simulation {
     }
 
     fn done(&self) -> bool {
-        self.all_submitted() && self.jobs_outstanding == 0 && self.pending_switch.is_empty()
+        self.all_submitted()
+            && self.jobs_outstanding == 0
+            && self.pending_switch.is_empty()
+            && self.queue.now() >= self.keep_alive
     }
 
     /// Run to completion (or the horizon) and return the results.
@@ -320,6 +331,94 @@ impl Simulation {
             }
             self.handle(ev);
         }
+        self.into_result()
+    }
+
+    // ------------------------------------------------------------------
+    // stepping / injection (external drivers, e.g. the grid federation)
+    // ------------------------------------------------------------------
+
+    /// Current simulated time (the timestamp of the last handled event).
+    pub fn now(&self) -> SimTime {
+        self.queue.now()
+    }
+
+    /// Timestamp of the next pending event, if any. Interleaved drivers
+    /// use this to pick which member simulation advances next.
+    pub fn next_event_time(&mut self) -> Option<SimTime> {
+        self.queue.next_time()
+    }
+
+    /// Handle exactly one event. Returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        match self.queue.pop() {
+            Some((_, ev)) => {
+                self.handle(ev);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Handle every event with timestamp ≤ `until`, leaving later events
+    /// pending. Unlike [`Simulation::run`] this never pops past the bound,
+    /// so a driver can interleave several simulations on one shared clock.
+    pub fn run_until(&mut self, until: SimTime) {
+        while let Some(t) = self.queue.next_time() {
+            if t > until {
+                break;
+            }
+            let (_, ev) = self.queue.pop().expect("peeked event exists");
+            self.handle(ev);
+        }
+    }
+
+    /// Submit a job from outside the pre-loaded trace, to arrive at `at`
+    /// (which must not be in the past). The request goes through the same
+    /// mode transform as a constructor-supplied trace entry.
+    pub fn inject(&mut self, at: SimTime, req: JobRequest) {
+        let mut ev = SubmitEvent { at, req };
+        transform_submit(&self.cfg, &mut ev);
+        let i = self.trace.len();
+        self.trace.push(ev);
+        self.queue.schedule_at(at, Event::Submit(i));
+    }
+
+    /// Keep recurring middleware ticks alive until at least `until`, even
+    /// while no jobs are pending. Drivers that [`inject`] jobs after
+    /// construction must raise this to the last expected submit time, or
+    /// the daemon cycles die as soon as the (initially empty) trace drains.
+    ///
+    /// [`inject`]: Simulation::inject
+    pub fn set_keep_alive(&mut self, until: SimTime) {
+        self.keep_alive = self.keep_alive.max(until);
+    }
+
+    /// Queue snapshots of both scheduler heads `(pbs, winhpc)` — the raw
+    /// material for federation gossip reports.
+    pub fn queue_snapshots(
+        &self,
+    ) -> (
+        dualboot_sched::scheduler::QueueSnapshot,
+        dualboot_sched::scheduler::QueueSnapshot,
+    ) {
+        (self.pbs.snapshot(), self.win.snapshot())
+    }
+
+    /// Nodes currently rebooting (mid OS-switch or fault recovery).
+    pub fn booting_nodes(&self) -> u32 {
+        self.booting_count as u32
+    }
+
+    /// Jobs submitted but not yet finished.
+    pub fn jobs_outstanding(&self) -> u32 {
+        self.jobs_outstanding
+    }
+
+    /// Finalise a stepped run: fold fault stats and close the books, as
+    /// [`Simulation::run`] does after its event loop drains.
+    pub fn into_result(mut self) -> SimResult {
+        let horizon = SimTime::ZERO + self.cfg.horizon;
         self.result.end_time = self.queue.now().min(horizon);
         self.result.unfinished = self.jobs_outstanding;
         self.fold_fault_stats();
@@ -851,25 +950,26 @@ impl Simulation {
 
 /// Apply a mode's trace semantics (see crate docs).
 fn transform_trace(cfg: &SimConfig, mut trace: Vec<SubmitEvent>) -> Vec<SubmitEvent> {
+    for ev in &mut trace {
+        transform_submit(cfg, ev);
+    }
+    trace
+}
+
+/// Apply a mode's semantics to one submit event (shared by the batch
+/// constructor and [`Simulation::inject`]).
+fn transform_submit(cfg: &SimConfig, ev: &mut SubmitEvent) {
     match cfg.mode {
-        Mode::DualBoot | Mode::StaticSplit => trace,
-        Mode::Oracle => {
-            for ev in &mut trace {
-                ev.req.os = OsKind::Linux;
-            }
-            trace
-        }
+        Mode::DualBoot | Mode::StaticSplit => {}
+        Mode::Oracle => ev.req.os = OsKind::Linux,
         Mode::MonoStable => {
             // A Windows job pays a boot round trip: into Windows before it
             // runs, back to Linux after (the node is unavailable both ways).
-            let round_trip = SimDuration::from_secs_f64(2.0 * cfg.boot.mean_s);
-            for ev in &mut trace {
-                if ev.req.os == OsKind::Windows {
-                    ev.req.os = OsKind::Linux;
-                    ev.req.runtime += round_trip;
-                }
+            if ev.req.os == OsKind::Windows {
+                ev.req.os = OsKind::Linux;
+                ev.req.runtime +=
+                    SimDuration::from_secs_f64(2.0 * cfg.boot.mean_s);
             }
-            trace
         }
     }
 }
@@ -1297,6 +1397,61 @@ mod tests {
         assert_eq!(r.boot_failures, 0, "round-trip switches must boot");
         assert_eq!(r.unfinished, 0);
         assert_eq!(r.completed, (20, 8));
+    }
+
+    #[test]
+    fn stepped_run_matches_batch_run() {
+        let trace = small_trace(17, 0.3);
+        let batch = Simulation::new(SimConfig::eridani_v2(17), trace.clone()).run();
+        let mut sim = Simulation::new(SimConfig::eridani_v2(17), trace);
+        let horizon = SimTime::ZERO + sim.cfg.horizon;
+        while let Some(t) = sim.next_event_time() {
+            if t > horizon {
+                break;
+            }
+            assert!(sim.step());
+        }
+        let stepped = sim.into_result();
+        let a = format!("{batch:?}");
+        let b = format!("{stepped:?}");
+        assert_eq!(a, b, "stepping must be bit-identical to run()");
+    }
+
+    #[test]
+    fn injected_jobs_complete_with_keep_alive() {
+        // An initially-empty trace would let the recurring daemon ticks
+        // die immediately; keep-alive holds them up for late injections.
+        let mut sim = Simulation::new(SimConfig::eridani_v2(18), Vec::new());
+        sim.set_keep_alive(SimTime::from_mins(60));
+        let jobs = small_trace(18, 0.4);
+        let n = jobs.len() as u32;
+        for ev in &jobs {
+            sim.inject(ev.at, ev.req.clone());
+        }
+        let horizon = SimTime::ZERO + sim.cfg.horizon;
+        while let Some(t) = sim.next_event_time() {
+            if t > horizon {
+                break;
+            }
+            sim.step();
+        }
+        let r = sim.into_result();
+        assert_eq!(r.total_completed(), n, "unfinished: {}", r.unfinished);
+        assert!(r.switches > 0, "windows jobs forced switches");
+    }
+
+    #[test]
+    fn run_until_respects_the_bound() {
+        let trace = small_trace(19, 0.2);
+        let last = trace.last().unwrap().at;
+        let mut sim = Simulation::new(SimConfig::eridani_v2(19), trace);
+        let mid = SimTime::ZERO + SimDuration::from_mins(30);
+        sim.run_until(mid);
+        assert!(sim.now() <= mid);
+        assert!(sim.next_event_time().unwrap() > mid);
+        sim.run_until(last + SimDuration::from_hours(24));
+        let r = sim.into_result();
+        assert_eq!(r.unfinished, 0);
     }
 
     #[test]

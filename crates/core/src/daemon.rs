@@ -307,8 +307,8 @@ impl<T: Transport, P: SwitchPolicy> LinuxDaemon<T, P> {
                         self.stats.acks_matched += 1;
                     }
                 }
-                Message::RebootOrder { .. } => {
-                    debug_assert!(false, "Linux daemon does not receive reboot orders");
+                Message::RebootOrder { .. } | Message::GridReport { .. } => {
+                    debug_assert!(false, "Linux daemon receives only state reports and acks");
                 }
             }
         }

@@ -1,0 +1,399 @@
+//! The grid broker: routing decisions from gossiped state views.
+//!
+//! The broker never reads a member's schedulers directly. Everything it
+//! knows arrives as [`ClusterReport`] gossip lines over the (possibly
+//! faulty) wire, so its picture of the grid lags reality by at least one
+//! report cycle — more when the link drops or delays lines. The
+//! difference between what it *would* do with fresh state and what it
+//! does with its view is counted as a stale decision.
+
+use crate::result::BrokerStats;
+use crate::spec::{fnv1a, RoutePolicy};
+use dualboot_bootconf::os::OsKind;
+use dualboot_cluster::{Mode, SimConfig};
+use dualboot_des::time::SimTime;
+use dualboot_net::proto::ClusterReport;
+use dualboot_sched::job::JobRequest;
+
+/// A member's static capabilities — what the broker knows without any
+/// gossip at all (the federation's published machine descriptions).
+#[derive(Debug, Clone, Copy)]
+pub struct MemberCaps {
+    /// Compute nodes.
+    pub nodes: u16,
+    /// Cores per node.
+    pub cores_per_node: u32,
+    /// Nodes that start on Linux.
+    pub initial_linux: u16,
+    /// Whether the member can ever run Linux jobs.
+    pub supports_linux: bool,
+    /// Whether the member can ever run Windows jobs.
+    pub supports_windows: bool,
+}
+
+impl MemberCaps {
+    /// Derive capabilities from a member's scenario config.
+    pub fn from_config(cfg: &SimConfig) -> MemberCaps {
+        let (supports_linux, supports_windows) = match cfg.mode {
+            Mode::DualBoot => (true, true),
+            Mode::StaticSplit => (
+                cfg.initial_linux_nodes > 0,
+                cfg.initial_linux_nodes < cfg.nodes,
+            ),
+            // Both transform Windows jobs into Linux-side work.
+            Mode::MonoStable | Mode::Oracle => (true, true),
+        };
+        MemberCaps {
+            nodes: cfg.nodes,
+            cores_per_node: cfg.cores_per_node,
+            initial_linux: cfg.initial_linux_nodes,
+            supports_linux,
+            supports_windows,
+        }
+    }
+
+    fn supports(&self, os: OsKind) -> bool {
+        match os {
+            OsKind::Linux => self.supports_linux,
+            OsKind::Windows => self.supports_windows,
+        }
+    }
+
+    fn admits(&self, req: &JobRequest) -> bool {
+        req.nodes <= u32::from(self.nodes) && self.supports(req.os)
+    }
+
+    /// The prior used before any gossip arrives: the initial split, all
+    /// cores free, nothing queued.
+    fn prior(&self) -> ClusterReport {
+        let linux_nodes = u32::from(self.initial_linux);
+        let windows_nodes = u32::from(self.nodes - self.initial_linux);
+        ClusterReport {
+            at: SimTime::ZERO,
+            linux_queued: 0,
+            windows_queued: 0,
+            linux_free_cores: linux_nodes * self.cores_per_node,
+            windows_free_cores: windows_nodes * self.cores_per_node,
+            linux_nodes,
+            windows_nodes,
+            booting: 0,
+        }
+    }
+}
+
+/// One OS side of a (viewed or fresh) cluster report.
+#[derive(Debug, Clone, Copy)]
+struct SideView {
+    nodes: u32,
+    free_cores: u32,
+    queued: u32,
+    total_queued: u32,
+}
+
+fn side_of(report: &ClusterReport, os: OsKind) -> SideView {
+    let total_queued = report.linux_queued + report.windows_queued;
+    match os {
+        OsKind::Linux => SideView {
+            nodes: report.linux_nodes,
+            free_cores: report.linux_free_cores,
+            queued: report.linux_queued,
+            total_queued,
+        },
+        OsKind::Windows => SideView {
+            nodes: report.windows_nodes,
+            free_cores: report.windows_free_cores,
+            queued: report.windows_queued,
+            total_queued,
+        },
+    }
+}
+
+/// The routing broker.
+#[derive(Debug)]
+pub struct Broker {
+    policy: RoutePolicy,
+    caps: Vec<MemberCaps>,
+    /// Latest accepted view per member: `(received_at, report)`.
+    views: Vec<Option<(SimTime, ClusterReport)>>,
+    routed: Vec<u64>,
+    stats: BrokerStats,
+}
+
+impl Broker {
+    /// A broker over members with the given capabilities (index order
+    /// must match the federation's sorted member order).
+    pub fn new(policy: RoutePolicy, caps: Vec<MemberCaps>) -> Broker {
+        let n = caps.len();
+        Broker {
+            policy,
+            caps,
+            views: vec![None; n],
+            routed: vec![0; n],
+            stats: BrokerStats::default(),
+        }
+    }
+
+    /// Ingest one gossiped report. Reports are accepted newest-first by
+    /// *generation* time, so a delayed line arriving after a fresher one
+    /// (or a duplicate) cannot roll the view backwards.
+    pub fn observe(&mut self, member: usize, received_at: SimTime, report: ClusterReport) {
+        self.stats.reports_received += 1;
+        let newer = self.views[member].is_none_or(|(_, old)| old.at <= report.at);
+        if newer {
+            self.views[member] = Some((received_at, report));
+        }
+    }
+
+    /// Count a gossip line leaving a member (whether or not it survives
+    /// the wire).
+    pub fn note_report_sent(&mut self) {
+        self.stats.reports_sent += 1;
+    }
+
+    /// Route one job at `now`. `fresh` is ground truth for every member
+    /// at this instant, used only for accounting: when the view-based
+    /// choice differs from the fresh-state choice, the decision counts as
+    /// stale (a misroute caused by gossip lag or loss).
+    pub fn route(&mut self, req: &JobRequest, now: SimTime, fresh: &[ClusterReport]) -> usize {
+        let chosen = self.decide(req, None);
+        let ideal = self.decide(req, Some(fresh));
+        self.stats.decisions += 1;
+        if chosen != ideal {
+            self.stats.stale_decisions += 1;
+        }
+        if let Some((_, report)) = self.views[chosen] {
+            self.stats
+                .view_staleness_s
+                .push(now.saturating_since(report.at).as_secs_f64());
+        }
+        self.routed[chosen] += 1;
+        chosen
+    }
+
+    /// Jobs routed to each member so far.
+    pub fn routed(&self) -> &[u64] {
+        &self.routed
+    }
+
+    /// Surrender the accumulated counters.
+    pub fn into_stats(self) -> BrokerStats {
+        self.stats
+    }
+
+    /// The view (or capability prior) the broker holds for `member`.
+    fn viewed(&self, member: usize, fresh: Option<&[ClusterReport]>) -> ClusterReport {
+        match fresh {
+            Some(f) => f[member],
+            None => self.views[member]
+                .map(|(_, r)| r)
+                .unwrap_or_else(|| self.caps[member].prior()),
+        }
+    }
+
+    /// Queue-depth scoring key: fewer queued on the job's side, then
+    /// fewer queued overall, then more free cores on the side, then least
+    /// routed so far (spreads a cold start), then member order.
+    fn qd_key(
+        &self,
+        member: usize,
+        os: OsKind,
+        fresh: Option<&[ClusterReport]>,
+    ) -> (u32, u32, u32, u64, usize) {
+        let report = self.viewed(member, fresh);
+        let side = side_of(&report, os);
+        (
+            side.queued,
+            side.total_queued,
+            u32::MAX - side.free_cores,
+            self.routed[member],
+            member,
+        )
+    }
+
+    /// Pure routing decision against either the gossip views (`None`) or
+    /// supplied fresh reports. Deterministic: every tie-break ends at the
+    /// member index, and member order is fixed (sorted by name).
+    fn decide(&self, req: &JobRequest, fresh: Option<&[ClusterReport]>) -> usize {
+        let candidates: Vec<usize> = (0..self.caps.len())
+            .filter(|&i| self.caps[i].admits(req))
+            .collect();
+        if candidates.is_empty() {
+            // Nobody can run it (too wide, or unsupported OS): dump it on
+            // the widest member, where it will sit and count as unfinished.
+            let mut best = 0;
+            for i in 1..self.caps.len() {
+                if self.caps[i].nodes > self.caps[best].nodes {
+                    best = i;
+                }
+            }
+            return best;
+        }
+        match self.policy {
+            RoutePolicy::Static => {
+                let k = fnv1a(&req.name) as usize % candidates.len();
+                candidates[k]
+            }
+            RoutePolicy::QueueDepth => *candidates
+                .iter()
+                .min_by_key(|&&i| self.qd_key(i, req.os, fresh))
+                .expect("candidates non-empty"),
+            RoutePolicy::SwitchCoop => {
+                // Ready: already booted into the job's OS with room for it.
+                let ready: Vec<usize> = candidates
+                    .iter()
+                    .copied()
+                    .filter(|&i| {
+                        let side = side_of(&self.viewed(i, fresh), req.os);
+                        side.nodes > 0 && side.free_cores >= req.cpus()
+                    })
+                    .collect();
+                if let Some(&best) = ready.iter().min_by_key(|&&i| {
+                    let side = side_of(&self.viewed(i, fresh), req.os);
+                    (side.queued, self.routed[i], i)
+                }) {
+                    return best;
+                }
+                // Warm: at least some nodes on the right OS, even if busy.
+                let warm: Vec<usize> = candidates
+                    .iter()
+                    .copied()
+                    .filter(|&i| side_of(&self.viewed(i, fresh), req.os).nodes > 0)
+                    .collect();
+                let pool = if warm.is_empty() { &candidates } else { &warm };
+                *pool
+                    .iter()
+                    .min_by_key(|&&i| self.qd_key(i, req.os, fresh))
+                    .expect("pool non-empty")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dualboot_des::time::SimDuration;
+
+    fn caps(nodes: u16, initial_linux: u16) -> MemberCaps {
+        MemberCaps {
+            nodes,
+            cores_per_node: 4,
+            initial_linux,
+            supports_linux: true,
+            supports_windows: true,
+        }
+    }
+
+    fn job(name: &str, os: OsKind, nodes: u32) -> JobRequest {
+        JobRequest::user(name, os, nodes, 4, SimDuration::from_mins(10))
+    }
+
+    fn report(lq: u32, wq: u32, lfree: u32, wfree: u32, ln: u32, wn: u32) -> ClusterReport {
+        ClusterReport {
+            at: SimTime::from_secs(60),
+            linux_queued: lq,
+            windows_queued: wq,
+            linux_free_cores: lfree,
+            windows_free_cores: wfree,
+            linux_nodes: ln,
+            windows_nodes: wn,
+            booting: 0,
+        }
+    }
+
+    #[test]
+    fn static_routing_ignores_state() {
+        let mut b = Broker::new(RoutePolicy::Static, vec![caps(16, 16), caps(16, 0)]);
+        let j = job("render-1", OsKind::Windows, 1);
+        let first = b.decide(&j, None);
+        // Pile every job onto member 0's queue in the view; static must
+        // not care.
+        b.observe(0, SimTime::from_secs(60), report(50, 50, 0, 0, 8, 8));
+        assert_eq!(b.decide(&j, None), first, "static is state-blind");
+        // Same name always lands on the same member.
+        assert_eq!(b.decide(&j, None), b.decide(&j, None));
+    }
+
+    #[test]
+    fn queue_depth_prefers_the_shorter_queue() {
+        let mut b = Broker::new(RoutePolicy::QueueDepth, vec![caps(16, 8), caps(16, 8)]);
+        b.observe(0, SimTime::from_secs(60), report(9, 0, 0, 16, 8, 8));
+        b.observe(1, SimTime::from_secs(60), report(1, 0, 8, 16, 8, 8));
+        assert_eq!(b.decide(&job("md-1", OsKind::Linux, 1), None), 1);
+    }
+
+    #[test]
+    fn coop_prefers_the_ready_os() {
+        // Member 0 is all-Linux, member 1 all-Windows (per its view); a
+        // Windows job must go to member 1 even though both queues are
+        // empty.
+        let mut b = Broker::new(RoutePolicy::SwitchCoop, vec![caps(16, 16), caps(16, 0)]);
+        b.observe(0, SimTime::from_secs(60), report(0, 0, 64, 0, 16, 0));
+        b.observe(1, SimTime::from_secs(60), report(0, 0, 0, 64, 0, 16));
+        assert_eq!(b.decide(&job("fea-1", OsKind::Windows, 2), None), 1);
+        assert_eq!(b.decide(&job("md-2", OsKind::Linux, 2), None), 0);
+    }
+
+    #[test]
+    fn coop_falls_back_to_queue_depth_when_nobody_is_ready() {
+        let mut b = Broker::new(RoutePolicy::SwitchCoop, vec![caps(16, 16), caps(16, 16)]);
+        // Neither member has Windows nodes; member 1's Linux queue is
+        // shorter so the fallback picks it.
+        b.observe(0, SimTime::from_secs(60), report(6, 2, 0, 0, 16, 0));
+        b.observe(1, SimTime::from_secs(60), report(1, 1, 0, 0, 16, 0));
+        assert_eq!(b.decide(&job("render-9", OsKind::Windows, 1), None), 1);
+    }
+
+    #[test]
+    fn prior_is_used_before_any_gossip() {
+        // No reports at all: coop still sends the Windows job to the
+        // member whose *initial* split has Windows nodes.
+        let b = Broker::new(RoutePolicy::SwitchCoop, vec![caps(16, 16), caps(16, 0)]);
+        assert_eq!(b.decide(&job("render-1", OsKind::Windows, 1), None), 1);
+    }
+
+    #[test]
+    fn jobs_wider_than_a_member_skip_it() {
+        let b = Broker::new(RoutePolicy::QueueDepth, vec![caps(4, 4), caps(16, 16)]);
+        assert_eq!(b.decide(&job("wide", OsKind::Linux, 8), None), 1);
+        // Wider than everyone: dumped on the widest member.
+        assert_eq!(b.decide(&job("too-wide", OsKind::Linux, 64), None), 1);
+    }
+
+    #[test]
+    fn stale_views_are_counted() {
+        let mut b = Broker::new(RoutePolicy::QueueDepth, vec![caps(16, 8), caps(16, 8)]);
+        // View says member 0 is empty; ground truth says it is drowning.
+        b.observe(0, SimTime::from_secs(10), report(0, 0, 32, 16, 8, 8));
+        b.observe(1, SimTime::from_secs(10), report(2, 0, 8, 16, 8, 8));
+        let fresh = vec![report(40, 0, 0, 0, 8, 8), report(2, 0, 8, 16, 8, 8)];
+        let chosen = b.route(
+            &job("md-1", OsKind::Linux, 1),
+            SimTime::from_mins(10),
+            &fresh,
+        );
+        assert_eq!(chosen, 0, "the stale view still points at member 0");
+        let stats = b.into_stats();
+        assert_eq!(stats.decisions, 1);
+        assert_eq!(stats.stale_decisions, 1);
+        assert!(stats.view_staleness_s.mean() > 0.0);
+    }
+
+    #[test]
+    fn out_of_order_reports_cannot_roll_the_view_back() {
+        let mut b = Broker::new(RoutePolicy::QueueDepth, vec![caps(16, 8)]);
+        let newer = ClusterReport {
+            at: SimTime::from_secs(120),
+            linux_queued: 5,
+            ..report(0, 0, 32, 16, 8, 8)
+        };
+        let older = ClusterReport {
+            at: SimTime::from_secs(60),
+            linux_queued: 0,
+            ..report(0, 0, 32, 16, 8, 8)
+        };
+        b.observe(0, SimTime::from_secs(125), newer);
+        b.observe(0, SimTime::from_secs(130), older); // delayed line lands late
+        assert_eq!(b.viewed(0, None).linux_queued, 5, "newest generation wins");
+    }
+}

@@ -1,0 +1,50 @@
+#![warn(missing_docs)]
+
+//! # dualboot-grid — the Queensgate campus-grid federation layer
+//!
+//! The paper deploys dualboot-oscar on Eridani as one member of the
+//! University of Huddersfield's Queensgate **campus grid** (§V): several
+//! independently-operated clusters serving one mixed Linux/Windows
+//! application portfolio. This crate federates N simulated hybrid
+//! clusters — each with its own nodes, schedulers, daemons and OS-switch
+//! policy — under a single shared discrete-event clock, and puts a **grid
+//! broker** in front of the unified workload stream.
+//!
+//! * [`spec`] — [`GridSpec`]/[`MemberSpec`] scenario configuration and
+//!   the [`RoutePolicy`] spectrum: static partitioning (jobs pinned per
+//!   cluster, the paper's baseline), queue-depth-aware routing, and
+//!   switch-cooperative routing (prefer a cluster already booted into the
+//!   job's OS over forcing a local switch).
+//! * [`broker`] — the routing decision machinery working from gossiped
+//!   state views, never from member internals.
+//! * [`sim`] — [`GridSim`]: the shared-clock interleaving loop plus the
+//!   report gossip over `dualboot_net`'s [`Transport`] abstraction. Link
+//!   faults on the gossip wire (drops, delays, duplicates) degrade the
+//!   broker's view realistically: stale reports → misroutes → measurable
+//!   wait inflation.
+//! * [`result`] — [`GridResult`]: per-member results plus broker and
+//!   gossip-link counters, fully serialisable.
+//! * [`replicate`] — multi-seed grid replication with seed-order folding,
+//!   bit-identical across worker counts.
+//! * [`report`] — plain-text grid report sections.
+//!
+//! Determinism: a grid run is a pure function of its [`GridSpec`].
+//! Members are sorted by name and seeded from `seed ^ fnv(name)`, so the
+//! member list's order in the spec is irrelevant; repeats and
+//! [`replicate::replicate_grid`] worker counts reproduce results bit for
+//! bit.
+//!
+//! [`Transport`]: dualboot_net::transport::Transport
+
+pub mod broker;
+pub mod replicate;
+pub mod report;
+pub mod result;
+pub mod sim;
+pub mod spec;
+
+pub use broker::{Broker, MemberCaps};
+pub use replicate::replicate_grid;
+pub use result::{BrokerStats, GridResult, MemberResult};
+pub use sim::GridSim;
+pub use spec::{GridSpec, MemberSpec, RoutePolicy};

@@ -1,0 +1,139 @@
+//! Plain-text grid report sections.
+//!
+//! Reuses the cluster crate's [`Table`] so grid output and single-cluster
+//! output share one format.
+
+use crate::result::GridResult;
+use dualboot_bootconf::os::OsKind;
+use dualboot_cluster::report::{fmt_secs, result_row, Table, RESULT_HEADERS};
+
+/// Per-member table: the standard result columns plus how many jobs the
+/// broker routed to each member.
+pub fn member_table(r: &GridResult) -> String {
+    let mut headers: Vec<&str> = vec!["member", "routed"];
+    headers.extend(&RESULT_HEADERS[1..]);
+    let mut t = Table::new(format!("grid members [{}]", r.routing.name()), &headers);
+    for m in &r.members {
+        let mut cells = vec![m.name.clone(), m.routed.to_string()];
+        cells.extend(result_row("", &m.result).into_iter().skip(1));
+        t.row(&cells);
+    }
+    t.render()
+}
+
+/// Broker section: decision quality and gossip-wire health.
+pub fn broker_section(r: &GridResult) -> String {
+    let b = &r.broker;
+    let mut t = Table::new("grid broker", &["metric", "value"]);
+    let mut row = |k: &str, v: String| t.row(&[k.to_string(), v]);
+    row("policy", r.routing.name().to_string());
+    row("decisions", b.decisions.to_string());
+    row(
+        "stale decisions",
+        format!(
+            "{} ({:.1}%)",
+            b.stale_decisions,
+            100.0 * b.stale_decisions as f64 / (b.decisions.max(1)) as f64
+        ),
+    );
+    row("reports sent", b.reports_sent.to_string());
+    row("reports received", b.reports_received.to_string());
+    row("view staleness", fmt_secs(b.view_staleness_s.mean()));
+    if b.link != Default::default() {
+        row(
+            "gossip faults",
+            format!(
+                "{} dropped, {} delayed, {} duplicated",
+                b.link.dropped, b.link.delayed, b.link.duplicated
+            ),
+        );
+    }
+    t.render()
+}
+
+/// One summary row per policy for a sweep table built with
+/// [`SWEEP_HEADERS`].
+pub fn sweep_row(r: &GridResult) -> Vec<String> {
+    vec![
+        r.routing.name().to_string(),
+        r.total_completed().to_string(),
+        r.total_unfinished().to_string(),
+        format!("{:.1}%", 100.0 * r.utilisation()),
+        fmt_secs(r.mean_wait_s()),
+        fmt_secs(r.mean_wait_os_s(OsKind::Linux)),
+        fmt_secs(r.mean_wait_os_s(OsKind::Windows)),
+        r.total_switches().to_string(),
+        r.broker.stale_decisions.to_string(),
+    ]
+}
+
+/// Headers matching [`sweep_row`].
+pub const SWEEP_HEADERS: [&str; 9] = [
+    "policy",
+    "done",
+    "unfin",
+    "util",
+    "wait(all)",
+    "wait(L)",
+    "wait(W)",
+    "switches",
+    "stale",
+];
+
+/// Full report for one grid run: member table + broker section.
+pub fn render(r: &GridResult) -> String {
+    let mut out = member_table(r);
+    out.push('\n');
+    out.push_str(&broker_section(r));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::GridSim;
+    use crate::spec::{GridSpec, RoutePolicy};
+    use dualboot_des::time::SimDuration;
+
+    fn quick_result(routing: RoutePolicy) -> GridResult {
+        let mut spec = GridSpec::campus(7, 3);
+        spec.routing = routing;
+        spec.workload.duration = SimDuration::from_hours(1);
+        GridSim::new(spec).run()
+    }
+
+    #[test]
+    fn member_table_has_one_row_per_member() {
+        let r = quick_result(RoutePolicy::QueueDepth);
+        let text = member_table(&r);
+        assert!(text.contains("eridani"));
+        assert!(text.contains("tauceti"));
+        assert!(text.contains("procyon"));
+        assert!(text.contains("[queue]"));
+    }
+
+    #[test]
+    fn broker_section_reports_gossip() {
+        let r = quick_result(RoutePolicy::SwitchCoop);
+        let text = broker_section(&r);
+        assert!(text.contains("policy"));
+        assert!(text.contains("coop"));
+        assert!(text.contains("reports sent"));
+        // Quiet wire: no gossip-fault row.
+        assert!(!text.contains("gossip faults"));
+    }
+
+    #[test]
+    fn sweep_row_matches_headers() {
+        let r = quick_result(RoutePolicy::Static);
+        assert_eq!(sweep_row(&r).len(), SWEEP_HEADERS.len());
+    }
+
+    #[test]
+    fn full_render_combines_sections() {
+        let r = quick_result(RoutePolicy::Static);
+        let text = render(&r);
+        assert!(text.contains("grid members"));
+        assert!(text.contains("grid broker"));
+    }
+}

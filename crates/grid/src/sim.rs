@@ -1,0 +1,372 @@
+//! The shared-clock federation loop.
+//!
+//! [`GridSim`] owns N member [`Simulation`]s plus its own event queue
+//! (job arrivals and gossip ticks) and interleaves them on one logical
+//! clock: each round, whichever queue holds the earliest next event
+//! advances by exactly one event. Ties resolve grid-first, then by the
+//! federation's sorted member order — a fixed total order, so a grid run
+//! is a pure function of its [`GridSpec`].
+//!
+//! Gossip: on every report tick each member's state summary is sent as a
+//! [`Message::GridReport`] line over its own member→broker wire — an
+//! in-process transport wrapped in the deterministic link-fault decorator.
+//! A quiet wire is an exact passthrough; a lossy one starves and lags the
+//! broker's view, which is precisely how a flaky campus network degrades
+//! a real metascheduler.
+
+use crate::broker::{Broker, MemberCaps};
+use crate::result::{GridResult, MemberResult};
+use crate::spec::GridSpec;
+use dualboot_cluster::Simulation;
+use dualboot_des::queue::EventQueue;
+use dualboot_des::rng::DetRng;
+use dualboot_des::time::SimTime;
+use dualboot_net::faulty::{FaultyTransport, LinkStats};
+use dualboot_net::proto::{ClusterReport, Message};
+use dualboot_net::transport::{in_proc_pair, InProcTransport, Transport};
+use dualboot_workload::generator::SubmitEvent;
+
+/// Grid-level events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum GridEvent {
+    /// Route trace entry `i` through the broker.
+    Submit(usize),
+    /// Every member reports its state to the broker.
+    ReportTick,
+}
+
+/// The member→broker gossip wire: in-process, with deterministic link
+/// faults.
+type GossipWire = FaultyTransport<InProcTransport, DetRng>;
+
+struct Member {
+    name: String,
+    sim: Simulation,
+    /// Member end of the gossip wire (sender).
+    tx: GossipWire,
+    /// Broker end of the gossip wire (receiver).
+    rx: InProcTransport,
+}
+
+/// One federation run.
+///
+/// ```
+/// use dualboot_grid::{GridSim, GridSpec};
+///
+/// let mut spec = GridSpec::campus(7, 3);
+/// spec.workload.duration = dualboot_des::time::SimDuration::from_hours(2);
+/// let result = GridSim::new(spec).run();
+/// assert_eq!(result.total_unfinished(), 0);
+/// ```
+pub struct GridSim {
+    spec: GridSpec,
+    trace: Vec<SubmitEvent>,
+    queue: EventQueue<GridEvent>,
+    members: Vec<Member>,
+    broker: Broker,
+    submitted: usize,
+}
+
+impl GridSim {
+    /// Build a federation from `spec`.
+    ///
+    /// Members are sorted by name (the spec's list order is irrelevant)
+    /// and every derived seed is keyed on the member's *name*, so two
+    /// specs differing only in member permutation produce byte-identical
+    /// results.
+    pub fn new(mut spec: GridSpec) -> GridSim {
+        spec.members.sort_by(|a, b| a.name.cmp(&b.name));
+        debug_assert!(
+            spec.members.windows(2).all(|w| w[0].name != w[1].name),
+            "member names must be unique"
+        );
+        let trace = spec.workload.generate();
+        let last_submit = trace.last().map(|e| e.at).unwrap_or(SimTime::ZERO);
+
+        let mut queue = EventQueue::new();
+        for (i, ev) in trace.iter().enumerate() {
+            queue.schedule_at(ev.at, GridEvent::Submit(i));
+        }
+        queue.schedule(spec.report_every, GridEvent::ReportTick);
+
+        let caps: Vec<MemberCaps> = spec
+            .members
+            .iter()
+            .map(|m| MemberCaps::from_config(&m.cfg))
+            .collect();
+        let mut members = Vec::with_capacity(spec.members.len());
+        for m in &spec.members {
+            let mut cfg = m.cfg.clone();
+            // The federation's horizon governs; a member must not stop
+            // early while the grid still feeds it.
+            cfg.horizon = cfg.horizon.max(spec.horizon);
+            let mut sim = Simulation::new(cfg, Vec::new());
+            sim.set_keep_alive(last_submit);
+            let (member_end, broker_end) = in_proc_pair();
+            let dice = DetRng::seed_from(spec.seed ^ 0x6055_1bed).derive(&m.name);
+            let tx = FaultyTransport::new(member_end, spec.gossip, dice);
+            members.push(Member {
+                name: m.name.clone(),
+                sim,
+                tx,
+                rx: broker_end,
+            });
+        }
+        let broker = Broker::new(spec.routing, caps);
+        GridSim {
+            spec,
+            trace,
+            queue,
+            members,
+            broker,
+            submitted: 0,
+        }
+    }
+
+    /// Run the federation to completion (or the horizon).
+    pub fn run(mut self) -> GridResult {
+        let horizon = SimTime::ZERO + self.spec.horizon;
+        loop {
+            let grid_next = self.queue.next_time();
+            let mut member_next: Option<(SimTime, usize)> = None;
+            for (i, m) in self.members.iter_mut().enumerate() {
+                if let Some(t) = m.sim.next_event_time() {
+                    if member_next.is_none_or(|(bt, _)| t < bt) {
+                        member_next = Some((t, i));
+                    }
+                }
+            }
+            // Grid events win ties: the broker routes (and gossips) at an
+            // instant before members process their own events at it.
+            let pick_grid = match (grid_next, member_next) {
+                (None, None) => break,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (Some(g), Some((mt, _))) => g <= mt,
+            };
+            if pick_grid {
+                let t = grid_next.expect("grid event picked");
+                if t > horizon {
+                    break;
+                }
+                let (_, ev) = self.queue.pop().expect("peeked grid event");
+                match ev {
+                    GridEvent::Submit(i) => self.on_submit(i),
+                    GridEvent::ReportTick => self.on_report_tick(),
+                }
+            } else {
+                let (t, i) = member_next.expect("member event picked");
+                if t > horizon {
+                    break;
+                }
+                self.members[i].sim.step();
+            }
+        }
+        self.finish(horizon)
+    }
+
+    /// Ground-truth state summary of member `i`, stamped `at`.
+    fn member_report(&self, i: usize, at: SimTime) -> ClusterReport {
+        let m = &self.members[i];
+        let (lin, win) = m.sim.queue_snapshots();
+        ClusterReport {
+            at,
+            linux_queued: lin.queued,
+            windows_queued: win.queued,
+            linux_free_cores: lin.cores_free,
+            windows_free_cores: win.cores_free,
+            linux_nodes: lin.nodes_online,
+            windows_nodes: win.nodes_online,
+            booting: m.sim.booting_nodes(),
+        }
+    }
+
+    fn on_submit(&mut self, i: usize) {
+        let now = self.queue.now();
+        let req = self.trace[i].req.clone();
+        let fresh: Vec<ClusterReport> = (0..self.members.len())
+            .map(|j| self.member_report(j, now))
+            .collect();
+        let chosen = self.broker.route(&req, now, &fresh);
+        self.members[chosen].sim.inject(now, req);
+        self.submitted += 1;
+    }
+
+    fn on_report_tick(&mut self) {
+        let now = self.queue.now();
+        // Every member emits its line; the wire may drop, delay, or
+        // duplicate it. Sending also ages previously held lines.
+        for i in 0..self.members.len() {
+            let report = self.member_report(i, now);
+            let msg = Message::GridReport {
+                member: self.members[i].name.clone(),
+                report,
+            };
+            self.broker.note_report_sent();
+            self.members[i].tx.send(&msg).expect("in-proc gossip wire");
+        }
+        // The broker drains whatever made it through, in member order.
+        for i in 0..self.members.len() {
+            while let Some(msg) = self.members[i].rx.try_recv().expect("in-proc gossip wire") {
+                if let Message::GridReport { report, .. } = msg {
+                    self.broker.observe(i, now, report);
+                }
+            }
+        }
+        if !self.done() {
+            self.queue
+                .schedule(self.spec.report_every, GridEvent::ReportTick);
+        }
+    }
+
+    /// Gossip keeps ticking while arrivals remain or any member still has
+    /// jobs in flight.
+    fn done(&self) -> bool {
+        self.submitted == self.trace.len()
+            && self.members.iter().all(|m| m.sim.jobs_outstanding() == 0)
+    }
+
+    fn finish(self, horizon: SimTime) -> GridResult {
+        let end_time = self.queue.now().min(horizon);
+        let routed = self.broker.routed().to_vec();
+        let mut link = LinkStats::default();
+        let mut members = Vec::with_capacity(self.members.len());
+        for (i, m) in self.members.into_iter().enumerate() {
+            let s = m.tx.stats();
+            link.dropped += s.dropped;
+            link.delayed += s.delayed;
+            link.duplicated += s.duplicated;
+            members.push(MemberResult {
+                name: m.name,
+                routed: routed[i],
+                result: m.sim.into_result(),
+            });
+        }
+        let mut broker = self.broker.into_stats();
+        broker.link = link;
+        GridResult {
+            routing: self.spec.routing,
+            members,
+            broker,
+            end_time,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::RoutePolicy;
+    use dualboot_des::time::SimDuration;
+
+    fn quick_spec(seed: u64, routing: RoutePolicy) -> GridSpec {
+        let mut spec = GridSpec::campus(seed, 3);
+        spec.routing = routing;
+        spec.workload.duration = SimDuration::from_hours(2);
+        spec
+    }
+
+    #[test]
+    fn federation_completes_a_mixed_workload() {
+        for routing in RoutePolicy::ALL {
+            let r = GridSim::new(quick_spec(7, routing)).run();
+            assert_eq!(
+                r.total_unfinished(),
+                0,
+                "{} left jobs stranded",
+                routing.name()
+            );
+            assert!(r.total_completed() > 0);
+            assert_eq!(
+                u64::from(r.total_completed()),
+                r.broker.decisions,
+                "every decision corresponds to a completed job"
+            );
+        }
+    }
+
+    // Debug formatting covers every field, so string equality is a
+    // bit-level identity check that also works in offline builds (where
+    // the serde_json substitute cannot serialise).
+    fn fingerprint(r: &crate::result::GridResult) -> String {
+        format!("{r:?}")
+    }
+
+    #[test]
+    fn grid_runs_are_deterministic() {
+        let run = || GridSim::new(quick_spec(11, RoutePolicy::SwitchCoop)).run();
+        assert_eq!(fingerprint(&run()), fingerprint(&run()));
+    }
+
+    #[test]
+    fn member_permutation_is_irrelevant() {
+        let spec = quick_spec(13, RoutePolicy::QueueDepth);
+        let mut reversed = spec.clone();
+        reversed.members.reverse();
+        let a = GridSim::new(spec).run();
+        let b = GridSim::new(reversed).run();
+        assert_eq!(fingerprint(&a), fingerprint(&b));
+    }
+
+    #[test]
+    fn coop_switches_less_than_static_on_a_mixed_stream() {
+        let s = GridSim::new(quick_spec(7, RoutePolicy::Static)).run();
+        let c = GridSim::new(quick_spec(7, RoutePolicy::SwitchCoop)).run();
+        assert!(
+            c.total_switches() <= s.total_switches(),
+            "coop ({}) must not out-switch static ({})",
+            c.total_switches(),
+            s.total_switches()
+        );
+    }
+
+    #[test]
+    fn gossip_flows_on_a_quiet_wire() {
+        let r = GridSim::new(quick_spec(5, RoutePolicy::QueueDepth)).run();
+        assert!(r.broker.reports_sent > 0);
+        assert_eq!(
+            r.broker.reports_sent, r.broker.reports_received,
+            "quiet wire loses nothing"
+        );
+        assert_eq!(r.broker.link, LinkStats::default());
+        assert!(r.broker.view_staleness_s.count() > 0);
+    }
+
+    #[test]
+    fn lossy_gossip_starves_the_view() {
+        let mut spec = quick_spec(5, RoutePolicy::QueueDepth);
+        spec.gossip.drop_p = 0.5;
+        let r = GridSim::new(spec).run();
+        assert!(r.broker.link.dropped > 0);
+        assert!(
+            r.broker.reports_received < r.broker.reports_sent,
+            "drops must starve the broker"
+        );
+        // Still deterministic under faults.
+        let mut spec2 = quick_spec(5, RoutePolicy::QueueDepth);
+        spec2.gossip.drop_p = 0.5;
+        assert_eq!(fingerprint(&GridSim::new(spec2).run()), fingerprint(&r));
+    }
+
+    #[test]
+    fn chaos_grid_completes_and_reproduces() {
+        let mk = || {
+            let mut spec = quick_spec(9, RoutePolicy::SwitchCoop);
+            spec.apply_chaos();
+            spec
+        };
+        let a = GridSim::new(mk()).run();
+        let b = GridSim::new(mk()).run();
+        assert_eq!(fingerprint(&a), fingerprint(&b));
+        // The chaos campaign actually fired inside members.
+        assert!(a.members.iter().any(|m| !m.result.faults.is_zero()));
+    }
+
+    #[test]
+    fn empty_workload_grid_terminates_immediately() {
+        let mut spec = quick_spec(1, RoutePolicy::Static);
+        spec.workload.duration = SimDuration::from_millis(1);
+        let r = GridSim::new(spec).run();
+        assert_eq!(r.total_completed() + r.total_unfinished(), 0);
+    }
+}

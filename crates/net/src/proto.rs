@@ -15,8 +15,35 @@
 
 use crate::wire::{DetectorReport, WireError};
 use dualboot_bootconf::os::OsKind;
+use dualboot_des::time::SimTime;
 use serde::{Deserialize, Serialize};
 use std::fmt;
+
+/// One member cluster's state summary, gossiped periodically to a grid
+/// broker (the federation layer's analogue of the Figure-5 report).
+///
+/// The broker routes on this view alone — it never reads a member's
+/// schedulers directly — so dropped or delayed report lines degrade its
+/// picture exactly as a flaky campus link would.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClusterReport {
+    /// When the member generated the report (its local clock).
+    pub at: SimTime,
+    /// Jobs queued on the Linux (PBS) side.
+    pub linux_queued: u32,
+    /// Jobs queued on the Windows (WinHPC) side.
+    pub windows_queued: u32,
+    /// Unallocated cores on nodes currently running Linux.
+    pub linux_free_cores: u32,
+    /// Unallocated cores on nodes currently running Windows.
+    pub windows_free_cores: u32,
+    /// Nodes online under Linux.
+    pub linux_nodes: u32,
+    /// Nodes online under Windows.
+    pub windows_nodes: u32,
+    /// Nodes mid-reboot (switching OS or recovering from a fault).
+    pub booting: u32,
+}
 
 /// A protocol message between head-node communicators.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -46,6 +73,15 @@ pub enum Message {
         queued: u32,
         /// The order number being acknowledged (`0` for legacy lines).
         seq: u64,
+    },
+    /// Federation gossip: a member cluster's periodic state report to the
+    /// grid broker. `member` must be a single whitespace-free token (it
+    /// travels as one field of the line protocol).
+    GridReport {
+        /// The reporting cluster's name.
+        member: String,
+        /// Its state summary.
+        report: ClusterReport,
     },
 }
 
@@ -87,6 +123,24 @@ impl Message {
                 format!("REBOOT {} {} {}", target.tag(), count, seq)
             }
             Message::OrderAck { queued, seq } => format!("ACK {queued} {seq}"),
+            Message::GridReport { member, report } => {
+                debug_assert!(
+                    !member.is_empty() && !member.contains(char::is_whitespace),
+                    "member name must be one token: {member:?}"
+                );
+                format!(
+                    "GRID {} {} {} {} {} {} {} {} {}",
+                    member,
+                    report.at.as_millis(),
+                    report.linux_queued,
+                    report.windows_queued,
+                    report.linux_free_cores,
+                    report.windows_free_cores,
+                    report.linux_nodes,
+                    report.windows_nodes,
+                    report.booting,
+                )
+            }
         }
     }
 
@@ -145,6 +199,33 @@ impl Message {
                     None => 0,
                 };
                 Ok(Message::OrderAck { queued, seq })
+            }
+            "GRID" => {
+                let bad = || ProtoError::BadFields(line.to_string());
+                let member = parts.next().filter(|m| !m.is_empty()).ok_or_else(bad)?;
+                let rest = parts.next().ok_or_else(bad)?;
+                let nums: Vec<u64> = rest
+                    .split_whitespace()
+                    .map(|s| s.parse::<u64>())
+                    .collect::<Result<_, _>>()
+                    .map_err(|_| bad())?;
+                if nums.len() != 8 {
+                    return Err(bad());
+                }
+                let field = |i: usize| u32::try_from(nums[i]).map_err(|_| bad());
+                Ok(Message::GridReport {
+                    member: member.to_string(),
+                    report: ClusterReport {
+                        at: SimTime::from_millis(nums[0]),
+                        linux_queued: field(1)?,
+                        windows_queued: field(2)?,
+                        linux_free_cores: field(3)?,
+                        windows_free_cores: field(4)?,
+                        linux_nodes: field(5)?,
+                        windows_nodes: field(6)?,
+                        booting: field(7)?,
+                    },
+                })
             }
             other => Err(ProtoError::UnknownVerb(other.to_string())),
         }
@@ -237,6 +318,55 @@ mod tests {
         ));
         assert!(matches!(
             Message::decode("REBOOT windows 3 7 9"),
+            Err(ProtoError::BadFields(_))
+        ));
+    }
+
+    #[test]
+    fn grid_report_roundtrip() {
+        let m = Message::GridReport {
+            member: "tauceti".to_string(),
+            report: ClusterReport {
+                at: SimTime::from_secs(90),
+                linux_queued: 3,
+                windows_queued: 1,
+                linux_free_cores: 12,
+                windows_free_cores: 0,
+                linux_nodes: 10,
+                windows_nodes: 6,
+                booting: 2,
+            },
+        };
+        let line = m.encode();
+        assert_eq!(line, "GRID tauceti 90000 3 1 12 0 10 6 2");
+        assert_eq!(Message::decode(&line).unwrap(), m);
+    }
+
+    #[test]
+    fn grid_report_rejects_malformed_lines() {
+        // too few fields
+        assert!(matches!(
+            Message::decode("GRID tauceti 90000 3 1 12 0 10 6"),
+            Err(ProtoError::BadFields(_))
+        ));
+        // too many fields
+        assert!(matches!(
+            Message::decode("GRID tauceti 90000 3 1 12 0 10 6 2 5"),
+            Err(ProtoError::BadFields(_))
+        ));
+        // non-numeric field
+        assert!(matches!(
+            Message::decode("GRID tauceti 90000 3 1 twelve 0 10 6 2"),
+            Err(ProtoError::BadFields(_))
+        ));
+        // counter exceeding u32
+        assert!(matches!(
+            Message::decode("GRID tauceti 90000 99999999999 1 12 0 10 6 2"),
+            Err(ProtoError::BadFields(_))
+        ));
+        // missing payload entirely
+        assert!(matches!(
+            Message::decode("GRID tauceti"),
             Err(ProtoError::BadFields(_))
         ));
     }

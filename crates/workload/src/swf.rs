@@ -123,9 +123,14 @@ fn fnv(x: u64) -> u64 {
 
 /// Parse SWF text into submit events under the given options.
 ///
-/// Comment lines (starting `;`) and blank lines are skipped. Events come
-/// back sorted by submit time (SWF requires it, but real archives violate
-/// it occasionally — the importer re-sorts).
+/// Comment lines (starting `;`, possibly indented) and blank lines are
+/// skipped; trailing `\r` from CRLF archives is tolerated. Lines with
+/// *more* than 18 fields keep their extra fields ignored (some archives
+/// append site-specific columns). Events come back sorted by submit time
+/// (SWF requires monotone submit order, but real archives violate it
+/// occasionally — the importer re-sorts). The sort is **stable**: jobs
+/// submitted at the same second stay in file order, so an import is a
+/// pure function of the trace text.
 ///
 /// ```
 /// use dualboot_workload::swf::{import, SwfImportOptions};
@@ -214,6 +219,8 @@ pub fn import(text: &str, opts: &SwfImportOptions) -> Result<Vec<SubmitEvent>, S
             req,
         });
     }
+    // Stable by construction: equal submit times keep file order, so the
+    // result is deterministic for a given trace text.
     events.sort_by_key(|e| e.at);
     Ok(events)
 }
@@ -363,6 +370,74 @@ mod tests {
             import(bad, &SwfImportOptions::default()),
             Err(SwfError::BadField { line: 1, field: 2 })
         );
+    }
+
+    #[test]
+    fn errors_report_the_physical_line_number() {
+        // Comments and blanks still count toward line numbers, so the
+        // message points at the line a user would open in an editor.
+        let text = "; header\n\n1 10 1 100 4 -1 -1 4 -1 -1 1 1 1 1 0 -1 -1 -1\n2 20 1 nan? 4 -1 -1 4 -1 -1 1 1 1 1 0 -1 -1 -1\n";
+        assert_eq!(
+            import(text, &SwfImportOptions::default()),
+            Err(SwfError::BadField { line: 4, field: 4 })
+        );
+    }
+
+    #[test]
+    fn comments_blanks_and_crlf_are_tolerated() {
+        let text = "; Version: 2.2\r\n   ; indented comment\n   \n\t\n1 10 1 100 4 -1 -1 4 -1 -1 1 1 1 1 0 -1 -1 -1\r\n";
+        let events = import(text, &SwfImportOptions::default()).unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].req.name, "swf-1");
+        assert_eq!(import("", &SwfImportOptions::default()).unwrap(), vec![]);
+        assert_eq!(
+            import("; only a header\n", &SwfImportOptions::default()).unwrap(),
+            vec![]
+        );
+    }
+
+    #[test]
+    fn extra_trailing_fields_are_ignored() {
+        // Some archives append site-specific columns past field 18.
+        let text = "1 10 1 100 4 -1 -1 4 -1 -1 1 1 1 1 0 -1 -1 -1 99 otherdata\n";
+        let events = import(text, &SwfImportOptions::default()).unwrap();
+        assert_eq!(events.len(), 1);
+    }
+
+    #[test]
+    fn out_of_order_submits_are_resorted_stably() {
+        // Jobs 2 and 3 arrive out of order; jobs 4 and 5 tie at t=300 and
+        // must keep file order (stable sort), making the import
+        // deterministic for a given trace text.
+        let text = "\
+3 300 1 100 4 -1 -1 4 -1 -1 1 1 1 1 0 -1 -1 -1\n\
+1 100 1 100 4 -1 -1 4 -1 -1 1 1 1 1 0 -1 -1 -1\n\
+2 200 1 100 4 -1 -1 4 -1 -1 1 1 1 1 0 -1 -1 -1\n\
+5 300 1 100 4 -1 -1 4 -1 -1 1 1 1 1 0 -1 -1 -1\n";
+        let events = import(text, &SwfImportOptions::default()).unwrap();
+        let names: Vec<&str> = events.iter().map(|e| e.req.name.as_str()).collect();
+        assert_eq!(names, ["swf-1", "swf-2", "swf-3", "swf-5"]);
+        let times: Vec<SimTime> = events.iter().map(|e| e.at).collect();
+        assert!(times.windows(2).all(|w| w[0] <= w[1]), "sorted by submit");
+        // Repeat import: byte-identical event list.
+        assert_eq!(events, import(text, &SwfImportOptions::default()).unwrap());
+    }
+
+    #[test]
+    fn negative_submit_times_clamp_to_zero_when_kept() {
+        let text = "1 -50 1 100 4 -1 -1 4 -1 -1 1 1 1 1 0 -1 -1 -1\n";
+        let kept = import(
+            text,
+            &SwfImportOptions {
+                drop_invalid: false,
+                ..SwfImportOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(kept.len(), 1);
+        assert_eq!(kept[0].at, SimTime::from_secs(0));
+        // With drop_invalid (the default), the suspect line is skipped.
+        assert_eq!(import(text, &SwfImportOptions::default()).unwrap(), vec![]);
     }
 
     #[test]

@@ -2,6 +2,7 @@
 //!
 //! ```sh
 //! cargo run --release --bin dualboot -- simulate --mode dualboot --policy threshold
+//! cargo run --release --bin dualboot -- grid --clusters 3 --seed 7
 //! cargo run --release --bin dualboot -- swf my-trace.swf --windows-queue 1
 //! cargo run --release --bin dualboot -- artifacts
 //! ```
@@ -47,6 +48,16 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         Ok(Command::Simulate(sim_args)) => match cli::run_simulate(&sim_args) {
+            Ok(out) => {
+                print!("{out}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Ok(Command::Grid(grid_args)) => match cli::run_grid(&grid_args) {
             Ok(out) => {
                 print!("{out}");
                 ExitCode::SUCCESS

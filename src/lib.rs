@@ -27,6 +27,7 @@
 //! | [`middleware`] | `dualboot-core` | **the paper's contribution**: detectors, policies, daemons |
 //! | [`workload`] | `dualboot-workload` | Table I catalogue, synthetic + MDCS traces |
 //! | [`cluster`] | `dualboot-cluster` | the end-to-end simulated Eridani |
+//! | [`grid`] | `dualboot-grid` | Queensgate campus-grid federation + job-routing broker |
 //!
 //! ## Quickstart
 //!
@@ -52,6 +53,7 @@ pub use dualboot_cluster as cluster;
 pub use dualboot_core as middleware;
 pub use dualboot_deploy as deploy;
 pub use dualboot_des as des;
+pub use dualboot_grid as grid;
 pub use dualboot_hw as hw;
 pub use dualboot_net as net;
 pub use dualboot_sched as sched;
@@ -69,6 +71,7 @@ pub mod prelude {
     };
     pub use dualboot_core::{Action, FcfsPolicy, LinuxDaemon, SwitchPolicy, WindowsDaemon};
     pub use dualboot_des::time::{SimDuration, SimTime};
+    pub use dualboot_grid::{GridResult, GridSim, GridSpec, RoutePolicy};
     pub use dualboot_sched::job::{JobId, JobKind, JobRequest};
     pub use dualboot_sched::scheduler::Scheduler;
     pub use dualboot_workload::generator::{SubmitEvent, WorkloadSpec};

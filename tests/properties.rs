@@ -586,3 +586,54 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------
+// grid-federation invariants
+// ---------------------------------------------------------------------
+
+use hybrid_cluster::grid::{replicate_grid, GridSim, GridSpec, RoutePolicy};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// A grid run is a pure function of its spec: permuting the member
+    /// list and changing the replication worker count must both leave the
+    /// serialised `GridResult` byte-identical.
+    #[test]
+    fn grid_result_is_bit_identical_across_member_order_and_workers(
+        seed in 0u64..50,
+        routing in prop_oneof![
+            Just(RoutePolicy::Static),
+            Just(RoutePolicy::QueueDepth),
+            Just(RoutePolicy::SwitchCoop),
+        ],
+        chaos in prop_oneof![Just(false), Just(true)],
+        workers in 1usize..4,
+        rotate in 0usize..3,
+    ) {
+        let build = move |s: u64| {
+            let mut spec = GridSpec::campus(s, 3);
+            spec.routing = routing;
+            spec.workload.duration = SimDuration::from_hours(1);
+            if chaos {
+                spec.apply_chaos();
+            }
+            spec
+        };
+        let mut permuted = build(seed);
+        permuted.members.rotate_left(rotate);
+        let direct = GridSim::new(build(seed)).run().to_json();
+        let rotated = GridSim::new(permuted).run().to_json();
+        prop_assert_eq!(&direct, &rotated);
+
+        // Replication folds in seed order regardless of worker count, and
+        // its per-seed results are exactly the standalone runs.
+        let seeds = [seed, seed + 1000];
+        let a = replicate_grid(&seeds, 1, build);
+        let b = replicate_grid(&seeds, workers, build);
+        prop_assert_eq!(a[0].to_json(), direct);
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert_eq!(x.to_json(), y.to_json());
+        }
+    }
+}
