@@ -38,6 +38,7 @@ fn primed_broker(policy: RoutePolicy, n: usize) -> Broker {
                 linux_nodes: 8,
                 windows_nodes: 8,
                 booting: i32u % 2,
+                quarantined: 0,
             },
         );
     }

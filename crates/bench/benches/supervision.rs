@@ -1,0 +1,42 @@
+//! Criterion: node-health supervision overhead.
+//!
+//! The boot watchdog and the daemon journal are on by default, so their
+//! cost on a *healthy* day must be noise: a clean run arms one deadline
+//! per boot and cancels it at `BootComplete`, and the journal appends a
+//! few words per switch order. This bench pins one simulated day with
+//! supervision on and off — on a quiet plan, where the two must be
+//! indistinguishable, and under the default chaos campaign, where
+//! supervision is actually retrying boots and replaying the journal.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dualboot_bench::alternating_bursts;
+use dualboot_cluster::{FaultPlan, SimConfig, Simulation};
+use std::hint::black_box;
+
+fn bench_supervision_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("supervision/one_day");
+    g.sample_size(20);
+    let trace = alternating_bursts(17, 4, 1, 0.6);
+    let cases = [
+        ("quiet/supervised", FaultPlan::default(), true),
+        ("quiet/unsupervised", FaultPlan::default(), false),
+        ("chaos/supervised", FaultPlan::default_chaos(17), true),
+        ("chaos/unsupervised", FaultPlan::default_chaos(17), false),
+    ];
+    for (label, plan, supervised) in cases {
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let mut cfg = SimConfig::eridani_v2(17);
+                cfg.initial_linux_nodes = 8;
+                cfg.faults = plan.clone();
+                cfg.supervision.watchdog = supervised;
+                cfg.supervision.journal = supervised;
+                Simulation::new(cfg, black_box(trace.clone())).run()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_supervision_overhead);
+criterion_main!(benches);

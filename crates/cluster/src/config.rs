@@ -5,7 +5,7 @@ use dualboot_bootconf::grub4dos::ControlMode;
 use dualboot_core::policy::{
     FcfsPolicy, HysteresisPolicy, ProportionalPolicy, SwitchPolicy, ThresholdPolicy,
 };
-use dualboot_core::Version;
+use dualboot_core::{Version, WatchdogConfig};
 use dualboot_des::time::SimDuration;
 use serde::{Deserialize, Serialize};
 
@@ -103,6 +103,33 @@ impl Default for BootModel {
     }
 }
 
+/// Node-health supervision knobs: the boot watchdog + quarantine ledger
+/// and the daemons' crash-recovery journals. Both default **on**; on a
+/// quiet plan they are pure bookkeeping and leave the run bit-identical,
+/// so there is no reason to disable them outside ablation experiments
+/// (the EXPERIMENTS.md stranded-capacity comparison turns them off).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SupervisionConfig {
+    /// Arm the boot watchdog: failed or overdue boots are retried with
+    /// backoff and nodes that keep failing are quarantined.
+    pub watchdog: bool,
+    /// Keep write-ahead journals in both head daemons so an injected
+    /// daemon crash recovers instead of forgetting in-flight switches.
+    pub journal: bool,
+    /// Watchdog deadlines, retry budget and backoff.
+    pub config: WatchdogConfig,
+}
+
+impl Default for SupervisionConfig {
+    fn default() -> Self {
+        SupervisionConfig {
+            watchdog: true,
+            journal: true,
+            config: WatchdogConfig::default(),
+        }
+    }
+}
+
 /// A full scenario description.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SimConfig {
@@ -147,6 +174,9 @@ pub struct SimConfig {
     /// and is bit-identical to a run with no fault machinery at all.
     #[serde(default)]
     pub faults: FaultPlan,
+    /// Node-health supervision (boot watchdog + daemon journals).
+    #[serde(default)]
+    pub supervision: SupervisionConfig,
 }
 
 impl SimConfig {
@@ -171,6 +201,7 @@ impl SimConfig {
             sample_every: SimDuration::from_mins(5),
             horizon: SimDuration::from_hours(72),
             faults: FaultPlan::default(),
+            supervision: SupervisionConfig::default(),
         }
     }
 
@@ -205,6 +236,14 @@ mod tests {
         let v1 = SimConfig::eridani_v1(1);
         assert_eq!(v1.win_cycle, SimDuration::from_mins(5));
         assert_eq!(v1.version, Version::V1);
+    }
+
+    #[test]
+    fn supervision_defaults_on() {
+        let c = SimConfig::eridani_v2(1);
+        assert!(c.supervision.watchdog);
+        assert!(c.supervision.journal);
+        assert_eq!(c.supervision.config, WatchdogConfig::default());
     }
 
     #[test]

@@ -71,6 +71,25 @@ pub enum FaultKind {
         /// Node reimaged (1-based).
         node: u16,
     },
+    /// One head daemon crashes at the event's `at`, losing all in-memory
+    /// state, and restarts after `downtime`. With journaling on the
+    /// restarted daemon replays its write-ahead journal and resumes; with
+    /// it off the daemon comes back amnesiac (in-flight orders forgotten).
+    DaemonCrash {
+        /// Which side's daemon dies (`Linux` = controller, `Windows` =
+        /// communicator).
+        side: OsKind,
+        /// How long the daemon stays down before restarting.
+        downtime: SimDuration,
+    },
+    /// An operator walks to a (typically quarantined) node, reinstalls
+    /// the boot chain — the §III.C "reinstall GRUB after a Windows
+    /// reimage" chore — and power-cycles it. A successful boot recovers
+    /// the node from quarantine.
+    OperatorRepair {
+        /// Node repaired (1-based).
+        node: u16,
+    },
 }
 
 /// A complete, serialisable fault schedule for one run.
@@ -102,8 +121,9 @@ impl FaultPlan {
     }
 
     /// The default chaos campaign: a lossy, duplicating, delaying wire
-    /// plus a reset, a reset storm, a reimage, a PXE outage, and a
-    /// Windows scheduler stall — everything §IV.A claims v2 shrugs off.
+    /// plus a reset, a reset storm, a reimage, a PXE outage, a controller
+    /// daemon crash, and a Windows scheduler stall — everything §IV.A
+    /// claims v2 shrugs off.
     pub fn default_chaos(seed: u64) -> FaultPlan {
         FaultPlan {
             seed,
@@ -134,6 +154,13 @@ impl FaultPlan {
                     at: SimTime::from_mins(40),
                     kind: FaultKind::PxeOutage {
                         duration: SimDuration::from_mins(10),
+                    },
+                },
+                FaultEvent {
+                    at: SimTime::from_mins(50),
+                    kind: FaultKind::DaemonCrash {
+                        side: OsKind::Linux,
+                        downtime: SimDuration::from_mins(8),
                     },
                 },
                 FaultEvent {
@@ -175,7 +202,17 @@ mod tests {
         let p = FaultPlan::default_chaos(7);
         assert!(!p.is_quiet());
         assert_eq!(p.seed, 7);
-        assert_eq!(p.events.len(), 5);
+        assert_eq!(p.events.len(), 6);
+        assert!(
+            p.events.iter().any(|e| matches!(
+                e.kind,
+                FaultKind::DaemonCrash {
+                    side: OsKind::Linux,
+                    ..
+                }
+            )),
+            "the default campaign kills the controller daemon"
+        );
     }
 
     #[test]
@@ -229,6 +266,17 @@ mod tests {
             FaultEvent {
                 at: SimTime::from_secs(5),
                 kind: FaultKind::MidSwitchReimage { node: 9 },
+            },
+            FaultEvent {
+                at: SimTime::from_secs(6),
+                kind: FaultKind::DaemonCrash {
+                    side: OsKind::Windows,
+                    downtime: SimDuration::from_mins(3),
+                },
+            },
+            FaultEvent {
+                at: SimTime::from_secs(7),
+                kind: FaultKind::OperatorRepair { node: 2 },
             },
         ];
         let plan = FaultPlan {

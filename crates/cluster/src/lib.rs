@@ -37,8 +37,8 @@ pub mod replicate;
 pub mod report;
 pub mod sim;
 
-pub use config::{Mode, PolicyKind, SimConfig};
+pub use config::{Mode, PolicyKind, SimConfig, SupervisionConfig};
 pub use faults::{FaultEvent, FaultKind, FaultPlan};
-pub use metrics::{FaultStats, SamplePoint, SimResult};
+pub use metrics::{FaultStats, HealthStats, SamplePoint, SimResult};
 pub use replicate::{replicate, Replication};
 pub use sim::Simulation;

@@ -62,6 +62,47 @@ impl FaultStats {
     }
 }
 
+/// Node-health supervision counters: everything the boot watchdog, the
+/// quarantine ledger and the daemon crash-recovery machinery did during
+/// the run. All-zero on a clean run (the watchdog arms and disarms
+/// silently when every boot succeeds).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct HealthStats {
+    /// Boots re-attempted by the watchdog after a failure or an expired
+    /// deadline.
+    pub boot_retries: u64,
+    /// Watchdog deadlines that fired with the boot still unreported.
+    pub deadline_expirations: u64,
+    /// Nodes moved into quarantine after exhausting their boot attempts.
+    pub quarantines: u64,
+    /// Quarantined nodes recovered by a later successful boot.
+    pub recoveries: u64,
+    /// Operator repair events executed (MBR reinstall + power cycle).
+    pub operator_repairs: u32,
+    /// Head-daemon crashes injected.
+    pub daemon_crashes: u32,
+    /// Head-daemon restarts completed (journal replay when enabled).
+    pub daemon_restarts: u32,
+    /// Nodes still quarantined when the run ended (1-based, ascending).
+    pub quarantined_nodes: Vec<u16>,
+    /// Integrated stranded capacity: core-seconds spent with nodes stuck
+    /// at a failed boot (quarantined or awaiting retry/repair).
+    pub stranded_core_s: f64,
+}
+
+impl HealthStats {
+    /// True when supervision never had to act.
+    pub fn is_zero(&self) -> bool {
+        *self == HealthStats::default()
+    }
+
+    /// Stranded capacity in core-hours (the EXPERIMENTS.md headline
+    /// number for the supervision on/off comparison).
+    pub fn stranded_core_hours(&self) -> f64 {
+        self.stranded_core_s / 3600.0
+    }
+}
+
 /// Everything a simulation run reports.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SimResult {
@@ -107,6 +148,9 @@ pub struct SimResult {
     /// Fault-injection and recovery counters (all-zero on clean runs).
     #[serde(default)]
     pub faults: FaultStats,
+    /// Node-health supervision counters (all-zero on clean runs).
+    #[serde(default)]
+    pub health: HealthStats,
     /// Optional time series.
     pub series: Vec<SamplePoint>,
 }
@@ -134,6 +178,7 @@ impl SimResult {
             end_time: SimTime::ZERO,
             total_cores,
             faults: FaultStats::default(),
+            health: HealthStats::default(),
             series: Vec::new(),
         }
     }

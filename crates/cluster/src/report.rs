@@ -169,6 +169,37 @@ pub fn chaos_section(r: &SimResult) -> String {
     t.render()
 }
 
+/// Render the node-health section of a result: what the boot watchdog,
+/// quarantine ledger and daemon crash-recovery machinery did. Empty when
+/// supervision never had to act, so clean reports stay unchanged.
+pub fn health_section(r: &SimResult) -> String {
+    let h = &r.health;
+    if h.is_zero() {
+        return String::new();
+    }
+    let mut t = Table::new("node health", &["event", "count"]);
+    let mut row = |event: &str, count: u64| {
+        t.row(&[event.to_string(), count.to_string()]);
+    };
+    row("boot retries", h.boot_retries);
+    row("deadline expirations", h.deadline_expirations);
+    row("quarantines", h.quarantines);
+    row("recoveries", h.recoveries);
+    row("operator repairs", u64::from(h.operator_repairs));
+    row("daemon crashes", u64::from(h.daemon_crashes));
+    row("daemon restarts", u64::from(h.daemon_restarts));
+    let mut out = t.render();
+    if !h.quarantined_nodes.is_empty() {
+        let nodes: Vec<String> = h.quarantined_nodes.iter().map(u16::to_string).collect();
+        out.push_str(&format!("quarantined at end: node {}\n", nodes.join(", node ")));
+    }
+    out.push_str(&format!(
+        "stranded capacity: {:.2} core-hours\n",
+        h.stranded_core_hours()
+    ));
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -230,6 +261,26 @@ mod tests {
     fn chaos_section_empty_on_clean_runs() {
         let r = SimResult::new(64);
         assert_eq!(chaos_section(&r), "");
+    }
+
+    #[test]
+    fn health_section_empty_on_clean_runs() {
+        let r = SimResult::new(64);
+        assert_eq!(health_section(&r), "");
+    }
+
+    #[test]
+    fn health_section_reports_supervision_work() {
+        let mut r = SimResult::new(64);
+        r.health.boot_retries = 2;
+        r.health.quarantines = 1;
+        r.health.quarantined_nodes = vec![4];
+        r.health.stranded_core_s = 7200.0;
+        let s = health_section(&r);
+        assert!(s.starts_with("== node health =="));
+        assert!(s.contains("boot retries"));
+        assert!(s.contains("quarantined at end: node 4"));
+        assert!(s.contains("stranded capacity: 2.00 core-hours"));
     }
 
     #[test]

@@ -11,12 +11,15 @@ use crate::config::{Mode, SimConfig};
 use crate::faults::FaultKind;
 use crate::metrics::{SamplePoint, SimResult};
 use dualboot_bootconf::os::OsKind;
-use dualboot_core::daemon::{Action, LinuxDaemon, WindowsDaemon};
+use dualboot_core::daemon::{Action, LinuxDaemon, RetryConfig, WindowsDaemon};
 use dualboot_core::detector::{PbsDetector, WinDetector};
+use dualboot_core::journal::{Journal, JournalEntry};
 use dualboot_core::policy::{PolicyInput, SideState, SwitchPolicy};
+use dualboot_core::supervisor::{Supervisor, Verdict};
 use dualboot_core::{switchjob, Version};
 use dualboot_des::queue::{EventId, EventQueue};
 use dualboot_des::rng::DetRng;
+use dualboot_des::stats::TimeWeighted;
 use dualboot_des::time::{SimDuration, SimTime};
 use dualboot_deploy::oscar::OscarDeployer;
 use dualboot_deploy::windows::WindowsDeployer;
@@ -68,6 +71,18 @@ enum Event {
     SchedulerUp { os: OsKind },
     /// Fault injection: a reimage destroys the node's MBR, then resets it.
     MidSwitchReimage { node: u16 },
+    /// Watchdog: a supervised boot's deadline came due. Cancelled when
+    /// the boot reports in time, so it never fires on healthy nodes.
+    BootDeadline { node: u16, epoch: u64 },
+    /// Watchdog: re-attempt a failed supervised boot after its backoff.
+    BootRetry { node: u16, epoch: u64 },
+    /// Fault injection: one head daemon crashes, losing in-memory state.
+    DaemonCrash { side: OsKind },
+    /// The crashed daemon restarts (replaying its journal if it kept one).
+    DaemonRestart { side: OsKind },
+    /// Fault injection: an operator reinstalls a node's boot chain and
+    /// power-cycles it (recovers quarantined nodes).
+    OperatorRepair { node: u16 },
     /// Time-series sampling.
     Sample,
 }
@@ -109,6 +124,20 @@ pub struct Simulation {
     win_daemon: Option<WindowsDaemon<SimTransport>>,
     /// Omniscient-decider state (E7 ablation): policy + outstanding counts.
     omni: Option<(Box<dyn SwitchPolicy>, u32, u32)>,
+    /// The boot watchdog and quarantine ledger (host-side agent of the
+    /// Linux daemon; `None` when supervision is disabled).
+    supervisor: Option<Supervisor>,
+    /// The armed watchdog deadline per node, cancelled when the boot
+    /// reports in time.
+    boot_deadline: HashMap<u16, EventId>,
+    /// A crashed daemon's surviving pieces (transport + journal),
+    /// held until its restart event.
+    lin_down: Option<(SimTransport, Option<Journal>)>,
+    win_down: Option<(SimTransport, Option<Journal>)>,
+    /// Nodes currently stuck at a failed boot (quarantined or awaiting
+    /// retry/repair), integrated for the stranded-capacity metric.
+    stranded_count: f64,
+    stranded_nodes: TimeWeighted,
     pending_switch: HashMap<u16, PendingSwitch>,
     /// Events that die with a node on power reset.
     node_events: HashMap<u16, Vec<EventId>>,
@@ -212,11 +241,13 @@ impl Simulation {
                     FaultyTransport::new(lt, cfg.faults.link, fault_master.derive("lin-to-win"));
                 let wt =
                     FaultyTransport::new(wt, cfg.faults.link, fault_master.derive("win-to-lin"));
-                (
-                    Some(LinuxDaemon::new(cfg.version, lt, cfg.policy.build())),
-                    Some(WindowsDaemon::new(wt)),
-                    None,
-                )
+                let mut lin = LinuxDaemon::new(cfg.version, lt, cfg.policy.build());
+                let mut win = WindowsDaemon::new(wt);
+                if cfg.supervision.journal {
+                    lin.enable_journal();
+                    win.enable_journal();
+                }
+                (Some(lin), Some(win), None)
             }
         } else {
             (None, None, None)
@@ -272,10 +303,23 @@ impl Simulation {
                         queue.schedule_at(fe.at, Event::MidSwitchReimage { node: node - 1 });
                     }
                 }
+                FaultKind::DaemonCrash { side, downtime } => {
+                    queue.schedule_at(fe.at, Event::DaemonCrash { side });
+                    queue.schedule_at(fe.at + downtime, Event::DaemonRestart { side });
+                }
+                FaultKind::OperatorRepair { node } => {
+                    if node_ok(node) {
+                        queue.schedule_at(fe.at, Event::OperatorRepair { node: node - 1 });
+                    }
+                }
             }
         }
 
         let total_cores = cfg.total_cores();
+        let supervisor = cfg
+            .supervision
+            .watchdog
+            .then(|| Supervisor::new(cfg.supervision.config));
         Simulation {
             cfg,
             queue,
@@ -289,6 +333,12 @@ impl Simulation {
             lin_daemon,
             win_daemon,
             omni,
+            supervisor,
+            boot_deadline: HashMap::new(),
+            lin_down: None,
+            win_down: None,
+            stranded_count: 0.0,
+            stranded_nodes: TimeWeighted::new(SimTime::ZERO, 0.0),
             pending_switch: HashMap::new(),
             node_events: HashMap::new(),
             sched_stalled: (false, false),
@@ -415,6 +465,14 @@ impl Simulation {
         self.jobs_outstanding
     }
 
+    /// Nodes currently quarantined by the boot watchdog. Federation
+    /// drivers subtract these from the capacity a member advertises.
+    pub fn quarantined_nodes(&self) -> u32 {
+        self.supervisor
+            .as_ref()
+            .map_or(0, |s| s.quarantined().len() as u32)
+    }
+
     /// Finalise a stepped run: fold fault stats and close the books, as
     /// [`Simulation::run`] does after its event loop drains.
     pub fn into_result(mut self) -> SimResult {
@@ -422,6 +480,7 @@ impl Simulation {
         self.result.end_time = self.queue.now().min(horizon);
         self.result.unfinished = self.jobs_outstanding;
         self.fold_fault_stats();
+        self.fold_health_stats();
         self.result
     }
 
@@ -447,6 +506,39 @@ impl Simulation {
             f.msgs_delayed += l.delayed;
             f.msgs_duplicated += l.duplicated;
         }
+        // A daemon still down when the run ends: its transport survives
+        // the crash, so the link counters are not lost with it.
+        if let Some((t, _)) = &self.lin_down {
+            let l = t.stats();
+            f.msgs_dropped += l.dropped;
+            f.msgs_delayed += l.delayed;
+            f.msgs_duplicated += l.duplicated;
+        }
+        if let Some((t, _)) = &self.win_down {
+            let l = t.stats();
+            f.msgs_dropped += l.dropped;
+            f.msgs_delayed += l.delayed;
+            f.msgs_duplicated += l.duplicated;
+        }
+    }
+
+    /// Fold the supervisor's counters and the stranded-capacity integral
+    /// into the result's health section. All-zero on clean runs.
+    fn fold_health_stats(&mut self) {
+        let h = &mut self.result.health;
+        if let Some(s) = &self.supervisor {
+            let st = s.stats();
+            h.boot_retries = st.boot_retries;
+            h.deadline_expirations = st.deadline_expirations;
+            h.quarantines = st.quarantines;
+            h.recoveries = st.recoveries;
+            // Report 1-based indices, matching the fault-plan convention.
+            h.quarantined_nodes = s.quarantined().iter().map(|n| n + 1).collect();
+        }
+        let end = self.result.end_time;
+        h.stranded_core_s = self.stranded_nodes.average(end)
+            * f64::from(self.cfg.cores_per_node)
+            * end.as_secs_f64();
     }
 
     // ------------------------------------------------------------------
@@ -478,6 +570,11 @@ impl Simulation {
             Event::SchedulerDown { os } => self.on_scheduler_down(os),
             Event::SchedulerUp { os } => self.on_scheduler_up(os),
             Event::MidSwitchReimage { node } => self.on_reimage(node),
+            Event::BootDeadline { node, epoch } => self.on_boot_deadline(node, epoch),
+            Event::BootRetry { node, epoch } => self.on_boot_retry(node, epoch),
+            Event::DaemonCrash { side } => self.on_daemon_crash(side),
+            Event::DaemonRestart { side } => self.on_daemon_restart(side),
+            Event::OperatorRepair { node } => self.on_operator_repair(node),
             Event::Sample => self.on_sample(),
         }
     }
@@ -567,12 +664,14 @@ impl Simulation {
         let latency = self.sample_boot_latency();
         let id = self.queue.schedule(latency, Event::BootComplete { node });
         self.node_events.entry(node).or_default().push(id);
+        self.watch_boot(node, target);
     }
 
     fn on_boot_complete(&mut self, node: u16) {
         let now = self.queue.now();
         self.booting_count -= 1.0;
         self.result.booting_nodes.observe(now, self.booting_count);
+        self.clear_deadline(node);
         let pxe = Some(&self.pxe);
         let outcome = self.nodes[usize::from(node)].complete_boot(pxe);
         let hostname = self.nodes[usize::from(node)].hostname.clone();
@@ -589,6 +688,16 @@ impl Simulation {
                         self.win.register_node(&hostname, self.cfg.cores_per_node);
                     }
                 }
+                if self
+                    .supervisor
+                    .as_mut()
+                    .is_some_and(|s| s.boot_succeeded(node))
+                {
+                    // A quarantined node came back (operator repair):
+                    // journal the recovery so a daemon restart cannot
+                    // resurrect the quarantine.
+                    self.journal_health(JournalEntry::Unquarantined { node });
+                }
                 if let Some(ps) = pending {
                     self.result.record_switch(now.saturating_since(ps.went_down));
                     if os != ps.target {
@@ -603,6 +712,18 @@ impl Simulation {
                 if let Some(ps) = pending {
                     self.note_switch_landed(ps.target);
                 }
+                self.note_stranded(1.0);
+                match self.supervisor.as_mut().and_then(|s| s.boot_failed(node)) {
+                    Some(Verdict::Retry { delay, epoch }) => {
+                        self.queue.schedule(delay, Event::BootRetry { node, epoch });
+                    }
+                    Some(Verdict::Quarantine) => {
+                        self.journal_health(JournalEntry::Quarantined { node });
+                    }
+                    // Watchdog off (or the node unwatched): the legacy
+                    // behaviour — the node strands until repaired.
+                    None => {}
+                }
             }
         }
     }
@@ -610,6 +731,11 @@ impl Simulation {
     fn note_switch_landed(&mut self, target: OsKind) {
         if let Some(d) = self.lin_daemon.as_mut() {
             d.on_switch_landed(target);
+        } else if let Some((_, Some(j))) = self.lin_down.as_mut() {
+            // The daemon is down but its journal survives: record the
+            // settlement so the restarted daemon's outstanding counts do
+            // not leak (a leaked count blocks future orders forever).
+            j.append(JournalEntry::SwitchSettled { target });
         }
         if let Some((_, to_l, to_w)) = self.omni.as_mut() {
             match target {
@@ -617,6 +743,176 @@ impl Simulation {
                 OsKind::Windows => *to_w = to_w.saturating_sub(1),
             }
         }
+    }
+
+    /// Append a supervision transition to the Linux daemon's journal
+    /// (live or crashed — quarantine state must survive a restart).
+    fn journal_health(&mut self, entry: JournalEntry) {
+        if let Some(j) = self.lin_daemon.as_mut().and_then(|d| d.journal_mut()) {
+            j.append(entry);
+        } else if let Some((_, Some(j))) = self.lin_down.as_mut() {
+            j.append(entry);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // node health supervision
+    // ------------------------------------------------------------------
+
+    /// Arm (or re-arm) the watchdog over a boot that just started on
+    /// `node`, headed toward `target`.
+    fn watch_boot(&mut self, node: u16, target: OsKind) {
+        let Some(sup) = self.supervisor.as_mut() else {
+            return;
+        };
+        let epoch = sup.order_boot(node, target);
+        self.arm_deadline(node, epoch);
+    }
+
+    /// Schedule the watchdog deadline for the watch epoch on `node`,
+    /// cancelling any previous one. On healthy boots the deadline is
+    /// cancelled before it fires, so clean runs pop an identical event
+    /// stream with or without supervision.
+    fn arm_deadline(&mut self, node: u16, epoch: u64) {
+        let deadline = self
+            .supervisor
+            .as_ref()
+            .expect("deadlines only armed under supervision")
+            .config()
+            .boot_deadline;
+        let id = self
+            .queue
+            .schedule(deadline, Event::BootDeadline { node, epoch });
+        if let Some(old) = self.boot_deadline.insert(node, id) {
+            self.queue.cancel(old);
+        }
+    }
+
+    fn clear_deadline(&mut self, node: u16) {
+        if let Some(id) = self.boot_deadline.remove(&node) {
+            self.queue.cancel(id);
+        }
+    }
+
+    /// Track nodes stuck at a failed boot for the stranded-capacity
+    /// integral (`HealthStats::stranded_core_s`).
+    fn note_stranded(&mut self, delta: f64) {
+        let now = self.queue.now();
+        self.stranded_count += delta;
+        self.stranded_nodes.observe(now, self.stranded_count);
+    }
+
+    fn on_boot_deadline(&mut self, node: u16, epoch: u64) {
+        // A firing deadline is always the map's current entry (newer
+        // arms cancel older events); drop the spent id.
+        self.boot_deadline.remove(&node);
+        match self
+            .supervisor
+            .as_mut()
+            .and_then(|s| s.deadline_expired(node, epoch))
+        {
+            Some(Verdict::Retry { delay, epoch }) => {
+                self.queue.schedule(delay, Event::BootRetry { node, epoch });
+            }
+            Some(Verdict::Quarantine) => {
+                self.journal_health(JournalEntry::Quarantined { node });
+            }
+            None => {} // stale epoch: the watch was since resolved
+        }
+    }
+
+    fn on_boot_retry(&mut self, node: u16, epoch: u64) {
+        // Superseded by a power reset or repair that re-armed the watch.
+        if self.supervisor.as_ref().and_then(|s| s.watch_epoch(node)) != Some(epoch) {
+            return;
+        }
+        let now = self.queue.now();
+        if matches!(
+            self.nodes[usize::from(node)].state,
+            PowerState::Failed(_)
+        ) {
+            self.note_stranded(-1.0);
+        }
+        self.nodes[usize::from(node)].begin_boot();
+        self.booting_count += 1.0;
+        self.result.booting_nodes.observe(now, self.booting_count);
+        let latency = self.sample_boot_latency();
+        let id = self.queue.schedule(latency, Event::BootComplete { node });
+        self.node_events.entry(node).or_default().push(id);
+        self.arm_deadline(node, epoch);
+    }
+
+    fn on_daemon_crash(&mut self, side: OsKind) {
+        let took = match side {
+            OsKind::Linux => {
+                if let Some(d) = self.lin_daemon.take() {
+                    self.lin_down = Some(d.into_parts());
+                    true
+                } else {
+                    false
+                }
+            }
+            OsKind::Windows => {
+                if let Some(d) = self.win_daemon.take() {
+                    self.win_down = Some(d.into_parts());
+                    true
+                } else {
+                    false
+                }
+            }
+        };
+        if took {
+            self.result.health.daemon_crashes += 1;
+        }
+    }
+
+    fn on_daemon_restart(&mut self, side: OsKind) {
+        let now = self.queue.now();
+        let restored = match side {
+            OsKind::Linux => {
+                if let Some((t, j)) = self.lin_down.take() {
+                    self.lin_daemon = Some(match j {
+                        Some(j) => LinuxDaemon::recover(
+                            self.cfg.version,
+                            t,
+                            self.cfg.policy.build(),
+                            RetryConfig::default(),
+                            j,
+                            now,
+                        ),
+                        // Journaling off: the restarted daemon is
+                        // amnesiac, exactly what the ablation measures.
+                        None => LinuxDaemon::new(self.cfg.version, t, self.cfg.policy.build()),
+                    });
+                    true
+                } else {
+                    false
+                }
+            }
+            OsKind::Windows => {
+                if let Some((t, j)) = self.win_down.take() {
+                    self.win_daemon = Some(match j {
+                        Some(j) => WindowsDaemon::recover(t, j),
+                        None => WindowsDaemon::new(t),
+                    });
+                    true
+                } else {
+                    false
+                }
+            }
+        };
+        if restored {
+            self.result.health.daemon_restarts += 1;
+        }
+    }
+
+    fn on_operator_repair(&mut self, node: u16) {
+        self.result.health.operator_repairs += 1;
+        // The §III.C chore: reinstall GRUB in the MBR, then power-cycle.
+        // The boot is supervised like any other, so a successful one
+        // recovers the node from quarantine.
+        self.nodes[usize::from(node)].repair_boot_chain();
+        self.power_cycle(node);
     }
 
     fn on_win_tick(&mut self) {
@@ -779,8 +1075,15 @@ impl Simulation {
     }
 
     fn on_power_reset(&mut self, node: u16) {
-        let now = self.queue.now();
         self.result.faults.power_resets += 1;
+        self.power_cycle(node);
+    }
+
+    /// Abruptly power-cycle a node: kill its jobs and scheduled events,
+    /// take it offline on both sides, and start a supervised boot through
+    /// the normal chain. Shared by power resets and operator repairs.
+    fn power_cycle(&mut self, node: u16) {
+        let now = self.queue.now();
         let hostname = self.nodes[usize::from(node)].hostname.clone();
         // Kill anything scheduled against this node (boot completions,
         // pending switch steps).
@@ -833,7 +1136,22 @@ impl Simulation {
                 }
             }
         }
+        // The OS the cycled node is expected to come back on: a pending
+        // switch's target, else whatever it was running (only used for
+        // the watchdog's bookkeeping).
+        let expected = self
+            .pending_switch
+            .get(&node)
+            .map(|p| p.target)
+            .or_else(|| self.nodes[usize::from(node)].running_os())
+            .unwrap_or(OsKind::Linux);
         let was_booting = self.nodes[usize::from(node)].is_booting();
+        if matches!(
+            self.nodes[usize::from(node)].state,
+            PowerState::Failed(_)
+        ) {
+            self.note_stranded(-1.0);
+        }
         self.pbs.set_node_offline(&hostname);
         self.win.set_node_offline(&hostname);
         self.nodes[usize::from(node)].begin_boot();
@@ -844,6 +1162,7 @@ impl Simulation {
         let latency = self.sample_boot_latency();
         let id = self.queue.schedule(latency, Event::BootComplete { node });
         self.node_events.entry(node).or_default().push(id);
+        self.watch_boot(node, expected);
     }
 
     fn on_sample(&mut self) {
@@ -1452,6 +1771,125 @@ mod tests {
         sim.run_until(last + SimDuration::from_hours(24));
         let r = sim.into_result();
         assert_eq!(r.unfinished, 0);
+    }
+
+    #[test]
+    fn reimage_quarantines_v1_node_after_bounded_retries() {
+        // The watchdog retries the bricked node's boot twice (60 s and
+        // 120 s backoff), then quarantines it; the health section must
+        // account for every attempt.
+        let mut cfg = SimConfig::eridani_v1(62);
+        cfg.faults.events.push(FaultEvent {
+            at: SimTime::from_mins(2),
+            kind: FaultKind::MidSwitchReimage { node: 4 },
+        });
+        let r = Simulation::new(cfg, small_trace(62, 0.0)).run();
+        assert_eq!(r.health.boot_retries, 2, "two retries before giving up");
+        assert_eq!(r.health.quarantines, 1);
+        assert_eq!(r.health.quarantined_nodes, vec![4], "1-based in reports");
+        assert_eq!(r.boot_failures, 3, "the original boot plus both retries");
+        assert!(r.health.stranded_core_s > 0.0, "quarantine is not free");
+        assert_eq!(r.health.recoveries, 0);
+    }
+
+    #[test]
+    fn supervision_off_keeps_legacy_stranding() {
+        // The ablation: without the watchdog the bricked node fails once
+        // and silently drops out for the rest of the run.
+        let mut cfg = SimConfig::eridani_v1(63);
+        cfg.supervision.watchdog = false;
+        cfg.faults.events.push(FaultEvent {
+            at: SimTime::from_mins(2),
+            kind: FaultKind::MidSwitchReimage { node: 4 },
+        });
+        let r = Simulation::new(cfg, small_trace(63, 0.0)).run();
+        assert_eq!(r.boot_failures, 1, "no retries without the watchdog");
+        assert_eq!(r.health.quarantines, 0);
+        assert!(r.health.quarantined_nodes.is_empty());
+        assert!(r.health.stranded_core_s > 0.0, "the node stays stranded");
+    }
+
+    #[test]
+    fn operator_repair_recovers_a_quarantined_node() {
+        // Quarantine ends the way it did on the real cluster: an operator
+        // reinstalls GRUB in the MBR and power-cycles the node. The
+        // supervised repair boot succeeds and un-quarantines it.
+        let mut cfg = SimConfig::eridani_v1(64);
+        cfg.faults.events.push(FaultEvent {
+            at: SimTime::from_mins(2),
+            kind: FaultKind::MidSwitchReimage { node: 4 },
+        });
+        cfg.faults.events.push(FaultEvent {
+            at: SimTime::from_mins(40),
+            kind: FaultKind::OperatorRepair { node: 4 },
+        });
+        let r = Simulation::new(cfg, small_trace(64, 0.0)).run();
+        assert_eq!(r.health.quarantines, 1);
+        assert_eq!(r.health.operator_repairs, 1);
+        assert_eq!(r.health.recoveries, 1, "repair boot recovered the node");
+        assert!(
+            r.health.quarantined_nodes.is_empty(),
+            "nothing quarantined at the end"
+        );
+    }
+
+    #[test]
+    fn daemon_crash_with_journal_recovers_cleanly() {
+        // The Linux head daemon dies for 8 minutes mid-run; the restarted
+        // daemon replays its journal and the workload still drains with no
+        // bricked nodes and no duplicate switch fallout.
+        let mut cfg = SimConfig::eridani_v2(65);
+        cfg.faults.events.push(FaultEvent {
+            at: SimTime::from_mins(20),
+            kind: FaultKind::DaemonCrash {
+                side: OsKind::Linux,
+                downtime: SimDuration::from_mins(8),
+            },
+        });
+        let trace = small_trace(65, 0.4);
+        let n = trace.len() as u32;
+        let r = Simulation::new(cfg, trace).run();
+        assert_eq!(r.health.daemon_crashes, 1);
+        assert_eq!(r.health.daemon_restarts, 1);
+        assert_eq!(r.total_completed(), n, "unfinished: {}", r.unfinished);
+        assert_eq!(r.boot_failures, 0);
+        assert_eq!(r.health.quarantines, 0);
+    }
+
+    #[test]
+    fn chaotic_plan_with_crash_is_bit_identical_across_replays() {
+        // Supervision, journaling and crash recovery must not perturb
+        // determinism: the same plan replayed twice is bit-identical.
+        let run = || {
+            let mut cfg = SimConfig::eridani_v2(66);
+            cfg.faults = crate::faults::FaultPlan::default_chaos(66);
+            Simulation::new(cfg, small_trace(66, 0.3)).run()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(
+            format!("{a:?}"),
+            format!("{b:?}"),
+            "replays must be bit-identical"
+        );
+    }
+
+    #[test]
+    fn clean_runs_are_identical_with_and_without_supervision() {
+        // On a healthy day supervision must be weightless: the watchdog
+        // arms one deadline per boot and cancels it at boot-complete
+        // (tombstones never advance the clock), the journal only appends
+        // — so the ablated run is bit-identical, not merely equivalent.
+        let run = |watchdog: bool, journal: bool| {
+            let mut cfg = SimConfig::eridani_v2(67);
+            cfg.supervision.watchdog = watchdog;
+            cfg.supervision.journal = journal;
+            Simulation::new(cfg, small_trace(67, 0.3)).run()
+        };
+        let supervised = format!("{:?}", run(true, true));
+        assert_eq!(supervised, format!("{:?}", run(false, false)));
+        assert_eq!(supervised, format!("{:?}", run(true, false)));
+        assert_eq!(supervised, format!("{:?}", run(false, true)));
     }
 
     #[test]

@@ -18,6 +18,7 @@
 //! Figure-11 message order is assertable in tests.
 
 use crate::detector::DetectorOutput;
+use crate::journal::{Journal, JournalEntry};
 use crate::policy::{PolicyInput, SideState, SwitchOrder, SwitchPolicy};
 use crate::Version;
 use dualboot_bootconf::os::OsKind;
@@ -159,19 +160,55 @@ pub struct WindowsDaemon<T> {
     /// Orders already executed, by sequence number, with the count we
     /// acked — a retransmission is re-acked idempotently, never resubmitted.
     seen_orders: HashMap<u64, u32>,
+    journal: Option<Journal>,
     stats: DaemonStats,
     trace: Trace<ControlEvent>,
 }
 
 impl<T: Transport> WindowsDaemon<T> {
-    /// A daemon speaking over `transport`.
+    /// A daemon speaking over `transport` (journaling off).
     pub fn new(transport: T) -> Self {
         WindowsDaemon {
             transport,
             seen_orders: HashMap::new(),
+            journal: None,
             stats: DaemonStats::default(),
             trace: Trace::new(),
         }
+    }
+
+    /// Turn on write-ahead journaling (executed order sequence numbers
+    /// are recorded before the submit action is emitted).
+    pub fn enable_journal(&mut self) {
+        if self.journal.is_none() {
+            self.journal = Some(Journal::new());
+        }
+    }
+
+    /// Rebuild a crashed daemon from its surviving `journal`: the dedup
+    /// table is replayed, so a retransmission of an order the dead
+    /// incarnation already executed is re-acked, never resubmitted.
+    pub fn recover(transport: T, journal: Journal) -> Self {
+        let st = journal.replay();
+        WindowsDaemon {
+            transport,
+            seen_orders: st.seen_orders,
+            journal: Some(journal),
+            stats: DaemonStats::default(),
+            trace: Trace::new(),
+        }
+    }
+
+    /// Tear the daemon down, releasing the transport and the journal
+    /// (flushed by construction — every entry is written before its
+    /// action) for a successor to [`recover`](WindowsDaemon::recover) from.
+    pub fn into_parts(self) -> (T, Option<Journal>) {
+        (self.transport, self.journal)
+    }
+
+    /// The journal, if journaling is on.
+    pub fn journal(&self) -> Option<&Journal> {
+        self.journal.as_ref()
     }
 
     /// Steps 1–2: ship the current detector output to the Linux side.
@@ -215,6 +252,14 @@ impl<T: Transport> WindowsDaemon<T> {
                         count,
                     },
                 );
+                if seq != 0 {
+                    // Write-ahead: the executed seq is durable before the
+                    // submit action leaves, so a crash between the two
+                    // cannot make a retransmission double-drain the side.
+                    if let Some(j) = &mut self.journal {
+                        j.append(JournalEntry::SeenOrder { seq, count });
+                    }
+                }
                 actions.push(Action::SubmitSwitchJobs {
                     via: OsKind::Windows,
                     target,
@@ -262,13 +307,14 @@ pub struct LinuxDaemon<T, P> {
     outstanding_to_windows: u32,
     next_seq: u64,
     pending: Vec<PendingOrder>,
+    journal: Option<Journal>,
     stats: DaemonStats,
     trace: Trace<ControlEvent>,
 }
 
 impl<T: Transport, P: SwitchPolicy> LinuxDaemon<T, P> {
     /// A daemon for `version`, deciding with `policy`, speaking over
-    /// `transport`, with default [`RetryConfig`].
+    /// `transport`, with default [`RetryConfig`] and journaling off.
     pub fn new(version: Version, transport: T, policy: P) -> Self {
         Self::with_retry(version, transport, policy, RetryConfig::default())
     }
@@ -285,8 +331,88 @@ impl<T: Transport, P: SwitchPolicy> LinuxDaemon<T, P> {
             outstanding_to_windows: 0,
             next_seq: 0,
             pending: Vec::new(),
+            journal: None,
             stats: DaemonStats::default(),
             trace: Trace::new(),
+        }
+    }
+
+    /// Turn on write-ahead journaling: orders, acks, abandonments, local
+    /// submits, the PXE flag and quarantine transitions are recorded
+    /// before the matching action happens.
+    pub fn enable_journal(&mut self) {
+        if self.journal.is_none() {
+            self.journal = Some(Journal::new());
+        }
+    }
+
+    /// Rebuild a crashed daemon from its surviving `journal`.
+    ///
+    /// In-flight orders are re-armed with their *original* sequence
+    /// numbers (dated `now`, so the normal backoff applies before any
+    /// retransmission) — if the dead incarnation's order actually reached
+    /// the Windows side, the dedup table re-acks it instead of
+    /// resubmitting. Outstanding switch bookkeeping and the issued-seq
+    /// high-water mark are restored, so no forgotten orders and no seq
+    /// reuse. The cached Windows report does not survive (the next cycle
+    /// refreshes it).
+    pub fn recover(
+        version: Version,
+        transport: T,
+        policy: P,
+        retry: RetryConfig,
+        journal: Journal,
+        now: SimTime,
+    ) -> Self {
+        let st = journal.replay();
+        LinuxDaemon {
+            version,
+            transport,
+            policy,
+            retry,
+            latest_windows: None,
+            outstanding_to_linux: st.outstanding_to_linux,
+            outstanding_to_windows: st.outstanding_to_windows,
+            next_seq: st.next_seq,
+            pending: st
+                .pending
+                .iter()
+                .map(|o| PendingOrder {
+                    seq: o.seq,
+                    target: o.target,
+                    count: o.count,
+                    attempts: 1,
+                    last_sent: now,
+                })
+                .collect(),
+            journal: Some(journal),
+            stats: DaemonStats::default(),
+            trace: Trace::new(),
+        }
+    }
+
+    /// Tear the daemon down, releasing the transport and the journal
+    /// (flushed by construction — every entry is written before its
+    /// action) for a successor to [`recover`](LinuxDaemon::recover) from.
+    pub fn into_parts(self) -> (T, Option<Journal>) {
+        (self.transport, self.journal)
+    }
+
+    /// The journal, if journaling is on.
+    pub fn journal(&self) -> Option<&Journal> {
+        self.journal.as_ref()
+    }
+
+    /// Mutable journal access, for the host to record supervision
+    /// decisions (quarantine / recovery) it makes on the daemon's behalf.
+    pub fn journal_mut(&mut self) -> Option<&mut Journal> {
+        self.journal.as_mut()
+    }
+
+    /// Append `entry` if journaling is on.
+    fn jot(&mut self, entry: JournalEntry) {
+        if let Some(j) = &mut self.journal {
+            j.append(entry);
         }
     }
 
@@ -305,6 +431,7 @@ impl<T: Transport, P: SwitchPolicy> LinuxDaemon<T, P> {
                     self.pending.retain(|p| p.seq != seq);
                     if self.pending.len() < before {
                         self.stats.acks_matched += 1;
+                        self.jot(JournalEntry::OrderAcked { seq });
                     }
                 }
                 Message::RebootOrder { .. } | Message::GridReport { .. } => {
@@ -318,14 +445,14 @@ impl<T: Transport, P: SwitchPolicy> LinuxDaemon<T, P> {
     /// Retransmit overdue unacknowledged orders; abandon the exhausted
     /// ones and release their bookkeeping so the policy can re-decide.
     fn service_pending(&mut self, now: SimTime) -> Result<(), TransportError> {
-        let mut abandoned: Vec<(OsKind, u32)> = Vec::new();
+        let mut abandoned: Vec<(OsKind, u32, u64)> = Vec::new();
         let mut resend: Vec<(OsKind, u32, u64)> = Vec::new();
         self.pending.retain_mut(|p| {
             if now.saturating_since(p.last_sent) < self.retry.backoff(p.attempts) {
                 return true;
             }
             if p.attempts >= self.retry.max_attempts {
-                abandoned.push((p.target, p.count));
+                abandoned.push((p.target, p.count, p.seq));
                 return false;
             }
             p.attempts += 1;
@@ -333,10 +460,13 @@ impl<T: Transport, P: SwitchPolicy> LinuxDaemon<T, P> {
             resend.push((p.target, p.count, p.seq));
             true
         });
-        for (target, count) in abandoned {
+        for (target, count, seq) in abandoned {
             self.stats.orders_abandoned += 1;
+            // The journal releases the whole order in one entry, so the
+            // per-unit settlements below must not be journaled too.
+            self.jot(JournalEntry::OrderAbandoned { seq });
             for _ in 0..count {
-                self.on_switch_abandoned(target);
+                self.settle_outstanding(target);
             }
         }
         for (target, count, seq) in resend {
@@ -403,6 +533,9 @@ impl<T: Transport, P: SwitchPolicy> LinuxDaemon<T, P> {
         if self.version == Version::V2 {
             // Step 4: flick the cluster-wide flag.
             self.trace.record(now, ControlEvent::FlagSet(order.target));
+            self.jot(JournalEntry::FlagSet {
+                target: order.target,
+            });
             actions.push(Action::SetPxeFlag(order.target));
         }
         match order.target {
@@ -420,6 +553,13 @@ impl<T: Transport, P: SwitchPolicy> LinuxDaemon<T, P> {
                     last_sent: now,
                 });
                 self.stats.orders_sent += 1;
+                // Write-ahead: durable before the wire send.
+                self.jot(JournalEntry::OrderSent {
+                    seq,
+                    target: OsKind::Linux,
+                    count: order.count,
+                    at: now,
+                });
                 self.transport.send(&Message::RebootOrder {
                     target: OsKind::Linux,
                     count: order.count,
@@ -436,6 +576,10 @@ impl<T: Transport, P: SwitchPolicy> LinuxDaemon<T, P> {
             OsKind::Windows => {
                 // Our own PBS must release nodes: submit locally.
                 self.outstanding_to_windows += order.count;
+                self.jot(JournalEntry::LocalSubmit {
+                    target: OsKind::Windows,
+                    count: order.count,
+                });
                 self.trace.record(
                     now,
                     ControlEvent::SwitchJobsSubmitted {
@@ -453,8 +597,9 @@ impl<T: Transport, P: SwitchPolicy> LinuxDaemon<T, P> {
         Ok(actions)
     }
 
-    /// The host reports that a switched node finished booting `target`.
-    pub fn on_switch_landed(&mut self, target: OsKind) {
+    /// Release one unit of outstanding bookkeeping toward `target`
+    /// without journaling (callers journal at their own granularity).
+    fn settle_outstanding(&mut self, target: OsKind) {
         match target {
             OsKind::Linux => {
                 self.outstanding_to_linux = self.outstanding_to_linux.saturating_sub(1)
@@ -463,6 +608,12 @@ impl<T: Transport, P: SwitchPolicy> LinuxDaemon<T, P> {
                 self.outstanding_to_windows = self.outstanding_to_windows.saturating_sub(1)
             }
         }
+    }
+
+    /// The host reports that a switched node finished booting `target`.
+    pub fn on_switch_landed(&mut self, target: OsKind) {
+        self.jot(JournalEntry::SwitchSettled { target });
+        self.settle_outstanding(target);
     }
 
     /// The host reports that a previously ordered switch was abandoned

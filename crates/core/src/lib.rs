@@ -32,19 +32,27 @@
 //!   FAT rename / v2 plain reboot).
 //! * [`threaded`] — wall-clock daemon loops for real deployments (the
 //!   simulation drives the same daemons on a virtual clock instead).
+//! * [`journal`] — the write-ahead journal both daemons replay after a
+//!   crash, so restarts neither duplicate nor forget switch work.
+//! * [`supervisor`] — the boot watchdog and quarantine ledger that
+//!   notices nodes which never come back from a switch.
 
 pub mod daemon;
 pub mod detector;
+pub mod journal;
 pub mod policy;
+pub mod supervisor;
 pub mod switchjob;
 pub mod threaded;
 
 pub use daemon::{Action, ControlEvent, DaemonStats, LinuxDaemon, RetryConfig, WindowsDaemon};
 pub use detector::{DetectorOutput, PbsDetector, WinDetector};
+pub use journal::{Journal, JournalEntry, RecoveredOrder, RecoveredState};
 pub use policy::{
     FcfsPolicy, HysteresisPolicy, PolicyInput, ProportionalPolicy, SideState, SwitchOrder,
     SwitchPolicy, ThresholdPolicy,
 };
+pub use supervisor::{Supervisor, SupervisorStats, Verdict, WatchdogConfig};
 
 use serde::{Deserialize, Serialize};
 

@@ -1,0 +1,322 @@
+//! Node health supervision: the boot watchdog and quarantine ledger.
+//!
+//! The paper's worst failure mode is a node that never comes back from an
+//! OS switch (v1's Windows reimage destroys the MBR and the node drops
+//! out until an operator reinstalls Linux). The [`Supervisor`] is the
+//! component that *notices*: every supervised boot gets a deadline and a
+//! bounded retry budget; a node that keeps failing is **quarantined** —
+//! taken out of both schedulers' pools and the grid broker's advertised
+//! capacity — until a later successful boot (e.g. after an operator
+//! repair) recovers it.
+//!
+//! The supervisor is pure bookkeeping: it never schedules anything
+//! itself. The host (the deterministic simulation, or a threaded
+//! harness) calls [`order_boot`](Supervisor::order_boot) when a switch
+//! reboot starts, reports the outcome via
+//! [`boot_succeeded`](Supervisor::boot_succeeded) /
+//! [`boot_failed`](Supervisor::boot_failed), and fires
+//! [`deadline_expired`](Supervisor::deadline_expired) when a deadline it
+//! scheduled comes due; the returned [`Verdict`]s tell it what to do
+//! next. Epochs make stale deadlines harmless: every retry re-arms the
+//! watch under a fresh epoch, and an expired deadline for an old epoch is
+//! ignored.
+
+use dualboot_bootconf::os::OsKind;
+use dualboot_des::time::SimDuration;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Boot-watchdog knobs, documented alongside
+/// [`RetryConfig`](crate::daemon::RetryConfig) (the communicator's wire
+/// retransmission knobs — the watchdog is the same idea one layer up, for
+/// reboots instead of messages).
+///
+/// Defaults: a node must report up within `boot_deadline` (10 minutes,
+/// twice the worst modelled boot of ~5 minutes); a failed or overdue boot
+/// is retried after `retry_backoff` with doubling waits (bounded at 8×),
+/// and after `max_boot_attempts` total attempts the node is quarantined.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WatchdogConfig {
+    /// How long a supervised boot may take before the watchdog fires.
+    pub boot_deadline: SimDuration,
+    /// Total boot attempts (the original included) before quarantine.
+    pub max_boot_attempts: u32,
+    /// Base wait before a retry boot (doubling, bounded at 8×).
+    pub retry_backoff: SimDuration,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> Self {
+        WatchdogConfig {
+            boot_deadline: SimDuration::from_mins(10),
+            max_boot_attempts: 3,
+            retry_backoff: SimDuration::from_secs(60),
+        }
+    }
+}
+
+impl WatchdogConfig {
+    /// The wait before retry number `retries` (1-based, doubling,
+    /// bounded at 8× the base).
+    fn backoff(&self, retries: u32) -> SimDuration {
+        let factor = 1u64 << retries.saturating_sub(1).min(3);
+        self.retry_backoff.saturating_mul(factor)
+    }
+}
+
+/// Counters for everything the watchdog did, folded into the simulation's
+/// health section.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SupervisorStats {
+    /// Boots re-attempted after a failure or an expired deadline.
+    pub boot_retries: u64,
+    /// Deadlines that fired with the boot still unreported.
+    pub deadline_expirations: u64,
+    /// Nodes moved into quarantine.
+    pub quarantines: u64,
+    /// Quarantined nodes recovered by a later successful boot.
+    pub recoveries: u64,
+}
+
+/// What the host must do about a failed or overdue boot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Power-cycle the node again after `delay`; the watch is re-armed
+    /// under `epoch`, so schedule the next deadline with that epoch.
+    Retry {
+        /// Backoff before the retry boot.
+        delay: SimDuration,
+        /// Fresh epoch for the re-armed watch.
+        epoch: u64,
+    },
+    /// Attempts exhausted: the node is now quarantined.
+    Quarantine,
+}
+
+/// An armed watch over one node's boot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+struct Watch {
+    target: OsKind,
+    attempts: u32,
+    epoch: u64,
+}
+
+/// The boot watchdog and quarantine ledger (see module docs).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Supervisor {
+    cfg: WatchdogConfig,
+    /// Armed watches by node index (ordered for deterministic iteration).
+    watch: BTreeMap<u16, Watch>,
+    quarantined: BTreeSet<u16>,
+    next_epoch: u64,
+    stats: SupervisorStats,
+}
+
+impl Default for Supervisor {
+    fn default() -> Self {
+        Supervisor::new(WatchdogConfig::default())
+    }
+}
+
+impl Supervisor {
+    /// A supervisor with the given watchdog knobs.
+    pub fn new(cfg: WatchdogConfig) -> Self {
+        Supervisor {
+            cfg,
+            watch: BTreeMap::new(),
+            quarantined: BTreeSet::new(),
+            next_epoch: 0,
+            stats: SupervisorStats::default(),
+        }
+    }
+
+    /// Rebuild a supervisor from a journal-replayed quarantine set (the
+    /// watches themselves are transient and re-armed by the host).
+    pub fn with_quarantined(cfg: WatchdogConfig, quarantined: BTreeSet<u16>) -> Self {
+        Supervisor {
+            quarantined,
+            ..Supervisor::new(cfg)
+        }
+    }
+
+    /// The active knobs.
+    pub fn config(&self) -> WatchdogConfig {
+        self.cfg
+    }
+
+    /// A supervised boot toward `target` starts on `node`: arm (or
+    /// re-arm) the watch and return the epoch to schedule the deadline
+    /// under. The deadline duration is [`WatchdogConfig::boot_deadline`].
+    pub fn order_boot(&mut self, node: u16, target: OsKind) -> u64 {
+        self.next_epoch += 1;
+        let epoch = self.next_epoch;
+        self.watch.insert(
+            node,
+            Watch {
+                target,
+                attempts: 1,
+                epoch,
+            },
+        );
+        epoch
+    }
+
+    /// `node` reported a successful boot. Clears any watch; returns
+    /// `true` if the node was quarantined and is hereby recovered (the
+    /// host must re-register it with its scheduler and journal the
+    /// recovery).
+    pub fn boot_succeeded(&mut self, node: u16) -> bool {
+        self.watch.remove(&node);
+        if self.quarantined.remove(&node) {
+            self.stats.recoveries += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// `node`'s supervised boot failed. Returns the verdict, or `None`
+    /// if the node was not under watch (an unsupervised boot — the host
+    /// keeps its legacy behaviour).
+    pub fn boot_failed(&mut self, node: u16) -> Option<Verdict> {
+        let w = self.watch.get_mut(&node)?;
+        if w.attempts >= self.cfg.max_boot_attempts {
+            self.watch.remove(&node);
+            self.quarantined.insert(node);
+            self.stats.quarantines += 1;
+            return Some(Verdict::Quarantine);
+        }
+        w.attempts += 1;
+        self.next_epoch += 1;
+        w.epoch = self.next_epoch;
+        let retries = w.attempts - 1;
+        self.stats.boot_retries += 1;
+        Some(Verdict::Retry {
+            delay: self.cfg.backoff(retries),
+            epoch: w.epoch,
+        })
+    }
+
+    /// A deadline scheduled under `epoch` came due with no boot report.
+    /// Stale epochs (the watch was since resolved or re-armed) return
+    /// `None`; a live expiration counts as a failed attempt.
+    pub fn deadline_expired(&mut self, node: u16, epoch: u64) -> Option<Verdict> {
+        if self.watch_epoch(node) != Some(epoch) {
+            return None;
+        }
+        self.stats.deadline_expirations += 1;
+        self.boot_failed(node)
+    }
+
+    /// The epoch of the armed watch on `node`, if any. Hosts use this to
+    /// discard retry work that a later event (power reset, repair)
+    /// superseded.
+    pub fn watch_epoch(&self, node: u16) -> Option<u64> {
+        self.watch.get(&node).map(|w| w.epoch)
+    }
+
+    /// The OS the watched boot on `node` is headed toward, if any.
+    pub fn watch_target(&self, node: u16) -> Option<OsKind> {
+        self.watch.get(&node).map(|w| w.target)
+    }
+
+    /// Whether `node` is currently quarantined.
+    pub fn is_quarantined(&self, node: u16) -> bool {
+        self.quarantined.contains(&node)
+    }
+
+    /// Currently quarantined nodes, ascending.
+    pub fn quarantined(&self) -> &BTreeSet<u16> {
+        &self.quarantined
+    }
+
+    /// What the watchdog has done so far.
+    pub fn stats(&self) -> SupervisorStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sup(max: u32) -> Supervisor {
+        Supervisor::new(WatchdogConfig {
+            max_boot_attempts: max,
+            ..WatchdogConfig::default()
+        })
+    }
+
+    #[test]
+    fn success_clears_the_watch() {
+        let mut s = sup(3);
+        s.order_boot(2, OsKind::Windows);
+        assert_eq!(s.watch_target(2), Some(OsKind::Windows));
+        assert!(!s.boot_succeeded(2), "not a recovery");
+        assert_eq!(s.watch_target(2), None);
+        assert!(s.boot_failed(2).is_none(), "watch is gone");
+    }
+
+    #[test]
+    fn failures_retry_with_doubling_backoff_then_quarantine() {
+        let mut s = sup(3);
+        s.order_boot(4, OsKind::Linux);
+        let Some(Verdict::Retry { delay: d1, .. }) = s.boot_failed(4) else {
+            panic!("first failure retries");
+        };
+        let Some(Verdict::Retry { delay: d2, .. }) = s.boot_failed(4) else {
+            panic!("second failure retries");
+        };
+        assert_eq!(d2, d1.saturating_mul(2), "backoff doubles");
+        assert_eq!(s.boot_failed(4), Some(Verdict::Quarantine));
+        assert!(s.is_quarantined(4));
+        assert_eq!(s.stats().boot_retries, 2);
+        assert_eq!(s.stats().quarantines, 1);
+    }
+
+    #[test]
+    fn recovery_unquarantines() {
+        let mut s = sup(1);
+        s.order_boot(7, OsKind::Linux);
+        assert_eq!(s.boot_failed(7), Some(Verdict::Quarantine));
+        assert!(s.boot_succeeded(7), "quarantined node recovered");
+        assert!(!s.is_quarantined(7));
+        assert_eq!(s.stats().recoveries, 1);
+    }
+
+    #[test]
+    fn stale_deadline_is_ignored() {
+        let mut s = sup(3);
+        let e1 = s.order_boot(1, OsKind::Windows);
+        // The boot resolves (failure -> retry re-arms under a new epoch).
+        let Some(Verdict::Retry { epoch: e2, .. }) = s.boot_failed(1) else {
+            panic!("retry expected");
+        };
+        assert_ne!(e1, e2);
+        assert!(s.deadline_expired(1, e1).is_none(), "old epoch is stale");
+        assert_eq!(s.stats().deadline_expirations, 0);
+        // The live epoch's deadline counts as a failed attempt.
+        assert!(s.deadline_expired(1, e2).is_some());
+        assert_eq!(s.stats().deadline_expirations, 1);
+    }
+
+    #[test]
+    fn deadline_on_resolved_watch_is_ignored() {
+        let mut s = sup(3);
+        let e = s.order_boot(3, OsKind::Linux);
+        s.boot_succeeded(3);
+        assert!(s.deadline_expired(3, e).is_none());
+    }
+
+    #[test]
+    fn replayed_quarantine_set_survives_restart() {
+        let mut q = BTreeSet::new();
+        q.insert(5);
+        q.insert(9);
+        let s = Supervisor::with_quarantined(WatchdogConfig::default(), q);
+        assert!(s.is_quarantined(5));
+        assert!(s.is_quarantined(9));
+        assert!(!s.is_quarantined(1));
+        assert_eq!(s.quarantined().len(), 2);
+    }
+}

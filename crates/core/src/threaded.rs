@@ -11,8 +11,9 @@
 //! only add the clock, the locking around the shared scheduler, and the
 //! action plumbing.
 
-use crate::daemon::{Action, LinuxDaemon, WindowsDaemon};
+use crate::daemon::{Action, LinuxDaemon, RetryConfig, WindowsDaemon};
 use crate::detector::{PbsDetector, WinDetector};
+use crate::journal::Journal;
 use crate::policy::SwitchPolicy;
 use crate::Version;
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
@@ -35,12 +36,18 @@ use std::time::{Duration, Instant};
 pub struct DaemonHandle {
     stop: Sender<()>,
     join: Option<std::thread::JoinHandle<()>>,
+    journal: Receiver<Journal>,
 }
 
 impl DaemonHandle {
-    /// Signal the loop to stop and wait for the thread to exit.
-    pub fn shutdown(mut self) {
+    /// Signal the loop to stop, wait for the thread to exit, and hand
+    /// back the daemon's journal when journaling was on. The journal is
+    /// flushed by construction — every entry is written before its
+    /// action — so a successor spawned with it recovers the dead
+    /// incarnation's in-flight state (kill + respawn mid-test works).
+    pub fn shutdown(mut self) -> Option<Journal> {
         self.stop_and_join();
+        self.journal.try_recv().ok()
     }
 
     fn stop_and_join(&mut self) {
@@ -93,13 +100,34 @@ pub fn spawn_windows_daemon<T>(
 where
     T: Transport + Send + 'static,
 {
+    spawn_windows_daemon_journaled(sched, transport, cycle, None, on_action)
+}
+
+/// [`spawn_windows_daemon`] with a recovered journal: `Some(journal)`
+/// rebuilds the daemon from a dead incarnation's write-ahead log (its
+/// order dedup table survives, so replayed orders are re-acked instead of
+/// resubmitted); `None` starts fresh without journaling.
+pub fn spawn_windows_daemon_journaled<T>(
+    sched: Arc<Mutex<WinHpcScheduler>>,
+    transport: T,
+    cycle: Duration,
+    journal: Option<Journal>,
+    on_action: impl FnMut(&Action) + Send + 'static,
+) -> DaemonHandle
+where
+    T: Transport + Send + 'static,
+{
     let (stop_tx, stop_rx) = bounded(1);
+    let (journal_tx, journal_rx) = bounded(1);
     let join = std::thread::spawn(move || {
         let mut on_action = on_action;
-        let mut daemon = WindowsDaemon::new(transport);
+        let mut daemon = match journal {
+            Some(j) => WindowsDaemon::recover(transport, j),
+            None => WindowsDaemon::new(transport),
+        };
         let start = Instant::now();
         let mut failures = 0u32;
-        loop {
+        'life: loop {
             let now = wall_clock(start);
             {
                 let guard = sched.lock();
@@ -108,10 +136,10 @@ where
                 if daemon.tick(&out, now).is_err() {
                     failures += 1;
                     if failures > MAX_TRANSPORT_RETRIES {
-                        break; // peer stayed gone through every retry
+                        break 'life; // peer stayed gone through every retry
                     }
                     if wait_or_stop(&stop_rx, retry_delay(failures)) {
-                        return;
+                        break 'life;
                     }
                     continue;
                 }
@@ -131,23 +159,29 @@ where
                     Err(_) => {
                         failures += 1;
                         if failures > MAX_TRANSPORT_RETRIES {
-                            return;
+                            break 'life;
                         }
                         if wait_or_stop(&stop_rx, retry_delay(failures)) {
-                            return;
+                            break 'life;
                         }
                         continue;
                     }
                 }
                 if wait_or_stop(&stop_rx, cycle / 2) {
-                    return;
+                    break 'life;
                 }
             }
+        }
+        // Flush the journal to whoever holds the handle.
+        let (_transport, journal) = daemon.into_parts();
+        if let Some(j) = journal {
+            let _ = journal_tx.send(j);
         }
     });
     DaemonHandle {
         stop: stop_tx,
         join: Some(join),
+        journal: journal_rx,
     }
 }
 
@@ -186,10 +220,43 @@ where
     T: Transport + Send + 'static,
     P: SwitchPolicy + Send + 'static,
 {
+    spawn_linux_daemon_journaled(version, policy, sched, transport, cycle, None, on_action)
+}
+
+/// [`spawn_linux_daemon`] with a recovered journal: `Some(journal)`
+/// rebuilds the daemon from a dead incarnation's write-ahead log —
+/// in-flight orders re-arm under their original sequence numbers and the
+/// outstanding-switch bookkeeping survives, so the successor neither
+/// duplicates nor forgets orders. `None` starts fresh without journaling;
+/// pass `Some(Journal::new())` to journal from a cold start.
+pub fn spawn_linux_daemon_journaled<T, P>(
+    version: Version,
+    policy: P,
+    sched: Arc<Mutex<PbsScheduler>>,
+    transport: T,
+    cycle: Duration,
+    journal: Option<Journal>,
+    on_action: impl FnMut(&Action) + Send + 'static,
+) -> DaemonHandle
+where
+    T: Transport + Send + 'static,
+    P: SwitchPolicy + Send + 'static,
+{
     let (stop_tx, stop_rx) = bounded(1);
+    let (journal_tx, journal_rx) = bounded(1);
     let join = std::thread::spawn(move || {
         let mut on_action = on_action;
-        let mut daemon = LinuxDaemon::new(version, transport, policy);
+        let mut daemon = match journal {
+            Some(j) => LinuxDaemon::recover(
+                version,
+                transport,
+                policy,
+                RetryConfig::default(),
+                j,
+                SimTime::ZERO,
+            ),
+            None => LinuxDaemon::new(version, transport, policy),
+        };
         let start = Instant::now();
         let mut failures = 0u32;
         loop {
@@ -251,10 +318,16 @@ where
                 break;
             }
         }
+        // Flush the journal to whoever holds the handle.
+        let (_transport, journal) = daemon.into_parts();
+        if let Some(j) = journal {
+            let _ = journal_tx.send(j);
+        }
     });
     DaemonHandle {
         stop: stop_tx,
         join: Some(join),
+        journal: journal_rx,
     }
 }
 
@@ -378,6 +451,96 @@ mod tests {
         lin_handle.shutdown();
         win_handle.shutdown();
         assert!(dispatched, "switch job never dispatched on Windows side");
+    }
+
+    #[test]
+    fn killed_linux_daemon_respawns_from_its_journal() {
+        // Kill the Linux daemon mid-test, respawn it from the journal the
+        // handle surrenders, and verify the successor neither duplicates
+        // nor forgets the in-flight switch orders. A third, amnesiac
+        // respawn (no journal) shows the contrast: it re-orders switches
+        // the dead incarnation already submitted.
+        let count_switches = |pbs: &Arc<Mutex<PbsScheduler>>| {
+            pbs.lock().jobs().iter().filter(|j| j.is_switch()).count()
+        };
+        let win = Arc::new(Mutex::new(WinHpcScheduler::eridani()));
+        win.lock().submit(
+            JobRequest::user("opera", OsKind::Windows, 2, 4, SimDuration::from_mins(5)),
+            SimTime::ZERO,
+        );
+        let pbs = Arc::new(Mutex::new(PbsScheduler::eridani()));
+        for i in 1..=16 {
+            pbs.lock()
+                .register_node(&format!("enode{i:02}.eridani.qgg.hud.ac.uk"), 4);
+        }
+
+        let (lt, wt) = in_proc_pair();
+        let win_handle =
+            spawn_windows_daemon(Arc::clone(&win), wt, Duration::from_millis(20), |_| {});
+        let lin_handle = spawn_linux_daemon_journaled(
+            Version::V2,
+            FcfsPolicy,
+            Arc::clone(&pbs),
+            lt,
+            Duration::from_millis(20),
+            Some(Journal::new()),
+            |_| {},
+        );
+        let pbs_probe = Arc::clone(&pbs);
+        assert!(
+            wait_until(5_000, || count_switches(&pbs_probe) > 0),
+            "switch jobs never reached PBS"
+        );
+        let journal = lin_handle.shutdown().expect("journaled daemon returns its log");
+        win_handle.shutdown();
+        let before = count_switches(&pbs);
+        assert!(!journal.is_empty(), "the submissions were journaled");
+
+        // Respawn both (the in-proc wire died with the first pair). The
+        // recovered daemon's outstanding bookkeeping survives, so the
+        // still-stuck Windows queue must not trigger fresh orders.
+        let (lt2, wt2) = in_proc_pair();
+        let win_handle =
+            spawn_windows_daemon(Arc::clone(&win), wt2, Duration::from_millis(20), |_| {});
+        let lin_handle = spawn_linux_daemon_journaled(
+            Version::V2,
+            FcfsPolicy,
+            Arc::clone(&pbs),
+            lt2,
+            Duration::from_millis(20),
+            Some(journal),
+            |_| {},
+        );
+        std::thread::sleep(Duration::from_millis(300));
+        let journal = lin_handle.shutdown().expect("journal survives the respawn");
+        win_handle.shutdown();
+        assert_eq!(
+            count_switches(&pbs),
+            before,
+            "recovered daemon duplicated in-flight orders"
+        );
+        drop(journal);
+
+        // The ablation: an amnesiac respawn re-orders what the dead
+        // daemon already submitted.
+        let (lt3, wt3) = in_proc_pair();
+        let win_handle =
+            spawn_windows_daemon(Arc::clone(&win), wt3, Duration::from_millis(20), |_| {});
+        let lin_handle = spawn_linux_daemon(
+            Version::V2,
+            FcfsPolicy,
+            Arc::clone(&pbs),
+            lt3,
+            Duration::from_millis(20),
+            |_| {},
+        );
+        let pbs_probe = Arc::clone(&pbs);
+        assert!(
+            wait_until(5_000, || count_switches(&pbs_probe) > before),
+            "amnesiac daemon should have re-ordered the switches"
+        );
+        lin_handle.shutdown();
+        win_handle.shutdown();
     }
 
     #[test]

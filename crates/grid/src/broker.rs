@@ -59,8 +59,8 @@ impl MemberCaps {
         }
     }
 
-    fn admits(&self, req: &JobRequest) -> bool {
-        req.nodes <= u32::from(self.nodes) && self.supports(req.os)
+    fn admits(&self, req: &JobRequest, routable_nodes: u32) -> bool {
+        req.nodes <= routable_nodes && self.supports(req.os)
     }
 
     /// The prior used before any gossip arrives: the initial split, all
@@ -77,6 +77,7 @@ impl MemberCaps {
             linux_nodes,
             windows_nodes,
             booting: 0,
+            quarantined: 0,
         }
     }
 }
@@ -210,12 +211,19 @@ impl Broker {
         )
     }
 
+    /// A member's routable node count: its static capacity minus whatever
+    /// its latest report flags as quarantined by the boot watchdog.
+    fn routable_nodes(&self, member: usize, fresh: Option<&[ClusterReport]>) -> u32 {
+        let quarantined = self.viewed(member, fresh).quarantined;
+        u32::from(self.caps[member].nodes).saturating_sub(quarantined)
+    }
+
     /// Pure routing decision against either the gossip views (`None`) or
     /// supplied fresh reports. Deterministic: every tie-break ends at the
     /// member index, and member order is fixed (sorted by name).
     fn decide(&self, req: &JobRequest, fresh: Option<&[ClusterReport]>) -> usize {
         let candidates: Vec<usize> = (0..self.caps.len())
-            .filter(|&i| self.caps[i].admits(req))
+            .filter(|&i| self.caps[i].admits(req, self.routable_nodes(i, fresh)))
             .collect();
         if candidates.is_empty() {
             // Nobody can run it (too wide, or unsupported OS): dump it on
@@ -298,6 +306,7 @@ mod tests {
             linux_nodes: ln,
             windows_nodes: wn,
             booting: 0,
+            quarantined: 0,
         }
     }
 
@@ -377,6 +386,24 @@ mod tests {
         assert_eq!(stats.decisions, 1);
         assert_eq!(stats.stale_decisions, 1);
         assert!(stats.view_staleness_s.mean() > 0.0);
+    }
+
+    #[test]
+    fn quarantined_nodes_shrink_routable_capacity() {
+        let mut b = Broker::new(RoutePolicy::QueueDepth, vec![caps(4, 4), caps(4, 4)]);
+        // Member 0 reports 2 of its 4 nodes quarantined: a 3-node job no
+        // longer fits there, despite its empty queue.
+        let mut r0 = report(0, 0, 8, 0, 2, 0);
+        r0.quarantined = 2;
+        b.observe(0, SimTime::from_secs(60), r0);
+        b.observe(1, SimTime::from_secs(60), report(5, 0, 16, 0, 4, 0));
+        assert_eq!(
+            b.decide(&job("wide", OsKind::Linux, 3), None),
+            1,
+            "3 nodes cannot come from a member with 2 quarantined"
+        );
+        // A narrow job still prefers member 0's shorter queue.
+        assert_eq!(b.decide(&job("narrow", OsKind::Linux, 1), None), 0);
     }
 
     #[test]

@@ -178,6 +178,7 @@ impl GridSim {
             linux_nodes: lin.nodes_online,
             windows_nodes: win.nodes_online,
             booting: m.sim.booting_nodes(),
+            quarantined: m.sim.quarantined_nodes(),
         }
     }
 

@@ -136,6 +136,14 @@ impl ComputeNode {
     pub fn power_off(&mut self) {
         self.state = PowerState::Off;
     }
+
+    /// Operator repair of the local boot chain: reinstall GRUB stage 1 in
+    /// the MBR (the §III.C chore after a Windows reimage destroyed it).
+    /// Only touches the MBR — partitions, control files and the firmware
+    /// boot order are left as they are.
+    pub fn repair_boot_chain(&mut self) {
+        self.disk.set_mbr(crate::disk::MbrCode::GrubStage1);
+    }
 }
 
 #[cfg(test)]

@@ -43,6 +43,11 @@ pub struct ClusterReport {
     pub windows_nodes: u32,
     /// Nodes mid-reboot (switching OS or recovering from a fault).
     pub booting: u32,
+    /// Nodes quarantined by the boot watchdog — physically present but
+    /// removed from both schedulers until repaired. Brokers must not
+    /// count them as routable capacity. `0` on legacy report lines that
+    /// predate the field.
+    pub quarantined: u32,
 }
 
 /// A protocol message between head-node communicators.
@@ -129,7 +134,7 @@ impl Message {
                     "member name must be one token: {member:?}"
                 );
                 format!(
-                    "GRID {} {} {} {} {} {} {} {} {}",
+                    "GRID {} {} {} {} {} {} {} {} {} {}",
                     member,
                     report.at.as_millis(),
                     report.linux_queued,
@@ -139,6 +144,7 @@ impl Message {
                     report.linux_nodes,
                     report.windows_nodes,
                     report.booting,
+                    report.quarantined,
                 )
             }
         }
@@ -209,7 +215,8 @@ impl Message {
                     .map(|s| s.parse::<u64>())
                     .collect::<Result<_, _>>()
                     .map_err(|_| bad())?;
-                if nums.len() != 8 {
+                // Pre-quarantine peers send 8 numbers; read the 9th as 0.
+                if nums.len() != 8 && nums.len() != 9 {
                     return Err(bad());
                 }
                 let field = |i: usize| u32::try_from(nums[i]).map_err(|_| bad());
@@ -224,6 +231,7 @@ impl Message {
                         linux_nodes: field(5)?,
                         windows_nodes: field(6)?,
                         booting: field(7)?,
+                        quarantined: if nums.len() == 9 { field(8)? } else { 0 },
                     },
                 })
             }
@@ -335,11 +343,23 @@ mod tests {
                 linux_nodes: 10,
                 windows_nodes: 6,
                 booting: 2,
+                quarantined: 1,
             },
         };
         let line = m.encode();
-        assert_eq!(line, "GRID tauceti 90000 3 1 12 0 10 6 2");
+        assert_eq!(line, "GRID tauceti 90000 3 1 12 0 10 6 2 1");
         assert_eq!(Message::decode(&line).unwrap(), m);
+    }
+
+    #[test]
+    fn legacy_grid_lines_without_quarantine_decode_as_zero() {
+        // An 8-number line from a pre-quarantine peer still decodes.
+        let m = Message::decode("GRID tauceti 90000 3 1 12 0 10 6 2").unwrap();
+        let Message::GridReport { report, .. } = m else {
+            panic!("expected a grid report");
+        };
+        assert_eq!(report.booting, 2);
+        assert_eq!(report.quarantined, 0);
     }
 
     #[test]
@@ -351,7 +371,7 @@ mod tests {
         ));
         // too many fields
         assert!(matches!(
-            Message::decode("GRID tauceti 90000 3 1 12 0 10 6 2 5"),
+            Message::decode("GRID tauceti 90000 3 1 12 0 10 6 2 5 8"),
             Err(ProtoError::BadFields(_))
         ));
         // non-numeric field

@@ -140,6 +140,48 @@ fn total_blackout_exercises_retry_then_abandon() {
 }
 
 #[test]
+fn supervised_campaign_quarantines_instead_of_stranding() {
+    // The full default campaign against both hardware generations, with
+    // the boot watchdog and daemon journal at their defaults. The v1
+    // cluster loses node 2's MBR to the mid-switch reimage: supervision
+    // must retry the boot on the backoff schedule, give up after the
+    // configured attempts, and park the node in quarantine — visible in
+    // the health accounting rather than silently stranded. The v2
+    // cluster PXE-boots through the same plan, so the only health
+    // activity there is the daemon crash/restart cycle.
+    let seed = 43;
+    let run = |cfg: SimConfig| {
+        let mut cfg = cfg;
+        cfg.faults = FaultPlan::default_chaos(seed);
+        Simulation::new(cfg, mixed_trace(seed)).run()
+    };
+
+    let v1 = run(SimConfig::eridani_v1(seed));
+    let h = &v1.health;
+    assert!(h.boot_retries >= 2, "watchdog retried the dead boot chain");
+    assert_eq!(h.quarantines, 1, "retries exhausted exactly once");
+    assert_eq!(
+        h.quarantined_nodes,
+        vec![2],
+        "the reimaged node (1-based) ends the run quarantined"
+    );
+    assert!(
+        v1.boot_failures as u64 > h.boot_retries,
+        "failure count includes the original attempt, not just retries"
+    );
+    assert!(h.stranded_core_s > 0.0, "stranding is metered, not hidden");
+    assert_eq!(h.daemon_crashes, 1);
+    assert_eq!(h.daemon_restarts, 1, "journal replay brought the head back");
+
+    let v2 = run(SimConfig::eridani_v2(seed));
+    assert_eq!(v2.health.quarantines, 0, "nothing to quarantine on v2");
+    assert!(v2.health.quarantined_nodes.is_empty());
+    assert_eq!(v2.health.daemon_crashes, 1);
+    assert_eq!(v2.health.daemon_restarts, 1);
+    assert_eq!(v2.unfinished, 0, "crash recovery never loses a job");
+}
+
+#[test]
 fn identical_seed_and_plan_are_bit_identical() {
     let run = || run_v2(53, FaultPlan::default_chaos(53));
     let a = serde_json::to_string(&run()).unwrap();

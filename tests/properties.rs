@@ -637,3 +637,148 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------
+// supervision invariants
+// ---------------------------------------------------------------------
+
+use hybrid_cluster::cluster::replicate::replicate;
+use hybrid_cluster::middleware::Journal;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Supervision work — watchdog retries, quarantines, journal-driven
+    /// daemon restarts — is a pure function of (seed, plan): the full
+    /// default campaign on bricked-by-reimage v1 hardware serialises
+    /// bit-identically across repeats and replication worker counts.
+    #[test]
+    fn supervised_chaos_is_deterministic_across_workers(
+        seed in 0u64..100,
+        workers in 2usize..5,
+    ) {
+        let build = |s: u64| {
+            let mut cfg = SimConfig::eridani_v1(s);
+            cfg.faults = FaultPlan::default_chaos(s);
+            let trace = WorkloadSpec {
+                duration: SimDuration::from_hours(1),
+                jobs_per_hour: 8.0,
+                windows_fraction: 0.3,
+                ..WorkloadSpec::campus_default(s)
+            }
+            .generate();
+            (cfg, trace)
+        };
+        // The campaign genuinely exercises supervision on v1: the
+        // mid-switch reimage forces retries into quarantine, and the
+        // daemon crash forces a journal replay.
+        let (cfg, trace) = build(seed);
+        let r = Simulation::new(cfg, trace).run();
+        prop_assert!(r.health.quarantines >= 1);
+        prop_assert_eq!(r.health.daemon_restarts, 1);
+
+        let seeds = [seed, seed + 100];
+        let a = serde_json::to_string(&replicate(&seeds, 1, build)).unwrap();
+        let b = serde_json::to_string(&replicate(&seeds, workers, build)).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Crash the Linux head daemon at an arbitrary control step and
+    /// recover it from its write-ahead journal: across the daemon's two
+    /// lives the single switch decision reaches the Windows scheduler
+    /// exactly once. The re-armed order keeps its original sequence
+    /// number, so a post-crash retransmission is re-acked as a
+    /// duplicate, never re-executed.
+    #[test]
+    fn journal_recovery_never_duplicates_switch_submissions(
+        crash_step in 1u64..40,
+        tail in 10u64..40,
+    ) {
+        prop_assert_eq!(
+            submissions_across_crash(crash_step, tail),
+            1,
+            "one decision, one submission, crash or no crash"
+        );
+    }
+}
+
+/// Run a journaled Linux head against a live Windows daemon, kill it
+/// after `crash_step` control steps, recover a successor from the
+/// journal, run `tail` more steps, and count the `SubmitSwitchJobs`
+/// actions the Windows side executed across both lives.
+fn submissions_across_crash(crash_step: u64, tail: u64) -> u32 {
+    let (lt, wt) = in_proc_pair();
+    let retry = RetryConfig {
+        resend_after: SimDuration::from_secs(10),
+        max_attempts: 4,
+        report_ttl: SimDuration::from_mins(30),
+    };
+    let mut lin = LinuxDaemon::recover(
+        Version::V2,
+        lt,
+        OneOrder { fired: false },
+        retry,
+        Journal::new(),
+        SimTime::ZERO,
+    );
+    let mut win = WindowsDaemon::new(wt);
+    let local = DetectorOutput {
+        report: DetectorReport::not_stuck(),
+        running: 0,
+        queued: 0,
+        text: String::new(),
+    };
+
+    let mut submissions = 0u32;
+    for step in 0..crash_step {
+        let now = SimTime::from_secs(step * 5);
+        lin.pump(now).unwrap();
+        let _ = lin.poll(&local, 8, 8, now).unwrap();
+        for a in win.pump(now).unwrap() {
+            if matches!(a, Action::SubmitSwitchJobs { .. }) {
+                submissions += 1;
+            }
+        }
+    }
+
+    // The crash: the daemon dies and only its transport and flushed
+    // journal survive. The successor re-arms pending orders from the
+    // journal; the policy itself is quiescent because the decision was
+    // already made and must not be re-made under a fresh seq.
+    let (lt, journal) = lin.into_parts();
+    let journal = journal.expect("journaling was on");
+    let mut lin = LinuxDaemon::recover(
+        Version::V2,
+        lt,
+        OneOrder { fired: true },
+        retry,
+        journal,
+        SimTime::from_secs(crash_step * 5),
+    );
+
+    for step in crash_step..crash_step + tail {
+        let now = SimTime::from_secs(step * 5);
+        lin.pump(now).unwrap();
+        let _ = lin.poll(&local, 8, 8, now).unwrap();
+        for a in win.pump(now).unwrap() {
+            if matches!(a, Action::SubmitSwitchJobs { .. }) {
+                submissions += 1;
+            }
+        }
+    }
+    submissions
+}
+
+/// Deterministic spot-check of the crash/recovery property: crashes
+/// before the ack lands, after it lands, and deep into steady state all
+/// yield exactly one submission.
+#[test]
+fn journal_recovery_smoke_across_crash_points() {
+    for crash_step in [1u64, 2, 5, 17, 39] {
+        assert_eq!(
+            submissions_across_crash(crash_step, 30),
+            1,
+            "crash at step {crash_step} changed the submission count"
+        );
+    }
+}
