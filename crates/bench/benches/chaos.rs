@@ -36,7 +36,7 @@ fn bench_chaos_overhead(c: &mut Criterion) {
     for (label, plan) in plans {
         g.bench_function(label, |b| {
             b.iter(|| {
-                let mut cfg = SimConfig::eridani_v2(17);
+                let mut cfg = SimConfig::builder().v2().seed(17).build();
                 cfg.initial_linux_nodes = 8;
                 cfg.faults = plan.clone();
                 Simulation::new(cfg, black_box(trace.clone())).run()

@@ -1,0 +1,69 @@
+//! Criterion: observability-bus overhead.
+//!
+//! The bus defaults off and must cost nothing there beyond one branch
+//! per emission site — `bus/off` vs `bus/recording` on the same
+//! one-day run bounds the tax, and the acceptance gate is that `off`
+//! stays within noise of the pre-bus baseline. `export/jsonl` prices
+//! the `--trace-out` serialisation path on a recorded chaos trace.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dualboot_bench::alternating_bursts;
+use dualboot_cluster::{FaultPlan, SimConfig, Simulation};
+use dualboot_obs::{self as obs, ObsConfig};
+use std::hint::black_box;
+
+fn bench_bus_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("obs/one_day");
+    g.sample_size(20);
+    let trace = alternating_bursts(17, 4, 1, 0.6);
+    let cases = [
+        ("bus/off", ObsConfig::disabled()),
+        ("bus/recording", ObsConfig::recording()),
+        ("bus/ring256", ObsConfig::ring(256)),
+    ];
+    for (label, obs_cfg) in cases {
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let mut cfg = SimConfig::builder()
+                    .v2()
+                    .seed(17)
+                    .faults(FaultPlan::default_chaos(17))
+                    .observe(obs_cfg)
+                    .build();
+                cfg.initial_linux_nodes = 8;
+                Simulation::new(cfg, black_box(trace.clone())).run()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_trace_export(c: &mut Criterion) {
+    let mut g = c.benchmark_group("obs/export");
+    g.sample_size(20);
+    // One recorded chaos day supplies a realistic record mix.
+    let trace = alternating_bursts(17, 4, 1, 0.6);
+    let mut cfg = SimConfig::builder()
+        .v2()
+        .seed(17)
+        .faults(FaultPlan::default_chaos(17))
+        .observe(ObsConfig::recording())
+        .build();
+    cfg.initial_linux_nodes = 8;
+    let sim = Simulation::new(cfg, trace);
+    let sink = sim.obs().clone();
+    sim.run();
+    let records = sink.snapshot();
+
+    g.bench_function("jsonl", |b| {
+        b.iter(|| obs::to_jsonl(black_box(&records)))
+    });
+    let text = obs::to_jsonl(&records);
+    g.bench_function("parse", |b| {
+        b.iter(|| obs::from_jsonl(black_box(&text)).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_bus_overhead, bench_trace_export);
+criterion_main!(benches);

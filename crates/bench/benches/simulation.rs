@@ -24,7 +24,7 @@ fn bench_modes(c: &mut Criterion) {
     ] {
         g.bench_function(label, |b| {
             b.iter(|| {
-                let mut cfg = SimConfig::eridani_v2(9);
+                let mut cfg = SimConfig::builder().v2().seed(9).build();
                 cfg.mode = mode;
                 cfg.initial_linux_nodes = 8;
                 Simulation::new(cfg, black_box(trace.clone())).run()
@@ -47,7 +47,7 @@ fn bench_cluster_scale(c: &mut Criterion) {
         .generate();
         g.bench_with_input(BenchmarkId::from_parameter(nodes), &trace, |b, trace| {
             b.iter(|| {
-                let mut cfg = SimConfig::eridani_v2(11);
+                let mut cfg = SimConfig::builder().v2().seed(11).build();
                 cfg.nodes = nodes;
                 cfg.initial_linux_nodes = nodes;
                 Simulation::new(cfg, trace.clone()).run()

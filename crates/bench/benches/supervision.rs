@@ -26,7 +26,7 @@ fn bench_supervision_overhead(c: &mut Criterion) {
     for (label, plan, supervised) in cases {
         g.bench_function(label, |b| {
             b.iter(|| {
-                let mut cfg = SimConfig::eridani_v2(17);
+                let mut cfg = SimConfig::builder().v2().seed(17).build();
                 cfg.initial_linux_nodes = 8;
                 cfg.faults = plan.clone();
                 cfg.supervision.watchdog = supervised;

@@ -82,7 +82,7 @@ pub fn e1_switch_latency(seeds: &[u64]) -> Table {
     );
     for &seed in seeds {
         let trace = alternating_bursts(seed, 4, 1, 0.7);
-        let r = Simulation::new(SimConfig::eridani_v2(seed), trace).run();
+        let r = Simulation::new(SimConfig::builder().v2().seed(seed).build(), trace).run();
         table.row(&[
             format!("{seed}"),
             format!("{}", r.switches),
@@ -101,7 +101,7 @@ pub fn e1_latency_histogram(seeds: &[u64]) -> String {
     let mut hist = dualboot_des::stats::Histogram::new(180.0, 300.0, 6);
     for &seed in seeds {
         let trace = alternating_bursts(seed, 4, 1, 0.7);
-        let r = Simulation::new(SimConfig::eridani_v2(seed), trace).run();
+        let r = Simulation::new(SimConfig::builder().v2().seed(seed).build(), trace).run();
         for &sample in r.switch_latency_pct.samples() {
             hist.push(sample);
         }
@@ -140,7 +140,7 @@ pub fn e2_bistable_vs_monostable(loads: &[f64], seed: u64) -> Table {
             ("mono-stable", Mode::MonoStable, PolicyKind::Fcfs, false),
         ];
         for (label, mode, policy, omniscient) in runs {
-            let mut cfg = SimConfig::eridani_v2(seed);
+            let mut cfg = SimConfig::builder().v2().seed(seed).build();
             cfg.mode = mode;
             cfg.policy = policy;
             cfg.omniscient = omniscient;
@@ -186,7 +186,7 @@ pub fn e3_utilisation_vs_mix(mixes_pct: &[u32], seed: u64) -> Table {
             ("oracle", Mode::Oracle, PolicyKind::Fcfs, false, 16),
         ];
         for (label, mode, policy, omniscient, split) in runs {
-            let mut cfg = SimConfig::eridani_v2(seed);
+            let mut cfg = SimConfig::builder().v2().seed(seed).build();
             cfg.mode = mode;
             cfg.policy = policy;
             cfg.omniscient = omniscient;
@@ -257,7 +257,7 @@ pub fn e5_poll_interval(minutes: &[u64], seed: u64) -> Table {
     );
     for &m in minutes {
         let trace = alternating_bursts(seed, 6, 1, 0.7);
-        let mut cfg = SimConfig::eridani_v2(seed);
+        let mut cfg = SimConfig::builder().v2().seed(seed).build();
         cfg.lin_cycle = SimDuration::from_mins(m);
         cfg.win_cycle = SimDuration::from_mins(m);
         cfg.policy = PolicyKind::Threshold { queue_threshold: 2 };
@@ -289,7 +289,7 @@ pub fn e6_mdcs_case_study(seed: u64) -> (Table, Table) {
         ("threshold(2)", PolicyKind::Threshold { queue_threshold: 2 }, true),
         ("proportional", PolicyKind::Proportional { min_per_side: 1 }, true),
     ] {
-        let mut cfg = SimConfig::eridani_v2(seed);
+        let mut cfg = SimConfig::builder().v2().seed(seed).build();
         cfg.policy = policy;
         cfg.omniscient = omniscient;
         let record = label.starts_with("threshold");
@@ -350,7 +350,7 @@ pub fn e7_policy_ablation(seed: u64) -> Table {
         ("proportional(min 1)", PolicyKind::Proportional { min_per_side: 1 }, true),
     ];
     for (label, policy, omniscient) in runs {
-        let mut cfg = SimConfig::eridani_v2(seed);
+        let mut cfg = SimConfig::builder().v2().seed(seed).build();
         cfg.policy = policy;
         cfg.omniscient = omniscient;
         cfg.horizon = SimDuration::from_hours(48);
@@ -456,7 +456,7 @@ pub fn e10_cycle_asymmetry(seed: u64) -> Table {
     );
     for (lin, win) in [(5u64, 10u64), (5, 5), (10, 10), (10, 5), (5, 20)] {
         let trace = alternating_bursts(seed, 6, 1, 0.7);
-        let mut cfg = SimConfig::eridani_v2(seed);
+        let mut cfg = SimConfig::builder().v2().seed(seed).build();
         cfg.lin_cycle = SimDuration::from_mins(lin);
         cfg.win_cycle = SimDuration::from_mins(win);
         let r = Simulation::new(cfg, trace).run();
@@ -488,7 +488,7 @@ pub fn e11_flag_races(seed: u64) -> Table {
         ("per-node(Fig12)", ControlMode::PerNode),
     ] {
         let trace = alternating_bursts(seed, 6, 1, 0.8);
-        let mut cfg = SimConfig::eridani_v2(seed);
+        let mut cfg = SimConfig::builder().v2().seed(seed).build();
         cfg.policy = PolicyKind::Proportional { min_per_side: 1 };
         cfg.omniscient = true;
         cfg.pxe_control = mode;
@@ -508,7 +508,7 @@ pub fn e11_flag_races(seed: u64) -> Table {
 /// throughput benches).
 pub fn small_sim(seed: u64) -> SimResult {
     let trace = alternating_bursts(seed, 2, 1, 0.6);
-    Simulation::new(SimConfig::eridani_v2(seed), trace).run()
+    Simulation::new(SimConfig::builder().v2().seed(seed).build(), trace).run()
 }
 
 #[cfg(test)]

@@ -7,6 +7,7 @@ use dualboot_core::policy::{
 };
 use dualboot_core::{Version, WatchdogConfig};
 use dualboot_des::time::SimDuration;
+use dualboot_obs::ObsConfig;
 use serde::{Deserialize, Serialize};
 
 /// Which system is being evaluated (see the crate docs for the table).
@@ -177,46 +178,178 @@ pub struct SimConfig {
     /// Node-health supervision (boot watchdog + daemon journals).
     #[serde(default)]
     pub supervision: SupervisionConfig,
+    /// Observability bus (event recording). The default is disabled and
+    /// zero-cost; see `dualboot_obs`.
+    #[serde(default)]
+    pub obs: ObsConfig,
 }
 
 impl SimConfig {
-    /// The paper's Eridani under dualboot-oscar v2.0 with FCFS: 16×4
-    /// cores, all-Linux start, 10-minute Windows cycle, 5-minute Linux
-    /// poll.
-    pub fn eridani_v2(seed: u64) -> SimConfig {
-        SimConfig {
-            version: Version::V2,
-            mode: Mode::DualBoot,
-            nodes: 16,
-            cores_per_node: 4,
-            initial_linux_nodes: 16,
-            seed,
-            win_cycle: SimDuration::from_mins(10),
-            lin_cycle: SimDuration::from_mins(5),
-            boot: BootModel::default(),
-            policy: PolicyKind::Fcfs,
-            pxe_control: ControlMode::SingleFlag,
-            omniscient: false,
-            record_series: false,
-            sample_every: SimDuration::from_mins(5),
-            horizon: SimDuration::from_hours(72),
-            faults: FaultPlan::default(),
-            supervision: SupervisionConfig::default(),
+    /// Start describing a scenario fluently. The builder opens on the
+    /// paper's Eridani under dualboot-oscar v2.0 with FCFS — 16×4 cores,
+    /// all-Linux start, 10-minute Windows cycle, 5-minute Linux poll —
+    /// so `SimConfig::builder().seed(7).build()` is a faithful v2 run
+    /// and every other method is an explicit deviation from the paper.
+    pub fn builder() -> SimConfigBuilder {
+        SimConfigBuilder {
+            cfg: SimConfig {
+                version: Version::V2,
+                mode: Mode::DualBoot,
+                nodes: 16,
+                cores_per_node: 4,
+                initial_linux_nodes: 16,
+                seed: 0,
+                win_cycle: SimDuration::from_mins(10),
+                lin_cycle: SimDuration::from_mins(5),
+                boot: BootModel::default(),
+                policy: PolicyKind::Fcfs,
+                pxe_control: ControlMode::SingleFlag,
+                omniscient: false,
+                record_series: false,
+                sample_every: SimDuration::from_mins(5),
+                horizon: SimDuration::from_hours(72),
+                faults: FaultPlan::default(),
+                supervision: SupervisionConfig::default(),
+                obs: ObsConfig::default(),
+            },
         }
     }
 
+    /// The paper's Eridani under dualboot-oscar v2.0 with FCFS.
+    #[deprecated(note = "use SimConfig::builder().v2().seed(n).build()")]
+    pub fn eridani_v2(seed: u64) -> SimConfig {
+        SimConfig::builder().v2().seed(seed).build()
+    }
+
     /// Eridani under the initial v1.0 system (5-minute cycles both sides).
+    #[deprecated(note = "use SimConfig::builder().v1().seed(n).build()")]
     pub fn eridani_v1(seed: u64) -> SimConfig {
-        SimConfig {
-            version: Version::V1,
-            win_cycle: SimDuration::from_mins(5),
-            ..SimConfig::eridani_v2(seed)
-        }
+        SimConfig::builder().v1().seed(seed).build()
     }
 
     /// Total cores in the cluster.
     pub fn total_cores(&self) -> u32 {
         u32::from(self.nodes) * self.cores_per_node
+    }
+}
+
+/// Fluent construction of a [`SimConfig`] (see [`SimConfig::builder`]).
+///
+/// The fields of `SimConfig` stay public — a built config can still be
+/// tweaked in place for one-off experiments — but the builder is the
+/// front door: `SimConfig::builder().v1().seed(3).faults(plan).build()`.
+#[derive(Debug, Clone)]
+pub struct SimConfigBuilder {
+    cfg: SimConfig,
+}
+
+impl SimConfigBuilder {
+    /// Target the v2.0 middleware (PXE/GRUB4DOS single flag; the
+    /// builder's opening state).
+    pub fn v2(mut self) -> Self {
+        self.cfg.version = Version::V2;
+        self.cfg.win_cycle = SimDuration::from_mins(10);
+        self
+    }
+
+    /// Target the initial v1.0 system (FAT control file; 5-minute cycles
+    /// on both sides).
+    pub fn v1(mut self) -> Self {
+        self.cfg.version = Version::V1;
+        self.cfg.win_cycle = SimDuration::from_mins(5);
+        self
+    }
+
+    /// RNG seed for boot jitter (the workload carries its own seed).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Evaluation mode (dual-boot, static split, mono-stable, oracle).
+    pub fn mode(mut self, mode: Mode) -> Self {
+        self.cfg.mode = mode;
+        self
+    }
+
+    /// Cluster shape: node count and cores per node.
+    pub fn nodes(mut self, nodes: u16, cores_per_node: u32) -> Self {
+        self.cfg.nodes = nodes;
+        self.cfg.cores_per_node = cores_per_node;
+        self
+    }
+
+    /// Nodes that start on Linux (the rest start on Windows).
+    pub fn initial_linux_nodes(mut self, n: u16) -> Self {
+        self.cfg.initial_linux_nodes = n;
+        self
+    }
+
+    /// Switch policy.
+    pub fn policy(mut self, policy: PolicyKind) -> Self {
+        self.cfg.policy = policy;
+        self
+    }
+
+    /// v2 PXE control design (cluster-wide flag vs per-node menus).
+    pub fn pxe_control(mut self, mode: ControlMode) -> Self {
+        self.cfg.pxe_control = mode;
+        self
+    }
+
+    /// Give the decider full visibility of both queues (E7 ablation).
+    pub fn omniscient(mut self, on: bool) -> Self {
+        self.cfg.omniscient = on;
+        self
+    }
+
+    /// Record the time series, sampling every `every`.
+    pub fn record_series(mut self, every: SimDuration) -> Self {
+        self.cfg.record_series = true;
+        self.cfg.sample_every = every;
+        self
+    }
+
+    /// Daemon cycles: Windows communicator and Linux poll.
+    pub fn cycles(mut self, win: SimDuration, lin: SimDuration) -> Self {
+        self.cfg.win_cycle = win;
+        self.cfg.lin_cycle = lin;
+        self
+    }
+
+    /// Reboot latency model.
+    pub fn boot(mut self, boot: BootModel) -> Self {
+        self.cfg.boot = boot;
+        self
+    }
+
+    /// Hard stop for the run.
+    pub fn horizon(mut self, horizon: SimDuration) -> Self {
+        self.cfg.horizon = horizon;
+        self
+    }
+
+    /// Fault schedule (chaos campaigns, E8).
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.cfg.faults = plan;
+        self
+    }
+
+    /// Node-health supervision knobs.
+    pub fn supervision(mut self, sup: SupervisionConfig) -> Self {
+        self.cfg.supervision = sup;
+        self
+    }
+
+    /// Observability bus configuration (event recording).
+    pub fn observe(mut self, obs: ObsConfig) -> Self {
+        self.cfg.obs = obs;
+        self
+    }
+
+    /// Finish: the described scenario.
+    pub fn build(self) -> SimConfig {
+        self.cfg
     }
 }
 
@@ -226,24 +359,62 @@ mod tests {
 
     #[test]
     fn eridani_defaults_match_paper() {
-        let c = SimConfig::eridani_v2(1);
+        let c = SimConfig::builder().v2().seed(1).build();
         assert_eq!(c.nodes, 16);
         assert_eq!(c.cores_per_node, 4);
         assert_eq!(c.total_cores(), 64);
         assert_eq!(c.win_cycle, SimDuration::from_mins(10));
         assert_eq!(c.lin_cycle, SimDuration::from_mins(5));
         assert_eq!(c.boot.max_s, 300.0, "five-minute bound");
-        let v1 = SimConfig::eridani_v1(1);
+        let v1 = SimConfig::builder().v1().seed(1).build();
         assert_eq!(v1.win_cycle, SimDuration::from_mins(5));
         assert_eq!(v1.version, Version::V1);
     }
 
     #[test]
-    fn supervision_defaults_on() {
-        let c = SimConfig::eridani_v2(1);
+    fn supervision_and_obs_defaults() {
+        let c = SimConfig::builder().seed(1).build();
         assert!(c.supervision.watchdog);
         assert!(c.supervision.journal);
         assert_eq!(c.supervision.config, WatchdogConfig::default());
+        assert!(!c.obs.enabled, "the bus defaults off (zero cost)");
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_equal_the_builder() {
+        assert_eq!(
+            SimConfig::eridani_v2(9),
+            SimConfig::builder().v2().seed(9).build()
+        );
+        assert_eq!(
+            SimConfig::eridani_v1(9),
+            SimConfig::builder().v1().seed(9).build()
+        );
+    }
+
+    #[test]
+    fn builder_composes_deviations() {
+        let c = SimConfig::builder()
+            .v1()
+            .seed(4)
+            .mode(Mode::StaticSplit)
+            .nodes(8, 2)
+            .initial_linux_nodes(4)
+            .policy(PolicyKind::Threshold { queue_threshold: 3 })
+            .omniscient(true)
+            .record_series(SimDuration::from_mins(1))
+            .horizon(SimDuration::from_hours(6))
+            .observe(dualboot_obs::ObsConfig::ring(64))
+            .build();
+        assert_eq!(c.version, Version::V1);
+        assert_eq!(c.mode, Mode::StaticSplit);
+        assert_eq!((c.nodes, c.cores_per_node), (8, 2));
+        assert_eq!(c.initial_linux_nodes, 4);
+        assert!(c.omniscient && c.record_series);
+        assert_eq!(c.sample_every, SimDuration::from_mins(1));
+        assert_eq!(c.horizon, SimDuration::from_hours(6));
+        assert_eq!(c.obs.ring_capacity, Some(64));
     }
 
     #[test]

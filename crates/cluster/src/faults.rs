@@ -92,6 +92,22 @@ pub enum FaultKind {
     },
 }
 
+impl FaultKind {
+    /// Stable kebab-case name of the fault variant, used when activations
+    /// are reported on the observability bus.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultKind::PowerReset { .. } => "power-reset",
+            FaultKind::PowerResetStorm { .. } => "power-reset-storm",
+            FaultKind::PxeOutage { .. } => "pxe-outage",
+            FaultKind::SchedulerOutage { .. } => "scheduler-outage",
+            FaultKind::MidSwitchReimage { .. } => "mid-switch-reimage",
+            FaultKind::DaemonCrash { .. } => "daemon-crash",
+            FaultKind::OperatorRepair { .. } => "operator-repair",
+        }
+    }
+}
+
 /// A complete, serialisable fault schedule for one run.
 ///
 /// Round-trips through JSON (`serde_json`), so plans can be passed to the

@@ -37,7 +37,7 @@ pub mod replicate;
 pub mod report;
 pub mod sim;
 
-pub use config::{Mode, PolicyKind, SimConfig, SupervisionConfig};
+pub use config::{Mode, PolicyKind, SimConfig, SimConfigBuilder, SupervisionConfig};
 pub use faults::{FaultEvent, FaultKind, FaultPlan};
 pub use metrics::{FaultStats, HealthStats, SamplePoint, SimResult};
 pub use replicate::{replicate, Replication};

@@ -112,7 +112,7 @@ mod tests {
             ..WorkloadSpec::campus_default(seed)
         }
         .generate();
-        (SimConfig::eridani_v2(seed), trace)
+        (SimConfig::builder().v2().seed(seed).build(), trace)
     }
 
     #[test]

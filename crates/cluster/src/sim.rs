@@ -24,9 +24,10 @@ use dualboot_des::time::{SimDuration, SimTime};
 use dualboot_deploy::oscar::OscarDeployer;
 use dualboot_deploy::windows::WindowsDeployer;
 use dualboot_hw::disk::MbrCode;
-use dualboot_hw::node::{ComputeNode, FirmwareBootOrder, PowerState};
+use dualboot_hw::node::{ComputeNode, FirmwareBootOrder, NodeId, PowerState};
 use dualboot_hw::pxe::PxeService;
 use dualboot_net::faulty::FaultyTransport;
+use dualboot_obs::{HotLoopProfile, ObsEvent, ObsSink, Subsystem};
 use dualboot_net::transport::{in_proc_pair, InProcTransport};
 use dualboot_net::wire::DetectorReport;
 use dualboot_sched::job::{JobId, JobKind, JobRequest};
@@ -106,7 +107,7 @@ struct PendingSwitch {
 /// use dualboot_workload::generator::WorkloadSpec;
 ///
 /// let trace = WorkloadSpec::campus_default(1).generate();
-/// let result = Simulation::new(SimConfig::eridani_v2(1), trace).run();
+/// let result = Simulation::new(SimConfig::builder().v2().seed(1).build(), trace).run();
 /// assert_eq!(result.unfinished, 0);
 /// assert!(result.utilisation() > 0.0);
 /// ```
@@ -155,6 +156,12 @@ pub struct Simulation {
     /// middleware stays alive in between.
     keep_alive: SimTime,
     result: SimResult,
+    /// The cluster-wide observability sink (disabled unless `cfg.obs`
+    /// enables it or a driver attaches a shared sink).
+    obs: ObsSink,
+    /// Wall-clock hot-loop profile, accumulated only when enabled.
+    /// Deliberately outside `SimResult`: profiles are non-deterministic.
+    profile: Option<HotLoopProfile>,
 }
 
 impl Simulation {
@@ -320,7 +327,7 @@ impl Simulation {
             .supervision
             .watchdog
             .then(|| Supervisor::new(cfg.supervision.config));
-        Simulation {
+        let mut sim = Simulation {
             cfg,
             queue,
             boot_rng,
@@ -348,12 +355,44 @@ impl Simulation {
             submitted: 0,
             keep_alive: SimTime::ZERO,
             result: SimResult::new(total_cores),
+            obs: ObsSink::disabled(),
+            profile: None,
+        };
+        let sink = ObsSink::new(sim.cfg.obs);
+        sim.attach_obs(sink);
+        sim
+    }
+
+    /// Attach (or replace) the observability sink: the driver, both
+    /// daemons and their transports all emit into it. Drivers that run
+    /// several simulations on one shared clock (the grid federation) pass
+    /// clones of one sink so every member lands on a single bus.
+    pub fn attach_obs(&mut self, sink: ObsSink) {
+        self.obs = sink;
+        if let Some(d) = self.lin_daemon.as_mut() {
+            d.set_obs(self.obs.clone());
+            d.transport_mut().set_obs(self.obs.clone());
+        }
+        if let Some(d) = self.win_daemon.as_mut() {
+            d.set_obs(self.obs.clone());
+            d.transport_mut().set_obs(self.obs.clone());
         }
     }
 
+    /// The attached observability sink (disabled unless configured).
+    pub fn obs(&self) -> &ObsSink {
+        &self.obs
+    }
+
+    /// Direct node access by 1-based id (fault-injection assertions).
+    pub fn node_by_id(&self, id: NodeId) -> &ComputeNode {
+        &self.nodes[id.index0()]
+    }
+
     /// Direct node access (fault-injection assertions).
+    #[deprecated(note = "use node_by_id(NodeId)")]
     pub fn node(&self, node_index_1based: u16) -> &ComputeNode {
-        &self.nodes[usize::from(node_index_1based - 1)]
+        self.node_by_id(NodeId(node_index_1based))
     }
 
     /// The PXE service (flag assertions).
@@ -379,9 +418,38 @@ impl Simulation {
             if t > horizon {
                 break;
             }
-            self.handle(ev);
+            self.handle_timed(ev);
         }
         self.into_result()
+    }
+
+    /// Run to completion with hot-loop profiling on, returning both the
+    /// deterministic results and the wall-clock phase profile. The
+    /// profile never contaminates `SimResult`, so determinism
+    /// fingerprints are unaffected.
+    pub fn run_profiled(mut self) -> (SimResult, HotLoopProfile) {
+        self.enable_profiling();
+        let horizon = SimTime::ZERO + self.cfg.horizon;
+        while let Some((t, ev)) = self.queue.pop() {
+            if t > horizon {
+                break;
+            }
+            self.handle_timed(ev);
+        }
+        let profile = self.profile.take().unwrap_or_default();
+        (self.into_result(), profile)
+    }
+
+    /// Start accumulating the wall-clock hot-loop profile.
+    pub fn enable_profiling(&mut self) {
+        if self.profile.is_none() {
+            self.profile = Some(HotLoopProfile::new());
+        }
+    }
+
+    /// The hot-loop profile accumulated so far (stepped drivers).
+    pub fn profile(&self) -> Option<&HotLoopProfile> {
+        self.profile.as_ref()
     }
 
     // ------------------------------------------------------------------
@@ -403,7 +471,7 @@ impl Simulation {
     pub fn step(&mut self) -> bool {
         match self.queue.pop() {
             Some((_, ev)) => {
-                self.handle(ev);
+                self.handle_timed(ev);
                 true
             }
             None => false,
@@ -419,7 +487,7 @@ impl Simulation {
                 break;
             }
             let (_, ev) = self.queue.pop().expect("peeked event exists");
-            self.handle(ev);
+            self.handle_timed(ev);
         }
     }
 
@@ -545,7 +613,24 @@ impl Simulation {
     // event handling
     // ------------------------------------------------------------------
 
+    /// [`handle`](Self::handle), timing the dispatch into the hot-loop
+    /// profile when profiling is on (one branch when it is off).
+    fn handle_timed(&mut self, ev: Event) {
+        if self.profile.is_some() {
+            let phase = phase_of(&ev);
+            let started = std::time::Instant::now();
+            self.handle(ev);
+            let elapsed = started.elapsed();
+            if let Some(p) = self.profile.as_mut() {
+                p.record(phase, elapsed);
+            }
+        } else {
+            self.handle(ev);
+        }
+    }
+
     fn handle(&mut self, ev: Event) {
+        self.obs.set_now(self.queue.now());
         match ev {
             Event::Submit(i) => self.on_submit(i),
             Event::JobFinished { os, job } => self.on_job_finished(os, job),
@@ -564,6 +649,7 @@ impl Simulation {
             Event::PowerReset { node } => self.on_power_reset(node),
             Event::PxeDown => {
                 self.result.faults.pxe_outages += 1;
+                self.obs_fault("pxe-outage", None);
                 self.pxe.set_enabled(false);
             }
             Event::PxeUp => self.pxe.set_enabled(true),
@@ -583,6 +669,17 @@ impl Simulation {
         let now = self.queue.now();
         let req = self.trace[i].req.clone();
         let os = req.os;
+        if self.obs.is_enabled() {
+            self.obs.emit(
+                Subsystem::Sim,
+                None,
+                ObsEvent::JobSubmitted {
+                    name: req.name.clone(),
+                    os,
+                    nodes: req.nodes,
+                },
+            );
+        }
         match os {
             OsKind::Linux => {
                 self.pbs.submit(req, now);
@@ -605,6 +702,16 @@ impl Simulation {
         let Some(rec) = sched.complete(job, now) else {
             return; // killed earlier by a fault
         };
+        if self.obs.is_enabled() {
+            self.obs.emit(
+                Subsystem::Sim,
+                None,
+                ObsEvent::JobFinished {
+                    name: rec.req.name.clone(),
+                    os,
+                },
+            );
+        }
         self.busy_user_cores -= f64::from(rec.req.cpus());
         self.result.busy_cores.observe(now, self.busy_user_cores);
         let wait = rec.wait_time(now);
@@ -652,6 +759,11 @@ impl Simulation {
             }
         }
         self.nodes[usize::from(node)].begin_boot();
+        self.obs.emit(
+            Subsystem::Sim,
+            Some(NodeId(node + 1)),
+            ObsEvent::BootOrdered { target },
+        );
         self.booting_count += 1.0;
         self.result.booting_nodes.observe(now, self.booting_count);
         self.pending_switch.insert(
@@ -676,8 +788,11 @@ impl Simulation {
         let outcome = self.nodes[usize::from(node)].complete_boot(pxe);
         let hostname = self.nodes[usize::from(node)].hostname.clone();
         let pending = self.pending_switch.remove(&node);
+        let obs_node = Some(NodeId(node + 1));
         match outcome {
             Ok((os, _path)) => {
+                self.obs
+                    .emit(Subsystem::Sim, obs_node, ObsEvent::BootCompleted { os });
                 match os {
                     OsKind::Linux => {
                         self.win.set_node_offline(&hostname);
@@ -696,6 +811,8 @@ impl Simulation {
                     // A quarantined node came back (operator repair):
                     // journal the recovery so a daemon restart cannot
                     // resurrect the quarantine.
+                    self.obs
+                        .emit(Subsystem::Supervisor, obs_node, ObsEvent::NodeRecovered);
                     self.journal_health(JournalEntry::Unquarantined { node });
                 }
                 if let Some(ps) = pending {
@@ -703,12 +820,18 @@ impl Simulation {
                     if os != ps.target {
                         self.result.misdirected_switches += 1;
                     }
+                    self.obs.emit(
+                        Subsystem::Sim,
+                        obs_node,
+                        ObsEvent::SwitchLanded { target: ps.target },
+                    );
                     self.note_switch_landed(ps.target);
                 }
                 self.dispatch(os);
             }
             Err(_) => {
                 self.result.boot_failures += 1;
+                self.obs.emit(Subsystem::Sim, obs_node, ObsEvent::BootFailed);
                 if let Some(ps) = pending {
                     self.note_switch_landed(ps.target);
                 }
@@ -718,6 +841,8 @@ impl Simulation {
                         self.queue.schedule(delay, Event::BootRetry { node, epoch });
                     }
                     Some(Verdict::Quarantine) => {
+                        self.obs
+                            .emit(Subsystem::Supervisor, obs_node, ObsEvent::NodeQuarantined);
                         self.journal_health(JournalEntry::Quarantined { node });
                     }
                     // Watchdog off (or the node unwatched): the legacy
@@ -802,19 +927,45 @@ impl Simulation {
         self.stranded_nodes.observe(now, self.stranded_count);
     }
 
+    /// Report a fault activation on the bus (string building gated on an
+    /// enabled sink, so quiet runs never allocate).
+    fn obs_fault(&self, kind: &str, node: Option<NodeId>) {
+        if self.obs.is_enabled() {
+            self.obs.emit(
+                Subsystem::Faults,
+                node,
+                ObsEvent::FaultInjected {
+                    kind: kind.to_string(),
+                },
+            );
+        }
+    }
+
     fn on_boot_deadline(&mut self, node: u16, epoch: u64) {
         // A firing deadline is always the map's current entry (newer
         // arms cancel older events); drop the spent id.
         self.boot_deadline.remove(&node);
-        match self
+        let verdict = self
             .supervisor
             .as_mut()
-            .and_then(|s| s.deadline_expired(node, epoch))
-        {
+            .and_then(|s| s.deadline_expired(node, epoch));
+        if verdict.is_some() {
+            self.obs.emit(
+                Subsystem::Supervisor,
+                Some(NodeId(node + 1)),
+                ObsEvent::BootDeadlineExpired,
+            );
+        }
+        match verdict {
             Some(Verdict::Retry { delay, epoch }) => {
                 self.queue.schedule(delay, Event::BootRetry { node, epoch });
             }
             Some(Verdict::Quarantine) => {
+                self.obs.emit(
+                    Subsystem::Supervisor,
+                    Some(NodeId(node + 1)),
+                    ObsEvent::NodeQuarantined,
+                );
                 self.journal_health(JournalEntry::Quarantined { node });
             }
             None => {} // stale epoch: the watch was since resolved
@@ -826,6 +977,16 @@ impl Simulation {
         if self.supervisor.as_ref().and_then(|s| s.watch_epoch(node)) != Some(epoch) {
             return;
         }
+        let attempt = self
+            .supervisor
+            .as_ref()
+            .and_then(|s| s.watch_attempts(node))
+            .unwrap_or(0);
+        self.obs.emit(
+            Subsystem::Supervisor,
+            Some(NodeId(node + 1)),
+            ObsEvent::BootRetried { attempt },
+        );
         let now = self.queue.now();
         if matches!(
             self.nodes[usize::from(node)].state,
@@ -863,6 +1024,9 @@ impl Simulation {
         };
         if took {
             self.result.health.daemon_crashes += 1;
+            self.obs_fault("daemon-crash", None);
+            self.obs
+                .emit(Subsystem::Sim, None, ObsEvent::DaemonCrashed { side });
         }
     }
 
@@ -871,7 +1035,15 @@ impl Simulation {
         let restored = match side {
             OsKind::Linux => {
                 if let Some((t, j)) = self.lin_down.take() {
-                    self.lin_daemon = Some(match j {
+                    let recovered = j.is_some();
+                    if let Some(j) = j.as_ref() {
+                        self.obs.emit(
+                            Subsystem::Journal,
+                            None,
+                            ObsEvent::JournalReplayed { entries: j.len() },
+                        );
+                    }
+                    let mut d = match j {
                         Some(j) => LinuxDaemon::recover(
                             self.cfg.version,
                             t,
@@ -883,7 +1055,14 @@ impl Simulation {
                         // Journaling off: the restarted daemon is
                         // amnesiac, exactly what the ablation measures.
                         None => LinuxDaemon::new(self.cfg.version, t, self.cfg.policy.build()),
-                    });
+                    };
+                    d.set_obs(self.obs.clone());
+                    self.lin_daemon = Some(d);
+                    self.obs.emit(
+                        Subsystem::Sim,
+                        None,
+                        ObsEvent::DaemonRestarted { side, recovered },
+                    );
                     true
                 } else {
                     false
@@ -891,10 +1070,25 @@ impl Simulation {
             }
             OsKind::Windows => {
                 if let Some((t, j)) = self.win_down.take() {
-                    self.win_daemon = Some(match j {
+                    let recovered = j.is_some();
+                    if let Some(j) = j.as_ref() {
+                        self.obs.emit(
+                            Subsystem::Journal,
+                            None,
+                            ObsEvent::JournalReplayed { entries: j.len() },
+                        );
+                    }
+                    let mut d = match j {
                         Some(j) => WindowsDaemon::recover(t, j),
                         None => WindowsDaemon::new(t),
-                    });
+                    };
+                    d.set_obs(self.obs.clone());
+                    self.win_daemon = Some(d);
+                    self.obs.emit(
+                        Subsystem::Sim,
+                        None,
+                        ObsEvent::DaemonRestarted { side, recovered },
+                    );
                     true
                 } else {
                     false
@@ -908,6 +1102,7 @@ impl Simulation {
 
     fn on_operator_repair(&mut self, node: u16) {
         self.result.health.operator_repairs += 1;
+        self.obs_fault("operator-repair", Some(NodeId(node + 1)));
         // The §III.C chore: reinstall GRUB in the MBR, then power-cycle.
         // The boot is supervised like any other, so a successful one
         // recovers the node from quarantine.
@@ -1050,6 +1245,7 @@ impl Simulation {
 
     fn on_scheduler_down(&mut self, os: OsKind) {
         self.result.faults.scheduler_outages += 1;
+        self.obs_fault("scheduler-outage", None);
         match os {
             OsKind::Linux => self.sched_stalled.0 = true,
             OsKind::Windows => self.sched_stalled.1 = true,
@@ -1070,12 +1266,14 @@ impl Simulation {
     /// boot via PXE and never notice.
     fn on_reimage(&mut self, node: u16) {
         self.result.faults.reimages += 1;
+        self.obs_fault("mid-switch-reimage", Some(NodeId(node + 1)));
         self.nodes[usize::from(node)].disk.set_mbr(MbrCode::None);
         self.on_power_reset(node);
     }
 
     fn on_power_reset(&mut self, node: u16) {
         self.result.faults.power_resets += 1;
+        self.obs_fault("power-reset", Some(NodeId(node + 1)));
         self.power_cycle(node);
     }
 
@@ -1108,13 +1306,19 @@ impl Simulation {
             )
             .collect();
         for (side, job) in on_node {
-            let (kind, cpus) = {
+            let (kind, cpus, name) = {
                 let rec = match side {
                     OsKind::Linux => self.pbs.job(job),
                     OsKind::Windows => self.win.job(job),
                 };
                 match rec {
-                    Some(r) => (r.req.kind, r.req.cpus()),
+                    Some(r) => (
+                        r.req.kind,
+                        r.req.cpus(),
+                        // Name only needed for the bus; skip the clone
+                        // on quiet runs.
+                        self.obs.is_enabled().then(|| r.req.name.clone()),
+                    ),
                     None => continue,
                 }
             };
@@ -1125,6 +1329,13 @@ impl Simulation {
             if completed {
                 match kind {
                     JobKind::User => {
+                        if let Some(name) = name {
+                            self.obs.emit(
+                                Subsystem::Sim,
+                                Some(NodeId(node + 1)),
+                                ObsEvent::JobKilled { name },
+                            );
+                        }
                         self.result.killed += 1;
                         self.jobs_outstanding = self.jobs_outstanding.saturating_sub(1);
                         self.busy_user_cores -= f64::from(cpus);
@@ -1267,6 +1478,30 @@ impl Simulation {
     }
 }
 
+/// The hot-loop profiling phase an event is charged to.
+fn phase_of(ev: &Event) -> &'static str {
+    match ev {
+        Event::Submit(_) => "submit",
+        Event::JobFinished { .. } => "complete",
+        Event::SwitchConfigChange { .. } | Event::SwitchJobDone { .. } => "switch",
+        Event::BootComplete { .. } | Event::BootDeadline { .. } | Event::BootRetry { .. } => {
+            "boot"
+        }
+        Event::WinTick => "win-tick",
+        Event::LinuxPoll => "lin-poll",
+        Event::PowerReset { .. }
+        | Event::PxeDown
+        | Event::PxeUp
+        | Event::SchedulerDown { .. }
+        | Event::SchedulerUp { .. }
+        | Event::MidSwitchReimage { .. }
+        | Event::DaemonCrash { .. }
+        | Event::DaemonRestart { .. }
+        | Event::OperatorRepair { .. } => "faults",
+        Event::Sample => "sample",
+    }
+}
+
 /// Apply a mode's trace semantics (see crate docs).
 fn transform_trace(cfg: &SimConfig, mut trace: Vec<SubmitEvent>) -> Vec<SubmitEvent> {
     for ev in &mut trace {
@@ -1313,7 +1548,7 @@ mod tests {
 
     #[test]
     fn all_linux_workload_completes_without_switches() {
-        let cfg = SimConfig::eridani_v2(1);
+        let cfg = SimConfig::builder().v2().seed(1).build();
         let trace = small_trace(1, 0.0);
         let n = trace.len() as u32;
         let r = Simulation::new(cfg, trace).run();
@@ -1325,7 +1560,7 @@ mod tests {
 
     #[test]
     fn windows_jobs_trigger_switches_from_all_linux_start() {
-        let cfg = SimConfig::eridani_v2(2);
+        let cfg = SimConfig::builder().v2().seed(2).build();
         let trace = small_trace(2, 0.4);
         let n = trace.len() as u32;
         let windows_jobs = trace
@@ -1342,7 +1577,7 @@ mod tests {
 
     #[test]
     fn static_split_strands_windows_jobs_without_windows_nodes() {
-        let mut cfg = SimConfig::eridani_v2(3);
+        let mut cfg = SimConfig::builder().v2().seed(3).build();
         cfg.mode = Mode::StaticSplit;
         cfg.initial_linux_nodes = 16; // no Windows nodes at all
         let trace = small_trace(3, 0.4);
@@ -1357,7 +1592,7 @@ mod tests {
 
     #[test]
     fn static_even_split_serves_both_sides() {
-        let mut cfg = SimConfig::eridani_v2(4);
+        let mut cfg = SimConfig::builder().v2().seed(4).build();
         cfg.mode = Mode::StaticSplit;
         cfg.initial_linux_nodes = 8;
         let trace = small_trace(4, 0.3);
@@ -1370,11 +1605,11 @@ mod tests {
     #[test]
     fn oracle_outperforms_static_split_on_skewed_mix() {
         let trace = small_trace(5, 0.5);
-        let mut static_cfg = SimConfig::eridani_v2(5);
+        let mut static_cfg = SimConfig::builder().v2().seed(5).build();
         static_cfg.mode = Mode::StaticSplit;
         static_cfg.initial_linux_nodes = 14; // bad split for a 50% mix
         let static_r = Simulation::new(static_cfg, trace.clone()).run();
-        let mut oracle_cfg = SimConfig::eridani_v2(5);
+        let mut oracle_cfg = SimConfig::builder().v2().seed(5).build();
         oracle_cfg.mode = Mode::Oracle;
         let oracle_r = Simulation::new(oracle_cfg, trace).run();
         assert!(oracle_r.mean_wait_s() <= static_r.mean_wait_s());
@@ -1384,7 +1619,7 @@ mod tests {
     #[test]
     fn mono_stable_inflates_windows_service() {
         let trace = small_trace(6, 0.5);
-        let mut cfg = SimConfig::eridani_v2(6);
+        let mut cfg = SimConfig::builder().v2().seed(6).build();
         cfg.mode = Mode::MonoStable;
         let transformed = transform_trace(&cfg, trace.clone());
         for (orig, t) in trace.iter().zip(&transformed) {
@@ -1404,7 +1639,7 @@ mod tests {
 
     #[test]
     fn v1_switches_complete_too() {
-        let cfg = SimConfig::eridani_v1(7);
+        let cfg = SimConfig::builder().v1().seed(7).build();
         let trace = small_trace(7, 0.3);
         let n = trace.len() as u32;
         let r = Simulation::new(cfg, trace).run();
@@ -1415,7 +1650,7 @@ mod tests {
 
     #[test]
     fn switch_latency_within_paper_bound() {
-        let cfg = SimConfig::eridani_v2(8);
+        let cfg = SimConfig::builder().v2().seed(8).build();
         let trace = small_trace(8, 0.4);
         let r = Simulation::new(cfg, trace).run();
         assert!(r.switches > 0);
@@ -1426,7 +1661,7 @@ mod tests {
 
     #[test]
     fn utilisation_is_sane() {
-        let cfg = SimConfig::eridani_v2(9);
+        let cfg = SimConfig::builder().v2().seed(9).build();
         let trace = small_trace(9, 0.2);
         let r = Simulation::new(cfg, trace).run();
         let u = r.utilisation();
@@ -1435,7 +1670,7 @@ mod tests {
 
     #[test]
     fn series_recording() {
-        let mut cfg = SimConfig::eridani_v2(10);
+        let mut cfg = SimConfig::builder().v2().seed(10).build();
         cfg.record_series = true;
         let trace = small_trace(10, 0.3);
         let r = Simulation::new(cfg, trace).run();
@@ -1451,7 +1686,7 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let run = || {
-            let cfg = SimConfig::eridani_v2(11);
+            let cfg = SimConfig::builder().v2().seed(11).build();
             Simulation::new(cfg, small_trace(11, 0.3)).run()
         };
         let a = run();
@@ -1467,7 +1702,7 @@ mod tests {
         // E8: under v1, a power reset that lands *before* the switch
         // job's bootcontrol step leaves controlmenu.lst pointing at the
         // old OS — the node comes back up on the stale side.
-        let mut cfg = SimConfig::eridani_v1(12);
+        let mut cfg = SimConfig::builder().v1().seed(12).build();
         // One Windows job to provoke a switch; long horizon.
         let trace = vec![SubmitEvent {
             at: SimTime::from_mins(1),
@@ -1512,7 +1747,7 @@ mod tests {
         // down: ordered switches reboot into the local fallback (Linux),
         // count as misdirected, and a later poll re-orders them once the
         // service recovers. The workload still completes.
-        let mut cfg = SimConfig::eridani_v2(51);
+        let mut cfg = SimConfig::builder().v2().seed(51).build();
         let trace: Vec<SubmitEvent> = (0..4)
             .map(|k| SubmitEvent {
                 at: SimTime::from_mins(1),
@@ -1542,7 +1777,7 @@ mod tests {
 
     #[test]
     fn scheduler_outage_stalls_dispatch_then_drains() {
-        let mut cfg = SimConfig::eridani_v2(60);
+        let mut cfg = SimConfig::builder().v2().seed(60).build();
         cfg.faults.events.push(FaultEvent {
             at: SimTime::from_mins(2),
             kind: FaultKind::SchedulerOutage {
@@ -1587,10 +1822,10 @@ mod tests {
             });
             Simulation::new(cfg, small_trace(61, 0.0)).run()
         };
-        let v1 = run(SimConfig::eridani_v1(61));
+        let v1 = run(SimConfig::builder().v1().seed(61).build());
         assert_eq!(v1.faults.reimages, 1);
         assert!(v1.boot_failures > 0, "v1 node bricked");
-        let v2 = run(SimConfig::eridani_v2(61));
+        let v2 = run(SimConfig::builder().v2().seed(61).build());
         assert_eq!(v2.faults.reimages, 1);
         assert_eq!(v2.boot_failures, 0, "v2 boots via PXE regardless");
         assert_eq!(v2.unfinished, 0);
@@ -1604,7 +1839,7 @@ mod tests {
         use dualboot_bootconf::grub4dos::ControlMode;
         let run = |mode: ControlMode| {
             let trace = dualboot_workload::mdcs::MdcsCaseStudy::default_config(31).generate();
-            let mut cfg = SimConfig::eridani_v2(31);
+            let mut cfg = SimConfig::builder().v2().seed(31).build();
             cfg.policy = crate::config::PolicyKind::Proportional { min_per_side: 1 };
             cfg.omniscient = true;
             cfg.pxe_control = mode;
@@ -1621,7 +1856,7 @@ mod tests {
 
     #[test]
     fn walltime_enforcement_kills_overrunning_jobs() {
-        let cfg = SimConfig::eridani_v2(21);
+        let cfg = SimConfig::builder().v2().seed(21).build();
         let trace = vec![
             // honest job: 10 min inside a 30-min limit
             SubmitEvent {
@@ -1657,7 +1892,7 @@ mod tests {
 
     #[test]
     fn horizon_cuts_runaway_scenarios() {
-        let mut cfg = SimConfig::eridani_v2(13);
+        let mut cfg = SimConfig::builder().v2().seed(13).build();
         cfg.mode = Mode::StaticSplit;
         cfg.initial_linux_nodes = 16;
         cfg.horizon = SimDuration::from_hours(4);
@@ -1669,7 +1904,7 @@ mod tests {
 
     #[test]
     fn omniscient_proportional_runs() {
-        let mut cfg = SimConfig::eridani_v2(14);
+        let mut cfg = SimConfig::builder().v2().seed(14).build();
         cfg.omniscient = true;
         cfg.policy = crate::config::PolicyKind::Proportional { min_per_side: 1 };
         let trace = small_trace(14, 0.4);
@@ -1684,7 +1919,7 @@ mod tests {
     fn v2_nodes_switch_back_to_linux_cleanly() {
         // Regression: the v2 PXE menu must match the Figure-14 layout
         // (root on sda6) or every switch *back* to Linux bricks the node.
-        let mut cfg = SimConfig::eridani_v2(16);
+        let mut cfg = SimConfig::builder().v2().seed(16).build();
         cfg.initial_linux_nodes = 16;
         // A Windows burst followed by a Linux burst forces a round trip.
         let mut trace = Vec::new();
@@ -1721,8 +1956,9 @@ mod tests {
     #[test]
     fn stepped_run_matches_batch_run() {
         let trace = small_trace(17, 0.3);
-        let batch = Simulation::new(SimConfig::eridani_v2(17), trace.clone()).run();
-        let mut sim = Simulation::new(SimConfig::eridani_v2(17), trace);
+        let batch =
+            Simulation::new(SimConfig::builder().v2().seed(17).build(), trace.clone()).run();
+        let mut sim = Simulation::new(SimConfig::builder().v2().seed(17).build(), trace);
         let horizon = SimTime::ZERO + sim.cfg.horizon;
         while let Some(t) = sim.next_event_time() {
             if t > horizon {
@@ -1740,7 +1976,7 @@ mod tests {
     fn injected_jobs_complete_with_keep_alive() {
         // An initially-empty trace would let the recurring daemon ticks
         // die immediately; keep-alive holds them up for late injections.
-        let mut sim = Simulation::new(SimConfig::eridani_v2(18), Vec::new());
+        let mut sim = Simulation::new(SimConfig::builder().v2().seed(18).build(), Vec::new());
         sim.set_keep_alive(SimTime::from_mins(60));
         let jobs = small_trace(18, 0.4);
         let n = jobs.len() as u32;
@@ -1763,7 +1999,7 @@ mod tests {
     fn run_until_respects_the_bound() {
         let trace = small_trace(19, 0.2);
         let last = trace.last().unwrap().at;
-        let mut sim = Simulation::new(SimConfig::eridani_v2(19), trace);
+        let mut sim = Simulation::new(SimConfig::builder().v2().seed(19).build(), trace);
         let mid = SimTime::ZERO + SimDuration::from_mins(30);
         sim.run_until(mid);
         assert!(sim.now() <= mid);
@@ -1778,7 +2014,7 @@ mod tests {
         // The watchdog retries the bricked node's boot twice (60 s and
         // 120 s backoff), then quarantines it; the health section must
         // account for every attempt.
-        let mut cfg = SimConfig::eridani_v1(62);
+        let mut cfg = SimConfig::builder().v1().seed(62).build();
         cfg.faults.events.push(FaultEvent {
             at: SimTime::from_mins(2),
             kind: FaultKind::MidSwitchReimage { node: 4 },
@@ -1796,7 +2032,7 @@ mod tests {
     fn supervision_off_keeps_legacy_stranding() {
         // The ablation: without the watchdog the bricked node fails once
         // and silently drops out for the rest of the run.
-        let mut cfg = SimConfig::eridani_v1(63);
+        let mut cfg = SimConfig::builder().v1().seed(63).build();
         cfg.supervision.watchdog = false;
         cfg.faults.events.push(FaultEvent {
             at: SimTime::from_mins(2),
@@ -1814,7 +2050,7 @@ mod tests {
         // Quarantine ends the way it did on the real cluster: an operator
         // reinstalls GRUB in the MBR and power-cycles the node. The
         // supervised repair boot succeeds and un-quarantines it.
-        let mut cfg = SimConfig::eridani_v1(64);
+        let mut cfg = SimConfig::builder().v1().seed(64).build();
         cfg.faults.events.push(FaultEvent {
             at: SimTime::from_mins(2),
             kind: FaultKind::MidSwitchReimage { node: 4 },
@@ -1838,7 +2074,7 @@ mod tests {
         // The Linux head daemon dies for 8 minutes mid-run; the restarted
         // daemon replays its journal and the workload still drains with no
         // bricked nodes and no duplicate switch fallout.
-        let mut cfg = SimConfig::eridani_v2(65);
+        let mut cfg = SimConfig::builder().v2().seed(65).build();
         cfg.faults.events.push(FaultEvent {
             at: SimTime::from_mins(20),
             kind: FaultKind::DaemonCrash {
@@ -1861,7 +2097,7 @@ mod tests {
         // Supervision, journaling and crash recovery must not perturb
         // determinism: the same plan replayed twice is bit-identical.
         let run = || {
-            let mut cfg = SimConfig::eridani_v2(66);
+            let mut cfg = SimConfig::builder().v2().seed(66).build();
             cfg.faults = crate::faults::FaultPlan::default_chaos(66);
             Simulation::new(cfg, small_trace(66, 0.3)).run()
         };
@@ -1881,7 +2117,7 @@ mod tests {
         // (tombstones never advance the clock), the journal only appends
         // — so the ablated run is bit-identical, not merely equivalent.
         let run = |watchdog: bool, journal: bool| {
-            let mut cfg = SimConfig::eridani_v2(67);
+            let mut cfg = SimConfig::builder().v2().seed(67).build();
             cfg.supervision.watchdog = watchdog;
             cfg.supervision.journal = journal;
             Simulation::new(cfg, small_trace(67, 0.3)).run()
@@ -1894,7 +2130,7 @@ mod tests {
 
     #[test]
     fn pxe_flag_follows_last_decision() {
-        let cfg = SimConfig::eridani_v2(15);
+        let cfg = SimConfig::builder().v2().seed(15).build();
         let trace = vec![SubmitEvent {
             at: SimTime::from_mins(1),
             req: JobRequest::user(

@@ -14,19 +14,21 @@
 //!
 //! Neither daemon touches a scheduler or a PXE service directly: they
 //! emit [`Action`]s for their host (the deterministic simulation, or the
-//! threaded TCP harness) to execute, and record [`ControlEvent`]s so the
-//! Figure-11 message order is assertable in tests.
+//! threaded TCP harness) to execute, and report every Figure-11 protocol
+//! step to the cluster-wide observability bus (an attached
+//! [`ObsSink`]), so the message order is assertable in tests and
+//! diffable across runs with `dualboot trace`.
 
 use crate::detector::DetectorOutput;
 use crate::journal::{Journal, JournalEntry};
-use crate::policy::{PolicyInput, SideState, SwitchOrder, SwitchPolicy};
+use crate::policy::{PolicyInput, SideState, SwitchPolicy};
 use crate::Version;
 use dualboot_bootconf::os::OsKind;
 use dualboot_des::time::{SimDuration, SimTime};
-use dualboot_des::trace::Trace;
 use dualboot_net::proto::Message;
 use dualboot_net::transport::{Transport, TransportError};
 use dualboot_net::wire::DetectorReport;
+use dualboot_obs::{ObsEvent, ObsSink, Subsystem};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -111,44 +113,6 @@ pub enum Action {
     },
 }
 
-/// Trace events (the numbered steps of Figure 11).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
-pub enum ControlEvent {
-    /// Step 1: the Windows detector produced a report.
-    WinStateFetched(DetectorReport),
-    /// Step 2: the Windows report left for the Linux side.
-    WinStateSent,
-    /// Step 2 (receiving end): the report arrived.
-    WinStateReceived(DetectorReport),
-    /// Step 3: the Linux detector produced a report.
-    LinuxStateFetched(DetectorReport),
-    /// Step 3: the policy decided.
-    Decision(Option<SwitchOrder>),
-    /// Step 4: the PXE flag was set (v2).
-    FlagSet(OsKind),
-    /// Step 5: a reboot order left for the Windows side.
-    RebootOrderSent {
-        /// OS the released nodes will boot.
-        target: OsKind,
-        /// Nodes to release.
-        count: u32,
-    },
-    /// Step 5 (receiving end): a reboot order arrived.
-    RebootOrderReceived {
-        /// OS the released nodes will boot.
-        target: OsKind,
-        /// Nodes to release.
-        count: u32,
-    },
-    /// Step 5: switch jobs were handed to a scheduler.
-    SwitchJobsSubmitted {
-        /// Scheduler that got the jobs.
-        via: OsKind,
-        /// Number of jobs.
-        count: u32,
-    },
-}
-
 // ---------------------------------------------------------------------
 // Windows daemon
 // ---------------------------------------------------------------------
@@ -162,7 +126,7 @@ pub struct WindowsDaemon<T> {
     seen_orders: HashMap<u64, u32>,
     journal: Option<Journal>,
     stats: DaemonStats,
-    trace: Trace<ControlEvent>,
+    obs: ObsSink,
 }
 
 impl<T: Transport> WindowsDaemon<T> {
@@ -173,8 +137,14 @@ impl<T: Transport> WindowsDaemon<T> {
             seen_orders: HashMap::new(),
             journal: None,
             stats: DaemonStats::default(),
-            trace: Trace::new(),
+            obs: ObsSink::disabled(),
         }
+    }
+
+    /// Attach the cluster-wide observability sink; protocol steps 1–2 and
+    /// 5 and journal writes are reported through it.
+    pub fn set_obs(&mut self, obs: ObsSink) {
+        self.obs = obs;
     }
 
     /// Turn on write-ahead journaling (executed order sequence numbers
@@ -195,7 +165,7 @@ impl<T: Transport> WindowsDaemon<T> {
             seen_orders: st.seen_orders,
             journal: Some(journal),
             stats: DaemonStats::default(),
-            trace: Trace::new(),
+            obs: ObsSink::disabled(),
         }
     }
 
@@ -215,15 +185,22 @@ impl<T: Transport> WindowsDaemon<T> {
     pub fn tick(
         &mut self,
         detector: &DetectorOutput,
-        now: SimTime,
+        _now: SimTime,
     ) -> Result<(), TransportError> {
-        self.trace
-            .record(now, ControlEvent::WinStateFetched(detector.report.clone()));
+        self.obs.emit(
+            Subsystem::WindowsDaemon,
+            None,
+            ObsEvent::WinStateFetched {
+                stuck: detector.report.stuck,
+                needed_cpus: detector.report.needed_cpus,
+            },
+        );
         self.transport.send(&Message::QueueState {
             os: OsKind::Windows,
             report: detector.report.clone(),
         })?;
-        self.trace.record(now, ControlEvent::WinStateSent);
+        self.obs
+            .emit(Subsystem::WindowsDaemon, None, ObsEvent::WinStateSent);
         Ok(())
     }
 
@@ -232,22 +209,31 @@ impl<T: Transport> WindowsDaemon<T> {
     /// A retransmitted order (same non-zero `seq` as one already executed)
     /// is acknowledged again but never resubmitted, so a lossy link can
     /// not double-drain the Windows side.
-    pub fn pump(&mut self, now: SimTime) -> Result<Vec<Action>, TransportError> {
+    pub fn pump(&mut self, _now: SimTime) -> Result<Vec<Action>, TransportError> {
         let mut actions = Vec::new();
         while let Some(msg) = self.transport.try_recv()? {
             if let Message::RebootOrder { target, count, seq } = msg {
                 if seq != 0 {
                     if let Some(&queued) = self.seen_orders.get(&seq) {
                         self.stats.dup_orders_ignored += 1;
+                        self.obs.emit(
+                            Subsystem::WindowsDaemon,
+                            None,
+                            ObsEvent::DupOrderIgnored { seq },
+                        );
                         self.transport.send(&Message::OrderAck { queued, seq })?;
                         continue;
                     }
                 }
-                self.trace
-                    .record(now, ControlEvent::RebootOrderReceived { target, count });
-                self.trace.record(
-                    now,
-                    ControlEvent::SwitchJobsSubmitted {
+                self.obs.emit(
+                    Subsystem::WindowsDaemon,
+                    None,
+                    ObsEvent::RebootOrderReceived { seq, target, count },
+                );
+                self.obs.emit(
+                    Subsystem::WindowsDaemon,
+                    None,
+                    ObsEvent::SwitchJobsSubmitted {
                         via: OsKind::Windows,
                         count,
                     },
@@ -257,7 +243,17 @@ impl<T: Transport> WindowsDaemon<T> {
                     // submit action leaves, so a crash between the two
                     // cannot make a retransmission double-drain the side.
                     if let Some(j) = &mut self.journal {
-                        j.append(JournalEntry::SeenOrder { seq, count });
+                        let entry = JournalEntry::SeenOrder { seq, count };
+                        if self.obs.is_enabled() {
+                            self.obs.emit(
+                                Subsystem::Journal,
+                                None,
+                                ObsEvent::JournalWrite {
+                                    entry: entry.kind().to_string(),
+                                },
+                            );
+                        }
+                        j.append(entry);
                     }
                 }
                 actions.push(Action::SubmitSwitchJobs {
@@ -285,9 +281,10 @@ impl<T: Transport> WindowsDaemon<T> {
         &self.transport
     }
 
-    /// The daemon's event trace.
-    pub fn trace(&self) -> &Trace<ControlEvent> {
-        &self.trace
+    /// Mutable transport access (the host attaching an observability
+    /// sink to a fault wrapper).
+    pub fn transport_mut(&mut self) -> &mut T {
+        &mut self.transport
     }
 }
 
@@ -309,7 +306,7 @@ pub struct LinuxDaemon<T, P> {
     pending: Vec<PendingOrder>,
     journal: Option<Journal>,
     stats: DaemonStats,
-    trace: Trace<ControlEvent>,
+    obs: ObsSink,
 }
 
 impl<T: Transport, P: SwitchPolicy> LinuxDaemon<T, P> {
@@ -333,8 +330,14 @@ impl<T: Transport, P: SwitchPolicy> LinuxDaemon<T, P> {
             pending: Vec::new(),
             journal: None,
             stats: DaemonStats::default(),
-            trace: Trace::new(),
+            obs: ObsSink::disabled(),
         }
+    }
+
+    /// Attach the cluster-wide observability sink; protocol steps 2–5,
+    /// retransmissions and journal writes are reported through it.
+    pub fn set_obs(&mut self, obs: ObsSink) {
+        self.obs = obs;
     }
 
     /// Turn on write-ahead journaling: orders, acks, abandonments, local
@@ -387,7 +390,7 @@ impl<T: Transport, P: SwitchPolicy> LinuxDaemon<T, P> {
                 .collect(),
             journal: Some(journal),
             stats: DaemonStats::default(),
-            trace: Trace::new(),
+            obs: ObsSink::disabled(),
         }
     }
 
@@ -409,9 +412,18 @@ impl<T: Transport, P: SwitchPolicy> LinuxDaemon<T, P> {
         self.journal.as_mut()
     }
 
-    /// Append `entry` if journaling is on.
+    /// Append `entry` if journaling is on, reporting the write to the bus.
     fn jot(&mut self, entry: JournalEntry) {
         if let Some(j) = &mut self.journal {
+            if self.obs.is_enabled() {
+                self.obs.emit(
+                    Subsystem::Journal,
+                    None,
+                    ObsEvent::JournalWrite {
+                        entry: entry.kind().to_string(),
+                    },
+                );
+            }
             j.append(entry);
         }
     }
@@ -422,8 +434,14 @@ impl<T: Transport, P: SwitchPolicy> LinuxDaemon<T, P> {
             match msg {
                 Message::QueueState { os, report } => {
                     debug_assert_eq!(os, OsKind::Windows);
-                    self.trace
-                        .record(now, ControlEvent::WinStateReceived(report.clone()));
+                    self.obs.emit(
+                        Subsystem::LinuxDaemon,
+                        None,
+                        ObsEvent::WinStateReceived {
+                            stuck: report.stuck,
+                            needed_cpus: report.needed_cpus,
+                        },
+                    );
                     self.latest_windows = Some((report, now));
                 }
                 Message::OrderAck { seq, .. } => {
@@ -431,6 +449,8 @@ impl<T: Transport, P: SwitchPolicy> LinuxDaemon<T, P> {
                     self.pending.retain(|p| p.seq != seq);
                     if self.pending.len() < before {
                         self.stats.acks_matched += 1;
+                        self.obs
+                            .emit(Subsystem::LinuxDaemon, None, ObsEvent::OrderAcked { seq });
                         self.jot(JournalEntry::OrderAcked { seq });
                     }
                 }
@@ -462,6 +482,8 @@ impl<T: Transport, P: SwitchPolicy> LinuxDaemon<T, P> {
         });
         for (target, count, seq) in abandoned {
             self.stats.orders_abandoned += 1;
+            self.obs
+                .emit(Subsystem::LinuxDaemon, None, ObsEvent::OrderAbandoned { seq });
             // The journal releases the whole order in one entry, so the
             // per-unit settlements below must not be journaled too.
             self.jot(JournalEntry::OrderAbandoned { seq });
@@ -471,6 +493,8 @@ impl<T: Transport, P: SwitchPolicy> LinuxDaemon<T, P> {
         }
         for (target, count, seq) in resend {
             self.stats.order_retries += 1;
+            self.obs
+                .emit(Subsystem::LinuxDaemon, None, ObsEvent::OrderRetried { seq });
             self.transport
                 .send(&Message::RebootOrder { target, count, seq })?;
         }
@@ -485,6 +509,8 @@ impl<T: Transport, P: SwitchPolicy> LinuxDaemon<T, P> {
                     Some(report.clone())
                 } else {
                     self.stats.stale_reports_ignored += 1;
+                    self.obs
+                        .emit(Subsystem::LinuxDaemon, None, ObsEvent::StaleReportIgnored);
                     None
                 }
             }
@@ -505,8 +531,14 @@ impl<T: Transport, P: SwitchPolicy> LinuxDaemon<T, P> {
         now: SimTime,
     ) -> Result<Vec<Action>, TransportError> {
         self.service_pending(now)?;
-        self.trace
-            .record(now, ControlEvent::LinuxStateFetched(local.report.clone()));
+        self.obs.emit(
+            Subsystem::LinuxDaemon,
+            None,
+            ObsEvent::LinuxStateFetched {
+                stuck: local.report.stuck,
+                needed_cpus: local.report.needed_cpus,
+            },
+        );
         let windows_report = self
             .fresh_windows_report(now)
             .unwrap_or_else(DetectorReport::not_stuck);
@@ -524,7 +556,14 @@ impl<T: Transport, P: SwitchPolicy> LinuxDaemon<T, P> {
             outstanding_to_windows: self.outstanding_to_windows,
         };
         let decision = self.policy.decide(&input, now);
-        self.trace.record(now, ControlEvent::Decision(decision));
+        self.obs.emit(
+            Subsystem::LinuxDaemon,
+            None,
+            ObsEvent::Decision {
+                target: decision.map(|o| o.target),
+                count: decision.map_or(0, |o| o.count),
+            },
+        );
         let Some(order) = decision else {
             return Ok(Vec::new());
         };
@@ -532,7 +571,13 @@ impl<T: Transport, P: SwitchPolicy> LinuxDaemon<T, P> {
         let mut actions = Vec::new();
         if self.version == Version::V2 {
             // Step 4: flick the cluster-wide flag.
-            self.trace.record(now, ControlEvent::FlagSet(order.target));
+            self.obs.emit(
+                Subsystem::LinuxDaemon,
+                None,
+                ObsEvent::FlagSet {
+                    target: order.target,
+                },
+            );
             self.jot(JournalEntry::FlagSet {
                 target: order.target,
             });
@@ -565,9 +610,11 @@ impl<T: Transport, P: SwitchPolicy> LinuxDaemon<T, P> {
                     count: order.count,
                     seq,
                 })?;
-                self.trace.record(
-                    now,
-                    ControlEvent::RebootOrderSent {
+                self.obs.emit(
+                    Subsystem::LinuxDaemon,
+                    None,
+                    ObsEvent::RebootOrderSent {
+                        seq,
                         target: OsKind::Linux,
                         count: order.count,
                     },
@@ -580,9 +627,10 @@ impl<T: Transport, P: SwitchPolicy> LinuxDaemon<T, P> {
                     target: OsKind::Windows,
                     count: order.count,
                 });
-                self.trace.record(
-                    now,
-                    ControlEvent::SwitchJobsSubmitted {
+                self.obs.emit(
+                    Subsystem::LinuxDaemon,
+                    None,
+                    ObsEvent::SwitchJobsSubmitted {
                         via: OsKind::Linux,
                         count: order.count,
                     },
@@ -651,9 +699,10 @@ impl<T: Transport, P: SwitchPolicy> LinuxDaemon<T, P> {
         &self.transport
     }
 
-    /// The daemon's event trace.
-    pub fn trace(&self) -> &Trace<ControlEvent> {
-        &self.trace
+    /// Mutable transport access (the host attaching an observability
+    /// sink to a fault wrapper).
+    pub fn transport_mut(&mut self) -> &mut T {
+        &mut self.transport
     }
 
     /// Name of the active policy.
@@ -696,6 +745,9 @@ mod tests {
         let (lt, wt) = in_proc_pair();
         let mut win = WindowsDaemon::new(wt);
         let mut lin = LinuxDaemon::new(Version::V2, lt, FcfsPolicy);
+        let sink = ObsSink::recording();
+        win.set_obs(sink.clone());
+        lin.set_obs(sink.clone());
 
         win.tick(&stuck(8), t(0)).unwrap(); // steps 1-2
         lin.pump(t(1)).unwrap(); // receive
@@ -712,20 +764,28 @@ mod tests {
                 }
             ]
         );
-        // Linux-side trace shows receive -> fetch -> decide -> flag -> submit
-        let evs: Vec<&ControlEvent> =
-            lin.trace().entries().iter().map(|(_, e)| e).collect();
-        assert!(matches!(evs[0], ControlEvent::WinStateReceived(_)));
-        assert!(matches!(evs[1], ControlEvent::LinuxStateFetched(_)));
-        assert!(matches!(evs[2], ControlEvent::Decision(Some(_))));
-        assert!(matches!(evs[3], ControlEvent::FlagSet(OsKind::Windows)));
+        // Linux-side bus shows receive -> fetch -> decide -> flag -> submit
+        let evs = sink.events_of(Subsystem::LinuxDaemon);
+        assert!(matches!(evs[0], ObsEvent::WinStateReceived { stuck: true, .. }));
+        assert!(matches!(evs[1], ObsEvent::LinuxStateFetched { stuck: false, .. }));
+        assert!(matches!(evs[2], ObsEvent::Decision { target: Some(_), .. }));
+        assert!(matches!(
+            evs[3],
+            ObsEvent::FlagSet {
+                target: OsKind::Windows
+            }
+        ));
         assert!(matches!(
             evs[4],
-            ControlEvent::SwitchJobsSubmitted {
+            ObsEvent::SwitchJobsSubmitted {
                 via: OsKind::Linux,
                 count: 2
             }
         ));
+        // Steps 1-2 are on the same bus, tagged Windows-side.
+        let wevs = sink.events_of(Subsystem::WindowsDaemon);
+        assert!(matches!(wevs[0], ObsEvent::WinStateFetched { stuck: true, .. }));
+        assert!(matches!(wevs[1], ObsEvent::WinStateSent));
     }
 
     #[test]
@@ -757,6 +817,8 @@ mod tests {
         let (lt, wt) = in_proc_pair();
         let mut win = WindowsDaemon::new(wt);
         let mut lin = LinuxDaemon::new(Version::V1, lt, FcfsPolicy);
+        let sink = ObsSink::recording();
+        lin.set_obs(sink.clone());
         win.tick(&stuck(4), t(0)).unwrap();
         lin.pump(t(0)).unwrap();
         let actions = lin.poll(&idle(), 16, 16, t(0)).unwrap();
@@ -768,11 +830,10 @@ mod tests {
                 count: 1
             }]
         );
-        assert!(!lin
-            .trace()
-            .entries()
+        assert!(!sink
+            .events_of(Subsystem::LinuxDaemon)
             .iter()
-            .any(|(_, e)| matches!(e, ControlEvent::FlagSet(_))));
+            .any(|e| matches!(e, ObsEvent::FlagSet { .. })));
     }
 
     #[test]

@@ -82,6 +82,24 @@ pub enum JournalEntry {
     },
 }
 
+impl JournalEntry {
+    /// Stable kebab-case name of the entry variant, used when journal
+    /// writes are reported on the observability bus.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            JournalEntry::OrderSent { .. } => "order-sent",
+            JournalEntry::OrderAcked { .. } => "order-acked",
+            JournalEntry::OrderAbandoned { .. } => "order-abandoned",
+            JournalEntry::LocalSubmit { .. } => "local-submit",
+            JournalEntry::SwitchSettled { .. } => "switch-settled",
+            JournalEntry::FlagSet { .. } => "flag-set",
+            JournalEntry::SeenOrder { .. } => "seen-order",
+            JournalEntry::Quarantined { .. } => "quarantined",
+            JournalEntry::Unquarantined { .. } => "unquarantined",
+        }
+    }
+}
+
 /// An in-flight reboot order reconstructed from the journal.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct RecoveredOrder {

@@ -45,7 +45,7 @@ pub mod supervisor;
 pub mod switchjob;
 pub mod threaded;
 
-pub use daemon::{Action, ControlEvent, DaemonStats, LinuxDaemon, RetryConfig, WindowsDaemon};
+pub use daemon::{Action, DaemonStats, LinuxDaemon, RetryConfig, WindowsDaemon};
 pub use detector::{DetectorOutput, PbsDetector, WinDetector};
 pub use journal::{Journal, JournalEntry, RecoveredOrder, RecoveredState};
 pub use policy::{

@@ -220,6 +220,12 @@ impl Supervisor {
         self.watch.get(&node).map(|w| w.target)
     }
 
+    /// Boot attempts charged to the armed watch on `node` (1 = the
+    /// original boot, 2 = first retry), if any. Observability reporting.
+    pub fn watch_attempts(&self, node: u16) -> Option<u32> {
+        self.watch.get(&node).map(|w| w.attempts)
+    }
+
     /// Whether `node` is currently quarantined.
     pub fn is_quarantined(&self, node: u16) -> bool {
         self.quarantined.contains(&node)

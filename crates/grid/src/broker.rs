@@ -13,6 +13,7 @@ use dualboot_bootconf::os::OsKind;
 use dualboot_cluster::{Mode, SimConfig};
 use dualboot_des::time::SimTime;
 use dualboot_net::proto::ClusterReport;
+use dualboot_obs::{ObsEvent, ObsSink, Subsystem};
 use dualboot_sched::job::JobRequest;
 
 /// A member's static capabilities — what the broker knows without any
@@ -118,6 +119,7 @@ pub struct Broker {
     views: Vec<Option<(SimTime, ClusterReport)>>,
     routed: Vec<u64>,
     stats: BrokerStats,
+    obs: ObsSink,
 }
 
 impl Broker {
@@ -131,7 +133,14 @@ impl Broker {
             views: vec![None; n],
             routed: vec![0; n],
             stats: BrokerStats::default(),
+            obs: ObsSink::disabled(),
         }
+    }
+
+    /// Attach an observability sink; routing decisions and report
+    /// ingestion are reported on it.
+    pub fn set_obs(&mut self, obs: ObsSink) {
+        self.obs = obs;
     }
 
     /// Ingest one gossiped report. Reports are accepted newest-first by
@@ -140,6 +149,14 @@ impl Broker {
     pub fn observe(&mut self, member: usize, received_at: SimTime, report: ClusterReport) {
         self.stats.reports_received += 1;
         let newer = self.views[member].is_none_or(|(_, old)| old.at <= report.at);
+        self.obs.emit(
+            Subsystem::Broker,
+            None,
+            ObsEvent::ReportObserved {
+                member: member as u32,
+                accepted: newer,
+            },
+        );
         if newer {
             self.views[member] = Some((received_at, report));
         }
@@ -161,6 +178,17 @@ impl Broker {
         self.stats.decisions += 1;
         if chosen != ideal {
             self.stats.stale_decisions += 1;
+        }
+        if self.obs.is_enabled() {
+            self.obs.emit(
+                Subsystem::Broker,
+                None,
+                ObsEvent::RouteDecision {
+                    job: req.name.clone(),
+                    member: chosen as u32,
+                    stale: chosen != ideal,
+                },
+            );
         }
         if let Some((_, report)) = self.views[chosen] {
             self.stats

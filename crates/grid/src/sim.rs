@@ -24,6 +24,7 @@ use dualboot_des::time::SimTime;
 use dualboot_net::faulty::{FaultyTransport, LinkStats};
 use dualboot_net::proto::{ClusterReport, Message};
 use dualboot_net::transport::{in_proc_pair, InProcTransport, Transport};
+use dualboot_obs::ObsSink;
 use dualboot_workload::generator::SubmitEvent;
 
 /// Grid-level events.
@@ -65,6 +66,7 @@ pub struct GridSim {
     members: Vec<Member>,
     broker: Broker,
     submitted: usize,
+    obs: ObsSink,
 }
 
 impl GridSim {
@@ -94,6 +96,10 @@ impl GridSim {
             .iter()
             .map(|m| MemberCaps::from_config(&m.cfg))
             .collect();
+        // One shared sink for the whole federation: member simulations,
+        // gossip wires, and the broker all emit into it, interleaved on
+        // the shared clock.
+        let obs = ObsSink::new(spec.obs);
         let mut members = Vec::with_capacity(spec.members.len());
         for m in &spec.members {
             let mut cfg = m.cfg.clone();
@@ -102,9 +108,11 @@ impl GridSim {
             cfg.horizon = cfg.horizon.max(spec.horizon);
             let mut sim = Simulation::new(cfg, Vec::new());
             sim.set_keep_alive(last_submit);
+            sim.attach_obs(obs.clone());
             let (member_end, broker_end) = in_proc_pair();
             let dice = DetRng::seed_from(spec.seed ^ 0x6055_1bed).derive(&m.name);
-            let tx = FaultyTransport::new(member_end, spec.gossip, dice);
+            let mut tx = FaultyTransport::new(member_end, spec.gossip, dice);
+            tx.set_obs(obs.clone());
             members.push(Member {
                 name: m.name.clone(),
                 sim,
@@ -112,7 +120,8 @@ impl GridSim {
                 rx: broker_end,
             });
         }
-        let broker = Broker::new(spec.routing, caps);
+        let mut broker = Broker::new(spec.routing, caps);
+        broker.set_obs(obs.clone());
         GridSim {
             spec,
             trace,
@@ -120,7 +129,15 @@ impl GridSim {
             members,
             broker,
             submitted: 0,
+            obs,
         }
+    }
+
+    /// The federation's shared observability sink. Clone it before
+    /// [`run`](Self::run) (which consumes the sim) to read the trace
+    /// afterwards — the clone shares the same bus.
+    pub fn obs(&self) -> &ObsSink {
+        &self.obs
     }
 
     /// Run the federation to completion (or the horizon).
@@ -184,6 +201,7 @@ impl GridSim {
 
     fn on_submit(&mut self, i: usize) {
         let now = self.queue.now();
+        self.obs.set_now(now);
         let req = self.trace[i].req.clone();
         let fresh: Vec<ClusterReport> = (0..self.members.len())
             .map(|j| self.member_report(j, now))
@@ -195,6 +213,7 @@ impl GridSim {
 
     fn on_report_tick(&mut self) {
         let now = self.queue.now();
+        self.obs.set_now(now);
         // Every member emits its line; the wire may drop, delay, or
         // duplicate it. Sending also ages previously held lines.
         for i in 0..self.members.len() {

@@ -3,6 +3,7 @@
 use dualboot_cluster::{FaultPlan, SimConfig};
 use dualboot_des::time::SimDuration;
 use dualboot_net::faulty::LinkFaults;
+use dualboot_obs::ObsConfig;
 use dualboot_workload::generator::WorkloadSpec;
 use serde::{Deserialize, Serialize};
 
@@ -93,6 +94,11 @@ pub struct GridSpec {
     /// a lossy wire makes the broker's view stale and its routing worse.
     #[serde(default)]
     pub gossip: LinkFaults,
+    /// Observability bus configuration. One shared sink covers the whole
+    /// federation: every member simulation, every gossip wire, and the
+    /// broker emit into it. Disabled (zero-cost) by default.
+    #[serde(default)]
+    pub obs: ObsConfig,
     /// The unified workload stream offered to the broker.
     pub workload: WorkloadSpec,
     /// Hard stop for the whole federation.
@@ -114,7 +120,7 @@ impl GridSpec {
                 .get(i)
                 .map(|s| (*s).to_string())
                 .unwrap_or_else(|| format!("grid{i:02}"));
-            let mut cfg = SimConfig::eridani_v2(seed ^ fnv1a(&name));
+            let mut cfg = SimConfig::builder().v2().seed(seed ^ fnv1a(&name)).build();
             match i % 3 {
                 0 => cfg.initial_linux_nodes = cfg.nodes, // Linux-leaning
                 1 => cfg.initial_linux_nodes = 0,         // Windows-leaning
@@ -137,6 +143,7 @@ impl GridSpec {
             routing: RoutePolicy::SwitchCoop,
             report_every: SimDuration::from_mins(2),
             gossip: LinkFaults::default(),
+            obs: ObsConfig::default(),
             workload,
             horizon: SimDuration::from_hours(72),
         }

@@ -32,5 +32,5 @@ pub mod pxe;
 pub use boot::{BootError, BootPath};
 pub use nic::{BootRom, NicEra, NicModel};
 pub use disk::{Disk, FsKind, MbrCode, Partition, PartitionContent};
-pub use node::{ComputeNode, FirmwareBootOrder, PowerState};
+pub use node::{ComputeNode, FirmwareBootOrder, NodeId, PowerState};
 pub use pxe::PxeService;

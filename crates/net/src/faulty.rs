@@ -15,6 +15,7 @@
 use crate::proto::Message;
 use crate::transport::{Transport, TransportError};
 use dualboot_des::rng::DetRng;
+use dualboot_obs::{ObsEvent, ObsSink, Subsystem};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 use std::time::Duration;
@@ -118,6 +119,7 @@ pub struct FaultyTransport<T, D> {
     /// Held-back messages with a countdown of wrapper operations.
     held: VecDeque<(u32, Message)>,
     stats: LinkStats,
+    obs: ObsSink,
 }
 
 impl<T: Transport, D: FaultDice> FaultyTransport<T, D> {
@@ -129,7 +131,15 @@ impl<T: Transport, D: FaultDice> FaultyTransport<T, D> {
             faults,
             held: VecDeque::new(),
             stats: LinkStats::default(),
+            obs: ObsSink::disabled(),
         }
+    }
+
+    /// Attach an observability sink: every send outcome (sent, dropped,
+    /// delayed, duplicated) is reported as a [`Subsystem::Transport`]
+    /// event. The default sink is disabled and free.
+    pub fn set_obs(&mut self, obs: ObsSink) {
+        self.obs = obs;
     }
 
     /// Counters for the faults injected so far.
@@ -172,17 +182,23 @@ impl<T: Transport, D: FaultDice> Transport for FaultyTransport<T, D> {
         self.tick_held()?;
         if self.roll(self.faults.drop_p) {
             self.stats.dropped += 1;
+            self.obs.emit(Subsystem::Transport, None, ObsEvent::MsgDropped);
             return Ok(());
         }
         if self.roll(self.faults.delay_p) {
             self.stats.delayed += 1;
-            self.held
-                .push_back((self.faults.delay_polls.max(1), msg.clone()));
+            let polls = self.faults.delay_polls.max(1);
+            self.obs
+                .emit(Subsystem::Transport, None, ObsEvent::MsgDelayed { polls });
+            self.held.push_back((polls, msg.clone()));
             return Ok(());
         }
         self.inner.send(msg)?;
+        self.obs.emit(Subsystem::Transport, None, ObsEvent::MsgSent);
         if self.roll(self.faults.dup_p) {
             self.stats.duplicated += 1;
+            self.obs
+                .emit(Subsystem::Transport, None, ObsEvent::MsgDuplicated);
             self.inner.send(msg)?;
         }
         Ok(())
@@ -275,6 +291,29 @@ mod tests {
         let _ = fa.try_recv(); // poll 2 — releases
         assert_eq!(b.try_recv().unwrap(), Some(order(4)));
         assert_eq!(fa.stats().delayed, 1);
+    }
+
+    #[test]
+    fn send_outcomes_reach_the_obs_sink() {
+        let (a, _b) = in_proc_pair();
+        let faults = LinkFaults {
+            drop_p: 1.0,
+            delay_p: 1.0,
+            delay_polls: 3,
+            ..LinkFaults::default()
+        };
+        // Script: drop the first send; pass-then-delay the second.
+        let mut fa = FaultyTransport::new(a, faults, ScriptedDice::new([true, false, true]));
+        let sink = ObsSink::recording();
+        fa.set_obs(sink.clone());
+        fa.send(&order(1)).unwrap(); // dropped
+        fa.send(&order(2)).unwrap(); // delayed
+        let events = sink.events_of(Subsystem::Transport);
+        assert_eq!(
+            events,
+            vec![ObsEvent::MsgDropped, ObsEvent::MsgDelayed { polls: 3 }]
+        );
+        assert_eq!(sink.count(Subsystem::Transport), 2);
     }
 
     #[test]

@@ -1,0 +1,330 @@
+//! The per-run event bus and the cheap handle subsystems emit through.
+//!
+//! The design constraint is the ROADMAP's hot path: a disabled bus must
+//! cost one `Option` check per emission site and nothing else — no
+//! allocation, no lock, no formatting. An [`ObsSink`] is therefore a
+//! cloneable handle around `Option<Arc<Mutex<EventBus>>>`: the disabled
+//! sink is `None`, and every `emit` on it returns before constructing
+//! anything. Subsystems never learn the time; the simulation driver
+//! stamps the bus with [`set_now`](ObsSink::set_now) as it pops each DES
+//! event, so records from daemons and transports land with the correct
+//! simulated timestamp and a monotonic sequence number.
+
+use crate::event::{ObsEvent, Subsystem};
+use dualboot_des::time::SimTime;
+use dualboot_hw::NodeId;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+/// Bus configuration, carried inside a scenario config (serde round-trips
+/// with `#[serde(default)]`, so old configs stay valid).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ObsConfig {
+    /// Record events at all. Off by default: the default config is
+    /// bit-identical in behaviour *and cost* to a build that predates the
+    /// bus.
+    pub enabled: bool,
+    /// Keep only the last `n` records (`None`: unbounded). The ring mode
+    /// is for long benches that want counters and a recent-events window
+    /// without the memory of a full trace.
+    pub ring_capacity: Option<usize>,
+}
+
+impl ObsConfig {
+    /// A disabled bus (the default).
+    pub fn disabled() -> ObsConfig {
+        ObsConfig::default()
+    }
+
+    /// Record every event, unbounded.
+    pub fn recording() -> ObsConfig {
+        ObsConfig { enabled: true, ring_capacity: None }
+    }
+
+    /// Record into a ring of the last `capacity` events.
+    pub fn ring(capacity: usize) -> ObsConfig {
+        ObsConfig { enabled: true, ring_capacity: Some(capacity) }
+    }
+}
+
+/// One record on the bus: a fully ordered, serialisable observation.
+///
+/// Ordering is `(at, seq)`; `seq` is bus-global and monotonic, so two
+/// records can never be ambiguous even inside one simulated instant.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceRecord {
+    /// Simulated time of the observation.
+    pub at: SimTime,
+    /// Bus-global monotonic sequence number.
+    pub seq: u64,
+    /// Component that emitted the event.
+    pub subsystem: Subsystem,
+    /// Node the event concerns, if any (1-based, hostname-aligned).
+    pub node: Option<NodeId>,
+    /// The event itself.
+    pub event: ObsEvent,
+}
+
+/// The per-run event bus: an append-only (or ring) record store plus
+/// per-subsystem counters. Created via [`ObsSink::new`]; subsystems only
+/// ever see the sink.
+#[derive(Debug)]
+pub struct EventBus {
+    now: SimTime,
+    next_seq: u64,
+    ring: Option<usize>,
+    records: VecDeque<TraceRecord>,
+    counters: [u64; Subsystem::ALL.len()],
+    overwritten: u64,
+}
+
+impl EventBus {
+    fn new(cfg: ObsConfig) -> EventBus {
+        EventBus {
+            now: SimTime::ZERO,
+            next_seq: 0,
+            ring: cfg.ring_capacity,
+            records: VecDeque::new(),
+            counters: [0; Subsystem::ALL.len()],
+            overwritten: 0,
+        }
+    }
+
+    fn push(&mut self, subsystem: Subsystem, node: Option<NodeId>, event: ObsEvent) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.counters[subsystem as usize] += 1;
+        if let Some(cap) = self.ring {
+            if cap == 0 {
+                self.overwritten += 1;
+                return;
+            }
+            if self.records.len() == cap {
+                self.records.pop_front();
+                self.overwritten += 1;
+            }
+        }
+        self.records.push_back(TraceRecord { at: self.now, seq, subsystem, node, event });
+    }
+}
+
+/// The cheap, cloneable emission handle (see module docs). `Default` is
+/// the disabled sink.
+#[derive(Clone, Default)]
+pub struct ObsSink(Option<Arc<Mutex<EventBus>>>);
+
+impl std::fmt::Debug for ObsSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ObsSink({})", if self.0.is_some() { "enabled" } else { "disabled" })
+    }
+}
+
+impl ObsSink {
+    /// A sink per `cfg` — disabled configs get the no-op sink.
+    pub fn new(cfg: ObsConfig) -> ObsSink {
+        if cfg.enabled {
+            ObsSink(Some(Arc::new(Mutex::new(EventBus::new(cfg)))))
+        } else {
+            ObsSink(None)
+        }
+    }
+
+    /// The no-op sink: every operation returns immediately.
+    pub fn disabled() -> ObsSink {
+        ObsSink(None)
+    }
+
+    /// An unbounded recording sink (shorthand for tests and tools).
+    pub fn recording() -> ObsSink {
+        ObsSink::new(ObsConfig::recording())
+    }
+
+    /// Whether emissions are recorded. Emission sites that must build an
+    /// event payload (e.g. clone a job name) should gate on this first.
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    fn bus(&self) -> Option<std::sync::MutexGuard<'_, EventBus>> {
+        // A panic mid-emission (tests use catch_unwind around stubbed
+        // serde) must not poison the whole trace.
+        self.0.as_ref().map(|m| m.lock().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    /// Advance the bus clock. Called by the simulation driver as it pops
+    /// each DES event; emitters themselves never pass time.
+    pub fn set_now(&self, now: SimTime) {
+        if let Some(mut bus) = self.bus() {
+            bus.now = now;
+        }
+    }
+
+    /// Record one event. No-op (one branch) on a disabled sink.
+    pub fn emit(&self, subsystem: Subsystem, node: Option<NodeId>, event: ObsEvent) {
+        if let Some(mut bus) = self.bus() {
+            bus.push(subsystem, node, event);
+        }
+    }
+
+    /// Total events emitted by `subsystem` (counted even in ring mode
+    /// after overwrite, and even with `ring_capacity = 0`).
+    pub fn count(&self, subsystem: Subsystem) -> u64 {
+        self.bus().map_or(0, |bus| bus.counters[subsystem as usize])
+    }
+
+    /// Per-subsystem totals in canonical order.
+    pub fn counters(&self) -> Vec<(Subsystem, u64)> {
+        match self.bus() {
+            Some(bus) => Subsystem::ALL
+                .into_iter()
+                .map(|s| (s, bus.counters[s as usize]))
+                .collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Records overwritten out of a ring (0 for unbounded buses).
+    pub fn overwritten(&self) -> u64 {
+        self.bus().map_or(0, |bus| bus.overwritten)
+    }
+
+    /// Records currently held.
+    pub fn len(&self) -> usize {
+        self.bus().map_or(0, |bus| bus.records.len())
+    }
+
+    /// Whether the bus holds no records (always true when disabled).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Clone out every held record, oldest first.
+    pub fn snapshot(&self) -> Vec<TraceRecord> {
+        match self.bus() {
+            Some(bus) => bus.records.iter().cloned().collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Take every held record out of the bus, oldest first.
+    pub fn drain(&self) -> Vec<TraceRecord> {
+        match self.bus() {
+            Some(mut bus) => bus.records.drain(..).collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Held records from `subsystem`, oldest first.
+    pub fn of_subsystem(&self, subsystem: Subsystem) -> Vec<TraceRecord> {
+        self.snapshot().into_iter().filter(|r| r.subsystem == subsystem).collect()
+    }
+
+    /// The events (payloads only) emitted by `subsystem`, oldest first —
+    /// the query the old per-daemon `des::Trace` assertions rewrite to.
+    pub fn events_of(&self, subsystem: Subsystem) -> Vec<ObsEvent> {
+        self.of_subsystem(subsystem).into_iter().map(|r| r.event).collect()
+    }
+
+    /// Whether the held records contain, in order (not necessarily
+    /// adjacent), events satisfying each predicate — the bus-level
+    /// replacement for `des::Trace::contains_subsequence`.
+    pub fn contains_subsequence(&self, preds: &mut [&mut dyn FnMut(&TraceRecord) -> bool]) -> bool {
+        let records = self.snapshot();
+        let mut it = records.iter();
+        preds.iter_mut().all(|p| it.by_ref().any(&mut **p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dualboot_bootconf::os::OsKind;
+
+    fn ev(seq: u64) -> ObsEvent {
+        ObsEvent::OrderAcked { seq }
+    }
+
+    #[test]
+    fn disabled_sink_records_nothing() {
+        let sink = ObsSink::disabled();
+        sink.set_now(SimTime::from_secs(5));
+        sink.emit(Subsystem::Sim, None, ev(1));
+        assert!(!sink.is_enabled());
+        assert!(sink.is_empty());
+        assert_eq!(sink.count(Subsystem::Sim), 0);
+        assert!(sink.counters().is_empty());
+    }
+
+    #[test]
+    fn records_are_stamped_with_bus_time_and_monotonic_seq() {
+        let sink = ObsSink::recording();
+        sink.set_now(SimTime::from_secs(10));
+        sink.emit(Subsystem::Sim, Some(NodeId(3)), ev(1));
+        sink.emit(Subsystem::Transport, None, ObsEvent::MsgSent);
+        sink.set_now(SimTime::from_secs(20));
+        sink.emit(Subsystem::Sim, None, ev(2));
+        let recs = sink.snapshot();
+        assert_eq!(recs.len(), 3);
+        assert_eq!(recs[0].at, SimTime::from_secs(10));
+        assert_eq!(recs[0].node, Some(NodeId(3)));
+        assert_eq!(recs[2].at, SimTime::from_secs(20));
+        assert_eq!(recs.iter().map(|r| r.seq).collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert_eq!(sink.count(Subsystem::Sim), 2);
+        assert_eq!(sink.count(Subsystem::Transport), 1);
+    }
+
+    #[test]
+    fn clones_share_one_bus() {
+        let sink = ObsSink::recording();
+        let other = sink.clone();
+        other.emit(Subsystem::Broker, None, ev(9));
+        assert_eq!(sink.len(), 1);
+        assert_eq!(sink.events_of(Subsystem::Broker), vec![ev(9)]);
+    }
+
+    #[test]
+    fn ring_keeps_the_tail_but_counts_everything() {
+        let sink = ObsSink::new(ObsConfig::ring(2));
+        for i in 0..5 {
+            sink.emit(Subsystem::Sim, None, ev(i));
+        }
+        let recs = sink.snapshot();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].event, ev(3));
+        assert_eq!(recs[1].event, ev(4));
+        assert_eq!(sink.count(Subsystem::Sim), 5);
+        assert_eq!(sink.overwritten(), 3);
+    }
+
+    #[test]
+    fn subsequence_query_matches_in_order() {
+        let sink = ObsSink::recording();
+        sink.emit(Subsystem::LinuxDaemon, None, ObsEvent::WinStateReceived {
+            stuck: true,
+            needed_cpus: 4,
+        });
+        sink.emit(Subsystem::LinuxDaemon, None, ObsEvent::Decision {
+            target: Some(OsKind::Windows),
+            count: 2,
+        });
+        sink.emit(Subsystem::LinuxDaemon, None, ObsEvent::FlagSet { target: OsKind::Windows });
+        assert!(sink.contains_subsequence(&mut [
+            &mut |r| matches!(r.event, ObsEvent::WinStateReceived { stuck: true, .. }),
+            &mut |r| matches!(r.event, ObsEvent::FlagSet { .. }),
+        ]));
+        assert!(!sink.contains_subsequence(&mut [
+            &mut |r| matches!(r.event, ObsEvent::FlagSet { .. }),
+            &mut |r| matches!(r.event, ObsEvent::WinStateReceived { .. }),
+        ]));
+    }
+
+    #[test]
+    fn drain_empties_the_bus() {
+        let sink = ObsSink::recording();
+        sink.emit(Subsystem::Sim, None, ev(1));
+        assert_eq!(sink.drain().len(), 1);
+        assert!(sink.is_empty());
+        assert_eq!(sink.count(Subsystem::Sim), 1, "counters survive a drain");
+    }
+}

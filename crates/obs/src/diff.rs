@@ -1,0 +1,163 @@
+//! Structural trace diff — the determinism debugging tool.
+//!
+//! Two runs of the same `(seed, plan, workload)` must produce identical
+//! traces; when they don't, the *first* divergence is the bug, and
+//! everything after it is noise. [`diff`] therefore walks both record
+//! sequences in order and reports positional mismatches up to a limit,
+//! rather than attempting a minimal edit script: in a deterministic
+//! system the interesting answer is "where did the streams first part",
+//! not "how could one be edited into the other".
+
+use crate::bus::TraceRecord;
+use serde::Serialize;
+
+/// One positional mismatch between two traces.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct DiffEntry {
+    /// Position in the record streams (0-based).
+    pub index: usize,
+    /// The left trace's record at `index`, if it has one.
+    pub left: Option<TraceRecord>,
+    /// The right trace's record at `index`, if it has one.
+    pub right: Option<TraceRecord>,
+}
+
+/// The outcome of diffing two traces.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct TraceDiff {
+    /// Records in the left trace.
+    pub left_len: usize,
+    /// Records in the right trace.
+    pub right_len: usize,
+    /// Positional mismatches, in order, up to the requested limit.
+    pub entries: Vec<DiffEntry>,
+    /// Whether mismatches beyond the limit were suppressed.
+    pub truncated: bool,
+}
+
+impl TraceDiff {
+    /// Whether the traces are identical.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total mismatching positions found before any truncation. (With
+    /// truncation the count is a lower bound, flagged in [`render`].)
+    ///
+    /// [`render`]: TraceDiff::render
+    pub fn mismatches(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Human-readable report: one block per divergence.
+    pub fn render(&self) -> String {
+        if self.is_empty() {
+            return format!("traces identical ({} records)\n", self.left_len);
+        }
+        let mut out = String::new();
+        out.push_str(&format!(
+            "traces diverge: {} left vs {} right records, {}{} mismatching position(s)\n",
+            self.left_len,
+            self.right_len,
+            self.entries.len(),
+            if self.truncated { "+" } else { "" },
+        ));
+        for e in &self.entries {
+            out.push_str(&format!("@ {}\n", e.index));
+            match &e.left {
+                Some(r) => out.push_str(&format!(
+                    "  - [{} seq={}] {} {}\n",
+                    r.at, r.seq, r.subsystem, r.event
+                )),
+                None => out.push_str("  - <absent>\n"),
+            }
+            match &e.right {
+                Some(r) => out.push_str(&format!(
+                    "  + [{} seq={}] {} {}\n",
+                    r.at, r.seq, r.subsystem, r.event
+                )),
+                None => out.push_str("  + <absent>\n"),
+            }
+        }
+        if self.truncated {
+            out.push_str("  … further mismatches suppressed\n");
+        }
+        out
+    }
+}
+
+/// Diff two traces positionally, reporting at most `limit` mismatches
+/// (`0`: unlimited).
+pub fn diff(left: &[TraceRecord], right: &[TraceRecord], limit: usize) -> TraceDiff {
+    let mut entries = Vec::new();
+    let mut truncated = false;
+    let longest = left.len().max(right.len());
+    for i in 0..longest {
+        let l = left.get(i);
+        let r = right.get(i);
+        if l == r {
+            continue;
+        }
+        if limit != 0 && entries.len() == limit {
+            truncated = true;
+            break;
+        }
+        entries.push(DiffEntry { index: i, left: l.cloned(), right: r.cloned() });
+    }
+    TraceDiff { left_len: left.len(), right_len: right.len(), entries, truncated }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{ObsEvent, Subsystem};
+    use dualboot_des::time::SimTime;
+
+    fn rec(seq: u64, event: ObsEvent) -> TraceRecord {
+        TraceRecord {
+            at: SimTime::from_secs(seq),
+            seq,
+            subsystem: Subsystem::Sim,
+            node: None,
+            event,
+        }
+    }
+
+    #[test]
+    fn identical_traces_diff_empty() {
+        let a = vec![rec(0, ObsEvent::MsgSent), rec(1, ObsEvent::BootFailed)];
+        let d = diff(&a, &a.clone(), 0);
+        assert!(d.is_empty());
+        assert!(d.render().contains("identical"));
+    }
+
+    #[test]
+    fn first_divergence_is_reported_at_its_index() {
+        let a = vec![rec(0, ObsEvent::MsgSent), rec(1, ObsEvent::BootFailed)];
+        let b = vec![rec(0, ObsEvent::MsgSent), rec(1, ObsEvent::MsgDropped)];
+        let d = diff(&a, &b, 0);
+        assert_eq!(d.mismatches(), 1);
+        assert_eq!(d.entries[0].index, 1);
+        assert!(d.render().contains("diverge"));
+    }
+
+    #[test]
+    fn length_mismatch_shows_absent_side() {
+        let a = vec![rec(0, ObsEvent::MsgSent)];
+        let b: Vec<TraceRecord> = Vec::new();
+        let d = diff(&a, &b, 0);
+        assert_eq!(d.mismatches(), 1);
+        assert_eq!(d.entries[0].right, None);
+        assert!(d.render().contains("<absent>"));
+    }
+
+    #[test]
+    fn limit_truncates() {
+        let a: Vec<_> = (0..10).map(|i| rec(i, ObsEvent::MsgSent)).collect();
+        let b: Vec<_> = (0..10).map(|i| rec(i, ObsEvent::MsgDropped)).collect();
+        let d = diff(&a, &b, 3);
+        assert_eq!(d.entries.len(), 3);
+        assert!(d.truncated);
+        assert!(d.render().contains("suppressed"));
+    }
+}

@@ -1,0 +1,450 @@
+//! The typed event vocabulary of the cluster-wide bus.
+//!
+//! Every subsystem speaks the same [`ObsEvent`] language, so one stream
+//! can interleave a fault activation, the daemon protocol steps it
+//! provokes (Figure 11, steps 1–5), the watchdog's reaction and the
+//! broker's rerouting — the whole causal chain the paper argues about,
+//! in one diffable artifact.
+
+use dualboot_bootconf::os::OsKind;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Which component emitted an event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Subsystem {
+    /// The cluster simulation driver (job lifecycle, boots, switches).
+    Sim,
+    /// The OSCAR head-node daemon (communicator + decider).
+    LinuxDaemon,
+    /// The Windows head-node daemon (detector + communicator).
+    WindowsDaemon,
+    /// The boot watchdog and quarantine ledger.
+    Supervisor,
+    /// The daemons' write-ahead journals.
+    Journal,
+    /// The campus-grid routing broker.
+    Broker,
+    /// A (possibly faulty) message transport.
+    Transport,
+    /// The fault-injection schedule.
+    Faults,
+}
+
+impl Subsystem {
+    /// Every subsystem, in canonical order.
+    pub const ALL: [Subsystem; 8] = [
+        Subsystem::Sim,
+        Subsystem::LinuxDaemon,
+        Subsystem::WindowsDaemon,
+        Subsystem::Supervisor,
+        Subsystem::Journal,
+        Subsystem::Broker,
+        Subsystem::Transport,
+        Subsystem::Faults,
+    ];
+
+    /// Stable kebab-case name (used by `trace filter --subsystem`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Subsystem::Sim => "sim",
+            Subsystem::LinuxDaemon => "linux-daemon",
+            Subsystem::WindowsDaemon => "windows-daemon",
+            Subsystem::Supervisor => "supervisor",
+            Subsystem::Journal => "journal",
+            Subsystem::Broker => "broker",
+            Subsystem::Transport => "transport",
+            Subsystem::Faults => "faults",
+        }
+    }
+
+    /// Parse a [`name`](Subsystem::name) back into a subsystem.
+    pub fn parse(s: &str) -> Option<Subsystem> {
+        Subsystem::ALL.into_iter().find(|sub| sub.name() == s)
+    }
+}
+
+impl fmt::Display for Subsystem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One observed event. Variants carry only deterministic simulation data
+/// (never wall-clock), so two same-seed runs produce byte-identical
+/// streams — the property `trace diff` and the CI determinism gate lean
+/// on.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ObsEvent {
+    // --- Job lifecycle (sim) ---------------------------------------
+    /// A job entered a member's queue.
+    JobSubmitted {
+        /// Job name (unique within a workload trace).
+        name: String,
+        /// OS the job needs.
+        os: OsKind,
+        /// Nodes requested.
+        nodes: u32,
+    },
+    /// A job ran to completion.
+    JobFinished {
+        /// Job name.
+        name: String,
+        /// OS it ran on.
+        os: OsKind,
+    },
+    /// A job was killed at its walltime limit.
+    JobKilled {
+        /// Job name.
+        name: String,
+    },
+
+    // --- Switch-order protocol, Figure 11 steps 1–5 (daemons) ------
+    /// Step 1: the Windows detector produced a report.
+    WinStateFetched {
+        /// Whether the scheduler looked stuck.
+        stuck: bool,
+        /// CPUs needed by the first queued job (0 when not stuck).
+        needed_cpus: u32,
+    },
+    /// Step 2: the Windows report left for the Linux side.
+    WinStateSent,
+    /// Step 2 (receiving end): the report arrived.
+    WinStateReceived {
+        /// Whether the scheduler looked stuck.
+        stuck: bool,
+        /// CPUs needed by the first queued job.
+        needed_cpus: u32,
+    },
+    /// Step 3: the Linux detector produced a report.
+    LinuxStateFetched {
+        /// Whether the scheduler looked stuck.
+        stuck: bool,
+        /// CPUs needed by the first queued job.
+        needed_cpus: u32,
+    },
+    /// Step 3: the switch policy decided.
+    Decision {
+        /// OS to switch nodes toward (`None`: stand pat).
+        target: Option<OsKind>,
+        /// Nodes to switch (0 when standing pat).
+        count: u32,
+    },
+    /// Step 4 (v2): the cluster-wide PXE flag was set.
+    FlagSet {
+        /// OS the flag now points at.
+        target: OsKind,
+    },
+    /// Step 5: a reboot order left for the Windows side.
+    RebootOrderSent {
+        /// Order sequence number.
+        seq: u64,
+        /// OS the released nodes will boot.
+        target: OsKind,
+        /// Nodes to release.
+        count: u32,
+    },
+    /// Step 5 (receiving end): a reboot order arrived.
+    RebootOrderReceived {
+        /// Order sequence number (0: legacy unnumbered).
+        seq: u64,
+        /// OS the released nodes will boot.
+        target: OsKind,
+        /// Nodes to release.
+        count: u32,
+    },
+    /// Step 5: switch jobs were handed to a scheduler.
+    SwitchJobsSubmitted {
+        /// Scheduler that got the jobs.
+        via: OsKind,
+        /// Number of jobs.
+        count: u32,
+    },
+    /// An outstanding order's acknowledgement arrived and matched.
+    OrderAcked {
+        /// Acknowledged sequence number.
+        seq: u64,
+    },
+    /// An unacknowledged order was retransmitted.
+    OrderRetried {
+        /// Retransmitted sequence number.
+        seq: u64,
+    },
+    /// An order exhausted its retransmission budget and was abandoned.
+    OrderAbandoned {
+        /// Abandoned sequence number.
+        seq: u64,
+    },
+    /// A retransmitted order was recognised and re-acked, not re-run.
+    DupOrderIgnored {
+        /// Duplicate sequence number.
+        seq: u64,
+    },
+    /// A cached remote report had outlived its TTL and was discarded.
+    StaleReportIgnored,
+
+    // --- Boot / watchdog / quarantine (sim + supervisor) ------------
+    /// A supervised (re)boot toward `target` was ordered on a node.
+    BootOrdered {
+        /// OS the boot is headed toward.
+        target: OsKind,
+    },
+    /// A node finished booting.
+    BootCompleted {
+        /// OS that came up.
+        os: OsKind,
+    },
+    /// A node's boot attempt failed at firmware/bootloader level.
+    BootFailed,
+    /// An ordered OS switch landed (node up on the ordered OS).
+    SwitchLanded {
+        /// OS the switch was headed toward.
+        target: OsKind,
+    },
+    /// A watchdog deadline fired with the boot still unreported.
+    BootDeadlineExpired,
+    /// The watchdog ordered a retry boot.
+    BootRetried {
+        /// Attempt number (2 = first retry).
+        attempt: u32,
+    },
+    /// A node exhausted its boot attempts and was quarantined.
+    NodeQuarantined,
+    /// A quarantined node booted successfully and rejoined the pool.
+    NodeRecovered,
+    /// A head daemon crashed, losing in-memory state.
+    DaemonCrashed {
+        /// Which side's daemon died.
+        side: OsKind,
+    },
+    /// A crashed head daemon restarted.
+    DaemonRestarted {
+        /// Which side's daemon came back.
+        side: OsKind,
+        /// Whether it replayed a write-ahead journal (vs. amnesiac).
+        recovered: bool,
+    },
+
+    // --- Write-ahead journal ----------------------------------------
+    /// An entry was appended to a daemon's journal.
+    JournalWrite {
+        /// Stable kind name of the entry (e.g. `order-sent`).
+        entry: String,
+    },
+    /// A journal was replayed into a restarted daemon.
+    JournalReplayed {
+        /// Entries replayed.
+        entries: usize,
+    },
+
+    // --- Fault injection --------------------------------------------
+    /// A scheduled fault activated.
+    FaultInjected {
+        /// Stable kind name of the fault (e.g. `power-reset`).
+        kind: String,
+    },
+
+    // --- Grid broker -------------------------------------------------
+    /// The broker routed one job.
+    RouteDecision {
+        /// Job name.
+        job: String,
+        /// Member index the job went to (sorted name order).
+        member: u32,
+        /// Whether fresh state would have chosen differently.
+        stale: bool,
+    },
+    /// The broker ingested a gossiped cluster report.
+    ReportObserved {
+        /// Member the report describes.
+        member: u32,
+        /// Whether it advanced the view (false: out-of-order/duplicate).
+        accepted: bool,
+    },
+
+    // --- Transport ----------------------------------------------------
+    /// A message was handed to the wire (after fault rolls, if any).
+    MsgSent,
+    /// The link dropped a message.
+    MsgDropped,
+    /// The link held a message back.
+    MsgDelayed {
+        /// Receive polls the message is held for.
+        polls: u32,
+    },
+    /// The link duplicated a message.
+    MsgDuplicated,
+}
+
+impl ObsEvent {
+    /// Stable kebab-case kind name (used by `trace filter --kind` and the
+    /// per-kind counters).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ObsEvent::JobSubmitted { .. } => "job-submitted",
+            ObsEvent::JobFinished { .. } => "job-finished",
+            ObsEvent::JobKilled { .. } => "job-killed",
+            ObsEvent::WinStateFetched { .. } => "win-state-fetched",
+            ObsEvent::WinStateSent => "win-state-sent",
+            ObsEvent::WinStateReceived { .. } => "win-state-received",
+            ObsEvent::LinuxStateFetched { .. } => "linux-state-fetched",
+            ObsEvent::Decision { .. } => "decision",
+            ObsEvent::FlagSet { .. } => "flag-set",
+            ObsEvent::RebootOrderSent { .. } => "reboot-order-sent",
+            ObsEvent::RebootOrderReceived { .. } => "reboot-order-received",
+            ObsEvent::SwitchJobsSubmitted { .. } => "switch-jobs-submitted",
+            ObsEvent::OrderAcked { .. } => "order-acked",
+            ObsEvent::OrderRetried { .. } => "order-retried",
+            ObsEvent::OrderAbandoned { .. } => "order-abandoned",
+            ObsEvent::DupOrderIgnored { .. } => "dup-order-ignored",
+            ObsEvent::StaleReportIgnored => "stale-report-ignored",
+            ObsEvent::BootOrdered { .. } => "boot-ordered",
+            ObsEvent::BootCompleted { .. } => "boot-completed",
+            ObsEvent::BootFailed => "boot-failed",
+            ObsEvent::SwitchLanded { .. } => "switch-landed",
+            ObsEvent::BootDeadlineExpired => "boot-deadline-expired",
+            ObsEvent::BootRetried { .. } => "boot-retried",
+            ObsEvent::NodeQuarantined => "node-quarantined",
+            ObsEvent::NodeRecovered => "node-recovered",
+            ObsEvent::DaemonCrashed { .. } => "daemon-crashed",
+            ObsEvent::DaemonRestarted { .. } => "daemon-restarted",
+            ObsEvent::JournalWrite { .. } => "journal-write",
+            ObsEvent::JournalReplayed { .. } => "journal-replayed",
+            ObsEvent::FaultInjected { .. } => "fault-injected",
+            ObsEvent::RouteDecision { .. } => "route-decision",
+            ObsEvent::ReportObserved { .. } => "report-observed",
+            ObsEvent::MsgSent => "msg-sent",
+            ObsEvent::MsgDropped => "msg-dropped",
+            ObsEvent::MsgDelayed { .. } => "msg-delayed",
+            ObsEvent::MsgDuplicated => "msg-duplicated",
+        }
+    }
+
+    /// The numbered Figure-11 protocol step this event corresponds to, if
+    /// any (1: fetch, 2: ship, 3: decide, 4: flag, 5: order/submit).
+    pub fn protocol_step(&self) -> Option<u8> {
+        match self {
+            ObsEvent::WinStateFetched { .. } => Some(1),
+            ObsEvent::WinStateSent | ObsEvent::WinStateReceived { .. } => Some(2),
+            ObsEvent::LinuxStateFetched { .. } | ObsEvent::Decision { .. } => Some(3),
+            ObsEvent::FlagSet { .. } => Some(4),
+            ObsEvent::RebootOrderSent { .. }
+            | ObsEvent::RebootOrderReceived { .. }
+            | ObsEvent::SwitchJobsSubmitted { .. } => Some(5),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for ObsEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ObsEvent::JobSubmitted { name, os, nodes } => {
+                write!(f, "job {name} submitted ({os:?} × {nodes} nodes)")
+            }
+            ObsEvent::JobFinished { name, os } => write!(f, "job {name} finished on {os:?}"),
+            ObsEvent::JobKilled { name } => write!(f, "job {name} killed at walltime"),
+            ObsEvent::WinStateFetched { stuck, needed_cpus } => {
+                write!(f, "step 1: windows state fetched (stuck={stuck} cpus={needed_cpus})")
+            }
+            ObsEvent::WinStateSent => write!(f, "step 2: windows state sent"),
+            ObsEvent::WinStateReceived { stuck, needed_cpus } => {
+                write!(f, "step 2: windows state received (stuck={stuck} cpus={needed_cpus})")
+            }
+            ObsEvent::LinuxStateFetched { stuck, needed_cpus } => {
+                write!(f, "step 3: linux state fetched (stuck={stuck} cpus={needed_cpus})")
+            }
+            ObsEvent::Decision { target, count } => match target {
+                Some(os) => write!(f, "step 3: decision → switch {count} node(s) to {os:?}"),
+                None => write!(f, "step 3: decision → stand pat"),
+            },
+            ObsEvent::FlagSet { target } => write!(f, "step 4: PXE flag set to {target:?}"),
+            ObsEvent::RebootOrderSent { seq, target, count } => {
+                write!(f, "step 5: reboot order #{seq} sent ({count} → {target:?})")
+            }
+            ObsEvent::RebootOrderReceived { seq, target, count } => {
+                write!(f, "step 5: reboot order #{seq} received ({count} → {target:?})")
+            }
+            ObsEvent::SwitchJobsSubmitted { via, count } => {
+                write!(f, "step 5: {count} switch job(s) submitted via {via:?}")
+            }
+            ObsEvent::OrderAcked { seq } => write!(f, "order #{seq} acked"),
+            ObsEvent::OrderRetried { seq } => write!(f, "order #{seq} retransmitted"),
+            ObsEvent::OrderAbandoned { seq } => write!(f, "order #{seq} abandoned"),
+            ObsEvent::DupOrderIgnored { seq } => write!(f, "duplicate order #{seq} re-acked"),
+            ObsEvent::StaleReportIgnored => write!(f, "stale remote report ignored"),
+            ObsEvent::BootOrdered { target } => write!(f, "boot ordered toward {target:?}"),
+            ObsEvent::BootCompleted { os } => write!(f, "boot completed ({os:?} up)"),
+            ObsEvent::BootFailed => write!(f, "boot failed"),
+            ObsEvent::SwitchLanded { target } => write!(f, "switch landed on {target:?}"),
+            ObsEvent::BootDeadlineExpired => write!(f, "boot deadline expired"),
+            ObsEvent::BootRetried { attempt } => write!(f, "boot retry (attempt {attempt})"),
+            ObsEvent::NodeQuarantined => write!(f, "node quarantined"),
+            ObsEvent::NodeRecovered => write!(f, "node recovered from quarantine"),
+            ObsEvent::DaemonCrashed { side } => write!(f, "{side:?} daemon crashed"),
+            ObsEvent::DaemonRestarted { side, recovered } => {
+                let how = if *recovered { "journal replay" } else { "amnesiac" };
+                write!(f, "{side:?} daemon restarted ({how})")
+            }
+            ObsEvent::JournalWrite { entry } => write!(f, "journal ← {entry}"),
+            ObsEvent::JournalReplayed { entries } => {
+                write!(f, "journal replayed ({entries} entries)")
+            }
+            ObsEvent::FaultInjected { kind } => write!(f, "fault injected: {kind}"),
+            ObsEvent::RouteDecision { job, member, stale } => {
+                let tag = if *stale { " [stale view]" } else { "" };
+                write!(f, "routed {job} → member {member}{tag}")
+            }
+            ObsEvent::ReportObserved { member, accepted } => {
+                let tag = if *accepted { "accepted" } else { "discarded" };
+                write!(f, "gossip report from member {member} {tag}")
+            }
+            ObsEvent::MsgSent => write!(f, "message sent"),
+            ObsEvent::MsgDropped => write!(f, "message dropped"),
+            ObsEvent::MsgDelayed { polls } => write!(f, "message delayed ({polls} polls)"),
+            ObsEvent::MsgDuplicated => write!(f, "message duplicated"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subsystem_names_round_trip() {
+        for s in Subsystem::ALL {
+            assert_eq!(Subsystem::parse(s.name()), Some(s));
+        }
+        assert_eq!(Subsystem::parse("nope"), None);
+    }
+
+    #[test]
+    fn protocol_steps_cover_figure_11() {
+        assert_eq!(
+            ObsEvent::WinStateFetched { stuck: false, needed_cpus: 0 }.protocol_step(),
+            Some(1)
+        );
+        assert_eq!(ObsEvent::WinStateSent.protocol_step(), Some(2));
+        assert_eq!(
+            ObsEvent::Decision { target: None, count: 0 }.protocol_step(),
+            Some(3)
+        );
+        assert_eq!(
+            ObsEvent::FlagSet { target: OsKind::Windows }.protocol_step(),
+            Some(4)
+        );
+        assert_eq!(
+            ObsEvent::SwitchJobsSubmitted { via: OsKind::Linux, count: 2 }.protocol_step(),
+            Some(5)
+        );
+        assert_eq!(ObsEvent::MsgSent.protocol_step(), None);
+    }
+
+    #[test]
+    fn kinds_are_stable_and_displayable() {
+        let e = ObsEvent::RebootOrderSent { seq: 3, target: OsKind::Linux, count: 2 };
+        assert_eq!(e.kind(), "reboot-order-sent");
+        assert!(e.to_string().contains("#3"));
+    }
+}

@@ -1,0 +1,120 @@
+//! Record filtering for the `trace filter` CLI and programmatic queries.
+
+use crate::bus::TraceRecord;
+use crate::event::Subsystem;
+use dualboot_des::time::SimTime;
+use dualboot_hw::NodeId;
+
+/// A conjunction of optional criteria; `None` fields match everything.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceFilter {
+    /// Keep only records from this subsystem.
+    pub subsystem: Option<Subsystem>,
+    /// Keep only records concerning this node.
+    pub node: Option<NodeId>,
+    /// Keep only records whose event [`kind`](crate::ObsEvent::kind)
+    /// matches.
+    pub kind: Option<String>,
+    /// Keep only records at or after this instant.
+    pub from: Option<SimTime>,
+    /// Keep only records at or before this instant.
+    pub until: Option<SimTime>,
+}
+
+impl TraceFilter {
+    /// Whether `record` satisfies every set criterion.
+    pub fn matches(&self, record: &TraceRecord) -> bool {
+        if let Some(s) = self.subsystem {
+            if record.subsystem != s {
+                return false;
+            }
+        }
+        if let Some(n) = self.node {
+            if record.node != Some(n) {
+                return false;
+            }
+        }
+        if let Some(k) = &self.kind {
+            if record.event.kind() != k {
+                return false;
+            }
+        }
+        if let Some(from) = self.from {
+            if record.at < from {
+                return false;
+            }
+        }
+        if let Some(until) = self.until {
+            if record.at > until {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// The matching subset of `records`, order preserved.
+    pub fn apply(&self, records: &[TraceRecord]) -> Vec<TraceRecord> {
+        records.iter().filter(|r| self.matches(r)).cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::ObsEvent;
+
+    fn rec(at: u64, subsystem: Subsystem, node: Option<u16>, event: ObsEvent) -> TraceRecord {
+        TraceRecord {
+            at: SimTime::from_secs(at),
+            seq: at,
+            subsystem,
+            node: node.map(NodeId),
+            event,
+        }
+    }
+
+    fn sample() -> Vec<TraceRecord> {
+        vec![
+            rec(10, Subsystem::Sim, Some(1), ObsEvent::BootFailed),
+            rec(20, Subsystem::Transport, None, ObsEvent::MsgDropped),
+            rec(30, Subsystem::Sim, Some(2), ObsEvent::BootCompleted {
+                os: dualboot_bootconf::os::OsKind::Linux,
+            }),
+        ]
+    }
+
+    #[test]
+    fn default_filter_matches_everything() {
+        assert_eq!(TraceFilter::default().apply(&sample()).len(), 3);
+    }
+
+    #[test]
+    fn criteria_conjoin() {
+        let f = TraceFilter {
+            subsystem: Some(Subsystem::Sim),
+            node: Some(NodeId(2)),
+            ..TraceFilter::default()
+        };
+        let kept = f.apply(&sample());
+        assert_eq!(kept.len(), 1);
+        assert_eq!(kept[0].node, Some(NodeId(2)));
+    }
+
+    #[test]
+    fn time_window_is_inclusive() {
+        let f = TraceFilter {
+            from: Some(SimTime::from_secs(20)),
+            until: Some(SimTime::from_secs(30)),
+            ..TraceFilter::default()
+        };
+        assert_eq!(f.apply(&sample()).len(), 2);
+    }
+
+    #[test]
+    fn kind_filters_by_stable_name() {
+        let f = TraceFilter { kind: Some("msg-dropped".into()), ..TraceFilter::default() };
+        let kept = f.apply(&sample());
+        assert_eq!(kept.len(), 1);
+        assert_eq!(kept[0].subsystem, Subsystem::Transport);
+    }
+}

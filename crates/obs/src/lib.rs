@@ -1,0 +1,44 @@
+#![warn(missing_docs)]
+
+//! # dualboot-obs — unified observability for the hybrid cluster
+//!
+//! The paper validates dualboot-oscar by *watching* it: Figure 11's
+//! numbered protocol steps and the stuck-queue windows are claims about
+//! event ordering and timing. This crate is the single stream those
+//! claims are checked against — a typed, deterministic, cluster-wide
+//! event bus that the simulation driver, both head daemons, the boot
+//! watchdog, the journals, the grid broker, the transports and the fault
+//! injector all emit into.
+//!
+//! Three properties shape the design:
+//!
+//! * **Zero cost when disabled.** The default [`ObsConfig`] yields a
+//!   no-op [`ObsSink`]; every emission site pays one `Option` check. The
+//!   ROADMAP's hot-path goal survives full instrumentation.
+//! * **Deterministic.** Records carry only simulated time and event
+//!   payloads — never wall-clock — so two same-seed runs export
+//!   byte-identical JSONL, and [`diff`](diff::diff) of those files is the
+//!   determinism debugging tool (CI runs it on every push).
+//! * **One event system.** The per-daemon `des::Trace` assertions are
+//!   re-expressed as queries over this bus
+//!   ([`ObsSink::events_of`], [`ObsSink::contains_subsequence`]), so
+//!   tests and tools read the same stream the operator does.
+//!
+//! The one deliberate exception to determinism is [`HotLoopProfile`]:
+//! wall-clock phase timings around the DES hot loop, kept strictly
+//! outside every deterministic result type.
+
+pub mod bus;
+pub mod diff;
+pub mod event;
+pub mod export;
+pub mod filter;
+pub mod profile;
+pub mod timeline;
+
+pub use bus::{EventBus, ObsConfig, ObsSink, TraceRecord};
+pub use diff::{DiffEntry, TraceDiff};
+pub use event::{ObsEvent, Subsystem};
+pub use export::{from_jsonl, to_jsonl, TraceImportError, TRACE_SCHEMA};
+pub use filter::TraceFilter;
+pub use profile::{HotLoopProfile, PhaseStat};

@@ -1,0 +1,151 @@
+//! Wall-clock profiling of the DES hot loop.
+//!
+//! The profile is the one deliberately *non*-deterministic artifact in
+//! this crate: it measures host time, so it must never flow into
+//! `SimResult` or anything the determinism tests fingerprint. Hosts keep
+//! it off to the side (`Simulation::profile()`), render it as a report
+//! table, or export the bench-comparable JSON.
+
+use serde::Serialize;
+use std::time::Duration;
+
+/// Accumulated wall-clock cost of one named hot-loop phase.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct PhaseStat {
+    /// Phase name (e.g. `pop`, `dispatch`, `policy`, `faults`).
+    pub name: String,
+    /// Times the phase ran.
+    pub calls: u64,
+    /// Total wall-clock nanoseconds across all calls.
+    pub total_ns: u64,
+}
+
+impl PhaseStat {
+    /// Mean nanoseconds per call.
+    pub fn mean_ns(&self) -> f64 {
+        if self.calls == 0 {
+            0.0
+        } else {
+            self.total_ns as f64 / self.calls as f64
+        }
+    }
+}
+
+/// A per-run hot-loop profile: phases in first-seen order.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize)]
+pub struct HotLoopProfile {
+    /// Per-phase accumulators, in the order phases first ran.
+    pub phases: Vec<PhaseStat>,
+}
+
+impl HotLoopProfile {
+    /// An empty profile.
+    pub fn new() -> HotLoopProfile {
+        HotLoopProfile::default()
+    }
+
+    /// Fold `elapsed` into `name`'s accumulator. The phase set is tiny
+    /// (single digits), so a linear scan beats any map here.
+    pub fn record(&mut self, name: &'static str, elapsed: Duration) {
+        let ns = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+        match self.phases.iter_mut().find(|p| p.name == name) {
+            Some(p) => {
+                p.calls += 1;
+                p.total_ns = p.total_ns.saturating_add(ns);
+            }
+            None => self.phases.push(PhaseStat {
+                name: name.to_string(),
+                calls: 1,
+                total_ns: ns,
+            }),
+        }
+    }
+
+    /// Merge another profile into this one (parallel replications).
+    pub fn merge(&mut self, other: &HotLoopProfile) {
+        for p in &other.phases {
+            match self.phases.iter_mut().find(|q| q.name == p.name) {
+                Some(q) => {
+                    q.calls += p.calls;
+                    q.total_ns = q.total_ns.saturating_add(p.total_ns);
+                }
+                None => self.phases.push(p.clone()),
+            }
+        }
+    }
+
+    /// Total wall-clock nanoseconds across every phase.
+    pub fn total_ns(&self) -> u64 {
+        self.phases.iter().fold(0, |acc, p| acc.saturating_add(p.total_ns))
+    }
+
+    /// Render the per-phase table shown under reports.
+    pub fn render(&self) -> String {
+        let total = self.total_ns().max(1) as f64;
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<12} {:>12} {:>12} {:>12} {:>7}\n",
+            "phase", "calls", "total ms", "mean µs", "share"
+        ));
+        for p in &self.phases {
+            out.push_str(&format!(
+                "{:<12} {:>12} {:>12.3} {:>12.3} {:>6.1}%\n",
+                p.name,
+                p.calls,
+                p.total_ns as f64 / 1e6,
+                p.mean_ns() / 1e3,
+                100.0 * p.total_ns as f64 / total,
+            ));
+        }
+        out
+    }
+
+    /// Bench-comparable JSON (`{"phases":[{name, calls, total_ns}…]}`).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("profile serialises")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phases_accumulate_in_first_seen_order() {
+        let mut p = HotLoopProfile::new();
+        p.record("pop", Duration::from_nanos(100));
+        p.record("dispatch", Duration::from_nanos(300));
+        p.record("pop", Duration::from_nanos(100));
+        assert_eq!(p.phases.len(), 2);
+        assert_eq!(p.phases[0].name, "pop");
+        assert_eq!(p.phases[0].calls, 2);
+        assert_eq!(p.phases[0].total_ns, 200);
+        assert_eq!(p.phases[1].mean_ns(), 300.0);
+        assert_eq!(p.total_ns(), 500);
+    }
+
+    #[test]
+    fn merge_folds_matching_phases() {
+        let mut a = HotLoopProfile::new();
+        a.record("pop", Duration::from_nanos(50));
+        let mut b = HotLoopProfile::new();
+        b.record("pop", Duration::from_nanos(70));
+        b.record("faults", Duration::from_nanos(10));
+        a.merge(&b);
+        assert_eq!(a.phases[0].total_ns, 120);
+        assert_eq!(a.phases.len(), 2);
+    }
+
+    #[test]
+    fn render_and_json_include_every_phase() {
+        let mut p = HotLoopProfile::new();
+        p.record("policy", Duration::from_micros(5));
+        let table = p.render();
+        assert!(table.contains("policy"));
+        assert!(table.contains("calls"));
+        // Offline builds substitute a typecheck-only serde_json.
+        if let Ok(json) = std::panic::catch_unwind(|| p.to_json()) {
+            assert!(json.contains("\"policy\""));
+        }
+    }
+}

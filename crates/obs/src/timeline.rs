@@ -1,0 +1,61 @@
+//! Human-readable interleaved timeline rendering.
+//!
+//! One line per record, fixed columns, so a Figure-11 control cycle reads
+//! top to bottom the way the paper draws it: detector fetch, wire hop,
+//! decision, flag, order — across daemons that each only saw their own
+//! half.
+
+use crate::bus::TraceRecord;
+
+/// Render records (assumed in bus order) as an aligned timeline.
+pub fn render(records: &[TraceRecord]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:>12}  {:<14} {:<7} event\n",
+        "time", "subsystem", "node"
+    ));
+    for r in records {
+        let node = r.node.map_or(String::from("-"), |n| n.to_string());
+        out.push_str(&format!(
+            "{:>12}  {:<14} {:<7} {}\n",
+            r.at.to_string(),
+            r.subsystem.name(),
+            node,
+            r.event
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{ObsEvent, Subsystem};
+    use dualboot_des::time::SimTime;
+    use dualboot_hw::NodeId;
+
+    #[test]
+    fn renders_one_line_per_record_plus_header() {
+        let recs = vec![
+            TraceRecord {
+                at: SimTime::from_secs(600),
+                seq: 0,
+                subsystem: Subsystem::WindowsDaemon,
+                node: None,
+                event: ObsEvent::WinStateSent,
+            },
+            TraceRecord {
+                at: SimTime::from_secs(601),
+                seq: 1,
+                subsystem: Subsystem::Sim,
+                node: Some(NodeId(7)),
+                event: ObsEvent::BootFailed,
+            },
+        ];
+        let text = render(&recs);
+        assert_eq!(text.lines().count(), 3);
+        assert!(text.contains("windows-daemon"));
+        assert!(text.contains("node07"));
+        assert!(text.contains("step 2"));
+    }
+}

@@ -45,7 +45,7 @@ fn main() {
         let trace = spec.generate();
 
         let run = |mode: Mode, split: u16| {
-            let mut cfg = SimConfig::eridani_v2(seed);
+            let mut cfg = SimConfig::builder().v2().seed(seed).build();
             cfg.mode = mode;
             cfg.initial_linux_nodes = split;
             Simulation::new(cfg, trace.clone()).run()

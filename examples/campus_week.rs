@@ -30,7 +30,7 @@ fn main() {
         stats.jobs, stats.per_os.0, stats.per_os.1
     );
 
-    let mut cfg = SimConfig::eridani_v2(7);
+    let mut cfg = SimConfig::builder().v2().seed(7).build();
     cfg.policy = PolicyKind::Threshold { queue_threshold: 2 };
     cfg.omniscient = true;
     cfg.record_series = true;

@@ -52,7 +52,7 @@ fn main() {
             true,
         ),
     ] {
-        let mut cfg = SimConfig::eridani_v2(2012);
+        let mut cfg = SimConfig::builder().v2().seed(2012).build();
         cfg.policy = policy;
         cfg.omniscient = omniscient;
         let r = Simulation::new(cfg, trace.clone()).run();
@@ -66,7 +66,7 @@ fn main() {
     }
     println!("{}", policy_table.render());
 
-    let mut cfg = SimConfig::eridani_v2(2012);
+    let mut cfg = SimConfig::builder().v2().seed(2012).build();
     cfg.policy = PolicyKind::Threshold { queue_threshold: 2 };
     cfg.omniscient = true; // threshold needs both queue depths (see E7)
     cfg.record_series = true;

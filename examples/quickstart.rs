@@ -36,7 +36,7 @@ fn main() {
         ("mono-stable (boot per W job)", Mode::MonoStable, 16),
         ("oracle (no OS constraint)", Mode::Oracle, 16),
     ] {
-        let mut cfg = SimConfig::eridani_v2(seed);
+        let mut cfg = SimConfig::builder().v2().seed(seed).build();
         cfg.mode = mode;
         cfg.initial_linux_nodes = split;
         let result = Simulation::new(cfg, trace.clone()).run();

@@ -26,7 +26,7 @@ fn scenario(seed: u64, configure: impl Fn(&mut SimConfig)) -> (SimConfig, Vec<Su
     }
     .with_offered_load(0.7, 64)
     .generate();
-    let mut cfg = SimConfig::eridani_v2(seed);
+    let mut cfg = SimConfig::builder().v2().seed(seed).build();
     cfg.horizon = SimDuration::from_hours(48);
     configure(&mut cfg);
     (cfg, trace)

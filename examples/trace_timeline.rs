@@ -1,0 +1,79 @@
+//! The Figure-11 control protocol, read off the observability bus.
+//!
+//! Runs one short campus morning with the event bus recording, then
+//! renders two timelines: the first switch cycle's protocol steps 1-5
+//! (detector fetch → report → decision → PXE flag → reboot order) and
+//! the boot lifecycle of the first node that switched. This is the
+//! programmatic equivalent of
+//!
+//! ```sh
+//! dualboot simulate --trace-out run.jsonl
+//! dualboot trace timeline run.jsonl
+//! ```
+//!
+//! ```sh
+//! cargo run --release --example trace_timeline
+//! ```
+
+use hybrid_cluster::obs::timeline;
+use hybrid_cluster::prelude::*;
+use hybrid_cluster::workload::generator::WorkloadSpec;
+
+fn main() {
+    let seed = 2012;
+    let cfg = SimConfig::builder()
+        .v2()
+        .seed(seed)
+        .observe(ObsConfig::recording())
+        .build();
+    let trace = WorkloadSpec::campus_default(seed).generate();
+    let sim = Simulation::new(cfg, trace);
+    let sink = sim.obs().clone();
+    let result = sim.run();
+    let records = sink.snapshot();
+    println!(
+        "one campus day: {} bus records, {} switches, {:.1}% utilisation\n",
+        records.len(),
+        result.switches,
+        100.0 * result.utilisation()
+    );
+
+    // The first Figure-11 cycle that lands a switch: take every
+    // protocol-step event up to (and including) the first order receipt.
+    let first_cycle_end = records
+        .iter()
+        .position(|r| matches!(r.event, ObsEvent::SwitchJobsSubmitted { .. }))
+        .map_or(records.len(), |i| i + 1);
+    let steps: Vec<TraceRecord> = records[..first_cycle_end]
+        .iter()
+        .filter(|r| r.event.protocol_step().is_some())
+        .cloned()
+        .collect();
+    println!("--- first switch cycle (Figure-11 steps 1-5) ---");
+    println!("{}", timeline::render(&steps));
+
+    // The first ordered boot, end to end on one node.
+    let Some(first_boot) = records
+        .iter()
+        .find(|r| matches!(r.event, ObsEvent::BootOrdered { .. }))
+        .and_then(|r| r.node)
+    else {
+        return;
+    };
+    let boots: Vec<TraceRecord> = records
+        .iter()
+        .filter(|r| r.node == Some(first_boot))
+        .take(4)
+        .cloned()
+        .collect();
+    println!("--- node{:02} boot lifecycle ---", first_boot.0);
+    println!("{}", timeline::render(&boots));
+
+    // Per-subsystem counter roll-up.
+    println!("--- bus counters ---");
+    for (sub, n) in sink.counters() {
+        if n > 0 {
+            println!("{:>16}  {n}", sub.name());
+        }
+    }
+}

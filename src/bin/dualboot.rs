@@ -67,6 +67,20 @@ fn main() -> ExitCode {
                 ExitCode::FAILURE
             }
         },
+        Ok(Command::Trace(action)) => match cli::run_trace_tool(&action) {
+            Ok(out) => {
+                print!("{}", out.text);
+                if out.differs {
+                    ExitCode::FAILURE
+                } else {
+                    ExitCode::SUCCESS
+                }
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
         Ok(Command::Swf(swf_args)) => match std::fs::read_to_string(&swf_args.path) {
             Ok(text) => match cli::run_swf(&swf_args, &text) {
                 Ok(out) => {

@@ -9,7 +9,25 @@ use crate::cluster::{FaultPlan, Mode, PolicyKind, SimConfig, Simulation};
 use crate::grid::{report as grid_report, GridSim, GridSpec, RoutePolicy};
 use crate::workload::generator::WorkloadSpec;
 use crate::workload::swf::{self, OsMapping, SwfImportOptions};
-use dualboot_des::time::SimDuration;
+use dualboot_des::time::{SimDuration, SimTime};
+use dualboot_hw::NodeId;
+use dualboot_obs::{self as obs, ObsConfig, Subsystem, TraceFilter, TraceRecord};
+
+/// Schema tag stamped on every JSON document the CLI emits.
+pub const JSON_SCHEMA: &str = "dualboot/v1";
+
+/// Wrap a serialised result in the CLI's versioned JSON envelope:
+/// `{"schema": "dualboot/v1", "kind": <kind>, "result": <result>}`.
+/// `extra` fields (pre-serialised `"key":value` pairs) are appended after
+/// the result.
+fn envelope(kind: &str, result_json: &str, extra: &[(&str, String)]) -> String {
+    let mut out = format!("{{\"schema\":\"{JSON_SCHEMA}\",\"kind\":\"{kind}\",\"result\":{result_json}");
+    for (k, v) in extra {
+        out.push_str(&format!(",\"{k}\":{v}"));
+    }
+    out.push_str("}\n");
+    out
+}
 
 /// A parsed CLI invocation.
 #[derive(Debug, Clone, PartialEq)]
@@ -22,8 +40,79 @@ pub enum Command {
     Grid(GridArgs),
     /// Import an SWF trace and run it.
     Swf(SwfArgs),
+    /// Inspect exported JSONL traces (filter/timeline/diff).
+    Trace(TraceAction),
     /// Print usage.
     Help,
+}
+
+/// What `dualboot trace` should do.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceAction {
+    /// Print the matching records (JSONL, or enveloped JSON with
+    /// `--json`).
+    Filter {
+        /// Trace file to read.
+        file: String,
+        /// Record criteria.
+        filter: TraceFilterArgs,
+        /// Emit the enveloped JSON document instead of raw JSONL.
+        json: bool,
+    },
+    /// Render the matching records as an aligned human timeline.
+    Timeline {
+        /// Trace file to read.
+        file: String,
+        /// Record criteria.
+        filter: TraceFilterArgs,
+    },
+    /// Structurally diff two traces; identical traces exit 0, diverging
+    /// ones exit non-zero.
+    Diff {
+        /// Left trace file.
+        left: String,
+        /// Right trace file.
+        right: String,
+        /// Mismatches to show before truncating (0: unlimited).
+        limit: usize,
+    },
+}
+
+/// Parsed record criteria for `trace filter` / `trace timeline`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceFilterArgs {
+    /// Subsystem name (`sim`, `linux-daemon`, …).
+    pub subsystem: Option<String>,
+    /// 1-based node number.
+    pub node: Option<u16>,
+    /// Event kind (`boot-ordered`, `msg-dropped`, …).
+    pub kind: Option<String>,
+    /// Keep records at or after this many seconds of sim time.
+    pub from_s: Option<u64>,
+    /// Keep records at or before this many seconds of sim time.
+    pub until_s: Option<u64>,
+}
+
+impl TraceFilterArgs {
+    /// Resolve into an [`TraceFilter`], validating the subsystem name.
+    pub fn build(&self) -> Result<TraceFilter, CliError> {
+        let subsystem = match &self.subsystem {
+            None => None,
+            Some(s) => Some(
+                Subsystem::ALL
+                    .into_iter()
+                    .find(|x| x.name() == s)
+                    .ok_or_else(|| CliError(format!("unknown subsystem {s:?}")))?,
+            ),
+        };
+        Ok(TraceFilter {
+            subsystem,
+            node: self.node.map(NodeId),
+            kind: self.kind.clone(),
+            from: self.from_s.map(SimTime::from_secs),
+            until: self.until_s.map(SimTime::from_secs),
+        })
+    }
 }
 
 /// Options for `simulate`.
@@ -57,6 +146,11 @@ pub struct SimulateArgs {
     pub watchdog: bool,
     /// Crash-recovery journal on the simulated daemons.
     pub journal: bool,
+    /// Record the run on the observability bus and write the JSONL trace
+    /// to this path.
+    pub trace_out: Option<String>,
+    /// Wall-clock profile of the DES hot loop, reported per phase.
+    pub profile: bool,
 }
 
 impl Default for SimulateArgs {
@@ -75,6 +169,8 @@ impl Default for SimulateArgs {
             json: false,
             watchdog: true,
             journal: true,
+            trace_out: None,
+            profile: false,
         }
     }
 }
@@ -102,6 +198,9 @@ pub struct GridArgs {
     /// Emit [`GridResult`](crate::grid::GridResult) JSON (an array when
     /// sweeping) instead of the plain-text report.
     pub json: bool,
+    /// Record the federation on the observability bus and write the JSONL
+    /// trace to this path (requires a single `--routing` policy).
+    pub trace_out: Option<String>,
 }
 
 impl Default for GridArgs {
@@ -116,6 +215,7 @@ impl Default for GridArgs {
             report_secs: 120,
             faults: None,
             json: false,
+            trace_out: None,
         }
     }
 }
@@ -154,17 +254,29 @@ USAGE:
                     [--win-frac F] [--load F] [--hours N] [--split N]
                     [--series] [--faults PLAN] [--json]
                     [--watchdog on|off] [--journal on|off]
+                    [--trace-out FILE] [--profile]
                     PLAN is inline JSON ('{...}'), the word 'chaos' for
                     the default campaign, or a path to a JSON plan file;
                     watchdog/journal toggle the node-health supervision
-                    (both on by default)
+                    (both on by default); --trace-out records the run on
+                    the observability bus and writes the JSONL trace;
+                    --profile reports hot-loop wall-clock time per phase
   dualboot grid     [--clusters N] [--seed N] [--routing static|queue|coop|sweep]
                     [--win-frac F] [--load F] [--hours N] [--report-secs N]
-                    [--faults PLAN] [--json]
+                    [--faults PLAN] [--json] [--trace-out FILE]
                     federates N hybrid clusters under one broker; the
                     default sweeps every routing policy and compares them
   dualboot swf <file.swf> [--windows-queue N | --win-frac F] [simulate opts]
+  dualboot trace filter   <trace.jsonl> [--subsystem S] [--node N] [--kind K]
+                          [--from-s N] [--until-s N] [--json]
+  dualboot trace timeline <trace.jsonl> [same filter flags]
+  dualboot trace diff     <a.jsonl> <b.jsonl> [--limit N]
+                          exits 0 when the traces are identical, 1 when
+                          they diverge (the determinism gate)
   dualboot help
+
+JSON output (--json) is always wrapped in the versioned envelope
+  {\"schema\": \"dualboot/v1\", \"kind\": ..., \"result\": ...}
 ";
 
 fn parse_mode(s: &str) -> Result<Mode, CliError> {
@@ -241,6 +353,10 @@ impl Command {
                     },
                 };
                 Ok(Command::Swf(SwfArgs { path, os, sim }))
+            }
+            Some("trace") => {
+                let rest: Vec<String> = it.cloned().collect();
+                Ok(Command::Trace(parse_trace(&rest)?))
             }
             Some(other) => Err(CliError(format!(
                 "unknown command {other:?} (try `dualboot help`)"
@@ -327,6 +443,14 @@ fn parse_simulate(args: &[String]) -> Result<SimulateArgs, CliError> {
                 out.journal = parse_on_off("--journal", &value(args, k, "--journal")?)?;
                 k += 2;
             }
+            "--trace-out" => {
+                out.trace_out = Some(value(args, k, "--trace-out")?);
+                k += 2;
+            }
+            "--profile" => {
+                out.profile = true;
+                k += 1;
+            }
             other => return Err(CliError(format!("unknown flag {other:?}"))),
         }
     }
@@ -409,10 +533,135 @@ fn parse_grid(args: &[String]) -> Result<GridArgs, CliError> {
                 out.json = true;
                 k += 1;
             }
+            "--trace-out" => {
+                out.trace_out = Some(value(args, k, "--trace-out")?);
+                k += 2;
+            }
             other => return Err(CliError(format!("unknown flag {other:?}"))),
         }
     }
+    if out.trace_out.is_some() && out.routing.is_none() {
+        return Err(CliError(
+            "--trace-out needs a single --routing policy (not a sweep)".to_string(),
+        ));
+    }
     Ok(out)
+}
+
+/// Parse the `trace` subcommand's argv.
+fn parse_trace(args: &[String]) -> Result<TraceAction, CliError> {
+    let value = |args: &[String], k: usize, flag: &str| -> Result<String, CliError> {
+        args.get(k + 1)
+            .cloned()
+            .ok_or_else(|| CliError(format!("{flag} needs a value")))
+    };
+    let parse_filter_flags =
+        |rest: &[String]| -> Result<(TraceFilterArgs, bool), CliError> {
+            let mut f = TraceFilterArgs::default();
+            let mut json = false;
+            let mut k = 0;
+            while k < rest.len() {
+                match rest[k].as_str() {
+                    "--subsystem" => {
+                        f.subsystem = Some(value(rest, k, "--subsystem")?);
+                        k += 2;
+                    }
+                    "--node" => {
+                        let v = value(rest, k, "--node")?;
+                        f.node = Some(
+                            v.parse()
+                                .map_err(|_| CliError(format!("bad node {v:?}")))?,
+                        );
+                        k += 2;
+                    }
+                    "--kind" => {
+                        f.kind = Some(value(rest, k, "--kind")?);
+                        k += 2;
+                    }
+                    "--from-s" => {
+                        let v = value(rest, k, "--from-s")?;
+                        f.from_s = Some(
+                            v.parse()
+                                .map_err(|_| CliError(format!("bad seconds {v:?}")))?,
+                        );
+                        k += 2;
+                    }
+                    "--until-s" => {
+                        let v = value(rest, k, "--until-s")?;
+                        f.until_s = Some(
+                            v.parse()
+                                .map_err(|_| CliError(format!("bad seconds {v:?}")))?,
+                        );
+                        k += 2;
+                    }
+                    "--json" => {
+                        json = true;
+                        k += 1;
+                    }
+                    other => return Err(CliError(format!("unknown flag {other:?}"))),
+                }
+            }
+            Ok((f, json))
+        };
+    match args.first().map(String::as_str) {
+        Some("filter") => {
+            let file = args
+                .get(1)
+                .filter(|a| !a.starts_with("--"))
+                .ok_or_else(|| CliError("trace filter needs a trace file".to_string()))?
+                .clone();
+            let (filter, json) = parse_filter_flags(&args[2..])?;
+            Ok(TraceAction::Filter { file, filter, json })
+        }
+        Some("timeline") => {
+            let file = args
+                .get(1)
+                .filter(|a| !a.starts_with("--"))
+                .ok_or_else(|| CliError("trace timeline needs a trace file".to_string()))?
+                .clone();
+            let (filter, json) = parse_filter_flags(&args[2..])?;
+            if json {
+                return Err(CliError(
+                    "trace timeline is human output; use trace filter --json".to_string(),
+                ));
+            }
+            Ok(TraceAction::Timeline { file, filter })
+        }
+        Some("diff") => {
+            let left = args
+                .get(1)
+                .filter(|a| !a.starts_with("--"))
+                .ok_or_else(|| CliError("trace diff needs two trace files".to_string()))?
+                .clone();
+            let right = args
+                .get(2)
+                .filter(|a| !a.starts_with("--"))
+                .ok_or_else(|| CliError("trace diff needs two trace files".to_string()))?
+                .clone();
+            let mut limit = 10usize;
+            let rest = &args[3..];
+            let mut k = 0;
+            while k < rest.len() {
+                match rest[k].as_str() {
+                    "--limit" => {
+                        let v = value(rest, k, "--limit")?;
+                        limit = v
+                            .parse()
+                            .map_err(|_| CliError(format!("bad limit {v:?}")))?;
+                        k += 2;
+                    }
+                    other => return Err(CliError(format!("unknown flag {other:?}"))),
+                }
+            }
+            Ok(TraceAction::Diff { left, right, limit })
+        }
+        Some(other) => Err(CliError(format!(
+            "unknown trace action {other:?} (filter|timeline|diff)"
+        ))),
+        None => Err(CliError(
+            "trace needs an action (filter|timeline|diff)".to_string(),
+        )),
+    }
 }
 
 /// Resolve a `--faults` value into a plan: inline JSON if it starts with
@@ -465,7 +714,7 @@ fn run_trace(
     args: &SimulateArgs,
     trace: Vec<crate::workload::generator::SubmitEvent>,
 ) -> Result<String, CliError> {
-    let mut cfg = SimConfig::eridani_v2(args.seed);
+    let mut cfg = SimConfig::builder().v2().seed(args.seed).build();
     cfg.mode = args.mode;
     cfg.policy = args.policy;
     cfg.omniscient = args.omniscient;
@@ -477,12 +726,32 @@ fn run_trace(
     if let Some(spec) = &args.faults {
         cfg.faults = resolve_fault_plan(spec, args.seed)?;
     }
-    let r = Simulation::new(cfg, trace).run();
+    if args.trace_out.is_some() {
+        cfg.obs = ObsConfig::recording();
+    }
+    let sim = Simulation::new(cfg, trace);
+    // The sink is Arc-shared: a clone taken before `run` (which consumes
+    // the simulation) still reads the finished trace.
+    let sink = sim.obs().clone();
+    let (r, profile) = if args.profile {
+        let (r, p) = sim.run_profiled();
+        (r, Some(p))
+    } else {
+        (sim.run(), None)
+    };
+    if let Some(path) = &args.trace_out {
+        let text = obs::to_jsonl(&sink.snapshot());
+        std::fs::write(path, text)
+            .map_err(|e| CliError(format!("cannot write trace {path:?}: {e}")))?;
+    }
     if args.json {
-        let mut out = serde_json::to_string(&r)
+        let inner = serde_json::to_string(&r)
             .map_err(|e| CliError(format!("cannot serialise result: {e}")))?;
-        out.push('\n');
-        return Ok(out);
+        let extra: Vec<(&str, String)> = match &profile {
+            Some(p) => vec![("profile", p.to_json())],
+            None => Vec::new(),
+        };
+        return Ok(envelope("simulate", &inner, &extra));
     }
     let mut table = Table::new("simulation result", &RESULT_HEADERS);
     table.row(&result_row("run", &r));
@@ -511,6 +780,10 @@ fn run_trace(
         }
         out.push('\n');
         out.push_str(&st.render());
+    }
+    if let Some(p) = &profile {
+        out.push('\n');
+        out.push_str(&p.render());
     }
     Ok(out)
 }
@@ -545,18 +818,31 @@ pub fn run_grid(args: &GridArgs) -> Result<String, CliError> {
     };
     let results: Vec<crate::grid::GridResult> = policies
         .iter()
-        .map(|&p| Ok(GridSim::new(grid_spec(args, p)?).run()))
+        .map(|&p| {
+            let mut spec = grid_spec(args, p)?;
+            if args.trace_out.is_some() {
+                spec.obs = ObsConfig::recording();
+            }
+            let g = GridSim::new(spec);
+            let sink = g.obs().clone();
+            let r = g.run();
+            if let Some(path) = &args.trace_out {
+                let text = obs::to_jsonl(&sink.snapshot());
+                std::fs::write(path, text)
+                    .map_err(|e| CliError(format!("cannot write trace {path:?}: {e}")))?;
+            }
+            Ok(r)
+        })
         .collect::<Result<_, CliError>>()?;
 
     if args.json {
-        let mut out = if results.len() == 1 {
+        let inner = if results.len() == 1 {
             results[0].to_json()
         } else {
             serde_json::to_string(&results)
                 .map_err(|e| CliError(format!("cannot serialise results: {e}")))?
         };
-        out.push('\n');
-        return Ok(out);
+        return Ok(envelope("grid", &inner, &[]));
     }
 
     let mut out = String::new();
@@ -586,6 +872,58 @@ pub fn run_grid(args: &GridArgs) -> Result<String, CliError> {
     }
     out.pop();
     Ok(out)
+}
+
+/// Output of a `trace` action: the printable text plus whether the
+/// process should exit non-zero (a diverging `trace diff`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceOutput {
+    /// Printable result.
+    pub text: String,
+    /// `trace diff` found divergence: exit non-zero.
+    pub differs: bool,
+}
+
+fn load_trace(path: &str) -> Result<Vec<TraceRecord>, CliError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError(format!("cannot read trace {path:?}: {e}")))?;
+    obs::from_jsonl(&text).map_err(|e| CliError(format!("bad trace {path:?}: {e}")))
+}
+
+/// Execute a `trace` action against trace files on disk.
+pub fn run_trace_tool(action: &TraceAction) -> Result<TraceOutput, CliError> {
+    match action {
+        TraceAction::Filter { file, filter, json } => {
+            let kept = filter.build()?.apply(&load_trace(file)?);
+            let text = if *json {
+                let inner = serde_json::to_string(&kept)
+                    .map_err(|e| CliError(format!("cannot serialise records: {e}")))?;
+                envelope("trace", &inner, &[])
+            } else {
+                obs::to_jsonl(&kept)
+            };
+            Ok(TraceOutput {
+                text,
+                differs: false,
+            })
+        }
+        TraceAction::Timeline { file, filter } => {
+            let kept = filter.build()?.apply(&load_trace(file)?);
+            Ok(TraceOutput {
+                text: obs::timeline::render(&kept),
+                differs: false,
+            })
+        }
+        TraceAction::Diff { left, right, limit } => {
+            let l = load_trace(left)?;
+            let r = load_trace(right)?;
+            let d = obs::diff::diff(&l, &r, *limit);
+            Ok(TraceOutput {
+                text: d.render(),
+                differs: !d.is_empty(),
+            })
+        }
+    }
 }
 
 #[cfg(test)]

@@ -36,7 +36,7 @@
 //! use hybrid_cluster::workload::generator::WorkloadSpec;
 //!
 //! // The paper's cluster under dualboot-oscar v2.0, FCFS policy.
-//! let config = SimConfig::eridani_v2(42);
+//! let config = SimConfig::builder().v2().seed(42).build();
 //! let trace = WorkloadSpec::campus_default(42).generate();
 //! let result = Simulation::new(config, trace).run();
 //! assert_eq!(result.unfinished, 0);
@@ -56,6 +56,7 @@ pub use dualboot_des as des;
 pub use dualboot_grid as grid;
 pub use dualboot_hw as hw;
 pub use dualboot_net as net;
+pub use dualboot_obs as obs;
 pub use dualboot_sched as sched;
 pub use dualboot_workload as workload;
 
@@ -72,6 +73,7 @@ pub mod prelude {
     pub use dualboot_core::{Action, FcfsPolicy, LinuxDaemon, SwitchPolicy, WindowsDaemon};
     pub use dualboot_des::time::{SimDuration, SimTime};
     pub use dualboot_grid::{GridResult, GridSim, GridSpec, RoutePolicy};
+    pub use dualboot_obs::{HotLoopProfile, ObsConfig, ObsEvent, ObsSink, Subsystem, TraceRecord};
     pub use dualboot_sched::job::{JobId, JobKind, JobRequest};
     pub use dualboot_sched::scheduler::Scheduler;
     pub use dualboot_workload::generator::{SubmitEvent, WorkloadSpec};

@@ -25,7 +25,7 @@ fn mixed_trace(seed: u64) -> Vec<SubmitEvent> {
 }
 
 fn run_v2(seed: u64, plan: FaultPlan) -> SimResult {
-    let mut cfg = SimConfig::eridani_v2(seed);
+    let mut cfg = SimConfig::builder().v2().seed(seed).build();
     cfg.faults = plan;
     Simulation::new(cfg, mixed_trace(seed)).run()
 }
@@ -81,8 +81,8 @@ fn default_campaign_strands_v1_nodes_but_not_v2() {
         cfg.faults = FaultPlan::default_chaos(seed);
         Simulation::new(cfg, mixed_trace(seed)).run()
     };
-    let v1 = run(SimConfig::eridani_v1(seed));
-    let v2 = run(SimConfig::eridani_v2(seed));
+    let v1 = run(SimConfig::builder().v1().seed(seed).build());
+    let v2 = run(SimConfig::builder().v2().seed(seed).build());
     assert_eq!(v1.faults.reimages, 1);
     assert!(
         v1.boot_failures > 0,
@@ -98,7 +98,7 @@ fn total_blackout_exercises_retry_then_abandon() {
     // machinery, and — unlike a merely lossy link — fully deterministic:
     // every reboot order must be retried on the backoff schedule and
     // finally abandoned, releasing its bookkeeping.
-    let mut cfg = SimConfig::eridani_v2(47);
+    let mut cfg = SimConfig::builder().v2().seed(47).build();
     cfg.initial_linux_nodes = 8;
     cfg.faults = FaultPlan {
         seed: 47,
@@ -156,7 +156,7 @@ fn supervised_campaign_quarantines_instead_of_stranding() {
         Simulation::new(cfg, mixed_trace(seed)).run()
     };
 
-    let v1 = run(SimConfig::eridani_v1(seed));
+    let v1 = run(SimConfig::builder().v1().seed(seed).build());
     let h = &v1.health;
     assert!(h.boot_retries >= 2, "watchdog retried the dead boot chain");
     assert_eq!(h.quarantines, 1, "retries exhausted exactly once");
@@ -173,7 +173,7 @@ fn supervised_campaign_quarantines_instead_of_stranding() {
     assert_eq!(h.daemon_crashes, 1);
     assert_eq!(h.daemon_restarts, 1, "journal replay brought the head back");
 
-    let v2 = run(SimConfig::eridani_v2(seed));
+    let v2 = run(SimConfig::builder().v2().seed(seed).build());
     assert_eq!(v2.health.quarantines, 0, "nothing to quarantine on v2");
     assert!(v2.health.quarantined_nodes.is_empty());
     assert_eq!(v2.health.daemon_crashes, 1);
@@ -193,7 +193,7 @@ fn identical_seed_and_plan_are_bit_identical() {
 fn chaotic_replication_is_bit_identical_across_worker_counts() {
     let seeds: Vec<u64> = (1..=8).collect();
     let build = |seed: u64| {
-        let mut cfg = SimConfig::eridani_v2(seed);
+        let mut cfg = SimConfig::builder().v2().seed(seed).build();
         cfg.faults = FaultPlan::default_chaos(seed);
         (cfg, mixed_trace(seed))
     };

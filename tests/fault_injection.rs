@@ -126,7 +126,7 @@ fn v1_corrupt_control_file_bricks_the_switch_v2_immune() {
 fn sim_power_reset_on_idle_node_recovers() {
     // In the full simulation, a reset on an idle node is a non-event: the
     // node reboots and re-registers, and the workload completes.
-    let mut cfg = SimConfig::eridani_v2(77);
+    let mut cfg = SimConfig::builder().v2().seed(77).build();
     cfg.faults.events.push(FaultEvent {
         at: SimTime::from_mins(2),
         kind: FaultKind::PowerReset { node: 16 }, // idle node
@@ -152,7 +152,7 @@ fn sim_power_reset_on_idle_node_recovers() {
 
 #[test]
 fn sim_power_reset_kills_running_job_but_cluster_recovers() {
-    let mut cfg = SimConfig::eridani_v2(78);
+    let mut cfg = SimConfig::builder().v2().seed(78).build();
     // All 16 nodes get one job each at ~t=61s; reset node 1 mid-run.
     cfg.faults.events.push(FaultEvent {
         at: SimTime::from_mins(10),
@@ -182,7 +182,7 @@ fn sim_reset_storm_sweeps_nodes_and_recovers() {
     // A PDU brown-out resets four consecutive nodes 30 s apart. Every
     // reset is executed, the killed jobs are counted, and the cluster
     // still serves the rest of the workload.
-    let mut cfg = SimConfig::eridani_v2(79);
+    let mut cfg = SimConfig::builder().v2().seed(79).build();
     cfg.faults.events.push(FaultEvent {
         at: SimTime::from_mins(10),
         kind: FaultKind::PowerResetStorm {

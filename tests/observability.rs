@@ -1,0 +1,287 @@
+//! The observability bus end to end: determinism of the recorded trace,
+//! reconciliation of bus counts against the result sheet, and the CLI
+//! surface (`--trace-out`, `trace diff/filter/timeline`, the JSON
+//! envelope).
+//!
+//! Determinism is the load-bearing property: two runs with the same seed
+//! must record byte-identical traces — with faults on or off, with
+//! supervision on or off — because the trace-diff CI gate and the
+//! replicate machinery both assume it.
+
+use hybrid_cluster::cli::{self, Command};
+use hybrid_cluster::cluster::SupervisionConfig;
+use hybrid_cluster::obs;
+use hybrid_cluster::prelude::*;
+
+fn traced_run(seed: u64, faults: bool, supervision: bool) -> (Vec<TraceRecord>, SimResult) {
+    let mut b = SimConfig::builder()
+        .v2()
+        .seed(seed)
+        .observe(ObsConfig::recording());
+    if faults {
+        b = b.faults(FaultPlan::default_chaos(seed));
+    }
+    if !supervision {
+        b = b.supervision(SupervisionConfig {
+            watchdog: false,
+            journal: false,
+            ..SupervisionConfig::default()
+        });
+    }
+    let trace = WorkloadSpec::campus_default(seed).generate();
+    let sim = Simulation::new(b.build(), trace);
+    let sink = sim.obs().clone();
+    let result = sim.run();
+    (sink.snapshot(), result)
+}
+
+fn count(recs: &[TraceRecord], pred: impl Fn(&ObsEvent) -> bool) -> u64 {
+    recs.iter().filter(|r| pred(&r.event)).count() as u64
+}
+
+fn fault_kind(recs: &[TraceRecord], k: &str) -> u64 {
+    count(recs, |e| matches!(e, ObsEvent::FaultInjected { kind } if kind == k))
+}
+
+// ---------------------------------------------------------------------
+// determinism
+// ---------------------------------------------------------------------
+
+#[test]
+fn same_seed_traces_identically_in_every_quadrant() {
+    for faults in [false, true] {
+        for supervision in [false, true] {
+            let (a, ra) = traced_run(11, faults, supervision);
+            let (b, rb) = traced_run(11, faults, supervision);
+            assert!(!a.is_empty(), "the bus recorded nothing");
+            assert_eq!(
+                format!("{ra:?}"),
+                format!("{rb:?}"),
+                "faults={faults} supervision={supervision}"
+            );
+            let d = obs::diff::diff(&a, &b, 5);
+            assert!(
+                d.is_empty(),
+                "faults={faults} supervision={supervision}:\n{}",
+                d.render()
+            );
+        }
+    }
+}
+
+#[test]
+fn different_seeds_diverge_in_the_trace() {
+    let (a, _) = traced_run(11, true, true);
+    let (b, _) = traced_run(12, true, true);
+    let d = obs::diff::diff(&a, &b, 5);
+    assert!(!d.is_empty(), "seeds 11 and 12 recorded identical traces");
+    assert!(d.mismatches() > 0);
+}
+
+#[test]
+fn disabled_bus_records_nothing() {
+    let cfg = SimConfig::builder().v2().seed(11).build();
+    let trace = WorkloadSpec::campus_default(11).generate();
+    let sim = Simulation::new(cfg, trace);
+    let sink = sim.obs().clone();
+    assert!(!sink.is_enabled());
+    sim.run();
+    assert!(sink.snapshot().is_empty());
+}
+
+// ---------------------------------------------------------------------
+// reconciliation against the result sheet
+// ---------------------------------------------------------------------
+
+#[test]
+fn bus_counts_reconcile_with_fault_and_health_stats() {
+    let (recs, r) = traced_run(7, true, true);
+
+    // Fault injections mirror the FaultStats counters one for one. A
+    // reimage also power-cycles, so both kinds count independently.
+    assert_eq!(fault_kind(&recs, "power-reset"), u64::from(r.faults.power_resets));
+    assert_eq!(fault_kind(&recs, "mid-switch-reimage"), u64::from(r.faults.reimages));
+    assert_eq!(fault_kind(&recs, "pxe-outage"), u64::from(r.faults.pxe_outages));
+    assert_eq!(
+        fault_kind(&recs, "scheduler-outage"),
+        u64::from(r.faults.scheduler_outages)
+    );
+    assert_eq!(fault_kind(&recs, "daemon-crash"), u64::from(r.health.daemon_crashes));
+    assert_eq!(
+        fault_kind(&recs, "operator-repair"),
+        u64::from(r.health.operator_repairs)
+    );
+
+    // Supervisor lifecycle events mirror HealthStats.
+    assert_eq!(
+        count(&recs, |e| matches!(e, ObsEvent::BootRetried { .. })),
+        r.health.boot_retries
+    );
+    assert_eq!(
+        count(&recs, |e| matches!(e, ObsEvent::BootDeadlineExpired)),
+        r.health.deadline_expirations
+    );
+    assert_eq!(
+        count(&recs, |e| matches!(e, ObsEvent::NodeQuarantined)),
+        r.health.quarantines
+    );
+    assert_eq!(
+        count(&recs, |e| matches!(e, ObsEvent::NodeRecovered)),
+        r.health.recoveries
+    );
+    assert_eq!(
+        count(&recs, |e| matches!(e, ObsEvent::DaemonRestarted { .. })),
+        u64::from(r.health.daemon_restarts)
+    );
+
+    // Link-fault and daemon resilience counters.
+    assert_eq!(count(&recs, |e| matches!(e, ObsEvent::MsgDropped)), r.faults.msgs_dropped);
+    assert_eq!(
+        count(&recs, |e| matches!(e, ObsEvent::MsgDelayed { .. })),
+        r.faults.msgs_delayed
+    );
+    assert_eq!(
+        count(&recs, |e| matches!(e, ObsEvent::MsgDuplicated)),
+        r.faults.msgs_duplicated
+    );
+    assert_eq!(
+        count(&recs, |e| matches!(e, ObsEvent::OrderRetried { .. })),
+        r.faults.order_retries
+    );
+    assert_eq!(
+        count(&recs, |e| matches!(e, ObsEvent::OrderAbandoned { .. })),
+        r.faults.orders_abandoned
+    );
+    assert_eq!(
+        count(&recs, |e| matches!(e, ObsEvent::DupOrderIgnored { .. })),
+        r.faults.dup_orders_ignored
+    );
+    assert_eq!(
+        count(&recs, |e| matches!(e, ObsEvent::StaleReportIgnored)),
+        r.faults.stale_reports_ignored
+    );
+
+    // Jobs killed by power cycles.
+    assert_eq!(count(&recs, |e| matches!(e, ObsEvent::JobKilled { .. })), u64::from(r.killed));
+
+    // The per-subsystem counters sum to the record count (append mode).
+    let sink = ObsSink::recording();
+    for rec in &recs {
+        sink.set_now(rec.at);
+        sink.emit(rec.subsystem, rec.node, rec.event.clone());
+    }
+    let total: u64 = sink.counters().iter().map(|(_, n)| *n).sum();
+    assert_eq!(total, recs.len() as u64);
+}
+
+// ---------------------------------------------------------------------
+// the CLI surface
+// ---------------------------------------------------------------------
+
+fn argv(xs: &[&str]) -> Vec<String> {
+    xs.iter().map(|s| s.to_string()).collect()
+}
+
+#[test]
+fn simulate_json_wears_the_v1_envelope() {
+    let Ok(Command::Simulate(sim)) =
+        Command::parse(&argv(&["simulate", "--json", "--seed", "7", "--hours", "6"]))
+    else {
+        panic!("parse failed")
+    };
+    // Offline builds substitute a typecheck-only serde_json that cannot
+    // serialise; skip the golden check there.
+    let Ok(out) = std::panic::catch_unwind(|| cli::run_simulate(&sim)) else { return };
+    let out = out.unwrap();
+    assert!(
+        out.starts_with("{\"schema\":\"dualboot/v1\",\"kind\":\"simulate\",\"result\":{"),
+        "unexpected envelope prefix: {}",
+        &out[..out.len().min(80)]
+    );
+    assert!(out.ends_with("}\n"));
+}
+
+#[test]
+fn grid_json_wears_the_v1_envelope() {
+    let Ok(Command::Grid(grid)) = Command::parse(&argv(&["grid", "--json", "--seed", "7"]))
+    else {
+        panic!("parse failed")
+    };
+    let Ok(out) = std::panic::catch_unwind(|| cli::run_grid(&grid)) else { return };
+    let out = out.unwrap();
+    assert!(
+        out.starts_with("{\"schema\":\"dualboot/v1\",\"kind\":\"grid\",\"result\":"),
+        "unexpected envelope prefix: {}",
+        &out[..out.len().min(80)]
+    );
+}
+
+#[test]
+fn trace_out_files_round_trip_through_the_cli() {
+    let dir = std::env::temp_dir();
+    let p1 = dir.join(format!("dualboot-obs-{}-a.jsonl", std::process::id()));
+    let p2 = dir.join(format!("dualboot-obs-{}-b.jsonl", std::process::id()));
+    let write = |p: &std::path::Path| {
+        let Ok(Command::Simulate(sim)) = Command::parse(&argv(&[
+            "simulate",
+            "--seed",
+            "3",
+            "--hours",
+            "6",
+            "--trace-out",
+            p.to_str().unwrap(),
+        ])) else {
+            panic!("parse failed")
+        };
+        cli::run_simulate(&sim).unwrap();
+    };
+    // The JSONL writer needs a real serde_json; skip under offline stubs.
+    if std::panic::catch_unwind(|| write(&p1)).is_err() {
+        return;
+    }
+    write(&p2);
+
+    // Same seed, two runs: the diff must be empty and exit clean.
+    let Ok(Command::Trace(action)) =
+        Command::parse(&argv(&["trace", "diff", p1.to_str().unwrap(), p2.to_str().unwrap()]))
+    else {
+        panic!("parse failed")
+    };
+    let out = cli::run_trace_tool(&action).unwrap();
+    assert!(!out.differs, "same-seed traces differ:\n{}", out.text);
+
+    // The exported file parses back and the timeline renders.
+    let recs = obs::from_jsonl(&std::fs::read_to_string(&p1).unwrap()).unwrap();
+    assert!(!recs.is_empty());
+    let Ok(Command::Trace(action)) =
+        Command::parse(&argv(&["trace", "timeline", p1.to_str().unwrap()]))
+    else {
+        panic!("parse failed")
+    };
+    let out = cli::run_trace_tool(&action).unwrap();
+    assert!(!out.differs);
+    assert!(out.text.lines().count() > 1);
+
+    // Filtering to one subsystem keeps only its records.
+    let Ok(Command::Trace(action)) = Command::parse(&argv(&[
+        "trace",
+        "filter",
+        p1.to_str().unwrap(),
+        "--subsystem",
+        "supervisor",
+    ])) else {
+        panic!("parse failed")
+    };
+    let out = cli::run_trace_tool(&action).unwrap();
+    let kept = obs::from_jsonl(&out.text).unwrap();
+    assert!(kept.iter().all(|r| r.subsystem == Subsystem::Supervisor));
+
+    let _ = std::fs::remove_file(&p1);
+    let _ = std::fs::remove_file(&p2);
+}
+
+#[test]
+fn grid_trace_out_requires_a_single_routing_policy() {
+    let err = Command::parse(&argv(&["grid", "--trace-out", "/tmp/x.jsonl"]));
+    assert!(err.is_err(), "grid --trace-out without --routing must be rejected");
+}

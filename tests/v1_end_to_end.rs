@@ -38,7 +38,7 @@ fn v1_deploy_boot_schedule_switch_complete() {
     assert!(fat.exists("controlmenu_to_windows.lst"));
 
     // 4. Run a full v1 simulation over a mixed day.
-    let cfg = SimConfig::eridani_v1(41);
+    let cfg = SimConfig::builder().v1().seed(41).build();
     let trace = WorkloadSpec {
         duration: SimDuration::from_hours(4),
         jobs_per_hour: 10.0,
@@ -115,8 +115,8 @@ fn v1_and_v2_reach_the_same_steady_state() {
     }
     .generate();
     let total = trace.len() as u32;
-    let v1 = Simulation::new(SimConfig::eridani_v1(43), trace.clone()).run();
-    let v2 = Simulation::new(SimConfig::eridani_v2(43), trace).run();
+    let v1 = Simulation::new(SimConfig::builder().v1().seed(43).build(), trace.clone()).run();
+    let v2 = Simulation::new(SimConfig::builder().v2().seed(43).build(), trace).run();
     assert_eq!(v1.total_completed(), total);
     assert_eq!(v2.total_completed(), total);
     assert_eq!(v1.completed, v2.completed);

@@ -7,7 +7,7 @@
 //! scheduler, the Linux head thread owns PBS — and asserts the five-step
 //! cycle lands a switch job through the schedulers.
 
-use hybrid_cluster::middleware::daemon::{Action, ControlEvent, LinuxDaemon, WindowsDaemon};
+use hybrid_cluster::middleware::daemon::{Action, LinuxDaemon, WindowsDaemon};
 use hybrid_cluster::middleware::detector::{PbsDetector, WinDetector};
 use hybrid_cluster::middleware::policy::FcfsPolicy;
 use hybrid_cluster::middleware::Version;
@@ -26,10 +26,17 @@ fn t(s: u64) -> SimTime {
 fn five_step_cycle_over_tcp() {
     let (listener, addr) = TcpTransport::listen("127.0.0.1:0".parse().unwrap()).unwrap();
 
+    // One shared observability sink spans both head-node threads: the bus
+    // interleaves their emissions, which is exactly how the Figure-11
+    // order is asserted at the end.
+    let sink = ObsSink::recording();
+    let wsink = sink.clone();
+
     // --- Windows head thread ------------------------------------------
     let windows_head = std::thread::spawn(move || {
         let transport = TcpTransport::accept(&listener).unwrap();
         let mut daemon = WindowsDaemon::new(transport);
+        daemon.set_obs(wsink);
         let mut sched = WinHpcScheduler::eridani();
         // The Windows side has no nodes yet and one queued job: stuck.
         sched.submit(
@@ -52,6 +59,7 @@ fn five_step_cycle_over_tcp() {
     // --- Linux head (this thread) --------------------------------------
     let transport = TcpTransport::connect(addr).unwrap();
     let mut daemon = LinuxDaemon::new(Version::V2, transport, FcfsPolicy);
+    daemon.set_obs(sink.clone());
     let mut pbs = PbsScheduler::eridani();
     for i in 1..=16 {
         pbs.register_node(&format!("enode{i:02}.eridani.qgg.hud.ac.uk"), 4);
@@ -97,23 +105,21 @@ fn five_step_cycle_over_tcp() {
         .iter()
         .all(|d| pbs.job(d.job).unwrap().is_switch()));
 
-    // The Linux daemon's trace shows the full step order.
-    let evs: Vec<&ControlEvent> = daemon.trace().entries().iter().map(|(_, e)| e).collect();
-    assert!(matches!(evs[0], ControlEvent::WinStateReceived(_)));
-    assert!(evs
-        .iter()
-        .any(|e| matches!(e, ControlEvent::FlagSet(OsKind::Windows))));
+    // The Linux daemon's bus records show the full step order.
+    let evs = sink.events_of(Subsystem::LinuxDaemon);
+    assert!(matches!(evs[0], ObsEvent::WinStateReceived { .. }));
+    assert!(evs.iter().any(|e| matches!(
+        e,
+        ObsEvent::FlagSet {
+            target: OsKind::Windows
+        }
+    )));
 
-    let windows_daemon = windows_head.join().unwrap();
-    // The Windows daemon's trace shows steps 1-2.
-    let wevs: Vec<&ControlEvent> = windows_daemon
-        .trace()
-        .entries()
-        .iter()
-        .map(|(_, e)| e)
-        .collect();
-    assert!(matches!(wevs[0], ControlEvent::WinStateFetched(_)));
-    assert!(matches!(wevs[1], ControlEvent::WinStateSent));
+    windows_head.join().unwrap();
+    // The Windows daemon's bus records show steps 1-2.
+    let wevs = sink.events_of(Subsystem::WindowsDaemon);
+    assert!(matches!(wevs[0], ObsEvent::WinStateFetched { .. }));
+    assert!(matches!(wevs[1], ObsEvent::WinStateSent));
 }
 
 #[test]
