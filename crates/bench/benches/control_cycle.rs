@@ -45,7 +45,11 @@ fn bench_full_poll_cycle(c: &mut Criterion) {
     let win_out = WinDetector.run(&win.api());
     let mut pbs = PbsScheduler::eridani();
     for i in 1..=16 {
-        pbs.register_node(&format!("enode{i:02}.eridani.qgg.hud.ac.uk"), 4);
+        pbs.register_node(
+            dualboot_bootconf::node::NodeId(i),
+            &format!("enode{i:02}.eridani.qgg.hud.ac.uk"),
+            4,
+        );
     }
     let qstat = qstat_f(&pbs);
 

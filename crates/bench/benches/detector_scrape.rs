@@ -14,13 +14,18 @@ use dualboot_sched::job::JobRequest;
 use dualboot_sched::pbs::PbsScheduler;
 use dualboot_sched::pbs_text::{parse_pbsnodes, pbsnodes, qstat_f};
 use dualboot_sched::scheduler::Scheduler;
+use dualboot_bootconf::node::NodeId;
 use dualboot_sched::winhpc::WinHpcScheduler;
 use std::hint::black_box;
 
 fn pbs_with(nodes: u32, queued_jobs: u32) -> PbsScheduler {
     let mut s = PbsScheduler::eridani();
     for i in 1..=nodes {
-        s.register_node(&format!("enode{i:02}.eridani.qgg.hud.ac.uk"), 4);
+        s.register_node(
+            NodeId(i as u16),
+            &format!("enode{i:02}.eridani.qgg.hud.ac.uk"),
+            4,
+        );
     }
     for k in 0..queued_jobs {
         s.submit(
@@ -72,7 +77,7 @@ fn bench_win_sdk(c: &mut Criterion) {
     // The asymmetry the paper describes: the SDK path has no text at all.
     let mut s = WinHpcScheduler::eridani();
     for i in 1..=16 {
-        s.register_node(&format!("enode{i:02}.eridani.qgg.hud.ac.uk"), 4);
+        s.register_node(NodeId(i), &format!("enode{i:02}.eridani.qgg.hud.ac.uk"), 4);
     }
     for k in 0..64 {
         s.submit(

@@ -1,0 +1,156 @@
+//! Scale sweep: wall-clock cost of `Simulation::run` as the cluster and
+//! workload grow (16 → 4096 nodes).
+//!
+//! The paper's deployment is 16 nodes, but a reusable middleware must not
+//! melt on a real campus cluster. This harness plays a dispatch-heavy
+//! synthetic workload (or an SWF trace) at every node count and reports
+//! wall-clock, jobs/s and events-derived throughput as bench-comparable
+//! JSON on stdout.
+//!
+//! ```sh
+//! cargo run --release -p dualboot-bench --bin scale             # full sweep
+//! cargo run --release -p dualboot-bench --bin scale -- --smoke  # CI subset
+//! cargo run --release -p dualboot-bench --bin scale -- --swf trace.swf
+//! ```
+//!
+//! The JSON is hand-formatted (flat numbers and strings only) so the
+//! harness stays dependency-free and the output is diffable across runs.
+
+use dualboot_cluster::{SimConfig, Simulation};
+use dualboot_des::time::SimDuration;
+use dualboot_workload::generator::{SubmitEvent, WorkloadSpec};
+use dualboot_workload::swf::{import, SwfImportOptions};
+use std::time::Instant;
+
+/// One measured point of the sweep.
+struct Point {
+    nodes: u16,
+    jobs: usize,
+    wall_ms: f64,
+    completed: u32,
+    unfinished: u32,
+    switches: u32,
+    jobs_per_s: f64,
+}
+
+/// A dispatch-heavy synthetic trace sized to the cluster: mostly 1-node
+/// jobs at high offered load, with enough Windows work to keep the
+/// middleware switching. Job count scales linearly with the node count,
+/// so every sweep point stresses the same per-job paths.
+fn synthetic_trace(seed: u64, nodes: u16, cores_per_node: u32, hours: u64) -> Vec<SubmitEvent> {
+    WorkloadSpec {
+        duration: SimDuration::from_hours(hours),
+        mean_runtime: SimDuration::from_mins(8),
+        runtime_sigma: 0.4,
+        windows_fraction: 0.25,
+        node_weights: vec![0.8, 0.15, 0.05],
+        ..WorkloadSpec::campus_default(seed)
+    }
+    .with_offered_load(0.85, u32::from(nodes) * cores_per_node)
+    .generate()
+}
+
+fn measure(nodes: u16, trace: Vec<SubmitEvent>, seed: u64) -> Point {
+    let cfg = SimConfig::builder()
+        .v2()
+        .seed(seed)
+        .nodes(nodes, 4)
+        .build();
+    let jobs = trace.len();
+    let sim = Simulation::new(cfg, trace);
+    let started = Instant::now();
+    let r = sim.run();
+    let wall = started.elapsed();
+    let wall_ms = wall.as_secs_f64() * 1e3;
+    Point {
+        nodes,
+        jobs,
+        wall_ms,
+        completed: r.total_completed(),
+        unfinished: r.unfinished,
+        switches: r.switches,
+        jobs_per_s: jobs as f64 / wall.as_secs_f64().max(1e-9),
+    }
+}
+
+fn fmt_f(v: f64) -> String {
+    // Stable fixed-point form; the values are milliseconds / rates, three
+    // decimals is plenty and avoids exponent notation in the JSON.
+    format!("{v:.3}")
+}
+
+fn emit_json(mode: &str, workload: &str, points: &[Point]) {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"bench\": \"scale\",\n  \"mode\": \"{mode}\",\n"));
+    out.push_str(&format!("  \"workload\": \"{workload}\",\n  \"results\": [\n"));
+    for (i, p) in points.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"nodes\": {}, \"jobs\": {}, \"wall_ms\": {}, \"jobs_per_s\": {}, \
+             \"completed\": {}, \"unfinished\": {}, \"switches\": {}}}{}\n",
+            p.nodes,
+            p.jobs,
+            fmt_f(p.wall_ms),
+            fmt_f(p.jobs_per_s),
+            p.completed,
+            p.unfinished,
+            p.switches,
+            if i + 1 < points.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}");
+    println!("{out}");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let swf_path = args
+        .iter()
+        .position(|a| a == "--swf")
+        .and_then(|i| args.get(i + 1));
+    let seed = 2012u64;
+
+    let sweep: &[u16] = if smoke {
+        &[16, 64, 256]
+    } else {
+        &[16, 64, 256, 1024, 4096]
+    };
+    let mode = if smoke { "smoke" } else { "full" };
+
+    let mut points = Vec::new();
+    match swf_path {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("cannot read SWF {path}: {e}");
+                std::process::exit(2);
+            });
+            let trace = import(&text, &SwfImportOptions::default()).unwrap_or_else(|e| {
+                eprintln!("SWF import failed: {e}");
+                std::process::exit(2);
+            });
+            for &n in sweep {
+                points.push(measure(n, trace.clone(), seed));
+                eprintln!(
+                    "nodes={n:>5}  wall={:>10.1} ms  jobs/s={:>10.0}",
+                    points.last().unwrap().wall_ms,
+                    points.last().unwrap().jobs_per_s
+                );
+            }
+            emit_json(mode, "swf", &points);
+        }
+        None => {
+            // Short horizon in smoke mode keeps the CI lane quick.
+            let hours = if smoke { 2 } else { 6 };
+            for &n in sweep {
+                let trace = synthetic_trace(seed, n, 4, hours);
+                points.push(measure(n, trace, seed));
+                eprintln!(
+                    "nodes={n:>5}  wall={:>10.1} ms  jobs/s={:>10.0}",
+                    points.last().unwrap().wall_ms,
+                    points.last().unwrap().jobs_per_s
+                );
+            }
+            emit_json(mode, "synthetic", &points);
+        }
+    }
+}

@@ -25,9 +25,11 @@ pub mod grub;
 pub mod grub4dos;
 pub mod idedisk;
 pub mod mac;
+pub mod node;
 pub mod os;
 pub mod oscarimage;
 
 pub use error::ParseError;
 pub use mac::MacAddr;
+pub use node::NodeId;
 pub use os::OsKind;

@@ -1,0 +1,69 @@
+//! The cluster-wide compute-node identifier.
+//!
+//! Lives in `bootconf` (the bottom of the crate stack) so that every layer
+//! — boot configuration, schedulers, daemons, the cluster simulator and
+//! grid reports — can share one newtype without dependency cycles.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A 1-based compute-node identifier (`NodeId(1)` is `enode01`), matching
+/// the Eridani hostname and fault-plan numbering. The newtype keeps trace
+/// events, fault schedules and simulator accessors agreeing on what a
+/// "node number" means — historically some APIs took a raw 1-based `u16`
+/// and others a 0-based index, a reliable source of off-by-one bugs.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+#[serde(transparent)]
+pub struct NodeId(pub u16);
+
+impl NodeId {
+    /// The 1-based node number (what the hostname carries).
+    pub fn get(self) -> u16 {
+        self.0
+    }
+
+    /// The 0-based index into dense per-node arrays. `NodeId(0)` is not a
+    /// valid node; callers should never construct one, and this saturates
+    /// rather than wrapping if they do.
+    pub fn index0(self) -> usize {
+        usize::from(self.0.saturating_sub(1))
+    }
+
+    /// The [`NodeId`] for a 0-based dense-array index (inverse of
+    /// [`index0`](Self::index0)).
+    pub fn from_index0(index: usize) -> Self {
+        NodeId(u16::try_from(index + 1).unwrap_or(u16::MAX))
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node{:02}", self.0)
+    }
+}
+
+impl From<u16> for NodeId {
+    fn from(index_1based: u16) -> Self {
+        NodeId(index_1based)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips_index0() {
+        assert_eq!(NodeId(1).index0(), 0);
+        assert_eq!(NodeId::from_index0(0), NodeId(1));
+        assert_eq!(NodeId::from_index0(NodeId(4096).index0()), NodeId(4096));
+    }
+
+    #[test]
+    fn display_matches_hostname_numbering() {
+        assert_eq!(NodeId(7).to_string(), "node07");
+        assert_eq!(NodeId(128).to_string(), "node128");
+    }
+}

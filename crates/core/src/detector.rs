@@ -15,8 +15,10 @@
 
 use dualboot_bootconf::error::ParseError;
 use dualboot_net::wire::DetectorReport;
-use dualboot_sched::pbs_text::{self, QstatJob};
-use dualboot_sched::scheduler::QueueSnapshot;
+use dualboot_sched::caltime::format_ctime;
+use dualboot_sched::pbs::PbsScheduler;
+use dualboot_sched::pbs_text::{self, QstatJob, ScrapedQueueState};
+use dualboot_sched::scheduler::{QueueSnapshot, Scheduler as _};
 use dualboot_sched::winhpc::HpcApi;
 use serde::{Deserialize, Serialize};
 
@@ -51,7 +53,53 @@ impl PbsDetector {
 
     /// Detector logic over already-scraped jobs.
     pub fn from_jobs(&self, jobs: &[QstatJob]) -> DetectorOutput {
-        let state = pbs_text::summarize(jobs);
+        Self::render(&pbs_text::summarize(jobs), jobs)
+    }
+
+    /// Run the detector straight off the scheduler, skipping the text
+    /// round-trip. The output is **byte-identical** to
+    /// `run(&qstat_f(s))` — `snapshot()` distils exactly what
+    /// `summarize(parse_qstat_f(..))` scrapes (queue order is id order,
+    /// so the head of the queue is the first `Q` block in the text), and
+    /// the running-job detail block is rebuilt from the same fields the
+    /// emitter prints. The `direct_path_matches_text_scrape` test holds
+    /// the two paths together.
+    ///
+    /// The simulation's recurring poll uses this path so an idle or
+    /// steady-state cycle is O(1) instead of O(jobs + nodes) of text;
+    /// the emit→parse pair stays the reference implementation.
+    pub fn run_direct(&self, s: &PbsScheduler) -> DetectorOutput {
+        let snap = s.snapshot();
+        let state = ScrapedQueueState {
+            running: snap.running,
+            queued: snap.queued,
+            first_queued_cpus: snap.first_queued_cpus,
+            first_queued_id: snap.first_queued_id,
+        };
+        if state.running > 0 && state.queued == 0 {
+            // The only branch that prints per-job detail lines: rebuild
+            // the scraped view of each running job (O(running)).
+            let jobs: Vec<QstatJob> = s
+                .running_jobs()
+                .map(|j| QstatJob {
+                    id: s.full_id(j.id),
+                    name: j.req.name.clone(),
+                    owner: format!("{}@{}", j.req.owner, s.server()),
+                    state: 'R',
+                    nodes: j.req.nodes,
+                    ppn: j.req.ppn,
+                    qtime: format_ctime(j.submitted_at),
+                    walltime: j.req.walltime,
+                })
+                .collect();
+            return Self::render(&state, &jobs);
+        }
+        Self::render(&state, &[])
+    }
+
+    /// Shared Figure-6 rendering; `jobs` is only consulted for the
+    /// running-no-queuing detail block.
+    fn render(state: &ScrapedQueueState, jobs: &[QstatJob]) -> DetectorOutput {
         let report = if state.is_stuck() {
             DetectorReport::stuck(
                 state.first_queued_cpus.unwrap_or(0),
@@ -136,6 +184,7 @@ impl WinDetector {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dualboot_bootconf::node::NodeId;
     use dualboot_bootconf::os::OsKind;
     use dualboot_des::time::{SimDuration, SimTime};
     use dualboot_sched::job::JobRequest;
@@ -152,7 +201,7 @@ mod tests {
     fn pbs16() -> PbsScheduler {
         let mut s = PbsScheduler::eridani();
         for i in 1..=16 {
-            s.register_node(&format!("enode{i:02}.eridani.qgg.hud.ac.uk"), 4);
+            s.register_node(NodeId(i), &format!("enode{i:02}.eridani.qgg.hud.ac.uk"), 4);
         }
         s
     }
@@ -205,7 +254,7 @@ mod tests {
     fn fig6_output3_stuck() {
         let mut s = pbs16();
         for i in 1..=16 {
-            s.set_node_offline(&format!("enode{i:02}.eridani.qgg.hud.ac.uk"));
+            s.set_node_offline(NodeId(i));
         }
         for _ in 0..7 {
             s.submit(
@@ -246,9 +295,60 @@ mod tests {
     }
 
     #[test]
+    fn direct_path_matches_text_scrape() {
+        // The fast path must be indistinguishable from the Perl-style
+        // text scrape — full struct equality, debug text included —
+        // through every queue state the detector classifies.
+        let check = |s: &PbsScheduler, what: &str| {
+            let scraped = PbsDetector.run(&qstat_f(s)).unwrap();
+            let direct = PbsDetector.run_direct(s);
+            assert_eq!(direct, scraped, "direct != scraped ({what})");
+        };
+        let mut s = pbs16();
+        check(&s, "empty queue");
+        // Several running jobs, nothing queued: the detail-block branch.
+        let mut ids = Vec::new();
+        for k in 0u64..5 {
+            let submit_at = t(100 * k);
+            let id = s.submit(
+                JobRequest::user(
+                    format!("job{k}"),
+                    OsKind::Linux,
+                    1,
+                    if k % 2 == 0 { 4 } else { 2 },
+                    SimDuration::from_mins(30),
+                ),
+                submit_at,
+            );
+            s.try_dispatch(submit_at);
+            ids.push(id);
+        }
+        check(&s, "running only");
+        // Mixed running + queued (Other state).
+        s.submit(
+            JobRequest::user("wide", OsKind::Linux, 99, 4, SimDuration::from_mins(5)),
+            t(600),
+        );
+        s.try_dispatch(t(600));
+        check(&s, "running and queued");
+        // Completions thin the running set out of id order.
+        s.complete(ids[2], t(700));
+        s.complete(ids[0], t(710));
+        check(&s, "after completes");
+        // Stuck: drain everything, knock the cluster offline, queue one.
+        for &id in &ids {
+            s.complete(id, t(800));
+        }
+        for i in 1..=16 {
+            s.set_node_offline(NodeId(i));
+        }
+        check(&s, "stuck");
+    }
+
+    #[test]
     fn win_detector_same_format() {
         let mut s = WinHpcScheduler::eridani();
-        s.register_node("enode01.eridani.qgg.hud.ac.uk", 4);
+        s.register_node(NodeId(1), "enode01.eridani.qgg.hud.ac.uk", 4);
         let out = WinDetector.run(&s.api());
         assert_eq!(out.text, "00000none\nOther state\nR=0 nR=0\n");
         s.submit(
@@ -274,7 +374,7 @@ mod tests {
     fn scraped_and_api_detectors_agree_on_stuckness() {
         let mut s = pbs16();
         for i in 2..=16 {
-            s.set_node_offline(&format!("enode{i:02}.eridani.qgg.hud.ac.uk"));
+            s.set_node_offline(NodeId(i));
         }
         s.submit(
             JobRequest::user("big", OsKind::Linux, 2, 4, SimDuration::from_mins(5)),

@@ -335,6 +335,7 @@ where
 mod tests {
     use super::*;
     use crate::policy::FcfsPolicy;
+    use dualboot_bootconf::node::NodeId;
     use dualboot_bootconf::os::OsKind;
     use dualboot_des::time::SimDuration;
     use dualboot_net::transport::in_proc_pair;
@@ -365,7 +366,7 @@ mod tests {
         let pbs = Arc::new(Mutex::new(PbsScheduler::eridani()));
         for i in 1..=16 {
             pbs.lock()
-                .register_node(&format!("enode{i:02}.eridani.qgg.hud.ac.uk"), 4);
+                .register_node(NodeId(i), &format!("enode{i:02}.eridani.qgg.hud.ac.uk"), 4);
         }
         let actions = Arc::new(Mutex::new(Vec::new()));
 
@@ -419,7 +420,7 @@ mod tests {
         let win = Arc::new(Mutex::new(WinHpcScheduler::eridani()));
         for i in 1..=4 {
             win.lock()
-                .register_node(&format!("enode{i:02}.eridani.qgg.hud.ac.uk"), 4);
+                .register_node(NodeId(i), &format!("enode{i:02}.eridani.qgg.hud.ac.uk"), 4);
         }
         let pbs = Arc::new(Mutex::new(PbsScheduler::eridani()));
         pbs.lock().submit(
@@ -471,7 +472,7 @@ mod tests {
         let pbs = Arc::new(Mutex::new(PbsScheduler::eridani()));
         for i in 1..=16 {
             pbs.lock()
-                .register_node(&format!("enode{i:02}.eridani.qgg.hud.ac.uk"), 4);
+                .register_node(NodeId(i), &format!("enode{i:02}.eridani.qgg.hud.ac.uk"), 4);
         }
 
         let (lt, wt) = in_proc_pair();

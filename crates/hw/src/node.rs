@@ -14,44 +14,8 @@ use crate::pxe::PxeService;
 use dualboot_bootconf::mac::MacAddr;
 use dualboot_bootconf::os::OsKind;
 use serde::{Deserialize, Serialize};
-use std::fmt;
 
-/// A 1-based compute-node identifier (`NodeId(1)` is `enode01`), matching
-/// the Eridani hostname and fault-plan numbering. The newtype keeps trace
-/// events, fault schedules and simulator accessors agreeing on what a
-/// "node number" means — historically some APIs took a raw 1-based `u16`
-/// and others a 0-based index, a reliable source of off-by-one bugs.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
-#[serde(transparent)]
-pub struct NodeId(pub u16);
-
-impl NodeId {
-    /// The 1-based node number (what the hostname carries).
-    pub fn get(self) -> u16 {
-        self.0
-    }
-
-    /// The 0-based index into dense per-node arrays. `NodeId(0)` is not a
-    /// valid node; callers should never construct one, and this saturates
-    /// rather than wrapping if they do.
-    pub fn index0(self) -> usize {
-        usize::from(self.0.saturating_sub(1))
-    }
-}
-
-impl fmt::Display for NodeId {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "node{:02}", self.0)
-    }
-}
-
-impl From<u16> for NodeId {
-    fn from(index_1based: u16) -> Self {
-        NodeId(index_1based)
-    }
-}
+pub use dualboot_bootconf::node::NodeId;
 
 /// What the firmware tries first.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]

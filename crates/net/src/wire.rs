@@ -113,26 +113,37 @@ impl DetectorReport {
     /// Decode a Figure-5 string. Bytes past position 67 are "undefined"
     /// and ignored, per the table. The minimum is 6 bytes: the state
     /// byte, the 4-digit CPU field, and at least one id byte.
+    ///
+    /// The positions are *byte* positions, and the report arrives off the
+    /// wire — so the decoder works on bytes throughout. A multi-byte
+    /// character anywhere in the fixed prefix is a malformed report
+    /// (`BadState`/`BadCpus`), never a panic; one straddling the id
+    /// truncation point is replaced lossily.
     pub fn decode(s: &str) -> Result<DetectorReport, WireError> {
-        if s.len() < 6 {
-            return Err(WireError::TooShort(s.len()));
+        let b = s.as_bytes();
+        if b.len() < 6 {
+            return Err(WireError::TooShort(b.len()));
         }
-        let state = s.as_bytes()[0] as char;
-        let stuck = match state {
-            '0' => false,
-            '1' => true,
-            c => return Err(WireError::BadState(c)),
+        let stuck = match b[0] {
+            b'0' => false,
+            b'1' => true,
+            c => return Err(WireError::BadState(c as char)),
         };
-        let cpus_field = &s[1..5];
-        let needed_cpus: u32 = cpus_field
-            .parse()
-            .map_err(|_| WireError::BadCpus(cpus_field.to_string()))?;
-        let id_end = s.len().min(5 + MAX_JOB_ID_LEN);
-        let id = &s[5..id_end];
+        let cpus_field = &b[1..5];
+        if !cpus_field.iter().all(u8::is_ascii_digit) {
+            return Err(WireError::BadCpus(
+                String::from_utf8_lossy(cpus_field).into_owned(),
+            ));
+        }
+        let needed_cpus = cpus_field
+            .iter()
+            .fold(0u32, |acc, d| acc * 10 + u32::from(d - b'0'));
+        let id_end = b.len().min(5 + MAX_JOB_ID_LEN);
+        let id = String::from_utf8_lossy(&b[5..id_end]);
         let stuck_job_id = if id == "none" {
             None
         } else {
-            Some(id.to_string())
+            Some(id.into_owned())
         };
         Ok(DetectorReport {
             stuck,
@@ -239,6 +250,51 @@ mod tests {
             DetectorReport::decode("0abcdnone"),
             Err(WireError::BadCpus("abcd".to_string()))
         );
+        // A sign is not a digit, even though `str::parse::<u32>` takes it.
+        assert_eq!(
+            DetectorReport::decode("0+123none"),
+            Err(WireError::BadCpus("+123".to_string()))
+        );
+    }
+
+    #[test]
+    fn decode_survives_multibyte_utf8_at_every_boundary() {
+        // Regression: the decoder used `&s[1..5]` / `&s[5..]` string
+        // slices, which panic when a multi-byte character straddles a
+        // byte boundary. Each case below used to abort the daemon.
+
+        // Multi-byte char inside the CPU field ('€' is 3 bytes, so byte 5
+        // lands mid-character).
+        assert!(matches!(
+            DetectorReport::decode("0€00none"),
+            Err(WireError::BadCpus(_))
+        ));
+        // Multi-byte char at position 0 (state byte).
+        assert!(matches!(
+            DetectorReport::decode("€0000none"),
+            Err(WireError::BadState(_))
+        ));
+        // Multi-byte char straddling the field boundary at byte 4.
+        assert!(matches!(
+            DetectorReport::decode("0000€none"),
+            Err(WireError::BadCpus(_))
+        ));
+        // Multi-byte char right after the prefix: a (weird) valid id.
+        let r = DetectorReport::decode("10004€job").unwrap();
+        assert_eq!(r.stuck_job_id.as_deref(), Some("€job"));
+        // Multi-byte char straddling the 63-byte id truncation point:
+        // byte 68 falls mid-'€'; the split char is replaced, not a panic.
+        let s = format!("10004{}€tail", "x".repeat(MAX_JOB_ID_LEN - 2));
+        let r = DetectorReport::decode(&s).unwrap();
+        let id = r.stuck_job_id.unwrap();
+        assert!(id.starts_with(&"x".repeat(MAX_JOB_ID_LEN - 2)));
+        // Length is measured in bytes, not chars: one '€' is 3 bytes.
+        assert_eq!(DetectorReport::decode("€"), Err(WireError::TooShort(3)));
+        // Two '€' are 6 bytes — long enough, but a bad state byte.
+        assert!(matches!(
+            DetectorReport::decode("€€"),
+            Err(WireError::BadState(_))
+        ));
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Jobs and their lifecycle.
 
+use dualboot_bootconf::node::NodeId;
 use dualboot_bootconf::os::OsKind;
 use dualboot_des::time::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
@@ -162,8 +163,8 @@ pub struct Job {
     pub started_at: Option<SimTime>,
     /// Completion time, once finished.
     pub finished_at: Option<SimTime>,
-    /// Hostnames of the nodes executing the job (PBS `exec_host`).
-    pub exec_hosts: Vec<String>,
+    /// Nodes executing the job (PBS `exec_host`, resolved to ids).
+    pub exec_nodes: Vec<NodeId>,
 }
 
 impl Job {
@@ -227,7 +228,7 @@ mod tests {
             submitted_at: SimTime::from_secs(100),
             started_at: None,
             finished_at: None,
-            exec_hosts: vec![],
+            exec_nodes: vec![],
         };
         assert_eq!(
             j.wait_time(SimTime::from_secs(160)),
@@ -262,7 +263,7 @@ mod tests {
             submitted_at: SimTime::ZERO,
             started_at: None,
             finished_at: None,
-            exec_hosts: vec![],
+            exec_nodes: vec![],
         };
         assert!(j.is_switch());
         j.req = req();

@@ -6,17 +6,24 @@
 //! strict FCFS with no backfill: the head of the queue either fits or
 //! blocks everything behind it — the head-of-line blocking that produces
 //! the "stuck" states the middleware watches for.
+//!
+//! Placement scans only the `avail` index (online nodes with at least one
+//! free slot) rather than every registered node, and `snapshot()` reads
+//! incrementally maintained counters, so neither is O(cluster size).
 
 use crate::job::{Job, JobId, JobRequest, JobState};
 use crate::scheduler::{Dispatch, QueueSnapshot, Scheduler};
+use dualboot_bootconf::node::NodeId;
 use dualboot_bootconf::os::OsKind;
 use dualboot_des::time::SimTime;
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 /// Per-node slot accounting.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 struct NodeSlot {
+    /// Hostname the node registered under.
+    hostname: String,
     /// Virtual processors (`np`).
     np: u32,
     /// Slots currently allocated.
@@ -31,6 +38,7 @@ struct NodeSlot {
 /// FCFS, as a small OSCAR deployment runs).
 ///
 /// ```
+/// use dualboot_bootconf::node::NodeId;
 /// use dualboot_bootconf::os::OsKind;
 /// use dualboot_des::time::{SimDuration, SimTime};
 /// use dualboot_sched::job::JobRequest;
@@ -38,7 +46,7 @@ struct NodeSlot {
 /// use dualboot_sched::scheduler::Scheduler;
 ///
 /// let mut pbs = PbsScheduler::eridani();
-/// pbs.register_node("enode01.eridani.qgg.hud.ac.uk", 4);
+/// pbs.register_node(NodeId(1), "enode01.eridani.qgg.hud.ac.uk", 4);
 /// let id = pbs.submit(
 ///     JobRequest::user("dl_poly", OsKind::Linux, 1, 4, SimDuration::from_mins(30)),
 ///     SimTime::ZERO,
@@ -51,10 +59,31 @@ struct NodeSlot {
 pub struct PbsScheduler {
     server: String,
     queue_name: String,
-    nodes: BTreeMap<String, NodeSlot>,
+    nodes: BTreeMap<NodeId, NodeSlot>,
     jobs: BTreeMap<u64, Job>,
     queue: VecDeque<JobId>,
     next_id: u64,
+    // Placement indexes and snapshot counters, maintained on every
+    // mutation. Derived state: never serialized (rebuildable from `nodes`).
+    /// Online nodes with at least one free slot, ascending id.
+    #[serde(skip)]
+    avail: BTreeSet<NodeId>,
+    /// Online nodes with zero slots used, ascending id.
+    #[serde(skip)]
+    idle: BTreeSet<NodeId>,
+    /// Running job ids, ascending — the `qstat -f` emission order.
+    #[serde(skip)]
+    running_ids: BTreeSet<u64>,
+    #[serde(skip)]
+    running: u32,
+    #[serde(skip)]
+    nodes_online: u32,
+    #[serde(skip)]
+    cores_online: u32,
+    #[serde(skip)]
+    cores_free: u32,
+    #[serde(skip)]
+    epoch: u64,
 }
 
 impl PbsScheduler {
@@ -68,6 +97,14 @@ impl PbsScheduler {
             jobs: BTreeMap::new(),
             queue: VecDeque::new(),
             next_id: 1,
+            avail: BTreeSet::new(),
+            idle: BTreeSet::new(),
+            running_ids: BTreeSet::new(),
+            running: 0,
+            nodes_online: 0,
+            cores_online: 0,
+            cores_free: 0,
+            epoch: 0,
         }
     }
 
@@ -99,33 +136,81 @@ impl PbsScheduler {
     }
 
     /// Internal: can the head job be placed right now? Returns the chosen
-    /// hosts if so (deterministic: lexicographic hostname order).
-    fn place(&self, req: &JobRequest) -> Option<Vec<String>> {
-        let mut hosts = Vec::with_capacity(req.nodes as usize);
-        for (name, slot) in &self.nodes {
-            if slot.online && slot.np.saturating_sub(slot.used) >= req.ppn {
-                hosts.push(name.clone());
-                if hosts.len() == req.nodes as usize {
-                    return Some(hosts);
+    /// nodes if so (deterministic: ascending node id). Only the `avail`
+    /// index is scanned, after an O(1) total-capacity reject.
+    fn place(&self, req: &JobRequest) -> Option<Vec<NodeId>> {
+        if req.cpus() > self.cores_free {
+            return None;
+        }
+        let want = req.nodes as usize;
+        let mut picks = Vec::with_capacity(want);
+        for &id in &self.avail {
+            let slot = &self.nodes[&id];
+            if slot.np - slot.used >= req.ppn {
+                picks.push(id);
+                if picks.len() == want {
+                    return Some(picks);
                 }
             }
         }
         None
     }
 
-    /// Node names with their free slot counts (diagnostics/text output).
-    pub fn node_states(&self) -> impl Iterator<Item = (&str, u32, u32, bool)> {
+    /// Internal: take `ppn` slots for `job` on `id`, maintaining indexes.
+    fn alloc(&mut self, id: NodeId, ppn: u32, job: JobId) {
+        let slot = self.nodes.get_mut(&id).expect("placed node exists");
+        let was_idle = slot.used == 0;
+        slot.used += ppn;
+        slot.jobs.push(job);
+        let full = slot.used >= slot.np;
+        self.cores_free -= ppn;
+        if full {
+            self.avail.remove(&id);
+        }
+        if was_idle {
+            self.idle.remove(&id);
+        }
+    }
+
+    /// Internal: release up to `ppn` slots held by `job` on `id`.
+    fn release(&mut self, id: NodeId, ppn: u32, job: JobId) {
+        let Some(slot) = self.nodes.get_mut(&id) else {
+            return;
+        };
+        let freed = ppn.min(slot.used);
+        slot.used -= freed;
+        slot.jobs.retain(|j| *j != job);
+        if slot.online {
+            self.cores_free += freed;
+            if slot.used < slot.np {
+                self.avail.insert(id);
+            }
+            if slot.used == 0 {
+                self.idle.insert(id);
+            }
+        }
+    }
+
+    /// Node states in id order: `(id, hostname, np, used, online)`.
+    pub fn node_states(&self) -> impl Iterator<Item = (NodeId, &str, u32, u32, bool)> {
         self.nodes
             .iter()
-            .map(|(n, s)| (n.as_str(), s.np, s.used, s.online))
+            .map(|(id, s)| (*id, s.hostname.as_str(), s.np, s.used, s.online))
     }
 
     /// Jobs running on a given node.
-    pub fn jobs_on(&self, hostname: &str) -> Vec<JobId> {
+    pub fn jobs_on(&self, id: NodeId) -> Vec<JobId> {
         self.nodes
-            .get(hostname)
+            .get(&id)
             .map(|s| s.jobs.clone())
             .unwrap_or_default()
+    }
+
+    /// Running jobs in ascending id order — the order `qstat -f` lists
+    /// them. Backed by an index, so the cost is O(running), not
+    /// O(every job ever submitted).
+    pub fn running_jobs(&self) -> impl Iterator<Item = &Job> {
+        self.running_ids.iter().map(|id| &self.jobs[id])
     }
 }
 
@@ -134,25 +219,61 @@ impl Scheduler for PbsScheduler {
         OsKind::Linux
     }
 
-    fn register_node(&mut self, hostname: &str, cores: u32) {
-        let slot = self.nodes.entry(hostname.to_string()).or_insert(NodeSlot {
+    fn register_node(&mut self, id: NodeId, hostname: &str, cores: u32) {
+        let slot = self.nodes.entry(id).or_insert_with(|| NodeSlot {
+            hostname: hostname.to_string(),
             np: cores,
             used: 0,
             online: false,
             jobs: Vec::new(),
         });
+        if slot.online {
+            // Detach the old contribution before np can change.
+            self.nodes_online -= 1;
+            self.cores_online -= slot.np;
+            self.cores_free -= slot.np - slot.used;
+        }
         slot.np = cores;
+        if slot.hostname != hostname {
+            slot.hostname = hostname.to_string();
+        }
         slot.online = true;
+        let used = slot.used;
+        self.nodes_online += 1;
+        self.cores_online += cores;
+        self.cores_free += cores.saturating_sub(used);
+        if used < cores {
+            self.avail.insert(id);
+        } else {
+            self.avail.remove(&id);
+        }
+        if used == 0 {
+            self.idle.insert(id);
+        }
+        self.epoch += 1;
     }
 
-    fn set_node_offline(&mut self, hostname: &str) {
-        if let Some(slot) = self.nodes.get_mut(hostname) {
-            slot.online = false;
+    fn set_node_offline(&mut self, id: NodeId) {
+        if let Some(slot) = self.nodes.get_mut(&id) {
+            if slot.online {
+                slot.online = false;
+                let (np, used) = (slot.np, slot.used);
+                self.nodes_online -= 1;
+                self.cores_online -= np;
+                self.cores_free -= np.saturating_sub(used);
+                self.avail.remove(&id);
+                self.idle.remove(&id);
+                self.epoch += 1;
+            }
         }
     }
 
-    fn is_node_online(&self, hostname: &str) -> bool {
-        self.nodes.get(hostname).map(|s| s.online).unwrap_or(false)
+    fn is_node_online(&self, id: NodeId) -> bool {
+        self.nodes.get(&id).map(|s| s.online).unwrap_or(false)
+    }
+
+    fn node_hostname(&self, id: NodeId) -> Option<&str> {
+        self.nodes.get(&id).map(|s| s.hostname.as_str())
     }
 
     fn submit(&mut self, req: JobRequest, now: SimTime) -> JobId {
@@ -168,10 +289,11 @@ impl Scheduler for PbsScheduler {
                 submitted_at: now,
                 started_at: None,
                 finished_at: None,
-                exec_hosts: Vec::new(),
+                exec_nodes: Vec::new(),
             },
         );
         self.queue.push_back(id);
+        self.epoch += 1;
         id
     }
 
@@ -184,6 +306,7 @@ impl Scheduler for PbsScheduler {
         }
         job.state = JobState::Cancelled;
         self.queue.retain(|q| *q != id);
+        self.epoch += 1;
         true
     }
 
@@ -192,20 +315,23 @@ impl Scheduler for PbsScheduler {
         // FCFS, no backfill: stop at the first job that cannot be placed.
         while let Some(&head) = self.queue.front() {
             let req = self.jobs[&head.0].req.clone();
-            let Some(hosts) = self.place(&req) else {
+            let Some(nodes) = self.place(&req) else {
                 break;
             };
             self.queue.pop_front();
-            for h in &hosts {
-                let slot = self.nodes.get_mut(h).expect("placed host exists");
-                slot.used += req.ppn;
-                slot.jobs.push(head);
+            for &n in &nodes {
+                self.alloc(n, req.ppn, head);
             }
             let job = self.jobs.get_mut(&head.0).expect("queued job exists");
             job.state = JobState::Running;
             job.started_at = Some(now);
-            job.exec_hosts = hosts.clone();
-            started.push(Dispatch { job: head, hosts });
+            job.exec_nodes = nodes.clone();
+            self.running_ids.insert(head.0);
+            self.running += 1;
+            started.push(Dispatch { job: head, nodes });
+        }
+        if !started.is_empty() {
+            self.epoch += 1;
         }
         started
     }
@@ -218,14 +344,14 @@ impl Scheduler for PbsScheduler {
         job.state = JobState::Completed;
         job.finished_at = Some(now);
         let ppn = job.req.ppn;
-        let hosts = job.exec_hosts.clone();
+        let nodes = job.exec_nodes.clone();
         let done = job.clone();
-        for h in &hosts {
-            if let Some(slot) = self.nodes.get_mut(h) {
-                slot.used = slot.used.saturating_sub(ppn);
-                slot.jobs.retain(|j| *j != id);
-            }
+        for n in nodes {
+            self.release(n, ppn, id);
         }
+        self.running_ids.remove(&id.0);
+        self.running -= 1;
+        self.epoch += 1;
         Some(done)
     }
 
@@ -234,24 +360,17 @@ impl Scheduler for PbsScheduler {
     }
 
     fn snapshot(&self) -> QueueSnapshot {
-        let running = self
-            .jobs
-            .values()
-            .filter(|j| j.state == JobState::Running)
-            .count() as u32;
-        let queued = self.queue.len() as u32;
         let first = self.queue.front().map(|id| &self.jobs[&id.0]);
-        let online: Vec<&NodeSlot> = self.nodes.values().filter(|s| s.online).collect();
         QueueSnapshot {
             os: OsKind::Linux,
-            running,
-            queued,
+            running: self.running,
+            queued: self.queue.len() as u32,
             first_queued_cpus: first.map(|j| j.req.cpus()),
             first_queued_id: first.map(|j| self.full_id(j.id)),
-            nodes_online: online.len() as u32,
-            nodes_free: online.iter().filter(|s| s.used == 0).count() as u32,
-            cores_online: online.iter().map(|s| s.np).sum(),
-            cores_free: online.iter().map(|s| s.np - s.used).sum(),
+            nodes_online: self.nodes_online,
+            nodes_free: self.idle.len() as u32,
+            cores_online: self.cores_online,
+            cores_free: self.cores_free,
         }
     }
 
@@ -259,12 +378,12 @@ impl Scheduler for PbsScheduler {
         self.jobs.values().collect()
     }
 
-    fn free_nodes(&self) -> Vec<String> {
-        self.nodes
-            .iter()
-            .filter(|(_, s)| s.online && s.used == 0)
-            .map(|(n, _)| n.clone())
-            .collect()
+    fn free_nodes(&self) -> Vec<NodeId> {
+        self.idle.iter().copied().collect()
+    }
+
+    fn change_epoch(&self) -> u64 {
+        self.epoch
     }
 }
 
@@ -277,10 +396,10 @@ mod tests {
         SimTime::from_secs(s)
     }
 
-    fn sched_with_nodes(n: u32) -> PbsScheduler {
+    fn sched_with_nodes(n: u16) -> PbsScheduler {
         let mut s = PbsScheduler::eridani();
         for i in 1..=n {
-            s.register_node(&format!("enode{i:02}.eridani.qgg.hud.ac.uk"), 4);
+            s.register_node(NodeId(i), &format!("enode{i:02}.eridani.qgg.hud.ac.uk"), 4);
         }
         s
     }
@@ -307,9 +426,9 @@ mod tests {
         let started = s.try_dispatch(t(1));
         assert_eq!(started.len(), 2);
         assert_eq!(started[0].job, a);
-        assert_eq!(started[0].hosts, ["enode01.eridani.qgg.hud.ac.uk"]);
+        assert_eq!(started[0].nodes, [NodeId(1)]);
         assert_eq!(started[1].job, b);
-        assert_eq!(started[1].hosts, ["enode02.eridani.qgg.hud.ac.uk"]);
+        assert_eq!(started[1].nodes, [NodeId(2)]);
     }
 
     #[test]
@@ -332,8 +451,8 @@ mod tests {
         let a = s.submit(ujob(2, 4), t(0));
         let started = s.try_dispatch(t(1));
         assert_eq!(started[0].job, a);
-        assert_eq!(started[0].hosts.len(), 2);
-        assert_ne!(started[0].hosts[0], started[0].hosts[1]);
+        assert_eq!(started[0].nodes.len(), 2);
+        assert_ne!(started[0].nodes[0], started[0].nodes[1]);
         assert_eq!(s.snapshot().nodes_free, 1);
     }
 
@@ -345,7 +464,7 @@ mod tests {
         let started = s.try_dispatch(t(1));
         assert_eq!(started.len(), 2);
         // both landed on the single node
-        assert_eq!(started[0].hosts, started[1].hosts);
+        assert_eq!(started[0].nodes, started[1].nodes);
         let snap = s.snapshot();
         assert_eq!(snap.cores_free, 0);
         assert_eq!(snap.nodes_free, 0);
@@ -394,21 +513,21 @@ mod tests {
     #[test]
     fn offline_nodes_are_not_allocated() {
         let mut s = sched_with_nodes(2);
-        s.set_node_offline("enode01.eridani.qgg.hud.ac.uk");
+        s.set_node_offline(NodeId(1));
         let a = s.submit(ujob(1, 4), t(0));
         let started = s.try_dispatch(t(1));
         assert_eq!(started[0].job, a);
-        assert_eq!(started[0].hosts, ["enode02.eridani.qgg.hud.ac.uk"]);
-        assert!(!s.is_node_online("enode01.eridani.qgg.hud.ac.uk"));
-        assert!(s.is_node_online("enode02.eridani.qgg.hud.ac.uk"));
+        assert_eq!(started[0].nodes, [NodeId(2)]);
+        assert!(!s.is_node_online(NodeId(1)));
+        assert!(s.is_node_online(NodeId(2)));
     }
 
     #[test]
     fn reregistering_brings_node_back() {
         let mut s = sched_with_nodes(1);
-        s.set_node_offline("enode01.eridani.qgg.hud.ac.uk");
+        s.set_node_offline(NodeId(1));
         assert_eq!(s.snapshot().nodes_online, 0);
-        s.register_node("enode01.eridani.qgg.hud.ac.uk", 4);
+        s.register_node(NodeId(1), "enode01.eridani.qgg.hud.ac.uk", 4);
         assert_eq!(s.snapshot().nodes_online, 1);
     }
 
@@ -417,7 +536,7 @@ mod tests {
         // Figure 6's third output: nothing running, one job queued that
         // needs 4 CPUs -> "100041191.eridani.qgg.hud.ac.uk".
         let mut s = sched_with_nodes(1);
-        s.set_node_offline("enode01.eridani.qgg.hud.ac.uk");
+        s.set_node_offline(NodeId(1));
         // make the ids match the figure: 1185..=1191, keeping only 1191
         for _ in 0..7 {
             s.submit(ujob(1, 4), t(0));
@@ -439,14 +558,7 @@ mod tests {
     #[test]
     fn free_nodes_deterministic_order() {
         let s = sched_with_nodes(3);
-        assert_eq!(
-            s.free_nodes(),
-            [
-                "enode01.eridani.qgg.hud.ac.uk",
-                "enode02.eridani.qgg.hud.ac.uk",
-                "enode03.eridani.qgg.hud.ac.uk"
-            ]
-        );
+        assert_eq!(s.free_nodes(), [NodeId(1), NodeId(2), NodeId(3)]);
     }
 
     #[test]
@@ -474,8 +586,45 @@ mod tests {
         let a = s.submit(ujob(1, 2), t(0));
         let b = s.submit(ujob(1, 2), t(0));
         s.try_dispatch(t(1));
-        assert_eq!(s.jobs_on("enode01.eridani.qgg.hud.ac.uk"), vec![a, b]);
+        assert_eq!(s.jobs_on(NodeId(1)), vec![a, b]);
         s.complete(a, t(2));
-        assert_eq!(s.jobs_on("enode01.eridani.qgg.hud.ac.uk"), vec![b]);
+        assert_eq!(s.jobs_on(NodeId(1)), vec![b]);
+    }
+
+    #[test]
+    fn counters_track_full_lifecycle() {
+        // Exercise every counter path: register, dispatch, offline while
+        // allocated, complete while offline, re-register.
+        let mut s = sched_with_nodes(2);
+        let a = s.submit(ujob(1, 4), t(0));
+        s.try_dispatch(t(0));
+        assert_eq!(s.snapshot().cores_free, 4);
+        s.set_node_offline(NodeId(2));
+        let snap = s.snapshot();
+        assert_eq!((snap.nodes_online, snap.cores_online, snap.cores_free), (1, 4, 0));
+        // Job finishes on the still-online node.
+        s.complete(a, t(5)).unwrap();
+        assert_eq!(s.snapshot().cores_free, 4);
+        assert_eq!(s.free_nodes(), [NodeId(1)]);
+        s.register_node(NodeId(2), "enode02.eridani.qgg.hud.ac.uk", 4);
+        let snap = s.snapshot();
+        assert_eq!((snap.nodes_online, snap.cores_free, snap.nodes_free), (2, 8, 2));
+    }
+
+    #[test]
+    fn epoch_advances_on_mutations_only() {
+        let mut s = sched_with_nodes(1);
+        let e0 = s.change_epoch();
+        let _ = s.snapshot();
+        assert_eq!(s.change_epoch(), e0, "snapshot is read-only");
+        let a = s.submit(ujob(1, 4), t(0));
+        assert!(s.change_epoch() > e0);
+        let e1 = s.change_epoch();
+        assert!(s.try_dispatch(t(0)).len() == 1 && s.change_epoch() > e1);
+        let e2 = s.change_epoch();
+        assert!(s.try_dispatch(t(0)).is_empty());
+        assert_eq!(s.change_epoch(), e2, "empty dispatch pass is not a change");
+        s.complete(a, t(9));
+        assert!(s.change_epoch() > e2);
     }
 }

@@ -30,7 +30,7 @@ const EPOCH_UNIX: u64 = 1_271_440_540;
 /// Render `pbsnodes -a` output for every registered node (Figure 7).
 pub fn pbsnodes(s: &PbsScheduler, now: SimTime) -> String {
     let mut out = String::new();
-    for (name, np, used, online) in s.node_states() {
+    for (id, name, np, used, online) in s.node_states() {
         let state = if !online {
             "down"
         } else if used >= np {
@@ -44,7 +44,7 @@ pub fn pbsnodes(s: &PbsScheduler, now: SimTime) -> String {
         out.push_str(&format!("     np = {np}\n"));
         out.push_str("     properties = all\n");
         out.push_str("     ntype = cluster\n");
-        let jobs = s.jobs_on(name);
+        let jobs = s.jobs_on(id);
         if !jobs.is_empty() {
             // Torque lists slot/jobid pairs: `0/1186.server+1/1186.server`
             let parts: Vec<String> = jobs
@@ -90,11 +90,12 @@ pub fn qstat_f(s: &PbsScheduler) -> String {
         out.push_str(&format!("    job_state = {}\n", j.state.pbs_code()));
         out.push_str(&format!("    queue = {}\n", s.queue_name()));
         out.push_str(&format!("    server = {}\n", s.server()));
-        if !j.exec_hosts.is_empty() {
+        if !j.exec_nodes.is_empty() {
             // `host/3+host/2+host/1+host/0` per host, ppn slots each,
             // descending — exactly Figure 8's shape.
             let mut parts = Vec::new();
-            for h in &j.exec_hosts {
+            for n in &j.exec_nodes {
+                let h = s.node_hostname(*n).unwrap_or("?");
                 for slot in (0..j.req.ppn).rev() {
                     parts.push(format!("{h}/{slot}"));
                 }
@@ -348,6 +349,7 @@ mod tests {
     use super::*;
     use crate::job::JobRequest;
     use crate::scheduler::Scheduler;
+    use dualboot_bootconf::node::NodeId;
     use dualboot_bootconf::os::OsKind;
     use dualboot_des::time::{SimDuration, SimTime};
 
@@ -358,7 +360,7 @@ mod tests {
     fn eridani_16() -> PbsScheduler {
         let mut s = PbsScheduler::eridani();
         for i in 1..=16 {
-            s.register_node(&format!("enode{i:02}.eridani.qgg.hud.ac.uk"), 4);
+            s.register_node(NodeId(i), &format!("enode{i:02}.eridani.qgg.hud.ac.uk"), 4);
         }
         s
     }
@@ -381,6 +383,36 @@ mod tests {
         assert!(first_block[5].contains("totmem=15881584kb"));
         assert!(first_block[5].contains("physmem=8069096kb"));
         assert!(first_block[5].contains("ncpus=4"));
+    }
+
+    #[test]
+    fn node_summary_matches_snapshot_counters() {
+        // The simulation's fast path reads `snapshot().nodes_online` /
+        // `.nodes_free` instead of scraping `pbsnodes` text; the two
+        // must agree in every node state the emitter can print.
+        let check = |s: &PbsScheduler, what: &str| {
+            let scraped = summarize_nodes(&parse_pbsnodes(&pbsnodes(s, t(0))).unwrap());
+            let snap = s.snapshot();
+            assert_eq!(
+                scraped,
+                (snap.nodes_online, snap.nodes_free),
+                "scrape != counters ({what})"
+            );
+        };
+        let mut s = eridani_16();
+        check(&s, "all free");
+        // Partially used, fully used, and down nodes at once.
+        s.submit(ujob("half", 1, 2), t(0));
+        s.submit(ujob("full", 2, 4), t(0));
+        s.try_dispatch(t(0));
+        s.set_node_offline(NodeId(9));
+        s.set_node_offline(NodeId(10));
+        check(&s, "mixed");
+        // A down node that still holds a job (crashed mid-run).
+        s.set_node_offline(NodeId(1));
+        check(&s, "down with job");
+        s.register_node(NodeId(1), "enode01.eridani.qgg.hud.ac.uk", 4);
+        check(&s, "re-registered");
     }
 
     #[test]
@@ -415,7 +447,7 @@ mod tests {
         let mut s = eridani_16();
         s.submit(ujob("sleep", 1, 4), t(0));
         s.try_dispatch(t(0));
-        s.set_node_offline("enode16.eridani.qgg.hud.ac.uk");
+        s.set_node_offline(NodeId(16));
         let parsed = parse_pbsnodes(&pbsnodes(&s, t(60))).unwrap();
         assert_eq!(parsed.len(), 16);
         assert_eq!(parsed[0].state, "job-exclusive");
@@ -446,7 +478,7 @@ mod tests {
         // Figure 6 third output: nothing running, job 1191 queued needing 4.
         let mut s = eridani_16();
         for i in 1..=16 {
-            s.set_node_offline(&format!("enode{i:02}.eridani.qgg.hud.ac.uk"));
+            s.set_node_offline(NodeId(i));
         }
         for _ in 0..7 {
             s.submit(ujob("sleep", 1, 4), t(0));
@@ -537,7 +569,7 @@ mod tests {
         s.submit(ujob("full", 1, 4), t(0));
         s.submit(ujob("half", 1, 2), t(0));
         s.try_dispatch(t(0));
-        s.set_node_offline("enode16.eridani.qgg.hud.ac.uk");
+        s.set_node_offline(NodeId(16));
         let nodes = parse_pbsnodes(&pbsnodes(&s, t(1))).unwrap();
         let (online, free) = summarize_nodes(&nodes);
         assert_eq!(online, 15);

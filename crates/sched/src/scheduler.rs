@@ -3,8 +3,15 @@
 //! The cluster simulation drives both batch systems through this trait;
 //! the middleware's detectors consume [`QueueSnapshot`]s (directly on the
 //! Windows side, via text scraping on the PBS side).
+//!
+//! Nodes are keyed by [`NodeId`] throughout — the hostname is an attribute
+//! a node *carries* (for text emitters and logs), not the key the hot
+//! dispatch/complete/offline paths pass around. That keeps per-event work
+//! at integer-copy cost instead of `String` clones and string-keyed map
+//! lookups, which is what lets the simulator hold 1024–4096-node clusters.
 
 use crate::job::{Job, JobId, JobRequest};
+use dualboot_bootconf::node::NodeId;
 use dualboot_bootconf::os::OsKind;
 use dualboot_des::time::SimTime;
 use serde::{Deserialize, Serialize};
@@ -14,9 +21,9 @@ use serde::{Deserialize, Serialize};
 pub struct Dispatch {
     /// The job that starts now.
     pub job: JobId,
-    /// Hostnames allocated to it (length = requested node count for PBS;
-    /// for WinHPC the hosts providing the cores).
-    pub hosts: Vec<String>,
+    /// Nodes allocated to it (length = requested node count for PBS;
+    /// for WinHPC the nodes providing the cores).
+    pub nodes: Vec<NodeId>,
 }
 
 /// Point-in-time queue/node state — exactly the facts the paper's
@@ -67,17 +74,20 @@ pub trait Scheduler {
     /// Which platform this scheduler serves.
     fn os(&self) -> OsKind;
 
-    /// Register a (newly booted) node with `cores` processors.
-    /// Re-registering an existing hostname marks it online again.
-    fn register_node(&mut self, hostname: &str, cores: u32);
+    /// Register a (newly booted) node with `cores` processors under its
+    /// hostname. Re-registering an existing id marks it online again.
+    fn register_node(&mut self, id: NodeId, hostname: &str, cores: u32);
 
     /// Mark a node offline (it rebooted away). Running jobs on the node
     /// are *not* killed — the middleware only reboots drained nodes, and
     /// the simulation asserts that invariant.
-    fn set_node_offline(&mut self, hostname: &str);
+    fn set_node_offline(&mut self, id: NodeId);
 
-    /// True if this hostname is registered and online.
-    fn is_node_online(&self, hostname: &str) -> bool;
+    /// True if this node is registered and online.
+    fn is_node_online(&self, id: NodeId) -> bool;
+
+    /// The hostname a node registered under, if it is known.
+    fn node_hostname(&self, id: NodeId) -> Option<&str>;
 
     /// Submit a job; returns its id.
     fn submit(&mut self, req: JobRequest, now: SimTime) -> JobId;
@@ -96,15 +106,21 @@ pub trait Scheduler {
     /// Look up a job.
     fn job(&self, id: JobId) -> Option<&Job>;
 
-    /// Current queue/node state.
+    /// Current queue/node state. Served from incrementally maintained
+    /// counters — O(1), no per-call walk of jobs or nodes.
     fn snapshot(&self) -> QueueSnapshot;
 
     /// All job records (for metrics; order unspecified).
     fn jobs(&self) -> Vec<&Job>;
 
-    /// Hostnames of online nodes with zero allocation, in deterministic
-    /// order — where the middleware's switch jobs will land.
-    fn free_nodes(&self) -> Vec<String>;
+    /// Online nodes with zero allocation, in ascending id order — where
+    /// the middleware's switch jobs will land.
+    fn free_nodes(&self) -> Vec<NodeId>;
+
+    /// A counter that advances on every observable mutation (submission,
+    /// cancellation, dispatch, completion, node state change). Pollers can
+    /// skip rebuilding scraped text/reports while the epoch is unchanged.
+    fn change_epoch(&self) -> u64;
 }
 
 #[cfg(test)]

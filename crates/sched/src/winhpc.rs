@@ -10,17 +10,21 @@
 //! this side).
 //!
 //! Dispatch remains strict FCFS with no backfill, like the Linux side: the
-//! paper's daemons treat both queues uniformly.
+//! paper's daemons treat both queues uniformly. As on the Linux side,
+//! packing walks the `avail`/`idle` indexes rather than every node, and
+//! `snapshot()` is counter-backed O(1).
 
 use crate::job::{Job, JobId, JobRequest, JobState};
 use crate::scheduler::{Dispatch, QueueSnapshot, Scheduler};
+use dualboot_bootconf::node::NodeId;
 use dualboot_bootconf::os::OsKind;
 use dualboot_des::time::SimTime;
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 struct NodeSlot {
+    hostname: String,
     cores: u32,
     used: u32,
     online: bool,
@@ -31,13 +35,31 @@ struct NodeSlot {
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct WinHpcScheduler {
     head: String,
-    nodes: BTreeMap<String, NodeSlot>,
+    nodes: BTreeMap<NodeId, NodeSlot>,
     jobs: BTreeMap<u64, Job>,
-    /// Exact `(host, cores)` allocation of each running job, kept so that
+    /// Exact `(node, cores)` allocation of each running job, kept so that
     /// completion releases precisely what dispatch took.
-    allocs: BTreeMap<u64, Vec<(String, u32)>>,
+    allocs: BTreeMap<u64, Vec<(NodeId, u32)>>,
     queue: VecDeque<JobId>,
     next_id: u64,
+    // Placement indexes and snapshot counters (derived state, rebuildable
+    // from `nodes`; never serialized).
+    /// Online nodes with at least one free core, ascending id.
+    #[serde(skip)]
+    avail: BTreeSet<NodeId>,
+    /// Online nodes with zero cores used, ascending id.
+    #[serde(skip)]
+    idle: BTreeSet<NodeId>,
+    #[serde(skip)]
+    running: u32,
+    #[serde(skip)]
+    nodes_online: u32,
+    #[serde(skip)]
+    cores_online: u32,
+    #[serde(skip)]
+    cores_free: u32,
+    #[serde(skip)]
+    epoch: u64,
 }
 
 impl WinHpcScheduler {
@@ -50,6 +72,13 @@ impl WinHpcScheduler {
             allocs: BTreeMap::new(),
             queue: VecDeque::new(),
             next_id: 1,
+            avail: BTreeSet::new(),
+            idle: BTreeSet::new(),
+            running: 0,
+            nodes_online: 0,
+            cores_online: 0,
+            cores_free: 0,
+            epoch: 0,
         }
     }
 
@@ -68,21 +97,20 @@ impl WinHpcScheduler {
         format!("JOB-{}@{}", id.0, self.head)
     }
 
-    /// Greedy core packing for a request. Returns `(host, cores)` pairs if
-    /// the request fits, hosts in lexicographic order.
-    fn place(&self, cpus_needed: u32) -> Option<Vec<(String, u32)>> {
+    /// Greedy core packing for a request. Returns `(node, cores)` pairs if
+    /// the request fits, nodes in ascending id order. Scans only the
+    /// `avail` index, after an O(1) total-capacity reject.
+    fn place(&self, cpus_needed: u32) -> Option<Vec<(NodeId, u32)>> {
+        if cpus_needed > self.cores_free {
+            return None;
+        }
         let mut remaining = cpus_needed;
         let mut picks = Vec::new();
-        for (name, slot) in &self.nodes {
-            if !slot.online {
-                continue;
-            }
-            let free = slot.cores.saturating_sub(slot.used);
-            if free == 0 {
-                continue;
-            }
+        for &id in &self.avail {
+            let slot = &self.nodes[&id];
+            let free = slot.cores - slot.used;
             let take = free.min(remaining);
-            picks.push((name.clone(), take));
+            picks.push((id, take));
             remaining -= take;
             if remaining == 0 {
                 return Some(picks);
@@ -91,17 +119,52 @@ impl WinHpcScheduler {
         None
     }
 
-    /// Node states for diagnostics: `(name, cores, used, online)`.
-    pub fn node_states(&self) -> impl Iterator<Item = (&str, u32, u32, bool)> {
+    /// Internal: take `cores` on `id` for `job`, maintaining indexes.
+    fn alloc(&mut self, id: NodeId, cores: u32, job: JobId) {
+        let slot = self.nodes.get_mut(&id).expect("placed node exists");
+        let was_idle = slot.used == 0;
+        slot.used += cores;
+        slot.jobs.push(job);
+        let full = slot.used >= slot.cores;
+        self.cores_free -= cores;
+        if full {
+            self.avail.remove(&id);
+        }
+        if was_idle {
+            self.idle.remove(&id);
+        }
+    }
+
+    /// Internal: release up to `cores` held by `job` on `id`.
+    fn release(&mut self, id: NodeId, cores: u32, job: JobId) {
+        let Some(slot) = self.nodes.get_mut(&id) else {
+            return;
+        };
+        let freed = cores.min(slot.used);
+        slot.used -= freed;
+        slot.jobs.retain(|j| *j != job);
+        if slot.online {
+            self.cores_free += freed;
+            if slot.used < slot.cores {
+                self.avail.insert(id);
+            }
+            if slot.used == 0 {
+                self.idle.insert(id);
+            }
+        }
+    }
+
+    /// Node states in id order: `(id, hostname, cores, used, online)`.
+    pub fn node_states(&self) -> impl Iterator<Item = (NodeId, &str, u32, u32, bool)> {
         self.nodes
             .iter()
-            .map(|(n, s)| (n.as_str(), s.cores, s.used, s.online))
+            .map(|(id, s)| (*id, s.hostname.as_str(), s.cores, s.used, s.online))
     }
 
     /// Jobs holding cores on a given node.
-    pub fn jobs_on(&self, hostname: &str) -> Vec<JobId> {
+    pub fn jobs_on(&self, id: NodeId) -> Vec<JobId> {
         self.nodes
-            .get(hostname)
+            .get(&id)
             .map(|s| s.jobs.clone())
             .unwrap_or_default()
     }
@@ -118,25 +181,60 @@ impl Scheduler for WinHpcScheduler {
         OsKind::Windows
     }
 
-    fn register_node(&mut self, hostname: &str, cores: u32) {
-        let slot = self.nodes.entry(hostname.to_string()).or_insert(NodeSlot {
+    fn register_node(&mut self, id: NodeId, hostname: &str, cores: u32) {
+        let slot = self.nodes.entry(id).or_insert_with(|| NodeSlot {
+            hostname: hostname.to_string(),
             cores,
             used: 0,
             online: false,
             jobs: Vec::new(),
         });
+        if slot.online {
+            self.nodes_online -= 1;
+            self.cores_online -= slot.cores;
+            self.cores_free -= slot.cores - slot.used;
+        }
         slot.cores = cores;
+        if slot.hostname != hostname {
+            slot.hostname = hostname.to_string();
+        }
         slot.online = true;
+        let used = slot.used;
+        self.nodes_online += 1;
+        self.cores_online += cores;
+        self.cores_free += cores.saturating_sub(used);
+        if used < cores {
+            self.avail.insert(id);
+        } else {
+            self.avail.remove(&id);
+        }
+        if used == 0 {
+            self.idle.insert(id);
+        }
+        self.epoch += 1;
     }
 
-    fn set_node_offline(&mut self, hostname: &str) {
-        if let Some(slot) = self.nodes.get_mut(hostname) {
-            slot.online = false;
+    fn set_node_offline(&mut self, id: NodeId) {
+        if let Some(slot) = self.nodes.get_mut(&id) {
+            if slot.online {
+                slot.online = false;
+                let (cores, used) = (slot.cores, slot.used);
+                self.nodes_online -= 1;
+                self.cores_online -= cores;
+                self.cores_free -= cores.saturating_sub(used);
+                self.avail.remove(&id);
+                self.idle.remove(&id);
+                self.epoch += 1;
+            }
         }
     }
 
-    fn is_node_online(&self, hostname: &str) -> bool {
-        self.nodes.get(hostname).map(|s| s.online).unwrap_or(false)
+    fn is_node_online(&self, id: NodeId) -> bool {
+        self.nodes.get(&id).map(|s| s.online).unwrap_or(false)
+    }
+
+    fn node_hostname(&self, id: NodeId) -> Option<&str> {
+        self.nodes.get(&id).map(|s| s.hostname.as_str())
     }
 
     fn submit(&mut self, req: JobRequest, now: SimTime) -> JobId {
@@ -152,10 +250,11 @@ impl Scheduler for WinHpcScheduler {
                 submitted_at: now,
                 started_at: None,
                 finished_at: None,
-                exec_hosts: Vec::new(),
+                exec_nodes: Vec::new(),
             },
         );
         self.queue.push_back(id);
+        self.epoch += 1;
         id
     }
 
@@ -168,6 +267,7 @@ impl Scheduler for WinHpcScheduler {
         }
         job.state = JobState::Cancelled;
         self.queue.retain(|q| *q != id);
+        self.epoch += 1;
         true
     }
 
@@ -180,28 +280,31 @@ impl Scheduler for WinHpcScheduler {
             let placement = if req.kind == crate::job::JobKind::User {
                 self.place(req.cpus())
             } else {
-                self.nodes
+                self.idle
                     .iter()
-                    .find(|(_, s)| s.online && s.used == 0 && s.cores >= req.cpus())
-                    .map(|(n, s)| vec![(n.clone(), s.cores)])
+                    .map(|id| (*id, &self.nodes[id]))
+                    .find(|(_, s)| s.cores >= req.cpus())
+                    .map(|(id, s)| vec![(id, s.cores)])
             };
             let Some(picks) = placement else {
                 break;
             };
             self.queue.pop_front();
-            let mut hosts = Vec::new();
-            for (h, cores) in &picks {
-                let slot = self.nodes.get_mut(h).expect("placed host exists");
-                slot.used += cores;
-                slot.jobs.push(head);
-                hosts.push(h.clone());
+            let mut nodes = Vec::with_capacity(picks.len());
+            for &(n, cores) in &picks {
+                self.alloc(n, cores, head);
+                nodes.push(n);
             }
             let job = self.jobs.get_mut(&head.0).expect("queued job exists");
             job.state = JobState::Running;
             job.started_at = Some(now);
-            job.exec_hosts = hosts.clone();
+            job.exec_nodes = nodes.clone();
+            self.running += 1;
             self.allocs.insert(head.0, picks);
-            started.push(Dispatch { job: head, hosts });
+            started.push(Dispatch { job: head, nodes });
+        }
+        if !started.is_empty() {
+            self.epoch += 1;
         }
         started
     }
@@ -216,13 +319,12 @@ impl Scheduler for WinHpcScheduler {
         let done = job.clone();
         // Release exactly what dispatch allocated.
         if let Some(picks) = self.allocs.remove(&id.0) {
-            for (h, cores) in picks {
-                if let Some(slot) = self.nodes.get_mut(&h) {
-                    slot.used = slot.used.saturating_sub(cores);
-                    slot.jobs.retain(|j| *j != id);
-                }
+            for (n, cores) in picks {
+                self.release(n, cores, id);
             }
         }
+        self.running -= 1;
+        self.epoch += 1;
         Some(done)
     }
 
@@ -231,24 +333,17 @@ impl Scheduler for WinHpcScheduler {
     }
 
     fn snapshot(&self) -> QueueSnapshot {
-        let running = self
-            .jobs
-            .values()
-            .filter(|j| j.state == JobState::Running)
-            .count() as u32;
-        let queued = self.queue.len() as u32;
         let first = self.queue.front().map(|id| &self.jobs[&id.0]);
-        let online: Vec<&NodeSlot> = self.nodes.values().filter(|s| s.online).collect();
         QueueSnapshot {
             os: OsKind::Windows,
-            running,
-            queued,
+            running: self.running,
+            queued: self.queue.len() as u32,
             first_queued_cpus: first.map(|j| j.req.cpus()),
             first_queued_id: first.map(|j| self.full_id(j.id)),
-            nodes_online: online.len() as u32,
-            nodes_free: online.iter().filter(|s| s.used == 0).count() as u32,
-            cores_online: online.iter().map(|s| s.cores).sum(),
-            cores_free: online.iter().map(|s| s.cores - s.used).sum(),
+            nodes_online: self.nodes_online,
+            nodes_free: self.idle.len() as u32,
+            cores_online: self.cores_online,
+            cores_free: self.cores_free,
         }
     }
 
@@ -256,12 +351,12 @@ impl Scheduler for WinHpcScheduler {
         self.jobs.values().collect()
     }
 
-    fn free_nodes(&self) -> Vec<String> {
-        self.nodes
-            .iter()
-            .filter(|(_, s)| s.online && s.used == 0)
-            .map(|(n, _)| n.clone())
-            .collect()
+    fn free_nodes(&self) -> Vec<NodeId> {
+        self.idle.iter().copied().collect()
+    }
+
+    fn change_epoch(&self) -> u64 {
+        self.epoch
     }
 }
 
@@ -295,7 +390,7 @@ impl<'a> HpcApi<'a> {
     pub fn node_list(&self) -> Vec<HpcNodeInfo> {
         self.sched
             .node_states()
-            .map(|(name, cores, used, online)| HpcNodeInfo {
+            .map(|(_, name, cores, used, online)| HpcNodeInfo {
                 name: name.to_string(),
                 cores,
                 cores_in_use: used,
@@ -319,10 +414,10 @@ mod tests {
         SimTime::from_secs(s)
     }
 
-    fn sched(n: u32) -> WinHpcScheduler {
+    fn sched(n: u16) -> WinHpcScheduler {
         let mut s = WinHpcScheduler::eridani();
         for i in 1..=n {
-            s.register_node(&format!("enode{i:02}.eridani.qgg.hud.ac.uk"), 4);
+            s.register_node(NodeId(i), &format!("enode{i:02}.eridani.qgg.hud.ac.uk"), 4);
         }
         s
     }
@@ -338,7 +433,7 @@ mod tests {
         let a = s.submit(wjob(1, 6), t(0));
         let started = s.try_dispatch(t(0));
         assert_eq!(started[0].job, a);
-        assert_eq!(started[0].hosts.len(), 2);
+        assert_eq!(started[0].nodes.len(), 2);
         let snap = s.snapshot();
         assert_eq!(snap.cores_free, 2);
         assert_eq!(snap.nodes_free, 0);
@@ -391,8 +486,8 @@ mod tests {
         let b = s.submit(wjob(1, 1), t(0));
         let c = s.submit(wjob(1, 3), t(0));
         s.try_dispatch(t(0));
-        assert_eq!(s.job(a).unwrap().exec_hosts, s.job(b).unwrap().exec_hosts);
-        assert_eq!(s.job(c).unwrap().exec_hosts.len(), 2);
+        assert_eq!(s.job(a).unwrap().exec_nodes, s.job(b).unwrap().exec_nodes);
+        assert_eq!(s.job(c).unwrap().exec_nodes.len(), 2);
         assert_eq!(s.snapshot().nodes_free, 0);
         assert_eq!(s.snapshot().cores_free, 3);
         // 3 cores are free, so a 3-core *user* job would fit — but a switch
@@ -407,7 +502,7 @@ mod tests {
         let started = s.try_dispatch(t(2));
         assert_eq!(started.len(), 1);
         assert_eq!(started[0].job, sw);
-        assert_eq!(started[0].hosts, ["enode01.eridani.qgg.hud.ac.uk"]);
+        assert_eq!(started[0].nodes, [NodeId(1)]);
     }
 
     #[test]
@@ -415,16 +510,10 @@ mod tests {
         let mut s = sched(3);
         let a = s.submit(wjob(1, 4), t(0));
         s.try_dispatch(t(0));
-        assert_eq!(
-            s.job(a).unwrap().exec_hosts,
-            ["enode01.eridani.qgg.hud.ac.uk"]
-        );
+        assert_eq!(s.job(a).unwrap().exec_nodes, [NodeId(1)]);
         let b = s.submit(wjob(1, 2), t(1));
         s.try_dispatch(t(1));
-        assert_eq!(
-            s.job(b).unwrap().exec_hosts,
-            ["enode02.eridani.qgg.hud.ac.uk"]
-        );
+        assert_eq!(s.job(b).unwrap().exec_nodes, [NodeId(2)]);
     }
 
     #[test]
@@ -453,13 +542,10 @@ mod tests {
     #[test]
     fn offline_node_excluded_from_packing() {
         let mut s = sched(2);
-        s.set_node_offline("enode01.eridani.qgg.hud.ac.uk");
+        s.set_node_offline(NodeId(1));
         let a = s.submit(wjob(1, 4), t(0));
         s.try_dispatch(t(0));
-        assert_eq!(
-            s.job(a).unwrap().exec_hosts,
-            ["enode02.eridani.qgg.hud.ac.uk"]
-        );
+        assert_eq!(s.job(a).unwrap().exec_nodes, [NodeId(2)]);
         // 6-core job can no longer fit
         s.submit(wjob(1, 6), t(1));
         assert!(s.try_dispatch(t(1)).is_empty());
@@ -483,5 +569,23 @@ mod tests {
         assert_eq!(snap.queued, 1);
         assert_eq!(snap.first_queued_cpus, Some(8));
         assert!(snap.first_queued_id.unwrap().starts_with("JOB-2@"));
+    }
+
+    #[test]
+    fn counters_survive_offline_completion() {
+        // A job's node goes offline while the job runs; completion must not
+        // credit the offline node's cores back to the free pool.
+        let mut s = sched(2);
+        let a = s.submit(wjob(1, 4), t(0));
+        s.try_dispatch(t(0));
+        s.set_node_offline(NodeId(1));
+        assert_eq!(s.snapshot().cores_online, 4);
+        s.complete(a, t(5)).unwrap();
+        let snap = s.snapshot();
+        assert_eq!((snap.cores_free, snap.nodes_free), (4, 1));
+        // Re-registering restores the (now fully free) node.
+        s.register_node(NodeId(1), "enode01.eridani.qgg.hud.ac.uk", 4);
+        let snap = s.snapshot();
+        assert_eq!((snap.cores_free, snap.nodes_free, snap.nodes_online), (8, 2, 2));
     }
 }

@@ -49,7 +49,7 @@ pub fn node_list(s: &WinHpcScheduler) -> String {
     let mut out = String::new();
     out.push_str("NodeName                          State      Cores CoresInUse\n");
     out.push_str("--------------------------------- ---------- ----- ----------\n");
-    for (name, cores, used, online) in s.node_states() {
+    for (_, name, cores, used, online) in s.node_states() {
         let state = if online { "Online" } else { "Offline" };
         out.push_str(&format!(
             "{:<33} {:<10} {:>5} {:>10}\n",
@@ -157,13 +157,14 @@ pub fn parse_node_list(text: &str) -> Result<Vec<NodeListRow>, ParseError> {
 mod tests {
     use super::*;
     use crate::job::JobRequest;
+    use dualboot_bootconf::node::NodeId;
     use dualboot_bootconf::os::OsKind;
     use dualboot_des::time::{SimDuration, SimTime};
 
     fn sched() -> WinHpcScheduler {
         let mut s = WinHpcScheduler::eridani();
         for i in 1..=4 {
-            s.register_node(&format!("enode{i:02}.eridani.qgg.hud.ac.uk"), 4);
+            s.register_node(NodeId(i), &format!("enode{i:02}.eridani.qgg.hud.ac.uk"), 4);
         }
         s
     }
@@ -213,7 +214,7 @@ mod tests {
             SimTime::ZERO,
         );
         s.try_dispatch(SimTime::ZERO);
-        s.set_node_offline("enode04.eridani.qgg.hud.ac.uk");
+        s.set_node_offline(NodeId(4));
         let rows = parse_node_list(&node_list(&s)).unwrap();
         assert_eq!(rows.len(), 4);
         assert_eq!(rows[0].name, "ENODE01");

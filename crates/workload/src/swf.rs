@@ -156,12 +156,26 @@ pub fn import(text: &str, opts: &SwfImportOptions) -> Result<Vec<SubmitEvent>, S
             });
         }
         let num = |field_1based: usize| -> Result<i64, SwfError> {
-            fields[field_1based - 1].parse::<f64>().map(|v| v as i64).map_err(|_| {
-                SwfError::BadField {
-                    line: lineno,
-                    field: field_1based,
-                }
-            })
+            let raw = fields[field_1based - 1];
+            let bad = || SwfError::BadField {
+                line: lineno,
+                field: field_1based,
+            };
+            // Integers first: the spec's fields are integral, and an
+            // integer parse never mangles the value. The float fallback
+            // covers archives carrying fractional seconds ("12.5"); a
+            // non-finite value ("nan", "inf") is data corruption, not a
+            // number — it used to coerce silently (NaN → 0, ±inf →
+            // saturated) and now rejects. Finite floats outside i64
+            // saturate, which the node/time clamps below bound anyway.
+            if let Ok(v) = raw.parse::<i64>() {
+                return Ok(v);
+            }
+            let f = raw.parse::<f64>().map_err(|_| bad())?;
+            if !f.is_finite() {
+                return Err(bad());
+            }
+            Ok(f as i64)
         };
         let job_no = num(1)?;
         let submit_s = num(2)?;
@@ -176,7 +190,9 @@ pub fn import(text: &str, opts: &SwfImportOptions) -> Result<Vec<SubmitEvent>, S
         if opts.drop_invalid && procs <= 0 {
             continue;
         }
-        let procs = procs.max(1) as u32;
+        // Bounds-checked, not truncated: a 2^32-proc line clamps to
+        // u32::MAX (and then to `max_nodes`) instead of wrapping to 0.
+        let procs = u32::try_from(procs.max(1)).unwrap_or(u32::MAX);
         let mut nodes = procs.div_ceil(opts.ppn.max(1));
         if let Some(cap) = opts.max_nodes {
             nodes = nodes.min(cap.max(1));
@@ -381,6 +397,63 @@ mod tests {
             import(text, &SwfImportOptions::default()),
             Err(SwfError::BadField { line: 4, field: 4 })
         );
+    }
+
+    #[test]
+    fn non_finite_fields_are_rejected_not_coerced() {
+        // Regression: fields were parsed as f64 and cast with `as i64`,
+        // so a literal "nan" runtime coerced to 0 (job silently dropped)
+        // and "inf" saturated to i64::MAX. Both are now BadField.
+        let nan = "1 10 1 nan 4 -1 -1 4 -1 -1 1 1 1 1 0 -1 -1 -1\n";
+        assert_eq!(
+            import(nan, &SwfImportOptions::default()),
+            Err(SwfError::BadField { line: 1, field: 4 })
+        );
+        let inf = "1 10 1 100 inf -1 -1 -1 -1 -1 1 1 1 1 0 -1 -1 -1\n";
+        assert_eq!(
+            import(inf, &SwfImportOptions::default()),
+            Err(SwfError::BadField { line: 1, field: 5 })
+        );
+        let neg_inf = "1 -inf 1 100 4 -1 -1 4 -1 -1 1 1 1 1 0 -1 -1 -1\n";
+        assert_eq!(
+            import(neg_inf, &SwfImportOptions::default()),
+            Err(SwfError::BadField { line: 1, field: 2 })
+        );
+    }
+
+    #[test]
+    fn fractional_fields_still_import_via_float_fallback() {
+        // Archives occasionally carry fractional seconds; those stay
+        // importable (truncated), only non-finite values reject.
+        let text = "1 10.9 1 100.5 4 -1 -1 4 -1 -1 1 1 1 1 0 -1 -1 -1\n";
+        let events = import(text, &SwfImportOptions::default()).unwrap();
+        assert_eq!(events[0].at, SimTime::from_secs(10));
+        assert_eq!(events[0].req.runtime, SimDuration::from_secs(100));
+    }
+
+    #[test]
+    fn oversized_proc_counts_clamp_instead_of_wrapping() {
+        // Regression: `procs as u32` truncated, so a 2^32-proc line
+        // wrapped to 0 procs. It now clamps to u32::MAX and then to
+        // `max_nodes`, keeping the trace playable.
+        let text = "1 10 1 100 4294967296 -1 -1 -1 -1 -1 1 1 1 1 0 -1 -1 -1\n";
+        let events = import(text, &SwfImportOptions::default()).unwrap();
+        assert_eq!(events[0].req.nodes, 16, "clamped to max_nodes");
+        // A huge-but-finite float ("9e99") saturates through the same
+        // clamps rather than erroring — the line stays usable.
+        let big = "1 10 1 100 9e99 -1 -1 -1 -1 -1 1 1 1 1 0 -1 -1 -1\n";
+        let events = import(big, &SwfImportOptions::default()).unwrap();
+        assert_eq!(events[0].req.nodes, 16);
+        // Unclamped, the 2^32 line lands on u32::MAX-derived nodes, not 0.
+        let unclamped = import(
+            text,
+            &SwfImportOptions {
+                max_nodes: None,
+                ..SwfImportOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(unclamped[0].req.nodes, u32::MAX.div_ceil(4));
     }
 
     #[test]

@@ -65,6 +65,7 @@ pub mod cli;
 
 /// Everything a downstream user typically needs, in one import.
 pub mod prelude {
+    pub use dualboot_bootconf::node::NodeId;
     pub use dualboot_bootconf::os::OsKind;
     pub use dualboot_cluster::{
         FaultEvent, FaultKind, FaultPlan, FaultStats, Mode, PolicyKind, SimConfig, SimResult,

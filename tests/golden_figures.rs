@@ -90,7 +90,7 @@ fn fig5_fig6_detector_wire_verbatim() {
 #[test]
 fn fig7_pbsnodes_block_shape() {
     let mut s = PbsScheduler::eridani();
-    s.register_node("enode01.eridani.qgg.hud.ac.uk", 4);
+    s.register_node(NodeId(1), "enode01.eridani.qgg.hud.ac.uk", 4);
     let text = pbs_text::pbsnodes(&s, SimTime::ZERO);
     let lines: Vec<&str> = text.lines().collect();
     assert_eq!(lines[0], "enode01.eridani.qgg.hud.ac.uk");
@@ -124,7 +124,7 @@ fn fig7_pbsnodes_block_shape() {
 fn fig8_qstat_f_block_shape() {
     let mut s = PbsScheduler::eridani();
     for i in 1..=16 {
-        s.register_node(&format!("enode{i:02}.eridani.qgg.hud.ac.uk"), 4);
+        s.register_node(NodeId(i), &format!("enode{i:02}.eridani.qgg.hud.ac.uk"), 4);
     }
     s.submit(
         JobRequest::user("release_1_node", OsKind::Linux, 1, 4, SimDuration::from_secs(10)),

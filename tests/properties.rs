@@ -134,6 +134,36 @@ proptest! {
             prop_assert_eq!(Message::decode(&msg.encode()).unwrap(), msg);
         }
     }
+
+    // The decoders face the network: arbitrary input must come back as
+    // Ok or Err, never a panic (the report decoder once sliced at fixed
+    // byte offsets and aborted the daemon on multi-byte UTF-8).
+    #[test]
+    fn wire_decode_never_panics(s in "\\PC*") {
+        let _ = DetectorReport::decode(&s);
+    }
+
+    #[test]
+    fn wire_decode_never_panics_near_report_shapes(
+        state in "[01€x]{0,2}",
+        cpus in "[0-9€ ]{0,6}",
+        id in "\\PC{0,70}",
+    ) {
+        let _ = DetectorReport::decode(&format!("{state}{cpus}{id}"));
+    }
+
+    #[test]
+    fn proto_decode_never_panics(s in "\\PC*") {
+        let _ = Message::decode(&s);
+    }
+
+    #[test]
+    fn proto_decode_never_panics_near_message_shapes(
+        kind in "[A-Z]{1,12}",
+        payload in "\\PC{0,40}",
+    ) {
+        let _ = Message::decode(&format!("{kind} {payload}"));
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -152,7 +182,7 @@ proptest! {
     ) {
         let mut s = PbsScheduler::eridani();
         for i in 1..=8 {
-            s.register_node(&format!("enode{i:02}"), 4);
+            s.register_node(NodeId(i), &format!("enode{i:02}"), 4);
         }
         let mut t = 0u64;
         let mut ids = Vec::new();
@@ -212,7 +242,7 @@ proptest! {
     ) {
         let mut s = WinHpcScheduler::eridani();
         for i in 1..=8 {
-            s.register_node(&format!("enode{i:02}"), 4);
+            s.register_node(NodeId(i), &format!("enode{i:02}"), 4);
         }
         let mut t = 0u64;
         let mut ids = Vec::new();
@@ -236,7 +266,7 @@ proptest! {
 }
 
 fn check_pbs_invariants(s: &PbsScheduler) -> Result<(), TestCaseError> {
-    for (_, np, used, _) in s.node_states() {
+    for (_, _, np, used, _) in s.node_states() {
         prop_assert!(used <= np, "node overcommitted: {used}/{np}");
     }
     let snap = s.snapshot();
@@ -245,7 +275,7 @@ fn check_pbs_invariants(s: &PbsScheduler) -> Result<(), TestCaseError> {
 }
 
 fn check_win_invariants(s: &WinHpcScheduler) -> Result<(), TestCaseError> {
-    for (_, cores, used, _) in s.node_states() {
+    for (_, _, cores, used, _) in s.node_states() {
         prop_assert!(used <= cores, "node overcommitted: {used}/{cores}");
     }
     Ok(())

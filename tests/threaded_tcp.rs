@@ -52,7 +52,7 @@ fn full_deployment_over_tcp() {
     let pbs = Arc::new(Mutex::new(PbsScheduler::eridani()));
     for i in 1..=16 {
         pbs.lock()
-            .register_node(&format!("enode{i:02}.eridani.qgg.hud.ac.uk"), 4);
+            .register_node(NodeId(i), &format!("enode{i:02}.eridani.qgg.hud.ac.uk"), 4);
     }
     let flags: Arc<Mutex<Vec<OsKind>>> = Arc::new(Mutex::new(Vec::new()));
     let flag_sink = Arc::clone(&flags);

@@ -62,7 +62,7 @@ fn five_step_cycle_over_tcp() {
     daemon.set_obs(sink.clone());
     let mut pbs = PbsScheduler::eridani();
     for i in 1..=16 {
-        pbs.register_node(&format!("enode{i:02}.eridani.qgg.hud.ac.uk"), 4);
+        pbs.register_node(NodeId(i), &format!("enode{i:02}.eridani.qgg.hud.ac.uk"), 4);
     }
 
     // Pump until the Windows report arrives over the wire.
@@ -133,7 +133,7 @@ fn reboot_order_crosses_tcp_to_windows_side() {
         let mut daemon = WindowsDaemon::new(transport);
         let mut sched = WinHpcScheduler::eridani();
         for i in 1..=4 {
-            sched.register_node(&format!("enode{i:02}.eridani.qgg.hud.ac.uk"), 4);
+            sched.register_node(NodeId(i), &format!("enode{i:02}.eridani.qgg.hud.ac.uk"), 4);
         }
         // Idle Windows side.
         let out = WinDetector.run(&sched.api());
