@@ -22,7 +22,7 @@ fn pbs_with(nodes: u32, queued_jobs: u32) -> PbsScheduler {
     let mut s = PbsScheduler::eridani();
     for i in 1..=nodes {
         s.register_node(
-            NodeId(i as u16),
+            NodeId(i as u32),
             &format!("enode{i:02}.eridani.qgg.hud.ac.uk"),
             4,
         );

@@ -37,7 +37,7 @@ fn bench_modes(c: &mut Criterion) {
 fn bench_cluster_scale(c: &mut Criterion) {
     let mut g = c.benchmark_group("simulation/cluster_scale");
     g.sample_size(10);
-    for nodes in [16u16, 64, 128] {
+    for nodes in [16u32, 64, 128] {
         let trace = WorkloadSpec {
             duration: SimDuration::from_hours(4),
             windows_fraction: 0.3,

@@ -1,5 +1,5 @@
 //! Scale sweep: wall-clock cost of `Simulation::run` as the cluster and
-//! workload grow (16 → 4096 nodes).
+//! workload grow (16 → 65536 nodes).
 //!
 //! The paper's deployment is 16 nodes, but a reusable middleware must not
 //! melt on a real campus cluster. This harness plays a dispatch-heavy
@@ -11,6 +11,7 @@
 //! cargo run --release -p dualboot-bench --bin scale             # full sweep
 //! cargo run --release -p dualboot-bench --bin scale -- --smoke  # CI subset
 //! cargo run --release -p dualboot-bench --bin scale -- --swf trace.swf
+//! cargo run --release -p dualboot-bench --bin scale -- --queue calendar
 //! ```
 //!
 //! The JSON is hand-formatted (flat numbers and strings only) so the
@@ -18,13 +19,14 @@
 
 use dualboot_cluster::{SimConfig, Simulation};
 use dualboot_des::time::SimDuration;
+use dualboot_des::QueueBackend;
 use dualboot_workload::generator::{SubmitEvent, WorkloadSpec};
 use dualboot_workload::swf::{import, SwfImportOptions};
 use std::time::Instant;
 
 /// One measured point of the sweep.
 struct Point {
-    nodes: u16,
+    nodes: u32,
     jobs: usize,
     wall_ms: f64,
     completed: u32,
@@ -37,7 +39,7 @@ struct Point {
 /// jobs at high offered load, with enough Windows work to keep the
 /// middleware switching. Job count scales linearly with the node count,
 /// so every sweep point stresses the same per-job paths.
-fn synthetic_trace(seed: u64, nodes: u16, cores_per_node: u32, hours: u64) -> Vec<SubmitEvent> {
+fn synthetic_trace(seed: u64, nodes: u32, cores_per_node: u32, hours: u64) -> Vec<SubmitEvent> {
     WorkloadSpec {
         duration: SimDuration::from_hours(hours),
         mean_runtime: SimDuration::from_mins(8),
@@ -46,15 +48,16 @@ fn synthetic_trace(seed: u64, nodes: u16, cores_per_node: u32, hours: u64) -> Ve
         node_weights: vec![0.8, 0.15, 0.05],
         ..WorkloadSpec::campus_default(seed)
     }
-    .with_offered_load(0.85, u32::from(nodes) * cores_per_node)
+    .with_offered_load(0.85, nodes * cores_per_node)
     .generate()
 }
 
-fn measure(nodes: u16, trace: Vec<SubmitEvent>, seed: u64) -> Point {
+fn measure(nodes: u32, trace: Vec<SubmitEvent>, seed: u64, queue: QueueBackend) -> Point {
     let cfg = SimConfig::builder()
         .v2()
         .seed(seed)
         .nodes(nodes, 4)
+        .queue_backend(queue)
         .build();
     let jobs = trace.len();
     let sim = Simulation::new(cfg, trace);
@@ -79,9 +82,10 @@ fn fmt_f(v: f64) -> String {
     format!("{v:.3}")
 }
 
-fn emit_json(mode: &str, workload: &str, points: &[Point]) {
+fn emit_json(mode: &str, workload: &str, queue: &str, points: &[Point]) {
     let mut out = String::from("{\n");
     out.push_str(&format!("  \"bench\": \"scale\",\n  \"mode\": \"{mode}\",\n"));
+    out.push_str(&format!("  \"queue\": \"{queue}\",\n"));
     out.push_str(&format!("  \"workload\": \"{workload}\",\n  \"results\": [\n"));
     for (i, p) in points.iter().enumerate() {
         out.push_str(&format!(
@@ -108,12 +112,23 @@ fn main() {
         .iter()
         .position(|a| a == "--swf")
         .and_then(|i| args.get(i + 1));
+    let queue: QueueBackend = args
+        .iter()
+        .position(|a| a == "--queue")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| {
+            s.parse().unwrap_or_else(|e| {
+                eprintln!("{e}");
+                std::process::exit(2);
+            })
+        })
+        .unwrap_or_default();
     let seed = 2012u64;
 
-    let sweep: &[u16] = if smoke {
-        &[16, 64, 256]
+    let sweep: &[u32] = if smoke {
+        &[16, 256, 65536]
     } else {
-        &[16, 64, 256, 1024, 4096]
+        &[16, 64, 256, 1024, 4096, 16384, 65536]
     };
     let mode = if smoke { "smoke" } else { "full" };
 
@@ -129,28 +144,37 @@ fn main() {
                 std::process::exit(2);
             });
             for &n in sweep {
-                points.push(measure(n, trace.clone(), seed));
+                points.push(measure(n, trace.clone(), seed, queue));
                 eprintln!(
                     "nodes={n:>5}  wall={:>10.1} ms  jobs/s={:>10.0}",
                     points.last().unwrap().wall_ms,
                     points.last().unwrap().jobs_per_s
                 );
             }
-            emit_json(mode, "swf", &points);
+            emit_json(mode, "swf", queue_name(queue), &points);
         }
         None => {
-            // Short horizon in smoke mode keeps the CI lane quick.
-            let hours = if smoke { 2 } else { 6 };
             for &n in sweep {
+                // Short horizons keep the CI lane quick and bound the
+                // 16k/65k tail (job count scales linearly with nodes, so
+                // the big points are already the dominant cost).
+                let hours = if smoke || n >= 16384 { 2 } else { 6 };
                 let trace = synthetic_trace(seed, n, 4, hours);
-                points.push(measure(n, trace, seed));
+                points.push(measure(n, trace, seed, queue));
                 eprintln!(
                     "nodes={n:>5}  wall={:>10.1} ms  jobs/s={:>10.0}",
                     points.last().unwrap().wall_ms,
                     points.last().unwrap().jobs_per_s
                 );
             }
-            emit_json(mode, "synthetic", &points);
+            emit_json(mode, "synthetic", queue_name(queue), &points);
         }
+    }
+}
+
+fn queue_name(q: QueueBackend) -> &'static str {
+    match q {
+        QueueBackend::Heap => "heap",
+        QueueBackend::Calendar => "calendar",
     }
 }

@@ -173,7 +173,7 @@ pub fn e3_utilisation_vs_mix(mixes_pct: &[u32], seed: u64) -> Table {
         }
         .with_offered_load(0.7, 64)
         .generate();
-        let runs: [(&str, Mode, PolicyKind, bool, u16); 4] = [
+        let runs: [(&str, Mode, PolicyKind, bool, u32); 4] = [
             ("dualboot/fcfs", Mode::DualBoot, PolicyKind::Fcfs, false, 16),
             (
                 "dualboot/threshold",

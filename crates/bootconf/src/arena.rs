@@ -1,0 +1,687 @@
+//! Dense, id-keyed arenas for per-node and per-job state.
+//!
+//! The simulator and both schedulers historically kept per-node state in
+//! `BTreeMap<NodeId, _>` / `HashMap<u16, _>` and per-node job lists as one
+//! heap-allocated `Vec` per node. At 65536 nodes the pointer-chasing and
+//! allocator traffic dominate the dispatch loops, so this module provides
+//! struct-of-arrays building blocks keyed by the existing [`NodeId`]
+//! newtype:
+//!
+//! * [`IdSet`] — a dense bitset over 1-based ids whose iteration order is
+//!   ascending id, bit-compatible with the `BTreeSet<NodeId>` indexes it
+//!   replaces.
+//! * [`IdVec`] — a dense `id → T` map (a `Vec<Option<T>>` indexed by
+//!   [`NodeId::index0`]) replacing hash maps that are only ever probed,
+//!   never iterated.
+//! * [`ListSlab`] — one shared slab holding every node's job list as an
+//!   intrusive linked list, preserving per-list insertion order; the
+//!   free-list recycles cells so steady-state dispatch allocates nothing.
+//! * [`Sequence`] — an append-only `id → T` store for records issued with
+//!   consecutive ids from a base (scheduler jobs), replacing
+//!   `BTreeMap<u64, T>`.
+//!
+//! Everything here is deterministic by construction: iteration orders
+//! depend only on the sequence of mutating calls, never on hashing.
+
+use crate::node::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// A dense set of [`NodeId`]s with ascending-id iteration.
+///
+/// Drop-in replacement for the `BTreeSet<NodeId>` placement indexes: the
+/// same elements iterate in the same (ascending) order, with O(1) insert,
+/// remove and contains, and a word-wise scan instead of tree walking.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IdSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl IdSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        IdSet::default()
+    }
+
+    /// An empty set pre-sized for ids `1..=capacity`.
+    pub fn with_capacity(capacity: usize) -> Self {
+        IdSet {
+            words: Vec::with_capacity(capacity.div_ceil(64)),
+            len: 0,
+        }
+    }
+
+    fn slot(id: NodeId) -> (usize, u64) {
+        let bit = id.index0();
+        (bit / 64, 1u64 << (bit % 64))
+    }
+
+    /// Insert `id`; returns `true` if it was not already present.
+    pub fn insert(&mut self, id: NodeId) -> bool {
+        debug_assert!(id.get() != 0, "NodeId(0) is not a valid node");
+        let (word, mask) = Self::slot(id);
+        if word >= self.words.len() {
+            self.words.resize(word + 1, 0);
+        }
+        let fresh = self.words[word] & mask == 0;
+        self.words[word] |= mask;
+        self.len += usize::from(fresh);
+        fresh
+    }
+
+    /// Remove `id`; returns `true` if it was present.
+    pub fn remove(&mut self, id: NodeId) -> bool {
+        let (word, mask) = Self::slot(id);
+        match self.words.get_mut(word) {
+            Some(w) if *w & mask != 0 => {
+                *w &= !mask;
+                self.len -= 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Membership test.
+    pub fn contains(&self, id: NodeId) -> bool {
+        let (word, mask) = Self::slot(id);
+        self.words.get(word).is_some_and(|w| w & mask != 0)
+    }
+
+    /// Number of ids in the set.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no ids are present.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Remove every id.
+    pub fn clear(&mut self) {
+        self.words.clear();
+        self.len = 0;
+    }
+
+    /// The smallest id present, if any.
+    pub fn first(&self) -> Option<NodeId> {
+        self.iter().next()
+    }
+
+    /// Ids in ascending order (the `BTreeSet` iteration order).
+    pub fn iter(&self) -> IdSetIter<'_> {
+        IdSetIter {
+            words: &self.words,
+            word_index: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
+    }
+}
+
+impl FromIterator<NodeId> for IdSet {
+    fn from_iter<I: IntoIterator<Item = NodeId>>(iter: I) -> Self {
+        let mut set = IdSet::new();
+        for id in iter {
+            set.insert(id);
+        }
+        set
+    }
+}
+
+impl<'a> IntoIterator for &'a IdSet {
+    type Item = NodeId;
+    type IntoIter = IdSetIter<'a>;
+    fn into_iter(self) -> IdSetIter<'a> {
+        self.iter()
+    }
+}
+
+/// Ascending iterator over an [`IdSet`].
+#[derive(Debug, Clone)]
+pub struct IdSetIter<'a> {
+    words: &'a [u64],
+    word_index: usize,
+    current: u64,
+}
+
+impl Iterator for IdSetIter<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        while self.current == 0 {
+            self.word_index += 1;
+            if self.word_index >= self.words.len() {
+                return None;
+            }
+            self.current = self.words[self.word_index];
+        }
+        let bit = self.current.trailing_zeros() as usize;
+        self.current &= self.current - 1;
+        Some(NodeId::from_index0(self.word_index * 64 + bit))
+    }
+}
+
+/// A dense `NodeId → T` map backed by a `Vec<Option<T>>`.
+///
+/// Replaces `HashMap<node, T>` for per-node state that is probed by key
+/// but never iterated: lookups become a bounds-checked array index and the
+/// live count stays O(1) for `done()`-style emptiness checks.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct IdVec<T> {
+    slots: Vec<Option<T>>,
+    live: usize,
+}
+
+impl<T> Default for IdVec<T> {
+    fn default() -> Self {
+        IdVec {
+            slots: Vec::new(),
+            live: 0,
+        }
+    }
+}
+
+impl<T> IdVec<T> {
+    /// An empty map.
+    pub fn new() -> Self {
+        IdVec::default()
+    }
+
+    /// An empty map pre-sized for ids `1..=capacity`.
+    pub fn with_capacity(capacity: usize) -> Self {
+        IdVec {
+            slots: Vec::with_capacity(capacity),
+            live: 0,
+        }
+    }
+
+    /// Insert or replace the value for `id`, returning the previous one.
+    pub fn insert(&mut self, id: NodeId, value: T) -> Option<T> {
+        let i = id.index0();
+        if i >= self.slots.len() {
+            self.slots.resize_with(i + 1, || None);
+        }
+        let old = self.slots[i].replace(value);
+        self.live += usize::from(old.is_none());
+        old
+    }
+
+    /// Remove and return the value for `id`.
+    pub fn remove(&mut self, id: NodeId) -> Option<T> {
+        let old = self.slots.get_mut(id.index0()).and_then(Option::take);
+        self.live -= usize::from(old.is_some());
+        old
+    }
+
+    /// Shared access to the value for `id`.
+    pub fn get(&self, id: NodeId) -> Option<&T> {
+        self.slots.get(id.index0()).and_then(Option::as_ref)
+    }
+
+    /// Exclusive access to the value for `id`.
+    pub fn get_mut(&mut self, id: NodeId) -> Option<&mut T> {
+        self.slots.get_mut(id.index0()).and_then(Option::as_mut)
+    }
+
+    /// Exclusive access, inserting `default()` first if `id` is absent.
+    pub fn get_or_insert_with(&mut self, id: NodeId, default: impl FnOnce() -> T) -> &mut T {
+        let i = id.index0();
+        if i >= self.slots.len() {
+            self.slots.resize_with(i + 1, || None);
+        }
+        if self.slots[i].is_none() {
+            self.slots[i] = Some(default());
+            self.live += 1;
+        }
+        self.slots[i].as_mut().expect("slot just filled")
+    }
+
+    /// True if `id` has a value.
+    pub fn contains(&self, id: NodeId) -> bool {
+        self.get(id).is_some()
+    }
+
+    /// Number of ids with a value.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// True if no id has a value.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Remove every value (capacity is kept).
+    pub fn clear(&mut self) {
+        self.slots.clear();
+        self.live = 0;
+    }
+
+    /// Live `(id, value)` pairs in ascending id order.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &T)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|v| (NodeId::from_index0(i), v)))
+    }
+}
+
+const NIL: u32 = u32::MAX;
+
+/// A handle to one list inside a [`ListSlab`]. The empty list is
+/// [`ListRef::EMPTY`] (also its `Default`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ListRef {
+    head: u32,
+    tail: u32,
+    len: u32,
+}
+
+impl ListRef {
+    /// The empty list.
+    pub const EMPTY: ListRef = ListRef {
+        head: NIL,
+        tail: NIL,
+        len: 0,
+    };
+
+    /// Number of elements in this list.
+    pub fn len(self) -> usize {
+        self.len as usize
+    }
+
+    /// True if the list has no elements.
+    pub fn is_empty(self) -> bool {
+        self.len == 0
+    }
+}
+
+impl Default for ListRef {
+    fn default() -> Self {
+        ListRef::EMPTY
+    }
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Cell<T> {
+    value: Option<T>,
+    next: u32,
+}
+
+/// One shared slab holding many insertion-ordered lists.
+///
+/// Every per-node job list lives in the same backing `Vec`; freed cells go
+/// on an internal free-list and are recycled in LIFO order, so after
+/// warm-up the dispatch/complete cycle performs no allocation. Lists are
+/// addressed through [`ListRef`] handles owned by the caller.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ListSlab<T> {
+    cells: Vec<Cell<T>>,
+    free_head: u32,
+    live: usize,
+}
+
+impl<T> Default for ListSlab<T> {
+    fn default() -> Self {
+        ListSlab {
+            cells: Vec::new(),
+            free_head: NIL,
+            live: 0,
+        }
+    }
+}
+
+impl<T> ListSlab<T> {
+    /// An empty slab.
+    pub fn new() -> Self {
+        ListSlab::default()
+    }
+
+    /// Total elements across every list in the slab.
+    pub fn live_len(&self) -> usize {
+        self.live
+    }
+
+    /// Number of allocated cells (live + free).
+    pub fn capacity(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Length of the internal free-list.
+    pub fn free_len(&self) -> usize {
+        self.capacity() - self.live
+    }
+
+    fn alloc(&mut self, value: T) -> u32 {
+        self.live += 1;
+        if self.free_head != NIL {
+            let idx = self.free_head;
+            let cell = &mut self.cells[idx as usize];
+            debug_assert!(cell.value.is_none(), "free-list yielded a live cell");
+            self.free_head = cell.next;
+            cell.value = Some(value);
+            cell.next = NIL;
+            idx
+        } else {
+            let idx = u32::try_from(self.cells.len()).expect("slab capacity fits u32");
+            self.cells.push(Cell {
+                value: Some(value),
+                next: NIL,
+            });
+            idx
+        }
+    }
+
+    fn free(&mut self, idx: u32) -> T {
+        let cell = &mut self.cells[idx as usize];
+        let value = cell.value.take().expect("freed cell was live");
+        cell.next = self.free_head;
+        self.free_head = idx;
+        self.live -= 1;
+        value
+    }
+
+    /// Append `value` to `list`, preserving insertion order.
+    pub fn push(&mut self, list: &mut ListRef, value: T) {
+        let idx = self.alloc(value);
+        if list.tail == NIL {
+            list.head = idx;
+        } else {
+            self.cells[list.tail as usize].next = idx;
+        }
+        list.tail = idx;
+        list.len += 1;
+    }
+
+    /// Keep only the elements of `list` for which `keep` returns true
+    /// (the `Vec::retain` of the slab world). Relative order is preserved.
+    pub fn retain(&mut self, list: &mut ListRef, mut keep: impl FnMut(&T) -> bool) {
+        let mut idx = list.head;
+        let mut prev = NIL;
+        while idx != NIL {
+            let next = self.cells[idx as usize].next;
+            let stays = keep(self.cells[idx as usize].value.as_ref().expect("list cell live"));
+            if stays {
+                prev = idx;
+            } else {
+                if prev == NIL {
+                    list.head = next;
+                } else {
+                    self.cells[prev as usize].next = next;
+                }
+                if list.tail == idx {
+                    list.tail = prev;
+                }
+                list.len -= 1;
+                self.free(idx);
+            }
+            idx = next;
+        }
+    }
+
+    /// Remove every element of `list`, returning the cells to the
+    /// free-list.
+    pub fn clear_list(&mut self, list: &mut ListRef) {
+        let mut idx = list.head;
+        while idx != NIL {
+            let next = self.cells[idx as usize].next;
+            self.free(idx);
+            idx = next;
+        }
+        *list = ListRef::EMPTY;
+    }
+
+    /// The elements of `list` in insertion order.
+    pub fn iter<'a>(&'a self, list: &ListRef) -> ListIter<'a, T> {
+        ListIter {
+            slab: self,
+            idx: list.head,
+        }
+    }
+
+    /// Clone the elements of `list` into a `Vec`, in insertion order.
+    pub fn to_vec(&self, list: &ListRef) -> Vec<T>
+    where
+        T: Clone,
+    {
+        self.iter(list).cloned().collect()
+    }
+
+    /// Walk the free-list, returning the freed cell indexes in pop order.
+    /// Exposed for invariant tests.
+    pub fn free_indices(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        let mut idx = self.free_head;
+        while idx != NIL {
+            out.push(idx as usize);
+            idx = self.cells[idx as usize].next;
+        }
+        out
+    }
+
+    /// True if cell `idx` currently holds a value. Exposed for invariant
+    /// tests.
+    pub fn is_live(&self, idx: usize) -> bool {
+        self.cells.get(idx).is_some_and(|c| c.value.is_some())
+    }
+
+    /// Check the structural invariants: the free-list visits every dead
+    /// cell exactly once and never a live one, and `live_len` equals the
+    /// number of cells holding values. Panics on violation.
+    pub fn assert_invariants(&self) {
+        let free = self.free_indices();
+        for &idx in &free {
+            assert!(!self.is_live(idx), "free-list yielded live cell {idx}");
+        }
+        let dead = self.cells.iter().filter(|c| c.value.is_none()).count();
+        assert_eq!(free.len(), dead, "free-list misses dead cells");
+        assert_eq!(
+            self.live,
+            self.cells.len() - dead,
+            "live counter out of sync"
+        );
+    }
+}
+
+/// Iterator over one list inside a [`ListSlab`].
+#[derive(Debug)]
+pub struct ListIter<'a, T> {
+    slab: &'a ListSlab<T>,
+    idx: u32,
+}
+
+impl<'a, T> Iterator for ListIter<'a, T> {
+    type Item = &'a T;
+
+    fn next(&mut self) -> Option<&'a T> {
+        if self.idx == NIL {
+            return None;
+        }
+        let cell = &self.slab.cells[self.idx as usize];
+        self.idx = cell.next;
+        cell.value.as_ref()
+    }
+}
+
+/// An append-only `u64-id → T` store for records issued with consecutive
+/// ids starting at `base` (PBS numbers jobs from 1185, WinHPC from 1).
+///
+/// Replaces `BTreeMap<u64, T>` where keys are handed out by the same
+/// counter that indexes the store: lookups are a subtraction and an array
+/// index, and iteration (ascending id) is a linear walk.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Sequence<T> {
+    base: u64,
+    items: Vec<T>,
+}
+
+impl<T> Sequence<T> {
+    /// An empty store whose first pushed item gets id `base`.
+    pub fn new(base: u64) -> Self {
+        Sequence {
+            base,
+            items: Vec::new(),
+        }
+    }
+
+    /// The id the next [`push`](Self::push) will occupy.
+    pub fn next_id(&self) -> u64 {
+        self.base + self.items.len() as u64
+    }
+
+    /// Renumber an empty store to start at `base` (PBS renumbers to the
+    /// paper's figure range after construction). Panics if items exist.
+    pub fn set_base(&mut self, base: u64) {
+        assert!(self.items.is_empty(), "set_base on non-empty Sequence");
+        self.base = base;
+    }
+
+    /// Append `value`, returning its id.
+    pub fn push(&mut self, value: T) -> u64 {
+        let id = self.next_id();
+        self.items.push(value);
+        id
+    }
+
+    /// Shared access by id.
+    pub fn get(&self, id: u64) -> Option<&T> {
+        let i = id.checked_sub(self.base)?;
+        self.items.get(usize::try_from(i).ok()?)
+    }
+
+    /// Exclusive access by id.
+    pub fn get_mut(&mut self, id: u64) -> Option<&mut T> {
+        let i = id.checked_sub(self.base)?;
+        self.items.get_mut(usize::try_from(i).ok()?)
+    }
+
+    /// Number of stored items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True if nothing has been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Items in ascending id order.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.items.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idset_matches_btreeset_order() {
+        use std::collections::BTreeSet;
+        let ids = [65u32, 1, 64, 2, 128, 63, 300];
+        let mut set = IdSet::new();
+        let mut reference = BTreeSet::new();
+        for id in ids {
+            assert_eq!(set.insert(NodeId(id)), reference.insert(NodeId(id)));
+        }
+        assert!(!set.insert(NodeId(64)));
+        reference.insert(NodeId(64));
+        let dense: Vec<NodeId> = set.iter().collect();
+        let tree: Vec<NodeId> = reference.iter().copied().collect();
+        assert_eq!(dense, tree);
+        assert_eq!(set.len(), reference.len());
+        assert_eq!(set.first(), reference.first().copied());
+        assert!(set.remove(NodeId(64)));
+        assert!(!set.remove(NodeId(64)));
+        assert!(!set.contains(NodeId(64)));
+        assert!(set.contains(NodeId(65)));
+    }
+
+    #[test]
+    fn idset_handles_word_boundaries() {
+        let mut set = IdSet::new();
+        for id in [64u32, 65, 128, 129] {
+            set.insert(NodeId(id));
+        }
+        let got: Vec<u32> = set.iter().map(NodeId::get).collect();
+        assert_eq!(got, [64, 65, 128, 129]);
+    }
+
+    #[test]
+    fn idvec_probe_and_counts() {
+        let mut m: IdVec<&str> = IdVec::new();
+        assert!(m.is_empty());
+        assert_eq!(m.insert(NodeId(5), "five"), None);
+        assert_eq!(m.insert(NodeId(5), "FIVE"), Some("five"));
+        m.insert(NodeId(2), "two");
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.get(NodeId(5)), Some(&"FIVE"));
+        assert_eq!(m.remove(NodeId(5)), Some("FIVE"));
+        assert_eq!(m.remove(NodeId(5)), None);
+        assert_eq!(m.len(), 1);
+        let pairs: Vec<(u32, &str)> = m.iter().map(|(id, v)| (id.get(), *v)).collect();
+        assert_eq!(pairs, [(2, "two")]);
+        *m.get_or_insert_with(NodeId(9), || "nine") = "NINE";
+        assert_eq!(m.get(NodeId(9)), Some(&"NINE"));
+    }
+
+    #[test]
+    fn listslab_preserves_insertion_order_and_recycles() {
+        let mut slab: ListSlab<u32> = ListSlab::new();
+        let mut a = ListRef::EMPTY;
+        let mut b = ListRef::EMPTY;
+        slab.push(&mut a, 1);
+        slab.push(&mut b, 10);
+        slab.push(&mut a, 2);
+        slab.push(&mut a, 3);
+        assert_eq!(slab.to_vec(&a), [1, 2, 3]);
+        assert_eq!(slab.to_vec(&b), [10]);
+        slab.retain(&mut a, |v| *v != 2);
+        assert_eq!(slab.to_vec(&a), [1, 3]);
+        assert_eq!(a.len(), 2);
+        slab.assert_invariants();
+        // The freed cell is recycled before the slab grows.
+        let cap = slab.capacity();
+        slab.push(&mut b, 11);
+        assert_eq!(slab.capacity(), cap);
+        assert_eq!(slab.to_vec(&b), [10, 11]);
+        slab.clear_list(&mut a);
+        assert!(a.is_empty());
+        assert_eq!(slab.live_len(), 2);
+        slab.assert_invariants();
+    }
+
+    #[test]
+    fn listslab_retain_updates_tail() {
+        let mut slab: ListSlab<u32> = ListSlab::new();
+        let mut l = ListRef::EMPTY;
+        for v in [1, 2, 3] {
+            slab.push(&mut l, v);
+        }
+        slab.retain(&mut l, |v| *v != 3);
+        slab.push(&mut l, 4);
+        assert_eq!(slab.to_vec(&l), [1, 2, 4]);
+        slab.retain(&mut l, |_| false);
+        assert!(l.is_empty());
+        slab.push(&mut l, 5);
+        assert_eq!(slab.to_vec(&l), [5]);
+        slab.assert_invariants();
+    }
+
+    #[test]
+    fn sequence_ids_from_base() {
+        let mut s: Sequence<&str> = Sequence::new(1);
+        s.set_base(1185);
+        assert_eq!(s.next_id(), 1185);
+        assert_eq!(s.push("a"), 1185);
+        assert_eq!(s.push("b"), 1186);
+        assert_eq!(s.get(1185), Some(&"a"));
+        assert_eq!(s.get(1184), None);
+        assert_eq!(s.get(1187), None);
+        *s.get_mut(1186).unwrap() = "B";
+        let all: Vec<&str> = s.iter().copied().collect();
+        assert_eq!(all, ["a", "B"]);
+        assert_eq!(s.len(), 2);
+    }
+}

@@ -185,7 +185,7 @@ mod tests {
     use super::*;
     use crate::grub::BootTarget;
 
-    fn mac(i: u16) -> MacAddr {
+    fn mac(i: u32) -> MacAddr {
         MacAddr::for_node(i)
     }
 

@@ -19,6 +19,7 @@
 //! Everything round-trips: `emit(parse(text)) == text` for the canonical
 //! style, which property tests in each module enforce.
 
+pub mod arena;
 pub mod diskpart;
 pub mod error;
 pub mod grub;

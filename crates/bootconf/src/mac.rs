@@ -17,10 +17,13 @@ pub struct MacAddr(pub [u8; 6]);
 impl MacAddr {
     /// A deterministic MAC for node `index` in the simulated cluster,
     /// under the locally-administered prefix `02:00:51:47`
-    /// ("QG" for Queensgate Grid).
-    pub fn for_node(index: u16) -> MacAddr {
-        let [hi, lo] = index.to_be_bytes();
-        MacAddr([0x02, 0x00, 0x51, 0x47, hi, lo])
+    /// ("QG" for Queensgate Grid). Indexes past 65535 spill into the
+    /// fourth octet, so MACs for the first 65535 nodes are unchanged
+    /// from the historical `u16` numbering.
+    pub fn for_node(index: u32) -> MacAddr {
+        let [hi, lo] = (index as u16).to_be_bytes();
+        let spill = 0x47u8.wrapping_add((index >> 16) as u8);
+        MacAddr([0x02, 0x00, 0x51, spill, hi, lo])
     }
 
     /// Colon-separated lower-case form: `02:00:51:47:00:01`.
@@ -82,6 +85,13 @@ mod tests {
         assert_eq!(MacAddr::for_node(1).to_string(), "02:00:51:47:00:01");
         assert_eq!(MacAddr::for_node(256).to_string(), "02:00:51:47:01:00");
         assert_ne!(MacAddr::for_node(1), MacAddr::for_node(2));
+    }
+
+    #[test]
+    fn node_macs_past_u16_spill_into_fourth_octet() {
+        assert_eq!(MacAddr::for_node(65535).to_string(), "02:00:51:47:ff:ff");
+        assert_eq!(MacAddr::for_node(65536).to_string(), "02:00:51:48:00:00");
+        assert_ne!(MacAddr::for_node(1), MacAddr::for_node(65537));
     }
 
     #[test]

@@ -10,17 +10,20 @@ use std::fmt;
 /// A 1-based compute-node identifier (`NodeId(1)` is `enode01`), matching
 /// the Eridani hostname and fault-plan numbering. The newtype keeps trace
 /// events, fault schedules and simulator accessors agreeing on what a
-/// "node number" means — historically some APIs took a raw 1-based `u16`
+/// "node number" means — historically some APIs took a raw 1-based integer
 /// and others a 0-based index, a reliable source of off-by-one bugs.
+///
+/// The payload is `u32` so the scale sweeps can address 65536-node
+/// clusters (a `u16` tops out one short: ids are 1-based).
 #[derive(
     Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
 )]
 #[serde(transparent)]
-pub struct NodeId(pub u16);
+pub struct NodeId(pub u32);
 
 impl NodeId {
     /// The 1-based node number (what the hostname carries).
-    pub fn get(self) -> u16 {
+    pub fn get(self) -> u32 {
         self.0
     }
 
@@ -28,13 +31,13 @@ impl NodeId {
     /// valid node; callers should never construct one, and this saturates
     /// rather than wrapping if they do.
     pub fn index0(self) -> usize {
-        usize::from(self.0.saturating_sub(1))
+        self.0.saturating_sub(1) as usize
     }
 
     /// The [`NodeId`] for a 0-based dense-array index (inverse of
     /// [`index0`](Self::index0)).
     pub fn from_index0(index: usize) -> Self {
-        NodeId(u16::try_from(index + 1).unwrap_or(u16::MAX))
+        NodeId(u32::try_from(index + 1).unwrap_or(u32::MAX))
     }
 }
 
@@ -44,8 +47,8 @@ impl fmt::Display for NodeId {
     }
 }
 
-impl From<u16> for NodeId {
-    fn from(index_1based: u16) -> Self {
+impl From<u32> for NodeId {
+    fn from(index_1based: u32) -> Self {
         NodeId(index_1based)
     }
 }
@@ -59,6 +62,7 @@ mod tests {
         assert_eq!(NodeId(1).index0(), 0);
         assert_eq!(NodeId::from_index0(0), NodeId(1));
         assert_eq!(NodeId::from_index0(NodeId(4096).index0()), NodeId(4096));
+        assert_eq!(NodeId::from_index0(NodeId(65536).index0()), NodeId(65536));
     }
 
     #[test]

@@ -7,6 +7,7 @@ use dualboot_core::policy::{
 };
 use dualboot_core::{Version, WatchdogConfig};
 use dualboot_des::time::SimDuration;
+use dualboot_des::QueueBackend;
 use dualboot_obs::ObsConfig;
 use serde::{Deserialize, Serialize};
 
@@ -138,12 +139,12 @@ pub struct SimConfig {
     pub version: Version,
     /// Evaluation mode.
     pub mode: Mode,
-    /// Compute nodes (Eridani: 16).
-    pub nodes: u16,
+    /// Compute nodes (Eridani: 16; scale sweeps go to 65536).
+    pub nodes: u32,
     /// Cores per node (Eridani: 4).
     pub cores_per_node: u32,
     /// Nodes that start on Linux (the rest start on Windows).
-    pub initial_linux_nodes: u16,
+    pub initial_linux_nodes: u32,
     /// RNG seed for boot jitter (the workload carries its own seed).
     pub seed: u64,
     /// Windows communicator cycle (paper: "fixed cycles (intervals),
@@ -182,6 +183,12 @@ pub struct SimConfig {
     /// zero-cost; see `dualboot_obs`.
     #[serde(default)]
     pub obs: ObsConfig,
+    /// Event-queue backend for the DES core. Both backends are
+    /// bit-identical on the same seed (enforced by the differential
+    /// harness); `Calendar` wins at large node counts, `Heap` stays the
+    /// reference.
+    #[serde(default)]
+    pub queue_backend: QueueBackend,
 }
 
 impl SimConfig {
@@ -211,6 +218,7 @@ impl SimConfig {
                 faults: FaultPlan::default(),
                 supervision: SupervisionConfig::default(),
                 obs: ObsConfig::default(),
+                queue_backend: QueueBackend::default(),
             },
         }
     }
@@ -229,7 +237,7 @@ impl SimConfig {
 
     /// Total cores in the cluster.
     pub fn total_cores(&self) -> u32 {
-        u32::from(self.nodes) * self.cores_per_node
+        self.nodes * self.cores_per_node
     }
 }
 
@@ -273,14 +281,14 @@ impl SimConfigBuilder {
     }
 
     /// Cluster shape: node count and cores per node.
-    pub fn nodes(mut self, nodes: u16, cores_per_node: u32) -> Self {
+    pub fn nodes(mut self, nodes: u32, cores_per_node: u32) -> Self {
         self.cfg.nodes = nodes;
         self.cfg.cores_per_node = cores_per_node;
         self
     }
 
     /// Nodes that start on Linux (the rest start on Windows).
-    pub fn initial_linux_nodes(mut self, n: u16) -> Self {
+    pub fn initial_linux_nodes(mut self, n: u32) -> Self {
         self.cfg.initial_linux_nodes = n;
         self
     }
@@ -347,6 +355,12 @@ impl SimConfigBuilder {
         self
     }
 
+    /// Event-queue backend for the DES core (heap vs calendar).
+    pub fn queue_backend(mut self, backend: QueueBackend) -> Self {
+        self.cfg.queue_backend = backend;
+        self
+    }
+
     /// Finish: the described scenario.
     pub fn build(self) -> SimConfig {
         self.cfg
@@ -406,6 +420,7 @@ mod tests {
             .record_series(SimDuration::from_mins(1))
             .horizon(SimDuration::from_hours(6))
             .observe(dualboot_obs::ObsConfig::ring(64))
+            .queue_backend(QueueBackend::Calendar)
             .build();
         assert_eq!(c.version, Version::V1);
         assert_eq!(c.mode, Mode::StaticSplit);
@@ -415,6 +430,13 @@ mod tests {
         assert_eq!(c.sample_every, SimDuration::from_mins(1));
         assert_eq!(c.horizon, SimDuration::from_hours(6));
         assert_eq!(c.obs.ring_capacity, Some(64));
+        assert_eq!(c.queue_backend, QueueBackend::Calendar);
+    }
+
+    #[test]
+    fn queue_backend_defaults_to_heap() {
+        let c = SimConfig::builder().seed(1).build();
+        assert_eq!(c.queue_backend, QueueBackend::Heap);
     }
 
     #[test]

@@ -38,15 +38,15 @@ pub enum FaultKind {
     /// node reboots through its normal boot chain.
     PowerReset {
         /// Node to reset (1-based).
-        node: u16,
+        node: u32,
     },
     /// A storm of resets sweeping `count` consecutive nodes starting at
     /// `first`, one every `spacing` (a rack PDU brown-out).
     PowerResetStorm {
         /// First node hit (1-based).
-        first: u16,
+        first: u32,
         /// How many consecutive nodes are hit.
-        count: u16,
+        count: u32,
         /// Gap between consecutive resets.
         spacing: SimDuration,
     },
@@ -69,7 +69,7 @@ pub enum FaultKind {
     /// v1 nodes brick (no local boot code), v2 nodes come back via PXE.
     MidSwitchReimage {
         /// Node reimaged (1-based).
-        node: u16,
+        node: u32,
     },
     /// One head daemon crashes at the event's `at`, losing all in-memory
     /// state, and restarts after `downtime`. With journaling on the
@@ -88,7 +88,7 @@ pub enum FaultKind {
     /// the node from quarantine.
     OperatorRepair {
         /// Node repaired (1-based).
-        node: u16,
+        node: u32,
     },
 }
 

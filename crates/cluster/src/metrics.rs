@@ -1,5 +1,6 @@
 //! Per-run results.
 
+use dualboot_bootconf::node::NodeId;
 use dualboot_bootconf::os::OsKind;
 use dualboot_des::stats::{Percentiles, TimeWeighted, Welford};
 use dualboot_des::time::{SimDuration, SimTime};
@@ -83,8 +84,8 @@ pub struct HealthStats {
     pub daemon_crashes: u32,
     /// Head-daemon restarts completed (journal replay when enabled).
     pub daemon_restarts: u32,
-    /// Nodes still quarantined when the run ended (1-based, ascending).
-    pub quarantined_nodes: Vec<u16>,
+    /// Nodes still quarantined when the run ended (ascending).
+    pub quarantined_nodes: Vec<NodeId>,
     /// Integrated stranded capacity: core-seconds spent with nodes stuck
     /// at a failed boot (quarantined or awaiting retry/repair).
     pub stranded_core_s: f64,

@@ -190,7 +190,11 @@ pub fn health_section(r: &SimResult) -> String {
     row("daemon restarts", u64::from(h.daemon_restarts));
     let mut out = t.render();
     if !h.quarantined_nodes.is_empty() {
-        let nodes: Vec<String> = h.quarantined_nodes.iter().map(u16::to_string).collect();
+        let nodes: Vec<String> = h
+            .quarantined_nodes
+            .iter()
+            .map(|n| n.get().to_string())
+            .collect();
         out.push_str(&format!("quarantined at end: node {}\n", nodes.join(", node ")));
     }
     out.push_str(&format!(
@@ -274,7 +278,7 @@ mod tests {
         let mut r = SimResult::new(64);
         r.health.boot_retries = 2;
         r.health.quarantines = 1;
-        r.health.quarantined_nodes = vec![4];
+        r.health.quarantined_nodes = vec![dualboot_bootconf::node::NodeId(4)];
         r.health.stranded_core_s = 7200.0;
         let s = health_section(&r);
         assert!(s.starts_with("== node health =="));

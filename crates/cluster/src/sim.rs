@@ -11,6 +11,7 @@ use crate::config::{Mode, SimConfig};
 use crate::faults::FaultKind;
 use crate::metrics::{SamplePoint, SimResult};
 use dualboot_bootconf::os::OsKind;
+use dualboot_core::arena::IdVec;
 use dualboot_core::daemon::{Action, LinuxDaemon, RetryConfig, WindowsDaemon};
 use dualboot_core::detector::{DetectorOutput, PbsDetector, WinDetector};
 use dualboot_core::journal::{Journal, JournalEntry};
@@ -35,7 +36,6 @@ use dualboot_sched::pbs::PbsScheduler;
 use dualboot_sched::scheduler::Scheduler;
 use dualboot_sched::winhpc::WinHpcScheduler;
 use dualboot_workload::generator::SubmitEvent;
-use std::collections::HashMap;
 
 /// Simulation events.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -45,22 +45,22 @@ enum Event {
     /// A running user job finishes.
     JobFinished { os: OsKind, job: JobId },
     /// The switch script's `bootcontrol.pl` step lands on the node.
-    SwitchConfigChange { node: u16, target: OsKind },
+    SwitchConfigChange { node: u32, target: OsKind },
     /// The switch job's dwell ends; the node goes down to reboot.
     SwitchJobDone {
-        node: u16,
+        node: u32,
         job: JobId,
         via: OsKind,
         target: OsKind,
     },
     /// A rebooting node comes back up.
-    BootComplete { node: u16 },
+    BootComplete { node: u32 },
     /// Windows communicator cycle (Figure 11 steps 1–2).
     WinTick,
     /// Linux daemon poll (Figure 11 steps 3–5).
     LinuxPoll,
     /// Fault injection: abrupt power reset of a node.
-    PowerReset { node: u16 },
+    PowerReset { node: u32 },
     /// Fault injection: the head node's PXE service stops answering.
     PxeDown,
     /// The PXE service comes back.
@@ -70,19 +70,19 @@ enum Event {
     /// The stalled scheduler recovers and drains its backlog.
     SchedulerUp { os: OsKind },
     /// Fault injection: a reimage destroys the node's MBR, then resets it.
-    MidSwitchReimage { node: u16 },
+    MidSwitchReimage { node: u32 },
     /// Watchdog: a supervised boot's deadline came due. Cancelled when
     /// the boot reports in time, so it never fires on healthy nodes.
-    BootDeadline { node: u16, epoch: u64 },
+    BootDeadline { node: u32, epoch: u64 },
     /// Watchdog: re-attempt a failed supervised boot after its backoff.
-    BootRetry { node: u16, epoch: u64 },
+    BootRetry { node: u32, epoch: u64 },
     /// Fault injection: one head daemon crashes, losing in-memory state.
     DaemonCrash { side: OsKind },
     /// The crashed daemon restarts (replaying its journal if it kept one).
     DaemonRestart { side: OsKind },
     /// Fault injection: an operator reinstalls a node's boot chain and
     /// power-cycles it (recovers quarantined nodes).
-    OperatorRepair { node: u16 },
+    OperatorRepair { node: u32 },
     /// Time-series sampling.
     Sample,
 }
@@ -135,8 +135,8 @@ pub struct Simulation {
     /// Linux daemon; `None` when supervision is disabled).
     supervisor: Option<Supervisor>,
     /// The armed watchdog deadline per node, cancelled when the boot
-    /// reports in time.
-    boot_deadline: HashMap<u16, EventId>,
+    /// reports in time. Dense per-node storage, keyed by [`NodeId`].
+    boot_deadline: IdVec<EventId>,
     /// A crashed daemon's surviving pieces (transport + journal),
     /// held until its restart event.
     lin_down: Option<(SimTransport, Option<Journal>)>,
@@ -145,9 +145,9 @@ pub struct Simulation {
     /// retry/repair), integrated for the stranded-capacity metric.
     stranded_count: f64,
     stranded_nodes: TimeWeighted,
-    pending_switch: HashMap<u16, PendingSwitch>,
+    pending_switch: IdVec<PendingSwitch>,
     /// Events that die with a node on power reset.
-    node_events: HashMap<u16, Vec<EventId>>,
+    node_events: IdVec<Vec<EventId>>,
     /// Cached products of the Linux-side scrape (detector report plus the
     /// pbsnodes summary), keyed by the PBS change epoch. Recurring polls
     /// over an unchanged queue reuse them instead of rebuilding and
@@ -203,7 +203,7 @@ impl Simulation {
             Mode::DualBoot | Mode::StaticSplit => cfg.initial_linux_nodes.min(cfg.nodes),
             Mode::MonoStable | Mode::Oracle => cfg.nodes,
         };
-        let mut nodes = Vec::with_capacity(usize::from(cfg.nodes));
+        let mut nodes = Vec::with_capacity(cfg.nodes as usize);
         let mut pbs = PbsScheduler::eridani();
         let mut win = WinHpcScheduler::eridani();
         for i in 1..=cfg.nodes {
@@ -274,7 +274,7 @@ impl Simulation {
         };
 
         // --- events ------------------------------------------------------
-        let mut queue = EventQueue::new();
+        let mut queue = EventQueue::with_backend(cfg.queue_backend);
         for (i, ev) in trace.iter().enumerate() {
             queue.schedule_at(ev.at, Event::Submit(i));
         }
@@ -287,7 +287,7 @@ impl Simulation {
         }
         // Expand the fault plan's discrete events. Events naming nodes
         // outside the cluster are ignored.
-        let node_ok = |n: u16| (1..=cfg.nodes).contains(&n);
+        let node_ok = |n: u32| (1..=cfg.nodes).contains(&n);
         for fe in &cfg.faults.events {
             match fe.kind {
                 FaultKind::PowerReset { node } => {
@@ -353,13 +353,13 @@ impl Simulation {
             win_daemon,
             omni,
             supervisor,
-            boot_deadline: HashMap::new(),
+            boot_deadline: IdVec::new(),
             lin_down: None,
             win_down: None,
             stranded_count: 0.0,
             stranded_nodes: TimeWeighted::new(SimTime::ZERO, 0.0),
-            pending_switch: HashMap::new(),
-            node_events: HashMap::new(),
+            pending_switch: IdVec::new(),
+            node_events: IdVec::new(),
             sched_stalled: (false, false),
             lin_scrape: None,
             busy_user_cores: 0.0,
@@ -404,7 +404,7 @@ impl Simulation {
 
     /// Direct node access (fault-injection assertions).
     #[deprecated(note = "use node_by_id(NodeId)")]
-    pub fn node(&self, node_index_1based: u16) -> &ComputeNode {
+    pub fn node(&self, node_index_1based: u32) -> &ComputeNode {
         self.node_by_id(NodeId(node_index_1based))
     }
 
@@ -613,8 +613,8 @@ impl Simulation {
             h.deadline_expirations = st.deadline_expirations;
             h.quarantines = st.quarantines;
             h.recoveries = st.recoveries;
-            // Report 1-based indices, matching the fault-plan convention.
-            h.quarantined_nodes = s.quarantined().iter().map(|n| n + 1).collect();
+            // Report 1-based ids, matching the fault-plan convention.
+            h.quarantined_nodes = s.quarantined().iter().map(|n| NodeId(n + 1)).collect();
         }
         let end = self.result.end_time;
         h.stranded_core_s = self.stranded_nodes.average(end)
@@ -735,10 +735,10 @@ impl Simulation {
         self.dispatch(os);
     }
 
-    fn on_switch_config_change(&mut self, node: u16, target: OsKind) {
+    fn on_switch_config_change(&mut self, node: u32, target: OsKind) {
         match self.cfg.version {
             Version::V1 => {
-                let disk = &mut self.nodes[usize::from(node)].disk;
+                let disk = &mut self.nodes[node as usize].disk;
                 // A missing FAT partition would be a deployment bug; surface it.
                 switchjob::apply_v1_switch(disk, target).expect("v1 switch applies");
             }
@@ -751,14 +751,14 @@ impl Simulation {
                 if self.cfg.pxe_control
                     == dualboot_bootconf::grub4dos::ControlMode::PerNode
                 {
-                    let mac = self.nodes[usize::from(node)].mac;
+                    let mac = self.nodes[node as usize].mac;
                     self.pxe.menu_dir_mut().set_node(mac, target);
                 }
             }
         }
     }
 
-    fn on_switch_job_done(&mut self, node: u16, job: JobId, via: OsKind, target: OsKind) {
+    fn on_switch_job_done(&mut self, node: u32, job: JobId, via: OsKind, target: OsKind) {
         let now = self.queue.now();
         let id = NodeId(node + 1);
         match via {
@@ -771,7 +771,7 @@ impl Simulation {
                 self.win.set_node_offline(id);
             }
         }
-        self.nodes[usize::from(node)].begin_boot();
+        self.nodes[node as usize].begin_boot();
         self.obs.emit(
             Subsystem::Sim,
             Some(NodeId(node + 1)),
@@ -780,7 +780,7 @@ impl Simulation {
         self.booting_count += 1.0;
         self.result.booting_nodes.observe(now, self.booting_count);
         self.pending_switch.insert(
-            node,
+            NodeId(node + 1),
             PendingSwitch {
                 target,
                 went_down: now,
@@ -788,25 +788,27 @@ impl Simulation {
         );
         let latency = self.sample_boot_latency();
         let id = self.queue.schedule(latency, Event::BootComplete { node });
-        self.node_events.entry(node).or_default().push(id);
+        self.node_events
+            .get_or_insert_with(NodeId(node + 1), Vec::new)
+            .push(id);
         self.watch_boot(node, target);
     }
 
-    fn on_boot_complete(&mut self, node: u16) {
+    fn on_boot_complete(&mut self, node: u32) {
         let now = self.queue.now();
         self.booting_count -= 1.0;
         self.result.booting_nodes.observe(now, self.booting_count);
         self.clear_deadline(node);
         let pxe = Some(&self.pxe);
-        let outcome = self.nodes[usize::from(node)].complete_boot(pxe);
-        let pending = self.pending_switch.remove(&node);
+        let outcome = self.nodes[node as usize].complete_boot(pxe);
+        let pending = self.pending_switch.remove(NodeId(node + 1));
         let id = NodeId(node + 1);
         let obs_node = Some(id);
         match outcome {
             Ok((os, _path)) => {
                 self.obs
                     .emit(Subsystem::Sim, obs_node, ObsEvent::BootCompleted { os });
-                let hostname = &self.nodes[usize::from(node)].hostname;
+                let hostname = &self.nodes[node as usize].hostname;
                 match os {
                     OsKind::Linux => {
                         self.win.set_node_offline(id);
@@ -900,7 +902,7 @@ impl Simulation {
 
     /// Arm (or re-arm) the watchdog over a boot that just started on
     /// `node`, headed toward `target`.
-    fn watch_boot(&mut self, node: u16, target: OsKind) {
+    fn watch_boot(&mut self, node: u32, target: OsKind) {
         let Some(sup) = self.supervisor.as_mut() else {
             return;
         };
@@ -912,7 +914,7 @@ impl Simulation {
     /// cancelling any previous one. On healthy boots the deadline is
     /// cancelled before it fires, so clean runs pop an identical event
     /// stream with or without supervision.
-    fn arm_deadline(&mut self, node: u16, epoch: u64) {
+    fn arm_deadline(&mut self, node: u32, epoch: u64) {
         let deadline = self
             .supervisor
             .as_ref()
@@ -922,13 +924,13 @@ impl Simulation {
         let id = self
             .queue
             .schedule(deadline, Event::BootDeadline { node, epoch });
-        if let Some(old) = self.boot_deadline.insert(node, id) {
+        if let Some(old) = self.boot_deadline.insert(NodeId(node + 1), id) {
             self.queue.cancel(old);
         }
     }
 
-    fn clear_deadline(&mut self, node: u16) {
-        if let Some(id) = self.boot_deadline.remove(&node) {
+    fn clear_deadline(&mut self, node: u32) {
+        if let Some(id) = self.boot_deadline.remove(NodeId(node + 1)) {
             self.queue.cancel(id);
         }
     }
@@ -955,10 +957,10 @@ impl Simulation {
         }
     }
 
-    fn on_boot_deadline(&mut self, node: u16, epoch: u64) {
+    fn on_boot_deadline(&mut self, node: u32, epoch: u64) {
         // A firing deadline is always the map's current entry (newer
         // arms cancel older events); drop the spent id.
-        self.boot_deadline.remove(&node);
+        self.boot_deadline.remove(NodeId(node + 1));
         let verdict = self
             .supervisor
             .as_mut()
@@ -986,7 +988,7 @@ impl Simulation {
         }
     }
 
-    fn on_boot_retry(&mut self, node: u16, epoch: u64) {
+    fn on_boot_retry(&mut self, node: u32, epoch: u64) {
         // Superseded by a power reset or repair that re-armed the watch.
         if self.supervisor.as_ref().and_then(|s| s.watch_epoch(node)) != Some(epoch) {
             return;
@@ -1003,17 +1005,19 @@ impl Simulation {
         );
         let now = self.queue.now();
         if matches!(
-            self.nodes[usize::from(node)].state,
+            self.nodes[node as usize].state,
             PowerState::Failed(_)
         ) {
             self.note_stranded(-1.0);
         }
-        self.nodes[usize::from(node)].begin_boot();
+        self.nodes[node as usize].begin_boot();
         self.booting_count += 1.0;
         self.result.booting_nodes.observe(now, self.booting_count);
         let latency = self.sample_boot_latency();
         let id = self.queue.schedule(latency, Event::BootComplete { node });
-        self.node_events.entry(node).or_default().push(id);
+        self.node_events
+            .get_or_insert_with(NodeId(node + 1), Vec::new)
+            .push(id);
         self.arm_deadline(node, epoch);
     }
 
@@ -1114,13 +1118,13 @@ impl Simulation {
         }
     }
 
-    fn on_operator_repair(&mut self, node: u16) {
+    fn on_operator_repair(&mut self, node: u32) {
         self.result.health.operator_repairs += 1;
         self.obs_fault("operator-repair", Some(NodeId(node + 1)));
         // The §III.C chore: reinstall GRUB in the MBR, then power-cycle.
         // The boot is supervised like any other, so a successful one
         // recovers the node from quarantine.
-        self.nodes[usize::from(node)].repair_boot_chain();
+        self.nodes[node as usize].repair_boot_chain();
         self.power_cycle(node);
     }
 
@@ -1289,14 +1293,14 @@ impl Simulation {
     /// A reimage rewrites the node's MBR to nothing and the node reboots.
     /// v1 nodes brick (their boot chain needs the local MBR); v2 nodes
     /// boot via PXE and never notice.
-    fn on_reimage(&mut self, node: u16) {
+    fn on_reimage(&mut self, node: u32) {
         self.result.faults.reimages += 1;
         self.obs_fault("mid-switch-reimage", Some(NodeId(node + 1)));
-        self.nodes[usize::from(node)].disk.set_mbr(MbrCode::None);
+        self.nodes[node as usize].disk.set_mbr(MbrCode::None);
         self.on_power_reset(node);
     }
 
-    fn on_power_reset(&mut self, node: u16) {
+    fn on_power_reset(&mut self, node: u32) {
         self.result.faults.power_resets += 1;
         self.obs_fault("power-reset", Some(NodeId(node + 1)));
         self.power_cycle(node);
@@ -1305,12 +1309,12 @@ impl Simulation {
     /// Abruptly power-cycle a node: kill its jobs and scheduled events,
     /// take it offline on both sides, and start a supervised boot through
     /// the normal chain. Shared by power resets and operator repairs.
-    fn power_cycle(&mut self, node: u16) {
+    fn power_cycle(&mut self, node: u32) {
         let now = self.queue.now();
         let id = NodeId(node + 1);
         // Kill anything scheduled against this node (boot completions,
         // pending switch steps).
-        if let Some(ids) = self.node_events.remove(&node) {
+        if let Some(ids) = self.node_events.remove(NodeId(node + 1)) {
             for ev_id in ids {
                 self.queue.cancel(ev_id);
             }
@@ -1377,27 +1381,29 @@ impl Simulation {
         // the watchdog's bookkeeping).
         let expected = self
             .pending_switch
-            .get(&node)
+            .get(NodeId(node + 1))
             .map(|p| p.target)
-            .or_else(|| self.nodes[usize::from(node)].running_os())
+            .or_else(|| self.nodes[node as usize].running_os())
             .unwrap_or(OsKind::Linux);
-        let was_booting = self.nodes[usize::from(node)].is_booting();
+        let was_booting = self.nodes[node as usize].is_booting();
         if matches!(
-            self.nodes[usize::from(node)].state,
+            self.nodes[node as usize].state,
             PowerState::Failed(_)
         ) {
             self.note_stranded(-1.0);
         }
         self.pbs.set_node_offline(id);
         self.win.set_node_offline(id);
-        self.nodes[usize::from(node)].begin_boot();
+        self.nodes[node as usize].begin_boot();
         if !was_booting {
             self.booting_count += 1.0;
             self.result.booting_nodes.observe(now, self.booting_count);
         }
         let latency = self.sample_boot_latency();
         let id = self.queue.schedule(latency, Event::BootComplete { node });
-        self.node_events.entry(node).or_default().push(id);
+        self.node_events
+            .get_or_insert_with(NodeId(node + 1), Vec::new)
+            .push(id);
         self.watch_boot(node, expected);
     }
 
@@ -1493,8 +1499,7 @@ impl Simulation {
                         },
                     );
                     self.node_events
-                        .entry(node)
-                        .or_default()
+                        .get_or_insert_with(NodeId(node + 1), Vec::new)
                         .extend([cfg_id, done_id]);
                 }
             }
@@ -2046,7 +2051,11 @@ mod tests {
         let r = Simulation::new(cfg, small_trace(62, 0.0)).run();
         assert_eq!(r.health.boot_retries, 2, "two retries before giving up");
         assert_eq!(r.health.quarantines, 1);
-        assert_eq!(r.health.quarantined_nodes, vec![4], "1-based in reports");
+        assert_eq!(
+            r.health.quarantined_nodes,
+            vec![NodeId(4)],
+            "1-based in reports"
+        );
         assert_eq!(r.boot_failures, 3, "the original boot plus both retries");
         assert!(r.health.stranded_core_s > 0.0, "quarantine is not free");
         assert_eq!(r.health.recoveries, 0);

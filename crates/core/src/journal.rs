@@ -73,12 +73,12 @@ pub enum JournalEntry {
     /// A node was quarantined by the boot watchdog.
     Quarantined {
         /// Zero-based node index.
-        node: u16,
+        node: u32,
     },
     /// A quarantined node booted successfully and rejoined the pool.
     Unquarantined {
         /// Zero-based node index.
-        node: u16,
+        node: u32,
     },
 }
 
@@ -133,7 +133,7 @@ pub struct RecoveredState {
     /// acked count.
     pub seen_orders: HashMap<u64, u32>,
     /// Nodes quarantined and not yet recovered, ascending.
-    pub quarantined: BTreeSet<u16>,
+    pub quarantined: BTreeSet<u32>,
 }
 
 /// An append-only write-ahead journal.

@@ -36,6 +36,13 @@
 //!   crash, so restarts neither duplicate nor forget switch work.
 //! * [`supervisor`] — the boot watchdog and quarantine ledger that
 //!   notices nodes which never come back from a switch.
+//! * [`arena`] — struct-of-arrays stores ([`arena::IdSet`],
+//!   [`arena::IdVec`], [`arena::ListSlab`], [`arena::Sequence`]) shared
+//!   by the schedulers and the simulator; re-exported from
+//!   `dualboot-bootconf` so every layer indexes per-node state the same
+//!   way.
+
+pub use dualboot_bootconf::arena;
 
 pub mod daemon;
 pub mod detector;

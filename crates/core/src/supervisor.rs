@@ -106,8 +106,8 @@ struct Watch {
 pub struct Supervisor {
     cfg: WatchdogConfig,
     /// Armed watches by node index (ordered for deterministic iteration).
-    watch: BTreeMap<u16, Watch>,
-    quarantined: BTreeSet<u16>,
+    watch: BTreeMap<u32, Watch>,
+    quarantined: BTreeSet<u32>,
     next_epoch: u64,
     stats: SupervisorStats,
 }
@@ -132,7 +132,7 @@ impl Supervisor {
 
     /// Rebuild a supervisor from a journal-replayed quarantine set (the
     /// watches themselves are transient and re-armed by the host).
-    pub fn with_quarantined(cfg: WatchdogConfig, quarantined: BTreeSet<u16>) -> Self {
+    pub fn with_quarantined(cfg: WatchdogConfig, quarantined: BTreeSet<u32>) -> Self {
         Supervisor {
             quarantined,
             ..Supervisor::new(cfg)
@@ -147,7 +147,7 @@ impl Supervisor {
     /// A supervised boot toward `target` starts on `node`: arm (or
     /// re-arm) the watch and return the epoch to schedule the deadline
     /// under. The deadline duration is [`WatchdogConfig::boot_deadline`].
-    pub fn order_boot(&mut self, node: u16, target: OsKind) -> u64 {
+    pub fn order_boot(&mut self, node: u32, target: OsKind) -> u64 {
         self.next_epoch += 1;
         let epoch = self.next_epoch;
         self.watch.insert(
@@ -165,7 +165,7 @@ impl Supervisor {
     /// `true` if the node was quarantined and is hereby recovered (the
     /// host must re-register it with its scheduler and journal the
     /// recovery).
-    pub fn boot_succeeded(&mut self, node: u16) -> bool {
+    pub fn boot_succeeded(&mut self, node: u32) -> bool {
         self.watch.remove(&node);
         if self.quarantined.remove(&node) {
             self.stats.recoveries += 1;
@@ -178,7 +178,7 @@ impl Supervisor {
     /// `node`'s supervised boot failed. Returns the verdict, or `None`
     /// if the node was not under watch (an unsupervised boot — the host
     /// keeps its legacy behaviour).
-    pub fn boot_failed(&mut self, node: u16) -> Option<Verdict> {
+    pub fn boot_failed(&mut self, node: u32) -> Option<Verdict> {
         let w = self.watch.get_mut(&node)?;
         if w.attempts >= self.cfg.max_boot_attempts {
             self.watch.remove(&node);
@@ -200,7 +200,7 @@ impl Supervisor {
     /// A deadline scheduled under `epoch` came due with no boot report.
     /// Stale epochs (the watch was since resolved or re-armed) return
     /// `None`; a live expiration counts as a failed attempt.
-    pub fn deadline_expired(&mut self, node: u16, epoch: u64) -> Option<Verdict> {
+    pub fn deadline_expired(&mut self, node: u32, epoch: u64) -> Option<Verdict> {
         if self.watch_epoch(node) != Some(epoch) {
             return None;
         }
@@ -211,28 +211,28 @@ impl Supervisor {
     /// The epoch of the armed watch on `node`, if any. Hosts use this to
     /// discard retry work that a later event (power reset, repair)
     /// superseded.
-    pub fn watch_epoch(&self, node: u16) -> Option<u64> {
+    pub fn watch_epoch(&self, node: u32) -> Option<u64> {
         self.watch.get(&node).map(|w| w.epoch)
     }
 
     /// The OS the watched boot on `node` is headed toward, if any.
-    pub fn watch_target(&self, node: u16) -> Option<OsKind> {
+    pub fn watch_target(&self, node: u32) -> Option<OsKind> {
         self.watch.get(&node).map(|w| w.target)
     }
 
     /// Boot attempts charged to the armed watch on `node` (1 = the
     /// original boot, 2 = first retry), if any. Observability reporting.
-    pub fn watch_attempts(&self, node: u16) -> Option<u32> {
+    pub fn watch_attempts(&self, node: u32) -> Option<u32> {
         self.watch.get(&node).map(|w| w.attempts)
     }
 
     /// Whether `node` is currently quarantined.
-    pub fn is_quarantined(&self, node: u16) -> bool {
+    pub fn is_quarantined(&self, node: u32) -> bool {
         self.quarantined.contains(&node)
     }
 
     /// Currently quarantined nodes, ascending.
-    pub fn quarantined(&self) -> &BTreeSet<u16> {
+    pub fn quarantined(&self) -> &BTreeSet<u32> {
         &self.quarantined
     }
 

@@ -56,7 +56,7 @@ impl ReimageCampaign {
     /// Set up `node_count` freshly installed nodes under `version`:
     /// Windows first, then Linux (the only order v1 permits), with the
     /// one-time patches charged here.
-    pub fn new(version: Version, node_count: u16) -> Result<Self, DeployError> {
+    pub fn new(version: Version, node_count: u32) -> Result<Self, DeployError> {
         let firmware = match version {
             Version::V1 => FirmwareBootOrder::LocalDisk,
             Version::V2 => FirmwareBootOrder::PxeFirst,
@@ -74,7 +74,7 @@ impl ReimageCampaign {
 
         let win = WindowsDeployer::v1_patched();
         let lin = OscarDeployer::eridani(version);
-        let mut nodes = Vec::with_capacity(usize::from(node_count));
+        let mut nodes = Vec::with_capacity(node_count as usize);
         for i in 1..=node_count {
             let mut n = ComputeNode::eridani(i, firmware);
             win.deploy(&mut n)?;

@@ -32,6 +32,6 @@ pub mod stats;
 pub mod time;
 pub mod trace;
 
-pub use queue::{EventId, EventQueue};
+pub use queue::{EventId, EventQueue, QueueBackend};
 pub use rng::DetRng;
 pub use time::{SimDuration, SimTime};

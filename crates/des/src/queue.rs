@@ -8,8 +8,23 @@
 //! happening in program order within one poll tick.
 //!
 //! Cancellation is tombstone-based: [`EventQueue::cancel`] marks the id dead
-//! and [`EventQueue::pop`] skips dead entries lazily. This keeps `cancel` at
-//! O(log n) amortised without a secondary index into the heap.
+//! and [`EventQueue::pop`] skips dead entries lazily.
+//!
+//! Two interchangeable backends implement the store ([`QueueBackend`]):
+//!
+//! * [`QueueBackend::Heap`] — the original `BinaryHeap`, kept as the
+//!   reference implementation;
+//! * [`QueueBackend::Calendar`] — a calendar queue (R. Brown, CACM 1988):
+//!   an array of time-bucketed sorted lists that rehashes itself as the
+//!   event population grows and shrinks, giving O(1) expected
+//!   enqueue/dequeue on the steady-state event mixes the simulator
+//!   produces. Because equal timestamps always hash to the same bucket
+//!   and buckets are kept sorted by `(time, sequence)`, the pop order is
+//!   **bit-identical** to the heap's — `tests/differential_core.rs`
+//!   enforces this end-to-end.
+//!
+//! Both backends expose identical semantics through [`EventQueue`]; the
+//! backend choice is a pure performance knob.
 
 use crate::time::{SimDuration, SimTime};
 use std::cmp::Reverse;
@@ -18,6 +33,30 @@ use std::collections::{BinaryHeap, HashSet};
 /// Opaque handle to a scheduled event, usable for cancellation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct EventId(u64);
+
+/// Which data structure backs an [`EventQueue`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum QueueBackend {
+    /// The reference `BinaryHeap` implementation.
+    #[default]
+    Heap,
+    /// The calendar-queue implementation (same observable behaviour,
+    /// O(1) expected operations at large event populations).
+    Calendar,
+}
+
+impl std::str::FromStr for QueueBackend {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "heap" => Ok(QueueBackend::Heap),
+            "calendar" => Ok(QueueBackend::Calendar),
+            other => Err(format!("unknown queue backend {other:?} (heap|calendar)")),
+        }
+    }
+}
 
 #[derive(Debug)]
 struct Entry<E> {
@@ -44,6 +83,170 @@ impl<E> Ord for Entry<E> {
     }
 }
 
+/// The calendar proper: `nbuckets` "days", each a list sorted
+/// *descending* by `(at, seq)` so the earliest entry is `last()` and pops
+/// from the tail. An event at time `t` lives in bucket
+/// `(t / width) % nbuckets`; equal times therefore share a bucket, which
+/// is what preserves the FIFO tie-break exactly.
+#[derive(Debug)]
+struct Calendar<E> {
+    buckets: Vec<Vec<Entry<E>>>,
+    /// Milliseconds per bucket.
+    width: u64,
+    /// Bucket currently being scanned.
+    cur: usize,
+    /// Exclusive upper time bound of the current scan window.
+    cur_top: u64,
+    /// Entries resident across all buckets (live + tombstoned).
+    size: usize,
+    /// Sequence numbers currently resident, for O(1) `cancel` liveness.
+    resident: HashSet<u64>,
+}
+
+const MIN_BUCKETS: usize = 16;
+const MAX_BUCKETS: usize = 1 << 17;
+
+impl<E> Calendar<E> {
+    fn new() -> Self {
+        Calendar {
+            buckets: (0..MIN_BUCKETS).map(|_| Vec::new()).collect(),
+            width: 1_000,
+            cur: 0,
+            cur_top: 1_000,
+            size: 0,
+            resident: HashSet::new(),
+        }
+    }
+
+    fn bucket_of(&self, at: SimTime) -> usize {
+        ((at.as_millis() / self.width) as usize) % self.buckets.len()
+    }
+
+    /// Insert preserving the bucket's descending `(at, seq)` order.
+    fn push(&mut self, entry: Entry<E>) {
+        if self.size + 1 > self.buckets.len() * 2 && self.buckets.len() < MAX_BUCKETS {
+            self.resize(self.buckets.len() * 2);
+        }
+        let b = self.bucket_of(entry.at);
+        let key = (entry.at, entry.seq);
+        let bucket = &mut self.buckets[b];
+        let pos = bucket.partition_point(|e| (e.at, e.seq) > key);
+        bucket.insert(pos, entry);
+        self.resident.insert(key.1);
+        self.size += 1;
+        // An event earlier than the current scan window re-anchors the
+        // scan so the next pop cannot walk past it.
+        let at_ms = key.0.as_millis();
+        if at_ms < self.cur_top.saturating_sub(self.width) {
+            self.cur = b;
+            self.cur_top = (at_ms / self.width + 1) * self.width;
+        }
+    }
+
+    /// Position `cur`/`cur_top` on the bucket whose tail entry is the
+    /// global minimum, returning its key. `None` if the calendar is empty.
+    fn seek_min(&mut self) -> Option<(SimTime, u64)> {
+        if self.size == 0 {
+            return None;
+        }
+        let n = self.buckets.len();
+        let mut cur = self.cur;
+        let mut top = self.cur_top;
+        for _ in 0..n {
+            if let Some(e) = self.buckets[cur].last() {
+                if e.at.as_millis() < top {
+                    self.cur = cur;
+                    self.cur_top = top;
+                    return Some((e.at, e.seq));
+                }
+            }
+            cur = (cur + 1) % n;
+            top += self.width;
+        }
+        // A full year passed with nothing in-window: jump straight to the
+        // global minimum (the classic calendar-queue escape for sparse
+        // far-future events).
+        let (b, at) = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, bk)| bk.last().map(|e| (i, (e.at, e.seq))))
+            .min_by_key(|&(_, key)| key)
+            .map(|(i, (at, _))| (i, at))
+            .expect("size > 0 but no entries");
+        self.cur = b;
+        self.cur_top = (at.as_millis() / self.width + 1) * self.width;
+        let e = self.buckets[b].last().expect("bucket non-empty");
+        Some((e.at, e.seq))
+    }
+
+    fn pop_min(&mut self) -> Option<Entry<E>> {
+        self.seek_min()?;
+        let entry = self.buckets[self.cur].pop().expect("seek found an entry");
+        self.size -= 1;
+        self.resident.remove(&entry.seq);
+        if self.size < self.buckets.len() / 2 && self.buckets.len() > MIN_BUCKETS {
+            self.resize(self.buckets.len() / 2);
+        }
+        Some(entry)
+    }
+
+    /// Rebucket every entry into `nbuckets` buckets, re-deriving the
+    /// width from the resident time span. Pure re-hash: pop order is
+    /// unaffected.
+    fn resize(&mut self, nbuckets: usize) {
+        let mut entries: Vec<Entry<E>> = Vec::with_capacity(self.size);
+        for bucket in &mut self.buckets {
+            entries.append(bucket);
+        }
+        let (mut min_at, mut max_at) = (u64::MAX, 0u64);
+        for e in &entries {
+            min_at = min_at.min(e.at.as_millis());
+            max_at = max_at.max(e.at.as_millis());
+        }
+        self.width = if entries.len() >= 2 {
+            ((max_at - min_at) / entries.len() as u64).clamp(1, 3_600_000)
+        } else {
+            1_000
+        };
+        self.buckets = (0..nbuckets).map(|_| Vec::new()).collect();
+        if entries.is_empty() {
+            self.cur = 0;
+            self.cur_top = self.width;
+        } else {
+            self.cur = ((min_at / self.width) as usize) % nbuckets;
+            self.cur_top = (min_at / self.width + 1) * self.width;
+        }
+        self.size = 0;
+        let resident = std::mem::take(&mut self.resident);
+        for e in entries {
+            let b = self.bucket_of(e.at);
+            let key = (e.at, e.seq);
+            let bucket = &mut self.buckets[b];
+            let pos = bucket.partition_point(|x| (x.at, x.seq) > key);
+            bucket.insert(pos, e);
+            self.size += 1;
+        }
+        self.resident = resident;
+    }
+
+    fn clear(&mut self) {
+        for bucket in &mut self.buckets {
+            bucket.clear();
+        }
+        self.size = 0;
+        self.resident.clear();
+        self.cur = 0;
+        self.cur_top = self.width;
+    }
+}
+
+#[derive(Debug)]
+enum Store<E> {
+    Heap(BinaryHeap<Reverse<Entry<E>>>),
+    Calendar(Calendar<E>),
+}
+
 /// The simulation's event queue and clock.
 ///
 /// `now()` advances monotonically as events are popped; scheduling in the
@@ -66,7 +269,7 @@ impl<E> Ord for Entry<E> {
 /// ```
 #[derive(Debug)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Reverse<Entry<E>>>,
+    store: Store<E>,
     cancelled: HashSet<EventId>,
     next_seq: u64,
     now: SimTime,
@@ -80,14 +283,32 @@ impl<E> Default for EventQueue<E> {
 }
 
 impl<E> EventQueue<E> {
-    /// An empty queue with the clock at [`SimTime::ZERO`].
+    /// An empty queue with the clock at [`SimTime::ZERO`], on the
+    /// reference heap backend.
     pub fn new() -> Self {
+        Self::with_backend(QueueBackend::Heap)
+    }
+
+    /// An empty queue on the chosen backend.
+    pub fn with_backend(backend: QueueBackend) -> Self {
+        let store = match backend {
+            QueueBackend::Heap => Store::Heap(BinaryHeap::new()),
+            QueueBackend::Calendar => Store::Calendar(Calendar::new()),
+        };
         EventQueue {
-            heap: BinaryHeap::new(),
+            store,
             cancelled: HashSet::new(),
             next_seq: 0,
             now: SimTime::ZERO,
             fired: 0,
+        }
+    }
+
+    /// Which backend this queue runs on.
+    pub fn backend(&self) -> QueueBackend {
+        match self.store {
+            Store::Heap(_) => QueueBackend::Heap,
+            Store::Calendar(_) => QueueBackend::Calendar,
         }
     }
 
@@ -104,7 +325,11 @@ impl<E> EventQueue<E> {
 
     /// Number of live (non-cancelled) events still pending.
     pub fn pending(&self) -> usize {
-        self.heap.len() - self.cancelled.len()
+        let resident = match &self.store {
+            Store::Heap(h) => h.len(),
+            Store::Calendar(c) => c.size,
+        };
+        resident - self.cancelled.len()
     }
 
     /// True if no live events remain.
@@ -126,7 +351,11 @@ impl<E> EventQueue<E> {
         let at = at.max(self.now);
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Reverse(Entry { at, seq, payload }));
+        let entry = Entry { at, seq, payload };
+        match &mut self.store {
+            Store::Heap(h) => h.push(Reverse(entry)),
+            Store::Calendar(c) => c.push(entry),
+        }
         EventId(seq)
     }
 
@@ -136,8 +365,11 @@ impl<E> EventQueue<E> {
         if id.0 >= self.next_seq {
             return false; // never issued
         }
-        // An id counts as pending if some heap entry still carries it.
-        let live = self.heap.iter().any(|Reverse(e)| e.seq == id.0);
+        // An id counts as pending if some resident entry still carries it.
+        let live = match &self.store {
+            Store::Heap(h) => h.iter().any(|Reverse(e)| e.seq == id.0),
+            Store::Calendar(c) => c.resident.contains(&id.0),
+        };
         if live {
             self.cancelled.insert(id)
         } else {
@@ -145,9 +377,16 @@ impl<E> EventQueue<E> {
         }
     }
 
+    fn pop_resident(&mut self) -> Option<Entry<E>> {
+        match &mut self.store {
+            Store::Heap(h) => h.pop().map(|Reverse(e)| e),
+            Store::Calendar(c) => c.pop_min(),
+        }
+    }
+
     /// Pop the next live event, advancing the clock to its timestamp.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        while let Some(Reverse(entry)) = self.heap.pop() {
+        while let Some(entry) = self.pop_resident() {
             if self.cancelled.remove(&EventId(entry.seq)) {
                 continue;
             }
@@ -159,37 +398,54 @@ impl<E> EventQueue<E> {
     }
 
     /// Timestamp of the next live event without popping it, pruning dead
-    /// tombstones off the top of the heap as it looks.
+    /// tombstones off the top of the store as it looks.
     ///
-    /// Functionally identical to [`EventQueue::peek_time`] but O(log n)
-    /// amortised instead of O(n), at the cost of `&mut self`. Interleaved
-    /// drivers (the grid federation loop) call this once per event per
-    /// member, so the linear scan would dominate.
+    /// Functionally identical to [`EventQueue::peek_time`] but cheap and
+    /// amortised, at the cost of `&mut self`. Interleaved drivers (the
+    /// grid federation loop) call this once per event per member, so the
+    /// linear scan would dominate.
     pub fn next_time(&mut self) -> Option<SimTime> {
-        while let Some(Reverse(e)) = self.heap.peek() {
-            let id = EventId(e.seq);
+        loop {
+            let front = match &mut self.store {
+                Store::Heap(h) => h.peek().map(|Reverse(e)| (e.at, e.seq)),
+                Store::Calendar(c) => c.seek_min(),
+            };
+            let (at, seq) = front?;
+            let id = EventId(seq);
             if self.cancelled.contains(&id) {
-                self.heap.pop();
+                self.pop_resident();
                 self.cancelled.remove(&id);
                 continue;
             }
-            return Some(e.at);
+            return Some(at);
         }
-        None
     }
 
     /// Timestamp of the next live event without popping it.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap
-            .iter()
-            .filter(|Reverse(e)| !self.cancelled.contains(&EventId(e.seq)))
-            .map(|Reverse(e)| e.at)
-            .min()
+        match &self.store {
+            Store::Heap(h) => h
+                .iter()
+                .filter(|Reverse(e)| !self.cancelled.contains(&EventId(e.seq)))
+                .map(|Reverse(e)| e.at)
+                .min(),
+            Store::Calendar(c) => c
+                .buckets
+                .iter()
+                .flatten()
+                .filter(|e| !self.cancelled.contains(&EventId(e.seq)))
+                .map(|e| (e.at, e.seq))
+                .min()
+                .map(|(at, _)| at),
+        }
     }
 
     /// Drop every pending event (the clock is left where it is).
     pub fn clear(&mut self) {
-        self.heap.clear();
+        match &mut self.store {
+            Store::Heap(h) => h.clear(),
+            Store::Calendar(c) => c.clear(),
+        }
         self.cancelled.clear();
     }
 }
@@ -202,129 +458,251 @@ mod tests {
         EventQueue::new()
     }
 
+    /// Every behavioural test runs against both backends.
+    fn on_both(test: impl Fn(EventQueue<&'static str>)) {
+        test(EventQueue::with_backend(QueueBackend::Heap));
+        test(EventQueue::with_backend(QueueBackend::Calendar));
+    }
+
     #[test]
     fn pops_in_time_order() {
-        let mut q = q();
-        q.schedule(SimDuration::from_secs(5), "b");
-        q.schedule(SimDuration::from_secs(1), "a");
-        q.schedule(SimDuration::from_secs(9), "c");
-        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
-        assert_eq!(order, ["a", "b", "c"]);
+        on_both(|mut q| {
+            q.schedule(SimDuration::from_secs(5), "b");
+            q.schedule(SimDuration::from_secs(1), "a");
+            q.schedule(SimDuration::from_secs(9), "c");
+            let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+            assert_eq!(order, ["a", "b", "c"]);
+        });
     }
 
     #[test]
     fn ties_fire_in_insertion_order() {
-        let mut q = q();
-        for name in ["first", "second", "third"] {
-            q.schedule(SimDuration::from_secs(1), name);
-        }
-        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
-        assert_eq!(order, ["first", "second", "third"]);
+        on_both(|mut q| {
+            for name in ["first", "second", "third"] {
+                q.schedule(SimDuration::from_secs(1), name);
+            }
+            let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+            assert_eq!(order, ["first", "second", "third"]);
+        });
     }
 
     #[test]
     fn clock_advances_with_pops() {
-        let mut q = q();
-        q.schedule(SimDuration::from_secs(3), "x");
-        q.schedule(SimDuration::from_secs(7), "y");
-        assert_eq!(q.now(), SimTime::ZERO);
-        q.pop();
-        assert_eq!(q.now(), SimTime::from_secs(3));
-        q.pop();
-        assert_eq!(q.now(), SimTime::from_secs(7));
+        on_both(|mut q| {
+            q.schedule(SimDuration::from_secs(3), "x");
+            q.schedule(SimDuration::from_secs(7), "y");
+            assert_eq!(q.now(), SimTime::ZERO);
+            q.pop();
+            assert_eq!(q.now(), SimTime::from_secs(3));
+            q.pop();
+            assert_eq!(q.now(), SimTime::from_secs(7));
+        });
     }
 
     #[test]
     fn relative_schedule_is_from_now() {
-        let mut q = q();
-        q.schedule(SimDuration::from_secs(10), "a");
-        q.pop();
-        q.schedule(SimDuration::from_secs(5), "b");
-        let (t, _) = q.pop().unwrap();
-        assert_eq!(t, SimTime::from_secs(15));
+        on_both(|mut q| {
+            q.schedule(SimDuration::from_secs(10), "a");
+            q.pop();
+            q.schedule(SimDuration::from_secs(5), "b");
+            let (t, _) = q.pop().unwrap();
+            assert_eq!(t, SimTime::from_secs(15));
+        });
     }
 
     #[test]
     fn cancel_prevents_firing() {
-        let mut q = q();
-        let keep = q.schedule(SimDuration::from_secs(1), "keep");
-        let drop = q.schedule(SimDuration::from_secs(2), "drop");
-        assert!(q.cancel(drop));
-        let _ = keep;
-        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
-        assert_eq!(order, ["keep"]);
+        on_both(|mut q| {
+            let keep = q.schedule(SimDuration::from_secs(1), "keep");
+            let drop = q.schedule(SimDuration::from_secs(2), "drop");
+            assert!(q.cancel(drop));
+            let _ = keep;
+            let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+            assert_eq!(order, ["keep"]);
+        });
     }
 
     #[test]
     fn cancel_is_idempotent_and_rejects_unknown() {
-        let mut q = q();
-        let id = q.schedule(SimDuration::from_secs(1), "x");
-        assert!(q.cancel(id));
-        assert!(!q.cancel(id));
-        assert!(!q.cancel(EventId(999)));
+        on_both(|mut q| {
+            let id = q.schedule(SimDuration::from_secs(1), "x");
+            assert!(q.cancel(id));
+            assert!(!q.cancel(id));
+            assert!(!q.cancel(EventId(999)));
+        });
     }
 
     #[test]
     fn cancelled_after_fire_returns_false() {
-        let mut q = q();
-        let id = q.schedule(SimDuration::from_secs(1), "x");
-        q.pop();
-        assert!(!q.cancel(id));
+        on_both(|mut q| {
+            let id = q.schedule(SimDuration::from_secs(1), "x");
+            q.pop();
+            assert!(!q.cancel(id));
+        });
     }
 
     #[test]
     fn pending_excludes_cancelled() {
-        let mut q = q();
-        q.schedule(SimDuration::from_secs(1), "a");
-        let id = q.schedule(SimDuration::from_secs(2), "b");
-        q.cancel(id);
-        assert_eq!(q.pending(), 1);
-        assert!(!q.is_empty());
-        q.pop();
-        assert!(q.is_empty());
-        assert!(q.pop().is_none());
+        on_both(|mut q| {
+            q.schedule(SimDuration::from_secs(1), "a");
+            let id = q.schedule(SimDuration::from_secs(2), "b");
+            q.cancel(id);
+            assert_eq!(q.pending(), 1);
+            assert!(!q.is_empty());
+            q.pop();
+            assert!(q.is_empty());
+            assert!(q.pop().is_none());
+        });
     }
 
     #[test]
     fn peek_time_skips_cancelled() {
-        let mut q = q();
-        let id = q.schedule(SimDuration::from_secs(1), "a");
-        q.schedule(SimDuration::from_secs(5), "b");
-        q.cancel(id);
-        assert_eq!(q.peek_time(), Some(SimTime::from_secs(5)));
+        on_both(|mut q| {
+            let id = q.schedule(SimDuration::from_secs(1), "a");
+            q.schedule(SimDuration::from_secs(5), "b");
+            q.cancel(id);
+            assert_eq!(q.peek_time(), Some(SimTime::from_secs(5)));
+        });
     }
 
     #[test]
     fn next_time_matches_peek_and_prunes_tombstones() {
-        let mut q = q();
-        let id = q.schedule(SimDuration::from_secs(1), "a");
-        q.schedule(SimDuration::from_secs(5), "b");
-        q.cancel(id);
-        assert_eq!(q.next_time(), q.peek_time());
-        assert_eq!(q.next_time(), Some(SimTime::from_secs(5)));
-        // Pruning must not change what pops.
-        assert_eq!(q.pop(), Some((SimTime::from_secs(5), "b")));
-        assert_eq!(q.next_time(), None);
+        on_both(|mut q| {
+            let id = q.schedule(SimDuration::from_secs(1), "a");
+            q.schedule(SimDuration::from_secs(5), "b");
+            q.cancel(id);
+            assert_eq!(q.next_time(), q.peek_time());
+            assert_eq!(q.next_time(), Some(SimTime::from_secs(5)));
+            // Pruning must not change what pops.
+            assert_eq!(q.pop(), Some((SimTime::from_secs(5), "b")));
+            assert_eq!(q.next_time(), None);
+        });
     }
 
     #[test]
     fn fired_counts_only_live_events() {
-        let mut q = q();
-        let id = q.schedule(SimDuration::from_secs(1), "a");
-        q.schedule(SimDuration::from_secs(2), "b");
-        q.cancel(id);
-        while q.pop().is_some() {}
-        assert_eq!(q.fired(), 1);
+        on_both(|mut q| {
+            let id = q.schedule(SimDuration::from_secs(1), "a");
+            q.schedule(SimDuration::from_secs(2), "b");
+            q.cancel(id);
+            while q.pop().is_some() {}
+            assert_eq!(q.fired(), 1);
+        });
     }
 
     #[test]
     fn clear_empties_queue_but_keeps_clock() {
-        let mut q = q();
-        q.schedule(SimDuration::from_secs(1), "a");
-        q.pop();
-        q.schedule(SimDuration::from_secs(1), "b");
-        q.clear();
-        assert!(q.is_empty());
-        assert_eq!(q.now(), SimTime::from_secs(1));
+        on_both(|mut q| {
+            q.schedule(SimDuration::from_secs(1), "a");
+            q.pop();
+            q.schedule(SimDuration::from_secs(1), "b");
+            q.clear();
+            assert!(q.is_empty());
+            assert_eq!(q.now(), SimTime::from_secs(1));
+        });
+    }
+
+    #[test]
+    fn default_backend_is_heap() {
+        assert_eq!(q().backend(), QueueBackend::Heap);
+        assert_eq!(
+            EventQueue::<u32>::with_backend(QueueBackend::Calendar).backend(),
+            QueueBackend::Calendar
+        );
+    }
+
+    #[test]
+    fn backend_parses_from_str() {
+        assert_eq!("heap".parse::<QueueBackend>().unwrap(), QueueBackend::Heap);
+        assert_eq!(
+            "calendar".parse::<QueueBackend>().unwrap(),
+            QueueBackend::Calendar
+        );
+        assert!("fibonacci".parse::<QueueBackend>().is_err());
+    }
+
+    /// Deterministic pseudo-random interleaving of schedule / pop /
+    /// cancel on both backends must produce identical histories. This is
+    /// the in-crate smoke version of the cross-backend property test in
+    /// `tests/properties.rs`.
+    #[test]
+    fn backends_agree_on_mixed_workload() {
+        let mut heap = EventQueue::with_backend(QueueBackend::Heap);
+        let mut cal = EventQueue::with_backend(QueueBackend::Calendar);
+        let mut state = 0x2012_c105_7e20u64 ^ 0xdead_beef;
+        let mut next = move || {
+            // xorshift64 — cheap deterministic op mixing.
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut ids: Vec<(EventId, EventId)> = Vec::new();
+        for step in 0..5_000u64 {
+            match next() % 10 {
+                0..=5 => {
+                    let delay = SimDuration::from_millis(next() % 50_000);
+                    let payload = step;
+                    let h = heap.schedule(delay, payload);
+                    let c = cal.schedule(delay, payload);
+                    ids.push((h, c));
+                }
+                6..=7 => {
+                    assert_eq!(heap.pop(), cal.pop());
+                    assert_eq!(heap.now(), cal.now());
+                }
+                8 => {
+                    if !ids.is_empty() {
+                        let (h, c) = ids[(next() % ids.len() as u64) as usize];
+                        assert_eq!(heap.cancel(h), cal.cancel(c));
+                    }
+                }
+                _ => {
+                    assert_eq!(heap.next_time(), cal.next_time());
+                    assert_eq!(heap.pending(), cal.pending());
+                }
+            }
+        }
+        loop {
+            let (a, b) = (heap.pop(), cal.pop());
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+        assert_eq!(heap.fired(), cal.fired());
+    }
+
+    /// The calendar must stay exact through grow/shrink resizes.
+    #[test]
+    fn calendar_survives_resizes() {
+        let mut q = EventQueue::with_backend(QueueBackend::Calendar);
+        // Push far more than MIN_BUCKETS * 2 to force growth, with heavy
+        // ties to stress the FIFO tie-break, then drain to force shrink.
+        let mut expect: Vec<(u64, u64)> = Vec::new();
+        for i in 0..2_000u64 {
+            let at = (i * 7919) % 97; // many collisions
+            q.schedule_at(SimTime::from_millis(at), i);
+            expect.push((at, i));
+        }
+        expect.sort();
+        let got: Vec<(u64, u64)> =
+            std::iter::from_fn(|| q.pop()).map(|(t, i)| (t.as_millis(), i)).collect();
+        assert_eq!(got, expect);
+    }
+
+    /// Sparse far-future events exercise the full-year wrap escape.
+    #[test]
+    fn calendar_handles_sparse_far_future() {
+        let mut q = EventQueue::with_backend(QueueBackend::Calendar);
+        q.schedule_at(SimTime::from_secs(5), "near");
+        q.schedule_at(SimTime::from_mins(60 * 24 * 30), "far");
+        q.schedule_at(SimTime::from_mins(60 * 24 * 365), "farther");
+        assert_eq!(q.pop().map(|(_, e)| e), Some("near"));
+        assert_eq!(q.pop().map(|(_, e)| e), Some("far"));
+        q.schedule(SimDuration::from_secs(1), "wedged");
+        assert_eq!(q.pop().map(|(_, e)| e), Some("wedged"));
+        assert_eq!(q.pop().map(|(_, e)| e), Some("farther"));
+        assert!(q.pop().is_none());
     }
 }

@@ -21,11 +21,11 @@ use dualboot_sched::job::JobRequest;
 #[derive(Debug, Clone, Copy)]
 pub struct MemberCaps {
     /// Compute nodes.
-    pub nodes: u16,
+    pub nodes: u32,
     /// Cores per node.
     pub cores_per_node: u32,
     /// Nodes that start on Linux.
-    pub initial_linux: u16,
+    pub initial_linux: u32,
     /// Whether the member can ever run Linux jobs.
     pub supports_linux: bool,
     /// Whether the member can ever run Windows jobs.
@@ -310,7 +310,7 @@ mod tests {
     use super::*;
     use dualboot_des::time::SimDuration;
 
-    fn caps(nodes: u16, initial_linux: u16) -> MemberCaps {
+    fn caps(nodes: u32, initial_linux: u32) -> MemberCaps {
         MemberCaps {
             nodes,
             cores_per_node: 4,

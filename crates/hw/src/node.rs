@@ -44,8 +44,8 @@ pub enum PowerState {
 /// One Eridani compute node.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ComputeNode {
-    /// 1-based node index (node01 … node16).
-    pub index: u16,
+    /// 1-based node index (node01 … node16; scale sweeps go far wider).
+    pub index: u32,
     /// Fully qualified hostname, e.g. `enode01.eridani.qgg.hud.ac.uk`.
     pub hostname: String,
     /// LAN-card MAC (keys the GRUB4DOS menu file).
@@ -65,7 +65,7 @@ pub struct ComputeNode {
 
 impl ComputeNode {
     /// A powered-off Eridani node with a blank 250 GB disk.
-    pub fn eridani(index: u16, firmware: FirmwareBootOrder) -> Self {
+    pub fn eridani(index: u32, firmware: FirmwareBootOrder) -> Self {
         ComputeNode {
             index,
             hostname: format!("enode{index:02}.eridani.qgg.hud.ac.uk"),

@@ -63,7 +63,7 @@ mod tests {
     use super::*;
     use crate::event::ObsEvent;
 
-    fn rec(at: u64, subsystem: Subsystem, node: Option<u16>, event: ObsEvent) -> TraceRecord {
+    fn rec(at: u64, subsystem: Subsystem, node: Option<u32>, event: ObsEvent) -> TraceRecord {
         TraceRecord {
             at: SimTime::from_secs(at),
             seq: at,

@@ -10,29 +10,23 @@
 //! Placement scans only the `avail` index (online nodes with at least one
 //! free slot) rather than every registered node, and `snapshot()` reads
 //! incrementally maintained counters, so neither is O(cluster size).
+//!
+//! Per-node state is struct-of-arrays: parallel dense vectors indexed by
+//! [`NodeId::index0`] (`hostname` / `np` / `used`), [`arena::IdSet`]
+//! bitsets for the registered/online/avail/idle sets, and per-node job
+//! lists in one shared [`arena::ListSlab`]. Jobs themselves live in an
+//! append-only [`arena::Sequence`] keyed by the id counter. Dispatch
+//! loops therefore iterate dense index sets and chase no per-node heap
+//! pointers; at 65536 nodes this is what keeps `try_dispatch` flat.
 
 use crate::job::{Job, JobId, JobRequest, JobState};
 use crate::scheduler::{Dispatch, QueueSnapshot, Scheduler};
+use dualboot_bootconf::arena::{IdSet, ListRef, ListSlab, Sequence};
 use dualboot_bootconf::node::NodeId;
 use dualboot_bootconf::os::OsKind;
 use dualboot_des::time::SimTime;
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, BTreeSet, VecDeque};
-
-/// Per-node slot accounting.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
-struct NodeSlot {
-    /// Hostname the node registered under.
-    hostname: String,
-    /// Virtual processors (`np`).
-    np: u32,
-    /// Slots currently allocated.
-    used: u32,
-    /// Registered and reachable.
-    online: bool,
-    /// Jobs with slots on this node.
-    jobs: Vec<JobId>,
-}
+use std::collections::{BTreeSet, VecDeque};
 
 /// The Torque-like batch server (`pbs_server` + `pbs_sched` + `maui`-less
 /// FCFS, as a small OSCAR deployment runs).
@@ -59,18 +53,33 @@ struct NodeSlot {
 pub struct PbsScheduler {
     server: String,
     queue_name: String,
-    nodes: BTreeMap<NodeId, NodeSlot>,
-    jobs: BTreeMap<u64, Job>,
+    // Struct-of-arrays per-node state, indexed by `NodeId::index0`.
+    /// Every node ever registered.
+    registered: IdSet,
+    /// Hostname the node registered under.
+    hostname: Vec<String>,
+    /// Virtual processors (`np`).
+    np: Vec<u32>,
+    /// Slots currently allocated.
+    used: Vec<u32>,
+    /// Registered and reachable.
+    online: IdSet,
+    /// Jobs with slots on each node, as lists in the shared slab.
+    node_jobs: Vec<ListRef>,
+    /// The shared slab backing every per-node job list.
+    job_lists: ListSlab<JobId>,
+    /// Every job ever submitted, keyed by the sequential id counter.
+    jobs: Sequence<Job>,
     queue: VecDeque<JobId>,
-    next_id: u64,
     // Placement indexes and snapshot counters, maintained on every
-    // mutation. Derived state: never serialized (rebuildable from `nodes`).
+    // mutation. Derived state: never serialized (rebuildable from the
+    // arrays above).
     /// Online nodes with at least one free slot, ascending id.
     #[serde(skip)]
-    avail: BTreeSet<NodeId>,
+    avail: IdSet,
     /// Online nodes with zero slots used, ascending id.
     #[serde(skip)]
-    idle: BTreeSet<NodeId>,
+    idle: IdSet,
     /// Running job ids, ascending — the `qstat -f` emission order.
     #[serde(skip)]
     running_ids: BTreeSet<u64>,
@@ -93,12 +102,17 @@ impl PbsScheduler {
         PbsScheduler {
             server: server.into(),
             queue_name: "default".to_string(),
-            nodes: BTreeMap::new(),
-            jobs: BTreeMap::new(),
+            registered: IdSet::new(),
+            hostname: Vec::new(),
+            np: Vec::new(),
+            used: Vec::new(),
+            online: IdSet::new(),
+            node_jobs: Vec::new(),
+            job_lists: ListSlab::new(),
+            jobs: Sequence::new(1),
             queue: VecDeque::new(),
-            next_id: 1,
-            avail: BTreeSet::new(),
-            idle: BTreeSet::new(),
+            avail: IdSet::new(),
+            idle: IdSet::new(),
             running_ids: BTreeSet::new(),
             running: 0,
             nodes_online: 0,
@@ -111,8 +125,21 @@ impl PbsScheduler {
     /// The paper's server, with job numbering near the figures' range.
     pub fn eridani() -> Self {
         let mut s = PbsScheduler::new("eridani.qgg.hud.ac.uk");
-        s.next_id = 1185; // Figure 8 shows job 1185
+        s.jobs.set_base(1185); // Figure 8 shows job 1185
         s
+    }
+
+    /// Grow the dense per-node arrays to cover `id`, marking it
+    /// registered. No-op if already known.
+    fn ensure_node(&mut self, id: NodeId) {
+        let i = id.index0();
+        if i >= self.np.len() {
+            self.hostname.resize_with(i + 1, String::new);
+            self.np.resize(i + 1, 0);
+            self.used.resize(i + 1, 0);
+            self.node_jobs.resize(i + 1, ListRef::EMPTY);
+        }
+        self.registered.insert(id);
     }
 
     /// Server FQDN.
@@ -144,9 +171,9 @@ impl PbsScheduler {
         }
         let want = req.nodes as usize;
         let mut picks = Vec::with_capacity(want);
-        for &id in &self.avail {
-            let slot = &self.nodes[&id];
-            if slot.np - slot.used >= req.ppn {
+        for id in &self.avail {
+            let i = id.index0();
+            if self.np[i] - self.used[i] >= req.ppn {
                 picks.push(id);
                 if picks.len() == want {
                     return Some(picks);
@@ -158,34 +185,35 @@ impl PbsScheduler {
 
     /// Internal: take `ppn` slots for `job` on `id`, maintaining indexes.
     fn alloc(&mut self, id: NodeId, ppn: u32, job: JobId) {
-        let slot = self.nodes.get_mut(&id).expect("placed node exists");
-        let was_idle = slot.used == 0;
-        slot.used += ppn;
-        slot.jobs.push(job);
-        let full = slot.used >= slot.np;
+        let i = id.index0();
+        let was_idle = self.used[i] == 0;
+        self.used[i] += ppn;
+        self.job_lists.push(&mut self.node_jobs[i], job);
+        let full = self.used[i] >= self.np[i];
         self.cores_free -= ppn;
         if full {
-            self.avail.remove(&id);
+            self.avail.remove(id);
         }
         if was_idle {
-            self.idle.remove(&id);
+            self.idle.remove(id);
         }
     }
 
     /// Internal: release up to `ppn` slots held by `job` on `id`.
     fn release(&mut self, id: NodeId, ppn: u32, job: JobId) {
-        let Some(slot) = self.nodes.get_mut(&id) else {
+        if !self.registered.contains(id) {
             return;
-        };
-        let freed = ppn.min(slot.used);
-        slot.used -= freed;
-        slot.jobs.retain(|j| *j != job);
-        if slot.online {
+        }
+        let i = id.index0();
+        let freed = ppn.min(self.used[i]);
+        self.used[i] -= freed;
+        self.job_lists.retain(&mut self.node_jobs[i], |j| *j != job);
+        if self.online.contains(id) {
             self.cores_free += freed;
-            if slot.used < slot.np {
+            if self.used[i] < self.np[i] {
                 self.avail.insert(id);
             }
-            if slot.used == 0 {
+            if self.used[i] == 0 {
                 self.idle.insert(id);
             }
         }
@@ -193,16 +221,23 @@ impl PbsScheduler {
 
     /// Node states in id order: `(id, hostname, np, used, online)`.
     pub fn node_states(&self) -> impl Iterator<Item = (NodeId, &str, u32, u32, bool)> {
-        self.nodes
-            .iter()
-            .map(|(id, s)| (*id, s.hostname.as_str(), s.np, s.used, s.online))
+        self.registered.iter().map(move |id| {
+            let i = id.index0();
+            (
+                id,
+                self.hostname[i].as_str(),
+                self.np[i],
+                self.used[i],
+                self.online.contains(id),
+            )
+        })
     }
 
     /// Jobs running on a given node.
     pub fn jobs_on(&self, id: NodeId) -> Vec<JobId> {
-        self.nodes
-            .get(&id)
-            .map(|s| s.jobs.clone())
+        self.node_jobs
+            .get(id.index0())
+            .map(|list| self.job_lists.to_vec(list))
             .unwrap_or_default()
     }
 
@@ -210,7 +245,9 @@ impl PbsScheduler {
     /// them. Backed by an index, so the cost is O(running), not
     /// O(every job ever submitted).
     pub fn running_jobs(&self) -> impl Iterator<Item = &Job> {
-        self.running_ids.iter().map(|id| &self.jobs[id])
+        self.running_ids
+            .iter()
+            .map(|id| self.jobs.get(*id).expect("running job exists"))
     }
 }
 
@@ -220,32 +257,27 @@ impl Scheduler for PbsScheduler {
     }
 
     fn register_node(&mut self, id: NodeId, hostname: &str, cores: u32) {
-        let slot = self.nodes.entry(id).or_insert_with(|| NodeSlot {
-            hostname: hostname.to_string(),
-            np: cores,
-            used: 0,
-            online: false,
-            jobs: Vec::new(),
-        });
-        if slot.online {
+        self.ensure_node(id);
+        let i = id.index0();
+        if self.online.contains(id) {
             // Detach the old contribution before np can change.
             self.nodes_online -= 1;
-            self.cores_online -= slot.np;
-            self.cores_free -= slot.np - slot.used;
+            self.cores_online -= self.np[i];
+            self.cores_free -= self.np[i] - self.used[i];
         }
-        slot.np = cores;
-        if slot.hostname != hostname {
-            slot.hostname = hostname.to_string();
+        self.np[i] = cores;
+        if self.hostname[i] != hostname {
+            self.hostname[i] = hostname.to_string();
         }
-        slot.online = true;
-        let used = slot.used;
+        self.online.insert(id);
+        let used = self.used[i];
         self.nodes_online += 1;
         self.cores_online += cores;
         self.cores_free += cores.saturating_sub(used);
         if used < cores {
             self.avail.insert(id);
         } else {
-            self.avail.remove(&id);
+            self.avail.remove(id);
         }
         if used == 0 {
             self.idle.insert(id);
@@ -254,51 +286,49 @@ impl Scheduler for PbsScheduler {
     }
 
     fn set_node_offline(&mut self, id: NodeId) {
-        if let Some(slot) = self.nodes.get_mut(&id) {
-            if slot.online {
-                slot.online = false;
-                let (np, used) = (slot.np, slot.used);
-                self.nodes_online -= 1;
-                self.cores_online -= np;
-                self.cores_free -= np.saturating_sub(used);
-                self.avail.remove(&id);
-                self.idle.remove(&id);
-                self.epoch += 1;
-            }
+        if self.online.contains(id) {
+            self.online.remove(id);
+            let i = id.index0();
+            let (np, used) = (self.np[i], self.used[i]);
+            self.nodes_online -= 1;
+            self.cores_online -= np;
+            self.cores_free -= np.saturating_sub(used);
+            self.avail.remove(id);
+            self.idle.remove(id);
+            self.epoch += 1;
         }
     }
 
     fn is_node_online(&self, id: NodeId) -> bool {
-        self.nodes.get(&id).map(|s| s.online).unwrap_or(false)
+        self.online.contains(id)
     }
 
     fn node_hostname(&self, id: NodeId) -> Option<&str> {
-        self.nodes.get(&id).map(|s| s.hostname.as_str())
+        if !self.registered.contains(id) {
+            return None;
+        }
+        self.hostname.get(id.index0()).map(String::as_str)
     }
 
     fn submit(&mut self, req: JobRequest, now: SimTime) -> JobId {
         debug_assert_eq!(req.os, OsKind::Linux, "Windows job submitted to PBS");
-        let id = JobId(self.next_id);
-        self.next_id += 1;
-        self.jobs.insert(
-            id.0,
-            Job {
-                id,
-                req,
-                state: JobState::Queued,
-                submitted_at: now,
-                started_at: None,
-                finished_at: None,
-                exec_nodes: Vec::new(),
-            },
-        );
+        let id = JobId(self.jobs.next_id());
+        self.jobs.push(Job {
+            id,
+            req,
+            state: JobState::Queued,
+            submitted_at: now,
+            started_at: None,
+            finished_at: None,
+            exec_nodes: Vec::new(),
+        });
         self.queue.push_back(id);
         self.epoch += 1;
         id
     }
 
     fn cancel(&mut self, id: JobId) -> bool {
-        let Some(job) = self.jobs.get_mut(&id.0) else {
+        let Some(job) = self.jobs.get_mut(id.0) else {
             return false;
         };
         if job.state != JobState::Queued {
@@ -314,7 +344,7 @@ impl Scheduler for PbsScheduler {
         let mut started = Vec::new();
         // FCFS, no backfill: stop at the first job that cannot be placed.
         while let Some(&head) = self.queue.front() {
-            let req = self.jobs[&head.0].req.clone();
+            let req = self.jobs.get(head.0).expect("queued job exists").req.clone();
             let Some(nodes) = self.place(&req) else {
                 break;
             };
@@ -322,7 +352,7 @@ impl Scheduler for PbsScheduler {
             for &n in &nodes {
                 self.alloc(n, req.ppn, head);
             }
-            let job = self.jobs.get_mut(&head.0).expect("queued job exists");
+            let job = self.jobs.get_mut(head.0).expect("queued job exists");
             job.state = JobState::Running;
             job.started_at = Some(now);
             job.exec_nodes = nodes.clone();
@@ -337,7 +367,7 @@ impl Scheduler for PbsScheduler {
     }
 
     fn complete(&mut self, id: JobId, now: SimTime) -> Option<Job> {
-        let job = self.jobs.get_mut(&id.0)?;
+        let job = self.jobs.get_mut(id.0)?;
         if job.state != JobState::Running {
             return None;
         }
@@ -356,11 +386,14 @@ impl Scheduler for PbsScheduler {
     }
 
     fn job(&self, id: JobId) -> Option<&Job> {
-        self.jobs.get(&id.0)
+        self.jobs.get(id.0)
     }
 
     fn snapshot(&self) -> QueueSnapshot {
-        let first = self.queue.front().map(|id| &self.jobs[&id.0]);
+        let first = self
+            .queue
+            .front()
+            .map(|id| self.jobs.get(id.0).expect("queued job exists"));
         QueueSnapshot {
             os: OsKind::Linux,
             running: self.running,
@@ -375,11 +408,11 @@ impl Scheduler for PbsScheduler {
     }
 
     fn jobs(&self) -> Vec<&Job> {
-        self.jobs.values().collect()
+        self.jobs.iter().collect()
     }
 
     fn free_nodes(&self) -> Vec<NodeId> {
-        self.idle.iter().copied().collect()
+        self.idle.iter().collect()
     }
 
     fn change_epoch(&self) -> u64 {
@@ -396,7 +429,7 @@ mod tests {
         SimTime::from_secs(s)
     }
 
-    fn sched_with_nodes(n: u16) -> PbsScheduler {
+    fn sched_with_nodes(n: u32) -> PbsScheduler {
         let mut s = PbsScheduler::eridani();
         for i in 1..=n {
             s.register_node(NodeId(i), &format!("enode{i:02}.eridani.qgg.hud.ac.uk"), 4);

@@ -16,40 +16,44 @@
 
 use crate::job::{Job, JobId, JobRequest, JobState};
 use crate::scheduler::{Dispatch, QueueSnapshot, Scheduler};
+use dualboot_bootconf::arena::{IdSet, ListRef, ListSlab, Sequence};
 use dualboot_bootconf::node::NodeId;
 use dualboot_bootconf::os::OsKind;
 use dualboot_des::time::SimTime;
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, BTreeSet, VecDeque};
-
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
-struct NodeSlot {
-    hostname: String,
-    cores: u32,
-    used: u32,
-    online: bool,
-    jobs: Vec<JobId>,
-}
+use std::collections::{BTreeMap, VecDeque};
 
 /// The Windows HPC head-node scheduler.
+///
+/// Per-node state is struct-of-arrays, mirroring
+/// [`PbsScheduler`](crate::pbs::PbsScheduler): parallel dense vectors
+/// indexed by [`NodeId::index0`], [`IdSet`] bitsets for the placement
+/// indexes, per-node job lists in one shared [`ListSlab`], and the job
+/// store in an append-only [`Sequence`].
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct WinHpcScheduler {
     head: String,
-    nodes: BTreeMap<NodeId, NodeSlot>,
-    jobs: BTreeMap<u64, Job>,
+    // Struct-of-arrays per-node state, indexed by `NodeId::index0`.
+    registered: IdSet,
+    hostname: Vec<String>,
+    cores: Vec<u32>,
+    used: Vec<u32>,
+    online: IdSet,
+    node_jobs: Vec<ListRef>,
+    job_lists: ListSlab<JobId>,
+    jobs: Sequence<Job>,
     /// Exact `(node, cores)` allocation of each running job, kept so that
     /// completion releases precisely what dispatch took.
     allocs: BTreeMap<u64, Vec<(NodeId, u32)>>,
     queue: VecDeque<JobId>,
-    next_id: u64,
     // Placement indexes and snapshot counters (derived state, rebuildable
-    // from `nodes`; never serialized).
+    // from the arrays above; never serialized).
     /// Online nodes with at least one free core, ascending id.
     #[serde(skip)]
-    avail: BTreeSet<NodeId>,
+    avail: IdSet,
     /// Online nodes with zero cores used, ascending id.
     #[serde(skip)]
-    idle: BTreeSet<NodeId>,
+    idle: IdSet,
     #[serde(skip)]
     running: u32,
     #[serde(skip)]
@@ -67,19 +71,37 @@ impl WinHpcScheduler {
     pub fn new(head: impl Into<String>) -> Self {
         WinHpcScheduler {
             head: head.into(),
-            nodes: BTreeMap::new(),
-            jobs: BTreeMap::new(),
+            registered: IdSet::new(),
+            hostname: Vec::new(),
+            cores: Vec::new(),
+            used: Vec::new(),
+            online: IdSet::new(),
+            node_jobs: Vec::new(),
+            job_lists: ListSlab::new(),
+            jobs: Sequence::new(1),
             allocs: BTreeMap::new(),
             queue: VecDeque::new(),
-            next_id: 1,
-            avail: BTreeSet::new(),
-            idle: BTreeSet::new(),
+            avail: IdSet::new(),
+            idle: IdSet::new(),
             running: 0,
             nodes_online: 0,
             cores_online: 0,
             cores_free: 0,
             epoch: 0,
         }
+    }
+
+    /// Grow the dense per-node arrays to cover `id`, marking it
+    /// registered. No-op if already known.
+    fn ensure_node(&mut self, id: NodeId) {
+        let i = id.index0();
+        if i >= self.cores.len() {
+            self.hostname.resize_with(i + 1, String::new);
+            self.cores.resize(i + 1, 0);
+            self.used.resize(i + 1, 0);
+            self.node_jobs.resize(i + 1, ListRef::EMPTY);
+        }
+        self.registered.insert(id);
     }
 
     /// The paper's Windows head node on Eridani.
@@ -106,9 +128,9 @@ impl WinHpcScheduler {
         }
         let mut remaining = cpus_needed;
         let mut picks = Vec::new();
-        for &id in &self.avail {
-            let slot = &self.nodes[&id];
-            let free = slot.cores - slot.used;
+        for id in &self.avail {
+            let i = id.index0();
+            let free = self.cores[i] - self.used[i];
             let take = free.min(remaining);
             picks.push((id, take));
             remaining -= take;
@@ -121,34 +143,35 @@ impl WinHpcScheduler {
 
     /// Internal: take `cores` on `id` for `job`, maintaining indexes.
     fn alloc(&mut self, id: NodeId, cores: u32, job: JobId) {
-        let slot = self.nodes.get_mut(&id).expect("placed node exists");
-        let was_idle = slot.used == 0;
-        slot.used += cores;
-        slot.jobs.push(job);
-        let full = slot.used >= slot.cores;
+        let i = id.index0();
+        let was_idle = self.used[i] == 0;
+        self.used[i] += cores;
+        self.job_lists.push(&mut self.node_jobs[i], job);
+        let full = self.used[i] >= self.cores[i];
         self.cores_free -= cores;
         if full {
-            self.avail.remove(&id);
+            self.avail.remove(id);
         }
         if was_idle {
-            self.idle.remove(&id);
+            self.idle.remove(id);
         }
     }
 
     /// Internal: release up to `cores` held by `job` on `id`.
     fn release(&mut self, id: NodeId, cores: u32, job: JobId) {
-        let Some(slot) = self.nodes.get_mut(&id) else {
+        if !self.registered.contains(id) {
             return;
-        };
-        let freed = cores.min(slot.used);
-        slot.used -= freed;
-        slot.jobs.retain(|j| *j != job);
-        if slot.online {
+        }
+        let i = id.index0();
+        let freed = cores.min(self.used[i]);
+        self.used[i] -= freed;
+        self.job_lists.retain(&mut self.node_jobs[i], |j| *j != job);
+        if self.online.contains(id) {
             self.cores_free += freed;
-            if slot.used < slot.cores {
+            if self.used[i] < self.cores[i] {
                 self.avail.insert(id);
             }
-            if slot.used == 0 {
+            if self.used[i] == 0 {
                 self.idle.insert(id);
             }
         }
@@ -156,16 +179,23 @@ impl WinHpcScheduler {
 
     /// Node states in id order: `(id, hostname, cores, used, online)`.
     pub fn node_states(&self) -> impl Iterator<Item = (NodeId, &str, u32, u32, bool)> {
-        self.nodes
-            .iter()
-            .map(|(id, s)| (*id, s.hostname.as_str(), s.cores, s.used, s.online))
+        self.registered.iter().map(move |id| {
+            let i = id.index0();
+            (
+                id,
+                self.hostname[i].as_str(),
+                self.cores[i],
+                self.used[i],
+                self.online.contains(id),
+            )
+        })
     }
 
     /// Jobs holding cores on a given node.
     pub fn jobs_on(&self, id: NodeId) -> Vec<JobId> {
-        self.nodes
-            .get(&id)
-            .map(|s| s.jobs.clone())
+        self.node_jobs
+            .get(id.index0())
+            .map(|list| self.job_lists.to_vec(list))
             .unwrap_or_default()
     }
 
@@ -182,31 +212,26 @@ impl Scheduler for WinHpcScheduler {
     }
 
     fn register_node(&mut self, id: NodeId, hostname: &str, cores: u32) {
-        let slot = self.nodes.entry(id).or_insert_with(|| NodeSlot {
-            hostname: hostname.to_string(),
-            cores,
-            used: 0,
-            online: false,
-            jobs: Vec::new(),
-        });
-        if slot.online {
+        self.ensure_node(id);
+        let i = id.index0();
+        if self.online.contains(id) {
             self.nodes_online -= 1;
-            self.cores_online -= slot.cores;
-            self.cores_free -= slot.cores - slot.used;
+            self.cores_online -= self.cores[i];
+            self.cores_free -= self.cores[i] - self.used[i];
         }
-        slot.cores = cores;
-        if slot.hostname != hostname {
-            slot.hostname = hostname.to_string();
+        self.cores[i] = cores;
+        if self.hostname[i] != hostname {
+            self.hostname[i] = hostname.to_string();
         }
-        slot.online = true;
-        let used = slot.used;
+        self.online.insert(id);
+        let used = self.used[i];
         self.nodes_online += 1;
         self.cores_online += cores;
         self.cores_free += cores.saturating_sub(used);
         if used < cores {
             self.avail.insert(id);
         } else {
-            self.avail.remove(&id);
+            self.avail.remove(id);
         }
         if used == 0 {
             self.idle.insert(id);
@@ -215,51 +240,49 @@ impl Scheduler for WinHpcScheduler {
     }
 
     fn set_node_offline(&mut self, id: NodeId) {
-        if let Some(slot) = self.nodes.get_mut(&id) {
-            if slot.online {
-                slot.online = false;
-                let (cores, used) = (slot.cores, slot.used);
-                self.nodes_online -= 1;
-                self.cores_online -= cores;
-                self.cores_free -= cores.saturating_sub(used);
-                self.avail.remove(&id);
-                self.idle.remove(&id);
-                self.epoch += 1;
-            }
+        if self.online.contains(id) {
+            self.online.remove(id);
+            let i = id.index0();
+            let (cores, used) = (self.cores[i], self.used[i]);
+            self.nodes_online -= 1;
+            self.cores_online -= cores;
+            self.cores_free -= cores.saturating_sub(used);
+            self.avail.remove(id);
+            self.idle.remove(id);
+            self.epoch += 1;
         }
     }
 
     fn is_node_online(&self, id: NodeId) -> bool {
-        self.nodes.get(&id).map(|s| s.online).unwrap_or(false)
+        self.online.contains(id)
     }
 
     fn node_hostname(&self, id: NodeId) -> Option<&str> {
-        self.nodes.get(&id).map(|s| s.hostname.as_str())
+        if !self.registered.contains(id) {
+            return None;
+        }
+        self.hostname.get(id.index0()).map(String::as_str)
     }
 
     fn submit(&mut self, req: JobRequest, now: SimTime) -> JobId {
         debug_assert_eq!(req.os, OsKind::Windows, "Linux job submitted to WinHPC");
-        let id = JobId(self.next_id);
-        self.next_id += 1;
-        self.jobs.insert(
-            id.0,
-            Job {
-                id,
-                req,
-                state: JobState::Queued,
-                submitted_at: now,
-                started_at: None,
-                finished_at: None,
-                exec_nodes: Vec::new(),
-            },
-        );
+        let id = JobId(self.jobs.next_id());
+        self.jobs.push(Job {
+            id,
+            req,
+            state: JobState::Queued,
+            submitted_at: now,
+            started_at: None,
+            finished_at: None,
+            exec_nodes: Vec::new(),
+        });
         self.queue.push_back(id);
         self.epoch += 1;
         id
     }
 
     fn cancel(&mut self, id: JobId) -> bool {
-        let Some(job) = self.jobs.get_mut(&id.0) else {
+        let Some(job) = self.jobs.get_mut(id.0) else {
             return false;
         };
         if job.state != JobState::Queued {
@@ -274,7 +297,7 @@ impl Scheduler for WinHpcScheduler {
     fn try_dispatch(&mut self, now: SimTime) -> Vec<Dispatch> {
         let mut started = Vec::new();
         while let Some(&head) = self.queue.front() {
-            let req = self.jobs[&head.0].req.clone();
+            let req = self.jobs.get(head.0).expect("queued job exists").req.clone();
             // Switch jobs must own a whole free node (they reboot it);
             // ordinary jobs pack by cores.
             let placement = if req.kind == crate::job::JobKind::User {
@@ -282,9 +305,8 @@ impl Scheduler for WinHpcScheduler {
             } else {
                 self.idle
                     .iter()
-                    .map(|id| (*id, &self.nodes[id]))
-                    .find(|(_, s)| s.cores >= req.cpus())
-                    .map(|(id, s)| vec![(id, s.cores)])
+                    .find(|id| self.cores[id.index0()] >= req.cpus())
+                    .map(|id| vec![(id, self.cores[id.index0()])])
             };
             let Some(picks) = placement else {
                 break;
@@ -295,7 +317,7 @@ impl Scheduler for WinHpcScheduler {
                 self.alloc(n, cores, head);
                 nodes.push(n);
             }
-            let job = self.jobs.get_mut(&head.0).expect("queued job exists");
+            let job = self.jobs.get_mut(head.0).expect("queued job exists");
             job.state = JobState::Running;
             job.started_at = Some(now);
             job.exec_nodes = nodes.clone();
@@ -310,7 +332,7 @@ impl Scheduler for WinHpcScheduler {
     }
 
     fn complete(&mut self, id: JobId, now: SimTime) -> Option<Job> {
-        let job = self.jobs.get_mut(&id.0)?;
+        let job = self.jobs.get_mut(id.0)?;
         if job.state != JobState::Running {
             return None;
         }
@@ -329,11 +351,14 @@ impl Scheduler for WinHpcScheduler {
     }
 
     fn job(&self, id: JobId) -> Option<&Job> {
-        self.jobs.get(&id.0)
+        self.jobs.get(id.0)
     }
 
     fn snapshot(&self) -> QueueSnapshot {
-        let first = self.queue.front().map(|id| &self.jobs[&id.0]);
+        let first = self
+            .queue
+            .front()
+            .map(|id| self.jobs.get(id.0).expect("queued job exists"));
         QueueSnapshot {
             os: OsKind::Windows,
             running: self.running,
@@ -348,11 +373,11 @@ impl Scheduler for WinHpcScheduler {
     }
 
     fn jobs(&self) -> Vec<&Job> {
-        self.jobs.values().collect()
+        self.jobs.iter().collect()
     }
 
     fn free_nodes(&self) -> Vec<NodeId> {
-        self.idle.iter().copied().collect()
+        self.idle.iter().collect()
     }
 
     fn change_epoch(&self) -> u64 {
@@ -414,7 +439,7 @@ mod tests {
         SimTime::from_secs(s)
     }
 
-    fn sched(n: u16) -> WinHpcScheduler {
+    fn sched(n: u32) -> WinHpcScheduler {
         let mut s = WinHpcScheduler::eridani();
         for i in 1..=n {
             s.register_node(NodeId(i), &format!("enode{i:02}.eridani.qgg.hud.ac.uk"), 4);

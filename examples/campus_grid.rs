@@ -44,7 +44,7 @@ fn main() {
         .with_offered_load(0.75, 64);
         let trace = spec.generate();
 
-        let run = |mode: Mode, split: u16| {
+        let run = |mode: Mode, split: u32| {
             let mut cfg = SimConfig::builder().v2().seed(seed).build();
             cfg.mode = mode;
             cfg.initial_linux_nodes = split;

@@ -10,6 +10,7 @@ use crate::grid::{report as grid_report, GridSim, GridSpec, RoutePolicy};
 use crate::workload::generator::WorkloadSpec;
 use crate::workload::swf::{self, OsMapping, SwfImportOptions};
 use dualboot_des::time::{SimDuration, SimTime};
+use dualboot_des::QueueBackend;
 use dualboot_hw::NodeId;
 use dualboot_obs::{self as obs, ObsConfig, Subsystem, TraceFilter, TraceRecord};
 
@@ -84,7 +85,7 @@ pub struct TraceFilterArgs {
     /// Subsystem name (`sim`, `linux-daemon`, …).
     pub subsystem: Option<String>,
     /// 1-based node number.
-    pub node: Option<u16>,
+    pub node: Option<u32>,
     /// Event kind (`boot-ordered`, `msg-dropped`, …).
     pub kind: Option<String>,
     /// Keep records at or after this many seconds of sim time.
@@ -133,7 +134,7 @@ pub struct SimulateArgs {
     /// Trace duration in hours.
     pub hours: u64,
     /// Nodes starting on Linux (static split uses this as the partition).
-    pub split: u16,
+    pub split: u32,
     /// Print the time series.
     pub series: bool,
     /// Fault plan: inline JSON (`{...}`), the word `chaos` for the
@@ -151,6 +152,9 @@ pub struct SimulateArgs {
     pub trace_out: Option<String>,
     /// Wall-clock profile of the DES hot loop, reported per phase.
     pub profile: bool,
+    /// Event-queue backend for the DES core (bit-identical results; the
+    /// calendar queue wins at large node counts).
+    pub queue: QueueBackend,
 }
 
 impl Default for SimulateArgs {
@@ -171,6 +175,7 @@ impl Default for SimulateArgs {
             journal: true,
             trace_out: None,
             profile: false,
+            queue: QueueBackend::Heap,
         }
     }
 }
@@ -254,13 +259,15 @@ USAGE:
                     [--win-frac F] [--load F] [--hours N] [--split N]
                     [--series] [--faults PLAN] [--json]
                     [--watchdog on|off] [--journal on|off]
-                    [--trace-out FILE] [--profile]
+                    [--trace-out FILE] [--profile] [--queue heap|calendar]
                     PLAN is inline JSON ('{...}'), the word 'chaos' for
                     the default campaign, or a path to a JSON plan file;
                     watchdog/journal toggle the node-health supervision
                     (both on by default); --trace-out records the run on
                     the observability bus and writes the JSONL trace;
-                    --profile reports hot-loop wall-clock time per phase
+                    --profile reports hot-loop wall-clock time per phase;
+                    --queue selects the DES event-queue backend (the two
+                    are bit-identical; calendar wins at large clusters)
   dualboot grid     [--clusters N] [--seed N] [--routing static|queue|coop|sweep]
                     [--win-frac F] [--load F] [--hours N] [--report-secs N]
                     [--faults PLAN] [--json] [--trace-out FILE]
@@ -450,6 +457,11 @@ fn parse_simulate(args: &[String]) -> Result<SimulateArgs, CliError> {
             "--profile" => {
                 out.profile = true;
                 k += 1;
+            }
+            "--queue" => {
+                let v = value(args, k, "--queue")?;
+                out.queue = v.parse().map_err(|e| CliError(format!("{e}")))?;
+                k += 2;
             }
             other => return Err(CliError(format!("unknown flag {other:?}"))),
         }
@@ -722,6 +734,7 @@ fn run_trace(
     cfg.record_series = args.series;
     cfg.supervision.watchdog = args.watchdog;
     cfg.supervision.journal = args.journal;
+    cfg.queue_backend = args.queue;
     cfg.horizon = SimDuration::from_hours(24 * 30);
     if let Some(spec) = &args.faults {
         cfg.faults = resolve_fault_plan(spec, args.seed)?;
@@ -988,6 +1001,21 @@ mod tests {
         };
         assert!(a.watchdog, "explicit on");
         assert!(a.journal, "journal untouched stays on");
+    }
+
+    #[test]
+    fn simulate_queue_backend_flag() {
+        let cmd = Command::parse(&argv("simulate --queue calendar")).unwrap();
+        let Command::Simulate(a) = cmd else {
+            panic!("wrong command")
+        };
+        assert_eq!(a.queue, QueueBackend::Calendar);
+        assert_eq!(
+            SimulateArgs::default().queue,
+            QueueBackend::Heap,
+            "reference backend by default"
+        );
+        assert!(Command::parse(&argv("simulate --queue splay")).is_err());
     }
 
     #[test]

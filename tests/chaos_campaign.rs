@@ -162,7 +162,7 @@ fn supervised_campaign_quarantines_instead_of_stranding() {
     assert_eq!(h.quarantines, 1, "retries exhausted exactly once");
     assert_eq!(
         h.quarantined_nodes,
-        vec![2],
+        vec![NodeId(2)],
         "the reimaged node (1-based) ends the run quarantined"
     );
     assert!(

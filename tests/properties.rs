@@ -845,7 +845,7 @@ fn arb_trace_record() -> impl Strategy<Value = TraceRecord> {
         0u64..1_000_000,
         0u64..10_000,
         0usize..8,
-        proptest::option::of(1u16..=64),
+        proptest::option::of(1u32..=64),
         arb_obs_event(),
     )
         .prop_map(|(secs, seq, sub, node, event)| TraceRecord {
@@ -870,4 +870,274 @@ proptest! {
             prop_assert_eq!(hybrid_cluster::obs::from_jsonl(&text).unwrap(), recs);
         }
     }
+}
+
+// ---------------------------------------------------------------------
+// event-queue backend equivalence
+// ---------------------------------------------------------------------
+
+use hybrid_cluster::des::QueueBackend;
+
+/// One scripted operation against a pair of event queues.
+#[derive(Debug, Clone, Copy)]
+enum QueueOp {
+    /// Schedule at `now + delay_ms`.
+    Schedule { delay_ms: u64 },
+    /// Pop one event (or observe emptiness) from both queues.
+    Pop,
+    /// Cancel the `k`-th not-yet-cancelled scheduled event, if any.
+    Cancel { k: usize },
+}
+
+fn arb_queue_op() -> impl Strategy<Value = QueueOp> {
+    prop_oneof![
+        3 => (0u64..50_000).prop_map(|delay_ms| QueueOp::Schedule { delay_ms }),
+        2 => Just(QueueOp::Pop),
+        1 => (0usize..64).prop_map(|k| QueueOp::Cancel { k }),
+    ]
+}
+
+/// Drive both backends through the same op script and assert every
+/// intermediate observation — pops, cancel results, pending counts —
+/// matches. Returns the number of events popped (for vacuity checks).
+fn run_queue_script(ops: &[QueueOp]) -> usize {
+    let mut heap = EventQueue::with_backend(QueueBackend::Heap);
+    let mut cal = EventQueue::with_backend(QueueBackend::Calendar);
+    let mut live = Vec::new();
+    let mut popped = 0usize;
+    let mut seq = 0usize;
+    for op in ops {
+        match *op {
+            QueueOp::Schedule { delay_ms } => {
+                let d = SimDuration::from_millis(delay_ms);
+                let h = heap.schedule(d, seq);
+                let c = cal.schedule(d, seq);
+                live.push((h, c));
+                seq += 1;
+            }
+            QueueOp::Pop => {
+                let h = heap.pop();
+                let c = cal.pop();
+                assert_eq!(h, c, "pop diverged after {popped} pops");
+                if h.is_some() {
+                    popped += 1;
+                }
+            }
+            QueueOp::Cancel { k } => {
+                if live.is_empty() {
+                    continue;
+                }
+                let (h, c) = live.remove(k % live.len());
+                assert_eq!(heap.cancel(h), cal.cancel(c), "cancel diverged");
+            }
+        }
+        assert_eq!(heap.pending(), cal.pending(), "pending count diverged");
+        assert_eq!(heap.peek_time(), cal.peek_time(), "peek diverged");
+    }
+    // Drain the tails: the full remaining order must match too.
+    loop {
+        let h = heap.pop();
+        let c = cal.pop();
+        assert_eq!(h, c, "tail drain diverged after {popped} pops");
+        match h {
+            Some(_) => popped += 1,
+            None => break,
+        }
+    }
+    popped
+}
+
+proptest! {
+    /// The calendar queue is observationally equal to the binary heap
+    /// for arbitrary interleavings of schedule, pop and cancel: same
+    /// pop sequence, same cancel outcomes, same pending counts.
+    #[test]
+    fn calendar_queue_matches_heap(ops in prop::collection::vec(arb_queue_op(), 1..200)) {
+        run_queue_script(&ops);
+    }
+
+    /// Ties at one simulated instant fire in insertion order on both
+    /// backends — the FIFO guarantee the simulation's determinism
+    /// (and therefore the differential harness) leans on.
+    #[test]
+    fn equal_time_events_fire_fifo_on_both_backends(
+        n in 1usize..60,
+        at_ms in 0u64..10_000,
+        backend in prop_oneof![Just(QueueBackend::Heap), Just(QueueBackend::Calendar)],
+    ) {
+        let mut q = EventQueue::with_backend(backend);
+        for i in 0..n {
+            q.schedule(SimDuration::from_millis(at_ms), i);
+        }
+        let mut out = Vec::new();
+        while let Some((t, payload)) = q.pop() {
+            prop_assert_eq!(t, SimTime::ZERO + SimDuration::from_millis(at_ms));
+            out.push(payload);
+        }
+        prop_assert_eq!(out, (0..n).collect::<Vec<_>>(), "tie-break broke FIFO");
+    }
+}
+
+/// Deterministic counterpart of `calendar_queue_matches_heap`, so the
+/// equivalence is exercised even on offline builds where the proptest
+/// substitute never runs test bodies. The script mixes bursts of
+/// same-time events (tie-break pressure), far-future outliers (bucket
+/// wrap pressure) and cancels, via a seeded LCG.
+#[test]
+fn calendar_queue_matches_heap_deterministic() {
+    let mut state = 0x2012_cafe_u64;
+    let mut next = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state >> 33
+    };
+    let mut ops = Vec::new();
+    for _ in 0..3000 {
+        ops.push(match next() % 6 {
+            0 | 1 => QueueOp::Schedule { delay_ms: next() % 40_000 },
+            2 => QueueOp::Schedule { delay_ms: (next() % 8) * 500 },
+            3 => QueueOp::Schedule { delay_ms: 1_000_000 + next() % 1000 },
+            4 => QueueOp::Pop,
+            _ => QueueOp::Cancel { k: next() as usize },
+        });
+    }
+    let popped = run_queue_script(&ops);
+    assert!(popped > 500, "script barely exercised the queues ({popped} pops)");
+}
+
+// ---------------------------------------------------------------------
+// arena invariants
+// ---------------------------------------------------------------------
+
+use hybrid_cluster::middleware::arena::{IdVec, ListRef, ListSlab};
+use std::collections::BTreeMap;
+
+/// One scripted operation against a multi-list slab.
+#[derive(Debug, Clone, Copy)]
+enum SlabOp {
+    Push { list: usize, value: u32 },
+    Retain { list: usize, keep_mod: u32 },
+    Clear { list: usize },
+}
+
+fn arb_slab_op(lists: usize) -> impl Strategy<Value = SlabOp> {
+    prop_oneof![
+        4 => (0..lists, 0u32..1000).prop_map(|(list, value)| SlabOp::Push { list, value }),
+        2 => (0..lists, 2u32..5).prop_map(|(list, keep_mod)| SlabOp::Retain { list, keep_mod }),
+        1 => (0..lists).prop_map(|list| SlabOp::Clear { list }),
+    ]
+}
+
+/// Drive a slab and a Vec-of-Vecs model through the same script,
+/// checking after every op that (a) the structural invariants hold,
+/// (b) the free list and the live set are disjoint, and (c) iterating
+/// each list visits exactly the model's elements, in order.
+fn run_slab_script(lists: usize, ops: &[SlabOp]) {
+    let mut slab: ListSlab<u32> = ListSlab::new();
+    let mut refs = vec![ListRef::EMPTY; lists];
+    let mut model: Vec<Vec<u32>> = vec![Vec::new(); lists];
+    for op in ops {
+        match *op {
+            SlabOp::Push { list, value } => {
+                slab.push(&mut refs[list], value);
+                model[list].push(value);
+            }
+            SlabOp::Retain { list, keep_mod } => {
+                slab.retain(&mut refs[list], |v| v % keep_mod != 0);
+                model[list].retain(|v| v % keep_mod != 0);
+            }
+            SlabOp::Clear { list } => {
+                slab.clear_list(&mut refs[list]);
+                model[list].clear();
+            }
+        }
+        slab.assert_invariants();
+        // The free list never yields a live index.
+        for idx in slab.free_indices() {
+            assert!(!slab.is_live(idx), "free-list index {idx} is live");
+        }
+        // Dense iteration visits exactly the live set, list by list.
+        let mut live_total = 0;
+        for (r, m) in refs.iter().zip(&model) {
+            assert_eq!(&slab.to_vec(r), m, "list contents diverged from model");
+            assert_eq!(r.len(), m.len());
+            live_total += m.len();
+        }
+        assert_eq!(slab.live_len(), live_total, "live count diverged");
+        assert_eq!(
+            slab.capacity(),
+            slab.live_len() + slab.free_len(),
+            "slots leaked: neither live nor free"
+        );
+    }
+}
+
+proptest! {
+    /// Arena slab invariants hold under arbitrary push/retain/clear
+    /// interleavings across multiple lists sharing one slab.
+    #[test]
+    fn list_slab_invariants(ops in prop::collection::vec(arb_slab_op(4), 1..120)) {
+        run_slab_script(4, &ops);
+    }
+
+    /// `IdVec` behaves as a map keyed by `NodeId` with dense ascending
+    /// iteration: arbitrary insert/remove sequences match a `BTreeMap`
+    /// model exactly.
+    #[test]
+    fn id_vec_matches_map_model(
+        ops in prop::collection::vec((1u32..80, 0u32..1000, any::<bool>()), 1..80),
+    ) {
+        let mut v: IdVec<u32> = IdVec::new();
+        let mut model: BTreeMap<u32, u32> = BTreeMap::new();
+        for (id, value, remove) in ops {
+            if remove {
+                prop_assert_eq!(v.remove(NodeId(id)), model.remove(&id));
+            } else {
+                prop_assert_eq!(v.insert(NodeId(id), value), model.insert(id, value));
+            }
+            prop_assert_eq!(v.len(), model.len());
+            let got: Vec<(u32, u32)> = v.iter().map(|(n, x)| (n.get(), *x)).collect();
+            let want: Vec<(u32, u32)> = model.iter().map(|(k, x)| (*k, *x)).collect();
+            prop_assert_eq!(got, want, "iteration order or contents diverged");
+        }
+    }
+}
+
+/// Deterministic counterpart of the slab property, for offline builds:
+/// a fixed script that forces every transition — growth, interior
+/// retain, full clear, free-slot reuse across lists.
+#[test]
+fn list_slab_invariants_deterministic() {
+    let mut state = 0x05ca2_u64 ^ 0xA5A5_5A5A;
+    let mut next = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (state >> 33) as u32
+    };
+    let mut ops = Vec::new();
+    for _ in 0..400 {
+        ops.push(match next() % 7 {
+            0..=3 => SlabOp::Push { list: (next() % 4) as usize, value: next() % 1000 },
+            4 => SlabOp::Retain { list: (next() % 4) as usize, keep_mod: 2 + next() % 3 },
+            _ => SlabOp::Clear { list: (next() % 4) as usize },
+        });
+    }
+    run_slab_script(4, &ops);
+}
+
+/// Deterministic counterpart of the `IdVec` model check.
+#[test]
+fn id_vec_matches_map_model_deterministic() {
+    let mut v: IdVec<u32> = IdVec::new();
+    let mut model: BTreeMap<u32, u32> = BTreeMap::new();
+    for step in 0u32..500 {
+        let id = 1 + (step * 7) % 40;
+        if step % 3 == 0 {
+            assert_eq!(v.remove(NodeId(id)), model.remove(&id));
+        } else {
+            assert_eq!(v.insert(NodeId(id), step), model.insert(id, step));
+        }
+        let got: Vec<(u32, u32)> = v.iter().map(|(n, x)| (n.get(), *x)).collect();
+        let want: Vec<(u32, u32)> = model.iter().map(|(k, x)| (*k, *x)).collect();
+        assert_eq!(got, want);
+    }
+    assert!(!model.is_empty(), "model drained — the check went vacuous");
 }
