@@ -33,6 +33,12 @@ struct Point {
     unfinished: u32,
     switches: u32,
     jobs_per_s: f64,
+    /// Throughput in *completed* jobs per wall second — the honest rate
+    /// when a point saturates and strands work at the horizon.
+    completed_jobs_per_s: f64,
+    /// True when the offered load outran the cluster: jobs were still
+    /// waiting or running when the trace horizon closed.
+    saturated: bool,
 }
 
 /// A dispatch-heavy synthetic trace sized to the cluster: mostly 1-node
@@ -65,14 +71,17 @@ fn measure(nodes: u32, trace: Vec<SubmitEvent>, seed: u64, queue: QueueBackend) 
     let r = sim.run();
     let wall = started.elapsed();
     let wall_ms = wall.as_secs_f64() * 1e3;
+    let completed = r.total_completed();
     Point {
         nodes,
         jobs,
         wall_ms,
-        completed: r.total_completed(),
+        completed,
         unfinished: r.unfinished,
         switches: r.switches,
         jobs_per_s: jobs as f64 / wall.as_secs_f64().max(1e-9),
+        completed_jobs_per_s: f64::from(completed) / wall.as_secs_f64().max(1e-9),
+        saturated: r.unfinished > 0,
     }
 }
 
@@ -90,14 +99,17 @@ fn emit_json(mode: &str, workload: &str, queue: &str, points: &[Point]) {
     for (i, p) in points.iter().enumerate() {
         out.push_str(&format!(
             "    {{\"nodes\": {}, \"jobs\": {}, \"wall_ms\": {}, \"jobs_per_s\": {}, \
-             \"completed\": {}, \"unfinished\": {}, \"switches\": {}}}{}\n",
+             \"completed_jobs_per_s\": {}, \"completed\": {}, \"unfinished\": {}, \
+             \"switches\": {}, \"saturated\": {}}}{}\n",
             p.nodes,
             p.jobs,
             fmt_f(p.wall_ms),
             fmt_f(p.jobs_per_s),
+            fmt_f(p.completed_jobs_per_s),
             p.completed,
             p.unfinished,
             p.switches,
+            p.saturated,
             if i + 1 < points.len() { "," } else { "" }
         ));
     }

@@ -1,0 +1,322 @@
+//! Write-ahead progress journal for resumable campaigns.
+//!
+//! One line per finished cell, appended and flushed before the result is
+//! considered durable — the same idiom as the daemons' write-ahead
+//! journals in `dualboot-core`. A campaign killed mid-run resumes by
+//! replaying the journal: finished cells are loaded from their lines,
+//! only the missing ones are re-executed.
+//!
+//! The format is deliberately dependency-free (the offline build's
+//! serde_json substitute cannot serialise): a header line carrying the
+//! manifest [fingerprint] and cell count, then space-separated positional
+//! cell lines with every `f64` stored as the 16-hex-digit big-endian bit
+//! pattern — exact round-trip, so a resumed report is byte-identical to
+//! an uninterrupted one.
+//!
+//! Torn tails are expected: a kill can land mid-`write`. On resume the
+//! journal keeps every complete, parseable line, truncates the file back
+//! to the end of the last one, and re-runs whatever the torn tail would
+//! have recorded.
+//!
+//! [fingerprint]: crate::spec::CampaignSpec::fingerprint
+
+use crate::spec::CampaignSpec;
+use crate::summary::CellSummary;
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, Write};
+use std::path::Path;
+
+const MAGIC: &str = "dualboot-campaign-journal";
+const VERSION: &str = "v1";
+
+fn fmt_f64(x: f64) -> String {
+    format!("{:016x}", x.to_bits())
+}
+
+fn parse_f64(s: &str) -> Option<f64> {
+    if s.len() != 16 {
+        return None;
+    }
+    u64::from_str_radix(s, 16).ok().map(f64::from_bits)
+}
+
+/// Serialise one cell line (sans newline).
+fn cell_line(index: usize, key: &str, s: &CellSummary) -> String {
+    format!(
+        "cell {index} {key} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {}",
+        s.completed,
+        s.unfinished,
+        s.killed,
+        s.switches,
+        s.misdirected,
+        s.msgs_dropped,
+        s.orders_abandoned,
+        s.boot_retries,
+        s.quarantines,
+        s.daemon_crashes,
+        s.peak_alloc_bytes,
+        s.allocs,
+        fmt_f64(s.wait_mean_s),
+        fmt_f64(s.wait_p50_s),
+        fmt_f64(s.wait_p95_s),
+        fmt_f64(s.wait_p99_s),
+        fmt_f64(s.makespan_s),
+        fmt_f64(s.utilisation),
+        fmt_f64(s.stranded_core_h),
+    )
+}
+
+/// Parse one cell line. `None` on any malformation (torn tail).
+fn parse_cell_line(line: &str) -> Option<(usize, String, CellSummary)> {
+    let mut it = line.split(' ');
+    if it.next()? != "cell" {
+        return None;
+    }
+    let index: usize = it.next()?.parse().ok()?;
+    let key = it.next()?.to_string();
+    let mut s = CellSummary {
+        completed: it.next()?.parse().ok()?,
+        unfinished: it.next()?.parse().ok()?,
+        killed: it.next()?.parse().ok()?,
+        switches: it.next()?.parse().ok()?,
+        misdirected: it.next()?.parse().ok()?,
+        msgs_dropped: it.next()?.parse().ok()?,
+        orders_abandoned: it.next()?.parse().ok()?,
+        boot_retries: it.next()?.parse().ok()?,
+        quarantines: it.next()?.parse().ok()?,
+        daemon_crashes: it.next()?.parse().ok()?,
+        peak_alloc_bytes: it.next()?.parse().ok()?,
+        allocs: it.next()?.parse().ok()?,
+        ..CellSummary::default()
+    };
+    s.wait_mean_s = parse_f64(it.next()?)?;
+    s.wait_p50_s = parse_f64(it.next()?)?;
+    s.wait_p95_s = parse_f64(it.next()?)?;
+    s.wait_p99_s = parse_f64(it.next()?)?;
+    s.makespan_s = parse_f64(it.next()?)?;
+    s.utilisation = parse_f64(it.next()?)?;
+    s.stranded_core_h = parse_f64(it.next()?)?;
+    if it.next().is_some() {
+        return None; // trailing garbage: treat as torn
+    }
+    Some((index, key, s))
+}
+
+/// An open, append-mode progress journal.
+#[derive(Debug)]
+pub struct ProgressJournal {
+    file: File,
+}
+
+impl ProgressJournal {
+    /// Start a fresh journal for `spec`, truncating any existing file.
+    pub fn create(path: &Path, spec: &CampaignSpec) -> io::Result<ProgressJournal> {
+        let mut file = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(path)?;
+        writeln!(
+            file,
+            "{MAGIC} {VERSION} fp={:016x} cells={}",
+            spec.fingerprint(),
+            spec.cells().len()
+        )?;
+        file.flush()?;
+        Ok(ProgressJournal { file })
+    }
+
+    /// Reopen an existing journal and replay it: returns the journal
+    /// (positioned for appending after the last complete line) and the
+    /// summaries of every cell it records. Rejects a journal written for
+    /// a different manifest (fingerprint or cell-count mismatch) and
+    /// cell lines whose key does not match the manifest's cell at that
+    /// index — both mean the resume would silently mix two campaigns.
+    pub fn open_resume(
+        path: &Path,
+        spec: &CampaignSpec,
+    ) -> io::Result<(ProgressJournal, BTreeMap<usize, CellSummary>)> {
+        let mut file = OpenOptions::new().read(true).write(true).open(path)?;
+        let mut text = String::new();
+        file.read_to_string(&mut text)?;
+
+        let bad = |msg: String| io::Error::new(io::ErrorKind::InvalidData, msg);
+        let header_end = text
+            .find('\n')
+            .ok_or_else(|| bad("journal has no complete header line".into()))?;
+        let header = &text[..header_end];
+        let expect = format!(
+            "{MAGIC} {VERSION} fp={:016x} cells={}",
+            spec.fingerprint(),
+            spec.cells().len()
+        );
+        if header != expect {
+            return Err(bad(format!(
+                "journal belongs to a different campaign (header `{header}`, expected `{expect}`)"
+            )));
+        }
+
+        let cells = spec.cells();
+        let mut done = BTreeMap::new();
+        // Keep every complete line that parses; stop at the first torn
+        // or malformed one and truncate the file back to the end of the
+        // valid prefix.
+        let mut valid_end = header_end + 1;
+        for line in text[header_end + 1..].split_inclusive('\n') {
+            let Some(body) = line.strip_suffix('\n') else {
+                break; // torn tail: no newline made it to disk
+            };
+            let Some((index, key, summary)) = parse_cell_line(body) else {
+                break;
+            };
+            let Some(cell) = cells.get(index) else {
+                return Err(bad(format!("journal cell index {index} out of range")));
+            };
+            if cell.key != key {
+                return Err(bad(format!(
+                    "journal cell {index} key `{key}` does not match manifest `{}`",
+                    cell.key
+                )));
+            }
+            done.insert(index, summary);
+            valid_end += line.len();
+        }
+        file.set_len(valid_end as u64)?;
+        file.seek(io::SeekFrom::End(0))?;
+        Ok((ProgressJournal { file }, done))
+    }
+
+    /// Record one finished cell: append its line and flush before
+    /// returning, so a kill immediately after cannot lose it.
+    pub fn append(&mut self, index: usize, key: &str, summary: &CellSummary) -> io::Result<()> {
+        writeln!(self.file, "{}", cell_line(index, key, summary))?;
+        self.file.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_summary(seed: u64) -> CellSummary {
+        CellSummary {
+            completed: 100 + seed as u32,
+            unfinished: 3,
+            killed: 1,
+            switches: 7,
+            misdirected: 1,
+            msgs_dropped: 42,
+            orders_abandoned: 2,
+            boot_retries: 5,
+            quarantines: 1,
+            daemon_crashes: 1,
+            peak_alloc_bytes: 1_234_567,
+            allocs: 98_765,
+            wait_mean_s: 12.345678901234567 * seed as f64,
+            wait_p50_s: 9.5,
+            wait_p95_s: 88.25,
+            wait_p99_s: 123.0625,
+            makespan_s: 7200.125,
+            utilisation: 0.7342189,
+            stranded_core_h: 1.5e-3,
+        }
+    }
+
+    #[test]
+    fn cell_lines_round_trip_exactly() {
+        for seed in [0, 1, 7, 13] {
+            let s = sample_summary(seed);
+            let line = cell_line(seed as usize, "policy=fcfs/seed=1", &s);
+            let (i, k, back) = parse_cell_line(&line).unwrap();
+            assert_eq!(i, seed as usize);
+            assert_eq!(k, "policy=fcfs/seed=1");
+            assert_eq!(back, s, "bit-exact f64 round trip");
+        }
+    }
+
+    #[test]
+    fn torn_lines_do_not_parse() {
+        let line = cell_line(0, "k", &sample_summary(1));
+        for cut in [1, 5, line.len() / 2, line.len() - 1] {
+            assert!(parse_cell_line(&line[..cut]).is_none(), "cut at {cut}");
+        }
+        assert!(parse_cell_line(&format!("{line} extra")).is_none());
+    }
+
+    #[test]
+    fn create_append_resume_round_trips() {
+        let spec = CampaignSpec::smoke(5);
+        let dir = std::env::temp_dir().join("dualboot-journal-test-rt");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("j1.journal");
+        let cells = spec.cells();
+        {
+            let mut j = ProgressJournal::create(&path, &spec).unwrap();
+            j.append(0, &cells[0].key, &sample_summary(1)).unwrap();
+            j.append(3, &cells[3].key, &sample_summary(2)).unwrap();
+        }
+        let (_j, done) = ProgressJournal::open_resume(&path, &spec).unwrap();
+        assert_eq!(done.len(), 2);
+        assert_eq!(done[&0], sample_summary(1));
+        assert_eq!(done[&3], sample_summary(2));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn resume_truncates_a_torn_tail() {
+        let spec = CampaignSpec::smoke(5);
+        let dir = std::env::temp_dir().join("dualboot-journal-test-torn");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("j2.journal");
+        let cells = spec.cells();
+        {
+            let mut j = ProgressJournal::create(&path, &spec).unwrap();
+            j.append(0, &cells[0].key, &sample_summary(1)).unwrap();
+            j.append(1, &cells[1].key, &sample_summary(2)).unwrap();
+        }
+        // Tear the last line mid-write.
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &text[..text.len() - 10]).unwrap();
+
+        let (mut j, done) = ProgressJournal::open_resume(&path, &spec).unwrap();
+        assert_eq!(done.len(), 1, "torn cell 1 dropped");
+        assert!(done.contains_key(&0));
+        // The journal is usable after truncation: re-append the lost cell
+        // and resume again.
+        j.append(1, &cells[1].key, &sample_summary(2)).unwrap();
+        drop(j);
+        let (_j, done) = ProgressJournal::open_resume(&path, &spec).unwrap();
+        assert_eq!(done.len(), 2);
+        assert_eq!(done[&1], sample_summary(2));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn resume_rejects_a_different_campaign() {
+        let spec = CampaignSpec::smoke(5);
+        let other = CampaignSpec::smoke(6);
+        let dir = std::env::temp_dir().join("dualboot-journal-test-fp");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("j3.journal");
+        ProgressJournal::create(&path, &spec).unwrap();
+        let err = ProgressJournal::open_resume(&path, &other).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn resume_rejects_a_key_mismatch() {
+        let spec = CampaignSpec::smoke(5);
+        let dir = std::env::temp_dir().join("dualboot-journal-test-key");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("j4.journal");
+        {
+            let mut j = ProgressJournal::create(&path, &spec).unwrap();
+            j.append(0, "not=the/right=key", &sample_summary(1)).unwrap();
+        }
+        let err = ProgressJournal::open_resume(&path, &spec).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        std::fs::remove_file(&path).ok();
+    }
+}

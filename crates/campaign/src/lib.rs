@@ -1,0 +1,36 @@
+//! Fleet-throughput experiment engine.
+//!
+//! Everywhere else in the workspace an "experiment" is one scenario run a
+//! handful of times. This crate scales that to **campaigns**: hundreds of
+//! `(mode, policy, routing, fault plan, queue backend, seed)` cells swept
+//! from one declarative manifest, executed across every core, journaled
+//! for resume, and reduced to percentile reports — the harness behind
+//! EXPERIMENTS.md's wide sweeps and CI's cross-worker determinism gate.
+//!
+//! | module | what it owns |
+//! |---|---|
+//! | [`spec`] | [`CampaignSpec`] manifests: axes, seed ranges, canonical cell enumeration, derived seeds, fingerprints |
+//! | [`runner`] | execution over the shared work-stealing pool, with bounded memory and write-ahead journaling |
+//! | [`journal`] | the resume journal: replay finished cells, truncate torn tails, reject foreign manifests |
+//! | [`summary`] | fixed-size per-cell digests and per-axis-group aggregation |
+//! | [`report`] | canonical JSON and human tables |
+//! | [`mem`] | opt-in dhat-style per-cell heap profiling ([`mem::CountingAlloc`]) |
+//!
+//! The determinism contract, end to end: same manifest ⇒ same cells with
+//! same derived seeds ⇒ same per-cell results (each simulation is already
+//! deterministic) ⇒ same report **bytes**, regardless of worker count,
+//! scheduling order, or interruptions. Every fold over cells happens in
+//! canonical cell-index order; every float in the journal round-trips
+//! bit-exactly; the report carries no wall-clock.
+
+pub mod journal;
+pub mod mem;
+pub mod report;
+pub mod runner;
+pub mod spec;
+pub mod summary;
+
+pub use report::CampaignReport;
+pub use runner::{run, CampaignError, RunOptions};
+pub use spec::{Axes, CampaignSpec, Cell, ClusterTarget, FaultAxis, GridTarget, SeedRange, Target};
+pub use summary::{CellSummary, GroupSummary};

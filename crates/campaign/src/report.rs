@@ -1,0 +1,354 @@
+//! Campaign reports: canonical JSON and human tables.
+//!
+//! The JSON is hand-formatted (same idiom as the bench emitters): field
+//! order is fixed, floats print with a fixed precision, and everything is
+//! folded in canonical cell order — so the same manifest produces the
+//! same report **byte for byte** no matter the worker count or whether
+//! the campaign was interrupted and resumed. Wall-clock timings never
+//! appear in the report body for exactly that reason; the CLI prints
+//! them to stderr.
+
+use crate::spec::CampaignSpec;
+use crate::summary::{group_cells, totals, CellSummary, GroupSummary, Totals};
+use dualboot_cluster::report::{fmt_secs, Table};
+use dualboot_des::stats::Welford;
+use std::collections::BTreeMap;
+
+/// Past this many cells the human rendering drops the per-cell table and
+/// keeps only the axis groups (the JSON always carries every cell).
+const CELL_TABLE_LIMIT: usize = 48;
+
+/// Everything a finished (or interrupted) campaign reports.
+#[derive(Debug, Clone)]
+pub struct CampaignReport {
+    /// Campaign name from the manifest.
+    pub name: String,
+    /// Manifest fingerprint (ties the report to its journal).
+    pub fingerprint: u64,
+    /// Cells the manifest enumerates.
+    pub cells_total: usize,
+    /// Cells with results in this report.
+    pub cells_done: usize,
+    /// Campaign-wide totals.
+    pub totals: Totals,
+    /// Per-axis-value aggregates, in first-encounter (canonical) order.
+    pub groups: Vec<GroupSummary>,
+    /// Per-cell digests `(index, key, summary)`, in index order.
+    pub cells: Vec<(usize, String, CellSummary)>,
+}
+
+impl CampaignReport {
+    /// Fold the finished cells of `spec` into a report.
+    pub fn build(spec: &CampaignSpec, done: &BTreeMap<usize, CellSummary>) -> CampaignReport {
+        let all = spec.cells();
+        CampaignReport {
+            name: spec.name.clone(),
+            fingerprint: spec.fingerprint(),
+            cells_total: all.len(),
+            cells_done: done.len(),
+            totals: totals(done),
+            groups: group_cells(spec, done),
+            cells: all
+                .iter()
+                .filter_map(|c| done.get(&c.index).map(|s| (c.index, c.key.clone(), s.clone())))
+                .collect(),
+        }
+    }
+}
+
+/// Fixed-precision float for the canonical JSON (field values are already
+/// bit-identical across runs; the fixed format keeps the bytes identical
+/// too).
+fn fj(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn welford_json(w: &Welford) -> String {
+    format!(
+        "{{\"mean\":{},\"std\":{},\"min\":{},\"max\":{}}}",
+        fj(w.mean()),
+        fj(w.std_dev()),
+        fj(w.min().unwrap_or(0.0)),
+        fj(w.max().unwrap_or(0.0)),
+    )
+}
+
+fn cell_json(index: usize, key: &str, s: &CellSummary) -> String {
+    format!(
+        concat!(
+            "{{\"index\":{},\"key\":\"{}\",\"completed\":{},\"unfinished\":{},\"killed\":{},",
+            "\"wait_mean_s\":{},\"wait_p50_s\":{},\"wait_p95_s\":{},\"wait_p99_s\":{},",
+            "\"makespan_s\":{},\"utilisation\":{},\"switches\":{},\"misdirected\":{},",
+            "\"msgs_dropped\":{},\"orders_abandoned\":{},\"boot_retries\":{},\"quarantines\":{},",
+            "\"daemon_crashes\":{},\"stranded_core_h\":{},\"peak_alloc_bytes\":{},\"allocs\":{}}}"
+        ),
+        index,
+        esc(key),
+        s.completed,
+        s.unfinished,
+        s.killed,
+        fj(s.wait_mean_s),
+        fj(s.wait_p50_s),
+        fj(s.wait_p95_s),
+        fj(s.wait_p99_s),
+        fj(s.makespan_s),
+        fj(s.utilisation),
+        s.switches,
+        s.misdirected,
+        s.msgs_dropped,
+        s.orders_abandoned,
+        s.boot_retries,
+        s.quarantines,
+        s.daemon_crashes,
+        fj(s.stranded_core_h),
+        s.peak_alloc_bytes,
+        s.allocs,
+    )
+}
+
+fn group_json(g: &GroupSummary) -> String {
+    format!(
+        concat!(
+            "{{\"axis\":\"{}\",\"value\":\"{}\",\"cells\":{},",
+            "\"wait_mean_s\":{},\"wait_p95_s\":{},\"wait_p99_s\":{},\"makespan_s\":{},",
+            "\"utilisation\":{},\"switches\":{},\"completed\":{},\"unfinished\":{},",
+            "\"killed\":{},\"stranded_core_h\":{},\"peak_alloc_bytes\":{}}}"
+        ),
+        esc(&g.axis),
+        esc(&g.value),
+        g.cells,
+        welford_json(&g.wait_mean_s),
+        welford_json(&g.wait_p95_s),
+        welford_json(&g.wait_p99_s),
+        welford_json(&g.makespan_s),
+        welford_json(&g.utilisation),
+        welford_json(&g.switches),
+        welford_json(&g.completed),
+        welford_json(&g.unfinished),
+        welford_json(&g.killed),
+        welford_json(&g.stranded_core_h),
+        welford_json(&g.peak_alloc_bytes),
+    )
+}
+
+impl CampaignReport {
+    /// Canonical JSON body (dependency-free; see the module docs). The
+    /// CLI wraps it in the standard `dualboot/v1` envelope.
+    pub fn to_json(&self) -> String {
+        let t = &self.totals;
+        let groups: Vec<String> = self.groups.iter().map(group_json).collect();
+        let cells: Vec<String> = self
+            .cells
+            .iter()
+            .map(|(i, k, s)| cell_json(*i, k, s))
+            .collect();
+        format!(
+            concat!(
+                "{{\"name\":\"{}\",\"fingerprint\":\"{:016x}\",",
+                "\"cells_total\":{},\"cells_done\":{},",
+                "\"totals\":{{\"completed\":{},\"unfinished\":{},\"killed\":{},\"switches\":{},",
+                "\"wait_mean_s\":{},\"wait_p99_s\":{},",
+                "\"max_peak_alloc_bytes\":{},\"allocs\":{}}},",
+                "\"groups\":[{}],\"cells\":[{}]}}"
+            ),
+            esc(&self.name),
+            self.fingerprint,
+            self.cells_total,
+            self.cells_done,
+            t.completed,
+            t.unfinished,
+            t.killed,
+            t.switches,
+            welford_json(&t.wait_mean_s),
+            welford_json(&t.wait_p99_s),
+            t.max_peak_alloc_bytes,
+            t.allocs,
+            groups.join(","),
+            cells.join(","),
+        )
+    }
+
+    /// Human rendering: a campaign header, one aligned table of axis
+    /// groups, and (for small campaigns) the per-cell table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "campaign `{}`: {}/{} cells done, {} jobs completed, {} unfinished, {} switches\n",
+            self.name,
+            self.cells_done,
+            self.cells_total,
+            self.totals.completed,
+            self.totals.unfinished,
+            self.totals.switches,
+        ));
+        if self.totals.max_peak_alloc_bytes > 0 {
+            out.push_str(&format!(
+                "peak cell heap: {:.1} MiB ({} allocations campaign-wide)\n",
+                self.totals.max_peak_alloc_bytes as f64 / (1024.0 * 1024.0),
+                self.totals.allocs,
+            ));
+        }
+
+        let mut groups = Table::new(
+            "axis groups",
+            &[
+                "axis", "value", "cells", "wait", "p95", "p99", "makespan", "util", "switch",
+                "unfin", "stranded",
+            ],
+        );
+        for g in &self.groups {
+            groups.row(&[
+                g.axis.clone(),
+                g.value.clone(),
+                g.cells.to_string(),
+                fmt_secs(g.wait_mean_s.mean()),
+                fmt_secs(g.wait_p95_s.mean()),
+                fmt_secs(g.wait_p99_s.mean()),
+                fmt_secs(g.makespan_s.mean()),
+                format!("{:.1}%", 100.0 * g.utilisation.mean()),
+                format!("{:.1}", g.switches.mean()),
+                format!("{:.1}", g.unfinished.mean()),
+                format!("{:.2}", g.stranded_core_h.mean()),
+            ]);
+        }
+        out.push_str(&groups.render());
+
+        if self.cells_done <= CELL_TABLE_LIMIT {
+            let mut cells = Table::new(
+                "cells",
+                &[
+                    "cell", "done", "unfin", "wait", "p95", "p99", "makespan", "util", "switch",
+                ],
+            );
+            for (_, key, s) in &self.cells {
+                cells.row(&[
+                    key.clone(),
+                    s.completed.to_string(),
+                    s.unfinished.to_string(),
+                    fmt_secs(s.wait_mean_s),
+                    fmt_secs(s.wait_p95_s),
+                    fmt_secs(s.wait_p99_s),
+                    fmt_secs(s.makespan_s),
+                    format!("{:.1}%", 100.0 * s.utilisation),
+                    s.switches.to_string(),
+                ]);
+            }
+            out.push_str(&cells.render());
+        } else {
+            out.push_str(&format!(
+                "(per-cell table omitted at {} cells; the JSON report carries all of them)\n",
+                self.cells_done
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn done_map(spec: &CampaignSpec) -> BTreeMap<usize, CellSummary> {
+        let mut done = BTreeMap::new();
+        for cell in spec.cells() {
+            let s = CellSummary {
+                completed: 100,
+                wait_mean_s: 10.0 + cell.index as f64,
+                wait_p95_s: 20.0 + cell.index as f64,
+                wait_p99_s: 30.0 + cell.index as f64,
+                makespan_s: 7000.0,
+                utilisation: 0.5,
+                switches: 4,
+                peak_alloc_bytes: 1024 * 1024,
+                allocs: 10,
+                ..CellSummary::default()
+            };
+            done.insert(cell.index, s);
+        }
+        done
+    }
+
+    #[test]
+    fn report_counts_and_orders_cells() {
+        let spec = CampaignSpec::smoke(9);
+        let done = done_map(&spec);
+        let r = CampaignReport::build(&spec, &done);
+        assert_eq!(r.cells_total, 24);
+        assert_eq!(r.cells_done, 24);
+        assert_eq!(r.totals.completed, 2400);
+        for (i, (index, _, _)) in r.cells.iter().enumerate() {
+            assert_eq!(*index, i);
+        }
+    }
+
+    #[test]
+    fn json_is_deterministic_and_structured() {
+        let spec = CampaignSpec::smoke(9);
+        let done = done_map(&spec);
+        let a = CampaignReport::build(&spec, &done).to_json();
+        let b = CampaignReport::build(&spec, &done).to_json();
+        assert_eq!(a, b);
+        assert!(a.starts_with("{\"name\":\"smoke\""));
+        assert!(a.contains("\"cells_total\":24"));
+        assert!(a.contains("\"axis\":\"policy\""));
+        assert!(a.contains("\"wait_p99_s\""));
+        assert!(a.contains("\"peak_alloc_bytes\""));
+        // Balanced braces — cheap well-formedness check without a parser.
+        let open = a.matches('{').count();
+        let close = a.matches('}').count();
+        assert_eq!(open, close);
+    }
+
+    #[test]
+    fn json_escapes_strings() {
+        assert_eq!(esc("plain"), "plain");
+        assert_eq!(esc("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(esc("x\ny"), "x\\u000ay");
+    }
+
+    #[test]
+    fn render_includes_group_and_cell_tables_when_small() {
+        let spec = CampaignSpec::smoke(9);
+        let r = CampaignReport::build(&spec, &done_map(&spec));
+        let text = r.render();
+        assert!(text.contains("campaign `smoke`: 24/24 cells done"));
+        assert!(text.contains("== axis groups =="));
+        assert!(text.contains("== cells =="));
+        assert!(text.contains("policy"));
+        assert!(text.contains("peak cell heap"));
+    }
+
+    #[test]
+    fn render_drops_cell_table_when_large() {
+        let spec = CampaignSpec::fleet(9);
+        let r = CampaignReport::build(&spec, &done_map(&spec));
+        let text = r.render();
+        assert!(text.contains("== axis groups =="));
+        assert!(!text.contains("== cells =="));
+        assert!(text.contains("per-cell table omitted"));
+    }
+
+    #[test]
+    fn partial_report_reflects_interruption() {
+        let spec = CampaignSpec::smoke(9);
+        let mut done = done_map(&spec);
+        done.retain(|&i, _| i < 10);
+        let r = CampaignReport::build(&spec, &done);
+        assert_eq!(r.cells_done, 10);
+        assert_eq!(r.cells_total, 24);
+        assert!(r.to_json().contains("\"cells_done\":10"));
+    }
+}

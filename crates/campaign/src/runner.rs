@@ -1,0 +1,372 @@
+//! Campaign execution: fan cells over the shared work-stealing pool,
+//! journal each finish, digest on the worker.
+//!
+//! Memory discipline: a cell's full scenario (trace, simulation state,
+//! per-job wait samples) lives only on the worker thread that runs it and
+//! drops the moment its fixed-size [`CellSummary`] is taken — so a
+//! 256-cell campaign holds at most `workers` full simulations in memory
+//! at a time, plus one small summary per finished cell. The per-cell
+//! observability bus runs in ring mode ([`ObsConfig::ring`]) when the
+//! manifest asks for it, keeping even the event stream bounded.
+//!
+//! Durability discipline: when a journal is attached, a cell's line is
+//! appended and flushed *before* its result is reported to the caller —
+//! the write-ahead idiom of `dualboot-core`'s daemon journals. A kill at
+//! any instant loses at most the cells still in flight.
+
+use crate::journal::ProgressJournal;
+use crate::mem;
+use crate::report::CampaignReport;
+use crate::spec::{CampaignSpec, Cell, SpecError, Target};
+use crate::summary::CellSummary;
+use dualboot_cluster::{PolicyKind, SimConfig, Simulation};
+use dualboot_des::time::SimDuration;
+use dualboot_grid::{GridSim, GridSpec};
+use dualboot_obs::ObsConfig;
+use dualboot_workload::generator::WorkloadSpec;
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::io;
+use std::path::PathBuf;
+
+/// How to execute a campaign.
+#[derive(Debug, Clone, Default)]
+pub struct RunOptions {
+    /// Worker threads; 0 means one per available core.
+    pub workers: usize,
+    /// Write-ahead progress journal path (no journal: run in memory,
+    /// no resume).
+    pub journal: Option<PathBuf>,
+    /// Resume from an existing journal instead of starting fresh.
+    pub resume: bool,
+    /// Execute at most this many *pending* cells, then stop — the report
+    /// then covers only what ran. Used by the kill/resume tests to
+    /// interrupt a campaign at a deterministic point, and by `report` to
+    /// re-render a journal without running anything (`Some(0)`).
+    pub max_cells: Option<usize>,
+}
+
+/// Campaign-level failure (bad manifest, journal I/O, journal mismatch).
+#[derive(Debug)]
+pub struct CampaignError(pub String);
+
+impl std::fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CampaignError {}
+
+impl From<io::Error> for CampaignError {
+    fn from(e: io::Error) -> CampaignError {
+        CampaignError(format!("campaign journal: {e}"))
+    }
+}
+
+impl From<SpecError> for CampaignError {
+    fn from(e: SpecError) -> CampaignError {
+        CampaignError(format!("campaign manifest: {e}"))
+    }
+}
+
+/// Build and run one cell's scenario, measuring its memory profile.
+/// Everything heavy — trace generation, the simulation itself — happens
+/// inside the measured scope, on the calling (worker) thread.
+fn run_cell(spec: &CampaignSpec, cell: &Cell) -> CellSummary {
+    match &spec.target {
+        Target::Cluster(t) => {
+            let (result, stats) = mem::measure(|| {
+                let trace = WorkloadSpec {
+                    windows_fraction: t.windows_fraction,
+                    duration: SimDuration::from_hours(t.hours),
+                    ..WorkloadSpec::campus_default(cell.workload_seed)
+                }
+                .with_offered_load(t.load, (t.nodes * t.cores_per_node).max(1))
+                .generate();
+                let mut cfg = SimConfig::builder()
+                    .v2()
+                    .seed(cell.seed)
+                    .nodes(t.nodes, t.cores_per_node)
+                    .mode(cell.mode)
+                    .policy(cell.policy)
+                    .queue_backend(cell.queue)
+                    .build();
+                if let Some(linux) = t.initial_linux_nodes {
+                    cfg.initial_linux_nodes = linux;
+                }
+                // Mirror the CLI: the wire protocol can't feed these
+                // policies, so they need the omniscient decider.
+                cfg.omniscient = matches!(
+                    cell.policy,
+                    PolicyKind::Threshold { .. } | PolicyKind::Proportional { .. }
+                );
+                cfg.horizon = SimDuration::from_hours(24 * 30);
+                cfg.faults = cell.fault.resolve(cell.seed);
+                if let Some(n) = spec.obs_ring {
+                    cfg.obs = ObsConfig::ring(n);
+                }
+                Simulation::new(cfg, trace).run()
+            });
+            CellSummary::from_sim_result(&result, stats)
+        }
+        Target::Grid(t) => {
+            let (result, stats) = mem::measure(|| {
+                let mut gspec = GridSpec::campus(cell.seed, t.clusters);
+                gspec.routing = cell.routing;
+                gspec.workload = WorkloadSpec {
+                    windows_fraction: t.windows_fraction,
+                    duration: SimDuration::from_hours(t.hours),
+                    ..WorkloadSpec::campus_default(cell.workload_seed)
+                }
+                .with_offered_load(t.load, gspec.total_cores().max(1));
+                let plan = cell.fault.resolve(cell.seed);
+                if !plan.is_quiet() {
+                    gspec.apply_fault_plan(&plan);
+                }
+                if let Some(n) = spec.obs_ring {
+                    gspec.obs = ObsConfig::ring(n);
+                }
+                GridSim::new(gspec).run()
+            });
+            CellSummary::from_grid_result(&result, stats)
+        }
+    }
+}
+
+/// Execute (or resume, or just re-report) a campaign and fold the report.
+///
+/// Returns the report over every cell finished so far — all of them on a
+/// completed run, a prefix-by-journal on an interrupted one. The report
+/// is byte-identical for a given set of finished cells regardless of
+/// worker count, execution order, or how many interruptions it took to
+/// get there.
+pub fn run(spec: &CampaignSpec, opts: &RunOptions) -> Result<CampaignReport, CampaignError> {
+    spec.validate()?;
+    let cells = spec.cells();
+
+    let (journal, mut done) = match &opts.journal {
+        Some(path) if opts.resume => {
+            let (j, done) = ProgressJournal::open_resume(path, spec)?;
+            (Some(j), done)
+        }
+        Some(path) => (Some(ProgressJournal::create(path, spec)?), BTreeMap::new()),
+        None => (None, BTreeMap::new()),
+    };
+
+    let mut pending: Vec<&Cell> = cells.iter().filter(|c| !done.contains_key(&c.index)).collect();
+    if let Some(max) = opts.max_cells {
+        pending.truncate(max);
+    }
+
+    let workers = if opts.workers == 0 {
+        dualboot_core::pool::default_workers()
+    } else {
+        opts.workers
+    };
+
+    let journal = Mutex::new(journal);
+    let journal_err: Mutex<Option<io::Error>> = Mutex::new(None);
+    let summaries = dualboot_core::pool::run_indexed(pending.len(), workers, |i| {
+        let cell = pending[i];
+        let summary = run_cell(spec, cell);
+        // Journal before reporting: the write-ahead contract.
+        if let Some(j) = journal.lock().as_mut() {
+            if let Err(e) = j.append(cell.index, &cell.key, &summary) {
+                journal_err.lock().get_or_insert(e);
+            }
+        }
+        summary
+    });
+    if let Some(e) = journal_err.into_inner() {
+        return Err(e.into());
+    }
+
+    for (cell, summary) in pending.iter().zip(summaries) {
+        done.insert(cell.index, summary);
+    }
+    Ok(CampaignReport::build(spec, &done))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{Axes, ClusterTarget, FaultAxis, GridTarget, SeedRange};
+
+    /// A deliberately tiny cluster campaign: 4 cells, 1-hour traces.
+    fn tiny(seed: u64) -> CampaignSpec {
+        CampaignSpec {
+            name: "tiny".into(),
+            seed,
+            target: Target::Cluster(ClusterTarget {
+                nodes: 8,
+                cores_per_node: 4,
+                initial_linux_nodes: None,
+                hours: 1,
+                load: 0.6,
+                windows_fraction: 0.3,
+            }),
+            seeds: SeedRange { start: 1, count: 2 },
+            axes: Axes {
+                faults: vec![FaultAxis::None, FaultAxis::Chaos],
+                ..Axes::default()
+            },
+            obs_ring: Some(64),
+        }
+    }
+
+    fn tiny_grid(seed: u64) -> CampaignSpec {
+        CampaignSpec {
+            name: "tiny-grid".into(),
+            seed,
+            target: Target::Grid(GridTarget {
+                clusters: 2,
+                hours: 1,
+                load: 0.5,
+                windows_fraction: 0.3,
+            }),
+            seeds: SeedRange { start: 1, count: 1 },
+            axes: Axes::default(),
+            obs_ring: Some(64),
+        }
+    }
+
+    #[test]
+    fn runs_every_cell_and_reports() {
+        let report = run(&tiny(3), &RunOptions::default()).unwrap();
+        assert_eq!(report.cells_done, 4);
+        assert_eq!(report.cells_total, 4);
+        assert!(report.totals.completed > 0, "jobs actually ran");
+        let chaos = report
+            .groups
+            .iter()
+            .find(|g| g.axis == "faults" && g.value == "chaos")
+            .unwrap();
+        assert_eq!(chaos.cells, 2);
+    }
+
+    #[test]
+    fn worker_count_does_not_change_the_report() {
+        let spec = tiny(5);
+        let one = run(
+            &spec,
+            &RunOptions {
+                workers: 1,
+                ..RunOptions::default()
+            },
+        )
+        .unwrap();
+        let four = run(
+            &spec,
+            &RunOptions {
+                workers: 4,
+                ..RunOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(one.to_json(), four.to_json());
+    }
+
+    #[test]
+    fn grid_campaign_runs() {
+        let report = run(&tiny_grid(4), &RunOptions::default()).unwrap();
+        assert_eq!(report.cells_done, 1);
+        assert!(report.totals.completed > 0);
+        assert!(report.groups.iter().any(|g| g.axis == "routing"));
+    }
+
+    #[test]
+    fn interrupted_campaign_resumes_without_rerunning() {
+        let spec = tiny(7);
+        let dir = std::env::temp_dir().join("dualboot-campaign-runner-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("resume.journal");
+
+        // Run only 2 of the 4 cells, as if killed mid-campaign.
+        let partial = run(
+            &spec,
+            &RunOptions {
+                workers: 2,
+                journal: Some(path.clone()),
+                resume: false,
+                max_cells: Some(2),
+            },
+        )
+        .unwrap();
+        assert_eq!(partial.cells_done, 2);
+
+        // Resume: only the 2 missing cells run; the journal ends complete.
+        let resumed = run(
+            &spec,
+            &RunOptions {
+                workers: 2,
+                journal: Some(path.clone()),
+                resume: true,
+                max_cells: None,
+            },
+        )
+        .unwrap();
+        assert_eq!(resumed.cells_done, 4);
+
+        // The resumed report is byte-identical to an uninterrupted run.
+        let fresh = run(
+            &spec,
+            &RunOptions {
+                workers: 1,
+                ..RunOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(resumed.to_json(), fresh.to_json());
+
+        // `report` mode: re-render the journal without running anything.
+        let rendered = run(
+            &spec,
+            &RunOptions {
+                workers: 1,
+                journal: Some(path.clone()),
+                resume: true,
+                max_cells: Some(0),
+            },
+        )
+        .unwrap();
+        assert_eq!(rendered.to_json(), fresh.to_json());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn resume_against_wrong_manifest_fails() {
+        let dir = std::env::temp_dir().join("dualboot-campaign-runner-test-fp");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("wrong.journal");
+        run(
+            &tiny(1),
+            &RunOptions {
+                workers: 1,
+                journal: Some(path.clone()),
+                resume: false,
+                max_cells: Some(0),
+            },
+        )
+        .unwrap();
+        let err = run(
+            &tiny(2),
+            &RunOptions {
+                workers: 1,
+                journal: Some(path.clone()),
+                resume: true,
+                max_cells: Some(0),
+            },
+        )
+        .unwrap_err();
+        assert!(err.0.contains("different campaign"), "{}", err.0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn invalid_spec_is_rejected_before_any_work() {
+        let mut spec = tiny(1);
+        spec.seeds.count = 0;
+        assert!(run(&spec, &RunOptions::default()).is_err());
+    }
+}

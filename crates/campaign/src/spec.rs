@@ -1,0 +1,712 @@
+//! Campaign manifests: the serde description of a sweep grid.
+//!
+//! A [`CampaignSpec`] is the unit of fleet-scale experimentation: it
+//! names a base scenario (one hybrid cluster or a campus grid), a seed
+//! range, and a set of **axes** — switch policies, routing policies,
+//! fault plans, event-queue backends, evaluation modes. The campaign is
+//! the cartesian product of every relevant axis with the seed range; one
+//! coordinate of that product is a [`Cell`].
+//!
+//! Cells are enumerated in a single canonical order (axes outermost to
+//! innermost as declared in [`Axes`], seeds innermost), each with a
+//! deterministic **derived seed** hashed from its coordinate key — so the
+//! same manifest always produces the same cells with the same seeds, no
+//! matter the worker count, the execution order, or which cells a
+//! resumed run still has to execute.
+
+use dualboot_cluster::{FaultPlan, Mode, PolicyKind};
+use dualboot_des::time::{SimDuration, SimTime};
+use dualboot_des::QueueBackend;
+use dualboot_grid::RoutePolicy;
+use serde::{Deserialize, Serialize};
+
+/// FNV-1a over a string: the campaign's stable coordinate hash, used to
+/// derive per-cell seeds and the manifest fingerprint. Keyed on the
+/// canonical cell key *strings*, never on enumeration positions.
+pub(crate) fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Stable report name for an evaluation [`Mode`].
+pub fn mode_name(mode: Mode) -> &'static str {
+    match mode {
+        Mode::DualBoot => "dualboot",
+        Mode::StaticSplit => "static",
+        Mode::MonoStable => "mono",
+        Mode::Oracle => "oracle",
+    }
+}
+
+/// Stable report label for a [`PolicyKind`], parameters included — so two
+/// parameterisations of one policy stay distinct cell coordinates.
+pub fn policy_label(policy: PolicyKind) -> String {
+    match policy {
+        PolicyKind::Fcfs => "fcfs".into(),
+        PolicyKind::Threshold { queue_threshold } => format!("threshold:{queue_threshold}"),
+        PolicyKind::Hysteresis {
+            persistence,
+            cooldown,
+        } => format!("hysteresis:{persistence}:{cooldown}"),
+        PolicyKind::Proportional { min_per_side } => format!("proportional:{min_per_side}"),
+    }
+}
+
+/// Stable report name for a [`QueueBackend`].
+pub fn queue_name(queue: QueueBackend) -> &'static str {
+    match queue {
+        QueueBackend::Heap => "heap",
+        QueueBackend::Calendar => "calendar",
+    }
+}
+
+/// A contiguous range of workload seeds, swept as the innermost axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SeedRange {
+    /// First workload seed.
+    pub start: u64,
+    /// Number of seeds (`start, start+1, …, start+count-1`).
+    pub count: u32,
+}
+
+impl SeedRange {
+    /// Every seed in the range, ascending.
+    pub fn iter(&self) -> impl Iterator<Item = u64> + '_ {
+        (0..u64::from(self.count)).map(move |i| self.start + i)
+    }
+}
+
+/// The base scenario every cell starts from before its axes are applied.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Target {
+    /// One hybrid cluster ([`dualboot_cluster::Simulation`]); the
+    /// `modes`, `policies` and `queues` axes apply.
+    Cluster(ClusterTarget),
+    /// A campus-grid federation ([`dualboot_grid::GridSim`]); the
+    /// `routings` axis applies.
+    Grid(GridTarget),
+}
+
+/// Base shape of a single-cluster cell.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterTarget {
+    /// Compute nodes.
+    pub nodes: u32,
+    /// Cores per node.
+    pub cores_per_node: u32,
+    /// Nodes starting on Linux (default: all of them).
+    #[serde(default)]
+    pub initial_linux_nodes: Option<u32>,
+    /// Workload trace duration in hours.
+    pub hours: u64,
+    /// Offered load relative to the cluster's total cores.
+    pub load: f64,
+    /// Windows share of the synthetic workload.
+    pub windows_fraction: f64,
+}
+
+/// Base shape of a campus-grid cell.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GridTarget {
+    /// Member clusters in the federation ([`dualboot_grid::GridSpec::campus`]).
+    pub clusters: usize,
+    /// Workload trace duration in hours.
+    pub hours: u64,
+    /// Offered load relative to the federation's total cores.
+    pub load: f64,
+    /// Windows share of the unified workload stream.
+    pub windows_fraction: f64,
+}
+
+/// One value of the fault-plan axis.
+///
+/// The probabilistic dice of every resolved plan are reseeded per cell
+/// (from the cell's derived seed), so two cells sharing a fault axis
+/// value still draw independent fault sequences — the axis compares
+/// *plans*, not one frozen roll of the dice.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum FaultAxis {
+    /// No faults: the quiet plan, bit-identical to no fault machinery.
+    None,
+    /// The default chaos campaign ([`FaultPlan::default_chaos`]).
+    Chaos,
+    /// A lossy communicator wire (drops, duplicates, delays) with no
+    /// scheduled events — pure link-level degradation.
+    Lossy,
+    /// Two rack-PDU reset storms plus a mid-switch reimage — power-side
+    /// degradation on a quiet wire.
+    Storm,
+    /// A user-supplied plan under a report name of its own.
+    Plan {
+        /// Name this axis value appears under in reports.
+        name: String,
+        /// The plan (its `seed` is reseeded per cell).
+        plan: FaultPlan,
+    },
+}
+
+impl FaultAxis {
+    /// Stable report name for this axis value.
+    pub fn name(&self) -> &str {
+        match self {
+            FaultAxis::None => "none",
+            FaultAxis::Chaos => "chaos",
+            FaultAxis::Lossy => "lossy",
+            FaultAxis::Storm => "storm",
+            FaultAxis::Plan { name, .. } => name,
+        }
+    }
+
+    /// Resolve into a concrete plan with its dice seeded by `seed`.
+    pub fn resolve(&self, seed: u64) -> FaultPlan {
+        use dualboot_cluster::faults::{FaultEvent, FaultKind};
+        use dualboot_net::faulty::LinkFaults;
+        match self {
+            FaultAxis::None => FaultPlan::default(),
+            FaultAxis::Chaos => FaultPlan::default_chaos(seed),
+            FaultAxis::Lossy => FaultPlan {
+                seed,
+                link: LinkFaults {
+                    drop_p: 0.15,
+                    dup_p: 0.05,
+                    delay_p: 0.15,
+                    delay_polls: 2,
+                },
+                events: Vec::new(),
+            },
+            FaultAxis::Storm => FaultPlan {
+                seed,
+                link: LinkFaults::default(),
+                events: vec![
+                    FaultEvent {
+                        at: SimTime::from_mins(15),
+                        kind: FaultKind::PowerResetStorm {
+                            first: 1,
+                            count: 4,
+                            spacing: SimDuration::from_secs(20),
+                        },
+                    },
+                    FaultEvent {
+                        at: SimTime::from_mins(45),
+                        kind: FaultKind::MidSwitchReimage { node: 2 },
+                    },
+                    FaultEvent {
+                        at: SimTime::from_mins(75),
+                        kind: FaultKind::PowerResetStorm {
+                            first: 5,
+                            count: 4,
+                            spacing: SimDuration::from_secs(20),
+                        },
+                    },
+                ],
+            },
+            FaultAxis::Plan { plan, .. } => {
+                let mut p = plan.clone();
+                p.seed = seed;
+                p
+            }
+        }
+    }
+}
+
+/// The sweep axes. An empty axis means "the single default value", so a
+/// manifest only lists the axes it actually sweeps.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Axes {
+    /// Evaluation modes (cluster targets; default `[DualBoot]`).
+    #[serde(default)]
+    pub modes: Vec<Mode>,
+    /// Switch policies (cluster targets; default `[Fcfs]`).
+    #[serde(default)]
+    pub policies: Vec<PolicyKind>,
+    /// Broker routing policies (grid targets; default `[SwitchCoop]`).
+    #[serde(default)]
+    pub routings: Vec<RoutePolicy>,
+    /// Fault plans (default `[None]`).
+    #[serde(default)]
+    pub faults: Vec<FaultAxis>,
+    /// DES event-queue backends (cluster targets; default `[Heap]`).
+    #[serde(default)]
+    pub queues: Vec<QueueBackend>,
+}
+
+/// A sweep manifest: base scenario × axes × seed range.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignSpec {
+    /// Campaign name (stamped on reports and the progress journal).
+    pub name: String,
+    /// Campaign-level seed, mixed into every cell's derived seed.
+    pub seed: u64,
+    /// The base scenario.
+    pub target: Target,
+    /// Workload seeds, swept as the innermost axis.
+    pub seeds: SeedRange,
+    /// The sweep axes.
+    #[serde(default)]
+    pub axes: Axes,
+    /// Bound each cell's observability bus to a ring of the last `n`
+    /// events (memory stays constant per cell no matter how long the
+    /// simulated run). `None` leaves the bus disabled entirely.
+    #[serde(default)]
+    pub obs_ring: Option<usize>,
+}
+
+/// One coordinate of the sweep grid, fully resolved.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cell {
+    /// Position in canonical enumeration order.
+    pub index: usize,
+    /// Canonical coordinate key, e.g.
+    /// `mode=dualboot/policy=fcfs/faults=chaos/queue=heap/seed=3`.
+    pub key: String,
+    /// Derived deterministic seed (`campaign seed ⊕ fnv1a(key)`); seeds
+    /// the scenario RNG and the fault dice.
+    pub seed: u64,
+    /// The workload seed from the sweep's seed range.
+    pub workload_seed: u64,
+    /// Evaluation mode (cluster targets).
+    pub mode: Mode,
+    /// Switch policy (cluster targets).
+    pub policy: PolicyKind,
+    /// Routing policy (grid targets).
+    pub routing: RoutePolicy,
+    /// Fault-plan axis value.
+    pub fault: FaultAxis,
+    /// Event-queue backend (cluster targets).
+    pub queue: QueueBackend,
+}
+
+/// Manifest validation errors, with a user-facing message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecError(pub String);
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+impl CampaignSpec {
+    /// Check the manifest is runnable.
+    pub fn validate(&self) -> Result<(), SpecError> {
+        if self.name.is_empty() || self.name.contains(char::is_whitespace) {
+            return Err(SpecError(
+                "campaign name must be non-empty and whitespace-free".into(),
+            ));
+        }
+        if self.seeds.count == 0 {
+            return Err(SpecError("seed range must contain at least one seed".into()));
+        }
+        match &self.target {
+            Target::Cluster(t) => {
+                if t.nodes == 0 || t.cores_per_node == 0 {
+                    return Err(SpecError("cluster target needs nodes and cores".into()));
+                }
+                if let Some(l) = t.initial_linux_nodes {
+                    if l > t.nodes {
+                        return Err(SpecError(format!(
+                            "initial_linux_nodes {l} exceeds nodes {}",
+                            t.nodes
+                        )));
+                    }
+                }
+                if !self.axes.routings.is_empty() {
+                    return Err(SpecError(
+                        "the routings axis applies to grid targets only".into(),
+                    ));
+                }
+            }
+            Target::Grid(t) => {
+                if t.clusters == 0 {
+                    return Err(SpecError("grid target needs at least one cluster".into()));
+                }
+                if !self.axes.modes.is_empty()
+                    || !self.axes.policies.is_empty()
+                    || !self.axes.queues.is_empty()
+                {
+                    return Err(SpecError(
+                        "the modes/policies/queues axes apply to cluster targets only".into(),
+                    ));
+                }
+            }
+        }
+        for f in &self.axes.faults {
+            if let FaultAxis::Plan { name, .. } = f {
+                if name.is_empty() || name.contains(char::is_whitespace) {
+                    return Err(SpecError(
+                        "fault plan names must be non-empty and whitespace-free".into(),
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn modes(&self) -> Vec<Mode> {
+        if self.axes.modes.is_empty() {
+            vec![Mode::DualBoot]
+        } else {
+            self.axes.modes.clone()
+        }
+    }
+
+    fn policies(&self) -> Vec<PolicyKind> {
+        if self.axes.policies.is_empty() {
+            vec![PolicyKind::Fcfs]
+        } else {
+            self.axes.policies.clone()
+        }
+    }
+
+    fn routings(&self) -> Vec<RoutePolicy> {
+        if self.axes.routings.is_empty() {
+            vec![RoutePolicy::SwitchCoop]
+        } else {
+            self.axes.routings.clone()
+        }
+    }
+
+    fn faults(&self) -> Vec<FaultAxis> {
+        if self.axes.faults.is_empty() {
+            vec![FaultAxis::None]
+        } else {
+            self.axes.faults.clone()
+        }
+    }
+
+    fn queues(&self) -> Vec<QueueBackend> {
+        if self.axes.queues.is_empty() {
+            vec![QueueBackend::Heap]
+        } else {
+            self.axes.queues.clone()
+        }
+    }
+
+    /// Enumerate every cell in canonical order (axes as declared in
+    /// [`Axes`], seeds innermost). The irrelevant axes for the target
+    /// collapse to their single default, so a cluster campaign's grid is
+    /// modes × policies × faults × queues × seeds and a grid campaign's
+    /// is routings × faults × seeds.
+    pub fn cells(&self) -> Vec<Cell> {
+        let (modes, policies, routings, queues) = match self.target {
+            Target::Cluster(_) => (
+                self.modes(),
+                self.policies(),
+                vec![RoutePolicy::SwitchCoop],
+                self.queues(),
+            ),
+            Target::Grid(_) => (
+                vec![Mode::DualBoot],
+                vec![PolicyKind::Fcfs],
+                self.routings(),
+                vec![QueueBackend::Heap],
+            ),
+        };
+        let faults = self.faults();
+        let mut cells = Vec::new();
+        for &mode in &modes {
+            for &policy in &policies {
+                for &routing in &routings {
+                    for fault in &faults {
+                        for &queue in &queues {
+                            for workload_seed in self.seeds.iter() {
+                                let key = match self.target {
+                                    Target::Cluster(_) => format!(
+                                        "mode={}/policy={}/faults={}/queue={}/seed={}",
+                                        mode_name(mode),
+                                        policy_label(policy),
+                                        fault.name(),
+                                        queue_name(queue),
+                                        workload_seed
+                                    ),
+                                    Target::Grid(_) => format!(
+                                        "routing={}/faults={}/seed={}",
+                                        routing.name(),
+                                        fault.name(),
+                                        workload_seed
+                                    ),
+                                };
+                                cells.push(Cell {
+                                    index: cells.len(),
+                                    seed: self.seed ^ fnv1a(&key),
+                                    key,
+                                    workload_seed,
+                                    mode,
+                                    policy,
+                                    routing,
+                                    fault: fault.clone(),
+                                    queue,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        cells
+    }
+
+    /// Stable fingerprint over the manifest identity: name, seed, target
+    /// shape and every cell key. A progress journal records it so a
+    /// resume against a *different* manifest is rejected instead of
+    /// silently merging incompatible cells.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = fnv1a(&self.name) ^ self.seed.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        h ^= fnv1a(&format!("{:?}", self.target));
+        h ^= fnv1a(&format!("obs_ring={:?}", self.obs_ring));
+        for cell in self.cells() {
+            h = h.wrapping_mul(0x0000_0100_0000_01b3) ^ fnv1a(&cell.key);
+        }
+        h
+    }
+
+    /// The built-in smoke manifest: a 24-cell cluster sweep (2 policies ×
+    /// 2 fault plans × 2 queue backends × 3 seeds) on the paper's 16-node
+    /// Eridani with 2-hour traces — seconds of wall-clock, used by CI's
+    /// cross-worker-count equality gate and the determinism tests.
+    pub fn smoke(seed: u64) -> CampaignSpec {
+        CampaignSpec {
+            name: "smoke".into(),
+            seed,
+            target: Target::Cluster(ClusterTarget {
+                nodes: 16,
+                cores_per_node: 4,
+                initial_linux_nodes: None,
+                hours: 2,
+                load: 0.7,
+                windows_fraction: 0.3,
+            }),
+            seeds: SeedRange { start: 1, count: 3 },
+            axes: Axes {
+                modes: Vec::new(),
+                policies: vec![PolicyKind::Fcfs, PolicyKind::Threshold { queue_threshold: 2 }],
+                routings: Vec::new(),
+                faults: vec![FaultAxis::None, FaultAxis::Chaos],
+                queues: vec![QueueBackend::Heap, QueueBackend::Calendar],
+            },
+            obs_ring: Some(256),
+        }
+    }
+
+    /// The built-in fleet manifest: a 256-cell policy × fault-plan sweep
+    /// (4 policies × 4 fault plans × 16 seeds) on the 16-node Eridani
+    /// with 3-hour traces — EXPERIMENTS.md's E15 and the committed
+    /// `BENCH_campaign.json`.
+    pub fn fleet(seed: u64) -> CampaignSpec {
+        CampaignSpec {
+            name: "fleet".into(),
+            seed,
+            target: Target::Cluster(ClusterTarget {
+                nodes: 16,
+                cores_per_node: 4,
+                initial_linux_nodes: None,
+                hours: 3,
+                load: 0.7,
+                windows_fraction: 0.3,
+            }),
+            seeds: SeedRange { start: 1, count: 16 },
+            axes: Axes {
+                modes: Vec::new(),
+                policies: vec![
+                    PolicyKind::Fcfs,
+                    PolicyKind::Threshold { queue_threshold: 2 },
+                    PolicyKind::Hysteresis {
+                        persistence: 2,
+                        cooldown: 2,
+                    },
+                    PolicyKind::Proportional { min_per_side: 1 },
+                ],
+                routings: Vec::new(),
+                faults: vec![
+                    FaultAxis::None,
+                    FaultAxis::Chaos,
+                    FaultAxis::Lossy,
+                    FaultAxis::Storm,
+                ],
+                queues: Vec::new(),
+            },
+            obs_ring: Some(256),
+        }
+    }
+
+    /// The built-in grid smoke manifest: a 12-cell federation sweep
+    /// (3 routing policies × 2 fault plans × 2 seeds) over a 3-member
+    /// campus with 2-hour traces.
+    pub fn grid_smoke(seed: u64) -> CampaignSpec {
+        CampaignSpec {
+            name: "grid-smoke".into(),
+            seed,
+            target: Target::Grid(GridTarget {
+                clusters: 3,
+                hours: 2,
+                load: 0.55,
+                windows_fraction: 0.4,
+            }),
+            seeds: SeedRange { start: 1, count: 2 },
+            axes: Axes {
+                modes: Vec::new(),
+                policies: Vec::new(),
+                routings: RoutePolicy::ALL.to_vec(),
+                faults: vec![FaultAxis::None, FaultAxis::Chaos],
+                queues: Vec::new(),
+            },
+            obs_ring: Some(256),
+        }
+    }
+
+    /// Resolve a builtin manifest by name (`smoke` | `fleet` |
+    /// `grid-smoke`).
+    pub fn builtin(name: &str, seed: u64) -> Option<CampaignSpec> {
+        match name {
+            "smoke" => Some(CampaignSpec::smoke(seed)),
+            "fleet" => Some(CampaignSpec::fleet(seed)),
+            "grid-smoke" => Some(CampaignSpec::grid_smoke(seed)),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_enumerates_the_full_cartesian_grid() {
+        let spec = CampaignSpec::smoke(7);
+        spec.validate().unwrap();
+        let cells = spec.cells();
+        assert_eq!(cells.len(), 2 * 2 * 2 * 3);
+        // Canonical order: seeds innermost.
+        assert_eq!(cells[0].workload_seed, 1);
+        assert_eq!(cells[1].workload_seed, 2);
+        assert_eq!(cells[2].workload_seed, 3);
+        assert_eq!(cells[3].workload_seed, 1);
+        // Indices are positions.
+        for (i, c) in cells.iter().enumerate() {
+            assert_eq!(c.index, i);
+        }
+    }
+
+    #[test]
+    fn fleet_is_at_least_256_cells() {
+        let spec = CampaignSpec::fleet(2012);
+        spec.validate().unwrap();
+        assert_eq!(spec.cells().len(), 256);
+    }
+
+    #[test]
+    fn cell_keys_are_unique_and_seeds_derived() {
+        let spec = CampaignSpec::smoke(3);
+        let cells = spec.cells();
+        let mut keys: Vec<&str> = cells.iter().map(|c| c.key.as_str()).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), cells.len(), "duplicate cell keys");
+        for c in &cells {
+            assert_eq!(c.seed, spec.seed ^ fnv1a(&c.key));
+        }
+    }
+
+    #[test]
+    fn derived_seeds_differ_between_campaign_seeds() {
+        let a = CampaignSpec::smoke(1).cells();
+        let b = CampaignSpec::smoke(2).cells();
+        assert_eq!(a[0].key, b[0].key, "keys are coordinate-only");
+        assert_ne!(a[0].seed, b[0].seed, "derived seeds mix the campaign seed");
+    }
+
+    #[test]
+    fn grid_smoke_uses_the_routing_axis() {
+        let spec = CampaignSpec::grid_smoke(5);
+        spec.validate().unwrap();
+        let cells = spec.cells();
+        assert_eq!(cells.len(), 3 * 2 * 2);
+        assert!(cells[0].key.starts_with("routing="));
+    }
+
+    #[test]
+    fn fingerprint_tracks_manifest_identity() {
+        let a = CampaignSpec::smoke(7);
+        let mut b = CampaignSpec::smoke(7);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        b.seeds.count += 1;
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        let mut c = CampaignSpec::smoke(7);
+        if let Target::Cluster(ref mut t) = c.target {
+            t.load = 0.9;
+        }
+        assert_ne!(a.fingerprint(), c.fingerprint(), "target shape is covered");
+    }
+
+    #[test]
+    fn validation_rejects_nonsense() {
+        let mut s = CampaignSpec::smoke(1);
+        s.seeds.count = 0;
+        assert!(s.validate().is_err());
+        let mut s = CampaignSpec::smoke(1);
+        s.name = "has space".into();
+        assert!(s.validate().is_err());
+        let mut s = CampaignSpec::smoke(1);
+        s.axes.routings = vec![RoutePolicy::Static];
+        assert!(s.validate().is_err(), "routings on a cluster target");
+        let mut s = CampaignSpec::grid_smoke(1);
+        s.axes.policies = vec![PolicyKind::Fcfs];
+        assert!(s.validate().is_err(), "policies on a grid target");
+        let mut s = CampaignSpec::smoke(1);
+        if let Target::Cluster(ref mut t) = s.target {
+            t.initial_linux_nodes = Some(99);
+        }
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn fault_axis_resolves_with_the_given_seed() {
+        for axis in [
+            FaultAxis::None,
+            FaultAxis::Chaos,
+            FaultAxis::Lossy,
+            FaultAxis::Storm,
+        ] {
+            let p = axis.resolve(42);
+            if axis == FaultAxis::None {
+                assert!(p.is_quiet());
+            } else {
+                assert!(!p.is_quiet());
+                assert_eq!(p.seed, 42);
+            }
+        }
+        let custom = FaultAxis::Plan {
+            name: "mine".into(),
+            plan: FaultPlan::default_chaos(1),
+        };
+        assert_eq!(custom.name(), "mine");
+        assert_eq!(custom.resolve(9).seed, 9, "plan dice reseeded per cell");
+    }
+
+    #[test]
+    fn builtins_resolve_by_name() {
+        assert!(CampaignSpec::builtin("smoke", 1).is_some());
+        assert!(CampaignSpec::builtin("fleet", 1).is_some());
+        assert!(CampaignSpec::builtin("grid-smoke", 1).is_some());
+        assert!(CampaignSpec::builtin("nope", 1).is_none());
+    }
+
+    #[test]
+    fn manifest_round_trips_through_json() {
+        let spec = CampaignSpec::smoke(11);
+        // Offline builds substitute a typecheck-only serde_json that
+        // cannot serialise; skip the assertion there.
+        let Ok(text) = std::panic::catch_unwind(|| serde_json::to_string(&spec).unwrap()) else {
+            return;
+        };
+        let back: CampaignSpec = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, spec);
+        assert_eq!(back.fingerprint(), spec.fingerprint());
+    }
+}

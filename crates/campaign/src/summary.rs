@@ -1,0 +1,424 @@
+//! Streaming per-cell and per-axis-group aggregation.
+//!
+//! A full [`SimResult`] holds every wait sample of every job — far too
+//! much to keep for 256+ cells. The campaign runner therefore reduces
+//! each cell to a fixed-size [`CellSummary`] the moment it finishes (on
+//! the worker thread, before the big result drops), and the report folds
+//! those summaries into per-axis [`GroupSummary`] rows strictly in
+//! canonical cell order, so the aggregates are bit-identical no matter
+//! how many workers ran the campaign or in what order cells landed.
+
+use crate::mem::MemStats;
+use crate::spec::{mode_name, policy_label, queue_name, Cell, CampaignSpec, Target};
+use dualboot_cluster::SimResult;
+use dualboot_des::stats::{Percentiles, Welford};
+use dualboot_grid::GridResult;
+
+/// Fixed-size digest of one finished cell.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CellSummary {
+    /// Jobs completed (both OSes / all members).
+    pub completed: u32,
+    /// Jobs still queued or running at the horizon.
+    pub unfinished: u32,
+    /// Jobs killed by faults.
+    pub killed: u32,
+    /// Mean queue wait, seconds.
+    pub wait_mean_s: f64,
+    /// Median queue wait, seconds.
+    pub wait_p50_s: f64,
+    /// 95th-percentile queue wait, seconds.
+    pub wait_p95_s: f64,
+    /// 99th-percentile queue wait, seconds.
+    pub wait_p99_s: f64,
+    /// When the last job completed, seconds.
+    pub makespan_s: f64,
+    /// Mean busy-core utilisation, 0–1.
+    pub utilisation: f64,
+    /// OS switches completed.
+    pub switches: u32,
+    /// Switches that booted the wrong OS (single-flag race).
+    pub misdirected: u32,
+    /// Communicator messages dropped by link faults.
+    pub msgs_dropped: u64,
+    /// Reboot orders abandoned after max retries.
+    pub orders_abandoned: u64,
+    /// Boots re-attempted by the watchdog.
+    pub boot_retries: u64,
+    /// Nodes quarantined after exhausting boot attempts.
+    pub quarantines: u64,
+    /// Head-daemon crashes injected.
+    pub daemon_crashes: u32,
+    /// Stranded capacity, core-hours.
+    pub stranded_core_h: f64,
+    /// Peak live heap bytes while the cell ran (0 when the counting
+    /// allocator is not installed).
+    pub peak_alloc_bytes: u64,
+    /// Heap allocation calls while the cell ran (0 likewise).
+    pub allocs: u64,
+}
+
+fn pct(p: &Percentiles, q: f64) -> f64 {
+    p.percentile(q).unwrap_or(0.0)
+}
+
+impl CellSummary {
+    /// Digest a single-cluster run.
+    pub fn from_sim_result(r: &SimResult, mem: MemStats) -> CellSummary {
+        CellSummary {
+            completed: r.total_completed(),
+            unfinished: r.unfinished,
+            killed: r.killed,
+            wait_mean_s: r.mean_wait_s(),
+            wait_p50_s: pct(&r.wait_all, 50.0),
+            wait_p95_s: pct(&r.wait_all, 95.0),
+            wait_p99_s: pct(&r.wait_all, 99.0),
+            makespan_s: r.makespan.as_secs_f64(),
+            utilisation: r.utilisation(),
+            switches: r.switches,
+            misdirected: r.misdirected_switches,
+            msgs_dropped: r.faults.msgs_dropped,
+            orders_abandoned: r.faults.orders_abandoned,
+            boot_retries: r.health.boot_retries,
+            quarantines: r.health.quarantines,
+            daemon_crashes: r.health.daemon_crashes,
+            stranded_core_h: r.health.stranded_core_hours(),
+            peak_alloc_bytes: mem.peak_bytes,
+            allocs: mem.allocs,
+        }
+    }
+
+    /// Digest a federation run: member sheets merged, wait percentiles
+    /// over the pooled samples of every member (in the federation's
+    /// sorted member order, so pooling is deterministic).
+    pub fn from_grid_result(r: &GridResult, mem: MemStats) -> CellSummary {
+        let mut waits = Percentiles::new();
+        let mut killed = 0;
+        let mut switches = 0;
+        let mut misdirected = 0;
+        let mut msgs_dropped = 0;
+        let mut orders_abandoned = 0;
+        let mut boot_retries = 0;
+        let mut quarantines = 0;
+        let mut daemon_crashes = 0;
+        let mut stranded_core_h = 0.0;
+        let mut makespan_s: f64 = 0.0;
+        for m in &r.members {
+            for &w in m.result.wait_all.samples() {
+                waits.push(w);
+            }
+            killed += m.result.killed;
+            switches += m.result.switches;
+            misdirected += m.result.misdirected_switches;
+            msgs_dropped += m.result.faults.msgs_dropped;
+            orders_abandoned += m.result.faults.orders_abandoned;
+            boot_retries += m.result.health.boot_retries;
+            quarantines += m.result.health.quarantines;
+            daemon_crashes += m.result.health.daemon_crashes;
+            stranded_core_h += m.result.health.stranded_core_hours();
+            makespan_s = makespan_s.max(m.result.makespan.as_secs_f64());
+        }
+        CellSummary {
+            completed: r.total_completed(),
+            unfinished: r.total_unfinished(),
+            killed,
+            wait_mean_s: waits.mean(),
+            wait_p50_s: pct(&waits, 50.0),
+            wait_p95_s: pct(&waits, 95.0),
+            wait_p99_s: pct(&waits, 99.0),
+            makespan_s,
+            utilisation: r.utilisation(),
+            switches,
+            misdirected,
+            msgs_dropped,
+            orders_abandoned,
+            boot_retries,
+            quarantines,
+            daemon_crashes,
+            stranded_core_h,
+            peak_alloc_bytes: mem.peak_bytes,
+            allocs: mem.allocs,
+        }
+    }
+}
+
+/// Aggregate over every cell sharing one axis value (e.g. all cells with
+/// `policy=threshold:2`), folded in canonical cell order.
+#[derive(Debug, Clone)]
+pub struct GroupSummary {
+    /// Which axis this group slices on (`policy`, `faults`, …).
+    pub axis: String,
+    /// The shared axis value (`threshold:2`, `chaos`, …).
+    pub value: String,
+    /// Cells folded in.
+    pub cells: u32,
+    /// Mean wait per cell, seconds.
+    pub wait_mean_s: Welford,
+    /// p95 wait per cell, seconds.
+    pub wait_p95_s: Welford,
+    /// p99 wait per cell, seconds.
+    pub wait_p99_s: Welford,
+    /// Makespan per cell, seconds.
+    pub makespan_s: Welford,
+    /// Utilisation per cell, 0–1.
+    pub utilisation: Welford,
+    /// Switches per cell.
+    pub switches: Welford,
+    /// Completed jobs per cell.
+    pub completed: Welford,
+    /// Unfinished jobs per cell.
+    pub unfinished: Welford,
+    /// Jobs killed by faults per cell.
+    pub killed: Welford,
+    /// Stranded core-hours per cell.
+    pub stranded_core_h: Welford,
+    /// Peak heap bytes per cell.
+    pub peak_alloc_bytes: Welford,
+}
+
+impl GroupSummary {
+    fn new(axis: &str, value: &str) -> GroupSummary {
+        GroupSummary {
+            axis: axis.to_string(),
+            value: value.to_string(),
+            cells: 0,
+            wait_mean_s: Welford::new(),
+            wait_p95_s: Welford::new(),
+            wait_p99_s: Welford::new(),
+            makespan_s: Welford::new(),
+            utilisation: Welford::new(),
+            switches: Welford::new(),
+            completed: Welford::new(),
+            unfinished: Welford::new(),
+            killed: Welford::new(),
+            stranded_core_h: Welford::new(),
+            peak_alloc_bytes: Welford::new(),
+        }
+    }
+
+    fn fold(&mut self, s: &CellSummary) {
+        self.cells += 1;
+        self.wait_mean_s.push(s.wait_mean_s);
+        self.wait_p95_s.push(s.wait_p95_s);
+        self.wait_p99_s.push(s.wait_p99_s);
+        self.makespan_s.push(s.makespan_s);
+        self.utilisation.push(s.utilisation);
+        self.switches.push(f64::from(s.switches));
+        self.completed.push(f64::from(s.completed));
+        self.unfinished.push(f64::from(s.unfinished));
+        self.killed.push(f64::from(s.killed));
+        self.stranded_core_h.push(s.stranded_core_h);
+        self.peak_alloc_bytes.push(s.peak_alloc_bytes as f64);
+    }
+}
+
+/// The `(axis, value)` coordinates of one cell, in the key's axis order —
+/// the groups a finished cell folds into.
+pub fn cell_axes(spec: &CampaignSpec, cell: &Cell) -> Vec<(String, String)> {
+    match spec.target {
+        Target::Cluster(_) => vec![
+            ("mode".into(), mode_name(cell.mode).into()),
+            ("policy".into(), policy_label(cell.policy)),
+            ("faults".into(), cell.fault.name().into()),
+            ("queue".into(), queue_name(cell.queue).into()),
+        ],
+        Target::Grid(_) => vec![
+            ("routing".into(), cell.routing.name().into()),
+            ("faults".into(), cell.fault.name().into()),
+        ],
+    }
+}
+
+/// Fold per-cell summaries into per-axis groups, visiting cells strictly
+/// in index order. Groups appear in first-encounter order, which the
+/// canonical cell enumeration makes deterministic. Cells missing from
+/// `done` (an interrupted campaign) are skipped.
+pub fn group_cells(
+    spec: &CampaignSpec,
+    done: &std::collections::BTreeMap<usize, CellSummary>,
+) -> Vec<GroupSummary> {
+    let mut groups: Vec<GroupSummary> = Vec::new();
+    for cell in spec.cells() {
+        let Some(summary) = done.get(&cell.index) else {
+            continue;
+        };
+        for (axis, value) in cell_axes(spec, &cell) {
+            let group = match groups.iter_mut().find(|g| g.axis == axis && g.value == value) {
+                Some(g) => g,
+                None => {
+                    groups.push(GroupSummary::new(&axis, &value));
+                    groups.last_mut().expect("just pushed")
+                }
+            };
+            group.fold(summary);
+        }
+    }
+    groups
+}
+
+/// Campaign-wide totals across every finished cell, folded in index
+/// order.
+#[derive(Debug, Clone, Default)]
+pub struct Totals {
+    /// Jobs completed across the campaign.
+    pub completed: u64,
+    /// Jobs unfinished across the campaign.
+    pub unfinished: u64,
+    /// Jobs killed across the campaign.
+    pub killed: u64,
+    /// OS switches across the campaign.
+    pub switches: u64,
+    /// Mean wait per cell, seconds.
+    pub wait_mean_s: Welford,
+    /// p99 wait per cell, seconds.
+    pub wait_p99_s: Welford,
+    /// Largest per-cell heap peak, bytes.
+    pub max_peak_alloc_bytes: u64,
+    /// Heap allocation calls across the campaign.
+    pub allocs: u64,
+}
+
+/// Fold totals over finished cells in index order.
+pub fn totals(done: &std::collections::BTreeMap<usize, CellSummary>) -> Totals {
+    let mut t = Totals::default();
+    for s in done.values() {
+        t.completed += u64::from(s.completed);
+        t.unfinished += u64::from(s.unfinished);
+        t.killed += u64::from(s.killed);
+        t.switches += u64::from(s.switches);
+        t.wait_mean_s.push(s.wait_mean_s);
+        t.wait_p99_s.push(s.wait_p99_s);
+        t.max_peak_alloc_bytes = t.max_peak_alloc_bytes.max(s.peak_alloc_bytes);
+        t.allocs += s.allocs;
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dualboot_bootconf::os::OsKind;
+    use dualboot_des::time::{SimDuration, SimTime};
+    use std::collections::BTreeMap;
+
+    fn sim_result() -> SimResult {
+        let mut r = SimResult::new(64);
+        for i in 1..=10 {
+            r.record_completion(
+                OsKind::Linux,
+                SimDuration::from_secs(i * 10),
+                SimDuration::from_secs(i * 100),
+            );
+        }
+        r.unfinished = 2;
+        r.switches = 5;
+        r.makespan = SimTime::from_secs(3600);
+        r.end_time = SimTime::from_secs(4000);
+        r.busy_cores.observe(SimTime::ZERO, 32.0);
+        r
+    }
+
+    #[test]
+    fn sim_digest_captures_percentiles() {
+        let s = CellSummary::from_sim_result(&sim_result(), MemStats::default());
+        assert_eq!(s.completed, 10);
+        assert_eq!(s.unfinished, 2);
+        assert_eq!(s.wait_mean_s, 55.0);
+        assert_eq!(s.wait_p50_s, 50.0);
+        assert_eq!(s.wait_p99_s, 100.0);
+        assert_eq!(s.makespan_s, 3600.0);
+        assert!(s.utilisation > 0.0);
+    }
+
+    #[test]
+    fn grid_digest_pools_member_waits() {
+        use dualboot_grid::{BrokerStats, GridResult, MemberResult, RoutePolicy};
+        let g = GridResult {
+            routing: RoutePolicy::SwitchCoop,
+            members: vec![
+                MemberResult {
+                    name: "a".into(),
+                    routed: 10,
+                    result: sim_result(),
+                },
+                MemberResult {
+                    name: "b".into(),
+                    routed: 10,
+                    result: sim_result(),
+                },
+            ],
+            broker: BrokerStats::default(),
+            end_time: SimTime::from_secs(4000),
+        };
+        let s = CellSummary::from_grid_result(&g, MemStats::default());
+        assert_eq!(s.completed, 20);
+        assert_eq!(s.unfinished, 4);
+        assert_eq!(s.switches, 10);
+        // Pooled percentiles over both members' identical samples match a
+        // single member's.
+        assert_eq!(s.wait_p50_s, 50.0);
+        assert_eq!(s.makespan_s, 3600.0);
+    }
+
+    #[test]
+    fn groups_slice_on_every_axis() {
+        let spec = CampaignSpec::smoke(1);
+        let mut done = BTreeMap::new();
+        for cell in spec.cells() {
+            let s = CellSummary {
+                completed: cell.index as u32,
+                ..CellSummary::default()
+            };
+            done.insert(cell.index, s);
+        }
+        let groups = group_cells(&spec, &done);
+        // smoke: 1 mode + 2 policies + 2 faults + 2 queues = 7 groups.
+        assert_eq!(groups.len(), 7);
+        let policy_cells: u32 = groups
+            .iter()
+            .filter(|g| g.axis == "policy")
+            .map(|g| g.cells)
+            .sum();
+        assert_eq!(policy_cells as usize, done.len(), "policies partition cells");
+        for g in &groups {
+            assert!(g.cells > 0);
+            assert_eq!(u64::from(g.cells), g.completed.count());
+        }
+    }
+
+    #[test]
+    fn partial_done_set_skips_missing_cells() {
+        let spec = CampaignSpec::smoke(1);
+        let mut done = BTreeMap::new();
+        done.insert(0, CellSummary::default());
+        done.insert(5, CellSummary::default());
+        let groups = group_cells(&spec, &done);
+        let total: u32 = groups
+            .iter()
+            .filter(|g| g.axis == "mode")
+            .map(|g| g.cells)
+            .sum();
+        assert_eq!(total, 2);
+    }
+
+    #[test]
+    fn totals_fold_in_index_order() {
+        let mut done = BTreeMap::new();
+        for i in 0..4 {
+            let s = CellSummary {
+                completed: 10,
+                switches: 3,
+                peak_alloc_bytes: 100 * (i as u64 + 1),
+                allocs: 7,
+                ..CellSummary::default()
+            };
+            done.insert(i, s);
+        }
+        let t = totals(&done);
+        assert_eq!(t.completed, 40);
+        assert_eq!(t.switches, 12);
+        assert_eq!(t.max_peak_alloc_bytes, 400);
+        assert_eq!(t.allocs, 28);
+        assert_eq!(t.wait_mean_s.count(), 4);
+    }
+}

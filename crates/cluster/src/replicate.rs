@@ -2,11 +2,12 @@
 //!
 //! Single runs mislead — one seed's burst phasing can flatter either
 //! system — so experiments report across seeds. This module fans
-//! independent simulations over a scoped thread pool and reduces with the
-//! merge-able accumulators from `dualboot-des`.
+//! independent simulations over the shared work-stealing pool
+//! ([`dualboot_core::pool`]) and reduces with the merge-able accumulators
+//! from `dualboot-des`.
 //!
 //! Determinism: each seed's simulation is already deterministic; the
-//! reduction folds results **in seed order** regardless of which worker
+//! pool returns results **in seed order** regardless of which worker
 //! finished first, so a replication's summary is bit-identical across
 //! worker counts and machines.
 
@@ -61,39 +62,15 @@ pub fn replicate<F>(seeds: &[u64], workers: usize, build: F) -> Replication
 where
     F: Fn(u64) -> (SimConfig, Vec<SubmitEvent>) + Sync,
 {
-    let mut results: Vec<Option<crate::metrics::SimResult>> = Vec::new();
-    results.resize_with(seeds.len(), || None);
-    let workers = workers.clamp(1, seeds.len().max(1));
-
-    if workers == 1 {
-        for (i, &seed) in seeds.iter().enumerate() {
-            let (cfg, trace) = build(seed);
-            results[i] = Some(Simulation::new(cfg, trace).run());
-        }
-    } else {
-        let next = std::sync::atomic::AtomicUsize::new(0);
-        let slots: Vec<parking_lot::Mutex<Option<crate::metrics::SimResult>>> =
-            seeds.iter().map(|_| parking_lot::Mutex::new(None)).collect();
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    let Some(&seed) = seeds.get(i) else { break };
-                    let (cfg, trace) = build(seed);
-                    let result = Simulation::new(cfg, trace).run();
-                    *slots[i].lock() = Some(result);
-                });
-            }
-        });
-        for (i, slot) in slots.into_iter().enumerate() {
-            results[i] = slot.into_inner();
-        }
-    }
+    let results = dualboot_core::pool::run_indexed(seeds.len(), workers, |i| {
+        let (cfg, trace) = build(seeds[i]);
+        Simulation::new(cfg, trace).run()
+    });
 
     // Fold strictly in seed order for cross-run determinism.
     let mut summary = Replication::default();
-    for r in results.into_iter().flatten() {
-        summary.fold(&r);
+    for r in &results {
+        summary.fold(r);
     }
     summary
 }

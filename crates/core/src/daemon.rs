@@ -24,13 +24,13 @@ use crate::journal::{Journal, JournalEntry};
 use crate::policy::{PolicyInput, SideState, SwitchPolicy};
 use crate::Version;
 use dualboot_bootconf::os::OsKind;
+use dualboot_des::hash::DetHashMap;
 use dualboot_des::time::{SimDuration, SimTime};
 use dualboot_net::proto::Message;
 use dualboot_net::transport::{Transport, TransportError};
 use dualboot_net::wire::DetectorReport;
 use dualboot_obs::{ObsEvent, ObsSink, Subsystem};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// Resilience knobs for the communicators (retransmission and staleness).
 ///
@@ -123,7 +123,7 @@ pub struct WindowsDaemon<T> {
     transport: T,
     /// Orders already executed, by sequence number, with the count we
     /// acked — a retransmission is re-acked idempotently, never resubmitted.
-    seen_orders: HashMap<u64, u32>,
+    seen_orders: DetHashMap<u64, u32>,
     journal: Option<Journal>,
     stats: DaemonStats,
     obs: ObsSink,
@@ -134,7 +134,7 @@ impl<T: Transport> WindowsDaemon<T> {
     pub fn new(transport: T) -> Self {
         WindowsDaemon {
             transport,
-            seen_orders: HashMap::new(),
+            seen_orders: DetHashMap::default(),
             journal: None,
             stats: DaemonStats::default(),
             obs: ObsSink::disabled(),

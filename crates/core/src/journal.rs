@@ -14,9 +14,10 @@
 //! was quarantined before the crash.
 
 use dualboot_bootconf::os::OsKind;
+use dualboot_des::hash::DetHashMap;
 use dualboot_des::time::SimTime;
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeSet, HashMap};
+use std::collections::BTreeSet;
 
 /// One durable record in the write-ahead journal.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -131,7 +132,7 @@ pub struct RecoveredState {
     pub pxe_flag: Option<OsKind>,
     /// (Windows side) executed orders, by sequence number, with the
     /// acked count.
-    pub seen_orders: HashMap<u64, u32>,
+    pub seen_orders: DetHashMap<u64, u32>,
     /// Nodes quarantined and not yet recovered, ascending.
     pub quarantined: BTreeSet<u32>,
 }
@@ -177,7 +178,7 @@ impl Journal {
     pub fn replay(&self) -> RecoveredState {
         let mut st = RecoveredState::default();
         // seq -> (target, count, sent_at) for orders still in flight.
-        let mut open: HashMap<u64, (OsKind, u32, SimTime)> = HashMap::new();
+        let mut open: DetHashMap<u64, (OsKind, u32, SimTime)> = DetHashMap::default();
         let mut order: Vec<u64> = Vec::new();
         for e in &self.entries {
             match *e {

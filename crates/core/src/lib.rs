@@ -34,6 +34,8 @@
 //!   simulation drives the same daemons on a virtual clock instead).
 //! * [`journal`] — the write-ahead journal both daemons replay after a
 //!   crash, so restarts neither duplicate nor forget switch work.
+//! * [`pool`] — the shared work-stealing worker pool every parallel
+//!   sweep (`replicate`, `replicate_grid`, campaign runs) fans out on.
 //! * [`supervisor`] — the boot watchdog and quarantine ledger that
 //!   notices nodes which never come back from a switch.
 //! * [`arena`] — struct-of-arrays stores ([`arena::IdSet`],
@@ -48,6 +50,7 @@ pub mod daemon;
 pub mod detector;
 pub mod journal;
 pub mod policy;
+pub mod pool;
 pub mod supervisor;
 pub mod switchjob;
 pub mod threaded;

@@ -1,0 +1,142 @@
+//! Shared work-stealing worker pool for embarrassingly parallel sweeps.
+//!
+//! Every fan-out in the workspace — `cluster::replicate`'s seed sweeps,
+//! `grid::replicate_grid`'s federation sweeps, and `campaign`'s
+//! thousand-cell experiment grids — distributes the same shape of work:
+//! `len` independent, deterministic tasks whose results must land in
+//! **task order** so the reduction is bit-identical across worker counts
+//! and machines. This module is that engine, extracted from the two
+//! replicate modules that used to duplicate it.
+//!
+//! Scheduling is work-stealing over per-worker deques: tasks are dealt
+//! round-robin into one deque per worker, each worker pops from the back
+//! of its own deque (LIFO keeps its cache warm on freshly dealt work) and
+//! steals from the **front** of a victim's deque when it runs dry (FIFO
+//! stealing takes the work the owner is furthest from reaching). Task
+//! grain here is a whole simulation run, so the deques are plain
+//! mutex-guarded `VecDeque`s — contention is one lock per task, noise
+//! against a run that takes milliseconds to seconds.
+//!
+//! Determinism: scheduling decides only *who* runs a task and *when* in
+//! wall-clock time. Results are written into per-task slots and returned
+//! in task index order, so callers folding the returned `Vec` front to
+//! back observe the same sequence no matter how the race went.
+
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+
+/// A sensible worker count for this machine: the available parallelism,
+/// or 1 when the runtime cannot tell.
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Run `len` independent tasks across `workers` threads and return the
+/// results **in task order**.
+///
+/// `run` maps a task index in `0..len` to its result; it executes on
+/// worker threads and must be `Sync`. Workers are clamped to the task
+/// count; `workers == 1` degenerates to a sequential loop with no threads
+/// spawned (occasionally useful under a debugger). A panicking task
+/// propagates the panic to the caller once the pool has joined.
+pub fn run_indexed<T, F>(len: usize, workers: usize, run: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if len == 0 {
+        return Vec::new();
+    }
+    let workers = workers.clamp(1, len);
+    if workers == 1 {
+        return (0..len).map(run).collect();
+    }
+
+    // Deal tasks round-robin into one deque per worker.
+    let queues: Vec<Mutex<VecDeque<usize>>> = (0..workers)
+        .map(|w| Mutex::new((w..len).step_by(workers).collect()))
+        .collect();
+    let slots: Vec<Mutex<Option<T>>> = (0..len).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let queues = &queues;
+            let slots = &slots;
+            let run = &run;
+            scope.spawn(move || loop {
+                // Own deque first (back = most recently dealt), then
+                // steal from the front of the first non-empty victim.
+                let mine = queues[w].lock().pop_back();
+                let task = mine.or_else(|| {
+                    (1..workers).find_map(|d| queues[(w + d) % workers].lock().pop_front())
+                });
+                // Nothing left anywhere: the task set is fixed up front,
+                // so empty-everywhere means the sweep is drained.
+                let Some(i) = task else { break };
+                *slots[i].lock() = Some(run(i));
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("every task ran"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn results_land_in_task_order() {
+        let out = run_indexed(64, 8, |i| i * 3);
+        assert_eq!(out, (0..64).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn every_task_runs_exactly_once() {
+        let ran = AtomicUsize::new(0);
+        let out = run_indexed(100, 7, |i| {
+            ran.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(out.len(), 100);
+        assert_eq!(ran.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn zero_tasks_spawn_nothing() {
+        let out: Vec<u32> = run_indexed(0, 8, |_| unreachable!("no tasks"));
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_worker_is_sequential_and_ordered() {
+        // With one worker the execution order IS the task order.
+        let log = Mutex::new(Vec::new());
+        run_indexed(10, 1, |i| log.lock().push(i));
+        assert_eq!(*log.lock(), (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn workers_clamp_to_task_count() {
+        let out = run_indexed(3, 64, |i| i + 1);
+        assert_eq!(out, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn identical_across_worker_counts() {
+        let a = run_indexed(33, 1, |i| i as u64 * 7919);
+        let b = run_indexed(33, 4, |i| i as u64 * 7919);
+        let c = run_indexed(33, 16, |i| i as u64 * 7919);
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn default_workers_is_positive() {
+        assert!(default_workers() >= 1);
+    }
+}

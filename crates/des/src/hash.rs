@@ -1,0 +1,103 @@
+//! Deterministic hashing for simulation-internal collections.
+//!
+//! `std`'s default `RandomState` seeds SipHash differently in every
+//! process. That never changes *simulation results* (nothing iterates
+//! these maps in an order-sensitive way), but it does change the
+//! **allocation profile**: hashbrown's probe chains — and therefore its
+//! tombstone-vs-grow decisions on churny insert/remove workloads like
+//! event cancellation — depend on the hash values, so peak heap and
+//! allocation counts wobble from run to run. `dualboot campaign` promises
+//! byte-identical reports including per-cell heap stats, which makes the
+//! allocator's behaviour part of the determinism contract.
+//!
+//! [`DetState`] is a fixed-seed `BuildHasher` (FNV-1a with an avalanche
+//! finisher, the same mixer as [`crate::rng::DetRng`]'s SplitMix64 core).
+//! It is also faster than SipHash for the short integer keys these
+//! collections hold, which matters on the event-queue cancel path.
+
+use std::hash::{BuildHasher, Hasher};
+
+/// A `HashMap` whose layout (and so allocation profile) is identical in
+/// every process.
+pub type DetHashMap<K, V> = std::collections::HashMap<K, V, DetState>;
+
+/// A `HashSet` whose layout is identical in every process.
+pub type DetHashSet<T> = std::collections::HashSet<T, DetState>;
+
+/// Fixed-seed [`BuildHasher`]: every process, every run, same layout.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DetState;
+
+impl BuildHasher for DetState {
+    type Hasher = DetHasher;
+
+    fn build_hasher(&self) -> DetHasher {
+        DetHasher(0xcbf2_9ce4_8422_2325) // FNV-1a 64-bit offset basis
+    }
+}
+
+/// FNV-1a accumulator with a SplitMix64-style finisher so short integer
+/// keys still spread across hashbrown's high control bits.
+#[derive(Debug, Clone, Copy)]
+pub struct DetHasher(u64);
+
+impl Hasher for DetHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::Hash;
+
+    fn hash_of<T: Hash>(v: &T) -> u64 {
+        DetState.hash_one(v)
+    }
+
+    #[test]
+    fn same_input_same_hash_across_builders() {
+        assert_eq!(hash_of(&42u64), hash_of(&42u64));
+        assert_eq!(hash_of(&"reboot"), hash_of(&"reboot"));
+    }
+
+    #[test]
+    fn nearby_keys_spread_across_high_bits() {
+        // hashbrown takes the top 7 bits for its control bytes; sequential
+        // event ids must not all share them.
+        let mut top_bytes = std::collections::BTreeSet::new();
+        for i in 0u64..64 {
+            top_bytes.insert(hash_of(&i) >> 57);
+        }
+        assert!(top_bytes.len() > 16, "only {} distinct ctrl values", top_bytes.len());
+    }
+
+    #[test]
+    fn det_collections_behave_like_std() {
+        let mut set: DetHashSet<u64> = DetHashSet::default();
+        for i in 0..1_000u64 {
+            set.insert(i);
+        }
+        for i in (0..1_000u64).step_by(2) {
+            set.remove(&i);
+        }
+        assert_eq!(set.len(), 500);
+        assert!(set.contains(&1) && !set.contains(&2));
+
+        let mut map: DetHashMap<u64, u32> = DetHashMap::default();
+        map.insert(7, 1);
+        *map.entry(7).or_insert(0) += 1;
+        assert_eq!(map[&7], 2);
+    }
+}

@@ -14,6 +14,8 @@
 //! * [`time`] — millisecond-resolution simulated time ([`SimTime`],
 //!   [`SimDuration`]).
 //! * [`queue`] — a cancellable, FIFO-stable event queue ([`queue::EventQueue`]).
+//! * [`hash`] — fixed-seed hash collections so even the *allocation
+//!   profile* of a run is reproducible ([`hash::DetHashMap`]).
 //! * [`rng`] — seeded random streams with common distributions
 //!   ([`rng::DetRng`]).
 //! * [`stats`] — online statistics: mean/variance, percentiles and
@@ -26,12 +28,14 @@
 //! sequence)` order, so two events scheduled for the same instant fire in the
 //! order they were scheduled.
 
+pub mod hash;
 pub mod queue;
 pub mod rng;
 pub mod stats;
 pub mod time;
 pub mod trace;
 
+pub use hash::{DetHashMap, DetHashSet};
 pub use queue::{EventId, EventQueue, QueueBackend};
 pub use rng::DetRng;
 pub use time::{SimDuration, SimTime};

@@ -26,9 +26,10 @@
 //! Both backends expose identical semantics through [`EventQueue`]; the
 //! backend choice is a pure performance knob.
 
+use crate::hash::DetHashSet;
 use crate::time::{SimDuration, SimTime};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::BinaryHeap;
 
 /// Opaque handle to a scheduled event, usable for cancellation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -100,7 +101,9 @@ struct Calendar<E> {
     /// Entries resident across all buckets (live + tombstoned).
     size: usize,
     /// Sequence numbers currently resident, for O(1) `cancel` liveness.
-    resident: HashSet<u64>,
+    /// Fixed-seed hashing keeps the allocation profile reproducible
+    /// (this set churns on every push/pop).
+    resident: DetHashSet<u64>,
 }
 
 const MIN_BUCKETS: usize = 16;
@@ -114,7 +117,7 @@ impl<E> Calendar<E> {
             cur: 0,
             cur_top: 1_000,
             size: 0,
-            resident: HashSet::new(),
+            resident: DetHashSet::default(),
         }
     }
 
@@ -270,7 +273,7 @@ enum Store<E> {
 #[derive(Debug)]
 pub struct EventQueue<E> {
     store: Store<E>,
-    cancelled: HashSet<EventId>,
+    cancelled: DetHashSet<EventId>,
     next_seq: u64,
     now: SimTime,
     fired: u64,
@@ -297,7 +300,7 @@ impl<E> EventQueue<E> {
         };
         EventQueue {
             store,
-            cancelled: HashSet::new(),
+            cancelled: DetHashSet::default(),
             next_seq: 0,
             now: SimTime::ZERO,
             fired: 0,

@@ -1,11 +1,12 @@
 //! Parallel multi-seed grid replication.
 //!
 //! Mirrors `dualboot_cluster::replicate`: fan independent federation runs
-//! over a scoped thread pool, collect **in seed order** regardless of
-//! which worker finished first, so the output is bit-identical across
-//! worker counts and machines. Unlike the cluster version this returns
-//! the full per-seed [`GridResult`] list — grid experiments compare
-//! policies per seed, not just cross-seed summaries.
+//! over the shared work-stealing pool ([`dualboot_core::pool`]), collect
+//! **in seed order** regardless of which worker finished first, so the
+//! output is bit-identical across worker counts and machines. Unlike the
+//! cluster version this returns the full per-seed [`GridResult`] list —
+//! grid experiments compare policies per seed, not just cross-seed
+//! summaries.
 
 use crate::result::GridResult;
 use crate::sim::GridSim;
@@ -21,34 +22,7 @@ pub fn replicate_grid<F>(seeds: &[u64], workers: usize, build: F) -> Vec<GridRes
 where
     F: Fn(u64) -> GridSpec + Sync,
 {
-    let workers = workers.clamp(1, seeds.len().max(1));
-
-    if workers == 1 {
-        return seeds
-            .iter()
-            .map(|&seed| GridSim::new(build(seed)).run())
-            .collect();
-    }
-
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let slots: Vec<parking_lot::Mutex<Option<GridResult>>> = seeds
-        .iter()
-        .map(|_| parking_lot::Mutex::new(None))
-        .collect();
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                let Some(&seed) = seeds.get(i) else { break };
-                let result = GridSim::new(build(seed)).run();
-                *slots[i].lock() = Some(result);
-            });
-        }
-    });
-    slots
-        .into_iter()
-        .map(|slot| slot.into_inner().expect("every seed ran"))
-        .collect()
+    dualboot_core::pool::run_indexed(seeds.len(), workers, |i| GridSim::new(build(seeds[i])).run())
 }
 
 #[cfg(test)]

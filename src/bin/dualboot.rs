@@ -15,6 +15,13 @@ use hybrid_cluster::prelude::*;
 use hybrid_cluster::sched::script::PbsScript;
 use std::process::ExitCode;
 
+// Per-cell heap accounting for `dualboot campaign` (the counters read
+// zero outside a campaign measure scope and cost two thread-local checks
+// per allocation otherwise).
+#[global_allocator]
+static ALLOC: hybrid_cluster::campaign::mem::CountingAlloc =
+    hybrid_cluster::campaign::mem::CountingAlloc;
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match Command::parse(&args) {
@@ -58,6 +65,16 @@ fn main() -> ExitCode {
             }
         },
         Ok(Command::Grid(grid_args)) => match cli::run_grid(&grid_args) {
+            Ok(out) => {
+                print!("{out}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Ok(Command::Campaign(campaign_args)) => match cli::run_campaign(&campaign_args) {
             Ok(out) => {
                 print!("{out}");
                 ExitCode::SUCCESS

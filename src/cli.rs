@@ -4,6 +4,7 @@
 //! fully testable: [`Command::parse`](crate::cli::Command::parse) is pure, and each command returns
 //! its output as a `String` so the binary only prints.
 
+use crate::campaign::{CampaignSpec, RunOptions as CampaignRunOptions};
 use crate::cluster::report::{chaos_section, health_section, result_row, Table, RESULT_HEADERS};
 use crate::cluster::{FaultPlan, Mode, PolicyKind, SimConfig, Simulation};
 use crate::grid::{report as grid_report, GridSim, GridSpec, RoutePolicy};
@@ -39,6 +40,8 @@ pub enum Command {
     Simulate(SimulateArgs),
     /// Run a campus-grid federation (policy sweep by default).
     Grid(GridArgs),
+    /// Run, resume or re-report a sweep campaign.
+    Campaign(CampaignArgs),
     /// Import an SWF trace and run it.
     Swf(SwfArgs),
     /// Inspect exported JSONL traces (filter/timeline/diff).
@@ -225,6 +228,59 @@ impl Default for GridArgs {
     }
 }
 
+/// What `dualboot campaign` should do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CampaignAction {
+    /// Start the campaign from scratch.
+    Run,
+    /// Resume an interrupted campaign from its journal, running only the
+    /// cells the journal is missing.
+    Resume,
+    /// Re-render the report from a journal without running anything.
+    Report,
+}
+
+/// Options for `campaign`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignArgs {
+    /// Run, resume, or report.
+    pub action: CampaignAction,
+    /// Path to a JSON [`CampaignSpec`](crate::campaign::CampaignSpec)
+    /// manifest (mutually exclusive with `builtin`).
+    pub manifest: Option<String>,
+    /// Name of a built-in manifest (`smoke` | `fleet` | `grid-smoke`).
+    pub builtin: Option<String>,
+    /// Campaign seed for built-in manifests (file manifests carry their
+    /// own).
+    pub seed: u64,
+    /// Worker threads; 0 means one per available core.
+    pub workers: usize,
+    /// Write-ahead progress journal path (required for resume/report).
+    pub journal: Option<String>,
+    /// Stop after this many pending cells (interruption testing).
+    pub max_cells: Option<usize>,
+    /// Also write the enveloped JSON report to this file.
+    pub out: Option<String>,
+    /// Print the enveloped JSON report instead of the human tables.
+    pub json: bool,
+}
+
+impl Default for CampaignArgs {
+    fn default() -> Self {
+        CampaignArgs {
+            action: CampaignAction::Run,
+            manifest: None,
+            builtin: None,
+            seed: 2012,
+            workers: 0,
+            journal: None,
+            max_cells: None,
+            out: None,
+            json: false,
+        }
+    }
+}
+
 /// Options for `swf`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SwfArgs {
@@ -273,6 +329,18 @@ USAGE:
                     [--faults PLAN] [--json] [--trace-out FILE]
                     federates N hybrid clusters under one broker; the
                     default sweeps every routing policy and compares them
+  dualboot campaign run|resume|report (MANIFEST.json | --builtin smoke|fleet|grid-smoke)
+                    [--seed N] [--workers N] [--journal FILE]
+                    [--max-cells N] [--out FILE] [--json]
+                    sweeps a manifest's full (mode x policy x routing x
+                    faults x queue x seed) grid across all cores; with
+                    --journal every finished cell is appended to a
+                    write-ahead journal, `resume` re-runs only the cells
+                    the journal is missing, and `report` re-renders the
+                    journal without running anything. --out also writes
+                    the enveloped JSON report to FILE. Reports are
+                    byte-identical for a manifest regardless of worker
+                    count or interruptions.
   dualboot swf <file.swf> [--windows-queue N | --win-frac F] [simulate opts]
   dualboot trace filter   <trace.jsonl> [--subsystem S] [--node N] [--kind K]
                           [--from-s N] [--until-s N] [--json]
@@ -326,6 +394,10 @@ impl Command {
             Some("grid") => {
                 let rest: Vec<String> = it.cloned().collect();
                 Ok(Command::Grid(parse_grid(&rest)?))
+            }
+            Some("campaign") => {
+                let rest: Vec<String> = it.cloned().collect();
+                Ok(Command::Campaign(parse_campaign(&rest)?))
             }
             Some("swf") => {
                 let path = it
@@ -555,6 +627,92 @@ fn parse_grid(args: &[String]) -> Result<GridArgs, CliError> {
     if out.trace_out.is_some() && out.routing.is_none() {
         return Err(CliError(
             "--trace-out needs a single --routing policy (not a sweep)".to_string(),
+        ));
+    }
+    Ok(out)
+}
+
+fn parse_campaign(args: &[String]) -> Result<CampaignArgs, CliError> {
+    let mut out = CampaignArgs::default();
+    out.action = match args.first().map(String::as_str) {
+        Some("run") => CampaignAction::Run,
+        Some("resume") => CampaignAction::Resume,
+        Some("report") => CampaignAction::Report,
+        other => {
+            return Err(CliError(format!(
+                "campaign needs an action run|resume|report, got {other:?}"
+            )))
+        }
+    };
+    let rest = &args[1..];
+    let value = |args: &[String], k: usize, flag: &str| -> Result<String, CliError> {
+        args.get(k + 1)
+            .cloned()
+            .ok_or_else(|| CliError(format!("{flag} needs a value")))
+    };
+    let mut k = 0;
+    while k < rest.len() {
+        match rest[k].as_str() {
+            "--builtin" => {
+                out.builtin = Some(value(rest, k, "--builtin")?);
+                k += 2;
+            }
+            "--seed" => {
+                let v = value(rest, k, "--seed")?;
+                out.seed = v.parse().map_err(|_| CliError(format!("bad seed {v:?}")))?;
+                k += 2;
+            }
+            "--workers" => {
+                let v = value(rest, k, "--workers")?;
+                out.workers = v
+                    .parse()
+                    .map_err(|_| CliError(format!("bad worker count {v:?}")))?;
+                k += 2;
+            }
+            "--journal" => {
+                out.journal = Some(value(rest, k, "--journal")?);
+                k += 2;
+            }
+            "--max-cells" => {
+                let v = value(rest, k, "--max-cells")?;
+                out.max_cells = Some(
+                    v.parse()
+                        .map_err(|_| CliError(format!("bad cell count {v:?}")))?,
+                );
+                k += 2;
+            }
+            "--out" => {
+                out.out = Some(value(rest, k, "--out")?);
+                k += 2;
+            }
+            "--json" => {
+                out.json = true;
+                k += 1;
+            }
+            flag if flag.starts_with("--") => {
+                return Err(CliError(format!("unknown flag {flag:?}")))
+            }
+            path => {
+                if out.manifest.is_some() {
+                    return Err(CliError(format!(
+                        "campaign takes one manifest path, got a second: {path:?}"
+                    )));
+                }
+                out.manifest = Some(path.to_string());
+                k += 1;
+            }
+        }
+    }
+    if out.manifest.is_some() == out.builtin.is_some() {
+        return Err(CliError(
+            "campaign needs a manifest file or --builtin NAME (exactly one)".to_string(),
+        ));
+    }
+    if matches!(out.action, CampaignAction::Resume | CampaignAction::Report)
+        && out.journal.is_none()
+    {
+        return Err(CliError(
+            "campaign resume/report needs --journal FILE".to_string(),
         ));
     }
     Ok(out)
@@ -885,6 +1043,60 @@ pub fn run_grid(args: &GridArgs) -> Result<String, CliError> {
     }
     out.pop();
     Ok(out)
+}
+
+/// Execute a `campaign` command, returning the printable report.
+///
+/// Timings go to stderr only — the report body must stay byte-identical
+/// across worker counts and resumes, which wall-clock would break.
+pub fn run_campaign(args: &CampaignArgs) -> Result<String, CliError> {
+    let spec = match (&args.builtin, &args.manifest) {
+        (Some(name), None) => CampaignSpec::builtin(name, args.seed).ok_or_else(|| {
+            CliError(format!(
+                "unknown builtin campaign {name:?} (smoke|fleet|grid-smoke)"
+            ))
+        })?,
+        (None, Some(path)) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| CliError(format!("cannot read manifest {path:?}: {e}")))?;
+            serde_json::from_str(&text)
+                .map_err(|e| CliError(format!("bad manifest {path:?}: {e}")))?
+        }
+        _ => {
+            return Err(CliError(
+                "campaign needs a manifest file or --builtin NAME (exactly one)".to_string(),
+            ))
+        }
+    };
+    let opts = CampaignRunOptions {
+        workers: args.workers,
+        journal: args.journal.clone().map(std::path::PathBuf::from),
+        resume: matches!(
+            args.action,
+            CampaignAction::Resume | CampaignAction::Report
+        ),
+        max_cells: if args.action == CampaignAction::Report {
+            Some(0)
+        } else {
+            args.max_cells
+        },
+    };
+    let started = std::time::Instant::now();
+    let report = crate::campaign::run(&spec, &opts).map_err(|e| CliError(e.0))?;
+    eprintln!(
+        "campaign `{}`: {}/{} cells in {:.1}s",
+        report.name,
+        report.cells_done,
+        report.cells_total,
+        started.elapsed().as_secs_f64()
+    );
+
+    let json = envelope("campaign", &report.to_json(), &[]);
+    if let Some(path) = &args.out {
+        std::fs::write(path, &json)
+            .map_err(|e| CliError(format!("cannot write report {path:?}: {e}")))?;
+    }
+    Ok(if args.json { json } else { report.render() })
 }
 
 /// Output of a `trace` action: the printable text plus whether the
@@ -1243,5 +1455,86 @@ mod tests {
         let out = run_swf(&args, swf).unwrap();
         assert!(out.contains("imported 1 jobs"));
         assert!(run_swf(&args, "garbage line\n").is_err());
+    }
+
+    #[test]
+    fn campaign_parse_full_flags() {
+        let cmd = Command::parse(&argv(
+            "campaign run --builtin smoke --seed 7 --workers 2 --journal j.log --max-cells 5 --out r.json --json",
+        ))
+        .unwrap();
+        let Command::Campaign(a) = cmd else {
+            panic!("wrong command")
+        };
+        assert_eq!(a.action, CampaignAction::Run);
+        assert_eq!(a.builtin.as_deref(), Some("smoke"));
+        assert_eq!(a.seed, 7);
+        assert_eq!(a.workers, 2);
+        assert_eq!(a.journal.as_deref(), Some("j.log"));
+        assert_eq!(a.max_cells, Some(5));
+        assert_eq!(a.out.as_deref(), Some("r.json"));
+        assert!(a.json);
+    }
+
+    #[test]
+    fn campaign_parse_manifest_path() {
+        let cmd = Command::parse(&argv("campaign run sweep.json --workers 4")).unwrap();
+        let Command::Campaign(a) = cmd else {
+            panic!("wrong command")
+        };
+        assert_eq!(a.manifest.as_deref(), Some("sweep.json"));
+        assert!(a.builtin.is_none());
+    }
+
+    #[test]
+    fn campaign_parse_rejects_nonsense() {
+        // No action.
+        assert!(Command::parse(&argv("campaign")).is_err());
+        assert!(Command::parse(&argv("campaign explode")).is_err());
+        // Manifest and builtin are mutually exclusive — and one is needed.
+        assert!(Command::parse(&argv("campaign run")).is_err());
+        assert!(Command::parse(&argv("campaign run m.json --builtin smoke")).is_err());
+        assert!(Command::parse(&argv("campaign run a.json b.json")).is_err());
+        // Resume and report need a journal.
+        assert!(Command::parse(&argv("campaign resume --builtin smoke")).is_err());
+        assert!(Command::parse(&argv("campaign report --builtin smoke")).is_err());
+        assert!(
+            Command::parse(&argv("campaign resume --builtin smoke --journal j.log")).is_ok()
+        );
+    }
+
+    #[test]
+    fn run_campaign_unknown_builtin_is_an_error() {
+        let args = CampaignArgs {
+            builtin: Some("nope".to_string()),
+            ..CampaignArgs::default()
+        };
+        let err = run_campaign(&args).unwrap_err();
+        assert!(err.0.contains("unknown builtin"));
+    }
+
+    #[test]
+    fn run_campaign_json_is_worker_count_invariant() {
+        // A 2-cell slice of the smoke manifest keeps this test quick while
+        // still exercising journalless execution end to end.
+        let base = CampaignArgs {
+            builtin: Some("smoke".to_string()),
+            seed: 3,
+            max_cells: Some(2),
+            json: true,
+            ..CampaignArgs::default()
+        };
+        let one = run_campaign(&CampaignArgs {
+            workers: 1,
+            ..base.clone()
+        })
+        .unwrap();
+        let two = run_campaign(&CampaignArgs {
+            workers: 2,
+            ..base
+        })
+        .unwrap();
+        assert_eq!(one, two);
+        assert!(one.starts_with("{\"schema\":\"dualboot/v1\",\"kind\":\"campaign\""));
     }
 }

@@ -28,6 +28,7 @@
 //! | [`workload`] | `dualboot-workload` | Table I catalogue, synthetic + MDCS traces |
 //! | [`cluster`] | `dualboot-cluster` | the end-to-end simulated Eridani |
 //! | [`grid`] | `dualboot-grid` | Queensgate campus-grid federation + job-routing broker |
+//! | [`campaign`] | `dualboot-campaign` | fleet-scale sweep manifests, resumable execution, percentile reports |
 //!
 //! ## Quickstart
 //!
@@ -49,6 +50,7 @@
 //! ```
 
 pub use dualboot_bootconf as bootconf;
+pub use dualboot_campaign as campaign;
 pub use dualboot_cluster as cluster;
 pub use dualboot_core as middleware;
 pub use dualboot_deploy as deploy;

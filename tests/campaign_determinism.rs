@@ -1,0 +1,147 @@
+//! The campaign engine's headline guarantee, enforced end-to-end: a
+//! campaign report is **byte-identical** no matter how many workers run
+//! it, in what order the cells finish, or how many kill/resume cycles it
+//! takes to complete — including the per-cell heap stats, which is why
+//! this binary installs the counting allocator exactly like the
+//! `dualboot` CLI does.
+
+use hybrid_cluster::campaign::{
+    run, Axes, CampaignSpec, ClusterTarget, FaultAxis, GridTarget, RunOptions, SeedRange, Target,
+};
+use proptest::prelude::*;
+
+// Mirror src/bin/dualboot.rs: without this, peak_alloc_bytes/allocs read
+// zero and the byte-identity assertions would vacuously pass.
+#[global_allocator]
+static ALLOC: hybrid_cluster::campaign::mem::CountingAlloc =
+    hybrid_cluster::campaign::mem::CountingAlloc;
+
+/// A small-but-real cluster campaign: 8 cells across two policies, two
+/// fault plans and two seeds, one hour of trace each.
+fn cluster_spec(seed: u64) -> CampaignSpec {
+    CampaignSpec {
+        name: "determinism".into(),
+        seed,
+        target: Target::Cluster(ClusterTarget {
+            nodes: 8,
+            cores_per_node: 4,
+            initial_linux_nodes: None,
+            hours: 1,
+            load: 0.6,
+            windows_fraction: 0.3,
+        }),
+        seeds: SeedRange { start: 1, count: 2 },
+        axes: Axes {
+            faults: vec![FaultAxis::None, FaultAxis::Chaos],
+            policies: vec![
+                hybrid_cluster::prelude::PolicyKind::Fcfs,
+                hybrid_cluster::prelude::PolicyKind::Threshold { queue_threshold: 2 },
+            ],
+            ..Axes::default()
+        },
+        obs_ring: Some(64),
+    }
+}
+
+fn grid_spec(seed: u64) -> CampaignSpec {
+    CampaignSpec {
+        name: "determinism-grid".into(),
+        seed,
+        target: Target::Grid(GridTarget {
+            clusters: 2,
+            hours: 1,
+            load: 0.5,
+            windows_fraction: 0.3,
+        }),
+        seeds: SeedRange { start: 1, count: 2 },
+        axes: Axes::default(),
+        obs_ring: Some(64),
+    }
+}
+
+fn json_at(spec: &CampaignSpec, workers: usize) -> String {
+    run(
+        spec,
+        &RunOptions {
+            workers,
+            ..RunOptions::default()
+        },
+    )
+    .unwrap()
+    .to_json()
+}
+
+#[test]
+fn report_is_worker_count_invariant() {
+    let spec = cluster_spec(2012);
+    let one = json_at(&spec, 1);
+    assert_eq!(one, json_at(&spec, 2), "1 vs 2 workers");
+    assert_eq!(one, json_at(&spec, 7), "1 vs 7 workers");
+}
+
+#[test]
+fn report_is_invariant_across_repeated_runs() {
+    // Same worker count twice: catches per-process nondeterminism (e.g.
+    // randomly seeded hashers changing the allocation profile) that a
+    // cross-worker-count comparison inside one process cannot.
+    let spec = cluster_spec(7);
+    assert_eq!(json_at(&spec, 2), json_at(&spec, 2));
+}
+
+#[test]
+fn grid_report_is_worker_count_invariant() {
+    let spec = grid_spec(2012);
+    assert_eq!(json_at(&spec, 1), json_at(&spec, 4));
+}
+
+#[test]
+fn killed_and_resumed_campaign_matches_uninterrupted() {
+    let spec = cluster_spec(41);
+    let dir = std::env::temp_dir().join("dualboot-campaign-determinism");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("kill-resume.journal");
+
+    // "Kill" the campaign twice by bounding how many cells may run, then
+    // let the third leg finish the job from the journal.
+    for (resume, max) in [(false, Some(3)), (true, Some(3)), (true, None)] {
+        run(
+            &spec,
+            &RunOptions {
+                workers: 2,
+                journal: Some(path.clone()),
+                resume,
+                max_cells: max,
+            },
+        )
+        .unwrap();
+    }
+    // Re-render from the journal alone: nothing left to run.
+    let resumed = run(
+        &spec,
+        &RunOptions {
+            workers: 1,
+            journal: Some(path.clone()),
+            resume: true,
+            max_cells: Some(0),
+        },
+    )
+    .unwrap();
+    assert_eq!(resumed.cells_done, resumed.cells_total);
+    assert_eq!(resumed.to_json(), json_at(&spec, 3));
+    std::fs::remove_file(&path).ok();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// For arbitrary campaign seeds and worker counts, the report bytes
+    /// never depend on the parallelism.
+    #[test]
+    fn arbitrary_seed_reports_are_worker_invariant(
+        seed in 1u64..1_000_000,
+        workers in 2usize..8,
+    ) {
+        let spec = cluster_spec(seed);
+        prop_assert_eq!(json_at(&spec, 1), json_at(&spec, workers));
+    }
+}
