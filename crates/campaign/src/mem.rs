@@ -18,6 +18,28 @@
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Live heap bytes across the whole process (all threads), maintained
+/// unconditionally when [`CountingAlloc`] is installed. Unlike the
+/// scoped thread-locals, these feed *admission control* — a server
+/// deciding whether it can afford another run needs the global picture,
+/// not a per-scope one.
+static PROCESS_LIVE: AtomicU64 = AtomicU64::new(0);
+/// High-water mark of [`PROCESS_LIVE`].
+static PROCESS_PEAK: AtomicU64 = AtomicU64::new(0);
+
+/// Live heap bytes across the process right now. Zero when
+/// [`CountingAlloc`] is not the global allocator.
+pub fn process_live_bytes() -> u64 {
+    PROCESS_LIVE.load(Ordering::Relaxed)
+}
+
+/// High-water mark of [`process_live_bytes`] since process start. Zero
+/// when [`CountingAlloc`] is not the global allocator.
+pub fn process_peak_bytes() -> u64 {
+    PROCESS_PEAK.load(Ordering::Relaxed)
+}
 
 thread_local! {
     /// Whether a [`measure`] scope is live on this thread. The allocator
@@ -47,6 +69,13 @@ pub struct CountingAlloc;
 
 impl CountingAlloc {
     fn on_alloc(size: usize) {
+        // Process-wide accounting is unconditional: admission control
+        // reads it between scopes, from any thread. The peak update is a
+        // read-then-max race under contention — acceptable drift for a
+        // budget check, never for the per-cell stats (which stay exact
+        // via the thread-locals below).
+        let live = PROCESS_LIVE.fetch_add(size as u64, Ordering::Relaxed) + size as u64;
+        PROCESS_PEAK.fetch_max(live, Ordering::Relaxed);
         // `try_with` because allocation can happen while thread-locals
         // are being torn down at thread exit; dropping those counts is
         // fine (no scope is live then).
@@ -64,6 +93,12 @@ impl CountingAlloc {
     }
 
     fn on_dealloc(size: usize) {
+        // Saturating for the same reason as the scoped counter: frees of
+        // memory allocated before this allocator was installed (or
+        // counted) must not underflow.
+        let _ = PROCESS_LIVE.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+            Some(v.saturating_sub(size as u64))
+        });
         let _ = ACTIVE.try_with(|active| {
             if !active.get() {
                 return;
@@ -156,6 +191,30 @@ mod tests {
             CountingAlloc::on_alloc(64);
         });
         assert_eq!(stats.peak_bytes, 64);
+    }
+
+    // One test (not several) because the process counters are shared
+    // statics: parallel test threads calling on_alloc/on_dealloc drift
+    // them by a few KiB, so use a delta far above that noise floor and
+    // keep every assertion in one ordered sequence.
+    #[test]
+    fn process_counters_track_live_peak_and_saturate() {
+        const BIG: usize = 1 << 40;
+        const SLOP: u64 = 1 << 20;
+        let before = process_live_bytes();
+        CountingAlloc::on_alloc(BIG);
+        assert!(process_live_bytes() >= before + BIG as u64 - SLOP);
+        assert!(process_peak_bytes() >= before + BIG as u64 - SLOP);
+        CountingAlloc::on_dealloc(BIG);
+        assert!(process_live_bytes() < BIG as u64, "live drops after free");
+        assert!(
+            process_peak_bytes() >= before + BIG as u64 - SLOP,
+            "peak never decreases"
+        );
+        // Over-free must saturate at zero, never wrap to a huge value
+        // that would wedge a memory-budget admission check forever.
+        CountingAlloc::on_dealloc(u64::MAX as usize);
+        assert!(process_live_bytes() < BIG as u64, "no wraparound");
     }
 
     #[test]

@@ -44,6 +44,12 @@ pub struct RunOptions {
     /// interrupt a campaign at a deterministic point, and by `report` to
     /// re-render a journal without running anything (`Some(0)`).
     pub max_cells: Option<usize>,
+    /// Cooperative cancellation, polled before each cell starts. Cells
+    /// already executing finish (and journal) normally — a cancelled
+    /// campaign's journal never holds a partial cell, so a later resume
+    /// picks up exactly where cancellation cut in. The report covers
+    /// only what finished, like any other interruption.
+    pub cancel: Option<dualboot_core::CancelToken>,
 }
 
 /// Campaign-level failure (bad manifest, journal I/O, journal mismatch).
@@ -168,6 +174,12 @@ pub fn run(spec: &CampaignSpec, opts: &RunOptions) -> Result<CampaignReport, Cam
     let journal = Mutex::new(journal);
     let journal_err: Mutex<Option<io::Error>> = Mutex::new(None);
     let summaries = dualboot_core::pool::run_indexed(pending.len(), workers, |i| {
+        // Cancellation gate: a cancelled campaign stops *claiming* cells
+        // but never truncates one mid-flight, so the journal stays a
+        // clean prefix and resume is exact.
+        if opts.cancel.as_ref().is_some_and(|c| c.is_cancelled()) {
+            return None;
+        }
         let cell = pending[i];
         let summary = run_cell(spec, cell);
         // Journal before reporting: the write-ahead contract.
@@ -176,14 +188,16 @@ pub fn run(spec: &CampaignSpec, opts: &RunOptions) -> Result<CampaignReport, Cam
                 journal_err.lock().get_or_insert(e);
             }
         }
-        summary
+        Some(summary)
     });
     if let Some(e) = journal_err.into_inner() {
         return Err(e.into());
     }
 
     for (cell, summary) in pending.iter().zip(summaries) {
-        done.insert(cell.index, summary);
+        if let Some(summary) = summary {
+            done.insert(cell.index, summary);
+        }
     }
     Ok(CampaignReport::build(spec, &done))
 }
@@ -290,6 +304,7 @@ mod tests {
                 journal: Some(path.clone()),
                 resume: false,
                 max_cells: Some(2),
+                ..RunOptions::default()
             },
         )
         .unwrap();
@@ -303,6 +318,7 @@ mod tests {
                 journal: Some(path.clone()),
                 resume: true,
                 max_cells: None,
+                ..RunOptions::default()
             },
         )
         .unwrap();
@@ -327,6 +343,7 @@ mod tests {
                 journal: Some(path.clone()),
                 resume: true,
                 max_cells: Some(0),
+                ..RunOptions::default()
             },
         )
         .unwrap();
@@ -346,6 +363,7 @@ mod tests {
                 journal: Some(path.clone()),
                 resume: false,
                 max_cells: Some(0),
+                ..RunOptions::default()
             },
         )
         .unwrap();
@@ -356,10 +374,68 @@ mod tests {
                 journal: Some(path.clone()),
                 resume: true,
                 max_cells: Some(0),
+                ..RunOptions::default()
             },
         )
         .unwrap_err();
         assert!(err.0.contains("different campaign"), "{}", err.0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn pre_cancelled_campaign_runs_nothing_but_still_reports() {
+        let token = dualboot_core::CancelToken::new();
+        token.cancel();
+        let report = run(
+            &tiny(9),
+            &RunOptions {
+                cancel: Some(token),
+                ..RunOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(report.cells_done, 0, "no cell starts after cancellation");
+        assert_eq!(report.cells_total, 4);
+    }
+
+    #[test]
+    fn cancelled_campaign_journal_resumes_cleanly() {
+        let spec = tiny(11);
+        let dir = std::env::temp_dir().join("dualboot-campaign-runner-test-cancel");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cancel.journal");
+
+        // Cancel before any cell is claimed; the journal is created (with
+        // its fingerprint header) but holds zero cells.
+        let token = dualboot_core::CancelToken::new();
+        token.cancel();
+        let cancelled = run(
+            &spec,
+            &RunOptions {
+                workers: 2,
+                journal: Some(path.clone()),
+                cancel: Some(token),
+                ..RunOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(cancelled.cells_done, 0);
+
+        // Resume with a live token finishes the campaign; report matches
+        // an uninterrupted run byte for byte.
+        let resumed = run(
+            &spec,
+            &RunOptions {
+                workers: 2,
+                journal: Some(path.clone()),
+                resume: true,
+                cancel: Some(dualboot_core::CancelToken::new()),
+                ..RunOptions::default()
+            },
+        )
+        .unwrap();
+        let fresh = run(&spec, &RunOptions::default()).unwrap();
+        assert_eq!(resumed.to_json(), fresh.to_json());
         std::fs::remove_file(&path).ok();
     }
 

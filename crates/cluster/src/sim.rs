@@ -172,6 +172,9 @@ pub struct Simulation {
     /// The cluster-wide observability sink (disabled unless `cfg.obs`
     /// enables it or a driver attaches a shared sink).
     obs: ObsSink,
+    /// Cooperative cancellation, polled in the event loops. `None` (the
+    /// default) costs one branch per event.
+    cancel: Option<dualboot_core::cancel::CancelToken>,
     /// Wall-clock hot-loop profile, accumulated only when enabled.
     /// Deliberately outside `SimResult`: profiles are non-deterministic.
     profile: Option<HotLoopProfile>,
@@ -369,6 +372,7 @@ impl Simulation {
             keep_alive: SimTime::ZERO,
             result: SimResult::new(total_cores),
             obs: ObsSink::disabled(),
+            cancel: None,
             profile: None,
         };
         let sink = ObsSink::new(sim.cfg.obs);
@@ -424,6 +428,19 @@ impl Simulation {
             && self.queue.now() >= self.keep_alive
     }
 
+    /// Attach a cooperative cancellation token: the event loops poll it
+    /// per event and wind down at the first safe point after it fires.
+    /// A cancelled run's [`SimResult`] covers only the events handled —
+    /// supervised services treat it as aborted, never as a result.
+    pub fn set_cancel_token(&mut self, token: dualboot_core::cancel::CancelToken) {
+        self.cancel = Some(token);
+    }
+
+    /// Whether the attached token (if any) has fired.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancel.as_ref().is_some_and(|c| c.is_cancelled())
+    }
+
     /// Run to completion (or the horizon) and return the results.
     pub fn run(mut self) -> SimResult {
         let horizon = SimTime::ZERO + self.cfg.horizon;
@@ -432,6 +449,11 @@ impl Simulation {
                 break;
             }
             self.handle_timed(ev);
+            if let Some(c) = &self.cancel {
+                if c.is_cancelled() {
+                    break;
+                }
+            }
         }
         self.into_result()
     }
@@ -448,6 +470,11 @@ impl Simulation {
                 break;
             }
             self.handle_timed(ev);
+            if let Some(c) = &self.cancel {
+                if c.is_cancelled() {
+                    break;
+                }
+            }
         }
         let profile = self.profile.take().unwrap_or_default();
         (self.into_result(), profile)
@@ -501,6 +528,11 @@ impl Simulation {
             }
             let (_, ev) = self.queue.pop().expect("peeked event exists");
             self.handle_timed(ev);
+            if let Some(c) = &self.cancel {
+                if c.is_cancelled() {
+                    break;
+                }
+            }
         }
     }
 

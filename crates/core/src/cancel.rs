@@ -1,0 +1,77 @@
+//! Cooperative cancellation tokens.
+//!
+//! A [`CancelToken`] is a cheap, cloneable flag shared between a
+//! long-running computation and whoever supervises it. The supervisor
+//! calls [`CancelToken::cancel`]; the computation polls
+//! [`CancelToken::is_cancelled`] at safe points (the simulation checks it
+//! in its event loop) and winds down cleanly. Cancellation is
+//! level-triggered and sticky: once set it never clears, so a race
+//! between a late `cancel` and a finishing run is harmless.
+//!
+//! The token deliberately carries no reason or payload — the supervisor
+//! that cancelled knows why, and the cancelled computation only needs to
+//! know *that*. Deadlines, client disconnects and shutdown all reduce to
+//! the same flag.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A shared, sticky cancellation flag.
+///
+/// Clones observe the same flag. The default token is live (not
+/// cancelled).
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, uncancelled token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Request cancellation. Idempotent; never blocks.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Release);
+    }
+
+    /// Whether cancellation has been requested. A relaxed-ish acquire
+    /// load — cheap enough for a hot loop to poll per event.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_token_is_live() {
+        assert!(!CancelToken::new().is_cancelled());
+    }
+
+    #[test]
+    fn cancel_is_sticky_and_shared_across_clones() {
+        let t = CancelToken::new();
+        let c = t.clone();
+        t.cancel();
+        assert!(t.is_cancelled());
+        assert!(c.is_cancelled(), "clones share the flag");
+        t.cancel(); // idempotent
+        assert!(c.is_cancelled());
+    }
+
+    #[test]
+    fn cancellation_crosses_threads() {
+        let t = CancelToken::new();
+        let c = t.clone();
+        let h = std::thread::spawn(move || {
+            while !c.is_cancelled() {
+                std::thread::yield_now();
+            }
+            true
+        });
+        t.cancel();
+        assert!(h.join().unwrap());
+    }
+}

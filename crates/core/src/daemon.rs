@@ -454,7 +454,9 @@ impl<T: Transport, P: SwitchPolicy> LinuxDaemon<T, P> {
                         self.jot(JournalEntry::OrderAcked { seq });
                     }
                 }
-                Message::RebootOrder { .. } | Message::GridReport { .. } => {
+                Message::RebootOrder { .. }
+                | Message::GridReport { .. }
+                | Message::Serve { .. } => {
                     debug_assert!(false, "Linux daemon receives only state reports and acks");
                 }
             }

@@ -36,6 +36,8 @@
 //!   crash, so restarts neither duplicate nor forget switch work.
 //! * [`pool`] — the shared work-stealing worker pool every parallel
 //!   sweep (`replicate`, `replicate_grid`, campaign runs) fans out on.
+//! * [`cancel`] — the cooperative [`cancel::CancelToken`] long-running
+//!   work (simulations, campaigns, served runs) polls at safe points.
 //! * [`supervisor`] — the boot watchdog and quarantine ledger that
 //!   notices nodes which never come back from a switch.
 //! * [`arena`] — struct-of-arrays stores ([`arena::IdSet`],
@@ -46,6 +48,7 @@
 
 pub use dualboot_bootconf::arena;
 
+pub mod cancel;
 pub mod daemon;
 pub mod detector;
 pub mod journal;
@@ -55,6 +58,7 @@ pub mod supervisor;
 pub mod switchjob;
 pub mod threaded;
 
+pub use cancel::CancelToken;
 pub use daemon::{Action, DaemonStats, LinuxDaemon, RetryConfig, WindowsDaemon};
 pub use detector::{DetectorOutput, PbsDetector, WinDetector};
 pub use journal::{Journal, JournalEntry, RecoveredOrder, RecoveredState};

@@ -566,4 +566,31 @@ mod tests {
             "shutdown hung on the long cycle"
         );
     }
+
+    #[test]
+    fn dropping_handles_is_as_prompt_as_shutdown() {
+        // A host that unwinds or returns early (the serve executor, a
+        // panicking test) tears daemons down through Drop, not
+        // `shutdown()`; the drop path must signal and join just as
+        // promptly — never detach.
+        let (lt, wt) = in_proc_pair();
+        let win = Arc::new(Mutex::new(WinHpcScheduler::eridani()));
+        let pbs = Arc::new(Mutex::new(PbsScheduler::eridani()));
+        let w = spawn_windows_daemon(win, wt, Duration::from_secs(3600), |_| {});
+        let l = spawn_linux_daemon(
+            Version::V2,
+            FcfsPolicy,
+            pbs,
+            lt,
+            Duration::from_secs(3600),
+            |_| {},
+        );
+        let start = Instant::now();
+        drop(l);
+        drop(w);
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "drop hung on the long cycle"
+        );
+    }
 }

@@ -88,6 +88,15 @@ pub enum Message {
         /// Its state summary.
         report: ClusterReport,
     },
+    /// A simulation-service frame: one `dualboot/v1` JSON document
+    /// (request or response), opaque to this layer. JSON is encoded
+    /// compactly with `\n` escaped, so a frame is always a single line —
+    /// the serve protocol rides every transport (in-process, TCP, chaos
+    /// decorators) unchanged.
+    Serve {
+        /// The JSON document, sans newline.
+        payload: String,
+    },
 }
 
 /// Errors decoding a protocol line.
@@ -147,12 +156,27 @@ impl Message {
                     report.quarantined,
                 )
             }
+            Message::Serve { payload } => {
+                debug_assert!(
+                    !payload.contains('\n') && !payload.is_empty(),
+                    "serve payload must be one non-empty line"
+                );
+                format!("SERVE {payload}")
+            }
         }
     }
 
     /// Decode one protocol line.
     pub fn decode(line: &str) -> Result<Message, ProtoError> {
         let line = line.trim_end_matches(['\r', '\n']);
+        // Serve frames carry an opaque payload that may itself contain
+        // spaces: everything after the verb is the document.
+        if let Some(payload) = line.strip_prefix("SERVE ") {
+            if payload.is_empty() {
+                return Err(ProtoError::BadFields(line.to_string()));
+            }
+            return Ok(Message::Serve { payload: payload.to_string() });
+        }
         let mut parts = line.splitn(3, ' ');
         let verb = parts.next().unwrap_or("");
         match verb {
@@ -388,6 +412,26 @@ mod tests {
         assert!(matches!(
             Message::decode("GRID tauceti"),
             Err(ProtoError::BadFields(_))
+        ));
+    }
+
+    #[test]
+    fn serve_frames_round_trip_with_embedded_spaces() {
+        let m = Message::Serve {
+            payload: r#"{"schema":"dualboot/v1","kind":"submit","note":"two words"}"#.to_string(),
+        };
+        let line = m.encode();
+        assert!(line.starts_with("SERVE {"));
+        assert_eq!(Message::decode(&line).unwrap(), m);
+        // An empty payload is malformed, not an empty document.
+        assert!(matches!(
+            Message::decode("SERVE "),
+            Err(ProtoError::BadFields(_))
+        ));
+        // Bare verb falls through to the unknown-verb path.
+        assert!(matches!(
+            Message::decode("SERVE"),
+            Err(ProtoError::UnknownVerb(_))
         ));
     }
 

@@ -14,15 +14,27 @@
 
 use crate::proto::{Message, ProtoError};
 use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
-use std::io::{BufRead, BufReader, Write};
+use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Transport failures.
 #[derive(Debug)]
 pub enum TransportError {
-    /// The peer hung up or the channel closed.
+    /// The peer hung up cleanly (EOF on a frame boundary, or the channel
+    /// closed).
     Disconnected,
+    /// The peer half-closed mid-frame: EOF arrived with a partial line
+    /// buffered. Distinct from [`TransportError::Disconnected`] so
+    /// receivers can tell a clean goodbye from a torn stream.
+    TruncatedFrame,
+    /// The peer sent a line longer than [`MAX_FRAME_BYTES`] without a
+    /// newline. The connection is resynchronised to the next newline; the
+    /// oversized frame itself is lost.
+    Oversized {
+        /// Bytes buffered when the limit tripped.
+        buffered: usize,
+    },
     /// An I/O error on the socket.
     Io(std::io::Error),
     /// The peer sent a line the protocol cannot parse.
@@ -33,6 +45,15 @@ impl std::fmt::Display for TransportError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             TransportError::Disconnected => write!(f, "peer disconnected"),
+            TransportError::TruncatedFrame => {
+                write!(f, "peer disconnected mid-frame (truncated line)")
+            }
+            TransportError::Oversized { buffered } => {
+                write!(
+                    f,
+                    "frame exceeds {MAX_FRAME_BYTES} bytes ({buffered} buffered without newline)"
+                )
+            }
             TransportError::Io(e) => write!(f, "io error: {e}"),
             TransportError::Protocol(e) => write!(f, "protocol error: {e}"),
         }
@@ -120,11 +141,32 @@ impl Transport for InProcTransport {
 // TCP transport
 // ---------------------------------------------------------------------
 
+/// Longest line a [`TcpTransport`] will buffer while hunting for a
+/// newline. Generous for every protocol message (the largest are serve
+/// frames carrying an embedded JSON document); a peer exceeding it gets
+/// [`TransportError::Oversized`] instead of growing the buffer without
+/// bound.
+pub const MAX_FRAME_BYTES: usize = 1 << 20;
+
 /// A newline-delimited TCP message link.
+///
+/// Framing is torn-proof: a read timeout mid-line keeps the partial
+/// prefix buffered for the next call (the naive `BufReader::read_line`
+/// approach silently discarded it, corrupting the stream), EOF with a
+/// partial line buffered surfaces as [`TransportError::TruncatedFrame`]
+/// rather than a clean disconnect, and a line that exceeds
+/// [`MAX_FRAME_BYTES`] without a newline reports
+/// [`TransportError::Oversized`] and resynchronises at the next newline
+/// instead of hanging or ballooning.
 #[derive(Debug)]
 pub struct TcpTransport {
     writer: TcpStream,
-    reader: BufReader<TcpStream>,
+    reader: TcpStream,
+    /// Bytes received but not yet consumed as complete lines.
+    buf: Vec<u8>,
+    /// An oversized line is being discarded: swallow bytes until the
+    /// next newline before resuming normal framing.
+    resyncing: bool,
 }
 
 impl TcpTransport {
@@ -152,34 +194,82 @@ impl TcpTransport {
     /// Wrap an already-connected stream.
     pub fn from_stream(stream: TcpStream) -> Result<Self, TransportError> {
         stream.set_nodelay(true).map_err(TransportError::Io)?;
-        let reader_stream = stream.try_clone().map_err(TransportError::Io)?;
+        let reader = stream.try_clone().map_err(TransportError::Io)?;
         Ok(TcpTransport {
             writer: stream,
-            reader: BufReader::new(reader_stream),
+            reader,
+            buf: Vec::new(),
+            resyncing: false,
         })
+    }
+
+    /// Pop the first complete line out of `buf`, if any (sans newline).
+    fn take_buffered_line(&mut self) -> Option<Vec<u8>> {
+        let nl = self.buf.iter().position(|&b| b == b'\n')?;
+        let mut line: Vec<u8> = self.buf.drain(..=nl).collect();
+        line.pop(); // the newline itself
+        if self.resyncing {
+            // This line is the tail of an oversized frame: swallow it and
+            // resume normal framing with whatever follows.
+            self.resyncing = false;
+            return self.take_buffered_line();
+        }
+        Some(line)
     }
 
     fn read_line_with_timeout(
         &mut self,
-        timeout: Option<Duration>,
+        timeout: Duration,
     ) -> Result<Option<Message>, TransportError> {
-        self.reader
-            .get_ref()
-            .set_read_timeout(timeout)
-            .map_err(TransportError::Io)?;
-        let mut line = String::new();
-        match self.reader.read_line(&mut line) {
-            Ok(0) => Err(TransportError::Disconnected),
-            Ok(_) => Message::decode(&line)
-                .map(Some)
-                .map_err(TransportError::Protocol),
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
-            {
-                Ok(None)
+        let deadline = Instant::now() + timeout;
+        loop {
+            if let Some(line) = self.take_buffered_line() {
+                let text = String::from_utf8_lossy(&line);
+                return Message::decode(&text).map(Some).map_err(TransportError::Protocol);
             }
-            Err(e) => Err(TransportError::Io(e)),
+            if self.resyncing {
+                // Everything buffered belongs to the oversized frame
+                // still in flight: discard it and keep hunting for the
+                // newline that ends it.
+                self.buf.clear();
+            } else if self.buf.len() > MAX_FRAME_BYTES {
+                let buffered = self.buf.len();
+                self.buf.clear();
+                self.resyncing = true;
+                return Err(TransportError::Oversized { buffered });
+            }
+
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return Ok(None); // timed out; partial line stays buffered
+            }
+            // A zero read timeout means "block forever" to the OS, so
+            // clamp the wait to at least a millisecond.
+            self.reader
+                .set_read_timeout(Some(remaining.max(Duration::from_millis(1))))
+                .map_err(TransportError::Io)?;
+            let mut chunk = [0u8; 4096];
+            match self.reader.read(&mut chunk) {
+                Ok(0) => {
+                    // EOF. Clean only on a frame boundary.
+                    return if self.buf.is_empty() && !self.resyncing {
+                        Err(TransportError::Disconnected)
+                    } else {
+                        self.buf.clear();
+                        self.resyncing = false;
+                        Err(TransportError::TruncatedFrame)
+                    };
+                }
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    return Ok(None); // partial line (if any) stays buffered
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(TransportError::Io(e)),
+            }
         }
     }
 }
@@ -195,11 +285,11 @@ impl Transport for TcpTransport {
 
     fn try_recv(&mut self) -> Result<Option<Message>, TransportError> {
         // A very short timeout approximates non-blocking reads portably.
-        self.read_line_with_timeout(Some(Duration::from_millis(1)))
+        self.read_line_with_timeout(Duration::from_millis(1))
     }
 
     fn recv_timeout(&mut self, timeout: Duration) -> Result<Option<Message>, TransportError> {
-        self.read_line_with_timeout(Some(timeout))
+        self.read_line_with_timeout(timeout)
     }
 }
 
@@ -349,5 +439,85 @@ mod tests {
         // Reads eventually observe EOF.
         let r = client.recv_timeout(Duration::from_secs(1));
         assert!(matches!(r, Err(TransportError::Disconnected)));
+    }
+
+    /// The historical framing bug: a read timeout landing mid-line used
+    /// to discard the buffered prefix, corrupting the stream. The prefix
+    /// must survive the timeout and complete on the next call.
+    #[test]
+    fn tcp_partial_line_survives_a_timeout() {
+        use std::io::Write as _;
+        let (listener, addr) = TcpTransport::listen("127.0.0.1:0".parse().unwrap()).unwrap();
+        let t = std::thread::spawn(move || {
+            let (mut raw, _) = listener.accept().unwrap();
+            raw.write_all(b"ACK 2").unwrap(); // first half, no newline
+            raw.flush().unwrap();
+            std::thread::sleep(Duration::from_millis(120));
+            raw.write_all(b" 7\nACK 3 8\n").unwrap();
+            raw
+        });
+        let mut client = TcpTransport::connect(addr).unwrap();
+        // This recv times out with "ACK 2" buffered.
+        assert_eq!(client.recv_timeout(Duration::from_millis(30)).unwrap(), None);
+        // The frame completes intact — no bytes lost, no corruption.
+        let got = client.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(got, Some(Message::OrderAck { queued: 2, seq: 7 }));
+        let got = client.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(got, Some(Message::OrderAck { queued: 3, seq: 8 }));
+        t.join().unwrap();
+    }
+
+    /// EOF mid-line is a torn stream, not a clean goodbye.
+    #[test]
+    fn tcp_eof_mid_frame_is_truncated_not_disconnected() {
+        use std::io::Write as _;
+        let (listener, addr) = TcpTransport::listen("127.0.0.1:0".parse().unwrap()).unwrap();
+        let t = std::thread::spawn(move || {
+            let (mut raw, _) = listener.accept().unwrap();
+            raw.write_all(b"ACK 9 9\nACK 1").unwrap(); // half-close mid-line
+        });
+        let mut client = TcpTransport::connect(addr).unwrap();
+        t.join().unwrap();
+        // The complete first frame still arrives...
+        let got = client.recv_timeout(Duration::from_secs(2)).unwrap();
+        assert_eq!(got, Some(Message::OrderAck { queued: 9, seq: 9 }));
+        // ...then the torn tail surfaces as TruncatedFrame.
+        let r = client.recv_timeout(Duration::from_secs(2));
+        assert!(matches!(r, Err(TransportError::TruncatedFrame)), "{r:?}");
+    }
+
+    /// A newline-free flood larger than the frame limit errors instead of
+    /// buffering without bound, and the link resynchronises at the next
+    /// newline.
+    #[test]
+    fn tcp_oversized_line_errors_and_resyncs() {
+        use std::io::Write as _;
+        let (listener, addr) = TcpTransport::listen("127.0.0.1:0".parse().unwrap()).unwrap();
+        let t = std::thread::spawn(move || {
+            let (mut raw, _) = listener.accept().unwrap();
+            let junk = vec![b'x'; MAX_FRAME_BYTES + 64 * 1024];
+            raw.write_all(&junk).unwrap();
+            raw.write_all(b"\nACK 5 5\n").unwrap();
+            raw
+        });
+        let mut client = TcpTransport::connect(addr).unwrap();
+        // The flood trips the limit...
+        let mut oversized_seen = false;
+        for _ in 0..50 {
+            match client.recv_timeout(Duration::from_millis(500)) {
+                Err(TransportError::Oversized { buffered }) => {
+                    assert!(buffered > MAX_FRAME_BYTES);
+                    oversized_seen = true;
+                    break;
+                }
+                Ok(None) => continue, // slow write: keep polling
+                other => panic!("expected Oversized, got {other:?}"),
+            }
+        }
+        assert!(oversized_seen, "oversized frame never reported");
+        // ...and the frame after the terminating newline still decodes.
+        let got = client.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(got, Some(Message::OrderAck { queued: 5, seq: 5 }));
+        t.join().unwrap();
     }
 }

@@ -1,0 +1,263 @@
+//! Client-side helpers: submit, attach, collect, reconnect.
+//!
+//! The collection model is resilient by construction: frames are keyed
+//! by their trace sequence number in an ordered map, so duplicated
+//! frames (chaos transports, overlapping replays after a reconnect)
+//! collapse, out-of-order arrival is harmless, and the final record set
+//! is exactly the runs's trace whenever the sequence range is contiguous.
+//! A reconnecting client asks the server to replay from the first
+//! sequence it has not seen — nothing is lost as long as the server's
+//! journaled trace survives, which is the server's crash-consistency
+//! guarantee.
+
+use crate::codec;
+use crate::job::JobSpec;
+use crate::proto::{Request, Response, RunInfo};
+use dualboot_net::proto::Message;
+use dualboot_net::transport::{TcpTransport, Transport, TransportError};
+use dualboot_obs::TraceRecord;
+use std::collections::BTreeMap;
+use std::net::SocketAddr;
+use std::time::Duration;
+
+/// Everything gathered from a run so far. Survives reconnects: feed the
+/// same `Collected` into successive attach calls.
+#[derive(Debug, Default)]
+pub struct Collected {
+    /// Encoded trace lines keyed by sequence number (dedup + ordering).
+    pub frames: BTreeMap<u64, String>,
+    /// Terminal `(state, body)` once the server sent the final report.
+    pub report: Option<(String, String)>,
+}
+
+impl Collected {
+    /// First sequence number not yet collected (next `from_seq`).
+    pub fn next_seq(&self) -> u64 {
+        self.frames.keys().next_back().map_or(0, |s| s + 1)
+    }
+
+    /// Decode the collected frames, in sequence order.
+    pub fn records(&self) -> Result<Vec<TraceRecord>, String> {
+        self.frames.values().map(|l| codec::decode(l)).collect()
+    }
+
+    /// Whether the collected sequence numbers form the gap-free prefix
+    /// `0..len` — the "no frame lost" acceptance check.
+    pub fn is_contiguous(&self) -> bool {
+        self.frames.keys().copied().eq(0..self.frames.len() as u64)
+    }
+}
+
+fn send_req<T: Transport>(t: &mut T, req: &Request) -> Result<(), String> {
+    t.send(&Message::Serve { payload: req.encode() })
+        .map_err(|e| format!("send failed: {e}"))
+}
+
+fn recv_rsp<T: Transport>(t: &mut T, timeout: Duration) -> Result<Option<Response>, String> {
+    match t.recv_timeout(timeout) {
+        Ok(Some(Message::Serve { payload })) => Response::decode(&payload).map(Some),
+        Ok(Some(other)) => Err(format!("unexpected protocol message {other:?}")),
+        Ok(None) => Ok(None),
+        Err(TransportError::Disconnected) | Err(TransportError::TruncatedFrame) => {
+            Err("disconnected".to_string())
+        }
+        Err(e) => Err(format!("recv failed: {e}")),
+    }
+}
+
+/// Open the session (`hello`/`welcome`) and submit one job. Returns the
+/// raw admission response: `Accepted`, `Rejected` (with retry advice) or
+/// an error.
+pub fn submit_over<T: Transport>(
+    t: &mut T,
+    client: &str,
+    tag: Option<&str>,
+    job: &JobSpec,
+) -> Result<Response, String> {
+    send_req(t, &Request::Hello { client: client.to_string() })?;
+    loop {
+        match recv_rsp(t, Duration::from_secs(5))? {
+            Some(Response::Welcome { .. }) => break,
+            Some(Response::Error { reason }) => return Err(reason),
+            Some(other) => return Err(format!("expected welcome, got {other:?}")),
+            None => return Err("no welcome from server".to_string()),
+        }
+    }
+    send_req(
+        t,
+        &Request::Submit { tag: tag.map(str::to_string), job: job.clone() },
+    )?;
+    loop {
+        match recv_rsp(t, Duration::from_secs(5))? {
+            Some(
+                rsp @ (Response::Accepted { .. }
+                | Response::Rejected { .. }
+                | Response::ShuttingDown),
+            ) => return Ok(rsp),
+            Some(Response::Error { reason }) => return Err(reason),
+            // A chaotic link may duplicate the welcome; skip strays.
+            Some(Response::Welcome { .. }) | Some(Response::Frame { .. }) => continue,
+            Some(other) => return Err(format!("expected admission, got {other:?}")),
+            None => return Err("no admission response".to_string()),
+        }
+    }
+}
+
+/// Send one request and wait for its first non-frame response (frames
+/// from a concurrent attachment are passed over, not lost — the caller's
+/// `Collected` replays them from the journal on the next attach).
+pub fn request<T: Transport>(t: &mut T, req: &Request) -> Result<Response, String> {
+    send_req(t, req)?;
+    loop {
+        match recv_rsp(t, Duration::from_secs(5))? {
+            Some(Response::Frame { .. }) => continue,
+            Some(rsp) => return Ok(rsp),
+            None => return Err("no response from server".to_string()),
+        }
+    }
+}
+
+/// List the server's runs over an open session.
+pub fn list_runs<T: Transport>(t: &mut T) -> Result<Vec<RunInfo>, String> {
+    send_req(t, &Request::Runs)?;
+    loop {
+        match recv_rsp(t, Duration::from_secs(5))? {
+            Some(Response::RunList { runs }) => return Ok(runs),
+            Some(Response::Frame { .. }) => continue,
+            Some(Response::Error { reason }) => return Err(reason),
+            Some(other) => return Err(format!("expected run list, got {other:?}")),
+            None => return Err("no run list".to_string()),
+        }
+    }
+}
+
+/// Attach to `run` and stream frames into `collected` until the final
+/// report arrives (`Ok(true)`), the link tears (`Ok(false)` — reconnect
+/// and call again), or the server errors (`Err`). Heartbeats go out
+/// roughly once a second so an idle stream is not mistaken for a dead
+/// client.
+pub fn attach_and_collect<T: Transport>(
+    t: &mut T,
+    run: u64,
+    collected: &mut Collected,
+) -> Result<bool, String> {
+    if send_req(t, &Request::Attach { run, from_seq: collected.next_seq() }).is_err() {
+        return Ok(false); // link already dead: torn, not fatal
+    }
+    let mut quiet_ticks = 0u32;
+    loop {
+        match recv_rsp(t, Duration::from_millis(50)) {
+            Ok(Some(Response::Frame { run: r, line })) if r == run => {
+                if let Some(seq) = codec::seq_of(&line) {
+                    collected.frames.insert(seq, line);
+                }
+                quiet_ticks = 0;
+            }
+            Ok(Some(Response::Report { run: r, state, body })) if r == run => {
+                collected.report = Some((state, body));
+                return Ok(true);
+            }
+            Ok(Some(Response::Error { reason })) => return Err(reason),
+            Ok(Some(Response::ShuttingDown)) => return Ok(false),
+            Ok(Some(_)) => {}
+            Ok(None) => {
+                quiet_ticks += 1;
+                if quiet_ticks % 20 == 0 {
+                    if send_req(t, &Request::Heartbeat).is_err() {
+                        return Ok(false);
+                    }
+                }
+            }
+            Err(e) if e == "disconnected" => return Ok(false),
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Reconnect policy for [`collect_run_tcp`]: `attempts` tries with
+/// exponential backoff `base × 2^(n-1)`, capped at 8× — the same shape
+/// the simulated daemons use for order retransmission.
+#[derive(Debug, Clone)]
+pub struct ReconnectPolicy {
+    pub attempts: u32,
+    pub base: Duration,
+}
+
+impl Default for ReconnectPolicy {
+    fn default() -> Self {
+        ReconnectPolicy { attempts: 5, base: Duration::from_millis(200) }
+    }
+}
+
+impl ReconnectPolicy {
+    /// Backoff before the `n`-th retry (1-based).
+    pub fn delay(&self, n: u32) -> Duration {
+        self.base * (1u32 << n.saturating_sub(1).min(3))
+    }
+}
+
+/// Stream a run over TCP to completion, reconnecting through the backoff
+/// window on every torn link. Returns the collection and whether the
+/// final report arrived.
+pub fn collect_run_tcp(
+    addr: SocketAddr,
+    run: u64,
+    policy: &ReconnectPolicy,
+) -> Result<(Collected, bool), String> {
+    let mut collected = Collected::default();
+    let mut attempt = 0u32;
+    loop {
+        let torn = match TcpTransport::connect(addr) {
+            Ok(mut t) => match attach_and_collect(&mut t, run, &mut collected) {
+                Ok(true) => return Ok((collected, true)),
+                Ok(false) => true,
+                Err(e) => return Err(e),
+            },
+            Err(_) => true,
+        };
+        debug_assert!(torn);
+        attempt += 1;
+        if attempt >= policy.attempts {
+            return Ok((collected, false));
+        }
+        std::thread::sleep(policy.delay(attempt));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collected_tracks_sequence_state() {
+        let mut c = Collected::default();
+        assert_eq!(c.next_seq(), 0);
+        assert!(c.is_contiguous(), "empty is trivially contiguous");
+        c.frames.insert(0, "1 0 sim - msg-sent".into());
+        c.frames.insert(1, "2 1 sim - msg-dropped".into());
+        assert_eq!(c.next_seq(), 2);
+        assert!(c.is_contiguous());
+        assert_eq!(c.records().unwrap().len(), 2);
+        c.frames.insert(5, "9 5 sim - msg-sent".into());
+        assert!(!c.is_contiguous(), "gap 2..5 detected");
+        assert_eq!(c.next_seq(), 6);
+    }
+
+    #[test]
+    fn duplicate_frames_collapse() {
+        let mut c = Collected::default();
+        c.frames.insert(0, "1 0 sim - msg-sent".into());
+        c.frames.insert(0, "1 0 sim - msg-sent".into());
+        assert_eq!(c.frames.len(), 1);
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let p = ReconnectPolicy { attempts: 10, base: Duration::from_millis(100) };
+        assert_eq!(p.delay(1), Duration::from_millis(100));
+        assert_eq!(p.delay(2), Duration::from_millis(200));
+        assert_eq!(p.delay(3), Duration::from_millis(400));
+        assert_eq!(p.delay(4), Duration::from_millis(800));
+        assert_eq!(p.delay(9), Duration::from_millis(800), "capped at 8x");
+    }
+}

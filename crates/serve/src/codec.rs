@@ -1,0 +1,423 @@
+//! A compact, offline-safe line codec for [`TraceRecord`]s.
+//!
+//! Streaming a run's trace over the wire (and journaling it on the
+//! server) needs a per-record encoding that works without the workspace
+//! `serde_json` (stubbed out in offline builds). Each record becomes one
+//! space-separated line:
+//!
+//! ```text
+//! <millis> <seq> <subsystem> <node|-> <kind> [fields...]
+//! ```
+//!
+//! where `kind` is the stable [`ObsEvent::kind`] name and the fields are
+//! positional per kind. Free-text fields (job names, journal entry kinds)
+//! are percent-escaped so they stay single tokens. The encoding is purely
+//! an interchange format: the client reassembles [`TraceRecord`]s and
+//! writes the canonical JSONL trace via `dualboot_obs::to_jsonl`, so a
+//! replayed trace file is byte-identical to one written locally.
+
+use dualboot_bootconf::os::OsKind;
+use dualboot_des::time::SimTime;
+use dualboot_hw::NodeId;
+use dualboot_obs::{ObsEvent, Subsystem, TraceRecord};
+
+/// Percent-escape a free-text field into a single space-free token.
+/// The empty string encodes as `%e` (which a literal `"%e"` cannot
+/// produce, since `%` itself always escapes to `%25`).
+pub fn esc(s: &str) -> String {
+    if s.is_empty() {
+        return "%e".to_string();
+    }
+    let mut out = String::with_capacity(s.len());
+    for b in s.bytes() {
+        match b {
+            b'%' => out.push_str("%25"),
+            b' ' => out.push_str("%20"),
+            b'\n' => out.push_str("%0A"),
+            b'\r' => out.push_str("%0D"),
+            0x00..=0x1f | 0x80..=0xff => out.push_str(&format!("%{b:02X}")),
+            _ => out.push(b as char),
+        }
+    }
+    out
+}
+
+/// Reverse [`esc`].
+pub fn unesc(token: &str) -> Result<String, String> {
+    if token == "%e" {
+        return Ok(String::new());
+    }
+    let bytes = token.as_bytes();
+    let mut out: Vec<u8> = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'%' {
+            let hex = bytes
+                .get(i + 1..i + 3)
+                .ok_or_else(|| format!("truncated escape in {token:?}"))?;
+            let text = std::str::from_utf8(hex).map_err(|_| "bad escape".to_string())?;
+            out.push(u8::from_str_radix(text, 16).map_err(|_| format!("bad escape %{text}"))?);
+            i += 3;
+        } else {
+            out.push(bytes[i]);
+            i += 1;
+        }
+    }
+    String::from_utf8(out).map_err(|_| format!("non-utf8 field {token:?}"))
+}
+
+fn os_name(os: OsKind) -> &'static str {
+    match os {
+        OsKind::Linux => "linux",
+        OsKind::Windows => "windows",
+    }
+}
+
+fn parse_os(s: &str) -> Result<OsKind, String> {
+    match s {
+        "linux" => Ok(OsKind::Linux),
+        "windows" => Ok(OsKind::Windows),
+        other => Err(format!("unknown os {other:?}")),
+    }
+}
+
+fn bool_token(b: bool) -> &'static str {
+    if b {
+        "1"
+    } else {
+        "0"
+    }
+}
+
+fn parse_bool(s: &str) -> Result<bool, String> {
+    match s {
+        "1" => Ok(true),
+        "0" => Ok(false),
+        other => Err(format!("bad bool {other:?}")),
+    }
+}
+
+/// Encode one record as a single line (no trailing newline).
+pub fn encode(rec: &TraceRecord) -> String {
+    let node = match rec.node {
+        Some(n) => n.0.to_string(),
+        None => "-".to_string(),
+    };
+    let head = format!(
+        "{} {} {} {} {}",
+        rec.at.as_millis(),
+        rec.seq,
+        rec.subsystem.name(),
+        node,
+        rec.event.kind()
+    );
+    let tail = match &rec.event {
+        ObsEvent::JobSubmitted { name, os, nodes } => {
+            format!(" {} {} {}", esc(name), os_name(*os), nodes)
+        }
+        ObsEvent::JobFinished { name, os } => format!(" {} {}", esc(name), os_name(*os)),
+        ObsEvent::JobKilled { name } => format!(" {}", esc(name)),
+        ObsEvent::WinStateFetched { stuck, needed_cpus }
+        | ObsEvent::WinStateReceived { stuck, needed_cpus }
+        | ObsEvent::LinuxStateFetched { stuck, needed_cpus } => {
+            format!(" {} {}", bool_token(*stuck), needed_cpus)
+        }
+        ObsEvent::Decision { target, count } => {
+            let t = target.map(os_name).unwrap_or("-");
+            format!(" {t} {count}")
+        }
+        ObsEvent::FlagSet { target }
+        | ObsEvent::BootOrdered { target }
+        | ObsEvent::SwitchLanded { target } => format!(" {}", os_name(*target)),
+        ObsEvent::RebootOrderSent { seq, target, count }
+        | ObsEvent::RebootOrderReceived { seq, target, count } => {
+            format!(" {} {} {}", seq, os_name(*target), count)
+        }
+        ObsEvent::SwitchJobsSubmitted { via, count } => {
+            format!(" {} {}", os_name(*via), count)
+        }
+        ObsEvent::OrderAcked { seq }
+        | ObsEvent::OrderRetried { seq }
+        | ObsEvent::OrderAbandoned { seq }
+        | ObsEvent::DupOrderIgnored { seq } => format!(" {seq}"),
+        ObsEvent::BootCompleted { os } => format!(" {}", os_name(*os)),
+        ObsEvent::BootRetried { attempt } => format!(" {attempt}"),
+        ObsEvent::DaemonCrashed { side } => format!(" {}", os_name(*side)),
+        ObsEvent::DaemonRestarted { side, recovered } => {
+            format!(" {} {}", os_name(*side), bool_token(*recovered))
+        }
+        ObsEvent::JournalWrite { entry } => format!(" {}", esc(entry)),
+        ObsEvent::JournalReplayed { entries } => format!(" {entries}"),
+        ObsEvent::FaultInjected { kind } => format!(" {}", esc(kind)),
+        ObsEvent::RouteDecision { job, member, stale } => {
+            format!(" {} {} {}", esc(job), member, bool_token(*stale))
+        }
+        ObsEvent::ReportObserved { member, accepted } => {
+            format!(" {} {}", member, bool_token(*accepted))
+        }
+        ObsEvent::MsgDelayed { polls } => format!(" {polls}"),
+        ObsEvent::WinStateSent
+        | ObsEvent::StaleReportIgnored
+        | ObsEvent::BootFailed
+        | ObsEvent::BootDeadlineExpired
+        | ObsEvent::NodeQuarantined
+        | ObsEvent::NodeRecovered
+        | ObsEvent::MsgSent
+        | ObsEvent::MsgDropped
+        | ObsEvent::MsgDuplicated => String::new(),
+    };
+    head + &tail
+}
+
+/// The sequence number of an encoded line without a full decode (used to
+/// filter replay from a journaled offset cheaply).
+pub fn seq_of(line: &str) -> Option<u64> {
+    line.split(' ').nth(1)?.parse().ok()
+}
+
+/// Positional token cursor over one encoded line.
+struct Cursor<'a> {
+    it: std::str::Split<'a, char>,
+    line: &'a str,
+}
+
+impl<'a> Cursor<'a> {
+    fn next(&mut self, what: &str) -> Result<&'a str, String> {
+        self.it
+            .next()
+            .ok_or_else(|| format!("missing {what} in {:?}", self.line))
+    }
+
+    fn num(&mut self, what: &str) -> Result<u64, String> {
+        let line = self.line;
+        self.next(what)?
+            .parse()
+            .map_err(|_| format!("bad {what} in {line:?}"))
+    }
+
+    fn count(&mut self, what: &str) -> Result<u32, String> {
+        Ok(self.num(what)? as u32)
+    }
+
+    fn text(&mut self, what: &str) -> Result<String, String> {
+        let token = self.next(what)?;
+        unesc(token)
+    }
+
+    fn os(&mut self, what: &str) -> Result<OsKind, String> {
+        parse_os(self.next(what)?)
+    }
+
+    fn flag(&mut self, what: &str) -> Result<bool, String> {
+        parse_bool(self.next(what)?)
+    }
+}
+
+/// Decode one line back into a record.
+pub fn decode(line: &str) -> Result<TraceRecord, String> {
+    let mut cur = Cursor { it: line.split(' '), line };
+    let at = SimTime::from_millis(cur.num("time")?);
+    let seq = cur.num("seq")?;
+    let subsystem = {
+        let name = cur.next("subsystem")?;
+        Subsystem::parse(name).ok_or_else(|| format!("unknown subsystem {name:?}"))?
+    };
+    let node = match cur.next("node")? {
+        "-" => None,
+        raw => Some(NodeId(
+            raw.parse().map_err(|_| format!("bad node in {line:?}"))?,
+        )),
+    };
+    let event = match cur.next("kind")? {
+        "job-submitted" => ObsEvent::JobSubmitted {
+            name: cur.text("name")?,
+            os: cur.os("os")?,
+            nodes: cur.count("nodes")?,
+        },
+        "job-finished" => ObsEvent::JobFinished { name: cur.text("name")?, os: cur.os("os")? },
+        "job-killed" => ObsEvent::JobKilled { name: cur.text("name")? },
+        "win-state-fetched" => ObsEvent::WinStateFetched {
+            stuck: cur.flag("stuck")?,
+            needed_cpus: cur.count("cpus")?,
+        },
+        "win-state-sent" => ObsEvent::WinStateSent,
+        "win-state-received" => ObsEvent::WinStateReceived {
+            stuck: cur.flag("stuck")?,
+            needed_cpus: cur.count("cpus")?,
+        },
+        "linux-state-fetched" => ObsEvent::LinuxStateFetched {
+            stuck: cur.flag("stuck")?,
+            needed_cpus: cur.count("cpus")?,
+        },
+        "decision" => ObsEvent::Decision {
+            target: match cur.next("target")? {
+                "-" => None,
+                os => Some(parse_os(os)?),
+            },
+            count: cur.count("count")?,
+        },
+        "flag-set" => ObsEvent::FlagSet { target: cur.os("target")? },
+        "reboot-order-sent" => ObsEvent::RebootOrderSent {
+            seq: cur.num("order-seq")?,
+            target: cur.os("target")?,
+            count: cur.count("count")?,
+        },
+        "reboot-order-received" => ObsEvent::RebootOrderReceived {
+            seq: cur.num("order-seq")?,
+            target: cur.os("target")?,
+            count: cur.count("count")?,
+        },
+        "switch-jobs-submitted" => ObsEvent::SwitchJobsSubmitted {
+            via: cur.os("via")?,
+            count: cur.count("count")?,
+        },
+        "order-acked" => ObsEvent::OrderAcked { seq: cur.num("order-seq")? },
+        "order-retried" => ObsEvent::OrderRetried { seq: cur.num("order-seq")? },
+        "order-abandoned" => ObsEvent::OrderAbandoned { seq: cur.num("order-seq")? },
+        "dup-order-ignored" => ObsEvent::DupOrderIgnored { seq: cur.num("order-seq")? },
+        "stale-report-ignored" => ObsEvent::StaleReportIgnored,
+        "boot-ordered" => ObsEvent::BootOrdered { target: cur.os("target")? },
+        "boot-completed" => ObsEvent::BootCompleted { os: cur.os("os")? },
+        "boot-failed" => ObsEvent::BootFailed,
+        "switch-landed" => ObsEvent::SwitchLanded { target: cur.os("target")? },
+        "boot-deadline-expired" => ObsEvent::BootDeadlineExpired,
+        "boot-retried" => ObsEvent::BootRetried { attempt: cur.count("attempt")? },
+        "node-quarantined" => ObsEvent::NodeQuarantined,
+        "node-recovered" => ObsEvent::NodeRecovered,
+        "daemon-crashed" => ObsEvent::DaemonCrashed { side: cur.os("side")? },
+        "daemon-restarted" => ObsEvent::DaemonRestarted {
+            side: cur.os("side")?,
+            recovered: cur.flag("recovered")?,
+        },
+        "journal-write" => ObsEvent::JournalWrite { entry: cur.text("entry")? },
+        "journal-replayed" => {
+            ObsEvent::JournalReplayed { entries: cur.num("entries")? as usize }
+        }
+        "fault-injected" => ObsEvent::FaultInjected { kind: cur.text("fault")? },
+        "route-decision" => ObsEvent::RouteDecision {
+            job: cur.text("job")?,
+            member: cur.count("member")?,
+            stale: cur.flag("stale")?,
+        },
+        "report-observed" => ObsEvent::ReportObserved {
+            member: cur.count("member")?,
+            accepted: cur.flag("accepted")?,
+        },
+        "msg-sent" => ObsEvent::MsgSent,
+        "msg-dropped" => ObsEvent::MsgDropped,
+        "msg-delayed" => ObsEvent::MsgDelayed { polls: cur.count("polls")? },
+        "msg-duplicated" => ObsEvent::MsgDuplicated,
+        other => return Err(format!("unknown event kind {other:?}")),
+    };
+    if cur.it.next().is_some() {
+        return Err(format!("trailing fields in {line:?}"));
+    }
+    Ok(TraceRecord { at, seq, subsystem, node, event })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(seq: u64, subsystem: Subsystem, node: Option<u32>, event: ObsEvent) -> TraceRecord {
+        TraceRecord {
+            at: SimTime::from_millis(1234 + seq),
+            seq,
+            subsystem,
+            node: node.map(NodeId),
+            event,
+        }
+    }
+
+    /// One of every variant: the codec must stay exhaustive.
+    fn zoo() -> Vec<TraceRecord> {
+        use ObsEvent::*;
+        let events = vec![
+            JobSubmitted { name: "J 1%x".into(), os: OsKind::Linux, nodes: 4 },
+            JobFinished { name: "J2".into(), os: OsKind::Windows },
+            JobKilled { name: String::new() },
+            WinStateFetched { stuck: true, needed_cpus: 8 },
+            WinStateSent,
+            WinStateReceived { stuck: false, needed_cpus: 0 },
+            LinuxStateFetched { stuck: true, needed_cpus: 2 },
+            Decision { target: Some(OsKind::Windows), count: 3 },
+            Decision { target: None, count: 0 },
+            FlagSet { target: OsKind::Linux },
+            RebootOrderSent { seq: 7, target: OsKind::Windows, count: 2 },
+            RebootOrderReceived { seq: 7, target: OsKind::Windows, count: 2 },
+            SwitchJobsSubmitted { via: OsKind::Linux, count: 2 },
+            OrderAcked { seq: 7 },
+            OrderRetried { seq: 8 },
+            OrderAbandoned { seq: 9 },
+            DupOrderIgnored { seq: 10 },
+            StaleReportIgnored,
+            BootOrdered { target: OsKind::Windows },
+            BootCompleted { os: OsKind::Linux },
+            BootFailed,
+            SwitchLanded { target: OsKind::Linux },
+            BootDeadlineExpired,
+            BootRetried { attempt: 2 },
+            NodeQuarantined,
+            NodeRecovered,
+            DaemonCrashed { side: OsKind::Linux },
+            DaemonRestarted { side: OsKind::Windows, recovered: true },
+            JournalWrite { entry: "order-sent".into() },
+            JournalReplayed { entries: 17 },
+            FaultInjected { kind: "power-reset".into() },
+            RouteDecision { job: "grid job".into(), member: 1, stale: true },
+            ReportObserved { member: 2, accepted: false },
+            MsgSent,
+            MsgDropped,
+            MsgDelayed { polls: 3 },
+            MsgDuplicated,
+        ];
+        events
+            .into_iter()
+            .enumerate()
+            .map(|(i, e)| {
+                rec(
+                    i as u64,
+                    Subsystem::ALL[i % Subsystem::ALL.len()],
+                    (i % 3 == 0).then_some(i as u32 + 1),
+                    e,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn every_variant_round_trips() {
+        for r in zoo() {
+            let line = encode(&r);
+            assert!(!line.contains('\n'));
+            let back = decode(&line).unwrap_or_else(|e| panic!("{e}: {line}"));
+            assert_eq!(back, r, "line was {line:?}");
+            assert_eq!(seq_of(&line), Some(r.seq));
+        }
+    }
+
+    #[test]
+    fn escaping_handles_empty_space_percent_and_non_ascii() {
+        for s in ["", " ", "%", "%e", "a b%c", "line\nbreak", "naïve"] {
+            let token = esc(s);
+            assert!(!token.contains(' ') && !token.contains('\n'), "{token:?}");
+            assert!(!token.is_empty());
+            assert_eq!(unesc(&token).unwrap(), s, "token was {token:?}");
+        }
+    }
+
+    #[test]
+    fn garbage_lines_are_rejected_not_panicked() {
+        for bad in [
+            "",
+            "abc",
+            "12 0 sim - unknown-kind",
+            "12 0 nope - msg-sent",
+            "12 0 sim - msg-sent extra",
+            "12 0 sim x msg-sent",
+            "12 0 sim - boot-retried notanumber",
+        ] {
+            assert!(decode(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+}

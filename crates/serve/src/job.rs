@@ -1,0 +1,369 @@
+//! Job specifications: what a client asks the server to run.
+//!
+//! Two job kinds exist. A **sim** job is a single cluster simulation and
+//! mirrors the `dualboot simulate` CLI surface exactly — same defaults,
+//! same mode/policy spellings, same workload construction — so a run
+//! submitted to the server produces the same trace and metrics as the
+//! equivalent local invocation. A **campaign** job names one of the
+//! built-in campaign specs; arbitrary manifests would need `serde_json`,
+//! which is stubbed out in offline builds, so the server deliberately
+//! accepts builtins only (documented in DESIGN.md).
+//!
+//! Jobs serialize through the crate-local [`Json`] value type both on
+//! the wire and in the server journal, so a journaled job can be re-built
+//! bit-for-bit after a crash. Determinism of the simulator then makes
+//! re-execution a valid recovery strategy: same job + same seed ⇒ same
+//! trace bytes and same report.
+
+use crate::json::{self, Json};
+use dualboot_cluster::{FaultPlan, Mode, PolicyKind, SimConfig, Simulation};
+use dualboot_des::time::SimDuration;
+use dualboot_des::QueueBackend;
+use dualboot_obs::ObsConfig;
+use dualboot_workload::WorkloadSpec;
+
+/// Event horizon applied to every served simulation, matching the CLI's
+/// `run_trace`. The server's chunked executor stops at the same bound.
+pub const HORIZON_HOURS: u64 = 24 * 30;
+
+/// A single-simulation job, mirroring `SimulateArgs` field-for-field
+/// (minus the output-formatting flags, which are client-side concerns).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimJob {
+    pub seed: u64,
+    /// `dualboot` | `static` | `mono` | `oracle`.
+    pub mode: String,
+    /// `fcfs` | `threshold` | `hysteresis` | `proportional`.
+    pub policy: String,
+    pub windows_fraction: f64,
+    pub load: f64,
+    pub hours: u64,
+    pub split: u32,
+    pub watchdog: bool,
+    pub journal: bool,
+    /// `heap` | `calendar`.
+    pub queue: String,
+    /// `chaos` or inline JSON. File paths are rejected server-side: the
+    /// server never reads client-named local files.
+    pub faults: Option<String>,
+}
+
+impl Default for SimJob {
+    fn default() -> Self {
+        SimJob {
+            seed: 2012,
+            mode: "dualboot".into(),
+            policy: "fcfs".into(),
+            windows_fraction: 0.3,
+            load: 0.7,
+            hours: 8,
+            split: 16,
+            watchdog: true,
+            journal: true,
+            queue: "heap".into(),
+            faults: None,
+        }
+    }
+}
+
+fn parse_mode(s: &str) -> Result<Mode, String> {
+    match s {
+        "dualboot" => Ok(Mode::DualBoot),
+        "static" => Ok(Mode::StaticSplit),
+        "mono" => Ok(Mode::MonoStable),
+        "oracle" => Ok(Mode::Oracle),
+        other => Err(format!("unknown mode {other:?}")),
+    }
+}
+
+fn parse_policy(s: &str) -> Result<(PolicyKind, bool), String> {
+    match s {
+        "fcfs" => Ok((PolicyKind::Fcfs, false)),
+        "threshold" => Ok((PolicyKind::Threshold { queue_threshold: 2 }, true)),
+        "hysteresis" => Ok((PolicyKind::Hysteresis { persistence: 2, cooldown: 2 }, false)),
+        "proportional" => Ok((PolicyKind::Proportional { min_per_side: 1 }, true)),
+        other => Err(format!("unknown policy {other:?}")),
+    }
+}
+
+impl SimJob {
+    /// Build the ready-to-run simulation. Mirrors the CLI's `run_simulate`
+    /// + `run_trace` construction exactly, with the observability bus
+    /// always recording (the trace stream is the service's product).
+    pub fn build(&self) -> Result<Simulation, String> {
+        let (policy, omniscient) = parse_policy(&self.policy)?;
+        let trace = WorkloadSpec {
+            windows_fraction: self.windows_fraction,
+            duration: SimDuration::from_hours(self.hours),
+            ..WorkloadSpec::campus_default(self.seed)
+        }
+        .with_offered_load(self.load, 64)
+        .generate();
+        let mut cfg = SimConfig::builder().v2().seed(self.seed).build();
+        cfg.mode = parse_mode(&self.mode)?;
+        cfg.policy = policy;
+        cfg.omniscient = omniscient;
+        cfg.initial_linux_nodes = self.split;
+        cfg.supervision.watchdog = self.watchdog;
+        cfg.supervision.journal = self.journal;
+        cfg.queue_backend = self.queue.parse::<QueueBackend>()?;
+        cfg.horizon = SimDuration::from_hours(HORIZON_HOURS);
+        if let Some(spec) = &self.faults {
+            cfg.faults = resolve_faults(spec, self.seed)?;
+        }
+        cfg.obs = ObsConfig::recording();
+        Ok(Simulation::new(cfg, trace))
+    }
+
+    pub fn to_json(&self) -> Json {
+        let mut obj = vec![
+            ("seed".into(), Json::num_u64(self.seed)),
+            ("mode".into(), Json::str(&self.mode)),
+            ("policy".into(), Json::str(&self.policy)),
+            ("windows_fraction".into(), Json::num_f64(self.windows_fraction)),
+            ("load".into(), Json::num_f64(self.load)),
+            ("hours".into(), Json::num_u64(self.hours)),
+            ("split".into(), Json::num_u64(self.split as u64)),
+            ("watchdog".into(), Json::Bool(self.watchdog)),
+            ("journal".into(), Json::Bool(self.journal)),
+            ("queue".into(), Json::str(&self.queue)),
+        ];
+        if let Some(f) = &self.faults {
+            obj.push(("faults".into(), Json::str(f)));
+        }
+        Json::Obj(obj)
+    }
+
+    pub fn from_json(v: &Json) -> Result<SimJob, String> {
+        let d = SimJob::default();
+        let get_str = |key: &str, fallback: &str| -> Result<String, String> {
+            match v.get(key) {
+                None => Ok(fallback.to_string()),
+                Some(j) => j
+                    .as_str()
+                    .map(str::to_string)
+                    .ok_or_else(|| format!("{key} must be a string")),
+            }
+        };
+        Ok(SimJob {
+            seed: num_or(v, "seed", d.seed)?,
+            mode: get_str("mode", &d.mode)?,
+            policy: get_str("policy", &d.policy)?,
+            windows_fraction: f64_or(v, "windows_fraction", d.windows_fraction)?,
+            load: f64_or(v, "load", d.load)?,
+            hours: num_or(v, "hours", d.hours)?,
+            split: num_or(v, "split", d.split as u64)? as u32,
+            watchdog: bool_or(v, "watchdog", d.watchdog)?,
+            journal: bool_or(v, "journal", d.journal)?,
+            queue: get_str("queue", &d.queue)?,
+            faults: match v.get("faults") {
+                None | Some(Json::Null) => None,
+                Some(j) => Some(
+                    j.as_str()
+                        .map(str::to_string)
+                        .ok_or("faults must be a string")?,
+                ),
+            },
+        })
+    }
+}
+
+fn num_or(v: &Json, key: &str, fallback: u64) -> Result<u64, String> {
+    match v.get(key) {
+        None => Ok(fallback),
+        Some(j) => j.as_u64().ok_or_else(|| format!("{key} must be an integer")),
+    }
+}
+
+fn f64_or(v: &Json, key: &str, fallback: f64) -> Result<f64, String> {
+    match v.get(key) {
+        None => Ok(fallback),
+        Some(j) => j.as_f64().ok_or_else(|| format!("{key} must be a number")),
+    }
+}
+
+fn bool_or(v: &Json, key: &str, fallback: bool) -> Result<bool, String> {
+    match v.get(key) {
+        None => Ok(fallback),
+        Some(j) => j.as_bool().ok_or_else(|| format!("{key} must be a bool")),
+    }
+}
+
+/// Resolve a fault-plan spec without touching the filesystem. Inline JSON
+/// goes through `FaultPlan::from_json`, which uses the workspace
+/// `serde_json` — stubbed to panic in offline builds — so the parse runs
+/// under `catch_unwind` and degrades to a clean error.
+fn resolve_faults(spec: &str, seed: u64) -> Result<FaultPlan, String> {
+    if spec == "chaos" {
+        return Ok(FaultPlan::default_chaos(seed));
+    }
+    if spec.trim_start().starts_with('{') {
+        let text = spec.to_string();
+        return std::panic::catch_unwind(move || FaultPlan::from_json(&text))
+            .map_err(|_| "inline fault plans need serde_json (offline build)".to_string())?
+            .map_err(|e| format!("bad fault plan JSON: {e}"));
+    }
+    Err(format!(
+        "fault spec {spec:?} not accepted remotely: use \"chaos\" or inline JSON"
+    ))
+}
+
+/// A campaign job: one of the built-in specs by name.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignJob {
+    /// `smoke` | `fleet` | `grid-smoke`.
+    pub builtin: String,
+    pub seed: u64,
+    /// Worker threads for the campaign's own cell pool (0 = default).
+    pub workers: u64,
+}
+
+impl Default for CampaignJob {
+    fn default() -> Self {
+        CampaignJob { builtin: "smoke".into(), seed: 2012, workers: 1 }
+    }
+}
+
+impl CampaignJob {
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("builtin".into(), Json::str(&self.builtin)),
+            ("seed".into(), Json::num_u64(self.seed)),
+            ("workers".into(), Json::num_u64(self.workers)),
+        ])
+    }
+
+    pub fn from_json(v: &Json) -> Result<CampaignJob, String> {
+        let d = CampaignJob::default();
+        Ok(CampaignJob {
+            builtin: match v.get("builtin") {
+                None => d.builtin,
+                Some(j) => j.as_str().ok_or("builtin must be a string")?.to_string(),
+            },
+            seed: num_or(v, "seed", d.seed)?,
+            workers: num_or(v, "workers", d.workers)?,
+        })
+    }
+
+    /// Resolve the named builtin, failing fast at submission time.
+    pub fn spec(&self) -> Result<dualboot_campaign::CampaignSpec, String> {
+        dualboot_campaign::CampaignSpec::builtin(&self.builtin, self.seed)
+            .ok_or_else(|| format!("unknown builtin campaign {:?}", self.builtin))
+    }
+}
+
+/// What the server actually executes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobSpec {
+    Sim(SimJob),
+    Campaign(CampaignJob),
+}
+
+impl JobSpec {
+    /// Short kind tag for run listings.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            JobSpec::Sim(_) => "sim",
+            JobSpec::Campaign(_) => "campaign",
+        }
+    }
+
+    pub fn to_json(&self) -> Json {
+        match self {
+            JobSpec::Sim(job) => Json::Obj(vec![
+                ("kind".into(), Json::str("sim")),
+                ("sim".into(), job.to_json()),
+            ]),
+            JobSpec::Campaign(job) => Json::Obj(vec![
+                ("kind".into(), Json::str("campaign")),
+                ("campaign".into(), job.to_json()),
+            ]),
+        }
+    }
+
+    pub fn from_json(v: &Json) -> Result<JobSpec, String> {
+        match v.get("kind").and_then(Json::as_str) {
+            Some("sim") => Ok(JobSpec::Sim(SimJob::from_json(
+                v.get("sim").ok_or("missing sim body")?,
+            )?)),
+            Some("campaign") => Ok(JobSpec::Campaign(CampaignJob::from_json(
+                v.get("campaign").ok_or("missing campaign body")?,
+            )?)),
+            Some(other) => Err(format!("unknown job kind {other:?}")),
+            None => Err("job needs a kind".to_string()),
+        }
+    }
+
+    /// Round-trip helper for the journal: one compact line of JSON.
+    pub fn to_line(&self) -> String {
+        self.to_json().write()
+    }
+
+    pub fn from_line(line: &str) -> Result<JobSpec, String> {
+        JobSpec::from_json(&json::parse(line)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sim_job_round_trips_through_json() {
+        let job = SimJob {
+            seed: 99,
+            mode: "static".into(),
+            policy: "threshold".into(),
+            windows_fraction: 0.45,
+            load: 0.9,
+            hours: 2,
+            split: 8,
+            watchdog: false,
+            journal: false,
+            queue: "calendar".into(),
+            faults: Some("chaos".into()),
+        };
+        let spec = JobSpec::Sim(job);
+        assert_eq!(JobSpec::from_line(&spec.to_line()).unwrap(), spec);
+    }
+
+    #[test]
+    fn campaign_job_round_trips_and_resolves() {
+        let spec = JobSpec::Campaign(CampaignJob {
+            builtin: "fleet".into(),
+            seed: 3,
+            workers: 2,
+        });
+        assert_eq!(JobSpec::from_line(&spec.to_line()).unwrap(), spec);
+        if let JobSpec::Campaign(c) = &spec {
+            assert!(c.spec().is_ok());
+            assert!(CampaignJob { builtin: "nope".into(), ..c.clone() }.spec().is_err());
+        }
+    }
+
+    #[test]
+    fn defaults_fill_missing_fields() {
+        let spec = JobSpec::from_line(r#"{"kind":"sim","sim":{"seed":7}}"#).unwrap();
+        let JobSpec::Sim(job) = spec else { panic!("wrong kind") };
+        assert_eq!(job.seed, 7);
+        assert_eq!(job, SimJob { seed: 7, ..SimJob::default() });
+    }
+
+    #[test]
+    fn bad_specs_are_rejected() {
+        assert!(JobSpec::from_line("{}").is_err());
+        assert!(JobSpec::from_line(r#"{"kind":"zap"}"#).is_err());
+        assert!(JobSpec::from_line(r#"{"kind":"sim","sim":{"seed":"x"}}"#).is_err());
+        let bad = SimJob { mode: "nope".into(), ..SimJob::default() };
+        assert!(bad.build().is_err());
+        let bad = SimJob { faults: Some("/etc/passwd".into()), ..SimJob::default() };
+        assert!(bad.build().is_err());
+    }
+
+    #[test]
+    fn sim_job_build_matches_cli_defaults() {
+        let sim = SimJob::default().build().unwrap();
+        // The built simulation records on the bus: the service streams it.
+        assert!(sim.obs().is_enabled());
+    }
+}

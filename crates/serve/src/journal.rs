@@ -1,0 +1,416 @@
+//! Crash-consistent server state: the run journal and per-run files.
+//!
+//! The server keeps one write-ahead **run journal** per state directory,
+//! with the same discipline as the campaign progress journal: a magic
+//! header, one flushed line per state transition, and torn tails
+//! truncated back to the last complete line on reopen. The journal is
+//! the source of truth — a `run` line with no terminal line means the
+//! run must be re-queued when a killed server restarts.
+//!
+//! ```text
+//! dualboot-serve-journal v1
+//! run <id> <client> <tag> <job-json>      (escaped tokens)
+//! done <id>
+//! cancelled <id>
+//! failed <id> <reason>
+//! ```
+//!
+//! Alongside the journal each run owns up to three files:
+//! `run-<id>.trace` (encoded trace lines, appended and flushed per
+//! chunk while the run executes), `run-<id>.report` (final report,
+//! written tmp+rename *before* the journal's `done` line so a `done`
+//! run always has a readable report), and `run-<id>.campaign` (the
+//! campaign engine's own progress journal, giving campaign runs true
+//! cell-level resume instead of recompute-from-scratch).
+
+use crate::codec::{esc, unesc};
+use crate::job::JobSpec;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, Write};
+use std::path::{Path, PathBuf};
+
+const MAGIC: &str = "dualboot-serve-journal";
+const VERSION: &str = "v1";
+const TRACE_MAGIC: &str = "dualboot-serve-trace";
+
+/// One journaled state transition.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JournalEvent {
+    Run { id: u64, client: String, tag: String, job: JobSpec },
+    Done { id: u64 },
+    Cancelled { id: u64 },
+    Failed { id: u64, reason: String },
+}
+
+impl JournalEvent {
+    fn to_line(&self) -> String {
+        match self {
+            JournalEvent::Run { id, client, tag, job } => {
+                format!("run {id} {} {} {}", esc(client), esc(tag), esc(&job.to_line()))
+            }
+            JournalEvent::Done { id } => format!("done {id}"),
+            JournalEvent::Cancelled { id } => format!("cancelled {id}"),
+            JournalEvent::Failed { id, reason } => format!("failed {id} {}", esc(reason)),
+        }
+    }
+
+    /// `None` on any malformation: the caller treats the line as torn.
+    fn parse(line: &str) -> Option<JournalEvent> {
+        let mut it = line.split(' ');
+        let kind = it.next()?;
+        let id: u64 = it.next()?.parse().ok()?;
+        let ev = match kind {
+            "run" => JournalEvent::Run {
+                id,
+                client: unesc(it.next()?).ok()?,
+                tag: unesc(it.next()?).ok()?,
+                job: JobSpec::from_line(&unesc(it.next()?).ok()?).ok()?,
+            },
+            "done" => JournalEvent::Done { id },
+            "cancelled" => JournalEvent::Cancelled { id },
+            "failed" => JournalEvent::Failed { id, reason: unesc(it.next()?).ok()? },
+            _ => return None,
+        };
+        if it.next().is_some() {
+            return None;
+        }
+        Some(ev)
+    }
+}
+
+/// The open, append-mode run journal.
+#[derive(Debug)]
+pub struct ServeJournal {
+    file: File,
+}
+
+impl ServeJournal {
+    pub fn path_in(dir: &Path) -> PathBuf {
+        dir.join("serve.journal")
+    }
+
+    /// Open the state directory's journal, creating it (with a fresh
+    /// header) if absent, replaying it if present. Returns the journal
+    /// positioned for appending plus every complete event in order;
+    /// a torn tail is truncated away.
+    pub fn open(dir: &Path) -> io::Result<(ServeJournal, Vec<JournalEvent>)> {
+        std::fs::create_dir_all(dir)?;
+        let path = Self::path_in(dir);
+        let mut file = OpenOptions::new()
+            .create(true)
+            .read(true)
+            .write(true)
+            .open(&path)?;
+        let mut text = String::new();
+        file.read_to_string(&mut text)?;
+        if text.is_empty() {
+            writeln!(file, "{MAGIC} {VERSION}")?;
+            file.flush()?;
+            return Ok((ServeJournal { file }, Vec::new()));
+        }
+
+        let bad = |msg: String| io::Error::new(io::ErrorKind::InvalidData, msg);
+        let header_end = text
+            .find('\n')
+            .ok_or_else(|| bad("journal has no complete header line".into()))?;
+        let header = &text[..header_end];
+        if header != format!("{MAGIC} {VERSION}") {
+            return Err(bad(format!("not a serve journal (header `{header}`)")));
+        }
+        let mut events = Vec::new();
+        let mut valid_end = header_end + 1;
+        for line in text[header_end + 1..].split_inclusive('\n') {
+            let Some(body) = line.strip_suffix('\n') else {
+                break; // torn tail: no newline made it to disk
+            };
+            let Some(ev) = JournalEvent::parse(body) else {
+                break;
+            };
+            events.push(ev);
+            valid_end += line.len();
+        }
+        file.set_len(valid_end as u64)?;
+        file.seek(io::SeekFrom::End(0))?;
+        Ok((ServeJournal { file }, events))
+    }
+
+    /// Append one event and flush before returning, so a kill right
+    /// after cannot lose it.
+    pub fn append(&mut self, ev: &JournalEvent) -> io::Result<()> {
+        writeln!(self.file, "{}", ev.to_line())?;
+        self.file.flush()
+    }
+}
+
+// ---------------------------------------------------------------- per-run
+
+pub fn trace_path(dir: &Path, id: u64) -> PathBuf {
+    dir.join(format!("run-{id}.trace"))
+}
+
+pub fn report_path(dir: &Path, id: u64) -> PathBuf {
+    dir.join(format!("run-{id}.report"))
+}
+
+pub fn campaign_path(dir: &Path, id: u64) -> PathBuf {
+    dir.join(format!("run-{id}.campaign"))
+}
+
+/// An open per-run trace file, append-mode.
+#[derive(Debug)]
+pub struct TraceFile {
+    file: File,
+}
+
+impl TraceFile {
+    /// Start (or restart) a run's trace, truncating any partial trace a
+    /// previous server life left behind — re-execution regenerates the
+    /// identical lines from the start.
+    pub fn create(dir: &Path, id: u64) -> io::Result<TraceFile> {
+        let mut file = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(trace_path(dir, id))?;
+        writeln!(file, "{TRACE_MAGIC} {VERSION} run={id}")?;
+        file.flush()?;
+        Ok(TraceFile { file })
+    }
+
+    /// Append a chunk of encoded lines and flush them as one unit.
+    pub fn append(&mut self, lines: &[String]) -> io::Result<()> {
+        if lines.is_empty() {
+            return Ok(());
+        }
+        let mut buf = String::with_capacity(lines.iter().map(|l| l.len() + 1).sum());
+        for line in lines {
+            buf.push_str(line);
+            buf.push('\n');
+        }
+        self.file.write_all(buf.as_bytes())?;
+        self.file.flush()
+    }
+}
+
+/// Read the *complete* trace lines after byte `offset`, returning them
+/// with the offset to resume from (the end of the last complete line).
+/// At offset 0 the header line is validated and skipped. Used by the
+/// session loop to pump new frames to attached clients: a line being
+/// written concurrently simply isn't returned until its newline lands.
+pub fn read_trace_lines(path: &Path, offset: u64) -> io::Result<(Vec<String>, u64)> {
+    let mut file = File::open(path)?;
+    let mut start = offset;
+    let mut text = String::new();
+    file.seek(io::SeekFrom::Start(offset))?;
+    file.read_to_string(&mut text)?;
+    let mut lines = Vec::new();
+    let mut consumed = 0usize;
+    for line in text.split_inclusive('\n') {
+        let Some(body) = line.strip_suffix('\n') else {
+            break; // incomplete: the writer is mid-append
+        };
+        if start == 0 && consumed == 0 {
+            if !body.starts_with(TRACE_MAGIC) {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("not a serve trace (header `{body}`)"),
+                ));
+            }
+        } else {
+            lines.push(body.to_string());
+        }
+        consumed += line.len();
+    }
+    start += consumed as u64;
+    Ok((lines, start))
+}
+
+/// Write a run's final report atomically: tmp + rename, then the caller
+/// journals `done`. A crash between the two re-runs the run, which
+/// rewrites the identical report; a crash before the rename leaves only
+/// the tmp file, which GC removes.
+pub fn write_report(dir: &Path, id: u64, body: &str) -> io::Result<()> {
+    let tmp = dir.join(format!("run-{id}.report.tmp"));
+    std::fs::write(&tmp, body)?;
+    std::fs::rename(&tmp, report_path(dir, id))
+}
+
+pub fn read_report(dir: &Path, id: u64) -> io::Result<String> {
+    std::fs::read_to_string(report_path(dir, id))
+}
+
+/// Delete files in `dir` that belong to no journaled run (`keep` holds
+/// the journaled ids). Returns the removed file names, sorted, for the
+/// server's startup log.
+pub fn gc_orphans(dir: &Path, keep: &std::collections::BTreeSet<u64>) -> io::Result<Vec<String>> {
+    let mut removed = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name().to_string_lossy().into_owned();
+        let Some(rest) = name.strip_prefix("run-") else {
+            continue;
+        };
+        let Some(id_text) = rest.split('.').next() else {
+            continue;
+        };
+        let orphan = match id_text.parse::<u64>() {
+            Ok(id) => !keep.contains(&id),
+            Err(_) => true,
+        } || name.ends_with(".tmp");
+        if orphan {
+            std::fs::remove_file(entry.path())?;
+            removed.push(name);
+        }
+    }
+    removed.sort();
+    Ok(removed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::SimJob;
+    use std::collections::BTreeSet;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("dualboot-serve-journal-{tag}"));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn sample_run(id: u64) -> JournalEvent {
+        JournalEvent::Run {
+            id,
+            client: "cli one".into(),
+            tag: String::new(),
+            job: JobSpec::Sim(SimJob { seed: id, ..SimJob::default() }),
+        }
+    }
+
+    #[test]
+    fn events_round_trip_with_awkward_text() {
+        let all = vec![
+            sample_run(1),
+            JournalEvent::Done { id: 1 },
+            JournalEvent::Cancelled { id: 2 },
+            JournalEvent::Failed { id: 3, reason: "deadline (60s) exceeded".into() },
+        ];
+        for ev in all {
+            let line = ev.to_line();
+            assert!(!line.contains('\n'));
+            assert_eq!(JournalEvent::parse(&line).unwrap(), ev, "{line}");
+        }
+        assert!(JournalEvent::parse("run 1").is_none());
+        assert!(JournalEvent::parse("done x").is_none());
+        assert!(JournalEvent::parse("done 1 extra").is_none());
+    }
+
+    #[test]
+    fn open_append_reopen_replays_in_order() {
+        let dir = tmpdir("replay");
+        {
+            let (mut j, events) = ServeJournal::open(&dir).unwrap();
+            assert!(events.is_empty());
+            j.append(&sample_run(1)).unwrap();
+            j.append(&sample_run(2)).unwrap();
+            j.append(&JournalEvent::Done { id: 1 }).unwrap();
+        }
+        let (_j, events) = ServeJournal::open(&dir).unwrap();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[2], JournalEvent::Done { id: 1 });
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_journal_stays_usable() {
+        let dir = tmpdir("torn");
+        {
+            let (mut j, _) = ServeJournal::open(&dir).unwrap();
+            j.append(&sample_run(1)).unwrap();
+            j.append(&JournalEvent::Done { id: 1 }).unwrap();
+        }
+        let path = ServeJournal::path_in(&dir);
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &text[..text.len() - 3]).unwrap();
+
+        let (mut j, events) = ServeJournal::open(&dir).unwrap();
+        assert_eq!(events.len(), 1, "torn `done` dropped");
+        j.append(&JournalEvent::Done { id: 1 }).unwrap();
+        drop(j);
+        let (_j, events) = ServeJournal::open(&dir).unwrap();
+        assert_eq!(events.len(), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn foreign_journal_is_rejected() {
+        let dir = tmpdir("foreign");
+        std::fs::write(ServeJournal::path_in(&dir), "something else v9\n").unwrap();
+        assert!(ServeJournal::open(&dir).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn trace_files_stream_incrementally() {
+        let dir = tmpdir("trace");
+        let mut t = TraceFile::create(&dir, 7).unwrap();
+        let path = trace_path(&dir, 7);
+
+        let (lines, off) = read_trace_lines(&path, 0).unwrap();
+        assert!(lines.is_empty(), "header only");
+        t.append(&["1 0 sim - msg-sent".into(), "2 1 sim - msg-dropped".into()])
+            .unwrap();
+        let (lines, off) = read_trace_lines(&path, off).unwrap();
+        assert_eq!(lines.len(), 2);
+        // Nothing new: same offset, no lines.
+        let (lines2, off2) = read_trace_lines(&path, off).unwrap();
+        assert!(lines2.is_empty());
+        assert_eq!(off2, off);
+        t.append(&["3 2 sim - msg-sent".into()]).unwrap();
+        let (lines3, _) = read_trace_lines(&path, off).unwrap();
+        assert_eq!(lines3, vec!["3 2 sim - msg-sent".to_string()]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn trace_reader_ignores_incomplete_last_line() {
+        let dir = tmpdir("partial");
+        TraceFile::create(&dir, 1).unwrap();
+        let path = trace_path(&dir, 1);
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        write!(f, "1 0 sim - msg").unwrap(); // no newline yet
+        f.flush().unwrap();
+        let (lines, off) = read_trace_lines(&path, 0).unwrap();
+        assert!(lines.is_empty());
+        writeln!(f, "-sent").unwrap();
+        let (lines, _) = read_trace_lines(&path, off).unwrap();
+        assert_eq!(lines, vec!["1 0 sim - msg-sent".to_string()]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn reports_are_atomic_and_orphans_are_collected() {
+        let dir = tmpdir("gc");
+        write_report(&dir, 1, "report one").unwrap();
+        TraceFile::create(&dir, 1).unwrap();
+        TraceFile::create(&dir, 9).unwrap();
+        std::fs::write(dir.join("run-2.report.tmp"), "half").unwrap();
+        std::fs::write(dir.join("run-x.trace"), "junk").unwrap();
+        assert_eq!(read_report(&dir, 1).unwrap(), "report one");
+
+        let keep: BTreeSet<u64> = [1].into();
+        let removed = gc_orphans(&dir, &keep).unwrap();
+        assert_eq!(
+            removed,
+            vec![
+                "run-2.report.tmp".to_string(),
+                "run-9.trace".to_string(),
+                "run-x.trace".to_string()
+            ]
+        );
+        assert!(read_report(&dir, 1).is_ok(), "kept run untouched");
+        assert!(read_trace_lines(&trace_path(&dir, 1), 0).is_ok());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,50 @@
+//! Simulation-as-a-service: a crash-consistent job server for the
+//! dual-boot cluster simulator.
+//!
+//! `dualboot serve` turns the one-shot CLI into a long-running service:
+//! clients submit simulation or campaign jobs as `dualboot/v1` JSON
+//! documents over the net crate's [`Transport`] abstraction (TCP for
+//! real clients, in-process pairs — optionally wrapped in the chaos
+//! `FaultyTransport` — for deterministic tests), watch their trace
+//! stream live, and fetch the final report. The crate is organised
+//! around three robustness pillars:
+//!
+//! * **Admission control** ([`server`]): a bounded run queue and a
+//!   process-wide memory budget (via the campaign crate's counting
+//!   allocator) shed load with `rejected` + `retry_after_ms` instead of
+//!   degrading accepted runs.
+//! * **Run supervision** ([`server`], [`session`]): cooperative
+//!   cancellation polled in the simulation hot loop, wall-clock
+//!   deadlines, heartbeat-timed sessions. A client crash never kills
+//!   its run; a reconnecting client replays the stream from the exact
+//!   frame it lost.
+//! * **Crash consistency** ([`journal`]): a write-ahead run journal with
+//!   the same torn-tail discipline as the campaign progress journal. A
+//!   SIGKILLed server re-lists every run on restart, re-queues the
+//!   unfinished ones, and — because the simulator is deterministic —
+//!   converges on byte-identical reports and traces.
+//!
+//! Everything speaks the crate-local [`json`] value type on the wire, so
+//! the service works in offline builds where the workspace `serde_json`
+//! is a non-functional stub.
+//!
+//! [`Transport`]: dualboot_net::transport::Transport
+
+pub mod client;
+pub mod codec;
+pub mod job;
+pub mod journal;
+pub mod json;
+pub mod proto;
+pub mod report;
+pub mod server;
+pub mod session;
+
+pub use client::{
+    attach_and_collect, collect_run_tcp, list_runs, request, submit_over, Collected,
+    ReconnectPolicy,
+};
+pub use job::{CampaignJob, JobSpec, SimJob};
+pub use proto::{Request, Response, RunInfo, PROTO_VERSION};
+pub use server::{RunState, Server, ServerConfig};
+pub use session::serve_session;

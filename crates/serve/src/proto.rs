@@ -1,0 +1,317 @@
+//! The `dualboot/v1` service protocol.
+//!
+//! Requests and responses are single-line compact JSON documents carried
+//! inside the net layer's `Message::Serve { payload }` frame, so they
+//! inherit the transport's framing, size limits and resync behaviour.
+//! Every document is an object tagged `{"req": "..."}` (client → server)
+//! or `{"rsp": "..."}` (server → client); unknown fields are ignored so
+//! the protocol can grow without breaking older peers.
+
+use crate::job::JobSpec;
+use crate::json::{self, Json};
+
+pub const PROTO_VERSION: &str = "dualboot/v1";
+
+/// Client → server.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Opens a session; `client` is a display name for run listings.
+    Hello { client: String },
+    /// Submit a job; the server replies `Accepted` or `Rejected`.
+    Submit { tag: Option<String>, job: JobSpec },
+    /// List all runs the server knows about.
+    Runs,
+    /// Stream a run's trace starting at frame sequence `from_seq`
+    /// (0 = from the beginning; a reconnecting client passes the next
+    /// sequence it has not yet seen).
+    Attach { run: u64, from_seq: u64 },
+    /// Fetch a run's final report (available once terminal).
+    Report { run: u64 },
+    /// Cancel a queued or running run.
+    Cancel { run: u64 },
+    /// Keep-alive; resets the server's per-session heartbeat deadline.
+    Heartbeat,
+    /// Ask the server to shut down gracefully.
+    Shutdown,
+    /// Close the session cleanly.
+    Bye,
+}
+
+/// Server → client.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Session opened; `server` echoes the protocol version.
+    Welcome { server: String },
+    /// Job admitted under run id `run`.
+    Accepted { run: u64 },
+    /// Admission control refused the job; retry after the given delay.
+    Rejected { reason: String, retry_after_ms: u64 },
+    RunList { runs: Vec<RunInfo> },
+    /// One encoded trace line (see [`crate::codec`]) of a streamed run.
+    Frame { run: u64, line: String },
+    /// Final report. `state` is the terminal run state name; `body` is
+    /// the report document (JSON text for sim runs, the campaign report
+    /// for campaign runs).
+    Report { run: u64, state: String, body: String },
+    Cancelled { run: u64 },
+    ShuttingDown,
+    Error { reason: String },
+}
+
+/// One row of a `Runs` listing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunInfo {
+    pub id: u64,
+    /// `queued` | `running` | `done` | `cancelled` | `failed`.
+    pub state: String,
+    /// `sim` | `campaign`.
+    pub kind: String,
+    pub client: String,
+    pub tag: String,
+}
+
+fn obj(pairs: Vec<(&str, Json)>) -> Json {
+    Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+impl Request {
+    pub fn encode(&self) -> String {
+        let doc = match self {
+            Request::Hello { client } => {
+                obj(vec![("req", Json::str("hello")), ("client", Json::str(client))])
+            }
+            Request::Submit { tag, job } => {
+                let mut pairs = vec![("req", Json::str("submit")), ("job", job.to_json())];
+                if let Some(t) = tag {
+                    pairs.push(("tag", Json::str(t)));
+                }
+                obj(pairs)
+            }
+            Request::Runs => obj(vec![("req", Json::str("runs"))]),
+            Request::Attach { run, from_seq } => obj(vec![
+                ("req", Json::str("attach")),
+                ("run", Json::num_u64(*run)),
+                ("from_seq", Json::num_u64(*from_seq)),
+            ]),
+            Request::Report { run } => {
+                obj(vec![("req", Json::str("report")), ("run", Json::num_u64(*run))])
+            }
+            Request::Cancel { run } => {
+                obj(vec![("req", Json::str("cancel")), ("run", Json::num_u64(*run))])
+            }
+            Request::Heartbeat => obj(vec![("req", Json::str("heartbeat"))]),
+            Request::Shutdown => obj(vec![("req", Json::str("shutdown"))]),
+            Request::Bye => obj(vec![("req", Json::str("bye"))]),
+        };
+        doc.write()
+    }
+
+    pub fn decode(payload: &str) -> Result<Request, String> {
+        let doc = json::parse(payload)?;
+        let run = |doc: &Json| -> Result<u64, String> {
+            doc.get("run").and_then(Json::as_u64).ok_or("missing run id".to_string())
+        };
+        match doc.get("req").and_then(Json::as_str) {
+            Some("hello") => Ok(Request::Hello {
+                client: doc
+                    .get("client")
+                    .and_then(Json::as_str)
+                    .unwrap_or("anonymous")
+                    .to_string(),
+            }),
+            Some("submit") => Ok(Request::Submit {
+                tag: doc.get("tag").and_then(Json::as_str).map(str::to_string),
+                job: JobSpec::from_json(doc.get("job").ok_or("submit needs a job")?)?,
+            }),
+            Some("runs") => Ok(Request::Runs),
+            Some("attach") => Ok(Request::Attach {
+                run: run(&doc)?,
+                from_seq: doc.get("from_seq").and_then(Json::as_u64).unwrap_or(0),
+            }),
+            Some("report") => Ok(Request::Report { run: run(&doc)? }),
+            Some("cancel") => Ok(Request::Cancel { run: run(&doc)? }),
+            Some("heartbeat") => Ok(Request::Heartbeat),
+            Some("shutdown") => Ok(Request::Shutdown),
+            Some("bye") => Ok(Request::Bye),
+            Some(other) => Err(format!("unknown request {other:?}")),
+            None => Err("not a request document".to_string()),
+        }
+    }
+}
+
+impl Response {
+    pub fn encode(&self) -> String {
+        let doc = match self {
+            Response::Welcome { server } => {
+                obj(vec![("rsp", Json::str("welcome")), ("server", Json::str(server))])
+            }
+            Response::Accepted { run } => {
+                obj(vec![("rsp", Json::str("accepted")), ("run", Json::num_u64(*run))])
+            }
+            Response::Rejected { reason, retry_after_ms } => obj(vec![
+                ("rsp", Json::str("rejected")),
+                ("reason", Json::str(reason)),
+                ("retry_after_ms", Json::num_u64(*retry_after_ms)),
+            ]),
+            Response::RunList { runs } => obj(vec![
+                ("rsp", Json::str("run-list")),
+                (
+                    "runs",
+                    Json::Arr(
+                        runs.iter()
+                            .map(|r| {
+                                obj(vec![
+                                    ("id", Json::num_u64(r.id)),
+                                    ("state", Json::str(&r.state)),
+                                    ("kind", Json::str(&r.kind)),
+                                    ("client", Json::str(&r.client)),
+                                    ("tag", Json::str(&r.tag)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+            Response::Frame { run, line } => obj(vec![
+                ("rsp", Json::str("frame")),
+                ("run", Json::num_u64(*run)),
+                ("line", Json::str(line)),
+            ]),
+            Response::Report { run, state, body } => obj(vec![
+                ("rsp", Json::str("report")),
+                ("run", Json::num_u64(*run)),
+                ("state", Json::str(state)),
+                ("body", Json::str(body)),
+            ]),
+            Response::Cancelled { run } => {
+                obj(vec![("rsp", Json::str("cancelled")), ("run", Json::num_u64(*run))])
+            }
+            Response::ShuttingDown => obj(vec![("rsp", Json::str("shutting-down"))]),
+            Response::Error { reason } => {
+                obj(vec![("rsp", Json::str("error")), ("reason", Json::str(reason))])
+            }
+        };
+        doc.write()
+    }
+
+    pub fn decode(payload: &str) -> Result<Response, String> {
+        let doc = json::parse(payload)?;
+        let run = |doc: &Json| -> Result<u64, String> {
+            doc.get("run").and_then(Json::as_u64).ok_or("missing run id".to_string())
+        };
+        let text = |doc: &Json, key: &str| -> Result<String, String> {
+            doc.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("missing {key}"))
+        };
+        match doc.get("rsp").and_then(Json::as_str) {
+            Some("welcome") => Ok(Response::Welcome { server: text(&doc, "server")? }),
+            Some("accepted") => Ok(Response::Accepted { run: run(&doc)? }),
+            Some("rejected") => Ok(Response::Rejected {
+                reason: text(&doc, "reason")?,
+                retry_after_ms: doc
+                    .get("retry_after_ms")
+                    .and_then(Json::as_u64)
+                    .unwrap_or(1000),
+            }),
+            Some("run-list") => {
+                let rows = doc
+                    .get("runs")
+                    .and_then(Json::as_arr)
+                    .ok_or("missing runs array")?;
+                let mut runs = Vec::with_capacity(rows.len());
+                for row in rows {
+                    runs.push(RunInfo {
+                        id: row.get("id").and_then(Json::as_u64).ok_or("run row id")?,
+                        state: text(row, "state")?,
+                        kind: text(row, "kind")?,
+                        client: text(row, "client")?,
+                        tag: text(row, "tag")?,
+                    });
+                }
+                Ok(Response::RunList { runs })
+            }
+            Some("frame") => Ok(Response::Frame { run: run(&doc)?, line: text(&doc, "line")? }),
+            Some("report") => Ok(Response::Report {
+                run: run(&doc)?,
+                state: text(&doc, "state")?,
+                body: text(&doc, "body")?,
+            }),
+            Some("cancelled") => Ok(Response::Cancelled { run: run(&doc)? }),
+            Some("shutting-down") => Ok(Response::ShuttingDown),
+            Some("error") => Ok(Response::Error { reason: text(&doc, "reason")? }),
+            Some(other) => Err(format!("unknown response {other:?}")),
+            None => Err("not a response document".to_string()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{CampaignJob, SimJob};
+
+    #[test]
+    fn requests_round_trip() {
+        let all = vec![
+            Request::Hello { client: "cli".into() },
+            Request::Submit {
+                tag: Some("night run".into()),
+                job: JobSpec::Sim(SimJob { seed: 5, ..SimJob::default() }),
+            },
+            Request::Submit {
+                tag: None,
+                job: JobSpec::Campaign(CampaignJob::default()),
+            },
+            Request::Runs,
+            Request::Attach { run: 3, from_seq: 41 },
+            Request::Report { run: 3 },
+            Request::Cancel { run: 9 },
+            Request::Heartbeat,
+            Request::Shutdown,
+            Request::Bye,
+        ];
+        for req in all {
+            let line = req.encode();
+            assert!(!line.contains('\n'));
+            assert_eq!(Request::decode(&line).unwrap(), req, "{line}");
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let all = vec![
+            Response::Welcome { server: PROTO_VERSION.into() },
+            Response::Accepted { run: 1 },
+            Response::Rejected { reason: "queue full".into(), retry_after_ms: 250 },
+            Response::RunList {
+                runs: vec![RunInfo {
+                    id: 1,
+                    state: "running".into(),
+                    kind: "sim".into(),
+                    client: "cli".into(),
+                    tag: String::new(),
+                }],
+            },
+            Response::Frame { run: 1, line: "12 0 sim - msg-sent".into() },
+            Response::Report { run: 1, state: "done".into(), body: "{\"x\":1}".into() },
+            Response::Cancelled { run: 1 },
+            Response::ShuttingDown,
+            Response::Error { reason: "no such run".into() },
+        ];
+        for rsp in all {
+            let line = rsp.encode();
+            assert!(!line.contains('\n'));
+            assert_eq!(Response::decode(&line).unwrap(), rsp, "{line}");
+        }
+    }
+
+    #[test]
+    fn wrong_direction_and_garbage_are_rejected() {
+        assert!(Request::decode(&Response::ShuttingDown.encode()).is_err());
+        assert!(Response::decode(&Request::Runs.encode()).is_err());
+        assert!(Request::decode("not json").is_err());
+        assert!(Request::decode(r#"{"req":"warp"}"#).is_err());
+    }
+}

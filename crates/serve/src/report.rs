@@ -1,0 +1,64 @@
+//! Deterministic report rendering for served sim runs.
+//!
+//! The CLI's `--json` path serialises the full `SimResult` with
+//! `serde_json`, which the offline build stubs out; the service instead
+//! renders a compact headline document through the crate-local JSON
+//! writer. Every field is either integral or a shortest-round-trip `f64`,
+//! so the same `SimResult` always renders the same bytes — the property
+//! the crash-recovery tests pin down ("resumed report is byte-identical").
+
+use crate::json::Json;
+use dualboot_cluster::SimResult;
+
+/// Render the service report document for one finished simulation.
+pub fn sim_report_json(r: &SimResult) -> String {
+    let pct = |p: f64| Json::num_f64(r.wait_all.percentile(p).unwrap_or(0.0));
+    Json::Obj(
+        [
+            ("completed_linux", Json::num_u64(r.completed.0 as u64)),
+            ("completed_windows", Json::num_u64(r.completed.1 as u64)),
+            ("killed", Json::num_u64(r.killed as u64)),
+            ("unfinished", Json::num_u64(r.unfinished as u64)),
+            ("walltime_kills", Json::num_u64(r.walltime_kills as u64)),
+            ("switches", Json::num_u64(r.switches as u64)),
+            ("misdirected_switches", Json::num_u64(r.misdirected_switches as u64)),
+            ("boot_failures", Json::num_u64(r.boot_failures as u64)),
+            ("total_cores", Json::num_u64(r.total_cores as u64)),
+            ("makespan_ms", Json::num_u64(r.makespan.as_millis())),
+            ("end_time_ms", Json::num_u64(r.end_time.as_millis())),
+            ("wait_mean_s", Json::num_f64(r.mean_wait_s())),
+            ("wait_p50_s", pct(50.0)),
+            ("wait_p95_s", pct(95.0)),
+            ("wait_p99_s", pct(99.0)),
+            ("turnaround_mean_s", Json::num_f64(r.turnaround.mean())),
+            ("utilisation", Json::num_f64(r.utilisation())),
+            ("switch_latency_mean_s", Json::num_f64(r.switch_latency.mean())),
+            ("msgs_dropped", Json::num_u64(r.faults.msgs_dropped)),
+            ("orders_abandoned", Json::num_u64(r.faults.orders_abandoned)),
+            ("daemon_crashes", Json::num_u64(r.health.daemon_crashes as u64)),
+            ("boot_retries", Json::num_u64(r.health.boot_retries)),
+            ("quarantines", Json::num_u64(r.health.quarantines)),
+        ]
+        .into_iter()
+        .map(|(k, v)| (k.to_string(), v))
+        .collect(),
+    )
+    .write()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    #[test]
+    fn report_is_parseable_and_deterministic() {
+        let r = SimResult::new(64);
+        let a = sim_report_json(&r);
+        let b = sim_report_json(&r);
+        assert_eq!(a, b);
+        let doc = json::parse(&a).unwrap();
+        assert_eq!(doc.get("total_cores").and_then(Json::as_u64), Some(64));
+        assert_eq!(doc.get("wait_mean_s").and_then(Json::as_f64), Some(0.0));
+    }
+}

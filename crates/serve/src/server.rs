@@ -1,0 +1,815 @@
+//! The job server: admission control, run supervision, crash recovery.
+//!
+//! A [`Server`] owns one state directory (run journal + per-run files,
+//! see [`crate::journal`]) and a queue of accepted runs. Sessions (see
+//! [`crate::session`]) feed it decoded requests; worker threads — or a
+//! test calling [`Server::execute_next`] directly — drain the queue.
+//!
+//! Robustness pillars, in the order a request meets them:
+//!
+//! * **Admission control.** A job is only accepted while the active
+//!   (queued + running) count is under `max_queue` and the process-wide
+//!   live heap (counted by the campaign crate's counting allocator) is
+//!   under `mem_budget_bytes`. Everything else is `Rejected` with a
+//!   client-visible `retry_after_ms` — the server sheds load instead of
+//!   growing without bound.
+//! * **Run supervision.** Every run carries a cooperative
+//!   [`CancelToken`] polled inside the simulation hot loop and between
+//!   campaign cells; an optional wall-clock deadline cancels it from a
+//!   watcher thread and marks the run failed. Client disconnects never
+//!   touch the run: execution and journaling continue unattended.
+//! * **Crash consistency.** Accepting a run journals it *before* the
+//!   client hears `accepted`; finishing journals `done` only after the
+//!   report file is atomically in place. A SIGKILL at any point leaves
+//!   either a terminal run with a readable report or a journaled
+//!   non-terminal run that [`Server::open`] re-queues on restart —
+//!   deterministic re-execution (sim) or cell-level journal resume
+//!   (campaign) then converges on the byte-identical result.
+
+use crate::codec;
+use crate::job::{JobSpec, HORIZON_HOURS};
+use crate::journal::{
+    self, campaign_path, read_report, write_report, JournalEvent, ServeJournal, TraceFile,
+};
+use crate::proto::{Response, RunInfo};
+use dualboot_campaign::mem::process_live_bytes;
+use dualboot_campaign::RunOptions as CampaignRunOptions;
+use dualboot_core::cancel::CancelToken;
+use dualboot_core::pool;
+use dualboot_des::time::{SimDuration, SimTime};
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Server tuning knobs. The defaults suit the integration tests; the CLI
+/// maps its flags onto them.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Journal + per-run files live here.
+    pub state_dir: PathBuf,
+    /// Executor threads. `0` means no background executor: tests drive
+    /// the queue deterministically with [`Server::execute_next`].
+    pub workers: usize,
+    /// Admission limit on queued + running jobs.
+    pub max_queue: usize,
+    /// Reject submissions while the process-wide live heap exceeds this
+    /// (0 = unlimited). Requires the binary to install the campaign
+    /// crate's `CountingAlloc`, as the `dualboot` CLI does.
+    pub mem_budget_bytes: u64,
+    /// Advisory retry delay returned with every rejection.
+    pub retry_after_ms: u64,
+    /// Wall-clock deadline per run; a run past it is cancelled and
+    /// marked failed.
+    pub deadline: Option<Duration>,
+    /// A session silent for this long is dropped (its runs continue).
+    pub heartbeat_timeout: Duration,
+    /// Ring capacity forced onto campaign jobs that did not set one, so
+    /// a streamed campaign keeps bounded per-cell observability memory.
+    pub campaign_ring: usize,
+    /// Sim-time slice per hot-loop chunk: the cancel token, trace flush
+    /// and deadline are honoured at least once per slice.
+    pub chunk: SimDuration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            state_dir: std::env::temp_dir().join("dualboot-serve"),
+            workers: 0,
+            max_queue: 4,
+            mem_budget_bytes: 0,
+            retry_after_ms: 500,
+            deadline: None,
+            heartbeat_timeout: Duration::from_secs(30),
+            campaign_ring: 256,
+            chunk: SimDuration::from_hours(1),
+        }
+    }
+}
+
+/// Lifecycle of one run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RunState {
+    Queued,
+    Running,
+    Done,
+    Cancelled,
+    Failed(String),
+}
+
+impl RunState {
+    pub fn name(&self) -> &'static str {
+        match self {
+            RunState::Queued => "queued",
+            RunState::Running => "running",
+            RunState::Done => "done",
+            RunState::Cancelled => "cancelled",
+            RunState::Failed(_) => "failed",
+        }
+    }
+
+    pub fn is_terminal(&self) -> bool {
+        matches!(self, RunState::Done | RunState::Cancelled | RunState::Failed(_))
+    }
+}
+
+#[derive(Debug, Clone)]
+struct RunMeta {
+    id: u64,
+    client: String,
+    tag: String,
+    job: JobSpec,
+    state: RunState,
+    cancel: CancelToken,
+    /// Set by an explicit client cancel (as opposed to deadline/shutdown).
+    user_cancel: Arc<AtomicBool>,
+    deadline_fired: Arc<AtomicBool>,
+}
+
+impl RunMeta {
+    fn new(id: u64, client: &str, tag: &str, job: JobSpec) -> RunMeta {
+        RunMeta {
+            id,
+            client: client.to_string(),
+            tag: tag.to_string(),
+            job,
+            state: RunState::Queued,
+            cancel: CancelToken::new(),
+            user_cancel: Arc::new(AtomicBool::new(false)),
+            deadline_fired: Arc::new(AtomicBool::new(false)),
+        }
+    }
+
+    fn info(&self) -> RunInfo {
+        RunInfo {
+            id: self.id,
+            state: self.state.name().to_string(),
+            kind: self.job.kind().to_string(),
+            client: self.client.clone(),
+            tag: self.tag.clone(),
+        }
+    }
+}
+
+struct ServerInner {
+    cfg: ServerConfig,
+    journal: Mutex<ServeJournal>,
+    runs: Mutex<BTreeMap<u64, RunMeta>>,
+    queue: Mutex<VecDeque<u64>>,
+    next_id: AtomicU64,
+    stop: CancelToken,
+    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+/// Handle to the running server; cheap to clone across sessions and
+/// worker threads.
+#[derive(Clone)]
+pub struct Server {
+    inner: Arc<ServerInner>,
+}
+
+impl Server {
+    /// Open (or create) the state directory, recover journaled state,
+    /// GC orphaned files and start the configured workers. Returns the
+    /// server plus human-readable startup notes ("requeued run 3", ...).
+    pub fn open(cfg: ServerConfig) -> std::io::Result<(Server, Vec<String>)> {
+        let (journal, events) = ServeJournal::open(&cfg.state_dir)?;
+        let mut runs: BTreeMap<u64, RunMeta> = BTreeMap::new();
+        for ev in events {
+            match ev {
+                JournalEvent::Run { id, client, tag, job } => {
+                    runs.insert(id, RunMeta::new(id, &client, &tag, job));
+                }
+                JournalEvent::Done { id } => {
+                    if let Some(m) = runs.get_mut(&id) {
+                        m.state = RunState::Done;
+                    }
+                }
+                JournalEvent::Cancelled { id } => {
+                    if let Some(m) = runs.get_mut(&id) {
+                        m.state = RunState::Cancelled;
+                    }
+                }
+                JournalEvent::Failed { id, reason } => {
+                    if let Some(m) = runs.get_mut(&id) {
+                        m.state = RunState::Failed(reason);
+                    }
+                }
+            }
+        }
+        let mut notes = Vec::new();
+        let keep: BTreeSet<u64> = runs.keys().copied().collect();
+        for name in journal::gc_orphans(&cfg.state_dir, &keep)? {
+            notes.push(format!("removed orphan {name}"));
+        }
+        let mut queue = VecDeque::new();
+        for meta in runs.values() {
+            if !meta.state.is_terminal() {
+                notes.push(format!("requeued run {}", meta.id));
+                queue.push_back(meta.id);
+            }
+        }
+        let next_id = runs.keys().next_back().map_or(1, |max| max + 1);
+        let server = Server {
+            inner: Arc::new(ServerInner {
+                workers: Mutex::new(Vec::new()),
+                cfg,
+                journal: Mutex::new(journal),
+                runs: Mutex::new(runs),
+                queue: Mutex::new(queue),
+                next_id: AtomicU64::new(next_id),
+                stop: CancelToken::new(),
+            }),
+        };
+        server.spawn_workers();
+        Ok((server, notes))
+    }
+
+    pub fn config(&self) -> &ServerConfig {
+        &self.inner.cfg
+    }
+
+    pub fn is_stopping(&self) -> bool {
+        self.inner.stop.is_cancelled()
+    }
+
+    /// Begin graceful shutdown: stop admitting, cancel executing runs at
+    /// their next safe point. In-flight runs are *interrupted*, not
+    /// cancelled — no terminal journal line is written, so a later
+    /// `open` re-queues them.
+    pub fn shutdown(&self) {
+        self.inner.stop.cancel();
+        for meta in self.inner.runs.lock().values() {
+            if meta.state == RunState::Running {
+                meta.cancel.cancel();
+            }
+        }
+    }
+
+    /// Join the background workers (after [`Server::shutdown`]).
+    pub fn join_workers(&self) {
+        let handles: Vec<_> = self.inner.workers.lock().drain(..).collect();
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+
+    fn spawn_workers(&self) {
+        let n = self.inner.cfg.workers;
+        let mut handles = self.inner.workers.lock();
+        for i in 0..n {
+            let server = self.clone();
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || {
+                        while !server.is_stopping() {
+                            if !server.execute_next() {
+                                std::thread::sleep(Duration::from_millis(10));
+                            }
+                        }
+                    })
+                    .expect("spawn worker"),
+            );
+        }
+    }
+
+    // ------------------------------------------------------------ intake
+
+    /// Admission-controlled submit. The `run` journal line is flushed
+    /// before the client hears `accepted`: an accepted run survives any
+    /// later crash.
+    pub fn submit(&self, client: &str, tag: Option<&str>, job: JobSpec) -> Response {
+        if self.is_stopping() {
+            return Response::ShuttingDown;
+        }
+        let retry = self.inner.cfg.retry_after_ms;
+        // Validate up front so a bad job is an error, not a failed run.
+        let check = match &job {
+            JobSpec::Sim(sim) => sim.build().map(drop),
+            JobSpec::Campaign(c) => c.spec().map(drop),
+        };
+        if let Err(reason) = check {
+            return Response::Error { reason };
+        }
+        let mut runs = self.inner.runs.lock();
+        let active = runs.values().filter(|m| !m.state.is_terminal()).count();
+        if active >= self.inner.cfg.max_queue {
+            return Response::Rejected {
+                reason: format!("queue full ({active} active)"),
+                retry_after_ms: retry,
+            };
+        }
+        let budget = self.inner.cfg.mem_budget_bytes;
+        let live = process_live_bytes();
+        if budget > 0 && live > budget {
+            return Response::Rejected {
+                reason: format!("memory budget exceeded ({live} of {budget} bytes live)"),
+                retry_after_ms: retry,
+            };
+        }
+        let id = self.inner.next_id.fetch_add(1, Ordering::Relaxed);
+        let meta = RunMeta::new(id, client, tag.unwrap_or(""), job);
+        if let Err(e) = self.inner.journal.lock().append(&JournalEvent::Run {
+            id,
+            client: meta.client.clone(),
+            tag: meta.tag.clone(),
+            job: meta.job.clone(),
+        }) {
+            return Response::Error { reason: format!("journal write failed: {e}") };
+        }
+        runs.insert(id, meta);
+        drop(runs);
+        self.inner.queue.lock().push_back(id);
+        Response::Accepted { run: id }
+    }
+
+    pub fn run_list(&self) -> Vec<RunInfo> {
+        self.inner.runs.lock().values().map(RunMeta::info).collect()
+    }
+
+    pub fn run_state(&self, id: u64) -> Option<RunState> {
+        self.inner.runs.lock().get(&id).map(|m| m.state.clone())
+    }
+
+    /// The final report response for a terminal run.
+    pub fn report_response(&self, id: u64) -> Response {
+        let Some(state) = self.run_state(id) else {
+            return Response::Error { reason: format!("no run {id}") };
+        };
+        match state {
+            RunState::Done => match read_report(&self.inner.cfg.state_dir, id) {
+                Ok(body) => Response::Report { run: id, state: "done".into(), body },
+                Err(e) => Response::Error { reason: format!("report unreadable: {e}") },
+            },
+            RunState::Failed(reason) => {
+                Response::Report { run: id, state: "failed".into(), body: reason }
+            }
+            RunState::Cancelled => {
+                Response::Report { run: id, state: "cancelled".into(), body: String::new() }
+            }
+            other => Response::Error {
+                reason: format!("run {id} is {}, not finished", other.name()),
+            },
+        }
+    }
+
+    /// Cancel a queued or running run. Queued runs go terminal at once;
+    /// running ones stop at the next cancellation point and journal
+    /// their own terminal line from the executor.
+    pub fn cancel(&self, id: u64) -> Response {
+        let mut runs = self.inner.runs.lock();
+        let Some(meta) = runs.get_mut(&id) else {
+            return Response::Error { reason: format!("no run {id}") };
+        };
+        match meta.state {
+            RunState::Queued => {
+                meta.state = RunState::Cancelled;
+                meta.user_cancel.store(true, Ordering::Relaxed);
+                self.inner.queue.lock().retain(|q| *q != id);
+                if let Err(e) =
+                    self.inner.journal.lock().append(&JournalEvent::Cancelled { id })
+                {
+                    return Response::Error { reason: format!("journal write failed: {e}") };
+                }
+                Response::Cancelled { run: id }
+            }
+            RunState::Running => {
+                meta.user_cancel.store(true, Ordering::Relaxed);
+                meta.cancel.cancel();
+                Response::Cancelled { run: id }
+            }
+            _ => Response::Error {
+                reason: format!("run {id} already {}", meta.state.name()),
+            },
+        }
+    }
+
+    // --------------------------------------------------------- execution
+
+    /// Claim and execute the oldest queued run. Returns `false` when the
+    /// queue is empty. Tests with `workers: 0` call this directly for a
+    /// deterministic drain; worker threads loop over it.
+    pub fn execute_next(&self) -> bool {
+        // A stopping server claims nothing more: an interrupted run
+        // re-queues itself, and picking it straight back up would spin.
+        if self.is_stopping() {
+            return false;
+        }
+        let id = {
+            let mut queue = self.inner.queue.lock();
+            let Some(id) = queue.pop_front() else {
+                return false;
+            };
+            id
+        };
+        self.execute(id);
+        true
+    }
+
+    /// Drain the queue to empty (single-threaded test helper).
+    pub fn drain_pending(&self) {
+        while self.execute_next() {}
+    }
+
+    fn execute(&self, id: u64) {
+        let Some((job, cancel, user_cancel, deadline_fired)) = ({
+            let mut runs = self.inner.runs.lock();
+            runs.get_mut(&id).map(|meta| {
+                meta.state = RunState::Running;
+                (
+                    meta.job.clone(),
+                    meta.cancel.clone(),
+                    meta.user_cancel.clone(),
+                    meta.deadline_fired.clone(),
+                )
+            })
+        }) else {
+            return;
+        };
+
+        // Wall-clock deadline: a watcher fires the same cooperative token
+        // a client cancel would, then the outcome is labelled `failed`.
+        let done_flag = Arc::new(AtomicBool::new(false));
+        let watcher = self.inner.cfg.deadline.map(|limit| {
+            let token = cancel.clone();
+            let fired = deadline_fired.clone();
+            let done = done_flag.clone();
+            std::thread::spawn(move || {
+                let start = Instant::now();
+                while !done.load(Ordering::Relaxed) {
+                    if start.elapsed() > limit {
+                        fired.store(true, Ordering::Relaxed);
+                        token.cancel();
+                        break;
+                    }
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+            })
+        });
+
+        let outcome = match &job {
+            JobSpec::Sim(sim_job) => self.execute_sim(id, sim_job, &cancel),
+            JobSpec::Campaign(campaign_job) => {
+                self.execute_campaign(id, campaign_job, &cancel)
+            }
+        };
+        done_flag.store(true, Ordering::Relaxed);
+        if let Some(w) = watcher {
+            let _ = w.join();
+        }
+
+        // Disambiguate why a cancellation-point exit happened. Server
+        // shutdown wins: the run is merely interrupted and must re-queue
+        // (in-process now, or from the journal after a restart).
+        let outcome = match outcome {
+            Outcome::Finished(report) => {
+                if user_cancel.load(Ordering::Relaxed) {
+                    Outcome::Cancelled
+                } else if deadline_fired.load(Ordering::Relaxed) {
+                    Outcome::DeadlineFailed
+                } else if self.is_stopping() {
+                    Outcome::Interrupted
+                } else {
+                    Outcome::Finished(report)
+                }
+            }
+            other => other,
+        };
+
+        let mut runs = self.inner.runs.lock();
+        let Some(meta) = runs.get_mut(&id) else { return };
+        match outcome {
+            Outcome::Finished(report) => {
+                // Report first, atomically; only then the journal's
+                // `done`. A crash between the two re-runs the run, which
+                // rewrites the identical bytes.
+                if let Err(e) = write_report(&self.inner.cfg.state_dir, id, &report) {
+                    meta.state = RunState::Failed(format!("report write failed: {e}"));
+                    let _ = self.inner.journal.lock().append(&JournalEvent::Failed {
+                        id,
+                        reason: meta.state.name().to_string(),
+                    });
+                    return;
+                }
+                meta.state = RunState::Done;
+                let _ = self.inner.journal.lock().append(&JournalEvent::Done { id });
+            }
+            Outcome::Cancelled => {
+                meta.state = RunState::Cancelled;
+                let _ = self.inner.journal.lock().append(&JournalEvent::Cancelled { id });
+            }
+            Outcome::DeadlineFailed => {
+                let reason = format!(
+                    "deadline exceeded ({:?})",
+                    self.inner.cfg.deadline.unwrap_or_default()
+                );
+                meta.state = RunState::Failed(reason.clone());
+                let _ = self
+                    .inner
+                    .journal
+                    .lock()
+                    .append(&JournalEvent::Failed { id, reason });
+            }
+            Outcome::Failed(reason) => {
+                meta.state = RunState::Failed(reason.clone());
+                let _ = self
+                    .inner
+                    .journal
+                    .lock()
+                    .append(&JournalEvent::Failed { id, reason });
+            }
+            Outcome::Interrupted => {
+                // No terminal journal line on purpose.
+                meta.state = RunState::Queued;
+                self.inner.queue.lock().push_front(id);
+            }
+        }
+    }
+
+    /// Run one simulation in chunks: each `cfg.chunk` of sim-time, drain
+    /// the observability bus into the run's trace file (flushed), then
+    /// hit a cancellation point. Memory stays bounded by the chunk size,
+    /// and an attached session sees frames as they land.
+    fn execute_sim(&self, id: u64, job: &crate::job::SimJob, cancel: &CancelToken) -> Outcome {
+        let mut sim = match job.build() {
+            Ok(sim) => sim,
+            Err(reason) => return Outcome::Failed(reason),
+        };
+        let mut trace = match TraceFile::create(&self.inner.cfg.state_dir, id) {
+            Ok(t) => t,
+            Err(e) => return Outcome::Failed(format!("trace create failed: {e}")),
+        };
+        sim.set_cancel_token(cancel.clone());
+        let horizon = SimTime::ZERO + SimDuration::from_hours(HORIZON_HOURS);
+        let chunk = self.inner.cfg.chunk;
+        let mut interrupted = false;
+        while let Some(t) = sim.next_event_time() {
+            if t > horizon {
+                break;
+            }
+            let until = (t + chunk).min(horizon);
+            sim.run_until(until);
+            let lines: Vec<String> =
+                sim.obs().drain().iter().map(codec::encode).collect();
+            if let Err(e) = trace.append(&lines) {
+                return Outcome::Failed(format!("trace write failed: {e}"));
+            }
+            if cancel.is_cancelled() {
+                interrupted = true;
+                break;
+            }
+        }
+        if interrupted {
+            // Partial run: the result would be wrong and the trace is
+            // incomplete; the outcome layer decides cancel vs re-queue.
+            return Outcome::Finished(String::new());
+        }
+        let result = sim.into_result();
+        Outcome::Finished(crate::report::sim_report_json(&result))
+    }
+
+    /// Run one campaign with the campaign engine's own journal in the
+    /// run's state file, so interrupted campaigns resume at cell
+    /// granularity rather than recomputing from scratch.
+    fn execute_campaign(
+        &self,
+        id: u64,
+        job: &crate::job::CampaignJob,
+        cancel: &CancelToken,
+    ) -> Outcome {
+        let mut spec = match job.spec() {
+            Ok(spec) => spec,
+            Err(reason) => return Outcome::Failed(reason),
+        };
+        if spec.obs_ring.is_none() {
+            spec.obs_ring = Some(self.inner.cfg.campaign_ring);
+        }
+        // Campaigns do not stream per-event traces (each cell runs its
+        // own bounded ring); the trace file still exists so `attach`
+        // degrades to an empty stream plus the final report.
+        if let Err(e) = TraceFile::create(&self.inner.cfg.state_dir, id) {
+            return Outcome::Failed(format!("trace create failed: {e}"));
+        }
+        let path = campaign_path(&self.inner.cfg.state_dir, id);
+        let opts = CampaignRunOptions {
+            workers: if job.workers == 0 {
+                pool::default_workers()
+            } else {
+                job.workers as usize
+            },
+            journal: Some(path.clone()),
+            resume: path.exists(),
+            cancel: Some(cancel.clone()),
+            ..CampaignRunOptions::default()
+        };
+        match dualboot_campaign::run(&spec, &opts) {
+            Ok(report) => {
+                if cancel.is_cancelled() {
+                    return Outcome::Finished(String::new());
+                }
+                Outcome::Finished(report.to_json())
+            }
+            Err(e) => Outcome::Failed(format!("campaign failed: {e}")),
+        }
+    }
+}
+
+enum Outcome {
+    /// Ran to a cancellation point or completion; the outcome layer
+    /// decides what the exit actually was.
+    Finished(String),
+    Cancelled,
+    DeadlineFailed,
+    Failed(String),
+    Interrupted,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{CampaignJob, SimJob};
+
+    fn test_cfg(tag: &str) -> ServerConfig {
+        let state_dir =
+            std::env::temp_dir().join(format!("dualboot-serve-server-{tag}"));
+        std::fs::remove_dir_all(&state_dir).ok();
+        ServerConfig { state_dir, ..ServerConfig::default() }
+    }
+
+    fn tiny_sim(seed: u64) -> JobSpec {
+        JobSpec::Sim(SimJob { seed, hours: 1, ..SimJob::default() })
+    }
+
+    #[test]
+    fn submit_execute_report_round_trip() {
+        let cfg = test_cfg("round-trip");
+        let state_dir = cfg.state_dir.clone();
+        let (server, notes) = Server::open(cfg).unwrap();
+        assert!(notes.is_empty());
+        let Response::Accepted { run } = server.submit("t", None, tiny_sim(5)) else {
+            panic!("submit rejected");
+        };
+        assert_eq!(server.run_state(run), Some(RunState::Queued));
+        server.drain_pending();
+        assert_eq!(server.run_state(run), Some(RunState::Done));
+        let Response::Report { body, state, .. } = server.report_response(run) else {
+            panic!("no report");
+        };
+        assert_eq!(state, "done");
+        assert!(body.contains("completed_linux"), "{body}");
+        std::fs::remove_dir_all(&state_dir).ok();
+    }
+
+    #[test]
+    fn queue_admission_rejects_with_retry_after() {
+        let cfg = ServerConfig { max_queue: 2, retry_after_ms: 123, ..test_cfg("admission") };
+        let state_dir = cfg.state_dir.clone();
+        let (server, _) = Server::open(cfg).unwrap();
+        assert!(matches!(server.submit("t", None, tiny_sim(1)), Response::Accepted { .. }));
+        assert!(matches!(server.submit("t", None, tiny_sim(2)), Response::Accepted { .. }));
+        let Response::Rejected { retry_after_ms, reason } =
+            server.submit("t", None, tiny_sim(3))
+        else {
+            panic!("third submit should be rejected");
+        };
+        assert_eq!(retry_after_ms, 123);
+        assert!(reason.contains("queue full"), "{reason}");
+        // Draining makes room again.
+        server.drain_pending();
+        assert!(matches!(server.submit("t", None, tiny_sim(3)), Response::Accepted { .. }));
+        std::fs::remove_dir_all(&state_dir).ok();
+    }
+
+    #[test]
+    fn invalid_jobs_error_without_consuming_queue_slots() {
+        let cfg = test_cfg("invalid");
+        let state_dir = cfg.state_dir.clone();
+        let (server, _) = Server::open(cfg).unwrap();
+        let bad = JobSpec::Sim(SimJob { mode: "warp".into(), ..SimJob::default() });
+        assert!(matches!(server.submit("t", None, bad), Response::Error { .. }));
+        let bad = JobSpec::Campaign(CampaignJob { builtin: "nope".into(), ..CampaignJob::default() });
+        assert!(matches!(server.submit("t", None, bad), Response::Error { .. }));
+        assert!(server.run_list().is_empty());
+        std::fs::remove_dir_all(&state_dir).ok();
+    }
+
+    #[test]
+    fn queued_cancel_is_immediate_and_journaled() {
+        let cfg = test_cfg("cancel-queued");
+        let state_dir = cfg.state_dir.clone();
+        let (server, _) = Server::open(cfg).unwrap();
+        let Response::Accepted { run } = server.submit("t", None, tiny_sim(1)) else {
+            panic!("submit rejected");
+        };
+        assert!(matches!(server.cancel(run), Response::Cancelled { .. }));
+        assert_eq!(server.run_state(run), Some(RunState::Cancelled));
+        assert!(!server.execute_next(), "queue empty after cancel");
+        // Terminal across restart.
+        drop(server);
+        let (server, notes) = Server::open(ServerConfig {
+            state_dir: state_dir.clone(),
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        assert!(notes.is_empty(), "{notes:?}");
+        assert_eq!(server.run_state(run), Some(RunState::Cancelled));
+        std::fs::remove_dir_all(&state_dir).ok();
+    }
+
+    #[test]
+    fn deadline_fails_a_run_that_overstays() {
+        let cfg = ServerConfig {
+            deadline: Some(Duration::from_millis(0)),
+            ..test_cfg("deadline")
+        };
+        let state_dir = cfg.state_dir.clone();
+        let (server, _) = Server::open(cfg).unwrap();
+        let Response::Accepted { run } = server.submit("t", None, tiny_sim(1)) else {
+            panic!("submit rejected");
+        };
+        server.drain_pending();
+        match server.run_state(run) {
+            Some(RunState::Failed(reason)) => {
+                assert!(reason.contains("deadline"), "{reason}")
+            }
+            other => panic!("expected deadline failure, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&state_dir).ok();
+    }
+
+    #[test]
+    fn interrupted_run_requeues_and_resumes_to_identical_report() {
+        // Uninterrupted baseline.
+        let cfg = test_cfg("interrupt-base");
+        let base_dir = cfg.state_dir.clone();
+        let (server, _) = Server::open(cfg).unwrap();
+        let Response::Accepted { run } = server.submit("t", None, tiny_sim(77)) else {
+            panic!("submit rejected");
+        };
+        server.drain_pending();
+        let Response::Report { body: expected, .. } = server.report_response(run) else {
+            panic!("no baseline report");
+        };
+
+        // Interrupted: shutdown races the executing run. Whichever side
+        // wins — interrupt (re-queued, no terminal journal line) or a
+        // photo-finish completion — the reopened server must end up with
+        // the byte-identical report.
+        let cfg = test_cfg("interrupt");
+        let state_dir = cfg.state_dir.clone();
+        let (server, _) = Server::open(cfg).unwrap();
+        let Response::Accepted { run: run2 } = server.submit("t", None, tiny_sim(77)) else {
+            panic!("submit rejected");
+        };
+        let stopper = server.clone();
+        let interrupter = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(10));
+            stopper.shutdown();
+        });
+        server.drain_pending();
+        interrupter.join().unwrap();
+        let state = server.run_state(run2).unwrap();
+        assert!(
+            matches!(state, RunState::Queued | RunState::Done),
+            "interrupted runs re-queue, they never fail or vanish: {state:?}"
+        );
+        let (server, _) = Server::open(ServerConfig {
+            state_dir: state_dir.clone(),
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        server.drain_pending();
+        let Response::Report { body, .. } = server.report_response(run2) else {
+            panic!("no resumed report");
+        };
+        assert_eq!(body, expected, "resumed report must be byte-identical");
+        std::fs::remove_dir_all(&state_dir).ok();
+        std::fs::remove_dir_all(&base_dir).ok();
+    }
+
+    #[test]
+    fn campaign_runs_resume_via_their_own_journal() {
+        let cfg = test_cfg("campaign");
+        let state_dir = cfg.state_dir.clone();
+        let (server, _) = Server::open(cfg).unwrap();
+        let job = JobSpec::Campaign(CampaignJob {
+            builtin: "smoke".into(),
+            seed: 11,
+            workers: 2,
+        });
+        let Response::Accepted { run } = server.submit("t", None, job) else {
+            panic!("submit rejected");
+        };
+        server.drain_pending();
+        let Response::Report { body, .. } = server.report_response(run) else {
+            panic!("no campaign report");
+        };
+        assert!(body.contains("cells"), "{body}");
+        assert!(campaign_path(&state_dir, run).exists(), "campaign journal kept");
+        std::fs::remove_dir_all(&state_dir).ok();
+    }
+}

@@ -1,0 +1,277 @@
+//! One client session: requests in, responses and trace frames out.
+//!
+//! A session is transport-agnostic — the real server runs one per TCP
+//! connection, the robustness tests run it over an in-process pair (and
+//! under the net crate's `FaultyTransport` chaos wrapper). The loop is
+//! deliberately stateless about runs: all durable state lives in the
+//! [`Server`], so dropping a session (client crash, heartbeat timeout,
+//! torn frame) never touches an executing run. A reconnecting client
+//! re-attaches with the next frame sequence it needs and the session
+//! replays from the journaled trace file — frames are never lost, only
+//! re-read.
+
+use crate::codec;
+use crate::journal::{read_trace_lines, trace_path};
+use crate::proto::{Request, Response, PROTO_VERSION};
+use crate::server::Server;
+use dualboot_net::proto::Message;
+use dualboot_net::transport::{Transport, TransportError};
+use std::time::{Duration, Instant};
+
+/// How long one `recv` waits before the loop services attachments and
+/// timers again. Bounds the frame-pump latency.
+const TICK: Duration = Duration::from_millis(20);
+
+#[derive(Debug)]
+struct Attachment {
+    run: u64,
+    /// Byte offset into the run's trace file (complete lines only).
+    offset: u64,
+    /// Frames below this sequence are suppressed: the client already has
+    /// them from before its reconnect.
+    from_seq: u64,
+}
+
+fn send<T: Transport>(transport: &mut T, rsp: &Response) -> Result<(), TransportError> {
+    transport.send(&Message::Serve { payload: rsp.encode() })
+}
+
+/// Run one session to completion. Returns when the client says `bye`,
+/// disconnects, goes silent past the heartbeat timeout, or the server
+/// shuts down.
+pub fn serve_session<T: Transport>(server: &Server, mut transport: T) {
+    let mut client = "anonymous".to_string();
+    let mut attachments: Vec<Attachment> = Vec::new();
+    let mut last_heard = Instant::now();
+    loop {
+        if server.is_stopping() {
+            let _ = send(&mut transport, &Response::ShuttingDown);
+            return;
+        }
+        if pump(server, &mut transport, &mut attachments).is_err() {
+            return;
+        }
+        let req = match transport.recv_timeout(TICK) {
+            Ok(Some(Message::Serve { payload })) => {
+                last_heard = Instant::now();
+                match Request::decode(&payload) {
+                    Ok(req) => req,
+                    Err(reason) => {
+                        if send(&mut transport, &Response::Error { reason }).is_err() {
+                            return;
+                        }
+                        continue;
+                    }
+                }
+            }
+            Ok(Some(_)) => {
+                let reason = "expected a serve frame".to_string();
+                if send(&mut transport, &Response::Error { reason }).is_err() {
+                    return;
+                }
+                continue;
+            }
+            Ok(None) => {
+                // Quiet tick. A client silent past the heartbeat window
+                // is presumed dead: drop the session, keep its runs.
+                if last_heard.elapsed() > server.config().heartbeat_timeout {
+                    return;
+                }
+                continue;
+            }
+            // A malformed or oversized frame costs that frame, not the
+            // session: the transport has already resynchronised.
+            Err(TransportError::Oversized { .. }) | Err(TransportError::Protocol(_)) => {
+                let reason = "unreadable frame dropped".to_string();
+                if send(&mut transport, &Response::Error { reason }).is_err() {
+                    return;
+                }
+                continue;
+            }
+            Err(_) => return, // disconnected, truncated or dead socket
+        };
+        let reply = match req {
+            Request::Hello { client: name } => {
+                client = name;
+                Some(Response::Welcome { server: PROTO_VERSION.to_string() })
+            }
+            Request::Bye => return,
+            Request::Heartbeat => None,
+            Request::Shutdown => {
+                server.shutdown();
+                let _ = send(&mut transport, &Response::ShuttingDown);
+                return;
+            }
+            Request::Attach { run, from_seq } => {
+                if server.run_state(run).is_some() {
+                    attachments.push(Attachment { run, offset: 0, from_seq });
+                    None
+                } else {
+                    Some(Response::Error { reason: format!("no run {run}") })
+                }
+            }
+            Request::Submit { tag, job } => Some(server.submit(&client, tag.as_deref(), job)),
+            Request::Runs => Some(Response::RunList { runs: server.run_list() }),
+            Request::Report { run } => Some(server.report_response(run)),
+            Request::Cancel { run } => Some(server.cancel(run)),
+        };
+        if let Some(rsp) = reply {
+            if send(&mut transport, &rsp).is_err() {
+                return;
+            }
+        }
+    }
+}
+
+/// Ship every attachment its newly journaled trace lines; finish (with
+/// the final report) the ones whose run went terminal. The terminal
+/// check happens *before* the read: the executor sets the terminal state
+/// only after the last trace flush, so terminal-then-read cannot miss
+/// frames.
+fn pump<T: Transport>(
+    server: &Server,
+    transport: &mut T,
+    attachments: &mut Vec<Attachment>,
+) -> Result<(), TransportError> {
+    let dir = server.config().state_dir.clone();
+    let mut finished: Vec<usize> = Vec::new();
+    for (i, att) in attachments.iter_mut().enumerate() {
+        let terminal = server
+            .run_state(att.run)
+            .is_some_and(|s| s.is_terminal());
+        match read_trace_lines(&trace_path(&dir, att.run), att.offset) {
+            Ok((lines, next)) => {
+                for line in lines {
+                    if codec::seq_of(&line).is_some_and(|seq| seq < att.from_seq) {
+                        continue;
+                    }
+                    send(transport, &Response::Frame { run: att.run, line })?;
+                }
+                att.offset = next;
+            }
+            // Not created yet (queued run) — or re-created below our
+            // offset by a restart; reset and retry next tick.
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(_) => {
+                att.offset = 0;
+            }
+        }
+        if terminal {
+            send(transport, &server.report_response(att.run))?;
+            finished.push(i);
+        }
+    }
+    for i in finished.into_iter().rev() {
+        attachments.remove(i);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{JobSpec, SimJob};
+    use crate::server::ServerConfig;
+    use dualboot_net::transport::in_proc_pair;
+
+    fn request<T: Transport>(t: &mut T, req: &Request) {
+        t.send(&Message::Serve { payload: req.encode() }).unwrap();
+    }
+
+    fn response<T: Transport>(t: &mut T) -> Response {
+        loop {
+            if let Some(Message::Serve { payload }) =
+                t.recv_timeout(Duration::from_secs(5)).unwrap()
+            {
+                return Response::decode(&payload).unwrap();
+            }
+        }
+    }
+
+    fn test_server(tag: &str) -> Server {
+        let state_dir = std::env::temp_dir().join(format!("dualboot-serve-session-{tag}"));
+        std::fs::remove_dir_all(&state_dir).ok();
+        let (server, _) = Server::open(ServerConfig {
+            state_dir,
+            heartbeat_timeout: Duration::from_millis(200),
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        server
+    }
+
+    #[test]
+    fn hello_submit_bye_over_in_proc() {
+        let server = test_server("hello");
+        let (client_end, server_end) = in_proc_pair();
+        let s2 = server.clone();
+        let session =
+            std::thread::spawn(move || serve_session(&s2, server_end));
+        let mut c = client_end;
+        request(&mut c, &Request::Hello { client: "test".into() });
+        assert!(matches!(response(&mut c), Response::Welcome { .. }));
+        request(
+            &mut c,
+            &Request::Submit {
+                tag: Some("t1".into()),
+                job: JobSpec::Sim(SimJob { hours: 1, ..SimJob::default() }),
+            },
+        );
+        let Response::Accepted { run } = response(&mut c) else {
+            panic!("expected accept");
+        };
+        request(&mut c, &Request::Runs);
+        let Response::RunList { runs } = response(&mut c) else {
+            panic!("expected run list");
+        };
+        assert_eq!(runs.len(), 1);
+        assert_eq!(runs[0].id, run);
+        assert_eq!(runs[0].client, "test");
+        assert_eq!(runs[0].tag, "t1");
+        request(&mut c, &Request::Bye);
+        session.join().unwrap();
+        std::fs::remove_dir_all(&server.config().state_dir).ok();
+    }
+
+    #[test]
+    fn silent_client_is_dropped_but_run_survives() {
+        let server = test_server("silent");
+        let (client_end, server_end) = in_proc_pair();
+        let s2 = server.clone();
+        let session = std::thread::spawn(move || serve_session(&s2, server_end));
+        let mut c = client_end;
+        request(&mut c, &Request::Submit { tag: None, job: JobSpec::Sim(SimJob { hours: 1, ..SimJob::default() }) });
+        let Response::Accepted { run } = response(&mut c) else {
+            panic!("expected accept");
+        };
+        // Go silent: the heartbeat window (200ms) expires and the session
+        // thread exits on its own — no Bye, no disconnect.
+        session.join().unwrap();
+        // The run is still there and still executes to completion.
+        server.drain_pending();
+        assert!(matches!(
+            server.report_response(run),
+            Response::Report { state, .. } if state == "done"
+        ));
+        std::fs::remove_dir_all(&server.config().state_dir).ok();
+    }
+
+    #[test]
+    fn unknown_runs_and_junk_payloads_get_errors() {
+        let server = test_server("junk");
+        let (client_end, server_end) = in_proc_pair();
+        let s2 = server.clone();
+        let session = std::thread::spawn(move || serve_session(&s2, server_end));
+        let mut c = client_end;
+        request(&mut c, &Request::Attach { run: 404, from_seq: 0 });
+        assert!(matches!(response(&mut c), Response::Error { .. }));
+        c.send(&Message::Serve { payload: "not json".into() }).unwrap();
+        assert!(matches!(response(&mut c), Response::Error { .. }));
+        // A non-serve protocol message on a serve session is an error too.
+        c.send(&Message::OrderAck { queued: 1, seq: 1 }).unwrap();
+        assert!(matches!(response(&mut c), Response::Error { .. }));
+        request(&mut c, &Request::Bye);
+        session.join().unwrap();
+        std::fs::remove_dir_all(&server.config().state_dir).ok();
+    }
+}

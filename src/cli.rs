@@ -8,12 +8,15 @@ use crate::campaign::{CampaignSpec, RunOptions as CampaignRunOptions};
 use crate::cluster::report::{chaos_section, health_section, result_row, Table, RESULT_HEADERS};
 use crate::cluster::{FaultPlan, Mode, PolicyKind, SimConfig, Simulation};
 use crate::grid::{report as grid_report, GridSim, GridSpec, RoutePolicy};
+use crate::serve::{CampaignJob, Collected, JobSpec, ReconnectPolicy, Response, SimJob};
 use crate::workload::generator::WorkloadSpec;
 use crate::workload::swf::{self, OsMapping, SwfImportOptions};
 use dualboot_des::time::{SimDuration, SimTime};
 use dualboot_des::QueueBackend;
 use dualboot_hw::NodeId;
+use dualboot_net::transport::TcpTransport;
 use dualboot_obs::{self as obs, ObsConfig, Subsystem, TraceFilter, TraceRecord};
+use std::net::{SocketAddr, ToSocketAddrs};
 
 /// Schema tag stamped on every JSON document the CLI emits.
 pub const JSON_SCHEMA: &str = "dualboot/v1";
@@ -46,8 +49,107 @@ pub enum Command {
     Swf(SwfArgs),
     /// Inspect exported JSONL traces (filter/timeline/diff).
     Trace(TraceAction),
+    /// Run the long-lived job server.
+    Serve(ServeArgs),
+    /// Submit a job to a running server and stream it.
+    Submit(SubmitArgs),
+    /// (Re)attach to a run on a running server.
+    Attach(AttachArgs),
+    /// List a running server's runs.
+    Runs(RunsArgs),
+    /// Cancel a run (or gracefully stop the whole server).
+    CancelRun(CancelArgs),
     /// Print usage.
     Help,
+}
+
+/// Options for `serve`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeArgs {
+    /// Listen address (`host:port`; port 0 picks an ephemeral port, the
+    /// bound address is printed as `serving on ADDR`).
+    pub listen: String,
+    /// Directory for the run journal, traces and reports.
+    pub state_dir: String,
+    /// Executor threads; 0 means one per available core.
+    pub workers: usize,
+    /// Admission limit: queued + running jobs beyond this are rejected
+    /// with retry advice.
+    pub max_queue: usize,
+    /// Process heap budget in MiB; submissions are rejected while live
+    /// bytes exceed it (0 disables the check).
+    pub mem_budget_mb: u64,
+    /// Wall-clock deadline per run, in seconds.
+    pub deadline_secs: Option<u64>,
+    /// Seconds of client silence before a session is dropped (its runs
+    /// keep executing).
+    pub heartbeat_secs: u64,
+}
+
+impl Default for ServeArgs {
+    fn default() -> Self {
+        ServeArgs {
+            listen: "127.0.0.1:0".to_string(),
+            state_dir: "dualboot-serve".to_string(),
+            workers: 0,
+            max_queue: 4,
+            mem_budget_mb: 0,
+            deadline_secs: None,
+            heartbeat_secs: 30,
+        }
+    }
+}
+
+/// Options for `submit`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubmitArgs {
+    /// Server address.
+    pub connect: String,
+    /// Free-form label attached to the run.
+    pub tag: Option<String>,
+    /// Write the collected JSONL trace here once the run completes.
+    pub trace_out: Option<String>,
+    /// Print `run N` and exit right after admission instead of
+    /// streaming.
+    pub detach: bool,
+    /// The job to run.
+    pub job: JobSpec,
+}
+
+/// Options for `attach`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttachArgs {
+    /// Server address.
+    pub connect: String,
+    /// Run id to attach to.
+    pub run: u64,
+    /// Write the collected JSONL trace here once the run completes.
+    pub trace_out: Option<String>,
+}
+
+/// Options for `runs`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunsArgs {
+    /// Server address.
+    pub connect: String,
+}
+
+/// What `cancel` should stop.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CancelTarget {
+    /// One run by id.
+    Run(u64),
+    /// The whole server (graceful shutdown).
+    Server,
+}
+
+/// Options for `cancel`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CancelArgs {
+    /// Server address.
+    pub connect: String,
+    /// Run id or the whole server.
+    pub target: CancelTarget,
 }
 
 /// What `dualboot trace` should do.
@@ -341,6 +443,36 @@ USAGE:
                     the enveloped JSON report to FILE. Reports are
                     byte-identical for a manifest regardless of worker
                     count or interruptions.
+  dualboot serve    [--listen ADDR] [--state-dir DIR] [--workers N]
+                    [--max-queue N] [--mem-budget-mb N] [--deadline-secs N]
+                    [--heartbeat-secs N]
+                    long-running job server; prints `serving on ADDR` once
+                    ready. Every accepted run is journaled to the state
+                    dir, so a killed server re-queues unfinished runs on
+                    restart and converges on byte-identical reports.
+                    Admission is bounded (--max-queue, --mem-budget-mb):
+                    excess submissions are rejected with retry advice, not
+                    queued without limit. Stop gracefully with a `quit`
+                    line on stdin or `dualboot cancel --server`.
+  dualboot submit   --connect ADDR [--tag T] [--trace-out FILE] [--detach]
+                    (sim flags: --seed --mode --policy --win-frac --load
+                     --hours --split --watchdog --journal --queue --faults
+                     | --campaign-builtin NAME [--campaign-seed N]
+                       [--campaign-workers N])
+                    submits one job, prints `run N`, then streams the
+                    trace to the final report, reconnecting with
+                    exponential backoff when the link tears; --detach
+                    returns right after admission
+  dualboot attach   RUN --connect ADDR [--trace-out FILE]
+                    (re)attach to a run: the server replays the journaled
+                    trace from the first frame this client has not seen,
+                    then streams live — a crashed viewer loses nothing
+  dualboot runs     --connect ADDR
+                    list the server's runs and their states
+  dualboot cancel   (RUN | --server) --connect ADDR
+                    cancel one run cooperatively, or shut the server down
+                    (running jobs are interrupted, journaled, and resumed
+                    by the next `dualboot serve` on the same state dir)
   dualboot swf <file.swf> [--windows-queue N | --win-frac F] [simulate opts]
   dualboot trace filter   <trace.jsonl> [--subsystem S] [--node N] [--kind K]
                           [--from-s N] [--until-s N] [--json]
@@ -436,6 +568,26 @@ impl Command {
             Some("trace") => {
                 let rest: Vec<String> = it.cloned().collect();
                 Ok(Command::Trace(parse_trace(&rest)?))
+            }
+            Some("serve") => {
+                let rest: Vec<String> = it.cloned().collect();
+                Ok(Command::Serve(parse_serve(&rest)?))
+            }
+            Some("submit") => {
+                let rest: Vec<String> = it.cloned().collect();
+                Ok(Command::Submit(parse_submit(&rest)?))
+            }
+            Some("attach") => {
+                let rest: Vec<String> = it.cloned().collect();
+                Ok(Command::Attach(parse_attach(&rest)?))
+            }
+            Some("runs") => {
+                let rest: Vec<String> = it.cloned().collect();
+                Ok(Command::Runs(parse_runs(&rest)?))
+            }
+            Some("cancel") => {
+                let rest: Vec<String> = it.cloned().collect();
+                Ok(Command::CancelRun(parse_cancel(&rest)?))
             }
             Some(other) => Err(CliError(format!(
                 "unknown command {other:?} (try `dualboot help`)"
@@ -834,6 +986,332 @@ fn parse_trace(args: &[String]) -> Result<TraceAction, CliError> {
     }
 }
 
+fn parse_serve(args: &[String]) -> Result<ServeArgs, CliError> {
+    let mut out = ServeArgs::default();
+    let value = |args: &[String], k: usize, flag: &str| -> Result<String, CliError> {
+        args.get(k + 1)
+            .cloned()
+            .ok_or_else(|| CliError(format!("{flag} needs a value")))
+    };
+    let mut k = 0;
+    while k < args.len() {
+        match args[k].as_str() {
+            "--listen" => {
+                out.listen = value(args, k, "--listen")?;
+                k += 2;
+            }
+            "--state-dir" => {
+                out.state_dir = value(args, k, "--state-dir")?;
+                k += 2;
+            }
+            "--workers" => {
+                let v = value(args, k, "--workers")?;
+                out.workers = v
+                    .parse()
+                    .map_err(|_| CliError(format!("bad worker count {v:?}")))?;
+                k += 2;
+            }
+            "--max-queue" => {
+                let v = value(args, k, "--max-queue")?;
+                out.max_queue = v
+                    .parse()
+                    .map_err(|_| CliError(format!("bad queue limit {v:?}")))?;
+                if out.max_queue == 0 {
+                    return Err(CliError("--max-queue must be at least 1".to_string()));
+                }
+                k += 2;
+            }
+            "--mem-budget-mb" => {
+                let v = value(args, k, "--mem-budget-mb")?;
+                out.mem_budget_mb = v
+                    .parse()
+                    .map_err(|_| CliError(format!("bad budget {v:?}")))?;
+                k += 2;
+            }
+            "--deadline-secs" => {
+                let v = value(args, k, "--deadline-secs")?;
+                out.deadline_secs = Some(
+                    v.parse()
+                        .map_err(|_| CliError(format!("bad deadline {v:?}")))?,
+                );
+                k += 2;
+            }
+            "--heartbeat-secs" => {
+                let v = value(args, k, "--heartbeat-secs")?;
+                let secs: u64 = v
+                    .parse()
+                    .map_err(|_| CliError(format!("bad heartbeat {v:?}")))?;
+                if secs == 0 {
+                    return Err(CliError("--heartbeat-secs must be at least 1".to_string()));
+                }
+                out.heartbeat_secs = secs;
+                k += 2;
+            }
+            other => return Err(CliError(format!("unknown flag {other:?}"))),
+        }
+    }
+    Ok(out)
+}
+
+fn parse_submit(args: &[String]) -> Result<SubmitArgs, CliError> {
+    let value = |args: &[String], k: usize, flag: &str| -> Result<String, CliError> {
+        args.get(k + 1)
+            .cloned()
+            .ok_or_else(|| CliError(format!("{flag} needs a value")))
+    };
+    let mut connect: Option<String> = None;
+    let mut tag: Option<String> = None;
+    let mut trace_out: Option<String> = None;
+    let mut detach = false;
+    let mut sim = SimJob::default();
+    let mut sim_flag_seen = false;
+    let mut campaign_builtin: Option<String> = None;
+    let mut campaign_seed: u64 = 2012;
+    let mut campaign_workers: u64 = 0;
+    let mut k = 0;
+    while k < args.len() {
+        match args[k].as_str() {
+            "--connect" => {
+                connect = Some(value(args, k, "--connect")?);
+                k += 2;
+            }
+            "--tag" => {
+                tag = Some(value(args, k, "--tag")?);
+                k += 2;
+            }
+            "--trace-out" => {
+                trace_out = Some(value(args, k, "--trace-out")?);
+                k += 2;
+            }
+            "--detach" => {
+                detach = true;
+                k += 1;
+            }
+            "--campaign-builtin" => {
+                campaign_builtin = Some(value(args, k, "--campaign-builtin")?);
+                k += 2;
+            }
+            "--campaign-seed" => {
+                let v = value(args, k, "--campaign-seed")?;
+                campaign_seed = v.parse().map_err(|_| CliError(format!("bad seed {v:?}")))?;
+                k += 2;
+            }
+            "--campaign-workers" => {
+                let v = value(args, k, "--campaign-workers")?;
+                campaign_workers = v
+                    .parse()
+                    .map_err(|_| CliError(format!("bad worker count {v:?}")))?;
+                k += 2;
+            }
+            "--seed" => {
+                let v = value(args, k, "--seed")?;
+                sim.seed = v.parse().map_err(|_| CliError(format!("bad seed {v:?}")))?;
+                sim_flag_seen = true;
+                k += 2;
+            }
+            "--mode" => {
+                let v = value(args, k, "--mode")?;
+                parse_mode(&v)?; // validate client-side, ship the string
+                sim.mode = v;
+                sim_flag_seen = true;
+                k += 2;
+            }
+            "--policy" => {
+                let v = value(args, k, "--policy")?;
+                parse_policy(&v)?;
+                sim.policy = v;
+                sim_flag_seen = true;
+                k += 2;
+            }
+            "--win-frac" => {
+                let v = value(args, k, "--win-frac")?;
+                sim.windows_fraction = v
+                    .parse()
+                    .map_err(|_| CliError(format!("bad fraction {v:?}")))?;
+                if !(0.0..=1.0).contains(&sim.windows_fraction) {
+                    return Err(CliError("--win-frac must be in [0,1]".to_string()));
+                }
+                sim_flag_seen = true;
+                k += 2;
+            }
+            "--load" => {
+                let v = value(args, k, "--load")?;
+                sim.load = v.parse().map_err(|_| CliError(format!("bad load {v:?}")))?;
+                sim_flag_seen = true;
+                k += 2;
+            }
+            "--hours" => {
+                let v = value(args, k, "--hours")?;
+                sim.hours = v.parse().map_err(|_| CliError(format!("bad hours {v:?}")))?;
+                sim_flag_seen = true;
+                k += 2;
+            }
+            "--split" => {
+                let v = value(args, k, "--split")?;
+                sim.split = v.parse().map_err(|_| CliError(format!("bad split {v:?}")))?;
+                sim_flag_seen = true;
+                k += 2;
+            }
+            "--watchdog" => {
+                sim.watchdog = parse_on_off("--watchdog", &value(args, k, "--watchdog")?)?;
+                sim_flag_seen = true;
+                k += 2;
+            }
+            "--journal" => {
+                sim.journal = parse_on_off("--journal", &value(args, k, "--journal")?)?;
+                sim_flag_seen = true;
+                k += 2;
+            }
+            "--queue" => {
+                let v = value(args, k, "--queue")?;
+                v.parse::<QueueBackend>()
+                    .map_err(|e| CliError(format!("{e}")))?;
+                sim.queue = v;
+                sim_flag_seen = true;
+                k += 2;
+            }
+            "--faults" => {
+                // The server only accepts `chaos` or inline JSON (it
+                // never reads client-side paths), so a plan file is
+                // inlined here.
+                let v = value(args, k, "--faults")?;
+                sim.faults = Some(if v == "chaos" || v.trim_start().starts_with('{') {
+                    v
+                } else {
+                    std::fs::read_to_string(&v)
+                        .map_err(|e| CliError(format!("cannot read fault plan {v:?}: {e}")))?
+                });
+                sim_flag_seen = true;
+                k += 2;
+            }
+            other => return Err(CliError(format!("unknown flag {other:?}"))),
+        }
+    }
+    let connect =
+        connect.ok_or_else(|| CliError("submit needs --connect ADDR".to_string()))?;
+    let job = match campaign_builtin {
+        Some(builtin) => {
+            if sim_flag_seen {
+                return Err(CliError(
+                    "--campaign-builtin cannot be mixed with simulate flags".to_string(),
+                ));
+            }
+            JobSpec::Campaign(CampaignJob {
+                builtin,
+                seed: campaign_seed,
+                workers: campaign_workers,
+            })
+        }
+        None => JobSpec::Sim(sim),
+    };
+    Ok(SubmitArgs { connect, tag, trace_out, detach, job })
+}
+
+fn parse_attach(args: &[String]) -> Result<AttachArgs, CliError> {
+    let run = args
+        .first()
+        .filter(|a| !a.starts_with("--"))
+        .ok_or_else(|| CliError("attach needs a run id".to_string()))?;
+    let run: u64 = run
+        .parse()
+        .map_err(|_| CliError(format!("bad run id {run:?}")))?;
+    let value = |args: &[String], k: usize, flag: &str| -> Result<String, CliError> {
+        args.get(k + 1)
+            .cloned()
+            .ok_or_else(|| CliError(format!("{flag} needs a value")))
+    };
+    let mut connect: Option<String> = None;
+    let mut trace_out: Option<String> = None;
+    let rest = &args[1..];
+    let mut k = 0;
+    while k < rest.len() {
+        match rest[k].as_str() {
+            "--connect" => {
+                connect = Some(value(rest, k, "--connect")?);
+                k += 2;
+            }
+            "--trace-out" => {
+                trace_out = Some(value(rest, k, "--trace-out")?);
+                k += 2;
+            }
+            other => return Err(CliError(format!("unknown flag {other:?}"))),
+        }
+    }
+    let connect =
+        connect.ok_or_else(|| CliError("attach needs --connect ADDR".to_string()))?;
+    Ok(AttachArgs { connect, run, trace_out })
+}
+
+fn parse_runs(args: &[String]) -> Result<RunsArgs, CliError> {
+    let value = |args: &[String], k: usize, flag: &str| -> Result<String, CliError> {
+        args.get(k + 1)
+            .cloned()
+            .ok_or_else(|| CliError(format!("{flag} needs a value")))
+    };
+    let mut connect: Option<String> = None;
+    let mut k = 0;
+    while k < args.len() {
+        match args[k].as_str() {
+            "--connect" => {
+                connect = Some(value(args, k, "--connect")?);
+                k += 2;
+            }
+            other => return Err(CliError(format!("unknown flag {other:?}"))),
+        }
+    }
+    let connect = connect.ok_or_else(|| CliError("runs needs --connect ADDR".to_string()))?;
+    Ok(RunsArgs { connect })
+}
+
+fn parse_cancel(args: &[String]) -> Result<CancelArgs, CliError> {
+    let value = |args: &[String], k: usize, flag: &str| -> Result<String, CliError> {
+        args.get(k + 1)
+            .cloned()
+            .ok_or_else(|| CliError(format!("{flag} needs a value")))
+    };
+    let mut connect: Option<String> = None;
+    let mut server = false;
+    let mut run: Option<u64> = None;
+    let mut k = 0;
+    while k < args.len() {
+        match args[k].as_str() {
+            "--connect" => {
+                connect = Some(value(args, k, "--connect")?);
+                k += 2;
+            }
+            "--server" => {
+                server = true;
+                k += 1;
+            }
+            flag if flag.starts_with("--") => {
+                return Err(CliError(format!("unknown flag {flag:?}")))
+            }
+            id => {
+                if run.is_some() {
+                    return Err(CliError("cancel takes one run id".to_string()));
+                }
+                run = Some(
+                    id.parse()
+                        .map_err(|_| CliError(format!("bad run id {id:?}")))?,
+                );
+                k += 1;
+            }
+        }
+    }
+    let connect =
+        connect.ok_or_else(|| CliError("cancel needs --connect ADDR".to_string()))?;
+    let target = match (run, server) {
+        (Some(id), false) => CancelTarget::Run(id),
+        (None, true) => CancelTarget::Server,
+        _ => {
+            return Err(CliError(
+                "cancel takes a run id or --server (exactly one)".to_string(),
+            ))
+        }
+    };
+    Ok(CancelArgs { connect, target })
+}
+
 /// Resolve a `--faults` value into a plan: inline JSON if it starts with
 /// `{`, the default chaos campaign for the literal `chaos`, otherwise a
 /// path to a JSON plan file.
@@ -1080,6 +1558,7 @@ pub fn run_campaign(args: &CampaignArgs) -> Result<String, CliError> {
         } else {
             args.max_cells
         },
+        ..CampaignRunOptions::default()
     };
     let started = std::time::Instant::now();
     let report = crate::campaign::run(&spec, &opts).map_err(|e| CliError(e.0))?;
@@ -1147,6 +1626,259 @@ pub fn run_trace_tool(action: &TraceAction) -> Result<TraceOutput, CliError> {
                 text: d.render(),
                 differs: !d.is_empty(),
             })
+        }
+    }
+}
+
+fn resolve_addr(spec: &str) -> Result<SocketAddr, CliError> {
+    spec.to_socket_addrs()
+        .map_err(|e| CliError(format!("bad address {spec:?}: {e}")))?
+        .next()
+        .ok_or_else(|| CliError(format!("address {spec:?} resolves to nothing")))
+}
+
+fn tcp_connect(spec: &str) -> Result<TcpTransport, CliError> {
+    let addr = resolve_addr(spec)?;
+    TcpTransport::connect(addr).map_err(|e| CliError(format!("cannot connect to {spec}: {e}")))
+}
+
+/// Run the job server until it is shut down (a `quit` line on stdin, or
+/// a client's `cancel --server`). Long-running: prints directly instead
+/// of returning a report string.
+pub fn run_serve(args: &ServeArgs) -> Result<(), CliError> {
+    use std::io::Write as _;
+    let addr = resolve_addr(&args.listen)?;
+    let cfg = crate::serve::ServerConfig {
+        state_dir: std::path::PathBuf::from(&args.state_dir),
+        workers: if args.workers == 0 {
+            crate::middleware::pool::default_workers()
+        } else {
+            args.workers
+        },
+        max_queue: args.max_queue,
+        mem_budget_bytes: args.mem_budget_mb.saturating_mul(1 << 20),
+        deadline: args.deadline_secs.map(std::time::Duration::from_secs),
+        heartbeat_timeout: std::time::Duration::from_secs(args.heartbeat_secs),
+        ..crate::serve::ServerConfig::default()
+    };
+    let (server, notes) = crate::serve::Server::open(cfg)
+        .map_err(|e| CliError(format!("cannot open state dir {:?}: {e}", args.state_dir)))?;
+    for note in &notes {
+        eprintln!("recovery: {note}");
+    }
+    let (listener, local) = TcpTransport::listen(addr)
+        .map_err(|e| CliError(format!("cannot listen on {}: {e}", args.listen)))?;
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| CliError(format!("cannot poll listener: {e}")))?;
+    // The one line scripts wait for before connecting.
+    println!("serving on {local}");
+    std::io::stdout().flush().ok();
+
+    // A `quit` line stops the server; EOF merely stops the watcher, so a
+    // backgrounded server with a closed stdin keeps serving.
+    let stop = server.clone();
+    std::thread::spawn(move || {
+        let stdin = std::io::stdin();
+        let mut line = String::new();
+        loop {
+            line.clear();
+            match std::io::BufRead::read_line(&mut stdin.lock(), &mut line) {
+                Ok(0) | Err(_) => return,
+                Ok(_) => {
+                    if matches!(line.trim(), "quit" | "shutdown") {
+                        stop.shutdown();
+                        return;
+                    }
+                }
+            }
+        }
+    });
+
+    let mut sessions: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    while !server.is_stopping() {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                stream.set_nonblocking(false).ok();
+                match TcpTransport::from_stream(stream) {
+                    Ok(t) => {
+                        let srv = server.clone();
+                        sessions.push(std::thread::spawn(move || {
+                            crate::serve::serve_session(&srv, t)
+                        }));
+                    }
+                    Err(e) => eprintln!("session setup failed: {e}"),
+                }
+            }
+            Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+            Err(e) => {
+                eprintln!("accept failed: {e}");
+                std::thread::sleep(std::time::Duration::from_millis(100));
+            }
+        }
+        sessions.retain(|h| !h.is_finished());
+    }
+    // Sessions observe the stop flag, tell their clients, and return;
+    // workers journal any interrupted run before exiting.
+    for h in sessions {
+        h.join().ok();
+    }
+    server.join_workers();
+    eprintln!("server stopped");
+    Ok(())
+}
+
+/// Write a collected trace as JSONL, byte-compatible with
+/// `simulate --trace-out` for the same job.
+fn write_collected_trace(path: &str, collected: &Collected) -> Result<(), CliError> {
+    let records = collected.records().map_err(CliError)?;
+    let text = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        obs::to_jsonl(&records)
+    }))
+    .map_err(|_| CliError("trace serialisation is unavailable in this build".to_string()))?;
+    std::fs::write(path, text).map_err(|e| CliError(format!("cannot write trace {path:?}: {e}")))
+}
+
+/// Attach (reconnecting through the backoff window on torn links), print
+/// progress to stderr and the final state/report to stdout. Returns
+/// whether the run reached a `done` report.
+fn stream_run(
+    connect: &str,
+    mut link: Option<TcpTransport>,
+    run: u64,
+    trace_out: Option<&str>,
+) -> Result<bool, CliError> {
+    let policy = ReconnectPolicy::default();
+    let mut collected = Collected::default();
+    let mut attempt = 0u32;
+    let complete = loop {
+        let outcome = match link.take() {
+            Some(mut t) => crate::serve::attach_and_collect(&mut t, run, &mut collected),
+            None => match tcp_connect(connect) {
+                Ok(mut t) => crate::serve::attach_and_collect(&mut t, run, &mut collected),
+                Err(_) => Ok(false),
+            },
+        };
+        match outcome {
+            Ok(true) => break true,
+            Ok(false) => {
+                attempt += 1;
+                if attempt >= policy.attempts {
+                    break false;
+                }
+                let delay = policy.delay(attempt);
+                eprintln!(
+                    "link torn at {} frames; reconnecting in {:.1}s (attempt {attempt}/{})",
+                    collected.frames.len(),
+                    delay.as_secs_f64(),
+                    policy.attempts - 1,
+                );
+                std::thread::sleep(delay);
+            }
+            Err(e) => return Err(CliError(e)),
+        }
+    };
+    eprintln!(
+        "collected {} trace frames{}",
+        collected.frames.len(),
+        if collected.is_contiguous() { "" } else { " (sequence has gaps)" },
+    );
+    if let Some(path) = trace_out {
+        write_collected_trace(path, &collected)?;
+    }
+    match &collected.report {
+        Some((state, body)) => {
+            println!("state {state}");
+            if !body.is_empty() {
+                println!("{body}");
+            }
+            Ok(complete && state == "done")
+        }
+        None => {
+            eprintln!("gave up after {} attempts without a final report", policy.attempts);
+            Ok(false)
+        }
+    }
+}
+
+/// Submit one job and (unless detached) stream it to completion. Returns
+/// whether the run was accepted and finished `done` — the process exit
+/// status.
+pub fn run_submit(args: &SubmitArgs) -> Result<bool, CliError> {
+    use std::io::Write as _;
+    let mut t = tcp_connect(&args.connect)?;
+    let client = format!("dualboot-cli/{}", std::process::id());
+    let rsp = crate::serve::submit_over(&mut t, &client, args.tag.as_deref(), &args.job)
+        .map_err(CliError)?;
+    match rsp {
+        Response::Accepted { run } => {
+            // Printed and flushed before any streaming so wrappers can
+            // read the id even if this client dies mid-stream.
+            println!("run {run}");
+            std::io::stdout().flush().ok();
+            if args.detach {
+                return Ok(true);
+            }
+            stream_run(&args.connect, Some(t), run, args.trace_out.as_deref())
+        }
+        Response::Rejected { reason, retry_after_ms } => {
+            eprintln!("rejected: {reason} (retry after {retry_after_ms} ms)");
+            Ok(false)
+        }
+        Response::ShuttingDown => {
+            eprintln!("server is shutting down");
+            Ok(false)
+        }
+        other => Err(CliError(format!("unexpected admission response {other:?}"))),
+    }
+}
+
+/// (Re)attach to a run and stream it to completion. Returns whether the
+/// run finished `done`.
+pub fn run_attach(args: &AttachArgs) -> Result<bool, CliError> {
+    stream_run(&args.connect, None, args.run, args.trace_out.as_deref())
+}
+
+/// List the server's runs as a table.
+pub fn run_runs(args: &RunsArgs) -> Result<String, CliError> {
+    let mut t = tcp_connect(&args.connect)?;
+    let runs = crate::serve::list_runs(&mut t).map_err(CliError)?;
+    let mut table = Table::new("runs", &["run", "state", "kind", "client", "tag"]);
+    for r in &runs {
+        table.row(&[
+            format!("{}", r.id),
+            r.state.clone(),
+            r.kind.clone(),
+            r.client.clone(),
+            r.tag.clone(),
+        ]);
+    }
+    Ok(table.render())
+}
+
+/// Cancel one run, or gracefully stop the whole server.
+pub fn run_cancel(args: &CancelArgs) -> Result<String, CliError> {
+    let mut t = tcp_connect(&args.connect)?;
+    match args.target {
+        CancelTarget::Run(id) => {
+            let rsp = crate::serve::request(&mut t, &crate::serve::Request::Cancel { run: id })
+                .map_err(CliError)?;
+            match rsp {
+                Response::Cancelled { run } => Ok(format!("run {run} cancelled\n")),
+                Response::Error { reason } => Err(CliError(reason)),
+                other => Err(CliError(format!("unexpected response {other:?}"))),
+            }
+        }
+        CancelTarget::Server => {
+            let rsp = crate::serve::request(&mut t, &crate::serve::Request::Shutdown)
+                .map_err(CliError)?;
+            match rsp {
+                Response::ShuttingDown => Ok("server shutting down\n".to_string()),
+                Response::Error { reason } => Err(CliError(reason)),
+                other => Err(CliError(format!("unexpected response {other:?}"))),
+            }
         }
     }
 }
@@ -1241,6 +1973,103 @@ mod tests {
         assert!(Command::parse(&argv("simulate --faults")).is_err());
         assert!(Command::parse(&argv("simulate --frobnicate")).is_err());
         assert!(Command::parse(&argv("teleport")).is_err());
+    }
+
+    #[test]
+    fn serve_defaults_and_flags() {
+        let cmd = Command::parse(&argv("serve")).unwrap();
+        assert_eq!(cmd, Command::Serve(ServeArgs::default()));
+        let cmd = Command::parse(&argv(
+            "serve --listen 0.0.0.0:4850 --state-dir /tmp/s --workers 2 \
+             --max-queue 9 --mem-budget-mb 512 --deadline-secs 30 --heartbeat-secs 5",
+        ))
+        .unwrap();
+        let Command::Serve(a) = cmd else { panic!("wrong command") };
+        assert_eq!(a.listen, "0.0.0.0:4850");
+        assert_eq!(a.state_dir, "/tmp/s");
+        assert_eq!(a.workers, 2);
+        assert_eq!(a.max_queue, 9);
+        assert_eq!(a.mem_budget_mb, 512);
+        assert_eq!(a.deadline_secs, Some(30));
+        assert_eq!(a.heartbeat_secs, 5);
+        assert!(Command::parse(&argv("serve --max-queue 0")).is_err());
+        assert!(Command::parse(&argv("serve --heartbeat-secs 0")).is_err());
+        assert!(Command::parse(&argv("serve --frobnicate")).is_err());
+    }
+
+    #[test]
+    fn submit_builds_a_sim_job() {
+        let cmd = Command::parse(&argv(
+            "submit --connect 127.0.0.1:4850 --tag demo --seed 7 --mode static \
+             --policy threshold --hours 2 --queue calendar --detach",
+        ))
+        .unwrap();
+        let Command::Submit(a) = cmd else { panic!("wrong command") };
+        assert_eq!(a.connect, "127.0.0.1:4850");
+        assert_eq!(a.tag.as_deref(), Some("demo"));
+        assert!(a.detach);
+        let JobSpec::Sim(job) = &a.job else { panic!("expected a sim job") };
+        assert_eq!(job.seed, 7);
+        assert_eq!(job.mode, "static");
+        assert_eq!(job.policy, "threshold");
+        assert_eq!(job.hours, 2);
+        assert_eq!(job.queue, "calendar");
+        // Bad values are caught client-side, before any connection.
+        assert!(Command::parse(&argv("submit --connect h:1 --mode bsd")).is_err());
+        assert!(Command::parse(&argv("submit --seed 7")).is_err(), "--connect required");
+    }
+
+    #[test]
+    fn submit_builds_a_campaign_job_and_rejects_mixes() {
+        let cmd = Command::parse(&argv(
+            "submit --connect h:1 --campaign-builtin smoke --campaign-seed 9 \
+             --campaign-workers 3",
+        ))
+        .unwrap();
+        let Command::Submit(a) = cmd else { panic!("wrong command") };
+        let JobSpec::Campaign(job) = &a.job else { panic!("expected a campaign job") };
+        assert_eq!(job.builtin, "smoke");
+        assert_eq!(job.seed, 9);
+        assert_eq!(job.workers, 3);
+        assert!(
+            Command::parse(&argv("submit --connect h:1 --campaign-builtin smoke --seed 7"))
+                .is_err(),
+            "campaign and sim flags are exclusive"
+        );
+    }
+
+    #[test]
+    fn attach_runs_cancel_forms() {
+        let cmd = Command::parse(&argv("attach 12 --connect h:1 --trace-out t.jsonl")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Attach(AttachArgs {
+                connect: "h:1".into(),
+                run: 12,
+                trace_out: Some("t.jsonl".into()),
+            })
+        );
+        assert!(Command::parse(&argv("attach --connect h:1")).is_err(), "run id required");
+        let cmd = Command::parse(&argv("runs --connect h:1")).unwrap();
+        assert_eq!(cmd, Command::Runs(RunsArgs { connect: "h:1".into() }));
+        let cmd = Command::parse(&argv("cancel 3 --connect h:1")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::CancelRun(CancelArgs {
+                connect: "h:1".into(),
+                target: CancelTarget::Run(3),
+            })
+        );
+        let cmd = Command::parse(&argv("cancel --server --connect h:1")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::CancelRun(CancelArgs {
+                connect: "h:1".into(),
+                target: CancelTarget::Server,
+            })
+        );
+        assert!(Command::parse(&argv("cancel --connect h:1")).is_err());
+        assert!(Command::parse(&argv("cancel 3 --server --connect h:1")).is_err());
     }
 
     #[test]

@@ -60,6 +60,7 @@ pub use dualboot_hw as hw;
 pub use dualboot_net as net;
 pub use dualboot_obs as obs;
 pub use dualboot_sched as sched;
+pub use dualboot_serve as serve;
 pub use dualboot_workload as workload;
 
 /// The `dualboot` command-line interface (see `src/bin/dualboot.rs`).

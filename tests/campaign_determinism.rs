@@ -111,6 +111,7 @@ fn killed_and_resumed_campaign_matches_uninterrupted() {
                 journal: Some(path.clone()),
                 resume,
                 max_cells: max,
+                ..RunOptions::default()
             },
         )
         .unwrap();
@@ -123,6 +124,7 @@ fn killed_and_resumed_campaign_matches_uninterrupted() {
             journal: Some(path.clone()),
             resume: true,
             max_cells: Some(0),
+            ..RunOptions::default()
         },
     )
     .unwrap();

@@ -1,0 +1,254 @@
+//! Crash recovery against the real `dualboot serve` process: SIGKILL the
+//! server mid-queue, restart it on the same state dir, and require every
+//! journaled run — campaign and simulation alike — to converge on
+//! byte-identical final reports. Also drives the client-side CLI
+//! (`submit`/`attach`/`runs`/`cancel`) end to end over TCP.
+
+use hybrid_cluster::net::transport::TcpTransport;
+use hybrid_cluster::serve::{
+    collect_run_tcp, request, submit_over, CampaignJob, JobSpec, ReconnectPolicy, Request,
+    Response, SimJob,
+};
+use std::collections::BTreeMap;
+use std::io::BufRead;
+use std::net::SocketAddr;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+struct ServerProc {
+    child: Child,
+    addr: SocketAddr,
+}
+
+impl ServerProc {
+    /// Spawn `dualboot serve` on an ephemeral port and parse the bound
+    /// address from its announcement line.
+    fn start(state_dir: &std::path::Path) -> ServerProc {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_dualboot"))
+            .args(["serve", "--listen", "127.0.0.1:0", "--workers", "1", "--max-queue", "8"])
+            .arg("--state-dir")
+            .arg(state_dir)
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn dualboot serve");
+        let stdout = child.stdout.take().expect("stdout piped");
+        let mut lines = std::io::BufReader::new(stdout).lines();
+        let addr = loop {
+            match lines.next() {
+                Some(Ok(line)) => {
+                    if let Some(a) = line.strip_prefix("serving on ") {
+                        break a.parse().expect("bound address parses");
+                    }
+                }
+                other => panic!("server exited before announcing its address: {other:?}"),
+            }
+        };
+        std::thread::spawn(move || lines.for_each(drop));
+        ServerProc { child, addr }
+    }
+
+    /// SIGKILL — no shutdown hooks, no flushes beyond what the journal
+    /// already guaranteed.
+    fn kill(&mut self) {
+        self.child.kill().ok();
+        self.child.wait().ok();
+    }
+
+    /// Wait for a voluntary exit (after a graceful shutdown request).
+    fn wait_clean_exit(&mut self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        while Instant::now() < deadline {
+            match self.child.try_wait() {
+                Ok(Some(status)) => return status.success(),
+                Ok(None) => std::thread::sleep(Duration::from_millis(20)),
+                Err(_) => return false,
+            }
+        }
+        false
+    }
+}
+
+impl Drop for ServerProc {
+    fn drop(&mut self) {
+        self.child.kill().ok();
+        self.child.wait().ok();
+    }
+}
+
+fn state_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("dualboot-serve-recovery-{tag}"));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+fn heavy_sim(seed: u64) -> JobSpec {
+    JobSpec::Sim(SimJob { seed, hours: 720, load: 3.0, ..SimJob::default() })
+}
+
+fn small_sim() -> JobSpec {
+    JobSpec::Sim(SimJob { seed: 11, hours: 2, ..SimJob::default() })
+}
+
+fn fleet_campaign() -> JobSpec {
+    JobSpec::Campaign(CampaignJob { builtin: "fleet".to_string(), seed: 2012, workers: 1 })
+}
+
+/// Submit the standard job mix on fresh connections; returns run ids in
+/// submission order.
+fn submit_mix(addr: SocketAddr) -> Vec<u64> {
+    [fleet_campaign(), heavy_sim(5), heavy_sim(6), small_sim()]
+        .iter()
+        .map(|job| {
+            let mut t = TcpTransport::connect(addr).expect("connect for submit");
+            match submit_over(&mut t, "recovery-test", None, job).expect("submission io") {
+                Response::Accepted { run } => run,
+                other => panic!("submission not accepted: {other:?}"),
+            }
+        })
+        .collect()
+}
+
+/// Poll until the run has a terminal report, tolerating a server that is
+/// mid-restart.
+fn fetch_terminal_report(addr: SocketAddr, run: u64, timeout: Duration) -> (String, String) {
+    let deadline = Instant::now() + timeout;
+    loop {
+        assert!(
+            Instant::now() < deadline,
+            "run {run} never reached a terminal report"
+        );
+        if let Ok(mut t) = TcpTransport::connect(addr) {
+            if let Ok(Response::Report { state, body, .. }) =
+                request(&mut t, &Request::Report { run })
+            {
+                return (state, body);
+            }
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+#[test]
+fn sigkilled_server_resumes_every_journaled_run_byte_identically() {
+    let wait = Duration::from_secs(120);
+
+    // Baseline: the same job mix on an uninterrupted server.
+    let dir_a = state_dir("baseline");
+    let mut baseline_server = ServerProc::start(&dir_a);
+    let addr_a = baseline_server.addr;
+    let runs_a = submit_mix(addr_a);
+    let mut baseline: BTreeMap<u64, (String, String)> = BTreeMap::new();
+    for &run in &runs_a {
+        baseline.insert(run, fetch_terminal_report(addr_a, run, wait));
+    }
+    let (small_baseline, done) =
+        collect_run_tcp(addr_a, runs_a[3], &ReconnectPolicy::default()).expect("collect");
+    assert!(done, "baseline trace collection reached the report");
+    assert!(small_baseline.is_contiguous());
+
+    // Graceful shutdown exits cleanly (workers joined, journal flushed).
+    let mut t = TcpTransport::connect(addr_a).expect("connect for shutdown");
+    let rsp = request(&mut t, &Request::Shutdown).expect("shutdown io");
+    assert!(matches!(rsp, Response::ShuttingDown), "{rsp:?}");
+    assert!(
+        baseline_server.wait_clean_exit(Duration::from_secs(30)),
+        "server did not exit cleanly after a shutdown request"
+    );
+
+    // Crash: same mix, SIGKILL shortly after admission — mid-campaign
+    // with one worker, since the fleet campaign runs first.
+    let dir_b = state_dir("crash");
+    let mut crash_server = ServerProc::start(&dir_b);
+    let runs_b = submit_mix(crash_server.addr);
+    assert_eq!(runs_a, runs_b, "fresh servers assign the same run ids");
+    std::thread::sleep(Duration::from_millis(50));
+    crash_server.kill();
+
+    // Restart on the same state dir: the journal re-lists every run, the
+    // unfinished ones re-queue, and determinism does the rest.
+    let restarted = ServerProc::start(&dir_b);
+    for &run in &runs_b {
+        let (state, body) = fetch_terminal_report(restarted.addr, run, wait);
+        let (base_state, base_body) = &baseline[&run];
+        assert_eq!(&state, base_state, "run {run} state diverged after recovery");
+        assert_eq!(&body, base_body, "run {run} report diverged after recovery");
+        assert_eq!(state, "done");
+    }
+
+    // The small sim's replayed trace is frame-for-frame the baseline's.
+    let (small_recovered, done) =
+        collect_run_tcp(restarted.addr, runs_b[3], &ReconnectPolicy::default())
+            .expect("collect after recovery");
+    assert!(done);
+    assert!(small_recovered.is_contiguous());
+    assert_eq!(small_recovered.frames, small_baseline.frames);
+}
+
+#[test]
+fn cli_client_round_trip_over_tcp() {
+    let dir = state_dir("cli");
+    let mut server = ServerProc::start(&dir);
+    let addr = server.addr.to_string();
+    let cli = |args: &[&str]| {
+        Command::new(env!("CARGO_BIN_EXE_dualboot"))
+            .args(args)
+            .output()
+            .expect("run dualboot client")
+    };
+
+    // submit: prints the run id first, then streams to the final report.
+    let out = cli(&[
+        "submit", "--connect", &addr, "--tag", "demo", "--seed", "3", "--hours", "1",
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let first = stdout.lines().next().expect("submit printed nothing");
+    let run_id: u64 = first
+        .strip_prefix("run ")
+        .expect("first line announces the run id")
+        .parse()
+        .expect("run id parses");
+    assert!(stdout.contains("state done"), "{stdout}");
+    assert!(stdout.contains("completed_linux"), "{stdout}");
+
+    // attach: replays the finished run from its journaled trace.
+    let out = cli(&["attach", &run_id.to_string(), "--connect", &addr]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("state done"));
+
+    // runs: lists the finished run with its tag.
+    let out = cli(&["runs", "--connect", &addr]);
+    assert!(out.status.success());
+    let listing = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(listing.contains("done"), "{listing}");
+    assert!(listing.contains("demo"), "{listing}");
+
+    // cancel: two slow runs back to back; the second is still queued
+    // behind the first on the single worker, so cancelling it is
+    // immediate and deterministic.
+    let out = cli(&["submit", "--connect", &addr, "--detach", "--seed", "21", "--hours", "720"]);
+    assert!(out.status.success());
+    let out = cli(&["submit", "--connect", &addr, "--detach", "--seed", "22", "--hours", "720"]);
+    assert!(out.status.success());
+    let queued: u64 = String::from_utf8_lossy(&out.stdout)
+        .lines()
+        .next()
+        .and_then(|l| l.strip_prefix("run "))
+        .expect("detached submit prints the run id")
+        .parse()
+        .expect("run id parses");
+    let out = cli(&["cancel", &queued.to_string(), "--connect", &addr]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("cancelled"));
+
+    // cancel --server: graceful remote shutdown, clean exit.
+    let out = cli(&["cancel", "--server", "--connect", &addr]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("shutting down"));
+    assert!(
+        server.wait_clean_exit(Duration::from_secs(30)),
+        "server did not exit cleanly after cancel --server"
+    );
+}

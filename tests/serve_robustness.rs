@@ -1,0 +1,287 @@
+//! Robustness matrix for the job server, entirely over in-process
+//! transports so every scenario is deterministic and stub-friendly:
+//! admission overload, memory-budget shedding, chaos links, silent
+//! clients, and state-dir hygiene.
+
+use hybrid_cluster::campaign::mem::CountingAlloc;
+use hybrid_cluster::net::faulty::{FaultyTransport, LinkFaults};
+use hybrid_cluster::net::transport::in_proc_pair;
+use hybrid_cluster::serve::{
+    attach_and_collect, serve_session, submit_over, Collected, JobSpec, Response, RunState,
+    Server, ServerConfig, SimJob,
+};
+use hybrid_cluster::des::rng::DetRng;
+use std::time::Duration;
+
+// The memory-budget test reads process-level live bytes, which only
+// count under the campaign crate's counting allocator.
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn test_cfg(tag: &str) -> ServerConfig {
+    let state_dir = std::env::temp_dir().join(format!("dualboot-serve-robust-{tag}"));
+    std::fs::remove_dir_all(&state_dir).ok();
+    ServerConfig { state_dir, ..ServerConfig::default() }
+}
+
+fn tiny_sim(seed: u64) -> JobSpec {
+    JobSpec::Sim(SimJob { seed, hours: 1, ..SimJob::default() })
+}
+
+/// Run a client closure against a live session thread, joining the
+/// session afterwards.
+fn with_session<R>(
+    server: &Server,
+    client: impl FnOnce(hybrid_cluster::net::transport::InProcTransport) -> R,
+) -> R {
+    let (client_end, server_end) = in_proc_pair();
+    let srv = server.clone();
+    let session = std::thread::spawn(move || serve_session(&srv, server_end));
+    let out = client(client_end);
+    session.join().expect("session thread panicked");
+    out
+}
+
+#[test]
+fn overload_rejects_with_retry_advice_and_loses_no_accepted_run() {
+    let cfg = ServerConfig { max_queue: 2, ..test_cfg("overload") };
+    let (server, _) = Server::open(cfg).unwrap();
+
+    let mut accepted = Vec::new();
+    let (mut rejected, mut retry_hints) = (0u32, 0u32);
+    with_session(&server, |mut t| {
+        for seed in 0..5u64 {
+            match submit_over(&mut t, "flood", None, &tiny_sim(seed)).unwrap() {
+                Response::Accepted { run } => accepted.push(run),
+                Response::Rejected { retry_after_ms, .. } => {
+                    rejected += 1;
+                    if retry_after_ms > 0 {
+                        retry_hints += 1;
+                    }
+                }
+                other => panic!("unexpected admission response {other:?}"),
+            }
+        }
+    });
+    assert_eq!(accepted.len(), 2, "admission stops at the queue bound");
+    assert_eq!(rejected, 3);
+    assert_eq!(retry_hints, 3, "every rejection carries retry advice");
+
+    // Shed load never means lost load: every accepted run completes.
+    server.drain_pending();
+    for run in &accepted {
+        assert_eq!(server.run_state(*run), Some(RunState::Done));
+    }
+
+    // The freed queue admits again.
+    with_session(&server, |mut t| {
+        let rsp = submit_over(&mut t, "late", None, &tiny_sim(9)).unwrap();
+        assert!(matches!(rsp, Response::Accepted { .. }), "{rsp:?}");
+    });
+}
+
+#[test]
+fn memory_budget_sheds_submissions() {
+    // One live byte of budget: the test process is always over it.
+    let cfg = ServerConfig { mem_budget_bytes: 1, ..test_cfg("mem-budget") };
+    let (server, _) = Server::open(cfg).unwrap();
+    with_session(&server, |mut t| {
+        match submit_over(&mut t, "big", None, &tiny_sim(1)).unwrap() {
+            Response::Rejected { reason, retry_after_ms } => {
+                assert!(reason.contains("memory"), "{reason}");
+                assert!(retry_after_ms > 0);
+            }
+            other => panic!("expected a memory rejection, got {other:?}"),
+        }
+    });
+
+    // A sane budget admits the same job.
+    let cfg = ServerConfig {
+        mem_budget_bytes: 64 << 30,
+        ..test_cfg("mem-budget-ok")
+    };
+    let (server, _) = Server::open(cfg).unwrap();
+    with_session(&server, |mut t| {
+        let rsp = submit_over(&mut t, "big", None, &tiny_sim(1)).unwrap();
+        assert!(matches!(rsp, Response::Accepted { .. }), "{rsp:?}");
+    });
+}
+
+#[test]
+fn chaos_link_duplicates_collapse_into_the_exact_trace() {
+    let cfg = ServerConfig { workers: 1, ..test_cfg("chaos") };
+    let (server, _) = Server::open(cfg).unwrap();
+
+    // Baseline: the same job over a quiet link.
+    let mut quiet = Collected::default();
+    with_session(&server, |mut t| {
+        let Response::Accepted { run } =
+            submit_over(&mut t, "quiet", None, &tiny_sim(42)).unwrap()
+        else {
+            panic!("submit rejected");
+        };
+        assert!(attach_and_collect(&mut t, run, &mut quiet).unwrap());
+    });
+    assert!(quiet.is_contiguous());
+    assert!(!quiet.frames.is_empty(), "a recorded sim emits frames");
+
+    // Chaos: every server response — welcome, admission, frame, report —
+    // may be delivered twice. (Drops and delays stay off: the protocol
+    // rides an ordered reliable link and recovers torn links at the
+    // reconnect layer, not per message.) The faulty wrapper goes around
+    // the server's end so the response stream is what gets mangled.
+    let faults = LinkFaults { dup_p: 0.5, ..LinkFaults::default() };
+    let mut noisy = Collected::default();
+    {
+        let (mut client_end, server_end) = in_proc_pair();
+        let srv = server.clone();
+        let session = std::thread::spawn(move || {
+            serve_session(&srv, FaultyTransport::new(server_end, faults, DetRng::seed_from(7)))
+        });
+        let Response::Accepted { run } =
+            submit_over(&mut client_end, "noisy", None, &tiny_sim(42)).unwrap()
+        else {
+            panic!("submit rejected");
+        };
+        assert!(attach_and_collect(&mut client_end, run, &mut noisy).unwrap());
+        drop(client_end);
+        session.join().expect("session thread panicked");
+    }
+    assert!(noisy.is_contiguous(), "duplicates collapse by sequence");
+
+    // Same deterministic job, so the two runs' traces are line-identical.
+    let quiet_lines: Vec<&String> = quiet.frames.values().collect();
+    let noisy_lines: Vec<&String> = noisy.frames.values().collect();
+    assert_eq!(quiet_lines, noisy_lines);
+    assert_eq!(
+        quiet.report.as_ref().unwrap(),
+        noisy.report.as_ref().unwrap(),
+        "and the final reports are byte-identical"
+    );
+}
+
+#[test]
+fn silent_client_loses_its_session_but_not_a_single_frame() {
+    let cfg = ServerConfig {
+        workers: 1,
+        heartbeat_timeout: Duration::from_millis(150),
+        ..test_cfg("silent")
+    };
+    let (server, _) = Server::open(cfg).unwrap();
+
+    // Session one: submit, pull a frame or two, then go silent until the
+    // server drops the session for missed heartbeats.
+    let (client_end, server_end) = in_proc_pair();
+    let srv = server.clone();
+    let session = std::thread::spawn(move || serve_session(&srv, server_end));
+    let mut collected = Collected::default();
+    let run = {
+        use hybrid_cluster::net::proto::Message;
+        use hybrid_cluster::net::transport::Transport;
+        use hybrid_cluster::serve::Request;
+        let mut t = client_end;
+        let Response::Accepted { run } =
+            submit_over(&mut t, "sleepy", None, &tiny_sim(11)).unwrap()
+        else {
+            panic!("submit rejected");
+        };
+        t.send(&Message::Serve {
+            payload: Request::Attach { run, from_seq: 0 }.encode(),
+        })
+        .unwrap();
+        // Collect whatever arrives in a short window, then stop pumping.
+        let deadline = std::time::Instant::now() + Duration::from_millis(100);
+        while std::time::Instant::now() < deadline {
+            if let Ok(Some(Message::Serve { payload })) =
+                t.recv_timeout(Duration::from_millis(10))
+            {
+                if let Ok(Response::Frame { line, .. }) = Response::decode(&payload) {
+                    if let Some(seq) = hybrid_cluster::serve::codec::seq_of(&line) {
+                        collected.frames.insert(seq, line);
+                    }
+                }
+            }
+        }
+        // Silence: no heartbeats. The session must give up on us.
+        session.join().expect("session thread panicked");
+        run
+    };
+
+    // The run survives its viewer.
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    while server.run_state(run) != Some(RunState::Done) {
+        assert!(std::time::Instant::now() < deadline, "run never finished");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // Session two: reattach with the same collection. The server replays
+    // from the first unseen frame; the union is gap-free.
+    let before = collected.frames.len();
+    with_session(&server, |mut t| {
+        assert!(attach_and_collect(&mut t, run, &mut collected).unwrap());
+    });
+    assert!(collected.frames.len() >= before);
+    assert!(collected.is_contiguous(), "replay fills every gap");
+    let (state, body) = collected.report.expect("reattach delivers the final report");
+    assert_eq!(state, "done");
+    assert!(body.contains("completed_linux"), "{body}");
+}
+
+#[test]
+fn served_run_matches_the_same_job_executed_inline() {
+    // The premise of the CI serve gate: a job streamed through the
+    // server's chunked executor yields the exact trace records and the
+    // exact report of the same simulation run inline in one sweep.
+    let cfg = ServerConfig { workers: 1, ..test_cfg("parity") };
+    let (server, _) = Server::open(cfg).unwrap();
+    let mut collected = Collected::default();
+    with_session(&server, |mut t| {
+        let Response::Accepted { run } =
+            submit_over(&mut t, "parity", None, &tiny_sim(2012)).unwrap()
+        else {
+            panic!("submit rejected");
+        };
+        assert!(attach_and_collect(&mut t, run, &mut collected).unwrap());
+    });
+    assert!(collected.is_contiguous());
+
+    let JobSpec::Sim(job) = tiny_sim(2012) else { unreachable!() };
+    let sim = job.build().unwrap();
+    let sink = sim.obs().clone();
+    let result = sim.run();
+    assert_eq!(collected.records().unwrap(), sink.snapshot());
+    let (state, body) = collected.report.expect("served run reported");
+    assert_eq!(state, "done");
+    assert_eq!(body, hybrid_cluster::serve::report::sim_report_json(&result));
+}
+
+#[test]
+fn stray_state_files_are_garbage_collected_on_open() {
+    let cfg = test_cfg("gc");
+    let dir = cfg.state_dir.clone();
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(dir.join("run-99.trace"), "orphan").unwrap();
+    std::fs::write(dir.join("run-99.report"), "orphan").unwrap();
+    std::fs::write(dir.join("run-7.report.tmp"), "torn").unwrap();
+
+    let (server, _) = Server::open(cfg).unwrap();
+    assert!(!dir.join("run-99.trace").exists(), "unjournaled trace removed");
+    assert!(!dir.join("run-99.report").exists(), "unjournaled report removed");
+    assert!(!dir.join("run-7.report.tmp").exists(), "torn temp removed");
+
+    // A journaled run's files survive the next open's GC.
+    let Response::Accepted { run } = server.submit("t", None, tiny_sim(3)) else {
+        panic!("submit rejected");
+    };
+    server.drain_pending();
+    assert_eq!(server.run_state(run), Some(RunState::Done));
+    drop(server);
+    let report = dir.join(format!("run-{run}.report"));
+    assert!(report.exists());
+    let (_server, _) = Server::open(ServerConfig {
+        state_dir: dir.clone(),
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    assert!(report.exists(), "journaled artefacts outlive reopen");
+}
