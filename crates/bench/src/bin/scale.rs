@@ -12,12 +12,13 @@
 //! cargo run --release -p dualboot-bench --bin scale -- --smoke  # CI subset
 //! cargo run --release -p dualboot-bench --bin scale -- --swf trace.swf
 //! cargo run --release -p dualboot-bench --bin scale -- --queue calendar
+//! cargo run --release -p dualboot-bench --bin scale -- --backend elastic
 //! ```
 //!
 //! The JSON is hand-formatted (flat numbers and strings only) so the
 //! harness stays dependency-free and the output is diffable across runs.
 
-use dualboot_cluster::{SimConfig, Simulation};
+use dualboot_cluster::{NodeBackendKind, SimConfig, Simulation};
 use dualboot_des::time::SimDuration;
 use dualboot_des::QueueBackend;
 use dualboot_workload::generator::{SubmitEvent, WorkloadSpec};
@@ -58,12 +59,19 @@ fn synthetic_trace(seed: u64, nodes: u32, cores_per_node: u32, hours: u64) -> Ve
     .generate()
 }
 
-fn measure(nodes: u32, trace: Vec<SubmitEvent>, seed: u64, queue: QueueBackend) -> Point {
+fn measure(
+    nodes: u32,
+    trace: Vec<SubmitEvent>,
+    seed: u64,
+    queue: QueueBackend,
+    backend: NodeBackendKind,
+) -> Point {
     let cfg = SimConfig::builder()
         .v2()
         .seed(seed)
         .nodes(nodes, 4)
         .queue_backend(queue)
+        .backend(backend.to_backend())
         .build();
     let jobs = trace.len();
     let sim = Simulation::new(cfg, trace);
@@ -91,10 +99,11 @@ fn fmt_f(v: f64) -> String {
     format!("{v:.3}")
 }
 
-fn emit_json(mode: &str, workload: &str, queue: &str, points: &[Point]) {
+fn emit_json(mode: &str, workload: &str, queue: &str, backend: &str, points: &[Point]) {
     let mut out = String::from("{\n");
     out.push_str(&format!("  \"bench\": \"scale\",\n  \"mode\": \"{mode}\",\n"));
     out.push_str(&format!("  \"queue\": \"{queue}\",\n"));
+    out.push_str(&format!("  \"backend\": \"{backend}\",\n"));
     out.push_str(&format!("  \"workload\": \"{workload}\",\n  \"results\": [\n"));
     for (i, p) in points.iter().enumerate() {
         out.push_str(&format!(
@@ -135,6 +144,17 @@ fn main() {
             })
         })
         .unwrap_or_default();
+    let backend: NodeBackendKind = args
+        .iter()
+        .position(|a| a == "--backend")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| {
+            NodeBackendKind::parse(s).unwrap_or_else(|| {
+                eprintln!("unknown backend {s:?} (dual-boot|static-split|vm|elastic)");
+                std::process::exit(2);
+            })
+        })
+        .unwrap_or(NodeBackendKind::DualBoot);
     let seed = 2012u64;
 
     let sweep: &[u32] = if smoke {
@@ -156,14 +176,14 @@ fn main() {
                 std::process::exit(2);
             });
             for &n in sweep {
-                points.push(measure(n, trace.clone(), seed, queue));
+                points.push(measure(n, trace.clone(), seed, queue, backend));
                 eprintln!(
                     "nodes={n:>5}  wall={:>10.1} ms  jobs/s={:>10.0}",
                     points.last().unwrap().wall_ms,
                     points.last().unwrap().jobs_per_s
                 );
             }
-            emit_json(mode, "swf", queue_name(queue), &points);
+            emit_json(mode, "swf", queue_name(queue), backend.name(), &points);
         }
         None => {
             for &n in sweep {
@@ -172,14 +192,14 @@ fn main() {
                 // the big points are already the dominant cost).
                 let hours = if smoke || n >= 16384 { 2 } else { 6 };
                 let trace = synthetic_trace(seed, n, 4, hours);
-                points.push(measure(n, trace, seed, queue));
+                points.push(measure(n, trace, seed, queue, backend));
                 eprintln!(
                     "nodes={n:>5}  wall={:>10.1} ms  jobs/s={:>10.0}",
                     points.last().unwrap().wall_ms,
                     points.last().unwrap().jobs_per_s
                 );
             }
-            emit_json(mode, "synthetic", queue_name(queue), &points);
+            emit_json(mode, "synthetic", queue_name(queue), backend.name(), &points);
         }
     }
 }

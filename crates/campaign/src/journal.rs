@@ -44,7 +44,7 @@ fn parse_f64(s: &str) -> Option<f64> {
 /// Serialise one cell line (sans newline).
 fn cell_line(index: usize, key: &str, s: &CellSummary) -> String {
     format!(
-        "cell {index} {key} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {}",
+        "cell {index} {key} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {}",
         s.completed,
         s.unfinished,
         s.killed,
@@ -64,6 +64,11 @@ fn cell_line(index: usize, key: &str, s: &CellSummary) -> String {
         fmt_f64(s.makespan_s),
         fmt_f64(s.utilisation),
         fmt_f64(s.stranded_core_h),
+        s.provisions,
+        s.scale_ups,
+        s.scale_downs,
+        fmt_f64(s.node_h_billed),
+        fmt_f64(s.energy_kwh),
     )
 }
 
@@ -97,6 +102,16 @@ fn parse_cell_line(line: &str) -> Option<(usize, String, CellSummary)> {
     s.makespan_s = parse_f64(it.next()?)?;
     s.utilisation = parse_f64(it.next()?)?;
     s.stranded_core_h = parse_f64(it.next()?)?;
+    // Cost/energy accounting is a trailing extension: lines from journals
+    // written before the backend axis end here and decode with zeroed
+    // accounting. When the group is present it must be complete.
+    if let Some(first) = it.next() {
+        s.provisions = first.parse().ok()?;
+        s.scale_ups = it.next()?.parse().ok()?;
+        s.scale_downs = it.next()?.parse().ok()?;
+        s.node_h_billed = parse_f64(it.next()?)?;
+        s.energy_kwh = parse_f64(it.next()?)?;
+    }
     if it.next().is_some() {
         return None; // trailing garbage: treat as torn
     }
@@ -220,6 +235,11 @@ mod tests {
             makespan_s: 7200.125,
             utilisation: 0.7342189,
             stranded_core_h: 1.5e-3,
+            node_h_billed: 96.5 + seed as f64,
+            energy_kwh: 4.25,
+            provisions: 9,
+            scale_ups: 2,
+            scale_downs: 1,
         }
     }
 
@@ -233,6 +253,30 @@ mod tests {
             assert_eq!(k, "policy=fcfs/seed=1");
             assert_eq!(back, s, "bit-exact f64 round trip");
         }
+    }
+
+    #[test]
+    fn legacy_lines_without_cost_fields_decode_with_zeroes() {
+        // A journal written before the backend axis ends at
+        // stranded_core_h; dropping the trailing cost group reproduces
+        // that format exactly.
+        let s = sample_summary(3);
+        let line = cell_line(4, "policy=fcfs/seed=3", &s);
+        let fields: Vec<&str> = line.split(' ').collect();
+        let legacy = fields[..fields.len() - 5].join(" ");
+        let (i, k, back) = parse_cell_line(&legacy).unwrap();
+        assert_eq!(i, 4);
+        assert_eq!(k, "policy=fcfs/seed=3");
+        assert_eq!(back.completed, s.completed);
+        assert_eq!(back.stranded_core_h, s.stranded_core_h);
+        assert_eq!(back.provisions, 0);
+        assert_eq!(back.scale_ups, 0);
+        assert_eq!(back.scale_downs, 0);
+        assert_eq!(back.node_h_billed, 0.0);
+        assert_eq!(back.energy_kwh, 0.0);
+        // A partially-present trailing group is torn, not legacy.
+        let partial = fields[..fields.len() - 2].join(" ");
+        assert!(parse_cell_line(&partial).is_none());
     }
 
     #[test]

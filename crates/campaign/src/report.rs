@@ -93,7 +93,9 @@ fn cell_json(index: usize, key: &str, s: &CellSummary) -> String {
             "\"wait_mean_s\":{},\"wait_p50_s\":{},\"wait_p95_s\":{},\"wait_p99_s\":{},",
             "\"makespan_s\":{},\"utilisation\":{},\"switches\":{},\"misdirected\":{},",
             "\"msgs_dropped\":{},\"orders_abandoned\":{},\"boot_retries\":{},\"quarantines\":{},",
-            "\"daemon_crashes\":{},\"stranded_core_h\":{},\"peak_alloc_bytes\":{},\"allocs\":{}}}"
+            "\"daemon_crashes\":{},\"stranded_core_h\":{},\"peak_alloc_bytes\":{},\"allocs\":{},",
+            "\"node_h_billed\":{},\"energy_kwh\":{},\"provisions\":{},\"scale_ups\":{},",
+            "\"scale_downs\":{}}}"
         ),
         index,
         esc(key),
@@ -116,6 +118,11 @@ fn cell_json(index: usize, key: &str, s: &CellSummary) -> String {
         fj(s.stranded_core_h),
         s.peak_alloc_bytes,
         s.allocs,
+        fj(s.node_h_billed),
+        fj(s.energy_kwh),
+        s.provisions,
+        s.scale_ups,
+        s.scale_downs,
     )
 }
 
@@ -125,7 +132,8 @@ fn group_json(g: &GroupSummary) -> String {
             "{{\"axis\":\"{}\",\"value\":\"{}\",\"cells\":{},",
             "\"wait_mean_s\":{},\"wait_p95_s\":{},\"wait_p99_s\":{},\"makespan_s\":{},",
             "\"utilisation\":{},\"switches\":{},\"completed\":{},\"unfinished\":{},",
-            "\"killed\":{},\"stranded_core_h\":{},\"peak_alloc_bytes\":{}}}"
+            "\"killed\":{},\"stranded_core_h\":{},\"peak_alloc_bytes\":{},",
+            "\"node_h_billed\":{},\"energy_kwh\":{}}}"
         ),
         esc(&g.axis),
         esc(&g.value),
@@ -141,6 +149,8 @@ fn group_json(g: &GroupSummary) -> String {
         welford_json(&g.killed),
         welford_json(&g.stranded_core_h),
         welford_json(&g.peak_alloc_bytes),
+        welford_json(&g.node_h_billed),
+        welford_json(&g.energy_kwh),
     )
 }
 
@@ -161,7 +171,7 @@ impl CampaignReport {
                 "\"cells_total\":{},\"cells_done\":{},",
                 "\"totals\":{{\"completed\":{},\"unfinished\":{},\"killed\":{},\"switches\":{},",
                 "\"wait_mean_s\":{},\"wait_p99_s\":{},",
-                "\"max_peak_alloc_bytes\":{},\"allocs\":{}}},",
+                "\"max_peak_alloc_bytes\":{},\"allocs\":{},\"energy_kwh\":{}}},",
                 "\"groups\":[{}],\"cells\":[{}]}}"
             ),
             esc(&self.name),
@@ -176,6 +186,7 @@ impl CampaignReport {
             welford_json(&t.wait_p99_s),
             t.max_peak_alloc_bytes,
             t.allocs,
+            fj(t.energy_kwh),
             groups.join(","),
             cells.join(","),
         )
@@ -201,12 +212,18 @@ impl CampaignReport {
                 self.totals.allocs,
             ));
         }
+        if self.totals.energy_kwh > 0.0 {
+            out.push_str(&format!(
+                "energy estimate: {:.2} kWh campaign-wide\n",
+                self.totals.energy_kwh,
+            ));
+        }
 
         let mut groups = Table::new(
             "axis groups",
             &[
                 "axis", "value", "cells", "wait", "p95", "p99", "makespan", "util", "switch",
-                "unfin", "stranded",
+                "unfin", "stranded", "billed", "kWh",
             ],
         );
         for g in &self.groups {
@@ -222,6 +239,8 @@ impl CampaignReport {
                 format!("{:.1}", g.switches.mean()),
                 format!("{:.1}", g.unfinished.mean()),
                 format!("{:.2}", g.stranded_core_h.mean()),
+                format!("{:.1}", g.node_h_billed.mean()),
+                format!("{:.2}", g.energy_kwh.mean()),
             ]);
         }
         out.push_str(&groups.render());
@@ -304,8 +323,10 @@ mod tests {
         assert!(a.starts_with("{\"name\":\"smoke\""));
         assert!(a.contains("\"cells_total\":24"));
         assert!(a.contains("\"axis\":\"policy\""));
+        assert!(a.contains("\"axis\":\"backend\""));
         assert!(a.contains("\"wait_p99_s\""));
         assert!(a.contains("\"peak_alloc_bytes\""));
+        assert!(a.contains("\"energy_kwh\""));
         // Balanced braces — cheap well-formedness check without a parser.
         let open = a.matches('{').count();
         let close = a.matches('}').count();

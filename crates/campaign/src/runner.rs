@@ -95,6 +95,7 @@ fn run_cell(spec: &CampaignSpec, cell: &Cell) -> CellSummary {
                     .seed(cell.seed)
                     .nodes(t.nodes, t.cores_per_node)
                     .mode(cell.mode)
+                    .backend(cell.backend.to_backend())
                     .policy(cell.policy)
                     .queue_backend(cell.queue)
                     .build();

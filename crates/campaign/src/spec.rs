@@ -14,7 +14,7 @@
 //! matter the worker count, the execution order, or which cells a
 //! resumed run still has to execute.
 
-use dualboot_cluster::{FaultPlan, Mode, PolicyKind};
+use dualboot_cluster::{FaultPlan, Mode, NodeBackendKind, PolicyKind};
 use dualboot_des::time::{SimDuration, SimTime};
 use dualboot_des::QueueBackend;
 use dualboot_grid::RoutePolicy;
@@ -232,6 +232,12 @@ pub struct Axes {
     /// DES event-queue backends (cluster targets; default `[Heap]`).
     #[serde(default)]
     pub queues: Vec<QueueBackend>,
+    /// Node backends (cluster targets; default: derived from the mode,
+    /// i.e. bare metal). When empty the cell key keeps its legacy
+    /// backend-free format, so pre-existing manifests keep their derived
+    /// seeds and fingerprints.
+    #[serde(default)]
+    pub backends: Vec<NodeBackendKind>,
 }
 
 /// A sweep manifest: base scenario × axes × seed range.
@@ -278,6 +284,8 @@ pub struct Cell {
     pub fault: FaultAxis,
     /// Event-queue backend (cluster targets).
     pub queue: QueueBackend,
+    /// Node backend (cluster targets).
+    pub backend: NodeBackendKind,
 }
 
 /// Manifest validation errors, with a user-facing message.
@@ -321,6 +329,19 @@ impl CampaignSpec {
                         "the routings axis applies to grid targets only".into(),
                     ));
                 }
+                // Every mode × backend coordinate must be a valid
+                // combination, or the sweep would panic mid-run.
+                for &backend in &self.axes.backends {
+                    for &mode in self.modes().iter() {
+                        if !backend.to_backend().compatible_with(mode) {
+                            return Err(SpecError(format!(
+                                "backend {} is incompatible with mode {}",
+                                backend.name(),
+                                mode_name(mode)
+                            )));
+                        }
+                    }
+                }
             }
             Target::Grid(t) => {
                 if t.clusters == 0 {
@@ -329,9 +350,11 @@ impl CampaignSpec {
                 if !self.axes.modes.is_empty()
                     || !self.axes.policies.is_empty()
                     || !self.axes.queues.is_empty()
+                    || !self.axes.backends.is_empty()
                 {
                     return Err(SpecError(
-                        "the modes/policies/queues axes apply to cluster targets only".into(),
+                        "the modes/policies/queues/backends axes apply to cluster targets only"
+                            .into(),
                     ));
                 }
             }
@@ -391,8 +414,12 @@ impl CampaignSpec {
     /// Enumerate every cell in canonical order (axes as declared in
     /// [`Axes`], seeds innermost). The irrelevant axes for the target
     /// collapse to their single default, so a cluster campaign's grid is
-    /// modes × policies × faults × queues × seeds and a grid campaign's
-    /// is routings × faults × seeds.
+    /// modes × policies × faults × queues × backends × seeds and a grid
+    /// campaign's is routings × faults × seeds.
+    ///
+    /// An *unswept* backends axis is `None` here: the cell's backend is
+    /// derived from its mode and the key keeps the legacy backend-free
+    /// format, so pre-backend manifests keep their derived seeds.
     pub fn cells(&self) -> Vec<Cell> {
         let (modes, policies, routings, queues) = match self.target {
             Target::Cluster(_) => (
@@ -408,6 +435,12 @@ impl CampaignSpec {
                 vec![QueueBackend::Heap],
             ),
         };
+        let backends: Vec<Option<NodeBackendKind>> = match self.target {
+            Target::Cluster(_) if !self.axes.backends.is_empty() => {
+                self.axes.backends.iter().copied().map(Some).collect()
+            }
+            _ => vec![None],
+        };
         let faults = self.faults();
         let mut cells = Vec::new();
         for &mode in &modes {
@@ -415,34 +448,50 @@ impl CampaignSpec {
                 for &routing in &routings {
                     for fault in &faults {
                         for &queue in &queues {
-                            for workload_seed in self.seeds.iter() {
-                                let key = match self.target {
-                                    Target::Cluster(_) => format!(
-                                        "mode={}/policy={}/faults={}/queue={}/seed={}",
-                                        mode_name(mode),
-                                        policy_label(policy),
-                                        fault.name(),
-                                        queue_name(queue),
-                                        workload_seed
-                                    ),
-                                    Target::Grid(_) => format!(
-                                        "routing={}/faults={}/seed={}",
-                                        routing.name(),
-                                        fault.name(),
-                                        workload_seed
-                                    ),
-                                };
-                                cells.push(Cell {
-                                    index: cells.len(),
-                                    seed: self.seed ^ fnv1a(&key),
-                                    key,
-                                    workload_seed,
-                                    mode,
-                                    policy,
-                                    routing,
-                                    fault: fault.clone(),
-                                    queue,
-                                });
+                            for &backend in &backends {
+                                for workload_seed in self.seeds.iter() {
+                                    let key = match (&self.target, backend) {
+                                        (Target::Cluster(_), None) => format!(
+                                            "mode={}/policy={}/faults={}/queue={}/seed={}",
+                                            mode_name(mode),
+                                            policy_label(policy),
+                                            fault.name(),
+                                            queue_name(queue),
+                                            workload_seed
+                                        ),
+                                        (Target::Cluster(_), Some(b)) => format!(
+                                            "mode={}/policy={}/faults={}/queue={}/backend={}/seed={}",
+                                            mode_name(mode),
+                                            policy_label(policy),
+                                            fault.name(),
+                                            queue_name(queue),
+                                            b.name(),
+                                            workload_seed
+                                        ),
+                                        (Target::Grid(_), _) => format!(
+                                            "routing={}/faults={}/seed={}",
+                                            routing.name(),
+                                            fault.name(),
+                                            workload_seed
+                                        ),
+                                    };
+                                    let derived = match mode {
+                                        Mode::StaticSplit => NodeBackendKind::StaticSplit,
+                                        _ => NodeBackendKind::DualBoot,
+                                    };
+                                    cells.push(Cell {
+                                        index: cells.len(),
+                                        seed: self.seed ^ fnv1a(&key),
+                                        key,
+                                        workload_seed,
+                                        mode,
+                                        policy,
+                                        routing,
+                                        fault: fault.clone(),
+                                        queue,
+                                        backend: backend.unwrap_or(derived),
+                                    });
+                                }
                             }
                         }
                     }
@@ -489,6 +538,7 @@ impl CampaignSpec {
                 routings: Vec::new(),
                 faults: vec![FaultAxis::None, FaultAxis::Chaos],
                 queues: vec![QueueBackend::Heap, QueueBackend::Calendar],
+                backends: Vec::new(),
             },
             obs_ring: Some(256),
         }
@@ -530,6 +580,7 @@ impl CampaignSpec {
                     FaultAxis::Storm,
                 ],
                 queues: Vec::new(),
+                backends: Vec::new(),
             },
             obs_ring: Some(256),
         }
@@ -555,18 +606,54 @@ impl CampaignSpec {
                 routings: RoutePolicy::ALL.to_vec(),
                 faults: vec![FaultAxis::None, FaultAxis::Chaos],
                 queues: Vec::new(),
+                backends: Vec::new(),
+            },
+            obs_ring: Some(256),
+        }
+    }
+
+    /// The built-in node-backend head-to-head: a 72-cell sweep (3 node
+    /// backends × 3 fault plans × 8 seeds) on the 16-node Eridani with
+    /// 3-hour traces — EXPERIMENTS.md's E17 and the committed
+    /// `BENCH_e17_backends.json`. Same base shape and load as `fleet`, so
+    /// the two reports compare directly.
+    pub fn e17_backends(seed: u64) -> CampaignSpec {
+        CampaignSpec {
+            name: "e17-backends".into(),
+            seed,
+            target: Target::Cluster(ClusterTarget {
+                nodes: 16,
+                cores_per_node: 4,
+                initial_linux_nodes: None,
+                hours: 3,
+                load: 0.7,
+                windows_fraction: 0.3,
+            }),
+            seeds: SeedRange { start: 1, count: 8 },
+            axes: Axes {
+                modes: Vec::new(),
+                policies: Vec::new(),
+                routings: Vec::new(),
+                faults: vec![FaultAxis::None, FaultAxis::Chaos, FaultAxis::Storm],
+                queues: Vec::new(),
+                backends: vec![
+                    NodeBackendKind::DualBoot,
+                    NodeBackendKind::Vm,
+                    NodeBackendKind::Elastic,
+                ],
             },
             obs_ring: Some(256),
         }
     }
 
     /// Resolve a builtin manifest by name (`smoke` | `fleet` |
-    /// `grid-smoke`).
+    /// `grid-smoke` | `e17-backends`).
     pub fn builtin(name: &str, seed: u64) -> Option<CampaignSpec> {
         match name {
             "smoke" => Some(CampaignSpec::smoke(seed)),
             "fleet" => Some(CampaignSpec::fleet(seed)),
             "grid-smoke" => Some(CampaignSpec::grid_smoke(seed)),
+            "e17-backends" => Some(CampaignSpec::e17_backends(seed)),
             _ => None,
         }
     }
@@ -694,7 +781,45 @@ mod tests {
         assert!(CampaignSpec::builtin("smoke", 1).is_some());
         assert!(CampaignSpec::builtin("fleet", 1).is_some());
         assert!(CampaignSpec::builtin("grid-smoke", 1).is_some());
+        assert!(CampaignSpec::builtin("e17-backends", 1).is_some());
         assert!(CampaignSpec::builtin("nope", 1).is_none());
+    }
+
+    #[test]
+    fn unswept_backends_axis_keeps_the_legacy_key_format() {
+        // The backend axis must not disturb pre-existing campaigns:
+        // derived seeds are hashed from the key strings, so an unswept
+        // axis has to keep the backend-free format.
+        let spec = CampaignSpec::smoke(7);
+        for c in spec.cells() {
+            assert!(!c.key.contains("backend="), "legacy key grew: {}", c.key);
+            assert_eq!(c.backend, NodeBackendKind::DualBoot);
+        }
+    }
+
+    #[test]
+    fn e17_sweeps_backends_as_a_first_class_axis() {
+        let spec = CampaignSpec::e17_backends(2012);
+        spec.validate().unwrap();
+        let cells = spec.cells();
+        assert_eq!(cells.len(), 3 * 3 * 8);
+        assert!(cells.iter().all(|c| c.key.contains("/backend=")));
+        let elastic = cells
+            .iter()
+            .filter(|c| c.backend == NodeBackendKind::Elastic)
+            .count();
+        assert_eq!(elastic, 3 * 8);
+    }
+
+    #[test]
+    fn validation_rejects_incompatible_mode_backend_pairs() {
+        let mut s = CampaignSpec::smoke(1);
+        s.axes.modes = vec![Mode::StaticSplit];
+        s.axes.backends = vec![NodeBackendKind::Vm];
+        assert!(s.validate().is_err(), "vm nodes cannot run a static split");
+        let mut s = CampaignSpec::grid_smoke(1);
+        s.axes.backends = vec![NodeBackendKind::Vm];
+        assert!(s.validate().is_err(), "backends on a grid target");
     }
 
     #[test]

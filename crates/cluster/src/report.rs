@@ -204,6 +204,31 @@ pub fn health_section(r: &SimResult) -> String {
     out
 }
 
+/// Render the cost/energy section of a result: node-hours by state, VM
+/// lifecycle counters and the flat-wattage energy estimate. Unlike the
+/// chaos/health sections this renders for every run — the point is
+/// comparing dual-boot against the VM backends on one scale.
+pub fn cost_section(r: &SimResult) -> String {
+    let c = &r.cost;
+    let mut t = Table::new("cost/energy", &["state", "node-hours"]);
+    let mut row = |state: &str, v: f64| {
+        t.row(&[state.to_string(), format!("{v:.2}")]);
+    };
+    row("busy", c.node_h_busy);
+    row("idle-hot", c.node_h_idle_hot);
+    row("transition", c.node_h_provisioning);
+    row("torn-down", c.node_h_torn_down);
+    let mut out = t.render();
+    if c.provisions + c.teardowns + c.scale_ups + c.scale_downs > 0 {
+        out.push_str(&format!(
+            "vm lifecycle: {} provisions, {} teardowns ({} grows, {} shrinks)\n",
+            c.provisions, c.teardowns, c.scale_ups, c.scale_downs
+        ));
+    }
+    out.push_str(&format!("energy estimate: {:.2} kWh\n", c.energy_kwh()));
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -285,6 +310,21 @@ mod tests {
         assert!(s.contains("boot retries"));
         assert!(s.contains("quarantined at end: node 4"));
         assert!(s.contains("stranded capacity: 2.00 core-hours"));
+    }
+
+    #[test]
+    fn cost_section_renders_for_every_backend() {
+        let mut r = SimResult::new(64);
+        r.cost.node_h_busy = 10.0;
+        r.cost.node_h_idle_hot = 4.0;
+        let s = cost_section(&r);
+        assert!(s.starts_with("== cost/energy =="));
+        assert!(s.contains("busy"));
+        assert!(!s.contains("vm lifecycle"), "no VM counters on bare metal");
+        assert!(s.contains("energy estimate: 3.10 kWh"));
+        r.cost.provisions = 3;
+        r.cost.scale_ups = 2;
+        assert!(cost_section(&r).contains("3 provisions, 0 teardowns (2 grows, 0 shrinks)"));
     }
 
     #[test]

@@ -7,9 +7,9 @@
 //! their [`Action`]s against the schedulers, the PXE service and the node
 //! hardware, exactly as the head nodes would.
 
-use crate::config::{Mode, SimConfig};
+use crate::config::{ElasticPolicy, Mode, SimConfig, VmModel};
 use crate::faults::FaultKind;
-use crate::metrics::{SamplePoint, SimResult};
+use crate::metrics::{CostStats, SamplePoint, SimResult};
 use dualboot_bootconf::os::OsKind;
 use dualboot_core::arena::IdVec;
 use dualboot_core::daemon::{Action, LinuxDaemon, RetryConfig, WindowsDaemon};
@@ -83,8 +83,57 @@ enum Event {
     /// Fault injection: an operator reinstalls a node's boot chain and
     /// power-cycles it (recovers quarantined nodes).
     OperatorRepair { node: u32 },
+    /// Elasticity controller cadence (scheduled only under the elastic
+    /// backend, so other backends pop identical event streams).
+    ElasticTick,
+    /// An elastic provision completed: the VM joins the hot pool.
+    ElasticProvisioned { node: u32 },
+    /// An elastic teardown completed: the VM leaves the billed pool.
+    ElasticTornDown { node: u32 },
     /// Time-series sampling.
     Sample,
+}
+
+/// Membership of one node slot in the elastic VM pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PoolSlot {
+    /// Provisioned and schedulable (or rebooting through an OS switch).
+    Hot,
+    /// Provision ordered; the VM is billed but not yet up.
+    Provisioning,
+    /// Teardown ordered; the VM is still billed until it completes.
+    TearingDown,
+    /// Deallocated: not billed, invisible to the schedulers.
+    TornDown,
+}
+
+/// One scale decision of the elasticity controller (at most one per tick).
+enum ScaleDecision {
+    Grow { node: u32 },
+    Shrink { node: u32 },
+}
+
+/// The elasticity controller's working state (present only under
+/// [`NodeBackend::Elastic`]).
+///
+/// [`NodeBackend::Elastic`]: crate::config::NodeBackend::Elastic
+struct ElasticState {
+    vm: VmModel,
+    policy: ElasticPolicy,
+    /// Pool membership by 0-based node index.
+    slots: Vec<PoolSlot>,
+    /// Hot slots (fast path for the per-tick bound checks).
+    hot: u32,
+    /// Slots with a provision in flight.
+    provisioning: u32,
+    /// Scale decisions are frozen until this instant.
+    cooldown_until: SimTime,
+    /// Billed (powered) slots: hot + provisioning + tearing down,
+    /// integrated for the cost sheet's torn-down bucket.
+    billed_count: f64,
+    billed_nodes: TimeWeighted,
+    scale_ups: u32,
+    scale_downs: u32,
 }
 
 /// The simulator's daemon transport: the in-process pipe wrapped in the
@@ -159,6 +208,12 @@ pub struct Simulation {
     sched_stalled: (bool, bool),
     busy_user_cores: f64,
     booting_count: f64,
+    /// Elasticity controller (only under the elastic backend).
+    elastic: Option<ElasticState>,
+    /// VM provisions executed (switch cycles + elastic grows).
+    vm_provisions: u32,
+    /// VM teardowns executed (switch cycles + elastic shrinks).
+    vm_teardowns: u32,
     jobs_outstanding: u32,
     submitted: usize,
     /// Recurring ticks (daemon cycles, sampling) keep rescheduling until at
@@ -206,6 +261,13 @@ impl Simulation {
             Mode::DualBoot | Mode::StaticSplit => cfg.initial_linux_nodes.min(cfg.nodes),
             Mode::MonoStable | Mode::Oracle => cfg.nodes,
         };
+        // Under the elastic backend only the minimum pool starts hot; the
+        // remaining slots exist (deployed images, hostnames, MACs) but
+        // stay deallocated until the controller provisions them.
+        let hot_pool = match cfg.backend.elastic_policy() {
+            Some(p) => p.min_pool.min(cfg.nodes),
+            None => cfg.nodes,
+        };
         let mut nodes = Vec::with_capacity(cfg.nodes as usize);
         let mut pbs = PbsScheduler::eridani();
         let mut win = WinHpcScheduler::eridani();
@@ -229,11 +291,15 @@ impl Simulation {
                 switchjob::apply_v1_switch(&mut n.disk, OsKind::Windows)
                     .expect("v1 disk has control partition");
             }
-            n.state = PowerState::Running(os);
-            match os {
-                OsKind::Linux => pbs.register_node(NodeId(i), &n.hostname, cfg.cores_per_node),
-                OsKind::Windows => {
-                    win.register_node(NodeId(i), &n.hostname, cfg.cores_per_node)
+            if i <= hot_pool {
+                n.state = PowerState::Running(os);
+                match os {
+                    OsKind::Linux => {
+                        pbs.register_node(NodeId(i), &n.hostname, cfg.cores_per_node)
+                    }
+                    OsKind::Windows => {
+                        win.register_node(NodeId(i), &n.hostname, cfg.cores_per_node)
+                    }
                 }
             }
             nodes.push(n);
@@ -287,6 +353,9 @@ impl Simulation {
         }
         if cfg.record_series {
             queue.schedule(cfg.sample_every, Event::Sample);
+        }
+        if let Some(p) = cfg.backend.elastic_policy() {
+            queue.schedule(p.tick, Event::ElasticTick);
         }
         // Expand the fault plan's discrete events. Events naming nodes
         // outside the cluster are ignored.
@@ -343,6 +412,24 @@ impl Simulation {
             .supervision
             .watchdog
             .then(|| Supervisor::new(cfg.supervision.config));
+        let elastic = cfg.backend.elastic_policy().map(|p| {
+            let mut slots = vec![PoolSlot::TornDown; cfg.nodes as usize];
+            for s in slots.iter_mut().take(hot_pool as usize) {
+                *s = PoolSlot::Hot;
+            }
+            ElasticState {
+                vm: *cfg.backend.vm_model().expect("elastic backend has a VM model"),
+                policy: *p,
+                slots,
+                hot: hot_pool,
+                provisioning: 0,
+                cooldown_until: SimTime::ZERO,
+                billed_count: f64::from(hot_pool),
+                billed_nodes: TimeWeighted::new(SimTime::ZERO, f64::from(hot_pool)),
+                scale_ups: 0,
+                scale_downs: 0,
+            }
+        });
         let mut sim = Simulation {
             cfg,
             queue,
@@ -367,6 +454,9 @@ impl Simulation {
             lin_scrape: None,
             busy_user_cores: 0.0,
             booting_count: 0.0,
+            elastic,
+            vm_provisions: 0,
+            vm_teardowns: 0,
             jobs_outstanding: 0,
             submitted: 0,
             keep_alive: SimTime::ZERO,
@@ -404,12 +494,6 @@ impl Simulation {
     /// Direct node access by 1-based id (fault-injection assertions).
     pub fn node_by_id(&self, id: NodeId) -> &ComputeNode {
         &self.nodes[id.index0()]
-    }
-
-    /// Direct node access (fault-injection assertions).
-    #[deprecated(note = "use node_by_id(NodeId)")]
-    pub fn node(&self, node_index_1based: u32) -> &ComputeNode {
-        self.node_by_id(NodeId(node_index_1based))
     }
 
     /// The PXE service (flag assertions).
@@ -586,6 +670,32 @@ impl Simulation {
             .map_or(0, |s| s.quarantined().len() as u32)
     }
 
+    /// Nodes currently billed to the pool: hot plus mid-transition VMs.
+    /// Bare-metal backends bill every chassis all the time.
+    pub fn pool_nodes(&self) -> u32 {
+        match &self.elastic {
+            Some(es) => es.billed_count as u32,
+            None => self.cfg.nodes,
+        }
+    }
+
+    /// Elastic slots currently deallocated or tearing down — capacity a
+    /// federation broker must not route toward. Zero for non-elastic
+    /// backends.
+    pub fn torn_down_nodes(&self) -> u32 {
+        match &self.elastic {
+            Some(es) => self.cfg.nodes - es.hot - es.provisioning,
+            None => 0,
+        }
+    }
+
+    /// Cumulative energy estimate in watt-hours at the current clock
+    /// (gossiped to federation brokers; final reports use the cost sheet
+    /// in [`SimResult`], priced at the run's end time).
+    pub fn energy_wh(&self) -> u64 {
+        self.cost_at(self.queue.now()).energy_wh()
+    }
+
     /// Finalise a stepped run: fold fault stats and close the books, as
     /// [`Simulation::run`] does after its event loop drains.
     pub fn into_result(mut self) -> SimResult {
@@ -594,7 +704,34 @@ impl Simulation {
         self.result.unfinished = self.jobs_outstanding;
         self.fold_fault_stats();
         self.fold_health_stats();
+        self.result.cost = self.cost_at(self.result.end_time);
         self.result
+    }
+
+    /// Price the run at `end`: split node-hours into busy / idle-hot /
+    /// transition / torn-down buckets from the maintained integrals.
+    /// "Busy" is core-weighted (busy user cores over cores per node), so
+    /// a half-loaded node splits between busy and idle-hot.
+    fn cost_at(&self, end: SimTime) -> CostStats {
+        let end_h = end.as_secs_f64() / 3600.0;
+        let total_node_h = f64::from(self.cfg.nodes) * end_h;
+        let billed_node_h = match &self.elastic {
+            Some(es) => es.billed_nodes.average(end) * end_h,
+            None => total_node_h,
+        };
+        let transition_node_h = self.result.booting_nodes.average(end) * end_h;
+        let busy_node_h =
+            self.result.busy_cores.average(end) * end_h / f64::from(self.cfg.cores_per_node);
+        CostStats {
+            node_h_busy: busy_node_h,
+            node_h_idle_hot: (billed_node_h - transition_node_h - busy_node_h).max(0.0),
+            node_h_provisioning: transition_node_h,
+            node_h_torn_down: (total_node_h - billed_node_h).max(0.0),
+            provisions: self.vm_provisions,
+            teardowns: self.vm_teardowns,
+            scale_ups: self.elastic.as_ref().map_or(0, |e| e.scale_ups),
+            scale_downs: self.elastic.as_ref().map_or(0, |e| e.scale_downs),
+        }
     }
 
     /// Fold the link wrappers' and daemons' resilience counters into the
@@ -706,6 +843,9 @@ impl Simulation {
             Event::DaemonCrash { side } => self.on_daemon_crash(side),
             Event::DaemonRestart { side } => self.on_daemon_restart(side),
             Event::OperatorRepair { node } => self.on_operator_repair(node),
+            Event::ElasticTick => self.on_elastic_tick(),
+            Event::ElasticProvisioned { node } => self.on_elastic_provisioned(node),
+            Event::ElasticTornDown { node } => self.on_elastic_torn_down(node),
             Event::Sample => self.on_sample(),
         }
     }
@@ -818,7 +958,7 @@ impl Simulation {
                 went_down: now,
             },
         );
-        let latency = self.sample_boot_latency();
+        let latency = self.transition_latency(node);
         let id = self.queue.schedule(latency, Event::BootComplete { node });
         self.node_events
             .get_or_insert_with(NodeId(node + 1), Vec::new)
@@ -1045,7 +1185,7 @@ impl Simulation {
         self.nodes[node as usize].begin_boot();
         self.booting_count += 1.0;
         self.result.booting_nodes.observe(now, self.booting_count);
-        let latency = self.sample_boot_latency();
+        let latency = self.transition_latency(node);
         let id = self.queue.schedule(latency, Event::BootComplete { node });
         self.node_events
             .get_or_insert_with(NodeId(node + 1), Vec::new)
@@ -1342,6 +1482,13 @@ impl Simulation {
     /// take it offline on both sides, and start a supervised boot through
     /// the normal chain. Shared by power resets and operator repairs.
     fn power_cycle(&mut self, node: u32) {
+        // An elastic slot that is not hot has no VM to cycle: the fault
+        // is charged (the counters already incremented) but hits nothing.
+        if let Some(es) = &self.elastic {
+            if es.slots[node as usize] != PoolSlot::Hot {
+                return;
+            }
+        }
         let now = self.queue.now();
         let id = NodeId(node + 1);
         // Kill anything scheduled against this node (boot completions,
@@ -1431,12 +1578,179 @@ impl Simulation {
             self.booting_count += 1.0;
             self.result.booting_nodes.observe(now, self.booting_count);
         }
-        let latency = self.sample_boot_latency();
+        let latency = self.transition_latency(node);
         let id = self.queue.schedule(latency, Event::BootComplete { node });
         self.node_events
             .get_or_insert_with(NodeId(node + 1), Vec::new)
             .push(id);
         self.watch_boot(node, expected);
+    }
+
+    // ------------------------------------------------------------------
+    // elastic VM pool (NodeBackend::Elastic)
+    // ------------------------------------------------------------------
+
+    /// One controller cadence: at most one scale decision per tick, and
+    /// none while the cooldown from the previous decision runs.
+    fn on_elastic_tick(&mut self) {
+        let now = self.queue.now();
+        let queued = self.pbs.snapshot().queued + self.win.snapshot().queued;
+        match self.elastic_decision(now, queued) {
+            Some(ScaleDecision::Grow { node }) => self.elastic_grow(node, queued),
+            Some(ScaleDecision::Shrink { node }) => self.elastic_shrink(node, queued),
+            None => {}
+        }
+        if !self.done() {
+            let tick = self
+                .elastic
+                .as_ref()
+                .expect("elastic ticks only scheduled under the elastic backend")
+                .policy
+                .tick;
+            self.queue.schedule(tick, Event::ElasticTick);
+        }
+    }
+
+    /// Pick this tick's decision, if any: grow into the lowest
+    /// deallocated slot while the combined queue is deep, else release
+    /// the highest-indexed idle hot node once it drains.
+    fn elastic_decision(&self, now: SimTime, queued: u32) -> Option<ScaleDecision> {
+        let es = self.elastic.as_ref()?;
+        if now < es.cooldown_until {
+            return None;
+        }
+        let p = &es.policy;
+        if queued >= p.grow_queue_depth
+            && es.hot + es.provisioning < p.max_pool.min(self.cfg.nodes)
+        {
+            let node = es
+                .slots
+                .iter()
+                .position(|s| *s == PoolSlot::TornDown)
+                .map(|i| i as u32)?;
+            return Some(ScaleDecision::Grow { node });
+        }
+        if queued <= p.shrink_queue_depth && es.hot > p.min_pool {
+            let node = (0..self.cfg.nodes).rev().find(|&i| {
+                es.slots[i as usize] == PoolSlot::Hot
+                    && !self.nodes[i as usize].is_booting()
+                    && self.pending_switch.get(NodeId(i + 1)).is_none()
+                    && self.pbs.jobs_on(NodeId(i + 1)).is_empty()
+                    && self.win.jobs_on(NodeId(i + 1)).is_empty()
+            })?;
+            return Some(ScaleDecision::Shrink { node });
+        }
+        None
+    }
+
+    fn elastic_grow(&mut self, node: u32, queued: u32) {
+        let now = self.queue.now();
+        let es = self.elastic.as_mut().expect("grow only under elastic");
+        es.slots[node as usize] = PoolSlot::Provisioning;
+        es.provisioning += 1;
+        es.scale_ups += 1;
+        es.cooldown_until = now + es.policy.cooldown;
+        es.billed_count += 1.0;
+        es.billed_nodes.observe(now, es.billed_count);
+        let pool = es.hot + es.provisioning;
+        let latency = SimDuration::from_secs_f64(es.vm.provision_s);
+        self.vm_provisions += 1;
+        self.booting_count += 1.0;
+        self.result.booting_nodes.observe(now, self.booting_count);
+        let id = Some(NodeId(node + 1));
+        self.obs.emit(
+            Subsystem::Sim,
+            id,
+            ObsEvent::PoolScaled {
+                pool,
+                queued,
+                grow: true,
+            },
+        );
+        self.obs.emit(Subsystem::Sim, id, ObsEvent::VmProvisionStarted);
+        self.queue.schedule(latency, Event::ElasticProvisioned { node });
+    }
+
+    fn elastic_shrink(&mut self, node: u32, queued: u32) {
+        let now = self.queue.now();
+        let id = NodeId(node + 1);
+        // The slot leaves the schedulable pool immediately; the VM stays
+        // billed until the teardown completes.
+        self.pbs.set_node_offline(id);
+        self.win.set_node_offline(id);
+        let es = self.elastic.as_mut().expect("shrink only under elastic");
+        es.slots[node as usize] = PoolSlot::TearingDown;
+        es.hot -= 1;
+        es.scale_downs += 1;
+        es.cooldown_until = now + es.policy.cooldown;
+        let pool = es.hot + es.provisioning;
+        let latency = SimDuration::from_secs_f64(es.vm.teardown_s);
+        self.vm_teardowns += 1;
+        self.booting_count += 1.0;
+        self.result.booting_nodes.observe(now, self.booting_count);
+        self.obs.emit(
+            Subsystem::Sim,
+            Some(id),
+            ObsEvent::PoolScaled {
+                pool,
+                queued,
+                grow: false,
+            },
+        );
+        self.obs.emit(Subsystem::Sim, Some(id), ObsEvent::VmTeardownStarted);
+        self.queue.schedule(latency, Event::ElasticTornDown { node });
+    }
+
+    /// A provision completed: the VM joins the hot pool running the image
+    /// for whichever side is hungrier at this instant.
+    fn on_elastic_provisioned(&mut self, node: u32) {
+        let now = self.queue.now();
+        let lq = self.pbs.snapshot().queued;
+        let wq = self.win.snapshot().queued;
+        let es = self.elastic.as_mut().expect("provision only under elastic");
+        es.slots[node as usize] = PoolSlot::Hot;
+        es.provisioning -= 1;
+        es.hot += 1;
+        self.booting_count -= 1.0;
+        self.result.booting_nodes.observe(now, self.booting_count);
+        let os = if wq > lq {
+            OsKind::Windows
+        } else {
+            OsKind::Linux
+        };
+        self.nodes[node as usize].state = PowerState::Running(os);
+        let id = NodeId(node + 1);
+        match os {
+            OsKind::Linux => self.pbs.register_node(
+                id,
+                &self.nodes[node as usize].hostname,
+                self.cfg.cores_per_node,
+            ),
+            OsKind::Windows => self.win.register_node(
+                id,
+                &self.nodes[node as usize].hostname,
+                self.cfg.cores_per_node,
+            ),
+        }
+        self.obs
+            .emit(Subsystem::Sim, Some(id), ObsEvent::VmProvisionCompleted { os });
+        self.dispatch(os);
+    }
+
+    fn on_elastic_torn_down(&mut self, node: u32) {
+        let now = self.queue.now();
+        let es = self.elastic.as_mut().expect("teardown only under elastic");
+        es.slots[node as usize] = PoolSlot::TornDown;
+        es.billed_count -= 1.0;
+        es.billed_nodes.observe(now, es.billed_count);
+        self.booting_count -= 1.0;
+        self.result.booting_nodes.observe(now, self.booting_count);
+        self.nodes[node as usize].power_off();
+        self.obs.emit(
+            Subsystem::Sim,
+            Some(NodeId(node + 1)),
+            ObsEvent::VmTeardownCompleted,
+        );
     }
 
     fn on_sample(&mut self) {
@@ -1465,6 +1779,26 @@ impl Simulation {
         SimDuration::from_secs_f64(self.boot_rng.normal_clamped(
             b.mean_s, b.std_s, b.min_s, b.max_s,
         ))
+    }
+
+    /// How long this node is unavailable for an OS transition. Bare metal
+    /// draws a jittered reboot from the boot RNG; a VM backend pays the
+    /// deterministic teardown + re-provision cycle instead (and never
+    /// touches the RNG, so bare-metal runs stay byte-identical).
+    fn transition_latency(&mut self, node: u32) -> SimDuration {
+        match self.cfg.backend.vm_model().copied() {
+            Some(vm) => {
+                self.vm_teardowns += 1;
+                self.vm_provisions += 1;
+                if self.obs.is_enabled() {
+                    let id = Some(NodeId(node + 1));
+                    self.obs.emit(Subsystem::Sim, id, ObsEvent::VmTeardownStarted);
+                    self.obs.emit(Subsystem::Sim, id, ObsEvent::VmProvisionStarted);
+                }
+                SimDuration::from_secs_f64(vm.teardown_s + vm.provision_s)
+            }
+            None => self.sample_boot_latency(),
+        }
     }
 
     fn dispatch(&mut self, os: OsKind) {
@@ -1508,6 +1842,15 @@ impl Simulation {
                     if overran {
                         self.result.walltime_kills += 1;
                     }
+                    // VM-hosted nodes pay the hypervisor tax on the whole
+                    // slot (a simplification: the walltime cut stretches
+                    // too, so an overrunning job still leaves late).
+                    let occupancy = match self.cfg.backend.vm_model() {
+                        Some(vm) => SimDuration::from_secs_f64(
+                            occupancy.as_secs_f64() * (1.0 + vm.hypervisor_overhead),
+                        ),
+                        None => occupancy,
+                    };
                     self.queue
                         .schedule(occupancy, Event::JobFinished { os, job: d.job });
                 }
@@ -1559,6 +1902,9 @@ fn phase_of(ev: &Event) -> &'static str {
         | Event::DaemonCrash { .. }
         | Event::DaemonRestart { .. }
         | Event::OperatorRepair { .. } => "faults",
+        Event::ElasticTick
+        | Event::ElasticProvisioned { .. }
+        | Event::ElasticTornDown { .. } => "elastic",
         Event::Sample => "sample",
     }
 }
@@ -1592,6 +1938,7 @@ fn transform_submit(cfg: &SimConfig, ev: &mut SubmitEvent) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::NodeBackend;
     use crate::faults::FaultEvent;
     use dualboot_workload::generator::WorkloadSpec;
 
@@ -1605,6 +1952,71 @@ mod tests {
             ..WorkloadSpec::campus_default(seed)
         }
         .generate()
+    }
+
+    #[test]
+    fn vm_backend_switches_without_touching_the_boot_rng() {
+        let vm = VmModel::default();
+        let cfg = SimConfig::builder()
+            .v2()
+            .seed(70)
+            .backend(NodeBackend::Vm(vm))
+            .build();
+        let trace = small_trace(70, 0.4);
+        let n = trace.len() as u32;
+        let r = Simulation::new(cfg, trace).run();
+        assert_eq!(r.total_completed(), n, "unfinished: {}", r.unfinished);
+        assert!(r.switches > 0, "mixed workload must still switch");
+        // Every transition is the deterministic teardown + provision
+        // cycle — no boot jitter at all.
+        let expected = vm.teardown_s + vm.provision_s;
+        assert!((r.switch_latency.min().unwrap() - expected).abs() < 1e-6);
+        assert!((r.switch_latency.max().unwrap() - expected).abs() < 1e-6);
+        assert_eq!(r.cost.provisions, r.switches, "one provision per switch");
+        assert_eq!(r.cost.teardowns, r.switches);
+        assert!(r.cost.node_h_busy > 0.0);
+        assert_eq!(r.cost.node_h_torn_down, 0.0, "a fixed VM fleet never deallocates");
+    }
+
+    #[test]
+    fn elastic_pool_grows_with_the_queue_and_releases_after() {
+        let policy = ElasticPolicy {
+            min_pool: 2,
+            max_pool: 8,
+            ..ElasticPolicy::default()
+        };
+        let cfg = SimConfig::builder()
+            .v2()
+            .seed(71)
+            .backend(NodeBackend::Elastic {
+                vm: VmModel::default(),
+                policy,
+            })
+            .build();
+        // A burst of single-node Linux jobs against a 2-node hot pool:
+        // the controller must grow to serve it, then release the extra
+        // VMs once the queue drains.
+        let trace: Vec<SubmitEvent> = (0..12)
+            .map(|i| SubmitEvent {
+                at: SimTime::from_mins(1),
+                req: JobRequest::user(
+                    &format!("burst-{i}"),
+                    OsKind::Linux,
+                    1,
+                    4,
+                    SimDuration::from_mins(10),
+                ),
+            })
+            .collect();
+        let r = Simulation::new(cfg, trace).run();
+        assert_eq!(r.unfinished, 0, "the grown pool served the burst");
+        assert!(r.cost.scale_ups >= 2, "scale_ups: {}", r.cost.scale_ups);
+        assert!(r.cost.scale_downs >= 1, "scale_downs: {}", r.cost.scale_downs);
+        assert!(r.cost.provisions >= r.cost.scale_ups);
+        assert!(
+            r.cost.node_h_torn_down > 0.0,
+            "deallocated capacity must show up in the bill"
+        );
     }
 
     #[test]

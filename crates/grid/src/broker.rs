@@ -79,6 +79,8 @@ impl MemberCaps {
             windows_nodes,
             booting: 0,
             quarantined: 0,
+            torn_down: 0,
+            energy_wh: 0,
         }
     }
 }
@@ -240,10 +242,13 @@ impl Broker {
     }
 
     /// A member's routable node count: its static capacity minus whatever
-    /// its latest report flags as quarantined by the boot watchdog.
+    /// its latest report flags as quarantined by the boot watchdog or
+    /// deallocated by an elastic VM pool.
     fn routable_nodes(&self, member: usize, fresh: Option<&[ClusterReport]>) -> u32 {
-        let quarantined = self.viewed(member, fresh).quarantined;
-        u32::from(self.caps[member].nodes).saturating_sub(quarantined)
+        let view = self.viewed(member, fresh);
+        u32::from(self.caps[member].nodes)
+            .saturating_sub(view.quarantined)
+            .saturating_sub(view.torn_down)
     }
 
     /// Pure routing decision against either the gossip views (`None`) or
@@ -335,6 +340,8 @@ mod tests {
             windows_nodes: wn,
             booting: 0,
             quarantined: 0,
+            torn_down: 0,
+            energy_wh: 0,
         }
     }
 
@@ -429,6 +436,24 @@ mod tests {
             b.decide(&job("wide", OsKind::Linux, 3), None),
             1,
             "3 nodes cannot come from a member with 2 quarantined"
+        );
+        // A narrow job still prefers member 0's shorter queue.
+        assert_eq!(b.decide(&job("narrow", OsKind::Linux, 1), None), 0);
+    }
+
+    #[test]
+    fn torn_down_slots_shrink_routable_capacity() {
+        let mut b = Broker::new(RoutePolicy::QueueDepth, vec![caps(4, 4), caps(4, 4)]);
+        // Member 0 is an elastic pool shrunk to 2 live VMs: a 3-node job
+        // no longer fits there, despite its empty queue.
+        let mut r0 = report(0, 0, 8, 0, 2, 0);
+        r0.torn_down = 2;
+        b.observe(0, SimTime::from_secs(60), r0);
+        b.observe(1, SimTime::from_secs(60), report(5, 0, 16, 0, 4, 0));
+        assert_eq!(
+            b.decide(&job("wide", OsKind::Linux, 3), None),
+            1,
+            "3 nodes cannot come from a pool holding 2 VMs"
         );
         // A narrow job still prefers member 0's shorter queue.
         assert_eq!(b.decide(&job("narrow", OsKind::Linux, 1), None), 0);

@@ -85,6 +85,11 @@ pub fn render(r: &GridResult) -> String {
     let mut out = member_table(r);
     out.push('\n');
     out.push_str(&broker_section(r));
+    let billed: f64 = r.members.iter().map(|m| m.result.cost.node_h_billed()).sum();
+    let kwh: f64 = r.members.iter().map(|m| m.result.cost.energy_kwh()).sum();
+    out.push_str(&format!(
+        "grid cost: {billed:.1} billed node-hours, {kwh:.2} kWh\n"
+    ));
     out
 }
 

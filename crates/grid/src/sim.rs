@@ -196,6 +196,8 @@ impl GridSim {
             windows_nodes: win.nodes_online,
             booting: m.sim.booting_nodes(),
             quarantined: m.sim.quarantined_nodes(),
+            torn_down: m.sim.torn_down_nodes(),
+            energy_wh: m.sim.energy_wh(),
         }
     }
 

@@ -48,6 +48,14 @@ pub struct ClusterReport {
     /// count them as routable capacity. `0` on legacy report lines that
     /// predate the field.
     pub quarantined: u32,
+    /// Elastic-backend members only: pool slots currently deallocated
+    /// (no VM exists there). Brokers must not count them as routable
+    /// capacity. `0` for bare-metal members and legacy report lines.
+    pub torn_down: u32,
+    /// Cumulative energy estimate in watt-hours since the member
+    /// started, under the flat per-state wattage model. `0` on legacy
+    /// report lines that predate the field.
+    pub energy_wh: u64,
 }
 
 /// A protocol message between head-node communicators.
@@ -143,7 +151,7 @@ impl Message {
                     "member name must be one token: {member:?}"
                 );
                 format!(
-                    "GRID {} {} {} {} {} {} {} {} {} {}",
+                    "GRID {} {} {} {} {} {} {} {} {} {} {} {}",
                     member,
                     report.at.as_millis(),
                     report.linux_queued,
@@ -154,6 +162,8 @@ impl Message {
                     report.windows_nodes,
                     report.booting,
                     report.quarantined,
+                    report.torn_down,
+                    report.energy_wh,
                 )
             }
             Message::Serve { payload } => {
@@ -239,11 +249,20 @@ impl Message {
                     .map(|s| s.parse::<u64>())
                     .collect::<Result<_, _>>()
                     .map_err(|_| bad())?;
-                // Pre-quarantine peers send 8 numbers; read the 9th as 0.
-                if nums.len() != 8 && nums.len() != 9 {
+                // Older peers send shorter lines: 8 numbers before the
+                // quarantine counter, 9 before the elastic-backend pair.
+                // Missing trailing fields read as 0.
+                if !(8..=11).contains(&nums.len()) {
                     return Err(bad());
                 }
                 let field = |i: usize| u32::try_from(nums[i]).map_err(|_| bad());
+                let opt = |i: usize| {
+                    if nums.len() > i {
+                        u32::try_from(nums[i]).map_err(|_| bad())
+                    } else {
+                        Ok(0)
+                    }
+                };
                 Ok(Message::GridReport {
                     member: member.to_string(),
                     report: ClusterReport {
@@ -255,7 +274,9 @@ impl Message {
                         linux_nodes: field(5)?,
                         windows_nodes: field(6)?,
                         booting: field(7)?,
-                        quarantined: if nums.len() == 9 { field(8)? } else { 0 },
+                        quarantined: opt(8)?,
+                        torn_down: opt(9)?,
+                        energy_wh: if nums.len() > 10 { nums[10] } else { 0 },
                     },
                 })
             }
@@ -368,10 +389,12 @@ mod tests {
                 windows_nodes: 6,
                 booting: 2,
                 quarantined: 1,
+                torn_down: 4,
+                energy_wh: 123456,
             },
         };
         let line = m.encode();
-        assert_eq!(line, "GRID tauceti 90000 3 1 12 0 10 6 2 1");
+        assert_eq!(line, "GRID tauceti 90000 3 1 12 0 10 6 2 1 4 123456");
         assert_eq!(Message::decode(&line).unwrap(), m);
     }
 
@@ -384,6 +407,21 @@ mod tests {
         };
         assert_eq!(report.booting, 2);
         assert_eq!(report.quarantined, 0);
+        assert_eq!(report.torn_down, 0);
+        assert_eq!(report.energy_wh, 0);
+    }
+
+    #[test]
+    fn legacy_grid_lines_without_backend_fields_decode_as_zero() {
+        // A 9-number line from a pre-elastic peer still decodes, with
+        // the quarantine counter intact and the backend pair zeroed.
+        let m = Message::decode("GRID tauceti 90000 3 1 12 0 10 6 2 1").unwrap();
+        let Message::GridReport { report, .. } = m else {
+            panic!("expected a grid report");
+        };
+        assert_eq!(report.quarantined, 1);
+        assert_eq!(report.torn_down, 0);
+        assert_eq!(report.energy_wh, 0);
     }
 
     #[test]
@@ -395,7 +433,7 @@ mod tests {
         ));
         // too many fields
         assert!(matches!(
-            Message::decode("GRID tauceti 90000 3 1 12 0 10 6 2 5 8"),
+            Message::decode("GRID tauceti 90000 3 1 12 0 10 6 2 5 8 9 44"),
             Err(ProtoError::BadFields(_))
         ));
         // non-numeric field

@@ -244,6 +244,28 @@ pub enum ObsEvent {
         kind: String,
     },
 
+    // --- Elastic VM backend (sim) ------------------------------------
+    /// The elastic controller started provisioning a VM node.
+    VmProvisionStarted,
+    /// A VM node finished provisioning and joined the hot pool.
+    VmProvisionCompleted {
+        /// OS image the VM came up with.
+        os: OsKind,
+    },
+    /// The elastic controller started tearing a VM node down.
+    VmTeardownStarted,
+    /// A VM node finished tearing down and left the billed pool.
+    VmTeardownCompleted,
+    /// The elastic policy changed the target pool size.
+    PoolScaled {
+        /// Hot + provisioning nodes after the decision.
+        pool: u32,
+        /// Queued jobs (both sides) that drove the decision.
+        queued: u32,
+        /// `true`: the pool grew; `false`: it shrank.
+        grow: bool,
+    },
+
     // --- Grid broker -------------------------------------------------
     /// The broker routed one job.
     RouteDecision {
@@ -311,6 +333,11 @@ impl ObsEvent {
             ObsEvent::JournalWrite { .. } => "journal-write",
             ObsEvent::JournalReplayed { .. } => "journal-replayed",
             ObsEvent::FaultInjected { .. } => "fault-injected",
+            ObsEvent::VmProvisionStarted => "vm-provision-started",
+            ObsEvent::VmProvisionCompleted { .. } => "vm-provision-completed",
+            ObsEvent::VmTeardownStarted => "vm-teardown-started",
+            ObsEvent::VmTeardownCompleted => "vm-teardown-completed",
+            ObsEvent::PoolScaled { .. } => "pool-scaled",
             ObsEvent::RouteDecision { .. } => "route-decision",
             ObsEvent::ReportObserved { .. } => "report-observed",
             ObsEvent::MsgSent => "msg-sent",
@@ -391,6 +418,16 @@ impl fmt::Display for ObsEvent {
                 write!(f, "journal replayed ({entries} entries)")
             }
             ObsEvent::FaultInjected { kind } => write!(f, "fault injected: {kind}"),
+            ObsEvent::VmProvisionStarted => write!(f, "vm provision started"),
+            ObsEvent::VmProvisionCompleted { os } => {
+                write!(f, "vm provision completed ({os:?} up)")
+            }
+            ObsEvent::VmTeardownStarted => write!(f, "vm teardown started"),
+            ObsEvent::VmTeardownCompleted => write!(f, "vm teardown completed"),
+            ObsEvent::PoolScaled { pool, queued, grow } => {
+                let dir = if *grow { "grew" } else { "shrank" };
+                write!(f, "elastic pool {dir} to {pool} (queued={queued})")
+            }
             ObsEvent::RouteDecision { job, member, stale } => {
                 let tag = if *stale { " [stale view]" } else { "" };
                 write!(f, "routed {job} → member {member}{tag}")

@@ -12,10 +12,10 @@
 //! incrementally maintained counters, so neither is O(cluster size).
 //!
 //! Per-node state is struct-of-arrays: parallel dense vectors indexed by
-//! [`NodeId::index0`] (`hostname` / `np` / `used`), [`arena::IdSet`]
+//! [`NodeId::index0`] (`hostname` / `np` / `used`), [`IdSet`]
 //! bitsets for the registered/online/avail/idle sets, and per-node job
-//! lists in one shared [`arena::ListSlab`]. Jobs themselves live in an
-//! append-only [`arena::Sequence`] keyed by the id counter. Dispatch
+//! lists in one shared [`ListSlab`]. Jobs themselves live in an
+//! append-only [`Sequence`] keyed by the id counter. Dispatch
 //! loops therefore iterate dense index sets and chase no per-node heap
 //! pointers; at 65536 nodes this is what keeps `try_dispatch` flat.
 

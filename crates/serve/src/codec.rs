@@ -156,6 +156,10 @@ pub fn encode(rec: &TraceRecord) -> String {
             format!(" {} {}", member, bool_token(*accepted))
         }
         ObsEvent::MsgDelayed { polls } => format!(" {polls}"),
+        ObsEvent::VmProvisionCompleted { os } => format!(" {}", os_name(*os)),
+        ObsEvent::PoolScaled { pool, queued, grow } => {
+            format!(" {pool} {queued} {}", bool_token(*grow))
+        }
         ObsEvent::WinStateSent
         | ObsEvent::StaleReportIgnored
         | ObsEvent::BootFailed
@@ -164,7 +168,10 @@ pub fn encode(rec: &TraceRecord) -> String {
         | ObsEvent::NodeRecovered
         | ObsEvent::MsgSent
         | ObsEvent::MsgDropped
-        | ObsEvent::MsgDuplicated => String::new(),
+        | ObsEvent::MsgDuplicated
+        | ObsEvent::VmProvisionStarted
+        | ObsEvent::VmTeardownStarted
+        | ObsEvent::VmTeardownCompleted => String::new(),
     };
     head + &tail
 }
@@ -307,6 +314,15 @@ pub fn decode(line: &str) -> Result<TraceRecord, String> {
         "msg-dropped" => ObsEvent::MsgDropped,
         "msg-delayed" => ObsEvent::MsgDelayed { polls: cur.count("polls")? },
         "msg-duplicated" => ObsEvent::MsgDuplicated,
+        "vm-provision-started" => ObsEvent::VmProvisionStarted,
+        "vm-provision-completed" => ObsEvent::VmProvisionCompleted { os: cur.os("os")? },
+        "vm-teardown-started" => ObsEvent::VmTeardownStarted,
+        "vm-teardown-completed" => ObsEvent::VmTeardownCompleted,
+        "pool-scaled" => ObsEvent::PoolScaled {
+            pool: cur.count("pool")?,
+            queued: cur.count("queued")?,
+            grow: cur.flag("grow")?,
+        },
         other => return Err(format!("unknown event kind {other:?}")),
     };
     if cur.it.next().is_some() {
@@ -370,6 +386,11 @@ mod tests {
             MsgDropped,
             MsgDelayed { polls: 3 },
             MsgDuplicated,
+            VmProvisionStarted,
+            VmProvisionCompleted { os: OsKind::Windows },
+            VmTeardownStarted,
+            VmTeardownCompleted,
+            PoolScaled { pool: 6, queued: 11, grow: true },
         ];
         events
             .into_iter()

@@ -16,7 +16,7 @@
 //! trace bytes and same report.
 
 use crate::json::{self, Json};
-use dualboot_cluster::{FaultPlan, Mode, PolicyKind, SimConfig, Simulation};
+use dualboot_cluster::{FaultPlan, Mode, NodeBackendKind, PolicyKind, SimConfig, Simulation};
 use dualboot_des::time::SimDuration;
 use dualboot_des::QueueBackend;
 use dualboot_obs::ObsConfig;
@@ -46,6 +46,9 @@ pub struct SimJob {
     /// `chaos` or inline JSON. File paths are rejected server-side: the
     /// server never reads client-named local files.
     pub faults: Option<String>,
+    /// `dual-boot` | `static-split` | `vm` | `elastic`; `None` derives
+    /// the backend from the mode, exactly like the CLI.
+    pub backend: Option<String>,
 }
 
 impl Default for SimJob {
@@ -62,28 +65,23 @@ impl Default for SimJob {
             journal: true,
             queue: "heap".into(),
             faults: None,
+            backend: None,
         }
     }
 }
 
+// The canonical spellings live on the cluster enums themselves; these
+// wrappers only add the server's String error envelope.
 fn parse_mode(s: &str) -> Result<Mode, String> {
-    match s {
-        "dualboot" => Ok(Mode::DualBoot),
-        "static" => Ok(Mode::StaticSplit),
-        "mono" => Ok(Mode::MonoStable),
-        "oracle" => Ok(Mode::Oracle),
-        other => Err(format!("unknown mode {other:?}")),
-    }
+    Mode::parse(s).ok_or_else(|| format!("unknown mode {s:?}"))
 }
 
 fn parse_policy(s: &str) -> Result<(PolicyKind, bool), String> {
-    match s {
-        "fcfs" => Ok((PolicyKind::Fcfs, false)),
-        "threshold" => Ok((PolicyKind::Threshold { queue_threshold: 2 }, true)),
-        "hysteresis" => Ok((PolicyKind::Hysteresis { persistence: 2, cooldown: 2 }, false)),
-        "proportional" => Ok((PolicyKind::Proportional { min_per_side: 1 }, true)),
-        other => Err(format!("unknown policy {other:?}")),
-    }
+    PolicyKind::parse_cli(s).ok_or_else(|| format!("unknown policy {s:?}"))
+}
+
+fn parse_backend(s: &str) -> Result<NodeBackendKind, String> {
+    NodeBackendKind::parse(s).ok_or_else(|| format!("unknown backend {s:?}"))
 }
 
 impl SimJob {
@@ -99,9 +97,15 @@ impl SimJob {
         }
         .with_offered_load(self.load, 64)
         .generate();
-        let mut cfg = SimConfig::builder().v2().seed(self.seed).build();
-        cfg.mode = parse_mode(&self.mode)?;
-        cfg.policy = policy;
+        let mut builder = SimConfig::builder()
+            .v2()
+            .seed(self.seed)
+            .mode(parse_mode(&self.mode)?)
+            .policy(policy);
+        if let Some(kind) = &self.backend {
+            builder = builder.backend(parse_backend(kind)?.to_backend());
+        }
+        let mut cfg = builder.try_build().map_err(|e| e.to_string())?;
         cfg.omniscient = omniscient;
         cfg.initial_linux_nodes = self.split;
         cfg.supervision.watchdog = self.watchdog;
@@ -130,6 +134,9 @@ impl SimJob {
         ];
         if let Some(f) = &self.faults {
             obj.push(("faults".into(), Json::str(f)));
+        }
+        if let Some(b) = &self.backend {
+            obj.push(("backend".into(), Json::str(b)));
         }
         Json::Obj(obj)
     }
@@ -162,6 +169,14 @@ impl SimJob {
                     j.as_str()
                         .map(str::to_string)
                         .ok_or("faults must be a string")?,
+                ),
+            },
+            backend: match v.get("backend") {
+                None | Some(Json::Null) => None,
+                Some(j) => Some(
+                    j.as_str()
+                        .map(str::to_string)
+                        .ok_or("backend must be a string")?,
                 ),
             },
         })
@@ -211,7 +226,7 @@ fn resolve_faults(spec: &str, seed: u64) -> Result<FaultPlan, String> {
 /// A campaign job: one of the built-in specs by name.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CampaignJob {
-    /// `smoke` | `fleet` | `grid-smoke`.
+    /// `smoke` | `fleet` | `grid-smoke` | `e17-backends`.
     pub builtin: String,
     pub seed: u64,
     /// Worker threads for the campaign's own cell pool (0 = default).
@@ -322,9 +337,12 @@ mod tests {
             journal: false,
             queue: "calendar".into(),
             faults: Some("chaos".into()),
+            backend: None,
         };
         let spec = JobSpec::Sim(job);
         assert_eq!(JobSpec::from_line(&spec.to_line()).unwrap(), spec);
+        let vm = JobSpec::Sim(SimJob { backend: Some("vm".into()), ..SimJob::default() });
+        assert_eq!(JobSpec::from_line(&vm.to_line()).unwrap(), vm);
     }
 
     #[test]
@@ -358,6 +376,33 @@ mod tests {
         assert!(bad.build().is_err());
         let bad = SimJob { faults: Some("/etc/passwd".into()), ..SimJob::default() };
         assert!(bad.build().is_err());
+        let bad = SimJob { backend: Some("mainframe".into()), ..SimJob::default() };
+        assert!(bad.build().is_err());
+        // A contradictory mode/backend pair is a typed config error, not
+        // a silently-misconfigured run.
+        let bad = SimJob {
+            mode: "static".into(),
+            backend: Some("vm".into()),
+            ..SimJob::default()
+        };
+        match bad.build() {
+            Err(e) => assert!(e.contains("cannot run"), "{e}"),
+            Ok(_) => panic!("contradictory mode/backend must not build"),
+        }
+    }
+
+    #[test]
+    fn sim_job_builds_every_backend() {
+        for backend in ["dual-boot", "vm", "elastic"] {
+            let job = SimJob { backend: Some(backend.into()), ..SimJob::default() };
+            assert!(job.build().is_ok(), "backend {backend}");
+        }
+        let split = SimJob {
+            mode: "static".into(),
+            backend: Some("static-split".into()),
+            ..SimJob::default()
+        };
+        assert!(split.build().is_ok());
     }
 
     #[test]

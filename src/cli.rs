@@ -5,8 +5,10 @@
 //! its output as a `String` so the binary only prints.
 
 use crate::campaign::{CampaignSpec, RunOptions as CampaignRunOptions};
-use crate::cluster::report::{chaos_section, health_section, result_row, Table, RESULT_HEADERS};
-use crate::cluster::{FaultPlan, Mode, PolicyKind, SimConfig, Simulation};
+use crate::cluster::report::{
+    chaos_section, cost_section, health_section, result_row, Table, RESULT_HEADERS,
+};
+use crate::cluster::{FaultPlan, Mode, NodeBackendKind, PolicyKind, SimConfig, Simulation};
 use crate::grid::{report as grid_report, GridSim, GridSpec, RoutePolicy};
 use crate::serve::{CampaignJob, Collected, JobSpec, ReconnectPolicy, Response, SimJob};
 use crate::workload::generator::WorkloadSpec;
@@ -260,6 +262,9 @@ pub struct SimulateArgs {
     /// Event-queue backend for the DES core (bit-identical results; the
     /// calendar queue wins at large node counts).
     pub queue: QueueBackend,
+    /// Node backend; `None` derives it from the mode (bare metal), so
+    /// every pre-backend invocation behaves exactly as before.
+    pub backend: Option<NodeBackendKind>,
 }
 
 impl Default for SimulateArgs {
@@ -281,6 +286,7 @@ impl Default for SimulateArgs {
             trace_out: None,
             profile: false,
             queue: QueueBackend::Heap,
+            backend: None,
         }
     }
 }
@@ -311,6 +317,9 @@ pub struct GridArgs {
     /// Record the federation on the observability bus and write the JSONL
     /// trace to this path (requires a single `--routing` policy).
     pub trace_out: Option<String>,
+    /// Node backend applied to every member cluster; `None` keeps the
+    /// members on bare-metal dual-boot.
+    pub backend: Option<NodeBackendKind>,
 }
 
 impl Default for GridArgs {
@@ -326,6 +335,7 @@ impl Default for GridArgs {
             faults: None,
             json: false,
             trace_out: None,
+            backend: None,
         }
     }
 }
@@ -347,10 +357,11 @@ pub enum CampaignAction {
 pub struct CampaignArgs {
     /// Run, resume, or report.
     pub action: CampaignAction,
-    /// Path to a JSON [`CampaignSpec`](crate::campaign::CampaignSpec)
-    /// manifest (mutually exclusive with `builtin`).
+    /// Path to a JSON [`CampaignSpec`] manifest (mutually exclusive
+    /// with `builtin`).
     pub manifest: Option<String>,
-    /// Name of a built-in manifest (`smoke` | `fleet` | `grid-smoke`).
+    /// Name of a built-in manifest
+    /// (`smoke` | `fleet` | `grid-smoke` | `e17-backends`).
     pub builtin: Option<String>,
     /// Campaign seed for built-in manifests (file manifests carry their
     /// own).
@@ -365,6 +376,9 @@ pub struct CampaignArgs {
     pub out: Option<String>,
     /// Print the enveloped JSON report instead of the human tables.
     pub json: bool,
+    /// Pin the backends axis to this one backend (cluster targets only);
+    /// `None` keeps the manifest's own axis.
+    pub backend: Option<NodeBackendKind>,
 }
 
 impl Default for CampaignArgs {
@@ -379,6 +393,7 @@ impl Default for CampaignArgs {
             max_cells: None,
             out: None,
             json: false,
+            backend: None,
         }
     }
 }
@@ -413,6 +428,7 @@ dualboot — the dualboot-oscar reproduction CLI
 USAGE:
   dualboot artifacts
   dualboot simulate [--seed N] [--mode dualboot|static|mono|oracle]
+                    [--backend dual-boot|static-split|vm|elastic]
                     [--policy fcfs|threshold|hysteresis|proportional]
                     [--win-frac F] [--load F] [--hours N] [--split N]
                     [--series] [--faults PLAN] [--json]
@@ -425,17 +441,27 @@ USAGE:
                     the observability bus and writes the JSONL trace;
                     --profile reports hot-loop wall-clock time per phase;
                     --queue selects the DES event-queue backend (the two
-                    are bit-identical; calendar wins at large clusters)
+                    are bit-identical; calendar wins at large clusters);
+                    --backend picks how OS capacity is hosted: bare-metal
+                    dual-boot reboots (default), a frozen static split,
+                    VM-hosted nodes (teardown+provision replaces reboots,
+                    plus a hypervisor runtime tax), or an elastic VM pool
+                    that grows and shrinks with queue depth. Contradictory
+                    --mode/--backend pairs are rejected up front
   dualboot grid     [--clusters N] [--seed N] [--routing static|queue|coop|sweep]
                     [--win-frac F] [--load F] [--hours N] [--report-secs N]
-                    [--faults PLAN] [--json] [--trace-out FILE]
+                    [--faults PLAN] [--json] [--trace-out FILE] [--backend B]
                     federates N hybrid clusters under one broker; the
-                    default sweeps every routing policy and compares them
-  dualboot campaign run|resume|report (MANIFEST.json | --builtin smoke|fleet|grid-smoke)
+                    default sweeps every routing policy and compares them;
+                    --backend applies one node backend to every member
+  dualboot campaign run|resume|report
+                    (MANIFEST.json | --builtin smoke|fleet|grid-smoke|e17-backends)
                     [--seed N] [--workers N] [--journal FILE]
-                    [--max-cells N] [--out FILE] [--json]
+                    [--max-cells N] [--out FILE] [--json] [--backend B]
                     sweeps a manifest's full (mode x policy x routing x
-                    faults x queue x seed) grid across all cores; with
+                    faults x queue x backend x seed) grid across all
+                    cores; --backend pins the backends axis to one
+                    backend; with
                     --journal every finished cell is appended to a
                     write-ahead journal, `resume` re-runs only the cells
                     the journal is missing, and `report` re-renders the
@@ -455,8 +481,9 @@ USAGE:
                     queued without limit. Stop gracefully with a `quit`
                     line on stdin or `dualboot cancel --server`.
   dualboot submit   --connect ADDR [--tag T] [--trace-out FILE] [--detach]
-                    (sim flags: --seed --mode --policy --win-frac --load
-                     --hours --split --watchdog --journal --queue --faults
+                    (sim flags: --seed --mode --backend --policy --win-frac
+                     --load --hours --split --watchdog --journal --queue
+                     --faults
                      | --campaign-builtin NAME [--campaign-seed N]
                        [--campaign-workers N])
                     submits one job, prints `run N`, then streams the
@@ -486,29 +513,45 @@ JSON output (--json) is always wrapped in the versioned envelope
   {\"schema\": \"dualboot/v1\", \"kind\": ..., \"result\": ...}
 ";
 
-fn parse_mode(s: &str) -> Result<Mode, CliError> {
-    match s {
-        "dualboot" => Ok(Mode::DualBoot),
-        "static" => Ok(Mode::StaticSplit),
-        "mono" => Ok(Mode::MonoStable),
-        "oracle" => Ok(Mode::Oracle),
-        other => Err(CliError(format!("unknown mode {other:?}"))),
-    }
-}
+/// Shared flag-value parsing for every entry point that takes the
+/// mode/policy/backend/queue enums (`simulate`, `grid`, `campaign`,
+/// `submit`, the serve job surface and the scale bench), so one set of
+/// spellings works everywhere. The canonical names live on the enums
+/// themselves — campaign manifests deserialize the very same enums — and
+/// this module only adds the CLI error envelope.
+pub mod values {
+    use super::CliError;
+    use crate::cluster::{Mode, NodeBackendKind, PolicyKind};
+    use dualboot_des::QueueBackend;
 
-fn parse_policy(s: &str) -> Result<(PolicyKind, bool), CliError> {
-    match s {
-        "fcfs" => Ok((PolicyKind::Fcfs, false)),
-        "threshold" => Ok((PolicyKind::Threshold { queue_threshold: 2 }, true)),
-        "hysteresis" => Ok((
-            PolicyKind::Hysteresis {
-                persistence: 2,
-                cooldown: 2,
-            },
-            false,
-        )),
-        "proportional" => Ok((PolicyKind::Proportional { min_per_side: 1 }, true)),
-        other => Err(CliError(format!("unknown policy {other:?}"))),
+    /// Parse a `--mode` value (`dualboot|static|mono|oracle`).
+    pub fn mode(s: &str) -> Result<Mode, CliError> {
+        Mode::parse(s)
+            .ok_or_else(|| CliError(format!("unknown mode {s:?} (dualboot|static|mono|oracle)")))
+    }
+
+    /// Parse a `--policy` value; the bool marks policies that need the
+    /// omniscient decider.
+    pub fn policy(s: &str) -> Result<(PolicyKind, bool), CliError> {
+        PolicyKind::parse_cli(s).ok_or_else(|| {
+            CliError(format!(
+                "unknown policy {s:?} (fcfs|threshold|hysteresis|proportional)"
+            ))
+        })
+    }
+
+    /// Parse a `--backend` value (`dual-boot|static-split|vm|elastic`).
+    pub fn backend(s: &str) -> Result<NodeBackendKind, CliError> {
+        NodeBackendKind::parse(s).ok_or_else(|| {
+            CliError(format!(
+                "unknown backend {s:?} (dual-boot|static-split|vm|elastic)"
+            ))
+        })
+    }
+
+    /// Parse a `--queue` value (`heap|calendar`).
+    pub fn queue(s: &str) -> Result<QueueBackend, CliError> {
+        s.parse::<QueueBackend>().map_err(|e| CliError(e.to_string()))
     }
 }
 
@@ -620,11 +663,15 @@ fn parse_simulate(args: &[String]) -> Result<SimulateArgs, CliError> {
                 k += 2;
             }
             "--mode" => {
-                out.mode = parse_mode(&value(args, k, "--mode")?)?;
+                out.mode = values::mode(&value(args, k, "--mode")?)?;
+                k += 2;
+            }
+            "--backend" => {
+                out.backend = Some(values::backend(&value(args, k, "--backend")?)?);
                 k += 2;
             }
             "--policy" => {
-                let (p, omni) = parse_policy(&value(args, k, "--policy")?)?;
+                let (p, omni) = values::policy(&value(args, k, "--policy")?)?;
                 out.policy = p;
                 out.omniscient = omni;
                 k += 2;
@@ -683,8 +730,7 @@ fn parse_simulate(args: &[String]) -> Result<SimulateArgs, CliError> {
                 k += 1;
             }
             "--queue" => {
-                let v = value(args, k, "--queue")?;
-                out.queue = v.parse().map_err(|e| CliError(format!("{e}")))?;
+                out.queue = values::queue(&value(args, k, "--queue")?)?;
                 k += 2;
             }
             other => return Err(CliError(format!("unknown flag {other:?}"))),
@@ -773,6 +819,10 @@ fn parse_grid(args: &[String]) -> Result<GridArgs, CliError> {
                 out.trace_out = Some(value(args, k, "--trace-out")?);
                 k += 2;
             }
+            "--backend" => {
+                out.backend = Some(values::backend(&value(args, k, "--backend")?)?);
+                k += 2;
+            }
             other => return Err(CliError(format!("unknown flag {other:?}"))),
         }
     }
@@ -840,6 +890,10 @@ fn parse_campaign(args: &[String]) -> Result<CampaignArgs, CliError> {
             "--json" => {
                 out.json = true;
                 k += 1;
+            }
+            "--backend" => {
+                out.backend = Some(values::backend(&value(rest, k, "--backend")?)?);
+                k += 2;
             }
             flag if flag.starts_with("--") => {
                 return Err(CliError(format!("unknown flag {flag:?}")))
@@ -1111,14 +1165,21 @@ fn parse_submit(args: &[String]) -> Result<SubmitArgs, CliError> {
             }
             "--mode" => {
                 let v = value(args, k, "--mode")?;
-                parse_mode(&v)?; // validate client-side, ship the string
+                values::mode(&v)?; // validate client-side, ship the string
                 sim.mode = v;
+                sim_flag_seen = true;
+                k += 2;
+            }
+            "--backend" => {
+                let v = value(args, k, "--backend")?;
+                values::backend(&v)?;
+                sim.backend = Some(v);
                 sim_flag_seen = true;
                 k += 2;
             }
             "--policy" => {
                 let v = value(args, k, "--policy")?;
-                parse_policy(&v)?;
+                values::policy(&v)?;
                 sim.policy = v;
                 sim_flag_seen = true;
                 k += 2;
@@ -1164,8 +1225,7 @@ fn parse_submit(args: &[String]) -> Result<SubmitArgs, CliError> {
             }
             "--queue" => {
                 let v = value(args, k, "--queue")?;
-                v.parse::<QueueBackend>()
-                    .map_err(|e| CliError(format!("{e}")))?;
+                values::queue(&v)?;
                 sim.queue = v;
                 sim_flag_seen = true;
                 k += 2;
@@ -1362,9 +1422,17 @@ fn run_trace(
     args: &SimulateArgs,
     trace: Vec<crate::workload::generator::SubmitEvent>,
 ) -> Result<String, CliError> {
-    let mut cfg = SimConfig::builder().v2().seed(args.seed).build();
-    cfg.mode = args.mode;
-    cfg.policy = args.policy;
+    let mut builder = SimConfig::builder()
+        .v2()
+        .seed(args.seed)
+        .mode(args.mode)
+        .policy(args.policy);
+    if let Some(kind) = args.backend {
+        builder = builder.backend(kind.to_backend());
+    }
+    // A contradictory --mode/--backend pair surfaces here as a typed
+    // config error rather than a panic.
+    let mut cfg = builder.try_build().map_err(|e| CliError(e.to_string()))?;
     cfg.omniscient = args.omniscient;
     cfg.initial_linux_nodes = args.split;
     cfg.record_series = args.series;
@@ -1415,6 +1483,8 @@ fn run_trace(
         out.push('\n');
         out.push_str(&health);
     }
+    out.push('\n');
+    out.push_str(&cost_section(&r));
     if args.series {
         let mut st = Table::new("series", &["t", "linux", "windows", "booting", "q(L)", "q(W)"]);
         for p in &r.series {
@@ -1442,6 +1512,20 @@ fn run_trace(
 fn grid_spec(args: &GridArgs, routing: RoutePolicy) -> Result<GridSpec, CliError> {
     let mut spec = GridSpec::campus(args.seed, args.clusters);
     spec.routing = routing;
+    if let Some(kind) = args.backend {
+        for m in &mut spec.members {
+            let backend = kind.to_backend();
+            if !backend.compatible_with(m.cfg.mode) {
+                return Err(CliError(format!(
+                    "backend {} cannot run member {:?} (mode {})",
+                    kind.name(),
+                    m.name,
+                    m.cfg.mode.name(),
+                )));
+            }
+            m.cfg.backend = backend;
+        }
+    }
     spec.report_every = SimDuration::from_secs(args.report_secs);
     spec.workload = WorkloadSpec {
         windows_fraction: args.windows_fraction,
@@ -1528,10 +1612,10 @@ pub fn run_grid(args: &GridArgs) -> Result<String, CliError> {
 /// Timings go to stderr only — the report body must stay byte-identical
 /// across worker counts and resumes, which wall-clock would break.
 pub fn run_campaign(args: &CampaignArgs) -> Result<String, CliError> {
-    let spec = match (&args.builtin, &args.manifest) {
+    let mut spec = match (&args.builtin, &args.manifest) {
         (Some(name), None) => CampaignSpec::builtin(name, args.seed).ok_or_else(|| {
             CliError(format!(
-                "unknown builtin campaign {name:?} (smoke|fleet|grid-smoke)"
+                "unknown builtin campaign {name:?} (smoke|fleet|grid-smoke|e17-backends)"
             ))
         })?,
         (None, Some(path)) => {
@@ -1546,6 +1630,11 @@ pub fn run_campaign(args: &CampaignArgs) -> Result<String, CliError> {
             ))
         }
     };
+    if let Some(kind) = args.backend {
+        // Pinning the axis changes the fingerprint, so a pinned run gets
+        // its own journal lineage — it cannot silently resume a sweep.
+        spec.axes.backends = vec![kind];
+    }
     let opts = CampaignRunOptions {
         workers: args.workers,
         journal: args.journal.clone().map(std::path::PathBuf::from),
@@ -1960,6 +2049,62 @@ mod tests {
             "reference backend by default"
         );
         assert!(Command::parse(&argv("simulate --queue splay")).is_err());
+    }
+
+    #[test]
+    fn backend_flag_is_uniform_across_commands() {
+        let Command::Simulate(s) = Command::parse(&argv("simulate --backend elastic")).unwrap()
+        else {
+            panic!("wrong command")
+        };
+        assert_eq!(s.backend, Some(NodeBackendKind::Elastic));
+        assert_eq!(SimulateArgs::default().backend, None, "derived from the mode by default");
+        let Command::Grid(g) = Command::parse(&argv("grid --backend vm")).unwrap() else {
+            panic!("wrong command")
+        };
+        assert_eq!(g.backend, Some(NodeBackendKind::Vm));
+        let Command::Campaign(c) =
+            Command::parse(&argv("campaign run --builtin smoke --backend dual-boot")).unwrap()
+        else {
+            panic!("wrong command")
+        };
+        assert_eq!(c.backend, Some(NodeBackendKind::DualBoot));
+        let Command::Submit(sub) =
+            Command::parse(&argv("submit --connect h:1 --backend vm")).unwrap()
+        else {
+            panic!("wrong command")
+        };
+        let JobSpec::Sim(job) = &sub.job else { panic!("expected a sim job") };
+        assert_eq!(job.backend.as_deref(), Some("vm"));
+        // The same unknown spelling fails identically everywhere.
+        assert!(Command::parse(&argv("simulate --backend mainframe")).is_err());
+        assert!(Command::parse(&argv("grid --backend mainframe")).is_err());
+        assert!(Command::parse(&argv("submit --connect h:1 --backend mainframe")).is_err());
+    }
+
+    #[test]
+    fn run_simulate_rejects_contradictory_mode_backend() {
+        let args = SimulateArgs {
+            mode: Mode::StaticSplit,
+            backend: Some(NodeBackendKind::Vm),
+            hours: 1,
+            ..SimulateArgs::default()
+        };
+        let err = run_simulate(&args).unwrap_err();
+        assert!(err.0.contains("cannot run"), "typed config error: {err}");
+    }
+
+    #[test]
+    fn run_simulate_on_the_vm_and_elastic_backends() {
+        for kind in [NodeBackendKind::Vm, NodeBackendKind::Elastic] {
+            let args = SimulateArgs {
+                hours: 2,
+                backend: Some(kind),
+                ..SimulateArgs::default()
+            };
+            let out = run_simulate(&args).unwrap();
+            assert!(out.contains("simulation result"), "backend {}", kind.name());
+        }
     }
 
     #[test]

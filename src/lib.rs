@@ -71,8 +71,8 @@ pub mod prelude {
     pub use dualboot_bootconf::node::NodeId;
     pub use dualboot_bootconf::os::OsKind;
     pub use dualboot_cluster::{
-        FaultEvent, FaultKind, FaultPlan, FaultStats, Mode, PolicyKind, SimConfig, SimResult,
-        Simulation,
+        ElasticPolicy, FaultEvent, FaultKind, FaultPlan, FaultStats, Mode, NodeBackend,
+        NodeBackendKind, PolicyKind, SimConfig, SimResult, Simulation, VmModel,
     };
     pub use dualboot_core::{Action, FcfsPolicy, LinuxDaemon, SwitchPolicy, WindowsDaemon};
     pub use dualboot_des::time::{SimDuration, SimTime};

@@ -15,6 +15,7 @@ use hybrid_cluster::obs::diff::diff;
 use hybrid_cluster::prelude::*;
 use hybrid_cluster::workload::generator::WorkloadSpec;
 use hybrid_cluster::des::QueueBackend;
+use proptest::prelude::*;
 
 /// Seeds for the grid. Five is enough to cover the interesting regimes
 /// (41/43 are the chaos-campaign seeds with known quarantine activity)
@@ -108,6 +109,140 @@ fn unsupervised_runs_are_bit_identical_across_backends() {
 fn chaos_without_supervision_is_bit_identical_across_backends() {
     for seed in SEEDS {
         assert_backends_agree(seed, true, false);
+    }
+}
+
+/// Like [`run_one`] but with an explicit node backend, so the queue
+/// differential also covers the VM and elastic hosting paths.
+fn run_on_backend(
+    seed: u64,
+    queue: QueueBackend,
+    backend: NodeBackend,
+) -> (SimResult, Vec<TraceRecord>) {
+    let mut cfg = SimConfig::builder()
+        .v2()
+        .seed(seed)
+        .queue_backend(queue)
+        .backend(backend)
+        .build();
+    cfg.obs = ObsConfig::recording();
+    let sim = Simulation::new(cfg, mixed_trace(seed));
+    let sink = sim.obs().clone();
+    let result = sim.run();
+    (result, sink.snapshot())
+}
+
+#[test]
+fn vm_and_elastic_runs_are_bit_identical_across_queue_backends() {
+    // The node backend changes *what* the cluster simulates; the queue
+    // backend must still change nothing. Provision/teardown latencies and
+    // controller ticks go through the same calendar-vs-heap differential
+    // bar as reboots.
+    for kind in [NodeBackendKind::Vm, NodeBackendKind::Elastic] {
+        for seed in SEEDS {
+            let (heap_r, heap_t) = run_on_backend(seed, QueueBackend::Heap, kind.to_backend());
+            let (cal_r, cal_t) = run_on_backend(seed, QueueBackend::Calendar, kind.to_backend());
+            assert_eq!(
+                format!("{heap_r:?}"),
+                format!("{cal_r:?}"),
+                "SimResult diverged: seed={seed} backend={}",
+                kind.name()
+            );
+            let d = diff(&heap_t, &cal_t, 5);
+            assert!(
+                d.is_empty(),
+                "trace diverged: seed={seed} backend={}\n{}",
+                kind.name(),
+                d.render()
+            );
+        }
+    }
+}
+
+#[test]
+fn explicit_bare_metal_backends_match_the_legacy_default() {
+    // The API redesign's compatibility bar: selecting `dual-boot` (or
+    // `static-split` under static mode) explicitly must be byte-identical
+    // to the pre-backend configs, result and trace both.
+    for seed in SEEDS {
+        let (implicit_r, implicit_t) = run_one(seed, QueueBackend::Heap, false, true);
+        let (explicit_r, explicit_t) =
+            run_on_backend(seed, QueueBackend::Heap, NodeBackendKind::DualBoot.to_backend());
+        assert_eq!(format!("{implicit_r:?}"), format!("{explicit_r:?}"), "seed={seed}");
+        assert!(diff(&implicit_t, &explicit_t, 5).is_empty(), "seed={seed}");
+    }
+    for seed in SEEDS {
+        let run_static = |backend: Option<NodeBackend>| {
+            let mut builder = SimConfig::builder().v2().seed(seed).mode(Mode::StaticSplit);
+            if let Some(b) = backend {
+                builder = builder.backend(b);
+            }
+            let mut cfg = builder.build();
+            cfg.obs = ObsConfig::recording();
+            let sim = Simulation::new(cfg, mixed_trace(seed));
+            let sink = sim.obs().clone();
+            (sim.run(), sink.snapshot())
+        };
+        let (implicit_r, implicit_t) = run_static(None);
+        let (explicit_r, explicit_t) =
+            run_static(Some(NodeBackendKind::StaticSplit.to_backend()));
+        assert_eq!(format!("{implicit_r:?}"), format!("{explicit_r:?}"), "seed={seed}");
+        assert!(diff(&implicit_t, &explicit_t, 5).is_empty(), "seed={seed}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The elasticity controller may never step outside its own policy:
+    /// the pool stays inside `[min_pool, max_pool]` and consecutive scale
+    /// decisions are separated by at least the cooldown. Checked against
+    /// the recorded `PoolScaled` trace for arbitrary policies and seeds.
+    #[test]
+    fn elastic_pool_respects_bounds_and_cooldown(
+        seed in 1u64..500,
+        min_pool in 1u32..6,
+        headroom in 0u32..10,
+        grow_depth in 1u32..8,
+        shrink_depth in 0u32..2,
+        cooldown_mins in 1u64..8,
+    ) {
+        let policy = ElasticPolicy {
+            min_pool,
+            max_pool: min_pool + headroom,
+            grow_queue_depth: grow_depth,
+            shrink_queue_depth: shrink_depth,
+            cooldown: SimDuration::from_mins(cooldown_mins),
+            tick: SimDuration::from_mins(1),
+        };
+        let backend = NodeBackend::Elastic { vm: VmModel::default(), policy };
+        let mut cfg = SimConfig::builder().v2().seed(seed).backend(backend).build();
+        cfg.obs = ObsConfig::recording();
+        let sim = Simulation::new(cfg.clone(), mixed_trace(seed));
+        let sink = sim.obs().clone();
+        sim.run();
+        let cap = policy.max_pool.min(cfg.nodes);
+        let mut last_scale: Option<SimTime> = None;
+        for rec in sink.snapshot() {
+            let ObsEvent::PoolScaled { pool, grow, .. } = rec.event else { continue };
+            prop_assert!(
+                pool <= cap,
+                "pool {pool} above cap {cap} at {:?} (seed {seed})", rec.at
+            );
+            prop_assert!(
+                grow || pool >= policy.min_pool,
+                "shrink left pool {pool} below min {} at {:?} (seed {seed})",
+                policy.min_pool, rec.at
+            );
+            if let Some(prev) = last_scale {
+                prop_assert!(
+                    rec.at - prev >= policy.cooldown,
+                    "scale decisions {:?} apart, cooldown {:?} (seed {seed})",
+                    rec.at - prev, policy.cooldown
+                );
+            }
+            last_scale = Some(rec.at);
+        }
     }
 }
 
