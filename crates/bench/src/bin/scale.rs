@@ -13,12 +13,13 @@
 //! cargo run --release -p dualboot-bench --bin scale -- --swf trace.swf
 //! cargo run --release -p dualboot-bench --bin scale -- --queue calendar
 //! cargo run --release -p dualboot-bench --bin scale -- --backend elastic
+//! cargo run --release -p dualboot-bench --bin scale -- --policy easy
 //! ```
 //!
 //! The JSON is hand-formatted (flat numbers and strings only) so the
 //! harness stays dependency-free and the output is diffable across runs.
 
-use dualboot_cluster::{NodeBackendKind, SimConfig, Simulation};
+use dualboot_cluster::{NodeBackendKind, SchedPolicy, SimConfig, Simulation};
 use dualboot_des::time::SimDuration;
 use dualboot_des::QueueBackend;
 use dualboot_workload::generator::{SubmitEvent, WorkloadSpec};
@@ -65,6 +66,7 @@ fn measure(
     seed: u64,
     queue: QueueBackend,
     backend: NodeBackendKind,
+    sched: SchedPolicy,
 ) -> Point {
     let cfg = SimConfig::builder()
         .v2()
@@ -72,6 +74,7 @@ fn measure(
         .nodes(nodes, 4)
         .queue_backend(queue)
         .backend(backend.to_backend())
+        .sched(sched)
         .build();
     let jobs = trace.len();
     let sim = Simulation::new(cfg, trace);
@@ -99,11 +102,12 @@ fn fmt_f(v: f64) -> String {
     format!("{v:.3}")
 }
 
-fn emit_json(mode: &str, workload: &str, queue: &str, backend: &str, points: &[Point]) {
+fn emit_json(mode: &str, workload: &str, queue: &str, backend: &str, sched: &str, points: &[Point]) {
     let mut out = String::from("{\n");
     out.push_str(&format!("  \"bench\": \"scale\",\n  \"mode\": \"{mode}\",\n"));
     out.push_str(&format!("  \"queue\": \"{queue}\",\n"));
     out.push_str(&format!("  \"backend\": \"{backend}\",\n"));
+    out.push_str(&format!("  \"sched\": \"{sched}\",\n"));
     out.push_str(&format!("  \"workload\": \"{workload}\",\n  \"results\": [\n"));
     for (i, p) in points.iter().enumerate() {
         out.push_str(&format!(
@@ -155,6 +159,17 @@ fn main() {
             })
         })
         .unwrap_or(NodeBackendKind::DualBoot);
+    let sched: SchedPolicy = args
+        .iter()
+        .position(|a| a == "--policy")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| {
+            SchedPolicy::parse(s).unwrap_or_else(|| {
+                eprintln!("unknown policy {s:?} (fcfs|easy)");
+                std::process::exit(2);
+            })
+        })
+        .unwrap_or_default();
     let seed = 2012u64;
 
     let sweep: &[u32] = if smoke {
@@ -176,14 +191,14 @@ fn main() {
                 std::process::exit(2);
             });
             for &n in sweep {
-                points.push(measure(n, trace.clone(), seed, queue, backend));
+                points.push(measure(n, trace.clone(), seed, queue, backend, sched));
                 eprintln!(
                     "nodes={n:>5}  wall={:>10.1} ms  jobs/s={:>10.0}",
                     points.last().unwrap().wall_ms,
                     points.last().unwrap().jobs_per_s
                 );
             }
-            emit_json(mode, "swf", queue_name(queue), backend.name(), &points);
+            emit_json(mode, "swf", queue_name(queue), backend.name(), sched.name(), &points);
         }
         None => {
             for &n in sweep {
@@ -192,14 +207,14 @@ fn main() {
                 // the big points are already the dominant cost).
                 let hours = if smoke || n >= 16384 { 2 } else { 6 };
                 let trace = synthetic_trace(seed, n, 4, hours);
-                points.push(measure(n, trace, seed, queue, backend));
+                points.push(measure(n, trace, seed, queue, backend, sched));
                 eprintln!(
                     "nodes={n:>5}  wall={:>10.1} ms  jobs/s={:>10.0}",
                     points.last().unwrap().wall_ms,
                     points.last().unwrap().jobs_per_s
                 );
             }
-            emit_json(mode, "synthetic", queue_name(queue), backend.name(), &points);
+            emit_json(mode, "synthetic", queue_name(queue), backend.name(), sched.name(), &points);
         }
     }
 }

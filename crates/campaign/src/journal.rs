@@ -44,7 +44,7 @@ fn parse_f64(s: &str) -> Option<f64> {
 /// Serialise one cell line (sans newline).
 fn cell_line(index: usize, key: &str, s: &CellSummary) -> String {
     format!(
-        "cell {index} {key} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {}",
+        "cell {index} {key} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {}",
         s.completed,
         s.unfinished,
         s.killed,
@@ -69,6 +69,7 @@ fn cell_line(index: usize, key: &str, s: &CellSummary) -> String {
         s.scale_downs,
         fmt_f64(s.node_h_billed),
         fmt_f64(s.energy_kwh),
+        s.backfills,
     )
 }
 
@@ -111,6 +112,12 @@ fn parse_cell_line(line: &str) -> Option<(usize, String, CellSummary)> {
         s.scale_downs = it.next()?.parse().ok()?;
         s.node_h_billed = parse_f64(it.next()?)?;
         s.energy_kwh = parse_f64(it.next()?)?;
+        // Backfill counting is a further trailing extension (the sched
+        // axis): journals written before it end at energy and decode
+        // with zero backfills.
+        if let Some(bf) = it.next() {
+            s.backfills = bf.parse().ok()?;
+        }
     }
     if it.next().is_some() {
         return None; // trailing garbage: treat as torn
@@ -240,6 +247,7 @@ mod tests {
             provisions: 9,
             scale_ups: 2,
             scale_downs: 1,
+            backfills: 6,
         }
     }
 
@@ -258,12 +266,12 @@ mod tests {
     #[test]
     fn legacy_lines_without_cost_fields_decode_with_zeroes() {
         // A journal written before the backend axis ends at
-        // stranded_core_h; dropping the trailing cost group reproduces
-        // that format exactly.
+        // stranded_core_h; dropping both trailing groups (cost and
+        // backfills) reproduces that format exactly.
         let s = sample_summary(3);
         let line = cell_line(4, "policy=fcfs/seed=3", &s);
         let fields: Vec<&str> = line.split(' ').collect();
-        let legacy = fields[..fields.len() - 5].join(" ");
+        let legacy = fields[..fields.len() - 6].join(" ");
         let (i, k, back) = parse_cell_line(&legacy).unwrap();
         assert_eq!(i, 4);
         assert_eq!(k, "policy=fcfs/seed=3");
@@ -274,8 +282,15 @@ mod tests {
         assert_eq!(back.scale_downs, 0);
         assert_eq!(back.node_h_billed, 0.0);
         assert_eq!(back.energy_kwh, 0.0);
+        assert_eq!(back.backfills, 0);
+        // A journal from the cost era but before the sched axis ends at
+        // energy: it decodes with zero backfills.
+        let pre_backfill = fields[..fields.len() - 1].join(" ");
+        let (_, _, back) = parse_cell_line(&pre_backfill).unwrap();
+        assert_eq!(back.energy_kwh, s.energy_kwh);
+        assert_eq!(back.backfills, 0);
         // A partially-present trailing group is torn, not legacy.
-        let partial = fields[..fields.len() - 2].join(" ");
+        let partial = fields[..fields.len() - 3].join(" ");
         assert!(parse_cell_line(&partial).is_none());
     }
 

@@ -58,9 +58,23 @@ impl CampaignReport {
 
 /// Fixed-precision float for the canonical JSON (field values are already
 /// bit-identical across runs; the fixed format keeps the bytes identical
-/// too).
+/// too). An absent statistic (NaN — e.g. a wait percentile over zero
+/// completions) emits JSON `null`, never a fake number.
 fn fj(x: f64) -> String {
-    format!("{x:.3}")
+    if x.is_nan() {
+        "null".into()
+    } else {
+        format!("{x:.3}")
+    }
+}
+
+/// Human wait rendering: `-` for an absent (NaN) statistic.
+fn fmt_wait(x: f64) -> String {
+    if x.is_nan() {
+        "-".into()
+    } else {
+        fmt_secs(x)
+    }
 }
 
 fn esc(s: &str) -> String {
@@ -95,7 +109,7 @@ fn cell_json(index: usize, key: &str, s: &CellSummary) -> String {
             "\"msgs_dropped\":{},\"orders_abandoned\":{},\"boot_retries\":{},\"quarantines\":{},",
             "\"daemon_crashes\":{},\"stranded_core_h\":{},\"peak_alloc_bytes\":{},\"allocs\":{},",
             "\"node_h_billed\":{},\"energy_kwh\":{},\"provisions\":{},\"scale_ups\":{},",
-            "\"scale_downs\":{}}}"
+            "\"scale_downs\":{},\"backfills\":{}}}"
         ),
         index,
         esc(key),
@@ -123,6 +137,7 @@ fn cell_json(index: usize, key: &str, s: &CellSummary) -> String {
         s.provisions,
         s.scale_ups,
         s.scale_downs,
+        s.backfills,
     )
 }
 
@@ -133,7 +148,7 @@ fn group_json(g: &GroupSummary) -> String {
             "\"wait_mean_s\":{},\"wait_p95_s\":{},\"wait_p99_s\":{},\"makespan_s\":{},",
             "\"utilisation\":{},\"switches\":{},\"completed\":{},\"unfinished\":{},",
             "\"killed\":{},\"stranded_core_h\":{},\"peak_alloc_bytes\":{},",
-            "\"node_h_billed\":{},\"energy_kwh\":{}}}"
+            "\"node_h_billed\":{},\"energy_kwh\":{},\"backfills\":{}}}"
         ),
         esc(&g.axis),
         esc(&g.value),
@@ -151,6 +166,7 @@ fn group_json(g: &GroupSummary) -> String {
         welford_json(&g.peak_alloc_bytes),
         welford_json(&g.node_h_billed),
         welford_json(&g.energy_kwh),
+        welford_json(&g.backfills),
     )
 }
 
@@ -171,7 +187,8 @@ impl CampaignReport {
                 "\"cells_total\":{},\"cells_done\":{},",
                 "\"totals\":{{\"completed\":{},\"unfinished\":{},\"killed\":{},\"switches\":{},",
                 "\"wait_mean_s\":{},\"wait_p99_s\":{},",
-                "\"max_peak_alloc_bytes\":{},\"allocs\":{},\"energy_kwh\":{}}},",
+                "\"max_peak_alloc_bytes\":{},\"allocs\":{},\"energy_kwh\":{},",
+                "\"backfills\":{}}},",
                 "\"groups\":[{}],\"cells\":[{}]}}"
             ),
             esc(&self.name),
@@ -187,6 +204,7 @@ impl CampaignReport {
             t.max_peak_alloc_bytes,
             t.allocs,
             fj(t.energy_kwh),
+            t.backfills,
             groups.join(","),
             cells.join(","),
         )
@@ -223,20 +241,30 @@ impl CampaignReport {
             "axis groups",
             &[
                 "axis", "value", "cells", "wait", "p95", "p99", "makespan", "util", "switch",
-                "unfin", "stranded", "billed", "kWh",
+                "backfill", "unfin", "stranded", "billed", "kWh",
             ],
         );
+        // A group whose every cell lacked a wait distribution has an
+        // empty Welford: render `-`, not a fabricated 0s.
+        let gw = |w: &Welford| {
+            if w.count() == 0 {
+                "-".to_string()
+            } else {
+                fmt_secs(w.mean())
+            }
+        };
         for g in &self.groups {
             groups.row(&[
                 g.axis.clone(),
                 g.value.clone(),
                 g.cells.to_string(),
-                fmt_secs(g.wait_mean_s.mean()),
-                fmt_secs(g.wait_p95_s.mean()),
-                fmt_secs(g.wait_p99_s.mean()),
+                gw(&g.wait_mean_s),
+                gw(&g.wait_p95_s),
+                gw(&g.wait_p99_s),
                 fmt_secs(g.makespan_s.mean()),
                 format!("{:.1}%", 100.0 * g.utilisation.mean()),
                 format!("{:.1}", g.switches.mean()),
+                format!("{:.1}", g.backfills.mean()),
                 format!("{:.1}", g.unfinished.mean()),
                 format!("{:.2}", g.stranded_core_h.mean()),
                 format!("{:.1}", g.node_h_billed.mean()),
@@ -250,6 +278,7 @@ impl CampaignReport {
                 "cells",
                 &[
                     "cell", "done", "unfin", "wait", "p95", "p99", "makespan", "util", "switch",
+                    "backfill",
                 ],
             );
             for (_, key, s) in &self.cells {
@@ -257,12 +286,13 @@ impl CampaignReport {
                     key.clone(),
                     s.completed.to_string(),
                     s.unfinished.to_string(),
-                    fmt_secs(s.wait_mean_s),
-                    fmt_secs(s.wait_p95_s),
-                    fmt_secs(s.wait_p99_s),
+                    fmt_wait(s.wait_mean_s),
+                    fmt_wait(s.wait_p95_s),
+                    fmt_wait(s.wait_p99_s),
                     fmt_secs(s.makespan_s),
                     format!("{:.1}%", 100.0 * s.utilisation),
                     s.switches.to_string(),
+                    s.backfills.to_string(),
                 ]);
             }
             out.push_str(&cells.render());
@@ -331,6 +361,50 @@ mod tests {
         let open = a.matches('{').count();
         let close = a.matches('}').count();
         assert_eq!(open, close);
+    }
+
+    #[test]
+    fn absent_waits_render_as_dashes_and_json_nulls() {
+        let spec = CampaignSpec::smoke(9);
+        let mut done = BTreeMap::new();
+        // Every done cell is empty: no completions, NaN wait stats.
+        for cell in spec.cells() {
+            done.insert(
+                cell.index,
+                CellSummary {
+                    wait_mean_s: f64::NAN,
+                    wait_p50_s: f64::NAN,
+                    wait_p95_s: f64::NAN,
+                    wait_p99_s: f64::NAN,
+                    ..CellSummary::default()
+                },
+            );
+        }
+        let r = CampaignReport::build(&spec, &done);
+        let json = r.to_json();
+        assert!(json.contains("\"wait_mean_s\":null"));
+        assert!(!json.contains("NaN"), "no bare NaN leaks into the JSON");
+        let text = r.render();
+        assert!(text.contains(" - "), "absent waits render as dashes");
+    }
+
+    #[test]
+    fn backfills_appear_in_json_and_tables() {
+        let spec = CampaignSpec::smoke(9);
+        let mut done = done_map(&spec);
+        for s in done.values_mut() {
+            s.backfills = 3;
+        }
+        let r = CampaignReport::build(&spec, &done);
+        let json = r.to_json();
+        assert!(json.contains("\"backfills\":3"));
+        let total: u64 = 3 * done.len() as u64;
+        assert!(
+            json.contains(&format!("\"backfills\":{total}")),
+            "campaign totals carry the summed backfill count"
+        );
+        let text = r.render();
+        assert!(text.contains("backfill"));
     }
 
     #[test]

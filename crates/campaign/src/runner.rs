@@ -83,13 +83,18 @@ fn run_cell(spec: &CampaignSpec, cell: &Cell) -> CellSummary {
     match &spec.target {
         Target::Cluster(t) => {
             let (result, stats) = mem::measure(|| {
-                let trace = WorkloadSpec {
+                let mut wspec = WorkloadSpec {
                     windows_fraction: t.windows_fraction,
                     duration: SimDuration::from_hours(t.hours),
                     ..WorkloadSpec::campus_default(cell.workload_seed)
+                };
+                if let Some(w) = cell.wall {
+                    wspec.walltime_factor = Some(w.factor);
+                    wspec.overrun_fraction = w.overrun;
                 }
-                .with_offered_load(t.load, (t.nodes * t.cores_per_node).max(1))
-                .generate();
+                let trace = wspec
+                    .with_offered_load(t.load, (t.nodes * t.cores_per_node).max(1))
+                    .generate();
                 let mut cfg = SimConfig::builder()
                     .v2()
                     .seed(cell.seed)
@@ -97,6 +102,7 @@ fn run_cell(spec: &CampaignSpec, cell: &Cell) -> CellSummary {
                     .mode(cell.mode)
                     .backend(cell.backend.to_backend())
                     .policy(cell.policy)
+                    .sched(cell.sched)
                     .queue_backend(cell.queue)
                     .build();
                 if let Some(linux) = t.initial_linux_nodes {

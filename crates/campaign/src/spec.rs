@@ -14,7 +14,7 @@
 //! matter the worker count, the execution order, or which cells a
 //! resumed run still has to execute.
 
-use dualboot_cluster::{FaultPlan, Mode, NodeBackendKind, PolicyKind};
+use dualboot_cluster::{FaultPlan, Mode, NodeBackendKind, PolicyKind, SchedPolicy};
 use dualboot_des::time::{SimDuration, SimTime};
 use dualboot_des::QueueBackend;
 use dualboot_grid::RoutePolicy;
@@ -53,6 +53,26 @@ pub fn policy_label(policy: PolicyKind) -> String {
             cooldown,
         } => format!("hysteresis:{persistence}:{cooldown}"),
         PolicyKind::Proportional { min_per_side } => format!("proportional:{min_per_side}"),
+    }
+}
+
+/// One value of the walltime axis: how the synthetic workload's
+/// walltime requests are shaped. `factor` scales each job's true
+/// runtime into its requested walltime (slack the backfiller can pack
+/// into); `overrun` is the fraction of jobs whose real runtime exceeds
+/// the request and get killed at the wall.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WallAxis {
+    /// Requested walltime = true runtime × `factor`.
+    pub factor: f64,
+    /// Fraction of jobs that overrun their request (killed at the wall).
+    pub overrun: f64,
+}
+
+impl WallAxis {
+    /// Stable report label, e.g. `1.5:0.25`.
+    pub fn label(&self) -> String {
+        format!("{}:{}", self.factor, self.overrun)
     }
 }
 
@@ -223,6 +243,11 @@ pub struct Axes {
     /// Switch policies (cluster targets; default `[Fcfs]`).
     #[serde(default)]
     pub policies: Vec<PolicyKind>,
+    /// Queue scheduling policies (cluster targets; default FCFS). When
+    /// empty the cell key keeps its legacy sched-free format, so
+    /// pre-existing manifests keep their derived seeds.
+    #[serde(default)]
+    pub scheds: Vec<SchedPolicy>,
     /// Broker routing policies (grid targets; default `[SwitchCoop]`).
     #[serde(default)]
     pub routings: Vec<RoutePolicy>,
@@ -238,6 +263,11 @@ pub struct Axes {
     /// seeds and fingerprints.
     #[serde(default)]
     pub backends: Vec<NodeBackendKind>,
+    /// Walltime-request shapes (cluster targets). When empty the
+    /// workload keeps its scenario defaults and the cell key keeps its
+    /// legacy wall-free format.
+    #[serde(default)]
+    pub walls: Vec<WallAxis>,
 }
 
 /// A sweep manifest: base scenario × axes × seed range.
@@ -278,6 +308,8 @@ pub struct Cell {
     pub mode: Mode,
     /// Switch policy (cluster targets).
     pub policy: PolicyKind,
+    /// Queue scheduling policy (cluster targets; FCFS when unswept).
+    pub sched: SchedPolicy,
     /// Routing policy (grid targets).
     pub routing: RoutePolicy,
     /// Fault-plan axis value.
@@ -286,6 +318,8 @@ pub struct Cell {
     pub queue: QueueBackend,
     /// Node backend (cluster targets).
     pub backend: NodeBackendKind,
+    /// Walltime-request shape (`None` keeps the scenario defaults).
+    pub wall: Option<WallAxis>,
 }
 
 /// Manifest validation errors, with a user-facing message.
@@ -349,14 +383,26 @@ impl CampaignSpec {
                 }
                 if !self.axes.modes.is_empty()
                     || !self.axes.policies.is_empty()
+                    || !self.axes.scheds.is_empty()
                     || !self.axes.queues.is_empty()
                     || !self.axes.backends.is_empty()
+                    || !self.axes.walls.is_empty()
                 {
                     return Err(SpecError(
-                        "the modes/policies/queues/backends axes apply to cluster targets only"
+                        "the modes/policies/scheds/queues/backends/walls axes apply to \
+                         cluster targets only"
                             .into(),
                     ));
                 }
+            }
+        }
+        for w in &self.axes.walls {
+            let factor_ok = w.factor.is_finite() && w.factor > 0.0;
+            if !factor_ok || !(0.0..=1.0).contains(&w.overrun) {
+                return Err(SpecError(format!(
+                    "wall axis needs factor > 0 and overrun in [0, 1], got {}:{}",
+                    w.factor, w.overrun
+                )));
             }
         }
         for f in &self.axes.faults {
@@ -414,12 +460,13 @@ impl CampaignSpec {
     /// Enumerate every cell in canonical order (axes as declared in
     /// [`Axes`], seeds innermost). The irrelevant axes for the target
     /// collapse to their single default, so a cluster campaign's grid is
-    /// modes × policies × faults × queues × backends × seeds and a grid
-    /// campaign's is routings × faults × seeds.
+    /// modes × policies × scheds × faults × queues × backends × walls ×
+    /// seeds and a grid campaign's is routings × faults × seeds.
     ///
-    /// An *unswept* backends axis is `None` here: the cell's backend is
-    /// derived from its mode and the key keeps the legacy backend-free
-    /// format, so pre-backend manifests keep their derived seeds.
+    /// An *unswept* scheds, backends or walls axis is `None` here: the
+    /// cell falls back to the default (FCFS, mode-derived backend,
+    /// scenario walltimes) and its key keeps the legacy segment-free
+    /// format, so pre-existing manifests keep their derived seeds.
     pub fn cells(&self) -> Vec<Cell> {
         let (modes, policies, routings, queues) = match self.target {
             Target::Cluster(_) => (
@@ -435,62 +482,75 @@ impl CampaignSpec {
                 vec![QueueBackend::Heap],
             ),
         };
-        let backends: Vec<Option<NodeBackendKind>> = match self.target {
-            Target::Cluster(_) if !self.axes.backends.is_empty() => {
-                self.axes.backends.iter().copied().map(Some).collect()
+        let is_cluster = matches!(self.target, Target::Cluster(_));
+        // Unswept optional axes collapse to a single `None` so the cell
+        // key keeps its legacy segment-free format (derived seeds are
+        // hashed from key strings and must not move).
+        fn opt_axis<T: Copy>(on: bool, v: &[T]) -> Vec<Option<T>> {
+            if on && !v.is_empty() {
+                v.iter().copied().map(Some).collect()
+            } else {
+                vec![None]
             }
-            _ => vec![None],
-        };
+        }
+        let scheds = opt_axis(is_cluster, &self.axes.scheds);
+        let backends = opt_axis(is_cluster, &self.axes.backends);
+        let walls = opt_axis(is_cluster, &self.axes.walls);
         let faults = self.faults();
         let mut cells = Vec::new();
         for &mode in &modes {
             for &policy in &policies {
-                for &routing in &routings {
-                    for fault in &faults {
-                        for &queue in &queues {
-                            for &backend in &backends {
-                                for workload_seed in self.seeds.iter() {
-                                    let key = match (&self.target, backend) {
-                                        (Target::Cluster(_), None) => format!(
-                                            "mode={}/policy={}/faults={}/queue={}/seed={}",
-                                            mode_name(mode),
-                                            policy_label(policy),
-                                            fault.name(),
-                                            queue_name(queue),
-                                            workload_seed
-                                        ),
-                                        (Target::Cluster(_), Some(b)) => format!(
-                                            "mode={}/policy={}/faults={}/queue={}/backend={}/seed={}",
-                                            mode_name(mode),
-                                            policy_label(policy),
-                                            fault.name(),
-                                            queue_name(queue),
-                                            b.name(),
-                                            workload_seed
-                                        ),
-                                        (Target::Grid(_), _) => format!(
-                                            "routing={}/faults={}/seed={}",
-                                            routing.name(),
-                                            fault.name(),
-                                            workload_seed
-                                        ),
-                                    };
-                                    let derived = match mode {
-                                        Mode::StaticSplit => NodeBackendKind::StaticSplit,
-                                        _ => NodeBackendKind::DualBoot,
-                                    };
-                                    cells.push(Cell {
-                                        index: cells.len(),
-                                        seed: self.seed ^ fnv1a(&key),
-                                        key,
-                                        workload_seed,
-                                        mode,
-                                        policy,
-                                        routing,
-                                        fault: fault.clone(),
-                                        queue,
-                                        backend: backend.unwrap_or(derived),
-                                    });
+                for &sched in &scheds {
+                    for &routing in &routings {
+                        for fault in &faults {
+                            for &queue in &queues {
+                                for &backend in &backends {
+                                    for &wall in &walls {
+                                        for workload_seed in self.seeds.iter() {
+                                            let mut segs: Vec<String> = Vec::new();
+                                            if is_cluster {
+                                                segs.push(format!("mode={}", mode_name(mode)));
+                                                segs.push(format!(
+                                                    "policy={}",
+                                                    policy_label(policy)
+                                                ));
+                                                if let Some(s) = sched {
+                                                    segs.push(format!("sched={}", s.name()));
+                                                }
+                                                segs.push(format!("faults={}", fault.name()));
+                                                segs.push(format!("queue={}", queue_name(queue)));
+                                                if let Some(b) = backend {
+                                                    segs.push(format!("backend={}", b.name()));
+                                                }
+                                                if let Some(w) = wall {
+                                                    segs.push(format!("wall={}", w.label()));
+                                                }
+                                            } else {
+                                                segs.push(format!("routing={}", routing.name()));
+                                                segs.push(format!("faults={}", fault.name()));
+                                            }
+                                            segs.push(format!("seed={workload_seed}"));
+                                            let key = segs.join("/");
+                                            let derived = match mode {
+                                                Mode::StaticSplit => NodeBackendKind::StaticSplit,
+                                                _ => NodeBackendKind::DualBoot,
+                                            };
+                                            cells.push(Cell {
+                                                index: cells.len(),
+                                                seed: self.seed ^ fnv1a(&key),
+                                                key,
+                                                workload_seed,
+                                                mode,
+                                                policy,
+                                                sched: sched.unwrap_or_default(),
+                                                routing,
+                                                fault: fault.clone(),
+                                                queue,
+                                                backend: backend.unwrap_or(derived),
+                                                wall,
+                                            });
+                                        }
+                                    }
                                 }
                             }
                         }
@@ -535,10 +595,12 @@ impl CampaignSpec {
             axes: Axes {
                 modes: Vec::new(),
                 policies: vec![PolicyKind::Fcfs, PolicyKind::Threshold { queue_threshold: 2 }],
+                scheds: Vec::new(),
                 routings: Vec::new(),
                 faults: vec![FaultAxis::None, FaultAxis::Chaos],
                 queues: vec![QueueBackend::Heap, QueueBackend::Calendar],
                 backends: Vec::new(),
+                walls: Vec::new(),
             },
             obs_ring: Some(256),
         }
@@ -572,6 +634,7 @@ impl CampaignSpec {
                     },
                     PolicyKind::Proportional { min_per_side: 1 },
                 ],
+                scheds: Vec::new(),
                 routings: Vec::new(),
                 faults: vec![
                     FaultAxis::None,
@@ -581,6 +644,7 @@ impl CampaignSpec {
                 ],
                 queues: Vec::new(),
                 backends: Vec::new(),
+                walls: Vec::new(),
             },
             obs_ring: Some(256),
         }
@@ -603,10 +667,12 @@ impl CampaignSpec {
             axes: Axes {
                 modes: Vec::new(),
                 policies: Vec::new(),
+                scheds: Vec::new(),
                 routings: RoutePolicy::ALL.to_vec(),
                 faults: vec![FaultAxis::None, FaultAxis::Chaos],
                 queues: Vec::new(),
                 backends: Vec::new(),
+                walls: Vec::new(),
             },
             obs_ring: Some(256),
         }
@@ -633,6 +699,7 @@ impl CampaignSpec {
             axes: Axes {
                 modes: Vec::new(),
                 policies: Vec::new(),
+                scheds: Vec::new(),
                 routings: Vec::new(),
                 faults: vec![FaultAxis::None, FaultAxis::Chaos, FaultAxis::Storm],
                 queues: Vec::new(),
@@ -641,19 +708,73 @@ impl CampaignSpec {
                     NodeBackendKind::Vm,
                     NodeBackendKind::Elastic,
                 ],
+                walls: Vec::new(),
+            },
+            obs_ring: Some(256),
+        }
+    }
+
+    /// The built-in backfill head-to-head: a 64-cell sweep (2 queue
+    /// scheduling policies × 4 walltime shapes × 8 seeds) on the 16-node
+    /// Eridani with 3-hour traces — EXPERIMENTS.md's E18 and the
+    /// committed `BENCH_e18_backfill.json`. The wall axis crosses
+    /// request slack (1.5× vs 3× the true runtime) with overrun rate
+    /// (none vs a quarter of jobs killed at the wall), so the report
+    /// isolates what EASY backfill buys under honest and sloppy
+    /// walltime requests alike.
+    pub fn e18_backfill(seed: u64) -> CampaignSpec {
+        CampaignSpec {
+            name: "e18-backfill".into(),
+            seed,
+            target: Target::Cluster(ClusterTarget {
+                nodes: 16,
+                cores_per_node: 4,
+                initial_linux_nodes: None,
+                hours: 3,
+                load: 0.8,
+                windows_fraction: 0.3,
+            }),
+            seeds: SeedRange { start: 1, count: 8 },
+            axes: Axes {
+                modes: Vec::new(),
+                policies: Vec::new(),
+                scheds: vec![SchedPolicy::Fcfs, SchedPolicy::Easy],
+                routings: Vec::new(),
+                faults: Vec::new(),
+                queues: Vec::new(),
+                backends: Vec::new(),
+                walls: vec![
+                    WallAxis {
+                        factor: 1.5,
+                        overrun: 0.0,
+                    },
+                    WallAxis {
+                        factor: 1.5,
+                        overrun: 0.25,
+                    },
+                    WallAxis {
+                        factor: 3.0,
+                        overrun: 0.0,
+                    },
+                    WallAxis {
+                        factor: 3.0,
+                        overrun: 0.25,
+                    },
+                ],
             },
             obs_ring: Some(256),
         }
     }
 
     /// Resolve a builtin manifest by name (`smoke` | `fleet` |
-    /// `grid-smoke` | `e17-backends`).
+    /// `grid-smoke` | `e17-backends` | `e18-backfill`).
     pub fn builtin(name: &str, seed: u64) -> Option<CampaignSpec> {
         match name {
             "smoke" => Some(CampaignSpec::smoke(seed)),
             "fleet" => Some(CampaignSpec::fleet(seed)),
             "grid-smoke" => Some(CampaignSpec::grid_smoke(seed)),
             "e17-backends" => Some(CampaignSpec::e17_backends(seed)),
+            "e18-backfill" => Some(CampaignSpec::e18_backfill(seed)),
             _ => None,
         }
     }
@@ -782,6 +903,7 @@ mod tests {
         assert!(CampaignSpec::builtin("fleet", 1).is_some());
         assert!(CampaignSpec::builtin("grid-smoke", 1).is_some());
         assert!(CampaignSpec::builtin("e17-backends", 1).is_some());
+        assert!(CampaignSpec::builtin("e18-backfill", 1).is_some());
         assert!(CampaignSpec::builtin("nope", 1).is_none());
     }
 
@@ -795,6 +917,58 @@ mod tests {
             assert!(!c.key.contains("backend="), "legacy key grew: {}", c.key);
             assert_eq!(c.backend, NodeBackendKind::DualBoot);
         }
+    }
+
+    #[test]
+    fn unswept_sched_and_wall_axes_keep_the_legacy_key_format() {
+        for spec in [
+            CampaignSpec::smoke(7),
+            CampaignSpec::fleet(7),
+            CampaignSpec::e17_backends(7),
+        ] {
+            for c in spec.cells() {
+                assert!(!c.key.contains("sched="), "legacy key grew: {}", c.key);
+                assert!(!c.key.contains("wall="), "legacy key grew: {}", c.key);
+                assert_eq!(c.sched, SchedPolicy::Fcfs);
+                assert_eq!(c.wall, None);
+            }
+        }
+    }
+
+    #[test]
+    fn e18_sweeps_sched_and_wall_as_first_class_axes() {
+        let spec = CampaignSpec::e18_backfill(2012);
+        spec.validate().unwrap();
+        let cells = spec.cells();
+        assert_eq!(cells.len(), 2 * 4 * 8);
+        assert!(cells.iter().all(|c| c.key.contains("/sched=")));
+        assert!(cells.iter().all(|c| c.key.contains("/wall=")));
+        // Canonical segment order: sched after policy, wall before seed.
+        assert_eq!(
+            cells[0].key,
+            "mode=dualboot/policy=fcfs/sched=fcfs/faults=none/queue=heap/wall=1.5:0/seed=1"
+        );
+        let easy = cells.iter().filter(|c| c.sched == SchedPolicy::Easy);
+        assert_eq!(easy.count(), 32);
+    }
+
+    #[test]
+    fn wall_axis_bounds_are_validated() {
+        let mut s = CampaignSpec::e18_backfill(1);
+        s.axes.walls[0].factor = 0.0;
+        assert!(s.validate().is_err(), "zero walltime factor");
+        let mut s = CampaignSpec::e18_backfill(1);
+        s.axes.walls[0].overrun = 1.5;
+        assert!(s.validate().is_err(), "overrun above 1");
+        let mut s = CampaignSpec::grid_smoke(1);
+        s.axes.scheds = vec![SchedPolicy::Easy];
+        assert!(s.validate().is_err(), "scheds on a grid target");
+        let mut s = CampaignSpec::grid_smoke(1);
+        s.axes.walls = vec![WallAxis {
+            factor: 2.0,
+            overrun: 0.0,
+        }];
+        assert!(s.validate().is_err(), "walls on a grid target");
     }
 
     #[test]

@@ -68,10 +68,24 @@ pub struct CellSummary {
     pub scale_ups: u32,
     /// Elastic pool shrink decisions.
     pub scale_downs: u32,
+    /// Jobs started by EASY backfill ahead of a blocked queue head.
+    pub backfills: u32,
 }
 
+/// An empty percentile set has no p50 to report: surface `NaN` (rendered
+/// as absent) instead of a misleading `0.0` that would read as "zero
+/// wait" and drag group means down.
 fn pct(p: &Percentiles, q: f64) -> f64 {
-    p.percentile(q).unwrap_or(0.0)
+    p.percentile(q).unwrap_or(f64::NAN)
+}
+
+/// Mean wait with the same absent-not-zero convention as [`pct`].
+fn mean_or_nan(p: &Percentiles) -> f64 {
+    if p.samples().is_empty() {
+        f64::NAN
+    } else {
+        p.mean()
+    }
 }
 
 impl CellSummary {
@@ -81,7 +95,7 @@ impl CellSummary {
             completed: r.total_completed(),
             unfinished: r.unfinished,
             killed: r.killed,
-            wait_mean_s: r.mean_wait_s(),
+            wait_mean_s: mean_or_nan(&r.wait_all),
             wait_p50_s: pct(&r.wait_all, 50.0),
             wait_p95_s: pct(&r.wait_all, 95.0),
             wait_p99_s: pct(&r.wait_all, 99.0),
@@ -102,6 +116,7 @@ impl CellSummary {
             provisions: r.cost.provisions,
             scale_ups: r.cost.scale_ups,
             scale_downs: r.cost.scale_downs,
+            backfills: r.backfills,
         }
     }
 
@@ -125,6 +140,7 @@ impl CellSummary {
         let mut provisions = 0;
         let mut scale_ups = 0;
         let mut scale_downs = 0;
+        let mut backfills = 0;
         for m in &r.members {
             for &w in m.result.wait_all.samples() {
                 waits.push(w);
@@ -144,12 +160,13 @@ impl CellSummary {
             provisions += m.result.cost.provisions;
             scale_ups += m.result.cost.scale_ups;
             scale_downs += m.result.cost.scale_downs;
+            backfills += m.result.backfills;
         }
         CellSummary {
             completed: r.total_completed(),
             unfinished: r.total_unfinished(),
             killed,
-            wait_mean_s: waits.mean(),
+            wait_mean_s: mean_or_nan(&waits),
             wait_p50_s: pct(&waits, 50.0),
             wait_p95_s: pct(&waits, 95.0),
             wait_p99_s: pct(&waits, 99.0),
@@ -170,6 +187,7 @@ impl CellSummary {
             provisions,
             scale_ups,
             scale_downs,
+            backfills,
         }
     }
 }
@@ -210,6 +228,8 @@ pub struct GroupSummary {
     pub node_h_billed: Welford,
     /// Energy estimate per cell, kWh.
     pub energy_kwh: Welford,
+    /// Backfilled job starts per cell.
+    pub backfills: Welford,
 }
 
 impl GroupSummary {
@@ -231,14 +251,22 @@ impl GroupSummary {
             peak_alloc_bytes: Welford::new(),
             node_h_billed: Welford::new(),
             energy_kwh: Welford::new(),
+            backfills: Welford::new(),
         }
     }
 
     fn fold(&mut self, s: &CellSummary) {
+        // Absent wait stats (NaN: the cell completed no jobs) stay out
+        // of the group aggregates instead of counting as zero waits.
+        fn push_finite(w: &mut Welford, x: f64) {
+            if x.is_finite() {
+                w.push(x);
+            }
+        }
         self.cells += 1;
-        self.wait_mean_s.push(s.wait_mean_s);
-        self.wait_p95_s.push(s.wait_p95_s);
-        self.wait_p99_s.push(s.wait_p99_s);
+        push_finite(&mut self.wait_mean_s, s.wait_mean_s);
+        push_finite(&mut self.wait_p95_s, s.wait_p95_s);
+        push_finite(&mut self.wait_p99_s, s.wait_p99_s);
         self.makespan_s.push(s.makespan_s);
         self.utilisation.push(s.utilisation);
         self.switches.push(f64::from(s.switches));
@@ -249,6 +277,7 @@ impl GroupSummary {
         self.peak_alloc_bytes.push(s.peak_alloc_bytes as f64);
         self.node_h_billed.push(s.node_h_billed);
         self.energy_kwh.push(s.energy_kwh);
+        self.backfills.push(f64::from(s.backfills));
     }
 }
 
@@ -259,9 +288,14 @@ pub fn cell_axes(spec: &CampaignSpec, cell: &Cell) -> Vec<(String, String)> {
         Target::Cluster(_) => vec![
             ("mode".into(), mode_name(cell.mode).into()),
             ("policy".into(), policy_label(cell.policy)),
+            ("sched".into(), cell.sched.name().into()),
             ("faults".into(), cell.fault.name().into()),
             ("queue".into(), queue_name(cell.queue).into()),
             ("backend".into(), cell.backend.name().into()),
+            (
+                "wall".into(),
+                cell.wall.map(|w| w.label()).unwrap_or_else(|| "none".into()),
+            ),
         ],
         Target::Grid(_) => vec![
             ("routing".into(), cell.routing.name().into()),
@@ -319,6 +353,8 @@ pub struct Totals {
     pub allocs: u64,
     /// Energy estimate across the campaign, kWh.
     pub energy_kwh: f64,
+    /// Backfilled job starts across the campaign.
+    pub backfills: u64,
 }
 
 /// Fold totals over finished cells in index order.
@@ -329,8 +365,13 @@ pub fn totals(done: &std::collections::BTreeMap<usize, CellSummary>) -> Totals {
         t.unfinished += u64::from(s.unfinished);
         t.killed += u64::from(s.killed);
         t.switches += u64::from(s.switches);
-        t.wait_mean_s.push(s.wait_mean_s);
-        t.wait_p99_s.push(s.wait_p99_s);
+        t.backfills += u64::from(s.backfills);
+        if s.wait_mean_s.is_finite() {
+            t.wait_mean_s.push(s.wait_mean_s);
+        }
+        if s.wait_p99_s.is_finite() {
+            t.wait_p99_s.push(s.wait_p99_s);
+        }
         t.max_peak_alloc_bytes = t.max_peak_alloc_bytes.max(s.peak_alloc_bytes);
         t.allocs += s.allocs;
         t.energy_kwh += s.energy_kwh;
@@ -416,9 +457,10 @@ mod tests {
             done.insert(cell.index, s);
         }
         let groups = group_cells(&spec, &done);
-        // smoke: 1 mode + 2 policies + 2 faults + 2 queues + 1 derived
-        // backend (unswept axis still groups) = 8 groups.
-        assert_eq!(groups.len(), 8);
+        // smoke: 1 mode + 2 policies + 1 sched + 2 faults + 2 queues +
+        // 1 derived backend + 1 wall (unswept axes still group) = 10
+        // groups.
+        assert_eq!(groups.len(), 10);
         let policy_cells: u32 = groups
             .iter()
             .filter(|g| g.axis == "policy")
@@ -429,6 +471,62 @@ mod tests {
             assert!(g.cells > 0);
             assert_eq!(u64::from(g.cells), g.completed.count());
         }
+    }
+
+    #[test]
+    fn empty_cell_reports_absent_waits_not_zero() {
+        // A cell that completed nothing has no wait distribution: the
+        // digest must say "absent" (NaN), not a misleading 0 seconds.
+        let s = CellSummary::from_sim_result(&SimResult::new(64), MemStats::default());
+        assert_eq!(s.completed, 0);
+        assert!(s.wait_mean_s.is_nan());
+        assert!(s.wait_p50_s.is_nan());
+        assert!(s.wait_p95_s.is_nan());
+        assert!(s.wait_p99_s.is_nan());
+    }
+
+    #[test]
+    fn absent_waits_stay_out_of_group_and_total_aggregates() {
+        let spec = CampaignSpec::smoke(1);
+        let cells = spec.cells();
+        let mut done = BTreeMap::new();
+        // One real cell with waits, one empty cell with NaN waits.
+        done.insert(
+            cells[0].index,
+            CellSummary::from_sim_result(&sim_result(), MemStats::default()),
+        );
+        done.insert(
+            cells[1].index,
+            CellSummary::from_sim_result(&SimResult::new(64), MemStats::default()),
+        );
+        let groups = group_cells(&spec, &done);
+        let mode = groups.iter().find(|g| g.axis == "mode").unwrap();
+        assert_eq!(mode.cells, 2, "the empty cell is still counted");
+        assert_eq!(mode.wait_mean_s.count(), 1, "but its NaN wait is not");
+        assert_eq!(mode.wait_mean_s.mean(), 55.0, "mean undragged by zeros");
+        let t = totals(&done);
+        assert_eq!(t.wait_mean_s.count(), 1);
+        assert_eq!(t.wait_p99_s.count(), 1);
+    }
+
+    #[test]
+    fn backfills_flow_into_groups_and_totals() {
+        let spec = CampaignSpec::smoke(1);
+        let cells = spec.cells();
+        let mut done = BTreeMap::new();
+        done.insert(
+            cells[0].index,
+            CellSummary {
+                backfills: 4,
+                ..CellSummary::default()
+            },
+        );
+        let groups = group_cells(&spec, &done);
+        let sched = groups.iter().find(|g| g.axis == "sched").unwrap();
+        assert_eq!(sched.value, "fcfs", "unswept sched axis groups as fcfs");
+        assert_eq!(sched.backfills.mean(), 4.0);
+        assert!(groups.iter().any(|g| g.axis == "wall" && g.value == "none"));
+        assert_eq!(totals(&done).backfills, 4);
     }
 
     #[test]

@@ -9,6 +9,7 @@ use dualboot_core::{Version, WatchdogConfig};
 use dualboot_des::time::SimDuration;
 use dualboot_des::QueueBackend;
 use dualboot_obs::ObsConfig;
+use dualboot_sched::scheduler::SchedPolicy;
 use serde::{Deserialize, Serialize};
 
 /// Which system is being evaluated (see the crate docs for the table).
@@ -123,6 +124,41 @@ impl PolicyKind {
             _ => None,
         }
     }
+}
+
+/// The resolution of one `--policy` CLI value. The flag covers two
+/// orthogonal axes with one spelling: the OS-switch policy
+/// (`fcfs|threshold|hysteresis|proportional`, [`PolicyKind`]) and the
+/// queue-ordering policy (`fcfs|easy`, [`SchedPolicy`]). `easy` selects
+/// EASY backfill and leaves the switch policy at its FCFS default; every
+/// other spelling selects a switch policy and leaves scheduling at strict
+/// FCFS.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PolicyChoice {
+    /// OS-switch policy.
+    pub kind: PolicyKind,
+    /// Whether the switch policy needs the omniscient decider.
+    pub omniscient: bool,
+    /// Queue-ordering policy.
+    pub sched: SchedPolicy,
+}
+
+/// Parse a `--policy` value — one definition shared by every CLI surface
+/// (`simulate`, `grid`, `campaign`, `submit`, `scale`, serve jobs).
+pub fn parse_policy_arg(s: &str) -> Option<PolicyChoice> {
+    if s == SchedPolicy::Easy.name() {
+        return Some(PolicyChoice {
+            kind: PolicyKind::Fcfs,
+            omniscient: false,
+            sched: SchedPolicy::Easy,
+        });
+    }
+    let (kind, omniscient) = PolicyKind::parse_cli(s)?;
+    Some(PolicyChoice {
+        kind,
+        omniscient,
+        sched: SchedPolicy::Fcfs,
+    })
 }
 
 /// Boot/reboot latency model: truncated normal, calibrated to the paper's
@@ -485,6 +521,12 @@ pub struct SimConfig {
     /// without the field keep their exact pre-backend behaviour.
     #[serde(default)]
     pub backend: NodeBackend,
+    /// Queue-ordering policy both batch schedulers run under (strict FCFS,
+    /// or FCFS + EASY backfill). Orthogonal to [`SimConfig::policy`], which
+    /// selects the *OS-switch* policy. Defaults to the paper's FCFS; on a
+    /// workload without walltimes `Easy` is byte-identical to `Fcfs`.
+    #[serde(default)]
+    pub sched: SchedPolicy,
 }
 
 impl SimConfig {
@@ -516,6 +558,7 @@ impl SimConfig {
                 obs: ObsConfig::default(),
                 queue_backend: QueueBackend::default(),
                 backend: NodeBackend::DualBoot,
+                sched: SchedPolicy::Fcfs,
             },
             mode_set: false,
             backend_set: false,
@@ -602,6 +645,14 @@ impl SimConfigBuilder {
     /// Switch policy.
     pub fn policy(mut self, policy: PolicyKind) -> Self {
         self.cfg.policy = policy;
+        self
+    }
+
+    /// Queue-ordering policy for both batch schedulers (FCFS vs EASY
+    /// backfill). Distinct from [`SimConfigBuilder::policy`], the
+    /// OS-switch policy.
+    pub fn sched(mut self, sched: SchedPolicy) -> Self {
+        self.cfg.sched = sched;
         self
     }
 
@@ -850,6 +901,29 @@ mod tests {
             assert_eq!(Mode::parse(mode.name()), Some(mode));
         }
         assert_eq!(Mode::parse("hybrid"), None);
+    }
+
+    #[test]
+    fn policy_arg_resolves_both_axes() {
+        let easy = parse_policy_arg("easy").unwrap();
+        assert_eq!(easy.kind, PolicyKind::Fcfs);
+        assert!(!easy.omniscient);
+        assert_eq!(easy.sched, SchedPolicy::Easy);
+        let fcfs = parse_policy_arg("fcfs").unwrap();
+        assert_eq!(fcfs.kind, PolicyKind::Fcfs);
+        assert_eq!(fcfs.sched, SchedPolicy::Fcfs);
+        let th = parse_policy_arg("threshold").unwrap();
+        assert_eq!(th.kind.name(), "threshold");
+        assert!(th.omniscient);
+        assert_eq!(th.sched, SchedPolicy::Fcfs);
+        assert!(parse_policy_arg("backfill").is_none());
+    }
+
+    #[test]
+    fn builder_threads_the_sched_policy() {
+        assert_eq!(SimConfig::builder().build().sched, SchedPolicy::Fcfs);
+        let cfg = SimConfig::builder().sched(SchedPolicy::Easy).build();
+        assert_eq!(cfg.sched, SchedPolicy::Easy);
     }
 
     #[test]

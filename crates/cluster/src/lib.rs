@@ -47,9 +47,10 @@ pub mod report;
 pub mod sim;
 
 pub use config::{
-    ConfigError, ElasticPolicy, Mode, NodeBackend, NodeBackendKind, PolicyKind, SimConfig,
-    SimConfigBuilder, SupervisionConfig, VmModel,
+    parse_policy_arg, ConfigError, ElasticPolicy, Mode, NodeBackend, NodeBackendKind,
+    PolicyChoice, PolicyKind, SimConfig, SimConfigBuilder, SupervisionConfig, VmModel,
 };
+pub use dualboot_sched::scheduler::SchedPolicy;
 pub use faults::{FaultEvent, FaultKind, FaultPlan};
 pub use metrics::{CostStats, FaultStats, HealthStats, SamplePoint, SimResult};
 pub use replicate::{replicate, Replication};

@@ -193,6 +193,10 @@ pub struct SimResult {
     /// Jobs terminated by walltime enforcement (counted in `completed`
     /// too: they occupied their nodes until the limit and then freed them).
     pub walltime_kills: u32,
+    /// Jobs started by EASY backfill ahead of a blocked head-of-queue job
+    /// (always zero under strict FCFS).
+    #[serde(default)]
+    pub backfills: u32,
     /// Switches whose node booted a *different* OS than the order intended
     /// (the single-flag race of §IV.A.1: the cluster-wide flag moved again
     /// before the reboot landed).
@@ -234,6 +238,7 @@ impl SimResult {
             switch_latency_pct: Percentiles::new(),
             boot_failures: 0,
             walltime_kills: 0,
+            backfills: 0,
             misdirected_switches: 0,
             makespan: SimTime::ZERO,
             end_time: SimTime::ZERO,

@@ -204,6 +204,20 @@ pub fn health_section(r: &SimResult) -> String {
     out
 }
 
+/// Render the scheduling section of a result: what EASY backfill did.
+/// Empty when nothing backfilled — strict-FCFS reports (and EASY runs on
+/// walltime-less workloads, which are byte-identical to FCFS) stay
+/// unchanged.
+pub fn sched_section(r: &SimResult) -> String {
+    if r.backfills == 0 {
+        return String::new();
+    }
+    format!(
+        "backfill: {} jobs jumped a blocked head ({} walltime kills)\n",
+        r.backfills, r.walltime_kills
+    )
+}
+
 /// Render the cost/energy section of a result: node-hours by state, VM
 /// lifecycle counters and the flat-wattage energy estimate. Unlike the
 /// chaos/health sections this renders for every run — the point is
@@ -310,6 +324,18 @@ mod tests {
         assert!(s.contains("boot retries"));
         assert!(s.contains("quarantined at end: node 4"));
         assert!(s.contains("stranded capacity: 2.00 core-hours"));
+    }
+
+    #[test]
+    fn sched_section_empty_without_backfills() {
+        let mut r = SimResult::new(64);
+        assert_eq!(sched_section(&r), "");
+        r.backfills = 5;
+        r.walltime_kills = 2;
+        assert_eq!(
+            sched_section(&r),
+            "backfill: 5 jobs jumped a blocked head (2 walltime kills)\n"
+        );
     }
 
     #[test]

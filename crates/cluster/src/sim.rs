@@ -271,6 +271,8 @@ impl Simulation {
         let mut nodes = Vec::with_capacity(cfg.nodes as usize);
         let mut pbs = PbsScheduler::eridani();
         let mut win = WinHpcScheduler::eridani();
+        pbs.set_policy(cfg.sched);
+        win.set_policy(cfg.sched);
         for i in 1..=cfg.nodes {
             let mut n = ComputeNode::eridani(i, firmware);
             n.cores = cfg.cores_per_node;
@@ -1825,6 +1827,21 @@ impl Simulation {
                 .expect("dispatched job exists");
                 (rec.req.kind, rec.req.runtime, rec.req.cpus())
             };
+            if d.backfilled {
+                self.result.backfills += 1;
+                if self.obs.is_enabled() {
+                    let name = match os {
+                        OsKind::Linux => self.pbs.job(d.job),
+                        OsKind::Windows => self.win.job(d.job),
+                    }
+                    .expect("dispatched job exists")
+                    .req
+                    .name
+                    .clone();
+                    self.obs
+                        .emit(Subsystem::Sim, None, ObsEvent::BackfillStarted { name });
+                }
+            }
             match kind {
                 JobKind::User => {
                     self.busy_user_cores += f64::from(cpus);

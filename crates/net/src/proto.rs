@@ -150,8 +150,13 @@ impl Message {
                     !member.is_empty() && !member.contains(char::is_whitespace),
                     "member name must be one token: {member:?}"
                 );
+                // Eight positional numbers every vintage understands, then
+                // the optional counters as tagged `k=v` fields so a peer
+                // that grew them in a different order can never have one
+                // misread as another (a pure-positional 10-number line
+                // used to read an energy counter as a teardown count).
                 format!(
-                    "GRID {} {} {} {} {} {} {} {} {} {} {} {}",
+                    "GRID {} {} {} {} {} {} {} {} {} q={} td={} ewh={}",
                     member,
                     report.at.as_millis(),
                     report.linux_queued,
@@ -244,15 +249,41 @@ impl Message {
                 let bad = || ProtoError::BadFields(line.to_string());
                 let member = parts.next().filter(|m| !m.is_empty()).ok_or_else(bad)?;
                 let rest = parts.next().ok_or_else(bad)?;
-                let nums: Vec<u64> = rest
-                    .split_whitespace()
-                    .map(|s| s.parse::<u64>())
-                    .collect::<Result<_, _>>()
-                    .map_err(|_| bad())?;
-                // Older peers send shorter lines: 8 numbers before the
-                // quarantine counter, 9 before the elastic-backend pair.
-                // Missing trailing fields read as 0.
-                if !(8..=11).contains(&nums.len()) {
+                let mut nums: Vec<u64> = Vec::new();
+                let mut quarantined: Option<u32> = None;
+                let mut torn_down: Option<u32> = None;
+                let mut energy_wh: Option<u64> = None;
+                let mut tagged = false;
+                for tok in rest.split_whitespace() {
+                    if let Some((key, value)) = tok.split_once('=') {
+                        tagged = true;
+                        match key {
+                            "q" => quarantined = Some(value.parse().map_err(|_| bad())?),
+                            "td" => torn_down = Some(value.parse().map_err(|_| bad())?),
+                            "ewh" => energy_wh = Some(value.parse().map_err(|_| bad())?),
+                            // Unknown tags are a *newer* vintage's fields:
+                            // skip them instead of dropping the report.
+                            _ => {}
+                        }
+                    } else {
+                        if tagged {
+                            // A positional number after a tagged field has
+                            // no defined position — reject the line.
+                            return Err(bad());
+                        }
+                        nums.push(tok.parse::<u64>().map_err(|_| bad())?);
+                    }
+                }
+                // A tagged line carries exactly the 8 universal numbers.
+                // Untagged lines are legacy positional vintages: 8 numbers
+                // before the quarantine counter, 9 before the
+                // elastic-backend pair, 10/11 with teardown and energy.
+                let positional_ok = if tagged {
+                    nums.len() == 8
+                } else {
+                    (8..=11).contains(&nums.len())
+                };
+                if !positional_ok {
                     return Err(bad());
                 }
                 let field = |i: usize| u32::try_from(nums[i]).map_err(|_| bad());
@@ -274,9 +305,24 @@ impl Message {
                         linux_nodes: field(5)?,
                         windows_nodes: field(6)?,
                         booting: field(7)?,
-                        quarantined: opt(8)?,
-                        torn_down: opt(9)?,
-                        energy_wh: if nums.len() > 10 { nums[10] } else { 0 },
+                        quarantined: match quarantined {
+                            Some(v) => v,
+                            None => opt(8)?,
+                        },
+                        torn_down: match torn_down {
+                            Some(v) => v,
+                            None => opt(9)?,
+                        },
+                        energy_wh: match energy_wh {
+                            Some(v) => v,
+                            None => {
+                                if nums.len() > 10 {
+                                    nums[10]
+                                } else {
+                                    0
+                                }
+                            }
+                        },
                     },
                 })
             }
@@ -394,7 +440,7 @@ mod tests {
             },
         };
         let line = m.encode();
-        assert_eq!(line, "GRID tauceti 90000 3 1 12 0 10 6 2 1 4 123456");
+        assert_eq!(line, "GRID tauceti 90000 3 1 12 0 10 6 2 q=1 td=4 ewh=123456");
         assert_eq!(Message::decode(&line).unwrap(), m);
     }
 
@@ -425,6 +471,61 @@ mod tests {
     }
 
     #[test]
+    fn legacy_positional_grid_lines_keep_their_old_meaning() {
+        // 10-number vintage: quarantine + teardown, no energy.
+        let m = Message::decode("GRID tauceti 90000 3 1 12 0 10 6 2 1 4").unwrap();
+        let Message::GridReport { report, .. } = m else {
+            panic!("expected a grid report");
+        };
+        assert_eq!((report.quarantined, report.torn_down, report.energy_wh), (1, 4, 0));
+        // 11-number vintage: the full pre-tag line.
+        let m = Message::decode("GRID tauceti 90000 3 1 12 0 10 6 2 1 4 99").unwrap();
+        let Message::GridReport { report, .. } = m else {
+            panic!("expected a grid report");
+        };
+        assert_eq!((report.quarantined, report.torn_down, report.energy_wh), (1, 4, 99));
+    }
+
+    #[test]
+    fn tagged_fields_decode_independently_of_order_and_presence() {
+        // The quarantine+energy vintage the positional scheme misread:
+        // `energy_wh` no longer lands in the teardown counter.
+        let m = Message::decode("GRID tauceti 90000 3 1 12 0 10 6 2 q=2 ewh=777").unwrap();
+        let Message::GridReport { report, .. } = m else {
+            panic!("expected a grid report");
+        };
+        assert_eq!((report.quarantined, report.torn_down, report.energy_wh), (2, 0, 777));
+        // Tag order is free; unset tags read as 0.
+        let m = Message::decode("GRID tauceti 90000 3 1 12 0 10 6 2 ewh=5 q=1").unwrap();
+        let Message::GridReport { report, .. } = m else {
+            panic!("expected a grid report");
+        };
+        assert_eq!((report.quarantined, report.torn_down, report.energy_wh), (1, 0, 5));
+        // Unknown tags from a newer vintage are skipped, not fatal.
+        let m = Message::decode("GRID tauceti 90000 3 1 12 0 10 6 2 td=3 zz=abc").unwrap();
+        let Message::GridReport { report, .. } = m else {
+            panic!("expected a grid report");
+        };
+        assert_eq!((report.quarantined, report.torn_down, report.energy_wh), (0, 3, 0));
+    }
+
+    #[test]
+    fn every_vintage_round_trips_through_the_tagged_encoder() {
+        // Decode each legacy line, re-encode, decode again: the report
+        // must survive unchanged (the cross-vintage gossip path).
+        for line in [
+            "GRID tauceti 90000 3 1 12 0 10 6 2",
+            "GRID tauceti 90000 3 1 12 0 10 6 2 1",
+            "GRID tauceti 90000 3 1 12 0 10 6 2 1 4",
+            "GRID tauceti 90000 3 1 12 0 10 6 2 1 4 99",
+            "GRID tauceti 90000 3 1 12 0 10 6 2 q=2 ewh=777",
+        ] {
+            let m = Message::decode(line).unwrap();
+            assert_eq!(Message::decode(&m.encode()).unwrap(), m, "vintage {line:?}");
+        }
+    }
+
+    #[test]
     fn grid_report_rejects_malformed_lines() {
         // too few fields
         assert!(matches!(
@@ -449,6 +550,21 @@ mod tests {
         // missing payload entirely
         assert!(matches!(
             Message::decode("GRID tauceti"),
+            Err(ProtoError::BadFields(_))
+        ));
+        // positional number after a tagged field
+        assert!(matches!(
+            Message::decode("GRID tauceti 90000 3 1 12 0 10 6 2 q=1 5"),
+            Err(ProtoError::BadFields(_))
+        ));
+        // malformed value in a known tag
+        assert!(matches!(
+            Message::decode("GRID tauceti 90000 3 1 12 0 10 6 2 q=lots"),
+            Err(ProtoError::BadFields(_))
+        ));
+        // tagged line must carry exactly the 8 universal numbers
+        assert!(matches!(
+            Message::decode("GRID tauceti 90000 3 1 12 0 10 6 2 1 q=1"),
             Err(ProtoError::BadFields(_))
         ));
     }

@@ -98,6 +98,13 @@ pub enum ObsEvent {
         /// Job name.
         name: String,
     },
+    /// A job jumped the queue via EASY backfill: it started ahead of a
+    /// blocked head-of-queue job because it fits beside the head's
+    /// reservation and its walltime ends before it.
+    BackfillStarted {
+        /// Job name.
+        name: String,
+    },
 
     // --- Switch-order protocol, Figure 11 steps 1–5 (daemons) ------
     /// Step 1: the Windows detector produced a report.
@@ -306,6 +313,7 @@ impl ObsEvent {
             ObsEvent::JobSubmitted { .. } => "job-submitted",
             ObsEvent::JobFinished { .. } => "job-finished",
             ObsEvent::JobKilled { .. } => "job-killed",
+            ObsEvent::BackfillStarted { .. } => "backfill-started",
             ObsEvent::WinStateFetched { .. } => "win-state-fetched",
             ObsEvent::WinStateSent => "win-state-sent",
             ObsEvent::WinStateReceived { .. } => "win-state-received",
@@ -371,6 +379,9 @@ impl fmt::Display for ObsEvent {
             }
             ObsEvent::JobFinished { name, os } => write!(f, "job {name} finished on {os:?}"),
             ObsEvent::JobKilled { name } => write!(f, "job {name} killed at walltime"),
+            ObsEvent::BackfillStarted { name } => {
+                write!(f, "job {name} backfilled ahead of the blocked head")
+            }
             ObsEvent::WinStateFetched { stuck, needed_cpus } => {
                 write!(f, "step 1: windows state fetched (stuck={stuck} cpus={needed_cpus})")
             }

@@ -20,7 +20,7 @@
 //! pointers; at 65536 nodes this is what keeps `try_dispatch` flat.
 
 use crate::job::{Job, JobId, JobRequest, JobState};
-use crate::scheduler::{Dispatch, QueueSnapshot, Scheduler};
+use crate::scheduler::{Dispatch, QueueSnapshot, SchedPolicy, Scheduler};
 use dualboot_bootconf::arena::{IdSet, ListRef, ListSlab, Sequence};
 use dualboot_bootconf::node::NodeId;
 use dualboot_bootconf::os::OsKind;
@@ -71,6 +71,9 @@ pub struct PbsScheduler {
     /// Every job ever submitted, keyed by the sequential id counter.
     jobs: Sequence<Job>,
     queue: VecDeque<JobId>,
+    /// Queue-ordering policy (FCFS or FCFS + EASY backfill).
+    #[serde(default)]
+    policy: SchedPolicy,
     // Placement indexes and snapshot counters, maintained on every
     // mutation. Derived state: never serialized (rebuildable from the
     // arrays above).
@@ -111,6 +114,7 @@ impl PbsScheduler {
             job_lists: ListSlab::new(),
             jobs: Sequence::new(1),
             queue: VecDeque::new(),
+            policy: SchedPolicy::Fcfs,
             avail: IdSet::new(),
             idle: IdSet::new(),
             running_ids: BTreeSet::new(),
@@ -181,6 +185,114 @@ impl PbsScheduler {
             }
         }
         None
+    }
+
+    /// Internal (EASY): like [`PbsScheduler::place`], but never picks a
+    /// reserved node. `reserved` is in ascending id order (it came from an
+    /// ascending scan), so membership is a binary search.
+    fn place_excluding(&self, req: &JobRequest, reserved: &[NodeId]) -> Option<Vec<NodeId>> {
+        let want = req.nodes as usize;
+        let mut picks = Vec::with_capacity(want);
+        for id in &self.avail {
+            if reserved.binary_search(&id).is_ok() {
+                continue;
+            }
+            let i = id.index0();
+            if self.np[i] - self.used[i] >= req.ppn {
+                picks.push(id);
+                if picks.len() == want {
+                    return Some(picks);
+                }
+            }
+        }
+        None
+    }
+
+    /// Internal (EASY): project the earliest time the blocked head request
+    /// fits, from running jobs' walltime-bounded completions, and the node
+    /// set it would take then. The simulation kills jobs at their walltime
+    /// ([`JobRequest::occupancy`]), so `started_at + walltime` is a
+    /// guaranteed upper bound on each release. Running jobs without a
+    /// walltime never free in the projection — a head blocked behind one
+    /// gets no reservation, and nothing backfills.
+    fn reserve_head(&self, req: &JobRequest, now: SimTime) -> Option<(SimTime, Vec<NodeId>)> {
+        let mut ends: Vec<(SimTime, u64)> = Vec::new();
+        for &id in &self.running_ids {
+            let job = self.jobs.get(id).expect("running job exists");
+            let Some(w) = job.req.walltime else { continue };
+            let started = job.started_at.expect("running job has started");
+            ends.push(((started + w).max(now), id));
+        }
+        ends.sort_unstable();
+        let want = req.nodes as usize;
+        let mut used = self.used.clone();
+        for (end, id) in ends {
+            let job = self.jobs.get(id).expect("running job exists");
+            for &n in &job.exec_nodes {
+                if self.online.contains(n) {
+                    let i = n.index0();
+                    used[i] = used[i].saturating_sub(job.req.ppn);
+                }
+            }
+            let mut picks = Vec::with_capacity(want);
+            for n in &self.online {
+                let i = n.index0();
+                if self.np[i].saturating_sub(used[i]) >= req.ppn {
+                    picks.push(n);
+                    if picks.len() == want {
+                        return Some((end, picks));
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Internal (EASY): with the head blocked, reserve its projected start
+    /// and start any later queued job that fits on non-reserved resources
+    /// and whose own walltime ends no later than the reservation. Such a
+    /// job neither touches the reserved nodes nor outlives the projected
+    /// frees, so the head still starts no later than its reservation.
+    fn backfill(&mut self, now: SimTime, started: &mut Vec<Dispatch>) {
+        let Some(&head) = self.queue.front() else {
+            return;
+        };
+        let head_req = self.jobs.get(head.0).expect("queued job exists").req.clone();
+        let Some((res_at, reserved)) = self.reserve_head(&head_req, now) else {
+            return;
+        };
+        let mut i = 1;
+        while i < self.queue.len() {
+            let id = self.queue[i];
+            let req = self.jobs.get(id.0).expect("queued job exists").req.clone();
+            let fits_window = match req.walltime {
+                Some(w) => now + w <= res_at,
+                None => false,
+            };
+            if !fits_window {
+                i += 1;
+                continue;
+            }
+            let Some(nodes) = self.place_excluding(&req, &reserved) else {
+                i += 1;
+                continue;
+            };
+            self.queue.remove(i);
+            for &n in &nodes {
+                self.alloc(n, req.ppn, id);
+            }
+            let job = self.jobs.get_mut(id.0).expect("queued job exists");
+            job.state = JobState::Running;
+            job.started_at = Some(now);
+            job.exec_nodes = nodes.clone();
+            self.running_ids.insert(id.0);
+            self.running += 1;
+            started.push(Dispatch {
+                job: id,
+                nodes,
+                backfilled: true,
+            });
+        }
     }
 
     /// Internal: take `ppn` slots for `job` on `id`, maintaining indexes.
@@ -303,6 +415,10 @@ impl Scheduler for PbsScheduler {
         self.online.contains(id)
     }
 
+    fn set_policy(&mut self, policy: SchedPolicy) {
+        self.policy = policy;
+    }
+
     fn node_hostname(&self, id: NodeId) -> Option<&str> {
         if !self.registered.contains(id) {
             return None;
@@ -358,7 +474,14 @@ impl Scheduler for PbsScheduler {
             job.exec_nodes = nodes.clone();
             self.running_ids.insert(head.0);
             self.running += 1;
-            started.push(Dispatch { job: head, nodes });
+            started.push(Dispatch {
+                job: head,
+                nodes,
+                backfilled: false,
+            });
+        }
+        if self.policy == SchedPolicy::Easy {
+            self.backfill(now, &mut started);
         }
         if !started.is_empty() {
             self.epoch += 1;
@@ -642,6 +765,116 @@ mod tests {
         s.register_node(NodeId(2), "enode02.eridani.qgg.hud.ac.uk", 4);
         let snap = s.snapshot();
         assert_eq!((snap.nodes_online, snap.cores_free, snap.nodes_free), (2, 8, 2));
+    }
+
+    fn wjob(nodes: u32, ppn: u32, wall_mins: u64) -> JobRequest {
+        ujob(nodes, ppn).with_walltime(SimDuration::from_mins(wall_mins))
+    }
+
+    /// 4 nodes; a 2-core-per-node runner pins nodes 1–2 for 30 min; the
+    /// head wants 3 whole nodes (blocked: only 3 and 4 are fully free).
+    fn blocked_easy_sched() -> PbsScheduler {
+        let mut s = sched_with_nodes(4);
+        s.set_policy(SchedPolicy::Easy);
+        s.submit(wjob(2, 2, 30), t(0));
+        assert_eq!(s.try_dispatch(t(0)).len(), 1);
+        s.submit(wjob(3, 4, 60), t(0)); // blocked head
+        s
+    }
+
+    #[test]
+    fn easy_backfills_short_job_around_blocked_head() {
+        let mut s = blocked_easy_sched();
+        // Reservation: runner ends at 30 min, head then takes nodes 1-3.
+        // A 1-node job ending by then backfills onto the unreserved node 4.
+        let c = s.submit(wjob(1, 4, 20), t(0));
+        let started = s.try_dispatch(t(0));
+        assert_eq!(started.len(), 1);
+        assert_eq!(started[0].job, c);
+        assert_eq!(started[0].nodes, [NodeId(4)]);
+        assert!(started[0].backfilled);
+        assert_eq!(s.job(c).unwrap().state, JobState::Running);
+    }
+
+    #[test]
+    fn fcfs_started_jobs_are_not_marked_backfilled() {
+        let mut s = sched_with_nodes(1);
+        s.set_policy(SchedPolicy::Easy);
+        s.submit(wjob(1, 4, 30), t(0));
+        let started = s.try_dispatch(t(0));
+        assert!(!started[0].backfilled);
+    }
+
+    #[test]
+    fn walltime_less_jobs_never_backfill() {
+        let mut s = blocked_easy_sched();
+        s.submit(ujob(1, 4), t(0)); // no walltime -> never backfilled
+        assert!(s.try_dispatch(t(0)).is_empty());
+    }
+
+    #[test]
+    fn backfill_respects_the_reservation_window() {
+        let mut s = blocked_easy_sched();
+        // Ends after the 30-min reservation: would delay the head.
+        s.submit(wjob(1, 4, 40), t(0));
+        assert!(s.try_dispatch(t(0)).is_empty());
+        // Exactly at the reservation boundary is allowed.
+        let c = s.submit(wjob(1, 4, 30), t(0));
+        let started = s.try_dispatch(t(0));
+        assert_eq!(started.len(), 1);
+        assert_eq!(started[0].job, c);
+    }
+
+    #[test]
+    fn backfill_never_touches_reserved_nodes() {
+        let mut s = blocked_easy_sched();
+        // Two short candidates but only node 4 is outside the reservation:
+        // the second one must stay queued even though node 3 is idle now.
+        let c1 = s.submit(wjob(1, 4, 10), t(0));
+        let c2 = s.submit(wjob(1, 4, 10), t(0));
+        let started = s.try_dispatch(t(0));
+        assert_eq!(started.len(), 1);
+        assert_eq!(started[0].job, c1);
+        assert_eq!(started[0].nodes, [NodeId(4)]);
+        assert_eq!(s.job(c2).unwrap().state, JobState::Queued);
+    }
+
+    #[test]
+    fn no_reservation_behind_walltime_less_runner() {
+        let mut s = sched_with_nodes(2);
+        s.set_policy(SchedPolicy::Easy);
+        s.submit(ujob(1, 4), t(0)); // runner without a walltime
+        assert_eq!(s.try_dispatch(t(0)).len(), 1);
+        s.submit(ujob(2, 4), t(0)); // blocked head
+        s.submit(wjob(1, 4, 5), t(0)); // would fit on node 2
+        assert!(
+            s.try_dispatch(t(0)).is_empty(),
+            "no walltime bound on the runner -> no projected start -> no backfill"
+        );
+    }
+
+    #[test]
+    fn easy_without_walltimes_matches_fcfs() {
+        let run = |policy: SchedPolicy| {
+            let mut s = sched_with_nodes(2);
+            s.set_policy(policy);
+            s.submit(ujob(1, 4), t(0));
+            s.submit(ujob(3, 4), t(0)); // impossible head
+            s.submit(ujob(1, 4), t(0));
+            let first = s.try_dispatch(t(1));
+            (first, s.snapshot())
+        };
+        assert_eq!(run(SchedPolicy::Fcfs), run(SchedPolicy::Easy));
+    }
+
+    #[test]
+    fn backfilled_job_completion_reopens_capacity() {
+        let mut s = blocked_easy_sched();
+        let c = s.submit(wjob(1, 4, 20), t(0));
+        s.try_dispatch(t(0));
+        let done = s.complete(c, t(600)).unwrap();
+        assert_eq!(done.exec_nodes, [NodeId(4)]);
+        assert_eq!(s.snapshot().cores_free, 12);
     }
 
     #[test]

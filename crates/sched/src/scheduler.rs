@@ -16,6 +16,50 @@ use dualboot_bootconf::os::OsKind;
 use dualboot_des::time::SimTime;
 use serde::{Deserialize, Serialize};
 
+/// Queue-ordering policy a scheduler runs its dispatch pass under.
+///
+/// `Fcfs` is the paper's strict first-come-first-served with node booking:
+/// the head of the queue either fits or blocks everything behind it.
+/// `Easy` adds EASY (aggressive) backfill on top: when the head is blocked,
+/// its earliest start is projected from running jobs' walltime-bounded
+/// completions, a reservation is placed on that node set, and later queued
+/// jobs may start now iff they fit on the remaining resources and their own
+/// requested walltime ends no later than the reservation. Jobs without a
+/// walltime are never backfilled, so `Easy` on a walltime-less workload is
+/// byte-identical to `Fcfs`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SchedPolicy {
+    /// Strict FCFS with head-of-line blocking (the paper's behaviour).
+    #[default]
+    Fcfs,
+    /// FCFS plus EASY backfill around a single head-of-queue reservation.
+    Easy,
+}
+
+impl SchedPolicy {
+    /// Every policy, in CLI/report order.
+    pub const ALL: [SchedPolicy; 2] = [SchedPolicy::Fcfs, SchedPolicy::Easy];
+
+    /// Canonical lowercase name (CLI spelling, manifest value, key segment).
+    pub fn name(self) -> &'static str {
+        match self {
+            SchedPolicy::Fcfs => "fcfs",
+            SchedPolicy::Easy => "easy",
+        }
+    }
+
+    /// Parse the canonical CLI spelling.
+    pub fn parse(s: &str) -> Option<SchedPolicy> {
+        SchedPolicy::ALL.into_iter().find(|p| p.name() == s)
+    }
+}
+
+impl std::fmt::Display for SchedPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// A dispatch decision: which job starts on which nodes.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Dispatch {
@@ -24,6 +68,10 @@ pub struct Dispatch {
     /// Nodes allocated to it (length = requested node count for PBS;
     /// for WinHPC the nodes providing the cores).
     pub nodes: Vec<NodeId>,
+    /// True when the job jumped the queue via EASY backfill rather than
+    /// starting as (or behind) an unblocked head.
+    #[serde(default)]
+    pub backfilled: bool,
 }
 
 /// Point-in-time queue/node state — exactly the facts the paper's
@@ -89,14 +137,19 @@ pub trait Scheduler {
     /// The hostname a node registered under, if it is known.
     fn node_hostname(&self, id: NodeId) -> Option<&str>;
 
+    /// Select the queue-ordering policy for subsequent dispatch passes.
+    fn set_policy(&mut self, policy: SchedPolicy);
+
     /// Submit a job; returns its id.
     fn submit(&mut self, req: JobRequest, now: SimTime) -> JobId;
 
     /// Cancel a queued job. Returns `false` if it is running/done/unknown.
     fn cancel(&mut self, id: JobId) -> bool;
 
-    /// FCFS dispatch pass: start every job that fits, in queue order,
-    /// stopping at the first job that does not fit (no backfill).
+    /// Dispatch pass: start every job that fits, in queue order, stopping
+    /// at the first job that does not fit. Under [`SchedPolicy::Easy`] a
+    /// blocked head gets a reservation and later queued jobs with fitting
+    /// walltimes may additionally backfill around it.
     fn try_dispatch(&mut self, now: SimTime) -> Vec<Dispatch>;
 
     /// Mark a running job finished; frees its resources. Returns the job
@@ -153,5 +206,17 @@ mod tests {
         assert!(snap(2, 1, Some(8), 4).is_blocked()); // head needs 8, only 4 free
         assert!(!snap(2, 1, Some(4), 4).is_blocked()); // head fits
         assert!(!snap(2, 0, None, 4).is_blocked()); // nothing queued
+    }
+
+    #[test]
+    fn sched_policy_names_round_trip() {
+        for p in SchedPolicy::ALL {
+            assert_eq!(SchedPolicy::parse(p.name()), Some(p));
+            assert_eq!(format!("{p}"), p.name());
+        }
+        assert_eq!(SchedPolicy::parse("easy"), Some(SchedPolicy::Easy));
+        assert_eq!(SchedPolicy::parse("EASY"), None);
+        assert_eq!(SchedPolicy::parse("backfill"), None);
+        assert_eq!(SchedPolicy::default(), SchedPolicy::Fcfs);
     }
 }

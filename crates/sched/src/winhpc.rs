@@ -14,8 +14,8 @@
 //! packing walks the `avail`/`idle` indexes rather than every node, and
 //! `snapshot()` is counter-backed O(1).
 
-use crate::job::{Job, JobId, JobRequest, JobState};
-use crate::scheduler::{Dispatch, QueueSnapshot, Scheduler};
+use crate::job::{Job, JobId, JobKind, JobRequest, JobState};
+use crate::scheduler::{Dispatch, QueueSnapshot, SchedPolicy, Scheduler};
 use dualboot_bootconf::arena::{IdSet, ListRef, ListSlab, Sequence};
 use dualboot_bootconf::node::NodeId;
 use dualboot_bootconf::os::OsKind;
@@ -46,6 +46,9 @@ pub struct WinHpcScheduler {
     /// completion releases precisely what dispatch took.
     allocs: BTreeMap<u64, Vec<(NodeId, u32)>>,
     queue: VecDeque<JobId>,
+    /// Queue-ordering policy (FCFS or FCFS + EASY backfill).
+    #[serde(default)]
+    policy: SchedPolicy,
     // Placement indexes and snapshot counters (derived state, rebuildable
     // from the arrays above; never serialized).
     /// Online nodes with at least one free core, ascending id.
@@ -81,6 +84,7 @@ impl WinHpcScheduler {
             jobs: Sequence::new(1),
             allocs: BTreeMap::new(),
             queue: VecDeque::new(),
+            policy: SchedPolicy::Fcfs,
             avail: IdSet::new(),
             idle: IdSet::new(),
             running: 0,
@@ -139,6 +143,138 @@ impl WinHpcScheduler {
             }
         }
         None
+    }
+
+    /// Internal (EASY): like [`WinHpcScheduler::place`], but treats the
+    /// reserved `(node, cores)` pairs as already taken. Each hold is capped
+    /// at the node's current free cores (the projection may count cores a
+    /// running job only frees later). `reserved` is in ascending node
+    /// order, so the per-node lookup is a binary search.
+    fn place_excluding(
+        &self,
+        cpus_needed: u32,
+        reserved: &[(NodeId, u32)],
+    ) -> Option<Vec<(NodeId, u32)>> {
+        let mut total_held = 0u32;
+        for &(n, take) in reserved {
+            if self.online.contains(n) {
+                let i = n.index0();
+                total_held += take.min(self.cores[i] - self.used[i]);
+            }
+        }
+        if cpus_needed + total_held > self.cores_free {
+            return None;
+        }
+        let held_on = |id: NodeId| -> u32 {
+            match reserved.binary_search_by_key(&id, |&(n, _)| n) {
+                Ok(k) => reserved[k].1,
+                Err(_) => 0,
+            }
+        };
+        let mut remaining = cpus_needed;
+        let mut picks = Vec::new();
+        for id in &self.avail {
+            let i = id.index0();
+            let free = (self.cores[i] - self.used[i]).saturating_sub(held_on(id));
+            let take = free.min(remaining);
+            if take > 0 {
+                picks.push((id, take));
+                remaining -= take;
+                if remaining == 0 {
+                    return Some(picks);
+                }
+            }
+        }
+        None
+    }
+
+    /// Internal (EASY): project the earliest time `cpus_needed` cores can
+    /// be packed, from running jobs' walltime-bounded releases, and the
+    /// `(node, cores)` pairs the head would take then. Running jobs without
+    /// a walltime never free in the projection.
+    fn reserve_head(&self, cpus_needed: u32, now: SimTime) -> Option<(SimTime, Vec<(NodeId, u32)>)> {
+        let mut ends: Vec<(SimTime, u64)> = Vec::new();
+        for &id in self.allocs.keys() {
+            let job = self.jobs.get(id).expect("running job exists");
+            let Some(w) = job.req.walltime else { continue };
+            let started = job.started_at.expect("running job has started");
+            ends.push(((started + w).max(now), id));
+        }
+        ends.sort_unstable();
+        let mut used = self.used.clone();
+        for (end, id) in ends {
+            for &(n, cores) in &self.allocs[&id] {
+                if self.online.contains(n) {
+                    let i = n.index0();
+                    used[i] = used[i].saturating_sub(cores);
+                }
+            }
+            let mut remaining = cpus_needed;
+            let mut picks = Vec::new();
+            for n in &self.online {
+                let i = n.index0();
+                let free = self.cores[i].saturating_sub(used[i]);
+                let take = free.min(remaining);
+                if take > 0 {
+                    picks.push((n, take));
+                    remaining -= take;
+                    if remaining == 0 {
+                        return Some((end, picks));
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Internal (EASY): with the head blocked, reserve its projected cores
+    /// and start any later queued user job whose walltime ends no later
+    /// than the reservation on the unheld remainder. A blocked *switch*
+    /// head is waiting for a whole node to drain — that is not expressible
+    /// as a core reservation, so nothing backfills around it.
+    fn backfill(&mut self, now: SimTime, started: &mut Vec<Dispatch>) {
+        let Some(&head) = self.queue.front() else {
+            return;
+        };
+        let head_req = self.jobs.get(head.0).expect("queued job exists").req.clone();
+        if head_req.kind != JobKind::User {
+            return;
+        }
+        let Some((res_at, reserved)) = self.reserve_head(head_req.cpus(), now) else {
+            return;
+        };
+        let mut i = 1;
+        while i < self.queue.len() {
+            let id = self.queue[i];
+            let req = self.jobs.get(id.0).expect("queued job exists").req.clone();
+            let fits_window = req.kind == JobKind::User
+                && matches!(req.walltime, Some(w) if now + w <= res_at);
+            if !fits_window {
+                i += 1;
+                continue;
+            }
+            let Some(picks) = self.place_excluding(req.cpus(), &reserved) else {
+                i += 1;
+                continue;
+            };
+            self.queue.remove(i);
+            let mut nodes = Vec::with_capacity(picks.len());
+            for &(n, cores) in &picks {
+                self.alloc(n, cores, id);
+                nodes.push(n);
+            }
+            let job = self.jobs.get_mut(id.0).expect("queued job exists");
+            job.state = JobState::Running;
+            job.started_at = Some(now);
+            job.exec_nodes = nodes.clone();
+            self.running += 1;
+            self.allocs.insert(id.0, picks);
+            started.push(Dispatch {
+                job: id,
+                nodes,
+                backfilled: true,
+            });
+        }
     }
 
     /// Internal: take `cores` on `id` for `job`, maintaining indexes.
@@ -257,6 +393,10 @@ impl Scheduler for WinHpcScheduler {
         self.online.contains(id)
     }
 
+    fn set_policy(&mut self, policy: SchedPolicy) {
+        self.policy = policy;
+    }
+
     fn node_hostname(&self, id: NodeId) -> Option<&str> {
         if !self.registered.contains(id) {
             return None;
@@ -323,7 +463,14 @@ impl Scheduler for WinHpcScheduler {
             job.exec_nodes = nodes.clone();
             self.running += 1;
             self.allocs.insert(head.0, picks);
-            started.push(Dispatch { job: head, nodes });
+            started.push(Dispatch {
+                job: head,
+                nodes,
+                backfilled: false,
+            });
+        }
+        if self.policy == SchedPolicy::Easy {
+            self.backfill(now, &mut started);
         }
         if !started.is_empty() {
             self.epoch += 1;
@@ -594,6 +741,93 @@ mod tests {
         assert_eq!(snap.queued, 1);
         assert_eq!(snap.first_queued_cpus, Some(8));
         assert!(snap.first_queued_id.unwrap().starts_with("JOB-2@"));
+    }
+
+    fn wwjob(nodes: u32, ppn: u32, wall_mins: u64) -> JobRequest {
+        wjob(nodes, ppn).with_walltime(SimDuration::from_mins(wall_mins))
+    }
+
+    /// 3 nodes × 4 cores; a 4-core runner pins node 1 for 30 min; the head
+    /// wants 9 cores (blocked: 8 free). The projected reservation takes all
+    /// of nodes 1-2 plus one core on node 3, leaving 3 cores unheld.
+    fn blocked_easy_sched() -> WinHpcScheduler {
+        let mut s = sched(3);
+        s.set_policy(SchedPolicy::Easy);
+        s.submit(wwjob(1, 4, 30), t(0));
+        assert_eq!(s.try_dispatch(t(0)).len(), 1);
+        s.submit(wwjob(1, 9, 60), t(0)); // blocked head
+        s
+    }
+
+    #[test]
+    fn easy_backfills_cores_outside_the_reservation() {
+        let mut s = blocked_easy_sched();
+        let c = s.submit(wwjob(1, 3, 20), t(0));
+        let started = s.try_dispatch(t(0));
+        assert_eq!(started.len(), 1);
+        assert_eq!(started[0].job, c);
+        assert!(started[0].backfilled);
+        assert_eq!(s.job(c).unwrap().exec_nodes, [NodeId(3)]);
+        // Only the 3 unheld cores were touched.
+        assert_eq!(s.snapshot().cores_free, 5);
+    }
+
+    #[test]
+    fn backfill_respects_reservation_window_and_held_cores() {
+        let mut s = blocked_easy_sched();
+        // Ends after the reservation: stays queued.
+        s.submit(wwjob(1, 3, 40), t(0));
+        assert!(s.try_dispatch(t(0)).is_empty());
+        // Fits the window but needs more than the 3 unheld cores.
+        s.submit(wwjob(1, 4, 10), t(0));
+        assert!(s.try_dispatch(t(0)).is_empty());
+    }
+
+    #[test]
+    fn walltime_less_jobs_never_backfill_on_windows() {
+        let mut s = blocked_easy_sched();
+        s.submit(wjob(1, 3), t(0)); // no walltime
+        assert!(s.try_dispatch(t(0)).is_empty());
+    }
+
+    #[test]
+    fn blocked_switch_head_suppresses_backfill() {
+        let mut s = sched(2);
+        s.set_policy(SchedPolicy::Easy);
+        // One core busy on each node (with walltimes), so no node is fully
+        // free and the switch head blocks.
+        s.submit(wwjob(1, 1, 30), t(0));
+        s.try_dispatch(t(0));
+        s.submit(wwjob(1, 4, 30), t(0));
+        s.try_dispatch(t(0)); // lands 3 on node 1, 1 on node 2
+        let sw = s.submit(JobRequest::os_switch(OsKind::Windows, OsKind::Linux, 4), t(0));
+        s.submit(wwjob(1, 1, 5), t(0)); // would fit, but head is a switch
+        assert!(s.try_dispatch(t(0)).is_empty());
+        assert_eq!(s.job(sw).unwrap().state, JobState::Queued);
+    }
+
+    #[test]
+    fn easy_without_walltimes_matches_fcfs_on_windows() {
+        let run = |policy: SchedPolicy| {
+            let mut s = sched(2);
+            s.set_policy(policy);
+            s.submit(wjob(1, 4), t(0));
+            s.submit(wjob(1, 16), t(0)); // impossible head
+            s.submit(wjob(1, 1), t(0));
+            let first = s.try_dispatch(t(1));
+            (first, s.snapshot())
+        };
+        assert_eq!(run(SchedPolicy::Fcfs), run(SchedPolicy::Easy));
+    }
+
+    #[test]
+    fn backfilled_windows_job_releases_exactly_its_cores() {
+        let mut s = blocked_easy_sched();
+        let c = s.submit(wwjob(1, 3, 20), t(0));
+        s.try_dispatch(t(0));
+        s.complete(c, t(300)).unwrap();
+        assert_eq!(s.snapshot().cores_free, 8);
+        assert_eq!(s.jobs_on(NodeId(3)), Vec::<JobId>::new());
     }
 
     #[test]

@@ -117,6 +117,7 @@ pub fn encode(rec: &TraceRecord) -> String {
         }
         ObsEvent::JobFinished { name, os } => format!(" {} {}", esc(name), os_name(*os)),
         ObsEvent::JobKilled { name } => format!(" {}", esc(name)),
+        ObsEvent::BackfillStarted { name } => format!(" {}", esc(name)),
         ObsEvent::WinStateFetched { stuck, needed_cpus }
         | ObsEvent::WinStateReceived { stuck, needed_cpus }
         | ObsEvent::LinuxStateFetched { stuck, needed_cpus } => {
@@ -243,6 +244,7 @@ pub fn decode(line: &str) -> Result<TraceRecord, String> {
         },
         "job-finished" => ObsEvent::JobFinished { name: cur.text("name")?, os: cur.os("os")? },
         "job-killed" => ObsEvent::JobKilled { name: cur.text("name")? },
+        "backfill-started" => ObsEvent::BackfillStarted { name: cur.text("name")? },
         "win-state-fetched" => ObsEvent::WinStateFetched {
             stuck: cur.flag("stuck")?,
             needed_cpus: cur.count("cpus")?,
@@ -352,6 +354,7 @@ mod tests {
             JobSubmitted { name: "J 1%x".into(), os: OsKind::Linux, nodes: 4 },
             JobFinished { name: "J2".into(), os: OsKind::Windows },
             JobKilled { name: String::new() },
+            BackfillStarted { name: "bf one".into() },
             WinStateFetched { stuck: true, needed_cpus: 8 },
             WinStateSent,
             WinStateReceived { stuck: false, needed_cpus: 0 },

@@ -16,7 +16,9 @@
 //! trace bytes and same report.
 
 use crate::json::{self, Json};
-use dualboot_cluster::{FaultPlan, Mode, NodeBackendKind, PolicyKind, SimConfig, Simulation};
+use dualboot_cluster::{
+    parse_policy_arg, FaultPlan, Mode, NodeBackendKind, PolicyChoice, SimConfig, Simulation,
+};
 use dualboot_des::time::SimDuration;
 use dualboot_des::QueueBackend;
 use dualboot_obs::ObsConfig;
@@ -33,7 +35,7 @@ pub struct SimJob {
     pub seed: u64,
     /// `dualboot` | `static` | `mono` | `oracle`.
     pub mode: String,
-    /// `fcfs` | `threshold` | `hysteresis` | `proportional`.
+    /// `fcfs` | `easy` | `threshold` | `hysteresis` | `proportional`.
     pub policy: String,
     pub windows_fraction: f64,
     pub load: f64,
@@ -76,8 +78,8 @@ fn parse_mode(s: &str) -> Result<Mode, String> {
     Mode::parse(s).ok_or_else(|| format!("unknown mode {s:?}"))
 }
 
-fn parse_policy(s: &str) -> Result<(PolicyKind, bool), String> {
-    PolicyKind::parse_cli(s).ok_or_else(|| format!("unknown policy {s:?}"))
+fn parse_policy(s: &str) -> Result<PolicyChoice, String> {
+    parse_policy_arg(s).ok_or_else(|| format!("unknown policy {s:?}"))
 }
 
 fn parse_backend(s: &str) -> Result<NodeBackendKind, String> {
@@ -89,7 +91,7 @@ impl SimJob {
     /// + `run_trace` construction exactly, with the observability bus
     /// always recording (the trace stream is the service's product).
     pub fn build(&self) -> Result<Simulation, String> {
-        let (policy, omniscient) = parse_policy(&self.policy)?;
+        let choice = parse_policy(&self.policy)?;
         let trace = WorkloadSpec {
             windows_fraction: self.windows_fraction,
             duration: SimDuration::from_hours(self.hours),
@@ -101,12 +103,13 @@ impl SimJob {
             .v2()
             .seed(self.seed)
             .mode(parse_mode(&self.mode)?)
-            .policy(policy);
+            .policy(choice.kind)
+            .sched(choice.sched);
         if let Some(kind) = &self.backend {
             builder = builder.backend(parse_backend(kind)?.to_backend());
         }
         let mut cfg = builder.try_build().map_err(|e| e.to_string())?;
-        cfg.omniscient = omniscient;
+        cfg.omniscient = choice.omniscient;
         cfg.initial_linux_nodes = self.split;
         cfg.supervision.watchdog = self.watchdog;
         cfg.supervision.journal = self.journal;
@@ -226,7 +229,7 @@ fn resolve_faults(spec: &str, seed: u64) -> Result<FaultPlan, String> {
 /// A campaign job: one of the built-in specs by name.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CampaignJob {
-    /// `smoke` | `fleet` | `grid-smoke` | `e17-backends`.
+    /// `smoke` | `fleet` | `grid-smoke` | `e17-backends` | `e18-backfill`.
     pub builtin: String,
     pub seed: u64,
     /// Worker threads for the campaign's own cell pool (0 = default).
@@ -403,6 +406,14 @@ mod tests {
             ..SimJob::default()
         };
         assert!(split.build().is_ok());
+    }
+
+    #[test]
+    fn easy_policy_builds_a_backfilling_sim() {
+        let job = SimJob { policy: "easy".into(), ..SimJob::default() };
+        assert!(job.build().is_ok());
+        let bad = SimJob { policy: "eager".into(), ..SimJob::default() };
+        assert!(bad.build().is_err());
     }
 
     #[test]

